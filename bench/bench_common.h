@@ -1,0 +1,79 @@
+// Shared utilities for the benchmark binaries that regenerate the paper's
+// tables and figures. Each binary accepts:
+//   --scale=<f>   dataset scale factor (default 1.0 = DESIGN.md sizes; the
+//                 simulated GPU memory scales with it so capacity ratios
+//                 stay faithful)
+//   --epochs=<n>  measured epochs per configuration (default 3)
+//   --seed=<n>    run seed (default 42)
+#ifndef GNNLAB_BENCH_BENCH_COMMON_H_
+#define GNNLAB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+#include "graph/dataset.h"
+
+namespace gnnlab {
+
+struct BenchFlags {
+  double scale = 1.0;
+  std::size_t epochs = 3;
+  std::uint64_t seed = 42;
+
+  // Simulated GPU memory: 64 MB at scale 1.0, shrinking with the data so
+  // the paper's Vol : GPU ratios hold at any scale.
+  ByteCount GpuMemory() const {
+    return static_cast<ByteCount>(static_cast<double>(64 * kMiB) * scale);
+  }
+};
+
+inline BenchFlags ParseBenchFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      flags.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
+      flags.epochs = static_cast<std::size_t>(std::atoll(arg + 9));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("flags: --scale=<f> --epochs=<n> --seed=<n>\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+// Memoized dataset construction (several benches sweep all four datasets).
+inline const Dataset& GetDataset(DatasetId id, const BenchFlags& flags) {
+  static std::map<std::pair<int, long long>, std::unique_ptr<Dataset>> cache;
+  const auto key = std::make_pair(static_cast<int>(id),
+                                  static_cast<long long>(flags.scale * 1e6));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<Dataset>(
+                                MakeDataset(id, flags.scale, flags.seed)))
+             .first;
+  }
+  return *it->second;
+}
+
+inline void PrintBenchHeader(const char* title, const BenchFlags& flags) {
+  std::printf("=== %s ===\n", title);
+  std::printf("scale=%.2f gpu=%s epochs=%zu seed=%llu\n\n", flags.scale,
+              FormatBytes(flags.GpuMemory()).c_str(), flags.epochs,
+              static_cast<unsigned long long>(flags.seed));
+}
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_BENCH_BENCH_COMMON_H_

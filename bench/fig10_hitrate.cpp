@@ -1,0 +1,96 @@
+// Figure 10: cache hit rate of Random / Degree / PreSC#1 / Optimal at a
+// fixed 10% cache ratio, across three sampling algorithms and all four
+// datasets — the paper's core robustness result for PreSC (§6.3).
+#include <optional>
+
+#include "bench/bench_common.h"
+#include "cache/cache_policy.h"
+#include "cache/feature_cache.h"
+#include "core/workload.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT
+
+namespace {
+
+Footprint RecordEpoch(const Workload& workload, const Dataset& ds, const EdgeWeights* weights,
+                      std::uint64_t seed) {
+  Footprint fp(ds.graph.num_vertices());
+  auto sampler = MakeSampler(workload, ds, weights);
+  Rng shuffle(seed);
+  Rng rng(seed ^ 0x5bd1e995u);
+  EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+  while (batches.HasNext()) {
+    fp.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+  }
+  return fp;
+}
+
+double HitRate(const Workload& workload, const Dataset& ds, const EdgeWeights* weights,
+               const std::vector<VertexId>& ranked, double ratio, std::uint64_t seed) {
+  const FeatureCache cache =
+      FeatureCache::Load(ranked, ratio, ds.graph.num_vertices(), ds.feature_dim);
+  auto sampler = MakeSampler(workload, ds, weights);
+  return MeasureEpochExtraction(sampler.get(), ds.train_set, ds.batch_size, cache,
+                                ds.feature_dim, seed)
+      .HitRate();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBenchHeader("Figure 10: hit rate per caching policy, cache ratio 10%", flags);
+
+  struct AlgoSpec {
+    const char* name;
+    Workload workload;
+  };
+  const AlgoSpec algos[] = {
+      {"3-hop random", StandardWorkload(GnnModelKind::kGcn)},
+      {"Random walks", StandardWorkload(GnnModelKind::kPinSage)},
+      {"3-hop weighted", WeightedGcnWorkload()},
+  };
+  constexpr double kRatio = 0.10;
+
+  for (const AlgoSpec& algo : algos) {
+    std::printf("%s\n", algo.name);
+    TablePrinter table({"Dataset", "Random", "Degree", "PreSC#1", "Optimal"});
+    for (const DatasetId id : kAllDatasets) {
+      const Dataset& ds = GetDataset(id, flags);
+      std::optional<EdgeWeights> weights;
+      if (algo.workload.sampling == SamplingAlgorithm::kKhopWeighted) {
+        weights.emplace(ds.MakeWeights());
+      }
+      const EdgeWeights* w = weights ? &*weights : nullptr;
+
+      CachePolicyContext context;
+      context.graph = &ds.graph;
+      context.train_set = &ds.train_set;
+      context.batch_size = ds.batch_size;
+      context.seed = flags.seed;
+      context.sampler_factory = [&ds, &algo, w] { return MakeSampler(algo.workload, ds, w); };
+
+      const std::uint64_t measure_seed = flags.seed + 1000;
+      auto oracle = MakeOptimalOracle(RecordEpoch(algo.workload, ds, w, measure_seed));
+
+      auto random = MakeRandomPolicy();
+      auto degree = MakeDegreePolicy();
+      auto presc = MakePreSamplingPolicy(1);
+      std::vector<std::string> row{ds.name};
+      for (CachePolicy* policy :
+           {random.get(), degree.get(), presc.get(), oracle.get()}) {
+        row.push_back(FmtPercent(
+            HitRate(algo.workload, ds, w, policy->Rank(context), kRatio, measure_seed), 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape: PreSC#1 tracks Optimal within a few points in all 12 cells;\n"
+      "Degree is competitive only on the power-law graph under uniform sampling\n"
+      "and collapses on PA/UK and under weighted sampling.\n");
+  return 0;
+}

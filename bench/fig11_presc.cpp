@@ -1,0 +1,148 @@
+// Figure 11: PreSC in depth.
+//  (a) Hit rate per policy (incl. PreSC#1/2/3) on the Twitter stand-in with
+//      weighted sampling, cache ratio 10%.
+//  (b) Hit rate vs cache ratio on the OGB-Papers stand-in with 3-hop
+//      uniform sampling.
+//  (c) Transferred data per epoch vs feature dimension at a fixed cache
+//      byte budget (the paper's 5 GB / 16 GB card).
+#include "bench/bench_common.h"
+#include "cache/cache_policy.h"
+#include "cache/feature_cache.h"
+#include "core/workload.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT
+
+namespace {
+
+Footprint RecordEpoch(const Workload& workload, const Dataset& ds, const EdgeWeights* weights,
+                      std::uint64_t seed) {
+  Footprint fp(ds.graph.num_vertices());
+  auto sampler = MakeSampler(workload, ds, weights);
+  Rng shuffle(seed);
+  Rng rng(seed ^ 0x5bd1e995u);
+  EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+  while (batches.HasNext()) {
+    fp.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+  }
+  return fp;
+}
+
+EpochExtractionResult Measure(const Workload& workload, const Dataset& ds,
+                              const EdgeWeights* weights,
+                              const std::vector<VertexId>& ranked, double ratio,
+                              std::uint32_t dim, std::uint64_t seed) {
+  const FeatureCache cache = FeatureCache::Load(ranked, ratio, ds.graph.num_vertices(), dim);
+  auto sampler = MakeSampler(workload, ds, weights);
+  return MeasureEpochExtraction(sampler.get(), ds.train_set, ds.batch_size, cache, dim, seed);
+}
+
+CachePolicyContext ContextFor(const Dataset& ds, const Workload& workload,
+                              const EdgeWeights* weights, std::uint64_t seed) {
+  CachePolicyContext context;
+  context.graph = &ds.graph;
+  context.train_set = &ds.train_set;
+  context.batch_size = ds.batch_size;
+  context.seed = seed;
+  context.sampler_factory = [&ds, &workload, weights] {
+    return MakeSampler(workload, ds, weights);
+  };
+  return context;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBenchHeader("Figure 11: PreSC efficiency and robustness", flags);
+  const std::uint64_t measure_seed = flags.seed + 1000;
+
+  // (a) TW + weighted sampling, policies including PreSC#K.
+  {
+    const Dataset& tw = GetDataset(DatasetId::kTwitter, flags);
+    const Workload workload = WeightedGcnWorkload();
+    const EdgeWeights weights = tw.MakeWeights();
+    const CachePolicyContext context = ContextFor(tw, workload, &weights, flags.seed);
+    auto oracle = MakeOptimalOracle(RecordEpoch(workload, tw, &weights, measure_seed));
+
+    std::printf("(a) TW, 3-hop weighted sampling, cache ratio 10%%\n");
+    TablePrinter table({"Policy", "hit rate"});
+    struct Named {
+      const char* name;
+      std::unique_ptr<CachePolicy> policy;
+    };
+    Named policies[] = {
+        {"Random", MakeRandomPolicy()},     {"Degree", MakeDegreePolicy()},
+        {"PreSC#1", MakePreSamplingPolicy(1)}, {"PreSC#2", MakePreSamplingPolicy(2)},
+        {"PreSC#3", MakePreSamplingPolicy(3)}, {"Optimal", std::move(oracle)},
+    };
+    for (Named& named : policies) {
+      const auto result = Measure(workload, tw, &weights, named.policy->Rank(context), 0.10,
+                                  tw.feature_dim, measure_seed);
+      table.AddRow({named.name, FmtPercent(result.HitRate(), 1)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (b) PA, hit rate vs cache ratio.
+  {
+    const Dataset& pa = GetDataset(DatasetId::kPapers, flags);
+    const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+    const CachePolicyContext context = ContextFor(pa, workload, nullptr, flags.seed);
+    const auto rank_random = MakeRandomPolicy()->Rank(context);
+    const auto rank_degree = MakeDegreePolicy()->Rank(context);
+    const auto rank_presc = MakePreSamplingPolicy(1)->Rank(context);
+    const auto rank_optimal =
+        MakeOptimalOracle(RecordEpoch(workload, pa, nullptr, measure_seed))->Rank(context);
+
+    std::printf("(b) PA, 3-hop uniform sampling: hit rate vs cache ratio\n");
+    TablePrinter table({"cache ratio", "Random", "Degree", "PreSC#1", "Optimal"});
+    for (const double ratio : {0.01, 0.02, 0.05, 0.10, 0.20, 0.30}) {
+      std::vector<std::string> row{FmtPercent(ratio)};
+      for (const auto* rank : {&rank_random, &rank_degree, &rank_presc, &rank_optimal}) {
+        row.push_back(FmtPercent(
+            Measure(workload, pa, nullptr, *rank, ratio, pa.feature_dim, measure_seed)
+                .HitRate(),
+            1));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  // (c) PA, transferred bytes vs feature dim at fixed cache bytes.
+  {
+    const Dataset& pa = GetDataset(DatasetId::kPapers, flags);
+    const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+    const CachePolicyContext context = ContextFor(pa, workload, nullptr, flags.seed);
+    const auto rank_random = MakeRandomPolicy()->Rank(context);
+    const auto rank_degree = MakeDegreePolicy()->Rank(context);
+    const auto rank_presc = MakePreSamplingPolicy(1)->Rank(context);
+    const auto budget =
+        static_cast<ByteCount>(static_cast<double>(flags.GpuMemory()) * 5.0 / 16.0);
+
+    std::printf("(c) PA: transferred bytes/epoch vs feature dim (cache budget %s)\n",
+                FormatBytes(budget).c_str());
+    TablePrinter table({"feature dim", "Random", "Degree", "PreSC#1"});
+    for (const std::uint32_t dim : {100u, 300u, 500u, 700u, 900u}) {
+      std::vector<std::string> row{std::to_string(dim)};
+      for (const auto* rank : {&rank_random, &rank_degree, &rank_presc}) {
+        const FeatureCache cache =
+            FeatureCache::LoadWithBudget(*rank, budget, pa.graph.num_vertices(), dim);
+        auto sampler = MakeSampler(workload, pa, nullptr);
+        const auto result = MeasureEpochExtraction(sampler.get(), pa.train_set,
+                                                   pa.batch_size, cache, dim, measure_seed);
+        row.push_back(FormatBytes(result.bytes_from_host));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nPaper shape: PreSC#1 is already near-optimal (more stages add little);\n"
+      "its hit rate rises steeply with ratio and its transferred bytes grow far\n"
+      "slower with feature dimension than Degree/Random (~4x less at dim 900).\n");
+  return 0;
+}

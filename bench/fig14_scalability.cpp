@@ -1,0 +1,72 @@
+// Figure 14: scalability with the number of GPUs for GCN on (a) the
+// OGB-Papers stand-in and (b) the Twitter stand-in. Series: DGL, T_SOTA,
+// and GNNLab with k = 1, 2, 3 Samplers (GNNLab/kS uses k Samplers and
+// gpus - k Trainers).
+#include "baselines/timeshare_runner.h"
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT
+
+namespace {
+
+std::string TimeShareCell(const Dataset& ds, const Workload& workload,
+                          const TimeShareOptions& base, int gpus, const BenchFlags& flags) {
+  TimeShareOptions options = base;
+  options.num_gpus = gpus;
+  options.gpu_memory = flags.GpuMemory();
+  options.epochs = flags.epochs;
+  options.seed = flags.seed;
+  TimeShareRunner runner(ds, workload, options);
+  const RunReport report = runner.Run();
+  return report.oom ? "OOM" : Fmt(report.AvgEpochTime());
+}
+
+std::string GnnlabCell(const Dataset& ds, const Workload& workload, int gpus, int samplers,
+                       const BenchFlags& flags) {
+  if (samplers >= gpus) {
+    return "-";
+  }
+  EngineOptions options;
+  options.num_gpus = gpus;
+  options.num_samplers = samplers;
+  options.dynamic_switching = false;
+  options.gpu_memory = flags.GpuMemory();
+  options.epochs = flags.epochs;
+  options.seed = flags.seed;
+  Engine engine(ds, workload, options);
+  const RunReport report = engine.Run();
+  return report.oom ? "OOM" : Fmt(report.AvgEpochTime());
+}
+
+void Sweep(const char* title, const Dataset& ds, const BenchFlags& flags) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  std::printf("%s\n", title);
+  TablePrinter table({"GPUs", "DGL", "T_SOTA", "GNNLab/1S", "GNNLab/2S", "GNNLab/3S"});
+  for (int gpus = 2; gpus <= 8; ++gpus) {
+    table.AddRow({std::to_string(gpus),
+                  TimeShareCell(ds, workload, DglOptions(), gpus, flags),
+                  TimeShareCell(ds, workload, TsotaOptions(), gpus, flags),
+                  GnnlabCell(ds, workload, gpus, 1, flags),
+                  GnnlabCell(ds, workload, gpus, 2, flags),
+                  GnnlabCell(ds, workload, gpus, 3, flags)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBenchHeader("Figure 14: epoch time vs number of GPUs (GCN)", flags);
+  Sweep("(a) PA", GetDataset(DatasetId::kPapers, flags), flags);
+  Sweep("(b) TW", GetDataset(DatasetId::kTwitter, flags), flags);
+  std::printf(
+      "Paper shape: GNNLab's epoch time falls near-linearly while Trainers are\n"
+      "the bottleneck and flattens once they catch the Samplers; DGL and\n"
+      "T_SOTA improve more slowly because every added GPU contends for the\n"
+      "shared host channel during extraction.\n");
+  return 0;
+}

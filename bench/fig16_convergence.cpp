@@ -1,0 +1,165 @@
+// Figure 16: time-to-accuracy for GraphSAGE on the OGB-Papers stand-in.
+//
+// Real training (genuine forward/backward passes, Adam, synchronous
+// data-parallel updates) produces the accuracy-per-epoch trajectory for
+// each gradient-update group size: GNNLab trains with N_t = 6 GPUs worth of
+// data parallelism after the scheduler reserves 2 Samplers, while DGL and
+// T_SOTA aggregate over all 8 GPUs (fewer updates per epoch, more epochs to
+// the target). Epoch wall-times come from each system's simulated runner,
+// so time-to-accuracy = (epochs to target) x (that system's epoch time).
+#include <algorithm>
+
+#include "baselines/timeshare_runner.h"
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT
+
+namespace {
+
+struct Trajectory {
+  std::vector<double> accuracy;        // Per epoch.
+  std::vector<std::size_t> updates;    // Cumulative gradient updates.
+};
+
+Trajectory TrainReal(const Dataset& ds, const RealTrainingOptions& real,
+                     std::size_t sync_group, std::size_t epochs, std::uint64_t seed) {
+  Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  EngineOptions options;
+  options.num_gpus = 8;
+  options.gpu_memory = 64 * kMiB;  // Ample: convergence only needs the schedule.
+  options.epochs = epochs;
+  options.seed = seed;
+  options.sync_group_override = sync_group;
+  options.real = &real;
+  Engine engine(ds, workload, options);
+  const RunReport report = engine.Run();
+  if (report.oom) {
+    std::fprintf(stderr, "real-training run OOM: %s\n", report.oom_detail.c_str());
+    std::exit(1);
+  }
+  Trajectory trajectory;
+  std::size_t cumulative = 0;
+  for (const EpochReport& epoch : report.epochs) {
+    cumulative += epoch.gradient_updates;
+    trajectory.accuracy.push_back(epoch.eval_accuracy);
+    trajectory.updates.push_back(cumulative);
+  }
+  return trajectory;
+}
+
+std::size_t EpochsToTarget(const Trajectory& t, double target) {
+  for (std::size_t e = 0; e < t.accuracy.size(); ++e) {
+    if (t.accuracy[e] >= target) {
+      return e + 1;
+    }
+  }
+  return t.accuracy.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBenchHeader("Figure 16: GraphSAGE convergence (real training)", flags);
+
+  // Real training at a reduced scale: genuine dense math on one CPU core.
+  const double train_scale = std::min(flags.scale, 0.1);
+  const Dataset ds = MakeDataset(DatasetId::kPapers, train_scale, flags.seed);
+  Rng rng(flags.seed);
+  constexpr std::uint32_t kClasses = 8;
+  const auto labels = MakeCommunityLabels(ds.graph.num_vertices(), 256, kClasses);
+  const FeatureStore features =
+      FeatureStore::Clustered(ds.graph.num_vertices(), 16, labels, kClasses, 0.6, &rng);
+  std::vector<VertexId> eval;
+  for (VertexId v = 1; v < ds.graph.num_vertices() && eval.size() < 400; v += 97) {
+    eval.push_back(v);
+  }
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.eval_vertices = eval;
+  real.num_classes = kClasses;
+  real.hidden_dim = 16;
+
+  const std::size_t epochs = std::max<std::size_t>(flags.epochs, 10);
+  // GNNLab's scheduler yields 2S6T for GraphSAGE/PA -> update group 6; the
+  // 8-GPU time-sharing baselines aggregate over 8.
+  const Trajectory gnnlab_traj = TrainReal(ds, real, 6, epochs, flags.seed);
+  const Trajectory baseline_traj = TrainReal(ds, real, 8, epochs, flags.seed);
+
+  // Epoch wall-times from the simulated systems at full measurement scale.
+  const Dataset& pa = GetDataset(DatasetId::kPapers, flags);
+  const Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  double gnnlab_epoch = 0.0;
+  {
+    EngineOptions options;
+    options.num_gpus = 8;
+    options.gpu_memory = flags.GpuMemory();
+    options.epochs = 2;
+    options.seed = flags.seed;
+    Engine engine(pa, workload, options);
+    const RunReport report = engine.Run();
+    if (report.oom) {
+      std::fprintf(stderr, "GNNLab epoch run OOM: %s\n", report.oom_detail.c_str());
+      std::exit(1);
+    }
+    gnnlab_epoch = report.AvgEpochTime();
+  }
+  auto timeshare_epoch = [&](const TimeShareOptions& base) {
+    TimeShareOptions options = base;
+    options.num_gpus = 8;
+    options.gpu_memory = flags.GpuMemory();
+    options.epochs = 2;
+    options.seed = flags.seed;
+    TimeShareRunner runner(pa, workload, options);
+    const RunReport report = runner.Run();
+    if (report.oom) {
+      std::fprintf(stderr, "time-sharing epoch run OOM: %s\n", report.oom_detail.c_str());
+      std::exit(1);
+    }
+    return report.AvgEpochTime();
+  };
+  const double tsota_epoch = timeshare_epoch(TsotaOptions());
+  const double dgl_epoch = timeshare_epoch(DglOptions());
+
+  std::printf("accuracy trajectory (eval set %zu vertices, %u classes)\n", eval.size(),
+              kClasses);
+  TablePrinter curve({"epoch", "acc (group=6, GNNLab)", "acc (group=8, DGL/TSOTA)",
+                      "updates g6", "updates g8"});
+  for (std::size_t e = 0; e < epochs; ++e) {
+    curve.AddRow({std::to_string(e + 1), FmtPercent(gnnlab_traj.accuracy[e], 1),
+                  FmtPercent(baseline_traj.accuracy[e], 1),
+                  std::to_string(gnnlab_traj.updates[e]),
+                  std::to_string(baseline_traj.updates[e])});
+  }
+  curve.Print();
+
+  const double best = std::min(
+      *std::max_element(gnnlab_traj.accuracy.begin(), gnnlab_traj.accuracy.end()),
+      *std::max_element(baseline_traj.accuracy.begin(), baseline_traj.accuracy.end()));
+  const double target = 0.95 * best;
+  const std::size_t gnnlab_epochs = EpochsToTarget(gnnlab_traj, target);
+  const std::size_t baseline_epochs = EpochsToTarget(baseline_traj, target);
+
+  std::printf("\ntarget accuracy %s (95%% of best common)\n", FmtPercent(target, 1).c_str());
+  TablePrinter summary(
+      {"System", "epoch(s)", "epochs to target", "grad updates", "time to target(s)"});
+  summary.AddRow({"DGL", Fmt(dgl_epoch), std::to_string(baseline_epochs),
+                  std::to_string(baseline_traj.updates[baseline_epochs - 1]),
+                  Fmt(dgl_epoch * static_cast<double>(baseline_epochs))});
+  summary.AddRow({"T_SOTA", Fmt(tsota_epoch), std::to_string(baseline_epochs),
+                  std::to_string(baseline_traj.updates[baseline_epochs - 1]),
+                  Fmt(tsota_epoch * static_cast<double>(baseline_epochs))});
+  summary.AddRow({"GNNLab", Fmt(gnnlab_epoch), std::to_string(gnnlab_epochs),
+                  std::to_string(gnnlab_traj.updates[gnnlab_epochs - 1]),
+                  Fmt(gnnlab_epoch * static_cast<double>(gnnlab_epochs))});
+  summary.Print();
+  std::printf(
+      "\nPaper shape: all systems converge to the same accuracy; GNNLab needs\n"
+      "slightly fewer epochs (more gradient updates per epoch with 6 trainers\n"
+      "vs 8) and each epoch is several times faster, compounding to ~10x over\n"
+      "DGL and ~3.5x over T_SOTA in time-to-accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 5: transferred data of the Degree policy vs the Optimal oracle as
+// the cache ratio grows, for (a) the OGB-Papers stand-in with uniform 3-hop
+// sampling and (b) the Twitter stand-in with weighted 3-hop sampling. These
+// are the two regimes where the degree heuristic's assumptions break
+// (paper §3 "Efficiency").
+#include "bench/bench_common.h"
+#include "cache/cache_policy.h"
+#include "cache/feature_cache.h"
+#include "core/workload.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT
+
+namespace {
+
+Footprint RecordEpoch(const Workload& workload, const Dataset& ds, const EdgeWeights* weights,
+                      std::uint64_t seed) {
+  Footprint fp(ds.graph.num_vertices());
+  auto sampler = MakeSampler(workload, ds, weights);
+  Rng shuffle(seed);
+  Rng rng(seed ^ 0x5bd1e995u);
+  EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+  while (batches.HasNext()) {
+    fp.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+  }
+  return fp;
+}
+
+void SweepCase(const char* title, const Workload& workload, const Dataset& ds,
+               const EdgeWeights* weights, std::uint64_t seed) {
+  std::printf("%s\n", title);
+  CachePolicyContext context;
+  context.graph = &ds.graph;
+  context.train_set = &ds.train_set;
+  context.batch_size = ds.batch_size;
+  context.seed = seed;
+  const std::vector<VertexId> degree_rank = MakeDegreePolicy()->Rank(context);
+  // The oracle ranks by the footprint of the exact epoch we then measure.
+  auto oracle = MakeOptimalOracle(RecordEpoch(workload, ds, weights, seed));
+  const std::vector<VertexId> optimal_rank = oracle->Rank(context);
+
+  TablePrinter table({"cache ratio", "Degree bytes", "Optimal bytes", "Degree/Optimal"});
+  for (const double ratio : {0.01, 0.03, 0.05, 0.07, 0.10, 0.20, 0.30}) {
+    ByteCount bytes[2];
+    const std::vector<VertexId>* ranks[2] = {&degree_rank, &optimal_rank};
+    for (int i = 0; i < 2; ++i) {
+      const FeatureCache cache =
+          FeatureCache::Load(*ranks[i], ratio, ds.graph.num_vertices(), ds.feature_dim);
+      auto sampler = MakeSampler(workload, ds, weights);
+      bytes[i] = MeasureEpochExtraction(sampler.get(), ds.train_set, ds.batch_size, cache,
+                                        ds.feature_dim, seed)
+                     .bytes_from_host;
+    }
+    const std::string gap =
+        bytes[1] > 0
+            ? Fmt(static_cast<double>(bytes[0]) / static_cast<double>(bytes[1]), 1) + "x"
+            : "-";
+    table.AddRow({FmtPercent(ratio), FormatBytes(bytes[0]), FormatBytes(bytes[1]), gap});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBenchHeader("Figure 5: Degree vs Optimal transferred data", flags);
+
+  const Dataset& pa = GetDataset(DatasetId::kPapers, flags);
+  SweepCase("(a) PA (citation, low skew), uniform 3-hop sampling",
+            StandardWorkload(GnnModelKind::kGcn), pa, nullptr, flags.seed);
+
+  const Dataset& tw = GetDataset(DatasetId::kTwitter, flags);
+  const EdgeWeights weights = tw.MakeWeights();
+  SweepCase("(b) TW (power-law), weighted 3-hop sampling", WeightedGcnWorkload(), tw,
+            &weights, flags.seed);
+
+  std::printf(
+      "Paper shape: Degree transfers many times the Optimal bytes at small\n"
+      "ratios on the low-skew graph, and stays well above Optimal even on the\n"
+      "power-law graph once sampling is weighted.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Microbenchmark (google-benchmark): throughput of the threaded global
+// queue (runtime/mpmc_queue.h). The paper argues the host-memory queue
+// "would not be the bottleneck since the updates are infrequent" (§5.2) —
+// its training pipelines enqueue at most a few hundred mini-batches per
+// second; this shows the queue clears orders of magnitude more.
+#include <thread>
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/mpmc_queue.h"
+
+namespace gnnlab {
+namespace {
+
+void BM_SingleThreadPushPop(benchmark::State& state) {
+  MpmcQueue<std::size_t> queue(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    queue.Push(i++);
+    benchmark::DoNotOptimize(queue.Pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ProducerConsumer(benchmark::State& state) {
+  // One producer thread feeds; the benchmark thread consumes — the 1S1T
+  // topology of Table 5.
+  for (auto _ : state) {
+    state.PauseTiming();
+    constexpr std::size_t kItems = 50000;
+    MpmcQueue<std::size_t> queue(256);
+    std::thread producer([&queue] {
+      for (std::size_t i = 0; i < kItems; ++i) {
+        queue.Push(i);
+      }
+      queue.Close();
+    });
+    state.ResumeTiming();
+    std::size_t received = 0;
+    while (queue.Pop().has_value()) {
+      ++received;
+    }
+    state.PauseTiming();
+    producer.join();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(received);
+    state.SetItemsProcessed(state.items_processed() + static_cast<std::int64_t>(received));
+  }
+}
+
+void BM_MultiProducerMultiConsumer(benchmark::State& state) {
+  const int kProducers = 2;
+  const int kConsumers = 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    constexpr std::size_t kItemsPer = 20000;
+    MpmcQueue<std::size_t> queue(256);
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> received{0};
+    state.ResumeTiming();
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&queue] {
+        for (std::size_t i = 0; i < kItemsPer; ++i) {
+          queue.Push(i);
+        }
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&queue, &received] {
+        while (queue.Pop().has_value()) {
+          ++received;
+        }
+      });
+    }
+    for (int p = 0; p < kProducers; ++p) {
+      threads[p].join();
+    }
+    queue.Close();
+    for (int c = 0; c < kConsumers; ++c) {
+      threads[kProducers + c].join();
+    }
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(received.load()));
+  }
+}
+
+BENCHMARK(BM_SingleThreadPushPop);
+BENCHMARK(BM_ProducerConsumer)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MultiProducerMultiConsumer)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gnnlab
+
+BENCHMARK_MAIN();

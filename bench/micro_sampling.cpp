@@ -1,0 +1,69 @@
+// Microbenchmark (google-benchmark): the Fisher-Yates-variant k-hop kernel
+// vs the Reservoir kernel DGL uses, on the power-law Twitter stand-in and
+// the low-skew citation stand-in. Real wall-clock time of the kernels
+// themselves — the ablation behind the paper's §7.3 Sample-stage analysis:
+// reservoir work scales with vertex degree, so the gap widens on skewed
+// graphs.
+#include <benchmark/benchmark.h>
+
+#include "core/workload.h"
+#include "graph/dataset.h"
+
+namespace gnnlab {
+namespace {
+
+constexpr double kScale = 0.2;
+
+const Dataset& BenchDataset(DatasetId id) {
+  static const Dataset* tw = new Dataset(MakeDataset(DatasetId::kTwitter, kScale, 42));
+  static const Dataset* pa = new Dataset(MakeDataset(DatasetId::kPapers, kScale, 42));
+  return id == DatasetId::kTwitter ? *tw : *pa;
+}
+
+void RunKernel(benchmark::State& state, DatasetId id, bool reservoir) {
+  const Dataset& ds = BenchDataset(id);
+  const std::vector<std::uint32_t> fanouts{15, 10, 5};
+  auto sampler = reservoir ? MakeKhopReservoirSampler(ds.graph, fanouts)
+                           : MakeKhopUniformSampler(ds.graph, fanouts);
+  Rng shuffle(1);
+  EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+  std::vector<std::vector<VertexId>> seeds;
+  while (batches.HasNext()) {
+    const auto b = batches.NextBatch();
+    seeds.emplace_back(b.begin(), b.end());
+  }
+  Rng rng(7);
+  std::size_t i = 0;
+  std::size_t scanned = 0;
+  for (auto _ : state) {
+    SamplerStats stats;
+    benchmark::DoNotOptimize(sampler->Sample(seeds[i], &rng, &stats));
+    scanned += stats.adjacency_entries_scanned;
+    i = (i + 1) % seeds.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(scanned));
+  state.SetLabel(reservoir ? "reservoir" : "fisher-yates");
+}
+
+void BM_FisherYates_Twitter(benchmark::State& state) {
+  RunKernel(state, DatasetId::kTwitter, false);
+}
+void BM_Reservoir_Twitter(benchmark::State& state) {
+  RunKernel(state, DatasetId::kTwitter, true);
+}
+void BM_FisherYates_Papers(benchmark::State& state) {
+  RunKernel(state, DatasetId::kPapers, false);
+}
+void BM_Reservoir_Papers(benchmark::State& state) {
+  RunKernel(state, DatasetId::kPapers, true);
+}
+
+BENCHMARK(BM_FisherYates_Twitter)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Reservoir_Twitter)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FisherYates_Papers)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Reservoir_Papers)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gnnlab
+
+BENCHMARK_MAIN();

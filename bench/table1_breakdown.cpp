@@ -1,0 +1,67 @@
+// Table 1: runtime breakdown (seconds) of a training epoch with the key
+// optimizations toggled — GPU-based sampling and GPU-based feature caching
+// — for DGL and T_SOTA. Workload: 3-layer GCN, random neighborhood
+// sampling, OGB-Papers stand-in, ONE GPU (the paper's single-V100 testbed).
+#include "baselines/timeshare_runner.h"
+#include "bench/bench_common.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT
+
+namespace {
+
+struct RowSpec {
+  const char* name;
+  bool dgl_style;
+  bool gpu_sampling;
+  bool gpu_extract;
+  CachePolicyKind policy;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBenchHeader("Table 1: epoch breakdown with GPU sampling/caching toggles", flags);
+
+  const Dataset& pa = GetDataset(DatasetId::kPapers, flags);
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+
+  const RowSpec rows[] = {
+      {"DGL", true, false, false, CachePolicyKind::kNone},
+      {"  w/ GPU-based Sampling", true, true, false, CachePolicyKind::kNone},
+      {"T_SOTA", false, false, true, CachePolicyKind::kNone},
+      {"  w/ GPU-based Caching", false, false, true, CachePolicyKind::kDegree},
+      {"  w/ GPU-based Sampling", false, true, true, CachePolicyKind::kNone},
+      {"  w/ Both", false, true, true, CachePolicyKind::kDegree},
+  };
+
+  TablePrinter table({"GNN System", "Sample", "Extract", "Train", "Total", "R%", "H%"});
+  for (const RowSpec& row : rows) {
+    TimeShareOptions options;
+    options.num_gpus = 1;
+    options.gpu_memory = flags.GpuMemory();
+    options.epochs = flags.epochs;
+    options.seed = flags.seed;
+    options.dgl_style_sampling = row.dgl_style;
+    options.gpu_sampling = row.gpu_sampling;
+    options.gpu_extract = row.gpu_extract;
+    options.policy = row.policy;
+    TimeShareRunner runner(pa, workload, options);
+    const RunReport report = runner.Run();
+    if (report.oom) {
+      table.AddRow({row.name, "OOM", "OOM", "OOM", "OOM", "-", "-"});
+      continue;
+    }
+    const StageBreakdown stage = report.AvgStage();
+    const ExtractStats extract = report.TotalExtract();
+    table.AddRow({row.name, Fmt(stage.SampleTotal()), Fmt(stage.extract), Fmt(stage.train),
+                  Fmt(stage.SampleTotal() + stage.extract + stage.train),
+                  FmtPercent(report.cache_ratio), FmtPercent(extract.HitRate())});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: GPU sampling cuts Sample ~4x; the cache cuts Extract ~3x;\n"
+      "Train is invariant; both optimizations together compound on one GPU.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 6: preprocessing time for training GCN — disk -> DRAM (topology +
+// features), DRAM -> GPU (topology, then feature cache), and PreSC#1's
+// pre-sampling — across all four datasets, plus the amortization ratio
+// against one training epoch.
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBenchHeader("Table 6: preprocessing time for GCN", flags);
+
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TablePrinter table({"Stage", "PR", "TW", "PA", "UK"});
+  std::vector<std::string> disk{"Disk to DRAM (G & F)"};
+  std::vector<std::string> topo{"Load graph topological data"};
+  std::vector<std::string> cache{"Load feature cache"};
+  std::vector<std::string> presample{"Pre-sampling for PreSC#1"};
+  std::vector<std::string> epoch{"(one training epoch)"};
+
+  for (const DatasetId id : kAllDatasets) {
+    const Dataset& ds = GetDataset(id, flags);
+    EngineOptions options;
+    options.num_gpus = 8;
+    options.gpu_memory = flags.GpuMemory();
+    options.epochs = flags.epochs;
+    options.seed = flags.seed;
+    Engine engine(ds, workload, options);
+    const RunReport report = engine.Run();
+    if (report.oom) {
+      for (auto* row : {&disk, &topo, &cache, &presample, &epoch}) {
+        row->push_back("OOM");
+      }
+      continue;
+    }
+    disk.push_back(Fmt(report.preprocess.disk_load));
+    topo.push_back(Fmt(report.preprocess.topo_load));
+    cache.push_back(Fmt(report.preprocess.cache_load));
+    presample.push_back(Fmt(report.preprocess.presample));
+    epoch.push_back(Fmt(report.AvgEpochTime()));
+  }
+  table.AddRow(disk);
+  table.AddRow(topo);
+  table.AddRow(cache);
+  table.AddRow(presample);
+  table.AddSeparator();
+  table.AddRow(epoch);
+  table.Print();
+  std::printf(
+      "\nPaper shape: disk loading dominates preprocessing; GPU loads are ~14x\n"
+      "of one epoch and pre-sampling ~1.4x — both one-time costs amortized over\n"
+      "the hundreds of epochs of a real training run.\n");
+  return 0;
+}

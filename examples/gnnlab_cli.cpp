@@ -1,0 +1,239 @@
+// gnnlab_cli: run any system/workload/dataset combination from the command
+// line and print the epoch report — the kitchen-sink driver for exploring
+// the simulator without writing code.
+//
+//   ./build/examples/gnnlab_cli --system=gnnlab --model=gcn --dataset=pa \
+//       --gpus=8 --policy=presc1 --epochs=3 --scale=1.0 [--samplers=2]
+//       [--no-switching] [--cache-ratio=0.2] [--seed=7]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/cpu_runner.h"
+#include "baselines/timeshare_runner.h"
+#include "core/engine.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT: example brevity.
+
+namespace {
+
+struct CliOptions {
+  std::string system = "gnnlab";  // gnnlab | tsota | dgl | pyg
+  std::string model = "gcn";      // gcn | sage | pinsage | gcnw | cluster
+  std::string dataset = "pa";     // pr | tw | pa | uk
+  int gpus = 8;
+  int samplers = 0;
+  bool switching = true;
+  std::string policy = "presc1";  // none | random | degree | presc1/2/3 | optimal
+  double cache_ratio = -1.0;
+  double scale = 1.0;
+  std::size_t epochs = 3;
+  std::uint64_t seed = 42;
+  std::string trace_path;  // --trace=FILE: dump a Chrome trace of the run.
+};
+
+bool ParseArg(const char* arg, const char* key, std::string* out) {
+  const std::size_t len = std::strlen(key);
+  if (std::strncmp(arg, key, len) == 0) {
+    *out = arg + len;
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void Usage() {
+  std::printf(
+      "usage: gnnlab_cli [--system=gnnlab|tsota|dgl|pyg] [--model=gcn|sage|pinsage|gcnw|"
+      "cluster|gat]\n                  [--dataset=pr|tw|pa|uk] [--gpus=N] [--samplers=N]\n"
+      "                  [--no-switching] [--policy=none|random|degree|presc1|presc2|"
+      "presc3|optimal]\n                  [--cache-ratio=F] [--scale=F] [--epochs=N] "
+      "[--seed=N]\n");
+  std::exit(2);
+}
+
+CliOptions Parse(int argc, char** argv) {
+  CliOptions options;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseArg(arg, "--system=", &value)) {
+      options.system = value;
+    } else if (ParseArg(arg, "--model=", &value)) {
+      options.model = value;
+    } else if (ParseArg(arg, "--dataset=", &value)) {
+      options.dataset = value;
+    } else if (ParseArg(arg, "--gpus=", &value)) {
+      options.gpus = std::atoi(value.c_str());
+    } else if (ParseArg(arg, "--samplers=", &value)) {
+      options.samplers = std::atoi(value.c_str());
+    } else if (std::strcmp(arg, "--no-switching") == 0) {
+      options.switching = false;
+    } else if (ParseArg(arg, "--policy=", &value)) {
+      options.policy = value;
+    } else if (ParseArg(arg, "--cache-ratio=", &value)) {
+      options.cache_ratio = std::atof(value.c_str());
+    } else if (ParseArg(arg, "--scale=", &value)) {
+      options.scale = std::atof(value.c_str());
+    } else if (ParseArg(arg, "--epochs=", &value)) {
+      options.epochs = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseArg(arg, "--seed=", &value)) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseArg(arg, "--trace=", &value)) {
+      options.trace_path = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      Usage();
+    }
+  }
+  return options;
+}
+
+DatasetId DatasetFor(const std::string& name) {
+  if (name == "pr") {
+    return DatasetId::kProducts;
+  }
+  if (name == "tw") {
+    return DatasetId::kTwitter;
+  }
+  if (name == "pa") {
+    return DatasetId::kPapers;
+  }
+  if (name == "uk") {
+    return DatasetId::kUk;
+  }
+  std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+  Usage();
+}
+
+Workload WorkloadFor(const std::string& name) {
+  if (name == "gcn") {
+    return StandardWorkload(GnnModelKind::kGcn);
+  }
+  if (name == "sage") {
+    return StandardWorkload(GnnModelKind::kGraphSage);
+  }
+  if (name == "pinsage") {
+    return StandardWorkload(GnnModelKind::kPinSage);
+  }
+  if (name == "gcnw") {
+    return WeightedGcnWorkload();
+  }
+  if (name == "cluster") {
+    return ClusterGcnWorkload();
+  }
+  if (name == "gat") {
+    return StandardWorkload(GnnModelKind::kGat);
+  }
+  std::fprintf(stderr, "unknown model: %s\n", name.c_str());
+  Usage();
+}
+
+CachePolicyKind PolicyFor(const std::string& name) {
+  if (name == "none") {
+    return CachePolicyKind::kNone;
+  }
+  if (name == "random") {
+    return CachePolicyKind::kRandom;
+  }
+  if (name == "degree") {
+    return CachePolicyKind::kDegree;
+  }
+  if (name == "presc1") {
+    return CachePolicyKind::kPreSC1;
+  }
+  if (name == "presc2") {
+    return CachePolicyKind::kPreSC2;
+  }
+  if (name == "presc3") {
+    return CachePolicyKind::kPreSC3;
+  }
+  if (name == "optimal") {
+    return CachePolicyKind::kOptimal;
+  }
+  std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+  Usage();
+}
+
+void PrintReport(const RunReport& report) {
+  if (report.oom) {
+    std::printf("OOM: %s\n", report.oom_detail.c_str());
+    return;
+  }
+  std::printf("allocation: %dS %dT (K=%.2f) | cache ratio %s | preprocess %.2fs\n",
+              report.num_samplers, report.num_trainers, report.k_ratio,
+              FmtPercent(report.cache_ratio).c_str(), report.preprocess.Total());
+  TablePrinter table({"epoch", "time(s)", "S", "E", "T", "hit%", "host bytes", "switched"});
+  for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+    const EpochReport& epoch = report.epochs[e];
+    table.AddRow({std::to_string(e), Fmt(epoch.epoch_time, 3),
+                  Fmt(epoch.stage.SampleTotal(), 3), Fmt(epoch.stage.extract, 3),
+                  Fmt(epoch.stage.train, 3), FmtPercent(epoch.extract.HitRate()),
+                  FormatBytes(epoch.extract.bytes_from_host),
+                  std::to_string(epoch.switched_batches)});
+  }
+  table.Print();
+  std::printf("avg epoch: %.3fs | queue peak depth %zu (%s)\n", report.AvgEpochTime(),
+              report.queue.max_depth, FormatBytes(report.queue.max_stored_bytes).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = Parse(argc, argv);
+  const Dataset dataset = MakeDataset(DatasetFor(cli.dataset), cli.scale, cli.seed);
+  const Workload workload = WorkloadFor(cli.model);
+  const auto gpu_memory =
+      static_cast<ByteCount>(static_cast<double>(64 * kMiB) * cli.scale);
+  std::printf("%s | %s on %s | %d GPUs x %s | policy %s\n\n", cli.system.c_str(),
+              workload.name.c_str(), dataset.name.c_str(), cli.gpus,
+              FormatBytes(gpu_memory).c_str(), cli.policy.c_str());
+
+  if (cli.system == "gnnlab") {
+    EngineOptions options;
+    options.num_gpus = cli.gpus;
+    options.num_samplers = cli.samplers;
+    options.dynamic_switching = cli.switching;
+    options.gpu_memory = gpu_memory;
+    options.policy = PolicyFor(cli.policy);
+    options.cache_ratio_override = cli.cache_ratio;
+    options.epochs = cli.epochs;
+    options.seed = cli.seed;
+    TraceRecorder trace;
+    if (!cli.trace_path.empty()) {
+      options.trace = &trace;
+    }
+    Engine engine(dataset, workload, options);
+    PrintReport(engine.Run());
+    if (!cli.trace_path.empty() && trace.WriteChromeTrace(cli.trace_path)) {
+      std::printf("wrote %zu trace spans to %s (open in chrome://tracing)\n", trace.size(),
+                  cli.trace_path.c_str());
+    }
+  } else if (cli.system == "tsota" || cli.system == "dgl") {
+    TimeShareOptions options = cli.system == "dgl" ? DglOptions() : TsotaOptions();
+    options.num_gpus = cli.gpus;
+    options.gpu_memory = gpu_memory;
+    if (cli.policy != "presc1" || cli.system == "tsota") {
+      // Respect an explicit policy; keep each preset's default otherwise.
+      if (cli.policy != "presc1") {
+        options.policy = PolicyFor(cli.policy);
+      }
+    }
+    options.cache_ratio_override = cli.cache_ratio;
+    options.epochs = cli.epochs;
+    options.seed = cli.seed;
+    TimeShareRunner runner(dataset, workload, options);
+    PrintReport(runner.Run());
+  } else if (cli.system == "pyg") {
+    CpuRunnerOptions options;
+    options.num_gpus = cli.gpus;
+    options.epochs = cli.epochs;
+    options.seed = cli.seed;
+    CpuRunner runner(dataset, workload, options);
+    PrintReport(runner.Run());
+  } else {
+    std::fprintf(stderr, "unknown system: %s\n", cli.system.c_str());
+    Usage();
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Example: the REAL concurrent GNNLab runtime — Sampler and Trainer
+// threads linked by the bounded host-memory queue, PreSC cache, dynamic
+// switching, and genuine asynchronous training with bounded staleness.
+// This is the production counterpart of the simulated engine the benches
+// use; wall-clock numbers here are real.
+//
+//   ./build/examples/threaded_training [samplers] [trainers] [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/threaded_engine.h"
+#include "nn/checkpoint.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT: example brevity.
+
+int main(int argc, char** argv) {
+  const int samplers = argc > 1 ? std::atoi(argv[1]) : 1;
+  const int trainers = argc > 2 ? std::atoi(argv[2]) : 2;
+  const std::size_t epochs = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 6;
+
+  const Dataset dataset = MakeDataset(DatasetId::kProducts, /*scale=*/0.5, /*seed=*/17);
+  constexpr std::uint32_t kClasses = 10;
+  const auto labels = MakeCommunityLabels(dataset.graph.num_vertices(), 128, kClasses);
+  Rng rng(17);
+  const FeatureStore features = FeatureStore::Clustered(
+      dataset.graph.num_vertices(), /*dim=*/16, labels, kClasses, /*noise=*/0.5, &rng);
+  std::vector<VertexId> eval;
+  for (VertexId v = 7; v < dataset.graph.num_vertices() && eval.size() < 400; v += 13) {
+    eval.push_back(v);
+  }
+
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.eval_vertices = eval;
+  real.num_classes = kClasses;
+  real.hidden_dim = 16;
+
+  ThreadedEngineOptions options;
+  options.num_samplers = samplers;
+  options.num_trainers = trainers;
+  options.epochs = epochs;
+  options.seed = 17;
+  options.policy = CachePolicyKind::kPreSC1;
+  options.cache_ratio = 0.2;
+  options.staleness_bound = 4;
+  options.real = &real;
+
+  std::printf("threaded GNNLab: %dS %dT on %s (%u vertices), PreSC cache 20%%\n\n", samplers,
+              trainers, dataset.name.c_str(), dataset.graph.num_vertices());
+  ThreadedEngine engine(dataset, StandardWorkload(GnnModelKind::kGraphSage), options);
+  const ThreadedRunReport report = engine.Run();
+
+  TablePrinter table({"epoch", "wall(s)", "loss", "eval acc", "hit%", "switched"});
+  for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+    const ThreadedEpochReport& epoch = report.epochs[e];
+    table.AddRow({std::to_string(e + 1), Fmt(epoch.wall_seconds, 3),
+                  Fmt(epoch.mean_loss, 3), FmtPercent(epoch.eval_accuracy, 1),
+                  FmtPercent(epoch.extract.HitRate()), std::to_string(epoch.switched_batches)});
+  }
+  table.Print();
+  std::printf(
+      "\nEvery number above is real: OS threads, a blocking MPMC queue, live\n"
+      "gradient descent. The same design elements the simulator models —\n"
+      "PreSC, cache marking, dynamic switching — run here for real.\n");
+  return 0;
+}

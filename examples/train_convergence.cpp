@@ -1,0 +1,75 @@
+// Example: genuine end-to-end GNN training through the factored engine — a
+// product-recommendation-style scenario: classify items of a co-purchase
+// graph into departments from noisy embeddings, using GraphSAGE with real
+// forward/backward passes, Adam, and synchronous data-parallel updates.
+//
+//   ./build/examples/train_convergence [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT: example brevity.
+
+int main(int argc, char** argv) {
+  const std::size_t epochs = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 8;
+
+  // A co-purchase graph whose communities define ground-truth departments.
+  const Dataset dataset = MakeDataset(DatasetId::kProducts, /*scale=*/0.5, /*seed=*/3);
+  constexpr std::uint32_t kClasses = 10;
+  constexpr VertexId kCommunity = 128;  // Matches the generator's community size.
+  const auto labels = MakeCommunityLabels(dataset.graph.num_vertices(), kCommunity, kClasses);
+  Rng rng(3);
+  const FeatureStore features = FeatureStore::Clustered(
+      dataset.graph.num_vertices(), /*dim=*/16, labels, kClasses, /*noise=*/0.6, &rng);
+
+  // Held-out evaluation vertices.
+  std::vector<VertexId> eval;
+  for (VertexId v = 3; v < dataset.graph.num_vertices() && eval.size() < 500; v += 11) {
+    eval.push_back(v);
+  }
+
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.eval_vertices = eval;
+  real.num_classes = kClasses;
+  real.hidden_dim = 16;
+  real.adam.lr = 1e-2;
+
+  const Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  EngineOptions options;
+  options.num_gpus = 4;
+  options.gpu_memory = 32 * kMiB;
+  options.epochs = epochs;
+  options.seed = 3;
+  options.real = &real;
+
+  Engine engine(dataset, workload, options);
+  const RunReport report = engine.Run();
+  if (report.oom) {
+    std::printf("OOM: %s\n", report.oom_detail.c_str());
+    return 1;
+  }
+
+  std::printf("GraphSAGE on %s | %dS%dT | %zu batches/epoch | %u classes\n\n",
+              dataset.name.c_str(), report.num_samplers, report.num_trainers,
+              report.epochs[0].batches, kClasses);
+  TablePrinter table({"epoch", "loss", "eval acc", "grad updates", "sim time(s)"});
+  double elapsed = 0.0;
+  for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+    const EpochReport& epoch = report.epochs[e];
+    elapsed += epoch.epoch_time;
+    table.AddRow({std::to_string(e + 1), Fmt(epoch.mean_loss, 3),
+                  FmtPercent(epoch.eval_accuracy, 1), std::to_string(epoch.gradient_updates),
+                  Fmt(elapsed, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nLoss falls and held-out accuracy climbs well past the 1/%u random\n"
+      "baseline: the Sampler/Trainer pipeline, the PreSC cache and the real\n"
+      "GraphSAGE layers are all exercised end to end.\n",
+      kClasses);
+  return 0;
+}

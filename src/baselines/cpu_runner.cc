@@ -1,0 +1,140 @@
+#include "baselines/cpu_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+struct CpuRunner::GpuState {
+  std::unique_ptr<Sampler> sampler;
+  bool busy = false;
+  StageBreakdown stage;
+  ExtractStats extract;
+};
+
+CpuRunner::CpuRunner(const Dataset& dataset, const Workload& workload,
+                     const CpuRunnerOptions& options)
+    : dataset_(dataset),
+      workload_(workload),
+      options_(options),
+      cost_(options.cost),
+      cpu_slots_(static_cast<std::size_t>(std::max(1, options.cpu_sampler_slots))),
+      virtual_store_(FeatureStore::Virtual(dataset.graph.num_vertices(), dataset.feature_dim)),
+      extractor_(virtual_store_) {
+  CHECK_GE(options_.num_gpus, 1);
+  if (workload_.sampling == SamplingAlgorithm::kKhopWeighted) {
+    weights_.emplace(dataset_.MakeWeights());
+  }
+}
+
+CpuRunner::~CpuRunner() = default;
+
+RunReport CpuRunner::Run() {
+  RunReport report;
+  report.num_samplers = 0;
+  report.num_trainers = options_.num_gpus;
+  report.preprocess.disk_load =
+      cost_.DiskLoadTime(dataset_.TopologyBytes() + dataset_.FeatureBytes());
+
+  gpus_.clear();
+  for (int g = 0; g < options_.num_gpus; ++g) {
+    auto state = std::make_unique<GpuState>();
+    state->sampler = MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+    gpus_.push_back(std::move(state));
+  }
+  for (std::size_t e = 0; e < options_.epochs; ++e) {
+    report.epochs.push_back(RunEpoch(e));
+  }
+  return report;
+}
+
+EpochReport CpuRunner::RunEpoch(std::size_t epoch) {
+  current_epoch_ = epoch;
+  epoch_batches_.clear();
+  {
+    Rng shuffle_rng = Rng(options_.seed).Fork(epoch * 2 + 1);
+    EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
+    while (batches.HasNext()) {
+      const auto batch = batches.NextBatch();
+      epoch_batches_.emplace_back(batch.begin(), batch.end());
+    }
+  }
+  next_batch_ = 0;
+  done_batches_ = 0;
+  for (auto& gpu : gpus_) {
+    gpu->busy = false;
+    gpu->stage = StageBreakdown{};
+    gpu->extract = ExtractStats{};
+  }
+
+  const SimTime epoch_start = sim_.now();
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    PumpGpu(g);
+  }
+  sim_.Run();
+  CHECK_EQ(done_batches_, epoch_batches_.size());
+
+  EpochReport report;
+  report.epoch_time = sim_.now() - epoch_start;
+  report.batches = epoch_batches_.size();
+  report.gradient_updates = (report.batches + gpus_.size() - 1) / gpus_.size();
+  for (const auto& gpu : gpus_) {
+    report.stage.Add(gpu->stage);
+    report.extract.Add(gpu->extract);
+  }
+  return report;
+}
+
+void CpuRunner::PumpGpu(std::size_t g) {
+  GpuState& gpu = *gpus_[g];
+  if (gpu.busy || next_batch_ >= epoch_batches_.size()) {
+    return;
+  }
+  const std::size_t batch = next_batch_++;
+  Rng rng = Rng(options_.seed).Fork(current_epoch_ * 1'000'003 + batch + 7);
+  SamplerStats sampler_stats;
+  const SampleBlock block = gpu.sampler->Sample(epoch_batches_[batch], &rng, &sampler_stats);
+
+  // CPU sampling: grab the least-loaded CPU slot (PyG's worker pool). The
+  // Python-loop sampler is far slower per entry than an optimized C++ one.
+  const SimTime sample_cost =
+      cost_.CpuSampleTime(sampler_stats) * cost_.params().pyg_sample_multiplier;
+  auto slot = std::min_element(cpu_slots_.begin(), cpu_slots_.end(),
+                               [](const SharedResource& a, const SharedResource& b) {
+                                 return a.busy_until() < b.busy_until();
+                               });
+  const SimTime sample_done = slot->Acquire(sim_.now(), sample_cost);
+
+  const ExtractStats extract_stats = extractor_.Extract(block, nullptr);
+  const CostModelParams& params = cost_.params();
+  const SimTime host_time =
+      static_cast<double>(extract_stats.bytes_from_host) / params.pcie_gather_bandwidth +
+      params.cpu_gather_per_row * static_cast<double>(extract_stats.distinct_vertices);
+  const TrainWork work = MakeTrainWork(workload_, dataset_, block);
+  const SimTime train_time = cost_.TrainTime(work);
+
+  gpu.busy = true;
+  sim_.ScheduleAt(sample_done, [this, g, sample_cost, host_time, train_time, extract_stats] {
+    GpuState& state = *gpus_[g];
+    state.stage.sample_graph += sample_cost;
+    const SimTime channel_done = host_channel_.Acquire(
+        sim_.now(), host_time / cost_.params().host_channel_parallelism);
+    const SimTime extract_done = std::max(sim_.now() + host_time, channel_done);
+    sim_.ScheduleAt(extract_done, [this, g, host_time, train_time, extract_stats] {
+      GpuState& inner = *gpus_[g];
+      inner.stage.extract += host_time;
+      inner.extract.Add(extract_stats);
+      sim_.Schedule(train_time, [this, g, train_time] {
+        GpuState& done = *gpus_[g];
+        done.stage.train += train_time;
+        done.busy = false;
+        ++done_batches_;
+        PumpGpu(g);
+      });
+    });
+  });
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,56 @@
+// PyG-style baseline: graph sampling and feature extraction on CPUs, GPUs
+// used only for the Train stage (paper Table 3, "PyG" row). CPU sampling
+// contends for a shared core budget; extraction goes through the shared
+// host channel. No feature cache.
+#ifndef GNNLAB_BASELINES_CPU_RUNNER_H_
+#define GNNLAB_BASELINES_CPU_RUNNER_H_
+
+#include "core/engine.h"
+
+namespace gnnlab {
+
+struct CpuRunnerOptions {
+  int num_gpus = 8;
+  // Parallel CPU sampling workers (the paper's machine has 48 cores; a
+  // handful of sampler workers per GPU is typical for PyG data loaders).
+  int cpu_sampler_slots = 6;
+  std::size_t epochs = 3;
+  std::uint64_t seed = 1;
+  CostModelParams cost;
+};
+
+class CpuRunner {
+ public:
+  CpuRunner(const Dataset& dataset, const Workload& workload, const CpuRunnerOptions& options);
+  ~CpuRunner();
+
+  RunReport Run();
+
+ private:
+  struct GpuState;
+
+  EpochReport RunEpoch(std::size_t epoch);
+  void PumpGpu(std::size_t g);
+
+  const Dataset& dataset_;
+  const Workload& workload_;
+  CpuRunnerOptions options_;
+  std::optional<EdgeWeights> weights_;
+  CostModel cost_;
+  SimEngine sim_;
+  SharedResource host_channel_;
+  // CPU sampling cores modeled as a small pool of FCFS slots.
+  std::vector<SharedResource> cpu_slots_;
+  FeatureStore virtual_store_;
+  Extractor extractor_;
+  std::vector<std::unique_ptr<GpuState>> gpus_;
+
+  std::size_t current_epoch_ = 0;
+  std::vector<std::vector<VertexId>> epoch_batches_;
+  std::size_t next_batch_ = 0;
+  std::size_t done_batches_ = 0;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_BASELINES_CPU_RUNNER_H_

@@ -1,0 +1,285 @@
+#include "baselines/timeshare_runner.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+struct TimeShareRunner::GpuState {
+  std::unique_ptr<Sampler> sampler;
+  bool busy = false;
+  StageBreakdown stage;
+  ExtractStats extract;
+};
+
+TimeShareOptions DglOptions() {
+  TimeShareOptions options;
+  options.gpu_sampling = true;
+  options.gpu_extract = false;
+  options.dgl_style_sampling = true;
+  options.policy = CachePolicyKind::kNone;
+  options.extra_workspace_fraction = 0.05;
+  return options;
+}
+
+TimeShareOptions TsotaOptions() {
+  TimeShareOptions options;
+  options.gpu_sampling = true;
+  options.gpu_extract = true;
+  options.dgl_style_sampling = false;
+  options.policy = CachePolicyKind::kDegree;
+  return options;
+}
+
+TimeShareRunner::TimeShareRunner(const Dataset& dataset, const Workload& workload,
+                                 const TimeShareOptions& options)
+    : dataset_(dataset),
+      workload_(workload),
+      options_(options),
+      cost_(options.cost),
+      virtual_store_(FeatureStore::Virtual(dataset.graph.num_vertices(), dataset.feature_dim)),
+      extractor_(virtual_store_) {
+  CHECK_GE(options_.num_gpus, 1);
+  if (workload_.sampling == SamplingAlgorithm::kKhopWeighted) {
+    weights_.emplace(dataset_.MakeWeights());
+  }
+}
+
+TimeShareRunner::~TimeShareRunner() = default;
+
+Rng TimeShareRunner::BatchRng(std::size_t epoch, std::size_t batch) const {
+  return Rng(options_.seed).Fork(epoch * 1'000'003 + batch + 7);
+}
+
+std::vector<VertexId> TimeShareRunner::RankForPolicy() {
+  CachePolicyContext context;
+  context.graph = &dataset_.graph;
+  context.train_set = &dataset_.train_set;
+  context.batch_size = dataset_.batch_size;
+  context.seed = options_.seed;
+  switch (options_.policy) {
+    case CachePolicyKind::kNone:
+      return {};
+    case CachePolicyKind::kRandom:
+      return MakeRandomPolicy()->Rank(context);
+    case CachePolicyKind::kDegree:
+      return MakeDegreePolicy()->Rank(context);
+    default:
+      break;
+  }
+  // PreSC/Optimal in a time-sharing runner: supported for ablations.
+  context.sampler_factory = [this] {
+    return MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+  };
+  switch (options_.policy) {
+    case CachePolicyKind::kPreSC1:
+      return MakePreSamplingPolicy(1)->Rank(context);
+    case CachePolicyKind::kPreSC2:
+      return MakePreSamplingPolicy(2)->Rank(context);
+    case CachePolicyKind::kPreSC3:
+      return MakePreSamplingPolicy(3)->Rank(context);
+    default:
+      LOG_FATAL << "unsupported policy for time-sharing runner: "
+                << CachePolicyKindName(options_.policy);
+      __builtin_unreachable();
+  }
+}
+
+bool TimeShareRunner::PlanMemory(RunReport* report) {
+  devices_.clear();
+  const ByteCount topo_bytes =
+      options_.gpu_sampling
+          ? dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0)
+          : 0;
+  const auto sampler_ws =
+      options_.gpu_sampling
+          ? static_cast<ByteCount>(static_cast<double>(options_.gpu_memory) *
+                                   workload_.sampler_ws_fraction)
+          : 0;
+  const auto trainer_ws = static_cast<ByteCount>(
+      static_cast<double>(options_.gpu_memory) *
+      (workload_.trainer_ws_fraction + options_.extra_workspace_fraction));
+
+  // Every time-sharing GPU carries the full stack. The cache gets whatever
+  // is left — the capacity squeeze of paper §3 / Figure 4(a).
+  const ByteCount fixed = topo_bytes + sampler_ws + trainer_ws;
+  if (fixed > options_.gpu_memory) {
+    report->oom = true;
+    std::ostringstream os;
+    os << "time-sharing GPU: topology " << FormatBytes(topo_bytes) << " + workspaces "
+       << FormatBytes(sampler_ws + trainer_ws) << " exceeds " << FormatBytes(options_.gpu_memory);
+    report->oom_detail = os.str();
+    return false;
+  }
+  const ByteCount cache_budget = options_.gpu_memory - fixed;
+
+  const std::vector<VertexId> ranked = RankForPolicy();
+  if (options_.policy == CachePolicyKind::kNone) {
+    cache_ = FeatureCache::Load({}, 0.0, dataset_.graph.num_vertices(), dataset_.feature_dim);
+  } else if (options_.cache_ratio_override >= 0.0) {
+    cache_ = FeatureCache::Load(ranked, options_.cache_ratio_override,
+                                dataset_.graph.num_vertices(), dataset_.feature_dim);
+  } else {
+    cache_ = FeatureCache::LoadWithBudget(ranked, cache_budget, dataset_.graph.num_vertices(),
+                                          dataset_.feature_dim);
+  }
+  report->cache_ratio = cache_.ratio();
+
+  for (int g = 0; g < options_.num_gpus; ++g) {
+    Device dev(g, options_.gpu_memory);
+    CHECK(dev.TryAllocate(MemoryKind::kTopology, topo_bytes));
+    CHECK(dev.TryAllocate(MemoryKind::kSamplerWorkspace, sampler_ws));
+    CHECK(dev.TryAllocate(MemoryKind::kTrainerWorkspace, trainer_ws));
+    CHECK(dev.TryAllocate(MemoryKind::kFeatureCache, cache_.CacheBytes()));
+    devices_.push_back(dev);
+  }
+  return true;
+}
+
+RunReport TimeShareRunner::Run() {
+  RunReport report;
+  report.num_samplers = 0;
+  report.num_trainers = options_.num_gpus;
+  if (!PlanMemory(&report)) {
+    return report;
+  }
+
+  const ByteCount topo_bytes =
+      dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
+  report.preprocess.disk_load = cost_.DiskLoadTime(topo_bytes + dataset_.FeatureBytes());
+  if (options_.gpu_sampling) {
+    report.preprocess.topo_load = cost_.TopologyLoadTime(topo_bytes);
+  }
+  report.preprocess.cache_load = cost_.CacheLoadTime(cache_.CacheBytes());
+
+  gpus_.clear();
+  for (int g = 0; g < options_.num_gpus; ++g) {
+    auto state = std::make_unique<GpuState>();
+    const bool reservoir = options_.dgl_style_sampling &&
+                           (workload_.sampling == SamplingAlgorithm::kKhopUniform);
+    if (reservoir) {
+      state->sampler = MakeKhopReservoirSampler(dataset_.graph, workload_.fanouts);
+    } else {
+      state->sampler = MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+    }
+    gpus_.push_back(std::move(state));
+  }
+
+  for (std::size_t e = 0; e < options_.epochs; ++e) {
+    report.epochs.push_back(RunEpoch(e));
+  }
+  return report;
+}
+
+EpochReport TimeShareRunner::RunEpoch(std::size_t epoch) {
+  current_epoch_ = epoch;
+  epoch_report_ = EpochReport{};
+  epoch_batches_.clear();
+  {
+    Rng shuffle_rng = Rng(options_.seed).Fork(epoch * 2 + 1);
+    EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
+    while (batches.HasNext()) {
+      const auto batch = batches.NextBatch();
+      epoch_batches_.emplace_back(batch.begin(), batch.end());
+    }
+  }
+  next_batch_ = 0;
+  done_batches_ = 0;
+  for (auto& gpu : gpus_) {
+    gpu->busy = false;
+    gpu->stage = StageBreakdown{};
+    gpu->extract = ExtractStats{};
+  }
+
+  const SimTime epoch_start = sim_.now();
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    PumpGpu(g);
+  }
+  sim_.Run();
+  CHECK_EQ(done_batches_, epoch_batches_.size());
+
+  EpochReport report = epoch_report_;
+  report.epoch_time = sim_.now() - epoch_start;
+  report.batches = epoch_batches_.size();
+  report.gradient_updates = (report.batches + gpus_.size() - 1) / gpus_.size();
+  for (const auto& gpu : gpus_) {
+    report.stage.Add(gpu->stage);
+    report.extract.Add(gpu->extract);
+  }
+  return report;
+}
+
+void TimeShareRunner::PumpGpu(std::size_t g) {
+  GpuState& gpu = *gpus_[g];
+  if (gpu.busy || next_batch_ >= epoch_batches_.size()) {
+    return;
+  }
+  const std::size_t batch = next_batch_++;
+  Rng rng = BatchRng(current_epoch_, batch);
+  SamplerStats sampler_stats;
+  SampleBlock block = gpu.sampler->Sample(epoch_batches_[batch], &rng, &sampler_stats);
+  if (cache_.num_cached() > 0) {
+    cache_.MarkBlock(&block);
+  }
+
+  // Sample stage (no queue copy: time sharing keeps the block on-GPU).
+  SimTime sample_time;
+  if (options_.dgl_style_sampling) {
+    sample_time = cost_.DglSampleTime(sampler_stats, workload_.sampling, options_.gpu_sampling);
+  } else if (options_.gpu_sampling) {
+    sample_time = cost_.GpuSampleTime(sampler_stats);
+  } else {
+    sample_time = cost_.CpuSampleTime(sampler_stats);
+  }
+  const SimTime mark_time =
+      cache_.num_cached() > 0 ? cost_.MarkTime(block.vertices().size()) : 0.0;
+
+  // Extract stage: host-side service is FCFS-shared across GPUs.
+  const ExtractStats extract_stats = extractor_.Extract(block, nullptr);
+  const CostModelParams& params = cost_.params();
+  SimTime host_time =
+      static_cast<double>(extract_stats.bytes_from_host) / params.pcie_gather_bandwidth;
+  SimTime local_time;
+  if (options_.gpu_extract) {
+    local_time = params.gpu_gather_per_row * static_cast<double>(extract_stats.distinct_vertices);
+  } else {
+    // CPU extraction: the per-row random gather also burns shared host
+    // bandwidth.
+    host_time += params.cpu_gather_per_row * static_cast<double>(extract_stats.distinct_vertices);
+    local_time = 0.0;
+  }
+
+  const TrainWork work = MakeTrainWork(workload_, dataset_, block);
+  const SimTime train_time = cost_.TrainTime(work);
+
+  // Sequential S -> E -> T on this GPU; the extract's host portion queues on
+  // the shared channel once sampling ends.
+  const SimTime sample_done = sim_.now() + sample_time + mark_time;
+  gpu.busy = true;
+  sim_.ScheduleAt(sample_done, [this, g, sample_time, mark_time, host_time, local_time,
+                                train_time, extract_stats] {
+    GpuState& state = *gpus_[g];
+    state.stage.sample_graph += sample_time;
+    state.stage.sample_mark += mark_time;
+    const SimTime channel_done = host_channel_.Acquire(
+        sim_.now(), host_time / cost_.params().host_channel_parallelism);
+    const SimTime extract_done =
+        std::max(sim_.now() + host_time, channel_done) + local_time;
+    sim_.ScheduleAt(extract_done, [this, g, host_time, local_time, train_time, extract_stats] {
+      GpuState& inner = *gpus_[g];
+      inner.stage.extract += host_time + local_time;
+      inner.extract.Add(extract_stats);
+      sim_.Schedule(train_time, [this, g, train_time] {
+        GpuState& done = *gpus_[g];
+        done.stage.train += train_time;
+        done.busy = false;
+        ++done_batches_;
+        PumpGpu(g);
+      });
+    });
+  });
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,84 @@
+// Time-sharing baselines over the same substrates as GNNLab (paper Table 3):
+//
+//   DGL    — GPU sampling (Reservoir kernel + Python-runtime overhead per
+//            batch), CPU-side extraction, no feature cache.
+//   T_SOTA — GPU sampling (Fisher-Yates kernel), GPU-side extraction,
+//            static degree-based cache. Built on the same codebase, exactly
+//            as the paper built its T_SOTA on GNNLab's.
+//
+// Every GPU runs Sample -> Extract -> Train sequentially per mini-batch;
+// all GPUs hold graph topology AND the cache AND both workspaces, which is
+// the memory contention the factored design removes.
+#ifndef GNNLAB_BASELINES_TIMESHARE_RUNNER_H_
+#define GNNLAB_BASELINES_TIMESHARE_RUNNER_H_
+
+#include "core/engine.h"
+
+namespace gnnlab {
+
+struct TimeShareOptions {
+  int num_gpus = 8;
+  ByteCount gpu_memory = 64 * kMiB;
+  bool gpu_sampling = true;
+  // DGL extracts with CPUs; T_SOTA gathers on the GPU.
+  bool gpu_extract = false;
+  // DGL's Reservoir kernel + Python call overhead (paper §7.3).
+  bool dgl_style_sampling = false;
+  CachePolicyKind policy = CachePolicyKind::kNone;
+  double cache_ratio_override = -1.0;
+  // Extra per-GPU workspace fraction on top of the workload's. DGL's
+  // framework buffers are fatter than the lean T_SOTA implementation's,
+  // which is why DGL also OOMs on UK under GraphSAGE (paper Table 4).
+  double extra_workspace_fraction = 0.0;
+  std::size_t epochs = 3;
+  std::uint64_t seed = 1;
+  CostModelParams cost;
+};
+
+// DGL and T_SOTA presets.
+TimeShareOptions DglOptions();
+TimeShareOptions TsotaOptions();
+
+class TimeShareRunner {
+ public:
+  TimeShareRunner(const Dataset& dataset, const Workload& workload,
+                  const TimeShareOptions& options);
+  ~TimeShareRunner();
+
+  RunReport Run();
+
+  const std::vector<Device>& devices() const { return devices_; }
+
+ private:
+  struct GpuState;
+
+  std::vector<VertexId> RankForPolicy();
+  bool PlanMemory(RunReport* report);
+  EpochReport RunEpoch(std::size_t epoch);
+  void PumpGpu(std::size_t g);
+
+  Rng BatchRng(std::size_t epoch, std::size_t batch) const;
+
+  const Dataset& dataset_;
+  const Workload& workload_;
+  TimeShareOptions options_;
+  std::optional<EdgeWeights> weights_;
+  CostModel cost_;
+  SimEngine sim_;
+  SharedResource host_channel_;
+  FeatureStore virtual_store_;
+  Extractor extractor_;
+  FeatureCache cache_;
+  std::vector<Device> devices_;
+  std::vector<std::unique_ptr<GpuState>> gpus_;
+
+  std::size_t current_epoch_ = 0;
+  std::vector<std::vector<VertexId>> epoch_batches_;
+  std::size_t next_batch_ = 0;
+  std::size_t done_batches_ = 0;
+  EpochReport epoch_report_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_BASELINES_TIMESHARE_RUNNER_H_

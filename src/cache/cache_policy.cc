@@ -1,0 +1,9 @@
+#include "cache/cache_policy.h"
+
+namespace gnnlab {
+
+// The policy implementations live in their own translation units
+// (degree_policy.cc, random_policy.cc, presampling_policy.cc,
+// optimal_policy.cc); this file anchors the interface's vtable.
+
+}  // namespace gnnlab

@@ -1,0 +1,58 @@
+// Caching policies: each produces a descending hotness ranking over all
+// vertices (the paper's hotness_map, §6.1); FeatureCache::Load turns the
+// ranking plus a cache ratio into the static GPU cache.
+#ifndef GNNLAB_CACHE_CACHE_POLICY_H_
+#define GNNLAB_CACHE_CACHE_POLICY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/csr_graph.h"
+#include "graph/training_set.h"
+#include "sampling/footprint.h"
+#include "sampling/sampler.h"
+
+namespace gnnlab {
+
+// Everything a policy may consult. PreSC additionally needs to *run* the
+// Sample stage, so the context carries a factory for fresh sampler
+// instances configured exactly like the training workload's.
+struct CachePolicyContext {
+  const CsrGraph* graph = nullptr;
+  const TrainingSet* train_set = nullptr;
+  std::size_t batch_size = 0;
+  std::function<std::unique_ptr<Sampler>()> sampler_factory;
+  std::uint64_t seed = 0;
+};
+
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  // Vertex ids in descending hotness order; must be a permutation of all
+  // graph vertices.
+  virtual std::vector<VertexId> Rank(const CachePolicyContext& context) = 0;
+  virtual const char* name() const = 0;
+};
+
+// PaGraph's policy: hotness = static out-degree (paper §3 "Efficiency").
+std::unique_ptr<CachePolicy> MakeDegreePolicy();
+
+// Uniformly random ranking; the paper's weakest baseline.
+std::unique_ptr<CachePolicy> MakeRandomPolicy();
+
+// PreSC#K (paper §6.3): runs K pre-sampling stages over the training set
+// with the workload's own sampling algorithm and ranks by average visit
+// count.
+std::unique_ptr<CachePolicy> MakePreSamplingPolicy(std::size_t num_stages);
+
+// Oracle upper bound (paper §3 footnote 4): ranks by an externally recorded
+// footprint of the very epochs being measured. The caller records the
+// footprint (same seeds as the measurement run) and hands it in.
+std::unique_ptr<CachePolicy> MakeOptimalOracle(Footprint footprint);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CACHE_CACHE_POLICY_H_

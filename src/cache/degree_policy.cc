@@ -1,0 +1,36 @@
+// Degree-based caching (PaGraph): pre-sorts all vertices by out-degree and
+// fills the cache with the top-ranked ones. Works only when the graph is
+// power-law AND sampling is uniform AND the training set covers the graph —
+// the assumptions the paper shows failing on PA/UK and weighted sampling.
+#include <algorithm>
+#include <numeric>
+
+#include "cache/cache_policy.h"
+#include "common/logging.h"
+
+namespace gnnlab {
+namespace {
+
+class DegreePolicy final : public CachePolicy {
+ public:
+  std::vector<VertexId> Rank(const CachePolicyContext& context) override {
+    CHECK(context.graph != nullptr);
+    const CsrGraph& graph = *context.graph;
+    std::vector<VertexId> order(graph.num_vertices());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&graph](VertexId a, VertexId b) {
+      const EdgeIndex da = graph.out_degree(a);
+      const EdgeIndex db = graph.out_degree(b);
+      return da != db ? da > db : a < b;
+    });
+    return order;
+  }
+
+  const char* name() const override { return "Degree"; }
+};
+
+}  // namespace
+
+std::unique_ptr<CachePolicy> MakeDegreePolicy() { return std::make_unique<DegreePolicy>(); }
+
+}  // namespace gnnlab

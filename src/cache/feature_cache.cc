@@ -1,0 +1,85 @@
+#include "cache/feature_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+FeatureCache FeatureCache::LoadCount(std::span<const VertexId> ranked, std::size_t capacity,
+                                     VertexId num_vertices, std::uint32_t feature_dim) {
+  FeatureCache cache;
+  cache.cached_.assign(num_vertices, 0);
+  cache.feature_dim_ = feature_dim;
+  const std::size_t take = std::min(capacity, ranked.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const VertexId v = ranked[i];
+    CHECK_LT(v, num_vertices);
+    if (cache.cached_[v] == 0) {
+      cache.cached_[v] = 1;
+      ++cache.num_cached_;
+    }
+  }
+  return cache;
+}
+
+FeatureCache FeatureCache::Load(std::span<const VertexId> ranked, double cache_ratio,
+                                VertexId num_vertices, std::uint32_t feature_dim) {
+  CHECK_GE(cache_ratio, 0.0);
+  CHECK_LE(cache_ratio, 1.0);
+  const auto capacity = static_cast<std::size_t>(
+      std::ceil(cache_ratio * static_cast<double>(num_vertices)));
+  return LoadCount(ranked, capacity, num_vertices, feature_dim);
+}
+
+FeatureCache FeatureCache::LoadWithBudget(std::span<const VertexId> ranked,
+                                          ByteCount budget_bytes, VertexId num_vertices,
+                                          std::uint32_t feature_dim) {
+  const ByteCount row_bytes = static_cast<ByteCount>(feature_dim) * sizeof(float);
+  // Exact row count: never exceeds the byte budget (no ratio round trip).
+  const auto rows = static_cast<std::size_t>(budget_bytes / row_bytes);
+  return LoadCount(ranked, rows, num_vertices, feature_dim);
+}
+
+double FeatureCache::ratio() const {
+  return cached_.empty()
+             ? 0.0
+             : static_cast<double>(num_cached_) / static_cast<double>(cached_.size());
+}
+
+void FeatureCache::MarkBlock(SampleBlock* block) const {
+  const auto vertices = block->vertices();
+  auto& marks = block->mutable_cache_marks();
+  marks.resize(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    marks[i] = Contains(vertices[i]) ? 1 : 0;
+  }
+}
+
+EpochExtractionResult MeasureEpochExtraction(Sampler* sampler, const TrainingSet& train_set,
+                                             std::size_t batch_size, const FeatureCache& cache,
+                                             std::uint32_t feature_dim,
+                                             std::uint64_t epoch_seed) {
+  EpochExtractionResult result;
+  Rng shuffle_rng(epoch_seed);
+  Rng sample_rng(epoch_seed ^ 0x5bd1e995u);
+  EpochBatches batches(train_set, batch_size, &shuffle_rng);
+  const ByteCount row_bytes = static_cast<ByteCount>(feature_dim) * sizeof(float);
+  while (batches.HasNext()) {
+    SampleBlock block = sampler->Sample(batches.NextBatch(), &sample_rng, nullptr);
+    cache.MarkBlock(&block);
+    ++result.batches;
+    for (const std::uint8_t mark : block.cache_marks()) {
+      ++result.distinct_vertices;
+      if (mark != 0) {
+        ++result.cache_hits;
+      } else {
+        result.bytes_from_host += row_bytes;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,85 @@
+// The GPU-resident static feature cache and the general caching scheme of
+// paper §6.1: a policy supplies a hotness ranking (hotness_map), a cache
+// ratio alpha picks how many top-ranked vertices fit, and load_cache
+// materializes the membership table.
+#ifndef GNNLAB_CACHE_FEATURE_CACHE_H_
+#define GNNLAB_CACHE_FEATURE_CACHE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/training_set.h"
+#include "sampling/sample_block.h"
+#include "sampling/sampler.h"
+
+namespace gnnlab {
+
+class FeatureCache {
+ public:
+  FeatureCache() = default;
+
+  // The paper's load_cache(hotness_map, alpha): caches the top
+  // ceil(alpha * |V|) vertices of `ranked` (a descending hotness order over
+  // all vertices, from a CachePolicy).
+  static FeatureCache Load(std::span<const VertexId> ranked, double cache_ratio,
+                           VertexId num_vertices, std::uint32_t feature_dim);
+
+  // Cache sized by a byte budget instead of a ratio: how many whole feature
+  // rows fit in `budget_bytes` (used when the simulated GPU's leftover
+  // memory determines alpha, paper §6.1 "Cache ratio").
+  static FeatureCache LoadWithBudget(std::span<const VertexId> ranked, ByteCount budget_bytes,
+                                     VertexId num_vertices, std::uint32_t feature_dim);
+
+  bool Contains(VertexId v) const { return !cached_.empty() && cached_[v] != 0; }
+  std::size_t num_cached() const { return num_cached_; }
+  VertexId num_vertices() const { return static_cast<VertexId>(cached_.size()); }
+  double ratio() const;
+  std::uint32_t feature_dim() const { return feature_dim_; }
+
+  // Bytes of cached feature rows resident in (simulated) GPU memory.
+  ByteCount CacheBytes() const {
+    return static_cast<ByteCount>(num_cached_) * feature_dim_ * sizeof(float);
+  }
+
+  // Fills block->mutable_cache_marks() for every distinct vertex: the
+  // Sample-stage marking step (paper §5.2, the "M" component of Table 5).
+  void MarkBlock(SampleBlock* block) const;
+
+ private:
+  // Exact-row-count loader shared by Load (ratio-derived) and
+  // LoadWithBudget (byte-derived); avoids ratio<->count rounding drift.
+  static FeatureCache LoadCount(std::span<const VertexId> ranked, std::size_t capacity,
+                                VertexId num_vertices, std::uint32_t feature_dim);
+
+  std::vector<std::uint8_t> cached_;
+  std::size_t num_cached_ = 0;
+  std::uint32_t feature_dim_ = 0;
+};
+
+// Runs one epoch of Sample+Mark+Extract accounting (no training) and
+// returns aggregate extraction stats; shared by the caching-policy benches
+// (Figures 4, 5, 10, 11). Deterministic in `epoch_seed`.
+struct EpochExtractionResult {
+  std::size_t batches = 0;
+  std::size_t distinct_vertices = 0;
+  std::size_t cache_hits = 0;
+  ByteCount bytes_from_host = 0;
+
+  double HitRate() const {
+    return distinct_vertices == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(distinct_vertices);
+  }
+};
+
+EpochExtractionResult MeasureEpochExtraction(Sampler* sampler, const TrainingSet& train_set,
+                                             std::size_t batch_size, const FeatureCache& cache,
+                                             std::uint32_t feature_dim,
+                                             std::uint64_t epoch_seed);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CACHE_FEATURE_CACHE_H_

@@ -1,0 +1,31 @@
+// Optimal caching oracle (paper §3, footnote 4): given the recorded access
+// footprint of the measured epochs themselves, caching the most-visited
+// vertices upper-bounds every realizable static policy at the same ratio.
+#include <utility>
+
+#include "cache/cache_policy.h"
+
+namespace gnnlab {
+namespace {
+
+class OptimalOracle final : public CachePolicy {
+ public:
+  explicit OptimalOracle(Footprint footprint) : footprint_(std::move(footprint)) {}
+
+  std::vector<VertexId> Rank(const CachePolicyContext&) override {
+    return footprint_.RankByCount();
+  }
+
+  const char* name() const override { return "Optimal"; }
+
+ private:
+  Footprint footprint_;
+};
+
+}  // namespace
+
+std::unique_ptr<CachePolicy> MakeOptimalOracle(Footprint footprint) {
+  return std::make_unique<OptimalOracle>(std::move(footprint));
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,31 @@
+// Random caching: a uniformly random vertex ranking. The weakest baseline
+// in the paper's policy comparisons (Figures 10-13).
+#include <algorithm>
+#include <numeric>
+
+#include "cache/cache_policy.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gnnlab {
+namespace {
+
+class RandomPolicy final : public CachePolicy {
+ public:
+  std::vector<VertexId> Rank(const CachePolicyContext& context) override {
+    CHECK(context.graph != nullptr);
+    std::vector<VertexId> order(context.graph->num_vertices());
+    std::iota(order.begin(), order.end(), 0u);
+    Rng rng(context.seed ^ 0x52414e44u);  // "RAND"
+    std::shuffle(order.begin(), order.end(), rng);
+    return order;
+  }
+
+  const char* name() const override { return "Random"; }
+};
+
+}  // namespace
+
+std::unique_ptr<CachePolicy> MakeRandomPolicy() { return std::make_unique<RandomPolicy>(); }
+
+}  // namespace gnnlab

@@ -1,0 +1,85 @@
+// Minimal leveled logger with CHECK macros, modeled on the style used by
+// systems codebases: cheap when disabled, fatal checks abort with context.
+#ifndef GNNLAB_COMMON_LOGGING_H_
+#define GNNLAB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gnnlab {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: streams one message and, for kFatal, aborts on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Discards everything streamed into it; used when a level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace gnnlab
+
+#define GNNLAB_LOG_ENABLED(level) \
+  (static_cast<int>(level) >= static_cast<int>(::gnnlab::GetLogLevel()))
+
+#define LOG_DEBUG                                    \
+  if (!GNNLAB_LOG_ENABLED(::gnnlab::LogLevel::kDebug)) {} else \
+    ::gnnlab::LogMessage(::gnnlab::LogLevel::kDebug, __FILE__, __LINE__).stream()
+#define LOG_INFO                                    \
+  if (!GNNLAB_LOG_ENABLED(::gnnlab::LogLevel::kInfo)) {} else \
+    ::gnnlab::LogMessage(::gnnlab::LogLevel::kInfo, __FILE__, __LINE__).stream()
+#define LOG_WARNING                                    \
+  if (!GNNLAB_LOG_ENABLED(::gnnlab::LogLevel::kWarning)) {} else \
+    ::gnnlab::LogMessage(::gnnlab::LogLevel::kWarning, __FILE__, __LINE__).stream()
+#define LOG_ERROR                                    \
+  if (!GNNLAB_LOG_ENABLED(::gnnlab::LogLevel::kError)) {} else \
+    ::gnnlab::LogMessage(::gnnlab::LogLevel::kError, __FILE__, __LINE__).stream()
+#define LOG_FATAL \
+  ::gnnlab::LogMessage(::gnnlab::LogLevel::kFatal, __FILE__, __LINE__).stream()
+
+// CHECK aborts the process when the condition is false; it is always on,
+// including release builds, because a violated invariant in the simulator or
+// cache would silently corrupt every downstream measurement.
+#define CHECK(cond) \
+  if (cond) {} else LOG_FATAL << "Check failed: " #cond " "
+
+#define CHECK_OP(a, b, op) \
+  if ((a)op(b)) {} else    \
+    LOG_FATAL << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) << ") "
+
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+#endif  // GNNLAB_COMMON_LOGGING_H_

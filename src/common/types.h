@@ -1,0 +1,31 @@
+// Core scalar types shared by every gnnlab subsystem.
+#ifndef GNNLAB_COMMON_TYPES_H_
+#define GNNLAB_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gnnlab {
+
+// Vertex ids are 32-bit: the paper's largest dataset (OGB-Papers, 111M
+// vertices) fits comfortably, and halving topology bytes keeps the simulated
+// Vol_G : Vol_F ratio aligned with the paper's Table 3 (see DESIGN.md §4).
+using VertexId = std::uint32_t;
+
+// Edge indices address into the CSR column array; graphs may exceed 2^32
+// edges at paper scale, so keep them 64-bit.
+using EdgeIndex = std::uint64_t;
+
+// Simulated time in seconds. All durations produced by sim::CostModel and
+// consumed by the discrete-event engine use this unit.
+using SimTime = double;
+
+// A count of bytes moved or resident; used by the device memory ledger and
+// the extractor's transfer accounting.
+using ByteCount = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_COMMON_TYPES_H_

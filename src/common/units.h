@@ -1,0 +1,26 @@
+// Byte-size literals and human-readable formatting used across the simulator
+// and the benchmark reports.
+#ifndef GNNLAB_COMMON_UNITS_H_
+#define GNNLAB_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace gnnlab {
+
+inline constexpr ByteCount kKiB = 1024;
+inline constexpr ByteCount kMiB = 1024 * kKiB;
+inline constexpr ByteCount kGiB = 1024 * kMiB;
+
+// Renders e.g. "11.4GB", "256.0MB", "483B" with one decimal above bytes,
+// matching how the paper quotes sizes.
+std::string FormatBytes(ByteCount bytes);
+
+// Renders seconds with millisecond resolution, e.g. "0.47s", "12.50s".
+std::string FormatSeconds(double seconds);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_COMMON_UNITS_H_

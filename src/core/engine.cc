@@ -1,0 +1,730 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace gnnlab {
+namespace {
+
+// Epoch-id offset for the profiling / pre-sampling passes so their random
+// streams never collide with measured epochs.
+constexpr std::size_t kProfileEpochBase = std::size_t{1} << 20;
+// Epoch-id offset for evaluation sampling (real-training accuracy).
+constexpr std::size_t kEvalEpochBase = std::size_t{1} << 21;
+
+}  // namespace
+
+const char* CachePolicyKindName(CachePolicyKind kind) {
+  switch (kind) {
+    case CachePolicyKind::kNone:
+      return "None";
+    case CachePolicyKind::kRandom:
+      return "Random";
+    case CachePolicyKind::kDegree:
+      return "Degree";
+    case CachePolicyKind::kPreSC1:
+      return "PreSC#1";
+    case CachePolicyKind::kPreSC2:
+      return "PreSC#2";
+    case CachePolicyKind::kPreSC3:
+      return "PreSC#3";
+    case CachePolicyKind::kOptimal:
+      return "Optimal";
+  }
+  return "unknown";
+}
+
+Engine::Engine(const Dataset& dataset, const Workload& workload, const EngineOptions& options)
+    : dataset_(dataset),
+      workload_(workload),
+      options_(options),
+      cost_(options.cost),
+      virtual_store_(FeatureStore::Virtual(dataset.graph.num_vertices(), dataset.feature_dim)),
+      extractor_(virtual_store_),
+      profile_footprint_(dataset.graph.num_vertices()) {
+  CHECK_GE(options_.num_gpus, 1);
+  CHECK_GE(options_.epochs, 1u);
+  if (workload_.sampling == SamplingAlgorithm::kKhopWeighted) {
+    weights_.emplace(dataset_.MakeWeights());
+  }
+  if (options_.real != nullptr) {
+    const RealTrainingOptions& real = *options_.real;
+    CHECK(real.features != nullptr && real.features->materialized());
+    CHECK_EQ(real.features->num_vertices(), dataset_.graph.num_vertices());
+    CHECK_EQ(real.labels.size(), dataset_.graph.num_vertices());
+    CHECK_GT(real.num_classes, 0u);
+    ModelConfig config;
+    config.kind = workload_.model;
+    config.num_layers = workload_.num_layers;
+    config.in_dim = real.features->dim();
+    config.hidden_dim = real.hidden_dim;
+    config.num_classes = real.num_classes;
+    Rng model_rng(options_.seed ^ 0x4d4f444cu);  // "MODL"
+    model_ = std::make_unique<GnnModel>(config, &model_rng);
+    adam_ = std::make_unique<Adam>(real.adam);
+  }
+}
+
+Engine::~Engine() = default;
+
+Rng Engine::BatchRng(std::size_t epoch, std::size_t batch) const {
+  return Rng(options_.seed).Fork(epoch * 1'000'003 + batch + 7);
+}
+
+Rng Engine::ShuffleRng(std::size_t epoch) const {
+  return Rng(options_.seed).Fork(epoch * 2 + 1);
+}
+
+RunReport Engine::Run() {
+  RunReport report;
+  ProfileSampling();
+  BuildCaches(&report);
+  DecideExecutors(&report);
+  if (!PlanMemory(&report)) {
+    return report;  // OOM.
+  }
+
+  // Preprocessing (Table 6): amortized once per training task.
+  const ByteCount topo_bytes =
+      dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
+  report.preprocess.disk_load = cost_.DiskLoadTime(topo_bytes + dataset_.FeatureBytes());
+  report.preprocess.topo_load = cost_.TopologyLoadTime(topo_bytes);
+  report.preprocess.cache_load = cost_.CacheLoadTime(trainer_cache_.CacheBytes());
+  const SimTime presample_stage =
+      cost_.params().presample_epoch_factor * profile_graph_total_;
+  switch (options_.policy) {
+    case CachePolicyKind::kPreSC1:
+      report.preprocess.presample = presample_stage;
+      break;
+    case CachePolicyKind::kPreSC2:
+      report.preprocess.presample = 2.0 * presample_stage;
+      break;
+    case CachePolicyKind::kPreSC3:
+      report.preprocess.presample = 3.0 * presample_stage;
+      break;
+    case CachePolicyKind::kOptimal:
+      // Oracle: offline replay of the measured epochs (not realizable
+      // online; reported for completeness).
+      report.preprocess.presample = static_cast<double>(options_.epochs) * presample_stage;
+      break;
+    default:
+      break;
+  }
+
+  queue_.ResetReport();
+  for (std::size_t e = 0; e < options_.epochs; ++e) {
+    report.epochs.push_back(RunEpoch(e));
+  }
+  report.queue = queue_.report();
+  return report;
+}
+
+void Engine::ProfileSampling() {
+  std::unique_ptr<Sampler> sampler =
+      MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+  Rng shuffle_rng = ShuffleRng(kProfileEpochBase);
+  EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
+  std::size_t batch_index = 0;
+  std::size_t distinct_total = 0;
+  TrainWork work_sum;
+  while (batches.HasNext()) {
+    Rng rng = BatchRng(kProfileEpochBase, batch_index);
+    SamplerStats stats;
+    const SampleBlock block = sampler->Sample(batches.NextBatch(), &rng, &stats);
+    profile_footprint_.Accumulate(block);
+    const SimTime g = cost_.GpuSampleTime(stats);
+    const SimTime m = cost_.MarkTime(block.vertices().size());
+    const SimTime c = cost_.QueueCopyTime(block.QueueBytes());
+    profile_graph_total_ += g;
+    profile_sample_total_ += g + m + c;
+    distinct_total += block.vertices().size();
+    const TrainWork work = MakeTrainWork(workload_, dataset_, block);
+    work_sum.block_edges += work.block_edges;
+    work_sum.block_vertices += work.block_vertices;
+    ++batch_index;
+  }
+  profile_batches_ = batch_index;
+  CHECK_GT(profile_batches_, 0u);
+  profile_avg_distinct_ =
+      static_cast<double>(distinct_total) / static_cast<double>(profile_batches_);
+  profile_avg_work_ = work_sum;
+  profile_avg_work_.block_edges /= profile_batches_;
+  profile_avg_work_.block_vertices /= profile_batches_;
+  profile_avg_work_.feature_dim = dataset_.feature_dim;
+  profile_avg_work_.hidden_dim = workload_.hidden_dim;
+  profile_avg_work_.num_layers = workload_.num_layers;
+  profile_avg_work_.model_factor = workload_.train_factor;
+}
+
+std::vector<VertexId> Engine::RankForPolicy(CachePolicyKind kind) {
+  CachePolicyContext context;
+  context.graph = &dataset_.graph;
+  context.train_set = &dataset_.train_set;
+  context.batch_size = dataset_.batch_size;
+  context.seed = options_.seed;
+
+  switch (kind) {
+    case CachePolicyKind::kNone:
+      return {};
+    case CachePolicyKind::kRandom:
+      return MakeRandomPolicy()->Rank(context);
+    case CachePolicyKind::kDegree:
+      return MakeDegreePolicy()->Rank(context);
+    case CachePolicyKind::kPreSC1:
+    case CachePolicyKind::kPreSC2:
+    case CachePolicyKind::kPreSC3: {
+      // Stage 0 is the profiling pass itself (the paper folds pre-sampling
+      // into the first training epochs, §6.3); extra stages replay further
+      // profile epochs.
+      std::size_t stages = 1;
+      if (kind == CachePolicyKind::kPreSC2) {
+        stages = 2;
+      } else if (kind == CachePolicyKind::kPreSC3) {
+        stages = 3;
+      }
+      Footprint footprint = profile_footprint_;
+      std::unique_ptr<Sampler> sampler =
+          MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+      for (std::size_t stage = 1; stage < stages; ++stage) {
+        Rng shuffle_rng = ShuffleRng(kProfileEpochBase + stage);
+        EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
+        std::size_t batch = 0;
+        while (batches.HasNext()) {
+          Rng rng = BatchRng(kProfileEpochBase + stage, batch++);
+          footprint.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+        }
+      }
+      return footprint.RankByCount();
+    }
+    case CachePolicyKind::kOptimal: {
+      // Replays the exact epochs that will be measured (same shuffle and
+      // per-batch streams), so the ranking is the true oracle.
+      Footprint footprint(dataset_.graph.num_vertices());
+      std::unique_ptr<Sampler> sampler =
+          MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+      for (std::size_t e = 0; e < options_.epochs; ++e) {
+        Rng shuffle_rng = ShuffleRng(e);
+        EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
+        std::size_t batch = 0;
+        while (batches.HasNext()) {
+          Rng rng = BatchRng(e, batch++);
+          footprint.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+        }
+      }
+      return footprint.RankByCount();
+    }
+  }
+  LOG_FATAL << "unknown cache policy";
+  __builtin_unreachable();
+}
+
+void Engine::BuildCaches(RunReport* report) {
+  const std::vector<VertexId> ranked = RankForPolicy(options_.policy);
+  const VertexId num_vertices = dataset_.graph.num_vertices();
+  const double gpu_mem = static_cast<double>(options_.gpu_memory);
+
+  // Dedicated Trainer GPU: everything but the trainer workspace is cache.
+  const auto trainer_budget = static_cast<ByteCount>(
+      gpu_mem * std::max(0.0, 1.0 - workload_.trainer_ws_fraction));
+  if (options_.policy == CachePolicyKind::kNone) {
+    trainer_cache_ = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+  } else if (options_.cache_ratio_override >= 0.0) {
+    trainer_cache_ = FeatureCache::Load(ranked, options_.cache_ratio_override, num_vertices,
+                                        dataset_.feature_dim);
+  } else {
+    trainer_cache_ =
+        FeatureCache::LoadWithBudget(ranked, trainer_budget, num_vertices, dataset_.feature_dim);
+  }
+  report->cache_ratio = trainer_cache_.ratio();
+
+  // Standby Trainer on a Sampler GPU: topology stays resident, but the two
+  // stages never overlap there — the standby only runs after its Sampler
+  // finished the epoch — so the workspace high-water mark is the LARGER of
+  // the two workspaces, not their sum (which is what lets even UK run on a
+  // single GPU, paper §7.9).
+  const ByteCount topo_bytes =
+      dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
+  const double standby_left =
+      gpu_mem - static_cast<double>(topo_bytes) -
+      gpu_mem * std::max(workload_.sampler_ws_fraction, workload_.trainer_ws_fraction);
+  standby_possible_ = standby_left >= 0.0;
+  if (standby_possible_ && options_.policy != CachePolicyKind::kNone) {
+    standby_cache_ = FeatureCache::LoadWithBudget(
+        ranked, static_cast<ByteCount>(standby_left), num_vertices, dataset_.feature_dim);
+  } else {
+    standby_cache_ = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+  }
+  report->standby_cache_ratio = standby_cache_.ratio();
+}
+
+ExtractStats Engine::EstimateExtract(const FeatureCache& cache) const {
+  // Visit-weighted hit-rate estimate from the profiling footprint: a good
+  // proxy for the per-batch distinct-vertex hit rate.
+  const auto counts = profile_footprint_.counts();
+  std::uint64_t hit_visits = 0;
+  for (VertexId v = 0; v < counts.size(); ++v) {
+    if (cache.Contains(v)) {
+      hit_visits += counts[v];
+    }
+  }
+  const double hit_rate =
+      profile_footprint_.total() == 0
+          ? 0.0
+          : static_cast<double>(hit_visits) / static_cast<double>(profile_footprint_.total());
+  ExtractStats stats;
+  stats.distinct_vertices = static_cast<std::size_t>(profile_avg_distinct_);
+  stats.cache_hits = static_cast<std::size_t>(hit_rate * profile_avg_distinct_);
+  stats.host_misses = stats.distinct_vertices - stats.cache_hits;
+  const ByteCount row = static_cast<ByteCount>(dataset_.feature_dim) * sizeof(float);
+  stats.bytes_from_cache = stats.cache_hits * row;
+  stats.bytes_from_host = stats.host_misses * row;
+  return stats;
+}
+
+void Engine::DecideExecutors(RunReport* report) {
+  const SimTime t_sample = profile_sample_total_ / static_cast<double>(profile_batches_);
+  const SimTime t_train_compute = cost_.TrainTime(profile_avg_work_);
+  const SimTime t_extract = cost_.ExtractTime(EstimateExtract(trainer_cache_), true);
+  // With the Trainer's internal pipelining, its per-batch time is the
+  // slower of the overlapped Extract and Train stages (paper §5.3: extract
+  // dominates for GCN/GraphSAGE on UK and then drives the allocation).
+  const SimTime t_train = std::max(t_extract, t_train_compute);
+
+  ScheduleDecision decision;
+  if (options_.num_samplers > 0) {
+    decision.num_samplers = std::min(options_.num_samplers, options_.num_gpus);
+    decision.num_trainers = options_.num_gpus - decision.num_samplers;
+    decision.k_ratio = t_train / t_sample;
+  } else {
+    decision = DecideAllocation(options_.num_gpus, t_sample, t_train);
+  }
+  report->num_samplers = decision.num_samplers;
+  report->num_trainers = decision.num_trainers;
+  report->k_ratio = decision.k_ratio;
+
+  samplers_.clear();
+  trainers_.clear();
+  for (int s = 0; s < decision.num_samplers; ++s) {
+    SamplerExec exec;
+    exec.gpu = s;
+    exec.sampler = MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+    samplers_.push_back(std::move(exec));
+  }
+  for (int t = 0; t < decision.num_trainers; ++t) {
+    TrainerExec exec;
+    exec.gpu = decision.num_samplers + t;
+    trainers_.push_back(std::move(exec));
+  }
+  const bool standby_wanted = options_.dynamic_switching && standby_possible_;
+  if (standby_wanted) {
+    for (int s = 0; s < decision.num_samplers; ++s) {
+      TrainerExec exec;
+      exec.gpu = s;
+      exec.standby = true;
+      exec.owner_sampler = s;
+      trainers_.push_back(std::move(exec));
+    }
+  }
+  CHECK(decision.num_trainers > 0 || standby_wanted)
+      << "no Trainer can run: allocation left zero trainers and dynamic "
+         "switching is disabled or the standby Trainer does not fit";
+
+  if (model_ != nullptr && options_.async_updates) {
+    // One parameter snapshot per Trainer (dedicated and standby alike).
+    replicas_.clear();
+    replica_version_.assign(trainers_.size(), 0);
+    Rng replica_rng(options_.seed ^ 0x5245504cu);  // "REPL"
+    for (std::size_t t = 0; t < trainers_.size(); ++t) {
+      replicas_.push_back(std::make_unique<GnnModel>(model_->config(), &replica_rng));
+    }
+    for (auto& replica : replicas_) {
+      std::vector<GnnModel*> pair{model_.get(), replica.get()};
+      BroadcastParameters(pair);
+    }
+    master_version_ = 0;
+  }
+
+  switch_controller_ =
+      std::make_unique<SwitchController>(standby_wanted, decision.num_trainers);
+  const SimTime t_extract_standby = cost_.ExtractTime(EstimateExtract(standby_cache_), true);
+  switch_controller_->SeedEstimates(t_train, std::max(t_extract_standby, t_train_compute));
+
+  sync_group_ = decision.num_trainers > 0 ? static_cast<std::size_t>(decision.num_trainers)
+                                          : static_cast<std::size_t>(decision.num_samplers);
+  if (options_.sync_group_override > 0) {
+    sync_group_ = options_.sync_group_override;
+  }
+}
+
+bool Engine::PlanMemory(RunReport* report) {
+  devices_.clear();
+  const ByteCount topo_bytes =
+      dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
+  const auto sampler_ws = static_cast<ByteCount>(
+      static_cast<double>(options_.gpu_memory) * workload_.sampler_ws_fraction);
+  const auto trainer_ws = static_cast<ByteCount>(
+      static_cast<double>(options_.gpu_memory) * workload_.trainer_ws_fraction);
+
+  for (int g = 0; g < options_.num_gpus; ++g) {
+    devices_.emplace_back(g, options_.gpu_memory);
+  }
+  for (const SamplerExec& sampler : samplers_) {
+    Device& dev = devices_[sampler.gpu];
+    if (!dev.TryAllocate(MemoryKind::kTopology, topo_bytes) ||
+        !dev.TryAllocate(MemoryKind::kSamplerWorkspace, sampler_ws)) {
+      report->oom = true;
+      std::ostringstream os;
+      os << "Sampler GPU " << sampler.gpu << ": topology " << FormatBytes(topo_bytes)
+         << " + workspace " << FormatBytes(sampler_ws) << " exceeds "
+         << FormatBytes(options_.gpu_memory);
+      report->oom_detail = os.str();
+      return false;
+    }
+  }
+  for (const TrainerExec& trainer : trainers_) {
+    Device& dev = devices_[trainer.gpu];
+    const ByteCount cache_bytes =
+        trainer.standby ? standby_cache_.CacheBytes() : trainer_cache_.CacheBytes();
+    // A standby Trainer reuses its Sampler's workspace (the stages are
+    // temporally exclusive); only the excess beyond it is extra.
+    const ByteCount ws_bytes =
+        trainer.standby ? (trainer_ws > sampler_ws ? trainer_ws - sampler_ws : 0)
+                        : trainer_ws;
+    if (!dev.TryAllocate(MemoryKind::kTrainerWorkspace, ws_bytes) ||
+        !dev.TryAllocate(MemoryKind::kFeatureCache, cache_bytes)) {
+      report->oom = true;
+      std::ostringstream os;
+      os << "Trainer GPU " << trainer.gpu << ": workspace " << FormatBytes(trainer_ws)
+         << " + cache " << FormatBytes(cache_bytes) << " exceeds available memory of "
+         << FormatBytes(options_.gpu_memory);
+      report->oom_detail = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+EpochReport Engine::RunEpoch(std::size_t epoch) {
+  current_epoch_ = epoch;
+  epoch_report_ = EpochReport{};
+  epoch_batches_.clear();
+  {
+    Rng shuffle_rng = ShuffleRng(epoch);
+    EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
+    while (batches.HasNext()) {
+      const auto batch = batches.NextBatch();
+      epoch_batches_.emplace_back(batch.begin(), batch.end());
+    }
+  }
+  next_batch_ = 0;
+  trained_batches_ = 0;
+  loss_sum_ = 0.0;
+  loss_count_ = 0;
+  gradient_updates_ = 0;
+  grad_accum_ = 0;
+  for (SamplerExec& sampler : samplers_) {
+    sampler.busy = false;
+    sampler.epoch_done = false;
+    sampler.stage = StageBreakdown{};
+  }
+  for (TrainerExec& trainer : trainers_) {
+    trainer.extract_busy = false;
+    trainer.train_free = sim_.now();
+    trainer.trains_in_flight = 0;
+    trainer.stage = StageBreakdown{};
+    trainer.extract = ExtractStats{};
+    trainer.batches_done = 0;
+  }
+
+  const SimTime epoch_start = sim_.now();
+  PumpSamplers();
+  sim_.Run();
+  CHECK_EQ(trained_batches_, epoch_batches_.size()) << "epoch deadlocked";
+
+  // Flush a partial gradient-accumulation group at the epoch boundary.
+  if (model_ != nullptr && grad_accum_ > 0) {
+    for (Tensor* grad : model_->Grads()) {
+      ScaleInPlace(grad, 1.0f / static_cast<float>(grad_accum_));
+    }
+    adam_->Step(model_->Params(), model_->Grads());
+    model_->ZeroGrads();
+    ++gradient_updates_;
+    grad_accum_ = 0;
+  }
+
+  EpochReport report = epoch_report_;
+  report.epoch_time = sim_.now() - epoch_start;
+  report.batches = epoch_batches_.size();
+  for (const SamplerExec& sampler : samplers_) {
+    report.stage.Add(sampler.stage);
+  }
+  for (const TrainerExec& trainer : trainers_) {
+    report.stage.Add(trainer.stage);
+    report.extract.Add(trainer.extract);
+    if (trainer.standby) {
+      report.switched_batches += trainer.batches_done;
+    }
+  }
+  if (model_ != nullptr) {
+    report.gradient_updates = gradient_updates_;
+    report.mean_loss = loss_count_ > 0 ? loss_sum_ / static_cast<double>(loss_count_) : 0.0;
+    report.eval_accuracy = EvaluateAccuracy(epoch);
+  } else {
+    report.gradient_updates =
+        (report.batches + sync_group_ - 1) / std::max<std::size_t>(1, sync_group_);
+  }
+  return report;
+}
+
+void Engine::PumpSamplers() {
+  for (std::size_t s = 0; s < samplers_.size(); ++s) {
+    SamplerExec& sampler = samplers_[s];
+    if (sampler.busy || sampler.epoch_done) {
+      continue;
+    }
+    if (next_batch_ >= epoch_batches_.size()) {
+      sampler.epoch_done = true;
+      // The co-located standby Trainer becomes eligible; let it look at the
+      // queue right away.
+      PumpTrainers();
+      continue;
+    }
+    const std::size_t batch = next_batch_++;
+    Rng rng = BatchRng(current_epoch_, batch);
+    SamplerStats stats;
+    SampleBlock block = sampler.sampler->Sample(epoch_batches_[batch], &rng, &stats);
+    if (trainer_cache_.num_cached() > 0) {
+      trainer_cache_.MarkBlock(&block);
+    }
+    const SimTime g = cost_.GpuSampleTime(stats);
+    const SimTime m =
+        trainer_cache_.num_cached() > 0 ? cost_.MarkTime(block.vertices().size()) : 0.0;
+    const SimTime c = cost_.QueueCopyTime(block.QueueBytes());
+    sampler.busy = true;
+
+    auto task = std::make_shared<TrainTask>();
+    task->block = std::move(block);
+    task->epoch = current_epoch_;
+    task->batch = batch;
+    sim_.Schedule(g + m + c, [this, s, g, m, c, task] {
+      SamplerExec& done_sampler = samplers_[s];
+      done_sampler.stage.sample_graph += g;
+      done_sampler.stage.sample_mark += m;
+      done_sampler.stage.sample_copy += c;
+      done_sampler.busy = false;
+      if (options_.trace != nullptr) {
+        options_.trace->Record("gpu" + std::to_string(done_sampler.gpu) + "/sampler",
+                               "sample b" + std::to_string(task->batch), "sample",
+                               sim_.now() - (g + m + c), sim_.now());
+      }
+      task->enqueue_time = sim_.now();
+      queue_.Push(std::move(*task));
+      PumpTrainers();
+      PumpSamplers();
+    });
+  }
+}
+
+void Engine::PumpTrainers() {
+  // Dedicated Trainers drain unconditionally; standby Trainers consult the
+  // profit metric and require their Sampler to have finished the epoch.
+  for (TrainerExec& trainer : trainers_) {
+    if (trainer.extract_busy || trainer.trains_in_flight > 1 || queue_.empty()) {
+      continue;
+    }
+    if (trainer.standby) {
+      if (!samplers_[trainer.owner_sampler].epoch_done) {
+        continue;
+      }
+      if (!switch_controller_->ShouldFetch(queue_.size())) {
+        continue;
+      }
+    }
+    std::optional<TrainTask> task = queue_.TryPop();
+    CHECK(task.has_value());
+    StartBatchOnTrainer(&trainer, std::move(*task));
+  }
+}
+
+void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
+  if (trainer->standby) {
+    // The Sampler marked the block against the dedicated Trainers' cache;
+    // the standby's smaller cache needs a re-mark.
+    if (standby_cache_.num_cached() > 0 || !task.block.cache_marks().empty()) {
+      standby_cache_.MarkBlock(&task.block);
+    }
+  }
+  const ExtractStats stats = extractor_.Extract(task.block, nullptr);
+  const CostModelParams& params = cost_.params();
+  // Host portion: the GPU's own PCIe link takes host_time; the shared DRAM
+  // channel absorbs 1/parallelism of it (see CostModelParams).
+  const SimTime host_time =
+      static_cast<double>(stats.bytes_from_host) / params.pcie_gather_bandwidth;
+  const SimTime channel_done =
+      host_channel_.Acquire(sim_.now(), host_time / params.host_channel_parallelism);
+  const SimTime local_time =
+      params.gpu_gather_per_row * static_cast<double>(stats.distinct_vertices);
+  const SimTime extract_done =
+      std::max(sim_.now() + host_time, channel_done) + local_time;
+  const SimTime extract_work = host_time + local_time;
+
+  trainer->extract_busy = true;
+  ++trainer->trains_in_flight;
+  auto shared_task = std::make_shared<TrainTask>(std::move(task));
+  sim_.ScheduleAt(extract_done, [this, trainer, shared_task, stats, extract_work] {
+    trainer->stage.extract += extract_work;
+    trainer->extract.Add(stats);
+    if (options_.trace != nullptr) {
+      const std::string lane = "gpu" + std::to_string(trainer->gpu) +
+                               (trainer->standby ? "/standby" : "/trainer");
+      options_.trace->Record(lane, "extract b" + std::to_string(shared_task->batch),
+                             "extract", sim_.now() - extract_work, sim_.now());
+    }
+
+    const TrainWork work = MakeTrainWork(workload_, dataset_, shared_task->block);
+    const SimTime train_seconds = cost_.TrainTime(work);
+    const SimTime train_start = std::max(sim_.now(), trainer->train_free);
+    trainer->train_free = train_start + train_seconds;
+    sim_.ScheduleAt(trainer->train_free, [this, trainer, shared_task, train_seconds] {
+      FinishTrain(trainer, *shared_task, train_seconds);
+    });
+
+    trainer->extract_busy = false;
+    // The extract unit freed up: overlap the next batch's extraction with
+    // this batch's training (the paper's Trainer-internal pipelining).
+    PumpTrainers();
+  });
+}
+
+void Engine::FinishTrain(TrainerExec* trainer, const TrainTask& task, SimTime train_seconds) {
+  trainer->stage.train += train_seconds;
+  --trainer->trains_in_flight;
+  if (options_.trace != nullptr) {
+    const std::string lane = "gpu" + std::to_string(trainer->gpu) +
+                             (trainer->standby ? "/standby" : "/trainer");
+    options_.trace->Record(lane, "train b" + std::to_string(task.batch), "train",
+                           sim_.now() - train_seconds, sim_.now());
+  }
+  ++trainer->batches_done;
+  ++trained_batches_;
+
+  const SimTime batch_time = std::max(train_seconds, trainer->stage.extract /
+                                                         static_cast<double>(
+                                                             trainer->batches_done));
+  if (trainer->standby) {
+    switch_controller_->ObserveStandbyBatch(batch_time);
+  } else {
+    switch_controller_->ObserveTrainerBatch(batch_time);
+  }
+
+  if (model_ != nullptr) {
+    if (options_.async_updates) {
+      AsyncTrainBatch(static_cast<std::size_t>(trainer - trainers_.data()), task);
+    } else {
+      RealTrainBatch(task);
+    }
+  }
+  PumpTrainers();
+}
+
+void Engine::RealTrainBatch(const TrainTask& task) {
+  const RealTrainingOptions& real = *options_.real;
+  Extractor real_extractor(*real.features);
+  std::vector<float> buffer;
+  real_extractor.Extract(task.block, &buffer);
+  Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
+
+  const Tensor& logits = model_->Forward(task.block, input);
+  std::vector<std::uint32_t> labels(task.block.num_seeds());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = real.labels[task.block.vertices()[i]];
+  }
+  Tensor grad_logits;
+  loss_sum_ += SoftmaxCrossEntropy(logits, labels, &grad_logits);
+  ++loss_count_;
+  model_->Backward(grad_logits);
+
+  if (++grad_accum_ >= sync_group_) {
+    // Synchronous data parallelism: one update per group of sync_group_
+    // mini-batches, gradients averaged across the group.
+    for (Tensor* grad : model_->Grads()) {
+      ScaleInPlace(grad, 1.0f / static_cast<float>(grad_accum_));
+    }
+    adam_->Step(model_->Params(), model_->Grads());
+    model_->ZeroGrads();
+    ++gradient_updates_;
+    grad_accum_ = 0;
+  }
+}
+
+void Engine::AsyncTrainBatch(std::size_t trainer_index, const TrainTask& task) {
+  const RealTrainingOptions& real = *options_.real;
+  CHECK_LT(trainer_index, replicas_.size());
+  GnnModel& replica = *replicas_[trainer_index];
+
+  // Refresh the snapshot if it has fallen beyond the staleness bound.
+  if (master_version_ - replica_version_[trainer_index] > options_.staleness_bound) {
+    std::vector<GnnModel*> pair{model_.get(), &replica};
+    BroadcastParameters(pair);
+    replica_version_[trainer_index] = master_version_;
+  }
+
+  Extractor real_extractor(*real.features);
+  std::vector<float> buffer;
+  real_extractor.Extract(task.block, &buffer);
+  Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
+
+  const Tensor& logits = replica.Forward(task.block, input);
+  std::vector<std::uint32_t> labels(task.block.num_seeds());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = real.labels[task.block.vertices()[i]];
+  }
+  Tensor grad_logits;
+  loss_sum_ += SoftmaxCrossEntropy(logits, labels, &grad_logits);
+  ++loss_count_;
+  replica.ZeroGrads();
+  replica.Backward(grad_logits);
+
+  // Apply the (possibly stale) gradients to the master immediately.
+  adam_->Step(model_->Params(), replica.Grads());
+  ++master_version_;
+  ++gradient_updates_;
+}
+
+double Engine::EvaluateAccuracy(std::size_t epoch) {
+  const RealTrainingOptions& real = *options_.real;
+  if (real.eval_vertices.empty()) {
+    return 0.0;
+  }
+  std::unique_ptr<Sampler> sampler =
+      MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+  Extractor real_extractor(*real.features);
+  double correct_weighted = 0.0;
+  std::size_t total = 0;
+  std::size_t batch_index = 0;
+  for (std::size_t start = 0; start < real.eval_vertices.size();
+       start += dataset_.batch_size) {
+    const std::size_t n = std::min(dataset_.batch_size, real.eval_vertices.size() - start);
+    Rng rng = BatchRng(kEvalEpochBase + epoch, batch_index++);
+    const SampleBlock block =
+        sampler->Sample(real.eval_vertices.subspan(start, n), &rng, nullptr);
+    std::vector<float> buffer;
+    real_extractor.Extract(block, &buffer);
+    Tensor input(block.vertices().size(), real.features->dim(), std::move(buffer));
+    const Tensor& logits = model_->Forward(block, input);
+    std::vector<std::uint32_t> labels(block.num_seeds());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = real.labels[block.vertices()[i]];
+    }
+    correct_weighted += Accuracy(logits, labels) * static_cast<double>(n);
+    total += n;
+  }
+  return total > 0 ? correct_weighted / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace gnnlab

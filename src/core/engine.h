@@ -1,0 +1,194 @@
+// The GNNLab execution engine: the paper's factored (space-sharing) design
+// over the discrete-event multi-GPU simulator.
+//
+// Per run: a profiling pass estimates T_s and T_t ("training an epoch in
+// advance", §5.3); the scheduler picks N_s; each Sampler GPU loads graph
+// topology, each Trainer GPU loads the feature cache built by the chosen
+// caching policy; Samplers and Trainers then stream mini-batches through
+// the host-memory global queue. Dynamic switching drains the queue with
+// standby Trainers when profitable. All sampling, cache marking and
+// extraction accounting is real computation; durations come from the
+// calibrated cost model.
+#ifndef GNNLAB_CORE_ENGINE_H_
+#define GNNLAB_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "cache/feature_cache.h"
+#include "common/units.h"
+#include "core/executors.h"
+#include "core/global_queue.h"
+#include "core/scheduler.h"
+#include "core/stats.h"
+#include "core/switching.h"
+#include "core/workload.h"
+#include "feature/extractor.h"
+#include "graph/dataset.h"
+#include "nn/grad_sync.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+#include "sim/trace.h"
+#include "sim/sim_engine.h"
+
+namespace gnnlab {
+
+enum class CachePolicyKind {
+  kNone,
+  kRandom,
+  kDegree,
+  kPreSC1,
+  kPreSC2,
+  kPreSC3,
+  kOptimal,
+};
+
+const char* CachePolicyKindName(CachePolicyKind kind);
+
+// Optional real-training configuration (Figure 16 convergence experiment):
+// the engine then runs genuine forward/backward passes with synchronous
+// data-parallel gradient averaging (one optimizer step per N_t batches).
+struct RealTrainingOptions {
+  const FeatureStore* features = nullptr;  // Must be materialized.
+  std::span<const std::uint32_t> labels;   // One per graph vertex.
+  std::span<const VertexId> eval_vertices;
+  std::uint32_t num_classes = 0;
+  std::size_t hidden_dim = 32;  // Smaller than the paper's 256 for CPU speed.
+  AdamConfig adam;
+};
+
+struct EngineOptions {
+  int num_gpus = 8;
+  ByteCount gpu_memory = 64 * kMiB;
+  // 0 = decide with the flexible-scheduling formula.
+  int num_samplers = 0;
+  bool dynamic_switching = true;
+  CachePolicyKind policy = CachePolicyKind::kPreSC1;
+  // >= 0 forces the Trainer-GPU cache ratio instead of sizing by leftover
+  // GPU memory.
+  double cache_ratio_override = -1.0;
+  std::size_t epochs = 3;
+  std::uint64_t seed = 1;
+  CostModelParams cost;
+  // Overrides the synchronous-update group size (number of mini-batches
+  // whose gradients are averaged per optimizer step). 0 = the number of
+  // Trainer GPUs, i.e. plain synchronous data parallelism. Used by the
+  // convergence experiment to emulate the baselines' 8-way update schedule
+  // (paper Figure 16b).
+  std::size_t sync_group_override = 0;
+  // Asynchronous gradient updates with bounded staleness (paper §5.2: the
+  // Trainer pipeline "updates model gradients with bounded staleness";
+  // §7.8 uses asynchronous updates for the switching experiment). Each
+  // Trainer computes gradients against a parameter snapshot at most
+  // `staleness_bound` master updates old and applies them to the master
+  // model one batch at a time.
+  bool async_updates = false;
+  std::size_t staleness_bound = 1;
+  // Optional: record every stage execution as a span on the simulated
+  // timeline (export with TraceRecorder::WriteChromeTrace).
+  TraceRecorder* trace = nullptr;
+  const RealTrainingOptions* real = nullptr;
+};
+
+class Engine {
+ public:
+  // Dataset and workload must outlive the engine. For weighted sampling the
+  // engine builds the dataset's timestamp weights internally.
+  Engine(const Dataset& dataset, const Workload& workload, const EngineOptions& options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Runs preprocessing + options.epochs training epochs. On a capacity
+  // failure, returns a report with oom=true and a human-readable detail
+  // (matching the paper's OOM cells in Table 4).
+  RunReport Run();
+
+  // Memory-plan snapshot of every simulated GPU after Run() (Figure 3).
+  const std::vector<Device>& devices() const { return devices_; }
+
+ private:
+  struct EpochOutcome;
+
+  bool PlanMemory(RunReport* report);
+  void ProfileSampling();
+  void BuildCaches(RunReport* report);
+  std::vector<VertexId> RankForPolicy(CachePolicyKind kind);
+  void DecideExecutors(RunReport* report);
+  EpochReport RunEpoch(std::size_t epoch);
+
+  // Event-loop steps.
+  void PumpSamplers();
+  void PumpTrainers();
+  void StartBatchOnTrainer(TrainerExec* trainer, TrainTask task);
+  void FinishTrain(TrainerExec* trainer, const TrainTask& task, SimTime train_seconds);
+
+  Rng BatchRng(std::size_t epoch, std::size_t batch) const;
+  Rng ShuffleRng(std::size_t epoch) const;
+  ExtractStats EstimateExtract(const FeatureCache& cache) const;
+
+  // Real-training helpers.
+  void RealTrainBatch(const TrainTask& task);
+  void AsyncTrainBatch(std::size_t trainer_index, const TrainTask& task);
+  double EvaluateAccuracy(std::size_t epoch);
+
+  const Dataset& dataset_;
+  const Workload& workload_;
+  EngineOptions options_;
+
+  std::optional<EdgeWeights> weights_;  // Weighted sampling only.
+  CostModel cost_;
+  SimEngine sim_;
+  SharedResource host_channel_;
+  GlobalQueue queue_;
+  FeatureStore virtual_store_;
+  Extractor extractor_;
+
+  std::vector<Device> devices_;
+  std::vector<SamplerExec> samplers_;
+  std::vector<TrainerExec> trainers_;  // Dedicated first, then standbys.
+  std::unique_ptr<SwitchController> switch_controller_;
+
+  FeatureCache trainer_cache_;
+  FeatureCache standby_cache_;
+  bool standby_possible_ = false;
+
+  // Profiling-pass results.
+  Footprint profile_footprint_;
+  SimTime profile_sample_total_ = 0.0;  // Sum of G+M+C over one epoch.
+  SimTime profile_graph_total_ = 0.0;   // Sum of G only.
+  double profile_avg_distinct_ = 0.0;
+  TrainWork profile_avg_work_;
+  std::size_t profile_batches_ = 0;
+
+  // Per-epoch loop state.
+  std::size_t current_epoch_ = 0;
+  std::vector<std::vector<VertexId>> epoch_batches_;
+  std::size_t next_batch_ = 0;
+  std::size_t trained_batches_ = 0;
+  EpochReport epoch_report_;
+
+  // Real-training state (shared master model: updates are serialized by
+  // the DES). In async mode each Trainer additionally holds a replica
+  // snapshot it computes gradients against.
+  std::unique_ptr<GnnModel> model_;
+  std::unique_ptr<Adam> adam_;
+  std::vector<std::unique_ptr<GnnModel>> replicas_;
+  std::vector<std::size_t> replica_version_;
+  std::size_t master_version_ = 0;
+  std::size_t grad_accum_ = 0;
+  std::size_t sync_group_ = 1;
+  double loss_sum_ = 0.0;
+  std::size_t loss_count_ = 0;
+  std::size_t gradient_updates_ = 0;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CORE_ENGINE_H_

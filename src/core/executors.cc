@@ -1,0 +1,16 @@
+#include "core/executors.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+SimTime SharedResource::Acquire(SimTime now, SimTime duration) {
+  CHECK_GE(duration, 0.0);
+  const SimTime start = std::max(now, busy_until_);
+  busy_until_ = start + duration;
+  return busy_until_;
+}
+
+}  // namespace gnnlab

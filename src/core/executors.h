@@ -1,0 +1,58 @@
+// Executor state for the factored engine: one Sampler or Trainer per
+// simulated GPU (paper §5.2, Figure 9). These are passive state records —
+// the discrete-event callbacks in core/engine.cc drive them — plus the
+// shared-resource timeline used to model host-side contention.
+#ifndef GNNLAB_CORE_EXECUTORS_H_
+#define GNNLAB_CORE_EXECUTORS_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/stats.h"
+#include "sampling/sampler.h"
+
+namespace gnnlab {
+
+// A serially-reusable shared resource with FCFS service, used for the host
+// memory channel (feature gathers from DRAM compete across GPUs — the
+// paper's explanation for DGL/T_SOTA's poor scaling in Figure 14) and for
+// the CPU sampling cores of the PyG-style baseline.
+class SharedResource {
+ public:
+  // Reserves `duration` seconds of service starting no earlier than `now`;
+  // returns the completion timestamp.
+  SimTime Acquire(SimTime now, SimTime duration);
+
+  SimTime busy_until() const { return busy_until_; }
+
+ private:
+  SimTime busy_until_ = 0.0;
+};
+
+struct SamplerExec {
+  int gpu = -1;
+  std::unique_ptr<Sampler> sampler;
+  bool busy = false;
+  bool epoch_done = false;  // No batches left to sample this epoch.
+  StageBreakdown stage;     // Accumulated per-epoch work time.
+};
+
+struct TrainerExec {
+  int gpu = -1;
+  bool standby = false;      // Lives on a Sampler GPU (dynamic switching).
+  int owner_sampler = -1;    // Index of the co-located Sampler (standby only).
+  bool extract_busy = false;
+  SimTime train_free = 0.0;  // When the train pipeline stage frees up.
+  // Batches extracted but not yet finished training. The Trainer pipeline
+  // is depth-2 (extract batch i+1 while training batch i); without this cap
+  // one Trainer would pop the whole queue into a private backlog.
+  std::size_t trains_in_flight = 0;
+  StageBreakdown stage;
+  ExtractStats extract;
+  std::size_t batches_done = 0;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CORE_EXECUTORS_H_

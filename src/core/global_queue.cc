@@ -1,0 +1,26 @@
+#include "core/global_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gnnlab {
+
+void GlobalQueue::Push(TrainTask task) {
+  stored_bytes_ += task.block.QueueBytes();
+  tasks_.push_back(std::move(task));
+  ++report_.total_enqueued;
+  report_.max_depth = std::max(report_.max_depth, tasks_.size());
+  report_.max_stored_bytes = std::max(report_.max_stored_bytes, stored_bytes_);
+}
+
+std::optional<TrainTask> GlobalQueue::TryPop() {
+  if (tasks_.empty()) {
+    return std::nullopt;
+  }
+  TrainTask task = std::move(tasks_.front());
+  tasks_.pop_front();
+  stored_bytes_ -= task.block.QueueBytes();
+  return task;
+}
+
+}  // namespace gnnlab

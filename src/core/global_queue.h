@@ -1,0 +1,46 @@
+// The host-memory global queue bridging Samplers and Trainers (paper §5.2,
+// Figure 8). This is the simulated-timeline counterpart of
+// runtime/mpmc_queue.h: it lives inside the single-threaded discrete-event
+// engine, so it needs no locking — determinism comes from event ordering —
+// but it tracks the same statistics the paper discusses (depth, host-memory
+// footprint of queued samples: "from 200MB to 1.4GB in our experiments").
+#ifndef GNNLAB_CORE_GLOBAL_QUEUE_H_
+#define GNNLAB_CORE_GLOBAL_QUEUE_H_
+
+#include <deque>
+#include <optional>
+
+#include "common/types.h"
+#include "core/stats.h"
+#include "sampling/sample_block.h"
+
+namespace gnnlab {
+
+struct TrainTask {
+  SampleBlock block;
+  std::size_t epoch = 0;
+  std::size_t batch = 0;
+  SimTime enqueue_time = 0.0;
+};
+
+class GlobalQueue {
+ public:
+  void Push(TrainTask task);
+  std::optional<TrainTask> TryPop();
+
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+  ByteCount stored_bytes() const { return stored_bytes_; }
+
+  const QueueReport& report() const { return report_; }
+  void ResetReport() { report_ = QueueReport{}; }
+
+ private:
+  std::deque<TrainTask> tasks_;
+  ByteCount stored_bytes_ = 0;
+  QueueReport report_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CORE_GLOBAL_QUEUE_H_

@@ -1,0 +1,23 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+ScheduleDecision DecideAllocation(int num_gpus, SimTime t_sample, SimTime t_train) {
+  CHECK_GE(num_gpus, 1);
+  CHECK_GT(t_sample, 0.0);
+  CHECK_GT(t_train, 0.0);
+  ScheduleDecision decision;
+  decision.k_ratio = t_train / t_sample;
+  const double raw = static_cast<double>(num_gpus) / (decision.k_ratio + 1.0);
+  decision.num_samplers =
+      std::clamp(static_cast<int>(std::ceil(raw)), 1, num_gpus);
+  decision.num_trainers = num_gpus - decision.num_samplers;
+  return decision;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,28 @@
+// Flexible scheduling (paper §5.3): decides how many of the N_g GPUs become
+// Samplers given the profiled per-mini-batch times of the two executor
+// kinds:
+//     N_s = ceil( N_g / (K + 1) ),   K = T_t / T_s,
+// preferring Samplers because switching Sampler->Trainer is cheap while the
+// reverse requires reloading graph topology.
+#ifndef GNNLAB_CORE_SCHEDULER_H_
+#define GNNLAB_CORE_SCHEDULER_H_
+
+#include "common/types.h"
+
+namespace gnnlab {
+
+struct ScheduleDecision {
+  int num_samplers = 0;
+  int num_trainers = 0;
+  double k_ratio = 0.0;  // K = T_t / T_s.
+};
+
+// `t_sample` / `t_train` are the profiled per-mini-batch processing times of
+// a Sampler and a Trainer (the paper estimates them "by training an epoch in
+// advance"). num_gpus >= 1; with one GPU the decision is 1 Sampler + 0
+// Trainers, the degenerate case served by dynamic switching (§7.9).
+ScheduleDecision DecideAllocation(int num_gpus, SimTime t_sample, SimTime t_train);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CORE_SCHEDULER_H_

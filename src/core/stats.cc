@@ -1,0 +1,47 @@
+#include "core/stats.h"
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+void StageBreakdown::Add(const StageBreakdown& other) {
+  sample_graph += other.sample_graph;
+  sample_mark += other.sample_mark;
+  sample_copy += other.sample_copy;
+  extract += other.extract;
+  train += other.train;
+}
+
+double RunReport::AvgEpochTime(std::size_t skip_first) const {
+  CHECK_GT(epochs.size(), skip_first);
+  double total = 0.0;
+  for (std::size_t e = skip_first; e < epochs.size(); ++e) {
+    total += epochs[e].epoch_time;
+  }
+  return total / static_cast<double>(epochs.size() - skip_first);
+}
+
+StageBreakdown RunReport::AvgStage(std::size_t skip_first) const {
+  CHECK_GT(epochs.size(), skip_first);
+  StageBreakdown sum;
+  for (std::size_t e = skip_first; e < epochs.size(); ++e) {
+    sum.Add(epochs[e].stage);
+  }
+  const auto n = static_cast<double>(epochs.size() - skip_first);
+  sum.sample_graph /= n;
+  sum.sample_mark /= n;
+  sum.sample_copy /= n;
+  sum.extract /= n;
+  sum.train /= n;
+  return sum;
+}
+
+ExtractStats RunReport::TotalExtract(std::size_t skip_first) const {
+  ExtractStats total;
+  for (std::size_t e = skip_first; e < epochs.size(); ++e) {
+    total.Add(epochs[e].extract);
+  }
+  return total;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,82 @@
+// Statistics collected by the execution engines: per-epoch stage
+// breakdowns matching the paper's reporting format (Table 5's
+// S = G + M + C, E(R%, H%), T columns), preprocessing times (Table 6), and
+// whole-run summaries.
+#ifndef GNNLAB_CORE_STATS_H_
+#define GNNLAB_CORE_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "feature/extractor.h"
+
+namespace gnnlab {
+
+// Per-stage *work* time summed over all mini-batches of an epoch (each
+// component is the total busy time that stage consumed across executors,
+// which is how the paper's per-epoch breakdown tables are built).
+struct StageBreakdown {
+  double sample_graph = 0.0;   // G: the sampling kernel.
+  double sample_mark = 0.0;    // M: marking cached vertices.
+  double sample_copy = 0.0;    // C: copying blocks into the global queue.
+  double extract = 0.0;        // E.
+  double train = 0.0;          // T.
+
+  double SampleTotal() const { return sample_graph + sample_mark + sample_copy; }
+  void Add(const StageBreakdown& other);
+};
+
+struct EpochReport {
+  SimTime epoch_time = 0.0;  // Makespan (wall clock of the virtual timeline).
+  StageBreakdown stage;
+  ExtractStats extract;
+  std::size_t batches = 0;
+  std::size_t gradient_updates = 0;
+  std::size_t switched_batches = 0;  // Trained by standby Trainers.
+  // Real-training mode only.
+  double mean_loss = 0.0;
+  double eval_accuracy = 0.0;
+};
+
+struct PreprocessReport {
+  SimTime disk_load = 0.0;     // Disk -> DRAM (G & F).
+  SimTime topo_load = 0.0;     // DRAM -> GPU, graph topology (per Sampler GPU).
+  SimTime cache_load = 0.0;    // DRAM -> GPU, feature cache (per Trainer GPU).
+  SimTime presample = 0.0;     // PreSC's K sampling stages + hotness map.
+
+  SimTime Total() const { return disk_load + topo_load + cache_load + presample; }
+};
+
+struct QueueReport {
+  std::size_t total_enqueued = 0;
+  std::size_t max_depth = 0;
+  ByteCount max_stored_bytes = 0;  // Peak host memory held by queued blocks.
+};
+
+struct RunReport {
+  bool oom = false;
+  std::string oom_detail;
+
+  int num_samplers = 0;
+  int num_trainers = 0;
+  double cache_ratio = 0.0;          // On dedicated Trainer GPUs.
+  double standby_cache_ratio = 0.0;  // On Sampler GPUs (dynamic switching).
+  double k_ratio = 0.0;              // K = T_t / T_s from the profiling pass.
+
+  PreprocessReport preprocess;
+  QueueReport queue;
+  std::vector<EpochReport> epochs;
+
+  // Mean epoch makespan, optionally skipping warm-up epochs.
+  double AvgEpochTime(std::size_t skip_first = 0) const;
+  // Per-epoch stage sums averaged over epochs.
+  StageBreakdown AvgStage(std::size_t skip_first = 0) const;
+  // Aggregate extraction stats across epochs.
+  ExtractStats TotalExtract(std::size_t skip_first = 0) const;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CORE_STATS_H_

@@ -1,0 +1,41 @@
+#include "core/switching.h"
+
+#include <limits>
+
+namespace gnnlab {
+
+double SwitchProfit(std::size_t remaining_tasks, SimTime t_train, int num_trainers,
+                    SimTime t_train_standby) {
+  if (num_trainers <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(remaining_tasks) * t_train / static_cast<double>(num_trainers) -
+         t_train_standby;
+}
+
+void SwitchController::ObserveTrainerBatch(SimTime duration) {
+  t_train_ = t_train_ == 0.0 ? duration : (1.0 - kAlpha) * t_train_ + kAlpha * duration;
+}
+
+void SwitchController::ObserveStandbyBatch(SimTime duration) {
+  t_train_standby_ =
+      t_train_standby_ == 0.0 ? duration : (1.0 - kAlpha) * t_train_standby_ + kAlpha * duration;
+}
+
+void SwitchController::SeedEstimates(SimTime t_train, SimTime t_train_standby) {
+  if (t_train_ == 0.0) {
+    t_train_ = t_train;
+  }
+  if (t_train_standby_ == 0.0) {
+    t_train_standby_ = t_train_standby;
+  }
+}
+
+bool SwitchController::ShouldFetch(std::size_t queue_depth) const {
+  if (!enabled_) {
+    return false;
+  }
+  return SwitchProfit(queue_depth, t_train_, num_trainers_, t_train_standby_) > 0.0;
+}
+
+}  // namespace gnnlab

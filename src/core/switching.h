@@ -1,0 +1,59 @@
+// Dynamic executor switching (paper §5.3): once a Sampler has produced all
+// of the current epoch's mini-batches, the standby Trainer pre-launched on
+// its GPU may start draining the global queue. Before each fetch it
+// evaluates the profit metric
+//     P = M_r * T_t / N_t - T_t'        (N_t > 0)
+//     P = +inf                          (N_t = 0)
+// where M_r is the number of queued tasks, T_t the per-batch time of a
+// normal Trainer, N_t the number of normal Trainers, and T_t' the standby
+// Trainer's own per-batch time (its feature cache is limited because the
+// graph topology stays resident). It fetches only when P > 0: i.e. when it
+// can finish one task before the normal Trainers would clear the backlog.
+#ifndef GNNLAB_CORE_SWITCHING_H_
+#define GNNLAB_CORE_SWITCHING_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace gnnlab {
+
+// Raw profit metric; +inf when num_trainers == 0.
+double SwitchProfit(std::size_t remaining_tasks, SimTime t_train, int num_trainers,
+                    SimTime t_train_standby);
+
+// Tracks running estimates of T_t and T_t' and answers fetch decisions.
+class SwitchController {
+ public:
+  SwitchController(bool enabled, int num_trainers)
+      : enabled_(enabled), num_trainers_(num_trainers) {}
+
+  bool enabled() const { return enabled_; }
+
+  // Observations from completed batches.
+  void ObserveTrainerBatch(SimTime duration);
+  void ObserveStandbyBatch(SimTime duration);
+  // Initial T_t' estimate before the standby has processed anything (from
+  // the engine's profiling pass).
+  void SeedEstimates(SimTime t_train, SimTime t_train_standby);
+
+  // Decision for a standby Trainer about to fetch from a queue of depth
+  // `queue_depth`. Only valid once the owning Sampler has finished its
+  // epoch; the engine enforces that precondition.
+  bool ShouldFetch(std::size_t queue_depth) const;
+
+  SimTime t_train() const { return t_train_; }
+  SimTime t_train_standby() const { return t_train_standby_; }
+
+ private:
+  bool enabled_;
+  int num_trainers_;
+  SimTime t_train_ = 0.0;
+  SimTime t_train_standby_ = 0.0;
+  // Exponential moving average weight for the running estimates.
+  static constexpr double kAlpha = 0.2;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CORE_SWITCHING_H_

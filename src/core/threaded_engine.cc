@@ -1,0 +1,333 @@
+#include "core/threaded_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "runtime/mpmc_queue.h"
+#include "tensor/ops.h"
+
+namespace gnnlab {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// Shared state for one epoch's worth of threads. Rebuilt per epoch so the
+// queue's Close() can serve as the end-of-epoch signal.
+struct ThreadedEngine::State {
+  explicit State(std::size_t queue_capacity) : queue(queue_capacity) {}
+
+  MpmcQueue<TrainTask> queue;
+  std::vector<std::vector<VertexId>> batches;
+  std::atomic<std::size_t> next_batch{0};
+  std::atomic<int> samplers_active{0};
+
+  // Running per-batch time estimates (seconds) for the profit metric.
+  std::atomic<double> t_train_ema{0.0};
+  std::atomic<double> t_standby_ema{0.0};
+  int num_trainers = 0;
+
+  // Master-model protection (parameter-server style).
+  std::mutex model_mu;
+  std::size_t master_version = 0;
+  std::vector<std::size_t> replica_version;
+
+  // Epoch accumulators.
+  std::mutex stats_mu;
+  ExtractStats extract;
+  double loss_sum = 0.0;
+  std::size_t loss_count = 0;
+  std::size_t gradient_updates = 0;
+  std::size_t switched_batches = 0;
+};
+
+ThreadedEngine::ThreadedEngine(const Dataset& dataset, const Workload& workload,
+                               const ThreadedEngineOptions& options)
+    : dataset_(dataset), workload_(workload), options_(options) {
+  CHECK_GE(options_.num_samplers, 1);
+  CHECK_GE(options_.num_trainers, 0);
+  CHECK(options_.num_trainers > 0 || options_.dynamic_switching)
+      << "zero Trainers requires dynamic switching";
+  CHECK(options_.real != nullptr) << "the threaded engine trains for real";
+  const RealTrainingOptions& real = *options_.real;
+  CHECK(real.features != nullptr && real.features->materialized());
+  CHECK_EQ(real.labels.size(), dataset_.graph.num_vertices());
+  if (workload_.sampling == SamplingAlgorithm::kKhopWeighted) {
+    weights_.emplace(dataset_.MakeWeights());
+  }
+
+  ModelConfig config;
+  config.kind = workload_.model;
+  config.num_layers = workload_.num_layers;
+  config.in_dim = real.features->dim();
+  config.hidden_dim = real.hidden_dim;
+  config.num_classes = real.num_classes;
+  Rng model_rng(options_.seed ^ 0x4d4f444cu);
+  master_ = std::make_unique<GnnModel>(config, &model_rng);
+  adam_ = std::make_unique<Adam>(real.adam);
+  const std::size_t replica_count =
+      static_cast<std::size_t>(options_.num_trainers + options_.num_samplers);
+  Rng replica_rng(options_.seed ^ 0x5245504cu);
+  for (std::size_t r = 0; r < replica_count; ++r) {
+    replicas_.push_back(std::make_unique<GnnModel>(config, &replica_rng));
+    std::vector<GnnModel*> pair{master_.get(), replicas_.back().get()};
+    BroadcastParameters(pair);
+  }
+}
+
+ThreadedEngine::~ThreadedEngine() = default;
+
+Rng ThreadedEngine::BatchRng(std::size_t epoch, std::size_t batch) const {
+  return Rng(options_.seed).Fork(epoch * 1'000'003 + batch + 7);
+}
+
+void ThreadedEngine::BuildCache() {
+  CachePolicyContext context;
+  context.graph = &dataset_.graph;
+  context.train_set = &dataset_.train_set;
+  context.batch_size = dataset_.batch_size;
+  context.seed = options_.seed;
+  context.sampler_factory = [this] {
+    return MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+  };
+  std::vector<VertexId> ranked;
+  switch (options_.policy) {
+    case CachePolicyKind::kNone:
+      break;
+    case CachePolicyKind::kRandom:
+      ranked = MakeRandomPolicy()->Rank(context);
+      break;
+    case CachePolicyKind::kDegree:
+      ranked = MakeDegreePolicy()->Rank(context);
+      break;
+    case CachePolicyKind::kPreSC1:
+      ranked = MakePreSamplingPolicy(1)->Rank(context);
+      break;
+    case CachePolicyKind::kPreSC2:
+      ranked = MakePreSamplingPolicy(2)->Rank(context);
+      break;
+    case CachePolicyKind::kPreSC3:
+      ranked = MakePreSamplingPolicy(3)->Rank(context);
+      break;
+    case CachePolicyKind::kOptimal:
+      LOG_FATAL << "the optimal oracle needs the simulated engine's replay";
+  }
+  cache_ = FeatureCache::Load(ranked, options_.policy == CachePolicyKind::kNone
+                                          ? 0.0
+                                          : options_.cache_ratio,
+                              dataset_.graph.num_vertices(), dataset_.feature_dim);
+}
+
+ThreadedRunReport ThreadedEngine::Run() {
+  BuildCache();
+  ThreadedRunReport report;
+  report.cache_ratio = cache_.ratio();
+  for (std::size_t e = 0; e < options_.epochs; ++e) {
+    report.epochs.push_back(RunEpoch(e));
+  }
+  return report;
+}
+
+ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
+  state_ = std::make_unique<State>(options_.queue_capacity);
+  State& state = *state_;
+  state.num_trainers = options_.num_trainers;
+  state.replica_version.assign(replicas_.size(), state.master_version);
+  {
+    Rng shuffle_rng = Rng(options_.seed).Fork(epoch * 2 + 1);
+    EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
+    while (batches.HasNext()) {
+      const auto batch = batches.NextBatch();
+      state.batches.emplace_back(batch.begin(), batch.end());
+    }
+  }
+
+  const double start = NowSeconds();
+  state.samplers_active.store(options_.num_samplers);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < options_.num_samplers; ++s) {
+    threads.emplace_back([this, &state, s, epoch] { SamplerLoop(&state, s, epoch); });
+  }
+  for (int t = 0; t < options_.num_trainers; ++t) {
+    threads.emplace_back([this, &state, t] { TrainerLoop(&state, t, /*standby=*/false); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  ThreadedEpochReport report;
+  report.wall_seconds = NowSeconds() - start;
+  report.batches = state.batches.size();
+  report.extract = state.extract;
+  report.switched_batches = state.switched_batches;
+  report.gradient_updates = state.gradient_updates;
+  report.mean_loss =
+      state.loss_count > 0 ? state.loss_sum / static_cast<double>(state.loss_count) : 0.0;
+  CHECK_EQ(state.loss_count, state.batches.size()) << "threaded epoch lost batches";
+  report.eval_accuracy = EvaluateAccuracy(epoch);
+  state_.reset();
+  return report;
+}
+
+void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t epoch) {
+  std::unique_ptr<Sampler> sampler =
+      MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+  while (true) {
+    const std::size_t batch = state->next_batch.fetch_add(1);
+    if (batch >= state->batches.size()) {
+      break;
+    }
+    Rng rng = BatchRng(epoch, batch);
+    SampleBlock block = sampler->Sample(state->batches[batch], &rng, nullptr);
+    if (cache_.num_cached() > 0) {
+      cache_.MarkBlock(&block);
+    }
+    TrainTask task;
+    task.block = std::move(block);
+    task.epoch = epoch;
+    task.batch = batch;
+    CHECK(state->queue.Push(std::move(task)));
+  }
+  // Last Sampler out closes the queue: Trainers drain what remains, then
+  // their Pop() returns nullopt and the epoch winds down.
+  if (state->samplers_active.fetch_sub(1) == 1) {
+    state->queue.Close();
+  }
+  if (options_.dynamic_switching) {
+    // Temporarily switch to a (standby) Trainer for the rest of the epoch.
+    TrainerLoop(state, options_.num_trainers + sampler_index, /*standby=*/true);
+  }
+}
+
+void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) {
+  while (true) {
+    std::optional<TrainTask> task;
+    if (standby) {
+      // Profit check (paper §5.3): fetch only when this standby can finish
+      // a task before the dedicated Trainers clear the backlog.
+      const double profit = SwitchProfit(
+          state->queue.size(), state->t_train_ema.load(), state->num_trainers,
+          state->t_standby_ema.load() > 0.0 ? state->t_standby_ema.load()
+                                            : state->t_train_ema.load());
+      if (profit <= 0.0) {
+        if (state->queue.closed() && state->queue.size() == 0) {
+          return;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      task = state->queue.TryPop();
+      if (!task.has_value()) {
+        if (state->queue.closed()) {
+          return;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+    } else {
+      task = state->queue.Pop();
+      if (!task.has_value()) {
+        return;  // Closed and drained.
+      }
+    }
+
+    const double begin = NowSeconds();
+    TrainTaskOnReplica(state, replica_index, *task);
+    const double elapsed = NowSeconds() - begin;
+    // EMA with alpha 0.2 (see core/switching.h).
+    auto& ema = standby ? state->t_standby_ema : state->t_train_ema;
+    double prev = ema.load();
+    ema.store(prev == 0.0 ? elapsed : 0.8 * prev + 0.2 * elapsed);
+    if (standby) {
+      std::lock_guard<std::mutex> lock(state->stats_mu);
+      ++state->switched_batches;
+    }
+  }
+}
+
+void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
+                                        const TrainTask& task) {
+  const RealTrainingOptions& real = *options_.real;
+  GnnModel& replica = *replicas_[replica_index];
+
+  // Pull fresh parameters if the snapshot exceeded the staleness bound.
+  {
+    std::lock_guard<std::mutex> lock(state->model_mu);
+    if (state->master_version - state->replica_version[replica_index] >
+        options_.staleness_bound) {
+      std::vector<GnnModel*> pair{master_.get(), &replica};
+      BroadcastParameters(pair);
+      state->replica_version[replica_index] = state->master_version;
+    }
+  }
+
+  Extractor extractor(*real.features);
+  std::vector<float> buffer;
+  const ExtractStats stats = extractor.Extract(task.block, &buffer);
+  Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
+
+  const Tensor& logits = replica.Forward(task.block, input);
+  std::vector<std::uint32_t> labels(task.block.num_seeds());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = real.labels[task.block.vertices()[i]];
+  }
+  Tensor grad_logits;
+  const double loss = SoftmaxCrossEntropy(logits, labels, &grad_logits);
+  replica.ZeroGrads();
+  replica.Backward(grad_logits);
+
+  // Push the (possibly stale) gradients into the master.
+  {
+    std::lock_guard<std::mutex> lock(state->model_mu);
+    adam_->Step(master_->Params(), replica.Grads());
+    ++state->master_version;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->stats_mu);
+    state->extract.Add(stats);
+    state->loss_sum += loss;
+    ++state->loss_count;
+    ++state->gradient_updates;
+  }
+}
+
+double ThreadedEngine::EvaluateAccuracy(std::size_t epoch) {
+  const RealTrainingOptions& real = *options_.real;
+  if (real.eval_vertices.empty()) {
+    return 0.0;
+  }
+  std::unique_ptr<Sampler> sampler =
+      MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+  Extractor extractor(*real.features);
+  double correct_weighted = 0.0;
+  std::size_t total = 0;
+  std::size_t batch_index = 0;
+  for (std::size_t start = 0; start < real.eval_vertices.size();
+       start += dataset_.batch_size) {
+    const std::size_t n = std::min(dataset_.batch_size, real.eval_vertices.size() - start);
+    Rng rng = Rng(options_.seed).Fork((std::size_t{1} << 21) + epoch * 4099 + batch_index++);
+    const SampleBlock block =
+        sampler->Sample(real.eval_vertices.subspan(start, n), &rng, nullptr);
+    std::vector<float> buffer;
+    extractor.Extract(block, &buffer);
+    Tensor input(block.vertices().size(), real.features->dim(), std::move(buffer));
+    const Tensor& logits = master_->Forward(block, input);
+    std::vector<std::uint32_t> labels(block.num_seeds());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = real.labels[block.vertices()[i]];
+    }
+    correct_weighted += Accuracy(logits, labels) * static_cast<double>(n);
+    total += n;
+  }
+  return total > 0 ? correct_weighted / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace gnnlab

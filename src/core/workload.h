@@ -1,0 +1,73 @@
+// A GNN training workload: model kind, sampling algorithm and its
+// parameters, and the cost-model knobs that depend on them. The three
+// standard workloads mirror the paper's §7.1 setup:
+//   GCN       — 3-hop random neighborhood sampling, fanouts {15, 10, 5}.
+//   GraphSAGE — 2-hop random neighborhood sampling, fanouts {25, 10}.
+//   PinSAGE   — 3 layers of random walks: 5 neighbors from 4 paths of
+//               length 3.
+// Hidden dimension 256 everywhere. A weighted-GCN variant (3-hop weighted
+// sampling) covers the §7.4 caching study.
+#ifndef GNNLAB_CORE_WORKLOAD_H_
+#define GNNLAB_CORE_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "sampling/sampler.h"
+#include "sim/cost_model.h"
+
+namespace gnnlab {
+
+struct Workload {
+  std::string name;
+  GnnModelKind model = GnnModelKind::kGcn;
+  SamplingAlgorithm sampling = SamplingAlgorithm::kKhopUniform;
+  std::vector<std::uint32_t> fanouts;  // k-hop variants only.
+  // Random-walk (PinSAGE) parameters.
+  std::size_t rw_walks = 4;
+  std::size_t rw_length = 3;
+  std::size_t rw_neighbors = 5;
+
+  std::size_t num_layers = 3;
+  std::uint32_t hidden_dim = 256;
+
+  // Cost-model multiplier for the Train stage (PinSAGE's importance pooling
+  // is heavier per unit of block work; fitted to Table 5's Train column).
+  double train_factor = 1.0;
+  // Fraction of GPU memory the Trainer's runtime workspace occupies.
+  // Taken from the paper's measurements (§3: ~3.6GB of 16GB for 3-layer
+  // models; 2-layer GraphSAGE is lighter). See DESIGN.md §1 on why the
+  // workspace is calibrated as a fraction rather than derived from scaled
+  // activation sizes.
+  double trainer_ws_fraction = 0.22;
+  // Ditto for the Sampler's workspace (§3: ~1.3GB of 16GB).
+  double sampler_ws_fraction = 0.08;
+};
+
+// The paper's standard workload for each model.
+Workload StandardWorkload(GnnModelKind kind);
+
+// GCN with 3-hop *weighted* neighborhood sampling (paper §7.4, "GCN (W.)").
+Workload WeightedGcnWorkload();
+
+// ClusterGCN-style workload: GCN over batch-induced subgraphs (paper §8).
+Workload ClusterGcnWorkload();
+
+// FastGCN-style workload: GCN over layer-wise importance samples (paper §2).
+Workload FastGcnWorkload();
+
+// Instantiates the workload's sampler over a dataset. `weights` is required
+// for (and only for) weighted sampling.
+std::unique_ptr<Sampler> MakeSampler(const Workload& workload, const Dataset& dataset,
+                                     const EdgeWeights* weights);
+
+// Builds the cost-model work descriptor for one sampled block.
+TrainWork MakeTrainWork(const Workload& workload, const Dataset& dataset,
+                        const SampleBlock& block);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CORE_WORKLOAD_H_

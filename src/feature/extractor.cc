@@ -1,0 +1,49 @@
+#include "feature/extractor.h"
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+void ExtractStats::Add(const ExtractStats& other) {
+  distinct_vertices += other.distinct_vertices;
+  cache_hits += other.cache_hits;
+  host_misses += other.host_misses;
+  bytes_from_cache += other.bytes_from_cache;
+  bytes_from_host += other.bytes_from_host;
+}
+
+ExtractStats Extractor::Extract(const SampleBlock& block, std::vector<float>* out) const {
+  ExtractStats stats;
+  const auto vertices = block.vertices();
+  const auto marks = block.cache_marks();
+  const bool marked = !marks.empty();
+  if (marked) {
+    CHECK_EQ(marks.size(), vertices.size());
+  }
+  const ByteCount row_bytes = store_->RowBytes();
+
+  const bool gather = out != nullptr && store_->materialized();
+  if (gather) {
+    out->resize(vertices.size() * store_->dim());
+  }
+
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const bool hit = marked && marks[i] != 0;
+    ++stats.distinct_vertices;
+    if (hit) {
+      ++stats.cache_hits;
+      stats.bytes_from_cache += row_bytes;
+    } else {
+      ++stats.host_misses;
+      stats.bytes_from_host += row_bytes;
+    }
+    if (gather) {
+      // The cache holds a copy of the same host rows, so gathering from the
+      // store is value-identical regardless of hit or miss.
+      store_->CopyRow(vertices[i], out->data() + i * store_->dim());
+    }
+  }
+  return stats;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,53 @@
+// The Extract stage: gathers the feature rows of a SampleBlock's distinct
+// vertices into a contiguous buffer, splitting each row's source between the
+// GPU-resident feature cache (a hit) and host memory over PCIe (a miss).
+//
+// Cache membership is read from SampleBlock::cache_marks(), which the
+// Sampler fills while sampling (paper §5.2: the static cache lets sampled
+// vertices be marked ahead of extraction). An unmarked block extracts
+// everything from host memory, as DGL does.
+#ifndef GNNLAB_FEATURE_EXTRACTOR_H_
+#define GNNLAB_FEATURE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "feature/feature_store.h"
+#include "sampling/sample_block.h"
+
+namespace gnnlab {
+
+struct ExtractStats {
+  std::size_t distinct_vertices = 0;
+  std::size_t cache_hits = 0;
+  std::size_t host_misses = 0;
+  ByteCount bytes_from_cache = 0;
+  ByteCount bytes_from_host = 0;  // PCIe traffic.
+
+  double HitRate() const {
+    return distinct_vertices == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(distinct_vertices);
+  }
+
+  void Add(const ExtractStats& other);
+};
+
+class Extractor {
+ public:
+  explicit Extractor(const FeatureStore& store) : store_(&store) {}
+
+  // Tallies hit/miss/bytes for the block; if the store is materialized and
+  // `out` is non-null, also gathers rows into *out (resized to
+  // block.vertices().size() x dim, row-major, local-id order).
+  ExtractStats Extract(const SampleBlock& block, std::vector<float>* out) const;
+
+  const FeatureStore& store() const { return *store_; }
+
+ private:
+  const FeatureStore* store_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_FEATURE_EXTRACTOR_H_

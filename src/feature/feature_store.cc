@@ -1,0 +1,82 @@
+#include "feature/feature_store.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+FeatureStore FeatureStore::Virtual(VertexId num_vertices, std::uint32_t dim) {
+  FeatureStore store;
+  store.num_vertices_ = num_vertices;
+  store.dim_ = dim;
+  return store;
+}
+
+FeatureStore FeatureStore::Random(VertexId num_vertices, std::uint32_t dim, Rng* rng) {
+  FeatureStore store;
+  store.num_vertices_ = num_vertices;
+  store.dim_ = dim;
+  store.data_.resize(static_cast<std::size_t>(num_vertices) * dim);
+  for (float& x : store.data_) {
+    x = static_cast<float>(2.0 * rng->NextDouble() - 1.0);
+  }
+  return store;
+}
+
+FeatureStore FeatureStore::Clustered(VertexId num_vertices, std::uint32_t dim,
+                                     std::span<const std::uint32_t> labels,
+                                     std::uint32_t num_classes, double noise, Rng* rng) {
+  CHECK_EQ(labels.size(), num_vertices);
+  CHECK_GT(num_classes, 0u);
+  FeatureStore store;
+  store.num_vertices_ = num_vertices;
+  store.dim_ = dim;
+  store.data_.resize(static_cast<std::size_t>(num_vertices) * dim);
+
+  // Random unit-ish centroids per class.
+  std::vector<float> centroids(static_cast<std::size_t>(num_classes) * dim);
+  for (float& c : centroids) {
+    c = static_cast<float>(2.0 * rng->NextDouble() - 1.0);
+  }
+
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const std::uint32_t cls = labels[v];
+    CHECK_LT(cls, num_classes);
+    float* row = store.data_.data() + static_cast<std::size_t>(v) * dim;
+    const float* centroid = centroids.data() + static_cast<std::size_t>(cls) * dim;
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      // Box-Muller Gaussian noise around the centroid.
+      const double u1 = rng->NextDouble() + 1e-12;
+      const double u2 = rng->NextDouble();
+      const double g = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      row[d] = centroid[d] + static_cast<float>(noise * g);
+    }
+  }
+  return store;
+}
+
+std::span<const float> FeatureStore::Row(VertexId v) const {
+  CHECK(materialized());
+  CHECK_LT(v, num_vertices_);
+  return {data_.data() + static_cast<std::size_t>(v) * dim_, dim_};
+}
+
+void FeatureStore::CopyRow(VertexId v, float* dst) const {
+  const auto row = Row(v);
+  std::memcpy(dst, row.data(), row.size() * sizeof(float));
+}
+
+std::vector<std::uint32_t> MakeCommunityLabels(VertexId num_vertices, VertexId community_size,
+                                               std::uint32_t num_classes) {
+  CHECK_GT(community_size, 0u);
+  CHECK_GT(num_classes, 0u);
+  std::vector<std::uint32_t> labels(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    labels[v] = (v / community_size) % num_classes;
+  }
+  return labels;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,63 @@
+// Host-memory vertex feature storage (the paper's Vol_F).
+//
+// Two modes:
+//  - Materialized: real float rows, for end-to-end training experiments.
+//  - Accounting-only: no storage; extraction still tallies exact hit/miss
+//    and byte counts. The caching figures (hit rate, transferred data)
+//    depend only on those counts, so benches that sweep feature dimensions
+//    up to 900 (paper Figure 11c) don't need gigabytes of RAM.
+#ifndef GNNLAB_FEATURE_FEATURE_STORE_H_
+#define GNNLAB_FEATURE_FEATURE_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace gnnlab {
+
+class FeatureStore {
+ public:
+  FeatureStore() = default;
+
+  // Accounting-only store: rows cannot be read, only sized.
+  static FeatureStore Virtual(VertexId num_vertices, std::uint32_t dim);
+
+  // Materialized store with uniform random values in [-1, 1].
+  static FeatureStore Random(VertexId num_vertices, std::uint32_t dim, Rng* rng);
+
+  // Materialized store where each vertex's row is its class centroid plus
+  // Gaussian noise; used with labels from MakeCommunityLabels so a GNN has
+  // signal to learn (convergence experiment, paper Figure 16).
+  static FeatureStore Clustered(VertexId num_vertices, std::uint32_t dim,
+                                std::span<const std::uint32_t> labels,
+                                std::uint32_t num_classes, double noise, Rng* rng);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::uint32_t dim() const { return dim_; }
+  bool materialized() const { return !data_.empty(); }
+
+  ByteCount RowBytes() const { return static_cast<ByteCount>(dim_) * sizeof(float); }
+  ByteCount TotalBytes() const { return static_cast<ByteCount>(num_vertices_) * RowBytes(); }
+
+  // Materialized only.
+  std::span<const float> Row(VertexId v) const;
+  void CopyRow(VertexId v, float* dst) const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::uint32_t dim_ = 0;
+  std::vector<float> data_;  // Row-major; empty in accounting-only mode.
+};
+
+// Labels derived from contiguous id blocks ("communities") modulo the class
+// count: neighbors in the clustered/co-purchase generators mostly share a
+// block, giving the label homophily GNN convergence needs.
+std::vector<std::uint32_t> MakeCommunityLabels(VertexId num_vertices, VertexId community_size,
+                                               std::uint32_t num_classes);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_FEATURE_FEATURE_STORE_H_

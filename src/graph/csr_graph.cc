@@ -1,0 +1,36 @@
+#include "graph/csr_graph.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+CsrGraph::CsrGraph(std::vector<EdgeIndex> indptr, std::vector<VertexId> indices)
+    : indptr_(std::move(indptr)), indices_(std::move(indices)) {
+  CHECK_GE(indptr_.size(), 1u);
+  num_vertices_ = static_cast<VertexId>(indptr_.size() - 1);
+  CHECK_EQ(indptr_.front(), 0u);
+  for (std::size_t i = 0; i + 1 < indptr_.size(); ++i) {
+    CHECK_LE(indptr_[i], indptr_[i + 1]);
+  }
+  CHECK_EQ(indptr_.back(), indices_.size());
+  for (VertexId nbr : indices_) {
+    CHECK_LT(nbr, num_vertices_);
+  }
+}
+
+ByteCount CsrGraph::TopologyBytes() const {
+  return static_cast<ByteCount>(indptr_.size()) * sizeof(EdgeIndex) +
+         static_cast<ByteCount>(indices_.size()) * sizeof(VertexId);
+}
+
+std::vector<EdgeIndex> CsrGraph::ComputeInDegrees() const {
+  std::vector<EdgeIndex> in_deg(num_vertices_, 0);
+  for (VertexId nbr : indices_) {
+    ++in_deg[nbr];
+  }
+  return in_deg;
+}
+
+}  // namespace gnnlab

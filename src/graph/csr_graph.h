@@ -1,0 +1,57 @@
+// Compressed-sparse-row graph storage: the topology loaded into a Sampler
+// GPU's memory in GNNLab (paper §5.2). Immutable after construction.
+#ifndef GNNLAB_GRAPH_CSR_GRAPH_H_
+#define GNNLAB_GRAPH_CSR_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gnnlab {
+
+// Out-edge CSR: Neighbors(v) are the vertices v links to. Sampling expands
+// from a training vertex along out-edges, matching the SET model's Sample
+// stage (paper §2, Figure 1).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // `indptr` has num_vertices + 1 entries; `indices` has indptr.back()
+  // entries. Both are validated (monotone indptr, in-range indices).
+  CsrGraph(std::vector<EdgeIndex> indptr, std::vector<VertexId> indices);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeIndex num_edges() const { return indptr_.empty() ? 0 : indptr_.back(); }
+
+  EdgeIndex out_degree(VertexId v) const { return indptr_[v + 1] - indptr_[v]; }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {indices_.data() + indptr_[v], indices_.data() + indptr_[v + 1]};
+  }
+
+  // Offset of v's adjacency within indices(); edge weights are stored in a
+  // parallel array addressed by the same offsets (see graph/edge_weights.h).
+  EdgeIndex EdgeOffset(VertexId v) const { return indptr_[v]; }
+
+  std::span<const EdgeIndex> indptr() const { return indptr_; }
+  std::span<const VertexId> indices() const { return indices_; }
+
+  // Bytes this topology occupies when resident in (simulated) GPU memory:
+  // the indptr and indices arrays, i.e. the paper's Vol_G.
+  ByteCount TopologyBytes() const;
+
+  // In-degree of every vertex (number of CSR adjacencies an id appears in).
+  // Used by the reservoir-sampling baseline's workload analysis and by graph
+  // statistics.
+  std::vector<EdgeIndex> ComputeInDegrees() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<EdgeIndex> indptr_;
+  std::vector<VertexId> indices_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,65 @@
+// The dataset catalog: scaled synthetic stand-ins for the paper's four
+// graphs (Table 3), preserving each one's structural signature and its
+// volume ratios against the simulated GPU memory (DESIGN.md §4).
+#ifndef GNNLAB_GRAPH_DATASET_H_
+#define GNNLAB_GRAPH_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_weights.h"
+#include "graph/training_set.h"
+
+namespace gnnlab {
+
+enum class DatasetId {
+  kProducts,  // PR: co-purchase, moderate skew, tiny (fits in one GPU).
+  kTwitter,   // TW: power-law social graph.
+  kPapers,    // PA: citation graph, low out-degree skew.
+  kUk,        // UK: web graph, local + hubs.
+};
+
+inline constexpr DatasetId kAllDatasets[] = {DatasetId::kProducts, DatasetId::kTwitter,
+                                             DatasetId::kPapers, DatasetId::kUk};
+
+const char* DatasetName(DatasetId id);
+
+struct Dataset {
+  DatasetId id;
+  std::string name;
+  CsrGraph graph;
+  TrainingSet train_set;
+  std::uint32_t feature_dim = 0;
+  // Mini-batch size chosen so the number of batches per epoch matches the
+  // paper's (training set / 8000).
+  std::size_t batch_size = 0;
+
+  // Vol_F: bytes of float32 features for every vertex.
+  ByteCount FeatureBytes() const {
+    return static_cast<ByteCount>(graph.num_vertices()) * feature_dim * sizeof(float);
+  }
+  // Vol_G: bytes of CSR topology.
+  ByteCount TopologyBytes() const { return graph.TopologyBytes(); }
+
+  std::size_t BatchesPerEpoch() const { return train_set.NumBatches(batch_size); }
+
+  // Builds timestamp-derived edge weights for weighted sampling; the weights
+  // are deterministic in the dataset seed.
+  EdgeWeights MakeWeights(double sharpness = 6.0) const;
+
+ private:
+  friend Dataset MakeDataset(DatasetId, double, std::uint64_t);
+  std::uint64_t seed_ = 0;
+};
+
+// Builds one dataset. `scale` multiplies vertex/edge/training-set counts
+// (1.0 = the DESIGN.md defaults; tests use ~0.05 for speed). Deterministic
+// in `seed`.
+Dataset MakeDataset(DatasetId id, double scale = 1.0, std::uint64_t seed = 42);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_GRAPH_DATASET_H_

@@ -1,0 +1,41 @@
+#include "graph/edge_weights.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+EdgeWeights EdgeWeights::FromVertexTimestamps(const CsrGraph& graph,
+                                              std::span<const float> timestamps,
+                                              double sharpness) {
+  CHECK_EQ(timestamps.size(), graph.num_vertices());
+  EdgeWeights w;
+  w.num_vertices_ = graph.num_vertices();
+  const std::size_t m = static_cast<std::size_t>(graph.num_edges());
+  w.weights_.resize(m);
+  w.cdf_.resize(m);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const EdgeIndex begin = graph.EdgeOffset(v);
+    const auto nbrs = graph.Neighbors(v);
+    float running = 0.0f;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const float weight =
+          static_cast<float>(std::exp(sharpness * static_cast<double>(timestamps[nbrs[i]])));
+      w.weights_[begin + i] = weight;
+      running += weight;
+      w.cdf_[begin + i] = running;
+    }
+  }
+  return w;
+}
+
+EdgeWeights EdgeWeights::RandomTimestamps(const CsrGraph& graph, double sharpness, Rng* rng) {
+  std::vector<float> ts(graph.num_vertices());
+  for (float& t : ts) {
+    t = static_cast<float>(rng->NextDouble());
+  }
+  return FromVertexTimestamps(graph, ts, sharpness);
+}
+
+}  // namespace gnnlab

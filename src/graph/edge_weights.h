@@ -1,0 +1,65 @@
+// Edge weights for weighted neighborhood sampling.
+//
+// The paper's weighted-sampling experiment (§3, Figure 5b) assigns each
+// vertex a weight representing its registration year and biases sampling
+// toward newer neighbors. This module reproduces that: a per-vertex
+// timestamp is expanded into per-edge weights parallel to the CSR indices
+// array, plus per-adjacency weight prefix sums (CDFs) so a weighted pick is
+// one binary search.
+#ifndef GNNLAB_GRAPH_EDGE_WEIGHTS_H_
+#define GNNLAB_GRAPH_EDGE_WEIGHTS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/csr_graph.h"
+
+namespace gnnlab {
+
+class EdgeWeights {
+ public:
+  EdgeWeights() = default;
+
+  // Weight of the edge at absolute CSR offset `e`.
+  float weight(EdgeIndex e) const { return weights_[e]; }
+
+  // Inclusive prefix sums of weights within v's adjacency; cdf.back() is the
+  // total weight. Empty span for isolated vertices.
+  std::span<const float> Cdf(const CsrGraph& graph, VertexId v) const {
+    return {cdf_.data() + graph.EdgeOffset(v),
+            cdf_.data() + graph.EdgeOffset(v) + graph.out_degree(v)};
+  }
+
+  // GPU-resident bytes for weighted sampling: one timestamp per vertex.
+  // A GPU kernel rejection-samples from the uniform neighbor distribution
+  // using w(v) = exp(sharpness * ts(v)), so only the per-vertex timestamps
+  // travel to the device — per-edge CDFs would not fit next to billion-edge
+  // topology (UK alone would need Vol_G again). The host-side CDFs below
+  // exist so this repo's kernel can draw *exactly* (deterministically) from
+  // the same distribution the rejection kernel realizes.
+  ByteCount WeightBytes() const {
+    return static_cast<ByteCount>(num_vertices_) * sizeof(float);
+  }
+
+  // Builds weights where w(u->v) grows with v's timestamp: "the sampling
+  // algorithm prefers to select the newer neighbors" (paper §3). Timestamps
+  // are uniform in [0,1); the weight is exp(sharpness * ts), so higher
+  // sharpness concentrates probability on the newest neighbors.
+  static EdgeWeights FromVertexTimestamps(const CsrGraph& graph,
+                                          std::span<const float> timestamps,
+                                          double sharpness);
+
+  // Convenience: draws uniform timestamps internally.
+  static EdgeWeights RandomTimestamps(const CsrGraph& graph, double sharpness, Rng* rng);
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<float> weights_;  // Parallel to CsrGraph::indices(); host-side.
+  std::vector<float> cdf_;      // Per-adjacency inclusive prefix sums; host-side.
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_GRAPH_EDGE_WEIGHTS_H_

@@ -1,0 +1,71 @@
+// Synthetic graph generators that stand in for the paper's datasets.
+//
+// The caching and capacity results in GNNLab depend on the *shape* of each
+// graph, not its identity: out-degree skew (power-law TW/UK vs low-skew
+// PA/PR), average degree, and locality. Each generator below reproduces one
+// of those signatures; graph/dataset.cc wires them to the four datasets with
+// scaled sizes (DESIGN.md §4).
+#ifndef GNNLAB_GRAPH_GENERATORS_H_
+#define GNNLAB_GRAPH_GENERATORS_H_
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+
+namespace gnnlab {
+
+// Recursive-matrix (R-MAT) generator: skewed, scale-free-like graphs. With
+// a ~0.57 the degree distribution is heavy-tailed like the Twitter social
+// graph; with a closer to 0.25 it degenerates toward Erdos-Renyi.
+struct RmatParams {
+  VertexId num_vertices = 0;  // Rounded up to a power of two internally.
+  EdgeIndex num_edges = 0;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+
+CsrGraph GenerateRmat(const RmatParams& params, Rng* rng);
+
+// Citation-style graph: every vertex "cites" a roughly constant number of
+// earlier vertices (reference lists are bounded), so the *out*-degree
+// distribution is narrow even though in-degree is skewed by preferential
+// attachment — the structural property that breaks the degree-based caching
+// policy on OGB-Papers (paper §3, Figure 5a).
+struct CitationParams {
+  VertexId num_vertices = 0;
+  double mean_out_degree = 14.0;
+  // Probability a citation goes to a preferentially-attached popular vertex
+  // rather than a uniformly random one. Real citation behavior is mostly
+  // popularity-driven, which concentrates in-degree enough that a 5% cache
+  // of the hottest vertices captures most sampled traffic (paper Fig 11b).
+  double preferential_fraction = 0.9;
+};
+
+CsrGraph GenerateCitation(const CitationParams& params, Rng* rng);
+
+// Web-style graph: strong locality (most links stay within a host-sized
+// window of ids) plus a power-law tail of hub pages, like UK-2006.
+struct WebParams {
+  VertexId num_vertices = 0;
+  double mean_out_degree = 38.0;
+  VertexId locality_window = 1024;
+  double hub_fraction = 0.15;  // Fraction of edges that go to global hubs.
+};
+
+CsrGraph GenerateWeb(const WebParams& params, Rng* rng);
+
+// Co-purchase-style graph: symmetric, clustered, with lognormal degrees —
+// moderate skew like OGB-Products.
+struct CopurchaseParams {
+  VertexId num_vertices = 0;
+  double mean_degree = 50.0;
+  double degree_sigma = 1.0;  // Lognormal sigma; higher = more skew.
+  VertexId community_size = 256;
+  double intra_community_fraction = 0.8;
+};
+
+CsrGraph GenerateCopurchase(const CopurchaseParams& params, Rng* rng);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_GRAPH_GENERATORS_H_

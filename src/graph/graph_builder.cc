@@ -1,0 +1,59 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst) {
+  CHECK_LT(src, num_vertices_);
+  CHECK_LT(dst, num_vertices_);
+  edges_.push_back({src, dst});
+}
+
+void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const Edge& e : edges) {
+    AddEdge(e.src, e.dst);
+  }
+}
+
+CsrGraph GraphBuilder::Build() && {
+  std::vector<Edge> edges = std::move(edges_);
+  if (symmetrize_) {
+    const std::size_t n = edges.size();
+    edges.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      edges.push_back({edges[i].dst, edges[i].src});
+    }
+  }
+  if (remove_self_loops_) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  if (deduplicate_) {
+    auto last = std::unique(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      return a.src == b.src && a.dst == b.dst;
+    });
+    edges.erase(last, edges.end());
+  }
+
+  std::vector<EdgeIndex> indptr(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const Edge& e : edges) {
+    ++indptr[e.src + 1];
+  }
+  for (std::size_t i = 1; i < indptr.size(); ++i) {
+    indptr[i] += indptr[i - 1];
+  }
+  std::vector<VertexId> indices(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    indices[i] = edges[i].dst;
+  }
+  return CsrGraph(std::move(indptr), std::move(indices));
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,57 @@
+// Builds a CsrGraph from an unordered edge list: sorts, optionally removes
+// duplicate edges and self-loops, and packs into CSR arrays.
+#ifndef GNNLAB_GRAPH_GRAPH_BUILDER_H_
+#define GNNLAB_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/csr_graph.h"
+
+namespace gnnlab {
+
+struct Edge {
+  VertexId src;
+  VertexId dst;
+};
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  GraphBuilder& set_remove_self_loops(bool v) {
+    remove_self_loops_ = v;
+    return *this;
+  }
+  GraphBuilder& set_deduplicate(bool v) {
+    deduplicate_ = v;
+    return *this;
+  }
+  // Also inserts the reverse of every edge, producing a symmetric graph.
+  GraphBuilder& set_symmetrize(bool v) {
+    symmetrize_ = v;
+    return *this;
+  }
+
+  void AddEdge(VertexId src, VertexId dst);
+  void AddEdges(const std::vector<Edge>& edges);
+
+  std::size_t edge_count() const { return edges_.size(); }
+
+  // Consumes the accumulated edges. Adjacency lists come out sorted by
+  // destination id, which the weighted sampler's CDF construction relies on
+  // for determinism.
+  CsrGraph Build() &&;
+
+ private:
+  VertexId num_vertices_;
+  bool remove_self_loops_ = true;
+  bool deduplicate_ = true;
+  bool symmetrize_ = false;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_GRAPH_GRAPH_BUILDER_H_

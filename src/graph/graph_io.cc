@@ -1,0 +1,98 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'N', 'N', 'L', 'A', 'B', 'G', '1'};
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t num_vertices;
+  std::uint64_t num_edges;
+};
+static_assert(sizeof(Header) == 32, "header layout must be stable");
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool SaveCsrGraph(const CsrGraph& graph, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    LOG_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = 1;
+  header.num_vertices = graph.num_vertices();
+  header.num_edges = graph.num_edges();
+
+  const auto indptr = graph.indptr();
+  const auto indices = graph.indices();
+  const bool ok =
+      std::fwrite(&header, sizeof(header), 1, file.get()) == 1 &&
+      std::fwrite(indptr.data(), sizeof(EdgeIndex), indptr.size(), file.get()) ==
+          indptr.size() &&
+      (indices.empty() || std::fwrite(indices.data(), sizeof(VertexId), indices.size(),
+                                      file.get()) == indices.size());
+  file.reset();
+  if (!ok) {
+    LOG_ERROR << "short write to " << path;
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<CsrGraph> LoadCsrGraph(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    LOG_ERROR << "cannot open " << path;
+    return std::nullopt;
+  }
+  Header header{};
+  if (std::fread(&header, sizeof(header), 1, file.get()) != 1 ||
+      std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 || header.version != 1) {
+    LOG_ERROR << path << ": not a gnnlab graph file";
+    return std::nullopt;
+  }
+
+  std::vector<EdgeIndex> indptr(header.num_vertices + 1);
+  std::vector<VertexId> indices(header.num_edges);
+  if (std::fread(indptr.data(), sizeof(EdgeIndex), indptr.size(), file.get()) !=
+      indptr.size()) {
+    LOG_ERROR << path << ": truncated indptr";
+    return std::nullopt;
+  }
+  if (!indices.empty() &&
+      std::fread(indices.data(), sizeof(VertexId), indices.size(), file.get()) !=
+          indices.size()) {
+    LOG_ERROR << path << ": truncated indices";
+    return std::nullopt;
+  }
+  // Cheap consistency check before handing to the CHECK-validating ctor.
+  if (indptr.front() != 0 || indptr.back() != header.num_edges) {
+    LOG_ERROR << path << ": inconsistent CSR offsets";
+    return std::nullopt;
+  }
+  return CsrGraph(std::move(indptr), std::move(indices));
+}
+
+}  // namespace gnnlab

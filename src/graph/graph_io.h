@@ -1,0 +1,28 @@
+// Binary (de)serialization of CSR graphs: the on-disk format behind the
+// paper's "Disk to DRAM" preprocessing stage (Table 6). The format is a
+// little-endian header (magic, version, counts) followed by the raw indptr
+// and indices arrays; loads validate the header, the sizes, and the CSR
+// invariants before constructing the graph.
+#ifndef GNNLAB_GRAPH_GRAPH_IO_H_
+#define GNNLAB_GRAPH_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace gnnlab {
+
+// Writes `graph` to `path`; returns false on any I/O failure (partial files
+// are removed).
+bool SaveCsrGraph(const CsrGraph& graph, const std::string& path);
+
+// Reads a graph written by SaveCsrGraph. Returns nullopt on I/O failure,
+// bad magic/version, or size mismatch; aborts (CHECK) only if the payload
+// passes the header checks but violates CSR invariants, which indicates
+// corruption past the point of safe recovery.
+std::optional<CsrGraph> LoadCsrGraph(const std::string& path);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,58 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnnlab {
+
+DegreeStats ComputeOutDegreeStats(const CsrGraph& graph) {
+  DegreeStats stats;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return stats;
+  }
+  std::vector<EdgeIndex> degrees(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = graph.out_degree(v);
+    stats.max = std::max(stats.max, degrees[v]);
+  }
+  const double total = static_cast<double>(graph.num_edges());
+  stats.mean = total / static_cast<double>(n);
+
+  std::sort(degrees.begin(), degrees.end());
+  const std::size_t top1 = std::max<std::size_t>(1, n / 100);
+  double top_sum = 0.0;
+  for (std::size_t i = degrees.size() - top1; i < degrees.size(); ++i) {
+    top_sum += static_cast<double>(degrees[i]);
+  }
+  stats.top1pct_edge_share = total > 0 ? top_sum / total : 0.0;
+
+  // Gini over the sorted degrees: 2*sum(i*d_i)/(n*sum(d)) - (n+1)/n.
+  if (total > 0) {
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * static_cast<double>(degrees[i]);
+    }
+    const double dn = static_cast<double>(n);
+    stats.gini = 2.0 * weighted / (dn * total) - (dn + 1.0) / dn;
+  }
+  return stats;
+}
+
+std::vector<std::size_t> DegreeHistogramLog2(const CsrGraph& graph) {
+  std::vector<std::size_t> buckets;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const EdgeIndex d = graph.out_degree(v);
+    std::size_t bucket = 0;
+    if (d > 1) {
+      bucket = static_cast<std::size_t>(std::floor(std::log2(static_cast<double>(d))));
+    }
+    if (bucket >= buckets.size()) {
+      buckets.resize(bucket + 1, 0);
+    }
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+}  // namespace gnnlab

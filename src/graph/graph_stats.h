@@ -1,0 +1,31 @@
+// Degree-distribution statistics used to validate that synthetic datasets
+// reproduce the structural signatures of the paper's graphs (power-law TW/UK
+// vs low-skew PA; see paper §3 "Efficiency").
+#ifndef GNNLAB_GRAPH_GRAPH_STATS_H_
+#define GNNLAB_GRAPH_GRAPH_STATS_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gnnlab {
+
+struct DegreeStats {
+  double mean = 0.0;
+  EdgeIndex max = 0;
+  // Fraction of all edges owned by the top 1% highest-out-degree vertices;
+  // the skew proxy this repo uses: power-law graphs concentrate far more.
+  double top1pct_edge_share = 0.0;
+  // Gini coefficient of the out-degree distribution in [0, 1); 0 is uniform.
+  double gini = 0.0;
+};
+
+DegreeStats ComputeOutDegreeStats(const CsrGraph& graph);
+
+// Histogram of out-degrees in log2 buckets: bucket[i] counts vertices with
+// degree in [2^i, 2^(i+1)). Bucket 0 also counts degree-0 and degree-1.
+std::vector<std::size_t> DegreeHistogramLog2(const CsrGraph& graph);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_GRAPH_GRAPH_STATS_H_

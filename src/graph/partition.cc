@@ -1,0 +1,91 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+std::vector<SelfReliantPartition> BuildSelfReliantPartitions(const CsrGraph& graph,
+                                                             const TrainingSet& train_set,
+                                                             int num_partitions,
+                                                             std::size_t num_hops) {
+  CHECK_GE(num_partitions, 1);
+  CHECK_GE(num_hops, 1u);
+  const auto train = train_set.vertices();
+  std::vector<SelfReliantPartition> partitions(num_partitions);
+
+  const std::size_t shard_size =
+      (train.size() + num_partitions - 1) / static_cast<std::size_t>(num_partitions);
+  std::vector<std::uint32_t> visited_stamp(graph.num_vertices(), 0);
+  std::uint32_t stamp = 0;
+
+  for (int p = 0; p < num_partitions; ++p) {
+    SelfReliantPartition& partition = partitions[p];
+    const std::size_t begin = static_cast<std::size_t>(p) * shard_size;
+    if (begin >= train.size()) {
+      continue;
+    }
+    const std::size_t end = std::min(train.size(), begin + shard_size);
+    partition.train_shard.assign(train.begin() + begin, train.begin() + end);
+
+    // Layered BFS to depth num_hops over out-edges (the direction sampling
+    // expands).
+    ++stamp;
+    std::deque<VertexId> frontier;
+    for (const VertexId v : partition.train_shard) {
+      if (visited_stamp[v] != stamp) {
+        visited_stamp[v] = stamp;
+        partition.closure.push_back(v);
+        frontier.push_back(v);
+      }
+    }
+    for (std::size_t hop = 0; hop < num_hops; ++hop) {
+      std::deque<VertexId> next;
+      for (const VertexId v : frontier) {
+        for (const VertexId n : graph.Neighbors(v)) {
+          if (visited_stamp[n] != stamp) {
+            visited_stamp[n] = stamp;
+            partition.closure.push_back(n);
+            next.push_back(n);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (const VertexId v : partition.closure) {
+      partition.closure_edges += graph.out_degree(v);
+    }
+    std::sort(partition.closure.begin(), partition.closure.end());
+  }
+  return partitions;
+}
+
+double MeanClosureShare(const std::vector<SelfReliantPartition>& partitions,
+                        VertexId num_vertices) {
+  if (partitions.empty() || num_vertices == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const SelfReliantPartition& partition : partitions) {
+    total += partition.VertexShare(num_vertices);
+  }
+  return total / static_cast<double>(partitions.size());
+}
+
+PartitionCyclePlan PlanPartitionCycle(const CsrGraph& graph, ByteCount gpu_budget,
+                                      std::size_t hops) {
+  CHECK_GT(gpu_budget, 0u);
+  PartitionCyclePlan plan;
+  const ByteCount topo = graph.TopologyBytes();
+  plan.num_partitions =
+      static_cast<int>((topo + gpu_budget - 1) / gpu_budget);
+  plan.num_partitions = std::max(plan.num_partitions, 1);
+  plan.bytes_per_partition = topo / static_cast<ByteCount>(plan.num_partitions);
+  // Shard-major sampling: every hop sweep touches each shard once.
+  plan.loads_per_epoch = static_cast<std::size_t>(plan.num_partitions) * hops;
+  return plan;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,52 @@
+#include "graph/training_set.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+TrainingSet::TrainingSet(std::vector<VertexId> vertices) : vertices_(std::move(vertices)) {}
+
+TrainingSet TrainingSet::SelectUniform(VertexId num_vertices, VertexId count, Rng* rng) {
+  CHECK_LE(count, num_vertices);
+  // Partial Fisher-Yates over the id space: materialize ids, shuffle the
+  // first `count` positions, keep them.
+  std::vector<VertexId> ids(num_vertices);
+  std::iota(ids.begin(), ids.end(), 0u);
+  for (VertexId i = 0; i < count; ++i) {
+    const auto j = i + static_cast<VertexId>(rng->NextBounded(num_vertices - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(count);
+  std::sort(ids.begin(), ids.end());
+  return TrainingSet(std::move(ids));
+}
+
+std::size_t TrainingSet::NumBatches(std::size_t batch_size) const {
+  CHECK_GT(batch_size, 0u);
+  return (vertices_.size() + batch_size - 1) / batch_size;
+}
+
+EpochBatches::EpochBatches(const TrainingSet& training_set, std::size_t batch_size, Rng* rng)
+    : shuffled_(training_set.vertices().begin(), training_set.vertices().end()),
+      batch_size_(batch_size) {
+  CHECK_GT(batch_size_, 0u);
+  std::shuffle(shuffled_.begin(), shuffled_.end(), *rng);
+}
+
+std::size_t EpochBatches::num_batches() const {
+  return (shuffled_.size() + batch_size_ - 1) / batch_size_;
+}
+
+std::span<const VertexId> EpochBatches::NextBatch() {
+  CHECK(HasNext());
+  const std::size_t n = std::min(batch_size_, shuffled_.size() - cursor_);
+  std::span<const VertexId> batch{shuffled_.data() + cursor_, n};
+  cursor_ += n;
+  return batch;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,56 @@
+// Training-set selection and per-epoch mini-batch iteration.
+//
+// The paper notes (§3) that sampling starts only from the training set —
+// usually a small fraction of all vertices — which is one of the two reasons
+// degree-based caching underperforms. Training sets here are selected once
+// (offline, like the paper's common practice for TW/UK) and shuffled at the
+// start of every epoch before being cut into mini-batches (§6.2).
+#ifndef GNNLAB_GRAPH_TRAINING_SET_H_
+#define GNNLAB_GRAPH_TRAINING_SET_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace gnnlab {
+
+class TrainingSet {
+ public:
+  TrainingSet() = default;
+  explicit TrainingSet(std::vector<VertexId> vertices);
+
+  // Selects `count` distinct vertices uniformly from [0, num_vertices).
+  static TrainingSet SelectUniform(VertexId num_vertices, VertexId count, Rng* rng);
+
+  std::size_t size() const { return vertices_.size(); }
+  std::span<const VertexId> vertices() const { return vertices_; }
+
+  // Number of mini-batches an epoch produces for a given batch size (the
+  // final batch may be short).
+  std::size_t NumBatches(std::size_t batch_size) const;
+
+ private:
+  std::vector<VertexId> vertices_;
+};
+
+// One epoch's worth of mini-batches over a shuffled copy of the training
+// set. Each NextBatch() call returns a view into the shuffled order.
+class EpochBatches {
+ public:
+  EpochBatches(const TrainingSet& training_set, std::size_t batch_size, Rng* rng);
+
+  std::size_t num_batches() const;
+  bool HasNext() const { return cursor_ < shuffled_.size(); }
+  std::span<const VertexId> NextBatch();
+
+ private:
+  std::vector<VertexId> shuffled_;
+  std::size_t batch_size_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_GRAPH_TRAINING_SET_H_

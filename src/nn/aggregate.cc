@@ -1,0 +1,89 @@
+#include "nn/aggregate.h"
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+void MeanAggregate(const HopEdges& edges, std::size_t n_in, std::size_t n_out,
+                   const Tensor& h_in, bool include_self, Tensor* agg,
+                   std::vector<float>* counts) {
+  CHECK_GE(h_in.rows(), n_in);
+  CHECK_LE(n_out, n_in);
+  const std::size_t dim = h_in.cols();
+  agg->Resize(n_out, dim);
+  counts->assign(n_out, 0.0f);
+
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const LocalId src = edges.src_local[e];
+    const LocalId dst = edges.dst_local[e];
+    CHECK_LT(src, n_in);
+    CHECK_LT(dst, n_out);
+    const float* in_row = h_in.data() + static_cast<std::size_t>(src) * dim;
+    float* out_row = agg->data() + static_cast<std::size_t>(dst) * dim;
+    for (std::size_t c = 0; c < dim; ++c) {
+      out_row[c] += in_row[c];
+    }
+    (*counts)[dst] += 1.0f;
+  }
+  if (include_self) {
+    for (std::size_t d = 0; d < n_out; ++d) {
+      const float* in_row = h_in.data() + d * dim;
+      float* out_row = agg->data() + d * dim;
+      for (std::size_t c = 0; c < dim; ++c) {
+        out_row[c] += in_row[c];
+      }
+      (*counts)[d] += 1.0f;
+    }
+  }
+  for (std::size_t d = 0; d < n_out; ++d) {
+    const float count = (*counts)[d];
+    if (count > 0.0f) {
+      float* out_row = agg->data() + d * dim;
+      const float inv = 1.0f / count;
+      for (std::size_t c = 0; c < dim; ++c) {
+        out_row[c] *= inv;
+      }
+    }
+  }
+}
+
+void MeanAggregateBackward(const HopEdges& edges, std::size_t n_in, std::size_t n_out,
+                           const std::vector<float>& counts, bool include_self,
+                           const Tensor& grad_agg, Tensor* grad_in) {
+  CHECK_EQ(grad_agg.rows(), n_out);
+  CHECK_EQ(counts.size(), n_out);
+  CHECK_GE(grad_in->rows(), n_in);
+  CHECK_EQ(grad_in->cols(), grad_agg.cols());
+  const std::size_t dim = grad_agg.cols();
+
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const LocalId src = edges.src_local[e];
+    const LocalId dst = edges.dst_local[e];
+    const float count = counts[dst];
+    if (count <= 0.0f) {
+      continue;
+    }
+    const float inv = 1.0f / count;
+    const float* g_row = grad_agg.data() + static_cast<std::size_t>(dst) * dim;
+    float* in_row = grad_in->data() + static_cast<std::size_t>(src) * dim;
+    for (std::size_t c = 0; c < dim; ++c) {
+      in_row[c] += g_row[c] * inv;
+    }
+  }
+  if (include_self) {
+    for (std::size_t d = 0; d < n_out; ++d) {
+      const float count = counts[d];
+      if (count <= 0.0f) {
+        continue;
+      }
+      const float inv = 1.0f / count;
+      const float* g_row = grad_agg.data() + d * dim;
+      float* in_row = grad_in->data() + d * dim;
+      for (std::size_t c = 0; c < dim; ++c) {
+        in_row[c] += g_row[c] * inv;
+      }
+    }
+  }
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,34 @@
+// Neighborhood aggregation over a SampleBlock hop: the sparse half of a GNN
+// layer. Operates in the block's local-id space: inputs are feature rows for
+// locals [0, n_in), outputs for locals [0, n_out), and every hop edge
+// contributes input row src_local into output row dst_local.
+//
+// Edge multiplicity is respected — the weighted sampler and PinSAGE's
+// random-walk sampler emit repeated edges whose counts act as importance
+// weights, exactly as in the paper's workloads.
+#ifndef GNNLAB_NN_AGGREGATE_H_
+#define GNNLAB_NN_AGGREGATE_H_
+
+#include <vector>
+
+#include "sampling/sample_block.h"
+#include "tensor/tensor.h"
+
+namespace gnnlab {
+
+// agg[d] = mean over incoming edges of h_in[src] (plus h_in[d] itself when
+// include_self, GCN-style). Rows with no contributions stay zero.
+// `counts` receives the per-row divisor used, needed by the backward pass.
+void MeanAggregate(const HopEdges& edges, std::size_t n_in, std::size_t n_out,
+                   const Tensor& h_in, bool include_self, Tensor* agg,
+                   std::vector<float>* counts);
+
+// Accumulates d(loss)/d(h_in) given d(loss)/d(agg): the transpose of the
+// scatter above, using the divisors captured in `counts`.
+void MeanAggregateBackward(const HopEdges& edges, std::size_t n_in, std::size_t n_out,
+                           const std::vector<float>& counts, bool include_self,
+                           const Tensor& grad_agg, Tensor* grad_in);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_NN_AGGREGATE_H_

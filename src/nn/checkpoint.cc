@@ -1,0 +1,113 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'N', 'N', 'L', 'A', 'B', 'M', '1'};
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t num_tensors;
+};
+static_assert(sizeof(Header) == 16, "header layout must be stable");
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool SaveModel(GnnModel* model, const std::string& path) {
+  CHECK(model != nullptr);
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    LOG_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  const std::vector<Tensor*> params = model->Params();
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = 1;
+  header.num_tensors = static_cast<std::uint32_t>(params.size());
+
+  bool ok = std::fwrite(&header, sizeof(header), 1, file.get()) == 1;
+  for (const Tensor* tensor : params) {
+    const std::uint64_t rows = tensor->rows();
+    const std::uint64_t cols = tensor->cols();
+    ok = ok && std::fwrite(&rows, sizeof(rows), 1, file.get()) == 1 &&
+         std::fwrite(&cols, sizeof(cols), 1, file.get()) == 1 &&
+         std::fwrite(tensor->data(), sizeof(float), tensor->size(), file.get()) ==
+             tensor->size();
+  }
+  file.reset();
+  if (!ok) {
+    LOG_ERROR << "short write to " << path;
+    std::remove(path.c_str());
+  }
+  return ok;
+}
+
+bool LoadModel(GnnModel* model, const std::string& path) {
+  CHECK(model != nullptr);
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    LOG_ERROR << "cannot open " << path;
+    return false;
+  }
+  Header header{};
+  if (std::fread(&header, sizeof(header), 1, file.get()) != 1 ||
+      std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 || header.version != 1) {
+    LOG_ERROR << path << ": not a gnnlab model checkpoint";
+    return false;
+  }
+  const std::vector<Tensor*> params = model->Params();
+  if (header.num_tensors != params.size()) {
+    LOG_ERROR << path << ": checkpoint has " << header.num_tensors
+              << " tensors, model expects " << params.size();
+    return false;
+  }
+
+  // Stage into scratch first so a mismatch mid-file leaves `model` intact.
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
+  for (const Tensor* tensor : params) {
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    if (std::fread(&rows, sizeof(rows), 1, file.get()) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, file.get()) != 1) {
+      LOG_ERROR << path << ": truncated tensor header";
+      return false;
+    }
+    if (rows != tensor->rows() || cols != tensor->cols()) {
+      LOG_ERROR << path << ": tensor shape mismatch (" << rows << "x" << cols
+                << " vs expected " << tensor->rows() << "x" << tensor->cols() << ")";
+      return false;
+    }
+    Tensor loaded(rows, cols);
+    if (std::fread(loaded.data(), sizeof(float), loaded.size(), file.get()) !=
+        loaded.size()) {
+      LOG_ERROR << path << ": truncated tensor payload";
+      return false;
+    }
+    staged.push_back(std::move(loaded));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    *params[i] = std::move(staged[i]);
+  }
+  return true;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,24 @@
+// Model checkpointing: binary save/load of a GnnModel's parameters, so a
+// training run (simulated or threaded) can be resumed or its weights served
+// elsewhere. The format is a magic/version header, the tensor count, then
+// per tensor (rows, cols, row-major float payload). Loads validate shapes
+// against the destination model.
+#ifndef GNNLAB_NN_CHECKPOINT_H_
+#define GNNLAB_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace gnnlab {
+
+// Returns false on I/O failure (partial files are removed).
+bool SaveModel(GnnModel* model, const std::string& path);
+
+// Returns false on I/O failure, bad header, or a parameter-shape mismatch
+// with `model` (which is left untouched in that case).
+bool LoadModel(GnnModel* model, const std::string& path);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_NN_CHECKPOINT_H_

@@ -1,0 +1,204 @@
+#include "nn/gat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace gnnlab {
+
+GatLayer::GatLayer(std::size_t in_dim, std::size_t out_dim, bool relu, Rng* rng)
+    : in_dim_(in_dim), out_dim_(out_dim), relu_(relu) {
+  weight_ = Tensor::Glorot(in_dim, out_dim, rng);
+  attn_src_ = Tensor::Glorot(1, out_dim, rng);
+  attn_dst_ = Tensor::Glorot(1, out_dim, rng);
+  bias_ = Tensor::Zeros(1, out_dim);
+  grad_weight_ = Tensor::Zeros(in_dim, out_dim);
+  grad_attn_src_ = Tensor::Zeros(1, out_dim);
+  grad_attn_dst_ = Tensor::Zeros(1, out_dim);
+  grad_bias_ = Tensor::Zeros(1, out_dim);
+}
+
+void GatLayer::Forward(const HopEdges& edges, std::size_t n_in, std::size_t n_out,
+                       const Tensor& h_in, Tensor* h_out) {
+  CHECK_EQ(h_in.cols(), in_dim_);
+  CHECK_EQ(h_in.rows(), n_in);
+  CHECK_LE(n_out, n_in);
+  cached_n_in_ = n_in;
+  cached_n_out_ = n_out;
+  cached_h_in_ = &h_in;
+
+  // Z = h_in * W over the rows we may touch.
+  MatMul(h_in, weight_, &z_);
+
+  // Gather edges: block edges + one self edge per destination.
+  cached_edges_.clear();
+  cached_edges_.reserve(edges.size() + n_out);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    CHECK_LT(edges.src_local[e], n_in);
+    CHECK_LT(edges.dst_local[e], n_out);
+    cached_edges_.push_back({edges.src_local[e], edges.dst_local[e], 0.0f, 0.0f});
+  }
+  for (std::size_t d = 0; d < n_out; ++d) {
+    cached_edges_.push_back({static_cast<LocalId>(d), static_cast<LocalId>(d), 0.0f, 0.0f});
+  }
+
+  // Per-vertex attention dot products, then per-edge scores.
+  std::vector<float> src_score(n_in);
+  std::vector<float> dst_score(n_out);
+  for (std::size_t v = 0; v < n_in; ++v) {
+    float acc = 0.0f;
+    const float* row = z_.data() + v * out_dim_;
+    for (std::size_t c = 0; c < out_dim_; ++c) {
+      acc += attn_src_.at(0, c) * row[c];
+    }
+    src_score[v] = acc;
+  }
+  for (std::size_t d = 0; d < n_out; ++d) {
+    float acc = 0.0f;
+    const float* row = z_.data() + d * out_dim_;
+    for (std::size_t c = 0; c < out_dim_; ++c) {
+      acc += attn_dst_.at(0, c) * row[c];
+    }
+    dst_score[d] = acc;
+  }
+
+  // Numerically stable softmax over each destination's incoming edges.
+  std::vector<float> max_score(n_out, -1e30f);
+  for (CachedEdge& edge : cached_edges_) {
+    const float raw = dst_score[edge.dst] + src_score[edge.src];
+    edge.pre = raw;
+    const float activated = raw > 0.0f ? raw : kLeakySlope * raw;
+    max_score[edge.dst] = std::max(max_score[edge.dst], activated);
+  }
+  std::vector<float> sum_exp(n_out, 0.0f);
+  for (CachedEdge& edge : cached_edges_) {
+    const float activated = edge.pre > 0.0f ? edge.pre : kLeakySlope * edge.pre;
+    edge.alpha = std::exp(activated - max_score[edge.dst]);
+    sum_exp[edge.dst] += edge.alpha;
+  }
+  for (CachedEdge& edge : cached_edges_) {
+    edge.alpha /= sum_exp[edge.dst];
+  }
+
+  // Weighted aggregation.
+  pre_activation_.Resize(n_out, out_dim_);
+  for (const CachedEdge& edge : cached_edges_) {
+    const float* src_row = z_.data() + static_cast<std::size_t>(edge.src) * out_dim_;
+    float* dst_row = pre_activation_.data() + static_cast<std::size_t>(edge.dst) * out_dim_;
+    for (std::size_t c = 0; c < out_dim_; ++c) {
+      dst_row[c] += edge.alpha * src_row[c];
+    }
+  }
+  AddRowBroadcast(pre_activation_, bias_, &pre_activation_);
+
+  if (relu_) {
+    Relu(pre_activation_, &activated_);
+  } else {
+    activated_ = pre_activation_;
+  }
+  *h_out = activated_;
+}
+
+void GatLayer::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  CHECK(cached_h_in_ != nullptr) << "Backward without a preceding Forward";
+  CHECK_EQ(grad_out.rows(), cached_n_out_);
+  CHECK_EQ(grad_out.cols(), out_dim_);
+  const Tensor& h_in = *cached_h_in_;
+
+  Tensor grad_pre;
+  if (relu_) {
+    ReluBackward(grad_out, activated_, &grad_pre);
+  } else {
+    grad_pre = grad_out;
+  }
+  Tensor bias_grad_batch;
+  SumRows(grad_pre, &bias_grad_batch);
+  AddInPlace(&grad_bias_, bias_grad_batch);
+
+  // d(loss)/d(alpha_e) and d(loss)/d(Z) via the aggregation.
+  Tensor grad_z = Tensor::Zeros(cached_n_in_, out_dim_);
+  std::vector<float> grad_alpha(cached_edges_.size());
+  for (std::size_t e = 0; e < cached_edges_.size(); ++e) {
+    const CachedEdge& edge = cached_edges_[e];
+    const float* g_row = grad_pre.data() + static_cast<std::size_t>(edge.dst) * out_dim_;
+    const float* z_row = z_.data() + static_cast<std::size_t>(edge.src) * out_dim_;
+    float* gz_row = grad_z.data() + static_cast<std::size_t>(edge.src) * out_dim_;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < out_dim_; ++c) {
+      acc += g_row[c] * z_row[c];
+      gz_row[c] += edge.alpha * g_row[c];
+    }
+    grad_alpha[e] = acc;
+  }
+
+  // Softmax backward per destination: g_act_e = alpha_e (g_alpha_e - dot_d),
+  // dot_d = sum_e' alpha_e' g_alpha_e'.
+  std::vector<float> dot(cached_n_out_, 0.0f);
+  for (std::size_t e = 0; e < cached_edges_.size(); ++e) {
+    dot[cached_edges_[e].dst] += cached_edges_[e].alpha * grad_alpha[e];
+  }
+
+  // LeakyReLU backward into the raw scores, then into attention vectors
+  // and Z.
+  std::vector<float> grad_src_score(cached_n_in_, 0.0f);
+  std::vector<float> grad_dst_score(cached_n_out_, 0.0f);
+  for (std::size_t e = 0; e < cached_edges_.size(); ++e) {
+    const CachedEdge& edge = cached_edges_[e];
+    const float g_act = edge.alpha * (grad_alpha[e] - dot[edge.dst]);
+    const float g_raw = edge.pre > 0.0f ? g_act : kLeakySlope * g_act;
+    grad_src_score[edge.src] += g_raw;
+    grad_dst_score[edge.dst] += g_raw;
+  }
+  for (std::size_t v = 0; v < cached_n_in_; ++v) {
+    if (grad_src_score[v] == 0.0f) {
+      continue;
+    }
+    const float* z_row = z_.data() + v * out_dim_;
+    float* gz_row = grad_z.data() + v * out_dim_;
+    for (std::size_t c = 0; c < out_dim_; ++c) {
+      grad_attn_src_.at(0, c) += grad_src_score[v] * z_row[c];
+      gz_row[c] += grad_src_score[v] * attn_src_.at(0, c);
+    }
+  }
+  for (std::size_t d = 0; d < cached_n_out_; ++d) {
+    if (grad_dst_score[d] == 0.0f) {
+      continue;
+    }
+    const float* z_row = z_.data() + d * out_dim_;
+    float* gz_row = grad_z.data() + d * out_dim_;
+    for (std::size_t c = 0; c < out_dim_; ++c) {
+      grad_attn_dst_.at(0, c) += grad_dst_score[d] * z_row[c];
+      gz_row[c] += grad_dst_score[d] * attn_dst_.at(0, c);
+    }
+  }
+
+  // Z = h_in * W: parameter and input gradients.
+  Tensor scratch;
+  MatMulTransA(h_in, grad_z, &scratch);  // [in_dim, out_dim]
+  AddInPlace(&grad_weight_, scratch);
+  grad_in->Resize(cached_n_in_, in_dim_);
+  MatMulTransB(grad_z, weight_, grad_in);
+}
+
+void GatLayer::ZeroGrads() {
+  grad_weight_.Fill(0.0f);
+  grad_attn_src_.Fill(0.0f);
+  grad_attn_dst_.Fill(0.0f);
+  grad_bias_.Fill(0.0f);
+}
+
+std::vector<Tensor*> GatLayer::Params() {
+  return {&weight_, &attn_src_, &attn_dst_, &bias_};
+}
+
+std::vector<Tensor*> GatLayer::Grads() {
+  return {&grad_weight_, &grad_attn_src_, &grad_attn_dst_, &grad_bias_};
+}
+
+std::size_t GatLayer::NumParameters() const {
+  return weight_.size() + attn_src_.size() + attn_dst_.size() + bias_.size();
+}
+
+}  // namespace gnnlab

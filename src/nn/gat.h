@@ -1,0 +1,70 @@
+// Single-head graph-attention layer (GAT, Veličković et al. — one of the
+// standard 2-3 layer GNN models the paper's §2 cites). Exact forward and
+// backward passes:
+//
+//   z_i   = W h_i
+//   e_(j->i) = LeakyReLU( a_dst . z_i + a_src . z_j )     (j in N(i) U {i})
+//   alpha = softmax over each destination's incoming edges
+//   h'_i  = act( sum_j alpha_(j->i) z_j + b )
+//
+// Like the other layers it operates on a SampleBlock hop in local-id space
+// and adds an implicit self-edge per destination so isolated vertices keep
+// their own signal.
+#ifndef GNNLAB_NN_GAT_H_
+#define GNNLAB_NN_GAT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace gnnlab {
+
+class GatLayer : public LayerInterface {
+ public:
+  GatLayer(std::size_t in_dim, std::size_t out_dim, bool relu, Rng* rng);
+
+  void Forward(const HopEdges& edges, std::size_t n_in, std::size_t n_out, const Tensor& h_in,
+               Tensor* h_out) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  void ZeroGrads() override;
+  std::vector<Tensor*> Params() override;
+  std::vector<Tensor*> Grads() override;
+  std::size_t NumParameters() const override;
+
+  static constexpr float kLeakySlope = 0.2f;
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  bool relu_;
+
+  Tensor weight_;      // [in, out]
+  Tensor attn_src_;    // [1, out]
+  Tensor attn_dst_;    // [1, out]
+  Tensor bias_;        // [1, out]
+  Tensor grad_weight_;
+  Tensor grad_attn_src_;
+  Tensor grad_attn_dst_;
+  Tensor grad_bias_;
+
+  // Forward cache: the flattened edge list (block edges + self edges) with
+  // per-edge attention state, plus Z = h_in * W.
+  struct CachedEdge {
+    LocalId src;
+    LocalId dst;
+    float pre;    // Pre-LeakyReLU score.
+    float alpha;  // Post-softmax coefficient.
+  };
+  std::vector<CachedEdge> cached_edges_;
+  std::size_t cached_n_in_ = 0;
+  std::size_t cached_n_out_ = 0;
+  const Tensor* cached_h_in_ = nullptr;
+  Tensor z_;
+  Tensor pre_activation_;
+  Tensor activated_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_NN_GAT_H_

@@ -1,0 +1,55 @@
+#include "nn/grad_sync.h"
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace gnnlab {
+
+void AverageGradients(const std::vector<GnnModel*>& replicas) {
+  if (replicas.size() < 2) {
+    return;
+  }
+  std::vector<std::vector<Tensor*>> grads;
+  grads.reserve(replicas.size());
+  for (GnnModel* model : replicas) {
+    grads.push_back(model->Grads());
+    CHECK_EQ(grads.back().size(), grads.front().size());
+  }
+  const float inv = 1.0f / static_cast<float>(replicas.size());
+  for (std::size_t p = 0; p < grads[0].size(); ++p) {
+    Tensor& acc = *grads[0][p];
+    for (std::size_t r = 1; r < grads.size(); ++r) {
+      const Tensor& g = *grads[r][p];
+      CHECK_EQ(g.size(), acc.size());
+      for (std::size_t j = 0; j < acc.size(); ++j) {
+        acc.data()[j] += g.data()[j];
+      }
+    }
+    for (std::size_t j = 0; j < acc.size(); ++j) {
+      acc.data()[j] *= inv;
+    }
+    for (std::size_t r = 1; r < grads.size(); ++r) {
+      *grads[r][p] = acc;
+    }
+  }
+}
+
+void BroadcastParameters(const std::vector<GnnModel*>& replicas) {
+  if (replicas.size() < 2) {
+    return;
+  }
+  std::vector<Tensor*> source = replicas[0]->Params();
+  for (std::size_t r = 1; r < replicas.size(); ++r) {
+    std::vector<Tensor*> dst = replicas[r]->Params();
+    CHECK_EQ(dst.size(), source.size());
+    for (std::size_t p = 0; p < source.size(); ++p) {
+      *dst[p] = *source[p];
+    }
+  }
+}
+
+ByteCount GradientBytes(const GnnModel& model) {
+  return static_cast<ByteCount>(model.NumParameters()) * sizeof(float);
+}
+
+}  // namespace gnnlab

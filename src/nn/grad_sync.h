@@ -1,0 +1,30 @@
+// Data-parallel gradient synchronization across Trainer replicas.
+//
+// GNNLab's Trainers "do not interact with each other except for exchanging
+// locally produced gradients to update GNN model parameters" (paper §5.2).
+// AverageGradients implements the synchronous allreduce the paper uses for
+// its fair comparisons; the simulated engine charges its (small) cost via
+// the cost model.
+#ifndef GNNLAB_NN_GRAD_SYNC_H_
+#define GNNLAB_NN_GRAD_SYNC_H_
+
+#include <vector>
+
+#include "nn/model.h"
+
+namespace gnnlab {
+
+// Averages the gradients of all replicas in place (every replica ends with
+// the same averaged gradients). Models must have identical shapes.
+void AverageGradients(const std::vector<GnnModel*>& replicas);
+
+// Copies replica 0's parameters into every other replica; used once at
+// start so data-parallel training begins from identical weights.
+void BroadcastParameters(const std::vector<GnnModel*>& replicas);
+
+// Bytes one replica contributes to an allreduce (all gradients, fp32).
+ByteCount GradientBytes(const GnnModel& model);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_NN_GRAD_SYNC_H_

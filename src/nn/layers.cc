@@ -1,0 +1,178 @@
+#include "nn/layers.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace gnnlab {
+namespace {
+
+// out (+)= a[0:rows] * b, where `a` is a raw row-major [rows, k] slice.
+void MatMulSlice(const float* a, std::size_t rows, std::size_t k, const Tensor& b, Tensor* out,
+                 bool accumulate) {
+  CHECK_EQ(b.rows(), k);
+  const std::size_t n = b.cols();
+  if (!accumulate) {
+    out->Resize(rows, n);
+  } else {
+    CHECK_EQ(out->rows(), rows);
+    CHECK_EQ(out->cols(), n);
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* a_row = a + i * k;
+    float* out_row = out->data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* b_row = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        out_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+// grad_w += a[0:rows]^T * g, with `a` a raw [rows, m] slice and g [rows, n].
+void AccumulateTransposedSlice(const float* a, std::size_t rows, std::size_t m,
+                               const Tensor& g, Tensor* grad_w) {
+  CHECK_EQ(g.rows(), rows);
+  CHECK_EQ(grad_w->rows(), m);
+  CHECK_EQ(grad_w->cols(), g.cols());
+  const std::size_t n = g.cols();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* a_row = a + r * m;
+    const float* g_row = g.data() + r * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* w_row = grad_w->data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        w_row[j] += av * g_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GnnLayer::GnnLayer(LayerKind kind, std::size_t in_dim, std::size_t out_dim, bool relu, Rng* rng)
+    : kind_(kind), in_dim_(in_dim), out_dim_(out_dim), relu_(relu) {
+  weight_ = Tensor::Glorot(in_dim, out_dim, rng);
+  grad_weight_ = Tensor::Zeros(in_dim, out_dim);
+  if (kind_ == LayerKind::kSage) {
+    weight_nbr_ = Tensor::Glorot(in_dim, out_dim, rng);
+    grad_weight_nbr_ = Tensor::Zeros(in_dim, out_dim);
+  }
+  bias_ = Tensor::Zeros(1, out_dim);
+  grad_bias_ = Tensor::Zeros(1, out_dim);
+}
+
+void GnnLayer::Forward(const HopEdges& edges, std::size_t n_in, std::size_t n_out,
+                       const Tensor& h_in, Tensor* h_out) {
+  CHECK_EQ(h_in.cols(), in_dim_);
+  cached_edges_ = &edges;
+  cached_n_in_ = n_in;
+  cached_n_out_ = n_out;
+  cached_h_in_ = &h_in;
+
+  const bool include_self = kind_ == LayerKind::kGcn;
+  MeanAggregate(edges, n_in, n_out, h_in, include_self, &agg_, &counts_);
+
+  if (kind_ == LayerKind::kGcn) {
+    MatMul(agg_, weight_, &pre_);
+  } else {
+    // pre = self * W_self + agg * W_nbr.
+    MatMulSlice(h_in.data(), n_out, in_dim_, weight_, &pre_, /*accumulate=*/false);
+    MatMulSlice(agg_.data(), n_out, in_dim_, weight_nbr_, &pre_, /*accumulate=*/true);
+  }
+  AddRowBroadcast(pre_, bias_, &pre_);
+
+  if (relu_) {
+    Relu(pre_, &activated_);
+  } else {
+    activated_ = pre_;
+  }
+  *h_out = activated_;
+}
+
+void GnnLayer::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  CHECK(cached_edges_ != nullptr) << "Backward without a preceding Forward";
+  CHECK_EQ(grad_out.rows(), cached_n_out_);
+  CHECK_EQ(grad_out.cols(), out_dim_);
+
+  if (relu_) {
+    ReluBackward(grad_out, activated_, &grad_pre_);
+  } else {
+    grad_pre_ = grad_out;
+  }
+
+  Tensor bias_grad_batch;
+  SumRows(grad_pre_, &bias_grad_batch);
+  AddInPlace(&grad_bias_, bias_grad_batch);
+
+  grad_in->Resize(cached_n_in_, in_dim_);
+  const bool include_self = kind_ == LayerKind::kGcn;
+
+  if (kind_ == LayerKind::kGcn) {
+    MatMulTransA(agg_, grad_pre_, &scratch_);
+    AddInPlace(&grad_weight_, scratch_);
+    MatMulTransB(grad_pre_, weight_, &grad_agg_);
+    MeanAggregateBackward(*cached_edges_, cached_n_in_, cached_n_out_, counts_, include_self,
+                          grad_agg_, grad_in);
+  } else {
+    // Self path.
+    AccumulateTransposedSlice(cached_h_in_->data(), cached_n_out_, in_dim_, grad_pre_,
+                              &grad_weight_);
+    MatMulTransB(grad_pre_, weight_, &scratch_);  // d(loss)/d(self rows)
+    for (std::size_t r = 0; r < cached_n_out_; ++r) {
+      float* dst = grad_in->data() + r * in_dim_;
+      const float* src = scratch_.data() + r * in_dim_;
+      for (std::size_t c = 0; c < in_dim_; ++c) {
+        dst[c] += src[c];
+      }
+    }
+    // Neighbor path.
+    MatMulTransA(agg_, grad_pre_, &scratch_);
+    AddInPlace(&grad_weight_nbr_, scratch_);
+    MatMulTransB(grad_pre_, weight_nbr_, &grad_agg_);
+    MeanAggregateBackward(*cached_edges_, cached_n_in_, cached_n_out_, counts_, include_self,
+                          grad_agg_, grad_in);
+  }
+}
+
+void GnnLayer::ZeroGrads() {
+  grad_weight_.Fill(0.0f);
+  grad_bias_.Fill(0.0f);
+  if (kind_ == LayerKind::kSage) {
+    grad_weight_nbr_.Fill(0.0f);
+  }
+}
+
+std::vector<Tensor*> GnnLayer::Params() {
+  std::vector<Tensor*> params{&weight_, &bias_};
+  if (kind_ == LayerKind::kSage) {
+    params.push_back(&weight_nbr_);
+  }
+  return params;
+}
+
+std::vector<Tensor*> GnnLayer::Grads() {
+  std::vector<Tensor*> grads{&grad_weight_, &grad_bias_};
+  if (kind_ == LayerKind::kSage) {
+    grads.push_back(&grad_weight_nbr_);
+  }
+  return grads;
+}
+
+std::size_t GnnLayer::NumParameters() const {
+  std::size_t n = weight_.size() + bias_.size();
+  if (kind_ == LayerKind::kSage) {
+    n += weight_nbr_.size();
+  }
+  return n;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,93 @@
+// GNN layers with exact forward/backward passes.
+//
+//  - kGcn:  h_out = act( mean(h_in[nbrs] U {self}) * W + b )        [GCN]
+//  - kSage: h_out = act( h_in[self]*W_s + mean(h_in[nbrs])*W_n + b ) [SAGE,
+//           PinSAGE — whose importance weighting arrives as edge
+//           multiplicity from the random-walk sampler]
+//
+// A layer caches its forward intermediates and therefore processes one
+// mini-batch at a time (matching a Trainer executor, which is sequential).
+#ifndef GNNLAB_NN_LAYERS_H_
+#define GNNLAB_NN_LAYERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/aggregate.h"
+#include "sampling/sample_block.h"
+#include "tensor/tensor.h"
+
+namespace gnnlab {
+
+enum class LayerKind { kGcn, kSage };
+
+// The interface every GNN layer implements; GnnModel stacks these.
+class LayerInterface {
+ public:
+  virtual ~LayerInterface() = default;
+
+  // h_in rows cover locals [0, n_in); writes h_out rows for [0, n_out).
+  // `edges` is the hop connecting them. h_in must stay alive until Backward.
+  virtual void Forward(const HopEdges& edges, std::size_t n_in, std::size_t n_out,
+                       const Tensor& h_in, Tensor* h_out) = 0;
+
+  // grad_out: d(loss)/d(h_out). Accumulates parameter gradients and writes
+  // d(loss)/d(h_in) into grad_in (resized and zeroed here).
+  virtual void Backward(const Tensor& grad_out, Tensor* grad_in) = 0;
+
+  virtual void ZeroGrads() = 0;
+  virtual std::vector<Tensor*> Params() = 0;
+  virtual std::vector<Tensor*> Grads() = 0;
+  virtual std::size_t NumParameters() const = 0;
+};
+
+class GnnLayer : public LayerInterface {
+ public:
+  GnnLayer(LayerKind kind, std::size_t in_dim, std::size_t out_dim, bool relu, Rng* rng);
+
+  void Forward(const HopEdges& edges, std::size_t n_in, std::size_t n_out, const Tensor& h_in,
+               Tensor* h_out) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  void ZeroGrads() override;
+  std::vector<Tensor*> Params() override;
+  std::vector<Tensor*> Grads() override;
+  std::size_t NumParameters() const override;
+
+  LayerKind kind() const { return kind_; }
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+
+ private:
+  LayerKind kind_;
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  bool relu_;
+
+  // Parameters. GCN uses only weight_ (as W); SAGE uses weight_ (as W_self)
+  // and weight_nbr_.
+  Tensor weight_;
+  Tensor weight_nbr_;
+  Tensor bias_;
+  Tensor grad_weight_;
+  Tensor grad_weight_nbr_;
+  Tensor grad_bias_;
+
+  // Forward cache for the backward pass.
+  const HopEdges* cached_edges_ = nullptr;
+  std::size_t cached_n_in_ = 0;
+  std::size_t cached_n_out_ = 0;
+  const Tensor* cached_h_in_ = nullptr;
+  Tensor agg_;                 // Aggregated neighbor features.
+  std::vector<float> counts_;  // Mean divisors.
+  Tensor activated_;           // Forward output (for ReLU backward).
+
+  // Scratch reused across batches.
+  Tensor pre_;
+  Tensor grad_pre_;
+  Tensor grad_agg_;
+  Tensor scratch_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_NN_LAYERS_H_

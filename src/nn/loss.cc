@@ -1,0 +1,58 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+double SoftmaxCrossEntropy(const Tensor& logits, std::span<const std::uint32_t> labels,
+                           Tensor* grad_logits) {
+  CHECK_EQ(logits.rows(), labels.size());
+  const std::size_t n = logits.rows();
+  const std::size_t c = logits.cols();
+  grad_logits->Resize(n, c);
+
+  double total_loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = logits.data() + r * c;
+    float* grad = grad_logits->data() + r * c;
+    const float max_logit = *std::max_element(row, row + c);
+    double sum_exp = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      sum_exp += std::exp(static_cast<double>(row[j] - max_logit));
+    }
+    const std::uint32_t label = labels[r];
+    CHECK_LT(label, c);
+    const double log_prob =
+        static_cast<double>(row[label] - max_logit) - std::log(sum_exp);
+    total_loss -= log_prob;
+    for (std::size_t j = 0; j < c; ++j) {
+      const double softmax = std::exp(static_cast<double>(row[j] - max_logit)) / sum_exp;
+      grad[j] = (static_cast<float>(softmax) - (j == label ? 1.0f : 0.0f)) * inv_n;
+    }
+  }
+  return total_loss / static_cast<double>(n);
+}
+
+double Accuracy(const Tensor& logits, std::span<const std::uint32_t> labels) {
+  CHECK_EQ(logits.rows(), labels.size());
+  if (logits.rows() == 0) {
+    return 0.0;
+  }
+  std::size_t correct = 0;
+  const std::size_t c = logits.cols();
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.data() + r * c;
+    const auto best = static_cast<std::uint32_t>(
+        std::max_element(row, row + c) - row);
+    if (best == labels[r]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.rows());
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss and classification accuracy for the seed
+// vertices of a mini-batch.
+#ifndef GNNLAB_NN_LOSS_H_
+#define GNNLAB_NN_LOSS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace gnnlab {
+
+// Mean cross-entropy over rows; writes d(loss)/d(logits) (already divided by
+// the row count) into grad_logits.
+double SoftmaxCrossEntropy(const Tensor& logits, std::span<const std::uint32_t> labels,
+                           Tensor* grad_logits);
+
+// Fraction of rows whose argmax matches the label.
+double Accuracy(const Tensor& logits, std::span<const std::uint32_t> labels);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_NN_LOSS_H_

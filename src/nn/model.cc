@@ -1,0 +1,105 @@
+#include "nn/model.h"
+
+#include "nn/gat.h"
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+const char* GnnModelKindName(GnnModelKind kind) {
+  switch (kind) {
+    case GnnModelKind::kGcn:
+      return "GCN";
+    case GnnModelKind::kGraphSage:
+      return "GraphSAGE";
+    case GnnModelKind::kPinSage:
+      return "PinSAGE";
+    case GnnModelKind::kGat:
+      return "GAT";
+  }
+  return "unknown";
+}
+
+GnnModel::GnnModel(const ModelConfig& config, Rng* rng) : config_(config) {
+  CHECK_GT(config.num_layers, 0u);
+  CHECK_GT(config.in_dim, 0u);
+  CHECK_GT(config.num_classes, 0u);
+  const LayerKind layer_kind =
+      config.kind == GnnModelKind::kGcn ? LayerKind::kGcn : LayerKind::kSage;
+  for (std::size_t l = 0; l < config.num_layers; ++l) {
+    const std::size_t in_dim = l == 0 ? config.in_dim : config.hidden_dim;
+    const std::size_t out_dim =
+        l + 1 == config.num_layers ? config.num_classes : config.hidden_dim;
+    const bool relu = l + 1 != config.num_layers;  // Final layer emits logits.
+    if (config.kind == GnnModelKind::kGat) {
+      layers_.push_back(std::make_unique<GatLayer>(in_dim, out_dim, relu, rng));
+    } else {
+      layers_.push_back(std::make_unique<GnnLayer>(layer_kind, in_dim, out_dim, relu, rng));
+    }
+  }
+  activations_.resize(config.num_layers + 1);
+}
+
+const Tensor& GnnModel::Forward(const SampleBlock& block, const Tensor& input_feats) {
+  const std::size_t num_layers = layers_.size();
+  CHECK_EQ(block.num_hops(), num_layers)
+      << "sampler hops must match model depth for " << GnnModelKindName(config_.kind);
+  CHECK_EQ(input_feats.rows(), block.vertices().size());
+  CHECK_EQ(input_feats.cols(), config_.in_dim);
+  cached_block_ = &block;
+
+  activations_[0] = input_feats;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    const std::size_t hop = num_layers - 1 - l;
+    const std::size_t n_in = block.VerticesAfterHop(hop + 1);
+    const std::size_t n_out = block.VerticesAfterHop(hop);
+    layers_[l]->Forward(block.hop(hop), n_in, n_out, activations_[l], &activations_[l + 1]);
+  }
+  return activations_[num_layers];
+}
+
+void GnnModel::Backward(const Tensor& grad_logits) {
+  CHECK(cached_block_ != nullptr) << "Backward without a preceding Forward";
+  const std::size_t num_layers = layers_.size();
+  grad_buffer_a_ = grad_logits;
+  for (std::size_t l = num_layers; l-- > 0;) {
+    layers_[l]->Backward(grad_buffer_a_, &grad_buffer_b_);
+    std::swap(grad_buffer_a_, grad_buffer_b_);
+  }
+}
+
+void GnnModel::ZeroGrads() {
+  for (auto& layer : layers_) {
+    layer->ZeroGrads();
+  }
+}
+
+std::vector<Tensor*> GnnModel::Params() {
+  std::vector<Tensor*> params;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->Params()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+std::vector<Tensor*> GnnModel::Grads() {
+  std::vector<Tensor*> grads;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->Grads()) {
+      grads.push_back(g);
+    }
+  }
+  return grads;
+}
+
+std::size_t GnnModel::NumParameters() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer->NumParameters();
+  }
+  return n;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,67 @@
+// The three GNN models of the paper's evaluation (§7.1) as layer stacks:
+//   GCN       — 3 layers over 3-hop sampling, GCN aggregation.
+//   GraphSAGE — 2 layers over 2-hop sampling, SAGE aggregation.
+//   PinSAGE   — 3 layers over random-walk sampling, SAGE aggregation with
+//               visit-count importance arriving as edge multiplicity.
+//   GAT       — 2 layers of single-head graph attention (the paper cites
+//               GAT among the standard 2-3 layer models, §2/§3).
+// Layer l consumes the block's hop (L-1-l): the deepest sampled hop feeds
+// the first layer, the hop sampled directly from the seeds feeds the last.
+#ifndef GNNLAB_NN_MODEL_H_
+#define GNNLAB_NN_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "sampling/sample_block.h"
+#include "tensor/tensor.h"
+
+namespace gnnlab {
+
+enum class GnnModelKind { kGcn, kGraphSage, kPinSage, kGat };
+
+const char* GnnModelKindName(GnnModelKind kind);
+
+struct ModelConfig {
+  GnnModelKind kind = GnnModelKind::kGcn;
+  std::size_t num_layers = 3;
+  std::size_t in_dim = 0;
+  std::size_t hidden_dim = 256;  // Paper §7.1: hidden dimension 256.
+  std::size_t num_classes = 0;
+};
+
+class GnnModel {
+ public:
+  GnnModel(const ModelConfig& config, Rng* rng);
+
+  // Runs the stack over a block; input_feats has one row per block vertex
+  // (local-id order). Returns logits for the block's seeds.
+  const Tensor& Forward(const SampleBlock& block, const Tensor& input_feats);
+
+  // grad_logits: d(loss)/d(logits) from the loss; accumulates parameter
+  // gradients through every layer.
+  void Backward(const Tensor& grad_logits);
+
+  void ZeroGrads();
+  std::vector<Tensor*> Params();
+  std::vector<Tensor*> Grads();
+  std::size_t NumParameters() const;
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  ModelConfig config_;
+  std::vector<std::unique_ptr<LayerInterface>> layers_;
+  // Per-layer activations: activations_[0] is the input, [l+1] layer l's
+  // output. Kept alive through Backward.
+  std::vector<Tensor> activations_;
+  const SampleBlock* cached_block_ = nullptr;
+  Tensor grad_buffer_a_;
+  Tensor grad_buffer_b_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_NN_MODEL_H_

@@ -1,0 +1,43 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+void Adam::Step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+  CHECK_EQ(params.size(), grads.size());
+  if (m_.empty()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i] = Tensor::Zeros(params[i]->rows(), params[i]->cols());
+      v_[i] = Tensor::Zeros(params[i]->rows(), params[i]->cols());
+    }
+  }
+  CHECK_EQ(m_.size(), params.size());
+  ++steps_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(steps_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(steps_));
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    CHECK_EQ(p.size(), g.size());
+    float* pd = p.data();
+    const float* gd = g.data();
+    float* md = m_[i].data();
+    float* vd = v_[i].data();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double grad = gd[j];
+      md[j] = static_cast<float>(config_.beta1 * md[j] + (1.0 - config_.beta1) * grad);
+      vd[j] = static_cast<float>(config_.beta2 * vd[j] + (1.0 - config_.beta2) * grad * grad);
+      const double m_hat = md[j] / bias1;
+      const double v_hat = vd[j] / bias2;
+      pd[j] -= static_cast<float>(config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps));
+    }
+  }
+}
+
+}  // namespace gnnlab

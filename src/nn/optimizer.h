@@ -1,0 +1,38 @@
+// Adam optimizer over a model's parameter list.
+#ifndef GNNLAB_NN_OPTIMIZER_H_
+#define GNNLAB_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gnnlab {
+
+struct AdamConfig {
+  double lr = 1e-2;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+class Adam {
+ public:
+  explicit Adam(const AdamConfig& config = AdamConfig()) : config_(config) {}
+
+  // Applies one update; params and grads are parallel lists. Moment state is
+  // created lazily on the first step and keyed by position, so the lists
+  // must be stable across steps.
+  void Step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads);
+
+  std::size_t steps() const { return steps_; }
+
+ private:
+  AdamConfig config_;
+  std::size_t steps_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_NN_OPTIMIZER_H_

@@ -1,0 +1,100 @@
+#include "report/json.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+namespace {
+
+// Escapes the few characters that can appear in OOM detail strings.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RunReportToJson(const RunReport& report) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"oom\":" << (report.oom ? "true" : "false");
+  os << ",\"oom_detail\":\"" << Escape(report.oom_detail) << "\"";
+  os << ",\"num_samplers\":" << report.num_samplers;
+  os << ",\"num_trainers\":" << report.num_trainers;
+  os << ",\"k_ratio\":" << report.k_ratio;
+  os << ",\"cache_ratio\":" << report.cache_ratio;
+  os << ",\"standby_cache_ratio\":" << report.standby_cache_ratio;
+  os << ",\"preprocess\":{";
+  os << "\"disk_load\":" << report.preprocess.disk_load;
+  os << ",\"topo_load\":" << report.preprocess.topo_load;
+  os << ",\"cache_load\":" << report.preprocess.cache_load;
+  os << ",\"presample\":" << report.preprocess.presample << "}";
+  os << ",\"queue\":{";
+  os << "\"total_enqueued\":" << report.queue.total_enqueued;
+  os << ",\"max_depth\":" << report.queue.max_depth;
+  os << ",\"max_stored_bytes\":" << report.queue.max_stored_bytes << "}";
+  os << ",\"epochs\":[";
+  for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+    const EpochReport& epoch = report.epochs[e];
+    if (e > 0) {
+      os << ",";
+    }
+    os << "{\"epoch_time\":" << epoch.epoch_time;
+    os << ",\"batches\":" << epoch.batches;
+    os << ",\"gradient_updates\":" << epoch.gradient_updates;
+    os << ",\"switched_batches\":" << epoch.switched_batches;
+    os << ",\"stage\":{";
+    os << "\"sample_graph\":" << epoch.stage.sample_graph;
+    os << ",\"sample_mark\":" << epoch.stage.sample_mark;
+    os << ",\"sample_copy\":" << epoch.stage.sample_copy;
+    os << ",\"extract\":" << epoch.stage.extract;
+    os << ",\"train\":" << epoch.stage.train << "}";
+    os << ",\"extract\":{";
+    os << "\"distinct_vertices\":" << epoch.extract.distinct_vertices;
+    os << ",\"cache_hits\":" << epoch.extract.cache_hits;
+    os << ",\"host_misses\":" << epoch.extract.host_misses;
+    os << ",\"bytes_from_host\":" << epoch.extract.bytes_from_host;
+    os << ",\"hit_rate\":" << epoch.extract.HitRate() << "}";
+    os << ",\"mean_loss\":" << epoch.mean_loss;
+    os << ",\"eval_accuracy\":" << epoch.eval_accuracy;
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool WriteRunReportJson(const RunReport& report, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    LOG_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  const std::string json = RunReportToJson(report);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  if (!ok) {
+    LOG_ERROR << "short write to " << path;
+    std::remove(path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace gnnlab

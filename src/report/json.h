@@ -1,0 +1,22 @@
+// JSON export of run reports so plots/dashboards can consume benchmark
+// output without scraping ASCII tables.
+#ifndef GNNLAB_REPORT_JSON_H_
+#define GNNLAB_REPORT_JSON_H_
+
+#include <string>
+
+#include "core/stats.h"
+
+namespace gnnlab {
+
+// One JSON object: config echo (samplers/trainers/cache), preprocessing,
+// queue stats, and a per-epoch array with stage breakdowns and extraction
+// counters.
+std::string RunReportToJson(const RunReport& report);
+
+// Writes RunReportToJson to `path`; false on I/O failure.
+bool WriteRunReportJson(const RunReport& report, const std::string& path);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_REPORT_JSON_H_

@@ -1,0 +1,102 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back({std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TablePrinter::AddSeparator() { pending_separator_ = true; }
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << "+" << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      os << "| ";
+      if (c == 0) {
+        os << cells[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cells[c];
+      }
+      os << " ";
+    }
+    os << "|\n";
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) {
+      rule();
+    }
+    line(row.cells);
+  }
+  rule();
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FmtPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void PrintSeries(const std::string& caption, const std::string& x_label,
+                 const std::vector<std::string>& series_names,
+                 const std::vector<double>& xs,
+                 const std::vector<std::vector<double>>& ys, int precision) {
+  CHECK_EQ(series_names.size(), ys.size());
+  std::printf("%s\n", caption.c_str());
+  std::vector<std::string> headers{x_label};
+  for (const std::string& name : series_names) {
+    headers.push_back(name);
+  }
+  TablePrinter table(std::move(headers));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{Fmt(xs[i], 3)};
+    for (const auto& series : ys) {
+      CHECK_EQ(series.size(), xs.size());
+      row.push_back(Fmt(series[i], precision));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,47 @@
+// ASCII table and series printing shared by the benchmark binaries, so each
+// bench reproduces its paper table/figure as aligned rows on stdout.
+#ifndef GNNLAB_REPORT_TABLE_H_
+#define GNNLAB_REPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace gnnlab {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next row.
+  void AddSeparator();
+
+  // Renders with column alignment; first column left-aligned, the rest
+  // right-aligned (numbers).
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+// Number formatting helpers for table cells.
+std::string Fmt(double value, int precision = 2);
+std::string FmtPercent(double fraction, int precision = 0);  // 0.21 -> "21%"
+
+// Prints a figure-style series: one "x y1 y2 ..." row per x value, with a
+// caption and named series, suitable for eyeballing or piping to a plotter.
+void PrintSeries(const std::string& caption, const std::string& x_label,
+                 const std::vector<std::string>& series_names,
+                 const std::vector<double>& xs,
+                 const std::vector<std::vector<double>>& ys, int precision = 3);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_REPORT_TABLE_H_

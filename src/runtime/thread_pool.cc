@@ -1,0 +1,66 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+ThreadPool::ThreadPool(std::size_t num_threads) : tasks_(1024) {
+  CHECK_GT(num_threads, 0u);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  CHECK(!shut_down_);
+  CHECK(tasks_.Push(std::move(task)));
+}
+
+void ThreadPool::ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  std::atomic<std::size_t> remaining{count};
+  std::mutex mu;
+  std::condition_variable done;
+  for (std::size_t i = 0; i < count; ++i) {
+    Submit([&, i] {
+      fn(i);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        done.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  tasks_.Close();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::optional<std::function<void()>> task = tasks_.Pop();
+    if (!task.has_value()) {
+      return;  // Closed and drained.
+    }
+    (*task)();
+  }
+}
+
+}  // namespace gnnlab

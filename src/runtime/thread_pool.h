@@ -1,0 +1,51 @@
+// A fixed-size thread pool with a shared task queue.
+//
+// Plays the role of the paper's CPU-side worker threads (extractor helpers,
+// host staging). The simulated experiments are single-threaded by design —
+// determinism comes from the virtual clock — but the real training path
+// (examples, Figure 16 convergence) and the tests exercise this pool.
+#ifndef GNNLAB_RUNTIME_THREAD_POOL_H_
+#define GNNLAB_RUNTIME_THREAD_POOL_H_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/mpmc_queue.h"
+
+namespace gnnlab {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task; blocks if the internal queue is full. Must not be
+  // called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [0, count) across the pool and waits for all.
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  // Waits for queued tasks to finish and joins the workers. Called by the
+  // destructor if not called explicitly.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  MpmcQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_RUNTIME_THREAD_POOL_H_

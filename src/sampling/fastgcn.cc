@@ -1,0 +1,116 @@
+// FastGCN-style layer-wise importance sampling (Chen et al., cited by the
+// paper's §2 among the sample-based training approaches). Instead of
+// sampling a fanout per *vertex*, each layer samples a fixed-size set of
+// vertices from the frontier's neighborhood with probability proportional
+// to a global importance q(v) — here out-degree, FastGCN's standard choice
+// — and keeps every existing edge into the chosen set. Layer sizes play
+// the role k-hop fanouts play elsewhere.
+#include <cmath>
+#include <queue>
+
+#include "sampling/sampler.h"
+
+#include "common/logging.h"
+
+namespace gnnlab {
+namespace {
+
+class FastGcnSampler final : public Sampler {
+ public:
+  FastGcnSampler(const CsrGraph& graph, std::vector<std::uint32_t> layer_sizes)
+      : graph_(graph),
+        layer_sizes_(std::move(layer_sizes)),
+        scratch_(graph.num_vertices()),
+        builder_(&scratch_),
+        candidate_stamp_(graph.num_vertices(), 0),
+        chosen_stamp_(graph.num_vertices(), 0) {
+    CHECK(!layer_sizes_.empty());
+  }
+
+  SamplingAlgorithm algorithm() const override { return SamplingAlgorithm::kFastGcn; }
+  std::size_t num_layers() const override { return layer_sizes_.size(); }
+
+  SampleBlock Sample(std::span<const VertexId> seeds, Rng* rng,
+                     SamplerStats* stats) override {
+    builder_.Begin(seeds);
+    for (const std::uint32_t layer_size : layer_sizes_) {
+      builder_.BeginHop();
+      const std::size_t frontier = builder_.FrontierEnd();
+
+      // Pass 1: collect the distinct candidate neighborhood.
+      ++stamp_;
+      CHECK_NE(stamp_, 0u);
+      candidates_.clear();
+      for (LocalId d = 0; d < frontier; ++d) {
+        const VertexId v = builder_.CurrentVertices()[d];
+        for (const VertexId n : graph_.Neighbors(v)) {
+          if (candidate_stamp_[n] != stamp_) {
+            candidate_stamp_[n] = stamp_;
+            candidates_.push_back(n);
+          }
+        }
+        if (stats != nullptr) {
+          stats->adjacency_entries_scanned += graph_.out_degree(v);
+        }
+      }
+
+      // Weighted sampling without replacement via the exponential-key
+      // trick: keep the layer_size candidates with the smallest
+      // -log(u)/q(v); q(v) = out-degree + 1 (FastGCN's degree importance,
+      // +1 so sinks stay samplable).
+      using Keyed = std::pair<double, VertexId>;
+      std::priority_queue<Keyed> heap;  // Max-heap on key: evict largest.
+      for (const VertexId candidate : candidates_) {
+        const double q = static_cast<double>(graph_.out_degree(candidate)) + 1.0;
+        const double key = -std::log(rng->NextDouble() + 1e-300) / q;
+        if (heap.size() < layer_size) {
+          heap.emplace(key, candidate);
+        } else if (key < heap.top().first) {
+          heap.pop();
+          heap.emplace(key, candidate);
+        }
+      }
+      while (!heap.empty()) {
+        chosen_stamp_[heap.top().second] = stamp_;
+        heap.pop();
+      }
+
+      // Pass 2: keep every frontier edge into the chosen set.
+      for (LocalId d = 0; d < frontier; ++d) {
+        const VertexId v = builder_.CurrentVertices()[d];
+        for (const VertexId n : graph_.Neighbors(v)) {
+          if (chosen_stamp_[n] == stamp_) {
+            builder_.AddEdge(d, n);
+            if (stats != nullptr) {
+              ++stats->sampled_neighbors;
+            }
+          }
+        }
+      }
+      if (stats != nullptr) {
+        stats->vertices_expanded += frontier;
+      }
+      builder_.EndHop();
+    }
+    return builder_.Finish();
+  }
+
+ private:
+  const CsrGraph& graph_;
+  std::vector<std::uint32_t> layer_sizes_;
+  RemapScratch scratch_;
+  SampleBlockBuilder builder_;
+  std::vector<VertexId> candidates_;
+  std::vector<std::uint32_t> candidate_stamp_;
+  std::vector<std::uint32_t> chosen_stamp_;
+  std::uint32_t stamp_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Sampler> MakeFastGcnSampler(const CsrGraph& graph,
+                                            std::vector<std::uint32_t> layer_sizes) {
+  return std::make_unique<FastGcnSampler>(graph, std::move(layer_sizes));
+}
+
+}  // namespace gnnlab

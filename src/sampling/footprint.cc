@@ -1,0 +1,81 @@
+#include "sampling/footprint.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+void Footprint::Accumulate(const SampleBlock& block) {
+  const auto vertices = block.vertices();
+  for (std::size_t i = 0; i < block.num_seeds(); ++i) {
+    ++counts_[vertices[i]];
+    ++total_;
+  }
+  for (std::size_t h = 0; h < block.num_hops(); ++h) {
+    const HopEdges& hop = block.hop(h);
+    for (const LocalId src : hop.src_local) {
+      ++counts_[vertices[src]];
+      ++total_;
+    }
+  }
+}
+
+void Footprint::Merge(const Footprint& other) {
+  CHECK_EQ(counts_.size(), other.counts_.size());
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    counts_[v] += other.counts_[v];
+  }
+  total_ += other.total_;
+}
+
+void Footprint::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+std::vector<VertexId> Footprint::RankByCount() const {
+  std::vector<VertexId> order(counts_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](VertexId a, VertexId b) {
+    return counts_[a] != counts_[b] ? counts_[a] > counts_[b] : a < b;
+  });
+  return order;
+}
+
+std::vector<VertexId> Footprint::TopFraction(double fraction) const {
+  CHECK_GT(fraction, 0.0);
+  CHECK_LE(fraction, 1.0);
+  std::vector<VertexId> ranked = RankByCount();
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(ranked.size()) * fraction));
+  ranked.resize(std::min(keep, ranked.size()));
+  return ranked;
+}
+
+double FootprintSimilarity(const Footprint& epoch_i, const Footprint& epoch_j,
+                           double top_fraction) {
+  CHECK_EQ(epoch_i.num_vertices(), epoch_j.num_vertices());
+  const std::vector<VertexId> top_i = epoch_i.TopFraction(top_fraction);
+  const std::vector<VertexId> top_j = epoch_j.TopFraction(top_fraction);
+
+  std::vector<std::uint8_t> in_j(epoch_j.num_vertices(), 0);
+  for (const VertexId v : top_j) {
+    in_j[v] = 1;
+  }
+
+  const auto fi = epoch_i.counts();
+  const auto fj = epoch_j.counts();
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (const VertexId v : top_i) {
+    denominator += static_cast<double>(fj[v]);
+    if (in_j[v] != 0) {
+      numerator += static_cast<double>(std::min(fi[v], fj[v]));
+    }
+  }
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,56 @@
+// Access-footprint recording: per-vertex sampled-frequency counters over an
+// epoch. This is the measurement behind the paper's Table 2 (epoch-to-epoch
+// footprint similarity), the Optimal caching oracle (§3 footnote 4), and the
+// PreSC hotness metric (§6.3).
+#ifndef GNNLAB_SAMPLING_FOOTPRINT_H_
+#define GNNLAB_SAMPLING_FOOTPRINT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "sampling/sample_block.h"
+
+namespace gnnlab {
+
+class Footprint {
+ public:
+  explicit Footprint(VertexId num_vertices) : counts_(num_vertices, 0) {}
+
+  // Counts every sampled occurrence in the block with multiplicity: each
+  // seed visit plus each hop edge's sampled-neighbor endpoint.
+  void Accumulate(const SampleBlock& block);
+
+  // Adds another footprint's counts into this one (used to average PreSC's
+  // K pre-sampling stages).
+  void Merge(const Footprint& other);
+
+  void Reset();
+
+  std::span<const std::uint64_t> counts() const { return counts_; }
+  VertexId num_vertices() const { return static_cast<VertexId>(counts_.size()); }
+  std::uint64_t total() const { return total_; }
+
+  // Vertex ids sorted by descending count (ties by ascending id, so the
+  // ranking is deterministic).
+  std::vector<VertexId> RankByCount() const;
+
+  // Ids of the top `fraction` most-visited vertices (at least one).
+  std::vector<VertexId> TopFraction(double fraction) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// The paper's Table 2 similarity of epoch i to epoch j:
+//   sum_{v in Ti ∩ Tj} min(f_i(v), f_j(v)) / sum_{v in Ti} f_j(v),
+// where Ti/Tj are the top-`top_fraction` most-accessed vertex sets of each
+// epoch and f the per-epoch frequencies.
+double FootprintSimilarity(const Footprint& epoch_i, const Footprint& epoch_j,
+                           double top_fraction);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SAMPLING_FOOTPRINT_H_

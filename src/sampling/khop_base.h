@@ -1,0 +1,61 @@
+// Shared hop-loop driver for the k-hop sampling kernels. Internal header.
+#ifndef GNNLAB_SAMPLING_KHOP_BASE_H_
+#define GNNLAB_SAMPLING_KHOP_BASE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "sampling/sampler.h"
+
+namespace gnnlab {
+
+// Drives the per-hop expansion over the full frontier (every distinct vertex
+// discovered so far becomes a destination of the next hop, matching the
+// layered-GNN dataflow) and delegates the per-vertex neighbor pick.
+class KhopSamplerBase : public Sampler {
+ public:
+  KhopSamplerBase(const CsrGraph& graph, std::vector<std::uint32_t> fanouts)
+      : graph_(graph), fanouts_(std::move(fanouts)), scratch_(graph.num_vertices()),
+        builder_(&scratch_) {
+    CHECK(!fanouts_.empty());
+  }
+
+  SampleBlock Sample(std::span<const VertexId> seeds, Rng* rng,
+                     SamplerStats* stats) override {
+    builder_.Begin(seeds);
+    for (std::uint32_t fanout : fanouts_) {
+      builder_.BeginHop();
+      const std::size_t frontier = builder_.FrontierEnd();
+      for (LocalId d = 0; d < frontier; ++d) {
+        const VertexId v = builder_.CurrentVertices()[d];
+        SampleNeighbors(v, d, fanout, rng, stats);
+      }
+      if (stats != nullptr) {
+        stats->vertices_expanded += frontier;
+      }
+      builder_.EndHop();
+    }
+    return builder_.Finish();
+  }
+
+  std::size_t num_layers() const override { return fanouts_.size(); }
+
+ protected:
+  // Emits up to `fanout` sampled neighbors of `v` via builder().AddEdge.
+  virtual void SampleNeighbors(VertexId v, LocalId dst_local, std::uint32_t fanout, Rng* rng,
+                               SamplerStats* stats) = 0;
+
+  SampleBlockBuilder& builder() { return builder_; }
+  const CsrGraph& graph() const { return graph_; }
+
+ private:
+  const CsrGraph& graph_;
+  std::vector<std::uint32_t> fanouts_;
+  RemapScratch scratch_;
+  SampleBlockBuilder builder_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SAMPLING_KHOP_BASE_H_

@@ -1,0 +1,114 @@
+// PinSAGE-style sampling: each layer selects, for every frontier vertex, the
+// `num_neighbors` most-visited vertices over `num_walks` random walks of
+// `walk_length` (paper §7.1: 3 layers, 5 neighbors from 4 paths of length
+// 3). Visit counts double as importance weights in PinSAGE; the SampleBlock
+// records one edge per occurrence so the aggregation sees the multiplicity.
+#include <algorithm>
+
+#include "sampling/khop_base.h"
+
+namespace gnnlab {
+namespace {
+
+class RandomWalkSampler final : public Sampler {
+ public:
+  RandomWalkSampler(const CsrGraph& graph, std::size_t num_layers, std::size_t num_walks,
+                    std::size_t walk_length, std::size_t num_neighbors)
+      : graph_(graph),
+        num_layers_(num_layers),
+        num_walks_(num_walks),
+        walk_length_(walk_length),
+        num_neighbors_(num_neighbors),
+        scratch_(graph.num_vertices()),
+        builder_(&scratch_) {
+    CHECK_GT(num_layers_, 0u);
+    CHECK_GT(walk_length_, 0u);
+  }
+
+  SamplingAlgorithm algorithm() const override { return SamplingAlgorithm::kRandomWalk; }
+  std::size_t num_layers() const override { return num_layers_; }
+
+  SampleBlock Sample(std::span<const VertexId> seeds, Rng* rng,
+                     SamplerStats* stats) override {
+    builder_.Begin(seeds);
+    for (std::size_t layer = 0; layer < num_layers_; ++layer) {
+      builder_.BeginHop();
+      const std::size_t frontier = builder_.FrontierEnd();
+      for (LocalId d = 0; d < frontier; ++d) {
+        ExpandVertex(builder_.CurrentVertices()[d], d, rng, stats);
+      }
+      if (stats != nullptr) {
+        stats->vertices_expanded += frontier;
+      }
+      builder_.EndHop();
+    }
+    return builder_.Finish();
+  }
+
+ private:
+  void ExpandVertex(VertexId v, LocalId dst_local, Rng* rng, SamplerStats* stats) {
+    visits_.clear();
+    std::size_t steps = 0;
+    for (std::size_t w = 0; w < num_walks_; ++w) {
+      VertexId cur = v;
+      for (std::size_t s = 0; s < walk_length_; ++s) {
+        const auto nbrs = graph_.Neighbors(cur);
+        if (nbrs.empty()) {
+          break;
+        }
+        cur = nbrs[rng->NextBounded(nbrs.size())];
+        ++steps;
+        CountVisit(cur);
+      }
+    }
+    // Keep the top `num_neighbors` by visit count (stable across ties by
+    // first-visit order, which std::stable_sort preserves).
+    std::stable_sort(visits_.begin(), visits_.end(),
+                     [](const Visit& a, const Visit& b) { return a.count > b.count; });
+    const std::size_t keep = std::min(num_neighbors_, visits_.size());
+    for (std::size_t i = 0; i < keep; ++i) {
+      builder_.AddEdge(dst_local, visits_[i].vertex);
+    }
+    if (stats != nullptr) {
+      stats->sampled_neighbors += keep;
+      stats->adjacency_entries_scanned += steps;
+    }
+  }
+
+  struct Visit {
+    VertexId vertex;
+    std::uint32_t count;
+  };
+
+  void CountVisit(VertexId v) {
+    // Walk neighborhoods are tiny (<= num_walks * walk_length entries), so a
+    // linear probe beats a hash map.
+    for (Visit& visit : visits_) {
+      if (visit.vertex == v) {
+        ++visit.count;
+        return;
+      }
+    }
+    visits_.push_back({v, 1});
+  }
+
+  const CsrGraph& graph_;
+  std::size_t num_layers_;
+  std::size_t num_walks_;
+  std::size_t walk_length_;
+  std::size_t num_neighbors_;
+  RemapScratch scratch_;
+  SampleBlockBuilder builder_;
+  std::vector<Visit> visits_;
+};
+
+}  // namespace
+
+std::unique_ptr<Sampler> MakeRandomWalkSampler(const CsrGraph& graph, std::size_t num_layers,
+                                               std::size_t num_walks, std::size_t walk_length,
+                                               std::size_t num_neighbors) {
+  return std::make_unique<RandomWalkSampler>(graph, num_layers, num_walks, walk_length,
+                                             num_neighbors);
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,83 @@
+#include "sampling/sample_block.h"
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+std::size_t SampleBlock::TotalSampledWithDuplicates() const {
+  std::size_t total = num_seeds();
+  for (const HopEdges& hop : hops_) {
+    total += hop.size();
+  }
+  return total;
+}
+
+ByteCount SampleBlock::QueueBytes() const {
+  ByteCount bytes = static_cast<ByteCount>(vertices_.size()) * sizeof(VertexId) +
+                    static_cast<ByteCount>(cache_marks_.size());
+  for (const HopEdges& hop : hops_) {
+    bytes += static_cast<ByteCount>(hop.size()) * 2 * sizeof(LocalId);
+  }
+  return bytes;
+}
+
+SampleBlockBuilder::SampleBlockBuilder(RemapScratch* scratch) : scratch_(scratch) {
+  CHECK(scratch_ != nullptr);
+}
+
+void SampleBlockBuilder::Begin(std::span<const VertexId> seeds) {
+  block_ = SampleBlock();
+  frontier_end_ = 0;
+  in_hop_ = false;
+  ++scratch_->current_stamp_;
+  CHECK_NE(scratch_->current_stamp_, 0u);  // Stamp wrap would alias old entries.
+
+  block_.vertices_.reserve(seeds.size() * 4);
+  for (VertexId seed : seeds) {
+    // Seeds are deduplicated too; a repeated seed keeps its first local id.
+    (void)LocalFor(seed);
+  }
+  block_.hop_end_.push_back(block_.vertices_.size());
+  frontier_end_ = block_.vertices_.size();
+}
+
+void SampleBlockBuilder::BeginHop() {
+  CHECK(!in_hop_);
+  in_hop_ = true;
+  frontier_end_ = block_.vertices_.size();
+  block_.hops_.emplace_back();
+}
+
+void SampleBlockBuilder::AddEdge(LocalId dst_local, VertexId neighbor_global) {
+  CHECK(in_hop_);
+  CHECK_LT(dst_local, frontier_end_);
+  const LocalId src = LocalFor(neighbor_global);
+  HopEdges& hop = block_.hops_.back();
+  hop.src_local.push_back(src);
+  hop.dst_local.push_back(dst_local);
+}
+
+void SampleBlockBuilder::EndHop() {
+  CHECK(in_hop_);
+  in_hop_ = false;
+  block_.hop_end_.push_back(block_.vertices_.size());
+}
+
+SampleBlock SampleBlockBuilder::Finish() {
+  CHECK(!in_hop_);
+  return std::move(block_);
+}
+
+LocalId SampleBlockBuilder::LocalFor(VertexId global) {
+  CHECK_LT(global, scratch_->capacity());
+  if (scratch_->stamp_[global] == scratch_->current_stamp_) {
+    return scratch_->local_of_[global];
+  }
+  const auto local = static_cast<LocalId>(block_.vertices_.size());
+  block_.vertices_.push_back(global);
+  scratch_->stamp_[global] = scratch_->current_stamp_;
+  scratch_->local_of_[global] = local;
+  return local;
+}
+
+}  // namespace gnnlab

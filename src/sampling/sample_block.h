@@ -1,0 +1,117 @@
+// SampleBlock: the output of the Sample stage for one mini-batch.
+//
+// Following the paper's SET model (§2, Figure 1), sampled vertices are
+// deduplicated and reassigned consecutive local ids starting from 0, seeds
+// first. Each hop's edges are stored in local-id space so the Train stage
+// can aggregate with dense indexed operations, and so the Extract stage can
+// fetch exactly one feature row per distinct vertex.
+#ifndef GNNLAB_SAMPLING_SAMPLE_BLOCK_H_
+#define GNNLAB_SAMPLING_SAMPLE_BLOCK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gnnlab {
+
+// Local ids index SampleBlock::vertices().
+using LocalId = std::uint32_t;
+
+struct HopEdges {
+  // Parallel arrays: edge i connects sampled neighbor src_local[i] (provides
+  // features) to frontier vertex dst_local[i] (aggregates them).
+  std::vector<LocalId> src_local;
+  std::vector<LocalId> dst_local;
+
+  std::size_t size() const { return src_local.size(); }
+};
+
+class SampleBlock {
+ public:
+  // Distinct vertices, local id -> global id; the first num_seeds() entries
+  // are the mini-batch seeds in batch order.
+  std::span<const VertexId> vertices() const { return vertices_; }
+  std::size_t num_seeds() const { return hop_end_.empty() ? 0 : hop_end_[0]; }
+  std::size_t num_hops() const { return hops_.size(); }
+
+  // Number of distinct vertices known after hop h (h=0 means seeds only).
+  std::size_t VerticesAfterHop(std::size_t h) const { return hop_end_[h]; }
+
+  const HopEdges& hop(std::size_t h) const { return hops_[h]; }
+
+  // Total sampled-neighbor occurrences including duplicates: the Sample
+  // stage's work volume, used by the cost model and footprints.
+  std::size_t TotalSampledWithDuplicates() const;
+
+  // Bytes of this block when copied through the host-memory global queue:
+  // the vertex array plus all hop edge arrays (paper §5.2, stage C).
+  ByteCount QueueBytes() const;
+
+  // Cache marks, parallel to vertices(): set by the Sampler when a static
+  // cache is configured ("each sampled vertex can be marked in the Sample
+  // stage whether its feature is cached", paper §5.2).
+  std::vector<std::uint8_t>& mutable_cache_marks() { return cache_marks_; }
+  std::span<const std::uint8_t> cache_marks() const { return cache_marks_; }
+
+ private:
+  friend class SampleBlockBuilder;
+  std::vector<VertexId> vertices_;
+  std::vector<std::size_t> hop_end_;  // hop_end_[0]=#seeds, [h]=#vertices after hop h.
+  std::vector<HopEdges> hops_;
+  std::vector<std::uint8_t> cache_marks_;
+};
+
+// Reusable scratch for global->local remapping: stamped arrays sized to the
+// graph so remap is O(1) per lookup with no per-batch clearing.
+class RemapScratch {
+ public:
+  explicit RemapScratch(VertexId num_vertices)
+      : local_of_(num_vertices, 0), stamp_(num_vertices, 0) {}
+
+  VertexId capacity() const { return static_cast<VertexId>(local_of_.size()); }
+
+ private:
+  friend class SampleBlockBuilder;
+  std::vector<LocalId> local_of_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t current_stamp_ = 0;
+};
+
+// Incrementally builds a SampleBlock during sampling. Usage:
+//   builder.Begin(seeds);
+//   for each hop: builder.BeginHop();
+//                 for each (frontier vertex d, sampled neighbor n):
+//                   builder.AddEdge(d_local, n);
+//                 builder.EndHop();
+//   SampleBlock block = builder.Finish();
+class SampleBlockBuilder {
+ public:
+  explicit SampleBlockBuilder(RemapScratch* scratch);
+
+  void Begin(std::span<const VertexId> seeds);
+  void BeginHop();
+  // `dst_local` must be a local id that existed before this hop began.
+  void AddEdge(LocalId dst_local, VertexId neighbor_global);
+  void EndHop();
+  SampleBlock Finish();
+
+  // Frontier of the hop being sampled: all distinct vertices discovered so
+  // far (kernels expand every known vertex each hop, matching k-hop
+  // semantics where layer l samples neighbors of all layer-(l-1) vertices).
+  std::span<const VertexId> CurrentVertices() const { return block_.vertices_; }
+  std::size_t FrontierEnd() const { return frontier_end_; }
+
+ private:
+  LocalId LocalFor(VertexId global);
+
+  RemapScratch* scratch_;
+  SampleBlock block_;
+  std::size_t frontier_end_ = 0;  // Vertices known before the active hop.
+  bool in_hop_ = false;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SAMPLING_SAMPLE_BLOCK_H_

@@ -1,0 +1,23 @@
+#include "sampling/sampler.h"
+
+namespace gnnlab {
+
+const char* SamplingAlgorithmName(SamplingAlgorithm algorithm) {
+  switch (algorithm) {
+    case SamplingAlgorithm::kKhopUniform:
+      return "khop-uniform";
+    case SamplingAlgorithm::kKhopReservoir:
+      return "khop-reservoir";
+    case SamplingAlgorithm::kKhopWeighted:
+      return "khop-weighted";
+    case SamplingAlgorithm::kRandomWalk:
+      return "random-walk";
+    case SamplingAlgorithm::kSubgraph:
+      return "subgraph";
+    case SamplingAlgorithm::kFastGcn:
+      return "fastgcn";
+  }
+  return "unknown";
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,95 @@
+// The sampling-algorithm interface and factory.
+//
+// GNNLab's programming model accepts a user-defined sampling function per
+// mini-batch (paper §5.1, Figure 7). The built-in algorithms mirror the
+// paper's: k-hop random neighborhood sampling (a GPU-friendly Fisher-Yates
+// variant plus the Reservoir variant DGL uses, §7.3), k-hop weighted
+// neighborhood sampling, and PinSAGE-style random walks.
+#ifndef GNNLAB_SAMPLING_SAMPLER_H_
+#define GNNLAB_SAMPLING_SAMPLER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_weights.h"
+#include "sampling/sample_block.h"
+
+namespace gnnlab {
+
+enum class SamplingAlgorithm {
+  kKhopUniform,    // Fisher-Yates variant: O(fanout) per vertex.
+  kKhopReservoir,  // Reservoir: O(degree) per vertex (DGL's kernel).
+  kKhopWeighted,   // CDF binary search, biased to newer neighbors.
+  kRandomWalk,     // PinSAGE: importance neighbors from random walks.
+  kSubgraph,       // ClusterGCN: edges induced among the batch itself.
+  kFastGcn,        // FastGCN: per-layer importance sampling by degree.
+};
+
+const char* SamplingAlgorithmName(SamplingAlgorithm algorithm);
+
+// Per-mini-batch work counters consumed by sim::CostModel.
+struct SamplerStats {
+  // Sampled-neighbor occurrences emitted (with duplicates).
+  std::size_t sampled_neighbors = 0;
+  // Adjacency entries the kernel had to read; for reservoir sampling this is
+  // the full degree of every expanded vertex, which is what makes its GPU
+  // workload unbalanced (paper §7.3).
+  std::size_t adjacency_entries_scanned = 0;
+  // Vertices expanded across all hops.
+  std::size_t vertices_expanded = 0;
+
+  void Reset() { *this = SamplerStats(); }
+};
+
+// A Sampler instance owns per-instance scratch and is NOT thread-safe; each
+// executor creates its own (they are bound to distinct simulated GPUs).
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  virtual SampleBlock Sample(std::span<const VertexId> seeds, Rng* rng,
+                             SamplerStats* stats) = 0;
+  virtual SamplingAlgorithm algorithm() const = 0;
+  // Number of GNN layers the produced blocks feed (== hops).
+  virtual std::size_t num_layers() const = 0;
+};
+
+// k-hop uniform sampling without replacement; fanouts[h] neighbors per
+// vertex at hop h. Graph must outlive the sampler.
+std::unique_ptr<Sampler> MakeKhopUniformSampler(const CsrGraph& graph,
+                                                std::vector<std::uint32_t> fanouts);
+
+// Same semantics as k-hop uniform but with DGL's reservoir kernel.
+std::unique_ptr<Sampler> MakeKhopReservoirSampler(const CsrGraph& graph,
+                                                  std::vector<std::uint32_t> fanouts);
+
+// k-hop weighted sampling (with replacement, probability proportional to
+// edge weight). Graph and weights must outlive the sampler.
+std::unique_ptr<Sampler> MakeKhopWeightedSampler(const CsrGraph& graph,
+                                                 const EdgeWeights& weights,
+                                                 std::vector<std::uint32_t> fanouts);
+
+// PinSAGE-style: each of `num_layers` layers selects the `num_neighbors`
+// most-visited vertices from `num_walks` random walks of `walk_length`.
+std::unique_ptr<Sampler> MakeRandomWalkSampler(const CsrGraph& graph, std::size_t num_layers,
+                                               std::size_t num_walks, std::size_t walk_length,
+                                               std::size_t num_neighbors);
+
+// ClusterGCN-style subgraph sampling: every layer aggregates over the edges
+// induced among the mini-batch's own vertices; no expansion (paper §8).
+std::unique_ptr<Sampler> MakeSubgraphSampler(const CsrGraph& graph, std::size_t num_layers);
+
+// FastGCN-style layer-wise sampling: layer h keeps layer_sizes[h] vertices
+// drawn from the frontier's neighborhood with degree importance, plus every
+// existing edge into the chosen set (paper §2's importance-sampling line).
+std::unique_ptr<Sampler> MakeFastGcnSampler(const CsrGraph& graph,
+                                            std::vector<std::uint32_t> layer_sizes);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SAMPLING_SAMPLER_H_

@@ -1,0 +1,66 @@
+#include "sim/cost_model.h"
+
+namespace gnnlab {
+
+SimTime CostModel::GpuSampleTime(const SamplerStats& stats) const {
+  return params_.gpu_sample_per_entry * static_cast<double>(stats.adjacency_entries_scanned);
+}
+
+SimTime CostModel::CpuSampleTime(const SamplerStats& stats) const {
+  return params_.cpu_sample_per_entry * static_cast<double>(stats.adjacency_entries_scanned);
+}
+
+SimTime CostModel::DglSampleTime(const SamplerStats& stats, SamplingAlgorithm algorithm,
+                                 bool on_gpu) const {
+  const double multiplier = algorithm == SamplingAlgorithm::kRandomWalk
+                                ? params_.dgl_walk_multiplier
+                                : params_.dgl_khop_multiplier;
+  return multiplier * (on_gpu ? GpuSampleTime(stats) : CpuSampleTime(stats));
+}
+
+SimTime CostModel::MarkTime(std::size_t distinct_vertices) const {
+  return params_.mark_per_vertex * static_cast<double>(distinct_vertices);
+}
+
+SimTime CostModel::QueueCopyTime(ByteCount block_bytes) const {
+  return static_cast<double>(block_bytes) / params_.queue_copy_bandwidth;
+}
+
+SimTime CostModel::ExtractTime(const ExtractStats& stats, bool gpu_extract) const {
+  const double pcie = static_cast<double>(stats.bytes_from_host) / params_.pcie_gather_bandwidth;
+  if (gpu_extract) {
+    return pcie +
+           params_.gpu_gather_per_row * static_cast<double>(stats.distinct_vertices);
+  }
+  // CPU extraction: every row is a random host-memory gather, then the
+  // packed buffer crosses PCIe.
+  return pcie + params_.cpu_gather_per_row * static_cast<double>(stats.distinct_vertices);
+}
+
+SimTime CostModel::TrainTime(const TrainWork& work) const {
+  // Aggregation: edges x hidden accumulations per layer pair; dense layers:
+  // vertices x (feature_dim x hidden for layer 0, hidden^2/4 for the rest).
+  const double agg = static_cast<double>(work.block_edges) * work.hidden_dim;
+  const double dense =
+      static_cast<double>(work.block_vertices) *
+      (static_cast<double>(work.feature_dim) * work.hidden_dim +
+       static_cast<double>(work.num_layers > 1 ? work.num_layers - 1 : 0) *
+           static_cast<double>(work.hidden_dim) * work.hidden_dim / 4.0);
+  // Forward + backward ~ 3x forward.
+  const double flops = 3.0 * work.model_factor * (agg + dense);
+  return params_.train_per_flop_unit * flops;
+}
+
+SimTime CostModel::DiskLoadTime(ByteCount bytes) const {
+  return static_cast<double>(bytes) / params_.disk_to_dram_bandwidth;
+}
+
+SimTime CostModel::TopologyLoadTime(ByteCount bytes) const {
+  return static_cast<double>(bytes) / params_.dram_to_gpu_topology_bandwidth;
+}
+
+SimTime CostModel::CacheLoadTime(ByteCount bytes) const {
+  return static_cast<double>(bytes) / params_.dram_to_gpu_cache_bandwidth;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,59 @@
+#include "sim/device.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace gnnlab {
+
+const char* MemoryKindName(MemoryKind kind) {
+  switch (kind) {
+    case MemoryKind::kTopology:
+      return "topology";
+    case MemoryKind::kFeatureCache:
+      return "feature-cache";
+    case MemoryKind::kSamplerWorkspace:
+      return "sampler-ws";
+    case MemoryKind::kTrainerWorkspace:
+      return "trainer-ws";
+    case MemoryKind::kNumKinds:
+      break;
+  }
+  return "unknown";
+}
+
+ByteCount Device::used() const {
+  return std::accumulate(usage_.begin(), usage_.end(), ByteCount{0});
+}
+
+bool Device::TryAllocate(MemoryKind kind, ByteCount bytes) {
+  if (bytes > available()) {
+    return false;
+  }
+  usage_[static_cast<std::size_t>(kind)] += bytes;
+  return true;
+}
+
+void Device::Free(MemoryKind kind, ByteCount bytes) {
+  auto& slot = usage_[static_cast<std::size_t>(kind)];
+  CHECK_GE(slot, bytes);
+  slot -= bytes;
+}
+
+void Device::FreeAll(MemoryKind kind) { usage_[static_cast<std::size_t>(kind)] = 0; }
+
+std::string Device::DebugString() const {
+  std::ostringstream os;
+  os << "gpu" << id_ << "[" << FormatBytes(used()) << "/" << FormatBytes(capacity_);
+  for (std::size_t k = 0; k < usage_.size(); ++k) {
+    if (usage_[k] > 0) {
+      os << " " << MemoryKindName(static_cast<MemoryKind>(k)) << "=" << FormatBytes(usage_[k]);
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace gnnlab

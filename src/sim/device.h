@@ -1,0 +1,58 @@
+// Simulated GPU device: a memory ledger with categorized allocations.
+//
+// The paper's capacity analysis (§3, Figure 3) is about what fits where: a
+// time-sharing GPU must hold graph topology AND feature cache AND both
+// stages' workspaces, while a factored GPU holds only one side. The Device
+// tracks exactly that — categorized reservations against a fixed capacity —
+// and refuses allocations that exceed it, which is how the reproduction
+// surfaces the paper's OOM cells in Table 4.
+#ifndef GNNLAB_SIM_DEVICE_H_
+#define GNNLAB_SIM_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace gnnlab {
+
+enum class MemoryKind : int {
+  kTopology = 0,      // CSR arrays (+ weight CDFs) for sampling.
+  kFeatureCache = 1,  // Cached feature rows.
+  kSamplerWorkspace = 2,
+  kTrainerWorkspace = 3,
+  kNumKinds = 4,
+};
+
+const char* MemoryKindName(MemoryKind kind);
+
+class Device {
+ public:
+  Device(int id, ByteCount capacity) : id_(id), capacity_(capacity) {}
+
+  int id() const { return id_; }
+  ByteCount capacity() const { return capacity_; }
+  ByteCount used() const;
+  ByteCount available() const { return capacity_ - used(); }
+  ByteCount used(MemoryKind kind) const {
+    return usage_[static_cast<std::size_t>(kind)];
+  }
+
+  // Returns false (and changes nothing) if the allocation would exceed
+  // capacity — the simulated OOM.
+  [[nodiscard]] bool TryAllocate(MemoryKind kind, ByteCount bytes);
+  void Free(MemoryKind kind, ByteCount bytes);
+  void FreeAll(MemoryKind kind);
+
+  std::string DebugString() const;
+
+ private:
+  int id_;
+  ByteCount capacity_;
+  std::array<ByteCount, static_cast<std::size_t>(MemoryKind::kNumKinds)> usage_{};
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SIM_DEVICE_H_

@@ -1,0 +1,46 @@
+#include "sim/sim_engine.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+void SimEngine::Schedule(SimTime delay, Callback fn) {
+  CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void SimEngine::ScheduleAt(SimTime when, Callback fn) {
+  CHECK_GE(when, now_);
+  events_.push(Event{when, next_sequence_++, std::move(fn)});
+}
+
+void SimEngine::Step() {
+  // Safe: the element is popped immediately after the move, so the modified
+  // key fields are never reordered within the heap.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.when;
+  ++events_processed_;
+  event.fn();
+}
+
+SimTime SimEngine::Run() {
+  while (!events_.empty()) {
+    Step();
+  }
+  return now_;
+}
+
+SimTime SimEngine::RunUntil(SimTime deadline) {
+  while (!events_.empty() && events_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,63 @@
+// A minimal discrete-event simulation engine with a virtual clock.
+//
+// The factored execution engine (core/engine.cc) and the baseline runners
+// schedule executor-step completions on this engine; real computation
+// (sampling, cache marking, extraction accounting) happens inside the
+// callbacks, while durations come from sim::CostModel. Events at equal
+// timestamps fire in schedule order (FIFO), which keeps runs deterministic.
+#ifndef GNNLAB_SIM_SIM_ENGINE_H_
+#define GNNLAB_SIM_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gnnlab {
+
+class SimEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at now() + delay (delay >= 0).
+  void Schedule(SimTime delay, Callback fn);
+  // Schedules at an absolute timestamp (>= now()).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  // Runs until no events remain. Returns the final clock value.
+  SimTime Run();
+
+  // Runs until the clock would pass `deadline`; events at exactly the
+  // deadline still fire.
+  SimTime RunUntil(SimTime deadline);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;  // FIFO tiebreak for simultaneous events.
+    Callback fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.sequence > b.sequence;
+    }
+  };
+
+  void Step();
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SIM_SIM_ENGINE_H_

@@ -1,0 +1,44 @@
+// Execution-trace recording for the simulated timeline, exportable in the
+// Chrome trace-event format (open chrome://tracing or https://ui.perfetto.dev
+// and load the JSON) — one lane per simulated GPU executor plus the shared
+// host channel, one span per stage execution. The paper's pipeline diagrams
+// (Figure 6/8) fall out of a recorded run visually.
+#ifndef GNNLAB_SIM_TRACE_H_
+#define GNNLAB_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gnnlab {
+
+struct TraceSpan {
+  std::string lane;      // e.g. "gpu0/sampler", "gpu3/trainer", "host/channel".
+  std::string name;      // e.g. "sample b42", "extract b42", "train b42".
+  std::string category;  // "sample" | "extract" | "train" | "host".
+  SimTime begin = 0.0;
+  SimTime end = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  void Record(std::string lane, std::string name, std::string category, SimTime begin,
+              SimTime end);
+
+  std::size_t size() const { return spans_.size(); }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  void Clear() { spans_.clear(); }
+
+  // Chrome trace-event JSON: complete ("X") events with microsecond
+  // timestamps; lanes become thread names via metadata events.
+  std::string ToChromeJson() const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SIM_TRACE_H_

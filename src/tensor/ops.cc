@@ -1,0 +1,148 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
+  CHECK_EQ(a.cols(), b.rows());
+  out->Resize(a.rows(), b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* out_row = out->data() + i * n;
+    const float* a_row = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* b_row = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        out_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* out) {
+  CHECK_EQ(a.rows(), b.rows());
+  out->Resize(a.cols(), b.cols());
+  const std::size_t k = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* a_row = a.data() + p * m;
+    const float* b_row = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* out_row = out->data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        out_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* out) {
+  CHECK_EQ(a.cols(), b.cols());
+  out->Resize(a.rows(), b.rows());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* out_row = out->data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a_row[p] * b_row[p];
+      }
+      out_row[j] = acc;
+    }
+  }
+}
+
+void AddInPlace(Tensor* out, const Tensor& a) {
+  CHECK_EQ(out->rows(), a.rows());
+  CHECK_EQ(out->cols(), a.cols());
+  float* o = out->data();
+  const float* x = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    o[i] += x[i];
+  }
+}
+
+void AddRowBroadcast(const Tensor& a, const Tensor& bias, Tensor* out) {
+  CHECK_EQ(bias.rows(), 1u);
+  CHECK_EQ(bias.cols(), a.cols());
+  // `out` may alias `a` (in-place bias add); Resize would zero the shared
+  // buffer before it is read.
+  if (out != &a) {
+    out->Resize(a.rows(), a.cols());
+  }
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.data() + r * a.cols();
+    float* dst = out->data() + r * a.cols();
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      dst[c] = src[c] + bias.at(0, c);
+    }
+  }
+}
+
+void ScaleInPlace(Tensor* out, float s) {
+  float* o = out->data();
+  for (std::size_t i = 0; i < out->size(); ++i) {
+    o[i] *= s;
+  }
+}
+
+void Relu(const Tensor& a, Tensor* out) {
+  out->Resize(a.rows(), a.cols());
+  const float* x = a.data();
+  float* o = out->data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    o[i] = std::max(x[i], 0.0f);
+  }
+}
+
+void ReluBackward(const Tensor& grad_out, const Tensor& activated, Tensor* grad_in) {
+  CHECK_EQ(grad_out.rows(), activated.rows());
+  CHECK_EQ(grad_out.cols(), activated.cols());
+  grad_in->Resize(grad_out.rows(), grad_out.cols());
+  const float* g = grad_out.data();
+  const float* act = activated.data();
+  float* out = grad_in->data();
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    out[i] = act[i] > 0.0f ? g[i] : 0.0f;
+  }
+}
+
+void SumRows(const Tensor& a, Tensor* out) {
+  out->Resize(1, a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.data() + r * a.cols();
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      out->at(0, c) += src[c];
+    }
+  }
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * static_cast<double>(b.data()[i]);
+  }
+  return acc;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,39 @@
+// Dense tensor operations used by the NN layers. All outputs are resized by
+// the op; inputs are never aliased with outputs unless documented.
+#ifndef GNNLAB_TENSOR_OPS_H_
+#define GNNLAB_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace gnnlab {
+
+// out = a * b           (a: [m,k], b: [k,n], out: [m,n])
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
+// out = a^T * b         (a: [k,m], b: [k,n], out: [m,n])
+void MatMulTransA(const Tensor& a, const Tensor& b, Tensor* out);
+// out = a * b^T         (a: [m,k], b: [n,k], out: [m,n])
+void MatMulTransB(const Tensor& a, const Tensor& b, Tensor* out);
+
+// out += a (shapes must match).
+void AddInPlace(Tensor* out, const Tensor& a);
+// out = a + b broadcast over rows (bias: [1, n]).
+void AddRowBroadcast(const Tensor& a, const Tensor& bias, Tensor* out);
+// out *= s
+void ScaleInPlace(Tensor* out, float s);
+
+// ReLU forward: out = max(a, 0).
+void Relu(const Tensor& a, Tensor* out);
+// ReLU backward: grad_in = grad_out where pre-activation > 0 else 0.
+// `activated` is the *forward output* (post-ReLU), whose positivity equals
+// the pre-activation's.
+void ReluBackward(const Tensor& grad_out, const Tensor& activated, Tensor* grad_in);
+
+// Row-wise reduction of the gradient for a broadcast bias: out[0,c] = sum_r a[r,c].
+void SumRows(const Tensor& a, Tensor* out);
+
+// Frobenius dot product; used by gradient-check tests.
+double Dot(const Tensor& a, const Tensor& b);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_TENSOR_OPS_H_

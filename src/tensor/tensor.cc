@@ -1,0 +1,33 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  CHECK_EQ(data_.size(), rows * cols);
+}
+
+Tensor Tensor::Glorot(std::size_t rows, std::size_t cols, Rng* rng) {
+  Tensor t(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (float& x : t.data_) {
+    x = static_cast<float>((2.0 * rng->NextDouble() - 1.0) * limit);
+  }
+  return t;
+}
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+}  // namespace gnnlab

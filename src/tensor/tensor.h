@@ -1,0 +1,53 @@
+// A minimal row-major 2-D float tensor: the dense substrate for the Train
+// stage. The paper delegates this stage to DGL/PyTorch; here it is a small
+// self-contained implementation sufficient for GCN/GraphSAGE/PinSAGE
+// forward+backward with exact gradients (validated by finite differences in
+// tests/nn_test.cc).
+#ifndef GNNLAB_TENSOR_TENSOR_H_
+#define GNNLAB_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnnlab {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  Tensor(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+  static Tensor Zeros(std::size_t rows, std::size_t cols) { return Tensor(rows, cols); }
+  // Glorot/Xavier-uniform initialization for weight matrices.
+  static Tensor Glorot(std::size_t rows, std::size_t cols, Rng* rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  void Fill(float value);
+  void Resize(std::size_t rows, std::size_t cols);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_TENSOR_TENSOR_H_

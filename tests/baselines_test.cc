@@ -1,0 +1,186 @@
+// Tests for src/baselines: the DGL/T_SOTA time-sharing runner and the
+// PyG-style CPU runner, including the capacity (OOM) behaviour and the
+// ordering relations the paper's Tables 1/4 rest on.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_runner.h"
+#include "baselines/timeshare_runner.h"
+
+namespace gnnlab {
+namespace {
+
+const Dataset& Products() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kProducts, 0.1, 42));
+  return *ds;
+}
+const Dataset& Papers() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kPapers, 0.05, 42));
+  return *ds;
+}
+
+TimeShareOptions BaseTimeShare() {
+  TimeShareOptions options;
+  options.num_gpus = 4;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 2;
+  options.seed = 1;
+  return options;
+}
+
+TEST(TimeShareRunnerTest, DglPresetCompletesEpochs) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TimeShareOptions options = DglOptions();
+  options.num_gpus = 4;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 2;
+  TimeShareRunner runner(Products(), workload, options);
+  const RunReport report = runner.Run();
+  ASSERT_FALSE(report.oom) << report.oom_detail;
+  for (const EpochReport& epoch : report.epochs) {
+    EXPECT_EQ(epoch.batches, Products().BatchesPerEpoch());
+    EXPECT_EQ(epoch.extract.cache_hits, 0u);  // DGL has no cache.
+  }
+  EXPECT_DOUBLE_EQ(report.cache_ratio, 0.0);
+}
+
+TEST(TimeShareRunnerTest, TsotaPresetUsesDegreeCache) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TimeShareOptions options = TsotaOptions();
+  options.num_gpus = 4;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 1;
+  TimeShareRunner runner(Products(), workload, options);
+  const RunReport report = runner.Run();
+  ASSERT_FALSE(report.oom);
+  EXPECT_GT(report.cache_ratio, 0.0);
+  EXPECT_GT(report.epochs[0].extract.cache_hits, 0u);
+}
+
+TEST(TimeShareRunnerTest, Deterministic) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TimeShareRunner a(Products(), workload, BaseTimeShare());
+  TimeShareRunner b(Products(), workload, BaseTimeShare());
+  EXPECT_DOUBLE_EQ(a.Run().epochs[0].epoch_time, b.Run().epochs[0].epoch_time);
+}
+
+TEST(TimeShareRunnerTest, CachingSpeedsUpTsota) {
+  // Table 1: enabling the GPU cache cuts the Extract stage.
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TimeShareOptions with = BaseTimeShare();
+  with.gpu_extract = true;
+  with.policy = CachePolicyKind::kDegree;
+  TimeShareOptions without = with;
+  without.policy = CachePolicyKind::kNone;
+  TimeShareRunner cached(Products(), workload, with);
+  TimeShareRunner uncached(Products(), workload, without);
+  const RunReport rc = cached.Run();
+  const RunReport ru = uncached.Run();
+  ASSERT_FALSE(rc.oom);
+  ASSERT_FALSE(ru.oom);
+  EXPECT_LT(rc.epochs[0].stage.extract, ru.epochs[0].stage.extract);
+  EXPECT_LT(rc.AvgEpochTime(), ru.AvgEpochTime());
+}
+
+TEST(TimeShareRunnerTest, GpuSamplingSpeedsUpSampleStage) {
+  // Table 1: GPU-based sampling beats CPU sampling.
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TimeShareOptions gpu = BaseTimeShare();
+  gpu.gpu_sampling = true;
+  TimeShareOptions cpu = BaseTimeShare();
+  cpu.gpu_sampling = false;
+  TimeShareRunner g(Products(), workload, gpu);
+  TimeShareRunner c(Products(), workload, cpu);
+  EXPECT_LT(g.Run().epochs[0].stage.sample_graph, c.Run().epochs[0].stage.sample_graph);
+}
+
+TEST(TimeShareRunnerTest, DglStyleSamplingSlowerThanFisherYates) {
+  // §7.3: the Reservoir kernel + runtime overhead loses to the
+  // Fisher-Yates variant.
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TimeShareOptions dgl = BaseTimeShare();
+  dgl.dgl_style_sampling = true;
+  TimeShareOptions fy = BaseTimeShare();
+  fy.dgl_style_sampling = false;
+  TimeShareRunner d(Products(), workload, dgl);
+  TimeShareRunner f(Products(), workload, fy);
+  EXPECT_GT(d.Run().epochs[0].stage.sample_graph, f.Run().epochs[0].stage.sample_graph);
+}
+
+TEST(TimeShareRunnerTest, OomWhenStackExceedsGpu) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TimeShareOptions options = BaseTimeShare();
+  // Topology at 80% of the GPU leaves no room for the 30% workspaces.
+  options.gpu_memory = static_cast<ByteCount>(
+      static_cast<double>(Products().TopologyBytes()) / 0.8);
+  TimeShareRunner runner(Products(), workload, options);
+  const RunReport report = runner.Run();
+  EXPECT_TRUE(report.oom);
+}
+
+TEST(TimeShareRunnerTest, TimeSharingSqueezesCacheRatio) {
+  // §3 capacity analysis: a time-sharing GPU (topology + both workspaces
+  // resident) has a smaller cache than a dedicated Trainer GPU would.
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TimeShareOptions options = BaseTimeShare();
+  options.gpu_extract = true;
+  options.policy = CachePolicyKind::kDegree;
+  options.gpu_memory = 3 * kMiB;  // Tight: topology is ~1.6MB.
+  TimeShareRunner runner(Papers(), workload, options);
+  const RunReport report = runner.Run();
+  // Papers' topology at scale 0.05 (~1.3MB) + 30% workspaces leaves little.
+  ASSERT_FALSE(report.oom) << report.oom_detail;
+  EXPECT_LT(report.cache_ratio, 0.2);
+}
+
+TEST(TimeShareRunnerTest, MoreGpusReduceEpochTimeSublinearly) {
+  // Figure 14: baselines scale, but the shared host channel limits them.
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  TimeShareOptions one = BaseTimeShare();
+  one.num_gpus = 1;
+  TimeShareOptions four = BaseTimeShare();
+  four.num_gpus = 4;
+  TimeShareRunner r1(Papers(), workload, one);
+  TimeShareRunner r4(Papers(), workload, four);
+  const double t1 = r1.Run().AvgEpochTime();
+  const double t4 = r4.Run().AvgEpochTime();
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t4, t1 / 4.0);  // Sublinear due to contention.
+}
+
+TEST(CpuRunnerTest, CompletesEpochs) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  CpuRunnerOptions options;
+  options.num_gpus = 4;
+  options.epochs = 2;
+  CpuRunner runner(Products(), workload, options);
+  const RunReport report = runner.Run();
+  ASSERT_EQ(report.epochs.size(), 2u);
+  EXPECT_EQ(report.epochs[0].batches, Products().BatchesPerEpoch());
+  EXPECT_EQ(report.epochs[0].extract.cache_hits, 0u);
+}
+
+TEST(CpuRunnerTest, SlowerThanGpuTimeSharing) {
+  // Table 4: PyG is the slowest system everywhere.
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  CpuRunnerOptions cpu_options;
+  cpu_options.num_gpus = 4;
+  cpu_options.epochs = 1;
+  CpuRunner cpu(Papers(), workload, cpu_options);
+  TimeShareOptions ts = BaseTimeShare();
+  ts.epochs = 1;
+  TimeShareRunner gpu(Papers(), workload, ts);
+  EXPECT_GT(cpu.Run().AvgEpochTime(), gpu.Run().AvgEpochTime());
+}
+
+TEST(CpuRunnerTest, Deterministic) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  CpuRunnerOptions options;
+  options.num_gpus = 2;
+  options.epochs = 1;
+  CpuRunner a(Products(), workload, options);
+  CpuRunner b(Products(), workload, options);
+  EXPECT_DOUBLE_EQ(a.Run().epochs[0].epoch_time, b.Run().epochs[0].epoch_time);
+}
+
+}  // namespace
+}  // namespace gnnlab

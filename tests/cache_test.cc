@@ -1,0 +1,304 @@
+// Tests for src/cache: the general caching scheme (load_cache semantics),
+// the four policies, and the paper's core caching claims at test scale —
+// PreSC beats Degree on low-skew graphs and under weighted sampling, and
+// approaches the Optimal oracle (§6, Figures 5/10/11).
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_policy.h"
+#include "cache/feature_cache.h"
+#include "core/workload.h"
+#include "graph/dataset.h"
+
+namespace gnnlab {
+namespace {
+
+// Shared fixtures: datasets are expensive to generate, so build once.
+const Dataset& Products() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kProducts, 0.1, 42));
+  return *ds;
+}
+const Dataset& Papers() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kPapers, 0.05, 42));
+  return *ds;
+}
+const Dataset& Twitter() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kTwitter, 0.05, 42));
+  return *ds;
+}
+
+CachePolicyContext ContextFor(const Dataset& ds, const Workload& workload,
+                              const EdgeWeights* weights = nullptr) {
+  CachePolicyContext context;
+  context.graph = &ds.graph;
+  context.train_set = &ds.train_set;
+  context.batch_size = ds.batch_size;
+  context.seed = 1;
+  context.sampler_factory = [&ds, &workload, weights] {
+    return MakeSampler(workload, ds, weights);
+  };
+  return context;
+}
+
+// Records the exact footprint the measurement epoch will see.
+Footprint RecordEpochFootprint(Sampler* sampler, const Dataset& ds, std::uint64_t epoch_seed) {
+  Footprint fp(ds.graph.num_vertices());
+  Rng shuffle(epoch_seed);
+  Rng rng(epoch_seed ^ 0x5bd1e995u);
+  EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+  while (batches.HasNext()) {
+    fp.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+  }
+  return fp;
+}
+
+// --- FeatureCache ------------------------------------------------------------
+
+TEST(FeatureCacheTest, LoadCachesTopRanked) {
+  const std::vector<VertexId> ranked{5, 3, 8, 1, 0, 2, 4, 6, 7, 9};
+  const FeatureCache cache = FeatureCache::Load(ranked, 0.3, 10, 16);
+  EXPECT_EQ(cache.num_cached(), 3u);
+  EXPECT_TRUE(cache.Contains(5));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(8));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_DOUBLE_EQ(cache.ratio(), 0.3);
+}
+
+TEST(FeatureCacheTest, ZeroRatioCachesNothing) {
+  const std::vector<VertexId> ranked{0, 1, 2};
+  const FeatureCache cache = FeatureCache::Load(ranked, 0.0, 3, 4);
+  EXPECT_EQ(cache.num_cached(), 0u);
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_EQ(cache.CacheBytes(), 0u);
+}
+
+TEST(FeatureCacheTest, FullRatioCachesEverything) {
+  const std::vector<VertexId> ranked{2, 1, 0};
+  const FeatureCache cache = FeatureCache::Load(ranked, 1.0, 3, 4);
+  EXPECT_EQ(cache.num_cached(), 3u);
+  EXPECT_DOUBLE_EQ(cache.ratio(), 1.0);
+}
+
+TEST(FeatureCacheTest, LoadWithBudgetConvertsBytesToRows) {
+  const std::vector<VertexId> ranked{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  // 16-dim float rows are 64 bytes; a 320-byte budget holds 5 rows.
+  const FeatureCache cache = FeatureCache::LoadWithBudget(ranked, 320, 10, 16);
+  EXPECT_EQ(cache.num_cached(), 5u);
+  EXPECT_EQ(cache.CacheBytes(), 320u);
+}
+
+TEST(FeatureCacheTest, BudgetLargerThanAllRowsCachesAll) {
+  const std::vector<VertexId> ranked{0, 1, 2};
+  const FeatureCache cache = FeatureCache::LoadWithBudget(ranked, 1 << 20, 3, 16);
+  EXPECT_EQ(cache.num_cached(), 3u);
+}
+
+TEST(FeatureCacheTest, MarkBlockMatchesContains) {
+  const std::vector<VertexId> ranked{4, 5};
+  const FeatureCache cache = FeatureCache::Load(ranked, 0.2, 10, 16);
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {4, 1};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  builder.AddEdge(0, 5);
+  builder.EndHop();
+  SampleBlock block = builder.Finish();
+  cache.MarkBlock(&block);
+  ASSERT_EQ(block.cache_marks().size(), 3u);
+  EXPECT_EQ(block.cache_marks()[0], 1);  // Vertex 4 cached.
+  EXPECT_EQ(block.cache_marks()[1], 0);  // Vertex 1 not cached.
+  EXPECT_EQ(block.cache_marks()[2], 1);  // Vertex 5 cached.
+}
+
+// --- Policies ---------------------------------------------------------------
+
+TEST(DegreePolicyTest, RanksByOutDegree) {
+  const Dataset& ds = Products();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  auto policy = MakeDegreePolicy();
+  const auto ranked = policy->Rank(ContextFor(ds, workload));
+  ASSERT_EQ(ranked.size(), ds.graph.num_vertices());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ds.graph.out_degree(ranked[i - 1]), ds.graph.out_degree(ranked[i]));
+  }
+  EXPECT_STREQ(policy->name(), "Degree");
+}
+
+TEST(RandomPolicyTest, IsAPermutationAndSeedDeterministic) {
+  const Dataset& ds = Products();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  auto policy = MakeRandomPolicy();
+  const auto a = policy->Rank(ContextFor(ds, workload));
+  const auto b = policy->Rank(ContextFor(ds, workload));
+  EXPECT_EQ(a, b);
+  std::set<VertexId> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), ds.graph.num_vertices());
+}
+
+TEST(PreSamplingPolicyTest, ProducesFullRanking) {
+  const Dataset& ds = Products();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  auto policy = MakePreSamplingPolicy(1);
+  const auto ranked = policy->Rank(ContextFor(ds, workload));
+  ASSERT_EQ(ranked.size(), ds.graph.num_vertices());
+  std::set<VertexId> unique(ranked.begin(), ranked.end());
+  EXPECT_EQ(unique.size(), ds.graph.num_vertices());
+  EXPECT_STREQ(policy->name(), "PreSC#1");
+  EXPECT_STREQ(MakePreSamplingPolicy(2)->name(), "PreSC#2");
+}
+
+TEST(PreSamplingPolicyTest, TopRankedVerticesAreActuallyHot) {
+  const Dataset& ds = Products();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  auto policy = MakePreSamplingPolicy(1);
+  const auto ranked = policy->Rank(ContextFor(ds, workload));
+  // Record an independent epoch and check the policy's top pick is visited
+  // far more than the median vertex.
+  auto sampler = MakeSampler(workload, ds, nullptr);
+  const Footprint fp = RecordEpochFootprint(sampler.get(), ds, 777);
+  const auto counts = fp.counts();
+  EXPECT_GT(counts[ranked.front()], counts[ranked[ranked.size() / 2]]);
+}
+
+TEST(OptimalOracleTest, RanksByProvidedFootprint) {
+  Footprint fp(4);
+  RemapScratch scratch(4);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {2, 2, 1};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  builder.AddEdge(0, 3);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(0, 3);
+  builder.EndHop();
+  fp.Accumulate(builder.Finish());
+  auto oracle = MakeOptimalOracle(std::move(fp));
+  CachePolicyContext context;
+  const auto ranked = oracle->Rank(context);
+  EXPECT_EQ(ranked[0], 3u);  // 3 visits.
+  EXPECT_STREQ(oracle->name(), "Optimal");
+}
+
+// --- MeasureEpochExtraction & paper-property checks --------------------------
+
+double HitRateFor(const Dataset& ds, const Workload& workload, const EdgeWeights* weights,
+                  CachePolicy* policy, double ratio, std::uint64_t epoch_seed) {
+  const auto ranked = policy->Rank(ContextFor(ds, workload, weights));
+  const FeatureCache cache =
+      FeatureCache::Load(ranked, ratio, ds.graph.num_vertices(), ds.feature_dim);
+  auto sampler = MakeSampler(workload, ds, weights);
+  const EpochExtractionResult result = MeasureEpochExtraction(
+      sampler.get(), ds.train_set, ds.batch_size, cache, ds.feature_dim, epoch_seed);
+  return result.HitRate();
+}
+
+TEST(MeasureEpochExtractionTest, EmptyCacheZeroHits) {
+  const Dataset& ds = Products();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  const FeatureCache cache =
+      FeatureCache::Load({}, 0.0, ds.graph.num_vertices(), ds.feature_dim);
+  auto sampler = MakeSampler(workload, ds, nullptr);
+  const auto result = MeasureEpochExtraction(sampler.get(), ds.train_set, ds.batch_size, cache,
+                                             ds.feature_dim, 5);
+  EXPECT_EQ(result.cache_hits, 0u);
+  EXPECT_GT(result.distinct_vertices, 0u);
+  EXPECT_EQ(result.bytes_from_host,
+            result.distinct_vertices * ds.feature_dim * sizeof(float));
+  EXPECT_EQ(result.batches, ds.BatchesPerEpoch());
+}
+
+TEST(MeasureEpochExtractionTest, FullCacheAllHits) {
+  const Dataset& ds = Products();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  auto policy = MakeRandomPolicy();
+  const auto ranked = policy->Rank(ContextFor(ds, workload));
+  const FeatureCache cache =
+      FeatureCache::Load(ranked, 1.0, ds.graph.num_vertices(), ds.feature_dim);
+  auto sampler = MakeSampler(workload, ds, nullptr);
+  const auto result = MeasureEpochExtraction(sampler.get(), ds.train_set, ds.batch_size, cache,
+                                             ds.feature_dim, 5);
+  EXPECT_DOUBLE_EQ(result.HitRate(), 1.0);
+  EXPECT_EQ(result.bytes_from_host, 0u);
+}
+
+TEST(MeasureEpochExtractionTest, DeterministicInSeed) {
+  const Dataset& ds = Products();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  auto policy = MakeDegreePolicy();
+  const auto ranked = policy->Rank(ContextFor(ds, workload));
+  const FeatureCache cache =
+      FeatureCache::Load(ranked, 0.1, ds.graph.num_vertices(), ds.feature_dim);
+  auto s1 = MakeSampler(workload, ds, nullptr);
+  auto s2 = MakeSampler(workload, ds, nullptr);
+  const auto a = MeasureEpochExtraction(s1.get(), ds.train_set, ds.batch_size, cache,
+                                        ds.feature_dim, 9);
+  const auto b = MeasureEpochExtraction(s2.get(), ds.train_set, ds.batch_size, cache,
+                                        ds.feature_dim, 9);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.distinct_vertices, b.distinct_vertices);
+}
+
+// Paper §6.3 "Efficiency": PreSC#1 clearly beats Degree on the low-skew
+// citation graph at a small cache ratio (Figure 11b).
+TEST(CachingPropertyTest, PreScBeatsDegreeOnCitationGraph) {
+  const Dataset& ds = Papers();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  auto presc = MakePreSamplingPolicy(1);
+  auto degree = MakeDegreePolicy();
+  const double hr_presc = HitRateFor(ds, workload, nullptr, presc.get(), 0.1, 31);
+  const double hr_degree = HitRateFor(ds, workload, nullptr, degree.get(), 0.1, 31);
+  EXPECT_GT(hr_presc, hr_degree + 0.1)
+      << "PreSC " << hr_presc << " vs Degree " << hr_degree;
+}
+
+// Paper §6.3 "Robustness": weighted sampling breaks Degree even on the
+// power-law graph (Figure 5b / 10).
+TEST(CachingPropertyTest, PreScBeatsDegreeUnderWeightedSampling) {
+  const Dataset& ds = Twitter();
+  const Workload workload = WeightedGcnWorkload();
+  const EdgeWeights weights = ds.MakeWeights();
+  auto presc = MakePreSamplingPolicy(1);
+  auto degree = MakeDegreePolicy();
+  const double hr_presc = HitRateFor(ds, workload, &weights, presc.get(), 0.1, 33);
+  const double hr_degree = HitRateFor(ds, workload, &weights, degree.get(), 0.1, 33);
+  EXPECT_GT(hr_presc, hr_degree)
+      << "PreSC " << hr_presc << " vs Degree " << hr_degree;
+}
+
+// Paper abstract: PreSC achieves 90-99% of the optimal hit rate.
+TEST(CachingPropertyTest, PreScApproachesOptimal) {
+  const Dataset& ds = Papers();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  auto sampler = MakeSampler(workload, ds, nullptr);
+  const std::uint64_t epoch_seed = 41;
+  Footprint oracle_fp = RecordEpochFootprint(sampler.get(), ds, epoch_seed);
+  auto oracle = MakeOptimalOracle(std::move(oracle_fp));
+  auto presc = MakePreSamplingPolicy(1);
+  const double hr_optimal = HitRateFor(ds, workload, nullptr, oracle.get(), 0.1, epoch_seed);
+  const double hr_presc = HitRateFor(ds, workload, nullptr, presc.get(), 0.1, epoch_seed);
+  EXPECT_LE(hr_presc, hr_optimal + 1e-9);
+  EXPECT_GT(hr_presc, 0.85 * hr_optimal);
+}
+
+// Hit rate must be monotone in the cache ratio for a fixed ranking.
+class CacheRatioMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CacheRatioMonotonicityTest, HigherRatioNeverHurts) {
+  const Dataset& ds = Products();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  auto policy = MakePreSamplingPolicy(1);
+  const double ratio = GetParam();
+  const double lo = HitRateFor(ds, workload, nullptr, policy.get(), ratio, 51);
+  const double hi = HitRateFor(ds, workload, nullptr, policy.get(), ratio + 0.1, 51);
+  EXPECT_GE(hi + 1e-9, lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, CacheRatioMonotonicityTest,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.4, 0.8));
+
+}  // namespace
+}  // namespace gnnlab

@@ -1,0 +1,165 @@
+// Tests for src/common: deterministic RNG, byte formatting, logging levels.
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace gnnlab {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  std::uint64_t a = 42;
+  std::uint64_t b = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(&a), SplitMix64(&b));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  std::uint64_t state = 7;
+  const std::uint64_t first = SplitMix64(&state);
+  const std::uint64_t second = SplitMix64(&state);
+  EXPECT_NE(first, second);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(77);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBound)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBound;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(11);
+  Rng child0 = parent.Fork(0);
+  Rng child1 = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child0.Next() == child1.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng parent(11);
+  Rng a = parent.Fork(5);
+  Rng b = parent.Fork(5);
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, ForkDoesNotDisturbParent) {
+  Rng a(13);
+  Rng b(13);
+  (void)a.Fork(1);
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) {
+    v[i] = i;
+  }
+  Rng rng(21);
+  std::shuffle(v.begin(), v.end(), rng);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 100u);  // Still a permutation.
+}
+
+TEST(UnitsTest, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2 * kKiB), "2.0KB");
+  EXPECT_EQ(FormatBytes(3 * kMiB + kMiB / 2), "3.5MB");
+  EXPECT_EQ(FormatBytes(11 * kGiB + 2 * kGiB / 5), "11.4GB");
+}
+
+TEST(UnitsTest, FormatSecondsPicksUnit) {
+  EXPECT_EQ(FormatSeconds(0.0001), "0.100ms");
+  EXPECT_EQ(FormatSeconds(0.0475), "47.5ms");
+  EXPECT_EQ(FormatSeconds(12.5), "12.50s");
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(GNNLAB_LOG_ENABLED(LogLevel::kInfo));
+  EXPECT_TRUE(GNNLAB_LOG_ENABLED(LogLevel::kError));
+  SetLogLevel(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ CHECK_EQ(1, 2) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  CHECK_EQ(1, 1);
+  CHECK_LT(1, 2);
+  CHECK_GE(2, 2);
+  CHECK(true);
+}
+
+}  // namespace
+}  // namespace gnnlab

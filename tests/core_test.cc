@@ -1,0 +1,277 @@
+// Tests for src/core building blocks: workloads, the DES global queue, the
+// flexible-scheduling formula, the switching profit metric, stats, and the
+// shared-resource timeline.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/executors.h"
+#include "core/global_queue.h"
+#include "core/scheduler.h"
+#include "core/stats.h"
+#include "core/switching.h"
+#include "core/workload.h"
+#include "graph/dataset.h"
+
+namespace gnnlab {
+namespace {
+
+// --- Workload ---------------------------------------------------------------
+
+TEST(WorkloadTest, StandardConfigsMatchPaper) {
+  const Workload gcn = StandardWorkload(GnnModelKind::kGcn);
+  EXPECT_EQ(gcn.fanouts, (std::vector<std::uint32_t>{15, 10, 5}));
+  EXPECT_EQ(gcn.num_layers, 3u);
+  EXPECT_EQ(gcn.hidden_dim, 256u);
+  EXPECT_EQ(gcn.sampling, SamplingAlgorithm::kKhopUniform);
+
+  const Workload sage = StandardWorkload(GnnModelKind::kGraphSage);
+  EXPECT_EQ(sage.fanouts, (std::vector<std::uint32_t>{25, 10}));
+  EXPECT_EQ(sage.num_layers, 2u);
+
+  const Workload psg = StandardWorkload(GnnModelKind::kPinSage);
+  EXPECT_EQ(psg.sampling, SamplingAlgorithm::kRandomWalk);
+  EXPECT_EQ(psg.num_layers, 3u);
+  EXPECT_EQ(psg.rw_walks, 4u);
+  EXPECT_EQ(psg.rw_length, 3u);
+  EXPECT_EQ(psg.rw_neighbors, 5u);
+}
+
+TEST(WorkloadTest, WeightedGcnUsesWeightedSampling) {
+  const Workload w = WeightedGcnWorkload();
+  EXPECT_EQ(w.sampling, SamplingAlgorithm::kKhopWeighted);
+  EXPECT_EQ(w.fanouts, (std::vector<std::uint32_t>{15, 10, 5}));
+}
+
+TEST(WorkloadTest, MakeSamplerProducesMatchingAlgorithm) {
+  const Dataset ds = MakeDataset(DatasetId::kProducts, 0.05, 42);
+  for (const GnnModelKind kind :
+       {GnnModelKind::kGcn, GnnModelKind::kGraphSage, GnnModelKind::kPinSage}) {
+    const Workload w = StandardWorkload(kind);
+    auto sampler = MakeSampler(w, ds, nullptr);
+    EXPECT_EQ(sampler->algorithm(), w.sampling);
+    EXPECT_EQ(sampler->num_layers(), w.num_layers);
+  }
+}
+
+TEST(WorkloadDeathTest, WeightedSamplerRequiresWeights) {
+  const Dataset ds = MakeDataset(DatasetId::kProducts, 0.05, 42);
+  const Workload w = WeightedGcnWorkload();
+  EXPECT_DEATH((void)MakeSampler(w, ds, nullptr), "weights");
+}
+
+TEST(WorkloadTest, MakeTrainWorkCountsBlock) {
+  const Dataset ds = MakeDataset(DatasetId::kProducts, 0.05, 42);
+  const Workload w = StandardWorkload(GnnModelKind::kGcn);
+  auto sampler = MakeSampler(w, ds, nullptr);
+  Rng rng(1);
+  const VertexId seeds[] = {0, 1, 2};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  const TrainWork work = MakeTrainWork(w, ds, block);
+  EXPECT_EQ(work.block_vertices, block.vertices().size());
+  std::size_t edges = 0;
+  for (std::size_t h = 0; h < block.num_hops(); ++h) {
+    edges += block.hop(h).size();
+  }
+  EXPECT_EQ(work.block_edges, edges);
+  EXPECT_EQ(work.feature_dim, ds.feature_dim);
+  EXPECT_EQ(work.hidden_dim, 256u);
+}
+
+// --- GlobalQueue ----------------------------------------------------------------
+
+SampleBlock TinyBlock(VertexId seed) {
+  static RemapScratch scratch(100);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {seed};
+  builder.Begin(seeds);
+  return builder.Finish();
+}
+
+TEST(GlobalQueueTest, FifoOrder) {
+  GlobalQueue q;
+  q.Push({TinyBlock(1), 0, 0, 0.0});
+  q.Push({TinyBlock(2), 0, 1, 0.0});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.TryPop()->batch, 0u);
+  EXPECT_EQ(q.TryPop()->batch, 1u);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(GlobalQueueTest, TracksStoredBytes) {
+  GlobalQueue q;
+  TrainTask task{TinyBlock(1), 0, 0, 0.0};
+  const ByteCount bytes = task.block.QueueBytes();
+  q.Push(std::move(task));
+  EXPECT_EQ(q.stored_bytes(), bytes);
+  (void)q.TryPop();
+  EXPECT_EQ(q.stored_bytes(), 0u);
+}
+
+TEST(GlobalQueueTest, ReportTracksPeaks) {
+  GlobalQueue q;
+  q.Push({TinyBlock(1), 0, 0, 0.0});
+  q.Push({TinyBlock(2), 0, 1, 0.0});
+  (void)q.TryPop();
+  q.Push({TinyBlock(3), 0, 2, 0.0});
+  EXPECT_EQ(q.report().total_enqueued, 3u);
+  EXPECT_EQ(q.report().max_depth, 2u);
+  EXPECT_GT(q.report().max_stored_bytes, 0u);
+  q.ResetReport();
+  EXPECT_EQ(q.report().total_enqueued, 0u);
+}
+
+// --- Scheduler -------------------------------------------------------------------
+
+TEST(SchedulerTest, FormulaMatchesPaper) {
+  // N_s = ceil(N_g / (K + 1)), K = T_t / T_s.
+  const ScheduleDecision d = DecideAllocation(8, 1.0, 3.0);  // K = 3.
+  EXPECT_EQ(d.num_samplers, 2);
+  EXPECT_EQ(d.num_trainers, 6);
+  EXPECT_DOUBLE_EQ(d.k_ratio, 3.0);
+}
+
+TEST(SchedulerTest, SlowTrainersGetMoreGpus) {
+  const ScheduleDecision d = DecideAllocation(8, 1.0, 10.0);  // K = 10.
+  EXPECT_EQ(d.num_samplers, 1);
+  EXPECT_EQ(d.num_trainers, 7);
+}
+
+TEST(SchedulerTest, SlowSamplersGetMoreGpus) {
+  const ScheduleDecision d = DecideAllocation(8, 4.0, 1.0);  // K = 0.25.
+  EXPECT_EQ(d.num_samplers, 7);  // ceil(8 / 1.25) = 7.
+  EXPECT_EQ(d.num_trainers, 1);
+}
+
+TEST(SchedulerTest, SingleGpuIsOneSamplerZeroTrainers) {
+  const ScheduleDecision d = DecideAllocation(1, 1.0, 1.0);
+  EXPECT_EQ(d.num_samplers, 1);
+  EXPECT_EQ(d.num_trainers, 0);
+}
+
+TEST(SchedulerTest, ExtremeKStillLeavesOneSampler) {
+  const ScheduleDecision d = DecideAllocation(8, 1.0, 1e9);
+  EXPECT_EQ(d.num_samplers, 1);
+  EXPECT_EQ(d.num_trainers, 7);
+}
+
+TEST(SchedulerTest, EqualTimesSplitEvenly) {
+  const ScheduleDecision d = DecideAllocation(8, 1.0, 1.0);  // K = 1.
+  EXPECT_EQ(d.num_samplers, 4);
+  EXPECT_EQ(d.num_trainers, 4);
+}
+
+// --- Switching --------------------------------------------------------------------
+
+TEST(SwitchProfitTest, MatchesFormula) {
+  // P = M_r * T_t / N_t - T_t'.
+  EXPECT_DOUBLE_EQ(SwitchProfit(10, 2.0, 4, 3.0), 10 * 2.0 / 4 - 3.0);
+}
+
+TEST(SwitchProfitTest, InfiniteWithoutTrainers) {
+  EXPECT_TRUE(std::isinf(SwitchProfit(0, 1.0, 0, 100.0)));
+  EXPECT_GT(SwitchProfit(0, 1.0, 0, 100.0), 0.0);
+}
+
+TEST(SwitchProfitTest, NegativeWhenBacklogSmall) {
+  EXPECT_LT(SwitchProfit(1, 1.0, 8, 2.0), 0.0);
+}
+
+TEST(SwitchControllerTest, DisabledNeverFetches) {
+  SwitchController controller(/*enabled=*/false, /*num_trainers=*/0);
+  controller.SeedEstimates(1.0, 1.0);
+  EXPECT_FALSE(controller.ShouldFetch(1000));
+}
+
+TEST(SwitchControllerTest, ZeroTrainersAlwaysFetches) {
+  SwitchController controller(true, 0);
+  controller.SeedEstimates(1.0, 10.0);
+  EXPECT_TRUE(controller.ShouldFetch(0));
+  EXPECT_TRUE(controller.ShouldFetch(1));
+}
+
+TEST(SwitchControllerTest, FetchesOnlyWithEnoughBacklog) {
+  SwitchController controller(true, 4);
+  controller.SeedEstimates(/*t_train=*/1.0, /*t_train_standby=*/2.0);
+  // P > 0 iff M_r * 1/4 > 2, i.e. M_r > 8.
+  EXPECT_FALSE(controller.ShouldFetch(8));
+  EXPECT_TRUE(controller.ShouldFetch(9));
+}
+
+TEST(SwitchControllerTest, ObservationsMoveEstimates) {
+  SwitchController controller(true, 2);
+  controller.ObserveTrainerBatch(1.0);
+  EXPECT_DOUBLE_EQ(controller.t_train(), 1.0);
+  controller.ObserveTrainerBatch(2.0);
+  EXPECT_GT(controller.t_train(), 1.0);
+  EXPECT_LT(controller.t_train(), 2.0);
+  controller.ObserveStandbyBatch(4.0);
+  EXPECT_DOUBLE_EQ(controller.t_train_standby(), 4.0);
+}
+
+TEST(SwitchControllerTest, SeedDoesNotOverrideObservations) {
+  SwitchController controller(true, 2);
+  controller.ObserveTrainerBatch(5.0);
+  controller.SeedEstimates(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(controller.t_train(), 5.0);
+}
+
+// --- SharedResource -----------------------------------------------------------------
+
+TEST(SharedResourceTest, FcfsSerializes) {
+  SharedResource resource;
+  EXPECT_DOUBLE_EQ(resource.Acquire(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(resource.Acquire(1.0, 2.0), 4.0);  // Queued behind.
+  EXPECT_DOUBLE_EQ(resource.Acquire(10.0, 1.0), 11.0);  // Idle gap.
+}
+
+TEST(SharedResourceTest, ZeroDurationIsFree) {
+  SharedResource resource;
+  EXPECT_DOUBLE_EQ(resource.Acquire(5.0, 0.0), 5.0);
+}
+
+// --- Stats -------------------------------------------------------------------------
+
+TEST(StatsTest, StageBreakdownAddAndTotal) {
+  StageBreakdown a{1, 2, 3, 4, 5};
+  StageBreakdown b{1, 1, 1, 1, 1};
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a.sample_graph, 2.0);
+  EXPECT_DOUBLE_EQ(a.SampleTotal(), 2 + 3 + 4);
+  EXPECT_DOUBLE_EQ(a.train, 6.0);
+}
+
+TEST(StatsTest, RunReportAverages) {
+  RunReport report;
+  for (int e = 0; e < 3; ++e) {
+    EpochReport epoch;
+    epoch.epoch_time = 1.0 + e;
+    epoch.stage.train = 2.0 * (e + 1);
+    report.epochs.push_back(epoch);
+  }
+  EXPECT_DOUBLE_EQ(report.AvgEpochTime(), 2.0);
+  EXPECT_DOUBLE_EQ(report.AvgEpochTime(1), 2.5);
+  EXPECT_DOUBLE_EQ(report.AvgStage().train, 4.0);
+  EXPECT_DOUBLE_EQ(report.AvgStage(2).train, 6.0);
+}
+
+TEST(StatsTest, PreprocessTotal) {
+  PreprocessReport p;
+  p.disk_load = 1.0;
+  p.topo_load = 2.0;
+  p.cache_load = 3.0;
+  p.presample = 4.0;
+  EXPECT_DOUBLE_EQ(p.Total(), 10.0);
+}
+
+TEST(CachePolicyKindTest, Names) {
+  EXPECT_STREQ(CachePolicyKindName(CachePolicyKind::kNone), "None");
+  EXPECT_STREQ(CachePolicyKindName(CachePolicyKind::kDegree), "Degree");
+  EXPECT_STREQ(CachePolicyKindName(CachePolicyKind::kPreSC1), "PreSC#1");
+  EXPECT_STREQ(CachePolicyKindName(CachePolicyKind::kOptimal), "Optimal");
+}
+
+}  // namespace
+}  // namespace gnnlab

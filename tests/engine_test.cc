@@ -1,0 +1,304 @@
+// End-to-end tests of the GNNLab engine: epoch completion invariants,
+// determinism, memory planning/OOM, scheduling, dynamic switching, the
+// single-GPU degenerate mode, and real-training bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace gnnlab {
+namespace {
+
+const Dataset& Products() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kProducts, 0.1, 42));
+  return *ds;
+}
+const Dataset& Papers() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kPapers, 0.05, 42));
+  return *ds;
+}
+
+EngineOptions BaseOptions() {
+  EngineOptions options;
+  options.num_gpus = 4;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 2;
+  options.seed = 1;
+  return options;
+}
+
+TEST(EngineTest, CompletesAllBatchesEveryEpoch) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  Engine engine(Products(), workload, BaseOptions());
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom) << report.oom_detail;
+  ASSERT_EQ(report.epochs.size(), 2u);
+  for (const EpochReport& epoch : report.epochs) {
+    EXPECT_EQ(epoch.batches, Products().BatchesPerEpoch());
+    EXPECT_GT(epoch.epoch_time, 0.0);
+    EXPECT_GT(epoch.stage.train, 0.0);
+    EXPECT_GT(epoch.stage.sample_graph, 0.0);
+    EXPECT_GT(epoch.extract.distinct_vertices, 0u);
+  }
+  EXPECT_EQ(report.queue.total_enqueued, 2 * Products().BatchesPerEpoch());
+  EXPECT_EQ(report.num_samplers + report.num_trainers, 4);
+  EXPECT_GE(report.num_samplers, 1);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  Engine a(Products(), workload, BaseOptions());
+  Engine b(Products(), workload, BaseOptions());
+  const RunReport ra = a.Run();
+  const RunReport rb = b.Run();
+  ASSERT_EQ(ra.epochs.size(), rb.epochs.size());
+  for (std::size_t e = 0; e < ra.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(ra.epochs[e].epoch_time, rb.epochs[e].epoch_time);
+    EXPECT_EQ(ra.epochs[e].extract.cache_hits, rb.epochs[e].extract.cache_hits);
+    EXPECT_EQ(ra.epochs[e].extract.bytes_from_host, rb.epochs[e].extract.bytes_from_host);
+  }
+  EXPECT_EQ(ra.num_samplers, rb.num_samplers);
+  EXPECT_DOUBLE_EQ(ra.cache_ratio, rb.cache_ratio);
+}
+
+TEST(EngineTest, SeedChangesTimeline) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  Engine a(Products(), workload, options);
+  options.seed = 99;
+  Engine b(Products(), workload, options);
+  EXPECT_NE(a.Run().epochs[0].extract.distinct_vertices,
+            b.Run().epochs[0].extract.distinct_vertices);
+}
+
+TEST(EngineTest, EveryWorkloadRuns) {
+  for (const GnnModelKind kind :
+       {GnnModelKind::kGcn, GnnModelKind::kGraphSage, GnnModelKind::kPinSage}) {
+    const Workload workload = StandardWorkload(kind);
+    Engine engine(Products(), workload, BaseOptions());
+    const RunReport report = engine.Run();
+    ASSERT_FALSE(report.oom) << workload.name << ": " << report.oom_detail;
+    EXPECT_EQ(report.epochs[0].batches, Products().BatchesPerEpoch()) << workload.name;
+  }
+}
+
+TEST(EngineTest, WeightedWorkloadRuns) {
+  const Workload workload = WeightedGcnWorkload();
+  Engine engine(Products(), workload, BaseOptions());
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom);
+  EXPECT_EQ(report.epochs[0].batches, Products().BatchesPerEpoch());
+}
+
+TEST(EngineTest, ForcedSamplerCountIsRespected) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  options.num_samplers = 3;
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom);
+  EXPECT_EQ(report.num_samplers, 3);
+  EXPECT_EQ(report.num_trainers, 1);
+}
+
+TEST(EngineTest, CacheRatioOverride) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  options.cache_ratio_override = 0.25;
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom);
+  EXPECT_NEAR(report.cache_ratio, 0.25, 0.01);
+}
+
+TEST(EngineTest, NoCachePolicyMeansAllMisses) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  options.policy = CachePolicyKind::kNone;
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom);
+  EXPECT_DOUBLE_EQ(report.cache_ratio, 0.0);
+  EXPECT_EQ(report.epochs[0].extract.cache_hits, 0u);
+  EXPECT_DOUBLE_EQ(report.preprocess.presample, 0.0);
+}
+
+TEST(EngineTest, BetterPolicyNeverSlower) {
+  // PreSC#1 must not produce a slower epoch than Random at the same budget
+  // (more cache hits -> less host traffic -> cheaper extraction).
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  options.cache_ratio_override = 0.1;
+  options.policy = CachePolicyKind::kPreSC1;
+  Engine presc(Papers(), workload, options);
+  options.policy = CachePolicyKind::kRandom;
+  Engine random(Papers(), workload, options);
+  const RunReport rp = presc.Run();
+  const RunReport rr = random.Run();
+  ASSERT_FALSE(rp.oom);
+  ASSERT_FALSE(rr.oom);
+  EXPECT_GT(rp.epochs[0].extract.HitRate(), rr.epochs[0].extract.HitRate());
+  EXPECT_LE(rp.epochs[0].stage.extract, rr.epochs[0].stage.extract + 1e-9);
+}
+
+TEST(EngineTest, OptimalIsUpperBoundOnPreSC) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  options.cache_ratio_override = 0.1;
+  options.policy = CachePolicyKind::kOptimal;
+  Engine optimal(Papers(), workload, options);
+  options.policy = CachePolicyKind::kPreSC1;
+  Engine presc(Papers(), workload, options);
+  const double hr_optimal = optimal.Run().epochs[0].extract.HitRate();
+  const double hr_presc = presc.Run().epochs[0].extract.HitRate();
+  EXPECT_GE(hr_optimal + 1e-9, hr_presc);
+  // Paper abstract: PreSC reaches 90-99% of optimal.
+  EXPECT_GT(hr_presc, 0.85 * hr_optimal);
+}
+
+TEST(EngineTest, OomWhenTopologyExceedsGpu) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  // Size the GPU below the topology footprint so the Sampler cannot load it.
+  options.gpu_memory = static_cast<ByteCount>(Products().TopologyBytes() / 2);
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  EXPECT_TRUE(report.oom);
+  EXPECT_NE(report.oom_detail.find("topology"), std::string::npos);
+}
+
+TEST(EngineTest, SingleGpuRunsViaDynamicSwitching) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  options.num_gpus = 1;
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom) << report.oom_detail;
+  EXPECT_EQ(report.num_samplers, 1);
+  EXPECT_EQ(report.num_trainers, 0);
+  // Every batch is trained by the standby Trainer after sampling finishes.
+  EXPECT_EQ(report.epochs[0].switched_batches, report.epochs[0].batches);
+  // The queue holds the whole epoch at its peak (paper §5.3/§7.9).
+  EXPECT_EQ(report.queue.max_depth, report.epochs[0].batches);
+}
+
+TEST(EngineDeathTest, SingleGpuWithoutSwitchingCannotTrain) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  options.num_gpus = 1;
+  options.dynamic_switching = false;
+  Engine engine(Products(), workload, options);
+  EXPECT_DEATH((void)engine.Run(), "no Trainer");
+}
+
+TEST(EngineTest, SwitchingDrainsFasterOnSkewedWorkload) {
+  // PinSAGE: Train >> Sample. With 1 Sampler + 1 Trainer, enabling the
+  // standby Trainer must shorten the epoch (paper Figure 17a).
+  const Workload workload = StandardWorkload(GnnModelKind::kPinSage);
+  EngineOptions options = BaseOptions();
+  options.num_gpus = 2;
+  options.num_samplers = 1;
+  options.dynamic_switching = true;
+  Engine with(Papers(), workload, options);
+  options.dynamic_switching = false;
+  Engine without(Papers(), workload, options);
+  const RunReport rw = with.Run();
+  const RunReport ro = without.Run();
+  ASSERT_FALSE(rw.oom);
+  ASSERT_FALSE(ro.oom);
+  EXPECT_GT(rw.epochs[1].switched_batches, 0u);
+  EXPECT_LT(rw.AvgEpochTime(), ro.AvgEpochTime());
+}
+
+TEST(EngineTest, MoreTrainersShortenSkewedEpochs) {
+  // Scalability shape (paper Figure 14/15): with a fixed Sampler count and
+  // a Train-bound workload, adding Trainer GPUs reduces epoch time.
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  options.dynamic_switching = false;
+  options.num_samplers = 1;
+  options.num_gpus = 2;
+  Engine small(Papers(), workload, options);
+  options.num_gpus = 5;
+  Engine large(Papers(), workload, options);
+  const RunReport rs = small.Run();
+  const RunReport rl = large.Run();
+  ASSERT_FALSE(rs.oom);
+  ASSERT_FALSE(rl.oom);
+  EXPECT_LT(rl.AvgEpochTime(), rs.AvgEpochTime());
+}
+
+TEST(EngineTest, DevicesReflectFactoredLayout) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options = BaseOptions();
+  options.dynamic_switching = false;
+  options.num_samplers = 1;
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom);
+  const auto& devices = engine.devices();
+  ASSERT_EQ(devices.size(), 4u);
+  // Sampler GPU holds topology, no cache.
+  EXPECT_GT(devices[0].used(MemoryKind::kTopology), 0u);
+  EXPECT_EQ(devices[0].used(MemoryKind::kFeatureCache), 0u);
+  // Trainer GPUs hold cache, no topology: the space-sharing design.
+  for (std::size_t g = 1; g < 4; ++g) {
+    EXPECT_EQ(devices[g].used(MemoryKind::kTopology), 0u);
+    EXPECT_GT(devices[g].used(MemoryKind::kFeatureCache), 0u);
+  }
+}
+
+TEST(EngineTest, PreprocessingReported) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  Engine engine(Products(), workload, BaseOptions());
+  const RunReport report = engine.Run();
+  EXPECT_GT(report.preprocess.disk_load, 0.0);
+  EXPECT_GT(report.preprocess.topo_load, 0.0);
+  EXPECT_GT(report.preprocess.cache_load, 0.0);
+  EXPECT_GT(report.preprocess.presample, 0.0);
+  // Pre-sampling is cheap relative to disk loading (paper Table 6).
+  EXPECT_LT(report.preprocess.presample, report.preprocess.disk_load);
+}
+
+TEST(EngineTest, RealTrainingLearnsAndCountsUpdates) {
+  const Dataset& ds = Products();
+  Rng rng(3);
+  const auto labels = MakeCommunityLabels(ds.graph.num_vertices(), 128, 8);
+  const FeatureStore features =
+      FeatureStore::Clustered(ds.graph.num_vertices(), 16, labels, 8, 0.3, &rng);
+  // Evaluate on vertices outside the training set.
+  std::vector<VertexId> eval;
+  for (VertexId v = 0; v < 200; ++v) {
+    eval.push_back(v);
+  }
+
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.eval_vertices = eval;
+  real.num_classes = 8;
+  real.hidden_dim = 16;
+
+  Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  EngineOptions options = BaseOptions();
+  options.epochs = 4;
+  options.real = &real;
+  Engine engine(ds, workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom);
+
+  // Gradient updates per epoch ~ batches / N_t (synchronous data
+  // parallelism, paper Figure 16b).
+  const EpochReport& first = report.epochs.front();
+  const std::size_t group = report.num_trainers > 0
+                                ? static_cast<std::size_t>(report.num_trainers)
+                                : static_cast<std::size_t>(report.num_samplers);
+  EXPECT_EQ(first.gradient_updates, (first.batches + group - 1) / group);
+
+  // Loss decreases and accuracy beats random guessing (1/8).
+  const EpochReport& last = report.epochs.back();
+  EXPECT_LT(last.mean_loss, first.mean_loss);
+  EXPECT_GT(last.eval_accuracy, 0.2);
+}
+
+}  // namespace
+}  // namespace gnnlab

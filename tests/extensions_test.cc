@@ -1,0 +1,302 @@
+// Tests for the paper's §8 extension features: self-reliant partitioning
+// and partition cycling, ClusterGCN-style subgraph sampling, bounded-
+// staleness asynchronous training, and graph serialization.
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/partition.h"
+
+namespace gnnlab {
+namespace {
+
+const Dataset& Products() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kProducts, 0.1, 42));
+  return *ds;
+}
+const Dataset& Twitter() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kTwitter, 0.05, 42));
+  return *ds;
+}
+
+// --- Self-reliant partitioning -----------------------------------------------
+
+TEST(PartitionTest, ShardsCoverTrainingSet) {
+  const Dataset& ds = Products();
+  const auto partitions = BuildSelfReliantPartitions(ds.graph, ds.train_set, 4, 3);
+  ASSERT_EQ(partitions.size(), 4u);
+  std::size_t covered = 0;
+  for (const auto& partition : partitions) {
+    covered += partition.train_shard.size();
+  }
+  EXPECT_EQ(covered, ds.train_set.size());
+}
+
+TEST(PartitionTest, ClosureContainsShardAndNeighbors) {
+  // Path graph 0 -> 1 -> 2 -> 3: the 2-hop closure of {0} is {0, 1, 2}.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  const CsrGraph g = std::move(builder).Build();
+  const TrainingSet ts({0});
+  const auto partitions = BuildSelfReliantPartitions(g, ts, 1, 2);
+  ASSERT_EQ(partitions.size(), 1u);
+  EXPECT_EQ(partitions[0].closure, (std::vector<VertexId>{0, 1, 2}));
+  // Edges sourced in the closure: 0->1, 1->2, and 2->3 (the frontier
+  // vertex's adjacency must be resident to sample its neighbors).
+  EXPECT_EQ(partitions[0].closure_edges, 3u);
+}
+
+TEST(PartitionTest, DeeperHopsGrowClosure) {
+  const Dataset& ds = Products();
+  const auto shallow = BuildSelfReliantPartitions(ds.graph, ds.train_set, 2, 1);
+  const auto deep = BuildSelfReliantPartitions(ds.graph, ds.train_set, 2, 3);
+  EXPECT_GE(deep[0].closure.size(), shallow[0].closure.size());
+}
+
+TEST(PartitionTest, PowerLawClosureSharesBarelyShrink) {
+  // The paper's §8 argument: more partitions do NOT proportionally shrink
+  // each partition's footprint on a power-law graph.
+  const Dataset& tw = Twitter();
+  const auto two = BuildSelfReliantPartitions(tw.graph, tw.train_set, 2, 3);
+  const auto eight = BuildSelfReliantPartitions(tw.graph, tw.train_set, 8, 3);
+  const double share2 = MeanClosureShare(two, tw.graph.num_vertices());
+  const double share8 = MeanClosureShare(eight, tw.graph.num_vertices());
+  EXPECT_GT(share8, 0.5 * share2);  // Far from the 1/4 ideal shrink.
+  EXPECT_GT(share8, 0.3);           // Each of 8 shards still holds a large chunk.
+}
+
+TEST(PartitionTest, MeanClosureShareEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(MeanClosureShare({}, 100), 0.0);
+}
+
+TEST(PartitionCycleTest, ShardCountCoversBudget) {
+  const Dataset& ds = Products();
+  const ByteCount topo = ds.TopologyBytes();
+  const PartitionCyclePlan plan = PlanPartitionCycle(ds.graph, topo / 3 + 1, 3);
+  EXPECT_EQ(plan.num_partitions, 3);
+  EXPECT_LE(plan.bytes_per_partition, topo / 3 + 1);
+  EXPECT_EQ(plan.loads_per_epoch, 9u);
+  EXPECT_GT(plan.BytesPerEpoch(), topo);  // Reloads exceed a one-time load.
+}
+
+TEST(PartitionCycleTest, WholeGraphFitsMeansOneShard) {
+  const Dataset& ds = Products();
+  const PartitionCyclePlan plan = PlanPartitionCycle(ds.graph, ds.TopologyBytes() + 1, 3);
+  EXPECT_EQ(plan.num_partitions, 1);
+}
+
+// --- Subgraph (ClusterGCN-style) sampling -------------------------------------
+
+TEST(SubgraphSamplerTest, NoExpansionBeyondSeeds) {
+  const Dataset& ds = Products();
+  auto sampler = MakeSubgraphSampler(ds.graph, 3);
+  Rng rng(1);
+  const VertexId seeds[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  EXPECT_EQ(block.vertices().size(), 8u);  // Nothing outside the batch.
+  EXPECT_EQ(block.num_hops(), 3u);
+  EXPECT_EQ(sampler->algorithm(), SamplingAlgorithm::kSubgraph);
+}
+
+TEST(SubgraphSamplerTest, EdgesAreInduced) {
+  // Triangle 0-1-2 (directed both ways) plus an outside vertex 3.
+  GraphBuilder builder(4);
+  builder.set_symmetrize(true);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 3);  // 3 is outside the batch.
+  const CsrGraph g = std::move(builder).Build();
+  auto sampler = MakeSubgraphSampler(g, 1);
+  Rng rng(2);
+  const VertexId seeds[] = {0, 1, 2};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  // Induced edges: 0<->1, 1<->2 = 4 directed edges; 0->3 excluded.
+  EXPECT_EQ(block.hop(0).size(), 4u);
+  for (const LocalId src : block.hop(0).src_local) {
+    EXPECT_LT(block.vertices()[src], 3u);
+  }
+}
+
+TEST(SubgraphSamplerTest, LayersShareTheInducedEdgeSet) {
+  const Dataset& ds = Products();
+  auto sampler = MakeSubgraphSampler(ds.graph, 2);
+  Rng rng(3);
+  const VertexId seeds[] = {10, 11, 12, 13};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  EXPECT_EQ(block.hop(0).size(), block.hop(1).size());
+}
+
+TEST(SubgraphSamplerTest, FootprintIsExactlyTheTrainingSet) {
+  // Each training vertex is visited once per epoch as a seed (plus induced
+  // edge endpoints, all inside the training set) — the property that mutes
+  // PreSC (paper §8).
+  const Dataset& ds = Products();
+  auto sampler = MakeSubgraphSampler(ds.graph, 2);
+  Footprint fp(ds.graph.num_vertices());
+  Rng shuffle(4);
+  Rng rng(5);
+  EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+  while (batches.HasNext()) {
+    fp.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+  }
+  const std::set<VertexId> train(ds.train_set.vertices().begin(),
+                                 ds.train_set.vertices().end());
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    if (fp.counts()[v] > 0) {
+      EXPECT_TRUE(train.count(v) > 0) << "vertex " << v << " outside the training set";
+    }
+  }
+}
+
+TEST(ClusterGcnWorkloadTest, RunsThroughTheEngine) {
+  const Workload workload = ClusterGcnWorkload();
+  EngineOptions options;
+  options.num_gpus = 2;
+  options.num_samplers = 1;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 2;
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom) << report.oom_detail;
+  EXPECT_EQ(report.epochs[0].batches, Products().BatchesPerEpoch());
+  // Sampling is trivial relative to training: highly skewed K (paper §8).
+  EXPECT_GT(report.k_ratio, 3.0);
+}
+
+// --- Asynchronous (bounded staleness) training ---------------------------------
+
+TEST(AsyncTrainingTest, ConvergesAndUpdatesPerBatch) {
+  const Dataset& ds = Products();
+  Rng rng(3);
+  const auto labels = MakeCommunityLabels(ds.graph.num_vertices(), 128, 8);
+  const FeatureStore features =
+      FeatureStore::Clustered(ds.graph.num_vertices(), 16, labels, 8, 0.3, &rng);
+  std::vector<VertexId> eval;
+  for (VertexId v = 0; v < 200; ++v) {
+    eval.push_back(v);
+  }
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.eval_vertices = eval;
+  real.num_classes = 8;
+  real.hidden_dim = 16;
+
+  const Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  EngineOptions options;
+  options.num_gpus = 4;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 4;
+  options.real = &real;
+  options.async_updates = true;
+  options.staleness_bound = 2;
+  Engine engine(ds, workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom);
+
+  // Async mode applies one master update per mini-batch.
+  EXPECT_EQ(report.epochs[0].gradient_updates, report.epochs[0].batches);
+  // And it still learns.
+  EXPECT_LT(report.epochs.back().mean_loss, report.epochs.front().mean_loss);
+  EXPECT_GT(report.epochs.back().eval_accuracy, 0.2);
+}
+
+TEST(AsyncTrainingTest, DeterministicAcrossRuns) {
+  const Dataset& ds = Products();
+  Rng rng(9);
+  const auto labels = MakeCommunityLabels(ds.graph.num_vertices(), 128, 4);
+  const FeatureStore features =
+      FeatureStore::Clustered(ds.graph.num_vertices(), 8, labels, 4, 0.3, &rng);
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.num_classes = 4;
+  real.hidden_dim = 8;
+  const Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  EngineOptions options;
+  options.num_gpus = 3;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 2;
+  options.real = &real;
+  options.async_updates = true;
+  Engine a(ds, workload, options);
+  Engine b(ds, workload, options);
+  EXPECT_DOUBLE_EQ(a.Run().epochs.back().mean_loss, b.Run().epochs.back().mean_loss);
+}
+
+// --- Graph I/O -------------------------------------------------------------------
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripPreservesGraph) {
+  const Dataset& ds = Products();
+  const std::string path = TempPath("roundtrip.gnng");
+  ASSERT_TRUE(SaveCsrGraph(ds.graph, path));
+  const auto loaded = LoadCsrGraph(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices(), ds.graph.num_vertices());
+  EXPECT_EQ(loaded->num_edges(), ds.graph.num_edges());
+  for (VertexId v = 0; v < ds.graph.num_vertices(); v += 97) {
+    const auto a = ds.graph.Neighbors(v);
+    const auto b = loaded->Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrips) {
+  GraphBuilder builder(3);
+  const CsrGraph g = std::move(builder).Build();
+  const std::string path = TempPath("empty.gnng");
+  ASSERT_TRUE(SaveCsrGraph(g, path));
+  const auto loaded = LoadCsrGraph(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFailsCleanly) {
+  EXPECT_FALSE(LoadCsrGraph(TempPath("does-not-exist.gnng")).has_value());
+}
+
+TEST(GraphIoTest, BadMagicRejected) {
+  const std::string path = TempPath("bad.gnng");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a graph file at all, padding padding", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadCsrGraph(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TruncatedFileRejected) {
+  const Dataset& ds = Products();
+  const std::string path = TempPath("trunc.gnng");
+  ASSERT_TRUE(SaveCsrGraph(ds.graph, path));
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(LoadCsrGraph(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SamplingAlgorithmNameTest, Subgraph) {
+  EXPECT_STREQ(SamplingAlgorithmName(SamplingAlgorithm::kSubgraph), "subgraph");
+}
+
+}  // namespace
+}  // namespace gnnlab

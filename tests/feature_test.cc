@@ -1,0 +1,152 @@
+// Tests for src/feature: the feature store modes and the Extract stage's
+// hit/miss/byte accounting and gathering.
+#include <gtest/gtest.h>
+
+#include "feature/extractor.h"
+#include "feature/feature_store.h"
+#include "sampling/sample_block.h"
+
+namespace gnnlab {
+namespace {
+
+SampleBlock MakeBlock(std::vector<std::uint8_t> marks) {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {0, 1};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  builder.AddEdge(0, 4);
+  builder.AddEdge(1, 5);
+  builder.EndHop();
+  SampleBlock block = builder.Finish();
+  block.mutable_cache_marks() = std::move(marks);
+  return block;
+}
+
+TEST(FeatureStoreTest, VirtualStoreHasNoData) {
+  const FeatureStore store = FeatureStore::Virtual(100, 64);
+  EXPECT_FALSE(store.materialized());
+  EXPECT_EQ(store.num_vertices(), 100u);
+  EXPECT_EQ(store.dim(), 64u);
+  EXPECT_EQ(store.RowBytes(), 64 * sizeof(float));
+  EXPECT_EQ(store.TotalBytes(), 100 * 64 * sizeof(float));
+}
+
+TEST(FeatureStoreDeathTest, VirtualRowAccessAborts) {
+  const FeatureStore store = FeatureStore::Virtual(10, 4);
+  EXPECT_DEATH((void)store.Row(0), "Check failed");
+}
+
+TEST(FeatureStoreTest, RandomStoreValuesInRange) {
+  Rng rng(1);
+  const FeatureStore store = FeatureStore::Random(50, 8, &rng);
+  ASSERT_TRUE(store.materialized());
+  for (VertexId v = 0; v < 50; ++v) {
+    for (const float x : store.Row(v)) {
+      EXPECT_GE(x, -1.0f);
+      EXPECT_LE(x, 1.0f);
+    }
+  }
+}
+
+TEST(FeatureStoreTest, ClusteredRowsNearCentroids) {
+  Rng rng(2);
+  const auto labels = MakeCommunityLabels(100, 10, 5);
+  const FeatureStore store = FeatureStore::Clustered(100, 16, labels, 5, 0.01, &rng);
+  // Two vertices with the same label should be much closer than two with
+  // different labels (noise 0.01 vs centroid scale ~1).
+  auto dist2 = [&](VertexId a, VertexId b) {
+    double d = 0.0;
+    for (std::uint32_t c = 0; c < 16; ++c) {
+      const double diff = store.Row(a)[c] - store.Row(b)[c];
+      d += diff * diff;
+    }
+    return d;
+  };
+  EXPECT_LT(dist2(0, 1), 0.1);    // Same community -> same label.
+  EXPECT_GT(dist2(0, 10), 0.1);   // Adjacent communities differ.
+}
+
+TEST(FeatureStoreTest, CopyRowMatchesRow) {
+  Rng rng(3);
+  const FeatureStore store = FeatureStore::Random(10, 4, &rng);
+  float buf[4];
+  store.CopyRow(7, buf);
+  const auto row = store.Row(7);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(buf[c], row[c]);
+  }
+}
+
+TEST(CommunityLabelsTest, BlocksShareLabels) {
+  const auto labels = MakeCommunityLabels(20, 4, 3);
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_NE(labels[0], labels[4]);
+  EXPECT_EQ(labels[0], labels[12]);  // Community 3 wraps back to class 0.
+}
+
+TEST(ExtractorTest, UnmarkedBlockIsAllMisses) {
+  const FeatureStore store = FeatureStore::Virtual(10, 32);
+  const Extractor extractor(store);
+  const SampleBlock block = MakeBlock({});
+  const ExtractStats stats = extractor.Extract(block, nullptr);
+  EXPECT_EQ(stats.distinct_vertices, 4u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.host_misses, 4u);
+  EXPECT_EQ(stats.bytes_from_host, 4 * 32 * sizeof(float));
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.0);
+}
+
+TEST(ExtractorTest, MarkedBlockSplitsTraffic) {
+  const FeatureStore store = FeatureStore::Virtual(10, 32);
+  const Extractor extractor(store);
+  const SampleBlock block = MakeBlock({1, 0, 1, 0});
+  const ExtractStats stats = extractor.Extract(block, nullptr);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.host_misses, 2u);
+  EXPECT_EQ(stats.bytes_from_cache, 2 * 32 * sizeof(float));
+  EXPECT_EQ(stats.bytes_from_host, 2 * 32 * sizeof(float));
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(ExtractorTest, GathersRowsInLocalOrder) {
+  Rng rng(4);
+  const FeatureStore store = FeatureStore::Random(10, 4, &rng);
+  const Extractor extractor(store);
+  const SampleBlock block = MakeBlock({});
+  std::vector<float> out;
+  extractor.Extract(block, &out);
+  ASSERT_EQ(out.size(), 4 * 4u);
+  const auto vertices = block.vertices();
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const auto row = store.Row(vertices[i]);
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(out[i * 4 + c], row[c]);
+    }
+  }
+}
+
+TEST(ExtractorTest, VirtualStoreSkipsGather) {
+  const FeatureStore store = FeatureStore::Virtual(10, 4);
+  const Extractor extractor(store);
+  const SampleBlock block = MakeBlock({});
+  std::vector<float> out{1.0f, 2.0f};
+  extractor.Extract(block, &out);
+  EXPECT_EQ(out.size(), 2u);  // Untouched.
+}
+
+TEST(ExtractStatsTest, AddAccumulates) {
+  ExtractStats a;
+  a.distinct_vertices = 10;
+  a.cache_hits = 4;
+  a.host_misses = 6;
+  a.bytes_from_host = 600;
+  ExtractStats b = a;
+  b.Add(a);
+  EXPECT_EQ(b.distinct_vertices, 20u);
+  EXPECT_EQ(b.cache_hits, 8u);
+  EXPECT_EQ(b.bytes_from_host, 1200u);
+}
+
+}  // namespace
+}  // namespace gnnlab

@@ -1,0 +1,178 @@
+// Cross-system integration tests: the paper's headline relations, checked
+// at test scale across the full stack (engine + baselines + caching).
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_runner.h"
+#include "baselines/timeshare_runner.h"
+#include "core/engine.h"
+
+namespace gnnlab {
+namespace {
+
+const Dataset& Papers() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kPapers, 0.05, 42));
+  return *ds;
+}
+const Dataset& Twitter() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kTwitter, 0.05, 42));
+  return *ds;
+}
+
+constexpr ByteCount kGpuMem = 8 * kMiB;
+
+double GnnlabEpoch(const Dataset& ds, const Workload& workload, int gpus) {
+  EngineOptions options;
+  options.num_gpus = gpus;
+  options.gpu_memory = kGpuMem;
+  options.epochs = 2;
+  Engine engine(ds, workload, options);
+  const RunReport report = engine.Run();
+  EXPECT_FALSE(report.oom) << report.oom_detail;
+  return report.AvgEpochTime();
+}
+
+double TsotaEpoch(const Dataset& ds, const Workload& workload, int gpus) {
+  TimeShareOptions options = TsotaOptions();
+  options.num_gpus = gpus;
+  options.gpu_memory = kGpuMem;
+  options.epochs = 2;
+  TimeShareRunner runner(ds, workload, options);
+  const RunReport report = runner.Run();
+  EXPECT_FALSE(report.oom) << report.oom_detail;
+  return report.AvgEpochTime();
+}
+
+double DglEpoch(const Dataset& ds, const Workload& workload, int gpus) {
+  TimeShareOptions options = DglOptions();
+  options.num_gpus = gpus;
+  options.gpu_memory = kGpuMem;
+  options.epochs = 2;
+  TimeShareRunner runner(ds, workload, options);
+  const RunReport report = runner.Run();
+  EXPECT_FALSE(report.oom) << report.oom_detail;
+  return report.AvgEpochTime();
+}
+
+double PygEpoch(const Dataset& ds, const Workload& workload, int gpus) {
+  CpuRunnerOptions options;
+  options.num_gpus = gpus;
+  options.epochs = 2;
+  CpuRunner runner(ds, workload, options);
+  return runner.Run().AvgEpochTime();
+}
+
+// Table 4's ordering on every model: GNNLab < T_SOTA < DGL < PyG.
+class SystemOrderingTest : public ::testing::TestWithParam<GnnModelKind> {};
+
+TEST_P(SystemOrderingTest, PaperOrderingHolds) {
+  const Workload workload = StandardWorkload(GetParam());
+  const Dataset& ds = Papers();
+  const double gnnlab = GnnlabEpoch(ds, workload, 8);
+  const double tsota = TsotaEpoch(ds, workload, 8);
+  const double dgl = DglEpoch(ds, workload, 8);
+  EXPECT_LT(gnnlab, tsota) << "GNNLab must beat T_SOTA";
+  EXPECT_LT(tsota, dgl) << "T_SOTA must beat DGL";
+  // Headline magnitude (paper: 2.4x-9.1x over DGL). Train-bound PinSAGE
+  // compresses the gap at this reduced test scale.
+  EXPECT_GT(dgl / gnnlab, GetParam() == GnnModelKind::kPinSage ? 1.2 : 2.0);
+  if (GetParam() != GnnModelKind::kPinSage) {
+    // The paper does not run PyG on PinSAGE (Table 4 marks it unsupported).
+    const double pyg = PygEpoch(ds, workload, 8);
+    EXPECT_LT(dgl, pyg) << "DGL must beat PyG";
+    EXPECT_GT(pyg / gnnlab, 5.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, SystemOrderingTest,
+                         ::testing::Values(GnnModelKind::kGcn, GnnModelKind::kGraphSage,
+                                           GnnModelKind::kPinSage));
+
+// Paper Table 4, note (2): on PR everything fits in one GPU, so T_SOTA's
+// time sharing is competitive (slightly better) with GNNLab.
+TEST(SystemOrderingTest, ProductsIsTheException) {
+  const Dataset ds = MakeDataset(DatasetId::kProducts, 0.1, 42);
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  const double gnnlab = GnnlabEpoch(ds, workload, 8);
+  const double tsota = TsotaEpoch(ds, workload, 8);
+  // Same ballpark; T_SOTA may win since the factored design's queue copy
+  // buys nothing when the cache already holds every feature.
+  EXPECT_LT(tsota, gnnlab * 1.5);
+}
+
+// Figure 14's scaling shape: GNNLab gains more from extra GPUs than the
+// time-sharing baselines, whose extraction contends on the host channel.
+TEST(ScalabilityTest, GnnlabScalesBetterThanDgl) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  const Dataset& ds = Twitter();
+  const double gnnlab_2 = GnnlabEpoch(ds, workload, 2);
+  const double gnnlab_8 = GnnlabEpoch(ds, workload, 8);
+  const double dgl_2 = DglEpoch(ds, workload, 2);
+  const double dgl_8 = DglEpoch(ds, workload, 8);
+  const double gnnlab_speedup = gnnlab_2 / gnnlab_8;
+  EXPECT_GT(gnnlab_speedup, 1.2);
+  // GNNLab stays strictly faster at every GPU count (the full-scale
+  // bench/fig14_scalability shows the baselines' flattening curves).
+  EXPECT_LT(gnnlab_8, dgl_8);
+  EXPECT_LT(gnnlab_2, dgl_2);
+}
+
+// The single-GPU mode (paper §7.9): GNNLab still beats DGL on one GPU
+// thanks to PreSC caching.
+TEST(SingleGpuTest, GnnlabBeatsDglOnOneGpu) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  const Dataset& ds = Papers();
+  const double gnnlab = GnnlabEpoch(ds, workload, 1);
+  const double dgl = DglEpoch(ds, workload, 1);
+  EXPECT_LT(gnnlab, dgl);
+  EXPECT_GT(dgl / gnnlab, 1.5);  // Paper: 1.9x-7.7x.
+}
+
+// Capacity story (Table 4's OOM column): at UK-like volume ratios the
+// baselines OOM while GNNLab runs.
+TEST(CapacityTest, BaselinesOomWhereGnnlabRuns) {
+  const Dataset uk = MakeDataset(DatasetId::kUk, 0.05, 42);
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  // Size the GPU so topology consumes 80% of it: the factored design fits
+  // (topology + 8% sampler workspace), time sharing cannot (topology + 30%
+  // combined workspaces + cache) -- the paper's Table 4 OOM column.
+  const auto gpu_mem = static_cast<ByteCount>(
+      static_cast<double>(uk.TopologyBytes()) / 0.8);
+
+  EngineOptions gnnlab_options;
+  gnnlab_options.num_gpus = 4;
+  gnnlab_options.gpu_memory = gpu_mem;
+  gnnlab_options.epochs = 1;
+  Engine engine(uk, workload, gnnlab_options);
+  const RunReport gnnlab_report = engine.Run();
+  EXPECT_FALSE(gnnlab_report.oom) << gnnlab_report.oom_detail;
+
+  TimeShareOptions dgl_options = DglOptions();
+  dgl_options.num_gpus = 4;
+  dgl_options.gpu_memory = gpu_mem;
+  TimeShareRunner dgl(uk, workload, dgl_options);
+  EXPECT_TRUE(dgl.Run().oom);
+}
+
+// Preprocessing (Table 6) is amortizable: one-time costs are bounded by a
+// few tens of epochs.
+TEST(PreprocessingTest, AmortizedWithinTypicalTraining) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options;
+  options.num_gpus = 8;
+  options.gpu_memory = kGpuMem;
+  options.epochs = 2;
+  Engine engine(Papers(), workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom);
+  const double epoch = report.AvgEpochTime();
+  // GPU-side preprocessing (topo + cache load + presample) is amortized
+  // over a typical >=100-epoch training run (paper §7.6: ~15x of one epoch
+  // at full scale; the ratio is larger here because the test GPU is not
+  // scaled down with the 0.05-scale dataset, enlarging the cache).
+  EXPECT_LT(report.preprocess.topo_load + report.preprocess.cache_load +
+                report.preprocess.presample,
+            100.0 * epoch);
+}
+
+}  // namespace
+}  // namespace gnnlab

@@ -1,0 +1,528 @@
+// Tests for src/nn: aggregation semantics, finite-difference gradient
+// checks for both layer kinds and full models, the loss, Adam, and
+// data-parallel gradient synchronization.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/aggregate.h"
+#include "nn/gat.h"
+#include "nn/grad_sync.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "sampling/sample_block.h"
+#include "tensor/ops.h"
+
+namespace gnnlab {
+namespace {
+
+// A fixed 2-hop block over 6 vertices: seeds {0,1}; hop0 adds {2,3},
+// hop1 adds {4,5}.
+SampleBlock TwoHopBlock() {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {0, 1};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  builder.AddEdge(0, 2);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(1, 3);
+  builder.EndHop();
+  builder.BeginHop();
+  builder.AddEdge(0, 4);
+  builder.AddEdge(2, 5);
+  builder.AddEdge(3, 4);
+  builder.EndHop();
+  return builder.Finish();
+}
+
+// --- Aggregation -------------------------------------------------------------
+
+TEST(AggregateTest, MeanWithoutSelf) {
+  HopEdges edges;
+  edges.src_local = {1, 2};
+  edges.dst_local = {0, 0};
+  Tensor h_in(3, 2, {0, 0, 2, 4, 4, 8});
+  Tensor agg;
+  std::vector<float> counts;
+  MeanAggregate(edges, 3, 1, h_in, /*include_self=*/false, &agg, &counts);
+  EXPECT_FLOAT_EQ(agg.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(agg.at(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(counts[0], 2.0f);
+}
+
+TEST(AggregateTest, MeanWithSelfIncludesOwnRow) {
+  HopEdges edges;
+  edges.src_local = {1};
+  edges.dst_local = {0};
+  Tensor h_in(2, 1, {6, 0});
+  Tensor agg;
+  std::vector<float> counts;
+  MeanAggregate(edges, 2, 1, h_in, /*include_self=*/true, &agg, &counts);
+  EXPECT_FLOAT_EQ(agg.at(0, 0), 3.0f);  // (6 + 0) / 2.
+  EXPECT_FLOAT_EQ(counts[0], 2.0f);
+}
+
+TEST(AggregateTest, IsolatedOutputStaysZero) {
+  HopEdges edges;  // No edges at all.
+  Tensor h_in(2, 2, {1, 2, 3, 4});
+  Tensor agg;
+  std::vector<float> counts;
+  MeanAggregate(edges, 2, 2, h_in, false, &agg, &counts);
+  EXPECT_FLOAT_EQ(agg.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(agg.at(1, 1), 0.0f);
+}
+
+TEST(AggregateTest, EdgeMultiplicityWeights) {
+  // Vertex 1 appears twice: the mean weights it 2/3.
+  HopEdges edges;
+  edges.src_local = {1, 1, 2};
+  edges.dst_local = {0, 0, 0};
+  Tensor h_in(3, 1, {0, 3, 9});
+  Tensor agg;
+  std::vector<float> counts;
+  MeanAggregate(edges, 3, 1, h_in, false, &agg, &counts);
+  EXPECT_FLOAT_EQ(agg.at(0, 0), 5.0f);  // (3 + 3 + 9) / 3.
+}
+
+TEST(AggregateTest, BackwardIsTransposeOfForward) {
+  // For a linear map, <grad_agg, MeanAggregate(h)> == <Backward(grad_agg), h>.
+  HopEdges edges;
+  edges.src_local = {1, 2, 2};
+  edges.dst_local = {0, 0, 1};
+  Rng rng(1);
+  Tensor h_in = Tensor::Glorot(3, 4, &rng);
+  Tensor agg;
+  std::vector<float> counts;
+  MeanAggregate(edges, 3, 2, h_in, false, &agg, &counts);
+  Tensor grad_agg = Tensor::Glorot(2, 4, &rng);
+  Tensor grad_in = Tensor::Zeros(3, 4);
+  MeanAggregateBackward(edges, 3, 2, counts, false, grad_agg, &grad_in);
+  EXPECT_NEAR(Dot(grad_agg, agg), Dot(grad_in, h_in), 1e-5);
+}
+
+// --- Layer gradient checks -----------------------------------------------------
+
+struct GradCheckCase {
+  LayerKind kind;
+  bool relu;
+};
+
+class LayerGradientTest : public ::testing::TestWithParam<GradCheckCase> {};
+
+TEST_P(LayerGradientTest, FiniteDifferencesMatch) {
+  const auto [kind, relu] = GetParam();
+  const SampleBlock block = TwoHopBlock();
+  const HopEdges& edges = block.hop(0);
+  const std::size_t n_in = block.VerticesAfterHop(1);   // 4 vertices.
+  const std::size_t n_out = block.VerticesAfterHop(0);  // 2 seeds.
+
+  Rng rng(7);
+  GnnLayer layer(kind, 3, 2, relu, &rng);
+  Tensor h_in = Tensor::Glorot(n_in, 3, &rng);
+  // A fixed random "loss" direction g: loss = <g, layer(h_in)>.
+  Tensor g = Tensor::Glorot(n_out, 2, &rng);
+
+  auto loss = [&](const Tensor& input) {
+    Tensor out;
+    layer.Forward(edges, n_in, n_out, input, &out);
+    return Dot(g, out);
+  };
+
+  // Analytic gradients.
+  Tensor h_out;
+  layer.Forward(edges, n_in, n_out, h_in, &h_out);
+  layer.ZeroGrads();
+  Tensor grad_in;
+  layer.Backward(g, &grad_in);
+
+  // Check d(loss)/d(input) at several entries.
+  const double eps = 1e-3;
+  const std::vector<std::pair<std::size_t, std::size_t>> probes{{0, 0}, {1, 2}, {2, 1}, {3, 0}};
+  for (const auto& [r, c] : probes) {
+    Tensor plus = h_in;
+    plus.at(r, c) += static_cast<float>(eps);
+    Tensor minus = h_in;
+    minus.at(r, c) -= static_cast<float>(eps);
+    const double numeric = (loss(plus) - loss(minus)) / (2 * eps);
+    EXPECT_NEAR(grad_in.at(r, c), numeric, 5e-3 + 0.05 * std::abs(numeric))
+        << "input grad at (" << r << "," << c << ")";
+  }
+
+  // Check d(loss)/d(params): perturb a few weight entries.
+  layer.ZeroGrads();
+  layer.Forward(edges, n_in, n_out, h_in, &h_out);
+  layer.Backward(g, &grad_in);
+  auto params = layer.Params();
+  auto grads = layer.Grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (const std::size_t idx : {std::size_t{0}, params[p]->size() - 1}) {
+      const float original = params[p]->data()[idx];
+      params[p]->data()[idx] = original + static_cast<float>(eps);
+      const double up = loss(h_in);
+      params[p]->data()[idx] = original - static_cast<float>(eps);
+      const double down = loss(h_in);
+      params[p]->data()[idx] = original;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grads[p]->data()[idx], numeric, 5e-3 + 0.05 * std::abs(numeric))
+          << "param " << p << " entry " << idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, LayerGradientTest,
+                         ::testing::Values(GradCheckCase{LayerKind::kGcn, true},
+                                           GradCheckCase{LayerKind::kGcn, false},
+                                           GradCheckCase{LayerKind::kSage, true},
+                                           GradCheckCase{LayerKind::kSage, false}));
+
+TEST(LayerTest, ParamCountsByKind) {
+  Rng rng(1);
+  GnnLayer gcn(LayerKind::kGcn, 4, 3, true, &rng);
+  GnnLayer sage(LayerKind::kSage, 4, 3, true, &rng);
+  EXPECT_EQ(gcn.NumParameters(), 4 * 3 + 3u);
+  EXPECT_EQ(sage.NumParameters(), 2 * 4 * 3 + 3u);
+  EXPECT_EQ(gcn.Params().size(), 2u);
+  EXPECT_EQ(sage.Params().size(), 3u);
+}
+
+// --- Model -------------------------------------------------------------------
+
+class ModelGradientTest : public ::testing::TestWithParam<GnnModelKind> {};
+
+TEST_P(ModelGradientTest, EndToEndGradientsMatchFiniteDifferences) {
+  const SampleBlock block = TwoHopBlock();
+  ModelConfig config;
+  config.kind = GetParam();
+  config.num_layers = 2;
+  config.in_dim = 3;
+  config.hidden_dim = 4;
+  config.num_classes = 3;
+  Rng rng(11);
+  GnnModel model(config, &rng);
+
+  Tensor input = Tensor::Glorot(block.vertices().size(), 3, &rng);
+  const std::vector<std::uint32_t> labels{0, 2};
+
+  auto loss_value = [&] {
+    const Tensor& logits = model.Forward(block, input);
+    Tensor unused;
+    return SoftmaxCrossEntropy(logits, labels, &unused);
+  };
+
+  const Tensor& logits = model.Forward(block, input);
+  Tensor grad_logits;
+  SoftmaxCrossEntropy(logits, labels, &grad_logits);
+  model.ZeroGrads();
+  model.Backward(grad_logits);
+
+  auto params = model.Params();
+  auto grads = model.Grads();
+  ASSERT_EQ(params.size(), grads.size());
+  const double eps = 1e-2;
+  int checked = 0;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    if (params[p]->size() == 0) {
+      continue;
+    }
+    const std::size_t idx = params[p]->size() / 2;
+    const float original = params[p]->data()[idx];
+    params[p]->data()[idx] = original + static_cast<float>(eps);
+    const double up = loss_value();
+    params[p]->data()[idx] = original - static_cast<float>(eps);
+    const double down = loss_value();
+    params[p]->data()[idx] = original;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(grads[p]->data()[idx], numeric, 2e-3 + 0.1 * std::abs(numeric))
+        << "param " << p;
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ModelGradientTest,
+                         ::testing::Values(GnnModelKind::kGcn, GnnModelKind::kGraphSage,
+                                           GnnModelKind::kPinSage, GnnModelKind::kGat));
+
+// --- GAT layer ---------------------------------------------------------------
+
+TEST(GatLayerTest, AttentionCoefficientsSumToOnePerDestination) {
+  const SampleBlock block = TwoHopBlock();
+  const HopEdges& edges = block.hop(0);
+  Rng rng(21);
+  GatLayer layer(3, 2, /*relu=*/false, &rng);
+  Tensor h_in = Tensor::Glorot(block.VerticesAfterHop(1), 3, &rng);
+  Tensor h_out;
+  layer.Forward(edges, block.VerticesAfterHop(1), block.VerticesAfterHop(0), h_in, &h_out);
+  // With a zero weight matrix the output would be zero; with softmax
+  // coefficients, each output row is a convex combination of Z rows. We
+  // verify indirectly: outputs lie within the min/max range of Z + bias
+  // per column (a property of convex combinations).
+  Tensor z;
+  MatMul(h_in, *layer.Params()[0], &z);
+  for (std::size_t c = 0; c < 2; ++c) {
+    float lo = 1e30f;
+    float hi = -1e30f;
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      lo = std::min(lo, z.at(r, c));
+      hi = std::max(hi, z.at(r, c));
+    }
+    for (std::size_t r = 0; r < h_out.rows(); ++r) {
+      EXPECT_GE(h_out.at(r, c), lo - 1e-5f);
+      EXPECT_LE(h_out.at(r, c), hi + 1e-5f);
+    }
+  }
+}
+
+TEST(GatLayerTest, IsolatedDestinationKeepsSelfSignal) {
+  // No edges at all: the implicit self-edge gets alpha = 1, so the output
+  // is exactly Z[d] + bias.
+  HopEdges edges;
+  Rng rng(22);
+  GatLayer layer(2, 2, /*relu=*/false, &rng);
+  Tensor h_in = Tensor::Glorot(2, 2, &rng);
+  Tensor h_out;
+  layer.Forward(edges, 2, 2, h_in, &h_out);
+  Tensor z;
+  MatMul(h_in, *layer.Params()[0], &z);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(h_out.at(r, c), z.at(r, c), 1e-5f);  // bias is zero-init.
+    }
+  }
+}
+
+TEST(GatLayerTest, GradientsMatchFiniteDifferences) {
+  const SampleBlock block = TwoHopBlock();
+  const HopEdges& edges = block.hop(0);
+  const std::size_t n_in = block.VerticesAfterHop(1);
+  const std::size_t n_out = block.VerticesAfterHop(0);
+  Rng rng(23);
+  GatLayer layer(3, 2, /*relu=*/true, &rng);
+  Tensor h_in = Tensor::Glorot(n_in, 3, &rng);
+  Tensor g = Tensor::Glorot(n_out, 2, &rng);
+
+  auto loss = [&](const Tensor& input) {
+    Tensor out;
+    layer.Forward(edges, n_in, n_out, input, &out);
+    return Dot(g, out);
+  };
+
+  Tensor h_out;
+  layer.Forward(edges, n_in, n_out, h_in, &h_out);
+  layer.ZeroGrads();
+  Tensor grad_in;
+  layer.Backward(g, &grad_in);
+
+  const double eps = 1e-3;
+  // Input gradients.
+  for (const auto& [r, c] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{0, 0}, {1, 2}, {3, 1}}) {
+    Tensor plus = h_in;
+    plus.at(r, c) += static_cast<float>(eps);
+    Tensor minus = h_in;
+    minus.at(r, c) -= static_cast<float>(eps);
+    const double numeric = (loss(plus) - loss(minus)) / (2 * eps);
+    EXPECT_NEAR(grad_in.at(r, c), numeric, 5e-3 + 0.05 * std::abs(numeric))
+        << "input (" << r << "," << c << ")";
+  }
+  // Parameter gradients (weight, attn_src, attn_dst, bias).
+  layer.ZeroGrads();
+  layer.Forward(edges, n_in, n_out, h_in, &h_out);
+  layer.Backward(g, &grad_in);
+  auto params = layer.Params();
+  auto grads = layer.Grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (const std::size_t idx : {std::size_t{0}, params[p]->size() - 1}) {
+      const float original = params[p]->data()[idx];
+      params[p]->data()[idx] = original + static_cast<float>(eps);
+      const double up = loss(h_in);
+      params[p]->data()[idx] = original - static_cast<float>(eps);
+      const double down = loss(h_in);
+      params[p]->data()[idx] = original;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grads[p]->data()[idx], numeric, 5e-3 + 0.05 * std::abs(numeric))
+          << "param " << p << " entry " << idx;
+    }
+  }
+}
+
+TEST(GatLayerTest, ParameterCount) {
+  Rng rng(24);
+  GatLayer layer(4, 3, true, &rng);
+  EXPECT_EQ(layer.NumParameters(), 4 * 3 + 3 + 3 + 3u);
+  EXPECT_EQ(layer.Params().size(), 4u);
+}
+
+TEST(ModelTest, ForwardShapes) {
+  const SampleBlock block = TwoHopBlock();
+  ModelConfig config;
+  config.kind = GnnModelKind::kGcn;
+  config.num_layers = 2;
+  config.in_dim = 5;
+  config.hidden_dim = 8;
+  config.num_classes = 4;
+  Rng rng(3);
+  GnnModel model(config, &rng);
+  Tensor input = Tensor::Glorot(block.vertices().size(), 5, &rng);
+  const Tensor& logits = model.Forward(block, input);
+  EXPECT_EQ(logits.rows(), block.num_seeds());
+  EXPECT_EQ(logits.cols(), 4u);
+}
+
+TEST(ModelDeathTest, HopCountMustMatchDepth) {
+  const SampleBlock block = TwoHopBlock();  // 2 hops.
+  ModelConfig config;
+  config.kind = GnnModelKind::kGcn;
+  config.num_layers = 3;  // Mismatch.
+  config.in_dim = 3;
+  config.hidden_dim = 4;
+  config.num_classes = 2;
+  Rng rng(4);
+  GnnModel model(config, &rng);
+  Tensor input = Tensor::Glorot(block.vertices().size(), 3, &rng);
+  EXPECT_DEATH((void)model.Forward(block, input), "hops must match");
+}
+
+TEST(ModelTest, KindNames) {
+  EXPECT_STREQ(GnnModelKindName(GnnModelKind::kGcn), "GCN");
+  EXPECT_STREQ(GnnModelKindName(GnnModelKind::kGraphSage), "GraphSAGE");
+  EXPECT_STREQ(GnnModelKindName(GnnModelKind::kPinSage), "PinSAGE");
+  EXPECT_STREQ(GnnModelKindName(GnnModelKind::kGat), "GAT");
+}
+
+// --- Loss ---------------------------------------------------------------------
+
+TEST(LossTest, UniformLogitsGiveLogC) {
+  const Tensor logits = Tensor::Zeros(2, 4);
+  const std::vector<std::uint32_t> labels{1, 3};
+  Tensor grad;
+  const double loss = SoftmaxCrossEntropy(logits, labels, &grad);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+}
+
+TEST(LossTest, PerfectPredictionNearZeroLoss) {
+  Tensor logits = Tensor::Zeros(1, 3);
+  logits.at(0, 1) = 50.0f;
+  const std::vector<std::uint32_t> labels{1};
+  Tensor grad;
+  EXPECT_NEAR(SoftmaxCrossEntropy(logits, labels, &grad), 0.0, 1e-6);
+}
+
+TEST(LossTest, GradientSumsToZeroPerRow) {
+  Tensor logits(2, 3, {1, 2, 3, -1, 0, 1});
+  const std::vector<std::uint32_t> labels{0, 2};
+  Tensor grad;
+  SoftmaxCrossEntropy(logits, labels, &grad);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) {
+      sum += grad.at(r, c);
+    }
+    EXPECT_NEAR(sum, 0.0f, 1e-6);
+  }
+}
+
+TEST(LossTest, NumericallyStableWithHugeLogits) {
+  Tensor logits(1, 2, {1000.0f, -1000.0f});
+  const std::vector<std::uint32_t> labels{0};
+  Tensor grad;
+  const double loss = SoftmaxCrossEntropy(logits, labels, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-6);
+}
+
+TEST(LossTest, AccuracyCountsArgmaxMatches) {
+  Tensor logits(3, 2, {1, 0, 0, 1, 1, 0});
+  const std::vector<std::uint32_t> labels{0, 1, 1};
+  EXPECT_NEAR(Accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+// --- Optimizer ------------------------------------------------------------------
+
+TEST(AdamTest, DescendsQuadratic) {
+  // Minimize f(x) = x^2 starting from x = 5.
+  Tensor x(1, 1, {5.0f});
+  Tensor grad(1, 1);
+  Adam adam(AdamConfig{.lr = 0.1});
+  for (int step = 0; step < 200; ++step) {
+    grad.at(0, 0) = 2.0f * x.at(0, 0);
+    adam.Step({&x}, {&grad});
+  }
+  EXPECT_NEAR(x.at(0, 0), 0.0f, 0.05f);
+  EXPECT_EQ(adam.steps(), 200u);
+}
+
+TEST(AdamTest, HandlesMultipleParams) {
+  Tensor a(1, 2, {1.0f, -1.0f});
+  Tensor b(2, 1, {2.0f, -2.0f});
+  Tensor ga(1, 2);
+  Tensor gb(2, 1);
+  Adam adam(AdamConfig{.lr = 0.05});
+  for (int step = 0; step < 300; ++step) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      ga.data()[i] = 2.0f * a.data()[i];
+      gb.data()[i] = 2.0f * b.data()[i];
+    }
+    adam.Step({&a, &b}, {&ga, &gb});
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(a.data()[i], 0.0f, 0.05f);
+    EXPECT_NEAR(b.data()[i], 0.0f, 0.05f);
+  }
+}
+
+// --- Gradient sync ----------------------------------------------------------------
+
+TEST(GradSyncTest, AverageGradientsEqualizesReplicas) {
+  ModelConfig config;
+  config.kind = GnnModelKind::kGcn;
+  config.num_layers = 1;
+  config.in_dim = 2;
+  config.hidden_dim = 4;
+  config.num_classes = 2;
+  Rng rng(5);
+  GnnModel a(config, &rng);
+  GnnModel b(config, &rng);
+  a.Grads()[0]->Fill(1.0f);
+  b.Grads()[0]->Fill(3.0f);
+  AverageGradients({&a, &b});
+  EXPECT_FLOAT_EQ(a.Grads()[0]->data()[0], 2.0f);
+  EXPECT_FLOAT_EQ(b.Grads()[0]->data()[0], 2.0f);
+}
+
+TEST(GradSyncTest, BroadcastParametersCopiesFromFirst) {
+  ModelConfig config;
+  config.kind = GnnModelKind::kGraphSage;
+  config.num_layers = 1;
+  config.in_dim = 2;
+  config.hidden_dim = 4;
+  config.num_classes = 2;
+  Rng rng_a(1);
+  Rng rng_b(2);
+  GnnModel a(config, &rng_a);
+  GnnModel b(config, &rng_b);
+  BroadcastParameters({&a, &b});
+  for (std::size_t p = 0; p < a.Params().size(); ++p) {
+    for (std::size_t i = 0; i < a.Params()[p]->size(); ++i) {
+      EXPECT_EQ(a.Params()[p]->data()[i], b.Params()[p]->data()[i]);
+    }
+  }
+}
+
+TEST(GradSyncTest, GradientBytesCountsAllParams) {
+  ModelConfig config;
+  config.kind = GnnModelKind::kGcn;
+  config.num_layers = 1;
+  config.in_dim = 2;
+  config.hidden_dim = 4;
+  config.num_classes = 3;
+  Rng rng(6);
+  GnnModel model(config, &rng);
+  EXPECT_EQ(GradientBytes(model), model.NumParameters() * sizeof(float));
+}
+
+}  // namespace
+}  // namespace gnnlab

@@ -1,0 +1,249 @@
+// Cross-cutting property tests: parameterized invariants that must hold for
+// every sampling kernel, caching policy, and scheduler input — the
+// "robust to diverse sampling algorithms and GNN datasets" claims of the
+// paper, checked structurally.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_policy.h"
+#include "cache/feature_cache.h"
+#include "core/engine.h"
+#include "core/scheduler.h"
+
+namespace gnnlab {
+namespace {
+
+const Dataset& Products() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kProducts, 0.1, 42));
+  return *ds;
+}
+
+std::unique_ptr<Sampler> SamplerFor(SamplingAlgorithm algorithm, const Dataset& ds,
+                                    const EdgeWeights* weights) {
+  switch (algorithm) {
+    case SamplingAlgorithm::kKhopUniform:
+      return MakeKhopUniformSampler(ds.graph, {15, 10, 5});
+    case SamplingAlgorithm::kKhopReservoir:
+      return MakeKhopReservoirSampler(ds.graph, {15, 10, 5});
+    case SamplingAlgorithm::kKhopWeighted:
+      return MakeKhopWeightedSampler(ds.graph, *weights, {15, 10, 5});
+    case SamplingAlgorithm::kRandomWalk:
+      return MakeRandomWalkSampler(ds.graph, 3, 4, 3, 5);
+    case SamplingAlgorithm::kSubgraph:
+      return MakeSubgraphSampler(ds.graph, 3);
+  }
+  return nullptr;
+}
+
+// --- Block invariants across every kernel -------------------------------------
+
+class BlockInvariantTest : public ::testing::TestWithParam<SamplingAlgorithm> {};
+
+TEST_P(BlockInvariantTest, StructureIsWellFormed) {
+  const Dataset& ds = Products();
+  const EdgeWeights weights = ds.MakeWeights();
+  auto sampler = SamplerFor(GetParam(), ds, &weights);
+  Rng rng(17);
+  const VertexId seeds[] = {1, 5, 9, 13, 200, 301};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+
+  // Seeds keep their order and lead the local-id space.
+  ASSERT_EQ(block.num_seeds(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(block.vertices()[i], seeds[i]);
+  }
+  // Distinct local ids map to distinct globals.
+  std::set<VertexId> unique(block.vertices().begin(), block.vertices().end());
+  EXPECT_EQ(unique.size(), block.vertices().size());
+  // hop_end is monotone and bounds every hop's local ids.
+  std::size_t prev_end = block.num_seeds();
+  for (std::size_t h = 0; h < block.num_hops(); ++h) {
+    const std::size_t end = block.VerticesAfterHop(h + 1);
+    EXPECT_GE(end, prev_end);
+    for (std::size_t e = 0; e < block.hop(h).size(); ++e) {
+      EXPECT_LT(block.hop(h).dst_local[e], block.VerticesAfterHop(h));
+      EXPECT_LT(block.hop(h).src_local[e], end);
+    }
+    prev_end = end;
+  }
+  EXPECT_EQ(prev_end, block.vertices().size());
+}
+
+TEST_P(BlockInvariantTest, DeterministicGivenSeed) {
+  const Dataset& ds = Products();
+  const EdgeWeights weights = ds.MakeWeights();
+  auto sampler_a = SamplerFor(GetParam(), ds, &weights);
+  auto sampler_b = SamplerFor(GetParam(), ds, &weights);
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const VertexId seeds[] = {2, 4, 8, 16};
+  const SampleBlock a = sampler_a->Sample(seeds, &rng_a, nullptr);
+  const SampleBlock b = sampler_b->Sample(seeds, &rng_b, nullptr);
+  ASSERT_EQ(a.vertices().size(), b.vertices().size());
+  EXPECT_TRUE(std::equal(a.vertices().begin(), a.vertices().end(), b.vertices().begin()));
+  for (std::size_t h = 0; h < a.num_hops(); ++h) {
+    EXPECT_EQ(a.hop(h).src_local, b.hop(h).src_local);
+    EXPECT_EQ(a.hop(h).dst_local, b.hop(h).dst_local);
+  }
+}
+
+TEST_P(BlockInvariantTest, StatsMatchBlockContents) {
+  const Dataset& ds = Products();
+  const EdgeWeights weights = ds.MakeWeights();
+  auto sampler = SamplerFor(GetParam(), ds, &weights);
+  Rng rng(7);
+  const VertexId seeds[] = {3, 33, 333};
+  SamplerStats stats;
+  const SampleBlock block = sampler->Sample(seeds, &rng, &stats);
+  std::size_t edges = 0;
+  for (std::size_t h = 0; h < block.num_hops(); ++h) {
+    edges += block.hop(h).size();
+  }
+  EXPECT_EQ(stats.sampled_neighbors, edges);
+  EXPECT_GT(stats.vertices_expanded, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, BlockInvariantTest,
+                         ::testing::Values(SamplingAlgorithm::kKhopUniform,
+                                           SamplingAlgorithm::kKhopReservoir,
+                                           SamplingAlgorithm::kKhopWeighted,
+                                           SamplingAlgorithm::kRandomWalk,
+                                           SamplingAlgorithm::kSubgraph));
+
+// --- Cache prefix property across policies --------------------------------------
+
+class CachePrefixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CachePrefixTest, LargerRatioIsSuperset) {
+  const Dataset& ds = Products();
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  CachePolicyContext context;
+  context.graph = &ds.graph;
+  context.train_set = &ds.train_set;
+  context.batch_size = ds.batch_size;
+  context.seed = 5;
+  context.sampler_factory = [&ds, &workload] { return MakeSampler(workload, ds, nullptr); };
+  std::unique_ptr<CachePolicy> policy;
+  switch (GetParam()) {
+    case 0:
+      policy = MakeRandomPolicy();
+      break;
+    case 1:
+      policy = MakeDegreePolicy();
+      break;
+    default:
+      policy = MakePreSamplingPolicy(1);
+      break;
+  }
+  const auto ranked = policy->Rank(context);
+  const FeatureCache small = FeatureCache::Load(ranked, 0.1, ds.graph.num_vertices(), 16);
+  const FeatureCache large = FeatureCache::Load(ranked, 0.3, ds.graph.num_vertices(), 16);
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    if (small.Contains(v)) {
+      EXPECT_TRUE(large.Contains(v)) << "prefix property violated at " << v;
+    }
+  }
+  EXPECT_GT(large.num_cached(), small.num_cached());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CachePrefixTest, ::testing::Values(0, 1, 2));
+
+// --- Scheduler formula sweep -------------------------------------------------------
+
+struct SchedulerCase {
+  int gpus;
+  double t_sample;
+  double t_train;
+};
+
+class SchedulerSweepTest : public ::testing::TestWithParam<SchedulerCase> {};
+
+TEST_P(SchedulerSweepTest, AllocationIsSaneAndMatchesFormula) {
+  const auto [gpus, t_sample, t_train] = GetParam();
+  const ScheduleDecision d = DecideAllocation(gpus, t_sample, t_train);
+  EXPECT_GE(d.num_samplers, 1);
+  EXPECT_LE(d.num_samplers, gpus);
+  EXPECT_EQ(d.num_samplers + d.num_trainers, gpus);
+  const double k = t_train / t_sample;
+  const int expected = std::min(
+      gpus, std::max(1, static_cast<int>(std::ceil(static_cast<double>(gpus) / (k + 1)))));
+  EXPECT_EQ(d.num_samplers, expected);
+}
+
+TEST_P(SchedulerSweepTest, MoreTrainTimeNeverAddsSamplers) {
+  const auto [gpus, t_sample, t_train] = GetParam();
+  const ScheduleDecision base = DecideAllocation(gpus, t_sample, t_train);
+  const ScheduleDecision slower = DecideAllocation(gpus, t_sample, t_train * 2.0);
+  EXPECT_LE(slower.num_samplers, base.num_samplers);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SchedulerSweepTest,
+                         ::testing::Values(SchedulerCase{1, 1.0, 1.0},
+                                           SchedulerCase{2, 1.0, 0.1},
+                                           SchedulerCase{4, 2.0, 3.0},
+                                           SchedulerCase{8, 1.0, 4.0},
+                                           SchedulerCase{8, 5.0, 1.0},
+                                           SchedulerCase{16, 1.0, 7.0}));
+
+// --- Engine monotonicity in cache ratio ----------------------------------------------
+
+class CacheRatioEngineTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CacheRatioEngineTest, MoreCacheNeverSlowsTheEpoch) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options;
+  options.num_gpus = 2;
+  options.num_samplers = 1;
+  options.dynamic_switching = false;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 1;
+  options.policy = CachePolicyKind::kPreSC1;
+
+  options.cache_ratio_override = GetParam();
+  Engine lean(Products(), workload, options);
+  options.cache_ratio_override = GetParam() + 0.2;
+  Engine rich(Products(), workload, options);
+  const RunReport lean_report = lean.Run();
+  const RunReport rich_report = rich.Run();
+  ASSERT_FALSE(lean_report.oom);
+  ASSERT_FALSE(rich_report.oom);
+  EXPECT_LE(rich_report.epochs[0].stage.extract, lean_report.epochs[0].stage.extract + 1e-9);
+  EXPECT_LE(rich_report.AvgEpochTime(), lean_report.AvgEpochTime() + 1e-9);
+  EXPECT_GE(rich_report.epochs[0].extract.HitRate() + 1e-9,
+            lean_report.epochs[0].extract.HitRate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, CacheRatioEngineTest, ::testing::Values(0.0, 0.1, 0.3, 0.6));
+
+// --- Extraction conservation over datasets ----------------------------------------------
+
+class ExtractionConservationTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(ExtractionConservationTest, CountsAndBytesBalance) {
+  const Dataset ds = MakeDataset(GetParam(), 0.05, 11);
+  const Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  CachePolicyContext context;
+  context.graph = &ds.graph;
+  context.train_set = &ds.train_set;
+  context.batch_size = ds.batch_size;
+  context.seed = 11;
+  const auto ranked = MakeDegreePolicy()->Rank(context);
+  const FeatureCache cache =
+      FeatureCache::Load(ranked, 0.2, ds.graph.num_vertices(), ds.feature_dim);
+  auto sampler = MakeSampler(workload, ds, nullptr);
+  const EpochExtractionResult result = MeasureEpochExtraction(
+      sampler.get(), ds.train_set, ds.batch_size, cache, ds.feature_dim, 77);
+  EXPECT_EQ(result.batches, ds.BatchesPerEpoch());
+  EXPECT_GE(result.distinct_vertices, result.cache_hits);
+  EXPECT_EQ(result.bytes_from_host,
+            (result.distinct_vertices - result.cache_hits) * ds.feature_dim * sizeof(float));
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, ExtractionConservationTest,
+                         ::testing::Values(DatasetId::kProducts, DatasetId::kTwitter,
+                                           DatasetId::kPapers, DatasetId::kUk));
+
+}  // namespace
+}  // namespace gnnlab

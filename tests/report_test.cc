@@ -1,0 +1,76 @@
+// Tests for src/report: table rendering and number formatting.
+#include <gtest/gtest.h>
+
+#include "report/table.h"
+
+namespace gnnlab {
+namespace {
+
+TEST(TablePrinterTest, RendersHeadersAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlign) {
+  TablePrinter table({"x", "y"});
+  table.AddRow({"longlabel", "1"});
+  table.AddRow({"s", "100"});
+  const std::string s = table.ToString();
+  // Every line has the same length.
+  std::size_t line_len = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t end = s.find('\n', pos);
+    if (line_len == 0) {
+      line_len = end - pos;
+    } else {
+      EXPECT_EQ(end - pos, line_len);
+    }
+    pos = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, SeparatorInserted) {
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string s = table.ToString();
+  // Rules: top, under header, separator, bottom = 4 total.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos = s.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinterDeathTest, WrongArityAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(FmtTest, Precision) {
+  EXPECT_EQ(Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Fmt(1.0, 0), "1");
+  EXPECT_EQ(Fmt(0.5, 3), "0.500");
+}
+
+TEST(FmtPercentTest, ConvertsFraction) {
+  EXPECT_EQ(FmtPercent(0.21), "21%");
+  EXPECT_EQ(FmtPercent(0.995, 1), "99.5%");
+  EXPECT_EQ(FmtPercent(1.0), "100%");
+}
+
+TEST(PrintSeriesDeathTest, MismatchedSeriesAborts) {
+  EXPECT_DEATH(PrintSeries("t", "x", {"a"}, {1.0, 2.0}, {{1.0}}), "Check failed");
+}
+
+}  // namespace
+}  // namespace gnnlab

@@ -1,0 +1,165 @@
+// Tests for src/runtime: the bounded MPMC queue (GNNLab's threaded global
+// queue) and the thread pool, including multi-threaded stress checks.
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/mpmc_queue.h"
+#include "runtime/thread_pool.h"
+
+namespace gnnlab {
+namespace {
+
+TEST(MpmcQueueTest, FifoSingleThread) {
+  MpmcQueue<int> q(10);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(MpmcQueueTest, TryPushRespectsCapacity) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(MpmcQueueTest, TryPopEmptyReturnsNullopt) {
+  MpmcQueue<int> q(2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseDrainsThenEnds) {
+  MpmcQueue<int> q(4);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedConsumer) {
+  MpmcQueue<int> q(4);
+  std::thread consumer([&] { EXPECT_FALSE(q.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+}
+
+TEST(MpmcQueueTest, BlockedProducerUnblocksOnPop) {
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // Blocks until the pop below.
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(MpmcQueueTest, MultiProducerMultiConsumerDeliversEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  MpmcQueue<int> q(64);
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[p].join();
+  }
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[kProducers + c].join();
+  }
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(MpmcQueueTest, MovesNonCopyableValues) {
+  MpmcQueue<std::unique_ptr<int>> q(4);
+  ASSERT_TRUE(q.Push(std::make_unique<int>(42)));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { ++counter; });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, NumThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+}  // namespace
+}  // namespace gnnlab

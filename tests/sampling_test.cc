@@ -1,0 +1,456 @@
+// Tests for src/sampling: SampleBlock dedup/remap semantics, the four
+// sampling kernels, footprints and the Table 2 similarity metric. Includes
+// parameterized distribution properties across kernels and fanouts.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/dataset.h"
+#include "graph/graph_builder.h"
+#include "sampling/footprint.h"
+#include "sampling/sample_block.h"
+#include "sampling/sampler.h"
+
+namespace gnnlab {
+namespace {
+
+CsrGraph StarGraph(VertexId leaves) {
+  // Vertex 0 points at every leaf; leaves point back at 0.
+  GraphBuilder builder(leaves + 1);
+  for (VertexId leaf = 1; leaf <= leaves; ++leaf) {
+    builder.AddEdge(0, leaf);
+    builder.AddEdge(leaf, 0);
+  }
+  return std::move(builder).Build();
+}
+
+CsrGraph RingGraph(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    builder.AddEdge(v, (v + 1) % n);
+    builder.AddEdge(v, (v + n - 1) % n);
+  }
+  return std::move(builder).Build();
+}
+
+TEST(SampleBlockBuilderTest, SeedsGetConsecutiveLocalIds) {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {7, 3, 9};
+  builder.Begin(seeds);
+  const SampleBlock block = builder.Finish();
+  EXPECT_EQ(block.num_seeds(), 3u);
+  EXPECT_EQ(block.vertices()[0], 7u);
+  EXPECT_EQ(block.vertices()[1], 3u);
+  EXPECT_EQ(block.vertices()[2], 9u);
+}
+
+TEST(SampleBlockBuilderTest, DuplicateSeedsCollapse) {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {5, 5, 5};
+  builder.Begin(seeds);
+  const SampleBlock block = builder.Finish();
+  EXPECT_EQ(block.num_seeds(), 1u);
+}
+
+TEST(SampleBlockBuilderTest, NeighborsDeduplicatedAcrossEdges) {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {0, 1};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  builder.AddEdge(0, 9);
+  builder.AddEdge(1, 9);  // Same neighbor from both seeds: one local id.
+  builder.EndHop();
+  const SampleBlock block = builder.Finish();
+  EXPECT_EQ(block.vertices().size(), 3u);
+  EXPECT_EQ(block.hop(0).size(), 2u);
+  EXPECT_EQ(block.hop(0).src_local[0], block.hop(0).src_local[1]);
+}
+
+TEST(SampleBlockBuilderTest, HopEndTracksGrowth) {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {0};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.EndHop();
+  builder.BeginHop();
+  builder.AddEdge(1, 3);
+  builder.EndHop();
+  const SampleBlock block = builder.Finish();
+  EXPECT_EQ(block.VerticesAfterHop(0), 1u);
+  EXPECT_EQ(block.VerticesAfterHop(1), 3u);
+  EXPECT_EQ(block.VerticesAfterHop(2), 4u);
+  EXPECT_EQ(block.TotalSampledWithDuplicates(), 1u + 2u + 1u);
+}
+
+TEST(SampleBlockBuilderTest, ScratchReusableAcrossBlocks) {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  for (int round = 0; round < 5; ++round) {
+    const VertexId seeds[] = {static_cast<VertexId>(round % 3)};
+    builder.Begin(seeds);
+    builder.BeginHop();
+    builder.AddEdge(0, 9);
+    builder.EndHop();
+    const SampleBlock block = builder.Finish();
+    EXPECT_EQ(block.vertices().size(), 2u);
+  }
+}
+
+TEST(SampleBlockBuilderDeathTest, AddEdgeRequiresExistingDst) {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {0};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  EXPECT_DEATH(builder.AddEdge(5, 1), "Check failed");
+}
+
+TEST(SampleBlockTest, QueueBytesCountsVerticesAndEdges) {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {0};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  builder.AddEdge(0, 1);
+  builder.EndHop();
+  SampleBlock block = builder.Finish();
+  EXPECT_EQ(block.QueueBytes(), 2 * sizeof(VertexId) + 2 * sizeof(LocalId));
+  block.mutable_cache_marks().assign(2, 0);
+  EXPECT_EQ(block.QueueBytes(), 2 * sizeof(VertexId) + 2 * sizeof(LocalId) + 2);
+}
+
+// --- Kernel semantics ------------------------------------------------------
+
+TEST(KhopUniformTest, TakesAllNeighborsWhenDegreeBelowFanout) {
+  const CsrGraph g = StarGraph(3);
+  auto sampler = MakeKhopUniformSampler(g, {10});
+  Rng rng(1);
+  const VertexId seeds[] = {0};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  EXPECT_EQ(block.hop(0).size(), 3u);       // All 3 leaves.
+  EXPECT_EQ(block.vertices().size(), 4u);
+}
+
+TEST(KhopUniformTest, RespectsFanoutWhenDegreeHigher) {
+  const CsrGraph g = StarGraph(50);
+  auto sampler = MakeKhopUniformSampler(g, {5});
+  Rng rng(2);
+  const VertexId seeds[] = {0};
+  SamplerStats stats;
+  const SampleBlock block = sampler->Sample(seeds, &rng, &stats);
+  EXPECT_EQ(block.hop(0).size(), 5u);
+  EXPECT_EQ(stats.sampled_neighbors, 5u);
+  // The Fisher-Yates variant's cost is O(fanout), not O(degree).
+  EXPECT_EQ(stats.adjacency_entries_scanned, 5u);
+}
+
+TEST(KhopUniformTest, PicksAreDistinct) {
+  const CsrGraph g = StarGraph(50);
+  auto sampler = MakeKhopUniformSampler(g, {10});
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    const VertexId seeds[] = {0};
+    const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+    const HopEdges& hop = block.hop(0);
+    std::set<LocalId> unique(hop.src_local.begin(), hop.src_local.end());
+    EXPECT_EQ(unique.size(), hop.size()) << "without-replacement pick repeated a neighbor";
+  }
+}
+
+TEST(KhopReservoirTest, ScansFullDegree) {
+  const CsrGraph g = StarGraph(50);
+  auto sampler = MakeKhopReservoirSampler(g, {5});
+  Rng rng(4);
+  const VertexId seeds[] = {0};
+  SamplerStats stats;
+  const SampleBlock block = sampler->Sample(seeds, &rng, &stats);
+  EXPECT_EQ(block.hop(0).size(), 5u);
+  // Reservoir inspects every adjacency entry: the unbalanced-workload
+  // signature the paper attributes to DGL's kernel (§7.3).
+  EXPECT_EQ(stats.adjacency_entries_scanned, 50u);
+}
+
+TEST(KhopWeightedTest, PrefersHeavyNeighbors) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  const CsrGraph g = std::move(builder).Build();
+  // Vertex 2 is much "newer": weight e^(6*0.99) vs e^(6*0.01).
+  const std::vector<float> timestamps{0.5f, 0.01f, 0.99f};
+  const EdgeWeights w = EdgeWeights::FromVertexTimestamps(g, timestamps, 6.0);
+  auto sampler = MakeKhopWeightedSampler(g, w, {1});
+  Rng rng(5);
+  int picked_new = 0;
+  for (int round = 0; round < 300; ++round) {
+    const VertexId seeds[] = {0};
+    const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+    if (block.vertices()[block.hop(0).src_local[0]] == 2u) {
+      ++picked_new;
+    }
+  }
+  EXPECT_GT(picked_new, 290);  // P(old) = e^-5.88 ~ 0.3%.
+}
+
+TEST(KhopWeightedTest, HandlesIsolatedVertices) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);  // Vertex 1 has no out-edges.
+  const CsrGraph g = std::move(builder).Build();
+  Rng wrng(6);
+  const EdgeWeights w = EdgeWeights::RandomTimestamps(g, 6.0, &wrng);
+  auto sampler = MakeKhopWeightedSampler(g, w, {2, 2});
+  Rng rng(7);
+  const VertexId seeds[] = {1};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  EXPECT_EQ(block.vertices().size(), 1u);
+  EXPECT_EQ(block.hop(0).size(), 0u);
+}
+
+TEST(RandomWalkTest, SelectsAtMostNumNeighbors) {
+  const CsrGraph g = RingGraph(100);
+  auto sampler = MakeRandomWalkSampler(g, /*layers=*/1, /*walks=*/4, /*length=*/3,
+                                       /*neighbors=*/5);
+  Rng rng(8);
+  const VertexId seeds[] = {0};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  EXPECT_LE(block.hop(0).size(), 5u);
+  EXPECT_GE(block.hop(0).size(), 1u);
+}
+
+TEST(RandomWalkTest, WalksStayOnGraph) {
+  const CsrGraph g = RingGraph(16);
+  auto sampler = MakeRandomWalkSampler(g, 3, 4, 3, 5);
+  Rng rng(9);
+  const VertexId seeds[] = {3, 8};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  for (const VertexId v : block.vertices()) {
+    EXPECT_LT(v, 16u);
+  }
+  EXPECT_EQ(block.num_hops(), 3u);
+}
+
+TEST(RandomWalkTest, DeadEndProducesNoNeighbors) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);  // 1 is a sink.
+  const CsrGraph g = std::move(builder).Build();
+  auto sampler = MakeRandomWalkSampler(g, 1, 4, 3, 5);
+  Rng rng(10);
+  const VertexId seeds[] = {1};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  EXPECT_EQ(block.hop(0).size(), 0u);
+}
+
+TEST(SamplerTest, AlgorithmNames) {
+  EXPECT_STREQ(SamplingAlgorithmName(SamplingAlgorithm::kKhopUniform), "khop-uniform");
+  EXPECT_STREQ(SamplingAlgorithmName(SamplingAlgorithm::kKhopReservoir), "khop-reservoir");
+  EXPECT_STREQ(SamplingAlgorithmName(SamplingAlgorithm::kKhopWeighted), "khop-weighted");
+  EXPECT_STREQ(SamplingAlgorithmName(SamplingAlgorithm::kRandomWalk), "random-walk");
+}
+
+// --- Parameterized distribution properties ---------------------------------
+
+struct UniformCase {
+  std::uint32_t fanout;
+  VertexId leaves;
+};
+
+class UniformDistributionTest : public ::testing::TestWithParam<UniformCase> {};
+
+// Every neighbor of a hub must be picked with equal probability by both
+// uniform kernels (the Fisher-Yates variant and Reservoir are semantically
+// interchangeable, paper §7.3).
+TEST_P(UniformDistributionTest, FisherYatesIsUniform) {
+  const auto [fanout, leaves] = GetParam();
+  const CsrGraph g = StarGraph(leaves);
+  auto sampler = MakeKhopUniformSampler(g, {fanout});
+  Rng rng(11);
+  std::map<VertexId, int> counts;
+  constexpr int kRounds = 4000;
+  for (int round = 0; round < kRounds; ++round) {
+    const VertexId seeds[] = {0};
+    const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+    for (const LocalId src : block.hop(0).src_local) {
+      ++counts[block.vertices()[src]];
+    }
+  }
+  const double expected =
+      static_cast<double>(kRounds) * std::min<double>(fanout, leaves) / leaves;
+  for (VertexId leaf = 1; leaf <= leaves; ++leaf) {
+    EXPECT_NEAR(counts[leaf], expected, expected * 0.25) << "leaf " << leaf;
+  }
+}
+
+TEST_P(UniformDistributionTest, ReservoirIsUniform) {
+  const auto [fanout, leaves] = GetParam();
+  const CsrGraph g = StarGraph(leaves);
+  auto sampler = MakeKhopReservoirSampler(g, {fanout});
+  Rng rng(12);
+  std::map<VertexId, int> counts;
+  constexpr int kRounds = 4000;
+  for (int round = 0; round < kRounds; ++round) {
+    const VertexId seeds[] = {0};
+    const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+    for (const LocalId src : block.hop(0).src_local) {
+      ++counts[block.vertices()[src]];
+    }
+  }
+  const double expected =
+      static_cast<double>(kRounds) * std::min<double>(fanout, leaves) / leaves;
+  for (VertexId leaf = 1; leaf <= leaves; ++leaf) {
+    EXPECT_NEAR(counts[leaf], expected, expected * 0.25) << "leaf " << leaf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FanoutsAndDegrees, UniformDistributionTest,
+                         ::testing::Values(UniformCase{1, 8}, UniformCase{2, 8},
+                                           UniformCase{5, 20}, UniformCase{10, 40},
+                                           UniformCase{15, 15}));
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+// Both uniform kernels must produce identically *shaped* blocks: the same
+// hop count and the same first-hop edge count (per-vertex output size is
+// min(degree, fanout) for both). Deeper hops legitimately diverge because
+// the random frontiers differ.
+TEST_P(KernelEquivalenceTest, SameFirstHopStructure) {
+  const Dataset ds = MakeDataset(DatasetId::kProducts, 0.05, 42);
+  auto fy = MakeKhopUniformSampler(ds.graph, GetParam());
+  auto rs = MakeKhopReservoirSampler(ds.graph, GetParam());
+  Rng rng_a(13);
+  Rng rng_b(13);
+  const VertexId seeds[] = {1, 2, 3};
+  const SampleBlock a = fy->Sample(seeds, &rng_a, nullptr);
+  const SampleBlock b = rs->Sample(seeds, &rng_b, nullptr);
+  ASSERT_EQ(a.num_hops(), b.num_hops());
+  EXPECT_EQ(a.num_seeds(), b.num_seeds());
+  EXPECT_EQ(a.hop(0).size(), b.hop(0).size());
+  for (std::size_t h = 0; h < a.num_hops(); ++h) {
+    EXPECT_GT(a.hop(h).size(), 0u);
+    EXPECT_GT(b.hop(h).size(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, KernelEquivalenceTest,
+                         ::testing::Values(std::vector<std::uint32_t>{5},
+                                           std::vector<std::uint32_t>{25, 10},
+                                           std::vector<std::uint32_t>{15, 10, 5}));
+
+// --- Footprints and Table 2 similarity --------------------------------------
+
+TEST(FootprintTest, AccumulateCountsSeedsAndSources) {
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {0};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);  // Duplicate pick (weighted-style) counts twice.
+  builder.EndHop();
+  const SampleBlock block = builder.Finish();
+
+  Footprint fp(10);
+  fp.Accumulate(block);
+  EXPECT_EQ(fp.counts()[0], 1u);
+  EXPECT_EQ(fp.counts()[1], 2u);
+  EXPECT_EQ(fp.total(), 3u);
+}
+
+TEST(FootprintTest, MergeAndReset) {
+  Footprint a(4);
+  Footprint b(4);
+  RemapScratch scratch(4);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {2};
+  builder.Begin(seeds);
+  const SampleBlock block = builder.Finish();
+  a.Accumulate(block);
+  b.Accumulate(block);
+  a.Merge(b);
+  EXPECT_EQ(a.counts()[2], 2u);
+  a.Reset();
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(FootprintTest, RankByCountIsDescendingAndDeterministic) {
+  Footprint fp(5);
+  RemapScratch scratch(5);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds[] = {3, 1};
+  builder.Begin(seeds);
+  builder.BeginHop();
+  builder.AddEdge(0, 3);  // Vertex 3 now has count 2.
+  builder.EndHop();
+  fp.Accumulate(builder.Finish());
+  const auto ranked = fp.RankByCount();
+  EXPECT_EQ(ranked[0], 3u);
+  EXPECT_EQ(ranked[1], 1u);
+  // Ties broken by ascending id.
+  EXPECT_EQ(ranked[2], 0u);
+  EXPECT_EQ(ranked[3], 2u);
+}
+
+TEST(FootprintTest, TopFractionAtLeastOne) {
+  Footprint fp(1000);
+  EXPECT_EQ(fp.TopFraction(0.0001).size(), 1u);
+  EXPECT_EQ(fp.TopFraction(0.1).size(), 100u);
+  EXPECT_EQ(fp.TopFraction(1.0).size(), 1000u);
+}
+
+TEST(FootprintSimilarityTest, IdenticalEpochsAreFullySimilar) {
+  const Dataset ds = MakeDataset(DatasetId::kProducts, 0.05, 42);
+  auto sampler = MakeKhopUniformSampler(ds.graph, {15, 10, 5});
+  Footprint fp(ds.graph.num_vertices());
+  Rng shuffle(1);
+  EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+  Rng rng(2);
+  while (batches.HasNext()) {
+    fp.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+  }
+  EXPECT_NEAR(FootprintSimilarity(fp, fp, 0.1), 1.0, 1e-9);
+}
+
+TEST(FootprintSimilarityTest, AdjacentEpochsOverlapHeavily) {
+  // The paper's Table 2 observation: top-10% access footprints of adjacent
+  // epochs overlap by ~64-91%. Verify the reproduction shows the same
+  // property on the products graph.
+  const Dataset ds = MakeDataset(DatasetId::kProducts, 0.1, 42);
+  auto sampler = MakeKhopUniformSampler(ds.graph, {15, 10, 5});
+  Footprint epoch_a(ds.graph.num_vertices());
+  Footprint epoch_b(ds.graph.num_vertices());
+  for (int e = 0; e < 2; ++e) {
+    Footprint& fp = e == 0 ? epoch_a : epoch_b;
+    Rng shuffle(100 + e);
+    EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+    Rng rng(200 + e);
+    while (batches.HasNext()) {
+      fp.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+    }
+  }
+  const double similarity = FootprintSimilarity(epoch_a, epoch_b, 0.1);
+  EXPECT_GT(similarity, 0.5);
+  EXPECT_LE(similarity, 1.0);
+}
+
+TEST(FootprintSimilarityTest, DisjointFootprintsScoreZero) {
+  Footprint a(10);
+  Footprint b(10);
+  RemapScratch scratch(10);
+  SampleBlockBuilder builder(&scratch);
+  const VertexId seeds_a[] = {0, 1};
+  builder.Begin(seeds_a);
+  a.Accumulate(builder.Finish());
+  const VertexId seeds_b[] = {8, 9};
+  builder.Begin(seeds_b);
+  b.Accumulate(builder.Finish());
+  EXPECT_DOUBLE_EQ(FootprintSimilarity(a, b, 0.2), 0.0);
+}
+
+}  // namespace
+}  // namespace gnnlab

@@ -1,0 +1,274 @@
+// Tests for model checkpointing, the FastGCN sampler, the GAT/FastGCN
+// workloads through the engine, and the RunReport JSON export.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "nn/checkpoint.h"
+#include "report/json.h"
+
+namespace gnnlab {
+namespace {
+
+const Dataset& Products() {
+  static const Dataset* ds = new Dataset(MakeDataset(DatasetId::kProducts, 0.1, 42));
+  return *ds;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+ModelConfig SmallConfig(GnnModelKind kind) {
+  ModelConfig config;
+  config.kind = kind;
+  config.num_layers = 2;
+  config.in_dim = 6;
+  config.hidden_dim = 8;
+  config.num_classes = 4;
+  return config;
+}
+
+// --- Checkpointing -----------------------------------------------------------
+
+TEST(CheckpointTest, RoundTripRestoresAllParameters) {
+  Rng rng_a(1);
+  Rng rng_b(2);
+  GnnModel original(SmallConfig(GnnModelKind::kGraphSage), &rng_a);
+  GnnModel restored(SmallConfig(GnnModelKind::kGraphSage), &rng_b);
+
+  const std::string path = TempPath("model.ckpt");
+  ASSERT_TRUE(SaveModel(&original, path));
+  ASSERT_TRUE(LoadModel(&restored, path));
+
+  auto a = original.Params();
+  auto b = restored.Params();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    ASSERT_EQ(a[p]->size(), b[p]->size());
+    for (std::size_t i = 0; i < a[p]->size(); ++i) {
+      EXPECT_EQ(a[p]->data()[i], b[p]->data()[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RoundTripForEveryModelKind) {
+  for (const GnnModelKind kind : {GnnModelKind::kGcn, GnnModelKind::kGraphSage,
+                                  GnnModelKind::kPinSage, GnnModelKind::kGat}) {
+    Rng rng(3);
+    GnnModel model(SmallConfig(kind), &rng);
+    const std::string path = TempPath("kind.ckpt");
+    ASSERT_TRUE(SaveModel(&model, path)) << GnnModelKindName(kind);
+    ASSERT_TRUE(LoadModel(&model, path)) << GnnModelKindName(kind);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CheckpointTest, ShapeMismatchRejectedAndModelUntouched) {
+  Rng rng(4);
+  GnnModel saved(SmallConfig(GnnModelKind::kGcn), &rng);
+  ModelConfig bigger = SmallConfig(GnnModelKind::kGcn);
+  bigger.hidden_dim = 16;
+  GnnModel target(bigger, &rng);
+  const float sentinel = target.Params()[0]->data()[0];
+
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(SaveModel(&saved, path));
+  EXPECT_FALSE(LoadModel(&target, path));
+  EXPECT_EQ(target.Params()[0]->data()[0], sentinel);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LayerCountMismatchRejected) {
+  Rng rng(5);
+  GnnModel saved(SmallConfig(GnnModelKind::kGcn), &rng);
+  ModelConfig deeper = SmallConfig(GnnModelKind::kGcn);
+  deeper.num_layers = 3;
+  GnnModel target(deeper, &rng);
+  const std::string path = TempPath("layers.ckpt");
+  ASSERT_TRUE(SaveModel(&saved, path));
+  EXPECT_FALSE(LoadModel(&target, path));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint, just bytes............", f);
+  std::fclose(f);
+  Rng rng(6);
+  GnnModel model(SmallConfig(GnnModelKind::kGcn), &rng);
+  EXPECT_FALSE(LoadModel(&model, path));
+  std::remove(path.c_str());
+}
+
+// --- FastGCN sampler -----------------------------------------------------------
+
+TEST(FastGcnSamplerTest, LayerSizesBoundDistinctNewVertices) {
+  const Dataset& ds = Products();
+  auto sampler = MakeFastGcnSampler(ds.graph, {30, 20});
+  Rng rng(7);
+  const VertexId seeds[] = {1, 2, 3, 4, 5};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  EXPECT_EQ(block.num_hops(), 2u);
+  // Each hop adds at most layer_size new distinct vertices.
+  EXPECT_LE(block.VerticesAfterHop(1) - block.VerticesAfterHop(0), 30u);
+  EXPECT_LE(block.VerticesAfterHop(2) - block.VerticesAfterHop(1), 20u);
+  EXPECT_EQ(sampler->algorithm(), SamplingAlgorithm::kFastGcn);
+}
+
+TEST(FastGcnSamplerTest, EdgesOnlyTargetChosenVertices) {
+  const Dataset& ds = Products();
+  auto sampler = MakeFastGcnSampler(ds.graph, {10});
+  Rng rng(8);
+  const VertexId seeds[] = {10, 20, 30};
+  const SampleBlock block = sampler->Sample(seeds, &rng, nullptr);
+  // Every edge endpoint must be a real neighbor relation.
+  for (std::size_t e = 0; e < block.hop(0).size(); ++e) {
+    const VertexId src = block.vertices()[block.hop(0).src_local[e]];
+    const VertexId dst = block.vertices()[block.hop(0).dst_local[e]];
+    const auto nbrs = ds.graph.Neighbors(dst);
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), src) != nbrs.end())
+        << dst << "->" << src << " is not a graph edge";
+  }
+}
+
+TEST(FastGcnSamplerTest, PrefersHighDegreeVertices) {
+  const Dataset& ds = Products();
+  auto sampler = MakeFastGcnSampler(ds.graph, {20, 20, 20});
+  Rng shuffle(9);
+  Rng rng(10);
+  EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+  double sampled_degree_sum = 0.0;
+  std::size_t sampled_count = 0;
+  while (batches.HasNext()) {
+    const SampleBlock block = sampler->Sample(batches.NextBatch(), &rng, nullptr);
+    for (std::size_t v = block.num_seeds(); v < block.vertices().size(); ++v) {
+      sampled_degree_sum += static_cast<double>(ds.graph.out_degree(block.vertices()[v]));
+      ++sampled_count;
+    }
+  }
+  const double graph_mean = static_cast<double>(ds.graph.num_edges()) /
+                            static_cast<double>(ds.graph.num_vertices());
+  EXPECT_GT(sampled_degree_sum / static_cast<double>(sampled_count), graph_mean);
+}
+
+TEST(FastGcnWorkloadTest, RunsThroughTheEngine) {
+  const Workload workload = FastGcnWorkload();
+  EXPECT_EQ(workload.sampling, SamplingAlgorithm::kFastGcn);
+  EngineOptions options;
+  options.num_gpus = 2;
+  options.num_samplers = 1;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 2;
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom) << report.oom_detail;
+  EXPECT_EQ(report.epochs[0].batches, Products().BatchesPerEpoch());
+}
+
+// --- GAT through the engine -------------------------------------------------------
+
+TEST(GatWorkloadTest, SimulatedRun) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGat);
+  EXPECT_EQ(workload.num_layers, 2u);
+  EngineOptions options;
+  options.num_gpus = 4;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 2;
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom) << report.oom_detail;
+  EXPECT_EQ(report.epochs[0].batches, Products().BatchesPerEpoch());
+}
+
+TEST(GatWorkloadTest, RealTrainingLearns) {
+  const Dataset& ds = Products();
+  Rng rng(11);
+  const auto labels = MakeCommunityLabels(ds.graph.num_vertices(), 128, 6);
+  const FeatureStore features =
+      FeatureStore::Clustered(ds.graph.num_vertices(), 12, labels, 6, 0.3, &rng);
+  std::vector<VertexId> eval;
+  for (VertexId v = 0; v < 150; ++v) {
+    eval.push_back(v);
+  }
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.eval_vertices = eval;
+  real.num_classes = 6;
+  real.hidden_dim = 12;
+
+  const Workload workload = StandardWorkload(GnnModelKind::kGat);
+  EngineOptions options;
+  options.num_gpus = 3;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 4;
+  options.real = &real;
+  Engine engine(ds, workload, options);
+  const RunReport report = engine.Run();
+  ASSERT_FALSE(report.oom);
+  EXPECT_LT(report.epochs.back().mean_loss, report.epochs.front().mean_loss);
+  EXPECT_GT(report.epochs.back().eval_accuracy, 0.25);  // >> 1/6 random.
+}
+
+// --- JSON export -------------------------------------------------------------------
+
+TEST(RunReportJsonTest, ContainsAllSections) {
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  EngineOptions options;
+  options.num_gpus = 2;
+  options.num_samplers = 1;
+  options.gpu_memory = 8 * kMiB;
+  options.epochs = 2;
+  Engine engine(Products(), workload, options);
+  const RunReport report = engine.Run();
+  const std::string json = RunReportToJson(report);
+  for (const char* key :
+       {"\"num_samplers\":", "\"cache_ratio\":", "\"preprocess\":", "\"queue\":",
+        "\"epochs\":[", "\"stage\":", "\"hit_rate\":", "\"gradient_updates\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Two epoch objects.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"epoch_time\":", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(RunReportJsonTest, EscapesOomDetail) {
+  RunReport report;
+  report.oom = true;
+  report.oom_detail = "line1\nquote\"backslash\\";
+  report.epochs.push_back({});
+  const std::string json = RunReportToJson(report);
+  EXPECT_NE(json.find("line1\\nquote\\\"backslash\\\\"), std::string::npos);
+}
+
+TEST(RunReportJsonTest, WriteToFile) {
+  RunReport report;
+  report.num_samplers = 2;
+  report.epochs.push_back({});
+  const std::string path = TempPath("report.json");
+  ASSERT_TRUE(WriteRunReportJson(report, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char c = 0;
+  ASSERT_EQ(std::fread(&c, 1, 1, f), 1u);
+  std::fclose(f);
+  EXPECT_EQ(c, '{');
+  std::remove(path.c_str());
+}
+
+TEST(SamplingAlgorithmNameTest, FastGcn) {
+  EXPECT_STREQ(SamplingAlgorithmName(SamplingAlgorithm::kFastGcn), "fastgcn");
+}
+
+}  // namespace
+}  // namespace gnnlab

@@ -1,0 +1,278 @@
+// Tests for src/sim: the device memory ledger, the cost model's
+// monotonicity/calibration properties, and the discrete-event engine's
+// ordering guarantees.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+#include "sim/sim_engine.h"
+#include "sim/trace.h"
+
+namespace gnnlab {
+namespace {
+
+// --- Device ------------------------------------------------------------------
+
+TEST(DeviceTest, AllocationBookkeeping) {
+  Device dev(0, 100);
+  EXPECT_TRUE(dev.TryAllocate(MemoryKind::kTopology, 40));
+  EXPECT_TRUE(dev.TryAllocate(MemoryKind::kFeatureCache, 50));
+  EXPECT_EQ(dev.used(), 90u);
+  EXPECT_EQ(dev.available(), 10u);
+  EXPECT_EQ(dev.used(MemoryKind::kTopology), 40u);
+}
+
+TEST(DeviceTest, RejectsOverCapacity) {
+  Device dev(0, 100);
+  EXPECT_TRUE(dev.TryAllocate(MemoryKind::kTopology, 80));
+  EXPECT_FALSE(dev.TryAllocate(MemoryKind::kFeatureCache, 30));
+  // Failed allocation must not change state.
+  EXPECT_EQ(dev.used(), 80u);
+}
+
+TEST(DeviceTest, ExactFitSucceeds) {
+  Device dev(1, 100);
+  EXPECT_TRUE(dev.TryAllocate(MemoryKind::kTrainerWorkspace, 100));
+  EXPECT_EQ(dev.available(), 0u);
+}
+
+TEST(DeviceTest, FreeReturnsMemory) {
+  Device dev(0, 100);
+  ASSERT_TRUE(dev.TryAllocate(MemoryKind::kFeatureCache, 60));
+  dev.Free(MemoryKind::kFeatureCache, 20);
+  EXPECT_EQ(dev.used(), 40u);
+  dev.FreeAll(MemoryKind::kFeatureCache);
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+TEST(DeviceDeathTest, OverFreeAborts) {
+  Device dev(0, 100);
+  ASSERT_TRUE(dev.TryAllocate(MemoryKind::kTopology, 10));
+  EXPECT_DEATH(dev.Free(MemoryKind::kTopology, 20), "Check failed");
+}
+
+TEST(DeviceTest, DebugStringMentionsUsage) {
+  Device dev(3, 64 * kMiB);
+  ASSERT_TRUE(dev.TryAllocate(MemoryKind::kTopology, 10 * kMiB));
+  const std::string s = dev.DebugString();
+  EXPECT_NE(s.find("gpu3"), std::string::npos);
+  EXPECT_NE(s.find("topology"), std::string::npos);
+}
+
+TEST(MemoryKindTest, Names) {
+  EXPECT_STREQ(MemoryKindName(MemoryKind::kTopology), "topology");
+  EXPECT_STREQ(MemoryKindName(MemoryKind::kFeatureCache), "feature-cache");
+}
+
+// --- CostModel ----------------------------------------------------------------
+
+TEST(CostModelTest, SampleTimeScalesWithEntries) {
+  const CostModel cost;
+  SamplerStats small;
+  small.adjacency_entries_scanned = 1000;
+  SamplerStats big;
+  big.adjacency_entries_scanned = 10000;
+  EXPECT_LT(cost.GpuSampleTime(small), cost.GpuSampleTime(big));
+  EXPECT_NEAR(cost.GpuSampleTime(big) / cost.GpuSampleTime(small), 10.0, 1e-9);
+}
+
+TEST(CostModelTest, CpuSamplingSlowerThanGpu) {
+  const CostModel cost;
+  SamplerStats stats;
+  stats.adjacency_entries_scanned = 100000;
+  // Paper Table 1: CPU sampling ~4.2x slower.
+  EXPECT_NEAR(cost.CpuSampleTime(stats) / cost.GpuSampleTime(stats), 4.25, 0.5);
+}
+
+TEST(CostModelTest, DglOverheadLargerForRandomWalks) {
+  const CostModel cost;
+  SamplerStats stats;
+  stats.adjacency_entries_scanned = 100000;
+  const SimTime khop = cost.DglSampleTime(stats, SamplingAlgorithm::kKhopUniform, true);
+  const SimTime walk = cost.DglSampleTime(stats, SamplingAlgorithm::kRandomWalk, true);
+  // k-hop: the Reservoir kernel's extra scans carry DGL's gap, so no
+  // additional runtime multiplier; random walks pay ~3x (paper 7.3).
+  EXPECT_GE(khop, cost.GpuSampleTime(stats));
+  EXPECT_GT(walk, khop);
+}
+
+TEST(CostModelTest, ExtractCheaperWithMoreHits) {
+  const CostModel cost;
+  ExtractStats cold;
+  cold.distinct_vertices = 10000;
+  cold.host_misses = 10000;
+  cold.bytes_from_host = 10000 * 512;
+  ExtractStats warm;
+  warm.distinct_vertices = 10000;
+  warm.cache_hits = 9900;
+  warm.host_misses = 100;
+  warm.bytes_from_host = 100 * 512;
+  EXPECT_LT(cost.ExtractTime(warm, true), cost.ExtractTime(cold, true));
+}
+
+TEST(CostModelTest, CpuExtractSlowerThanGpuExtract) {
+  const CostModel cost;
+  ExtractStats stats;
+  stats.distinct_vertices = 10000;
+  stats.host_misses = 10000;
+  stats.bytes_from_host = 10000 * 512;
+  EXPECT_GT(cost.ExtractTime(stats, false), cost.ExtractTime(stats, true));
+}
+
+TEST(CostModelTest, TrainTimeScalesWithModelFactor) {
+  const CostModel cost;
+  TrainWork work;
+  work.block_edges = 10000;
+  work.block_vertices = 5000;
+  work.feature_dim = 128;
+  work.hidden_dim = 256;
+  work.num_layers = 3;
+  work.model_factor = 1.0;
+  const SimTime base = cost.TrainTime(work);
+  work.model_factor = 8.0;
+  EXPECT_NEAR(cost.TrainTime(work) / base, 8.0, 1e-9);
+}
+
+TEST(CostModelTest, LoadTimesProportionalToBytes) {
+  const CostModel cost;
+  EXPECT_NEAR(cost.DiskLoadTime(2 * kMiB) / cost.DiskLoadTime(kMiB), 2.0, 1e-9);
+  EXPECT_NEAR(cost.TopologyLoadTime(2 * kMiB) / cost.TopologyLoadTime(kMiB), 2.0, 1e-9);
+  EXPECT_NEAR(cost.CacheLoadTime(2 * kMiB) / cost.CacheLoadTime(kMiB), 2.0, 1e-9);
+}
+
+TEST(CostModelTest, CustomParamsRespected) {
+  CostModelParams params;
+  params.gpu_sample_per_entry = 1.0;
+  const CostModel cost(params);
+  SamplerStats stats;
+  stats.adjacency_entries_scanned = 3;
+  EXPECT_DOUBLE_EQ(cost.GpuSampleTime(stats), 3.0);
+}
+
+// --- SimEngine -----------------------------------------------------------------
+
+TEST(SimEngineTest, RunsEventsInTimeOrder) {
+  SimEngine sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimEngineTest, SimultaneousEventsFifo) {
+  SimEngine sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimEngineTest, EventsCanScheduleEvents) {
+  SimEngine sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] {
+    ++fired;
+    sim.Schedule(1.0, [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(SimEngineTest, RunUntilStopsAtDeadline) {
+  SimEngine sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(5.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngineTest, RunUntilIncludesBoundary) {
+  SimEngine sim;
+  int fired = 0;
+  sim.Schedule(2.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimEngineDeathTest, RejectsNegativeDelay) {
+  SimEngine sim;
+  EXPECT_DEATH(sim.Schedule(-1.0, [] {}), "Check failed");
+}
+
+TEST(SimEngineDeathTest, RejectsPastTimestamp) {
+  SimEngine sim;
+  sim.Schedule(5.0, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(1.0, [] {}), "Check failed");
+}
+
+TEST(TraceRecorderTest, RecordsSpans) {
+  TraceRecorder trace;
+  trace.Record("gpu0/sampler", "sample b1", "sample", 0.0, 0.5);
+  trace.Record("gpu1/trainer", "train b1", "train", 0.5, 1.0);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.spans()[0].lane, "gpu0/sampler");
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceRecorderTest, ChromeJsonHasLanesAndEvents) {
+  TraceRecorder trace;
+  trace.Record("gpu0/sampler", "sample b1", "sample", 0.0, 0.5);
+  trace.Record("gpu0/sampler", "sample b2", "sample", 0.5, 0.9);
+  trace.Record("gpu1/trainer", "train b1", "train", 0.6, 1.0);
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("gpu1/trainer"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // 500000 us duration for the first span.
+  EXPECT_NE(json.find("\"dur\":500000"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, WriteChromeTraceRoundTrip) {
+  TraceRecorder trace;
+  trace.Record("lane", "event", "cat", 1.0, 2.0);
+  const std::string path = std::string(::testing::TempDir()) + "/trace.json";
+  ASSERT_TRUE(trace.WriteChromeTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  ASSERT_EQ(std::fread(buf, 1, 15, f), 15u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf), "{\"traceEvents\":");
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorderDeathTest, RejectsInvertedSpan) {
+  TraceRecorder trace;
+  EXPECT_DEATH(trace.Record("l", "n", "c", 2.0, 1.0), "Check failed");
+}
+
+TEST(SimEngineTest, ClockMonotoneAcrossRuns) {
+  SimEngine sim;
+  sim.Schedule(1.0, [] {});
+  sim.Run();
+  sim.Schedule(1.0, [] {});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+}  // namespace
+}  // namespace gnnlab

@@ -1,0 +1,162 @@
+// Tests for src/tensor: shapes, matmul variants against hand-computed
+// results, and elementwise ops.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace gnnlab {
+namespace {
+
+Tensor T2x3() {
+  return Tensor(2, 3, {1, 2, 3, 4, 5, 6});
+}
+Tensor T3x2() {
+  return Tensor(3, 2, {7, 8, 9, 10, 11, 12});
+}
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_EQ(t.row(1)[2], 5.0f);
+}
+
+TEST(TensorTest, ZerosIsZero) {
+  const Tensor t = Tensor::Zeros(3, 3);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.data()[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, GlorotWithinLimit) {
+  Rng rng(1);
+  const Tensor t = Tensor::Glorot(64, 64, &rng);
+  const float limit = std::sqrt(6.0f / 128.0f);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t.data()[i]), limit);
+  }
+}
+
+TEST(TensorTest, FillAndResize) {
+  Tensor t(2, 2);
+  t.Fill(3.0f);
+  EXPECT_EQ(t.at(1, 1), 3.0f);
+  t.Resize(1, 4);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.at(0, 3), 0.0f);
+}
+
+TEST(OpsTest, MatMulMatchesHandResult) {
+  Tensor out;
+  MatMul(T2x3(), T3x2(), &out);
+  // [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154]
+  EXPECT_EQ(out.at(0, 0), 58.0f);
+  EXPECT_EQ(out.at(0, 1), 64.0f);
+  EXPECT_EQ(out.at(1, 0), 139.0f);
+  EXPECT_EQ(out.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, MatMulTransAMatchesExplicitTranspose) {
+  // a^T * b where a is [3,2]: equals transpose(a) [2,3] * b [3,2].
+  const Tensor a = T3x2();
+  const Tensor b = T3x2();
+  Tensor out;
+  MatMulTransA(a, b, &out);
+  Tensor a_t(2, 3, {7, 9, 11, 8, 10, 12});
+  Tensor expected;
+  MatMul(a_t, b, &expected);
+  ASSERT_EQ(out.rows(), expected.rows());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], expected.data()[i]);
+  }
+}
+
+TEST(OpsTest, MatMulTransBMatchesExplicitTranspose) {
+  const Tensor a = T2x3();
+  const Tensor b = T2x3();
+  Tensor out;
+  MatMulTransB(a, b, &out);
+  Tensor b_t(3, 2, {1, 4, 2, 5, 3, 6});
+  Tensor expected;
+  MatMul(a, b_t, &expected);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], expected.data()[i]);
+  }
+}
+
+TEST(OpsTest, AddInPlace) {
+  Tensor a = T2x3();
+  AddInPlace(&a, T2x3());
+  EXPECT_EQ(a.at(0, 0), 2.0f);
+  EXPECT_EQ(a.at(1, 2), 12.0f);
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  const Tensor a = T2x3();
+  const Tensor bias(1, 3, {10, 20, 30});
+  Tensor out;
+  AddRowBroadcast(a, bias, &out);
+  EXPECT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_EQ(out.at(1, 2), 36.0f);
+}
+
+TEST(OpsTest, AddRowBroadcastAliasesSafely) {
+  Tensor a = T2x3();
+  const Tensor bias(1, 3, {1, 1, 1});
+  AddRowBroadcast(a, bias, &a);
+  EXPECT_EQ(a.at(0, 0), 2.0f);
+  EXPECT_EQ(a.at(1, 2), 7.0f);
+}
+
+TEST(OpsTest, ScaleInPlace) {
+  Tensor a = T2x3();
+  ScaleInPlace(&a, 0.5f);
+  EXPECT_EQ(a.at(1, 2), 3.0f);
+}
+
+TEST(OpsTest, ReluClampsNegatives) {
+  const Tensor a(1, 4, {-1, 0, 2, -3});
+  Tensor out;
+  Relu(a, &out);
+  EXPECT_EQ(out.at(0, 0), 0.0f);
+  EXPECT_EQ(out.at(0, 1), 0.0f);
+  EXPECT_EQ(out.at(0, 2), 2.0f);
+  EXPECT_EQ(out.at(0, 3), 0.0f);
+}
+
+TEST(OpsTest, ReluBackwardGatesGradient) {
+  const Tensor grad(1, 3, {5, 6, 7});
+  const Tensor activated(1, 3, {0, 2, 0});
+  Tensor out;
+  ReluBackward(grad, activated, &out);
+  EXPECT_EQ(out.at(0, 0), 0.0f);
+  EXPECT_EQ(out.at(0, 1), 6.0f);
+  EXPECT_EQ(out.at(0, 2), 0.0f);
+}
+
+TEST(OpsTest, SumRows) {
+  Tensor out;
+  SumRows(T2x3(), &out);
+  EXPECT_EQ(out.rows(), 1u);
+  EXPECT_EQ(out.at(0, 0), 5.0f);
+  EXPECT_EQ(out.at(0, 2), 9.0f);
+}
+
+TEST(OpsTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot(T2x3(), T2x3()), 1 + 4 + 9 + 16 + 25 + 36);
+}
+
+TEST(OpsDeathTest, ShapeMismatchAborts) {
+  Tensor out;
+  const Tensor a = T2x3();
+  EXPECT_DEATH(MatMul(a, a, &out), "Check failed");
+}
+
+}  // namespace
+}  // namespace gnnlab

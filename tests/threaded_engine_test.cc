@@ -1,0 +1,164 @@
+// Tests for the threaded (real-concurrency) GNNLab runtime: epoch
+// completion, exactly-once training, deterministic sampling counts,
+// convergence, dynamic switching, and the zero-Trainer degenerate mode.
+#include <gtest/gtest.h>
+
+#include "core/threaded_engine.h"
+
+namespace gnnlab {
+namespace {
+
+struct Fixture {
+  Dataset dataset = MakeDataset(DatasetId::kProducts, 0.1, 42);
+  std::vector<std::uint32_t> labels;
+  FeatureStore features;
+  std::vector<VertexId> eval;
+  RealTrainingOptions real;
+
+  Fixture() {
+    Rng rng(3);
+    labels = MakeCommunityLabels(dataset.graph.num_vertices(), 128, 8);
+    features = FeatureStore::Clustered(dataset.graph.num_vertices(), 16, labels, 8, 0.3, &rng);
+    for (VertexId v = 0; v < 200; ++v) {
+      eval.push_back(v);
+    }
+    real.features = &features;
+    real.labels = labels;
+    real.eval_vertices = eval;
+    real.num_classes = 8;
+    real.hidden_dim = 16;
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+ThreadedEngineOptions BaseOptions(const Fixture& fixture) {
+  ThreadedEngineOptions options;
+  options.num_samplers = 1;
+  options.num_trainers = 2;
+  options.epochs = 2;
+  options.seed = 1;
+  options.real = &fixture.real;
+  return options;
+}
+
+TEST(ThreadedEngineTest, TrainsEveryBatchExactlyOnce) {
+  Fixture& fixture = SharedFixture();
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGraphSage),
+                        BaseOptions(fixture));
+  const ThreadedRunReport report = engine.Run();
+  ASSERT_EQ(report.epochs.size(), 2u);
+  for (const ThreadedEpochReport& epoch : report.epochs) {
+    EXPECT_EQ(epoch.batches, fixture.dataset.BatchesPerEpoch());
+    EXPECT_EQ(epoch.gradient_updates, epoch.batches);  // Async: one per batch.
+    EXPECT_GT(epoch.wall_seconds, 0.0);
+    EXPECT_EQ(epoch.extract.distinct_vertices,
+              epoch.extract.cache_hits + epoch.extract.host_misses);
+  }
+  EXPECT_GT(report.cache_ratio, 0.0);
+}
+
+TEST(ThreadedEngineTest, SampledCountsDeterministicAcrossRuns) {
+  // Thread interleavings change update ORDER but not WHAT is sampled.
+  Fixture& fixture = SharedFixture();
+  const Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  ThreadedEngine a(fixture.dataset, workload, BaseOptions(fixture));
+  ThreadedEngine b(fixture.dataset, workload, BaseOptions(fixture));
+  const ThreadedRunReport ra = a.Run();
+  const ThreadedRunReport rb = b.Run();
+  for (std::size_t e = 0; e < ra.epochs.size(); ++e) {
+    EXPECT_EQ(ra.epochs[e].extract.distinct_vertices, rb.epochs[e].extract.distinct_vertices);
+    EXPECT_EQ(ra.epochs[e].extract.cache_hits, rb.epochs[e].extract.cache_hits);
+    EXPECT_EQ(ra.epochs[e].extract.bytes_from_host, rb.epochs[e].extract.bytes_from_host);
+  }
+}
+
+TEST(ThreadedEngineTest, LearnsOverEpochs) {
+  Fixture& fixture = SharedFixture();
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.epochs = 4;
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGraphSage), options);
+  const ThreadedRunReport report = engine.Run();
+  EXPECT_LT(report.epochs.back().mean_loss, report.epochs.front().mean_loss);
+  EXPECT_GT(report.epochs.back().eval_accuracy, 0.2);  // >> 1/8 random.
+}
+
+TEST(ThreadedEngineTest, ZeroTrainersDrainsViaSwitching) {
+  // The single-GPU mode on threads: the Sampler thread finishes its epoch,
+  // then becomes the (only) Trainer via dynamic switching.
+  Fixture& fixture = SharedFixture();
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.num_samplers = 1;
+  options.num_trainers = 0;
+  options.queue_capacity = 4096;  // Holds the whole epoch, as in §7.9.
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGraphSage), options);
+  const ThreadedRunReport report = engine.Run();
+  for (const ThreadedEpochReport& epoch : report.epochs) {
+    EXPECT_EQ(epoch.switched_batches, epoch.batches);
+  }
+}
+
+TEST(ThreadedEngineTest, MultipleSamplersAndTrainers) {
+  Fixture& fixture = SharedFixture();
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.num_samplers = 2;
+  options.num_trainers = 3;
+  options.epochs = 1;
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGcn), options);
+  const ThreadedRunReport report = engine.Run();
+  EXPECT_EQ(report.epochs[0].batches, fixture.dataset.BatchesPerEpoch());
+}
+
+TEST(ThreadedEngineTest, CachePolicyAffectsHitRate) {
+  Fixture& fixture = SharedFixture();
+  const Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.epochs = 1;
+  options.cache_ratio = 0.1;
+  options.policy = CachePolicyKind::kPreSC1;
+  ThreadedEngine presc(fixture.dataset, workload, options);
+  options.policy = CachePolicyKind::kRandom;
+  ThreadedEngine random(fixture.dataset, workload, options);
+  EXPECT_GT(presc.Run().epochs[0].extract.HitRate(),
+            random.Run().epochs[0].extract.HitRate());
+}
+
+TEST(ThreadedEngineTest, NoCacheMeansAllMisses) {
+  Fixture& fixture = SharedFixture();
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.epochs = 1;
+  options.policy = CachePolicyKind::kNone;
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGraphSage), options);
+  const ThreadedRunReport report = engine.Run();
+  EXPECT_DOUBLE_EQ(report.cache_ratio, 0.0);
+  EXPECT_EQ(report.epochs[0].extract.cache_hits, 0u);
+}
+
+TEST(ThreadedEngineDeathTest, RequiresRealTraining) {
+  Fixture& fixture = SharedFixture();
+  ThreadedEngineOptions options;
+  options.real = nullptr;
+  EXPECT_DEATH(
+      {
+        ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGcn), options);
+      },
+      "trains for real");
+}
+
+TEST(ThreadedEngineDeathTest, ZeroTrainersWithoutSwitching) {
+  Fixture& fixture = SharedFixture();
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.num_trainers = 0;
+  options.dynamic_switching = false;
+  EXPECT_DEATH(
+      {
+        ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGcn), options);
+      },
+      "requires dynamic switching");
+}
+
+}  // namespace
+}  // namespace gnnlab
