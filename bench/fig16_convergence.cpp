@@ -82,6 +82,9 @@ int main(int argc, char** argv) {
   real.eval_vertices = eval;
   real.num_classes = kClasses;
   real.hidden_dim = 16;
+  // Parallel feature gather over all cores: host wall-clock only, the
+  // simulated timeline and the gathered bytes are unchanged.
+  real.extract_threads = 0;
 
   const std::size_t epochs = std::max<std::size_t>(flags.epochs, 10);
   // GNNLab's scheduler yields 2S6T for GraphSAGE/PA -> update group 6; the

@@ -1,0 +1,172 @@
+// Worker-count scaling of the parallel Extract gather.
+//
+// Builds one large SampleBlock, gathers its feature rows repeatedly with
+// pools of 1, 2, 4, ... workers, and reports rows/s per pool size plus the
+// speedup over the serial baseline. Every parallel buffer is compared
+// byte-for-byte against the serial gather, so the run doubles as a
+// determinism check at benchmark scale. Results go to stdout and, with
+// --json=<path>, to an ExtractScalingReport JSON file.
+//
+// Scaling expectation: near-linear until the gather saturates memory
+// bandwidth (it is a pure row copy). On a machine with a single hardware
+// thread all pool sizes time-share one core — speedup only shows up with
+// real parallel hardware; bit-identity holds everywhere.
+//
+// Flags: --rows=<n> --dim=<n> --repeats=<n> --max-workers=<n> --seed=<n>
+//        --json=<path>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "feature/extractor.h"
+#include "feature/feature_store.h"
+#include "report/json.h"
+#include "runtime/thread_pool.h"
+#include "sampling/sample_block.h"
+
+namespace gnnlab {
+namespace {
+
+struct Flags {
+  std::size_t rows = 200000;
+  std::uint32_t dim = 128;
+  std::size_t repeats = 20;
+  std::size_t max_workers = 0;  // 0 = up to 2x hardware_concurrency.
+  std::uint64_t seed = 42;
+  std::string json_path;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--rows=", 7) == 0) {
+      flags.rows = static_cast<std::size_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--dim=", 6) == 0) {
+      flags.dim = static_cast<std::uint32_t>(std::atoi(arg + 6));
+    } else if (std::strncmp(arg, "--repeats=", 10) == 0) {
+      flags.repeats = static_cast<std::size_t>(std::atoll(arg + 10));
+    } else if (std::strncmp(arg, "--max-workers=", 14) == 0) {
+      flags.max_workers = static_cast<std::size_t>(std::atoll(arg + 14));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      flags.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "flags: --rows=<n> --dim=<n> --repeats=<n> --max-workers=<n> "
+          "--seed=<n> --json=<path>\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  const std::size_t hw = ThreadPool::ResolveThreads(0);
+  const std::size_t max_workers =
+      flags.max_workers > 0 ? flags.max_workers : std::max<std::size_t>(4, 2 * hw);
+
+  // A feature store twice the block size, and a block whose rows land in
+  // permuted (cache-unfriendly) order, like real sampled vertices.
+  Rng rng(flags.seed);
+  const VertexId num_vertices = static_cast<VertexId>(2 * flags.rows);
+  const FeatureStore store = FeatureStore::Random(num_vertices, flags.dim, &rng);
+  std::vector<VertexId> seeds(flags.rows);
+  for (std::size_t i = 0; i < flags.rows; ++i) {
+    seeds[i] = static_cast<VertexId>(i * 2);
+  }
+  for (std::size_t i = flags.rows; i > 1; --i) {  // Fisher-Yates permute.
+    std::swap(seeds[i - 1], seeds[rng.NextBounded(i)]);
+  }
+  RemapScratch scratch(num_vertices);
+  SampleBlockBuilder builder(&scratch);
+  builder.Begin(seeds);
+  const SampleBlock block = builder.Finish();
+
+  std::printf("=== micro_extract: parallel gather scaling ===\n");
+  std::printf("rows=%zu dim=%u repeats=%zu hardware_threads=%zu\n\n", flags.rows,
+              flags.dim, flags.repeats, hw);
+  std::printf("%8s %12s %14s %10s %10s %8s\n", "workers", "seconds", "rows/s",
+              "busy_s", "speedup", "match");
+
+  ExtractScalingReport report;
+  report.num_rows = flags.rows;
+  report.feature_dim = flags.dim;
+  report.repeats = flags.repeats;
+  report.hardware_threads = hw;
+  report.bit_identical = true;
+
+  std::vector<float> serial_out;
+  std::vector<float> out;
+  double serial_rate = 0.0;
+  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+    std::unique_ptr<ThreadPool> pool;
+    if (workers > 1) {
+      pool = std::make_unique<ThreadPool>(workers);
+    }
+    const Extractor extractor(store, pool.get());
+    std::vector<float>* target = workers == 1 ? &serial_out : &out;
+    double busy = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < flags.repeats; ++r) {
+      const ExtractStats stats = extractor.Extract(block, target);
+      busy += stats.TotalBusySeconds();
+    }
+    const double elapsed = Seconds(start, std::chrono::steady_clock::now());
+
+    bool match = true;
+    if (workers > 1) {
+      match = out.size() == serial_out.size() &&
+              std::memcmp(out.data(), serial_out.data(),
+                          out.size() * sizeof(float)) == 0;
+      report.bit_identical = report.bit_identical && match;
+    }
+
+    ExtractScalingPoint point;
+    point.workers = workers;
+    point.seconds = elapsed;
+    point.rows_per_second =
+        static_cast<double>(flags.rows) * static_cast<double>(flags.repeats) / elapsed;
+    point.busy_seconds = busy;
+    if (workers == 1) {
+      serial_rate = point.rows_per_second;
+    }
+    point.speedup = serial_rate > 0.0 ? point.rows_per_second / serial_rate : 1.0;
+    report.points.push_back(point);
+    std::printf("%8zu %12.4f %14.0f %10.4f %9.2fx %8s\n", point.workers, point.seconds,
+                point.rows_per_second, point.busy_seconds, point.speedup,
+                workers == 1 ? "-" : (match ? "yes" : "NO"));
+  }
+
+  if (!report.bit_identical) {
+    std::fprintf(stderr, "FAIL: parallel gather diverged from serial bytes\n");
+    return 1;
+  }
+  if (!flags.json_path.empty()) {
+    if (!WriteExtractScalingJson(report, flags.json_path)) {
+      return 1;
+    }
+    std::printf("\nwrote %s\n", flags.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace gnnlab
+
+int main(int argc, char** argv) { return gnnlab::Main(argc, argv); }

@@ -6,8 +6,11 @@
 // graphs.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/workload.h"
 #include "graph/dataset.h"
+#include "runtime/thread_pool.h"
 
 namespace gnnlab {
 namespace {
@@ -62,6 +65,55 @@ BENCHMARK(BM_FisherYates_Twitter)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Reservoir_Twitter)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_FisherYates_Papers)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Reservoir_Papers)->Unit(benchmark::kMicrosecond);
+
+// Worker-count scaling of the parallel k-hop frontier expansion: identical
+// blocks at every pool size (per-position RNG streams), so only wall time
+// varies. Arg = pool threads; 1 never builds a pool (pure serial path).
+void RunParallelKernel(benchmark::State& state, DatasetId id, bool reservoir) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const Dataset& ds = BenchDataset(id);
+  const std::vector<std::uint32_t> fanouts{15, 10, 5};
+  auto sampler = reservoir ? MakeKhopReservoirSampler(ds.graph, fanouts)
+                           : MakeKhopUniformSampler(ds.graph, fanouts);
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) {
+    pool = std::make_unique<ThreadPool>(workers);
+    sampler->BindThreadPool(pool.get());
+  }
+  Rng shuffle(1);
+  EpochBatches batches(ds.train_set, ds.batch_size, &shuffle);
+  std::vector<std::vector<VertexId>> seeds;
+  while (batches.HasNext()) {
+    const auto b = batches.NextBatch();
+    seeds.emplace_back(b.begin(), b.end());
+  }
+  Rng rng(7);
+  std::size_t i = 0;
+  std::size_t sampled = 0;
+  for (auto _ : state) {
+    SamplerStats stats;
+    benchmark::DoNotOptimize(sampler->Sample(seeds[i], &rng, &stats));
+    sampled += stats.sampled_neighbors;
+    i = (i + 1) % seeds.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sampled));
+  state.SetLabel(std::string(reservoir ? "reservoir" : "fisher-yates") +
+                 " workers=" + std::to_string(workers));
+}
+
+void BM_ParallelFisherYates_Twitter(benchmark::State& state) {
+  RunParallelKernel(state, DatasetId::kTwitter, false);
+}
+void BM_ParallelReservoir_Twitter(benchmark::State& state) {
+  RunParallelKernel(state, DatasetId::kTwitter, true);
+}
+
+BENCHMARK(BM_ParallelFisherYates_Twitter)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ParallelReservoir_Twitter)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace gnnlab

@@ -19,10 +19,10 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/gnnlab_cache.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gnnlab_feature.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gnnlab_sim.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/gnnlab_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gnnlab_nn.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gnnlab_sampling.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gnnlab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnlab_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gnnlab_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gnnlab_common.dir/DependInfo.cmake"
   )

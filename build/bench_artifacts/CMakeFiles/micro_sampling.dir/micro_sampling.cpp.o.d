@@ -183,7 +183,7 @@ bench_artifacts/CMakeFiles/micro_sampling.dir/micro_sampling.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/workload.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -212,12 +212,37 @@ bench_artifacts/CMakeFiles/micro_sampling.dir/micro_sampling.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/graph/dataset.h /root/repo/src/common/rng.h \
- /root/repo/src/common/types.h /root/repo/src/graph/csr_graph.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/graph/edge_weights.h /root/repo/src/graph/training_set.h \
- /root/repo/src/nn/model.h /root/repo/src/nn/layers.h \
- /root/repo/src/nn/aggregate.h /root/repo/src/sampling/sample_block.h \
- /root/repo/src/tensor/tensor.h /root/repo/src/sampling/sampler.h \
- /root/repo/src/sim/cost_model.h /root/repo/src/feature/extractor.h \
- /root/repo/src/feature/feature_store.h
+ /root/repo/src/core/workload.h /root/repo/src/graph/dataset.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/types.h \
+ /root/repo/src/graph/csr_graph.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/graph/edge_weights.h \
+ /root/repo/src/graph/training_set.h /root/repo/src/nn/model.h \
+ /root/repo/src/nn/layers.h /root/repo/src/nn/aggregate.h \
+ /root/repo/src/sampling/sample_block.h /root/repo/src/tensor/tensor.h \
+ /root/repo/src/sampling/sampler.h /root/repo/src/sim/cost_model.h \
+ /root/repo/src/feature/extractor.h \
+ /root/repo/src/feature/feature_store.h \
+ /root/repo/src/runtime/thread_pool.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/runtime/mpmc_queue.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/optional /root/repo/src/common/logging.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

@@ -227,6 +227,25 @@ examples/CMakeFiles/single_gpu_training.dir/single_gpu_training.cpp.o: \
  /root/repo/src/nn/aggregate.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/sim/cost_model.h /root/repo/src/nn/grad_sync.h \
  /root/repo/src/nn/loss.h /root/repo/src/nn/optimizer.h \
- /root/repo/src/sim/device.h /root/repo/src/sim/trace.h \
- /root/repo/src/sim/sim_engine.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/report/table.h
+ /root/repo/src/runtime/thread_pool.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/runtime/mpmc_queue.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/device.h \
+ /root/repo/src/sim/trace.h /root/repo/src/sim/sim_engine.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/report/table.h

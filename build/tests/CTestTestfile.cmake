@@ -22,3 +22,4 @@ include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/threaded_engine_test[1]_include.cmake")
 include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")

@@ -4,7 +4,11 @@
 // This is the production counterpart of the simulated engine the benches
 // use; wall-clock numbers here are real.
 //
-//   ./build/examples/threaded_training [samplers] [trainers] [epochs]
+//   ./build/examples/threaded_training [samplers] [trainers] [epochs] [extract_threads]
+//
+// extract_threads sizes the shared CPU pool for the parallel hot paths
+// (feature gather + k-hop expansion): 0 = all hardware threads (default),
+// 1 = serial. Sampled blocks and gathered bytes are identical either way.
 #include <cstdio>
 #include <cstdlib>
 
@@ -18,6 +22,8 @@ int main(int argc, char** argv) {
   const int samplers = argc > 1 ? std::atoi(argv[1]) : 1;
   const int trainers = argc > 2 ? std::atoi(argv[2]) : 2;
   const std::size_t epochs = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 6;
+  const std::size_t extract_threads =
+      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 0;
 
   const Dataset dataset = MakeDataset(DatasetId::kProducts, /*scale=*/0.5, /*seed=*/17);
   constexpr std::uint32_t kClasses = 10;
@@ -45,10 +51,12 @@ int main(int argc, char** argv) {
   options.policy = CachePolicyKind::kPreSC1;
   options.cache_ratio = 0.2;
   options.staleness_bound = 4;
+  options.extract_threads = extract_threads;
   options.real = &real;
 
-  std::printf("threaded GNNLab: %dS %dT on %s (%u vertices), PreSC cache 20%%\n\n", samplers,
-              trainers, dataset.name.c_str(), dataset.graph.num_vertices());
+  std::printf("threaded GNNLab: %dS %dT on %s (%u vertices), PreSC cache 20%%, pool=%zu\n\n",
+              samplers, trainers, dataset.name.c_str(), dataset.graph.num_vertices(),
+              ThreadPool::ResolveThreads(extract_threads));
   ThreadedEngine engine(dataset, StandardWorkload(GnnModelKind::kGraphSage), options);
   const ThreadedRunReport report = engine.Run();
 

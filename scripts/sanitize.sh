@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build and run the concurrency-sensitive tests under a sanitizer.
+#
+#   scripts/sanitize.sh thread    # TSan: data races, lock-order inversions
+#   scripts/sanitize.sh address   # ASan: buffer overflows, use-after-free
+#
+# Uses a dedicated build directory per sanitizer (build-tsan/ or build-asan/)
+# so sanitized objects never mix with the regular build/. Pass extra ctest
+# args after the sanitizer name, e.g. `scripts/sanitize.sh thread -R Queue`.
+set -euo pipefail
+
+sanitizer="${1:-thread}"
+shift || true
+case "${sanitizer}" in
+  thread)  build_dir="build-tsan" ;;
+  address) build_dir="build-asan" ;;
+  *) echo "usage: $0 {thread|address} [ctest args...]" >&2; exit 2 ;;
+esac
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+cmake -B "${build_dir}" -S . -DGNNLAB_SANITIZE="${sanitizer}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build_dir}" -j"$(nproc)" --target \
+  concurrency_test runtime_test threaded_engine_test
+
+# The threaded/concurrency suites are the ones exercising real parallelism;
+# the simulated suites are single-threaded by design and add little here.
+if [ "$#" -eq 0 ]; then
+  set -- -R "Concurrency|MpmcQueue|ParallelFor|ParallelExtract|ParallelSampling|ThreadPool|ThreadedEngine|Runtime"
+fi
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "${build_dir}" --output-on-failure "$@"

@@ -33,7 +33,7 @@ class CpuRunner {
   void PumpGpu(std::size_t g);
 
   const Dataset& dataset_;
-  const Workload& workload_;
+  Workload workload_;  // By value: temporaries like StandardWorkload(...) are fine.
   CpuRunnerOptions options_;
   std::optional<EdgeWeights> weights_;
   CostModel cost_;

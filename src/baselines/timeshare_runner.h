@@ -60,7 +60,7 @@ class TimeShareRunner {
   Rng BatchRng(std::size_t epoch, std::size_t batch) const;
 
   const Dataset& dataset_;
-  const Workload& workload_;
+  Workload workload_;  // By value: temporaries like StandardWorkload(...) are fine.
   TimeShareOptions options_;
   std::optional<EdgeWeights> weights_;
   CostModel cost_;

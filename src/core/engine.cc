@@ -67,6 +67,10 @@ Engine::Engine(const Dataset& dataset, const Workload& workload, const EngineOpt
     Rng model_rng(options_.seed ^ 0x4d4f444cu);  // "MODL"
     model_ = std::make_unique<GnnModel>(config, &model_rng);
     adam_ = std::make_unique<Adam>(real.adam);
+    const std::size_t extract_threads = ThreadPool::ResolveThreads(real.extract_threads);
+    if (extract_threads > 1) {
+      real_extract_pool_ = std::make_unique<ThreadPool>(extract_threads);
+    }
   }
 }
 
@@ -634,9 +638,12 @@ void Engine::FinishTrain(TrainerExec* trainer, const TrainTask& task, SimTime tr
 
 void Engine::RealTrainBatch(const TrainTask& task) {
   const RealTrainingOptions& real = *options_.real;
-  Extractor real_extractor(*real.features);
+  Extractor real_extractor(*real.features, real_extract_pool_.get());
   std::vector<float> buffer;
-  real_extractor.Extract(task.block, &buffer);
+  const ExtractStats gather = real_extractor.Extract(task.block, &buffer);
+  epoch_report_.stage.parallel_workers =
+      std::max(epoch_report_.stage.parallel_workers, gather.parallel_workers);
+  epoch_report_.stage.extract_busy += gather.TotalBusySeconds();
   Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
 
   const Tensor& logits = model_->Forward(task.block, input);
@@ -674,9 +681,12 @@ void Engine::AsyncTrainBatch(std::size_t trainer_index, const TrainTask& task) {
     replica_version_[trainer_index] = master_version_;
   }
 
-  Extractor real_extractor(*real.features);
+  Extractor real_extractor(*real.features, real_extract_pool_.get());
   std::vector<float> buffer;
-  real_extractor.Extract(task.block, &buffer);
+  const ExtractStats gather = real_extractor.Extract(task.block, &buffer);
+  epoch_report_.stage.parallel_workers =
+      std::max(epoch_report_.stage.parallel_workers, gather.parallel_workers);
+  epoch_report_.stage.extract_busy += gather.TotalBusySeconds();
   Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
 
   const Tensor& logits = replica.Forward(task.block, input);
@@ -703,7 +713,8 @@ double Engine::EvaluateAccuracy(std::size_t epoch) {
   }
   std::unique_ptr<Sampler> sampler =
       MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
-  Extractor real_extractor(*real.features);
+  sampler->BindThreadPool(real_extract_pool_.get());
+  Extractor real_extractor(*real.features, real_extract_pool_.get());
   double correct_weighted = 0.0;
   std::size_t total = 0;
   std::size_t batch_index = 0;

@@ -31,6 +31,7 @@
 #include "nn/grad_sync.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "runtime/thread_pool.h"
 #include "sim/cost_model.h"
 #include "sim/device.h"
 #include "sim/trace.h"
@@ -60,6 +61,11 @@ struct RealTrainingOptions {
   std::uint32_t num_classes = 0;
   std::size_t hidden_dim = 32;  // Smaller than the paper's 256 for CPU speed.
   AdamConfig adam;
+  // CPU workers for the real-training Extract gather (and the eval pass's
+  // k-hop expansion). 1 = serial; 0 = hardware_concurrency. The simulated
+  // timeline is unaffected — only host wall-clock changes — and the
+  // gathered features are bit-identical for every value.
+  std::size_t extract_threads = 1;
 };
 
 struct EngineOptions {
@@ -97,8 +103,9 @@ struct EngineOptions {
 
 class Engine {
  public:
-  // Dataset and workload must outlive the engine. For weighted sampling the
-  // engine builds the dataset's timestamp weights internally.
+  // The dataset must outlive the engine; the workload is copied (temporaries
+  // are fine). For weighted sampling the engine builds the dataset's
+  // timestamp weights internally.
   Engine(const Dataset& dataset, const Workload& workload, const EngineOptions& options);
   ~Engine();
 
@@ -139,7 +146,7 @@ class Engine {
   double EvaluateAccuracy(std::size_t epoch);
 
   const Dataset& dataset_;
-  const Workload& workload_;
+  Workload workload_;  // By value: temporaries like StandardWorkload(...) are fine.
   EngineOptions options_;
 
   std::optional<EdgeWeights> weights_;  // Weighted sampling only.
@@ -177,6 +184,7 @@ class Engine {
   // Real-training state (shared master model: updates are serialized by
   // the DES). In async mode each Trainer additionally holds a replica
   // snapshot it computes gradients against.
+  std::unique_ptr<ThreadPool> real_extract_pool_;  // real->extract_threads > 1.
   std::unique_ptr<GnnModel> model_;
   std::unique_ptr<Adam> adam_;
   std::vector<std::unique_ptr<GnnModel>> replicas_;

@@ -1,5 +1,7 @@
 #include "core/stats.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace gnnlab {
@@ -10,6 +12,8 @@ void StageBreakdown::Add(const StageBreakdown& other) {
   sample_copy += other.sample_copy;
   extract += other.extract;
   train += other.train;
+  parallel_workers = std::max(parallel_workers, other.parallel_workers);
+  extract_busy += other.extract_busy;
 }
 
 double RunReport::AvgEpochTime(std::size_t skip_first) const {
@@ -33,6 +37,7 @@ StageBreakdown RunReport::AvgStage(std::size_t skip_first) const {
   sum.sample_copy /= n;
   sum.extract /= n;
   sum.train /= n;
+  sum.extract_busy /= n;
   return sum;
 }
 

@@ -23,6 +23,11 @@ struct StageBreakdown {
   double sample_copy = 0.0;    // C: copying blocks into the global queue.
   double extract = 0.0;        // E.
   double train = 0.0;          // T.
+  // CPU workers the Extract stage fanned out over (1 = serial; the
+  // simulated engines report 1) and their summed busy seconds, so scaling
+  // reports can divide busy by wall to get parallel efficiency.
+  std::size_t parallel_workers = 1;
+  double extract_busy = 0.0;
 
   double SampleTotal() const { return sample_graph + sample_mark + sample_copy; }
   void Add(const StageBreakdown& other);

@@ -57,6 +57,10 @@ ThreadedEngine::ThreadedEngine(const Dataset& dataset, const Workload& workload,
   CHECK(options_.num_trainers > 0 || options_.dynamic_switching)
       << "zero Trainers requires dynamic switching";
   CHECK(options_.real != nullptr) << "the threaded engine trains for real";
+  const std::size_t extract_threads = ThreadPool::ResolveThreads(options_.extract_threads);
+  if (extract_threads > 1) {
+    extract_pool_ = std::make_unique<ThreadPool>(extract_threads);
+  }
   const RealTrainingOptions& real = *options_.real;
   CHECK(real.features != nullptr && real.features->materialized());
   CHECK_EQ(real.labels.size(), dataset_.graph.num_vertices());
@@ -180,6 +184,7 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
 void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t epoch) {
   std::unique_ptr<Sampler> sampler =
       MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+  sampler->BindThreadPool(extract_pool_.get());
   while (true) {
     const std::size_t batch = state->next_batch.fetch_add(1);
     if (batch >= state->batches.size()) {
@@ -269,7 +274,7 @@ void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
     }
   }
 
-  Extractor extractor(*real.features);
+  Extractor extractor(*real.features, extract_pool_.get());
   std::vector<float> buffer;
   const ExtractStats stats = extractor.Extract(task.block, &buffer);
   Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
@@ -306,7 +311,8 @@ double ThreadedEngine::EvaluateAccuracy(std::size_t epoch) {
   }
   std::unique_ptr<Sampler> sampler =
       MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
-  Extractor extractor(*real.features);
+  sampler->BindThreadPool(extract_pool_.get());
+  Extractor extractor(*real.features, extract_pool_.get());
   double correct_weighted = 0.0;
   std::size_t total = 0;
   std::size_t batch_index = 0;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "runtime/thread_pool.h"
 
 namespace gnnlab {
 
@@ -38,6 +39,11 @@ struct ThreadedEngineOptions {
   // Staleness bound for the parameter-server updates (see
   // EngineOptions::staleness_bound).
   std::size_t staleness_bound = 4;
+  // CPU workers for the parallel hot paths (feature extraction and k-hop
+  // frontier expansion), shared by all Sampler/Trainer threads. 0 = use
+  // std::thread::hardware_concurrency(); 1 = serial (no pool). Results are
+  // bit-identical for every value (see DESIGN.md "Parallel hot paths").
+  std::size_t extract_threads = 0;
   // Real training setup; required — a threaded run without a model would
   // have nothing to do in the Train stage.
   const RealTrainingOptions* real = nullptr;
@@ -48,7 +54,7 @@ struct ThreadedEpochReport {
   std::size_t batches = 0;
   std::size_t switched_batches = 0;
   std::size_t gradient_updates = 0;
-  ExtractStats extract;
+  ExtractStats extract;  // parallel_workers/worker_busy_seconds included.
   double mean_loss = 0.0;
   double eval_accuracy = 0.0;
 };
@@ -82,8 +88,13 @@ class ThreadedEngine {
   Rng BatchRng(std::size_t epoch, std::size_t batch) const;
 
   const Dataset& dataset_;
-  const Workload& workload_;
+  // By value: callers routinely pass `StandardWorkload(...)` temporaries, and
+  // the workload is tiny. (The dataset stays by reference — it is not.)
+  Workload workload_;
   ThreadedEngineOptions options_;
+  // Shared CPU pool for intra-batch parallelism (Extract row gathering and
+  // k-hop frontier expansion); null when extract_threads resolves to 1.
+  std::unique_ptr<ThreadPool> extract_pool_;
   std::optional<EdgeWeights> weights_;
   FeatureCache cache_;
   std::unique_ptr<GnnModel> master_;

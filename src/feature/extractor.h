@@ -6,6 +6,12 @@
 // Sampler fills while sampling (paper §5.2: the static cache lets sampled
 // vertices be marked ahead of extraction). An unmarked block extracts
 // everything from host memory, as DGL does.
+//
+// Extraction parallelizes over a ThreadPool when one is supplied: the
+// block's distinct vertices are partitioned into per-worker ranges, each
+// worker gathers rows into its disjoint slice of the output buffer, and the
+// per-worker tallies are merged in range order afterwards — no atomics on
+// the hot loop, and the gathered bytes are identical for every worker count.
 #ifndef GNNLAB_FEATURE_EXTRACTOR_H_
 #define GNNLAB_FEATURE_EXTRACTOR_H_
 
@@ -17,6 +23,8 @@
 
 namespace gnnlab {
 
+class ThreadPool;
+
 struct ExtractStats {
   std::size_t distinct_vertices = 0;
   std::size_t cache_hits = 0;
@@ -24,18 +32,32 @@ struct ExtractStats {
   ByteCount bytes_from_cache = 0;
   ByteCount bytes_from_host = 0;  // PCIe traffic.
 
+  // Scaling telemetry: how many pool workers gathered this block (1 for the
+  // serial path) and each worker's busy seconds, in worker-range order.
+  // Counters above are bit-identical across worker counts; these two fields
+  // describe the execution and naturally vary with it.
+  std::size_t parallel_workers = 1;
+  std::vector<double> worker_busy_seconds;
+
   double HitRate() const {
     return distinct_vertices == 0
                ? 0.0
                : static_cast<double>(cache_hits) / static_cast<double>(distinct_vertices);
   }
 
+  // Total busy time across workers; with the wall time of the extract this
+  // gives the parallel efficiency.
+  double TotalBusySeconds() const;
+
   void Add(const ExtractStats& other);
 };
 
 class Extractor {
  public:
-  explicit Extractor(const FeatureStore& store) : store_(&store) {}
+  // `pool` is optional; when non-null (and the block is large enough to
+  // amortize the fan-out) Extract gathers with pool->num_threads() workers.
+  explicit Extractor(const FeatureStore& store, ThreadPool* pool = nullptr)
+      : store_(&store), pool_(pool) {}
 
   // Tallies hit/miss/bytes for the block; if the store is materialized and
   // `out` is non-null, also gathers rows into *out (resized to
@@ -43,9 +65,16 @@ class Extractor {
   ExtractStats Extract(const SampleBlock& block, std::vector<float>* out) const;
 
   const FeatureStore& store() const { return *store_; }
+  ThreadPool* pool() const { return pool_; }
 
  private:
+  // Tallies (and gathers, when `out` is non-null) vertices [begin, end) of
+  // the block. Writes only rows begin..end of `out` — disjoint per worker.
+  ExtractStats ExtractRange(const SampleBlock& block, std::size_t begin, std::size_t end,
+                            bool gather, float* out) const;
+
   const FeatureStore* store_;
+  ThreadPool* pool_;
 };
 
 }  // namespace gnnlab

@@ -66,7 +66,9 @@ std::string RunReportToJson(const RunReport& report) {
     os << ",\"sample_mark\":" << epoch.stage.sample_mark;
     os << ",\"sample_copy\":" << epoch.stage.sample_copy;
     os << ",\"extract\":" << epoch.stage.extract;
-    os << ",\"train\":" << epoch.stage.train << "}";
+    os << ",\"train\":" << epoch.stage.train;
+    os << ",\"parallel_workers\":" << epoch.stage.parallel_workers;
+    os << ",\"extract_busy\":" << epoch.stage.extract_busy << "}";
     os << ",\"extract\":{";
     os << "\"distinct_vertices\":" << epoch.extract.distinct_vertices;
     os << ",\"cache_hits\":" << epoch.extract.cache_hits;
@@ -81,13 +83,14 @@ std::string RunReportToJson(const RunReport& report) {
   return os.str();
 }
 
-bool WriteRunReportJson(const RunReport& report, const std::string& path) {
+namespace {
+
+bool WriteJsonFile(const std::string& json, const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     LOG_ERROR << "cannot open " << path << " for writing";
     return false;
   }
-  const std::string json = RunReportToJson(report);
   const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
   std::fclose(file);
   if (!ok) {
@@ -95,6 +98,40 @@ bool WriteRunReportJson(const RunReport& report, const std::string& path) {
     std::remove(path.c_str());
   }
   return ok;
+}
+
+}  // namespace
+
+bool WriteRunReportJson(const RunReport& report, const std::string& path) {
+  return WriteJsonFile(RunReportToJson(report), path);
+}
+
+std::string ExtractScalingToJson(const ExtractScalingReport& report) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"num_rows\":" << report.num_rows;
+  os << ",\"feature_dim\":" << report.feature_dim;
+  os << ",\"repeats\":" << report.repeats;
+  os << ",\"hardware_threads\":" << report.hardware_threads;
+  os << ",\"bit_identical\":" << (report.bit_identical ? "true" : "false");
+  os << ",\"points\":[";
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const ExtractScalingPoint& p = report.points[i];
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"workers\":" << p.workers;
+    os << ",\"seconds\":" << p.seconds;
+    os << ",\"rows_per_second\":" << p.rows_per_second;
+    os << ",\"busy_seconds\":" << p.busy_seconds;
+    os << ",\"speedup\":" << p.speedup << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool WriteExtractScalingJson(const ExtractScalingReport& report, const std::string& path) {
+  return WriteJsonFile(ExtractScalingToJson(report), path);
 }
 
 }  // namespace gnnlab

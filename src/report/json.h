@@ -3,7 +3,9 @@
 #ifndef GNNLAB_REPORT_JSON_H_
 #define GNNLAB_REPORT_JSON_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/stats.h"
 
@@ -16,6 +18,28 @@ std::string RunReportToJson(const RunReport& report);
 
 // Writes RunReportToJson to `path`; false on I/O failure.
 bool WriteRunReportJson(const RunReport& report, const std::string& path);
+
+// Worker-count scaling of the parallel Extract gather (bench/micro_extract):
+// one point per pool size swept over the same block.
+struct ExtractScalingPoint {
+  std::size_t workers = 0;
+  double seconds = 0.0;          // Wall time for all repeats at this size.
+  double rows_per_second = 0.0;
+  double busy_seconds = 0.0;     // Summed per-worker busy time.
+  double speedup = 1.0;          // rows_per_second vs the workers=1 point.
+};
+
+struct ExtractScalingReport {
+  std::size_t num_rows = 0;      // Distinct rows gathered per Extract call.
+  std::uint32_t feature_dim = 0;
+  std::size_t repeats = 0;
+  std::size_t hardware_threads = 0;
+  bool bit_identical = false;    // Every parallel buffer matched serial bytes.
+  std::vector<ExtractScalingPoint> points;
+};
+
+std::string ExtractScalingToJson(const ExtractScalingReport& report);
+bool WriteExtractScalingJson(const ExtractScalingReport& report, const std::string& path);
 
 }  // namespace gnnlab
 

@@ -1,11 +1,18 @@
 #include "runtime/thread_pool.h"
 
-#include <atomic>
 #include <condition_variable>
+#include <mutex>
 
 #include "common/logging.h"
 
 namespace gnnlab {
+namespace {
+
+// Set for the lifetime of each pool worker so ParallelFor can detect nested
+// use (a pool task fanning out onto its own pool) and run inline instead.
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) : tasks_(1024) {
   CHECK_GT(num_threads, 0u);
@@ -17,36 +24,81 @@ ThreadPool::ThreadPool(std::size_t num_threads) : tasks_(1024) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
+std::size_t ThreadPool::ResolveThreads(std::size_t threads) {
+  if (threads > 0) {
+    return threads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
-  CHECK(!shut_down_);
-  CHECK(tasks_.Push(std::move(task)));
+  CHECK(!shut_down())
+      << "ThreadPool::Submit called after Shutdown(); the pool's workers are "
+         "gone and the task would never run";
+  CHECK(tasks_.Push(std::move(task))) << "ThreadPool task queue closed mid-Submit";
 }
 
 void ThreadPool::ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) {
     return;
   }
-  std::atomic<std::size_t> remaining{count};
-  std::mutex mu;
-  std::condition_variable done;
-  for (std::size_t i = 0; i < count; ++i) {
-    Submit([&, i] {
+  // A single item or a nested call (worker fanning out onto its own pool)
+  // runs inline: queue-and-wait from a worker thread can deadlock when every
+  // worker ends up waiting on tasks only workers can run.
+  if (count == 1 || t_inside_pool_worker) {
+    for (std::size_t i = 0; i < count; ++i) {
       fn(i);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(mu);
-        done.notify_one();
-      }
-    });
+    }
+    return;
   }
-  std::unique_lock<std::mutex> lock(mu);
-  done.wait(lock, [&] { return remaining.load() == 0; });
+
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  // shared_ptr: a straggler helper may outlive this call; after the caller
+  // returns it only touches `next`, sees the range exhausted, and exits.
+  auto state = std::make_shared<SharedState>();
+  state->count = count;
+  state->fn = &fn;
+
+  auto run = [state] {
+    while (true) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= state->count) {
+        return;
+      }
+      (*state->fn)(i);
+      if (state->done.fetch_add(1) + 1 == state->count) {
+        // Lock before notifying so the wake-up cannot slip between the
+        // caller's predicate check and its wait.
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit(run);
+  }
+  run();  // The caller is a full participant; it never idles while waiting.
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&] { return state->done.load() == state->count; });
 }
 
 void ThreadPool::Shutdown() {
-  if (shut_down_) {
+  // exchange() makes double-Shutdown (and destructor-after-Shutdown) a safe
+  // no-op even when racing calls arrive from different threads.
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) {
     return;
   }
-  shut_down_ = true;
   tasks_.Close();
   for (std::thread& worker : workers_) {
     worker.join();
@@ -54,6 +106,7 @@ void ThreadPool::Shutdown() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_inside_pool_worker = true;
   while (true) {
     std::optional<std::function<void()>> task = tasks_.Pop();
     if (!task.has_value()) {

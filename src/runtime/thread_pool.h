@@ -3,10 +3,12 @@
 // Plays the role of the paper's CPU-side worker threads (extractor helpers,
 // host staging). The simulated experiments are single-threaded by design —
 // determinism comes from the virtual clock — but the real training path
-// (examples, Figure 16 convergence) and the tests exercise this pool.
+// (examples, Figure 16 convergence), the parallel Extract/Sample hot paths,
+// and the tests exercise this pool.
 #ifndef GNNLAB_RUNTIME_THREAD_POOL_H_
 #define GNNLAB_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <memory>
@@ -27,23 +29,36 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
-  // Enqueues a task; blocks if the internal queue is full. Must not be
-  // called after Shutdown().
+  // Enqueues a task; blocks if the internal queue is full. Calling after
+  // Shutdown() is a contract violation and aborts with a CHECK failure.
   void Submit(std::function<void()> task);
 
-  // Runs fn(i) for i in [0, count) across the pool and waits for all.
+  // Runs fn(i) for i in [0, count) across the pool and waits for all. The
+  // calling thread participates in the work, so a ParallelFor issued from
+  // inside a pool task (nested) degrades to an inline serial loop instead of
+  // deadlocking on the pool's own queue. Safe to call concurrently from
+  // multiple external threads; indices are claimed from a shared counter, so
+  // callers must not depend on which thread runs which index.
   void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   // Waits for queued tasks to finish and joins the workers. Called by the
-  // destructor if not called explicitly.
+  // destructor if not called explicitly; extra calls are harmless no-ops.
   void Shutdown();
+
+  // True once Shutdown() has begun; Submit/ParallelFor must not be called.
+  bool shut_down() const { return shut_down_.load(std::memory_order_acquire); }
+
+  // Picks a worker count for a data-parallel region: `threads` when positive,
+  // otherwise std::thread::hardware_concurrency() (min 1). The shared helper
+  // keeps every subsystem's "0 = auto" option consistent.
+  static std::size_t ResolveThreads(std::size_t threads);
 
  private:
   void WorkerLoop();
 
   MpmcQueue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
-  bool shut_down_ = false;
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace gnnlab

@@ -1,14 +1,34 @@
 // Shared hop-loop driver for the k-hop sampling kernels. Internal header.
+//
+// Each hop runs in two phases so the expansion can fan out over a
+// ThreadPool while staying bit-exact for every worker count:
+//   1. Pick phase (parallelizable): every frontier position d draws its
+//      neighbors into its own buffer using an RNG stream forked from a
+//      per-call root as a pure function of (hop, d). Which worker runs
+//      which position therefore cannot change what is picked.
+//   2. Merge phase (serial): positions are replayed in ascending order into
+//      the SampleBlockBuilder, so dedup/remap assigns the same local ids as
+//      a fully serial run.
 #ifndef GNNLAB_SAMPLING_KHOP_BASE_H_
 #define GNNLAB_SAMPLING_KHOP_BASE_H_
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "runtime/thread_pool.h"
 #include "sampling/sampler.h"
 
 namespace gnnlab {
+
+// Per-worker reusable scratch for the pick kernels (Floyd positions for the
+// uniform kernel, the reservoir for Algorithm R). One instance per worker
+// range, so kernels stay allocation-free without sharing state.
+struct KhopScratch {
+  std::vector<std::size_t> positions;
+  std::vector<VertexId> reservoir;
+};
 
 // Drives the per-hop expansion over the full frontier (every distinct vertex
 // discovered so far becomes a destination of the next hop, matching the
@@ -23,15 +43,55 @@ class KhopSamplerBase : public Sampler {
 
   SampleBlock Sample(std::span<const VertexId> seeds, Rng* rng,
                      SamplerStats* stats) override {
+    // One serial draw per call advances the caller's stream (so repeated
+    // Sample calls on one Rng differ) and roots this call's forked streams.
+    const Rng call_root = rng->Fork(rng->Next());
     builder_.Begin(seeds);
-    for (std::uint32_t fanout : fanouts_) {
+    for (std::size_t h = 0; h < fanouts_.size(); ++h) {
+      const std::uint32_t fanout = fanouts_[h];
       builder_.BeginHop();
       const std::size_t frontier = builder_.FrontierEnd();
-      for (LocalId d = 0; d < frontier; ++d) {
-        const VertexId v = builder_.CurrentVertices()[d];
-        SampleNeighbors(v, d, fanout, rng, stats);
+      const std::span<const VertexId> vertices = builder_.CurrentVertices();
+      if (picks_.size() < frontier) {
+        picks_.resize(frontier);
+      }
+
+      // Phase 1: pick neighbors per frontier position, worker-count
+      // independent because position d's stream is Fork(StreamId(h, d)).
+      const std::size_t workers = PickWorkers(frontier);
+      const std::size_t chunk = (frontier + workers - 1) / workers;
+      if (worker_scratch_.size() < workers) {
+        worker_scratch_.resize(workers);
+      }
+      worker_stats_.assign(workers, SamplerStats());
+      auto expand_range = [&](std::size_t w) {
+        const std::size_t begin = w * chunk;
+        const std::size_t end = std::min(frontier, begin + chunk);
+        KhopScratch& scratch = worker_scratch_[w];
+        SamplerStats& local = worker_stats_[w];
+        for (std::size_t d = begin; d < end; ++d) {
+          picks_[d].clear();
+          Rng vrng = call_root.Fork(StreamId(h, d));
+          SampleNeighborsInto(vertices[d], fanout, &vrng, &picks_[d], &scratch, &local);
+        }
+      };
+      if (workers > 1) {
+        pool_->ParallelFor(workers, expand_range);
+      } else {
+        expand_range(0);
+      }
+
+      // Phase 2: serial merge in frontier order keeps local-id assignment
+      // identical to a serial run.
+      for (std::size_t d = 0; d < frontier; ++d) {
+        for (const VertexId n : picks_[d]) {
+          builder_.AddEdge(static_cast<LocalId>(d), n);
+        }
       }
       if (stats != nullptr) {
+        for (const SamplerStats& local : worker_stats_) {
+          stats->Add(local);
+        }
         stats->vertices_expanded += frontier;
       }
       builder_.EndHop();
@@ -41,19 +101,46 @@ class KhopSamplerBase : public Sampler {
 
   std::size_t num_layers() const override { return fanouts_.size(); }
 
- protected:
-  // Emits up to `fanout` sampled neighbors of `v` via builder().AddEdge.
-  virtual void SampleNeighbors(VertexId v, LocalId dst_local, std::uint32_t fanout, Rng* rng,
-                               SamplerStats* stats) = 0;
+  void BindThreadPool(ThreadPool* pool) override { pool_ = pool; }
 
-  SampleBlockBuilder& builder() { return builder_; }
+ protected:
+  // Appends the sampled neighbors of `v` (up to `fanout`) to *out. Must be
+  // thread-safe: reads only the graph, `rng` and `scratch` (both private to
+  // the calling worker), and tallies into `stats` (also worker-private).
+  virtual void SampleNeighborsInto(VertexId v, std::uint32_t fanout, Rng* rng,
+                                   std::vector<VertexId>* out, KhopScratch* scratch,
+                                   SamplerStats* stats) const = 0;
+
   const CsrGraph& graph() const { return graph_; }
 
  private:
+  // One RNG stream per (hop, frontier position): determinism is anchored to
+  // the block's layout, never to thread scheduling.
+  static std::uint64_t StreamId(std::size_t hop, std::size_t position) {
+    return (static_cast<std::uint64_t>(hop + 1) << 40) + position;
+  }
+
+  std::size_t PickWorkers(std::size_t frontier) const {
+    // Below ~2 grains of work the fork/join overhead dominates the picks.
+    constexpr std::size_t kMinFrontierPerWorker = 256;
+    if (pool_ == nullptr || frontier < 2 * kMinFrontierPerWorker) {
+      return 1;
+    }
+    return std::max<std::size_t>(
+        1, std::min(pool_->num_threads(), frontier / kMinFrontierPerWorker));
+  }
+
   const CsrGraph& graph_;
   std::vector<std::uint32_t> fanouts_;
   RemapScratch scratch_;
   SampleBlockBuilder builder_;
+  ThreadPool* pool_ = nullptr;
+
+  // Reused across hops/batches to keep the hot path allocation-free after
+  // warm-up: per-position pick buffers and per-worker kernel scratch.
+  std::vector<std::vector<VertexId>> picks_;
+  std::vector<KhopScratch> worker_scratch_;
+  std::vector<SamplerStats> worker_stats_;
 };
 
 }  // namespace gnnlab

@@ -16,24 +16,24 @@ class KhopReservoirSampler final : public KhopSamplerBase {
   SamplingAlgorithm algorithm() const override { return SamplingAlgorithm::kKhopReservoir; }
 
  protected:
-  void SampleNeighbors(VertexId v, LocalId dst_local, std::uint32_t fanout, Rng* rng,
-                       SamplerStats* stats) override {
+  void SampleNeighborsInto(VertexId v, std::uint32_t fanout, Rng* rng,
+                           std::vector<VertexId>* out, KhopScratch* scratch,
+                           SamplerStats* stats) const override {
     const auto nbrs = graph().Neighbors(v);
     const std::size_t degree = nbrs.size();
-    reservoir_.clear();
+    std::vector<VertexId>& reservoir = scratch->reservoir;
+    reservoir.clear();
     const std::size_t want = std::min<std::size_t>(fanout, degree);
     for (std::size_t i = 0; i < want; ++i) {
-      reservoir_.push_back(nbrs[i]);
+      reservoir.push_back(nbrs[i]);
     }
     for (std::size_t i = want; i < degree; ++i) {
       const auto j = static_cast<std::size_t>(rng->NextBounded(i + 1));
       if (j < want) {
-        reservoir_[j] = nbrs[i];
+        reservoir[j] = nbrs[i];
       }
     }
-    for (const VertexId n : reservoir_) {
-      builder().AddEdge(dst_local, n);
-    }
+    out->insert(out->end(), reservoir.begin(), reservoir.end());
     if (stats != nullptr) {
       stats->sampled_neighbors += want;
       // Algorithm R inspects every adjacency entry, but on a GPU the scan
@@ -44,9 +44,6 @@ class KhopReservoirSampler final : public KhopSamplerBase {
           std::min<std::size_t>(degree, 32 * std::max<std::size_t>(1, want));
     }
   }
-
- private:
-  std::vector<VertexId> reservoir_;
 };
 
 }  // namespace

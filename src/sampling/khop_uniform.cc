@@ -18,30 +18,30 @@ class KhopUniformSampler final : public KhopSamplerBase {
   SamplingAlgorithm algorithm() const override { return SamplingAlgorithm::kKhopUniform; }
 
  protected:
-  void SampleNeighbors(VertexId v, LocalId dst_local, std::uint32_t fanout, Rng* rng,
-                       SamplerStats* stats) override {
+  void SampleNeighborsInto(VertexId v, std::uint32_t fanout, Rng* rng,
+                           std::vector<VertexId>* out, KhopScratch* scratch,
+                           SamplerStats* stats) const override {
     const auto nbrs = graph().Neighbors(v);
     const std::size_t degree = nbrs.size();
     std::size_t emitted = 0;
     std::size_t scanned = 0;
     if (degree <= fanout) {
-      for (const VertexId n : nbrs) {
-        builder().AddEdge(dst_local, n);
-      }
+      out->insert(out->end(), nbrs.begin(), nbrs.end());
       emitted = degree;
       scanned = degree;
     } else {
       // Floyd's sampling of `fanout` distinct positions in [0, degree).
       // Fanouts are small (<= ~25 in all paper workloads) so membership is a
       // linear scan over the picked positions — no allocation, no hashing.
-      picked_.clear();
+      std::vector<std::size_t>& picked = scratch->positions;
+      picked.clear();
       for (std::size_t j = degree - fanout; j < degree; ++j) {
         auto t = static_cast<std::size_t>(rng->NextBounded(j + 1));
-        if (Contains(t)) {
+        if (Contains(picked, t)) {
           t = j;
         }
-        picked_.push_back(t);
-        builder().AddEdge(dst_local, nbrs[t]);
+        picked.push_back(t);
+        out->push_back(nbrs[t]);
       }
       emitted = fanout;
       scanned = fanout;
@@ -53,16 +53,14 @@ class KhopUniformSampler final : public KhopSamplerBase {
   }
 
  private:
-  bool Contains(std::size_t position) const {
-    for (const std::size_t p : picked_) {
+  static bool Contains(const std::vector<std::size_t>& picked, std::size_t position) {
+    for (const std::size_t p : picked) {
       if (p == position) {
         return true;
       }
     }
     return false;
   }
-
-  std::vector<std::size_t> picked_;
 };
 
 }  // namespace

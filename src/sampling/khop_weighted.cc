@@ -20,8 +20,9 @@ class KhopWeightedSampler final : public KhopSamplerBase {
   SamplingAlgorithm algorithm() const override { return SamplingAlgorithm::kKhopWeighted; }
 
  protected:
-  void SampleNeighbors(VertexId v, LocalId dst_local, std::uint32_t fanout, Rng* rng,
-                       SamplerStats* stats) override {
+  void SampleNeighborsInto(VertexId v, std::uint32_t fanout, Rng* rng,
+                           std::vector<VertexId>* out, KhopScratch* /*scratch*/,
+                           SamplerStats* stats) const override {
     const auto nbrs = graph().Neighbors(v);
     if (nbrs.empty()) {
       return;
@@ -33,7 +34,7 @@ class KhopWeightedSampler final : public KhopSamplerBase {
       const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
       const auto pos = std::min<std::size_t>(
           static_cast<std::size_t>(it - cdf.begin()), nbrs.size() - 1);
-      builder().AddEdge(dst_local, nbrs[pos]);
+      out->push_back(nbrs[pos]);
     }
     if (stats != nullptr) {
       stats->sampled_neighbors += fanout;

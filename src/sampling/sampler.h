@@ -21,6 +21,8 @@
 
 namespace gnnlab {
 
+class ThreadPool;
+
 enum class SamplingAlgorithm {
   kKhopUniform,    // Fisher-Yates variant: O(fanout) per vertex.
   kKhopReservoir,  // Reservoir: O(degree) per vertex (DGL's kernel).
@@ -44,10 +46,19 @@ struct SamplerStats {
   std::size_t vertices_expanded = 0;
 
   void Reset() { *this = SamplerStats(); }
+  void Add(const SamplerStats& other) {
+    sampled_neighbors += other.sampled_neighbors;
+    adjacency_entries_scanned += other.adjacency_entries_scanned;
+    vertices_expanded += other.vertices_expanded;
+  }
 };
 
 // A Sampler instance owns per-instance scratch and is NOT thread-safe; each
-// executor creates its own (they are bound to distinct simulated GPUs).
+// executor creates its own (they are bound to distinct simulated GPUs). A
+// sampler MAY internally fan one Sample call out over a bound ThreadPool
+// (k-hop frontier expansion does); the results are bit-identical for every
+// worker count because each frontier position draws from its own
+// deterministic RNG stream.
 class Sampler {
  public:
   virtual ~Sampler() = default;
@@ -57,6 +68,10 @@ class Sampler {
   virtual SamplingAlgorithm algorithm() const = 0;
   // Number of GNN layers the produced blocks feed (== hops).
   virtual std::size_t num_layers() const = 0;
+
+  // Lends a pool for intra-batch parallelism; nullptr reverts to serial.
+  // Default no-op: algorithms without a parallel path simply ignore it.
+  virtual void BindThreadPool(ThreadPool* pool) { (void)pool; }
 };
 
 // k-hop uniform sampling without replacement; fanouts[h] neighbors per

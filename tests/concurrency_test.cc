@@ -1,0 +1,414 @@
+// Concurrency battery for the runtime primitives and the parallel hot
+// paths: MpmcQueue under producer/consumer stress, ThreadPool::ParallelFor
+// edge cases, shutdown contracts, worker-count determinism of the parallel
+// Extract and k-hop expansion, and the ThreadedEngine at queue_capacity=1.
+// Designed to run clean under -DGNNLAB_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/threaded_engine.h"
+#include "feature/extractor.h"
+#include "feature/feature_store.h"
+#include "graph/edge_weights.h"
+#include "graph/generators.h"
+#include "runtime/mpmc_queue.h"
+#include "runtime/thread_pool.h"
+#include "sampling/sampler.h"
+
+namespace gnnlab {
+namespace {
+
+// --- MpmcQueue stress -------------------------------------------------------
+
+struct Item {
+  int producer;
+  int seq;
+};
+
+TEST(MpmcQueueStressTest, ManyProducersManyConsumers) {
+  constexpr int kProducers = 8;
+  constexpr int kConsumers = 8;
+  constexpr int kPerProducer = 2000;
+  static constexpr std::size_t kCapacity = 16;
+  MpmcQueue<Item> queue(kCapacity);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int s = 0; s < kPerProducer; ++s) {
+        ASSERT_TRUE(queue.Push({p, s}));
+      }
+    });
+  }
+
+  std::vector<std::vector<Item>> consumed(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &consumed, c] {
+      while (auto item = queue.Pop()) {
+        // size() is a momentary snapshot, but it can never legitimately
+        // exceed the bound.
+        EXPECT_LE(queue.size(), kCapacity);
+        consumed[c].push_back(*item);
+      }
+    });
+  }
+
+  for (auto& t : producers) {
+    t.join();
+  }
+  queue.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+
+  // No lost or duplicated items: every (producer, seq) pair arrives exactly
+  // once across all consumers.
+  std::vector<std::vector<int>> seen(kProducers, std::vector<int>(kPerProducer, 0));
+  std::size_t total = 0;
+  for (const auto& items : consumed) {
+    total += items.size();
+    // FIFO per producer within each consumer: a single producer's items are
+    // pushed in seq order, so any one consumer must observe an increasing
+    // seq subsequence per producer.
+    std::map<int, int> last_seq;
+    for (const Item& item : items) {
+      ++seen[item.producer][item.seq];
+      auto it = last_seq.find(item.producer);
+      if (it != last_seq.end()) {
+        EXPECT_LT(it->second, item.seq)
+            << "producer " << item.producer << " reordered";
+      }
+      last_seq[item.producer] = item.seq;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kProducers) * kPerProducer);
+  for (int p = 0; p < kProducers; ++p) {
+    for (int s = 0; s < kPerProducer; ++s) {
+      EXPECT_EQ(seen[p][s], 1) << "producer " << p << " seq " << s;
+    }
+  }
+}
+
+TEST(MpmcQueueStressTest, TryPushRespectsCapacityUnderContention) {
+  static constexpr std::size_t kCapacity = 4;
+  MpmcQueue<int> queue(kCapacity);
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> pushers;
+  for (int t = 0; t < 4; ++t) {
+    pushers.emplace_back([&queue, &accepted] {
+      for (int i = 0; i < 100; ++i) {
+        if (queue.TryPush(i)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+        EXPECT_LE(queue.size(), kCapacity);
+      }
+    });
+  }
+  for (auto& t : pushers) {
+    t.join();
+  }
+  // Nothing was popped, so exactly kCapacity pushes can have succeeded.
+  EXPECT_EQ(accepted.load(), static_cast<int>(kCapacity));
+  EXPECT_EQ(queue.size(), kCapacity);
+}
+
+// --- ThreadPool::ParallelFor ------------------------------------------------
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;  // Far more indices than threads.
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "fn called for empty range"; });
+}
+
+TEST(ParallelForTest, SingleItemRunsInline) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.ParallelFor(1, [&ran_on](std::size_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ParallelForTest, NestedCallDoesNotDeadlock) {
+  // A fn that itself issues ParallelFor on the same pool must complete: the
+  // inner call degrades to an inline loop on the worker.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  pool.ParallelFor(4, [&pool, &inner_runs](std::size_t) {
+    pool.ParallelFor(8, [&inner_runs](std::size_t) {
+      inner_runs.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_runs.load(), 4 * 8);
+}
+
+TEST(ParallelForTest, ConcurrentExternalCallers) {
+  // Multiple external threads sharing one pool, as Sampler and Trainer
+  // threads do in the ThreadedEngine.
+  ThreadPool pool(3);
+  std::atomic<int> runs{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 3; ++t) {
+    callers.emplace_back([&pool, &runs] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(64, [&runs](std::size_t) {
+          runs.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(runs.load(), 3 * 20 * 64);
+}
+
+// --- ThreadPool shutdown contracts ------------------------------------------
+
+TEST(ThreadPoolShutdownTest, DoubleShutdownIsHarmless) {
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  pool.Submit([&runs] { runs.fetch_add(1); });
+  pool.Shutdown();
+  EXPECT_TRUE(pool.shut_down());
+  EXPECT_EQ(runs.load(), 1);  // Shutdown drained the queue first.
+  pool.Shutdown();  // No-op; the destructor adds a third call.
+}
+
+TEST(ThreadPoolShutdownDeathTest, SubmitAfterShutdownAborts) {
+  ThreadPool pool(2);
+  pool.Shutdown();  // Workers are joined: the death-test fork is safe.
+  EXPECT_DEATH(pool.Submit([] {}), "after Shutdown");
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(3), 3u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1u);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);  // hardware_concurrency, min 1.
+}
+
+// --- Worker-count determinism -----------------------------------------------
+
+TEST(ParallelExtractTest, BuffersBitIdenticalAcrossWorkerCounts) {
+  Rng rng(21);
+  constexpr VertexId kVertices = 4096;
+  const FeatureStore store = FeatureStore::Random(kVertices, 16, &rng);
+
+  // A block of 3072 distinct vertices: large enough that a bound pool
+  // engages several workers (the extractor chunks at 512 rows per worker).
+  std::vector<VertexId> seeds(3072);
+  for (VertexId v = 0; v < seeds.size(); ++v) {
+    seeds[v] = (v * 37) % kVertices;  // 37 coprime to 4096: distinct ids.
+  }
+  RemapScratch scratch(kVertices);
+  SampleBlockBuilder builder(&scratch);
+  builder.Begin(seeds);
+  SampleBlock block = builder.Finish();
+  auto& marks = block.mutable_cache_marks();
+  marks.assign(block.vertices().size(), 0);
+  for (std::size_t i = 0; i < marks.size(); i += 3) {
+    marks[i] = 1;  // Mix cache hits and host misses into the tallies.
+  }
+
+  std::vector<float> serial_out;
+  const ExtractStats serial = Extractor(store).Extract(block, &serial_out);
+  EXPECT_EQ(serial.parallel_workers, 1u);
+  ASSERT_EQ(serial_out.size(), block.vertices().size() * store.dim());
+
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<float> out;
+    const ExtractStats stats = Extractor(store, &pool).Extract(block, &out);
+    ASSERT_EQ(out.size(), serial_out.size());
+    EXPECT_EQ(std::memcmp(out.data(), serial_out.data(), out.size() * sizeof(float)), 0)
+        << "gather differs with " << threads << " pool threads";
+    EXPECT_EQ(stats.distinct_vertices, serial.distinct_vertices);
+    EXPECT_EQ(stats.cache_hits, serial.cache_hits);
+    EXPECT_EQ(stats.host_misses, serial.host_misses);
+    EXPECT_EQ(stats.bytes_from_cache, serial.bytes_from_cache);
+    EXPECT_EQ(stats.bytes_from_host, serial.bytes_from_host);
+    EXPECT_GT(stats.parallel_workers, 1u);
+    EXPECT_EQ(stats.worker_busy_seconds.size(), stats.parallel_workers);
+  }
+}
+
+void ExpectBlocksEqual(const SampleBlock& a, const SampleBlock& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.vertices().size(), b.vertices().size()) << label;
+  for (std::size_t i = 0; i < a.vertices().size(); ++i) {
+    ASSERT_EQ(a.vertices()[i], b.vertices()[i]) << label << " vertex " << i;
+  }
+  ASSERT_EQ(a.num_hops(), b.num_hops()) << label;
+  for (std::size_t h = 0; h <= a.num_hops(); ++h) {
+    ASSERT_EQ(a.VerticesAfterHop(h), b.VerticesAfterHop(h)) << label << " hop " << h;
+  }
+  for (std::size_t h = 0; h < a.num_hops(); ++h) {
+    ASSERT_EQ(a.hop(h).src_local, b.hop(h).src_local) << label << " hop " << h;
+    ASSERT_EQ(a.hop(h).dst_local, b.hop(h).dst_local) << label << " hop " << h;
+  }
+}
+
+TEST(ParallelSamplingTest, BlocksIdenticalAcrossWorkerCounts) {
+  Rng graph_rng(5);
+  RmatParams params;
+  params.num_vertices = 16384;
+  params.num_edges = 8 * 16384;
+  const CsrGraph graph = GenerateRmat(params, &graph_rng);
+  const EdgeWeights weights = EdgeWeights::RandomTimestamps(graph, 1.0, &graph_rng);
+
+  // 1024 seeds: above the 512-vertex frontier threshold, so a bound pool
+  // parallelizes every hop.
+  std::vector<VertexId> seeds(1024);
+  for (VertexId v = 0; v < seeds.size(); ++v) {
+    seeds[v] = (v * 13) % params.num_vertices;
+  }
+
+  struct Case {
+    const char* name;
+    std::unique_ptr<Sampler> sampler;
+  };
+  Case cases[3] = {
+      {"uniform", MakeKhopUniformSampler(graph, {10, 5})},
+      {"reservoir", MakeKhopReservoirSampler(graph, {10, 5})},
+      {"weighted", MakeKhopWeightedSampler(graph, weights, {10, 5})},
+  };
+  for (Case& c : cases) {
+    Rng rng_serial(99);
+    const SampleBlock serial = c.sampler->Sample(seeds, &rng_serial, nullptr);
+    for (const std::size_t threads : {2u, 8u}) {
+      ThreadPool pool(threads);
+      c.sampler->BindThreadPool(&pool);
+      Rng rng(99);
+      SamplerStats stats;
+      const SampleBlock parallel = c.sampler->Sample(seeds, &rng, &stats);
+      c.sampler->BindThreadPool(nullptr);
+      ExpectBlocksEqual(serial, parallel,
+                        std::string(c.name) + " @" + std::to_string(threads));
+      EXPECT_GT(stats.sampled_neighbors, 0u);
+    }
+  }
+}
+
+TEST(ParallelSamplingTest, RepeatedCallsOnOneRngDiffer) {
+  // Sample must advance the caller's stream: back-to-back batches from one
+  // Rng may not repeat each other.
+  Rng graph_rng(6);
+  RmatParams params;
+  params.num_vertices = 1024;
+  params.num_edges = 16 * 1024;
+  const CsrGraph graph = GenerateRmat(params, &graph_rng);
+  auto sampler = MakeKhopUniformSampler(graph, {4});
+  const VertexId seeds[] = {1, 2, 3, 4};
+  Rng rng(7);
+  const SampleBlock first = sampler->Sample(seeds, &rng, nullptr);
+  const SampleBlock second = sampler->Sample(seeds, &rng, nullptr);
+  bool identical = first.vertices().size() == second.vertices().size();
+  if (identical) {
+    for (std::size_t i = 0; i < first.vertices().size(); ++i) {
+      identical = identical && first.vertices()[i] == second.vertices()[i];
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+// --- ThreadedEngine under extreme backpressure ------------------------------
+
+TEST(ThreadedEngineConcurrencyTest, QueueCapacityOneCompletes) {
+  Dataset dataset = MakeDataset(DatasetId::kProducts, 0.05, 42);
+  Rng rng(3);
+  std::vector<std::uint32_t> labels = MakeCommunityLabels(dataset.graph.num_vertices(), 128, 8);
+  FeatureStore features =
+      FeatureStore::Clustered(dataset.graph.num_vertices(), 16, labels, 8, 0.3, &rng);
+  std::vector<VertexId> eval;
+  for (VertexId v = 0; v < 100; ++v) {
+    eval.push_back(v);
+  }
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.eval_vertices = eval;
+  real.num_classes = 8;
+  real.hidden_dim = 16;
+
+  ThreadedEngineOptions options;
+  options.num_samplers = 2;
+  options.num_trainers = 2;
+  options.queue_capacity = 1;  // Maximum backpressure: every Push blocks.
+  options.epochs = 1;
+  options.extract_threads = 2;
+  options.real = &real;
+  ThreadedEngine engine(dataset, StandardWorkload(GnnModelKind::kGraphSage), options);
+  const ThreadedRunReport report = engine.Run();
+  ASSERT_EQ(report.epochs.size(), 1u);
+  EXPECT_EQ(report.epochs[0].batches, dataset.BatchesPerEpoch());
+  EXPECT_EQ(report.epochs[0].extract.distinct_vertices,
+            report.epochs[0].extract.cache_hits + report.epochs[0].extract.host_misses);
+}
+
+// End-to-end guard for the determinism contract: every count-based statistic
+// of a threaded run is independent of the pool size. (Loss/accuracy may vary
+// with update order; vertex counts, hit/miss splits and bytes may not.)
+// Regression test for a dangling-Workload bug where the engine kept a
+// reference to a dead `StandardWorkload(...)` temporary and the pool size
+// merely perturbed what the freed memory got reused for.
+TEST(ThreadedEngineConcurrencyTest, ExtractCountersIndependentOfPoolSize) {
+  Dataset dataset = MakeDataset(DatasetId::kProducts, 0.05, 42);
+  Rng rng(3);
+  std::vector<std::uint32_t> labels = MakeCommunityLabels(dataset.graph.num_vertices(), 128, 8);
+  FeatureStore features =
+      FeatureStore::Clustered(dataset.graph.num_vertices(), 16, labels, 8, 0.3, &rng);
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.num_classes = 8;
+  real.hidden_dim = 16;
+
+  auto run = [&](std::size_t extract_threads) {
+    ThreadedEngineOptions options;
+    options.num_samplers = 1;
+    options.num_trainers = 2;
+    options.epochs = 2;
+    options.extract_threads = extract_threads;
+    options.real = &real;
+    ThreadedEngine engine(dataset, StandardWorkload(GnnModelKind::kGraphSage), options);
+    return engine.Run();
+  };
+
+  const ThreadedRunReport serial = run(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const ThreadedRunReport pooled = run(threads);
+    ASSERT_EQ(pooled.epochs.size(), serial.epochs.size());
+    for (std::size_t e = 0; e < serial.epochs.size(); ++e) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " epoch=" + std::to_string(e));
+      EXPECT_EQ(pooled.epochs[e].batches, serial.epochs[e].batches);
+      EXPECT_EQ(pooled.epochs[e].gradient_updates, serial.epochs[e].gradient_updates);
+      EXPECT_EQ(pooled.epochs[e].extract.distinct_vertices,
+                serial.epochs[e].extract.distinct_vertices);
+      EXPECT_EQ(pooled.epochs[e].extract.cache_hits, serial.epochs[e].extract.cache_hits);
+      EXPECT_EQ(pooled.epochs[e].extract.host_misses, serial.epochs[e].extract.host_misses);
+      EXPECT_EQ(pooled.epochs[e].extract.bytes_from_cache,
+                serial.epochs[e].extract.bytes_from_cache);
+      EXPECT_EQ(pooled.epochs[e].extract.bytes_from_host,
+                serial.epochs[e].extract.bytes_from_host);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gnnlab
