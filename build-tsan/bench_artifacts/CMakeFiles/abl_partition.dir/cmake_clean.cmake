@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_partition"
+  "../bench/abl_partition.pdb"
+  "CMakeFiles/abl_partition.dir/abl_partition.cpp.o"
+  "CMakeFiles/abl_partition.dir/abl_partition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

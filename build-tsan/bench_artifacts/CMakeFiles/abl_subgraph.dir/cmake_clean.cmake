@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_subgraph"
+  "../bench/abl_subgraph.pdb"
+  "CMakeFiles/abl_subgraph.dir/abl_subgraph.cpp.o"
+  "CMakeFiles/abl_subgraph.dir/abl_subgraph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

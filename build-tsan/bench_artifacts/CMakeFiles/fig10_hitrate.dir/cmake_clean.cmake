@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_hitrate"
+  "../bench/fig10_hitrate.pdb"
+  "CMakeFiles/fig10_hitrate.dir/fig10_hitrate.cpp.o"
+  "CMakeFiles/fig10_hitrate.dir/fig10_hitrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

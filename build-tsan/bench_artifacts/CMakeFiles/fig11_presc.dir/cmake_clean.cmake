@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_presc"
+  "../bench/fig11_presc.pdb"
+  "CMakeFiles/fig11_presc.dir/fig11_presc.cpp.o"
+  "CMakeFiles/fig11_presc.dir/fig11_presc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_presc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

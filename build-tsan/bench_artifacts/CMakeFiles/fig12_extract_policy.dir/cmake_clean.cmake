@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_extract_policy"
+  "../bench/fig12_extract_policy.pdb"
+  "CMakeFiles/fig12_extract_policy.dir/fig12_extract_policy.cpp.o"
+  "CMakeFiles/fig12_extract_policy.dir/fig12_extract_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_extract_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

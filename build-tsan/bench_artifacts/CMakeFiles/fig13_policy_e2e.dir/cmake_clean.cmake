@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_policy_e2e"
+  "../bench/fig13_policy_e2e.pdb"
+  "CMakeFiles/fig13_policy_e2e.dir/fig13_policy_e2e.cpp.o"
+  "CMakeFiles/fig13_policy_e2e.dir/fig13_policy_e2e.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_policy_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_scalability"
+  "../bench/fig14_scalability.pdb"
+  "CMakeFiles/fig14_scalability.dir/fig14_scalability.cpp.o"
+  "CMakeFiles/fig14_scalability.dir/fig14_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

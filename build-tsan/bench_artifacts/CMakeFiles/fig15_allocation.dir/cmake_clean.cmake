@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_allocation"
+  "../bench/fig15_allocation.pdb"
+  "CMakeFiles/fig15_allocation.dir/fig15_allocation.cpp.o"
+  "CMakeFiles/fig15_allocation.dir/fig15_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_convergence"
+  "../bench/fig16_convergence.pdb"
+  "CMakeFiles/fig16_convergence.dir/fig16_convergence.cpp.o"
+  "CMakeFiles/fig16_convergence.dir/fig16_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_switching"
+  "../bench/fig17_switching.pdb"
+  "CMakeFiles/fig17_switching.dir/fig17_switching.cpp.o"
+  "CMakeFiles/fig17_switching.dir/fig17_switching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

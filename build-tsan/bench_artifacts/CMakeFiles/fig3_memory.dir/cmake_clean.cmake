@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_memory"
+  "../bench/fig3_memory.pdb"
+  "CMakeFiles/fig3_memory.dir/fig3_memory.cpp.o"
+  "CMakeFiles/fig3_memory.dir/fig3_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

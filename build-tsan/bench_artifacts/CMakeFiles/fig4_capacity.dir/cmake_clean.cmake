@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_capacity"
+  "../bench/fig4_capacity.pdb"
+  "CMakeFiles/fig4_capacity.dir/fig4_capacity.cpp.o"
+  "CMakeFiles/fig4_capacity.dir/fig4_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_policy_gap"
+  "../bench/fig5_policy_gap.pdb"
+  "CMakeFiles/fig5_policy_gap.dir/fig5_policy_gap.cpp.o"
+  "CMakeFiles/fig5_policy_gap.dir/fig5_policy_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_policy_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

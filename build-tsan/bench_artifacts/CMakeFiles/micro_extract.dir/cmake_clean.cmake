@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_extract"
+  "../bench/micro_extract.pdb"
+  "CMakeFiles/micro_extract.dir/micro_extract.cpp.o"
+  "CMakeFiles/micro_extract.dir/micro_extract.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_queue"
+  "../bench/micro_queue.pdb"
+  "CMakeFiles/micro_queue.dir/micro_queue.cpp.o"
+  "CMakeFiles/micro_queue.dir/micro_queue.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sampling"
+  "../bench/micro_sampling.pdb"
+  "CMakeFiles/micro_sampling.dir/micro_sampling.cpp.o"
+  "CMakeFiles/micro_sampling.dir/micro_sampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

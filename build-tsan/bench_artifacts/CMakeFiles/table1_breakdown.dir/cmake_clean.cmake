@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_breakdown"
+  "../bench/table1_breakdown.pdb"
+  "CMakeFiles/table1_breakdown.dir/table1_breakdown.cpp.o"
+  "CMakeFiles/table1_breakdown.dir/table1_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

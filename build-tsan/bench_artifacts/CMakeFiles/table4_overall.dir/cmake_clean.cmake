@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_overall"
+  "../bench/table4_overall.pdb"
+  "CMakeFiles/table4_overall.dir/table4_overall.cpp.o"
+  "CMakeFiles/table4_overall.dir/table4_overall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_stage_breakdown"
+  "../bench/table5_stage_breakdown.pdb"
+  "CMakeFiles/table5_stage_breakdown.dir/table5_stage_breakdown.cpp.o"
+  "CMakeFiles/table5_stage_breakdown.dir/table5_stage_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_stage_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

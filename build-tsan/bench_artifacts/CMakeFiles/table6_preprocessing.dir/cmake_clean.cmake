@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_preprocessing"
+  "../bench/table6_preprocessing.pdb"
+  "CMakeFiles/table6_preprocessing.dir/table6_preprocessing.cpp.o"
+  "CMakeFiles/table6_preprocessing.dir/table6_preprocessing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factored_vs_timeshare.dir/factored_vs_timeshare.cpp.o"
+  "CMakeFiles/factored_vs_timeshare.dir/factored_vs_timeshare.cpp.o.d"
+  "factored_vs_timeshare"
+  "factored_vs_timeshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factored_vs_timeshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_cli.dir/gnnlab_cli.cpp.o"
+  "CMakeFiles/gnnlab_cli.dir/gnnlab_cli.cpp.o.d"
+  "gnnlab_cli"
+  "gnnlab_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_gpu_training.dir/single_gpu_training.cpp.o"
+  "CMakeFiles/single_gpu_training.dir/single_gpu_training.cpp.o.d"
+  "single_gpu_training"
+  "single_gpu_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_gpu_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_training.dir/threaded_training.cpp.o"
+  "CMakeFiles/threaded_training.dir/threaded_training.cpp.o.d"
+  "threaded_training"
+  "threaded_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_convergence.dir/train_convergence.cpp.o"
+  "CMakeFiles/train_convergence.dir/train_convergence.cpp.o.d"
+  "train_convergence"
+  "train_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

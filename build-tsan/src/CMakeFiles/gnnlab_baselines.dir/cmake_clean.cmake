@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_baselines.dir/baselines/cpu_runner.cc.o"
+  "CMakeFiles/gnnlab_baselines.dir/baselines/cpu_runner.cc.o.d"
+  "CMakeFiles/gnnlab_baselines.dir/baselines/timeshare_runner.cc.o"
+  "CMakeFiles/gnnlab_baselines.dir/baselines/timeshare_runner.cc.o.d"
+  "libgnnlab_baselines.a"
+  "libgnnlab_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

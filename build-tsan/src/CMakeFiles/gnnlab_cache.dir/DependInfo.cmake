@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_policy.cc" "src/CMakeFiles/gnnlab_cache.dir/cache/cache_policy.cc.o" "gcc" "src/CMakeFiles/gnnlab_cache.dir/cache/cache_policy.cc.o.d"
+  "/root/repo/src/cache/degree_policy.cc" "src/CMakeFiles/gnnlab_cache.dir/cache/degree_policy.cc.o" "gcc" "src/CMakeFiles/gnnlab_cache.dir/cache/degree_policy.cc.o.d"
+  "/root/repo/src/cache/feature_cache.cc" "src/CMakeFiles/gnnlab_cache.dir/cache/feature_cache.cc.o" "gcc" "src/CMakeFiles/gnnlab_cache.dir/cache/feature_cache.cc.o.d"
+  "/root/repo/src/cache/optimal_policy.cc" "src/CMakeFiles/gnnlab_cache.dir/cache/optimal_policy.cc.o" "gcc" "src/CMakeFiles/gnnlab_cache.dir/cache/optimal_policy.cc.o.d"
+  "/root/repo/src/cache/presampling_policy.cc" "src/CMakeFiles/gnnlab_cache.dir/cache/presampling_policy.cc.o" "gcc" "src/CMakeFiles/gnnlab_cache.dir/cache/presampling_policy.cc.o.d"
+  "/root/repo/src/cache/random_policy.cc" "src/CMakeFiles/gnnlab_cache.dir/cache/random_policy.cc.o" "gcc" "src/CMakeFiles/gnnlab_cache.dir/cache/random_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_sampling.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_feature.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

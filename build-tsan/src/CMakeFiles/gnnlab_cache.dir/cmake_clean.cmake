@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_cache.dir/cache/cache_policy.cc.o"
+  "CMakeFiles/gnnlab_cache.dir/cache/cache_policy.cc.o.d"
+  "CMakeFiles/gnnlab_cache.dir/cache/degree_policy.cc.o"
+  "CMakeFiles/gnnlab_cache.dir/cache/degree_policy.cc.o.d"
+  "CMakeFiles/gnnlab_cache.dir/cache/feature_cache.cc.o"
+  "CMakeFiles/gnnlab_cache.dir/cache/feature_cache.cc.o.d"
+  "CMakeFiles/gnnlab_cache.dir/cache/optimal_policy.cc.o"
+  "CMakeFiles/gnnlab_cache.dir/cache/optimal_policy.cc.o.d"
+  "CMakeFiles/gnnlab_cache.dir/cache/presampling_policy.cc.o"
+  "CMakeFiles/gnnlab_cache.dir/cache/presampling_policy.cc.o.d"
+  "CMakeFiles/gnnlab_cache.dir/cache/random_policy.cc.o"
+  "CMakeFiles/gnnlab_cache.dir/cache/random_policy.cc.o.d"
+  "libgnnlab_cache.a"
+  "libgnnlab_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_common.dir/common/logging.cc.o"
+  "CMakeFiles/gnnlab_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/gnnlab_common.dir/common/rng.cc.o"
+  "CMakeFiles/gnnlab_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/gnnlab_common.dir/common/units.cc.o"
+  "CMakeFiles/gnnlab_common.dir/common/units.cc.o.d"
+  "libgnnlab_common.a"
+  "libgnnlab_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

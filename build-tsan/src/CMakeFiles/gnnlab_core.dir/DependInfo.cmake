@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/gnnlab_core.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/gnnlab_core.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/executors.cc" "src/CMakeFiles/gnnlab_core.dir/core/executors.cc.o" "gcc" "src/CMakeFiles/gnnlab_core.dir/core/executors.cc.o.d"
+  "/root/repo/src/core/global_queue.cc" "src/CMakeFiles/gnnlab_core.dir/core/global_queue.cc.o" "gcc" "src/CMakeFiles/gnnlab_core.dir/core/global_queue.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/gnnlab_core.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/gnnlab_core.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/gnnlab_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/gnnlab_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/switching.cc" "src/CMakeFiles/gnnlab_core.dir/core/switching.cc.o" "gcc" "src/CMakeFiles/gnnlab_core.dir/core/switching.cc.o.d"
+  "/root/repo/src/core/threaded_engine.cc" "src/CMakeFiles/gnnlab_core.dir/core/threaded_engine.cc.o" "gcc" "src/CMakeFiles/gnnlab_core.dir/core/threaded_engine.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/CMakeFiles/gnnlab_core.dir/core/workload.cc.o" "gcc" "src/CMakeFiles/gnnlab_core.dir/core/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_sampling.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_feature.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_core.dir/core/engine.cc.o"
+  "CMakeFiles/gnnlab_core.dir/core/engine.cc.o.d"
+  "CMakeFiles/gnnlab_core.dir/core/executors.cc.o"
+  "CMakeFiles/gnnlab_core.dir/core/executors.cc.o.d"
+  "CMakeFiles/gnnlab_core.dir/core/global_queue.cc.o"
+  "CMakeFiles/gnnlab_core.dir/core/global_queue.cc.o.d"
+  "CMakeFiles/gnnlab_core.dir/core/scheduler.cc.o"
+  "CMakeFiles/gnnlab_core.dir/core/scheduler.cc.o.d"
+  "CMakeFiles/gnnlab_core.dir/core/stats.cc.o"
+  "CMakeFiles/gnnlab_core.dir/core/stats.cc.o.d"
+  "CMakeFiles/gnnlab_core.dir/core/switching.cc.o"
+  "CMakeFiles/gnnlab_core.dir/core/switching.cc.o.d"
+  "CMakeFiles/gnnlab_core.dir/core/threaded_engine.cc.o"
+  "CMakeFiles/gnnlab_core.dir/core/threaded_engine.cc.o.d"
+  "CMakeFiles/gnnlab_core.dir/core/workload.cc.o"
+  "CMakeFiles/gnnlab_core.dir/core/workload.cc.o.d"
+  "libgnnlab_core.a"
+  "libgnnlab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feature/extractor.cc" "src/CMakeFiles/gnnlab_feature.dir/feature/extractor.cc.o" "gcc" "src/CMakeFiles/gnnlab_feature.dir/feature/extractor.cc.o.d"
+  "/root/repo/src/feature/feature_store.cc" "src/CMakeFiles/gnnlab_feature.dir/feature/feature_store.cc.o" "gcc" "src/CMakeFiles/gnnlab_feature.dir/feature/feature_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_feature.dir/feature/extractor.cc.o"
+  "CMakeFiles/gnnlab_feature.dir/feature/extractor.cc.o.d"
+  "CMakeFiles/gnnlab_feature.dir/feature/feature_store.cc.o"
+  "CMakeFiles/gnnlab_feature.dir/feature/feature_store.cc.o.d"
+  "libgnnlab_feature.a"
+  "libgnnlab_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/gnnlab_graph.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/gnnlab_graph.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/dataset.cc" "src/CMakeFiles/gnnlab_graph.dir/graph/dataset.cc.o" "gcc" "src/CMakeFiles/gnnlab_graph.dir/graph/dataset.cc.o.d"
+  "/root/repo/src/graph/edge_weights.cc" "src/CMakeFiles/gnnlab_graph.dir/graph/edge_weights.cc.o" "gcc" "src/CMakeFiles/gnnlab_graph.dir/graph/edge_weights.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/gnnlab_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/gnnlab_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/gnnlab_graph.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/gnnlab_graph.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/gnnlab_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/gnnlab_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/gnnlab_graph.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/gnnlab_graph.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/CMakeFiles/gnnlab_graph.dir/graph/partition.cc.o" "gcc" "src/CMakeFiles/gnnlab_graph.dir/graph/partition.cc.o.d"
+  "/root/repo/src/graph/training_set.cc" "src/CMakeFiles/gnnlab_graph.dir/graph/training_set.cc.o" "gcc" "src/CMakeFiles/gnnlab_graph.dir/graph/training_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_graph.dir/graph/csr_graph.cc.o"
+  "CMakeFiles/gnnlab_graph.dir/graph/csr_graph.cc.o.d"
+  "CMakeFiles/gnnlab_graph.dir/graph/dataset.cc.o"
+  "CMakeFiles/gnnlab_graph.dir/graph/dataset.cc.o.d"
+  "CMakeFiles/gnnlab_graph.dir/graph/edge_weights.cc.o"
+  "CMakeFiles/gnnlab_graph.dir/graph/edge_weights.cc.o.d"
+  "CMakeFiles/gnnlab_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/gnnlab_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/gnnlab_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/gnnlab_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/gnnlab_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/gnnlab_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/gnnlab_graph.dir/graph/graph_stats.cc.o"
+  "CMakeFiles/gnnlab_graph.dir/graph/graph_stats.cc.o.d"
+  "CMakeFiles/gnnlab_graph.dir/graph/partition.cc.o"
+  "CMakeFiles/gnnlab_graph.dir/graph/partition.cc.o.d"
+  "CMakeFiles/gnnlab_graph.dir/graph/training_set.cc.o"
+  "CMakeFiles/gnnlab_graph.dir/graph/training_set.cc.o.d"
+  "libgnnlab_graph.a"
+  "libgnnlab_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/aggregate.cc" "src/CMakeFiles/gnnlab_nn.dir/nn/aggregate.cc.o" "gcc" "src/CMakeFiles/gnnlab_nn.dir/nn/aggregate.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/CMakeFiles/gnnlab_nn.dir/nn/checkpoint.cc.o" "gcc" "src/CMakeFiles/gnnlab_nn.dir/nn/checkpoint.cc.o.d"
+  "/root/repo/src/nn/gat.cc" "src/CMakeFiles/gnnlab_nn.dir/nn/gat.cc.o" "gcc" "src/CMakeFiles/gnnlab_nn.dir/nn/gat.cc.o.d"
+  "/root/repo/src/nn/grad_sync.cc" "src/CMakeFiles/gnnlab_nn.dir/nn/grad_sync.cc.o" "gcc" "src/CMakeFiles/gnnlab_nn.dir/nn/grad_sync.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/gnnlab_nn.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/gnnlab_nn.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/gnnlab_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/gnnlab_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/CMakeFiles/gnnlab_nn.dir/nn/model.cc.o" "gcc" "src/CMakeFiles/gnnlab_nn.dir/nn/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/gnnlab_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/gnnlab_nn.dir/nn/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_sampling.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

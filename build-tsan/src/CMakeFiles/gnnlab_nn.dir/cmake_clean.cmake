@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_nn.dir/nn/aggregate.cc.o"
+  "CMakeFiles/gnnlab_nn.dir/nn/aggregate.cc.o.d"
+  "CMakeFiles/gnnlab_nn.dir/nn/checkpoint.cc.o"
+  "CMakeFiles/gnnlab_nn.dir/nn/checkpoint.cc.o.d"
+  "CMakeFiles/gnnlab_nn.dir/nn/gat.cc.o"
+  "CMakeFiles/gnnlab_nn.dir/nn/gat.cc.o.d"
+  "CMakeFiles/gnnlab_nn.dir/nn/grad_sync.cc.o"
+  "CMakeFiles/gnnlab_nn.dir/nn/grad_sync.cc.o.d"
+  "CMakeFiles/gnnlab_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/gnnlab_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/gnnlab_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/gnnlab_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/gnnlab_nn.dir/nn/model.cc.o"
+  "CMakeFiles/gnnlab_nn.dir/nn/model.cc.o.d"
+  "CMakeFiles/gnnlab_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/gnnlab_nn.dir/nn/optimizer.cc.o.d"
+  "libgnnlab_nn.a"
+  "libgnnlab_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_report.dir/report/json.cc.o"
+  "CMakeFiles/gnnlab_report.dir/report/json.cc.o.d"
+  "CMakeFiles/gnnlab_report.dir/report/table.cc.o"
+  "CMakeFiles/gnnlab_report.dir/report/table.cc.o.d"
+  "libgnnlab_report.a"
+  "libgnnlab_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_runtime.dir/runtime/thread_pool.cc.o"
+  "CMakeFiles/gnnlab_runtime.dir/runtime/thread_pool.cc.o.d"
+  "libgnnlab_runtime.a"
+  "libgnnlab_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/fastgcn.cc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/fastgcn.cc.o" "gcc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/fastgcn.cc.o.d"
+  "/root/repo/src/sampling/footprint.cc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/footprint.cc.o" "gcc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/footprint.cc.o.d"
+  "/root/repo/src/sampling/khop_reservoir.cc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/khop_reservoir.cc.o" "gcc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/khop_reservoir.cc.o.d"
+  "/root/repo/src/sampling/khop_uniform.cc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/khop_uniform.cc.o" "gcc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/khop_uniform.cc.o.d"
+  "/root/repo/src/sampling/khop_weighted.cc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/khop_weighted.cc.o" "gcc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/khop_weighted.cc.o.d"
+  "/root/repo/src/sampling/random_walk.cc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/random_walk.cc.o" "gcc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/random_walk.cc.o.d"
+  "/root/repo/src/sampling/sample_block.cc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/sample_block.cc.o" "gcc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/sample_block.cc.o.d"
+  "/root/repo/src/sampling/sampler.cc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/sampler.cc.o" "gcc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/sampler.cc.o.d"
+  "/root/repo/src/sampling/subgraph.cc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/subgraph.cc.o" "gcc" "src/CMakeFiles/gnnlab_sampling.dir/sampling/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_sampling.dir/sampling/fastgcn.cc.o"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/fastgcn.cc.o.d"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/footprint.cc.o"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/footprint.cc.o.d"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/khop_reservoir.cc.o"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/khop_reservoir.cc.o.d"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/khop_uniform.cc.o"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/khop_uniform.cc.o.d"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/khop_weighted.cc.o"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/khop_weighted.cc.o.d"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/random_walk.cc.o"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/random_walk.cc.o.d"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/sample_block.cc.o"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/sample_block.cc.o.d"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/sampler.cc.o"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/sampler.cc.o.d"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/subgraph.cc.o"
+  "CMakeFiles/gnnlab_sampling.dir/sampling/subgraph.cc.o.d"
+  "libgnnlab_sampling.a"
+  "libgnnlab_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/gnnlab_sim.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/gnnlab_sim.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/CMakeFiles/gnnlab_sim.dir/sim/device.cc.o" "gcc" "src/CMakeFiles/gnnlab_sim.dir/sim/device.cc.o.d"
+  "/root/repo/src/sim/sim_engine.cc" "src/CMakeFiles/gnnlab_sim.dir/sim/sim_engine.cc.o" "gcc" "src/CMakeFiles/gnnlab_sim.dir/sim/sim_engine.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/gnnlab_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/gnnlab_sim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/gnnlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_sim.dir/sim/cost_model.cc.o"
+  "CMakeFiles/gnnlab_sim.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/gnnlab_sim.dir/sim/device.cc.o"
+  "CMakeFiles/gnnlab_sim.dir/sim/device.cc.o.d"
+  "CMakeFiles/gnnlab_sim.dir/sim/sim_engine.cc.o"
+  "CMakeFiles/gnnlab_sim.dir/sim/sim_engine.cc.o.d"
+  "CMakeFiles/gnnlab_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/gnnlab_sim.dir/sim/trace.cc.o.d"
+  "libgnnlab_sim.a"
+  "libgnnlab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnlab_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/gnnlab_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/gnnlab_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/gnnlab_tensor.dir/tensor/tensor.cc.o.d"
+  "libgnnlab_tensor.a"
+  "libgnnlab_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnlab_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

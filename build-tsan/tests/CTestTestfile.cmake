@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/graph_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/feature_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/cache_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nn_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/report_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/threaded_engine_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/concurrency_test[1]_include.cmake")
