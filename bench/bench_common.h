@@ -5,6 +5,9 @@
 //                 stay faithful)
 //   --epochs=<n>  measured epochs per configuration (default 3)
 //   --seed=<n>    run seed (default 42)
+//   --trace-out=<file>    Chrome/Perfetto trace of the headline run (benches
+//                         that run many configurations trace the last one)
+//   --metrics-out=<file>  JSON-lines telemetry snapshots of the same run
 #ifndef GNNLAB_BENCH_BENCH_COMMON_H_
 #define GNNLAB_BENCH_BENCH_COMMON_H_
 
@@ -24,6 +27,8 @@ struct BenchFlags {
   double scale = 1.0;
   std::size_t epochs = 3;
   std::uint64_t seed = 42;
+  std::string trace_out;    // Empty = no trace.
+  std::string metrics_out;  // Empty = no snapshot file.
 
   // Simulated GPU memory: 64 MB at scale 1.0, shrinking with the data so
   // the paper's Vol : GPU ratios hold at any scale.
@@ -42,8 +47,14 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
       flags.epochs = static_cast<std::size_t>(std::atoll(arg + 9));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      flags.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      flags.metrics_out = arg + 14;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("flags: --scale=<f> --epochs=<n> --seed=<n>\n");
+      std::printf(
+          "flags: --scale=<f> --epochs=<n> --seed=<n> --trace-out=<file> "
+          "--metrics-out=<file>\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);

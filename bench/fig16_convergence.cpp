@@ -12,6 +12,7 @@
 #include "baselines/timeshare_runner.h"
 #include "bench/bench_common.h"
 #include "core/engine.h"
+#include "obs/snapshot.h"
 #include "report/table.h"
 
 using namespace gnnlab;  // NOLINT
@@ -97,11 +98,16 @@ int main(int argc, char** argv) {
   const Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
   double gnnlab_epoch = 0.0;
   {
+    // The headline GNNLab run carries the optional telemetry artifacts.
+    TraceRecorder trace;
     EngineOptions options;
     options.num_gpus = 8;
     options.gpu_memory = flags.GpuMemory();
     options.epochs = 2;
     options.seed = flags.seed;
+    if (!flags.trace_out.empty()) {
+      options.trace = &trace;
+    }
     Engine engine(pa, workload, options);
     const RunReport report = engine.Run();
     if (report.oom) {
@@ -109,6 +115,15 @@ int main(int argc, char** argv) {
       std::exit(1);
     }
     gnnlab_epoch = report.AvgEpochTime();
+    if (!flags.trace_out.empty() && trace.WriteChromeTrace(flags.trace_out)) {
+      std::printf("wrote %zu trace spans (GNNLab epoch run) to %s\n", trace.size(),
+                  flags.trace_out.c_str());
+    }
+    if (!flags.metrics_out.empty() &&
+        WriteTelemetryJsonLines(report.snapshots, flags.metrics_out)) {
+      std::printf("wrote %zu telemetry snapshots (GNNLab epoch run) to %s\n",
+                  report.snapshots.size(), flags.metrics_out.c_str());
+    }
   }
   auto timeshare_epoch = [&](const TimeShareOptions& base) {
     TimeShareOptions options = base;

@@ -4,6 +4,7 @@
 #include "baselines/timeshare_runner.h"
 #include "bench/bench_common.h"
 #include "core/engine.h"
+#include "obs/snapshot.h"
 #include "report/table.h"
 
 using namespace gnnlab;  // NOLINT
@@ -32,7 +33,8 @@ std::vector<std::string> TimeShareCells(const Dataset& ds, const Workload& workl
 }
 
 std::vector<std::string> GnnlabCells(const Dataset& ds, const Workload& workload,
-                                     const BenchFlags& flags) {
+                                     const BenchFlags& flags, TraceRecorder* trace,
+                                     std::vector<TelemetrySample>* snapshots) {
   EngineOptions options;
   options.num_gpus = 2;
   options.num_samplers = 1;
@@ -40,8 +42,15 @@ std::vector<std::string> GnnlabCells(const Dataset& ds, const Workload& workload
   options.gpu_memory = flags.GpuMemory();
   options.epochs = flags.epochs;
   options.seed = flags.seed;
+  if (trace != nullptr) {
+    trace->Clear();  // The sweep reuses one recorder; keep only the last run.
+    options.trace = trace;
+  }
   Engine engine(ds, workload, options);
   const RunReport report = engine.Run();
+  if (snapshots != nullptr) {
+    *snapshots = report.snapshots;
+  }
   if (report.oom) {
     return {"OOM", "OOM", "OOM"};
   }
@@ -60,6 +69,12 @@ int main(int argc, char** argv) {
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   PrintBenchHeader("Table 5: stage breakdown on 2 GPUs (GNNLab = 1S1T)", flags);
 
+  TraceRecorder trace;
+  std::vector<TelemetrySample> snapshots;
+  TraceRecorder* trace_ptr = flags.trace_out.empty() ? nullptr : &trace;
+  std::vector<TelemetrySample>* snapshots_ptr =
+      flags.metrics_out.empty() ? nullptr : &snapshots;
+
   TablePrinter table({"Model", "DS", "DGL S", "DGL E", "DGL T", "TSOTA S",
                       "TSOTA E(R,H)", "TSOTA T", "GNNLab S=G+M+C", "GNNLab E(R,H)",
                       "GNNLab T"});
@@ -71,7 +86,7 @@ int main(int argc, char** argv) {
       const Dataset& ds = GetDataset(id, flags);
       const auto dgl = TimeShareCells(ds, workload, DglOptions(), flags);
       const auto tsota = TimeShareCells(ds, workload, TsotaOptions(), flags);
-      const auto gnnlab = GnnlabCells(ds, workload, flags);
+      const auto gnnlab = GnnlabCells(ds, workload, flags, trace_ptr, snapshots_ptr);
       if (first) {
         table.AddSeparator();
       }
@@ -81,6 +96,15 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+  if (trace_ptr != nullptr && trace.WriteChromeTrace(flags.trace_out)) {
+    std::printf("\nwrote %zu trace spans (last GNNLab run) to %s\n", trace.size(),
+                flags.trace_out.c_str());
+  }
+  if (snapshots_ptr != nullptr &&
+      WriteTelemetryJsonLines(snapshots, flags.metrics_out)) {
+    std::printf("wrote %zu telemetry snapshots (last GNNLab run) to %s\n",
+                snapshots.size(), flags.metrics_out.c_str());
+  }
   std::printf(
       "\nPaper shape: GNNLab's Sample stage adds small M and C terms over\n"
       "T_SOTA's but its Extract collapses (hit rates ~90-99%% vs T_SOTA's\n"

@@ -2,9 +2,15 @@
 // line and print the epoch report — the kitchen-sink driver for exploring
 // the simulator without writing code.
 //
-//   ./build/examples/gnnlab_cli --system=gnnlab --model=gcn --dataset=pa \
+//   ./build/examples/gnnlab_cli --system=gnnlab --model=gcn --dataset=pa
 //       --gpus=8 --policy=presc1 --epochs=3 --scale=1.0 [--samplers=2]
 //       [--no-switching] [--cache-ratio=0.2] [--seed=7]
+//       [--trace-out=FILE] [--metrics-out=FILE] [--report-out=FILE]
+//
+// --trace-out dumps a Chrome/Perfetto trace of the simulated timeline,
+// --metrics-out one JSON-lines telemetry snapshot per trained batch, and
+// --report-out the full run report (stage breakdowns, per-stage latency
+// percentiles, snapshot series) as JSON.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -12,6 +18,9 @@
 #include "baselines/cpu_runner.h"
 #include "baselines/timeshare_runner.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace gnnlab;  // NOLINT: example brevity.
@@ -30,7 +39,9 @@ struct CliOptions {
   double scale = 1.0;
   std::size_t epochs = 3;
   std::uint64_t seed = 42;
-  std::string trace_path;  // --trace=FILE: dump a Chrome trace of the run.
+  std::string trace_path;    // --trace-out=FILE (or legacy --trace=FILE).
+  std::string metrics_path;  // --metrics-out=FILE: JSON-lines snapshots.
+  std::string report_path;   // --report-out=FILE: run report JSON.
 };
 
 bool ParseArg(const char* arg, const char* key, std::string* out) {
@@ -48,7 +59,8 @@ bool ParseArg(const char* arg, const char* key, std::string* out) {
       "cluster|gat]\n                  [--dataset=pr|tw|pa|uk] [--gpus=N] [--samplers=N]\n"
       "                  [--no-switching] [--policy=none|random|degree|presc1|presc2|"
       "presc3|optimal]\n                  [--cache-ratio=F] [--scale=F] [--epochs=N] "
-      "[--seed=N]\n");
+      "[--seed=N]\n                  [--trace-out=FILE] [--metrics-out=FILE] "
+      "[--report-out=FILE]\n");
   std::exit(2);
 }
 
@@ -79,8 +91,12 @@ CliOptions Parse(int argc, char** argv) {
       options.epochs = static_cast<std::size_t>(std::atoll(value.c_str()));
     } else if (ParseArg(arg, "--seed=", &value)) {
       options.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
-    } else if (ParseArg(arg, "--trace=", &value)) {
+    } else if (ParseArg(arg, "--trace-out=", &value) || ParseArg(arg, "--trace=", &value)) {
       options.trace_path = value;
+    } else if (ParseArg(arg, "--metrics-out=", &value)) {
+      options.metrics_path = value;
+    } else if (ParseArg(arg, "--report-out=", &value)) {
+      options.report_path = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       Usage();
@@ -203,11 +219,22 @@ int main(int argc, char** argv) {
     if (!cli.trace_path.empty()) {
       options.trace = &trace;
     }
+    MetricRegistry metrics;
+    options.metrics = &metrics;
     Engine engine(dataset, workload, options);
-    PrintReport(engine.Run());
+    const RunReport report = engine.Run();
+    PrintReport(report);
     if (!cli.trace_path.empty() && trace.WriteChromeTrace(cli.trace_path)) {
       std::printf("wrote %zu trace spans to %s (open in chrome://tracing)\n", trace.size(),
                   cli.trace_path.c_str());
+    }
+    if (!cli.metrics_path.empty() &&
+        WriteTelemetryJsonLines(report.snapshots, cli.metrics_path)) {
+      std::printf("wrote %zu telemetry snapshots to %s\n", report.snapshots.size(),
+                  cli.metrics_path.c_str());
+    }
+    if (!cli.report_path.empty() && WriteRunReportJson(report, cli.report_path)) {
+      std::printf("wrote run report JSON to %s\n", cli.report_path.c_str());
     }
   } else if (cli.system == "tsota" || cli.system == "dgl") {
     TimeShareOptions options = cli.system == "dgl" ? DglOptions() : TsotaOptions();

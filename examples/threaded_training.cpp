@@ -5,25 +5,56 @@
 // use; wall-clock numbers here are real.
 //
 //   ./build/examples/threaded_training [samplers] [trainers] [epochs] [extract_threads]
+//       [--trace-out=FILE] [--metrics-out=FILE] [--report-out=FILE] [--snapshot-ms=N]
 //
 // extract_threads sizes the shared CPU pool for the parallel hot paths
 // (feature gather + k-hop expansion): 0 = all hardware threads (default),
 // 1 = serial. Sampled blocks and gathered bytes are identical either way.
+//
+// --trace-out writes a Chrome/Perfetto trace (one lane per Sampler/Trainer
+// thread, one span per stage), --metrics-out streams periodic JSON-lines
+// telemetry snapshots, --report-out writes the full run report (per-stage
+// p50/p95/p99 latencies + snapshot series) as JSON.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/threaded_engine.h"
 #include "nn/checkpoint.h"
+#include "report/json.h"
 #include "report/table.h"
 
 using namespace gnnlab;  // NOLINT: example brevity.
 
 int main(int argc, char** argv) {
-  const int samplers = argc > 1 ? std::atoi(argv[1]) : 1;
-  const int trainers = argc > 2 ? std::atoi(argv[2]) : 2;
-  const std::size_t epochs = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 6;
-  const std::size_t extract_threads =
-      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 0;
+  int positional[4] = {1, 2, 6, 0};
+  int num_positional = 0;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string report_out;
+  double snapshot_ms = 50.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--report-out=", 13) == 0) {
+      report_out = arg + 13;
+    } else if (std::strncmp(arg, "--snapshot-ms=", 14) == 0) {
+      snapshot_ms = std::atof(arg + 14);
+    } else if (num_positional < 4) {
+      positional[num_positional++] = std::atoi(arg);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return 1;
+    }
+  }
+  const int samplers = positional[0];
+  const int trainers = positional[1];
+  const auto epochs = static_cast<std::size_t>(positional[2]);
+  const auto extract_threads = static_cast<std::size_t>(positional[3]);
 
   const Dataset dataset = MakeDataset(DatasetId::kProducts, /*scale=*/0.5, /*seed=*/17);
   constexpr std::uint32_t kClasses = 10;
@@ -43,6 +74,9 @@ int main(int argc, char** argv) {
   real.num_classes = kClasses;
   real.hidden_dim = 16;
 
+  RuntimeTracer tracer;
+  MetricRegistry metrics;
+
   ThreadedEngineOptions options;
   options.num_samplers = samplers;
   options.num_trainers = trainers;
@@ -53,6 +87,12 @@ int main(int argc, char** argv) {
   options.staleness_bound = 4;
   options.extract_threads = extract_threads;
   options.real = &real;
+  if (!trace_out.empty()) {
+    options.tracer = &tracer;
+  }
+  options.metrics = &metrics;
+  options.metrics_out = metrics_out;
+  options.snapshot_interval_seconds = snapshot_ms / 1000.0;
 
   std::printf("threaded GNNLab: %dS %dT on %s (%u vertices), PreSC cache 20%%, pool=%zu\n\n",
               samplers, trainers, dataset.name.c_str(), dataset.graph.num_vertices(),
@@ -60,14 +100,37 @@ int main(int argc, char** argv) {
   ThreadedEngine engine(dataset, StandardWorkload(GnnModelKind::kGraphSage), options);
   const ThreadedRunReport report = engine.Run();
 
-  TablePrinter table({"epoch", "wall(s)", "loss", "eval acc", "hit%", "switched"});
+  TablePrinter table({"epoch", "wall(s)", "loss", "eval acc", "hit%", "switched",
+                      "train p50(ms)", "train p99(ms)"});
   for (std::size_t e = 0; e < report.epochs.size(); ++e) {
     const ThreadedEpochReport& epoch = report.epochs[e];
     table.AddRow({std::to_string(e + 1), Fmt(epoch.wall_seconds, 3),
                   Fmt(epoch.mean_loss, 3), FmtPercent(epoch.eval_accuracy, 1),
-                  FmtPercent(epoch.extract.HitRate()), std::to_string(epoch.switched_batches)});
+                  FmtPercent(epoch.extract.HitRate()), std::to_string(epoch.switched_batches),
+                  Fmt(epoch.latency.train.p50 * 1e3, 2),
+                  Fmt(epoch.latency.train.p99 * 1e3, 2)});
   }
   table.Print();
+
+  if (!trace_out.empty()) {
+    if (tracer.WriteChromeTrace(trace_out)) {
+      std::printf("\nwrote %zu trace spans to %s (load in chrome://tracing or Perfetto)\n",
+                  tracer.size(), trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_out.empty()) {
+    std::printf("streamed %zu telemetry snapshots to %s\n", report.snapshots.size(),
+                metrics_out.c_str());
+  }
+  if (!report_out.empty()) {
+    if (!WriteThreadedRunReportJson(report, report_out)) {
+      return 1;
+    }
+    std::printf("wrote run report JSON to %s\n", report_out.c_str());
+  }
   std::printf(
       "\nEvery number above is real: OS threads, a blocking MPMC queue, live\n"
       "gradient descent. The same design elements the simulator models —\n"

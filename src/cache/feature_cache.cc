@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/snapshot.h"
 
 namespace gnnlab {
 
@@ -48,13 +49,33 @@ double FeatureCache::ratio() const {
              : static_cast<double>(num_cached_) / static_cast<double>(cached_.size());
 }
 
+void FeatureCache::BindMetrics(MetricRegistry* registry) {
+  if (registry == nullptr) {
+    mark_hits_ = nullptr;
+    mark_total_ = nullptr;
+    return;
+  }
+  mark_hits_ = registry->GetCounter(kMetricMarkHits);
+  mark_total_ = registry->GetCounter(kMetricMarkTotal);
+}
+
 void FeatureCache::MarkBlock(SampleBlock* block) const {
   const auto vertices = block->vertices();
   auto& marks = block->mutable_cache_marks();
   marks.resize(vertices.size());
+  std::size_t hits = 0;
   for (std::size_t i = 0; i < vertices.size(); ++i) {
-    marks[i] = Contains(vertices[i]) ? 1 : 0;
+    const bool hit = Contains(vertices[i]);
+    marks[i] = hit ? 1 : 0;
+    hits += hit ? 1 : 0;
   }
+  GNNLAB_OBS_ONLY({
+    if (mark_total_ != nullptr) {
+      mark_total_->Increment(vertices.size());
+      mark_hits_->Increment(hits);
+    }
+  });
+  (void)hits;
 }
 
 EpochExtractionResult MeasureEpochExtraction(Sampler* sampler, const TrainingSet& train_set,

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "graph/training_set.h"
+#include "obs/metrics.h"
 #include "sampling/sample_block.h"
 #include "sampling/sampler.h"
 
@@ -48,6 +49,11 @@ class FeatureCache {
   // Sample-stage marking step (paper §5.2, the "M" component of Table 5).
   void MarkBlock(SampleBlock* block) const;
 
+  // Streams marking telemetry into cache.mark_hits / cache.mark_total
+  // counters (one relaxed increment per MarkBlock call). Pass nullptr to
+  // unbind; no-op when compiled out.
+  void BindMetrics(MetricRegistry* registry);
+
  private:
   // Exact-row-count loader shared by Load (ratio-derived) and
   // LoadWithBudget (byte-derived); avoids ratio<->count rounding drift.
@@ -57,6 +63,8 @@ class FeatureCache {
   std::vector<std::uint8_t> cached_;
   std::size_t num_cached_ = 0;
   std::uint32_t feature_dim_ = 0;
+  Counter* mark_hits_ = nullptr;
+  Counter* mark_total_ = nullptr;
 };
 
 // Runs one epoch of Sample+Mark+Extract accounting (no training) and

@@ -120,11 +120,22 @@ RunReport Engine::Run() {
       break;
   }
 
+  // Telemetry bindings happen after BuildCaches: the caches were just
+  // re-assigned, which would have discarded earlier bindings.
+  stage_latency_.BindRegistry(options_.metrics);
+  queue_.BindMetrics(options_.metrics);
+  extractor_.BindMetrics(options_.metrics);
+  trainer_cache_.BindMetrics(options_.metrics);
+  standby_cache_.BindMetrics(options_.metrics);
+  snapshots_.clear();
+  run_cache_hits_ = run_cache_misses_ = run_bytes_host_ = run_bytes_cache_ = 0;
+
   queue_.ResetReport();
   for (std::size_t e = 0; e < options_.epochs; ++e) {
     report.epochs.push_back(RunEpoch(e));
   }
   report.queue = queue_.report();
+  report.snapshots = std::move(snapshots_);
   return report;
 }
 
@@ -416,6 +427,7 @@ bool Engine::PlanMemory(RunReport* report) {
 EpochReport Engine::RunEpoch(std::size_t epoch) {
   current_epoch_ = epoch;
   epoch_report_ = EpochReport{};
+  stage_latency_.Reset();
   epoch_batches_.clear();
   {
     Rng shuffle_rng = ShuffleRng(epoch);
@@ -463,6 +475,7 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
 
   EpochReport report = epoch_report_;
   report.epoch_time = sim_.now() - epoch_start;
+  report.latency = stage_latency_.Summarize();
   report.batches = epoch_batches_.size();
   for (const SamplerExec& sampler : samplers_) {
     report.stage.Add(sampler.stage);
@@ -521,6 +534,11 @@ void Engine::PumpSamplers() {
       done_sampler.stage.sample_mark += m;
       done_sampler.stage.sample_copy += c;
       done_sampler.busy = false;
+      stage_latency_.RecordSample(g);
+      if (m > 0.0) {
+        stage_latency_.RecordMark(m);
+      }
+      stage_latency_.RecordCopy(c);
       if (options_.trace != nullptr) {
         options_.trace->Record("gpu" + std::to_string(done_sampler.gpu) + "/sampler",
                                "sample b" + std::to_string(task->batch), "sample",
@@ -583,6 +601,11 @@ void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
   sim_.ScheduleAt(extract_done, [this, trainer, shared_task, stats, extract_work] {
     trainer->stage.extract += extract_work;
     trainer->extract.Add(stats);
+    stage_latency_.RecordExtract(extract_work);
+    run_cache_hits_ += stats.cache_hits;
+    run_cache_misses_ += stats.host_misses;
+    run_bytes_host_ += stats.bytes_from_host;
+    run_bytes_cache_ += stats.bytes_from_cache;
     if (options_.trace != nullptr) {
       const std::string lane = "gpu" + std::to_string(trainer->gpu) +
                                (trainer->standby ? "/standby" : "/trainer");
@@ -608,6 +631,18 @@ void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
 void Engine::FinishTrain(TrainerExec* trainer, const TrainTask& task, SimTime train_seconds) {
   trainer->stage.train += train_seconds;
   --trainer->trains_in_flight;
+  stage_latency_.RecordTrain(train_seconds);
+  // One snapshot per trained batch: the queue/cache timeline of the run on
+  // the simulated clock.
+  TelemetrySample sample;
+  sample.ts = sim_.now();
+  sample.queue_depth = queue_.size();
+  sample.queue_bytes = queue_.stored_bytes();
+  sample.cache_hits = run_cache_hits_;
+  sample.cache_misses = run_cache_misses_;
+  sample.bytes_from_host = run_bytes_host_;
+  sample.bytes_from_cache = run_bytes_cache_;
+  snapshots_.push_back(sample);
   if (options_.trace != nullptr) {
     const std::string lane = "gpu" + std::to_string(trainer->gpu) +
                              (trainer->standby ? "/standby" : "/trainer");

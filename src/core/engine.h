@@ -98,6 +98,11 @@ struct EngineOptions {
   // Optional: record every stage execution as a span on the simulated
   // timeline (export with TraceRecorder::WriteChromeTrace).
   TraceRecorder* trace = nullptr;
+  // Optional: stream run-wide telemetry (queue.* gauges, extract.* and
+  // cache.* counters, stage.* latency histograms) into this registry. The
+  // per-epoch StageLatencies and the snapshot series land in the RunReport
+  // regardless; the registry is for live export alongside other runs.
+  MetricRegistry* metrics = nullptr;
   const RealTrainingOptions* real = nullptr;
 };
 
@@ -180,6 +185,16 @@ class Engine {
   std::size_t next_batch_ = 0;
   std::size_t trained_batches_ = 0;
   EpochReport epoch_report_;
+
+  // Telemetry: per-batch stage latencies (per-epoch summaries + optional
+  // registry mirror) and the queue/cache timeline sampled once per trained
+  // batch.
+  StageLatencyRecorder stage_latency_;
+  std::vector<TelemetrySample> snapshots_;
+  std::uint64_t run_cache_hits_ = 0;
+  std::uint64_t run_cache_misses_ = 0;
+  std::uint64_t run_bytes_host_ = 0;
+  std::uint64_t run_bytes_cache_ = 0;
 
   // Real-training state (shared master model: updates are serialized by
   // the DES). In async mode each Trainer additionally holds a replica

@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/snapshot.h"
+
 namespace gnnlab {
+
+void GlobalQueue::BindMetrics(MetricRegistry* registry) {
+  if (registry == nullptr) {
+    enqueued_counter_ = nullptr;
+    depth_gauge_ = nullptr;
+    bytes_gauge_ = nullptr;
+    return;
+  }
+  enqueued_counter_ = registry->GetCounter(kMetricQueueEnqueued);
+  depth_gauge_ = registry->GetGauge(kMetricQueueDepth);
+  bytes_gauge_ = registry->GetGauge(kMetricQueueBytes);
+  UpdateGauges();
+}
+
+void GlobalQueue::UpdateGauges() {
+  GNNLAB_OBS_ONLY({
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<double>(tasks_.size()));
+      bytes_gauge_->Set(static_cast<double>(stored_bytes_));
+    }
+  });
+}
 
 void GlobalQueue::Push(TrainTask task) {
   stored_bytes_ += task.block.QueueBytes();
@@ -11,6 +35,12 @@ void GlobalQueue::Push(TrainTask task) {
   ++report_.total_enqueued;
   report_.max_depth = std::max(report_.max_depth, tasks_.size());
   report_.max_stored_bytes = std::max(report_.max_stored_bytes, stored_bytes_);
+  GNNLAB_OBS_ONLY({
+    if (enqueued_counter_ != nullptr) {
+      enqueued_counter_->Increment();
+    }
+  });
+  UpdateGauges();
 }
 
 std::optional<TrainTask> GlobalQueue::TryPop() {
@@ -20,6 +50,7 @@ std::optional<TrainTask> GlobalQueue::TryPop() {
   TrainTask task = std::move(tasks_.front());
   tasks_.pop_front();
   stored_bytes_ -= task.block.QueueBytes();
+  UpdateGauges();
   return task;
 }
 

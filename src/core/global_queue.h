@@ -12,6 +12,7 @@
 
 #include "common/types.h"
 #include "core/stats.h"
+#include "obs/metrics.h"
 #include "sampling/sample_block.h"
 
 namespace gnnlab {
@@ -35,10 +36,20 @@ class GlobalQueue {
   const QueueReport& report() const { return report_; }
   void ResetReport() { report_ = QueueReport{}; }
 
+  // Mirrors depth/bytes into queue.depth / queue.bytes gauges and counts
+  // pushes on queue.enqueued, so simulated and threaded runs export the
+  // same snapshot schema. Pass nullptr to unbind.
+  void BindMetrics(MetricRegistry* registry);
+
  private:
+  void UpdateGauges();
+
   std::deque<TrainTask> tasks_;
   ByteCount stored_bytes_ = 0;
   QueueReport report_;
+  Counter* enqueued_counter_ = nullptr;
+  Gauge* depth_gauge_ = nullptr;
+  Gauge* bytes_gauge_ = nullptr;
 };
 
 }  // namespace gnnlab

@@ -16,6 +16,46 @@ void StageBreakdown::Add(const StageBreakdown& other) {
   extract_busy += other.extract_busy;
 }
 
+void StageLatencyRecorder::BindRegistry(MetricRegistry* registry) {
+  if (registry == nullptr) {
+    reg_sample_ = reg_mark_ = reg_copy_ = reg_extract_ = reg_train_ = nullptr;
+    return;
+  }
+  reg_sample_ = registry->GetHistogram("stage.sample");
+  reg_mark_ = registry->GetHistogram("stage.mark");
+  reg_copy_ = registry->GetHistogram("stage.copy");
+  reg_extract_ = registry->GetHistogram("stage.extract");
+  reg_train_ = registry->GetHistogram("stage.train");
+}
+
+void StageLatencyRecorder::Record(Histogram* local, Histogram* mirror, double seconds) {
+  local->Record(seconds);
+  GNNLAB_OBS_ONLY({
+    if (mirror != nullptr) {
+      mirror->Record(seconds);
+    }
+  });
+  (void)mirror;
+}
+
+StageLatencies StageLatencyRecorder::Summarize() const {
+  StageLatencies latencies;
+  latencies.sample = sample_.Summary();
+  latencies.mark = mark_.Summary();
+  latencies.copy = copy_.Summary();
+  latencies.extract = extract_.Summary();
+  latencies.train = train_.Summary();
+  return latencies;
+}
+
+void StageLatencyRecorder::Reset() {
+  sample_.Reset();
+  mark_.Reset();
+  copy_.Reset();
+  extract_.Reset();
+  train_.Reset();
+}
+
 double RunReport::AvgEpochTime(std::size_t skip_first) const {
   CHECK_GT(epochs.size(), skip_first);
   double total = 0.0;

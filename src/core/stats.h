@@ -11,6 +11,8 @@
 
 #include "common/types.h"
 #include "feature/extractor.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
 
 namespace gnnlab {
 
@@ -33,9 +35,22 @@ struct StageBreakdown {
   void Add(const StageBreakdown& other);
 };
 
+// Per-batch latency distributions of the five pipeline stages, summarized
+// per epoch (count + mean + p50/p95/p99/max). The StageBreakdown above
+// carries the *sums* the paper's tables print; these carry the shape —
+// tail batches are what the averages hide.
+struct StageLatencies {
+  LatencySummary sample;   // G: the sampling kernel.
+  LatencySummary mark;     // M: cache marking (count 0 when nothing cached).
+  LatencySummary copy;     // C: copy/push into the global queue.
+  LatencySummary extract;  // E.
+  LatencySummary train;    // T.
+};
+
 struct EpochReport {
   SimTime epoch_time = 0.0;  // Makespan (wall clock of the virtual timeline).
   StageBreakdown stage;
+  StageLatencies latency;
   ExtractStats extract;
   std::size_t batches = 0;
   std::size_t gradient_updates = 0;
@@ -60,6 +75,40 @@ struct QueueReport {
   ByteCount max_stored_bytes = 0;  // Peak host memory held by queued blocks.
 };
 
+// Collects the per-batch stage latencies behind StageLatencies, shared by
+// the simulated and threaded engines. The local histograms are per-epoch
+// (Reset() at epoch start, Summarize() at epoch end); when a MetricRegistry
+// is bound, every observation is mirrored into run-wide stage.* histograms
+// so live snapshots and post-run reports agree. Record* calls are
+// thread-safe (histograms are atomic).
+class StageLatencyRecorder {
+ public:
+  // Mirrors observations into stage.sample/mark/copy/extract/train
+  // histograms of `registry` (nullptr to unbind). Compiled out with the
+  // rest of the hooks when GNNLAB_OBS_ENABLED is 0.
+  void BindRegistry(MetricRegistry* registry);
+
+  void RecordSample(double seconds) { Record(&sample_, reg_sample_, seconds); }
+  void RecordMark(double seconds) { Record(&mark_, reg_mark_, seconds); }
+  void RecordCopy(double seconds) { Record(&copy_, reg_copy_, seconds); }
+  void RecordExtract(double seconds) { Record(&extract_, reg_extract_, seconds); }
+  void RecordTrain(double seconds) { Record(&train_, reg_train_, seconds); }
+
+  StageLatencies Summarize() const;
+  // Clears the per-epoch histograms (the registry mirrors keep running).
+  void Reset();
+
+ private:
+  static void Record(Histogram* local, Histogram* mirror, double seconds);
+
+  Histogram sample_, mark_, copy_, extract_, train_;
+  Histogram* reg_sample_ = nullptr;
+  Histogram* reg_mark_ = nullptr;
+  Histogram* reg_copy_ = nullptr;
+  Histogram* reg_extract_ = nullptr;
+  Histogram* reg_train_ = nullptr;
+};
+
 struct RunReport {
   bool oom = false;
   std::string oom_detail;
@@ -73,6 +122,10 @@ struct RunReport {
   PreprocessReport preprocess;
   QueueReport queue;
   std::vector<EpochReport> epochs;
+  // Queue/cache/extract timeline sampled over the whole run: once per
+  // trained batch in the simulated engines (ts = SimTime), periodically in
+  // the threaded engine (ts = wall seconds).
+  std::vector<TelemetrySample> snapshots;
 
   // Mean epoch makespan, optionally skipping warm-up epochs.
   double AvgEpochTime(std::size_t skip_first = 0) const;

@@ -1,24 +1,18 @@
 #include "core/threaded_engine.h"
 
 #include <atomic>
-#include <chrono>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "runtime/mpmc_queue.h"
 #include "tensor/ops.h"
 
 namespace gnnlab {
-namespace {
-
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 // Shared state for one epoch's worth of threads. Rebuilt per epoch so the
 // queue's Close() can serve as the end-of-epoch signal.
@@ -29,6 +23,9 @@ struct ThreadedEngine::State {
   std::vector<std::vector<VertexId>> batches;
   std::atomic<std::size_t> next_batch{0};
   std::atomic<int> samplers_active{0};
+  // Host bytes currently held by queued blocks (feeds the queue.bytes gauge;
+  // the MPMC queue itself only counts tasks).
+  std::atomic<std::int64_t> queued_bytes{0};
 
   // Running per-batch time estimates (seconds) for the profit metric.
   std::atomic<double> t_train_ema{0.0};
@@ -130,13 +127,73 @@ void ThreadedEngine::BuildCache() {
                               dataset_.graph.num_vertices(), dataset_.feature_dim);
 }
 
+void ThreadedEngine::BindTelemetry() {
+  // Must run after BuildCache(): cache_ is reassigned by value there, which
+  // would discard earlier bindings.
+  registry_ = options_.metrics != nullptr ? options_.metrics : &own_registry_;
+  stage_latency_.BindRegistry(registry_);
+  cache_.BindMetrics(registry_);
+  if (extract_pool_ != nullptr) {
+    extract_pool_->BindMetrics(registry_);
+  }
+  GNNLAB_OBS_ONLY({
+    queue_enqueued_ = registry_->GetCounter(kMetricQueueEnqueued);
+    queue_depth_gauge_ = registry_->GetGauge(kMetricQueueDepth);
+    queue_bytes_gauge_ = registry_->GetGauge(kMetricQueueBytes);
+    pool_busy_gauge_ = registry_->GetGauge(kMetricPoolBusy);
+  });
+}
+
+void ThreadedEngine::UpdateQueueGauges(State* state) {
+  GNNLAB_OBS_ONLY({
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<double>(state->queue.size()));
+      const std::int64_t bytes = state->queued_bytes.load(std::memory_order_relaxed);
+      queue_bytes_gauge_->Set(static_cast<double>(bytes > 0 ? bytes : 0));
+    }
+  });
+  (void)state;
+}
+
+void ThreadedEngine::TraceStage(const std::string& lane, const char* stage,
+                                std::size_t batch, double begin, double end) {
+  GNNLAB_OBS_ONLY({
+    if (options_.tracer != nullptr) {
+      options_.tracer->Record(lane, std::string(stage) + " b" + std::to_string(batch),
+                              stage, begin, end);
+    }
+  });
+  (void)lane;
+  (void)stage;
+  (void)batch;
+  (void)begin;
+  (void)end;
+}
+
 ThreadedRunReport ThreadedEngine::Run() {
   BuildCache();
+  BindTelemetry();
+
+  SnapshotExporter::Options snap;
+  snap.interval_seconds = options_.snapshot_interval_seconds;
+  snap.path = options_.metrics_out;
+  snap.on_sample = [this] {
+    GNNLAB_OBS_ONLY({
+      if (pool_busy_gauge_ != nullptr && extract_pool_ != nullptr) {
+        pool_busy_gauge_->Set(static_cast<double>(extract_pool_->busy_workers()));
+      }
+    });
+  };
+  SnapshotExporter exporter(registry_, std::move(snap));
+  CHECK(exporter.Start()) << "cannot open metrics output '" << options_.metrics_out << "'";
+
   ThreadedRunReport report;
   report.cache_ratio = cache_.ratio();
   for (std::size_t e = 0; e < options_.epochs; ++e) {
     report.epochs.push_back(RunEpoch(e));
   }
+  exporter.Stop();
+  report.snapshots = exporter.series();
   return report;
 }
 
@@ -144,6 +201,7 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
   state_ = std::make_unique<State>(options_.queue_capacity);
   State& state = *state_;
   state.num_trainers = options_.num_trainers;
+  stage_latency_.Reset();
   state.replica_version.assign(replicas_.size(), state.master_version);
   {
     Rng shuffle_rng = Rng(options_.seed).Fork(epoch * 2 + 1);
@@ -154,8 +212,9 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
     }
   }
 
-  const double start = NowSeconds();
+  const double start = MonotonicSeconds();
   state.samplers_active.store(options_.num_samplers);
+  UpdateQueueGauges(&state);
   std::vector<std::thread> threads;
   for (int s = 0; s < options_.num_samplers; ++s) {
     threads.emplace_back([this, &state, s, epoch] { SamplerLoop(&state, s, epoch); });
@@ -167,9 +226,11 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
     thread.join();
   }
 
+  UpdateQueueGauges(&state);
   ThreadedEpochReport report;
-  report.wall_seconds = NowSeconds() - start;
+  report.wall_seconds = MonotonicSeconds() - start;
   report.batches = state.batches.size();
+  report.latency = stage_latency_.Summarize();
   report.extract = state.extract;
   report.switched_batches = state.switched_batches;
   report.gradient_updates = state.gradient_updates;
@@ -182,6 +243,7 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
 }
 
 void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t epoch) {
+  const std::string lane = "sampler" + std::to_string(sampler_index);
   std::unique_ptr<Sampler> sampler =
       MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
   sampler->BindThreadPool(extract_pool_.get());
@@ -191,15 +253,37 @@ void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t ep
       break;
     }
     Rng rng = BatchRng(epoch, batch);
+    const double sample_begin = MonotonicSeconds();
     SampleBlock block = sampler->Sample(state->batches[batch], &rng, nullptr);
+    const double sample_end = MonotonicSeconds();
+    stage_latency_.RecordSample(sample_end - sample_begin);
+    TraceStage(lane, "sample", batch, sample_begin, sample_end);
     if (cache_.num_cached() > 0) {
+      const double mark_begin = MonotonicSeconds();
       cache_.MarkBlock(&block);
+      const double mark_end = MonotonicSeconds();
+      stage_latency_.RecordMark(mark_end - mark_begin);
+      TraceStage(lane, "mark", batch, mark_begin, mark_end);
     }
     TrainTask task;
     task.block = std::move(block);
     task.epoch = epoch;
     task.batch = batch;
+    const ByteCount task_bytes = task.block.QueueBytes();
+    const double copy_begin = MonotonicSeconds();
     CHECK(state->queue.Push(std::move(task)));
+    const double copy_end = MonotonicSeconds();
+    stage_latency_.RecordCopy(copy_end - copy_begin);
+    TraceStage(lane, "copy", batch, copy_begin, copy_end);
+    GNNLAB_OBS_ONLY({
+      state->queued_bytes.fetch_add(static_cast<std::int64_t>(task_bytes),
+                                    std::memory_order_relaxed);
+      if (queue_enqueued_ != nullptr) {
+        queue_enqueued_->Increment();
+      }
+      UpdateQueueGauges(state);
+    });
+    (void)task_bytes;
   }
   // Last Sampler out closes the queue: Trainers drain what remains, then
   // their Pop() returns nullopt and the epoch winds down.
@@ -213,6 +297,13 @@ void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t ep
 }
 
 void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) {
+  const std::string lane =
+      standby ? "standby" + std::to_string(replica_index - options_.num_trainers)
+              : "trainer" + std::to_string(replica_index);
+  // One Extractor per Trainer thread: binding its metrics resolves the
+  // registry names once per epoch instead of once per batch.
+  Extractor extractor(*options_.real->features, extract_pool_.get());
+  extractor.BindMetrics(registry_);
   while (true) {
     std::optional<TrainTask> task;
     if (standby) {
@@ -244,9 +335,14 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
       }
     }
 
-    const double begin = NowSeconds();
-    TrainTaskOnReplica(state, replica_index, *task);
-    const double elapsed = NowSeconds() - begin;
+    GNNLAB_OBS_ONLY({
+      state->queued_bytes.fetch_sub(static_cast<std::int64_t>(task->block.QueueBytes()),
+                                    std::memory_order_relaxed);
+      UpdateQueueGauges(state);
+    });
+    const double begin = MonotonicSeconds();
+    TrainTaskOnReplica(state, replica_index, lane, &extractor, *task);
+    const double elapsed = MonotonicSeconds() - begin;
     // EMA with alpha 0.2 (see core/switching.h).
     auto& ema = standby ? state->t_standby_ema : state->t_train_ema;
     double prev = ema.load();
@@ -259,6 +355,7 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
 }
 
 void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
+                                        const std::string& lane, Extractor* extractor,
                                         const TrainTask& task) {
   const RealTrainingOptions& real = *options_.real;
   GnnModel& replica = *replicas_[replica_index];
@@ -274,11 +371,15 @@ void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
     }
   }
 
-  Extractor extractor(*real.features, extract_pool_.get());
   std::vector<float> buffer;
-  const ExtractStats stats = extractor.Extract(task.block, &buffer);
+  const double extract_begin = MonotonicSeconds();
+  const ExtractStats stats = extractor->Extract(task.block, &buffer);
+  const double extract_end = MonotonicSeconds();
+  stage_latency_.RecordExtract(extract_end - extract_begin);
+  TraceStage(lane, "extract", task.batch, extract_begin, extract_end);
   Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
 
+  const double train_begin = MonotonicSeconds();
   const Tensor& logits = replica.Forward(task.block, input);
   std::vector<std::uint32_t> labels(task.block.num_seeds());
   for (std::size_t i = 0; i < labels.size(); ++i) {
@@ -295,6 +396,9 @@ void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
     adam_->Step(master_->Params(), replica.Grads());
     ++state->master_version;
   }
+  const double train_end = MonotonicSeconds();
+  stage_latency_.RecordTrain(train_end - train_begin);
+  TraceStage(lane, "train", task.batch, train_begin, train_end);
   {
     std::lock_guard<std::mutex> lock(state->stats_mu);
     state->extract.Add(stats);

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace gnnlab {
@@ -47,6 +49,21 @@ struct ThreadedEngineOptions {
   // Real training setup; required — a threaded run without a model would
   // have nothing to do in the Train stage.
   const RealTrainingOptions* real = nullptr;
+  // Optional wall-clock tracer: every sample/mark/copy/extract/train stage
+  // execution becomes one span on a per-thread lane ("sampler0",
+  // "trainer1", "standby0", ...). Export with RuntimeTracer::WriteChromeTrace
+  // and load the file in chrome://tracing or Perfetto.
+  RuntimeTracer* tracer = nullptr;
+  // Optional external registry for queue/extract/cache/pool/stage metrics.
+  // When null the engine uses an internal registry, so the snapshot series
+  // in the run report is populated either way.
+  MetricRegistry* metrics = nullptr;
+  // Period of the background telemetry sampler feeding
+  // ThreadedRunReport::snapshots (and metrics_out, when set).
+  double snapshot_interval_seconds = 0.05;
+  // JSON-lines file the snapshot series is streamed to (--metrics-out).
+  // Empty = in-memory series only.
+  std::string metrics_out;
 };
 
 struct ThreadedEpochReport {
@@ -55,6 +72,8 @@ struct ThreadedEpochReport {
   std::size_t switched_batches = 0;
   std::size_t gradient_updates = 0;
   ExtractStats extract;  // parallel_workers/worker_busy_seconds included.
+  // Per-batch wall-clock latency distributions of the five stages.
+  StageLatencies latency;
   double mean_loss = 0.0;
   double eval_accuracy = 0.0;
 };
@@ -62,6 +81,9 @@ struct ThreadedEpochReport {
 struct ThreadedRunReport {
   double cache_ratio = 0.0;
   std::vector<ThreadedEpochReport> epochs;
+  // Periodic queue/cache/extract/pool timeline (ts = seconds since the run's
+  // sampling thread started).
+  std::vector<TelemetrySample> snapshots;
 };
 
 class ThreadedEngine {
@@ -82,10 +104,17 @@ class ThreadedEngine {
   ThreadedEpochReport RunEpoch(std::size_t epoch);
   void SamplerLoop(State* state, int sampler_index, std::size_t epoch);
   void TrainerLoop(State* state, int trainer_index, bool standby);
-  void TrainTaskOnReplica(State* state, int replica_index, const TrainTask& task);
+  void TrainTaskOnReplica(State* state, int replica_index, const std::string& lane,
+                          Extractor* extractor, const TrainTask& task);
   double EvaluateAccuracy(std::size_t epoch);
 
   Rng BatchRng(std::size_t epoch, std::size_t batch) const;
+
+  // Telemetry plumbing (no-ops when GNNLAB_OBS_ENABLED is 0).
+  void BindTelemetry();
+  void UpdateQueueGauges(State* state);
+  void TraceStage(const std::string& lane, const char* stage, std::size_t batch,
+                  double begin, double end);
 
   const Dataset& dataset_;
   // By value: callers routinely pass `StandardWorkload(...)` temporaries, and
@@ -101,6 +130,17 @@ class ThreadedEngine {
   std::unique_ptr<Adam> adam_;
   std::vector<std::unique_ptr<GnnModel>> replicas_;
   std::unique_ptr<State> state_;
+
+  // Telemetry: registry_ points at options_.metrics or the internal
+  // own_registry_; the cached pointers avoid per-push name lookups (resolve
+  // once, update forever).
+  MetricRegistry own_registry_;
+  MetricRegistry* registry_ = nullptr;
+  Counter* queue_enqueued_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;
+  Gauge* queue_bytes_gauge_ = nullptr;
+  Gauge* pool_busy_gauge_ = nullptr;
+  StageLatencyRecorder stage_latency_;
 };
 
 }  // namespace gnnlab

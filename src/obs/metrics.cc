@@ -1,0 +1,221 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+namespace {
+
+// CAS loops: std::atomic<double> has no fetch_add/fetch_max members we can
+// rely on across toolchains, and both are off the measured path's critical
+// section anyway (one retry is rare).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < value &&
+         !target->compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> DefaultLatencyBounds() {
+  // 1us, 2us, 4us, ... ~1074s: 31 bounds cover every stage latency this
+  // system produces with <2x relative quantile error.
+  std::vector<double> bounds;
+  bounds.reserve(31);
+  double bound = 1e-6;
+  for (int i = 0; i < 31; ++i) {
+    bounds.push_back(bound);
+    bound *= 2.0;
+  }
+  return bounds;
+}
+
+}  // namespace
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Histogram::Histogram() : Histogram(DefaultLatencyBounds()) {}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  CHECK(!bounds_.empty());
+  CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+std::size_t Histogram::BucketIndex(double value) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());  // bounds_.size() = overflow.
+}
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  // Rank of the target observation (1-based), then walk the cumulative
+  // bucket counts to the bucket containing it.
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Linear interpolation inside [lower, upper), clamped to the exact
+      // observed max so a tail estimate never exceeds a value actually seen.
+      const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+      const double upper = b < bounds_.size() ? bounds_[b] : bounds_.back();
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return std::min(lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0), max());
+    }
+    cumulative += in_bucket;
+  }
+  return std::min(bounds_.back(), max());
+}
+
+LatencySummary Histogram::Summary() const {
+  LatencySummary summary;
+  summary.count = count();
+  summary.mean = mean();
+  summary.p50 = Quantile(0.5);
+  summary.p95 = Quantile(0.95);
+  summary.p99 = Quantile(0.99);
+  summary.max = max();
+  return summary;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricRegistry::Entry* MetricRegistry::GetOrCreate(const std::string& name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  CHECK(it->second.kind == kind) << "metric '" << name
+                                 << "' already registered as a different kind";
+  return &it->second;
+}
+
+const MetricRegistry::Entry* MetricRegistry::Find(const std::string& name,
+                                                  Kind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != kind) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  return GetOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  return GetOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  return GetOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+const Counter* MetricRegistry::FindCounter(const std::string& name) const {
+  const Entry* entry = Find(name, Kind::kCounter);
+  return entry != nullptr ? entry->counter.get() : nullptr;
+}
+
+const Gauge* MetricRegistry::FindGauge(const std::string& name) const {
+  const Entry* entry = Find(name, Kind::kGauge);
+  return entry != nullptr ? entry->gauge.get() : nullptr;
+}
+
+const Histogram* MetricRegistry::FindHistogram(const std::string& name) const {
+  const Entry* entry = Find(name, Kind::kHistogram);
+  return entry != nullptr ? entry->histogram.get() : nullptr;
+}
+
+std::string MetricRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\"" << name << "\":";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        os << entry.counter->value();
+        break;
+      case Kind::kGauge:
+        os << entry.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const LatencySummary s = entry.histogram->Summary();
+        os << "{\"count\":" << s.count << ",\"mean\":" << s.mean << ",\"p50\":" << s.p50
+           << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99 << ",\"max\":" << s.max << "}";
+        break;
+      }
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,191 @@
+// Runtime metrics for the real (threaded) engine and the simulator: named
+// counters, gauges, and fixed-bucket latency histograms with percentile
+// queries. This is the observability layer the paper's stage accounting
+// (Table 5's S = G + M + C, E, T) needs on the *wall-clock* side — the
+// simulated timeline gets the same numbers for free from the DES, the
+// threaded engine has to measure them.
+//
+// Hot-path contract: callers resolve a Counter*/Gauge*/Histogram* from the
+// MetricRegistry once (registration takes a lock) and then update through
+// the pointer with relaxed atomics — no lock, no allocation, no branch
+// beyond a null check. Instrumentation call sites compile away entirely
+// when GNNLAB_OBS_ENABLED is 0 (cmake -DGNNLAB_OBS=OFF).
+#ifndef GNNLAB_OBS_METRICS_H_
+#define GNNLAB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// The build defines GNNLAB_OBS_ENABLED=0/1 (option GNNLAB_OBS, default ON);
+// standalone inclusion defaults to enabled.
+#ifndef GNNLAB_OBS_ENABLED
+#define GNNLAB_OBS_ENABLED 1
+#endif
+
+// Wraps an instrumentation statement so it vanishes from the binary when
+// observability is compiled out:  GNNLAB_OBS_ONLY(counter->Increment());
+#if GNNLAB_OBS_ENABLED
+#define GNNLAB_OBS_ONLY(...) __VA_ARGS__
+#else
+#define GNNLAB_OBS_ONLY(...)
+#endif
+
+namespace gnnlab {
+
+// Seconds on the steady (monotonic) clock. All wall-clock telemetry in this
+// subsystem shares this epoch, so spans and samples from different threads
+// line up on one timeline.
+double MonotonicSeconds();
+
+// A monotonically increasing event/value count. All methods are thread-safe;
+// increments are relaxed atomics (totals are exact, ordering against other
+// metrics is not promised).
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// A last-writer-wins instantaneous value (queue depth, busy workers).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Percentile summary of a Histogram; the report layer embeds one per stage
+// (p50/p95/p99 of per-batch sample/mark/copy/extract/train latencies).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// A fixed-bucket histogram. Recording is one relaxed atomic increment per
+// bucket plus two for count/sum — lock-free and allocation-free. Quantiles
+// interpolate linearly inside the containing bucket, so their resolution is
+// one bucket width; the default bounds are log2-spaced from 1us to ~1000s,
+// which keeps relative error under 2x everywhere a stage latency can land.
+class Histogram {
+ public:
+  // Log2-spaced latency bounds (seconds).
+  Histogram();
+  // Custom ascending upper bounds; values above the last bound land in a
+  // final overflow bucket reported at the last bound.
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double max() const { return max_.load(std::memory_order_relaxed); }
+
+  // Quantile(0.5) = p50 etc. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+  LatencySummary Summary() const;
+
+  // Not linearizable against concurrent Record()s; call at quiesced points
+  // (epoch boundaries).
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::size_t BucketIndex(double value) const;
+
+  std::vector<double> bounds_;                         // Ascending upper bounds.
+  std::vector<std::atomic<std::uint64_t>> buckets_;    // bounds_.size() + overflow.
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// A named registry of metrics. GetOrCreate* registers on first use (locked)
+// and returns a pointer that stays valid for the registry's lifetime — the
+// intended pattern is resolve-once, update-forever. Distinct kinds share one
+// namespace: registering "x" as a counter and again as a gauge is a bug and
+// aborts.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Lookup without registration; null when absent or a different kind.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // One JSON object with every metric, sorted by name: counters/gauges as
+  // numbers, histograms as {"count":..,"mean":..,"p50":..,"p95":..,"p99":..,
+  // "max":..}. Single line — this is the payload of a snapshot sample.
+  std::string SnapshotJson() const;
+
+  std::size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetOrCreate(const std::string& name, Kind kind);
+  const Entry* Find(const std::string& name, Kind kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+// RAII wall-clock timer: records elapsed seconds into the histogram on
+// destruction. A null histogram makes it a no-op, so call sites can pass an
+// unresolved hook without branching.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), begin_(histogram != nullptr ? MonotonicSeconds() : 0.0) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(MonotonicSeconds() - begin_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  double begin_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_OBS_METRICS_H_

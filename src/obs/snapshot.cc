@@ -1,0 +1,142 @@
+#include "obs/snapshot.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+namespace {
+
+std::uint64_t CounterValue(const MetricRegistry& registry, const char* name) {
+  const Counter* counter = registry.FindCounter(name);
+  return counter != nullptr ? counter->value() : 0;
+}
+
+std::uint64_t GaugeValue(const MetricRegistry& registry, const char* name) {
+  const Gauge* gauge = registry.FindGauge(name);
+  return gauge != nullptr ? static_cast<std::uint64_t>(gauge->value()) : 0;
+}
+
+}  // namespace
+
+TelemetrySample SampleFromRegistry(const MetricRegistry& registry, double ts) {
+  TelemetrySample sample;
+  sample.ts = ts;
+  sample.queue_depth = GaugeValue(registry, kMetricQueueDepth);
+  sample.queue_bytes = GaugeValue(registry, kMetricQueueBytes);
+  sample.cache_hits = CounterValue(registry, kMetricCacheHits);
+  sample.cache_misses = CounterValue(registry, kMetricCacheMisses);
+  sample.bytes_from_host = CounterValue(registry, kMetricBytesFromHost);
+  sample.bytes_from_cache = CounterValue(registry, kMetricBytesFromCache);
+  sample.pool_busy = GaugeValue(registry, kMetricPoolBusy);
+  sample.pool_size = GaugeValue(registry, kMetricPoolSize);
+  return sample;
+}
+
+std::string TelemetrySampleToJson(const TelemetrySample& sample) {
+  std::ostringstream os;
+  os << "{\"ts\":" << sample.ts;
+  os << ",\"queue_depth\":" << sample.queue_depth;
+  os << ",\"queue_bytes\":" << sample.queue_bytes;
+  os << ",\"cache_hits\":" << sample.cache_hits;
+  os << ",\"cache_misses\":" << sample.cache_misses;
+  os << ",\"bytes_from_host\":" << sample.bytes_from_host;
+  os << ",\"bytes_from_cache\":" << sample.bytes_from_cache;
+  os << ",\"pool_busy\":" << sample.pool_busy;
+  os << ",\"pool_size\":" << sample.pool_size;
+  os << "}";
+  return os.str();
+}
+
+bool WriteTelemetryJsonLines(const std::vector<TelemetrySample>& samples,
+                             const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    LOG_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  bool ok = true;
+  for (const TelemetrySample& sample : samples) {
+    const std::string line = TelemetrySampleToJson(sample) + "\n";
+    ok = ok && std::fwrite(line.data(), 1, line.size(), file) == line.size();
+  }
+  std::fclose(file);
+  if (!ok) {
+    LOG_ERROR << "short write to " << path;
+    std::remove(path.c_str());
+  }
+  return ok;
+}
+
+SnapshotExporter::SnapshotExporter(const MetricRegistry* registry, Options options)
+    : registry_(registry), options_(std::move(options)) {
+  CHECK(registry_ != nullptr);
+  CHECK_GT(options_.interval_seconds, 0.0);
+  origin_ = MonotonicSeconds();
+}
+
+SnapshotExporter::~SnapshotExporter() { Stop(); }
+
+bool SnapshotExporter::Start() {
+  CHECK(!running_.load()) << "SnapshotExporter started twice";
+  if (!options_.path.empty()) {
+    file_ = std::fopen(options_.path.c_str(), "wb");
+    if (file_ == nullptr) {
+      LOG_ERROR << "cannot open " << options_.path << " for writing";
+      return false;
+    }
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void SnapshotExporter::Stop() {
+  if (running_.exchange(false)) {
+    thread_.join();
+    SampleOnce();  // Final datapoint so short runs never export empty.
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+TelemetrySample SnapshotExporter::SampleOnce() {
+  if (options_.on_sample) {
+    options_.on_sample();
+  }
+  const TelemetrySample sample =
+      SampleFromRegistry(*registry_, MonotonicSeconds() - origin_);
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.push_back(sample);
+  WriteLine(sample);
+  return sample;
+}
+
+void SnapshotExporter::WriteLine(const TelemetrySample& sample) {
+  if (file_ == nullptr) {
+    return;
+  }
+  // The file line additionally embeds the full registry snapshot (stage.*
+  // histograms and all), which the compact in-memory series omits.
+  std::string line = TelemetrySampleToJson(sample);
+  line.pop_back();  // Reopen the object to append the "metrics" member.
+  line += ",\"metrics\":" + registry_->SnapshotJson() + "}\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    LOG_ERROR << "short write to " << options_.path;
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void SnapshotExporter::Loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    SampleOnce();
+    std::this_thread::sleep_for(std::chrono::duration<double>(options_.interval_seconds));
+  }
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,109 @@
+// Periodic telemetry snapshots: a background thread samples a MetricRegistry
+// at a fixed interval and (a) appends a typed TelemetrySample to an
+// in-memory series the engines embed into their run reports, and (b)
+// optionally writes one JSON object per line (JSON-lines) to a file — the
+// --metrics-out artifact. Each line carries the timestamp, the well-known
+// queue/cache/extract/pool fields, and the full registry snapshot.
+#ifndef GNNLAB_OBS_SNAPSHOT_H_
+#define GNNLAB_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gnnlab {
+
+// Well-known metric names the engines maintain and SampleFromRegistry reads.
+// Instrumented subsystems register under these so snapshots, reports, and
+// dashboards agree on the schema.
+inline constexpr char kMetricQueueDepth[] = "queue.depth";          // Gauge.
+inline constexpr char kMetricQueueBytes[] = "queue.bytes";          // Gauge.
+inline constexpr char kMetricQueueEnqueued[] = "queue.enqueued";    // Counter.
+inline constexpr char kMetricCacheHits[] = "extract.cache_hits";    // Counter.
+inline constexpr char kMetricCacheMisses[] = "extract.host_misses"; // Counter.
+inline constexpr char kMetricBytesFromHost[] = "extract.bytes_host";    // Counter.
+inline constexpr char kMetricBytesFromCache[] = "extract.bytes_cache";  // Counter.
+inline constexpr char kMetricMarkHits[] = "cache.mark_hits";        // Counter.
+inline constexpr char kMetricMarkTotal[] = "cache.mark_total";      // Counter.
+inline constexpr char kMetricPoolBusy[] = "pool.busy";              // Gauge.
+inline constexpr char kMetricPoolSize[] = "pool.size";              // Gauge.
+inline constexpr char kMetricPoolTasks[] = "pool.tasks";            // Counter.
+
+// One point of the queue/cache/extract/pool timeline. ts is seconds since
+// the exporter started (threaded engine) or simulated seconds (sim engine).
+// Counter-backed fields are cumulative at sample time.
+struct TelemetrySample {
+  double ts = 0.0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_bytes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t bytes_from_host = 0;
+  std::uint64_t bytes_from_cache = 0;
+  std::uint64_t pool_busy = 0;
+  std::uint64_t pool_size = 0;
+};
+
+// Reads the well-known metrics out of `registry` (absent metrics read 0).
+TelemetrySample SampleFromRegistry(const MetricRegistry& registry, double ts);
+
+// One JSON object, single line, no trailing newline.
+std::string TelemetrySampleToJson(const TelemetrySample& sample);
+
+// Writes one TelemetrySampleToJson line per sample; false on I/O failure.
+bool WriteTelemetryJsonLines(const std::vector<TelemetrySample>& samples,
+                             const std::string& path);
+
+class SnapshotExporter {
+ public:
+  struct Options {
+    double interval_seconds = 0.05;
+    // JSON-lines output; empty = in-memory series only.
+    std::string path;
+    // Called right before each sample so owners can refresh pull-style
+    // gauges (e.g. pool.busy from ThreadPool::busy_workers()). Runs on the
+    // exporter thread.
+    std::function<void()> on_sample;
+  };
+
+  SnapshotExporter(const MetricRegistry* registry, Options options);
+  ~SnapshotExporter();  // Stops if still running.
+
+  SnapshotExporter(const SnapshotExporter&) = delete;
+  SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  // Starts the sampling thread. False if the output file cannot be opened.
+  bool Start();
+  // Takes one final sample, stops the thread, flushes and closes the file.
+  // Idempotent.
+  void Stop();
+
+  // One sample taken immediately on the calling thread (also appended to the
+  // series and file if open). Usable without Start() for single-shot export.
+  TelemetrySample SampleOnce();
+
+  // The collected series; stable only after Stop().
+  const std::vector<TelemetrySample>& series() const { return series_; }
+
+ private:
+  void Loop();
+  void WriteLine(const TelemetrySample& sample);
+
+  const MetricRegistry* registry_;
+  Options options_;
+  double origin_ = 0.0;
+  std::FILE* file_ = nullptr;
+  std::thread thread_;
+  std::mutex mu_;  // Guards series_ and file_ between Loop() and SampleOnce().
+  std::vector<TelemetrySample> series_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_OBS_SNAPSHOT_H_

@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace gnnlab {
+
+std::string SpansToChromeJson(std::span<const TraceSpan> spans) {
+  // Stable tid per lane, in lexicographic order (map iteration).
+  std::map<std::string, int> lane_tid;
+  for (const TraceSpan& span : spans) {
+    lane_tid.emplace(span.lane, 0);
+  }
+  int next_tid = 0;
+  for (auto& [lane, tid] : lane_tid) {
+    tid = next_tid++;
+  }
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [lane, tid] : lane_tid) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << R"({"ph":"M","pid":0,"tid":)" << tid
+       << R"(,"name":"thread_name","args":{"name":")" << lane << "\"}}";
+  }
+  for (const TraceSpan& span : spans) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    const double ts_us = span.begin * 1e6;
+    const double dur_us = (span.end - span.begin) * 1e6;
+    os << R"({"ph":"X","pid":0,"tid":)" << lane_tid[span.lane] << R"(,"name":")"
+       << span.name << R"(","cat":")" << span.category << R"(","ts":)" << ts_us
+       << R"(,"dur":)" << dur_us << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool WriteChromeTraceFile(std::span<const TraceSpan> spans, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    LOG_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  const std::string json = SpansToChromeJson(spans);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  if (!ok) {
+    LOG_ERROR << "short write to " << path;
+    std::remove(path.c_str());
+  }
+  return ok;
+}
+
+RuntimeTracer::RuntimeTracer() : origin_(MonotonicSeconds()) {}
+
+double RuntimeTracer::Now() const { return MonotonicSeconds() - origin_; }
+
+RuntimeTracer::Shard* RuntimeTracer::ShardForThisThread() {
+  const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return &shards_[h % kShards];
+}
+
+void RuntimeTracer::Record(std::string lane, std::string name, std::string category,
+                           double begin, double end) {
+  CHECK_LE(begin, end);
+  Shard* shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->spans.push_back({std::move(lane), std::move(name), std::move(category),
+                          begin - origin_, end - origin_});
+}
+
+std::vector<TraceSpan> RuntimeTracer::Collect() const {
+  std::vector<TraceSpan> all;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    all.insert(all.end(), shard.spans.begin(), shard.spans.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceSpan& a, const TraceSpan& b) { return a.begin < b.begin; });
+  return all;
+}
+
+std::size_t RuntimeTracer::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.spans.size();
+  }
+  return total;
+}
+
+}  // namespace gnnlab

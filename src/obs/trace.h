@@ -1,0 +1,84 @@
+// The span model and Chrome/Perfetto trace-event JSON writer shared by the
+// simulator's TraceRecorder (sim/trace.h, virtual timeline) and the threaded
+// engine's RuntimeTracer (wall clock). Load the emitted file in
+// chrome://tracing or https://ui.perfetto.dev: one lane per executor or
+// worker thread, one span per stage execution — the paper's Figure 6/8
+// pipeline diagrams, drawn from a real run.
+#ifndef GNNLAB_OBS_TRACE_H_
+#define GNNLAB_OBS_TRACE_H_
+
+#include <array>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gnnlab {
+
+struct TraceSpan {
+  std::string lane;      // e.g. "gpu0/sampler", "sampler0", "trainer1".
+  std::string name;      // e.g. "sample b42", "extract b42", "train b42".
+  std::string category;  // "sample" | "mark" | "copy" | "extract" | "train" | "host".
+  double begin = 0.0;    // Seconds (simulated or wall, per recorder).
+  double end = 0.0;
+};
+
+// Chrome trace-event JSON: complete ("X") events with microsecond
+// timestamps; lanes become thread names via metadata events, numbered in
+// lexicographic lane order.
+std::string SpansToChromeJson(std::span<const TraceSpan> spans);
+
+// Writes SpansToChromeJson to `path`; false (and no partial file) on I/O
+// failure.
+bool WriteChromeTraceFile(std::span<const TraceSpan> spans, const std::string& path);
+
+// Wall-clock span recorder for the threaded engine. Thread-safe: spans land
+// in one of a fixed set of shards keyed by the recording thread, so
+// concurrent Sampler/Trainer/pool threads do not contend on one lock. Spans
+// are stage-granularity (one per sample/mark/copy/extract/train execution,
+// i.e. hundreds per second), so recording cost is irrelevant next to the
+// stages themselves; the sharding just keeps tail latency flat.
+//
+// Timestamps: Record() takes MonotonicSeconds() values (obs/metrics.h) and
+// rebases them onto the tracer's construction time, so a trace always starts
+// near t=0.
+class RuntimeTracer {
+ public:
+  RuntimeTracer();
+  RuntimeTracer(const RuntimeTracer&) = delete;
+  RuntimeTracer& operator=(const RuntimeTracer&) = delete;
+
+  // Seconds since this tracer was constructed (same clock as
+  // MonotonicSeconds()).
+  double Now() const;
+
+  // begin/end are absolute MonotonicSeconds() readings.
+  void Record(std::string lane, std::string name, std::string category, double begin,
+              double end);
+
+  // All spans recorded so far, merged across shards and sorted by begin
+  // time. Do not call concurrently with Record().
+  std::vector<TraceSpan> Collect() const;
+  std::size_t size() const;
+
+  std::string ToChromeJson() const { return SpansToChromeJson(Collect()); }
+  bool WriteChromeTrace(const std::string& path) const {
+    return WriteChromeTraceFile(Collect(), path);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<TraceSpan> spans;
+  };
+
+  Shard* ShardForThisThread();
+
+  std::array<Shard, kShards> shards_;
+  double origin_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_OBS_TRACE_H_

@@ -30,6 +30,41 @@ std::string Escape(const std::string& s) {
   return out;
 }
 
+// {"count":N,"mean":..,"p50":..,"p95":..,"p99":..,"max":..}
+void AppendLatencySummary(std::ostringstream& os, const LatencySummary& s) {
+  os << "{\"count\":" << s.count;
+  os << ",\"mean\":" << s.mean;
+  os << ",\"p50\":" << s.p50;
+  os << ",\"p95\":" << s.p95;
+  os << ",\"p99\":" << s.p99;
+  os << ",\"max\":" << s.max << "}";
+}
+
+void AppendStageLatencies(std::ostringstream& os, const StageLatencies& latency) {
+  os << "{\"sample\":";
+  AppendLatencySummary(os, latency.sample);
+  os << ",\"mark\":";
+  AppendLatencySummary(os, latency.mark);
+  os << ",\"copy\":";
+  AppendLatencySummary(os, latency.copy);
+  os << ",\"extract\":";
+  AppendLatencySummary(os, latency.extract);
+  os << ",\"train\":";
+  AppendLatencySummary(os, latency.train);
+  os << "}";
+}
+
+void AppendSnapshots(std::ostringstream& os, const std::vector<TelemetrySample>& snapshots) {
+  os << "[";
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << TelemetrySampleToJson(snapshots[i]);
+  }
+  os << "]";
+}
+
 }  // namespace
 
 std::string RunReportToJson(const RunReport& report) {
@@ -69,6 +104,8 @@ std::string RunReportToJson(const RunReport& report) {
     os << ",\"train\":" << epoch.stage.train;
     os << ",\"parallel_workers\":" << epoch.stage.parallel_workers;
     os << ",\"extract_busy\":" << epoch.stage.extract_busy << "}";
+    os << ",\"latency\":";
+    AppendStageLatencies(os, epoch.latency);
     os << ",\"extract\":{";
     os << "\"distinct_vertices\":" << epoch.extract.distinct_vertices;
     os << ",\"cache_hits\":" << epoch.extract.cache_hits;
@@ -79,7 +116,45 @@ std::string RunReportToJson(const RunReport& report) {
     os << ",\"eval_accuracy\":" << epoch.eval_accuracy;
     os << "}";
   }
-  os << "]}";
+  os << "]";
+  os << ",\"snapshots\":";
+  AppendSnapshots(os, report.snapshots);
+  os << "}";
+  return os.str();
+}
+
+std::string ThreadedRunReportToJson(const ThreadedRunReport& report) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"cache_ratio\":" << report.cache_ratio;
+  os << ",\"epochs\":[";
+  for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+    const ThreadedEpochReport& epoch = report.epochs[e];
+    if (e > 0) {
+      os << ",";
+    }
+    os << "{\"wall_seconds\":" << epoch.wall_seconds;
+    os << ",\"batches\":" << epoch.batches;
+    os << ",\"switched_batches\":" << epoch.switched_batches;
+    os << ",\"gradient_updates\":" << epoch.gradient_updates;
+    os << ",\"latency\":";
+    AppendStageLatencies(os, epoch.latency);
+    os << ",\"extract\":{";
+    os << "\"distinct_vertices\":" << epoch.extract.distinct_vertices;
+    os << ",\"cache_hits\":" << epoch.extract.cache_hits;
+    os << ",\"host_misses\":" << epoch.extract.host_misses;
+    os << ",\"bytes_from_host\":" << epoch.extract.bytes_from_host;
+    os << ",\"hit_rate\":" << epoch.extract.HitRate();
+    os << ",\"parallel_workers\":" << epoch.extract.parallel_workers;
+    os << ",\"worker_busy_seconds\":" << epoch.extract.TotalBusySeconds() << "}";
+    os << ",\"mean_loss\":" << epoch.mean_loss;
+    os << ",\"eval_accuracy\":" << epoch.eval_accuracy;
+    os << "}";
+  }
+  os << "]";
+  os << ",\"snapshots\":";
+  AppendSnapshots(os, report.snapshots);
+  os << "}";
   return os.str();
 }
 
@@ -104,6 +179,10 @@ bool WriteJsonFile(const std::string& json, const std::string& path) {
 
 bool WriteRunReportJson(const RunReport& report, const std::string& path) {
   return WriteJsonFile(RunReportToJson(report), path);
+}
+
+bool WriteThreadedRunReportJson(const ThreadedRunReport& report, const std::string& path) {
+  return WriteJsonFile(ThreadedRunReportToJson(report), path);
 }
 
 std::string ExtractScalingToJson(const ExtractScalingReport& report) {

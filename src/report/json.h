@@ -8,16 +8,23 @@
 #include <vector>
 
 #include "core/stats.h"
+#include "core/threaded_engine.h"
 
 namespace gnnlab {
 
 // One JSON object: config echo (samplers/trainers/cache), preprocessing,
-// queue stats, and a per-epoch array with stage breakdowns and extraction
-// counters.
+// queue stats, a per-epoch array with stage breakdowns, per-stage latency
+// summaries (count/mean/p50/p95/p99/max) and extraction counters, plus the
+// run-wide telemetry snapshot series.
 std::string RunReportToJson(const RunReport& report);
 
 // Writes RunReportToJson to `path`; false on I/O failure.
 bool WriteRunReportJson(const RunReport& report, const std::string& path);
+
+// Threaded-engine counterpart: per-epoch wall times, stage latency
+// summaries, extraction counters and the periodic snapshot series.
+std::string ThreadedRunReportToJson(const ThreadedRunReport& report);
+bool WriteThreadedRunReportJson(const ThreadedRunReport& report, const std::string& path);
 
 // Worker-count scaling of the parallel Extract gather (bench/micro_extract):
 // one point per pool size swept over the same block.

@@ -1,0 +1,44 @@
+// A minimal JSON parser for validating and round-tripping the JSON this
+// repo emits (run reports, Chrome traces, metric snapshots). Supports the
+// full JSON value grammar with standard escapes; numbers parse as double.
+// This is a test/tooling aid, not a general-purpose library — inputs are
+// trusted, sizes are small.
+#ifndef GNNLAB_REPORT_JSON_PARSE_H_
+#define GNNLAB_REPORT_JSON_PARSE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gnnlab {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion order preserved; lookups are linear (objects here are small).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+
+  // Object member by key; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses exactly one JSON value (leading/trailing whitespace allowed).
+// Returns false and fills *error (when non-null) on malformed input or
+// trailing garbage.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullptr);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_REPORT_JSON_PARSE_H_

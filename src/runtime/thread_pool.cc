@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "obs/snapshot.h"
 
 namespace gnnlab {
 namespace {
@@ -105,6 +106,15 @@ void ThreadPool::Shutdown() {
   }
 }
 
+void ThreadPool::BindMetrics(MetricRegistry* registry) {
+  if (registry == nullptr) {
+    tasks_counter_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  registry->GetGauge(kMetricPoolSize)->Set(static_cast<double>(workers_.size()));
+  tasks_counter_.store(registry->GetCounter(kMetricPoolTasks), std::memory_order_release);
+}
+
 void ThreadPool::WorkerLoop() {
   t_inside_pool_worker = true;
   while (true) {
@@ -112,7 +122,15 @@ void ThreadPool::WorkerLoop() {
     if (!task.has_value()) {
       return;  // Closed and drained.
     }
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    GNNLAB_OBS_ONLY({
+      Counter* counter = tasks_counter_.load(std::memory_order_acquire);
+      if (counter != nullptr) {
+        counter->Increment();
+      }
+    });
     (*task)();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

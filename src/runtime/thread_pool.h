@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/mpmc_queue.h"
 
 namespace gnnlab {
@@ -48,6 +49,19 @@ class ThreadPool {
   // True once Shutdown() has begun; Submit/ParallelFor must not be called.
   bool shut_down() const { return shut_down_.load(std::memory_order_acquire); }
 
+  // Workers currently executing a task (0..num_threads). Maintained with
+  // relaxed atomics; a momentarily stale reading is fine — this feeds the
+  // periodic busy/idle telemetry snapshot, not scheduling decisions. The
+  // calling thread's share of ParallelFor work is not counted (it is not a
+  // pool worker).
+  std::size_t busy_workers() const { return busy_.load(std::memory_order_relaxed); }
+
+  // Registers this pool's telemetry with `registry`: pool.size (gauge,
+  // set once), pool.tasks (counter, one per executed task). pool.busy is a
+  // pull-style gauge — snapshot owners refresh it from busy_workers() (see
+  // SnapshotExporter::Options::on_sample). Pass nullptr to unbind.
+  void BindMetrics(MetricRegistry* registry);
+
   // Picks a worker count for a data-parallel region: `threads` when positive,
   // otherwise std::thread::hardware_concurrency() (min 1). The shared helper
   // keeps every subsystem's "0 = auto" option consistent.
@@ -59,6 +73,8 @@ class ThreadPool {
   MpmcQueue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
   std::atomic<bool> shut_down_{false};
+  std::atomic<std::size_t> busy_{0};
+  std::atomic<Counter*> tasks_counter_{nullptr};
 };
 
 }  // namespace gnnlab

@@ -1,8 +1,5 @@
 #include "sim/trace.h"
 
-#include <cstdio>
-#include <map>
-#include <sstream>
 #include <utility>
 
 #include "common/logging.h"
@@ -14,52 +11,6 @@ void TraceRecorder::Record(std::string lane, std::string name, std::string categ
   CHECK_LE(begin, end);
   spans_.push_back(
       {std::move(lane), std::move(name), std::move(category), begin, end});
-}
-
-std::string TraceRecorder::ToChromeJson() const {
-  // Stable tid per lane, in first-seen order.
-  std::map<std::string, int> lane_tid;
-  for (const TraceSpan& span : spans_) {
-    lane_tid.emplace(span.lane, static_cast<int>(lane_tid.size()));
-  }
-
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  for (const auto& [lane, tid] : lane_tid) {
-    if (!first) {
-      os << ",";
-    }
-    first = false;
-    os << R"({"ph":"M","pid":0,"tid":)" << tid
-       << R"(,"name":"thread_name","args":{"name":")" << lane << "\"}}";
-  }
-  for (const TraceSpan& span : spans_) {
-    os << ",";
-    const double ts_us = span.begin * 1e6;
-    const double dur_us = (span.end - span.begin) * 1e6;
-    os << R"({"ph":"X","pid":0,"tid":)" << lane_tid[span.lane] << R"(,"name":")"
-       << span.name << R"(","cat":")" << span.category << R"(","ts":)" << ts_us
-       << R"(,"dur":)" << dur_us << "}";
-  }
-  os << "]}";
-  return os.str();
-}
-
-bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    LOG_ERROR << "cannot open " << path << " for writing";
-    return false;
-  }
-  const std::string json = ToChromeJson();
-  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
-  std::fclose(file);
-  if (!ok) {
-    LOG_ERROR << "short write to " << path;
-    std::remove(path.c_str());
-  }
-  return ok;
 }
 
 }  // namespace gnnlab

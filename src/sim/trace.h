@@ -1,8 +1,13 @@
-// Execution-trace recording for the simulated timeline, exportable in the
-// Chrome trace-event format (open chrome://tracing or https://ui.perfetto.dev
-// and load the JSON) — one lane per simulated GPU executor plus the shared
-// host channel, one span per stage execution. The paper's pipeline diagrams
-// (Figure 6/8) fall out of a recorded run visually.
+// Execution-trace recording for the simulated timeline. The span model and
+// the Chrome/Perfetto trace-event JSON writer live in obs/trace.h and are
+// shared with the threaded engine's wall-clock RuntimeTracer — a simulated
+// and a real run of the same workload open side by side in Perfetto with
+// identical lane/span vocabulary (the paper's Figure 6/8 diagrams, recorded
+// instead of drawn).
+//
+// The recorder itself is single-threaded by design, like the discrete-event
+// engine that feeds it: timestamps are SimTime, ordering comes from event
+// order, no locking needed.
 #ifndef GNNLAB_SIM_TRACE_H_
 #define GNNLAB_SIM_TRACE_H_
 
@@ -10,16 +15,9 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace gnnlab {
-
-struct TraceSpan {
-  std::string lane;      // e.g. "gpu0/sampler", "gpu3/trainer", "host/channel".
-  std::string name;      // e.g. "sample b42", "extract b42", "train b42".
-  std::string category;  // "sample" | "extract" | "train" | "host".
-  SimTime begin = 0.0;
-  SimTime end = 0.0;
-};
 
 class TraceRecorder {
  public:
@@ -32,8 +30,10 @@ class TraceRecorder {
 
   // Chrome trace-event JSON: complete ("X") events with microsecond
   // timestamps; lanes become thread names via metadata events.
-  std::string ToChromeJson() const;
-  bool WriteChromeTrace(const std::string& path) const;
+  std::string ToChromeJson() const { return SpansToChromeJson(spans_); }
+  bool WriteChromeTrace(const std::string& path) const {
+    return WriteChromeTraceFile(spans_, path);
+  }
 
  private:
   std::vector<TraceSpan> spans_;

@@ -243,6 +243,91 @@ TEST(StatsTest, StageBreakdownAddAndTotal) {
   EXPECT_DOUBLE_EQ(a.train, 6.0);
 }
 
+TEST(StatsTest, StageBreakdownAddPinsParallelFieldSemantics) {
+  // parallel_workers aggregates by MAX (the widest fan-out seen), while
+  // extract_busy aggregates by SUM (total busy seconds across executors) —
+  // pinned here because AvgStage/scaling reports depend on exactly this.
+  StageBreakdown a;
+  a.parallel_workers = 4;
+  a.extract_busy = 1.5;
+  StageBreakdown b;
+  b.parallel_workers = 2;
+  b.extract_busy = 2.5;
+  a.Add(b);
+  EXPECT_EQ(a.parallel_workers, 4u);
+  EXPECT_DOUBLE_EQ(a.extract_busy, 4.0);
+
+  // MAX is symmetric: the wider side wins regardless of Add() direction.
+  StageBreakdown c;
+  c.parallel_workers = 2;
+  c.Add(a);
+  EXPECT_EQ(c.parallel_workers, 4u);
+
+  // The five stage-time fields all SUM.
+  StageBreakdown d{1, 2, 3, 4, 5};
+  StageBreakdown e{10, 20, 30, 40, 50};
+  d.Add(e);
+  EXPECT_DOUBLE_EQ(d.sample_graph, 11.0);
+  EXPECT_DOUBLE_EQ(d.sample_mark, 22.0);
+  EXPECT_DOUBLE_EQ(d.sample_copy, 33.0);
+  EXPECT_DOUBLE_EQ(d.extract, 44.0);
+  EXPECT_DOUBLE_EQ(d.train, 55.0);
+}
+
+TEST(StatsTest, StageLatencyRecorderSummarizesPerEpoch) {
+  StageLatencyRecorder recorder;
+  recorder.RecordSample(0.010);
+  recorder.RecordSample(0.020);
+  recorder.RecordExtract(0.100);
+  recorder.RecordTrain(0.200);
+  StageLatencies latencies = recorder.Summarize();
+  EXPECT_EQ(latencies.sample.count, 2u);
+  EXPECT_DOUBLE_EQ(latencies.sample.mean, 0.015);
+  EXPECT_DOUBLE_EQ(latencies.sample.max, 0.020);
+  EXPECT_EQ(latencies.mark.count, 0u);  // Nothing cached, nothing marked.
+  EXPECT_EQ(latencies.extract.count, 1u);
+  EXPECT_EQ(latencies.train.count, 1u);
+
+  recorder.Reset();
+  EXPECT_EQ(recorder.Summarize().sample.count, 0u);
+}
+
+TEST(StatsTest, StageLatencyRecorderMirrorsIntoRegistry) {
+  MetricRegistry registry;
+  StageLatencyRecorder recorder;
+  recorder.BindRegistry(&registry);
+  recorder.RecordSample(0.010);
+  recorder.RecordTrain(0.200);
+  // Per-epoch Reset() leaves the run-wide registry mirror untouched.
+  recorder.Reset();
+  recorder.RecordSample(0.030);
+#if GNNLAB_OBS_ENABLED
+  EXPECT_EQ(registry.FindHistogram("stage.sample")->count(), 2u);
+  EXPECT_EQ(registry.FindHistogram("stage.train")->count(), 1u);
+#endif
+  EXPECT_EQ(recorder.Summarize().sample.count, 1u);
+}
+
+TEST(GlobalQueueTest, BindMetricsMirrorsDepthAndBytes) {
+  MetricRegistry registry;
+  GlobalQueue q;
+  q.BindMetrics(&registry);
+  TrainTask task{TinyBlock(1), 0, 0, 0.0};
+  const ByteCount bytes = task.block.QueueBytes();
+  q.Push(std::move(task));
+#if GNNLAB_OBS_ENABLED
+  EXPECT_EQ(registry.FindCounter(kMetricQueueEnqueued)->value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.FindGauge(kMetricQueueDepth)->value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.FindGauge(kMetricQueueBytes)->value(),
+                   static_cast<double>(bytes));
+  (void)q.TryPop();
+  EXPECT_DOUBLE_EQ(registry.FindGauge(kMetricQueueDepth)->value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.FindGauge(kMetricQueueBytes)->value(), 0.0);
+#else
+  (void)bytes;
+#endif
+}
+
 TEST(StatsTest, RunReportAverages) {
   RunReport report;
   for (int e = 0; e < 3; ++e) {

@@ -1,0 +1,358 @@
+// Tests for the observability layer: metric registry (counters, gauges,
+// latency histograms), the wall-clock RuntimeTracer, and the snapshot
+// exporter. The JSON every component emits is validated by round-tripping
+// it through the report JSON parser.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+#include "report/json_parse.h"
+
+namespace gnnlab {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(HistogramTest, QuantilesOnUniformDistribution) {
+  // Bounds 1..100, one observation per bucket: the quantiles are exact
+  // because linear interpolation lands on each bucket's upper bound.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) {
+    bounds.push_back(static_cast<double>(i));
+  }
+  Histogram histogram{std::move(bounds)};
+  for (int v = 1; v <= 100; ++v) {
+    histogram.Record(static_cast<double>(v));
+  }
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 100.0);
+
+  const LatencySummary summary = histogram.Summary();
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.p50, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p95, 95.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 99.0);
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+}
+
+TEST(HistogramTest, DefaultBoundsCoverStageLatencies) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+
+  histogram.Record(3e-6);   // A fast mark.
+  histogram.Record(2e-3);   // A typical sample.
+  histogram.Record(0.5);    // A slow train step.
+  EXPECT_EQ(histogram.count(), 3u);
+  // Quantile resolution is one log2 bucket: the median must land within 2x
+  // of the true middle observation.
+  const double p50 = histogram.Quantile(0.5);
+  EXPECT_GE(p50, 1e-3);
+  EXPECT_LE(p50, 4e-3);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.5);
+}
+
+TEST(HistogramTest, OverflowBucketReportsLastBound) {
+  Histogram histogram{std::vector<double>{1.0, 2.0}};
+  histogram.Record(100.0);  // Beyond the last bound.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 100.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram histogram;
+  histogram.Record(1.0);
+  histogram.Record(2.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 0.0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+      }
+      counter.Increment(5);  // Bulk increments mix in.
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.value(), kThreads * (kPerThread + 5));
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(1e-5 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(histogram.max(), 8e-5);
+}
+
+TEST(MetricRegistryTest, ResolveOnceReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("queue.enqueued");
+  EXPECT_EQ(registry.GetCounter("queue.enqueued"), counter);
+  Gauge* gauge = registry.GetGauge("queue.depth");
+  EXPECT_EQ(registry.GetGauge("queue.depth"), gauge);
+  Histogram* histogram = registry.GetHistogram("stage.sample");
+  EXPECT_EQ(registry.GetHistogram("stage.sample"), histogram);
+  EXPECT_EQ(registry.size(), 3u);
+
+  counter->Increment(7);
+  EXPECT_EQ(registry.FindCounter("queue.enqueued")->value(), 7u);
+  // Absent names and kind mismatches both come back null.
+  EXPECT_EQ(registry.FindCounter("nope"), nullptr);
+  EXPECT_EQ(registry.FindGauge("queue.enqueued"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("queue.depth"), nullptr);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationAndUpdates) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread resolves the same name; first one registers.
+      Counter* counter = registry.GetCounter("shared.counter");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.FindCounter("shared.counter")->value(), kThreads * kPerThread);
+}
+
+TEST(MetricRegistryTest, SnapshotJsonParsesAndCarriesValues) {
+  MetricRegistry registry;
+  registry.GetCounter("queue.enqueued")->Increment(42);
+  registry.GetGauge("queue.depth")->Set(3.5);
+  registry.GetHistogram("stage.train")->Record(0.25);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(registry.SnapshotJson(), &root, &error)) << error;
+  ASSERT_TRUE(root.IsObject());
+  ASSERT_NE(root.Find("queue.enqueued"), nullptr);
+  EXPECT_DOUBLE_EQ(root.Find("queue.enqueued")->number, 42.0);
+  EXPECT_DOUBLE_EQ(root.Find("queue.depth")->number, 3.5);
+  const JsonValue* train = root.Find("stage.train");
+  ASSERT_NE(train, nullptr);
+  ASSERT_TRUE(train->IsObject());
+  EXPECT_DOUBLE_EQ(train->Find("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(train->Find("max")->number, 0.25);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedSeconds) {
+  Histogram histogram;
+  {
+    ScopedTimer timer(&histogram);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_GE(histogram.max(), 0.004);
+  // Null histogram: a no-op, not a crash.
+  ScopedTimer noop(nullptr);
+}
+
+TEST(RuntimeTracerTest, JsonRoundTripsThroughReportParser) {
+  RuntimeTracer tracer;
+  const double t0 = MonotonicSeconds();
+  tracer.Record("sampler0", "sample b0", "sample", t0, t0 + 0.001);
+  tracer.Record("sampler0", "mark b0", "mark", t0 + 0.001, t0 + 0.0015);
+  tracer.Record("sampler0", "copy b0", "copy", t0 + 0.0015, t0 + 0.002);
+  tracer.Record("trainer0", "extract b0", "extract", t0 + 0.002, t0 + 0.004);
+  tracer.Record("trainer0", "train b0", "train", t0 + 0.004, t0 + 0.009);
+  EXPECT_EQ(tracer.size(), 5u);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(tracer.ToChromeJson(), &root, &error)) << error;
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+
+  std::set<std::string> lanes;
+  std::set<std::string> categories;
+  std::size_t complete_events = 0;
+  for (const JsonValue& event : events->array) {
+    const std::string& phase = event.Find("ph")->string;
+    if (phase == "M") {
+      lanes.insert(event.Find("args")->Find("name")->string);
+    } else if (phase == "X") {
+      ++complete_events;
+      categories.insert(event.Find("cat")->string);
+      EXPECT_GE(event.Find("ts")->number, 0.0);
+      EXPECT_GE(event.Find("dur")->number, 0.0);
+    }
+  }
+  EXPECT_EQ(complete_events, 5u);
+  EXPECT_EQ(lanes, (std::set<std::string>{"sampler0", "trainer0"}));
+  EXPECT_EQ(categories,
+            (std::set<std::string>{"sample", "mark", "copy", "extract", "train"}));
+}
+
+TEST(RuntimeTracerTest, ConcurrentRecordsAllCollected) {
+  RuntimeTracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      const std::string lane = "worker" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        const double begin = MonotonicSeconds();
+        tracer.Record(lane, "span", "sample", begin, begin + 1e-6);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const std::vector<TraceSpan> spans = tracer.Collect();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].begin, spans[i].begin) << "Collect() must sort by begin";
+  }
+}
+
+TEST(SnapshotTest, SampleFromRegistryReadsWellKnownMetrics) {
+  MetricRegistry registry;
+  registry.GetGauge(kMetricQueueDepth)->Set(4);
+  registry.GetGauge(kMetricQueueBytes)->Set(1024);
+  registry.GetCounter(kMetricCacheHits)->Increment(30);
+  registry.GetCounter(kMetricCacheMisses)->Increment(10);
+  registry.GetCounter(kMetricBytesFromHost)->Increment(4096);
+  registry.GetCounter(kMetricBytesFromCache)->Increment(8192);
+  registry.GetGauge(kMetricPoolBusy)->Set(3);
+  registry.GetGauge(kMetricPoolSize)->Set(8);
+
+  const TelemetrySample sample = SampleFromRegistry(registry, 1.5);
+  EXPECT_DOUBLE_EQ(sample.ts, 1.5);
+  EXPECT_EQ(sample.queue_depth, 4u);
+  EXPECT_EQ(sample.queue_bytes, 1024u);
+  EXPECT_EQ(sample.cache_hits, 30u);
+  EXPECT_EQ(sample.cache_misses, 10u);
+  EXPECT_EQ(sample.bytes_from_host, 4096u);
+  EXPECT_EQ(sample.bytes_from_cache, 8192u);
+  EXPECT_EQ(sample.pool_busy, 3u);
+  EXPECT_EQ(sample.pool_size, 8u);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(TelemetrySampleToJson(sample), &root, &error)) << error;
+  EXPECT_DOUBLE_EQ(root.Find("queue_depth")->number, 4.0);
+  EXPECT_DOUBLE_EQ(root.Find("cache_hits")->number, 30.0);
+}
+
+TEST(SnapshotTest, ExporterEmitsValidJsonLines) {
+  MetricRegistry registry;
+  Gauge* depth = registry.GetGauge(kMetricQueueDepth);
+  Counter* hits = registry.GetCounter(kMetricCacheHits);
+
+  const std::string path = TempPath("snapshots.metrics.jsonl");
+  std::remove(path.c_str());
+
+  SnapshotExporter::Options options;
+  options.interval_seconds = 0.002;
+  options.path = path;
+  int pulls = 0;
+  options.on_sample = [&pulls] { ++pulls; };
+
+  SnapshotExporter exporter(&registry, options);
+  ASSERT_TRUE(exporter.Start());
+  for (int i = 0; i < 5; ++i) {
+    depth->Set(static_cast<double>(i));
+    hits->Increment(10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(4));
+  }
+  exporter.Stop();
+
+  ASSERT_FALSE(exporter.series().empty());
+  EXPECT_GT(pulls, 0);
+  // The final (Stop-time) sample sees every increment.
+  EXPECT_EQ(exporter.series().back().cache_hits, 50u);
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  double last_ts = -1.0;
+  while (std::getline(file, line)) {
+    ++lines;
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(ParseJson(line, &root, &error)) << "line " << lines << ": " << error;
+    ASSERT_TRUE(root.IsObject());
+    const JsonValue* ts = root.Find("ts");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_GE(ts->number, last_ts) << "timestamps must be non-decreasing";
+    last_ts = ts->number;
+    EXPECT_NE(root.Find("queue_depth"), nullptr);
+    EXPECT_NE(root.Find("cache_hits"), nullptr);
+    // Each line also embeds the full registry snapshot.
+    const JsonValue* metrics = root.Find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_TRUE(metrics->IsObject());
+  }
+  EXPECT_EQ(lines, exporter.series().size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SampleOnceWorksWithoutStart) {
+  MetricRegistry registry;
+  registry.GetGauge(kMetricQueueDepth)->Set(7);
+  SnapshotExporter exporter(&registry, SnapshotExporter::Options{});
+  const TelemetrySample sample = exporter.SampleOnce();
+  EXPECT_EQ(sample.queue_depth, 7u);
+  EXPECT_EQ(exporter.series().size(), 1u);
+}
+
+#if !GNNLAB_OBS_ENABLED
+TEST(ObsCompileOutTest, MacroElidesStatements) {
+  int hits = 0;
+  GNNLAB_OBS_ONLY(++hits);
+  EXPECT_EQ(hits, 0) << "hooks must vanish when GNNLAB_OBS is OFF";
+}
+#endif
+
+}  // namespace
+}  // namespace gnnlab

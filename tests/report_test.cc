@@ -1,6 +1,11 @@
-// Tests for src/report: table rendering and number formatting.
+// Tests for src/report: table rendering, number formatting, the JSON
+// parser, and the run-report JSON schema (latency summaries + snapshots).
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "report/json.h"
+#include "report/json_parse.h"
 #include "report/table.h"
 
 namespace gnnlab {
@@ -70,6 +75,115 @@ TEST(FmtPercentTest, ConvertsFraction) {
 
 TEST(PrintSeriesDeathTest, MismatchedSeriesAborts) {
   EXPECT_DEATH(PrintSeries("t", "x", {"a"}, {1.0, 2.0}, {{1.0}}), "Check failed");
+}
+
+// --- JSON parser -------------------------------------------------------------
+
+TEST(JsonParseTest, ParsesScalarsAndStructure) {
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(R"({"a":1.5,"b":[true,false,null],"c":"x\ny","d":{"e":-2e3}})",
+                        &root));
+  ASSERT_TRUE(root.IsObject());
+  EXPECT_DOUBLE_EQ(root.Find("a")->number, 1.5);
+  const JsonValue* b = root.Find("b");
+  ASSERT_TRUE(b->IsArray());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_FALSE(b->array[1].boolean);
+  EXPECT_TRUE(b->array[2].IsNull());
+  EXPECT_EQ(root.Find("c")->string, "x\ny");
+  EXPECT_DOUBLE_EQ(root.Find("d")->Find("e")->number, -2000.0);
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, ParsesEscapesAndUnicode) {
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(R"(["\"\\\/\b\f\n\r\t","A"])", &root));
+  ASSERT_TRUE(root.IsArray());
+  EXPECT_EQ(root.array[0].string, "\"\\/\b\f\n\r\t");
+  EXPECT_EQ(root.array[1].string, "A");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  JsonValue root;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{", &root, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("[1,]", &root));
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing", &root));
+  EXPECT_FALSE(ParseJson("1.2.3", &root));
+  EXPECT_FALSE(ParseJson("", &root));
+}
+
+// --- Run-report JSON schema --------------------------------------------------
+
+TEST(RunReportJsonTest, CarriesLatencySummariesAndSnapshots) {
+  RunReport report;
+  report.num_samplers = 2;
+  report.num_trainers = 6;
+  EpochReport epoch;
+  epoch.epoch_time = 1.25;
+  epoch.batches = 10;
+  epoch.latency.sample.count = 10;
+  epoch.latency.sample.p50 = 0.010;
+  epoch.latency.sample.p95 = 0.020;
+  epoch.latency.sample.p99 = 0.025;
+  epoch.latency.train.count = 10;
+  epoch.latency.train.p99 = 0.125;
+  report.epochs.push_back(epoch);
+  TelemetrySample sample;
+  sample.ts = 0.5;
+  sample.queue_depth = 3;
+  sample.cache_hits = 77;
+  report.snapshots.push_back(sample);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(RunReportToJson(report), &root, &error)) << error;
+
+  const JsonValue* epochs = root.Find("epochs");
+  ASSERT_NE(epochs, nullptr);
+  ASSERT_EQ(epochs->array.size(), 1u);
+  const JsonValue* latency = epochs->array[0].Find("latency");
+  ASSERT_NE(latency, nullptr);
+  for (const char* stage : {"sample", "mark", "copy", "extract", "train"}) {
+    const JsonValue* summary = latency->Find(stage);
+    ASSERT_NE(summary, nullptr) << stage;
+    for (const char* field : {"count", "mean", "p50", "p95", "p99", "max"}) {
+      EXPECT_NE(summary->Find(field), nullptr) << stage << "." << field;
+    }
+  }
+  EXPECT_DOUBLE_EQ(latency->Find("sample")->Find("p95")->number, 0.020);
+  EXPECT_DOUBLE_EQ(latency->Find("train")->Find("p99")->number, 0.125);
+
+  const JsonValue* snapshots = root.Find("snapshots");
+  ASSERT_NE(snapshots, nullptr);
+  ASSERT_EQ(snapshots->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshots->array[0].Find("ts")->number, 0.5);
+  EXPECT_DOUBLE_EQ(snapshots->array[0].Find("queue_depth")->number, 3.0);
+  EXPECT_DOUBLE_EQ(snapshots->array[0].Find("cache_hits")->number, 77.0);
+}
+
+TEST(ThreadedRunReportJsonTest, SchemaParsesWithLatencyAndSnapshots) {
+  ThreadedRunReport report;
+  report.cache_ratio = 0.25;
+  ThreadedEpochReport epoch;
+  epoch.wall_seconds = 2.0;
+  epoch.batches = 8;
+  epoch.latency.extract.count = 8;
+  epoch.latency.extract.p50 = 0.004;
+  report.epochs.push_back(epoch);
+  report.snapshots.push_back(TelemetrySample{});
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(ThreadedRunReportToJson(report), &root, &error)) << error;
+  EXPECT_DOUBLE_EQ(root.Find("cache_ratio")->number, 0.25);
+  const JsonValue* epoch_json = &root.Find("epochs")->array[0];
+  EXPECT_DOUBLE_EQ(epoch_json->Find("wall_seconds")->number, 2.0);
+  EXPECT_DOUBLE_EQ(epoch_json->Find("latency")->Find("extract")->Find("p50")->number,
+                   0.004);
+  EXPECT_EQ(root.Find("snapshots")->array.size(), 1u);
 }
 
 }  // namespace

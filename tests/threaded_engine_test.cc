@@ -1,9 +1,15 @@
 // Tests for the threaded (real-concurrency) GNNLab runtime: epoch
 // completion, exactly-once training, deterministic sampling counts,
-// convergence, dynamic switching, and the zero-Trainer degenerate mode.
+// convergence, dynamic switching, the zero-Trainer degenerate mode, and the
+// wall-clock telemetry (tracer spans, metric registry, snapshot series).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/threaded_engine.h"
+#include "report/json.h"
+#include "report/json_parse.h"
 
 namespace gnnlab {
 namespace {
@@ -136,6 +142,88 @@ TEST(ThreadedEngineTest, NoCacheMeansAllMisses) {
   EXPECT_DOUBLE_EQ(report.cache_ratio, 0.0);
   EXPECT_EQ(report.epochs[0].extract.cache_hits, 0u);
 }
+
+TEST(ThreadedEngineTest, ReportCarriesStageLatenciesAndSnapshots) {
+  Fixture& fixture = SharedFixture();
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.epochs = 1;
+  options.snapshot_interval_seconds = 0.005;
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGraphSage),
+                        options);
+  const ThreadedRunReport report = engine.Run();
+  const ThreadedEpochReport& epoch = report.epochs[0];
+  // One observation per batch for the per-batch stages.
+  EXPECT_EQ(epoch.latency.sample.count, epoch.batches);
+  EXPECT_EQ(epoch.latency.copy.count, epoch.batches);
+  EXPECT_EQ(epoch.latency.extract.count, epoch.batches);
+  EXPECT_EQ(epoch.latency.train.count, epoch.batches);
+  EXPECT_GT(epoch.latency.train.p50, 0.0);
+  EXPECT_GE(epoch.latency.train.p99, epoch.latency.train.p50);
+  EXPECT_GE(epoch.latency.train.max, epoch.latency.train.p99);
+  // The Stop()-time sample guarantees a non-empty series even for a short
+  // run, and its cumulative counters cover the whole epoch.
+  ASSERT_FALSE(report.snapshots.empty());
+#if GNNLAB_OBS_ENABLED
+  EXPECT_EQ(report.snapshots.back().cache_hits + report.snapshots.back().cache_misses,
+            epoch.extract.distinct_vertices);
+#endif
+
+  // The report JSON round-trips through the parser with the new fields.
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(ThreadedRunReportToJson(report), &root, &error)) << error;
+  EXPECT_NE(root.Find("epochs")->array[0].Find("latency")->Find("train"), nullptr);
+  EXPECT_EQ(root.Find("snapshots")->array.size(), report.snapshots.size());
+}
+
+#if GNNLAB_OBS_ENABLED
+TEST(ThreadedEngineTest, TracerRecordsAllFiveStageCategories) {
+  Fixture& fixture = SharedFixture();
+  RuntimeTracer tracer;
+  MetricRegistry registry;
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.epochs = 1;
+  options.tracer = &tracer;
+  options.metrics = &registry;
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGraphSage),
+                        options);
+  const ThreadedRunReport report = engine.Run();
+  const std::size_t batches = report.epochs[0].batches;
+
+  std::set<std::string> lanes;
+  std::set<std::string> categories;
+  std::size_t train_spans = 0;
+  for (const TraceSpan& span : tracer.Collect()) {
+    lanes.insert(span.lane);
+    categories.insert(span.category);
+    EXPECT_LE(span.begin, span.end);
+    if (span.category == "train") {
+      ++train_spans;
+    }
+  }
+  EXPECT_EQ(categories,
+            (std::set<std::string>{"sample", "mark", "copy", "extract", "train"}));
+  EXPECT_EQ(train_spans, batches);
+  EXPECT_TRUE(lanes.count("sampler0"));
+  EXPECT_TRUE(lanes.count("trainer0"));
+
+  // The trace JSON is well-formed and keeps the per-thread lanes.
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(tracer.ToChromeJson(), &root, &error)) << error;
+  EXPECT_GE(root.Find("traceEvents")->array.size(), tracer.size());
+
+  // The external registry saw the run: every batch was enqueued, the mark
+  // stage counted every sampled vertex, and the extractor's counters agree
+  // with the report's.
+  EXPECT_EQ(registry.FindCounter(kMetricQueueEnqueued)->value(), batches);
+  EXPECT_EQ(registry.FindCounter(kMetricCacheHits)->value(),
+            report.epochs[0].extract.cache_hits);
+  EXPECT_EQ(registry.FindCounter(kMetricMarkTotal)->value(),
+            report.epochs[0].extract.distinct_vertices);
+  EXPECT_EQ(registry.FindHistogram("stage.train")->count(), batches);
+}
+#endif
 
 TEST(ThreadedEngineDeathTest, RequiresRealTraining) {
   Fixture& fixture = SharedFixture();
