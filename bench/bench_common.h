@@ -7,7 +7,10 @@
 //   --seed=<n>    run seed (default 42)
 //   --trace-out=<file>    Chrome/Perfetto trace of the headline run (benches
 //                         that run many configurations trace the last one)
+//   --flow-out=<file>     per-minibatch flow trace of the same run (Perfetto
+//                         flow arrows linking each batch across lanes)
 //   --metrics-out=<file>  JSON-lines telemetry snapshots of the same run
+//   --prom-out=<file>     Prometheus text exposition of the final metrics
 #ifndef GNNLAB_BENCH_BENCH_COMMON_H_
 #define GNNLAB_BENCH_BENCH_COMMON_H_
 
@@ -28,7 +31,9 @@ struct BenchFlags {
   std::size_t epochs = 3;
   std::uint64_t seed = 42;
   std::string trace_out;    // Empty = no trace.
+  std::string flow_out;     // Empty = no flow trace.
   std::string metrics_out;  // Empty = no snapshot file.
+  std::string prom_out;     // Empty = no Prometheus exposition file.
 
   // Simulated GPU memory: 64 MB at scale 1.0, shrinking with the data so
   // the paper's Vol : GPU ratios hold at any scale.
@@ -49,12 +54,16 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
       flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       flags.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--flow-out=", 11) == 0) {
+      flags.flow_out = arg + 11;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       flags.metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--prom-out=", 11) == 0) {
+      flags.prom_out = arg + 11;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "flags: --scale=<f> --epochs=<n> --seed=<n> --trace-out=<file> "
-          "--metrics-out=<file>\n");
+          "--flow-out=<file> --metrics-out=<file> --prom-out=<file>\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);

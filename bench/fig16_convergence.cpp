@@ -12,6 +12,8 @@
 #include "baselines/timeshare_runner.h"
 #include "bench/bench_common.h"
 #include "core/engine.h"
+#include "obs/flow.h"
+#include "obs/health.h"
 #include "obs/snapshot.h"
 #include "report/table.h"
 
@@ -100,6 +102,8 @@ int main(int argc, char** argv) {
   {
     // The headline GNNLab run carries the optional telemetry artifacts.
     TraceRecorder trace;
+    FlowTracer flows;
+    MetricRegistry metrics;
     EngineOptions options;
     options.num_gpus = 8;
     options.gpu_memory = flags.GpuMemory();
@@ -107,6 +111,12 @@ int main(int argc, char** argv) {
     options.seed = flags.seed;
     if (!flags.trace_out.empty()) {
       options.trace = &trace;
+    }
+    if (!flags.flow_out.empty()) {
+      options.flows = &flows;
+    }
+    if (!flags.prom_out.empty()) {
+      options.metrics = &metrics;
     }
     Engine engine(pa, workload, options);
     const RunReport report = engine.Run();
@@ -118,6 +128,19 @@ int main(int argc, char** argv) {
     if (!flags.trace_out.empty() && trace.WriteChromeTrace(flags.trace_out)) {
       std::printf("wrote %zu trace spans (GNNLab epoch run) to %s\n", trace.size(),
                   flags.trace_out.c_str());
+    }
+    if (!flags.flow_out.empty() && flows.WriteChromeTrace(flags.flow_out)) {
+      std::printf("wrote %zu flow steps (GNNLab epoch run) to %s\n", flows.size(),
+                  flags.flow_out.c_str());
+    }
+    if (!flags.prom_out.empty()) {
+      HealthMonitor::Options health_options;
+      health_options.exposition_path = flags.prom_out;
+      HealthMonitor health(&metrics, health_options);
+      if (health.WriteExposition()) {
+        std::printf("wrote Prometheus exposition (GNNLab epoch run) to %s\n",
+                    flags.prom_out.c_str());
+      }
     }
     if (!flags.metrics_out.empty() &&
         WriteTelemetryJsonLines(report.snapshots, flags.metrics_out)) {

@@ -3,11 +3,13 @@
 // 1. Raw op costs: ns per counter increment, gauge set, histogram record,
 //    and tracer span — the primitives every instrumented hot path pays.
 // 2. End-to-end overhead: the Extract gather (the busiest instrumented
-//    path) timed with the registry unbound vs bound. The run FAILS if the
-//    bound path is more than 5% slower (best-of-N trials, so scheduler
-//    noise does not decide the verdict). With GNNLAB_OBS=OFF the hooks are
-//    compiled out entirely and the two paths are the same machine code, so
-//    the measured delta is pure noise (~0%).
+//    path) timed three ways — registry unbound, registry bound, and
+//    registry bound plus per-call flow-id tagging (the FlowTracer step the
+//    engines record per minibatch extract). The run FAILS if either
+//    instrumented path is more than 5% slower than unbound (best-of-N
+//    trials, so scheduler noise does not decide the verdict). With
+//    GNNLAB_OBS=OFF the hooks are compiled out entirely and all paths are
+//    the same machine code, so the measured delta is pure noise (~0%).
 //
 // Flags: --rows=<n> --dim=<n> --repeats=<n> --trials=<n> --ops=<n>
 #include <algorithm>
@@ -21,6 +23,7 @@
 #include "common/rng.h"
 #include "feature/extractor.h"
 #include "feature/feature_store.h"
+#include "obs/flow.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sampling/sample_block.h"
@@ -107,6 +110,15 @@ int Main(int argc, char** argv) {
     });
     std::printf("%-28s %10.1f ns/op  (%zu spans)\n", "tracer record", ns, tracer.size());
   }
+  {
+    FlowTracer flows;
+    const std::size_t flow_ops = std::min<std::size_t>(flags.ops, 200000);
+    const double ns = NsPerOp(flow_ops, [&](std::size_t i) {
+      const double t = 1e-6 * static_cast<double>(i);
+      flows.Record(MakeFlowId(0, i), "bench", "extract", t, t + 1e-6, 1e-7);
+    });
+    std::printf("%-28s %10.1f ns/op  (%zu steps)\n", "flow step record", ns, flows.size());
+  }
 
   // --- end-to-end: instrumented Extract, bound vs unbound -------------------
   Rng rng(42);
@@ -125,38 +137,80 @@ int Main(int argc, char** argv) {
   const SampleBlock block = builder.Finish();
 
   std::vector<float> out;
-  auto measure = [&](Extractor* extractor) {
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t t = 0; t < flags.trials; ++t) {
-      const auto start = std::chrono::steady_clock::now();
-      for (std::size_t r = 0; r < flags.repeats; ++r) {
-        extractor->Extract(block, &out);
-      }
-      best = std::min(best, Seconds(start, std::chrono::steady_clock::now()));
+  // One timed pass (all repeats) for a plain extractor.
+  auto timed_pass = [&](Extractor* extractor) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < flags.repeats; ++r) {
+      extractor->Extract(block, &out);
     }
-    return best;
+    return Seconds(start, std::chrono::steady_clock::now());
   };
 
   Extractor unbound(store, nullptr);
   Extractor bound(store, nullptr);
   MetricRegistry extract_registry;
   bound.BindMetrics(&extract_registry);
-  unbound.Extract(block, &out);  // Warm-up: page in the store once.
-  const double unbound_best = measure(&unbound);
-  const double bound_best = measure(&bound);
+
+  // Third config: registry bound AND per-call flow tagging — exactly what
+  // the engines pay per minibatch extract (MakeFlowId + one FlowStep with
+  // the cache-miss stall annotation), gated the same way.
+  Extractor tagged(store, nullptr);
+  MetricRegistry tagged_registry;
+  tagged.BindMetrics(&tagged_registry);
+  FlowTracer extract_flows;
+  auto timed_tagged_pass = [&](std::size_t trial) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < flags.repeats; ++r) {
+      GNNLAB_OBS_ONLY(const auto begin = std::chrono::steady_clock::now();)
+      const ExtractStats stats = tagged.Extract(block, &out);
+      GNNLAB_OBS_ONLY({
+        const auto end = std::chrono::steady_clock::now();
+        const double b = std::chrono::duration<double>(begin.time_since_epoch()).count();
+        const double e = std::chrono::duration<double>(end.time_since_epoch()).count();
+        extract_flows.Record(MakeFlowId(trial, r), "bench/extract", "extract", b, e,
+                             (e - b) * stats.HostByteFraction());
+      })
+      (void)stats;
+    }
+    return Seconds(start, std::chrono::steady_clock::now());
+  };
+
+  // Warm every path once, then interleave the trials round-robin: slow
+  // drift (CPU frequency, competing load) hits all three configs equally
+  // instead of biasing whichever phase ran last, and best-of-N keeps
+  // scheduler spikes out of the verdict.
+  (void)timed_pass(&unbound);
+  (void)timed_pass(&bound);
+  (void)timed_tagged_pass(0);
+  double unbound_best = std::numeric_limits<double>::infinity();
+  double bound_best = std::numeric_limits<double>::infinity();
+  double flow_best = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < flags.trials; ++t) {
+    unbound_best = std::min(unbound_best, timed_pass(&unbound));
+    bound_best = std::min(bound_best, timed_pass(&bound));
+    flow_best = std::min(flow_best, timed_tagged_pass(t + 1));
+  }
   const double overhead = (bound_best - unbound_best) / unbound_best;
+  const double flow_overhead = (flow_best - unbound_best) / unbound_best;
 
   std::printf("\nextract %zu rows x %u dims x %zu repeats (best of %zu trials)\n",
               flags.rows, flags.dim, flags.repeats, flags.trials);
-  std::printf("  unbound registry: %9.4f s\n", unbound_best);
-  std::printf("  bound registry:   %9.4f s\n", bound_best);
-  std::printf("  overhead:         %+8.2f%%  (budget 5%%)\n", overhead * 100.0);
+  std::printf("  unbound registry:     %9.4f s\n", unbound_best);
+  std::printf("  bound registry:       %9.4f s  (%+.2f%%)\n", bound_best, overhead * 100.0);
+  std::printf("  bound + flow tagging: %9.4f s  (%+.2f%%)  [%zu flow steps]\n", flow_best,
+              flow_overhead * 100.0, extract_flows.size());
+  std::printf("  budget: 5%% over unbound for every instrumented config\n");
 
   if (overhead > 0.05) {
     std::fprintf(stderr, "FAIL: telemetry hooks cost more than 5%% on the extract path\n");
     return 1;
   }
-  std::printf("PASS: telemetry hooks stay under the 5%% budget%s\n",
+  if (flow_overhead > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: flow-id tagging costs more than 5%% on the extract path\n");
+    return 1;
+  }
+  std::printf("PASS: telemetry + flow hooks stay under the 5%% budget%s\n",
               GNNLAB_OBS_ENABLED ? "" : " (compiled out: delta is pure noise)");
   return 0;
 }

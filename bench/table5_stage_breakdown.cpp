@@ -4,6 +4,8 @@
 #include "baselines/timeshare_runner.h"
 #include "bench/bench_common.h"
 #include "core/engine.h"
+#include "obs/flow.h"
+#include "obs/health.h"
 #include "obs/snapshot.h"
 #include "report/table.h"
 
@@ -34,6 +36,7 @@ std::vector<std::string> TimeShareCells(const Dataset& ds, const Workload& workl
 
 std::vector<std::string> GnnlabCells(const Dataset& ds, const Workload& workload,
                                      const BenchFlags& flags, TraceRecorder* trace,
+                                     FlowTracer* flows, MetricRegistry* metrics,
                                      std::vector<TelemetrySample>* snapshots) {
   EngineOptions options;
   options.num_gpus = 2;
@@ -46,6 +49,11 @@ std::vector<std::string> GnnlabCells(const Dataset& ds, const Workload& workload
     trace->Clear();  // The sweep reuses one recorder; keep only the last run.
     options.trace = trace;
   }
+  if (flows != nullptr) {
+    flows->Clear();  // As above: the flow trace covers the last run only.
+    options.flows = flows;
+  }
+  options.metrics = metrics;
   Engine engine(ds, workload, options);
   const RunReport report = engine.Run();
   if (snapshots != nullptr) {
@@ -70,8 +78,12 @@ int main(int argc, char** argv) {
   PrintBenchHeader("Table 5: stage breakdown on 2 GPUs (GNNLab = 1S1T)", flags);
 
   TraceRecorder trace;
+  FlowTracer flows;
+  MetricRegistry metrics;
   std::vector<TelemetrySample> snapshots;
   TraceRecorder* trace_ptr = flags.trace_out.empty() ? nullptr : &trace;
+  FlowTracer* flows_ptr = flags.flow_out.empty() ? nullptr : &flows;
+  MetricRegistry* metrics_ptr = flags.prom_out.empty() ? nullptr : &metrics;
   std::vector<TelemetrySample>* snapshots_ptr =
       flags.metrics_out.empty() ? nullptr : &snapshots;
 
@@ -86,7 +98,8 @@ int main(int argc, char** argv) {
       const Dataset& ds = GetDataset(id, flags);
       const auto dgl = TimeShareCells(ds, workload, DglOptions(), flags);
       const auto tsota = TimeShareCells(ds, workload, TsotaOptions(), flags);
-      const auto gnnlab = GnnlabCells(ds, workload, flags, trace_ptr, snapshots_ptr);
+      const auto gnnlab =
+          GnnlabCells(ds, workload, flags, trace_ptr, flows_ptr, metrics_ptr, snapshots_ptr);
       if (first) {
         table.AddSeparator();
       }
@@ -99,6 +112,19 @@ int main(int argc, char** argv) {
   if (trace_ptr != nullptr && trace.WriteChromeTrace(flags.trace_out)) {
     std::printf("\nwrote %zu trace spans (last GNNLab run) to %s\n", trace.size(),
                 flags.trace_out.c_str());
+  }
+  if (flows_ptr != nullptr && flows.WriteChromeTrace(flags.flow_out)) {
+    std::printf("wrote %zu flow steps (last GNNLab run) to %s\n", flows.size(),
+                flags.flow_out.c_str());
+  }
+  if (metrics_ptr != nullptr) {
+    HealthMonitor::Options health_options;
+    health_options.exposition_path = flags.prom_out;
+    HealthMonitor health(&metrics, health_options);
+    if (health.WriteExposition()) {
+      std::printf("wrote Prometheus exposition (last GNNLab run) to %s\n",
+                  flags.prom_out.c_str());
+    }
   }
   if (snapshots_ptr != nullptr &&
       WriteTelemetryJsonLines(snapshots, flags.metrics_out)) {

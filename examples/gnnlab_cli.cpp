@@ -5,19 +5,27 @@
 //   ./build/examples/gnnlab_cli --system=gnnlab --model=gcn --dataset=pa
 //       --gpus=8 --policy=presc1 --epochs=3 --scale=1.0 [--samplers=2]
 //       [--no-switching] [--cache-ratio=0.2] [--seed=7]
-//       [--trace-out=FILE] [--metrics-out=FILE] [--report-out=FILE]
+//       [--trace-out=FILE] [--flow-out=FILE] [--metrics-out=FILE]
+//       [--report-out=FILE] [--prom-out=FILE] [--alert=RULE]
 //
 // --trace-out dumps a Chrome/Perfetto trace of the simulated timeline,
+// --flow-out the per-minibatch flow trace (Perfetto flow arrows linking
+// each batch's sample -> queue_wait -> extract -> train steps),
 // --metrics-out one JSON-lines telemetry snapshot per trained batch, and
 // --report-out the full run report (stage breakdowns, per-stage latency
-// percentiles, snapshot series) as JSON.
+// percentiles, critical-path attribution, switch decision log, snapshot
+// series) as JSON. --prom-out writes a Prometheus text exposition of the
+// final metric state; --alert adds a health rule (repeatable, gnnlab
+// system only), e.g. --alert="queue.depth > 32".
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "baselines/cpu_runner.h"
 #include "baselines/timeshare_runner.h"
 #include "core/engine.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "report/json.h"
@@ -40,8 +48,11 @@ struct CliOptions {
   std::size_t epochs = 3;
   std::uint64_t seed = 42;
   std::string trace_path;    // --trace-out=FILE (or legacy --trace=FILE).
+  std::string flow_path;     // --flow-out=FILE: per-minibatch flow trace.
   std::string metrics_path;  // --metrics-out=FILE: JSON-lines snapshots.
   std::string report_path;   // --report-out=FILE: run report JSON.
+  std::string prom_path;     // --prom-out=FILE: Prometheus exposition.
+  std::vector<AlertRule> alerts;  // --alert=RULE (repeatable).
 };
 
 bool ParseArg(const char* arg, const char* key, std::string* out) {
@@ -59,8 +70,9 @@ bool ParseArg(const char* arg, const char* key, std::string* out) {
       "cluster|gat]\n                  [--dataset=pr|tw|pa|uk] [--gpus=N] [--samplers=N]\n"
       "                  [--no-switching] [--policy=none|random|degree|presc1|presc2|"
       "presc3|optimal]\n                  [--cache-ratio=F] [--scale=F] [--epochs=N] "
-      "[--seed=N]\n                  [--trace-out=FILE] [--metrics-out=FILE] "
-      "[--report-out=FILE]\n");
+      "[--seed=N]\n                  [--trace-out=FILE] [--flow-out=FILE] "
+      "[--metrics-out=FILE]\n                  [--report-out=FILE] [--prom-out=FILE] "
+      "[--alert=RULE]\n");
   std::exit(2);
 }
 
@@ -93,10 +105,22 @@ CliOptions Parse(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (ParseArg(arg, "--trace-out=", &value) || ParseArg(arg, "--trace=", &value)) {
       options.trace_path = value;
+    } else if (ParseArg(arg, "--flow-out=", &value)) {
+      options.flow_path = value;
     } else if (ParseArg(arg, "--metrics-out=", &value)) {
       options.metrics_path = value;
     } else if (ParseArg(arg, "--report-out=", &value)) {
       options.report_path = value;
+    } else if (ParseArg(arg, "--prom-out=", &value)) {
+      options.prom_path = value;
+    } else if (ParseArg(arg, "--alert=", &value)) {
+      AlertRule rule;
+      std::string error;
+      if (!ParseAlertRule(value, &rule, &error)) {
+        std::fprintf(stderr, "bad --alert rule: %s\n", error.c_str());
+        Usage();
+      }
+      options.alerts.push_back(std::move(rule));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       Usage();
@@ -191,6 +215,25 @@ void PrintReport(const RunReport& report) {
   table.Print();
   std::printf("avg epoch: %.3fs | queue peak depth %zu (%s)\n", report.AvgEpochTime(),
               report.queue.max_depth, FormatBytes(report.queue.max_stored_bytes).c_str());
+  if (report.attribution.flows > 0) {
+    const StageBlame fractions = report.attribution.Fractions();
+    std::printf("critical path over %zu flows (dominant: %s):", report.attribution.flows,
+                report.attribution.DominantStage());
+    for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+      std::printf(" %s %.1f%%", kBlameStageNames[i], 100.0 * fractions.Component(i));
+    }
+    std::printf("\n");
+  }
+  if (!report.switch_decisions.empty()) {
+    std::size_t fetches = 0;
+    std::size_t overrides = 0;
+    for (const SwitchDecision& d : report.switch_decisions) {
+      fetches += d.fetched ? 1 : 0;
+      overrides += d.pressure_override ? 1 : 0;
+    }
+    std::printf("switch decisions: %zu logged, %zu fetches, %zu pressure overrides\n",
+                report.switch_decisions.size(), fetches, overrides);
+  }
 }
 
 }  // namespace
@@ -219,14 +262,35 @@ int main(int argc, char** argv) {
     if (!cli.trace_path.empty()) {
       options.trace = &trace;
     }
+    FlowTracer flows;
+    if (!cli.flow_path.empty()) {
+      options.flows = &flows;
+    }
     MetricRegistry metrics;
     options.metrics = &metrics;
+    HealthMonitor::Options health_options;
+    health_options.rules = cli.alerts;
+    health_options.exposition_path = cli.prom_path;
+    HealthMonitor health(&metrics, health_options);
+    options.health = &health;
     Engine engine(dataset, workload, options);
     const RunReport report = engine.Run();
     PrintReport(report);
+    for (const AlertState& state : health.Evaluate(/*force=*/true)) {
+      std::printf("alert %-24s %s (value %.4g, threshold %c %.4g)\n",
+                  state.rule.name.c_str(), state.firing ? "FIRING" : "ok", state.value,
+                  state.rule.op, state.rule.threshold);
+    }
     if (!cli.trace_path.empty() && trace.WriteChromeTrace(cli.trace_path)) {
       std::printf("wrote %zu trace spans to %s (open in chrome://tracing)\n", trace.size(),
                   cli.trace_path.c_str());
+    }
+    if (!cli.flow_path.empty() && flows.WriteChromeTrace(cli.flow_path)) {
+      std::printf("wrote %zu flow steps to %s (Perfetto arrows link each minibatch)\n",
+                  flows.size(), cli.flow_path.c_str());
+    }
+    if (!cli.prom_path.empty() && health.WriteExposition()) {
+      std::printf("wrote Prometheus exposition to %s\n", cli.prom_path.c_str());
     }
     if (!cli.metrics_path.empty() &&
         WriteTelemetryJsonLines(report.snapshots, cli.metrics_path)) {

@@ -5,23 +5,33 @@
 // use; wall-clock numbers here are real.
 //
 //   ./build/examples/threaded_training [samplers] [trainers] [epochs] [extract_threads]
-//       [--trace-out=FILE] [--metrics-out=FILE] [--report-out=FILE] [--snapshot-ms=N]
+//       [--trace-out=FILE] [--flow-out=FILE] [--metrics-out=FILE] [--report-out=FILE]
+//       [--prom-out=FILE] [--prom-port=N] [--alert=RULE] [--snapshot-ms=N]
 //
 // extract_threads sizes the shared CPU pool for the parallel hot paths
 // (feature gather + k-hop expansion): 0 = all hardware threads (default),
 // 1 = serial. Sampled blocks and gathered bytes are identical either way.
 //
 // --trace-out writes a Chrome/Perfetto trace (one lane per Sampler/Trainer
-// thread, one span per stage), --metrics-out streams periodic JSON-lines
-// telemetry snapshots, --report-out writes the full run report (per-stage
-// p50/p95/p99 latencies + snapshot series) as JSON.
+// thread, one span per stage), --flow-out writes the per-minibatch flow
+// trace (one flow per batch, linked across lanes with Perfetto flow
+// arrows), --metrics-out streams periodic JSON-lines telemetry snapshots,
+// --report-out writes the full run report (per-stage p50/p95/p99 latencies,
+// critical-path attribution, switch decision log + snapshot series) as
+// JSON. --prom-out writes a Prometheus text exposition of the final metric
+// state; --prom-port serves the same live on 127.0.0.1 (0 = ephemeral
+// port). --alert adds a health rule, e.g. --alert="queue.depth > 32" or
+// --alert="slow_train: stage.train p99 > 0.5" (repeatable); firing rules
+// surface as alert.* gauges and in the switch decision log.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/threaded_engine.h"
 #include "nn/checkpoint.h"
+#include "obs/health.h"
 #include "report/json.h"
 #include "report/table.h"
 
@@ -31,17 +41,35 @@ int main(int argc, char** argv) {
   int positional[4] = {1, 2, 6, 0};
   int num_positional = 0;
   std::string trace_out;
+  std::string flow_out;
   std::string metrics_out;
   std::string report_out;
+  std::string prom_out;
+  int prom_port = -1;
+  std::vector<AlertRule> alert_rules;
   double snapshot_ms = 50.0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--flow-out=", 11) == 0) {
+      flow_out = arg + 11;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       metrics_out = arg + 14;
     } else if (std::strncmp(arg, "--report-out=", 13) == 0) {
       report_out = arg + 13;
+    } else if (std::strncmp(arg, "--prom-out=", 11) == 0) {
+      prom_out = arg + 11;
+    } else if (std::strncmp(arg, "--prom-port=", 12) == 0) {
+      prom_port = std::atoi(arg + 12);
+    } else if (std::strncmp(arg, "--alert=", 8) == 0) {
+      AlertRule rule;
+      std::string error;
+      if (!ParseAlertRule(arg + 8, &rule, &error)) {
+        std::fprintf(stderr, "bad --alert rule: %s\n", error.c_str());
+        return 1;
+      }
+      alert_rules.push_back(std::move(rule));
     } else if (std::strncmp(arg, "--snapshot-ms=", 14) == 0) {
       snapshot_ms = std::atof(arg + 14);
     } else if (num_positional < 4) {
@@ -75,7 +103,19 @@ int main(int argc, char** argv) {
   real.hidden_dim = 16;
 
   RuntimeTracer tracer;
+  FlowTracer flows;
   MetricRegistry metrics;
+  HealthMonitor::Options health_options;
+  health_options.rules = alert_rules;
+  health_options.exposition_path = prom_out;
+  HealthMonitor health(&metrics, health_options);
+  if (prom_port >= 0) {
+    const int port = health.StartServer(prom_port);
+    if (port < 0) {
+      return 1;
+    }
+    std::printf("serving Prometheus metrics on http://127.0.0.1:%d/metrics\n", port);
+  }
 
   ThreadedEngineOptions options;
   options.num_samplers = samplers;
@@ -90,6 +130,10 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) {
     options.tracer = &tracer;
   }
+  if (!flow_out.empty()) {
+    options.flows = &flows;
+  }
+  options.health = &health;
   options.metrics = &metrics;
   options.metrics_out = metrics_out;
   options.snapshot_interval_seconds = snapshot_ms / 1000.0;
@@ -112,6 +156,32 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  // Where did minibatch latency go (critical-path fold over the flow DAGs)?
+  if (report.attribution.flows > 0) {
+    const StageBlame fractions = report.attribution.Fractions();
+    std::printf("\ncritical-path attribution over %zu flows (dominant: %s):\n",
+                report.attribution.flows, report.attribution.DominantStage());
+    for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+      std::printf("  %-13s %5.1f%%\n", kBlameStageNames[i],
+                  100.0 * fractions.Component(i));
+    }
+  }
+  std::size_t pressure_fetches = 0;
+  for (const SwitchDecision& d : report.switch_decisions) {
+    if (d.pressure_override) {
+      ++pressure_fetches;
+    }
+  }
+  if (!report.switch_decisions.empty()) {
+    std::printf("switch decisions logged: %zu (%zu forced by queue-pressure alerts)\n",
+                report.switch_decisions.size(), pressure_fetches);
+  }
+  for (const AlertState& state : health.Evaluate(/*force=*/true)) {
+    std::printf("alert %-24s %s (value %.4g, threshold %c %.4g)\n",
+                state.rule.name.c_str(), state.firing ? "FIRING" : "ok", state.value,
+                state.rule.op, state.rule.threshold);
+  }
+
   if (!trace_out.empty()) {
     if (tracer.WriteChromeTrace(trace_out)) {
       std::printf("\nwrote %zu trace spans to %s (load in chrome://tracing or Perfetto)\n",
@@ -120,6 +190,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
       return 1;
     }
+  }
+  if (!flow_out.empty()) {
+    if (flows.WriteChromeTrace(flow_out)) {
+      std::printf("wrote %zu flow steps to %s (Perfetto arrows link each minibatch)\n",
+                  flows.size(), flow_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write flow trace to %s\n", flow_out.c_str());
+      return 1;
+    }
+  }
+  if (!prom_out.empty()) {
+    if (!health.WriteExposition()) {
+      return 1;
+    }
+    std::printf("wrote Prometheus exposition to %s\n", prom_out.c_str());
   }
   if (!metrics_out.empty()) {
     std::printf("streamed %zu telemetry snapshots to %s\n", report.snapshots.size(),

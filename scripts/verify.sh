@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then smoke
 # the telemetry pipeline end to end — a threaded run with --trace-out /
-# --metrics-out / --report-out must produce non-empty, well-formed JSON
-# artifacts, and micro_obs must show the hooks staying under their 5%
-# overhead budget.
+# --flow-out / --metrics-out / --report-out / --prom-out must produce
+# non-empty, well-formed artifacts (JSON, plus a Prometheus text exposition
+# scraped once and checked line by line), and micro_obs must show the hooks
+# staying under their 5% overhead budget.
 #
 #   scripts/verify.sh              # full pipeline in build/
 #   scripts/verify.sh --fast       # skip the cmake configure step
@@ -23,12 +24,15 @@ ctest --test-dir "${build_dir}" --output-on-failure
 out_dir="$(mktemp -d)"
 trap 'rm -rf "${out_dir}"' EXIT
 trace="${out_dir}/run.trace.json"
+flow="${out_dir}/run.flow.json"
 metrics="${out_dir}/run.metrics.jsonl"
 report="${out_dir}/run.report.json"
+prom="${out_dir}/run.prom.txt"
 
 "${build_dir}/examples/threaded_training" 1 2 2 0 \
-  --trace-out="${trace}" --metrics-out="${metrics}" --report-out="${report}" \
-  --snapshot-ms=10
+  --trace-out="${trace}" --flow-out="${flow}" --metrics-out="${metrics}" \
+  --report-out="${report}" --prom-out="${prom}" \
+  --alert="backlog: queue.depth > 1000000" --snapshot-ms=10
 
 check_json() {
   # Non-empty and well-formed: parse with python3 when available, otherwise
@@ -60,13 +64,44 @@ EOF
 }
 
 check_json "${trace}" object
+check_json "${flow}" object
 check_json "${metrics}" lines
 check_json "${report}" object
 
 grep -q '"traceEvents"' "${trace}" || {
   echo "FAIL: trace has no traceEvents array" >&2; exit 1; }
+grep -q '"ph":"s"' "${flow}" || {
+  echo "FAIL: flow trace has no Perfetto flow-start events" >&2; exit 1; }
 grep -q '"latency"' "${report}" || {
   echo "FAIL: report has no per-stage latency summaries" >&2; exit 1; }
+grep -q '"attribution"' "${report}" || {
+  echo "FAIL: report has no critical-path attribution" >&2; exit 1; }
+grep -q '"switch_decisions"' "${report}" || {
+  echo "FAIL: report has no switch decision log" >&2; exit 1; }
+
+# --- Prometheus exposition scrape --------------------------------------------
+# One scrape: a known metric family must be present, the alert rule must have
+# evaluated into an alert gauge, and no line may be malformed.
+[ -s "${prom}" ] || { echo "FAIL: ${prom} is empty" >&2; exit 1; }
+grep -q '^gnnlab_queue_enqueued_total ' "${prom}" || {
+  echo "FAIL: exposition is missing gnnlab_queue_enqueued_total" >&2; exit 1; }
+grep -q '^gnnlab_alert_backlog ' "${prom}" || {
+  echo "FAIL: exposition is missing the alert gauge" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${prom}" <<'EOF'
+import re, sys
+line_re = re.compile(
+    r'^gnnlab_[A-Za-z0-9_:]+(\{[A-Za-z0-9_]+="[^"]*"(,[A-Za-z0-9_]+="[^"]*")*\})?'
+    r' -?([0-9.eE+-]+|[Nn]a[Nn]|[+-]?[Ii]nf)$')
+bad = [line for line in open(sys.argv[1]) if line.strip()
+       and not line.startswith('#') and not line_re.match(line.rstrip('\n'))]
+assert not bad, f"malformed exposition lines: {bad!r}"
+EOF
+else
+  grep -v '^#' "${prom}" | grep -v '^$' | grep -vq '^gnnlab_' && {
+    echo "FAIL: exposition has non-gnnlab lines" >&2; exit 1; } || true
+fi
+echo "ok: ${prom}"
 
 # --- hook overhead budget ----------------------------------------------------
 "${build_dir}/bench/micro_obs" --rows=50000 --repeats=5 --trials=3

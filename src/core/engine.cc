@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/health.h"
+#include "obs/snapshot.h"
 #include "tensor/ops.h"
 
 namespace gnnlab {
@@ -127,16 +129,58 @@ RunReport Engine::Run() {
   extractor_.BindMetrics(options_.metrics);
   trainer_cache_.BindMetrics(options_.metrics);
   standby_cache_.BindMetrics(options_.metrics);
+  flows_ = options_.flows != nullptr ? options_.flows : &own_flows_;
+  own_flows_.Clear();
+  run_decisions_.clear();
   snapshots_.clear();
   run_cache_hits_ = run_cache_misses_ = run_bytes_host_ = run_bytes_cache_ = 0;
 
   queue_.ResetReport();
   for (std::size_t e = 0; e < options_.epochs; ++e) {
     report.epochs.push_back(RunEpoch(e));
+    report.attribution.Add(report.epochs.back().attribution);
   }
   report.queue = queue_.report();
+  report.switch_decisions = std::move(run_decisions_);
+  run_decisions_.clear();
   report.snapshots = std::move(snapshots_);
   return report;
+}
+
+void Engine::RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
+                            double begin, double end, double stall) {
+  GNNLAB_OBS_ONLY({
+    if (flows_ != nullptr) {
+      flows_->Record(flow, lane, stage, begin, end, stall);
+    }
+  });
+  (void)flow;
+  (void)lane;
+  (void)stage;
+  (void)begin;
+  (void)end;
+  (void)stall;
+}
+
+void Engine::LogSwitchDecision(const SwitchDecision& decision) {
+  // Capped so a long skip/fetch oscillation cannot bloat the report.
+  constexpr std::size_t kMaxDecisions = 4096;
+  if (run_decisions_.size() < kMaxDecisions) {
+    run_decisions_.push_back(decision);
+  }
+}
+
+void Engine::PublishAttribution(const PipelineAttribution& attribution) {
+  GNNLAB_OBS_ONLY({
+    if (options_.metrics != nullptr) {
+      const StageBlame fractions = attribution.Fractions();
+      for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+        options_.metrics->GetGauge(std::string("attribution.") + kBlameStageNames[i])
+            ->Set(fractions.Component(i));
+      }
+    }
+  });
+  (void)attribution;
 }
 
 void Engine::ProfileSampling() {
@@ -456,6 +500,7 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
     trainer.extract = ExtractStats{};
     trainer.batches_done = 0;
   }
+  switch_last_logged_.assign(trainers_.size(), -1);
 
   const SimTime epoch_start = sim_.now();
   PumpSamplers();
@@ -477,6 +522,10 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
   report.epoch_time = sim_.now() - epoch_start;
   report.latency = stage_latency_.Summarize();
   report.batches = epoch_batches_.size();
+  GNNLAB_OBS_ONLY({
+    report.attribution = AnalyzeFlowsForEpoch(flows_->Collect(), epoch);
+    PublishAttribution(report.attribution);
+  });
   for (const SamplerExec& sampler : samplers_) {
     report.stage.Add(sampler.stage);
   }
@@ -544,6 +593,16 @@ void Engine::PumpSamplers() {
                                "sample b" + std::to_string(task->batch), "sample",
                                sim_.now() - (g + m + c), sim_.now());
       }
+      GNNLAB_OBS_ONLY({
+        const std::string lane = "gpu" + std::to_string(done_sampler.gpu) + "/sampler";
+        const FlowId flow = MakeFlowId(task->epoch, task->batch);
+        const SimTime now = sim_.now();
+        RecordFlowStep(flow, lane, "sample", now - (g + m + c), now - (m + c));
+        if (m > 0.0) {
+          RecordFlowStep(flow, lane, "mark", now - (m + c), now - c);
+        }
+        RecordFlowStep(flow, lane, "copy", now - c, now);
+      });
       task->enqueue_time = sim_.now();
       queue_.Push(std::move(*task));
       PumpTrainers();
@@ -555,7 +614,8 @@ void Engine::PumpSamplers() {
 void Engine::PumpTrainers() {
   // Dedicated Trainers drain unconditionally; standby Trainers consult the
   // profit metric and require their Sampler to have finished the epoch.
-  for (TrainerExec& trainer : trainers_) {
+  for (std::size_t t = 0; t < trainers_.size(); ++t) {
+    TrainerExec& trainer = trainers_[t];
     if (trainer.extract_busy || trainer.trains_in_flight > 1 || queue_.empty()) {
       continue;
     }
@@ -563,7 +623,38 @@ void Engine::PumpTrainers() {
       if (!samplers_[trainer.owner_sampler].epoch_done) {
         continue;
       }
-      if (!switch_controller_->ShouldFetch(queue_.size())) {
+      bool fetch = switch_controller_->ShouldFetch(queue_.size());
+      bool pressure = false;
+      std::string alerts;
+      GNNLAB_OBS_ONLY({
+        if (options_.health != nullptr) {
+          // Forced: the rate limiter runs on the wall clock, which would
+          // make simulated-timeline decisions nondeterministic.
+          options_.health->Evaluate(/*force=*/true);
+          alerts = options_.health->FiringSummary();
+          // Queue-pressure override: a firing queue.depth alert means the
+          // backlog is past the operator's threshold — drain now even if
+          // the profit metric says the dedicated Trainers would get there.
+          if (!fetch && options_.health->AnyFiring(kMetricQueueDepth)) {
+            pressure = true;
+            fetch = true;
+          }
+        }
+      });
+      SwitchDecision decision;
+      decision.ts = sim_.now();
+      decision.queue_depth = queue_.size();
+      decision.profit =
+          std::clamp(switch_controller_->Profit(queue_.size()), -1e12, 1e12);
+      decision.fetched = fetch;
+      decision.pressure_override = pressure;
+      decision.alerts = std::move(alerts);
+      int& last = switch_last_logged_[t];
+      if (fetch || last != 0) {
+        LogSwitchDecision(decision);
+      }
+      last = fetch ? 1 : 0;
+      if (!fetch) {
         continue;
       }
     }
@@ -574,6 +665,13 @@ void Engine::PumpTrainers() {
 }
 
 void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
+  GNNLAB_OBS_ONLY({
+    if (sim_.now() > task.enqueue_time) {
+      RecordFlowStep(MakeFlowId(task.epoch, task.batch), "queue", "queue_wait",
+                     task.enqueue_time, sim_.now());
+      queue_.ObserveWait(sim_.now() - task.enqueue_time);
+    }
+  });
   if (trainer->standby) {
     // The Sampler marked the block against the dedicated Trainers' cache;
     // the standby's smaller cache needs a re-mark.
@@ -598,7 +696,8 @@ void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
   trainer->extract_busy = true;
   ++trainer->trains_in_flight;
   auto shared_task = std::make_shared<TrainTask>(std::move(task));
-  sim_.ScheduleAt(extract_done, [this, trainer, shared_task, stats, extract_work] {
+  sim_.ScheduleAt(extract_done, [this, trainer, shared_task, stats, extract_work,
+                                 host_time] {
     trainer->stage.extract += extract_work;
     trainer->extract.Add(stats);
     stage_latency_.RecordExtract(extract_work);
@@ -612,6 +711,16 @@ void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
       options_.trace->Record(lane, "extract b" + std::to_string(shared_task->batch),
                              "extract", sim_.now() - extract_work, sim_.now());
     }
+    GNNLAB_OBS_ONLY({
+      // The host_time share of the extract is the cache-miss stall: bytes
+      // the cache did not cover, gathered over PCIe.
+      const std::string lane = "gpu" + std::to_string(trainer->gpu) +
+                               (trainer->standby ? "/standby" : "/trainer");
+      RecordFlowStep(MakeFlowId(shared_task->epoch, shared_task->batch), lane, "extract",
+                     sim_.now() - extract_work, sim_.now(),
+                     std::min(extract_work, host_time));
+    });
+    (void)host_time;
 
     const TrainWork work = MakeTrainWork(workload_, dataset_, shared_task->block);
     const SimTime train_seconds = cost_.TrainTime(work);
@@ -649,6 +758,12 @@ void Engine::FinishTrain(TrainerExec* trainer, const TrainTask& task, SimTime tr
     options_.trace->Record(lane, "train b" + std::to_string(task.batch), "train",
                            sim_.now() - train_seconds, sim_.now());
   }
+  GNNLAB_OBS_ONLY({
+    const std::string lane = "gpu" + std::to_string(trainer->gpu) +
+                             (trainer->standby ? "/standby" : "/trainer");
+    RecordFlowStep(MakeFlowId(task.epoch, task.batch), lane, "train",
+                   sim_.now() - train_seconds, sim_.now());
+  });
   ++trainer->batches_done;
   ++trained_batches_;
 

@@ -29,6 +29,7 @@
 #include "feature/extractor.h"
 #include "graph/dataset.h"
 #include "nn/grad_sync.h"
+#include "obs/flow.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "runtime/thread_pool.h"
@@ -38,6 +39,8 @@
 #include "sim/sim_engine.h"
 
 namespace gnnlab {
+
+class HealthMonitor;
 
 enum class CachePolicyKind {
   kNone,
@@ -98,6 +101,16 @@ struct EngineOptions {
   // Optional: record every stage execution as a span on the simulated
   // timeline (export with TraceRecorder::WriteChromeTrace).
   TraceRecorder* trace = nullptr;
+  // Optional per-minibatch flow tracer: one flow per (epoch, batch) with a
+  // step per stage on the simulated clock, including the queue-wait edge.
+  // When null the engine records into an internal tracer so the per-epoch
+  // PipelineAttribution is computed either way.
+  FlowTracer* flows = nullptr;
+  // Optional health monitor: alert rules are re-evaluated at every standby
+  // fetch decision, a firing queue.depth alert overrides a non-positive
+  // profit (queue pressure drains now), and the evaluations land in
+  // RunReport::switch_decisions. Bind it to the same registry as `metrics`.
+  HealthMonitor* health = nullptr;
   // Optional: stream run-wide telemetry (queue.* gauges, extract.* and
   // cache.* counters, stage.* latency histograms) into this registry. The
   // per-epoch StageLatencies and the snapshot series land in the RunReport
@@ -145,6 +158,12 @@ class Engine {
   Rng ShuffleRng(std::size_t epoch) const;
   ExtractStats EstimateExtract(const FeatureCache& cache) const;
 
+  // Flow tracing / switch-decision plumbing (no-ops when compiled out).
+  void RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
+                      double begin, double end, double stall = 0.0);
+  void LogSwitchDecision(const SwitchDecision& decision);
+  void PublishAttribution(const PipelineAttribution& attribution);
+
   // Real-training helpers.
   void RealTrainBatch(const TrainTask& task);
   void AsyncTrainBatch(std::size_t trainer_index, const TrainTask& task);
@@ -191,6 +210,13 @@ class Engine {
   // batch.
   StageLatencyRecorder stage_latency_;
   std::vector<TelemetrySample> snapshots_;
+  // Flow steps land in options_.flows when set, else in own_flows_.
+  FlowTracer own_flows_;
+  FlowTracer* flows_ = nullptr;
+  std::vector<SwitchDecision> run_decisions_;
+  // Last decision logged per trainer (-1 none, 0 skip, 1 fetch): fetches
+  // are always logged, skips only on a flip.
+  std::vector<int> switch_last_logged_;
   std::uint64_t run_cache_hits_ = 0;
   std::uint64_t run_cache_misses_ = 0;
   std::uint64_t run_bytes_host_ = 0;

@@ -12,12 +12,23 @@ void GlobalQueue::BindMetrics(MetricRegistry* registry) {
     enqueued_counter_ = nullptr;
     depth_gauge_ = nullptr;
     bytes_gauge_ = nullptr;
+    wait_hist_ = nullptr;
     return;
   }
   enqueued_counter_ = registry->GetCounter(kMetricQueueEnqueued);
   depth_gauge_ = registry->GetGauge(kMetricQueueDepth);
   bytes_gauge_ = registry->GetGauge(kMetricQueueBytes);
+  wait_hist_ = registry->GetHistogram(kMetricQueueWait);
   UpdateGauges();
+}
+
+void GlobalQueue::ObserveWait(double seconds) {
+  GNNLAB_OBS_ONLY({
+    if (wait_hist_ != nullptr) {
+      wait_hist_->Record(seconds);
+    }
+  });
+  (void)seconds;
 }
 
 void GlobalQueue::UpdateGauges() {

@@ -41,6 +41,10 @@ class GlobalQueue {
   // same snapshot schema. Pass nullptr to unbind.
   void BindMetrics(MetricRegistry* registry);
 
+  // Feeds one task's enqueue-to-pop wait into the queue.wait_seconds
+  // histogram (the engine computes the wait — the queue has no clock).
+  void ObserveWait(double seconds);
+
  private:
   void UpdateGauges();
 
@@ -50,6 +54,7 @@ class GlobalQueue {
   Counter* enqueued_counter_ = nullptr;
   Gauge* depth_gauge_ = nullptr;
   Gauge* bytes_gauge_ = nullptr;
+  Histogram* wait_hist_ = nullptr;
 };
 
 }  // namespace gnnlab

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/switching.h"
 #include "feature/extractor.h"
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 
@@ -51,6 +53,10 @@ struct EpochReport {
   SimTime epoch_time = 0.0;  // Makespan (wall clock of the virtual timeline).
   StageBreakdown stage;
   StageLatencies latency;
+  // Critical-path blame over this epoch's per-minibatch flow DAGs: where
+  // batch latency went (compute per stage, queue wait, cache-miss stall).
+  // Zero when observability is compiled out.
+  PipelineAttribution attribution;
   ExtractStats extract;
   std::size_t batches = 0;
   std::size_t gradient_updates = 0;
@@ -122,6 +128,11 @@ struct RunReport {
   PreprocessReport preprocess;
   QueueReport queue;
   std::vector<EpochReport> epochs;
+  // Run-wide critical-path attribution (sum of the per-epoch ones).
+  PipelineAttribution attribution;
+  // Standby-Trainer fetch decisions with the profit metric and the health
+  // alerts active at decision time (capped; fetches always, skips on flip).
+  std::vector<SwitchDecision> switch_decisions;
   // Queue/cache/extract timeline sampled over the whole run: once per
   // trained batch in the simulated engines (ts = SimTime), periodically in
   // the threaded engine (ts = wall seconds).

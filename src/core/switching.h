@@ -13,6 +13,7 @@
 #define GNNLAB_CORE_SWITCHING_H_
 
 #include <cstddef>
+#include <string>
 
 #include "common/types.h"
 
@@ -21,6 +22,22 @@ namespace gnnlab {
 // Raw profit metric; +inf when num_trainers == 0.
 double SwitchProfit(std::size_t remaining_tasks, SimTime t_train, int num_trainers,
                     SimTime t_train_standby);
+
+// One standby fetch decision, as recorded in the executor-switch decision
+// log (RunReport/ThreadedRunReport::switch_decisions). Fetches are always
+// logged; skips only when the decision flips, so the log stays readable.
+// The health monitor's rule evaluations ride along: `alerts` names the
+// rules firing at decision time, and `pressure_override` marks a fetch
+// forced by a firing queue-depth alert even though the profit metric said
+// to hold — the switcher consuming the same signals an operator sees.
+struct SwitchDecision {
+  double ts = 0.0;  // Simulated or wall seconds, per engine.
+  std::size_t queue_depth = 0;
+  double profit = 0.0;  // Clamped to +-1e12 so the JSON stays finite.
+  bool fetched = false;
+  bool pressure_override = false;
+  std::string alerts;  // Comma-joined firing alert names ("" = healthy).
+};
 
 // Tracks running estimates of T_t and T_t' and answers fetch decisions.
 class SwitchController {
@@ -41,6 +58,11 @@ class SwitchController {
   // `queue_depth`. Only valid once the owning Sampler has finished its
   // epoch; the engine enforces that precondition.
   bool ShouldFetch(std::size_t queue_depth) const;
+
+  // The raw profit value behind ShouldFetch, for the decision log.
+  double Profit(std::size_t queue_depth) const {
+    return SwitchProfit(queue_depth, t_train_, num_trainers_, t_train_standby_);
+  }
 
   SimTime t_train() const { return t_train_; }
   SimTime t_train_standby() const { return t_train_standby_; }

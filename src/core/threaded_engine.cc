@@ -1,5 +1,6 @@
 #include "core/threaded_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <string>
@@ -7,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "runtime/mpmc_queue.h"
@@ -37,7 +39,7 @@ struct ThreadedEngine::State {
   std::size_t master_version = 0;
   std::vector<std::size_t> replica_version;
 
-  // Epoch accumulators.
+  // Epoch accumulators (stats_mu also guards the run-level decision log).
   std::mutex stats_mu;
   ExtractStats extract;
   double loss_sum = 0.0;
@@ -131,6 +133,7 @@ void ThreadedEngine::BindTelemetry() {
   // Must run after BuildCache(): cache_ is reassigned by value there, which
   // would discard earlier bindings.
   registry_ = options_.metrics != nullptr ? options_.metrics : &own_registry_;
+  flows_ = options_.flows != nullptr ? options_.flows : &own_flows_;
   stage_latency_.BindRegistry(registry_);
   cache_.BindMetrics(registry_);
   if (extract_pool_ != nullptr) {
@@ -170,6 +173,42 @@ void ThreadedEngine::TraceStage(const std::string& lane, const char* stage,
   (void)end;
 }
 
+void ThreadedEngine::RecordFlowStep(FlowId flow, const std::string& lane,
+                                    const char* stage, double begin, double end,
+                                    double stall) {
+  GNNLAB_OBS_ONLY({
+    if (flows_ != nullptr) {
+      flows_->Record(flow, lane, stage, begin, end, stall);
+    }
+  });
+  (void)flow;
+  (void)lane;
+  (void)stage;
+  (void)begin;
+  (void)end;
+  (void)stall;
+}
+
+void ThreadedEngine::LogSwitchDecision(State* state, const SwitchDecision& decision) {
+  // Capped so a long skip/fetch oscillation cannot bloat the report.
+  constexpr std::size_t kMaxDecisions = 4096;
+  std::lock_guard<std::mutex> lock(state->stats_mu);
+  if (run_decisions_.size() < kMaxDecisions) {
+    run_decisions_.push_back(decision);
+  }
+}
+
+void ThreadedEngine::PublishAttribution(const PipelineAttribution& attribution) {
+  GNNLAB_OBS_ONLY({
+    const StageBlame fractions = attribution.Fractions();
+    for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+      registry_->GetGauge(std::string("attribution.") + kBlameStageNames[i])
+          ->Set(fractions.Component(i));
+    }
+  });
+  (void)attribution;
+}
+
 ThreadedRunReport ThreadedEngine::Run() {
   BuildCache();
   BindTelemetry();
@@ -182,17 +221,28 @@ ThreadedRunReport ThreadedEngine::Run() {
       if (pool_busy_gauge_ != nullptr && extract_pool_ != nullptr) {
         pool_busy_gauge_->Set(static_cast<double>(extract_pool_->busy_workers()));
       }
+      // Alert rules track the live gauges, so re-evaluate them at snapshot
+      // cadence too (standby Trainers evaluate on their own schedule).
+      if (options_.health != nullptr) {
+        options_.health->Evaluate();
+      }
     });
   };
   SnapshotExporter exporter(registry_, std::move(snap));
   CHECK(exporter.Start()) << "cannot open metrics output '" << options_.metrics_out << "'";
 
+  own_flows_.Clear();
+  run_decisions_.clear();
+  run_start_ = MonotonicSeconds();
   ThreadedRunReport report;
   report.cache_ratio = cache_.ratio();
   for (std::size_t e = 0; e < options_.epochs; ++e) {
     report.epochs.push_back(RunEpoch(e));
+    report.attribution.Add(report.epochs.back().attribution);
   }
   exporter.Stop();
+  report.switch_decisions = std::move(run_decisions_);
+  run_decisions_.clear();
   report.snapshots = exporter.series();
   return report;
 }
@@ -231,6 +281,10 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
   report.wall_seconds = MonotonicSeconds() - start;
   report.batches = state.batches.size();
   report.latency = stage_latency_.Summarize();
+  GNNLAB_OBS_ONLY({
+    report.attribution = AnalyzeFlowsForEpoch(flows_->Collect(), epoch);
+    PublishAttribution(report.attribution);
+  });
   report.extract = state.extract;
   report.switched_batches = state.switched_batches;
   report.gradient_updates = state.gradient_updates;
@@ -253,17 +307,20 @@ void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t ep
       break;
     }
     Rng rng = BatchRng(epoch, batch);
+    const FlowId flow = MakeFlowId(epoch, batch);
     const double sample_begin = MonotonicSeconds();
     SampleBlock block = sampler->Sample(state->batches[batch], &rng, nullptr);
     const double sample_end = MonotonicSeconds();
     stage_latency_.RecordSample(sample_end - sample_begin);
     TraceStage(lane, "sample", batch, sample_begin, sample_end);
+    RecordFlowStep(flow, lane, "sample", sample_begin, sample_end);
     if (cache_.num_cached() > 0) {
       const double mark_begin = MonotonicSeconds();
       cache_.MarkBlock(&block);
       const double mark_end = MonotonicSeconds();
       stage_latency_.RecordMark(mark_end - mark_begin);
       TraceStage(lane, "mark", batch, mark_begin, mark_end);
+      RecordFlowStep(flow, lane, "mark", mark_begin, mark_end);
     }
     TrainTask task;
     task.block = std::move(block);
@@ -271,10 +328,15 @@ void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t ep
     task.batch = batch;
     const ByteCount task_bytes = task.block.QueueBytes();
     const double copy_begin = MonotonicSeconds();
+    // The queue-wait flow edge starts where the push starts: a Push that
+    // blocks on a full queue IS queue backpressure, and the fold's
+    // earliest-claim-wins walk hands the copy span its own share first.
+    task.enqueue_time = copy_begin;
     CHECK(state->queue.Push(std::move(task)));
     const double copy_end = MonotonicSeconds();
     stage_latency_.RecordCopy(copy_end - copy_begin);
     TraceStage(lane, "copy", batch, copy_begin, copy_end);
+    RecordFlowStep(flow, lane, "copy", copy_begin, copy_end);
     GNNLAB_OBS_ONLY({
       state->queued_bytes.fetch_add(static_cast<std::int64_t>(task_bytes),
                                     std::memory_order_relaxed);
@@ -304,16 +366,46 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
   // registry names once per epoch instead of once per batch.
   Extractor extractor(*options_.real->features, extract_pool_.get());
   extractor.BindMetrics(registry_);
+  // Last decision logged by this standby (-1 none, 0 skip, 1 fetch): fetches
+  // are always logged, skips only when the decision flips.
+  int last_logged = -1;
   while (true) {
     std::optional<TrainTask> task;
     if (standby) {
       // Profit check (paper §5.3): fetch only when this standby can finish
       // a task before the dedicated Trainers clear the backlog.
+      const std::size_t depth = state->queue.size();
       const double profit = SwitchProfit(
-          state->queue.size(), state->t_train_ema.load(), state->num_trainers,
+          depth, state->t_train_ema.load(), state->num_trainers,
           state->t_standby_ema.load() > 0.0 ? state->t_standby_ema.load()
                                             : state->t_train_ema.load());
-      if (profit <= 0.0) {
+      bool fetch = profit > 0.0;
+      bool pressure = false;
+      std::string alerts;
+      GNNLAB_OBS_ONLY({
+        if (options_.health != nullptr) {
+          options_.health->Evaluate();
+          alerts = options_.health->FiringSummary();
+          // Queue-pressure override: a firing queue.depth alert means the
+          // backlog is past the operator's threshold — drain now even if
+          // the profit metric says the dedicated Trainers would get there.
+          if (!fetch && depth > 0 && options_.health->AnyFiring(kMetricQueueDepth)) {
+            pressure = true;
+            fetch = true;
+          }
+        }
+      });
+      SwitchDecision decision;
+      decision.ts = MonotonicSeconds() - run_start_;
+      decision.queue_depth = depth;
+      decision.profit = std::clamp(profit, -1e12, 1e12);
+      decision.pressure_override = pressure;
+      decision.alerts = std::move(alerts);
+      if (!fetch) {
+        if (last_logged != 0) {
+          LogSwitchDecision(state, decision);
+          last_logged = 0;
+        }
         if (state->queue.closed() && state->queue.size() == 0) {
           return;
         }
@@ -328,6 +420,9 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
         std::this_thread::yield();
         continue;
       }
+      decision.fetched = true;
+      LogSwitchDecision(state, decision);
+      last_logged = 1;
     } else {
       task = state->queue.Pop();
       if (!task.has_value()) {
@@ -335,6 +430,13 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
       }
     }
 
+    GNNLAB_OBS_ONLY({
+      const double pop_time = MonotonicSeconds();
+      if (task->enqueue_time > 0.0 && pop_time > task->enqueue_time) {
+        RecordFlowStep(MakeFlowId(task->epoch, task->batch), "queue", "queue_wait",
+                       task->enqueue_time, pop_time);
+      }
+    });
     GNNLAB_OBS_ONLY({
       state->queued_bytes.fetch_sub(static_cast<std::int64_t>(task->block.QueueBytes()),
                                     std::memory_order_relaxed);
@@ -377,6 +479,9 @@ void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
   const double extract_end = MonotonicSeconds();
   stage_latency_.RecordExtract(extract_end - extract_begin);
   TraceStage(lane, "extract", task.batch, extract_begin, extract_end);
+  RecordFlowStep(MakeFlowId(task.epoch, task.batch), lane, "extract", extract_begin,
+                 extract_end,
+                 (extract_end - extract_begin) * stats.HostByteFraction());
   Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
 
   const double train_begin = MonotonicSeconds();
@@ -399,6 +504,8 @@ void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
   const double train_end = MonotonicSeconds();
   stage_latency_.RecordTrain(train_end - train_begin);
   TraceStage(lane, "train", task.batch, train_begin, train_end);
+  RecordFlowStep(MakeFlowId(task.epoch, task.batch), lane, "train", train_begin,
+                 train_end);
   {
     std::lock_guard<std::mutex> lock(state->stats_mu);
     state->extract.Add(stats);

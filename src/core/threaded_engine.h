@@ -22,11 +22,15 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/critical_path.h"
+#include "obs/flow.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace gnnlab {
+
+class HealthMonitor;
 
 struct ThreadedEngineOptions {
   int num_samplers = 1;
@@ -54,6 +58,18 @@ struct ThreadedEngineOptions {
   // "trainer1", "standby0", ...). Export with RuntimeTracer::WriteChromeTrace
   // and load the file in chrome://tracing or Perfetto.
   RuntimeTracer* tracer = nullptr;
+  // Optional external flow tracer: every minibatch becomes one flow
+  // (MakeFlowId(epoch, batch)) with one FlowStep per stage, queue-wait
+  // included, exportable as Perfetto flow events. When null the engine
+  // records into an internal tracer so PipelineAttribution is computed
+  // either way.
+  FlowTracer* flows = nullptr;
+  // Optional health monitor (obs/health.h) owned by the caller. When set,
+  // the engine (a) re-evaluates its alert rules on every telemetry
+  // snapshot, and (b) lets a firing queue.depth alert override the profit
+  // metric in the standby fetch decision (queue pressure drains now).
+  // Evaluations land in the switch decision log either way.
+  HealthMonitor* health = nullptr;
   // Optional external registry for queue/extract/cache/pool/stage metrics.
   // When null the engine uses an internal registry, so the snapshot series
   // in the run report is populated either way.
@@ -74,6 +90,9 @@ struct ThreadedEpochReport {
   ExtractStats extract;  // parallel_workers/worker_busy_seconds included.
   // Per-batch wall-clock latency distributions of the five stages.
   StageLatencies latency;
+  // Critical-path blame over this epoch's flows (zero when observability
+  // is compiled out).
+  PipelineAttribution attribution;
   double mean_loss = 0.0;
   double eval_accuracy = 0.0;
 };
@@ -81,6 +100,10 @@ struct ThreadedEpochReport {
 struct ThreadedRunReport {
   double cache_ratio = 0.0;
   std::vector<ThreadedEpochReport> epochs;
+  // Run-wide critical-path attribution (sum of the per-epoch ones).
+  PipelineAttribution attribution;
+  // Standby fetch decisions: profit metric, firing alerts, outcome.
+  std::vector<SwitchDecision> switch_decisions;
   // Periodic queue/cache/extract/pool timeline (ts = seconds since the run's
   // sampling thread started).
   std::vector<TelemetrySample> snapshots;
@@ -115,6 +138,10 @@ class ThreadedEngine {
   void UpdateQueueGauges(State* state);
   void TraceStage(const std::string& lane, const char* stage, std::size_t batch,
                   double begin, double end);
+  void RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
+                      double begin, double end, double stall = 0.0);
+  void LogSwitchDecision(State* state, const SwitchDecision& decision);
+  void PublishAttribution(const PipelineAttribution& attribution);
 
   const Dataset& dataset_;
   // By value: callers routinely pass `StandardWorkload(...)` temporaries, and
@@ -136,6 +163,12 @@ class ThreadedEngine {
   // once, update forever).
   MetricRegistry own_registry_;
   MetricRegistry* registry_ = nullptr;
+  // Flow steps land in options_.flows when set, else in own_flows_ — the
+  // per-epoch PipelineAttribution is computed either way.
+  FlowTracer own_flows_;
+  FlowTracer* flows_ = nullptr;
+  std::vector<SwitchDecision> run_decisions_;
+  double run_start_ = 0.0;  // Decision-log timestamps are relative to this.
   Counter* queue_enqueued_ = nullptr;
   Gauge* queue_depth_gauge_ = nullptr;
   Gauge* queue_bytes_gauge_ = nullptr;

@@ -46,6 +46,14 @@ struct ExtractStats {
                : static_cast<double>(cache_hits) / static_cast<double>(distinct_vertices);
   }
 
+  // Fraction of the gathered bytes that crossed PCIe (0 when nothing was
+  // gathered). The flow tracer uses wall_seconds x HostByteFraction() as the
+  // cache-miss-stall share of an extract span's critical-path blame.
+  double HostByteFraction() const {
+    const double total = static_cast<double>(bytes_from_cache + bytes_from_host);
+    return total == 0.0 ? 0.0 : static_cast<double>(bytes_from_host) / total;
+  }
+
   // Total busy time across workers; with the wall time of the extract this
   // gives the parallel efficiency.
   double TotalBusySeconds() const;

@@ -1,0 +1,180 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+namespace {
+
+// Index into StageBlame components for a step's stage name; gap for
+// anything unrecognized.
+std::size_t StageIndex(const std::string& stage) {
+  for (std::size_t i = 0; i + 1 < kNumBlameStages; ++i) {
+    if (stage == kBlameStageNames[i]) {
+      return i;
+    }
+  }
+  return kNumBlameStages - 1;  // gap.
+}
+
+constexpr std::size_t kExtractIndex = 4;
+constexpr std::size_t kExtractStallIndex = 5;
+
+}  // namespace
+
+double StageBlame::Component(std::size_t index) const {
+  return const_cast<StageBlame*>(this)->MutableComponent(index);
+}
+
+double& StageBlame::MutableComponent(std::size_t index) {
+  switch (index) {
+    case 0:
+      return sample;
+    case 1:
+      return mark;
+    case 2:
+      return copy;
+    case 3:
+      return queue_wait;
+    case 4:
+      return extract;
+    case 5:
+      return extract_stall;
+    case 6:
+      return train;
+    default:
+      return gap;
+  }
+}
+
+double StageBlame::Total() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+    total += Component(i);
+  }
+  return total;
+}
+
+namespace {
+
+const char* Dominant(const StageBlame& blame) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kNumBlameStages; ++i) {
+    if (blame.Component(i) > blame.Component(best)) {
+      best = i;  // Strict >: ties keep the earlier pipeline stage.
+    }
+  }
+  return kBlameStageNames[best];
+}
+
+}  // namespace
+
+const char* FlowCriticalPath::DominantStage() const { return Dominant(blame); }
+
+const char* PipelineAttribution::DominantStage() const { return Dominant(blame); }
+
+void PipelineAttribution::Add(const FlowCriticalPath& path) {
+  ++flows;
+  total_latency += path.latency;
+  for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+    blame.MutableComponent(i) += path.blame.Component(i);
+  }
+}
+
+void PipelineAttribution::Add(const PipelineAttribution& other) {
+  flows += other.flows;
+  total_latency += other.total_latency;
+  for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+    blame.MutableComponent(i) += other.blame.Component(i);
+  }
+}
+
+StageBlame PipelineAttribution::Fractions() const {
+  StageBlame fractions;
+  if (total_latency <= 0.0) {
+    return fractions;
+  }
+  for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+    fractions.MutableComponent(i) = blame.Component(i) / total_latency;
+  }
+  return fractions;
+}
+
+FlowCriticalPath AnalyzeFlow(std::span<const FlowStep> steps) {
+  FlowCriticalPath path;
+  if (steps.empty()) {
+    return path;
+  }
+  path.flow = steps.front().flow;
+
+  std::vector<const FlowStep*> ordered;
+  ordered.reserve(steps.size());
+  for (const FlowStep& step : steps) {
+    CHECK_EQ(step.flow, path.flow) << "AnalyzeFlow fed steps of mixed flows";
+    ordered.push_back(&step);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const FlowStep* a, const FlowStep* b) {
+    return std::tie(a->begin, a->end) < std::tie(b->begin, b->end);
+  });
+
+  // Cursor walk: [origin, cursor) is already blamed. A step starting past
+  // the cursor first contributes the gap, then claims its uncovered tail.
+  const double origin = ordered.front()->begin;
+  double cursor = origin;
+  for (const FlowStep* step : ordered) {
+    if (step->begin > cursor) {
+      path.blame.gap += step->begin - cursor;
+      cursor = step->begin;
+    }
+    const double covered = step->end - std::max(step->begin, cursor);
+    if (covered <= 0.0) {
+      continue;  // Fully shadowed by an earlier, longer step.
+    }
+    const std::size_t index = StageIndex(step->stage);
+    if (index == kExtractIndex) {
+      const double stall = std::clamp(step->stall, 0.0, covered);
+      path.blame.extract += covered - stall;
+      path.blame.MutableComponent(kExtractStallIndex) += stall;
+    } else {
+      path.blame.MutableComponent(index) += covered;
+    }
+    cursor = step->end;
+  }
+  path.latency = cursor - origin;
+  return path;
+}
+
+namespace {
+
+PipelineAttribution AnalyzeGrouped(std::span<const FlowStep> steps, bool filter_epoch,
+                                   std::size_t epoch) {
+  std::map<FlowId, std::vector<FlowStep>> flows;
+  for (const FlowStep& step : steps) {
+    if (filter_epoch && FlowEpoch(step.flow) != epoch) {
+      continue;
+    }
+    flows[step.flow].push_back(step);
+  }
+  PipelineAttribution attribution;
+  for (const auto& [flow, flow_steps] : flows) {
+    attribution.Add(AnalyzeFlow(flow_steps));
+  }
+  return attribution;
+}
+
+}  // namespace
+
+PipelineAttribution AnalyzeFlows(std::span<const FlowStep> steps) {
+  return AnalyzeGrouped(steps, /*filter_epoch=*/false, 0);
+}
+
+PipelineAttribution AnalyzeFlowsForEpoch(std::span<const FlowStep> steps,
+                                         std::size_t epoch) {
+  return AnalyzeGrouped(steps, /*filter_epoch=*/true, epoch);
+}
+
+}  // namespace gnnlab

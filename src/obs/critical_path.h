@@ -1,0 +1,85 @@
+// Critical-path attribution over per-minibatch flow DAGs (obs/flow.h).
+//
+// AnalyzeFlow folds one flow's steps into per-stage blame with a cursor
+// walk over the begin-sorted steps: time covered by a step is blamed on
+// that step's stage (overlapping steps split at the overlap, earliest
+// claim wins), and uninstrumented time between steps is blamed on "gap".
+// Extract steps additionally split into compute vs. cache-miss stall using
+// FlowStep::stall. By construction the blame components sum exactly to the
+// flow's end-to-end latency, so Fractions() sums to 1 (within floating-
+// point addition error) — the invariant the report round-trip test pins.
+//
+// PipelineAttribution aggregates many flows (an epoch, a run) into the
+// "where did minibatch latency go" answer behind the paper's Table 5 /
+// Figure 8 analyses: compute per stage vs. queue wait vs. cache-miss
+// stall, plus the dominant (bottleneck) stage.
+#ifndef GNNLAB_OBS_CRITICAL_PATH_H_
+#define GNNLAB_OBS_CRITICAL_PATH_H_
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "obs/flow.h"
+
+namespace gnnlab {
+
+// Seconds of end-to-end latency blamed on each pipeline stage. Pipeline
+// order; "gap" is time no instrumented stage covered (scheduling delay,
+// channel contention, ...). Unrecognized stage names also land in gap.
+struct StageBlame {
+  double sample = 0.0;
+  double mark = 0.0;
+  double copy = 0.0;
+  double queue_wait = 0.0;
+  double extract = 0.0;        // Extract compute (stall excluded).
+  double extract_stall = 0.0;  // Cache-miss host-transfer stall.
+  double train = 0.0;
+  double gap = 0.0;
+
+  double Total() const;
+  double Component(std::size_t index) const;
+  double& MutableComponent(std::size_t index);
+};
+
+inline constexpr std::size_t kNumBlameStages = 8;
+inline constexpr std::array<const char*, kNumBlameStages> kBlameStageNames = {
+    "sample", "mark", "copy", "queue_wait", "extract", "extract_stall", "train", "gap"};
+
+// One flow folded: latency = last end - first begin; blame sums to latency.
+struct FlowCriticalPath {
+  FlowId flow = 0;
+  double latency = 0.0;
+  StageBlame blame;
+
+  // Largest blame component; ties break toward the earlier pipeline stage.
+  const char* DominantStage() const;
+};
+
+// Many flows summed. Fractions() divides by total_latency, so the per-stage
+// fractions sum to 1 whenever flows > 0.
+struct PipelineAttribution {
+  std::size_t flows = 0;
+  double total_latency = 0.0;
+  StageBlame blame;
+
+  void Add(const FlowCriticalPath& path);
+  void Add(const PipelineAttribution& other);
+  StageBlame Fractions() const;
+  const char* DominantStage() const;
+};
+
+// `steps` must all carry the same flow id; empty input yields a zero path.
+FlowCriticalPath AnalyzeFlow(std::span<const FlowStep> steps);
+
+// Groups mixed steps by flow id and sums the per-flow critical paths.
+PipelineAttribution AnalyzeFlows(std::span<const FlowStep> steps);
+
+// Same, restricted to flows of one epoch (FlowEpoch(flow) == epoch).
+PipelineAttribution AnalyzeFlowsForEpoch(std::span<const FlowStep> steps,
+                                         std::size_t epoch);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_OBS_CRITICAL_PATH_H_

@@ -1,0 +1,157 @@
+#include "obs/flow.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace gnnlab {
+
+void FlowTracer::Record(FlowId flow, std::string lane, std::string stage, double begin,
+                        double end, double stall) {
+  CHECK_LE(begin, end);
+  CHECK_GE(stall, 0.0);
+  Shard* shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->steps.push_back(
+      {flow, std::move(lane), std::move(stage), begin, end, stall});
+}
+
+FlowTracer::Shard* FlowTracer::ShardForThisThread() {
+  const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return &shards_[h % kShards];
+}
+
+std::vector<FlowStep> FlowTracer::Collect() const {
+  std::vector<FlowStep> all;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    all.insert(all.end(), shard.steps.begin(), shard.steps.end());
+  }
+  std::sort(all.begin(), all.end(), [](const FlowStep& a, const FlowStep& b) {
+    return std::tie(a.flow, a.begin, a.end, a.stage) <
+           std::tie(b.flow, b.begin, b.end, b.stage);
+  });
+  return all;
+}
+
+std::size_t FlowTracer::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.steps.size();
+  }
+  return total;
+}
+
+void FlowTracer::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.steps.clear();
+  }
+}
+
+std::string FlowTracer::FlowStepsToChromeJson(std::span<const FlowStep> steps) {
+  // Stable tid per lane in natural order — same scheme as SpansToChromeJson,
+  // so a flow trace and a span trace of the same run line up lane for lane.
+  std::map<std::string, int, decltype(&LaneNaturalLess)> lane_tid(&LaneNaturalLess);
+  double origin = 0.0;
+  bool have_origin = false;
+  for (const FlowStep& step : steps) {
+    lane_tid.emplace(step.lane, 0);
+    if (!have_origin || step.begin < origin) {
+      origin = step.begin;
+      have_origin = true;
+    }
+  }
+  int next_tid = 0;
+  for (auto& [lane, tid] : lane_tid) {
+    tid = next_tid++;
+  }
+
+  // Steps of one flow in begin order, for the s/t/f chains.
+  std::map<FlowId, std::vector<const FlowStep*>> flows;
+  for (const FlowStep& step : steps) {
+    flows[step.flow].push_back(&step);
+  }
+  for (auto& [flow, chain] : flows) {
+    std::stable_sort(chain.begin(), chain.end(), [](const FlowStep* a, const FlowStep* b) {
+      return std::tie(a->begin, a->end) < std::tie(b->begin, b->end);
+    });
+  }
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [lane, tid] : lane_tid) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << R"({"ph":"M","pid":0,"tid":)" << tid
+       << R"(,"name":"thread_name","args":{"name":")" << lane << "\"}}";
+  }
+  for (const FlowStep& step : steps) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << R"({"ph":"X","pid":0,"tid":)" << lane_tid[step.lane] << R"(,"name":")"
+       << step.stage << " b" << FlowBatch(step.flow) << R"(","cat":")" << step.stage
+       << R"(","ts":)" << (step.begin - origin) * 1e6 << R"(,"dur":)"
+       << (step.end - step.begin) * 1e6 << R"(,"args":{"flow":)" << step.flow
+       << R"(,"epoch":)" << FlowEpoch(step.flow) << R"(,"batch":)" << FlowBatch(step.flow)
+       << R"(,"stall":)" << step.stall << "}}";
+  }
+  // Flow events bind the slices: "s" starts the arrow chain on the first
+  // step, "t" continues it, "f" (bp:"e") terminates on the last. Timestamps
+  // sit at each slice's midpoint so viewers bind them to the enclosing
+  // slice unambiguously.
+  for (const auto& [flow, chain] : flows) {
+    if (chain.size() < 2) {
+      continue;
+    }
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      const FlowStep& step = *chain[i];
+      const char* ph = i == 0 ? "s" : (i + 1 == chain.size() ? "f" : "t");
+      if (!first) {
+        os << ",";
+      }
+      first = false;
+      os << R"({"ph":")" << ph << R"(","pid":0,"tid":)" << lane_tid[step.lane]
+         << R"(,"name":"batch","cat":"flow","id":)" << flow << R"(,"ts":)"
+         << (0.5 * (step.begin + step.end) - origin) * 1e6;
+      if (*ph == 'f') {
+        os << R"(,"bp":"e")";
+      }
+      os << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool FlowTracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    LOG_ERROR << "cannot open " << path << " for writing";
+    return false;
+  }
+  const std::string json = ToChromeJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  std::fclose(file);
+  if (!ok) {
+    LOG_ERROR << "short write to " << path;
+    std::remove(path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace gnnlab

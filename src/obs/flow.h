@@ -1,0 +1,97 @@
+// Per-minibatch flow tracing: the causal layer on top of the span model.
+//
+// Every minibatch gets one FlowId at sampling time (a deterministic function
+// of epoch and batch). As the batch moves through the pipeline the engines
+// record one FlowStep per stage — sample, mark, copy, queue_wait, extract,
+// train — so the steps of one flow form the batch's end-to-end DAG, with
+// the queue-wait edge made explicit instead of being an invisible gap
+// between the Sampler's copy span and the Trainer's extract span. The
+// CriticalPath analyzer (obs/critical_path.h) folds one flow's steps into
+// per-stage blame; ToChromeJson() additionally emits Chrome/Perfetto flow
+// events ("s"/"t"/"f" with the flow id) binding the steps across lanes, so
+// Perfetto draws the arrows the paper's Figure 8 pipeline diagram implies.
+//
+// Timestamps are NOT rebased (unlike RuntimeTracer): a FlowTracer works for
+// both the simulated clock and MonotonicSeconds() wall readings, because
+// attribution only ever takes differences. The Chrome writer rebases onto
+// the earliest step so traces still start near t=0.
+#ifndef GNNLAB_OBS_FLOW_H_
+#define GNNLAB_OBS_FLOW_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gnnlab {
+
+using FlowId = std::uint64_t;
+
+// epoch in the high 32 bits, batch in the low 32: flow ids sort by
+// (epoch, batch) and an epoch's flows occupy one contiguous id range.
+constexpr FlowId MakeFlowId(std::size_t epoch, std::size_t batch) {
+  return (static_cast<FlowId>(epoch) << 32) | static_cast<FlowId>(batch & 0xffffffffu);
+}
+constexpr std::size_t FlowEpoch(FlowId flow) { return static_cast<std::size_t>(flow >> 32); }
+constexpr std::size_t FlowBatch(FlowId flow) {
+  return static_cast<std::size_t>(flow & 0xffffffffu);
+}
+
+// One stage execution of one minibatch.
+struct FlowStep {
+  FlowId flow = 0;
+  std::string lane;   // "sampler0", "queue", "gpu1/trainer", ...
+  std::string stage;  // "sample" | "mark" | "copy" | "queue_wait" | "extract" | "train".
+  double begin = 0.0;  // Seconds on the recording engine's clock (sim or wall).
+  double end = 0.0;
+  // Portion of [begin, end] stalled on host transfers for cache misses
+  // (extract steps only; 0 elsewhere). CriticalPath splits the extract
+  // blame into compute vs. cache-miss stall with this.
+  double stall = 0.0;
+};
+
+// Thread-safe flow-step recorder, sharded like RuntimeTracer so concurrent
+// Sampler/Trainer threads do not contend on one lock. The sim engine uses
+// it single-threaded with simulated timestamps; the semantics are the same.
+class FlowTracer {
+ public:
+  FlowTracer() = default;
+  FlowTracer(const FlowTracer&) = delete;
+  FlowTracer& operator=(const FlowTracer&) = delete;
+
+  void Record(FlowId flow, std::string lane, std::string stage, double begin, double end,
+              double stall = 0.0);
+
+  // All steps recorded so far, merged across shards and sorted by
+  // (flow, begin, end, stage) — deterministic for identical step sets.
+  // Do not call concurrently with Record().
+  std::vector<FlowStep> Collect() const;
+  std::size_t size() const;
+  void Clear();
+
+  // Chrome trace JSON: one "X" slice per step (lane -> tid, numbered in
+  // natural lane order like SpansToChromeJson) plus flow events — "s" on a
+  // flow's first step, "t" on intermediate steps, "f" on the last — that
+  // make Perfetto draw the per-batch arrows across lanes.
+  std::string ToChromeJson() const { return FlowStepsToChromeJson(Collect()); }
+  bool WriteChromeTrace(const std::string& path) const;
+
+  static std::string FlowStepsToChromeJson(std::span<const FlowStep> steps);
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<FlowStep> steps;
+  };
+
+  Shard* ShardForThisThread();
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_OBS_FLOW_H_

@@ -1,0 +1,343 @@
+#include "obs/health.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '_' || c == ':';
+}
+
+bool ValidStat(const std::string& stat) {
+  return stat == "p50" || stat == "p95" || stat == "p99" || stat == "mean" ||
+         stat == "max" || stat == "count";
+}
+
+double HistogramStat(const Histogram& histogram, const std::string& stat) {
+  if (stat == "p50") {
+    return histogram.Quantile(0.5);
+  }
+  if (stat == "p95") {
+    return histogram.Quantile(0.95);
+  }
+  if (stat == "p99") {
+    return histogram.Quantile(0.99);
+  }
+  if (stat == "mean") {
+    return histogram.mean();
+  }
+  if (stat == "max") {
+    return histogram.max();
+  }
+  if (stat == "count") {
+    return static_cast<double>(histogram.count());
+  }
+  return 0.0;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (c == ' ' || c == '\t') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out += IsNameChar(c) ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string RegistryToPrometheusText(const MetricRegistry& registry) {
+  std::ostringstream os;
+  for (const MetricRegistry::SnapshotEntry& entry : registry.Snapshot()) {
+    const std::string base = "gnnlab_" + SanitizeMetricName(entry.name);
+    switch (entry.kind) {
+      case MetricRegistry::SnapshotEntry::Kind::kCounter:
+        os << "# TYPE " << base << "_total counter\n";
+        os << base << "_total " << entry.value << "\n";
+        break;
+      case MetricRegistry::SnapshotEntry::Kind::kGauge:
+        os << "# TYPE " << base << " gauge\n";
+        os << base << " " << entry.value << "\n";
+        break;
+      case MetricRegistry::SnapshotEntry::Kind::kHistogram:
+        os << "# TYPE " << base << " summary\n";
+        os << base << "{quantile=\"0.5\"} " << entry.summary.p50 << "\n";
+        os << base << "{quantile=\"0.95\"} " << entry.summary.p95 << "\n";
+        os << base << "{quantile=\"0.99\"} " << entry.summary.p99 << "\n";
+        os << base << "_sum " << entry.sum << "\n";
+        os << base << "_count " << entry.summary.count << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+bool ParseAlertRule(std::string_view text, AlertRule* rule, std::string* error) {
+  std::vector<std::string> tokens = Tokenize(text);
+  AlertRule parsed;
+  if (!tokens.empty() && tokens.front().size() > 1 && tokens.front().back() == ':') {
+    parsed.name = tokens.front().substr(0, tokens.front().size() - 1);
+    tokens.erase(tokens.begin());
+  }
+  if (tokens.size() < 3 || tokens.size() > 4) {
+    return Fail(error, "expected '[name:] metric [stat] > threshold', got '" +
+                           std::string(text) + "'");
+  }
+  parsed.metric = tokens[0];
+  std::size_t i = 1;
+  if (tokens.size() == 4) {
+    parsed.stat = tokens[i++];
+    if (!ValidStat(parsed.stat)) {
+      return Fail(error, "unknown stat '" + parsed.stat +
+                             "' (want p50|p95|p99|mean|max|count)");
+    }
+  }
+  if (tokens[i] != ">" && tokens[i] != "<") {
+    return Fail(error, "unknown comparator '" + tokens[i] + "' (want > or <)");
+  }
+  parsed.op = tokens[i][0];
+  ++i;
+  char* end = nullptr;
+  parsed.threshold = std::strtod(tokens[i].c_str(), &end);
+  if (end == tokens[i].c_str() || *end != '\0') {
+    return Fail(error, "bad threshold '" + tokens[i] + "'");
+  }
+  if (parsed.name.empty()) {
+    parsed.name = SanitizeMetricName(parsed.metric) +
+                  (parsed.stat.empty() ? "" : "_" + parsed.stat);
+  }
+  *rule = std::move(parsed);
+  return true;
+}
+
+HealthMonitor::HealthMonitor(MetricRegistry* registry, Options options)
+    : registry_(registry), options_(std::move(options)) {
+  CHECK(registry_ != nullptr);
+  alert_gauges_.reserve(options_.rules.size());
+  states_.reserve(options_.rules.size());
+  for (const AlertRule& rule : options_.rules) {
+    alert_gauges_.push_back(registry_->GetGauge("alert." + rule.name));
+    AlertState state;
+    state.rule = rule;
+    states_.push_back(std::move(state));
+  }
+}
+
+HealthMonitor::~HealthMonitor() {
+  StopServer();
+  if (!options_.exposition_path.empty()) {
+    WriteExposition();
+  }
+}
+
+std::vector<AlertState> HealthMonitor::Evaluate(bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = MonotonicSeconds();
+  if (!force && last_eval_ >= 0.0 &&
+      now - last_eval_ < options_.min_eval_interval_seconds) {
+    return states_;
+  }
+  last_eval_ = now;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    AlertState& state = states_[i];
+    const AlertRule& rule = state.rule;
+    double value = 0.0;
+    if (!rule.stat.empty()) {
+      if (const Histogram* histogram = registry_->FindHistogram(rule.metric)) {
+        value = HistogramStat(*histogram, rule.stat);
+      }
+    } else if (const Gauge* gauge = registry_->FindGauge(rule.metric)) {
+      value = gauge->value();
+    } else if (const Counter* counter = registry_->FindCounter(rule.metric)) {
+      value = static_cast<double>(counter->value());
+    }
+    state.value = value;
+    state.firing = rule.op == '>' ? value > rule.threshold : value < rule.threshold;
+    alert_gauges_[i]->Set(state.firing ? 1.0 : 0.0);
+  }
+  return states_;
+}
+
+std::vector<AlertState> HealthMonitor::states() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_;
+}
+
+bool HealthMonitor::AnyFiring(const char* metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const AlertState& state : states_) {
+    if (state.firing && (metric == nullptr || state.rule.metric == metric)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string HealthMonitor::FiringSummary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string summary;
+  for (const AlertState& state : states_) {
+    if (!state.firing) {
+      continue;
+    }
+    if (!summary.empty()) {
+      summary += ",";
+    }
+    summary += state.rule.name;
+  }
+  return summary;
+}
+
+std::string HealthMonitor::Exposition() {
+  Evaluate(/*force=*/true);  // Alert gauges reflect the snapshot being served.
+  return RegistryToPrometheusText(*registry_);
+}
+
+bool HealthMonitor::WriteExposition() {
+  if (options_.exposition_path.empty()) {
+    return false;
+  }
+  const std::string text = Exposition();
+  std::FILE* file = std::fopen(options_.exposition_path.c_str(), "wb");
+  if (file == nullptr) {
+    LOG_ERROR << "cannot open " << options_.exposition_path << " for writing";
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  std::fclose(file);
+  if (!ok) {
+    LOG_ERROR << "short write to " << options_.exposition_path;
+    std::remove(options_.exposition_path.c_str());
+  }
+  return ok;
+}
+
+int HealthMonitor::StartServer(int port) {
+  if (serving_.load()) {
+    return port_;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    LOG_ERROR << "health exporter: socket() failed: " << std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    LOG_ERROR << "health exporter: cannot bind 127.0.0.1:" << port << ": "
+              << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  serving_.store(true);
+  server_thread_ = std::thread([this] { ServeLoop(); });
+  return port_;
+}
+
+void HealthMonitor::ServeLoop() {
+  while (serving_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // Listening socket shut down.
+    }
+    char request[1024];
+    const ssize_t n = ::recv(client, request, sizeof(request) - 1, 0);
+    bool metrics_path = true;
+    if (n > 0) {
+      request[n] = '\0';
+      // "GET <path> HTTP/1.x": anything that is not /metrics (or /) is 404.
+      const char* path = std::strchr(request, ' ');
+      if (path != nullptr) {
+        ++path;
+        metrics_path = std::strncmp(path, "/metrics", 8) == 0 ||
+                       std::strncmp(path, "/ ", 2) == 0;
+      }
+    }
+    std::string body = metrics_path ? Exposition() : "not found\n";
+    std::ostringstream response;
+    response << "HTTP/1.1 " << (metrics_path ? "200 OK" : "404 Not Found") << "\r\n"
+             << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+             << "Content-Length: " << body.size() << "\r\n"
+             << "Connection: close\r\n\r\n"
+             << body;
+    const std::string out = response.str();
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t w = ::send(client, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (w <= 0) {
+        break;
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+    ::close(client);
+  }
+}
+
+void HealthMonitor::StopServer() {
+  if (!serving_.exchange(false)) {
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (server_thread_.joinable()) {
+    server_thread_.join();
+  }
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,128 @@
+// Live health monitoring over the MetricRegistry: Prometheus text
+// exposition (plain-file and a tiny built-in HTTP /metrics server) plus
+// declarative alert rules whose evaluations feed both the exposition and
+// the dynamic executor switcher — the operator and the switch decision read
+// the same signals.
+//
+// Alert-rule syntax (one rule per string):
+//
+//   [name:] <metric> [<stat>] <op> <threshold>
+//
+//   queue_backlog: queue.depth p95 > 57.6
+//   extract.blame > 0.5
+//   stage.train p99 < 0.25
+//
+// <metric> is a registry name (counters and gauges read their value;
+// histograms need <stat> = p50|p95|p99|mean|max|count), <op> is '>' or '<',
+// <threshold> a number. The optional name labels the rule; omitted, it is
+// derived from the metric and stat. Each evaluation writes an
+// "alert.<name>" gauge (1 firing, 0 not) back into the registry, so alerts
+// appear in the Prometheus exposition, snapshots, and JSON dumps like any
+// other metric.
+#ifndef GNNLAB_OBS_HEALTH_H_
+#define GNNLAB_OBS_HEALTH_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gnnlab {
+
+// "queue.depth" -> "queue_depth": Prometheus metric names allow only
+// [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string SanitizeMetricName(std::string_view name);
+
+// Prometheus text exposition (format 0.0.4) of a registry snapshot. Every
+// metric is prefixed "gnnlab_"; counters gain the conventional "_total"
+// suffix; histograms render as summaries (quantile series + _sum/_count).
+std::string RegistryToPrometheusText(const MetricRegistry& registry);
+
+struct AlertRule {
+  std::string name;    // Gauge suffix: the rule fires into "alert.<name>".
+  std::string metric;  // Registry metric name, e.g. "queue.depth".
+  std::string stat;    // "" for counters/gauges; p50|p95|p99|mean|max|count.
+  char op = '>';
+  double threshold = 0.0;
+};
+
+// Parses the syntax above; false (and *error when non-null) on malformed
+// input. Missing metrics are not an error here — they evaluate as 0.
+bool ParseAlertRule(std::string_view text, AlertRule* rule, std::string* error = nullptr);
+
+struct AlertState {
+  AlertRule rule;
+  double value = 0.0;
+  bool firing = false;
+};
+
+class HealthMonitor {
+ public:
+  struct Options {
+    std::vector<AlertRule> rules;
+    // Plain-file exporter: WriteExposition() target ("" = disabled).
+    std::string exposition_path;
+    // Floor between snapshot reads: Evaluate() inside the window returns
+    // the cached states, so hot loops (the standby fetch check) can call it
+    // per iteration without hammering the registry mutex.
+    double min_eval_interval_seconds = 0.05;
+  };
+
+  HealthMonitor(MetricRegistry* registry, Options options);
+  ~HealthMonitor();  // StopServer() + final WriteExposition().
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  // Evaluates every rule against the current registry snapshot and updates
+  // the alert.* gauges. Rate-limited unless `force`.
+  std::vector<AlertState> Evaluate(bool force = false);
+
+  // Cached states from the last Evaluate().
+  std::vector<AlertState> states() const;
+  // True if any cached state fires; with `metric` non-null, only rules on
+  // that registry metric count (e.g. kMetricQueueDepth for the switcher's
+  // queue-pressure override).
+  bool AnyFiring(const char* metric = nullptr) const;
+  // Comma-joined names of firing rules ("" when healthy).
+  std::string FiringSummary() const;
+
+  // Fresh evaluation + full Prometheus text.
+  std::string Exposition();
+  // Writes Exposition() to options.exposition_path; false when the path is
+  // empty or the write fails.
+  bool WriteExposition();
+
+  // Tiny HTTP exporter: binds 127.0.0.1:`port` (0 = ephemeral) and serves
+  // GET /metrics with the exposition. Returns the bound port, or -1 on
+  // failure. StopServer() joins the accept thread; idempotent.
+  int StartServer(int port = 0);
+  void StopServer();
+  int port() const { return port_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  void ServeLoop();
+
+  MetricRegistry* registry_;
+  Options options_;
+  std::vector<Gauge*> alert_gauges_;  // One per rule, resolved once.
+
+  mutable std::mutex mu_;  // Guards states_ and last_eval_.
+  std::vector<AlertState> states_;
+  double last_eval_ = -1.0;
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread server_thread_;
+  std::atomic<bool> serving_{false};
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_OBS_HEALTH_H_

@@ -213,6 +213,33 @@ std::string MetricRegistry::SnapshotJson() const {
   return os.str();
 }
 
+std::vector<MetricRegistry::SnapshotEntry> MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    SnapshotEntry out;
+    out.name = name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out.kind = SnapshotEntry::Kind::kCounter;
+        out.value = static_cast<double>(entry.counter->value());
+        break;
+      case Kind::kGauge:
+        out.kind = SnapshotEntry::Kind::kGauge;
+        out.value = entry.gauge->value();
+        break;
+      case Kind::kHistogram:
+        out.kind = SnapshotEntry::Kind::kHistogram;
+        out.sum = entry.histogram->sum();
+        out.summary = entry.histogram->Summary();
+        break;
+    }
+    entries.push_back(std::move(out));
+  }
+  return entries;
+}
+
 std::size_t MetricRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

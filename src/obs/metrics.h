@@ -148,6 +148,19 @@ class MetricRegistry {
   // "max":..}. Single line — this is the payload of a snapshot sample.
   std::string SnapshotJson() const;
 
+  // A typed point-in-time copy of every metric, sorted by name — the
+  // foundation exporters build on (obs/health.h renders it as Prometheus
+  // text).
+  struct SnapshotEntry {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    Kind kind = Kind::kCounter;
+    std::string name;
+    double value = 0.0;      // Counter (cast) or gauge value.
+    double sum = 0.0;        // Histograms.
+    LatencySummary summary;  // Histograms.
+  };
+  std::vector<SnapshotEntry> Snapshot() const;
+
   std::size_t size() const;
 
  private:

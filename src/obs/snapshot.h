@@ -24,6 +24,8 @@ namespace gnnlab {
 inline constexpr char kMetricQueueDepth[] = "queue.depth";          // Gauge.
 inline constexpr char kMetricQueueBytes[] = "queue.bytes";          // Gauge.
 inline constexpr char kMetricQueueEnqueued[] = "queue.enqueued";    // Counter.
+// Per-task time from enqueue to pop (the flow tracer's queue_wait edge).
+inline constexpr char kMetricQueueWait[] = "queue.wait_seconds";    // Histogram.
 inline constexpr char kMetricCacheHits[] = "extract.cache_hits";    // Counter.
 inline constexpr char kMetricCacheMisses[] = "extract.host_misses"; // Counter.
 inline constexpr char kMetricBytesFromHost[] = "extract.bytes_host";    // Counter.

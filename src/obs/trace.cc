@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "common/logging.h"
@@ -13,9 +14,60 @@
 
 namespace gnnlab {
 
+bool LaneNaturalLess(const std::string& a, const std::string& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto digit = [](char c) { return c >= '0' && c <= '9'; };
+  while (i < a.size() && j < b.size()) {
+    if (digit(a[i]) && digit(b[j])) {
+      // Compare the full digit runs numerically (leading zeros ignored,
+      // shorter run of equal value wins for total-order stability).
+      std::size_t ia = i;
+      std::size_t jb = j;
+      while (ia < a.size() && digit(a[ia])) {
+        ++ia;
+      }
+      while (jb < b.size() && digit(b[jb])) {
+        ++jb;
+      }
+      std::size_t pa = i;
+      std::size_t pb = j;
+      while (pa < ia && a[pa] == '0') {
+        ++pa;
+      }
+      while (pb < jb && b[pb] == '0') {
+        ++pb;
+      }
+      const std::size_t la = ia - pa;
+      const std::size_t lb = jb - pb;
+      if (la != lb) {
+        return la < lb;
+      }
+      for (std::size_t k = 0; k < la; ++k) {
+        if (a[pa + k] != b[pb + k]) {
+          return a[pa + k] < b[pb + k];
+        }
+      }
+      if (ia - i != jb - j) {
+        return ia - i < jb - j;  // "07" vs "7": fewer leading zeros first.
+      }
+      i = ia;
+      j = jb;
+    } else {
+      if (a[i] != b[j]) {
+        return a[i] < b[j];
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return a.size() - i < b.size() - j;
+}
+
 std::string SpansToChromeJson(std::span<const TraceSpan> spans) {
-  // Stable tid per lane, in lexicographic order (map iteration).
-  std::map<std::string, int> lane_tid;
+  // Stable tid per lane, in natural order: deterministic across runs even
+  // though threads record in arbitrary order.
+  std::map<std::string, int, decltype(&LaneNaturalLess)> lane_tid(&LaneNaturalLess);
   for (const TraceSpan& span : spans) {
     lane_tid.emplace(span.lane, 0);
   }
@@ -90,8 +142,10 @@ std::vector<TraceSpan> RuntimeTracer::Collect() const {
     std::lock_guard<std::mutex> lock(shard.mu);
     all.insert(all.end(), shard.spans.begin(), shard.spans.end());
   }
-  std::sort(all.begin(), all.end(),
-            [](const TraceSpan& a, const TraceSpan& b) { return a.begin < b.begin; });
+  std::sort(all.begin(), all.end(), [](const TraceSpan& a, const TraceSpan& b) {
+    return std::tie(a.begin, a.end, a.lane, a.name) <
+           std::tie(b.begin, b.end, b.lane, b.name);
+  });
   return all;
 }
 

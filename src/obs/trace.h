@@ -23,9 +23,16 @@ struct TraceSpan {
   double end = 0.0;
 };
 
+// Natural lane ordering: alphabetic chunks compare lexicographically,
+// digit runs compare numerically — "sampler2" < "sampler10",
+// "gpu2/trainer" < "gpu10/trainer". Lane tids derive from this order, so
+// two runs of the same config produce identical lane->tid maps (diff-able
+// Perfetto files) regardless of thread-creation order.
+bool LaneNaturalLess(const std::string& a, const std::string& b);
+
 // Chrome trace-event JSON: complete ("X") events with microsecond
 // timestamps; lanes become thread names via metadata events, numbered in
-// lexicographic lane order.
+// natural lane order (LaneNaturalLess).
 std::string SpansToChromeJson(std::span<const TraceSpan> spans);
 
 // Writes SpansToChromeJson to `path`; false (and no partial file) on I/O
@@ -56,8 +63,10 @@ class RuntimeTracer {
   void Record(std::string lane, std::string name, std::string category, double begin,
               double end);
 
-  // All spans recorded so far, merged across shards and sorted by begin
-  // time. Do not call concurrently with Record().
+  // All spans recorded so far, merged across shards and sorted by
+  // (begin, end, lane, name) — a deterministic order for identical span
+  // sets, whatever shard each landed in. Do not call concurrently with
+  // Record().
   std::vector<TraceSpan> Collect() const;
   std::size_t size() const;
 

@@ -65,6 +65,44 @@ void AppendSnapshots(std::ostringstream& os, const std::vector<TelemetrySample>&
   os << "]";
 }
 
+// {"flows":N,"total_latency":..,"blame":{..},"fractions":{..},"dominant":".."}
+// Blame components sum to total_latency; fractions sum to 1 (or all-zero
+// when no flows were recorded, e.g. observability compiled out).
+void AppendAttribution(std::ostringstream& os, const PipelineAttribution& attribution) {
+  const StageBlame fractions = attribution.Fractions();
+  os << "{\"flows\":" << attribution.flows;
+  os << ",\"total_latency\":" << attribution.total_latency;
+  os << ",\"blame\":{";
+  for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+    os << (i > 0 ? "," : "") << "\"" << kBlameStageNames[i]
+       << "\":" << attribution.blame.Component(i);
+  }
+  os << "},\"fractions\":{";
+  for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+    os << (i > 0 ? "," : "") << "\"" << kBlameStageNames[i]
+       << "\":" << fractions.Component(i);
+  }
+  os << "},\"dominant\":\"" << attribution.DominantStage() << "\"}";
+}
+
+void AppendSwitchDecisions(std::ostringstream& os,
+                           const std::vector<SwitchDecision>& decisions) {
+  os << "[";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const SwitchDecision& d = decisions[i];
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"ts\":" << d.ts;
+    os << ",\"queue_depth\":" << d.queue_depth;
+    os << ",\"profit\":" << d.profit;
+    os << ",\"fetched\":" << (d.fetched ? "true" : "false");
+    os << ",\"pressure_override\":" << (d.pressure_override ? "true" : "false");
+    os << ",\"alerts\":\"" << Escape(d.alerts) << "\"}";
+  }
+  os << "]";
+}
+
 }  // namespace
 
 std::string RunReportToJson(const RunReport& report) {
@@ -112,11 +150,17 @@ std::string RunReportToJson(const RunReport& report) {
     os << ",\"host_misses\":" << epoch.extract.host_misses;
     os << ",\"bytes_from_host\":" << epoch.extract.bytes_from_host;
     os << ",\"hit_rate\":" << epoch.extract.HitRate() << "}";
+    os << ",\"attribution\":";
+    AppendAttribution(os, epoch.attribution);
     os << ",\"mean_loss\":" << epoch.mean_loss;
     os << ",\"eval_accuracy\":" << epoch.eval_accuracy;
     os << "}";
   }
   os << "]";
+  os << ",\"attribution\":";
+  AppendAttribution(os, report.attribution);
+  os << ",\"switch_decisions\":";
+  AppendSwitchDecisions(os, report.switch_decisions);
   os << ",\"snapshots\":";
   AppendSnapshots(os, report.snapshots);
   os << "}";
@@ -147,11 +191,17 @@ std::string ThreadedRunReportToJson(const ThreadedRunReport& report) {
     os << ",\"hit_rate\":" << epoch.extract.HitRate();
     os << ",\"parallel_workers\":" << epoch.extract.parallel_workers;
     os << ",\"worker_busy_seconds\":" << epoch.extract.TotalBusySeconds() << "}";
+    os << ",\"attribution\":";
+    AppendAttribution(os, epoch.attribution);
     os << ",\"mean_loss\":" << epoch.mean_loss;
     os << ",\"eval_accuracy\":" << epoch.eval_accuracy;
     os << "}";
   }
   os << "]";
+  os << ",\"attribution\":";
+  AppendAttribution(os, report.attribution);
+  os << ",\"switch_decisions\":";
+  AppendSwitchDecisions(os, report.switch_decisions);
   os << ",\"snapshots\":";
   AppendSnapshots(os, report.snapshots);
   os << "}";

@@ -14,7 +14,9 @@ namespace gnnlab {
 
 // One JSON object: config echo (samplers/trainers/cache), preprocessing,
 // queue stats, a per-epoch array with stage breakdowns, per-stage latency
-// summaries (count/mean/p50/p95/p99/max) and extraction counters, plus the
+// summaries (count/mean/p50/p95/p99/max), extraction counters and
+// critical-path attribution (blame seconds + fractions + dominant stage),
+// plus the run-level attribution, the executor-switch decision log and the
 // run-wide telemetry snapshot series.
 std::string RunReportToJson(const RunReport& report);
 
@@ -22,7 +24,8 @@ std::string RunReportToJson(const RunReport& report);
 bool WriteRunReportJson(const RunReport& report, const std::string& path);
 
 // Threaded-engine counterpart: per-epoch wall times, stage latency
-// summaries, extraction counters and the periodic snapshot series.
+// summaries, extraction counters, attribution, the switch decision log and
+// the periodic snapshot series.
 std::string ThreadedRunReportToJson(const ThreadedRunReport& report);
 bool WriteThreadedRunReportJson(const ThreadedRunReport& report, const std::string& path);
 

@@ -1,0 +1,521 @@
+// Tests for the per-minibatch flow layer and the health monitor: FlowTracer
+// recording/ordering and its Chrome flow events, the critical-path fold on
+// hand-built flow DAGs, Prometheus text exposition (file and HTTP), and the
+// alert-rule grammar + evaluation that drives the executor switcher.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/flow.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "report/json_parse.h"
+
+namespace gnnlab {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// FlowTracer
+
+TEST(FlowIdTest, PacksEpochAndBatch) {
+  const FlowId flow = MakeFlowId(3, 41);
+  EXPECT_EQ(FlowEpoch(flow), 3u);
+  EXPECT_EQ(FlowBatch(flow), 41u);
+  // Flow ids sort by (epoch, batch): an epoch's flows are contiguous.
+  EXPECT_LT(MakeFlowId(0, 999), MakeFlowId(1, 0));
+  EXPECT_LT(MakeFlowId(1, 0), MakeFlowId(1, 1));
+}
+
+TEST(FlowTracerTest, CollectSortsDeterministically) {
+  FlowTracer flows;
+  // Record out of order, across flows.
+  flows.Record(MakeFlowId(0, 1), "gpu1/trainer", "train", 5.0, 6.0);
+  flows.Record(MakeFlowId(0, 0), "gpu0/sampler", "sample", 0.0, 1.0);
+  flows.Record(MakeFlowId(0, 1), "gpu0/sampler", "sample", 1.0, 2.0);
+  flows.Record(MakeFlowId(0, 0), "gpu1/trainer", "extract", 2.0, 3.0, 0.25);
+  ASSERT_EQ(flows.size(), 4u);
+
+  const std::vector<FlowStep> steps = flows.Collect();
+  ASSERT_EQ(steps.size(), 4u);
+  // Sorted by (flow, begin): flow 0's steps first, each flow begin-ordered.
+  EXPECT_EQ(steps[0].flow, MakeFlowId(0, 0));
+  EXPECT_EQ(steps[0].stage, "sample");
+  EXPECT_EQ(steps[1].flow, MakeFlowId(0, 0));
+  EXPECT_EQ(steps[1].stage, "extract");
+  EXPECT_DOUBLE_EQ(steps[1].stall, 0.25);
+  EXPECT_EQ(steps[2].flow, MakeFlowId(0, 1));
+  EXPECT_EQ(steps[2].stage, "sample");
+  EXPECT_EQ(steps[3].flow, MakeFlowId(0, 1));
+  EXPECT_EQ(steps[3].stage, "train");
+
+  flows.Clear();
+  EXPECT_EQ(flows.size(), 0u);
+  EXPECT_TRUE(flows.Collect().empty());
+}
+
+TEST(FlowTracerTest, ConcurrentRecordsAllSurvive) {
+  FlowTracer flows;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&flows, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        flows.Record(MakeFlowId(t, i), "lane" + std::to_string(t), "sample",
+                     static_cast<double>(i), static_cast<double>(i) + 0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(flows.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(flows.Collect().size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(FlowTracerTest, ChromeJsonHasFlowEventsAndStableLaneTids) {
+  FlowTracer flows;
+  const FlowId flow = MakeFlowId(0, 7);
+  flows.Record(flow, "gpu0/sampler", "sample", 1.0, 2.0);
+  flows.Record(flow, "queue", "queue_wait", 2.0, 2.5);
+  flows.Record(flow, "gpu1/trainer", "extract", 2.5, 3.0, 0.1);
+  flows.Record(flow, "gpu1/trainer", "train", 3.0, 4.0);
+  // A single-step flow: no arrows for it (nothing to link).
+  flows.Record(MakeFlowId(0, 8), "gpu0/sampler", "sample", 4.0, 5.0);
+
+  const std::string json = flows.ToChromeJson();
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+
+  std::set<std::string> phases;
+  std::map<std::string, double> lane_tid;  // thread_name metadata -> tid.
+  std::size_t arrows = 0;
+  for (const JsonValue& event : events->array) {
+    const std::string ph = event.Find("ph")->string;
+    phases.insert(ph);
+    if (ph == "M") {
+      lane_tid[event.Find("args")->Find("name")->string] = event.Find("tid")->number;
+    }
+    if (ph == "s" || ph == "t" || ph == "f") {
+      ++arrows;
+      // Flow events carry the flow id so Perfetto links them.
+      EXPECT_EQ(event.Find("id")->number, static_cast<double>(flow));
+    }
+  }
+  // Slices, metadata, and the full s/t/f arrow chain are all present.
+  EXPECT_TRUE(phases.count("X"));
+  EXPECT_TRUE(phases.count("M"));
+  EXPECT_TRUE(phases.count("s"));
+  EXPECT_TRUE(phases.count("t"));
+  EXPECT_TRUE(phases.count("f"));
+  // 4 linked steps -> 1 "s" + 2 "t" + 1 "f"; the single-step flow adds none.
+  EXPECT_EQ(arrows, 4u);
+
+  // Lane-tid stability pin: tids follow natural lane-name order, not
+  // recording or thread-creation order.
+  ASSERT_EQ(lane_tid.size(), 3u);
+  EXPECT_EQ(lane_tid["gpu0/sampler"], 0.0);
+  EXPECT_EQ(lane_tid["gpu1/trainer"], 1.0);
+  EXPECT_EQ(lane_tid["queue"], 2.0);
+}
+
+TEST(FlowTracerTest, LaneTidsUseNaturalNumericOrder) {
+  // "gpu2/..." must sort before "gpu10/..." (natural, not lexicographic).
+  EXPECT_TRUE(LaneNaturalLess("gpu2/trainer", "gpu10/trainer"));
+  EXPECT_FALSE(LaneNaturalLess("gpu10/trainer", "gpu2/trainer"));
+
+  FlowTracer flows;
+  const FlowId flow = MakeFlowId(0, 0);
+  flows.Record(flow, "gpu10/trainer", "train", 2.0, 3.0);
+  flows.Record(flow, "gpu2/trainer", "extract", 1.0, 2.0);
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(flows.ToChromeJson(), &root, nullptr));
+  std::map<std::string, double> lane_tid;
+  for (const JsonValue& event : root.Find("traceEvents")->array) {
+    if (event.Find("ph")->string == "M") {
+      lane_tid[event.Find("args")->Find("name")->string] = event.Find("tid")->number;
+    }
+  }
+  EXPECT_EQ(lane_tid["gpu2/trainer"], 0.0);
+  EXPECT_EQ(lane_tid["gpu10/trainer"], 1.0);
+}
+
+TEST(FlowTracerTest, WriteChromeTraceRoundTrips) {
+  FlowTracer flows;
+  flows.Record(MakeFlowId(0, 0), "gpu0/sampler", "sample", 0.0, 1.0);
+  const std::string path = TempPath("flow_trace.json");
+  ASSERT_TRUE(flows.WriteChromeTrace(path));
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  JsonValue root;
+  std::string error;
+  EXPECT_TRUE(ParseJson(buffer.str(), &root, &error)) << error;
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Critical path
+
+std::vector<FlowStep> MakeFlow(std::initializer_list<FlowStep> steps) {
+  return std::vector<FlowStep>(steps);
+}
+
+TEST(CriticalPathTest, EmptyFlowIsZero) {
+  const FlowCriticalPath path = AnalyzeFlow({});
+  EXPECT_EQ(path.latency, 0.0);
+  EXPECT_EQ(path.blame.Total(), 0.0);
+  const PipelineAttribution none = AnalyzeFlows({});
+  EXPECT_EQ(none.flows, 0u);
+  // No flows -> all-zero fractions rather than NaN.
+  EXPECT_EQ(none.Fractions().Total(), 0.0);
+}
+
+TEST(CriticalPathTest, SingleStageDominates) {
+  const FlowId flow = MakeFlowId(0, 0);
+  const auto steps = MakeFlow({
+      {flow, "s0", "sample", 0.0, 1.0, 0.0},
+      {flow, "t0", "extract", 1.0, 2.0, 0.0},
+      {flow, "t0", "train", 2.0, 8.0, 0.0},
+  });
+  const FlowCriticalPath path = AnalyzeFlow(steps);
+  EXPECT_DOUBLE_EQ(path.latency, 8.0);
+  EXPECT_DOUBLE_EQ(path.blame.sample, 1.0);
+  EXPECT_DOUBLE_EQ(path.blame.extract, 1.0);
+  EXPECT_DOUBLE_EQ(path.blame.train, 6.0);
+  EXPECT_DOUBLE_EQ(path.blame.gap, 0.0);
+  EXPECT_STREQ(path.DominantStage(), "train");
+  // Invariant: blame sums exactly to latency.
+  EXPECT_DOUBLE_EQ(path.blame.Total(), path.latency);
+}
+
+TEST(CriticalPathTest, QueueWaitDominates) {
+  const FlowId flow = MakeFlowId(0, 1);
+  const auto steps = MakeFlow({
+      {flow, "s0", "sample", 0.0, 1.0, 0.0},
+      {flow, "s0", "copy", 1.0, 1.5, 0.0},
+      // The batch sat in the queue for 6s — the invisible time this layer
+      // exists to expose.
+      {flow, "queue", "queue_wait", 1.5, 7.5, 0.0},
+      {flow, "t0", "extract", 7.5, 8.0, 0.0},
+      {flow, "t0", "train", 8.0, 9.0, 0.0},
+  });
+  const FlowCriticalPath path = AnalyzeFlow(steps);
+  EXPECT_DOUBLE_EQ(path.latency, 9.0);
+  EXPECT_DOUBLE_EQ(path.blame.queue_wait, 6.0);
+  EXPECT_STREQ(path.DominantStage(), "queue_wait");
+  EXPECT_DOUBLE_EQ(path.blame.Total(), path.latency);
+}
+
+TEST(CriticalPathTest, OverlapEarliestClaimWins) {
+  // copy [1,3] overlaps queue_wait [2,6] (the threaded engine stamps
+  // enqueue_time at copy begin when Push blocks): copy claims [1,3], the
+  // queue only gets the uncovered [3,6].
+  const FlowId flow = MakeFlowId(0, 2);
+  const auto steps = MakeFlow({
+      {flow, "s0", "copy", 1.0, 3.0, 0.0},
+      {flow, "queue", "queue_wait", 2.0, 6.0, 0.0},
+  });
+  const FlowCriticalPath path = AnalyzeFlow(steps);
+  EXPECT_DOUBLE_EQ(path.blame.copy, 2.0);
+  EXPECT_DOUBLE_EQ(path.blame.queue_wait, 3.0);
+  EXPECT_DOUBLE_EQ(path.blame.Total(), path.latency);
+}
+
+TEST(CriticalPathTest, UncoveredTimeIsGap) {
+  const FlowId flow = MakeFlowId(0, 3);
+  const auto steps = MakeFlow({
+      {flow, "s0", "sample", 0.0, 1.0, 0.0},
+      {flow, "t0", "train", 3.0, 4.0, 0.0},  // 2s hole between the stages.
+  });
+  const FlowCriticalPath path = AnalyzeFlow(steps);
+  EXPECT_DOUBLE_EQ(path.blame.gap, 2.0);
+  EXPECT_DOUBLE_EQ(path.blame.Total(), path.latency);
+}
+
+TEST(CriticalPathTest, ExtractStallSplitsOut) {
+  const FlowId flow = MakeFlowId(0, 4);
+  const auto steps = MakeFlow({
+      {flow, "t0", "extract", 0.0, 4.0, 1.5},  // 1.5s on host transfers.
+  });
+  const FlowCriticalPath path = AnalyzeFlow(steps);
+  EXPECT_DOUBLE_EQ(path.blame.extract, 2.5);
+  EXPECT_DOUBLE_EQ(path.blame.extract_stall, 1.5);
+  EXPECT_DOUBLE_EQ(path.blame.Total(), path.latency);
+}
+
+TEST(CriticalPathTest, TieBreaksTowardEarlierStage) {
+  const FlowId flow = MakeFlowId(0, 5);
+  const auto steps = MakeFlow({
+      {flow, "s0", "sample", 0.0, 1.0, 0.0},
+      {flow, "t0", "train", 1.0, 2.0, 0.0},  // Exactly equal blame.
+  });
+  EXPECT_STREQ(AnalyzeFlow(steps).DominantStage(), "sample");
+}
+
+TEST(CriticalPathTest, AggregationSumsFlowsAndFractionsSumToOne) {
+  FlowTracer flows;
+  const FlowId a = MakeFlowId(0, 0);
+  const FlowId b = MakeFlowId(1, 0);  // Different epoch.
+  flows.Record(a, "s0", "sample", 0.0, 2.0);
+  flows.Record(a, "t0", "train", 2.0, 3.0);
+  flows.Record(b, "s0", "sample", 10.0, 11.0);
+  flows.Record(b, "t0", "train", 11.0, 15.0);
+  const std::vector<FlowStep> steps = flows.Collect();
+
+  const PipelineAttribution all = AnalyzeFlows(steps);
+  EXPECT_EQ(all.flows, 2u);
+  EXPECT_DOUBLE_EQ(all.total_latency, 8.0);
+  EXPECT_DOUBLE_EQ(all.blame.sample, 3.0);
+  EXPECT_DOUBLE_EQ(all.blame.train, 5.0);
+  EXPECT_STREQ(all.DominantStage(), "train");
+  double fraction_sum = 0.0;
+  const StageBlame fractions = all.Fractions();
+  for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+    fraction_sum += fractions.Component(i);
+  }
+  EXPECT_NEAR(fraction_sum, 1.0, 1e-9);
+
+  // Per-epoch restriction only sees that epoch's flow.
+  const PipelineAttribution epoch1 = AnalyzeFlowsForEpoch(steps, 1);
+  EXPECT_EQ(epoch1.flows, 1u);
+  EXPECT_DOUBLE_EQ(epoch1.total_latency, 5.0);
+  EXPECT_STREQ(epoch1.DominantStage(), "train");
+
+  // PipelineAttribution::Add(other) merges run-level aggregates.
+  PipelineAttribution merged = AnalyzeFlowsForEpoch(steps, 0);
+  merged.Add(epoch1);
+  EXPECT_EQ(merged.flows, all.flows);
+  EXPECT_DOUBLE_EQ(merged.total_latency, all.total_latency);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(PrometheusTest, SanitizeMetricName) {
+  EXPECT_EQ(SanitizeMetricName("queue.depth"), "queue_depth");
+  EXPECT_EQ(SanitizeMetricName("stage.train"), "stage_train");
+  EXPECT_EQ(SanitizeMetricName("ok_name:x9"), "ok_name:x9");
+  EXPECT_EQ(SanitizeMetricName("weird name-42"), "weird_name_42");
+}
+
+TEST(PrometheusTest, ExpositionRendersAllKinds) {
+  MetricRegistry registry;
+  registry.GetCounter("queue.enqueued")->Increment(42);
+  registry.GetGauge("queue.depth")->Set(7.5);
+  Histogram* histogram = registry.GetHistogram("stage.train");
+  histogram->Record(0.5);
+  histogram->Record(1.5);
+
+  const std::string text = RegistryToPrometheusText(registry);
+  // Counters: gnnlab_ prefix + conventional _total suffix.
+  EXPECT_NE(text.find("# TYPE gnnlab_queue_enqueued_total counter"), std::string::npos);
+  EXPECT_NE(text.find("gnnlab_queue_enqueued_total 42"), std::string::npos);
+  // Gauges render as-is.
+  EXPECT_NE(text.find("# TYPE gnnlab_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("gnnlab_queue_depth 7.5"), std::string::npos);
+  // Histograms render as summaries with quantile labels + _sum/_count.
+  EXPECT_NE(text.find("# TYPE gnnlab_stage_train summary"), std::string::npos);
+  EXPECT_NE(text.find("gnnlab_stage_train{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("gnnlab_stage_train{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("gnnlab_stage_train_count 2"), std::string::npos);
+  EXPECT_NE(text.find("gnnlab_stage_train_sum 2"), std::string::npos);
+
+  // Every non-comment line is "name[{labels}] value" with a finite value —
+  // the same malformed-line check scripts/verify.sh applies.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.compare(0, 7, "gnnlab_"), 0) << line;
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "non-numeric value in: " << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alert rules
+
+TEST(AlertRuleTest, ParsesFullGrammar) {
+  AlertRule rule;
+  ASSERT_TRUE(ParseAlertRule("queue_backlog: queue.depth p95 > 57.6", &rule));
+  EXPECT_EQ(rule.name, "queue_backlog");
+  EXPECT_EQ(rule.metric, "queue.depth");
+  EXPECT_EQ(rule.stat, "p95");
+  EXPECT_EQ(rule.op, '>');
+  EXPECT_DOUBLE_EQ(rule.threshold, 57.6);
+
+  // Name and stat are optional.
+  ASSERT_TRUE(ParseAlertRule("queue.depth > 32", &rule));
+  EXPECT_FALSE(rule.name.empty());
+  EXPECT_EQ(rule.metric, "queue.depth");
+  EXPECT_TRUE(rule.stat.empty());
+
+  ASSERT_TRUE(ParseAlertRule("stage.train p99 < 0.25", &rule));
+  EXPECT_EQ(rule.op, '<');
+  EXPECT_EQ(rule.stat, "p99");
+}
+
+TEST(AlertRuleTest, RejectsMalformedRules) {
+  AlertRule rule;
+  std::string error;
+  EXPECT_FALSE(ParseAlertRule("", &rule, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseAlertRule("queue.depth", &rule, &error));      // No comparison.
+  EXPECT_FALSE(ParseAlertRule("queue.depth >= 3", &rule, &error)); // Bad operator.
+  EXPECT_FALSE(ParseAlertRule("queue.depth > abc", &rule, &error));
+  EXPECT_FALSE(ParseAlertRule("queue.depth p42 > 1", &rule, &error));  // Bad stat.
+}
+
+TEST(HealthMonitorTest, EvaluatesRulesIntoAlertGauges) {
+  MetricRegistry registry;
+  registry.GetGauge("queue.depth")->Set(40.0);
+  Histogram* train = registry.GetHistogram("stage.train");
+  train->Record(0.1);
+
+  HealthMonitor::Options options;
+  AlertRule rule;
+  ASSERT_TRUE(ParseAlertRule("backlog: queue.depth > 32", &rule));
+  options.rules.push_back(rule);
+  ASSERT_TRUE(ParseAlertRule("slow_train: stage.train p99 > 10", &rule));
+  options.rules.push_back(rule);
+  HealthMonitor health(&registry, options);
+
+  const std::vector<AlertState> states = health.Evaluate(/*force=*/true);
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_TRUE(states[0].firing);
+  EXPECT_DOUBLE_EQ(states[0].value, 40.0);
+  EXPECT_FALSE(states[1].firing);
+
+  // Firing state lands back in the registry as alert.* gauges.
+  const Gauge* backlog = registry.FindGauge("alert.backlog");
+  ASSERT_NE(backlog, nullptr);
+  EXPECT_DOUBLE_EQ(backlog->value(), 1.0);
+  const Gauge* slow = registry.FindGauge("alert.slow_train");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_DOUBLE_EQ(slow->value(), 0.0);
+
+  // ...and therefore in the Prometheus exposition.
+  const std::string text = health.Exposition();
+  EXPECT_NE(text.find("gnnlab_alert_backlog 1"), std::string::npos);
+  EXPECT_NE(text.find("gnnlab_alert_slow_train 0"), std::string::npos);
+
+  // AnyFiring filters by the underlying registry metric.
+  EXPECT_TRUE(health.AnyFiring());
+  EXPECT_TRUE(health.AnyFiring("queue.depth"));
+  EXPECT_FALSE(health.AnyFiring("stage.train"));
+  EXPECT_EQ(health.FiringSummary(), "backlog");
+}
+
+TEST(HealthMonitorTest, RateLimitCachesBetweenEvaluations) {
+  MetricRegistry registry;
+  registry.GetGauge("queue.depth")->Set(100.0);
+  HealthMonitor::Options options;
+  AlertRule rule;
+  ASSERT_TRUE(ParseAlertRule("backlog: queue.depth > 32", &rule));
+  options.rules.push_back(rule);
+  options.min_eval_interval_seconds = 3600.0;  // Effectively: evaluate once.
+  HealthMonitor health(&registry, options);
+
+  ASSERT_TRUE(health.Evaluate()[0].firing);
+  registry.GetGauge("queue.depth")->Set(0.0);
+  // Inside the window the cached verdict holds; force re-reads the registry.
+  EXPECT_TRUE(health.Evaluate()[0].firing);
+  EXPECT_FALSE(health.Evaluate(/*force=*/true)[0].firing);
+}
+
+TEST(HealthMonitorTest, WritesExpositionFile) {
+  MetricRegistry registry;
+  registry.GetCounter("queue.enqueued")->Increment(3);
+  HealthMonitor::Options options;
+  options.exposition_path = TempPath("health_exposition.prom");
+  {
+    HealthMonitor health(&registry, options);
+    ASSERT_TRUE(health.WriteExposition());
+  }  // Destructor also rewrites the final state.
+  std::ifstream file(options.exposition_path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_NE(buffer.str().find("gnnlab_queue_enqueued_total 3"), std::string::npos);
+  std::remove(options.exposition_path.c_str());
+
+  // Empty path means the plain-file exporter is disabled.
+  HealthMonitor disabled(&registry, HealthMonitor::Options{});
+  EXPECT_FALSE(disabled.WriteExposition());
+}
+
+// Plain POSIX client for the built-in /metrics server.
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HealthMonitorTest, HttpServerServesMetrics) {
+  MetricRegistry registry;
+  registry.GetCounter("queue.enqueued")->Increment(9);
+  HealthMonitor health(&registry, HealthMonitor::Options{});
+  const int port = health.StartServer(/*port=*/0);  // Ephemeral.
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(health.port(), port);
+
+  const std::string response = HttpGet(port, "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("gnnlab_queue_enqueued_total 9"), std::string::npos);
+
+  // Unknown paths 404 without killing the server.
+  EXPECT_NE(HttpGet(port, "/nope").find("404"), std::string::npos);
+  EXPECT_NE(HttpGet(port, "/metrics").find("200 OK"), std::string::npos);
+
+  health.StopServer();
+  health.StopServer();  // Idempotent.
+}
+
+}  // namespace
+}  // namespace gnnlab

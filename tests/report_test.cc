@@ -186,5 +186,98 @@ TEST(ThreadedRunReportJsonTest, SchemaParsesWithLatencyAndSnapshots) {
   EXPECT_EQ(root.Find("snapshots")->array.size(), 1u);
 }
 
+TEST(RunReportJsonTest, AttributionRoundTripsWithFractionsSummingToOne) {
+  // Build an attribution from real flow DAGs so the blame numbers carry the
+  // fold's invariants into the JSON and back.
+  FlowTracer flows;
+  const FlowId a = MakeFlowId(0, 0);
+  flows.Record(a, "s0", "sample", 0.0, 1.0);
+  flows.Record(a, "s0", "copy", 1.0, 1.25);
+  flows.Record(a, "queue", "queue_wait", 1.25, 4.0);
+  flows.Record(a, "t0", "extract", 4.0, 5.0, 0.4);
+  flows.Record(a, "t0", "train", 5.5, 7.0);  // 0.5s gap before train.
+  const FlowId b = MakeFlowId(0, 1);
+  flows.Record(b, "s0", "sample", 2.0, 3.0);
+  flows.Record(b, "t0", "train", 3.0, 9.0);
+
+  RunReport report;
+  EpochReport epoch;
+  epoch.attribution = AnalyzeFlowsForEpoch(flows.Collect(), 0);
+  report.epochs.push_back(epoch);
+  report.attribution = epoch.attribution;
+  SwitchDecision decision;
+  decision.ts = 1.5;
+  decision.queue_depth = 3;
+  decision.profit = -0.25;
+  decision.fetched = true;
+  decision.pressure_override = true;
+  decision.alerts = "backlog";
+  report.switch_decisions.push_back(decision);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(RunReportToJson(report), &root, &error)) << error;
+
+  // Round-trip: the parsed fractions must sum to 1 within 1e-6, both at the
+  // epoch and the run level, and blame must sum to total_latency.
+  for (const JsonValue* attribution :
+       {root.Find("attribution"), root.Find("epochs")->array[0].Find("attribution")}) {
+    ASSERT_NE(attribution, nullptr);
+    EXPECT_DOUBLE_EQ(attribution->Find("flows")->number, 2.0);
+    const double total = attribution->Find("total_latency")->number;
+    EXPECT_DOUBLE_EQ(total, 14.0);  // 7s flow a + 7s flow b.
+    double fraction_sum = 0.0;
+    double blame_sum = 0.0;
+    for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+      const JsonValue* fraction =
+          attribution->Find("fractions")->Find(kBlameStageNames[i]);
+      ASSERT_NE(fraction, nullptr) << kBlameStageNames[i];
+      fraction_sum += fraction->number;
+      blame_sum += attribution->Find("blame")->Find(kBlameStageNames[i])->number;
+    }
+    EXPECT_NEAR(fraction_sum, 1.0, 1e-6);
+    EXPECT_NEAR(blame_sum, total, 1e-6);
+    EXPECT_EQ(attribution->Find("dominant")->string, "train");
+  }
+  // Spot-check one component survived serialization: the queue wait.
+  EXPECT_DOUBLE_EQ(
+      root.Find("attribution")->Find("blame")->Find("queue_wait")->number, 2.75);
+  EXPECT_DOUBLE_EQ(
+      root.Find("attribution")->Find("blame")->Find("extract_stall")->number, 0.4);
+
+  // The decision log serializes field-for-field.
+  const JsonValue* decisions = root.Find("switch_decisions");
+  ASSERT_NE(decisions, nullptr);
+  ASSERT_EQ(decisions->array.size(), 1u);
+  const JsonValue& d = decisions->array[0];
+  EXPECT_DOUBLE_EQ(d.Find("ts")->number, 1.5);
+  EXPECT_DOUBLE_EQ(d.Find("queue_depth")->number, 3.0);
+  EXPECT_DOUBLE_EQ(d.Find("profit")->number, -0.25);
+  EXPECT_TRUE(d.Find("fetched")->boolean);
+  EXPECT_TRUE(d.Find("pressure_override")->boolean);
+  EXPECT_EQ(d.Find("alerts")->string, "backlog");
+}
+
+TEST(ThreadedRunReportJsonTest, CarriesAttributionAndDecisions) {
+  ThreadedRunReport report;
+  FlowCriticalPath path;
+  path.flow = MakeFlowId(0, 0);
+  path.latency = 2.0;
+  path.blame.extract = 0.5;
+  path.blame.train = 1.5;
+  report.attribution.Add(path);
+  report.switch_decisions.push_back(SwitchDecision{});
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(ThreadedRunReportToJson(report), &root, &error)) << error;
+  const JsonValue* attribution = root.Find("attribution");
+  ASSERT_NE(attribution, nullptr);
+  EXPECT_DOUBLE_EQ(attribution->Find("flows")->number, 1.0);
+  EXPECT_DOUBLE_EQ(attribution->Find("fractions")->Find("train")->number, 0.75);
+  EXPECT_EQ(attribution->Find("dominant")->string, "train");
+  EXPECT_EQ(root.Find("switch_decisions")->array.size(), 1u);
+}
+
 }  // namespace
 }  // namespace gnnlab

@@ -4,10 +4,12 @@
 // wall-clock telemetry (tracer spans, metric registry, snapshot series).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <string>
 
 #include "core/threaded_engine.h"
+#include "obs/health.h"
 #include "report/json.h"
 #include "report/json_parse.h"
 
@@ -222,6 +224,98 @@ TEST(ThreadedEngineTest, TracerRecordsAllFiveStageCategories) {
   EXPECT_EQ(registry.FindCounter(kMetricMarkTotal)->value(),
             report.epochs[0].extract.distinct_vertices);
   EXPECT_EQ(registry.FindHistogram("stage.train")->count(), batches);
+}
+
+TEST(ThreadedEngineTest, FlowDagCoversEveryBatchExactlyOncePerStage) {
+  Fixture& fixture = SharedFixture();
+  FlowTracer flows;
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.flows = &flows;
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGraphSage),
+                        options);
+  const ThreadedRunReport report = engine.Run();
+  std::size_t total_batches = 0;
+  for (const ThreadedEpochReport& epoch : report.epochs) {
+    total_batches += epoch.batches;
+  }
+
+  // Per stage, per flow id: occurrence count. Every batch must appear
+  // exactly once in each per-batch stage — no lost or duplicated flows.
+  std::map<std::string, std::map<FlowId, std::size_t>> stage_flows;
+  for (const FlowStep& step : flows.Collect()) {
+    EXPECT_LE(step.begin, step.end);
+    EXPECT_GE(step.stall, 0.0);
+    EXPECT_LE(step.stall, step.end - step.begin + 1e-12);
+    ++stage_flows[step.stage][step.flow];
+  }
+  for (const char* stage : {"sample", "mark", "copy", "extract", "train"}) {
+    const auto& per_flow = stage_flows[stage];
+    EXPECT_EQ(per_flow.size(), total_batches) << stage;
+    for (const auto& [flow, count] : per_flow) {
+      EXPECT_EQ(count, 1u) << stage << " flow epoch=" << FlowEpoch(flow)
+                           << " batch=" << FlowBatch(flow);
+    }
+  }
+  // Queue-wait edges are conditional (only when the pop observes the wait),
+  // but never duplicated.
+  for (const auto& [flow, count] : stage_flows["queue_wait"]) {
+    EXPECT_EQ(count, 1u) << "queue_wait flow " << flow;
+  }
+
+  // The fold over those DAGs lands in the report with fractions summing to 1.
+  EXPECT_EQ(report.attribution.flows, total_batches);
+  double fraction_sum = 0.0;
+  const StageBlame fractions = report.attribution.Fractions();
+  for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+    EXPECT_GE(fractions.Component(i), 0.0);
+    fraction_sum += fractions.Component(i);
+  }
+  EXPECT_NEAR(fraction_sum, 1.0, 1e-6);
+  for (const ThreadedEpochReport& epoch : report.epochs) {
+    EXPECT_EQ(epoch.attribution.flows, epoch.batches);
+  }
+}
+
+TEST(ThreadedEngineTest, StandbyDecisionsAreLoggedAndHealthDriven) {
+  // All-switching config: the Sampler drains its own queue as a standby
+  // Trainer, so every batch rides a logged fetch decision.
+  Fixture& fixture = SharedFixture();
+  MetricRegistry registry;
+  HealthMonitor::Options health_options;
+  AlertRule rule;
+  ASSERT_TRUE(ParseAlertRule("backlog: queue.depth > 0", &rule));
+  health_options.rules.push_back(rule);
+  HealthMonitor health(&registry, health_options);
+
+  ThreadedEngineOptions options = BaseOptions(fixture);
+  options.num_samplers = 1;
+  options.num_trainers = 0;
+  options.queue_capacity = 4096;
+  options.epochs = 1;
+  options.metrics = &registry;
+  options.health = &health;
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGraphSage),
+                        options);
+  const ThreadedRunReport report = engine.Run();
+
+  ASSERT_FALSE(report.switch_decisions.empty());
+  std::size_t fetched = 0;
+  for (const SwitchDecision& d : report.switch_decisions) {
+    EXPECT_GE(d.ts, 0.0);
+    fetched += d.fetched ? 1 : 0;
+    if (d.pressure_override) {
+      // Overrides only happen when the queue-pressure rule was firing.
+      EXPECT_NE(d.alerts.find("backlog"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(fetched, report.epochs[0].batches);
+
+  // The rule's evaluations are visible in the registry (and hence the
+  // Prometheus exposition) as an alert gauge.
+  EXPECT_NE(registry.FindGauge("alert.backlog"), nullptr);
+  EXPECT_NE(health.Exposition().find("gnnlab_alert_backlog"), std::string::npos);
+  // Attribution gauges were published for blame-based alerting.
+  EXPECT_NE(registry.FindGauge("attribution.queue_wait"), nullptr);
 }
 #endif
 
