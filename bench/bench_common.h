@@ -19,8 +19,10 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "cache/cache_policy.h"
 #include "common/units.h"
 #include "graph/dataset.h"
 
@@ -34,6 +36,13 @@ struct BenchFlags {
   std::string flow_out;     // Empty = no flow trace.
   std::string metrics_out;  // Empty = no snapshot file.
   std::string prom_out;     // Empty = no Prometheus exposition file.
+  // Cache policy override (--policy=none|random|degree|presc1|presc2|presc3|
+  // optimal). Unset = each bench keeps its per-configuration default.
+  std::optional<CachePolicyKind> policy;
+
+  CachePolicyKind PolicyOr(CachePolicyKind fallback) const {
+    return policy.value_or(fallback);
+  }
 
   // Simulated GPU memory: 64 MB at scale 1.0, shrinking with the data so
   // the paper's Vol : GPU ratios hold at any scale.
@@ -60,10 +69,18 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
       flags.metrics_out = arg + 14;
     } else if (std::strncmp(arg, "--prom-out=", 11) == 0) {
       flags.prom_out = arg + 11;
+    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
+      flags.policy = ParseCachePolicyKind(arg + 9);
+      if (!flags.policy) {
+        std::fprintf(stderr, "unknown policy: %s\n", arg + 9);
+        std::exit(2);
+      }
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "flags: --scale=<f> --epochs=<n> --seed=<n> --trace-out=<file> "
-          "--flow-out=<file> --metrics-out=<file> --prom-out=<file>\n");
+          "flags: --scale=<f> --epochs=<n> --seed=<n> "
+          "--policy=<none|random|degree|presc1|presc2|presc3|optimal> "
+          "--trace-out=<file> --flow-out=<file> --metrics-out=<file> "
+          "--prom-out=<file>\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);

@@ -35,6 +35,7 @@ std::string GnnlabCell(const Dataset& ds, const Workload& workload, int gpus, in
   options.gpu_memory = flags.GpuMemory();
   options.epochs = flags.epochs;
   options.seed = flags.seed;
+  options.policy = flags.PolicyOr(options.policy);
   Engine engine(ds, workload, options);
   const RunReport report = engine.Run();
   return report.oom ? "OOM" : Fmt(report.AvgEpochTime());

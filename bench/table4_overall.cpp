@@ -43,6 +43,7 @@ std::string GnnlabCell(const Dataset& ds, const Workload& workload, const BenchF
   options.gpu_memory = flags.GpuMemory();
   options.epochs = flags.epochs;
   options.seed = flags.seed;
+  options.policy = flags.PolicyOr(options.policy);
   Engine engine(ds, workload, options);
   const RunReport report = engine.Run();
   if (report.oom) {

@@ -45,6 +45,7 @@ std::vector<std::string> GnnlabCells(const Dataset& ds, const Workload& workload
   options.gpu_memory = flags.GpuMemory();
   options.epochs = flags.epochs;
   options.seed = flags.seed;
+  options.policy = flags.PolicyOr(options.policy);
   if (trace != nullptr) {
     trace->Clear();  // The sweep reuses one recorder; keep only the last run.
     options.trace = trace;

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     options.gpu_memory = flags.GpuMemory();
     options.epochs = flags.epochs;
     options.seed = flags.seed;
+    options.policy = flags.PolicyOr(options.policy);
     Engine engine(ds, workload, options);
     const RunReport report = engine.Run();
     if (report.oom) {

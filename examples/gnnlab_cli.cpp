@@ -24,6 +24,7 @@
 
 #include "baselines/cpu_runner.h"
 #include "baselines/timeshare_runner.h"
+#include "cache/cache_policy.h"
 #include "core/engine.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -170,26 +171,8 @@ Workload WorkloadFor(const std::string& name) {
 }
 
 CachePolicyKind PolicyFor(const std::string& name) {
-  if (name == "none") {
-    return CachePolicyKind::kNone;
-  }
-  if (name == "random") {
-    return CachePolicyKind::kRandom;
-  }
-  if (name == "degree") {
-    return CachePolicyKind::kDegree;
-  }
-  if (name == "presc1") {
-    return CachePolicyKind::kPreSC1;
-  }
-  if (name == "presc2") {
-    return CachePolicyKind::kPreSC2;
-  }
-  if (name == "presc3") {
-    return CachePolicyKind::kPreSC3;
-  }
-  if (name == "optimal") {
-    return CachePolicyKind::kOptimal;
+  if (const auto kind = ParseCachePolicyKind(name)) {
+    return *kind;
   }
   std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
   Usage();

@@ -23,12 +23,15 @@ cd "${repo_root}"
 cmake -B "${build_dir}" -S . -DGNNLAB_SANITIZE="${sanitizer}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j"$(nproc)" --target \
-  concurrency_test runtime_test threaded_engine_test obs_test flow_health_test
+  concurrency_test runtime_test threaded_engine_test obs_test flow_health_test \
+  pipeline_test
 
-# The threaded/concurrency suites are the ones exercising real parallelism;
-# the simulated suites are single-threaded by design and add little here.
+# The threaded/concurrency suites are the ones exercising real parallelism,
+# and the pipeline suite drives the shared stage bodies through all four
+# drivers; the purely simulated suites are single-threaded by design and
+# add little here.
 if [ "$#" -eq 0 ]; then
-  set -- -R "Concurrency|MpmcQueue|ParallelFor|ParallelExtract|ParallelSampling|ThreadPool|ThreadedEngine|Runtime|Histogram|Counter|MetricRegistry|RuntimeTracer|Snapshot|FlowTracer|CriticalPath|HealthMonitor|AlertRule|Prometheus"
+  set -- -R "Concurrency|MpmcQueue|ParallelFor|ParallelExtract|ParallelSampling|ThreadPool|ThreadedEngine|Runtime|Histogram|Counter|MetricRegistry|RuntimeTracer|Snapshot|FlowTracer|CriticalPath|HealthMonitor|AlertRule|Prometheus|CountEquality|BatchStreams|CacheBuilder|SwitchGate|ReportAssembler"
 fi
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "${build_dir}" --output-on-failure "$@"

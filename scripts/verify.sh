@@ -20,6 +20,13 @@ fi
 cmake --build "${build_dir}" -j"$(nproc)"
 ctest --test-dir "${build_dir}" --output-on-failure
 
+# --- stage-pipeline cross-driver guarantee -----------------------------------
+# The count-equality suite (sim engine vs threaded engine vs time-sharing
+# baseline over the shared src/pipeline stage bodies) is the refactor's
+# headline invariant; surface it by name even though the full run above
+# already includes it.
+ctest --test-dir "${build_dir}" -R "CountEquality" --output-on-failure
+
 # --- telemetry smoke run -----------------------------------------------------
 out_dir="$(mktemp -d)"
 trap 'rm -rf "${out_dir}"' EXIT

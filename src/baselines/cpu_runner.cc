@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "pipeline/batch_streams.h"
+#include "pipeline/report_assembler.h"
+#include "pipeline/stages.h"
 
 namespace gnnlab {
 
@@ -12,6 +15,7 @@ struct CpuRunner::GpuState {
   bool busy = false;
   StageBreakdown stage;
   ExtractStats extract;
+  std::uint64_t sampled_edges = 0;
 };
 
 CpuRunner::CpuRunner(const Dataset& dataset, const Workload& workload,
@@ -35,8 +39,11 @@ RunReport CpuRunner::Run() {
   RunReport report;
   report.num_samplers = 0;
   report.num_trainers = options_.num_gpus;
-  report.preprocess.disk_load =
-      cost_.DiskLoadTime(dataset_.TopologyBytes() + dataset_.FeatureBytes());
+  PreprocessSpec pre;
+  pre.topo_bytes = dataset_.TopologyBytes();
+  pre.feature_bytes = dataset_.FeatureBytes();
+  pre.load_topology = false;  // CPU sampling: the topology never leaves DRAM.
+  report.preprocess = AssemblePreprocess(cost_, pre);
 
   gpus_.clear();
   for (int g = 0; g < options_.num_gpus; ++g) {
@@ -52,21 +59,14 @@ RunReport CpuRunner::Run() {
 
 EpochReport CpuRunner::RunEpoch(std::size_t epoch) {
   current_epoch_ = epoch;
-  epoch_batches_.clear();
-  {
-    Rng shuffle_rng = Rng(options_.seed).Fork(epoch * 2 + 1);
-    EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
-    while (batches.HasNext()) {
-      const auto batch = batches.NextBatch();
-      epoch_batches_.emplace_back(batch.begin(), batch.end());
-    }
-  }
+  epoch_batches_ = PlanEpochBatches(dataset_.train_set, dataset_.batch_size, options_.seed, epoch);
   next_batch_ = 0;
   done_batches_ = 0;
   for (auto& gpu : gpus_) {
     gpu->busy = false;
     gpu->stage = StageBreakdown{};
     gpu->extract = ExtractStats{};
+    gpu->sampled_edges = 0;
   }
 
   const SimTime epoch_start = sim_.now();
@@ -79,10 +79,11 @@ EpochReport CpuRunner::RunEpoch(std::size_t epoch) {
   EpochReport report;
   report.epoch_time = sim_.now() - epoch_start;
   report.batches = epoch_batches_.size();
-  report.gradient_updates = (report.batches + gpus_.size() - 1) / gpus_.size();
+  report.gradient_updates = SyncGradientUpdates(report.batches, gpus_.size());
   for (const auto& gpu : gpus_) {
     report.stage.Add(gpu->stage);
     report.extract.Add(gpu->extract);
+    report.sampled_edges += gpu->sampled_edges;
   }
   return report;
 }
@@ -93,39 +94,38 @@ void CpuRunner::PumpGpu(std::size_t g) {
     return;
   }
   const std::size_t batch = next_batch_++;
-  Rng rng = Rng(options_.seed).Fork(current_epoch_ * 1'000'003 + batch + 7);
-  SamplerStats sampler_stats;
-  const SampleBlock block = gpu.sampler->Sample(epoch_batches_[batch], &rng, &sampler_stats);
+  Rng rng = PipelineBatchRng(options_.seed, current_epoch_, batch);
+  SampleSpec sample_spec;
+  sample_spec.cost = &cost_;
+  sample_spec.kernel = SampleKernel::kPygCpu;
+  const SampleOutcome sample =
+      RunSampleStage(gpu.sampler.get(), epoch_batches_[batch], &rng, sample_spec);
+  gpu.sampled_edges += sample.sampled_edges;
 
-  // CPU sampling: grab the least-loaded CPU slot (PyG's worker pool). The
-  // Python-loop sampler is far slower per entry than an optimized C++ one.
-  const SimTime sample_cost =
-      cost_.CpuSampleTime(sampler_stats) * cost_.params().pyg_sample_multiplier;
+  // CPU sampling: grab the least-loaded CPU slot (PyG's worker pool).
   auto slot = std::min_element(cpu_slots_.begin(), cpu_slots_.end(),
                                [](const SharedResource& a, const SharedResource& b) {
                                  return a.busy_until() < b.busy_until();
                                });
-  const SimTime sample_done = slot->Acquire(sim_.now(), sample_cost);
+  const SimTime sample_done = slot->Acquire(sim_.now(), sample.sample_time);
 
-  const ExtractStats extract_stats = extractor_.Extract(block, nullptr);
-  const CostModelParams& params = cost_.params();
-  const SimTime host_time =
-      static_cast<double>(extract_stats.bytes_from_host) / params.pcie_gather_bandwidth +
-      params.cpu_gather_per_row * static_cast<double>(extract_stats.distinct_vertices);
-  const TrainWork work = MakeTrainWork(workload_, dataset_, block);
-  const SimTime train_time = cost_.TrainTime(work);
+  ExtractSpec extract_spec;
+  extract_spec.cost = &cost_;
+  extract_spec.gpu_gather = false;  // PyG gathers rows with CPUs.
+  const ExtractOutcome extract = RunExtractStage(extractor_, sample.block, nullptr, extract_spec);
+  const SimTime train_time = PriceTrainStage(workload_, dataset_, sample.block, cost_);
 
   gpu.busy = true;
-  sim_.ScheduleAt(sample_done, [this, g, sample_cost, host_time, train_time, extract_stats] {
+  const SimTime sample_cost = sample.sample_time;
+  sim_.ScheduleAt(sample_done, [this, g, sample_cost, extract, train_time] {
     GpuState& state = *gpus_[g];
     state.stage.sample_graph += sample_cost;
-    const SimTime channel_done = host_channel_.Acquire(
-        sim_.now(), host_time / cost_.params().host_channel_parallelism);
-    const SimTime extract_done = std::max(sim_.now() + host_time, channel_done);
-    sim_.ScheduleAt(extract_done, [this, g, host_time, train_time, extract_stats] {
+    const SimTime extract_done = ScheduleExtractOnChannel(
+        &host_channel_, sim_.now(), extract, cost_.params().host_channel_parallelism);
+    sim_.ScheduleAt(extract_done, [this, g, extract, train_time] {
       GpuState& inner = *gpus_[g];
-      inner.stage.extract += host_time;
-      inner.extract.Add(extract_stats);
+      inner.stage.extract += extract.Work();
+      inner.extract.Add(extract.stats);
       sim_.Schedule(train_time, [this, g, train_time] {
         GpuState& done = *gpus_[g];
         done.stage.train += train_time;

@@ -4,6 +4,10 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "pipeline/batch_streams.h"
+#include "pipeline/cache_builder.h"
+#include "pipeline/report_assembler.h"
+#include "pipeline/stages.h"
 
 namespace gnnlab {
 
@@ -49,44 +53,6 @@ TimeShareRunner::TimeShareRunner(const Dataset& dataset, const Workload& workloa
 
 TimeShareRunner::~TimeShareRunner() = default;
 
-Rng TimeShareRunner::BatchRng(std::size_t epoch, std::size_t batch) const {
-  return Rng(options_.seed).Fork(epoch * 1'000'003 + batch + 7);
-}
-
-std::vector<VertexId> TimeShareRunner::RankForPolicy() {
-  CachePolicyContext context;
-  context.graph = &dataset_.graph;
-  context.train_set = &dataset_.train_set;
-  context.batch_size = dataset_.batch_size;
-  context.seed = options_.seed;
-  switch (options_.policy) {
-    case CachePolicyKind::kNone:
-      return {};
-    case CachePolicyKind::kRandom:
-      return MakeRandomPolicy()->Rank(context);
-    case CachePolicyKind::kDegree:
-      return MakeDegreePolicy()->Rank(context);
-    default:
-      break;
-  }
-  // PreSC/Optimal in a time-sharing runner: supported for ablations.
-  context.sampler_factory = [this] {
-    return MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
-  };
-  switch (options_.policy) {
-    case CachePolicyKind::kPreSC1:
-      return MakePreSamplingPolicy(1)->Rank(context);
-    case CachePolicyKind::kPreSC2:
-      return MakePreSamplingPolicy(2)->Rank(context);
-    case CachePolicyKind::kPreSC3:
-      return MakePreSamplingPolicy(3)->Rank(context);
-    default:
-      LOG_FATAL << "unsupported policy for time-sharing runner: "
-                << CachePolicyKindName(options_.policy);
-      __builtin_unreachable();
-  }
-}
-
 bool TimeShareRunner::PlanMemory(RunReport* report) {
   devices_.clear();
   const ByteCount topo_bytes =
@@ -115,7 +81,12 @@ bool TimeShareRunner::PlanMemory(RunReport* report) {
   }
   const ByteCount cache_budget = options_.gpu_memory - fixed;
 
-  const std::vector<VertexId> ranked = RankForPolicy();
+  CacheBuildContext context;
+  context.dataset = &dataset_;
+  context.workload = &workload_;
+  context.weights = weights_ ? &*weights_ : nullptr;
+  context.seed = options_.seed;
+  const std::vector<VertexId> ranked = BuildCacheRanking(options_.policy, context);
   if (options_.policy == CachePolicyKind::kNone) {
     cache_ = FeatureCache::Load({}, 0.0, dataset_.graph.num_vertices(), dataset_.feature_dim);
   } else if (options_.cache_ratio_override >= 0.0) {
@@ -146,13 +117,14 @@ RunReport TimeShareRunner::Run() {
     return report;
   }
 
-  const ByteCount topo_bytes =
-      dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
-  report.preprocess.disk_load = cost_.DiskLoadTime(topo_bytes + dataset_.FeatureBytes());
-  if (options_.gpu_sampling) {
-    report.preprocess.topo_load = cost_.TopologyLoadTime(topo_bytes);
-  }
-  report.preprocess.cache_load = cost_.CacheLoadTime(cache_.CacheBytes());
+  PreprocessSpec pre;
+  pre.topo_bytes = dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
+  pre.feature_bytes = dataset_.FeatureBytes();
+  pre.cache_bytes = cache_.CacheBytes();
+  pre.load_topology = options_.gpu_sampling;
+  // No presample line: the policy classes run their own pre-sampling, and
+  // the time-sharing runners have no profiling pass to price it from.
+  report.preprocess = AssemblePreprocess(cost_, pre);
 
   gpus_.clear();
   for (int g = 0; g < options_.num_gpus; ++g) {
@@ -176,15 +148,7 @@ RunReport TimeShareRunner::Run() {
 EpochReport TimeShareRunner::RunEpoch(std::size_t epoch) {
   current_epoch_ = epoch;
   epoch_report_ = EpochReport{};
-  epoch_batches_.clear();
-  {
-    Rng shuffle_rng = Rng(options_.seed).Fork(epoch * 2 + 1);
-    EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
-    while (batches.HasNext()) {
-      const auto batch = batches.NextBatch();
-      epoch_batches_.emplace_back(batch.begin(), batch.end());
-    }
-  }
+  epoch_batches_ = PlanEpochBatches(dataset_.train_set, dataset_.batch_size, options_.seed, epoch);
   next_batch_ = 0;
   done_batches_ = 0;
   for (auto& gpu : gpus_) {
@@ -203,7 +167,7 @@ EpochReport TimeShareRunner::RunEpoch(std::size_t epoch) {
   EpochReport report = epoch_report_;
   report.epoch_time = sim_.now() - epoch_start;
   report.batches = epoch_batches_.size();
-  report.gradient_updates = (report.batches + gpus_.size() - 1) / gpus_.size();
+  report.gradient_updates = SyncGradientUpdates(report.batches, gpus_.size());
   for (const auto& gpu : gpus_) {
     report.stage.Add(gpu->stage);
     report.extract.Add(gpu->extract);
@@ -217,60 +181,45 @@ void TimeShareRunner::PumpGpu(std::size_t g) {
     return;
   }
   const std::size_t batch = next_batch_++;
-  Rng rng = BatchRng(current_epoch_, batch);
-  SamplerStats sampler_stats;
-  SampleBlock block = gpu.sampler->Sample(epoch_batches_[batch], &rng, &sampler_stats);
-  if (cache_.num_cached() > 0) {
-    cache_.MarkBlock(&block);
-  }
+  Rng rng = PipelineBatchRng(options_.seed, current_epoch_, batch);
 
   // Sample stage (no queue copy: time sharing keeps the block on-GPU).
-  SimTime sample_time;
-  if (options_.dgl_style_sampling) {
-    sample_time = cost_.DglSampleTime(sampler_stats, workload_.sampling, options_.gpu_sampling);
-  } else if (options_.gpu_sampling) {
-    sample_time = cost_.GpuSampleTime(sampler_stats);
-  } else {
-    sample_time = cost_.CpuSampleTime(sampler_stats);
-  }
-  const SimTime mark_time =
-      cache_.num_cached() > 0 ? cost_.MarkTime(block.vertices().size()) : 0.0;
+  SampleSpec sample_spec;
+  sample_spec.cache = &cache_;
+  sample_spec.cost = &cost_;
+  sample_spec.kernel = options_.dgl_style_sampling
+                           ? SampleKernel::kDgl
+                           : (options_.gpu_sampling ? SampleKernel::kGpu : SampleKernel::kCpu);
+  sample_spec.algorithm = workload_.sampling;
+  sample_spec.dgl_on_gpu = options_.gpu_sampling;
+  const SampleOutcome sample =
+      RunSampleStage(gpu.sampler.get(), epoch_batches_[batch], &rng, sample_spec);
+  epoch_report_.sampled_edges += sample.sampled_edges;
 
   // Extract stage: host-side service is FCFS-shared across GPUs.
-  const ExtractStats extract_stats = extractor_.Extract(block, nullptr);
-  const CostModelParams& params = cost_.params();
-  SimTime host_time =
-      static_cast<double>(extract_stats.bytes_from_host) / params.pcie_gather_bandwidth;
-  SimTime local_time;
-  if (options_.gpu_extract) {
-    local_time = params.gpu_gather_per_row * static_cast<double>(extract_stats.distinct_vertices);
-  } else {
-    // CPU extraction: the per-row random gather also burns shared host
-    // bandwidth.
-    host_time += params.cpu_gather_per_row * static_cast<double>(extract_stats.distinct_vertices);
-    local_time = 0.0;
-  }
+  ExtractSpec extract_spec;
+  extract_spec.cost = &cost_;
+  extract_spec.gpu_gather = options_.gpu_extract;
+  const ExtractOutcome extract = RunExtractStage(extractor_, sample.block, nullptr, extract_spec);
 
-  const TrainWork work = MakeTrainWork(workload_, dataset_, block);
-  const SimTime train_time = cost_.TrainTime(work);
+  const SimTime train_time = PriceTrainStage(workload_, dataset_, sample.block, cost_);
 
   // Sequential S -> E -> T on this GPU; the extract's host portion queues on
   // the shared channel once sampling ends.
+  const SimTime sample_time = sample.sample_time;
+  const SimTime mark_time = sample.mark_time;
   const SimTime sample_done = sim_.now() + sample_time + mark_time;
   gpu.busy = true;
-  sim_.ScheduleAt(sample_done, [this, g, sample_time, mark_time, host_time, local_time,
-                                train_time, extract_stats] {
+  sim_.ScheduleAt(sample_done, [this, g, sample_time, mark_time, extract, train_time] {
     GpuState& state = *gpus_[g];
     state.stage.sample_graph += sample_time;
     state.stage.sample_mark += mark_time;
-    const SimTime channel_done = host_channel_.Acquire(
-        sim_.now(), host_time / cost_.params().host_channel_parallelism);
-    const SimTime extract_done =
-        std::max(sim_.now() + host_time, channel_done) + local_time;
-    sim_.ScheduleAt(extract_done, [this, g, host_time, local_time, train_time, extract_stats] {
+    const SimTime extract_done = ScheduleExtractOnChannel(
+        &host_channel_, sim_.now(), extract, cost_.params().host_channel_parallelism);
+    sim_.ScheduleAt(extract_done, [this, g, extract, train_time] {
       GpuState& inner = *gpus_[g];
-      inner.stage.extract += host_time + local_time;
-      inner.extract.Add(extract_stats);
+      inner.stage.extract += extract.Work();
+      inner.extract.Add(extract.stats);
       sim_.Schedule(train_time, [this, g, train_time] {
         GpuState& done = *gpus_[g];
         done.stage.train += train_time;

@@ -52,12 +52,9 @@ class TimeShareRunner {
  private:
   struct GpuState;
 
-  std::vector<VertexId> RankForPolicy();
   bool PlanMemory(RunReport* report);
   EpochReport RunEpoch(std::size_t epoch);
   void PumpGpu(std::size_t g);
-
-  Rng BatchRng(std::size_t epoch, std::size_t batch) const;
 
   const Dataset& dataset_;
   Workload workload_;  // By value: temporaries like StandardWorkload(...) are fine.

@@ -4,6 +4,69 @@ namespace gnnlab {
 
 // The policy implementations live in their own translation units
 // (degree_policy.cc, random_policy.cc, presampling_policy.cc,
-// optimal_policy.cc); this file anchors the interface's vtable.
+// optimal_policy.cc); this file anchors the interface's vtable and the
+// kind <-> name plumbing shared by the engines, CLIs and benches.
+
+const char* CachePolicyKindName(CachePolicyKind kind) {
+  switch (kind) {
+    case CachePolicyKind::kNone:
+      return "None";
+    case CachePolicyKind::kRandom:
+      return "Random";
+    case CachePolicyKind::kDegree:
+      return "Degree";
+    case CachePolicyKind::kPreSC1:
+      return "PreSC#1";
+    case CachePolicyKind::kPreSC2:
+      return "PreSC#2";
+    case CachePolicyKind::kPreSC3:
+      return "PreSC#3";
+    case CachePolicyKind::kOptimal:
+      return "Optimal";
+  }
+  return "unknown";
+}
+
+std::optional<CachePolicyKind> ParseCachePolicyKind(const std::string& name) {
+  if (name == "none") {
+    return CachePolicyKind::kNone;
+  }
+  if (name == "random") {
+    return CachePolicyKind::kRandom;
+  }
+  if (name == "degree") {
+    return CachePolicyKind::kDegree;
+  }
+  if (name == "presc1") {
+    return CachePolicyKind::kPreSC1;
+  }
+  if (name == "presc2") {
+    return CachePolicyKind::kPreSC2;
+  }
+  if (name == "presc3") {
+    return CachePolicyKind::kPreSC3;
+  }
+  if (name == "optimal") {
+    return CachePolicyKind::kOptimal;
+  }
+  return std::nullopt;
+}
+
+double PresampleCostMultiplier(CachePolicyKind kind, std::size_t measured_epochs) {
+  switch (kind) {
+    case CachePolicyKind::kPreSC1:
+      return 1.0;
+    case CachePolicyKind::kPreSC2:
+      return 2.0;
+    case CachePolicyKind::kPreSC3:
+      return 3.0;
+    case CachePolicyKind::kOptimal:
+      // Oracle: offline replay of the measured epochs (not realizable
+      // online; reported for completeness).
+      return static_cast<double>(measured_epochs);
+    default:
+      return 0.0;
+  }
+}
 
 }  // namespace gnnlab

@@ -6,6 +6,8 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -15,6 +17,31 @@
 #include "sampling/sampler.h"
 
 namespace gnnlab {
+
+// The caching policies every engine and baseline understands (paper §6).
+// One enum, one display name, one CLI spelling — the engines, the example
+// CLIs and the benches all parse and print through the helpers below.
+enum class CachePolicyKind {
+  kNone,
+  kRandom,
+  kDegree,
+  kPreSC1,
+  kPreSC2,
+  kPreSC3,
+  kOptimal,
+};
+
+// Display name used in tables and logs ("PreSC#1", "Degree", ...).
+const char* CachePolicyKindName(CachePolicyKind kind);
+
+// Parses the CLI spelling (none | random | degree | presc1 | presc2 |
+// presc3 | optimal); nullopt for anything else.
+std::optional<CachePolicyKind> ParseCachePolicyKind(const std::string& name);
+
+// Pre-sampling cost multiplier for the preprocessing report (Table 6): a
+// PreSC#K policy pays K pre-sampling epochs, the Optimal oracle pays an
+// offline replay of all `measured_epochs`, everything else pays nothing.
+double PresampleCostMultiplier(CachePolicyKind kind, std::size_t measured_epochs);
 
 // Everything a policy may consult. PreSC additionally needs to *run* the
 // Sample stage, so the context carries a factory for fresh sampler

@@ -6,40 +6,12 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "obs/health.h"
-#include "obs/snapshot.h"
-#include "tensor/ops.h"
+#include "nn/grad_sync.h"
+#include "pipeline/batch_streams.h"
+#include "pipeline/cache_builder.h"
+#include "pipeline/report_assembler.h"
 
 namespace gnnlab {
-namespace {
-
-// Epoch-id offset for the profiling / pre-sampling passes so their random
-// streams never collide with measured epochs.
-constexpr std::size_t kProfileEpochBase = std::size_t{1} << 20;
-// Epoch-id offset for evaluation sampling (real-training accuracy).
-constexpr std::size_t kEvalEpochBase = std::size_t{1} << 21;
-
-}  // namespace
-
-const char* CachePolicyKindName(CachePolicyKind kind) {
-  switch (kind) {
-    case CachePolicyKind::kNone:
-      return "None";
-    case CachePolicyKind::kRandom:
-      return "Random";
-    case CachePolicyKind::kDegree:
-      return "Degree";
-    case CachePolicyKind::kPreSC1:
-      return "PreSC#1";
-    case CachePolicyKind::kPreSC2:
-      return "PreSC#2";
-    case CachePolicyKind::kPreSC3:
-      return "PreSC#3";
-    case CachePolicyKind::kOptimal:
-      return "Optimal";
-  }
-  return "unknown";
-}
 
 Engine::Engine(const Dataset& dataset, const Workload& workload, const EngineOptions& options)
     : dataset_(dataset),
@@ -78,14 +50,6 @@ Engine::Engine(const Dataset& dataset, const Workload& workload, const EngineOpt
 
 Engine::~Engine() = default;
 
-Rng Engine::BatchRng(std::size_t epoch, std::size_t batch) const {
-  return Rng(options_.seed).Fork(epoch * 1'000'003 + batch + 7);
-}
-
-Rng Engine::ShuffleRng(std::size_t epoch) const {
-  return Rng(options_.seed).Fork(epoch * 2 + 1);
-}
-
 RunReport Engine::Run() {
   RunReport report;
   ProfileSampling();
@@ -96,31 +60,15 @@ RunReport Engine::Run() {
   }
 
   // Preprocessing (Table 6): amortized once per training task.
-  const ByteCount topo_bytes =
-      dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
-  report.preprocess.disk_load = cost_.DiskLoadTime(topo_bytes + dataset_.FeatureBytes());
-  report.preprocess.topo_load = cost_.TopologyLoadTime(topo_bytes);
-  report.preprocess.cache_load = cost_.CacheLoadTime(trainer_cache_.CacheBytes());
-  const SimTime presample_stage =
+  PreprocessSpec preprocess;
+  preprocess.topo_bytes = dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
+  preprocess.feature_bytes = dataset_.FeatureBytes();
+  preprocess.cache_bytes = trainer_cache_.CacheBytes();
+  preprocess.policy = options_.policy;
+  preprocess.measured_epochs = options_.epochs;
+  preprocess.presample_epoch_time =
       cost_.params().presample_epoch_factor * profile_graph_total_;
-  switch (options_.policy) {
-    case CachePolicyKind::kPreSC1:
-      report.preprocess.presample = presample_stage;
-      break;
-    case CachePolicyKind::kPreSC2:
-      report.preprocess.presample = 2.0 * presample_stage;
-      break;
-    case CachePolicyKind::kPreSC3:
-      report.preprocess.presample = 3.0 * presample_stage;
-      break;
-    case CachePolicyKind::kOptimal:
-      // Oracle: offline replay of the measured epochs (not realizable
-      // online; reported for completeness).
-      report.preprocess.presample = static_cast<double>(options_.epochs) * presample_stage;
-      break;
-    default:
-      break;
-  }
+  report.preprocess = AssemblePreprocess(cost_, preprocess);
 
   // Telemetry bindings happen after BuildCaches: the caches were just
   // re-assigned, which would have discarded earlier bindings.
@@ -129,9 +77,19 @@ RunReport Engine::Run() {
   extractor_.BindMetrics(options_.metrics);
   trainer_cache_.BindMetrics(options_.metrics);
   standby_cache_.BindMetrics(options_.metrics);
-  flows_ = options_.flows != nullptr ? options_.flows : &own_flows_;
   own_flows_.Clear();
-  run_decisions_.clear();
+  obs_.BindFlows(options_.flows, &own_flows_);
+  if (options_.trace != nullptr) {
+    TraceRecorder* trace = options_.trace;
+    obs_.BindSpans([trace](const std::string& lane, const char* stage, std::size_t batch,
+                           double begin, double end) {
+      trace->Record(lane, std::string(stage) + " b" + std::to_string(batch), stage, begin,
+                    end);
+    });
+  } else {
+    obs_.BindSpans({});
+  }
+  switch_log_.Take();  // Drop decisions from any previous Run().
   snapshots_.clear();
   run_cache_hits_ = run_cache_misses_ = run_bytes_host_ = run_bytes_cache_ = 0;
 
@@ -141,68 +99,33 @@ RunReport Engine::Run() {
     report.attribution.Add(report.epochs.back().attribution);
   }
   report.queue = queue_.report();
-  report.switch_decisions = std::move(run_decisions_);
-  run_decisions_.clear();
+  report.switch_decisions = switch_log_.Take();
   report.snapshots = std::move(snapshots_);
   return report;
-}
-
-void Engine::RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
-                            double begin, double end, double stall) {
-  GNNLAB_OBS_ONLY({
-    if (flows_ != nullptr) {
-      flows_->Record(flow, lane, stage, begin, end, stall);
-    }
-  });
-  (void)flow;
-  (void)lane;
-  (void)stage;
-  (void)begin;
-  (void)end;
-  (void)stall;
-}
-
-void Engine::LogSwitchDecision(const SwitchDecision& decision) {
-  // Capped so a long skip/fetch oscillation cannot bloat the report.
-  constexpr std::size_t kMaxDecisions = 4096;
-  if (run_decisions_.size() < kMaxDecisions) {
-    run_decisions_.push_back(decision);
-  }
-}
-
-void Engine::PublishAttribution(const PipelineAttribution& attribution) {
-  GNNLAB_OBS_ONLY({
-    if (options_.metrics != nullptr) {
-      const StageBlame fractions = attribution.Fractions();
-      for (std::size_t i = 0; i < kNumBlameStages; ++i) {
-        options_.metrics->GetGauge(std::string("attribution.") + kBlameStageNames[i])
-            ->Set(fractions.Component(i));
-      }
-    }
-  });
-  (void)attribution;
 }
 
 void Engine::ProfileSampling() {
   std::unique_ptr<Sampler> sampler =
       MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
-  Rng shuffle_rng = ShuffleRng(kProfileEpochBase);
+  SampleSpec spec;
+  spec.cost = &cost_;
+  spec.kernel = SampleKernel::kGpu;
+  spec.algorithm = workload_.sampling;
+  spec.price_queue_copy = true;
+  spec.price_mark_always = true;  // Estimate the cached steady state.
+  Rng shuffle_rng = PipelineShuffleRng(options_.seed, kProfileEpochBase);
   EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
   std::size_t batch_index = 0;
   std::size_t distinct_total = 0;
   TrainWork work_sum;
   while (batches.HasNext()) {
-    Rng rng = BatchRng(kProfileEpochBase, batch_index);
-    SamplerStats stats;
-    const SampleBlock block = sampler->Sample(batches.NextBatch(), &rng, &stats);
-    profile_footprint_.Accumulate(block);
-    const SimTime g = cost_.GpuSampleTime(stats);
-    const SimTime m = cost_.MarkTime(block.vertices().size());
-    const SimTime c = cost_.QueueCopyTime(block.QueueBytes());
-    profile_graph_total_ += g;
-    profile_sample_total_ += g + m + c;
-    distinct_total += block.vertices().size();
-    const TrainWork work = MakeTrainWork(workload_, dataset_, block);
+    Rng rng = PipelineBatchRng(options_.seed, kProfileEpochBase, batch_index);
+    const SampleOutcome out = RunSampleStage(sampler.get(), batches.NextBatch(), &rng, spec);
+    profile_footprint_.Accumulate(out.block);
+    profile_graph_total_ += out.sample_time;
+    profile_sample_total_ += out.Total();
+    distinct_total += out.block.vertices().size();
+    const TrainWork work = MakeTrainWork(workload_, dataset_, out.block);
     work_sum.block_edges += work.block_edges;
     work_sum.block_vertices += work.block_vertices;
     ++batch_index;
@@ -220,70 +143,15 @@ void Engine::ProfileSampling() {
   profile_avg_work_.model_factor = workload_.train_factor;
 }
 
-std::vector<VertexId> Engine::RankForPolicy(CachePolicyKind kind) {
-  CachePolicyContext context;
-  context.graph = &dataset_.graph;
-  context.train_set = &dataset_.train_set;
-  context.batch_size = dataset_.batch_size;
-  context.seed = options_.seed;
-
-  switch (kind) {
-    case CachePolicyKind::kNone:
-      return {};
-    case CachePolicyKind::kRandom:
-      return MakeRandomPolicy()->Rank(context);
-    case CachePolicyKind::kDegree:
-      return MakeDegreePolicy()->Rank(context);
-    case CachePolicyKind::kPreSC1:
-    case CachePolicyKind::kPreSC2:
-    case CachePolicyKind::kPreSC3: {
-      // Stage 0 is the profiling pass itself (the paper folds pre-sampling
-      // into the first training epochs, §6.3); extra stages replay further
-      // profile epochs.
-      std::size_t stages = 1;
-      if (kind == CachePolicyKind::kPreSC2) {
-        stages = 2;
-      } else if (kind == CachePolicyKind::kPreSC3) {
-        stages = 3;
-      }
-      Footprint footprint = profile_footprint_;
-      std::unique_ptr<Sampler> sampler =
-          MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
-      for (std::size_t stage = 1; stage < stages; ++stage) {
-        Rng shuffle_rng = ShuffleRng(kProfileEpochBase + stage);
-        EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
-        std::size_t batch = 0;
-        while (batches.HasNext()) {
-          Rng rng = BatchRng(kProfileEpochBase + stage, batch++);
-          footprint.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
-        }
-      }
-      return footprint.RankByCount();
-    }
-    case CachePolicyKind::kOptimal: {
-      // Replays the exact epochs that will be measured (same shuffle and
-      // per-batch streams), so the ranking is the true oracle.
-      Footprint footprint(dataset_.graph.num_vertices());
-      std::unique_ptr<Sampler> sampler =
-          MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
-      for (std::size_t e = 0; e < options_.epochs; ++e) {
-        Rng shuffle_rng = ShuffleRng(e);
-        EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
-        std::size_t batch = 0;
-        while (batches.HasNext()) {
-          Rng rng = BatchRng(e, batch++);
-          footprint.Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
-        }
-      }
-      return footprint.RankByCount();
-    }
-  }
-  LOG_FATAL << "unknown cache policy";
-  __builtin_unreachable();
-}
-
 void Engine::BuildCaches(RunReport* report) {
-  const std::vector<VertexId> ranked = RankForPolicy(options_.policy);
+  CacheBuildContext build;
+  build.dataset = &dataset_;
+  build.workload = &workload_;
+  build.weights = weights_ ? &*weights_ : nullptr;
+  build.seed = options_.seed;
+  build.profile_footprint = &profile_footprint_;
+  build.replay_epochs = options_.epochs;
+  const std::vector<VertexId> ranked = BuildCacheRanking(options_.policy, build);
   const VertexId num_vertices = dataset_.graph.num_vertices();
   const double gpu_mem = static_cast<double>(options_.gpu_memory);
 
@@ -472,15 +340,8 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
   current_epoch_ = epoch;
   epoch_report_ = EpochReport{};
   stage_latency_.Reset();
-  epoch_batches_.clear();
-  {
-    Rng shuffle_rng = ShuffleRng(epoch);
-    EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
-    while (batches.HasNext()) {
-      const auto batch = batches.NextBatch();
-      epoch_batches_.emplace_back(batch.begin(), batch.end());
-    }
-  }
+  epoch_batches_ = PlanEpochBatches(dataset_.train_set, dataset_.batch_size, options_.seed,
+                                    epoch);
   next_batch_ = 0;
   trained_batches_ = 0;
   loss_sum_ = 0.0;
@@ -500,7 +361,7 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
     trainer.extract = ExtractStats{};
     trainer.batches_done = 0;
   }
-  switch_last_logged_.assign(trainers_.size(), -1);
+  switch_log_.ResetFilters(trainers_.size());
 
   const SimTime epoch_start = sim_.now();
   PumpSamplers();
@@ -509,11 +370,7 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
 
   // Flush a partial gradient-accumulation group at the epoch boundary.
   if (model_ != nullptr && grad_accum_ > 0) {
-    for (Tensor* grad : model_->Grads()) {
-      ScaleInPlace(grad, 1.0f / static_cast<float>(grad_accum_));
-    }
-    adam_->Step(model_->Params(), model_->Grads());
-    model_->ZeroGrads();
+    ApplyAveragedGradients(model_.get(), adam_.get(), grad_accum_);
     ++gradient_updates_;
     grad_accum_ = 0;
   }
@@ -522,10 +379,7 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
   report.epoch_time = sim_.now() - epoch_start;
   report.latency = stage_latency_.Summarize();
   report.batches = epoch_batches_.size();
-  GNNLAB_OBS_ONLY({
-    report.attribution = AnalyzeFlowsForEpoch(flows_->Collect(), epoch);
-    PublishAttribution(report.attribution);
-  });
+  report.attribution = AssembleEpochAttribution(obs_.flows(), epoch, options_.metrics);
   for (const SamplerExec& sampler : samplers_) {
     report.stage.Add(sampler.stage);
   }
@@ -541,8 +395,7 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
     report.mean_loss = loss_count_ > 0 ? loss_sum_ / static_cast<double>(loss_count_) : 0.0;
     report.eval_accuracy = EvaluateAccuracy(epoch);
   } else {
-    report.gradient_updates =
-        (report.batches + sync_group_ - 1) / std::max<std::size_t>(1, sync_group_);
+    report.gradient_updates = SyncGradientUpdates(report.batches, sync_group_);
   }
   return report;
 }
@@ -561,49 +414,39 @@ void Engine::PumpSamplers() {
       continue;
     }
     const std::size_t batch = next_batch_++;
-    Rng rng = BatchRng(current_epoch_, batch);
-    SamplerStats stats;
-    SampleBlock block = sampler.sampler->Sample(epoch_batches_[batch], &rng, &stats);
-    if (trainer_cache_.num_cached() > 0) {
-      trainer_cache_.MarkBlock(&block);
-    }
-    const SimTime g = cost_.GpuSampleTime(stats);
-    const SimTime m =
-        trainer_cache_.num_cached() > 0 ? cost_.MarkTime(block.vertices().size()) : 0.0;
-    const SimTime c = cost_.QueueCopyTime(block.QueueBytes());
+    Rng rng = PipelineBatchRng(options_.seed, current_epoch_, batch);
+    SampleSpec spec;
+    spec.cache = &trainer_cache_;
+    spec.cost = &cost_;
+    spec.kernel = SampleKernel::kGpu;
+    spec.algorithm = workload_.sampling;
+    spec.price_queue_copy = true;
+    SampleOutcome out = RunSampleStage(sampler.sampler.get(), epoch_batches_[batch], &rng,
+                                       spec);
+    epoch_report_.sampled_edges += out.sampled_edges;
+    const SimTime g = out.sample_time;
+    const SimTime m = out.mark_time;
+    const SimTime c = out.copy_time;
     sampler.busy = true;
 
     auto task = std::make_shared<TrainTask>();
-    task->block = std::move(block);
+    task->block = std::move(out.block);
     task->epoch = current_epoch_;
     task->batch = batch;
     sim_.Schedule(g + m + c, [this, s, g, m, c, task] {
       SamplerExec& done_sampler = samplers_[s];
-      done_sampler.stage.sample_graph += g;
-      done_sampler.stage.sample_mark += m;
-      done_sampler.stage.sample_copy += c;
       done_sampler.busy = false;
-      stage_latency_.RecordSample(g);
-      if (m > 0.0) {
-        stage_latency_.RecordMark(m);
-      }
-      stage_latency_.RecordCopy(c);
-      if (options_.trace != nullptr) {
-        options_.trace->Record("gpu" + std::to_string(done_sampler.gpu) + "/sampler",
-                               "sample b" + std::to_string(task->batch), "sample",
-                               sim_.now() - (g + m + c), sim_.now());
-      }
-      GNNLAB_OBS_ONLY({
-        const std::string lane = "gpu" + std::to_string(done_sampler.gpu) + "/sampler";
-        const FlowId flow = MakeFlowId(task->epoch, task->batch);
-        const SimTime now = sim_.now();
-        RecordFlowStep(flow, lane, "sample", now - (g + m + c), now - (m + c));
-        if (m > 0.0) {
-          RecordFlowStep(flow, lane, "mark", now - (m + c), now - c);
-        }
-        RecordFlowStep(flow, lane, "copy", now - c, now);
-      });
-      task->enqueue_time = sim_.now();
+      const SimTime now = sim_.now();
+      SampleStamps stamps;
+      stamps.sample_begin = now - (g + m + c);
+      stamps.sample_end = stamps.mark_begin = now - (m + c);
+      stamps.mark_end = stamps.copy_begin = now - c;
+      stamps.copy_end = now;
+      RecordSampleCompletion(obs_, &stage_latency_, &done_sampler.stage,
+                             "gpu" + std::to_string(done_sampler.gpu) + "/sampler",
+                             MakeFlowId(task->epoch, task->batch), task->batch, stamps,
+                             /*record_mark=*/m > 0.0);
+      task->enqueue_time = now;
       queue_.Push(std::move(*task));
       PumpTrainers();
       PumpSamplers();
@@ -623,40 +466,18 @@ void Engine::PumpTrainers() {
       if (!samplers_[trainer.owner_sampler].epoch_done) {
         continue;
       }
-      bool fetch = switch_controller_->ShouldFetch(queue_.size());
-      bool pressure = false;
-      std::string alerts;
-      GNNLAB_OBS_ONLY({
-        if (options_.health != nullptr) {
-          // Forced: the rate limiter runs on the wall clock, which would
-          // make simulated-timeline decisions nondeterministic.
-          options_.health->Evaluate(/*force=*/true);
-          alerts = options_.health->FiringSummary();
-          // Queue-pressure override: a firing queue.depth alert means the
-          // backlog is past the operator's threshold — drain now even if
-          // the profit metric says the dedicated Trainers would get there.
-          if (!fetch && options_.health->AnyFiring(kMetricQueueDepth)) {
-            pressure = true;
-            fetch = true;
-          }
-        }
-      });
-      SwitchDecision decision;
-      decision.ts = sim_.now();
-      decision.queue_depth = queue_.size();
-      decision.profit =
-          std::clamp(switch_controller_->Profit(queue_.size()), -1e12, 1e12);
-      decision.fetched = fetch;
-      decision.pressure_override = pressure;
-      decision.alerts = std::move(alerts);
-      int& last = switch_last_logged_[t];
-      if (fetch || last != 0) {
-        LogSwitchDecision(decision);
-      }
-      last = fetch ? 1 : 0;
-      if (!fetch) {
+      // Health evaluation is forced: the monitor's rate limiter runs on the
+      // wall clock, which would make simulated-timeline decisions
+      // nondeterministic.
+      const StandbyFetchEval eval = EvaluateStandbyFetch(
+          sim_.now(), queue_.size(), switch_controller_->ShouldFetch(queue_.size()),
+          switch_controller_->Profit(queue_.size()), options_.health,
+          /*force_health_eval=*/true);
+      if (!eval.fetch) {
+        switch_log_.LogSkip(t, eval.decision);
         continue;
       }
+      switch_log_.LogFetch(t, eval.decision);
     }
     std::optional<TrainTask> task = queue_.TryPop();
     CHECK(task.has_value());
@@ -667,63 +488,44 @@ void Engine::PumpTrainers() {
 void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
   GNNLAB_OBS_ONLY({
     if (sim_.now() > task.enqueue_time) {
-      RecordFlowStep(MakeFlowId(task.epoch, task.batch), "queue", "queue_wait",
-                     task.enqueue_time, sim_.now());
+      RecordQueueWait(obs_, MakeFlowId(task.epoch, task.batch), task.enqueue_time,
+                      sim_.now());
       queue_.ObserveWait(sim_.now() - task.enqueue_time);
     }
   });
   if (trainer->standby) {
     // The Sampler marked the block against the dedicated Trainers' cache;
     // the standby's smaller cache needs a re-mark.
-    if (standby_cache_.num_cached() > 0 || !task.block.cache_marks().empty()) {
-      standby_cache_.MarkBlock(&task.block);
-    }
+    RemarkBlockForCache(standby_cache_, &task.block);
   }
-  const ExtractStats stats = extractor_.Extract(task.block, nullptr);
-  const CostModelParams& params = cost_.params();
-  // Host portion: the GPU's own PCIe link takes host_time; the shared DRAM
-  // channel absorbs 1/parallelism of it (see CostModelParams).
-  const SimTime host_time =
-      static_cast<double>(stats.bytes_from_host) / params.pcie_gather_bandwidth;
-  const SimTime channel_done =
-      host_channel_.Acquire(sim_.now(), host_time / params.host_channel_parallelism);
-  const SimTime local_time =
-      params.gpu_gather_per_row * static_cast<double>(stats.distinct_vertices);
-  const SimTime extract_done =
-      std::max(sim_.now() + host_time, channel_done) + local_time;
-  const SimTime extract_work = host_time + local_time;
+  ExtractSpec spec;
+  spec.cost = &cost_;
+  spec.gpu_gather = true;
+  const ExtractOutcome extract = RunExtractStage(extractor_, task.block, nullptr, spec);
+  const SimTime extract_done = ScheduleExtractOnChannel(
+      &host_channel_, sim_.now(), extract, cost_.params().host_channel_parallelism);
 
   trainer->extract_busy = true;
   ++trainer->trains_in_flight;
   auto shared_task = std::make_shared<TrainTask>(std::move(task));
-  sim_.ScheduleAt(extract_done, [this, trainer, shared_task, stats, extract_work,
-                                 host_time] {
-    trainer->stage.extract += extract_work;
-    trainer->extract.Add(stats);
-    stage_latency_.RecordExtract(extract_work);
-    run_cache_hits_ += stats.cache_hits;
-    run_cache_misses_ += stats.host_misses;
-    run_bytes_host_ += stats.bytes_from_host;
-    run_bytes_cache_ += stats.bytes_from_cache;
-    if (options_.trace != nullptr) {
-      const std::string lane = "gpu" + std::to_string(trainer->gpu) +
-                               (trainer->standby ? "/standby" : "/trainer");
-      options_.trace->Record(lane, "extract b" + std::to_string(shared_task->batch),
-                             "extract", sim_.now() - extract_work, sim_.now());
-    }
-    GNNLAB_OBS_ONLY({
-      // The host_time share of the extract is the cache-miss stall: bytes
-      // the cache did not cover, gathered over PCIe.
-      const std::string lane = "gpu" + std::to_string(trainer->gpu) +
-                               (trainer->standby ? "/standby" : "/trainer");
-      RecordFlowStep(MakeFlowId(shared_task->epoch, shared_task->batch), lane, "extract",
-                     sim_.now() - extract_work, sim_.now(),
-                     std::min(extract_work, host_time));
-    });
-    (void)host_time;
+  sim_.ScheduleAt(extract_done, [this, trainer, shared_task, extract] {
+    const SimTime extract_work = extract.Work();
+    trainer->extract.Add(extract.stats);
+    run_cache_hits_ += extract.stats.cache_hits;
+    run_cache_misses_ += extract.stats.host_misses;
+    run_bytes_host_ += extract.stats.bytes_from_host;
+    run_bytes_cache_ += extract.stats.bytes_from_cache;
+    // The host_time share of the extract is the cache-miss stall: bytes the
+    // cache did not cover, gathered over PCIe.
+    RecordExtractCompletion(obs_, &stage_latency_, &trainer->stage,
+                            "gpu" + std::to_string(trainer->gpu) +
+                                (trainer->standby ? "/standby" : "/trainer"),
+                            MakeFlowId(shared_task->epoch, shared_task->batch),
+                            shared_task->batch, sim_.now() - extract_work, sim_.now(),
+                            std::min(extract_work, extract.host_time));
 
-    const TrainWork work = MakeTrainWork(workload_, dataset_, shared_task->block);
-    const SimTime train_seconds = cost_.TrainTime(work);
+    const SimTime train_seconds =
+        PriceTrainStage(workload_, dataset_, shared_task->block, cost_);
     const SimTime train_start = std::max(sim_.now(), trainer->train_free);
     trainer->train_free = train_start + train_seconds;
     sim_.ScheduleAt(trainer->train_free, [this, trainer, shared_task, train_seconds] {
@@ -738,9 +540,12 @@ void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
 }
 
 void Engine::FinishTrain(TrainerExec* trainer, const TrainTask& task, SimTime train_seconds) {
-  trainer->stage.train += train_seconds;
   --trainer->trains_in_flight;
-  stage_latency_.RecordTrain(train_seconds);
+  RecordTrainCompletion(obs_, &stage_latency_, &trainer->stage,
+                        "gpu" + std::to_string(trainer->gpu) +
+                            (trainer->standby ? "/standby" : "/trainer"),
+                        MakeFlowId(task.epoch, task.batch), task.batch,
+                        sim_.now() - train_seconds, sim_.now());
   // One snapshot per trained batch: the queue/cache timeline of the run on
   // the simulated clock.
   TelemetrySample sample;
@@ -752,18 +557,6 @@ void Engine::FinishTrain(TrainerExec* trainer, const TrainTask& task, SimTime tr
   sample.bytes_from_host = run_bytes_host_;
   sample.bytes_from_cache = run_bytes_cache_;
   snapshots_.push_back(sample);
-  if (options_.trace != nullptr) {
-    const std::string lane = "gpu" + std::to_string(trainer->gpu) +
-                             (trainer->standby ? "/standby" : "/trainer");
-    options_.trace->Record(lane, "train b" + std::to_string(task.batch), "train",
-                           sim_.now() - train_seconds, sim_.now());
-  }
-  GNNLAB_OBS_ONLY({
-    const std::string lane = "gpu" + std::to_string(trainer->gpu) +
-                             (trainer->standby ? "/standby" : "/trainer");
-    RecordFlowStep(MakeFlowId(task.epoch, task.batch), lane, "train",
-                   sim_.now() - train_seconds, sim_.now());
-  });
   ++trainer->batches_done;
   ++trained_batches_;
 
@@ -789,31 +582,18 @@ void Engine::FinishTrain(TrainerExec* trainer, const TrainTask& task, SimTime tr
 void Engine::RealTrainBatch(const TrainTask& task) {
   const RealTrainingOptions& real = *options_.real;
   Extractor real_extractor(*real.features, real_extract_pool_.get());
-  std::vector<float> buffer;
-  const ExtractStats gather = real_extractor.Extract(task.block, &buffer);
+  const TrainStageResult result = RunRealTrainStage(model_.get(), real, &real_extractor,
+                                                    task.block, /*zero_grads_first=*/false);
   epoch_report_.stage.parallel_workers =
-      std::max(epoch_report_.stage.parallel_workers, gather.parallel_workers);
-  epoch_report_.stage.extract_busy += gather.TotalBusySeconds();
-  Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
-
-  const Tensor& logits = model_->Forward(task.block, input);
-  std::vector<std::uint32_t> labels(task.block.num_seeds());
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    labels[i] = real.labels[task.block.vertices()[i]];
-  }
-  Tensor grad_logits;
-  loss_sum_ += SoftmaxCrossEntropy(logits, labels, &grad_logits);
+      std::max(epoch_report_.stage.parallel_workers, result.gather.parallel_workers);
+  epoch_report_.stage.extract_busy += result.gather.TotalBusySeconds();
+  loss_sum_ += result.loss;
   ++loss_count_;
-  model_->Backward(grad_logits);
 
   if (++grad_accum_ >= sync_group_) {
     // Synchronous data parallelism: one update per group of sync_group_
     // mini-batches, gradients averaged across the group.
-    for (Tensor* grad : model_->Grads()) {
-      ScaleInPlace(grad, 1.0f / static_cast<float>(grad_accum_));
-    }
-    adam_->Step(model_->Params(), model_->Grads());
-    model_->ZeroGrads();
+    ApplyAveragedGradients(model_.get(), adam_.get(), grad_accum_);
     ++gradient_updates_;
     grad_accum_ = 0;
   }
@@ -825,30 +605,17 @@ void Engine::AsyncTrainBatch(std::size_t trainer_index, const TrainTask& task) {
   GnnModel& replica = *replicas_[trainer_index];
 
   // Refresh the snapshot if it has fallen beyond the staleness bound.
-  if (master_version_ - replica_version_[trainer_index] > options_.staleness_bound) {
-    std::vector<GnnModel*> pair{model_.get(), &replica};
-    BroadcastParameters(pair);
-    replica_version_[trainer_index] = master_version_;
-  }
+  RefreshReplicaIfStale(model_.get(), &replica, master_version_,
+                        &replica_version_[trainer_index], options_.staleness_bound);
 
   Extractor real_extractor(*real.features, real_extract_pool_.get());
-  std::vector<float> buffer;
-  const ExtractStats gather = real_extractor.Extract(task.block, &buffer);
+  const TrainStageResult result = RunRealTrainStage(&replica, real, &real_extractor,
+                                                    task.block, /*zero_grads_first=*/true);
   epoch_report_.stage.parallel_workers =
-      std::max(epoch_report_.stage.parallel_workers, gather.parallel_workers);
-  epoch_report_.stage.extract_busy += gather.TotalBusySeconds();
-  Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
-
-  const Tensor& logits = replica.Forward(task.block, input);
-  std::vector<std::uint32_t> labels(task.block.num_seeds());
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    labels[i] = real.labels[task.block.vertices()[i]];
-  }
-  Tensor grad_logits;
-  loss_sum_ += SoftmaxCrossEntropy(logits, labels, &grad_logits);
+      std::max(epoch_report_.stage.parallel_workers, result.gather.parallel_workers);
+  epoch_report_.stage.extract_busy += result.gather.TotalBusySeconds();
+  loss_sum_ += result.loss;
   ++loss_count_;
-  replica.ZeroGrads();
-  replica.Backward(grad_logits);
 
   // Apply the (possibly stale) gradients to the master immediately.
   adam_->Step(model_->Params(), replica.Grads());
@@ -857,35 +624,12 @@ void Engine::AsyncTrainBatch(std::size_t trainer_index, const TrainTask& task) {
 }
 
 double Engine::EvaluateAccuracy(std::size_t epoch) {
-  const RealTrainingOptions& real = *options_.real;
-  if (real.eval_vertices.empty()) {
-    return 0.0;
-  }
-  std::unique_ptr<Sampler> sampler =
-      MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
-  sampler->BindThreadPool(real_extract_pool_.get());
-  Extractor real_extractor(*real.features, real_extract_pool_.get());
-  double correct_weighted = 0.0;
-  std::size_t total = 0;
-  std::size_t batch_index = 0;
-  for (std::size_t start = 0; start < real.eval_vertices.size();
-       start += dataset_.batch_size) {
-    const std::size_t n = std::min(dataset_.batch_size, real.eval_vertices.size() - start);
-    Rng rng = BatchRng(kEvalEpochBase + epoch, batch_index++);
-    const SampleBlock block =
-        sampler->Sample(real.eval_vertices.subspan(start, n), &rng, nullptr);
-    std::vector<float> buffer;
-    real_extractor.Extract(block, &buffer);
-    Tensor input(block.vertices().size(), real.features->dim(), std::move(buffer));
-    const Tensor& logits = model_->Forward(block, input);
-    std::vector<std::uint32_t> labels(block.num_seeds());
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      labels[i] = real.labels[block.vertices()[i]];
-    }
-    correct_weighted += Accuracy(logits, labels) * static_cast<double>(n);
-    total += n;
-  }
-  return total > 0 ? correct_weighted / static_cast<double>(total) : 0.0;
+  const std::uint64_t seed = options_.seed;
+  return EvaluateModelAccuracy(
+      dataset_, workload_, weights_ ? &*weights_ : nullptr, model_.get(), *options_.real,
+      real_extract_pool_.get(), [seed, epoch](std::size_t batch) {
+        return PipelineBatchRng(seed, kEvalEpochBase + epoch, batch);
+      });
 }
 
 }  // namespace gnnlab

@@ -28,10 +28,11 @@
 #include "core/workload.h"
 #include "feature/extractor.h"
 #include "graph/dataset.h"
-#include "nn/grad_sync.h"
-#include "obs/flow.h"
-#include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/flow.h"
+#include "pipeline/obs.h"
+#include "pipeline/stages.h"
+#include "pipeline/switch_gate.h"
 #include "runtime/thread_pool.h"
 #include "sim/cost_model.h"
 #include "sim/device.h"
@@ -42,34 +43,9 @@ namespace gnnlab {
 
 class HealthMonitor;
 
-enum class CachePolicyKind {
-  kNone,
-  kRandom,
-  kDegree,
-  kPreSC1,
-  kPreSC2,
-  kPreSC3,
-  kOptimal,
-};
-
-const char* CachePolicyKindName(CachePolicyKind kind);
-
-// Optional real-training configuration (Figure 16 convergence experiment):
-// the engine then runs genuine forward/backward passes with synchronous
-// data-parallel gradient averaging (one optimizer step per N_t batches).
-struct RealTrainingOptions {
-  const FeatureStore* features = nullptr;  // Must be materialized.
-  std::span<const std::uint32_t> labels;   // One per graph vertex.
-  std::span<const VertexId> eval_vertices;
-  std::uint32_t num_classes = 0;
-  std::size_t hidden_dim = 32;  // Smaller than the paper's 256 for CPU speed.
-  AdamConfig adam;
-  // CPU workers for the real-training Extract gather (and the eval pass's
-  // k-hop expansion). 1 = serial; 0 = hardware_concurrency. The simulated
-  // timeline is unaffected — only host wall-clock changes — and the
-  // gathered features are bit-identical for every value.
-  std::size_t extract_threads = 1;
-};
+// CachePolicyKind (and its name/parse helpers) lives in
+// cache/cache_policy.h; RealTrainingOptions in pipeline/stages.h — both
+// shared by every engine and baseline.
 
 struct EngineOptions {
   int num_gpus = 8;
@@ -144,7 +120,6 @@ class Engine {
   bool PlanMemory(RunReport* report);
   void ProfileSampling();
   void BuildCaches(RunReport* report);
-  std::vector<VertexId> RankForPolicy(CachePolicyKind kind);
   void DecideExecutors(RunReport* report);
   EpochReport RunEpoch(std::size_t epoch);
 
@@ -154,15 +129,7 @@ class Engine {
   void StartBatchOnTrainer(TrainerExec* trainer, TrainTask task);
   void FinishTrain(TrainerExec* trainer, const TrainTask& task, SimTime train_seconds);
 
-  Rng BatchRng(std::size_t epoch, std::size_t batch) const;
-  Rng ShuffleRng(std::size_t epoch) const;
   ExtractStats EstimateExtract(const FeatureCache& cache) const;
-
-  // Flow tracing / switch-decision plumbing (no-ops when compiled out).
-  void RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
-                      double begin, double end, double stall = 0.0);
-  void LogSwitchDecision(const SwitchDecision& decision);
-  void PublishAttribution(const PipelineAttribution& attribution);
 
   // Real-training helpers.
   void RealTrainBatch(const TrainTask& task);
@@ -210,13 +177,11 @@ class Engine {
   // batch.
   StageLatencyRecorder stage_latency_;
   std::vector<TelemetrySample> snapshots_;
-  // Flow steps land in options_.flows when set, else in own_flows_.
+  // Flow steps land in options_.flows when set, else in own_flows_; spans
+  // in options_.trace. Both routed through the shared stage recorders.
   FlowTracer own_flows_;
-  FlowTracer* flows_ = nullptr;
-  std::vector<SwitchDecision> run_decisions_;
-  // Last decision logged per trainer (-1 none, 0 skip, 1 fetch): fetches
-  // are always logged, skips only on a flip.
-  std::vector<int> switch_last_logged_;
+  StageObs obs_;
+  SwitchDecisionLog switch_log_;
   std::uint64_t run_cache_hits_ = 0;
   std::uint64_t run_cache_misses_ = 0;
   std::uint64_t run_bytes_host_ = 0;

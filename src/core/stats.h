@@ -6,6 +6,7 @@
 #define GNNLAB_CORE_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,10 @@ struct EpochReport {
   // Zero when observability is compiled out.
   PipelineAttribution attribution;
   ExtractStats extract;
+  // Edges drawn by the Sample stage this epoch — deterministic for a given
+  // seed/workload, and equal across the simulated/threaded/baseline drivers
+  // by construction (they share the pipeline stage bodies).
+  std::uint64_t sampled_edges = 0;
   std::size_t batches = 0;
   std::size_t gradient_updates = 0;
   std::size_t switched_batches = 0;  // Trained by standby Trainers.

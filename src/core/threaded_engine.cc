@@ -8,11 +8,13 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "nn/grad_sync.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
+#include "pipeline/batch_streams.h"
+#include "pipeline/cache_builder.h"
 #include "runtime/mpmc_queue.h"
-#include "tensor/ops.h"
 
 namespace gnnlab {
 
@@ -25,6 +27,7 @@ struct ThreadedEngine::State {
   std::vector<std::vector<VertexId>> batches;
   std::atomic<std::size_t> next_batch{0};
   std::atomic<int> samplers_active{0};
+  std::atomic<std::uint64_t> sampled_edges{0};
   // Host bytes currently held by queued blocks (feeds the queue.bytes gauge;
   // the MPMC queue itself only counts tasks).
   std::atomic<std::int64_t> queued_bytes{0};
@@ -39,7 +42,7 @@ struct ThreadedEngine::State {
   std::size_t master_version = 0;
   std::vector<std::size_t> replica_version;
 
-  // Epoch accumulators (stats_mu also guards the run-level decision log).
+  // Epoch accumulators.
   std::mutex stats_mu;
   ExtractStats extract;
   double loss_sum = 0.0;
@@ -50,19 +53,36 @@ struct ThreadedEngine::State {
 
 ThreadedEngine::ThreadedEngine(const Dataset& dataset, const Workload& workload,
                                const ThreadedEngineOptions& options)
-    : dataset_(dataset), workload_(workload), options_(options) {
-  CHECK_GE(options_.num_samplers, 1);
-  CHECK_GE(options_.num_trainers, 0);
+    : dataset_(dataset), workload_(workload), options_(options) {}
+
+ThreadedEngine::~ThreadedEngine() = default;
+
+void ThreadedEngine::ValidateAndInit() {
+  if (initialized_) {
+    return;
+  }
+  initialized_ = true;
+  CHECK_GE(options_.num_samplers, 1)
+      << "ThreadedEngineOptions::num_samplers must be at least 1";
+  CHECK_GE(options_.num_trainers, 0)
+      << "ThreadedEngineOptions::num_trainers cannot be negative";
   CHECK(options_.num_trainers > 0 || options_.dynamic_switching)
-      << "zero Trainers requires dynamic switching";
-  CHECK(options_.real != nullptr) << "the threaded engine trains for real";
+      << "zero Trainers requires dynamic switching (nothing would drain the queue)";
+  CHECK(options_.real != nullptr)
+      << "ThreadedEngineOptions::real must be set: the threaded engine trains for real";
+  const RealTrainingOptions& real = *options_.real;
+  CHECK(real.features != nullptr)
+      << "RealTrainingOptions::features must be set for the threaded engine";
+  CHECK(real.features->materialized())
+      << "RealTrainingOptions::features must be a materialized store";
+  CHECK_EQ(real.labels.size(), dataset_.graph.num_vertices())
+      << "RealTrainingOptions::labels needs one label per graph vertex";
+  CHECK_GT(real.num_classes, 0u) << "RealTrainingOptions::num_classes must be positive";
+
   const std::size_t extract_threads = ThreadPool::ResolveThreads(options_.extract_threads);
   if (extract_threads > 1) {
     extract_pool_ = std::make_unique<ThreadPool>(extract_threads);
   }
-  const RealTrainingOptions& real = *options_.real;
-  CHECK(real.features != nullptr && real.features->materialized());
-  CHECK_EQ(real.labels.size(), dataset_.graph.num_vertices());
   if (workload_.sampling == SamplingAlgorithm::kKhopWeighted) {
     weights_.emplace(dataset_.MakeWeights());
   }
@@ -86,43 +106,13 @@ ThreadedEngine::ThreadedEngine(const Dataset& dataset, const Workload& workload,
   }
 }
 
-ThreadedEngine::~ThreadedEngine() = default;
-
-Rng ThreadedEngine::BatchRng(std::size_t epoch, std::size_t batch) const {
-  return Rng(options_.seed).Fork(epoch * 1'000'003 + batch + 7);
-}
-
 void ThreadedEngine::BuildCache() {
-  CachePolicyContext context;
-  context.graph = &dataset_.graph;
-  context.train_set = &dataset_.train_set;
-  context.batch_size = dataset_.batch_size;
-  context.seed = options_.seed;
-  context.sampler_factory = [this] {
-    return MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
-  };
-  std::vector<VertexId> ranked;
-  switch (options_.policy) {
-    case CachePolicyKind::kNone:
-      break;
-    case CachePolicyKind::kRandom:
-      ranked = MakeRandomPolicy()->Rank(context);
-      break;
-    case CachePolicyKind::kDegree:
-      ranked = MakeDegreePolicy()->Rank(context);
-      break;
-    case CachePolicyKind::kPreSC1:
-      ranked = MakePreSamplingPolicy(1)->Rank(context);
-      break;
-    case CachePolicyKind::kPreSC2:
-      ranked = MakePreSamplingPolicy(2)->Rank(context);
-      break;
-    case CachePolicyKind::kPreSC3:
-      ranked = MakePreSamplingPolicy(3)->Rank(context);
-      break;
-    case CachePolicyKind::kOptimal:
-      LOG_FATAL << "the optimal oracle needs the simulated engine's replay";
-  }
+  CacheBuildContext build;
+  build.dataset = &dataset_;
+  build.workload = &workload_;
+  build.weights = weights_ ? &*weights_ : nullptr;
+  build.seed = options_.seed;
+  const std::vector<VertexId> ranked = BuildCacheRanking(options_.policy, build);
   cache_ = FeatureCache::Load(ranked, options_.policy == CachePolicyKind::kNone
                                           ? 0.0
                                           : options_.cache_ratio,
@@ -133,13 +123,22 @@ void ThreadedEngine::BindTelemetry() {
   // Must run after BuildCache(): cache_ is reassigned by value there, which
   // would discard earlier bindings.
   registry_ = options_.metrics != nullptr ? options_.metrics : &own_registry_;
-  flows_ = options_.flows != nullptr ? options_.flows : &own_flows_;
+  obs_.BindFlows(options_.flows, &own_flows_);
+  obs_.BindSpans({});
   stage_latency_.BindRegistry(registry_);
   cache_.BindMetrics(registry_);
   if (extract_pool_ != nullptr) {
     extract_pool_->BindMetrics(registry_);
   }
   GNNLAB_OBS_ONLY({
+    if (options_.tracer != nullptr) {
+      RuntimeTracer* tracer = options_.tracer;
+      obs_.BindSpans([tracer](const std::string& lane, const char* stage, std::size_t batch,
+                              double begin, double end) {
+        tracer->Record(lane, std::string(stage) + " b" + std::to_string(batch), stage,
+                       begin, end);
+      });
+    }
     queue_enqueued_ = registry_->GetCounter(kMetricQueueEnqueued);
     queue_depth_gauge_ = registry_->GetGauge(kMetricQueueDepth);
     queue_bytes_gauge_ = registry_->GetGauge(kMetricQueueBytes);
@@ -158,58 +157,8 @@ void ThreadedEngine::UpdateQueueGauges(State* state) {
   (void)state;
 }
 
-void ThreadedEngine::TraceStage(const std::string& lane, const char* stage,
-                                std::size_t batch, double begin, double end) {
-  GNNLAB_OBS_ONLY({
-    if (options_.tracer != nullptr) {
-      options_.tracer->Record(lane, std::string(stage) + " b" + std::to_string(batch),
-                              stage, begin, end);
-    }
-  });
-  (void)lane;
-  (void)stage;
-  (void)batch;
-  (void)begin;
-  (void)end;
-}
-
-void ThreadedEngine::RecordFlowStep(FlowId flow, const std::string& lane,
-                                    const char* stage, double begin, double end,
-                                    double stall) {
-  GNNLAB_OBS_ONLY({
-    if (flows_ != nullptr) {
-      flows_->Record(flow, lane, stage, begin, end, stall);
-    }
-  });
-  (void)flow;
-  (void)lane;
-  (void)stage;
-  (void)begin;
-  (void)end;
-  (void)stall;
-}
-
-void ThreadedEngine::LogSwitchDecision(State* state, const SwitchDecision& decision) {
-  // Capped so a long skip/fetch oscillation cannot bloat the report.
-  constexpr std::size_t kMaxDecisions = 4096;
-  std::lock_guard<std::mutex> lock(state->stats_mu);
-  if (run_decisions_.size() < kMaxDecisions) {
-    run_decisions_.push_back(decision);
-  }
-}
-
-void ThreadedEngine::PublishAttribution(const PipelineAttribution& attribution) {
-  GNNLAB_OBS_ONLY({
-    const StageBlame fractions = attribution.Fractions();
-    for (std::size_t i = 0; i < kNumBlameStages; ++i) {
-      registry_->GetGauge(std::string("attribution.") + kBlameStageNames[i])
-          ->Set(fractions.Component(i));
-    }
-  });
-  (void)attribution;
-}
-
 ThreadedRunReport ThreadedEngine::Run() {
+  ValidateAndInit();
   BuildCache();
   BindTelemetry();
 
@@ -232,7 +181,7 @@ ThreadedRunReport ThreadedEngine::Run() {
   CHECK(exporter.Start()) << "cannot open metrics output '" << options_.metrics_out << "'";
 
   own_flows_.Clear();
-  run_decisions_.clear();
+  switch_log_.Take();  // Drop decisions from any previous Run().
   run_start_ = MonotonicSeconds();
   ThreadedRunReport report;
   report.cache_ratio = cache_.ratio();
@@ -241,8 +190,7 @@ ThreadedRunReport ThreadedEngine::Run() {
     report.attribution.Add(report.epochs.back().attribution);
   }
   exporter.Stop();
-  report.switch_decisions = std::move(run_decisions_);
-  run_decisions_.clear();
+  report.switch_decisions = switch_log_.Take();
   report.snapshots = exporter.series();
   return report;
 }
@@ -253,14 +201,9 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
   state.num_trainers = options_.num_trainers;
   stage_latency_.Reset();
   state.replica_version.assign(replicas_.size(), state.master_version);
-  {
-    Rng shuffle_rng = Rng(options_.seed).Fork(epoch * 2 + 1);
-    EpochBatches batches(dataset_.train_set, dataset_.batch_size, &shuffle_rng);
-    while (batches.HasNext()) {
-      const auto batch = batches.NextBatch();
-      state.batches.emplace_back(batch.begin(), batch.end());
-    }
-  }
+  state.batches =
+      PlanEpochBatches(dataset_.train_set, dataset_.batch_size, options_.seed, epoch);
+  switch_log_.ResetFilters(replicas_.size());
 
   const double start = MonotonicSeconds();
   state.samplers_active.store(options_.num_samplers);
@@ -280,11 +223,9 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
   ThreadedEpochReport report;
   report.wall_seconds = MonotonicSeconds() - start;
   report.batches = state.batches.size();
+  report.sampled_edges = state.sampled_edges.load();
   report.latency = stage_latency_.Summarize();
-  GNNLAB_OBS_ONLY({
-    report.attribution = AnalyzeFlowsForEpoch(flows_->Collect(), epoch);
-    PublishAttribution(report.attribution);
-  });
+  report.attribution = AssembleEpochAttribution(obs_.flows(), epoch, registry_);
   report.extract = state.extract;
   report.switched_batches = state.switched_batches;
   report.gradient_updates = state.gradient_updates;
@@ -301,29 +242,20 @@ void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t ep
   std::unique_ptr<Sampler> sampler =
       MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
   sampler->BindThreadPool(extract_pool_.get());
+  SampleSpec spec;
+  spec.cache = &cache_;  // Durations stay 0: wall clock is real here.
   while (true) {
     const std::size_t batch = state->next_batch.fetch_add(1);
     if (batch >= state->batches.size()) {
       break;
     }
-    Rng rng = BatchRng(epoch, batch);
+    Rng rng = PipelineBatchRng(options_.seed, epoch, batch);
     const FlowId flow = MakeFlowId(epoch, batch);
-    const double sample_begin = MonotonicSeconds();
-    SampleBlock block = sampler->Sample(state->batches[batch], &rng, nullptr);
-    const double sample_end = MonotonicSeconds();
-    stage_latency_.RecordSample(sample_end - sample_begin);
-    TraceStage(lane, "sample", batch, sample_begin, sample_end);
-    RecordFlowStep(flow, lane, "sample", sample_begin, sample_end);
-    if (cache_.num_cached() > 0) {
-      const double mark_begin = MonotonicSeconds();
-      cache_.MarkBlock(&block);
-      const double mark_end = MonotonicSeconds();
-      stage_latency_.RecordMark(mark_end - mark_begin);
-      TraceStage(lane, "mark", batch, mark_begin, mark_end);
-      RecordFlowStep(flow, lane, "mark", mark_begin, mark_end);
-    }
+    SampleOutcome out = RunSampleStage(sampler.get(), state->batches[batch], &rng, spec);
+    state->sampled_edges.fetch_add(out.sampled_edges, std::memory_order_relaxed);
+    const bool marked = cache_.num_cached() > 0;
     TrainTask task;
-    task.block = std::move(block);
+    task.block = std::move(out.block);
     task.epoch = epoch;
     task.batch = batch;
     const ByteCount task_bytes = task.block.QueueBytes();
@@ -334,9 +266,15 @@ void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t ep
     task.enqueue_time = copy_begin;
     CHECK(state->queue.Push(std::move(task)));
     const double copy_end = MonotonicSeconds();
-    stage_latency_.RecordCopy(copy_end - copy_begin);
-    TraceStage(lane, "copy", batch, copy_begin, copy_end);
-    RecordFlowStep(flow, lane, "copy", copy_begin, copy_end);
+    SampleStamps stamps;
+    stamps.sample_begin = out.wall_sample_begin;
+    stamps.sample_end = out.wall_sample_end;
+    stamps.mark_begin = out.wall_mark_begin;
+    stamps.mark_end = out.wall_mark_end;
+    stamps.copy_begin = copy_begin;
+    stamps.copy_end = copy_end;
+    RecordSampleCompletion(obs_, &stage_latency_, /*stage=*/nullptr, lane, flow, batch,
+                           stamps, marked);
     GNNLAB_OBS_ONLY({
       state->queued_bytes.fetch_add(static_cast<std::int64_t>(task_bytes),
                                     std::memory_order_relaxed);
@@ -366,9 +304,6 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
   // registry names once per epoch instead of once per batch.
   Extractor extractor(*options_.real->features, extract_pool_.get());
   extractor.BindMetrics(registry_);
-  // Last decision logged by this standby (-1 none, 0 skip, 1 fetch): fetches
-  // are always logged, skips only when the decision flips.
-  int last_logged = -1;
   while (true) {
     std::optional<TrainTask> task;
     if (standby) {
@@ -379,33 +314,11 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
           depth, state->t_train_ema.load(), state->num_trainers,
           state->t_standby_ema.load() > 0.0 ? state->t_standby_ema.load()
                                             : state->t_train_ema.load());
-      bool fetch = profit > 0.0;
-      bool pressure = false;
-      std::string alerts;
-      GNNLAB_OBS_ONLY({
-        if (options_.health != nullptr) {
-          options_.health->Evaluate();
-          alerts = options_.health->FiringSummary();
-          // Queue-pressure override: a firing queue.depth alert means the
-          // backlog is past the operator's threshold — drain now even if
-          // the profit metric says the dedicated Trainers would get there.
-          if (!fetch && depth > 0 && options_.health->AnyFiring(kMetricQueueDepth)) {
-            pressure = true;
-            fetch = true;
-          }
-        }
-      });
-      SwitchDecision decision;
-      decision.ts = MonotonicSeconds() - run_start_;
-      decision.queue_depth = depth;
-      decision.profit = std::clamp(profit, -1e12, 1e12);
-      decision.pressure_override = pressure;
-      decision.alerts = std::move(alerts);
-      if (!fetch) {
-        if (last_logged != 0) {
-          LogSwitchDecision(state, decision);
-          last_logged = 0;
-        }
+      const StandbyFetchEval eval = EvaluateStandbyFetch(
+          MonotonicSeconds() - run_start_, depth, profit > 0.0, profit, options_.health,
+          /*force_health_eval=*/false);
+      if (!eval.fetch) {
+        switch_log_.LogSkip(static_cast<std::size_t>(replica_index), eval.decision);
         if (state->queue.closed() && state->queue.size() == 0) {
           return;
         }
@@ -420,9 +333,9 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
         std::this_thread::yield();
         continue;
       }
-      decision.fetched = true;
-      LogSwitchDecision(state, decision);
-      last_logged = 1;
+      // Log only decisions that actually took a task: a TryPop that lost
+      // the race is not a switch.
+      switch_log_.LogFetch(static_cast<std::size_t>(replica_index), eval.decision);
     } else {
       task = state->queue.Pop();
       if (!task.has_value()) {
@@ -433,8 +346,8 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
     GNNLAB_OBS_ONLY({
       const double pop_time = MonotonicSeconds();
       if (task->enqueue_time > 0.0 && pop_time > task->enqueue_time) {
-        RecordFlowStep(MakeFlowId(task->epoch, task->batch), "queue", "queue_wait",
-                       task->enqueue_time, pop_time);
+        RecordQueueWait(obs_, MakeFlowId(task->epoch, task->batch), task->enqueue_time,
+                        pop_time);
       }
     });
     GNNLAB_OBS_ONLY({
@@ -459,41 +372,23 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
 void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
                                         const std::string& lane, Extractor* extractor,
                                         const TrainTask& task) {
-  const RealTrainingOptions& real = *options_.real;
   GnnModel& replica = *replicas_[replica_index];
 
   // Pull fresh parameters if the snapshot exceeded the staleness bound.
   {
     std::lock_guard<std::mutex> lock(state->model_mu);
-    if (state->master_version - state->replica_version[replica_index] >
-        options_.staleness_bound) {
-      std::vector<GnnModel*> pair{master_.get(), &replica};
-      BroadcastParameters(pair);
-      state->replica_version[replica_index] = state->master_version;
-    }
+    RefreshReplicaIfStale(master_.get(), &replica, state->master_version,
+                          &state->replica_version[replica_index],
+                          options_.staleness_bound);
   }
 
-  std::vector<float> buffer;
-  const double extract_begin = MonotonicSeconds();
-  const ExtractStats stats = extractor->Extract(task.block, &buffer);
-  const double extract_end = MonotonicSeconds();
-  stage_latency_.RecordExtract(extract_end - extract_begin);
-  TraceStage(lane, "extract", task.batch, extract_begin, extract_end);
-  RecordFlowStep(MakeFlowId(task.epoch, task.batch), lane, "extract", extract_begin,
-                 extract_end,
-                 (extract_end - extract_begin) * stats.HostByteFraction());
-  Tensor input(task.block.vertices().size(), real.features->dim(), std::move(buffer));
-
-  const double train_begin = MonotonicSeconds();
-  const Tensor& logits = replica.Forward(task.block, input);
-  std::vector<std::uint32_t> labels(task.block.num_seeds());
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    labels[i] = real.labels[task.block.vertices()[i]];
-  }
-  Tensor grad_logits;
-  const double loss = SoftmaxCrossEntropy(logits, labels, &grad_logits);
-  replica.ZeroGrads();
-  replica.Backward(grad_logits);
+  const TrainStageResult result = RunRealTrainStage(&replica, *options_.real, extractor,
+                                                    task.block, /*zero_grads_first=*/true);
+  const FlowId flow = MakeFlowId(task.epoch, task.batch);
+  RecordExtractCompletion(
+      obs_, &stage_latency_, /*stage=*/nullptr, lane, flow, task.batch,
+      result.extract_begin, result.extract_end,
+      (result.extract_end - result.extract_begin) * result.gather.HostByteFraction());
 
   // Push the (possibly stale) gradients into the master.
   {
@@ -502,49 +397,24 @@ void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
     ++state->master_version;
   }
   const double train_end = MonotonicSeconds();
-  stage_latency_.RecordTrain(train_end - train_begin);
-  TraceStage(lane, "train", task.batch, train_begin, train_end);
-  RecordFlowStep(MakeFlowId(task.epoch, task.batch), lane, "train", train_begin,
-                 train_end);
+  RecordTrainCompletion(obs_, &stage_latency_, /*stage=*/nullptr, lane, flow, task.batch,
+                        result.train_begin, train_end);
   {
     std::lock_guard<std::mutex> lock(state->stats_mu);
-    state->extract.Add(stats);
-    state->loss_sum += loss;
+    state->extract.Add(result.gather);
+    state->loss_sum += result.loss;
     ++state->loss_count;
     ++state->gradient_updates;
   }
 }
 
 double ThreadedEngine::EvaluateAccuracy(std::size_t epoch) {
-  const RealTrainingOptions& real = *options_.real;
-  if (real.eval_vertices.empty()) {
-    return 0.0;
-  }
-  std::unique_ptr<Sampler> sampler =
-      MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
-  sampler->BindThreadPool(extract_pool_.get());
-  Extractor extractor(*real.features, extract_pool_.get());
-  double correct_weighted = 0.0;
-  std::size_t total = 0;
-  std::size_t batch_index = 0;
-  for (std::size_t start = 0; start < real.eval_vertices.size();
-       start += dataset_.batch_size) {
-    const std::size_t n = std::min(dataset_.batch_size, real.eval_vertices.size() - start);
-    Rng rng = Rng(options_.seed).Fork((std::size_t{1} << 21) + epoch * 4099 + batch_index++);
-    const SampleBlock block =
-        sampler->Sample(real.eval_vertices.subspan(start, n), &rng, nullptr);
-    std::vector<float> buffer;
-    extractor.Extract(block, &buffer);
-    Tensor input(block.vertices().size(), real.features->dim(), std::move(buffer));
-    const Tensor& logits = master_->Forward(block, input);
-    std::vector<std::uint32_t> labels(block.num_seeds());
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      labels[i] = real.labels[block.vertices()[i]];
-    }
-    correct_weighted += Accuracy(logits, labels) * static_cast<double>(n);
-    total += n;
-  }
-  return total > 0 ? correct_weighted / static_cast<double>(total) : 0.0;
+  const std::uint64_t seed = options_.seed;
+  return EvaluateModelAccuracy(dataset_, workload_, weights_ ? &*weights_ : nullptr,
+                               master_.get(), *options_.real, extract_pool_.get(),
+                               [seed, epoch](std::size_t batch) {
+                                 return Rng(seed).Fork(kEvalEpochBase + epoch * 4099 + batch);
+                               });
 }
 
 }  // namespace gnnlab

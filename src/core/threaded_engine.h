@@ -87,6 +87,9 @@ struct ThreadedEpochReport {
   std::size_t batches = 0;
   std::size_t switched_batches = 0;
   std::size_t gradient_updates = 0;
+  // Edges drawn by the Sample stage this epoch — deterministic, and equal
+  // to the simulated Engine's count for the same seed/workload.
+  std::uint64_t sampled_edges = 0;
   ExtractStats extract;  // parallel_workers/worker_busy_seconds included.
   // Per-batch wall-clock latency distributions of the five stages.
   StageLatencies latency;
@@ -123,6 +126,9 @@ class ThreadedEngine {
  private:
   struct State;  // Per-run shared state (queue, counters, master model).
 
+  // Validates the options (clear fatal diagnostics instead of downstream
+  // crashes) and builds the model + replicas. Runs once, at Run() entry.
+  void ValidateAndInit();
   void BuildCache();
   ThreadedEpochReport RunEpoch(std::size_t epoch);
   void SamplerLoop(State* state, int sampler_index, std::size_t epoch);
@@ -131,23 +137,16 @@ class ThreadedEngine {
                           Extractor* extractor, const TrainTask& task);
   double EvaluateAccuracy(std::size_t epoch);
 
-  Rng BatchRng(std::size_t epoch, std::size_t batch) const;
-
   // Telemetry plumbing (no-ops when GNNLAB_OBS_ENABLED is 0).
   void BindTelemetry();
   void UpdateQueueGauges(State* state);
-  void TraceStage(const std::string& lane, const char* stage, std::size_t batch,
-                  double begin, double end);
-  void RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
-                      double begin, double end, double stall = 0.0);
-  void LogSwitchDecision(State* state, const SwitchDecision& decision);
-  void PublishAttribution(const PipelineAttribution& attribution);
 
   const Dataset& dataset_;
   // By value: callers routinely pass `StandardWorkload(...)` temporaries, and
   // the workload is tiny. (The dataset stays by reference — it is not.)
   Workload workload_;
   ThreadedEngineOptions options_;
+  bool initialized_ = false;
   // Shared CPU pool for intra-batch parallelism (Extract row gathering and
   // k-hop frontier expansion); null when extract_threads resolves to 1.
   std::unique_ptr<ThreadPool> extract_pool_;
@@ -164,10 +163,11 @@ class ThreadedEngine {
   MetricRegistry own_registry_;
   MetricRegistry* registry_ = nullptr;
   // Flow steps land in options_.flows when set, else in own_flows_ — the
-  // per-epoch PipelineAttribution is computed either way.
+  // per-epoch PipelineAttribution is computed either way. Spans go to
+  // options_.tracer. Both routed through the shared stage recorders.
   FlowTracer own_flows_;
-  FlowTracer* flows_ = nullptr;
-  std::vector<SwitchDecision> run_decisions_;
+  StageObs obs_;
+  SwitchDecisionLog switch_log_;
   double run_start_ = 0.0;  // Decision-log timestamps are relative to this.
   Counter* queue_enqueued_ = nullptr;
   Gauge* queue_depth_gauge_ = nullptr;

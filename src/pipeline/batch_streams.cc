@@ -1,0 +1,26 @@
+#include "pipeline/batch_streams.h"
+
+namespace gnnlab {
+
+Rng PipelineBatchRng(std::uint64_t seed, std::size_t epoch, std::size_t batch) {
+  return Rng(seed).Fork(epoch * 1'000'003 + batch + 7);
+}
+
+Rng PipelineShuffleRng(std::uint64_t seed, std::size_t epoch) {
+  return Rng(seed).Fork(epoch * 2 + 1);
+}
+
+std::vector<std::vector<VertexId>> PlanEpochBatches(const TrainingSet& train_set,
+                                                    std::size_t batch_size,
+                                                    std::uint64_t seed, std::size_t epoch) {
+  Rng shuffle_rng = PipelineShuffleRng(seed, epoch);
+  EpochBatches batches(train_set, batch_size, &shuffle_rng);
+  std::vector<std::vector<VertexId>> out;
+  while (batches.HasNext()) {
+    const auto batch = batches.NextBatch();
+    out.emplace_back(batch.begin(), batch.end());
+  }
+  return out;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,43 @@
+// Deterministic per-minibatch random streams and epoch batch planning,
+// shared by every driver (simulated Engine, ThreadedEngine, and the
+// time-sharing / CPU baselines).
+//
+// Count equality across systems rests on one invariant: batch b of epoch e
+// is the SAME set of seed vertices expanded with the SAME random stream no
+// matter which driver (or which thread) processes it. These helpers are
+// that invariant — every driver derives its shuffle and per-batch RNGs
+// here, so the sampled blocks, cache marks and extract byte counts agree
+// bit for bit across the whole system comparison (paper Tables 4/5,
+// Figure 14).
+#ifndef GNNLAB_PIPELINE_BATCH_STREAMS_H_
+#define GNNLAB_PIPELINE_BATCH_STREAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/training_set.h"
+
+namespace gnnlab {
+
+// Epoch-id offset for the profiling / pre-sampling passes so their random
+// streams never collide with measured epochs.
+inline constexpr std::size_t kProfileEpochBase = std::size_t{1} << 20;
+// Epoch-id offset for evaluation sampling (real-training accuracy).
+inline constexpr std::size_t kEvalEpochBase = std::size_t{1} << 21;
+
+// The random stream that expands batch `batch` of epoch `epoch`.
+Rng PipelineBatchRng(std::uint64_t seed, std::size_t epoch, std::size_t batch);
+
+// The stream that shuffles the training set into epoch `epoch`'s batches.
+Rng PipelineShuffleRng(std::uint64_t seed, std::size_t epoch);
+
+// Materializes the epoch's shuffled mini-batches (seed-vertex lists).
+std::vector<std::vector<VertexId>> PlanEpochBatches(const TrainingSet& train_set,
+                                                    std::size_t batch_size,
+                                                    std::uint64_t seed, std::size_t epoch);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_PIPELINE_BATCH_STREAMS_H_

@@ -1,0 +1,106 @@
+#include "pipeline/cache_builder.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "pipeline/batch_streams.h"
+#include "sampling/footprint.h"
+
+namespace gnnlab {
+namespace {
+
+std::unique_ptr<Sampler> MakeWorkloadSampler(const CacheBuildContext& ctx) {
+  return MakeSampler(*ctx.workload, *ctx.dataset, ctx.weights);
+}
+
+// Accumulates one full epoch's sampled blocks into `footprint`, replaying
+// the exact shuffle and per-batch streams of epoch id `epoch`.
+void ReplayEpoch(const CacheBuildContext& ctx, std::size_t epoch, Sampler* sampler,
+                 Footprint* footprint) {
+  Rng shuffle_rng = PipelineShuffleRng(ctx.seed, epoch);
+  EpochBatches batches(ctx.dataset->train_set, ctx.dataset->batch_size, &shuffle_rng);
+  std::size_t batch = 0;
+  while (batches.HasNext()) {
+    Rng rng = PipelineBatchRng(ctx.seed, epoch, batch++);
+    footprint->Accumulate(sampler->Sample(batches.NextBatch(), &rng, nullptr));
+  }
+}
+
+std::vector<VertexId> RankWithPolicyClass(CachePolicyKind kind,
+                                          const CacheBuildContext& ctx) {
+  CachePolicyContext context;
+  context.graph = &ctx.dataset->graph;
+  context.train_set = &ctx.dataset->train_set;
+  context.batch_size = ctx.dataset->batch_size;
+  context.seed = ctx.seed;
+  context.sampler_factory = [&ctx] { return MakeWorkloadSampler(ctx); };
+  switch (kind) {
+    case CachePolicyKind::kNone:
+      return {};
+    case CachePolicyKind::kRandom:
+      return MakeRandomPolicy()->Rank(context);
+    case CachePolicyKind::kDegree:
+      return MakeDegreePolicy()->Rank(context);
+    case CachePolicyKind::kPreSC1:
+      return MakePreSamplingPolicy(1)->Rank(context);
+    case CachePolicyKind::kPreSC2:
+      return MakePreSamplingPolicy(2)->Rank(context);
+    case CachePolicyKind::kPreSC3:
+      return MakePreSamplingPolicy(3)->Rank(context);
+    case CachePolicyKind::kOptimal:
+      LOG_FATAL << "the optimal oracle needs the simulated engine's replay";
+  }
+  LOG_FATAL << "unknown cache policy";
+  __builtin_unreachable();
+}
+
+std::vector<VertexId> RankWithReplay(CachePolicyKind kind, const CacheBuildContext& ctx) {
+  switch (kind) {
+    case CachePolicyKind::kNone:
+      return {};
+    case CachePolicyKind::kRandom:
+    case CachePolicyKind::kDegree:
+      return RankWithPolicyClass(kind, ctx);
+    case CachePolicyKind::kPreSC1:
+    case CachePolicyKind::kPreSC2:
+    case CachePolicyKind::kPreSC3: {
+      // Stage 0 is the profiling pass itself (the paper folds pre-sampling
+      // into the first training epochs, §6.3); extra stages replay further
+      // profile epochs.
+      std::size_t stages = 1;
+      if (kind == CachePolicyKind::kPreSC2) {
+        stages = 2;
+      } else if (kind == CachePolicyKind::kPreSC3) {
+        stages = 3;
+      }
+      Footprint footprint = *ctx.profile_footprint;
+      std::unique_ptr<Sampler> sampler = MakeWorkloadSampler(ctx);
+      for (std::size_t stage = 1; stage < stages; ++stage) {
+        ReplayEpoch(ctx, kProfileEpochBase + stage, sampler.get(), &footprint);
+      }
+      return footprint.RankByCount();
+    }
+    case CachePolicyKind::kOptimal: {
+      // Replays the exact epochs that will be measured (same shuffle and
+      // per-batch streams), so the ranking is the true oracle.
+      Footprint footprint(ctx.dataset->graph.num_vertices());
+      std::unique_ptr<Sampler> sampler = MakeWorkloadSampler(ctx);
+      for (std::size_t e = 0; e < ctx.replay_epochs; ++e) {
+        ReplayEpoch(ctx, e, sampler.get(), &footprint);
+      }
+      return footprint.RankByCount();
+    }
+  }
+  LOG_FATAL << "unknown cache policy";
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+std::vector<VertexId> BuildCacheRanking(CachePolicyKind kind, const CacheBuildContext& ctx) {
+  CHECK(ctx.dataset != nullptr && ctx.workload != nullptr);
+  return ctx.profile_footprint != nullptr ? RankWithReplay(kind, ctx)
+                                          : RankWithPolicyClass(kind, ctx);
+}
+
+}  // namespace gnnlab

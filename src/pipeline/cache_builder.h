@@ -1,0 +1,44 @@
+// Shared cache construction: one canonical mapping from CachePolicyKind to
+// a hotness ranking, used by the simulated Engine, the ThreadedEngine and
+// the time-sharing baselines (previously three diverging switch statements).
+//
+// Two modes:
+//   - Replay mode (simulated Engine): `profile_footprint` is the footprint
+//     of the engine's own profiling pass; PreSC#K folds that pass in as
+//     stage 0 (the paper folds pre-sampling into the first training epochs,
+//     §6.3) and replays further profile epochs on the engine's batch
+//     streams; the Optimal oracle replays the very epochs that will be
+//     measured.
+//   - Policy mode (threads driver, baselines): no footprint; the policy
+//     classes in src/cache run their own pre-sampling stages. The Optimal
+//     oracle is unavailable here — it needs the replay.
+#ifndef GNNLAB_PIPELINE_CACHE_BUILDER_H_
+#define GNNLAB_PIPELINE_CACHE_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "core/workload.h"
+#include "graph/dataset.h"
+
+namespace gnnlab {
+
+struct CacheBuildContext {
+  const Dataset* dataset = nullptr;
+  const Workload* workload = nullptr;
+  const EdgeWeights* weights = nullptr;  // Weighted sampling only.
+  std::uint64_t seed = 0;
+  // Replay mode only (see above). `replay_epochs` is the number of measured
+  // epochs the Optimal oracle replays.
+  const Footprint* profile_footprint = nullptr;
+  std::size_t replay_epochs = 0;
+};
+
+// Descending hotness ranking for `kind` (empty for kNone). Fatal for
+// kOptimal without a profile footprint.
+std::vector<VertexId> BuildCacheRanking(CachePolicyKind kind, const CacheBuildContext& ctx);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_PIPELINE_CACHE_BUILDER_H_

@@ -1,0 +1,105 @@
+#include "pipeline/obs.h"
+
+#include <utility>
+
+namespace gnnlab {
+
+void StageObs::BindFlows(FlowTracer* external, FlowTracer* internal) {
+  flows_ = external != nullptr ? external : internal;
+}
+
+void StageObs::RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
+                              double begin, double end, double stall) const {
+  GNNLAB_OBS_ONLY({
+    if (flows_ != nullptr) {
+      flows_->Record(flow, lane, stage, begin, end, stall);
+    }
+  });
+  (void)flow;
+  (void)lane;
+  (void)stage;
+  (void)begin;
+  (void)end;
+  (void)stall;
+}
+
+void StageObs::RecordSpan(const std::string& lane, const char* stage, std::size_t batch,
+                          double begin, double end) const {
+  if (spans_) {
+    spans_(lane, stage, batch, begin, end);
+  }
+}
+
+void RecordSampleCompletion(const StageObs& obs, StageLatencyRecorder* latency,
+                            StageBreakdown* stage, const std::string& lane, FlowId flow,
+                            std::size_t batch, const SampleStamps& t, bool record_mark) {
+  const double g = t.sample_end - t.sample_begin;
+  const double m = t.mark_end - t.mark_begin;
+  const double c = t.copy_end - t.copy_begin;
+  if (stage != nullptr) {
+    stage->sample_graph += g;
+    stage->sample_mark += m;
+    stage->sample_copy += c;
+  }
+  latency->RecordSample(g);
+  obs.RecordSpan(lane, "sample", batch, t.sample_begin, t.sample_end);
+  obs.RecordFlowStep(flow, lane, "sample", t.sample_begin, t.sample_end);
+  if (record_mark) {
+    latency->RecordMark(m);
+    obs.RecordSpan(lane, "mark", batch, t.mark_begin, t.mark_end);
+    obs.RecordFlowStep(flow, lane, "mark", t.mark_begin, t.mark_end);
+  }
+  latency->RecordCopy(c);
+  obs.RecordSpan(lane, "copy", batch, t.copy_begin, t.copy_end);
+  obs.RecordFlowStep(flow, lane, "copy", t.copy_begin, t.copy_end);
+}
+
+void RecordQueueWait(const StageObs& obs, FlowId flow, double enqueue_time,
+                     double pop_time) {
+  obs.RecordFlowStep(flow, "queue", "queue_wait", enqueue_time, pop_time);
+}
+
+void RecordExtractCompletion(const StageObs& obs, StageLatencyRecorder* latency,
+                             StageBreakdown* stage, const std::string& lane, FlowId flow,
+                             std::size_t batch, double begin, double end, double stall) {
+  if (stage != nullptr) {
+    stage->extract += end - begin;
+  }
+  latency->RecordExtract(end - begin);
+  obs.RecordSpan(lane, "extract", batch, begin, end);
+  obs.RecordFlowStep(flow, lane, "extract", begin, end, stall);
+}
+
+void RecordTrainCompletion(const StageObs& obs, StageLatencyRecorder* latency,
+                           StageBreakdown* stage, const std::string& lane, FlowId flow,
+                           std::size_t batch, double begin, double end) {
+  if (stage != nullptr) {
+    stage->train += end - begin;
+  }
+  latency->RecordTrain(end - begin);
+  obs.RecordSpan(lane, "train", batch, begin, end);
+  obs.RecordFlowStep(flow, lane, "train", begin, end);
+}
+
+PipelineAttribution AssembleEpochAttribution(FlowTracer* flows, std::size_t epoch,
+                                             MetricRegistry* registry) {
+  PipelineAttribution attribution;
+  GNNLAB_OBS_ONLY({
+    if (flows != nullptr) {
+      attribution = AnalyzeFlowsForEpoch(flows->Collect(), epoch);
+      if (registry != nullptr) {
+        const StageBlame fractions = attribution.Fractions();
+        for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+          registry->GetGauge(std::string("attribution.") + kBlameStageNames[i])
+              ->Set(fractions.Component(i));
+        }
+      }
+    }
+  });
+  (void)flows;
+  (void)epoch;
+  (void)registry;
+  return attribution;
+}
+
+}  // namespace gnnlab

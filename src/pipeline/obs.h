@@ -1,0 +1,94 @@
+// Observability hooks of the stage pipeline, written once and shared by
+// every driver: per-minibatch flow steps, trace spans, per-stage latency
+// histograms, StageBreakdown accumulation, and the per-epoch critical-path
+// attribution fold. Drivers differ only in the clock (simulated vs wall)
+// and the span sink (TraceRecorder vs RuntimeTracer), both injected here.
+//
+// Everything degrades to a no-op (and the attribution to zero) when
+// observability is compiled out, except the latency histograms and stage
+// sums, which feed the paper's tables and are always on.
+#ifndef GNNLAB_PIPELINE_OBS_H_
+#define GNNLAB_PIPELINE_OBS_H_
+
+#include <functional>
+#include <string>
+
+#include "core/stats.h"
+#include "obs/critical_path.h"
+#include "obs/flow.h"
+#include "obs/metrics.h"
+#include "pipeline/stages.h"
+
+namespace gnnlab {
+
+// Per-run observability bundle: where flow steps and trace spans go.
+class StageObs {
+ public:
+  // Receives one span per stage execution; drivers adapt this to their
+  // tracer (TraceRecorder on the simulated clock, RuntimeTracer on the
+  // wall clock). Only installed when the run wants a trace.
+  using SpanSink = std::function<void(const std::string& lane, const char* stage,
+                                      std::size_t batch, double begin, double end)>;
+
+  // Flow steps land in `external` when provided, else in the engine's
+  // internal fallback tracer — per-epoch attribution works either way.
+  void BindFlows(FlowTracer* external, FlowTracer* internal);
+  void BindSpans(SpanSink sink) { spans_ = std::move(sink); }
+
+  FlowTracer* flows() const { return flows_; }
+
+  void RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
+                      double begin, double end, double stall = 0.0) const;
+  void RecordSpan(const std::string& lane, const char* stage, std::size_t batch,
+                  double begin, double end) const;
+
+ private:
+  FlowTracer* flows_ = nullptr;
+  SpanSink spans_;
+};
+
+// Timeline endpoints of one completed Sample stage (G, M, C sub-stages).
+// Drivers with an aggregate completion time (the sim engine) backdate the
+// boundaries from the priced durations; the threads driver reads the clock
+// around each sub-stage.
+struct SampleStamps {
+  double sample_begin = 0.0;
+  double sample_end = 0.0;
+  double mark_begin = 0.0;
+  double mark_end = 0.0;
+  double copy_begin = 0.0;
+  double copy_end = 0.0;
+};
+
+// Records one completed Sample stage: latency histograms, optional stage
+// sums, trace spans, and the minibatch's sample/mark/copy flow steps.
+// `record_mark` gates the M sub-stage (nothing cached => no mark).
+void RecordSampleCompletion(const StageObs& obs, StageLatencyRecorder* latency,
+                            StageBreakdown* stage, const std::string& lane, FlowId flow,
+                            std::size_t batch, const SampleStamps& t, bool record_mark);
+
+// Records the queue-wait edge of a minibatch's flow DAG (enqueue -> pop).
+void RecordQueueWait(const StageObs& obs, FlowId flow, double enqueue_time,
+                     double pop_time);
+
+// Records one completed Extract stage. `stall` is the portion of the span
+// stalled on host transfers for cache misses (critical-path analysis
+// splits extract blame into compute vs cache-miss stall with it).
+void RecordExtractCompletion(const StageObs& obs, StageLatencyRecorder* latency,
+                             StageBreakdown* stage, const std::string& lane, FlowId flow,
+                             std::size_t batch, double begin, double end, double stall);
+
+// Records one completed Train stage.
+void RecordTrainCompletion(const StageObs& obs, StageLatencyRecorder* latency,
+                           StageBreakdown* stage, const std::string& lane, FlowId flow,
+                           std::size_t batch, double begin, double end);
+
+// Folds the epoch's flow DAGs into critical-path blame and publishes the
+// attribution.* gauges into `registry` (when bound). Returns a zero
+// attribution when observability is compiled out.
+PipelineAttribution AssembleEpochAttribution(FlowTracer* flows, std::size_t epoch,
+                                             MetricRegistry* registry);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_PIPELINE_OBS_H_

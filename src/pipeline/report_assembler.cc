@@ -1,0 +1,24 @@
+#include "pipeline/report_assembler.h"
+
+#include <algorithm>
+
+namespace gnnlab {
+
+PreprocessReport AssemblePreprocess(const CostModel& cost, const PreprocessSpec& spec) {
+  PreprocessReport report;
+  report.disk_load = cost.DiskLoadTime(spec.topo_bytes + spec.feature_bytes);
+  if (spec.load_topology) {
+    report.topo_load = cost.TopologyLoadTime(spec.topo_bytes);
+  }
+  report.cache_load = cost.CacheLoadTime(spec.cache_bytes);
+  report.presample =
+      PresampleCostMultiplier(spec.policy, spec.measured_epochs) * spec.presample_epoch_time;
+  return report;
+}
+
+std::size_t SyncGradientUpdates(std::size_t batches, std::size_t sync_group) {
+  const std::size_t group = std::max<std::size_t>(1, sync_group);
+  return (batches + group - 1) / group;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,39 @@
+// Shared report assembly: the preprocessing cost table (paper Table 6) and
+// small report arithmetic every driver previously duplicated. The per-epoch
+// critical-path fold lives next door in pipeline/obs.h.
+#ifndef GNNLAB_PIPELINE_REPORT_ASSEMBLER_H_
+#define GNNLAB_PIPELINE_REPORT_ASSEMBLER_H_
+
+#include <cstddef>
+
+#include "cache/cache_policy.h"
+#include "core/stats.h"
+#include "sim/cost_model.h"
+
+namespace gnnlab {
+
+// Inputs of the one-time preprocessing bill, amortized once per training
+// task (paper §6.3 / Table 6).
+struct PreprocessSpec {
+  ByteCount topo_bytes = 0;  // Topology plus edge weights when weighted.
+  ByteCount feature_bytes = 0;
+  ByteCount cache_bytes = 0;
+  // CPU-sampling baselines never ship the topology to the GPU.
+  bool load_topology = true;
+  CachePolicyKind policy = CachePolicyKind::kNone;
+  // For the Optimal oracle: the offline replay covers every measured epoch.
+  std::size_t measured_epochs = 0;
+  // Cost of one pre-sampling stage; zero when the driver has no profiling
+  // pass to price it from.
+  double presample_epoch_time = 0.0;
+};
+
+PreprocessReport AssemblePreprocess(const CostModel& cost, const PreprocessSpec& spec);
+
+// Gradient updates under synchronous data parallelism: one update per group
+// of `sync_group` mini-batches, final partial group included.
+std::size_t SyncGradientUpdates(std::size_t batches, std::size_t sync_group);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_PIPELINE_REPORT_ASSEMBLER_H_

@@ -1,0 +1,173 @@
+#include "pipeline/stages.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "nn/grad_sync.h"
+#include "obs/metrics.h"
+#include "tensor/ops.h"
+
+namespace gnnlab {
+
+SampleOutcome RunSampleStage(Sampler* sampler, std::span<const VertexId> seeds, Rng* rng,
+                             const SampleSpec& spec) {
+  SampleOutcome outcome;
+  outcome.wall_sample_begin = MonotonicSeconds();
+  outcome.block = sampler->Sample(seeds, rng, &outcome.stats);
+  outcome.wall_sample_end = MonotonicSeconds();
+  outcome.sampled_edges = outcome.stats.sampled_neighbors;
+
+  const bool marked = spec.cache != nullptr && spec.cache->num_cached() > 0;
+  if (marked) {
+    outcome.wall_mark_begin = MonotonicSeconds();
+    spec.cache->MarkBlock(&outcome.block);
+    outcome.wall_mark_end = MonotonicSeconds();
+  }
+
+  if (spec.cost != nullptr) {
+    const CostModel& cost = *spec.cost;
+    switch (spec.kernel) {
+      case SampleKernel::kGpu:
+        outcome.sample_time = cost.GpuSampleTime(outcome.stats);
+        break;
+      case SampleKernel::kCpu:
+        outcome.sample_time = cost.CpuSampleTime(outcome.stats);
+        break;
+      case SampleKernel::kPygCpu:
+        outcome.sample_time =
+            cost.CpuSampleTime(outcome.stats) * cost.params().pyg_sample_multiplier;
+        break;
+      case SampleKernel::kDgl:
+        outcome.sample_time =
+            cost.DglSampleTime(outcome.stats, spec.algorithm, spec.dgl_on_gpu);
+        break;
+    }
+    if (marked || spec.price_mark_always) {
+      outcome.mark_time = cost.MarkTime(outcome.block.vertices().size());
+    }
+    if (spec.price_queue_copy) {
+      outcome.copy_time = cost.QueueCopyTime(outcome.block.QueueBytes());
+    }
+  }
+  return outcome;
+}
+
+void RemarkBlockForCache(const FeatureCache& cache, SampleBlock* block) {
+  // Re-mark also when the new cache is empty but the block carries marks
+  // from another cache: those stale hits must be cleared.
+  if (cache.num_cached() > 0 || !block->cache_marks().empty()) {
+    cache.MarkBlock(block);
+  }
+}
+
+ExtractOutcome RunExtractStage(const Extractor& extractor, const SampleBlock& block,
+                               std::vector<float>* out, const ExtractSpec& spec) {
+  ExtractOutcome outcome;
+  outcome.stats = extractor.Extract(block, out);
+  if (spec.cost != nullptr) {
+    const CostModelParams& params = spec.cost->params();
+    outcome.host_time =
+        static_cast<double>(outcome.stats.bytes_from_host) / params.pcie_gather_bandwidth;
+    if (spec.gpu_gather) {
+      outcome.local_time =
+          params.gpu_gather_per_row * static_cast<double>(outcome.stats.distinct_vertices);
+    } else {
+      // CPU extraction: the per-row random gather also burns shared host
+      // bandwidth.
+      outcome.host_time +=
+          params.cpu_gather_per_row * static_cast<double>(outcome.stats.distinct_vertices);
+      outcome.local_time = 0.0;
+    }
+  }
+  return outcome;
+}
+
+SimTime ScheduleExtractOnChannel(SharedResource* channel, SimTime now,
+                                 const ExtractOutcome& extract, double parallelism) {
+  const SimTime channel_done = channel->Acquire(now, extract.host_time / parallelism);
+  return std::max(now + extract.host_time, channel_done) + extract.local_time;
+}
+
+SimTime PriceTrainStage(const Workload& workload, const Dataset& dataset,
+                        const SampleBlock& block, const CostModel& cost) {
+  return cost.TrainTime(MakeTrainWork(workload, dataset, block));
+}
+
+TrainStageResult RunRealTrainStage(GnnModel* model, const RealTrainingOptions& real,
+                                   Extractor* extractor, const SampleBlock& block,
+                                   bool zero_grads_first) {
+  TrainStageResult result;
+  std::vector<float> buffer;
+  result.extract_begin = MonotonicSeconds();
+  result.gather = extractor->Extract(block, &buffer);
+  result.extract_end = MonotonicSeconds();
+  Tensor input(block.vertices().size(), real.features->dim(), std::move(buffer));
+
+  result.train_begin = MonotonicSeconds();
+  const Tensor& logits = model->Forward(block, input);
+  std::vector<std::uint32_t> labels(block.num_seeds());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = real.labels[block.vertices()[i]];
+  }
+  Tensor grad_logits;
+  result.loss = SoftmaxCrossEntropy(logits, labels, &grad_logits);
+  if (zero_grads_first) {
+    model->ZeroGrads();
+  }
+  model->Backward(grad_logits);
+  return result;
+}
+
+void RefreshReplicaIfStale(GnnModel* master, GnnModel* replica, std::size_t master_version,
+                           std::size_t* replica_version, std::size_t staleness_bound) {
+  if (master_version - *replica_version > staleness_bound) {
+    std::vector<GnnModel*> pair{master, replica};
+    BroadcastParameters(pair);
+    *replica_version = master_version;
+  }
+}
+
+void ApplyAveragedGradients(GnnModel* model, Adam* adam, std::size_t accumulated) {
+  for (Tensor* grad : model->Grads()) {
+    ScaleInPlace(grad, 1.0f / static_cast<float>(accumulated));
+  }
+  adam->Step(model->Params(), model->Grads());
+  model->ZeroGrads();
+}
+
+double EvaluateModelAccuracy(const Dataset& dataset, const Workload& workload,
+                             const EdgeWeights* weights, GnnModel* model,
+                             const RealTrainingOptions& real, ThreadPool* pool,
+                             const std::function<Rng(std::size_t)>& batch_rng) {
+  if (real.eval_vertices.empty()) {
+    return 0.0;
+  }
+  std::unique_ptr<Sampler> sampler = MakeSampler(workload, dataset, weights);
+  sampler->BindThreadPool(pool);
+  Extractor extractor(*real.features, pool);
+  double correct_weighted = 0.0;
+  std::size_t total = 0;
+  std::size_t batch_index = 0;
+  for (std::size_t start = 0; start < real.eval_vertices.size();
+       start += dataset.batch_size) {
+    const std::size_t n = std::min(dataset.batch_size, real.eval_vertices.size() - start);
+    Rng rng = batch_rng(batch_index++);
+    const SampleBlock block =
+        sampler->Sample(real.eval_vertices.subspan(start, n), &rng, nullptr);
+    std::vector<float> buffer;
+    extractor.Extract(block, &buffer);
+    Tensor input(block.vertices().size(), real.features->dim(), std::move(buffer));
+    const Tensor& logits = model->Forward(block, input);
+    std::vector<std::uint32_t> labels(block.num_seeds());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = real.labels[block.vertices()[i]];
+    }
+    correct_weighted += Accuracy(logits, labels) * static_cast<double>(n);
+    total += n;
+  }
+  return total > 0 ? correct_weighted / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,183 @@
+// The driver-agnostic stage layer: one canonical implementation of the
+// per-minibatch lifecycle — Sample (k-hop + cache marking + queue-copy
+// pricing), Extract (cache lookup + miss gather + host-channel scheduling)
+// and Train (real forward/backward or cost-model pricing).
+//
+// Drivers differ only in HOW stage bodies are scheduled:
+//   - the simulated Engine schedules them on a discrete-event timeline and
+//     prices durations with the CostModel,
+//   - the ThreadedEngine runs them on real Sampler/Trainer threads,
+//   - the time-sharing and CPU baselines run them sequentially per GPU.
+// All four call the same bodies below, so the counts the paper's ratios
+// rest on (sampled edges, cache hits, PCIe bytes) are equal across systems
+// by construction. See DESIGN.md "Stage pipeline".
+#ifndef GNNLAB_PIPELINE_STAGES_H_
+#define GNNLAB_PIPELINE_STAGES_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cache/feature_cache.h"
+#include "common/rng.h"
+#include "core/executors.h"
+#include "core/workload.h"
+#include "feature/extractor.h"
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "runtime/thread_pool.h"
+#include "sampling/sampler.h"
+#include "sim/cost_model.h"
+
+namespace gnnlab {
+
+// --- Sample stage -----------------------------------------------------------
+
+// Which kernel substrate prices the sampling (Table 1 / Table 5 "G").
+enum class SampleKernel {
+  kGpu,     // GNNLab / T_SOTA Fisher-Yates kernel.
+  kCpu,     // Optimized C++ CPU sampler.
+  kPygCpu,  // PyG's Python-loop CPU sampler (x pyg_sample_multiplier).
+  kDgl,     // DGL: kernel time + Python-runtime overhead multiplier.
+};
+
+struct SampleSpec {
+  // Cache to mark hits against during sampling (paper §6.2); nullptr or an
+  // empty cache skips the Mark sub-stage.
+  const FeatureCache* cache = nullptr;
+  // Cost model pricing the G/M/C components; nullptr (the threads driver)
+  // leaves every duration 0 — only the counts matter there.
+  const CostModel* cost = nullptr;
+  SampleKernel kernel = SampleKernel::kGpu;
+  // DGL pricing depends on the algorithm (kernel launches per batch) and
+  // the substrate.
+  SamplingAlgorithm algorithm = SamplingAlgorithm::kKhopUniform;
+  bool dgl_on_gpu = true;
+  // Price the C component (block copy into the host global queue). The
+  // factored engines pay it; time sharing keeps the block on-GPU.
+  bool price_queue_copy = false;
+  // Price the M component even without a cache: the sim engine's profiling
+  // pass estimates the cached steady state before any cache exists.
+  bool price_mark_always = false;
+};
+
+struct SampleOutcome {
+  SampleBlock block;
+  SamplerStats stats;
+  std::uint64_t sampled_edges = 0;  // stats.sampled_neighbors.
+  SimTime sample_time = 0.0;        // G.
+  SimTime mark_time = 0.0;          // M.
+  SimTime copy_time = 0.0;          // C.
+  // Wall-clock marks (MonotonicSeconds) around the expand and mark work,
+  // for drivers that run on real threads and emit spans per sub-stage.
+  double wall_sample_begin = 0.0;
+  double wall_sample_end = 0.0;
+  double wall_mark_begin = 0.0;
+  double wall_mark_end = 0.0;
+  SimTime Total() const { return sample_time + mark_time + copy_time; }
+};
+
+// The canonical Sample stage body: expand the seeds with the driver's RNG
+// stream, mark cached vertices, and price the G/M/C components.
+SampleOutcome RunSampleStage(Sampler* sampler, std::span<const VertexId> seeds, Rng* rng,
+                             const SampleSpec& spec);
+
+// Re-marks a block against another cache (a standby Trainer's smaller
+// cache; the Sampler marked against the dedicated Trainers'). A no-op when
+// both the cache and the block's existing marks are empty.
+void RemarkBlockForCache(const FeatureCache& cache, SampleBlock* block);
+
+// --- Extract stage ----------------------------------------------------------
+
+struct ExtractSpec {
+  const CostModel* cost = nullptr;  // nullptr => durations stay 0.
+  // GPU-side gather from the device cache (T_SOTA/GNNLab) vs CPU-side
+  // gather (DGL/PyG), whose per-row random DRAM access burns shared host
+  // bandwidth instead.
+  bool gpu_gather = true;
+};
+
+struct ExtractOutcome {
+  ExtractStats stats;
+  SimTime host_time = 0.0;   // Share served by the host channel.
+  SimTime local_time = 0.0;  // GPU-side per-row gather.
+  SimTime Work() const { return host_time + local_time; }
+};
+
+// The canonical Extract stage body: cache lookup + miss-gather accounting
+// (and the real row gather into `out` when non-null).
+ExtractOutcome RunExtractStage(const Extractor& extractor, const SampleBlock& block,
+                               std::vector<float>* out, const ExtractSpec& spec);
+
+// Schedules the extract's host portion onto the shared FCFS host channel
+// (each GPU has its own PCIe link, but links share the host's DRAM
+// bandwidth — CostModelParams::host_channel_parallelism) and returns the
+// completion timestamp on the simulated clock.
+SimTime ScheduleExtractOnChannel(SharedResource* channel, SimTime now,
+                                 const ExtractOutcome& extract, double parallelism);
+
+// --- Train stage ------------------------------------------------------------
+
+// Cost-model pricing of one mini-batch's forward+backward (Table 5 "T").
+SimTime PriceTrainStage(const Workload& workload, const Dataset& dataset,
+                        const SampleBlock& block, const CostModel& cost);
+
+// Optional real-training configuration (Figure 16 convergence experiment):
+// the engines then run genuine forward/backward passes.
+struct RealTrainingOptions {
+  const FeatureStore* features = nullptr;  // Must be materialized.
+  std::span<const std::uint32_t> labels;   // One per graph vertex.
+  std::span<const VertexId> eval_vertices;
+  std::uint32_t num_classes = 0;
+  std::size_t hidden_dim = 32;  // Smaller than the paper's 256 for CPU speed.
+  AdamConfig adam;
+  // CPU workers for the real-training Extract gather (and the eval pass's
+  // k-hop expansion). 1 = serial; 0 = hardware_concurrency. The simulated
+  // timeline is unaffected — only host wall-clock changes — and the
+  // gathered features are bit-identical for every value.
+  std::size_t extract_threads = 1;
+};
+
+struct TrainStageResult {
+  double loss = 0.0;
+  ExtractStats gather;
+  // Wall-clock marks (MonotonicSeconds) so the threads driver can emit its
+  // extract/train spans without wrapping the body in clock reads. The
+  // train span's end is driver-owned: it closes after the optimizer step.
+  double extract_begin = 0.0;
+  double extract_end = 0.0;
+  double train_begin = 0.0;
+};
+
+// The canonical real Train stage body: gather the block's features,
+// forward, softmax cross-entropy, backward. Gradients are LEFT on `model`
+// (zeroed first when `zero_grads_first`); the driver applies its own
+// update policy — synchronous accumulation groups, or parameter-server
+// steps under its lock.
+TrainStageResult RunRealTrainStage(GnnModel* model, const RealTrainingOptions& real,
+                                   Extractor* extractor, const SampleBlock& block,
+                                   bool zero_grads_first);
+
+// Pulls fresh master parameters into `replica` when its snapshot exceeds
+// the staleness bound. The caller holds whatever lock protects the master.
+void RefreshReplicaIfStale(GnnModel* master, GnnModel* replica, std::size_t master_version,
+                           std::size_t* replica_version, std::size_t staleness_bound);
+
+// Averages the gradients accumulated over `accumulated` batches and applies
+// one optimizer step (synchronous data parallelism's group update), then
+// zeroes the gradients for the next group.
+void ApplyAveragedGradients(GnnModel* model, Adam* adam, std::size_t accumulated);
+
+// Shared accuracy evaluation: samples the eval vertices in batches using
+// the driver-provided per-batch RNG stream and averages model accuracy
+// (weighted by batch size).
+double EvaluateModelAccuracy(const Dataset& dataset, const Workload& workload,
+                             const EdgeWeights* weights, GnnModel* model,
+                             const RealTrainingOptions& real, ThreadPool* pool,
+                             const std::function<Rng(std::size_t)>& batch_rng);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_PIPELINE_STAGES_H_

@@ -1,0 +1,79 @@
+#include "pipeline/switch_gate.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace gnnlab {
+
+StandbyFetchEval EvaluateStandbyFetch(double now, std::size_t queue_depth,
+                                      bool profit_says_fetch, double profit_value,
+                                      HealthMonitor* health, bool force_health_eval) {
+  bool fetch = profit_says_fetch;
+  bool pressure = false;
+  std::string alerts;
+  GNNLAB_OBS_ONLY({
+    if (health != nullptr) {
+      health->Evaluate(force_health_eval);
+      alerts = health->FiringSummary();
+      // Queue-pressure override: a firing queue.depth alert means the
+      // backlog is past the operator's threshold — drain now even if the
+      // profit metric says the dedicated Trainers would get there.
+      if (!fetch && queue_depth > 0 && health->AnyFiring(kMetricQueueDepth)) {
+        pressure = true;
+        fetch = true;
+      }
+    }
+  });
+  (void)health;
+  (void)force_health_eval;
+
+  StandbyFetchEval eval;
+  eval.fetch = fetch;
+  eval.decision.ts = now;
+  eval.decision.queue_depth = queue_depth;
+  eval.decision.profit = std::clamp(profit_value, -1e12, 1e12);
+  eval.decision.fetched = fetch;
+  eval.decision.pressure_override = pressure;
+  eval.decision.alerts = std::move(alerts);
+  return eval;
+}
+
+void SwitchDecisionLog::ResetFilters(std::size_t num_agents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_logged_.assign(num_agents, -1);
+}
+
+void SwitchDecisionLog::Append(SwitchDecision decision) {
+  if (decisions_.size() < kMaxDecisions) {
+    decisions_.push_back(std::move(decision));
+  }
+}
+
+void SwitchDecisionLog::LogFetch(std::size_t agent, SwitchDecision decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  decision.fetched = true;
+  Append(std::move(decision));
+  last_logged_[agent] = 1;
+}
+
+void SwitchDecisionLog::LogSkip(std::size_t agent, SwitchDecision decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_logged_[agent] != 0) {
+    Append(std::move(decision));
+  }
+  last_logged_[agent] = 0;
+}
+
+std::vector<SwitchDecision> SwitchDecisionLog::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SwitchDecision> out = std::move(decisions_);
+  decisions_.clear();
+  return out;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,63 @@
+// Shared dynamic-switching glue: the standby fetch decision (profit metric
+// + health-alert queue-pressure override, paper §5.3) and the capped,
+// flip-filtered decision log — previously duplicated between the simulated
+// Engine and the ThreadedEngine.
+#ifndef GNNLAB_PIPELINE_SWITCH_GATE_H_
+#define GNNLAB_PIPELINE_SWITCH_GATE_H_
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/switching.h"
+
+namespace gnnlab {
+
+class HealthMonitor;
+
+struct StandbyFetchEval {
+  bool fetch = false;
+  SwitchDecision decision;  // `fetched` mirrors `fetch`.
+};
+
+// One standby fetch decision: start from the profit metric's verdict, let a
+// firing queue.depth alert override a non-positive profit (queue pressure
+// drains now), and assemble the SwitchDecision record. `force_health_eval`
+// bypasses the monitor's wall-clock rate limiter — required on the
+// simulated timeline, where wall-clock gating would be nondeterministic.
+StandbyFetchEval EvaluateStandbyFetch(double now, std::size_t queue_depth,
+                                      bool profit_says_fetch, double profit_value,
+                                      HealthMonitor* health, bool force_health_eval);
+
+// Run-level switch-decision log: capped so a long skip/fetch oscillation
+// cannot bloat the report, and flip-filtered per agent — fetches always
+// log, a skip logs only when the agent's previous logged decision was not
+// already a skip. Thread-safe (the threads driver logs from standby
+// threads).
+class SwitchDecisionLog {
+ public:
+  // Resets the per-agent flip filters (per epoch); logged decisions are
+  // kept — the log spans the whole run.
+  void ResetFilters(std::size_t num_agents);
+
+  // A decision that fetched: always logged (under the cap).
+  void LogFetch(std::size_t agent, SwitchDecision decision);
+  // A decision that skipped: logged only on a flip.
+  void LogSkip(std::size_t agent, SwitchDecision decision);
+
+  // Moves the accumulated decisions out (run end) and clears the log.
+  std::vector<SwitchDecision> Take();
+
+ private:
+  static constexpr std::size_t kMaxDecisions = 4096;
+  void Append(SwitchDecision decision);
+
+  std::mutex mu_;
+  std::vector<SwitchDecision> decisions_;
+  // Last decision logged per agent (-1 none, 0 skip, 1 fetch).
+  std::vector<int> last_logged_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_PIPELINE_SWITCH_GATE_H_

@@ -132,6 +132,7 @@ std::string RunReportToJson(const RunReport& report) {
     }
     os << "{\"epoch_time\":" << epoch.epoch_time;
     os << ",\"batches\":" << epoch.batches;
+    os << ",\"sampled_edges\":" << epoch.sampled_edges;
     os << ",\"gradient_updates\":" << epoch.gradient_updates;
     os << ",\"switched_batches\":" << epoch.switched_batches;
     os << ",\"stage\":{";
@@ -179,6 +180,7 @@ std::string ThreadedRunReportToJson(const ThreadedRunReport& report) {
     }
     os << "{\"wall_seconds\":" << epoch.wall_seconds;
     os << ",\"batches\":" << epoch.batches;
+    os << ",\"sampled_edges\":" << epoch.sampled_edges;
     os << ",\"switched_batches\":" << epoch.switched_batches;
     os << ",\"gradient_updates\":" << epoch.gradient_updates;
     os << ",\"latency\":";

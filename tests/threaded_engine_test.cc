@@ -319,15 +319,14 @@ TEST(ThreadedEngineTest, StandbyDecisionsAreLoggedAndHealthDriven) {
 }
 #endif
 
+// Option validation happens at Run() entry (one clear diagnostic instead of
+// a downstream crash), so construction alone must not die.
 TEST(ThreadedEngineDeathTest, RequiresRealTraining) {
   Fixture& fixture = SharedFixture();
   ThreadedEngineOptions options;
   options.real = nullptr;
-  EXPECT_DEATH(
-      {
-        ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGcn), options);
-      },
-      "trains for real");
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGcn), options);
+  EXPECT_DEATH({ engine.Run(); }, "trains for real");
 }
 
 TEST(ThreadedEngineDeathTest, ZeroTrainersWithoutSwitching) {
@@ -335,11 +334,8 @@ TEST(ThreadedEngineDeathTest, ZeroTrainersWithoutSwitching) {
   ThreadedEngineOptions options = BaseOptions(fixture);
   options.num_trainers = 0;
   options.dynamic_switching = false;
-  EXPECT_DEATH(
-      {
-        ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGcn), options);
-      },
-      "requires dynamic switching");
+  ThreadedEngine engine(fixture.dataset, StandardWorkload(GnnModelKind::kGcn), options);
+  EXPECT_DEATH({ engine.Run(); }, "requires dynamic switching");
 }
 
 }  // namespace
