@@ -1,0 +1,298 @@
+// Throughput-vs-tail-latency sweep of the online inference server.
+//
+// The sweep is sized in service-time units so the shapes are structural
+// rather than machine-speed artifacts: a warmup run measures this machine's
+// per-batch service time (the server's own EMA), capacity follows as
+// max_batch / batch_seconds, the SLO is set to a fixed multiple of the
+// batch time, and each point then offers {0.5x, 1x, 2x} of that capacity on
+// an open-loop (non-flow-controlled) Poisson arrival process — once with
+// overload shedding enabled and once without.
+//
+// The headline contrast is the 2x-overload pair: with shedding, admission
+// rejects requests whose projected wait would blow the SLO, so the p99 of
+// the requests actually served stays pinned near the SLO; without it, every
+// request queues and the tail grows with the backlog. Results go to stdout
+// and, with --json=<path>, to a ServeLatencySweep JSON file of
+// offered-rate / goodput / p50-p95-p99 / shed-count points.
+//
+// Flags: --scale=<f> --seed=<n> --max-batch=<n> --workers=<n>
+//        --slo-mult=<f> --duration-batches=<n> --json=<path>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cache/feature_cache.h"
+#include "common/rng.h"
+#include "core/workload.h"
+#include "feature/feature_store.h"
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "report/json.h"
+#include "serve/load_generator.h"
+#include "serve/server.h"
+
+namespace gnnlab {
+namespace {
+
+struct Flags {
+  double scale = 0.1;
+  std::uint64_t seed = 42;
+  std::size_t max_batch = 8;
+  std::size_t workers = 1;
+  double slo_mult = 20.0;        // SLO = slo_mult * measured batch seconds.
+  std::size_t duration_batches = 150;  // Point length in batch-times.
+  std::string json_path;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      flags.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--max-batch=", 12) == 0) {
+      flags.max_batch = static_cast<std::size_t>(std::atoll(arg + 12));
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      flags.workers = static_cast<std::size_t>(std::atoll(arg + 10));
+    } else if (std::strncmp(arg, "--slo-mult=", 11) == 0) {
+      flags.slo_mult = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--duration-batches=", 19) == 0) {
+      flags.duration_batches = static_cast<std::size_t>(std::atoll(arg + 19));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      flags.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "flags: --scale=<f> --seed=<n> --max-batch=<n> --workers=<n> "
+          "--slo-mult=<f> --duration-batches=<n> --json=<path>\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+struct ServeStack {
+  Dataset dataset;
+  Workload workload;
+  FeatureStore features;
+  FeatureCache cache;
+  ModelConfig config;
+  std::unique_ptr<GnnModel> model;
+
+  explicit ServeStack(const Flags& flags)
+      : dataset(MakeDataset(DatasetId::kProducts, flags.scale, flags.seed)),
+        workload(StandardWorkload(GnnModelKind::kGraphSage)) {
+    workload.fanouts = {4, 4};
+    const VertexId nv = dataset.graph.num_vertices();
+    constexpr std::uint32_t kClasses = 8;
+    constexpr std::uint32_t kDim = 16;
+    Rng rng(flags.seed + 1);
+    const std::vector<std::uint32_t> labels = MakeCommunityLabels(nv, 128, kClasses);
+    features = FeatureStore::Clustered(nv, kDim, labels, kClasses, 0.3, &rng);
+    std::vector<VertexId> ranked(nv);
+    std::iota(ranked.begin(), ranked.end(), VertexId{0});
+    cache = FeatureCache::Load(ranked, 0.5, nv, kDim);
+    config.kind = GnnModelKind::kGraphSage;
+    config.num_layers = 2;
+    config.in_dim = kDim;
+    config.hidden_dim = 16;
+    config.num_classes = kClasses;
+    Rng model_rng(flags.seed + 2);
+    model = std::make_unique<GnnModel>(config, &model_rng);
+  }
+};
+
+struct SweepPoint {
+  double rate_multiplier = 0.0;
+  bool shedding = false;
+  double offered_rps = 0.0;
+  double goodput_rps = 0.0;  // Served throughput.
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t slo_violations = 0;
+  LatencySummary e2e;  // Over served requests only.
+};
+
+SweepPoint RunPoint(const ServeStack& stack, const Flags& flags, double estimate,
+                    double slo, double multiplier, bool shedding) {
+  const double capacity_rps =
+      static_cast<double>(flags.max_batch * flags.workers) / estimate;
+
+  ServeOptions options;
+  options.max_batch = flags.max_batch;
+  options.workers = flags.workers;
+  options.shedding = shedding;
+  options.admission_capacity = 16384;  // Capacity never masks the SLO shed.
+  options.initial_batch_estimate_seconds = estimate;
+  options.max_linger_seconds = std::max(slo / 10.0, 1e-4);
+  options.seed = flags.seed;
+  InferenceServer server(stack.dataset, stack.workload, stack.features,
+                         &stack.cache, stack.model.get(), options);
+  server.Start();
+
+  LoadGenOptions load;
+  load.mode = LoadMode::kOpen;
+  load.rate_rps = multiplier * capacity_rps;
+  load.num_requests = static_cast<std::size_t>(std::ceil(
+      multiplier * static_cast<double>(flags.max_batch * flags.workers *
+                                       flags.duration_batches)));
+  load.slo_seconds = slo;
+  load.seed = flags.seed + static_cast<std::uint64_t>(multiplier * 100.0) +
+              (shedding ? 1 : 0);
+  const LoadReport client = RunLoad(&server, load);
+  server.Stop();
+  const ServeReport report = server.Report();
+
+  SweepPoint point;
+  point.rate_multiplier = multiplier;
+  point.shedding = shedding;
+  point.offered_rps = client.offered_rps;
+  point.goodput_rps =
+      report.duration_seconds > 0.0
+          ? static_cast<double>(report.served) / report.duration_seconds
+          : 0.0;
+  point.offered = report.offered;
+  point.served = report.served;
+  point.shed = report.shed_queue_full + report.shed_overload;
+  point.slo_violations = report.slo_violations;
+  point.e2e = report.e2e_latency;
+  return point;
+}
+
+std::string SweepToJson(const std::vector<SweepPoint>& points, double estimate,
+                        double slo, bool bounded) {
+  std::string out = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"batch_estimate_seconds\":%.6g,\"slo_seconds\":%.6g,"
+                "\"shedding_bounds_p99\":%s,\"points\":[",
+                estimate, slo, bounded ? "true" : "false");
+  out += buf;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"rate_multiplier\":%.2f,\"shedding\":%s,\"offered_rps\":%.1f,"
+        "\"goodput_rps\":%.1f,\"offered\":%llu,\"served\":%llu,\"shed\":%llu,"
+        "\"slo_violations\":%llu,",
+        i == 0 ? "" : ",", p.rate_multiplier, p.shedding ? "true" : "false",
+        p.offered_rps, p.goodput_rps, static_cast<unsigned long long>(p.offered),
+        static_cast<unsigned long long>(p.served),
+        static_cast<unsigned long long>(p.shed),
+        static_cast<unsigned long long>(p.slo_violations));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"e2e_p50\":%.6g,\"e2e_p95\":%.6g,\"e2e_p99\":%.6g,"
+                  "\"e2e_max\":%.6g}",
+                  p.e2e.p50, p.e2e.p95, p.e2e.p99, p.e2e.max);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  const ServeStack stack(flags);
+
+  // Calibration: a closed-ish warmup long enough to settle the server's
+  // per-batch EMA on full batches.
+  double estimate;
+  {
+    ServeOptions options;
+    options.max_batch = flags.max_batch;
+    options.workers = flags.workers;
+    options.shedding = false;
+    options.admission_capacity = 16384;
+    options.seed = flags.seed;
+    InferenceServer server(stack.dataset, stack.workload, stack.features,
+                           &stack.cache, stack.model.get(), options);
+    server.Start();
+    LoadGenOptions load;
+    load.mode = LoadMode::kOpen;
+    load.rate_rps = 2000.0;
+    load.num_requests = 20 * flags.max_batch;
+    load.slo_seconds = 30.0;  // Calibration never sheds or violates.
+    load.seed = flags.seed;
+    RunLoad(&server, load);
+    server.Stop();
+    estimate = server.batch_estimate_seconds();
+  }
+  const double slo = flags.slo_mult * estimate;
+  const double capacity_rps =
+      static_cast<double>(flags.max_batch * flags.workers) / estimate;
+
+  std::printf("=== serve_latency: throughput vs tail latency ===\n");
+  std::printf(
+      "max_batch=%zu workers=%zu batch=%.3fms capacity=%.0f rps slo=%.2fms\n\n",
+      flags.max_batch, flags.workers, estimate * 1e3, capacity_rps, slo * 1e3);
+  std::printf("%6s %6s %12s %12s %8s %8s %10s %10s %10s\n", "load", "shed",
+              "offered_rps", "goodput_rps", "served", "shed#", "p50_ms",
+              "p95_ms", "p99_ms");
+
+  std::vector<SweepPoint> points;
+  for (const double multiplier : {0.5, 1.0, 2.0}) {
+    for (const bool shedding : {true, false}) {
+      const SweepPoint point =
+          RunPoint(stack, flags, estimate, slo, multiplier, shedding);
+      std::printf("%5.1fx %6s %12.0f %12.0f %8llu %8llu %10.2f %10.2f %10.2f\n",
+                  point.rate_multiplier, point.shedding ? "on" : "off",
+                  point.offered_rps, point.goodput_rps,
+                  static_cast<unsigned long long>(point.served),
+                  static_cast<unsigned long long>(point.shed), point.e2e.p50 * 1e3,
+                  point.e2e.p95 * 1e3, point.e2e.p99 * 1e3);
+      points.push_back(point);
+    }
+  }
+
+  // Headline: under 2x overload, shedding must keep the served-request tail
+  // at or below the unshed backlog tail (and near the SLO, which the unshed
+  // run's growing queue cannot manage).
+  const SweepPoint* shed2x = nullptr;
+  const SweepPoint* unshed2x = nullptr;
+  for (const SweepPoint& p : points) {
+    if (p.rate_multiplier == 2.0) {
+      (p.shedding ? shed2x : unshed2x) = &p;
+    }
+  }
+  bool bounded = false;
+  if (shed2x != nullptr && unshed2x != nullptr) {
+    bounded = shed2x->e2e.p99 <= unshed2x->e2e.p99 && shed2x->shed > 0;
+    std::printf(
+        "\n2x overload: shed p99=%.2fms (%llu shed) vs unshed p99=%.2fms "
+        "(slo=%.2fms) -> shedding %s the tail\n",
+        shed2x->e2e.p99 * 1e3, static_cast<unsigned long long>(shed2x->shed),
+        unshed2x->e2e.p99 * 1e3, slo * 1e3, bounded ? "bounds" : "DID NOT bound");
+  }
+
+  if (!flags.json_path.empty()) {
+    const std::string json = SweepToJson(points, estimate, slo, bounded);
+    std::FILE* file = std::fopen(flags.json_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("\nwrote %s\n", flags.json_path.c_str());
+  }
+  return bounded ? 0 : 1;
+}
+
+}  // namespace gnnlab
+
+int main(int argc, char** argv) { return gnnlab::Main(argc, argv); }

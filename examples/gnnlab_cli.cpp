@@ -17,6 +17,9 @@
 // series) as JSON. --prom-out writes a Prometheus text exposition of the
 // final metric state; --alert adds a health rule (repeatable, gnnlab
 // system only), e.g. --alert="queue.depth > 32".
+// --load-checkpoint / --save-checkpoint (gnnlab system only) turn on a
+// small real-training setup (synthetic clustered features) so the model's
+// weights can be warm-started from / persisted to a checkpoint file.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -25,7 +28,9 @@
 #include "baselines/cpu_runner.h"
 #include "baselines/timeshare_runner.h"
 #include "cache/cache_policy.h"
+#include "common/rng.h"
 #include "core/engine.h"
+#include "feature/feature_store.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
@@ -53,6 +58,8 @@ struct CliOptions {
   std::string metrics_path;  // --metrics-out=FILE: JSON-lines snapshots.
   std::string report_path;   // --report-out=FILE: run report JSON.
   std::string prom_path;     // --prom-out=FILE: Prometheus exposition.
+  std::string load_checkpoint;  // --load-checkpoint=FILE: warm start.
+  std::string save_checkpoint;  // --save-checkpoint=FILE: persist weights.
   std::vector<AlertRule> alerts;  // --alert=RULE (repeatable).
 };
 
@@ -73,7 +80,8 @@ bool ParseArg(const char* arg, const char* key, std::string* out) {
       "presc3|optimal]\n                  [--cache-ratio=F] [--scale=F] [--epochs=N] "
       "[--seed=N]\n                  [--trace-out=FILE] [--flow-out=FILE] "
       "[--metrics-out=FILE]\n                  [--report-out=FILE] [--prom-out=FILE] "
-      "[--alert=RULE]\n");
+      "[--alert=RULE]\n                  [--load-checkpoint=FILE] "
+      "[--save-checkpoint=FILE]\n");
   std::exit(2);
 }
 
@@ -114,6 +122,10 @@ CliOptions Parse(int argc, char** argv) {
       options.report_path = value;
     } else if (ParseArg(arg, "--prom-out=", &value)) {
       options.prom_path = value;
+    } else if (ParseArg(arg, "--load-checkpoint=", &value)) {
+      options.load_checkpoint = value;
+    } else if (ParseArg(arg, "--save-checkpoint=", &value)) {
+      options.save_checkpoint = value;
     } else if (ParseArg(arg, "--alert=", &value)) {
       AlertRule rule;
       std::string error;
@@ -256,6 +268,26 @@ int main(int argc, char** argv) {
     health_options.exposition_path = cli.prom_path;
     HealthMonitor health(&metrics, health_options);
     options.health = &health;
+    // Checkpoint flags need a model to load into / save from, so they turn
+    // on a small real-training setup over synthetic clustered features.
+    constexpr std::uint32_t kClasses = 10;
+    std::vector<std::uint32_t> labels;
+    FeatureStore real_features;
+    RealTrainingOptions real;
+    if (!cli.load_checkpoint.empty() || !cli.save_checkpoint.empty()) {
+      labels = MakeCommunityLabels(dataset.graph.num_vertices(), 128, kClasses);
+      Rng feature_rng(cli.seed);
+      real_features =
+          FeatureStore::Clustered(dataset.graph.num_vertices(), dataset.feature_dim,
+                                  labels, kClasses, /*noise=*/0.5, &feature_rng);
+      real.features = &real_features;
+      real.labels = labels;
+      real.num_classes = kClasses;
+      real.hidden_dim = 16;
+      options.real = &real;
+      options.load_checkpoint = cli.load_checkpoint;
+      options.save_checkpoint = cli.save_checkpoint;
+    }
     Engine engine(dataset, workload, options);
     const RunReport report = engine.Run();
     PrintReport(report);

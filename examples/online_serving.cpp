@@ -1,0 +1,318 @@
+// online_serving: stand up the inference server over a synthetic dataset,
+// drive it with the deterministic load generator, and print the serving
+// report — the command-line face of the serving layer and the binary the
+// verify script smoke-tests.
+//
+//   ./build/examples/online_serving --mode=open --rate=2000 --requests=500
+//       --slo-ms=50 [--max-batch=16] [--workers=1] [--standby-workers=0]
+//       [--clients=4] [--no-shed] [--linger-ms=2] [--scale=0.1] [--seed=42]
+//       [--load-checkpoint=FILE] [--report-out=FILE] [--alert=RULE]
+//       [--prom-port=N] [--port-file=FILE] [--hold-ms=N]
+//
+// --prom-port starts the HealthMonitor HTTP exporter (0 = ephemeral port)
+// serving GET /metrics and GET /healthz; --port-file writes the bound port
+// so scripts can find it, and --hold-ms keeps the exporter up that long
+// after the load drains (for external probes). --alert adds a health rule
+// (repeatable); without any, a default serve.queue.depth backlog rule wires
+// the queue-pressure override standby reclaim uses. --load-checkpoint
+// warm-starts the served model from weights saved by the training drivers
+// (the same architecture threaded_training checkpoints: 2-layer GraphSAGE,
+// dim 16, hidden 16, 10 classes). --report-out writes the ServeReport JSON.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/feature_cache.h"
+#include "common/rng.h"
+#include "core/workload.h"
+#include "feature/feature_store.h"
+#include "graph/dataset.h"
+#include "nn/checkpoint.h"
+#include "nn/model.h"
+#include "obs/flow.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "report/json.h"
+#include "serve/load_generator.h"
+#include "serve/server.h"
+
+using namespace gnnlab;  // NOLINT: example brevity.
+
+namespace {
+
+struct CliOptions {
+  std::string mode = "open";  // open | closed
+  double rate = 2000.0;
+  std::size_t requests = 500;
+  std::size_t clients = 4;
+  double slo_ms = 50.0;
+  std::size_t max_batch = 16;
+  std::size_t workers = 1;
+  std::size_t standby_workers = 0;
+  bool shedding = true;
+  double linger_ms = 2.0;
+  double scale = 0.1;
+  std::uint64_t seed = 42;
+  std::string load_checkpoint;
+  std::string report_path;
+  std::vector<AlertRule> alerts;
+  int prom_port = -1;  // -1 = no HTTP exporter.
+  std::string port_file;
+  int hold_ms = 0;
+};
+
+bool ParseArg(const char* arg, const char* key, std::string* out) {
+  const std::size_t len = std::strlen(key);
+  if (std::strncmp(arg, key, len) == 0) {
+    *out = arg + len;
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void Usage() {
+  std::printf(
+      "usage: online_serving [--mode=open|closed] [--rate=RPS] [--requests=N]\n"
+      "                      [--clients=N] [--slo-ms=F] [--max-batch=N] "
+      "[--workers=N]\n                      [--standby-workers=N] [--no-shed] "
+      "[--linger-ms=F]\n                      [--scale=F] [--seed=N] "
+      "[--load-checkpoint=FILE]\n                      [--report-out=FILE] "
+      "[--alert=RULE] [--prom-port=N]\n                      [--port-file=FILE] "
+      "[--hold-ms=N]\n");
+  std::exit(2);
+}
+
+CliOptions Parse(int argc, char** argv) {
+  CliOptions options;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseArg(arg, "--mode=", &value)) {
+      options.mode = value;
+    } else if (ParseArg(arg, "--rate=", &value)) {
+      options.rate = std::atof(value.c_str());
+    } else if (ParseArg(arg, "--requests=", &value)) {
+      options.requests = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseArg(arg, "--clients=", &value)) {
+      options.clients = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseArg(arg, "--slo-ms=", &value)) {
+      options.slo_ms = std::atof(value.c_str());
+    } else if (ParseArg(arg, "--max-batch=", &value)) {
+      options.max_batch = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseArg(arg, "--workers=", &value)) {
+      options.workers = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseArg(arg, "--standby-workers=", &value)) {
+      options.standby_workers = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (std::strcmp(arg, "--no-shed") == 0) {
+      options.shedding = false;
+    } else if (ParseArg(arg, "--linger-ms=", &value)) {
+      options.linger_ms = std::atof(value.c_str());
+    } else if (ParseArg(arg, "--scale=", &value)) {
+      options.scale = std::atof(value.c_str());
+    } else if (ParseArg(arg, "--seed=", &value)) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseArg(arg, "--load-checkpoint=", &value)) {
+      options.load_checkpoint = value;
+    } else if (ParseArg(arg, "--report-out=", &value)) {
+      options.report_path = value;
+    } else if (ParseArg(arg, "--alert=", &value)) {
+      AlertRule rule;
+      std::string error;
+      if (!ParseAlertRule(value, &rule, &error)) {
+        std::fprintf(stderr, "bad --alert rule: %s\n", error.c_str());
+        Usage();
+      }
+      options.alerts.push_back(std::move(rule));
+    } else if (ParseArg(arg, "--prom-port=", &value)) {
+      options.prom_port = std::atoi(value.c_str());
+    } else if (ParseArg(arg, "--port-file=", &value)) {
+      options.port_file = value;
+    } else if (ParseArg(arg, "--hold-ms=", &value)) {
+      options.hold_ms = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      Usage();
+    }
+  }
+  if (options.mode != "open" && options.mode != "closed") {
+    std::fprintf(stderr, "unknown mode: %s\n", options.mode.c_str());
+    Usage();
+  }
+  return options;
+}
+
+void PrintSummary(const char* label, const LatencySummary& summary) {
+  std::printf("  %-8s p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  max %7.2fms\n", label,
+              summary.p50 * 1e3, summary.p95 * 1e3, summary.p99 * 1e3,
+              summary.max * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = Parse(argc, argv);
+
+  // Serving stack: the same synthetic setup the training drivers use for
+  // checkpoints — clustered features over community labels, a GraphSAGE
+  // model, and the degree-ranked half-capacity feature cache.
+  const Dataset dataset = MakeDataset(DatasetId::kProducts, cli.scale, cli.seed);
+  Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  workload.fanouts = {4, 4};
+  const VertexId nv = dataset.graph.num_vertices();
+  constexpr std::uint32_t kClasses = 10;  // Matches the training drivers.
+  constexpr std::uint32_t kDim = 16;
+  Rng rng(cli.seed + 1);
+  const std::vector<std::uint32_t> labels = MakeCommunityLabels(nv, 128, kClasses);
+  const FeatureStore features =
+      FeatureStore::Clustered(nv, kDim, labels, kClasses, 0.3, &rng);
+  std::vector<VertexId> ranked(nv);
+  std::iota(ranked.begin(), ranked.end(), VertexId{0});
+  const FeatureCache cache = FeatureCache::Load(ranked, 0.5, nv, kDim);
+  ModelConfig config;
+  config.kind = GnnModelKind::kGraphSage;
+  config.num_layers = 2;
+  config.in_dim = kDim;
+  config.hidden_dim = 16;
+  config.num_classes = kClasses;
+  Rng model_rng(cli.seed + 2);
+  GnnModel model(config, &model_rng);
+  if (!cli.load_checkpoint.empty()) {
+    if (!LoadModel(&model, cli.load_checkpoint)) {
+      std::fprintf(stderr, "cannot load checkpoint %s\n", cli.load_checkpoint.c_str());
+      return 1;
+    }
+    std::printf("warm-started model from %s\n", cli.load_checkpoint.c_str());
+  }
+
+  // Observability: registry + flows + health. Without explicit --alert
+  // rules, a default backlog rule on serve.queue.depth arms the same
+  // queue-pressure override the standby reclaim gate consults.
+  MetricRegistry metrics;
+  FlowTracer flows;
+  HealthMonitor::Options health_options;
+  health_options.rules = cli.alerts;
+  if (health_options.rules.empty()) {
+    AlertRule rule;
+    std::string error;
+    const std::string default_rule = "serve_backlog: serve.queue.depth > " +
+                                     std::to_string(4 * cli.max_batch);
+    if (!ParseAlertRule(default_rule, &rule, &error)) {
+      std::fprintf(stderr, "bad default alert rule: %s\n", error.c_str());
+      return 1;
+    }
+    health_options.rules.push_back(std::move(rule));
+  }
+  HealthMonitor health(&metrics, health_options);
+  if (cli.prom_port >= 0) {
+    const int port = health.StartServer(cli.prom_port);
+    if (port < 0) {
+      std::fprintf(stderr, "cannot start metrics HTTP server\n");
+      return 1;
+    }
+    std::printf("metrics at http://127.0.0.1:%d/metrics, liveness at /healthz\n", port);
+    if (!cli.port_file.empty()) {
+      std::FILE* file = std::fopen(cli.port_file.c_str(), "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", cli.port_file.c_str());
+        return 1;
+      }
+      std::fprintf(file, "%d\n", port);
+      std::fclose(file);
+    }
+  }
+
+  ServeOptions serve;
+  serve.max_batch = cli.max_batch;
+  serve.workers = cli.workers;
+  serve.standby_workers = cli.standby_workers;
+  serve.shedding = cli.shedding;
+  serve.max_linger_seconds = cli.linger_ms / 1e3;
+  serve.seed = cli.seed;
+  serve.metrics = &metrics;
+  serve.flows = &flows;
+  serve.health = &health;
+  InferenceServer server(dataset, workload, features, &cache, &model, serve);
+
+  LoadGenOptions load;
+  load.mode = cli.mode == "open" ? LoadMode::kOpen : LoadMode::kClosed;
+  load.rate_rps = cli.rate;
+  load.num_requests = cli.requests;
+  load.num_clients = cli.clients;
+  load.requests_per_client =
+      cli.clients > 0 ? std::max<std::size_t>(1, cli.requests / cli.clients) : 0;
+  load.slo_seconds = cli.slo_ms / 1e3;
+  load.seed = cli.seed;
+
+  std::printf("%s-loop load: %zu requests%s, slo %.1fms | batch<=%zu workers=%zu+%zu "
+              "shed=%s\n\n",
+              cli.mode.c_str(), cli.requests,
+              load.mode == LoadMode::kOpen
+                  ? (" at " + std::to_string(static_cast<long long>(cli.rate)) + " rps")
+                        .c_str()
+                  : (" from " + std::to_string(cli.clients) + " clients").c_str(),
+              cli.slo_ms, cli.max_batch, cli.workers, cli.standby_workers,
+              cli.shedding ? "on" : "off");
+
+  server.Start();
+  const LoadReport client = RunLoad(&server, load);
+  if (cli.hold_ms > 0) {  // Keep /metrics and /healthz probe-able.
+    std::this_thread::sleep_for(std::chrono::milliseconds(cli.hold_ms));
+  }
+  server.Stop();
+  const ServeReport report = server.Report();
+
+  std::printf("served %llu/%llu | shed %llu (queue_full %llu, overload %llu) | "
+              "slo violations %llu\n",
+              static_cast<unsigned long long>(report.served),
+              static_cast<unsigned long long>(report.offered),
+              static_cast<unsigned long long>(report.shed_queue_full +
+                                              report.shed_overload),
+              static_cast<unsigned long long>(report.shed_queue_full),
+              static_cast<unsigned long long>(report.shed_overload),
+              static_cast<unsigned long long>(report.slo_violations));
+  std::printf("throughput %.0f rps over %.2fs | %llu batches (%llu standby) | "
+              "cache hit %.1f%%\n",
+              report.throughput_rps, report.duration_seconds,
+              static_cast<unsigned long long>(report.batches),
+              static_cast<unsigned long long>(report.standby_batches),
+              report.cache_hits + report.host_misses > 0
+                  ? 100.0 * static_cast<double>(report.cache_hits) /
+                        static_cast<double>(report.cache_hits + report.host_misses)
+                  : 0.0);
+  PrintSummary("queue", report.queue_latency);
+  PrintSummary("batch", report.batch_latency);
+  PrintSummary("e2e", report.e2e_latency);
+  if (!report.switch_decisions.empty()) {
+    std::size_t fetches = 0;
+    std::size_t overrides = 0;
+    for (const SwitchDecision& d : report.switch_decisions) {
+      fetches += d.fetched ? 1 : 0;
+      overrides += d.pressure_override ? 1 : 0;
+    }
+    std::printf("standby gate: %zu decisions, %zu fetches, %zu pressure overrides\n",
+                report.switch_decisions.size(), fetches, overrides);
+  }
+  for (const AlertState& state : health.Evaluate(/*force=*/true)) {
+    std::printf("alert %-24s %s (value %.4g, threshold %c %.4g)\n",
+                state.rule.name.c_str(), state.firing ? "FIRING" : "ok", state.value,
+                state.rule.op, state.rule.threshold);
+  }
+  if (!cli.report_path.empty() && WriteServeReportJson(report, cli.report_path)) {
+    std::printf("wrote serve report JSON to %s\n", cli.report_path.c_str());
+  }
+
+  // Client/server conservation: the two views must agree exactly.
+  if (client.served != report.served ||
+      client.shed != report.shed_queue_full + report.shed_overload) {
+    std::fprintf(stderr, "FAIL: client (%llu served, %llu shed) disagrees with server\n",
+                 static_cast<unsigned long long>(client.served),
+                 static_cast<unsigned long long>(client.shed));
+    return 1;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 //   ./build/examples/threaded_training [samplers] [trainers] [epochs] [extract_threads]
 //       [--trace-out=FILE] [--flow-out=FILE] [--metrics-out=FILE] [--report-out=FILE]
 //       [--prom-out=FILE] [--prom-port=N] [--alert=RULE] [--snapshot-ms=N]
+//       [--load-checkpoint=FILE] [--save-checkpoint=FILE]
 //
 // extract_threads sizes the shared CPU pool for the parallel hot paths
 // (feature gather + k-hop expansion): 0 = all hardware threads (default),
@@ -23,6 +24,9 @@
 // port). --alert adds a health rule, e.g. --alert="queue.depth > 32" or
 // --alert="slow_train: stage.train p99 > 0.5" (repeatable); firing rules
 // surface as alert.* gauges and in the switch decision log.
+// --load-checkpoint warm-starts the model from a saved checkpoint;
+// --save-checkpoint persists the trained weights for later warm starts or
+// the serving example.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +49,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string report_out;
   std::string prom_out;
+  std::string load_checkpoint;
+  std::string save_checkpoint;
   int prom_port = -1;
   std::vector<AlertRule> alert_rules;
   double snapshot_ms = 50.0;
@@ -72,6 +78,10 @@ int main(int argc, char** argv) {
       alert_rules.push_back(std::move(rule));
     } else if (std::strncmp(arg, "--snapshot-ms=", 14) == 0) {
       snapshot_ms = std::atof(arg + 14);
+    } else if (std::strncmp(arg, "--load-checkpoint=", 18) == 0) {
+      load_checkpoint = arg + 18;
+    } else if (std::strncmp(arg, "--save-checkpoint=", 18) == 0) {
+      save_checkpoint = arg + 18;
     } else if (num_positional < 4) {
       positional[num_positional++] = std::atoi(arg);
     } else {
@@ -137,6 +147,8 @@ int main(int argc, char** argv) {
   options.metrics = &metrics;
   options.metrics_out = metrics_out;
   options.snapshot_interval_seconds = snapshot_ms / 1000.0;
+  options.load_checkpoint = load_checkpoint;
+  options.save_checkpoint = save_checkpoint;
 
   std::printf("threaded GNNLab: %dS %dT on %s (%u vertices), PreSC cache 20%%, pool=%zu\n\n",
               samplers, trainers, dataset.name.c_str(), dataset.graph.num_vertices(),
@@ -215,6 +227,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote run report JSON to %s\n", report_out.c_str());
+  }
+  if (!load_checkpoint.empty()) {
+    std::printf("warm-started from checkpoint %s\n", load_checkpoint.c_str());
+  }
+  if (!save_checkpoint.empty()) {
+    std::printf("saved model checkpoint to %s\n", save_checkpoint.c_str());
   }
   std::printf(
       "\nEvery number above is real: OS threads, a blocking MPMC queue, live\n"

@@ -110,8 +110,64 @@ else
 fi
 echo "ok: ${prom}"
 
+# --- serving smoke run -------------------------------------------------------
+# Start the inference server with its HTTP exporter, drive a short open-loop
+# load, and probe /metrics (serve.* families present) and /healthz (200 from
+# a quiet alert state) while the example holds the exporter up; the example
+# itself exits nonzero if the client and server disagree on served/shed.
+serve_report="${out_dir}/serve.report.json"
+serve_port_file="${out_dir}/serve.port"
+serve_log="${out_dir}/serve.log"
+"${build_dir}/examples/online_serving" --mode=open --rate=2000 --requests=300 \
+  --slo-ms=50 --standby-workers=1 --prom-port=0 \
+  --port-file="${serve_port_file}" --hold-ms=6000 \
+  --report-out="${serve_report}" > "${serve_log}" 2>&1 &
+serve_pid=$!
+for _ in $(seq 100); do
+  [ -s "${serve_port_file}" ] && break
+  sleep 0.1
+done
+[ -s "${serve_port_file}" ] || {
+  echo "FAIL: online_serving never published its port" >&2
+  cat "${serve_log}" >&2; exit 1; }
+serve_port="$(cat "${serve_port_file}")"
+sleep 2  # Let the load drain so the scrape sees final serve.* counts.
+
+fetch() {  # curl when present, else a bash /dev/tcp probe.
+  local path="$1"
+  if command -v curl >/dev/null 2>&1; then
+    curl -s "http://127.0.0.1:${serve_port}${path}"
+  else
+    exec 3<>"/dev/tcp/127.0.0.1/${serve_port}"
+    printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' \
+      "${path}" >&3
+    cat <&3
+    exec 3<&- 3>&-
+  fi
+}
+
+serve_metrics="$(fetch /metrics)"
+echo "${serve_metrics}" | grep -q '^gnnlab_serve_served_total ' || {
+  echo "FAIL: /metrics is missing gnnlab_serve_served_total" >&2
+  cat "${serve_log}" >&2; exit 1; }
+echo "${serve_metrics}" | grep -q 'gnnlab_serve_e2e_seconds' || {
+  echo "FAIL: /metrics is missing the serve e2e latency family" >&2; exit 1; }
+fetch /healthz | grep -q 'ok' || {
+  echo "FAIL: /healthz did not answer ok" >&2
+  cat "${serve_log}" >&2; exit 1; }
+echo "ok: /metrics + /healthz on port ${serve_port}"
+
+wait "${serve_pid}" || {
+  echo "FAIL: online_serving exited nonzero" >&2
+  cat "${serve_log}" >&2; exit 1; }
+check_json "${serve_report}" object
+grep -q '"e2e_latency"' "${serve_report}" || {
+  echo "FAIL: serve report has no e2e latency summary" >&2; exit 1; }
+grep -q '"shed_overload"' "${serve_report}" || {
+  echo "FAIL: serve report has no shed counters" >&2; exit 1; }
+
 # --- hook overhead budget ----------------------------------------------------
 "${build_dir}/bench/micro_obs" --rows=50000 --repeats=5 --trials=3
 
 echo
-echo "verify: build + tests + telemetry smoke + overhead budget all green"
+echo "verify: build + tests + telemetry smoke + serving smoke + overhead budget all green"

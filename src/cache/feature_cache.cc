@@ -2,11 +2,60 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "obs/snapshot.h"
 
 namespace gnnlab {
+
+FeatureCache::FeatureCache(const FeatureCache& other)
+    : cached_(other.cached_),
+      num_cached_(other.num_cached_),
+      feature_dim_(other.feature_dim_),
+      lookup_total_(other.lookup_total_.load(std::memory_order_relaxed)),
+      lookup_hits_(other.lookup_hits_.load(std::memory_order_relaxed)),
+      mark_hits_(other.mark_hits_),
+      mark_total_(other.mark_total_) {}
+
+FeatureCache& FeatureCache::operator=(const FeatureCache& other) {
+  if (this != &other) {
+    cached_ = other.cached_;
+    num_cached_ = other.num_cached_;
+    feature_dim_ = other.feature_dim_;
+    lookup_total_.store(other.lookup_total_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    lookup_hits_.store(other.lookup_hits_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    mark_hits_ = other.mark_hits_;
+    mark_total_ = other.mark_total_;
+  }
+  return *this;
+}
+
+FeatureCache::FeatureCache(FeatureCache&& other) noexcept
+    : cached_(std::move(other.cached_)),
+      num_cached_(other.num_cached_),
+      feature_dim_(other.feature_dim_),
+      lookup_total_(other.lookup_total_.load(std::memory_order_relaxed)),
+      lookup_hits_(other.lookup_hits_.load(std::memory_order_relaxed)),
+      mark_hits_(other.mark_hits_),
+      mark_total_(other.mark_total_) {}
+
+FeatureCache& FeatureCache::operator=(FeatureCache&& other) noexcept {
+  if (this != &other) {
+    cached_ = std::move(other.cached_);
+    num_cached_ = other.num_cached_;
+    feature_dim_ = other.feature_dim_;
+    lookup_total_.store(other.lookup_total_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    lookup_hits_.store(other.lookup_hits_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    mark_hits_ = other.mark_hits_;
+    mark_total_ = other.mark_total_;
+  }
+  return *this;
+}
 
 FeatureCache FeatureCache::LoadCount(std::span<const VertexId> ranked, std::size_t capacity,
                                      VertexId num_vertices, std::uint32_t feature_dim) {
@@ -69,13 +118,14 @@ void FeatureCache::MarkBlock(SampleBlock* block) const {
     marks[i] = hit ? 1 : 0;
     hits += hit ? 1 : 0;
   }
+  lookup_total_.fetch_add(vertices.size(), std::memory_order_relaxed);
+  lookup_hits_.fetch_add(hits, std::memory_order_relaxed);
   GNNLAB_OBS_ONLY({
     if (mark_total_ != nullptr) {
       mark_total_->Increment(vertices.size());
       mark_hits_->Increment(hits);
     }
   });
-  (void)hits;
 }
 
 EpochExtractionResult MeasureEpochExtraction(Sampler* sampler, const TrainingSet& train_set,

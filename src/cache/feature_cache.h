@@ -5,6 +5,7 @@
 #ifndef GNNLAB_CACHE_FEATURE_CACHE_H_
 #define GNNLAB_CACHE_FEATURE_CACHE_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -21,6 +22,15 @@ namespace gnnlab {
 class FeatureCache {
  public:
   FeatureCache() = default;
+
+  // Copies/moves transfer the membership table and a snapshot of the
+  // lifetime lookup counters (atomics are not copyable by default; the
+  // engines assign caches by value at build time, before any concurrent
+  // marking starts).
+  FeatureCache(const FeatureCache& other);
+  FeatureCache& operator=(const FeatureCache& other);
+  FeatureCache(FeatureCache&& other) noexcept;
+  FeatureCache& operator=(FeatureCache&& other) noexcept;
 
   // The paper's load_cache(hotness_map, alpha): caches the top
   // ceil(alpha * |V|) vertices of `ranked` (a descending hotness order over
@@ -47,7 +57,21 @@ class FeatureCache {
 
   // Fills block->mutable_cache_marks() for every distinct vertex: the
   // Sample-stage marking step (paper §5.2, the "M" component of Table 5).
+  // Safe to call from many threads at once — the shared training cache is
+  // marked by every Sampler, and the serving layer marks against the same
+  // instance; the lookup counters below are relaxed atomics so concurrent
+  // marking never races.
   void MarkBlock(SampleBlock* block) const;
+
+  // Lifetime totals across every MarkBlock call on this instance: distinct
+  // vertices looked up, and how many were cache-resident. Exact under
+  // concurrency (relaxed atomic increments).
+  std::uint64_t lookup_total() const {
+    return lookup_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lookup_hits() const {
+    return lookup_hits_.load(std::memory_order_relaxed);
+  }
 
   // Streams marking telemetry into cache.mark_hits / cache.mark_total
   // counters (one relaxed increment per MarkBlock call). Pass nullptr to
@@ -63,6 +87,9 @@ class FeatureCache {
   std::vector<std::uint8_t> cached_;
   std::size_t num_cached_ = 0;
   std::uint32_t feature_dim_ = 0;
+  // Mutable: MarkBlock is const (readers share the cache) but still counts.
+  mutable std::atomic<std::uint64_t> lookup_total_{0};
+  mutable std::atomic<std::uint64_t> lookup_hits_{0};
   Counter* mark_hits_ = nullptr;
   Counter* mark_total_ = nullptr;
 };

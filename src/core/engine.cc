@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "nn/checkpoint.h"
 #include "nn/grad_sync.h"
 #include "pipeline/batch_streams.h"
 #include "pipeline/cache_builder.h"
@@ -40,6 +41,10 @@ Engine::Engine(const Dataset& dataset, const Workload& workload, const EngineOpt
     config.num_classes = real.num_classes;
     Rng model_rng(options_.seed ^ 0x4d4f444cu);  // "MODL"
     model_ = std::make_unique<GnnModel>(config, &model_rng);
+    if (!options_.load_checkpoint.empty()) {
+      CHECK(LoadModel(model_.get(), options_.load_checkpoint))
+          << "cannot load checkpoint '" << options_.load_checkpoint << "'";
+    }
     adam_ = std::make_unique<Adam>(real.adam);
     const std::size_t extract_threads = ThreadPool::ResolveThreads(real.extract_threads);
     if (extract_threads > 1) {
@@ -101,6 +106,10 @@ RunReport Engine::Run() {
   report.queue = queue_.report();
   report.switch_decisions = switch_log_.Take();
   report.snapshots = std::move(snapshots_);
+  if (model_ != nullptr && !options_.save_checkpoint.empty()) {
+    CHECK(SaveModel(model_.get(), options_.save_checkpoint))
+        << "cannot save checkpoint '" << options_.save_checkpoint << "'";
+  }
   return report;
 }
 

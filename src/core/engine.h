@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cache/cache_policy.h"
@@ -93,6 +94,11 @@ struct EngineOptions {
   // regardless; the registry is for live export alongside other runs.
   MetricRegistry* metrics = nullptr;
   const RealTrainingOptions* real = nullptr;
+  // Warm start / persistence of the real-training model (requires `real`):
+  // load parameters from this checkpoint before the run, save them after
+  // the last epoch. Empty = random init / no save.
+  std::string load_checkpoint;
+  std::string save_checkpoint;
 };
 
 class Engine {

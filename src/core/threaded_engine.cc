@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "nn/checkpoint.h"
 #include "nn/grad_sync.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -95,6 +96,10 @@ void ThreadedEngine::ValidateAndInit() {
   config.num_classes = real.num_classes;
   Rng model_rng(options_.seed ^ 0x4d4f444cu);
   master_ = std::make_unique<GnnModel>(config, &model_rng);
+  if (!options_.load_checkpoint.empty()) {
+    CHECK(LoadModel(master_.get(), options_.load_checkpoint))
+        << "cannot load checkpoint '" << options_.load_checkpoint << "'";
+  }
   adam_ = std::make_unique<Adam>(real.adam);
   const std::size_t replica_count =
       static_cast<std::size_t>(options_.num_trainers + options_.num_samplers);
@@ -192,6 +197,10 @@ ThreadedRunReport ThreadedEngine::Run() {
   exporter.Stop();
   report.switch_decisions = switch_log_.Take();
   report.snapshots = exporter.series();
+  if (!options_.save_checkpoint.empty()) {
+    CHECK(SaveModel(master_.get(), options_.save_checkpoint))
+        << "cannot save checkpoint '" << options_.save_checkpoint << "'";
+  }
   return report;
 }
 

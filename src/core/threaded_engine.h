@@ -80,6 +80,12 @@ struct ThreadedEngineOptions {
   // JSON-lines file the snapshot series is streamed to (--metrics-out).
   // Empty = in-memory series only.
   std::string metrics_out;
+  // Warm start: load the master model's parameters from this checkpoint
+  // before training (shapes must match; aborts otherwise). Replicas start
+  // from the loaded weights. Empty = random init.
+  std::string load_checkpoint;
+  // Save the master model's parameters here after the last epoch.
+  std::string save_checkpoint;
 };
 
 struct ThreadedEpochReport {

@@ -297,20 +297,40 @@ void HealthMonitor::ServeLoop() {
     }
     char request[1024];
     const ssize_t n = ::recv(client, request, sizeof(request) - 1, 0);
+    // "GET <path> HTTP/1.x": /metrics (or /) serves the exposition,
+    // /healthz answers 200 ok / 503 + firing rules from the alert state,
+    // anything else is 404.
     bool metrics_path = true;
+    bool healthz_path = false;
     if (n > 0) {
       request[n] = '\0';
-      // "GET <path> HTTP/1.x": anything that is not /metrics (or /) is 404.
       const char* path = std::strchr(request, ' ');
       if (path != nullptr) {
         ++path;
-        metrics_path = std::strncmp(path, "/metrics", 8) == 0 ||
-                       std::strncmp(path, "/ ", 2) == 0;
+        healthz_path = std::strncmp(path, "/healthz", 8) == 0;
+        metrics_path = !healthz_path && (std::strncmp(path, "/metrics", 8) == 0 ||
+                                         std::strncmp(path, "/ ", 2) == 0);
       }
     }
-    std::string body = metrics_path ? Exposition() : "not found\n";
+    std::string body;
+    const char* status = "404 Not Found";
+    if (healthz_path) {
+      Evaluate(/*force=*/true);
+      if (AnyFiring()) {
+        status = "503 Service Unavailable";
+        body = "unhealthy: " + FiringSummary() + "\n";
+      } else {
+        status = "200 OK";
+        body = "ok\n";
+      }
+    } else if (metrics_path) {
+      status = "200 OK";
+      body = Exposition();
+    } else {
+      body = "not found\n";
+    }
     std::ostringstream response;
-    response << "HTTP/1.1 " << (metrics_path ? "200 OK" : "404 Not Found") << "\r\n"
+    response << "HTTP/1.1 " << status << "\r\n"
              << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
              << "Content-Length: " << body.size() << "\r\n"
              << "Connection: close\r\n\r\n"
@@ -332,9 +352,9 @@ void HealthMonitor::StopServer() {
   if (!serving_.exchange(false)) {
     return;
   }
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
   if (server_thread_.joinable()) {
     server_thread_.join();
   }

@@ -98,8 +98,11 @@ class HealthMonitor {
   bool WriteExposition();
 
   // Tiny HTTP exporter: binds 127.0.0.1:`port` (0 = ephemeral) and serves
-  // GET /metrics with the exposition. Returns the bound port, or -1 on
-  // failure. StopServer() joins the accept thread; idempotent.
+  // GET /metrics with the exposition and GET /healthz with a liveness
+  // answer driven by the alert state — 200 "ok" when no rule fires, 503
+  // naming the firing rules otherwise (fresh Evaluate per probe). Returns
+  // the bound port, or -1 on failure. StopServer() joins the accept
+  // thread; idempotent.
   int StartServer(int port = 0);
   void StopServer();
   int port() const { return port_; }
@@ -117,7 +120,9 @@ class HealthMonitor {
   std::vector<AlertState> states_;
   double last_eval_ = -1.0;
 
-  int listen_fd_ = -1;
+  // Atomic: the accept loop re-reads it per iteration while StopServer()
+  // invalidates it from another thread.
+  std::atomic<int> listen_fd_{-1};
   int port_ = -1;
   std::thread server_thread_;
   std::atomic<bool> serving_{false};

@@ -36,6 +36,24 @@ inline constexpr char kMetricPoolBusy[] = "pool.busy";              // Gauge.
 inline constexpr char kMetricPoolSize[] = "pool.size";              // Gauge.
 inline constexpr char kMetricPoolTasks[] = "pool.tasks";            // Counter.
 
+// Serving-layer metrics (src/serve). The admission queue maintains the
+// depth gauge and the offered/admitted/shed counters; the inference server
+// maintains the rest. The serve.queue.depth gauge doubles as the signal
+// behind the serving burst gate (a firing alert on it lets a standby
+// worker be reclaimed for serving, mirroring the training switch gate).
+inline constexpr char kMetricServeQueueDepth[] = "serve.queue.depth";        // Gauge.
+inline constexpr char kMetricServeOffered[] = "serve.offered";               // Counter.
+inline constexpr char kMetricServeAdmitted[] = "serve.admitted";             // Counter.
+inline constexpr char kMetricServeServed[] = "serve.served";                 // Counter.
+inline constexpr char kMetricServeShedFull[] = "serve.shed_queue_full";      // Counter.
+inline constexpr char kMetricServeShedOverload[] = "serve.shed_overload";    // Counter.
+inline constexpr char kMetricServeSloViolations[] = "serve.slo_violations";  // Counter.
+inline constexpr char kMetricServeStandbyBatches[] = "serve.standby_batches";  // Counter.
+inline constexpr char kMetricServeQueueSeconds[] = "serve.queue_seconds";    // Histogram.
+inline constexpr char kMetricServeBatchSeconds[] = "serve.batch_seconds";    // Histogram.
+inline constexpr char kMetricServeE2eSeconds[] = "serve.e2e_seconds";        // Histogram.
+inline constexpr char kMetricServeBatchSize[] = "serve.batch_size";          // Histogram.
+
 // One point of the queue/cache/extract/pool timeline. ts is seconds since
 // the exporter started (threaded engine) or simulated seconds (sim engine).
 // Counter-backed fields are cumulative at sample time.

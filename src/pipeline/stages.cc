@@ -120,6 +120,33 @@ TrainStageResult RunRealTrainStage(GnnModel* model, const RealTrainingOptions& r
   return result;
 }
 
+InferenceOutcome RunInferenceStage(GnnModel* model, const FeatureStore& features,
+                                   Extractor* extractor, const SampleBlock& block) {
+  InferenceOutcome outcome;
+  std::vector<float> buffer;
+  outcome.extract_begin = MonotonicSeconds();
+  outcome.gather = extractor->Extract(block, &buffer);
+  outcome.extract_end = MonotonicSeconds();
+  Tensor input(block.vertices().size(), features.dim(), std::move(buffer));
+
+  outcome.infer_begin = MonotonicSeconds();
+  const Tensor& logits = model->Forward(block, input);
+  outcome.infer_end = MonotonicSeconds();
+
+  outcome.predictions.resize(block.num_seeds());
+  for (std::size_t i = 0; i < outcome.predictions.size(); ++i) {
+    const auto row = logits.row(i);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[best]) {
+        best = c;
+      }
+    }
+    outcome.predictions[i] = static_cast<std::uint32_t>(best);
+  }
+  return outcome;
+}
+
 void RefreshReplicaIfStale(GnnModel* master, GnnModel* replica, std::size_t master_version,
                            std::size_t* replica_version, std::size_t staleness_bound) {
   if (master_version - *replica_version > staleness_bound) {

@@ -160,6 +160,25 @@ TrainStageResult RunRealTrainStage(GnnModel* model, const RealTrainingOptions& r
                                    Extractor* extractor, const SampleBlock& block,
                                    bool zero_grads_first);
 
+// --- Inference stage --------------------------------------------------------
+
+// Forward-only pass for the serving layer: gather the block's features and
+// classify each seed (argmax over the logits). No labels, no backward, no
+// optimizer — the Train stage's read-only sibling.
+struct InferenceOutcome {
+  // Predicted class per block seed, in seed order.
+  std::vector<std::uint32_t> predictions;
+  ExtractStats gather;
+  // Wall-clock marks (MonotonicSeconds) for per-request flow spans.
+  double extract_begin = 0.0;
+  double extract_end = 0.0;
+  double infer_begin = 0.0;
+  double infer_end = 0.0;
+};
+
+InferenceOutcome RunInferenceStage(GnnModel* model, const FeatureStore& features,
+                                   Extractor* extractor, const SampleBlock& block);
+
 // Pulls fresh master parameters into `replica` when its snapshot exceeds
 // the staleness bound. The caller holds whatever lock protects the master.
 void RefreshReplicaIfStale(GnnModel* master, GnnModel* replica, std::size_t master_version,

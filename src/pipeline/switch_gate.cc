@@ -12,7 +12,11 @@ namespace gnnlab {
 
 StandbyFetchEval EvaluateStandbyFetch(double now, std::size_t queue_depth,
                                       bool profit_says_fetch, double profit_value,
-                                      HealthMonitor* health, bool force_health_eval) {
+                                      HealthMonitor* health, bool force_health_eval,
+                                      const char* pressure_metric) {
+  if (pressure_metric == nullptr) {
+    pressure_metric = kMetricQueueDepth;
+  }
   bool fetch = profit_says_fetch;
   bool pressure = false;
   std::string alerts;
@@ -20,10 +24,10 @@ StandbyFetchEval EvaluateStandbyFetch(double now, std::size_t queue_depth,
     if (health != nullptr) {
       health->Evaluate(force_health_eval);
       alerts = health->FiringSummary();
-      // Queue-pressure override: a firing queue.depth alert means the
-      // backlog is past the operator's threshold — drain now even if the
-      // profit metric says the dedicated Trainers would get there.
-      if (!fetch && queue_depth > 0 && health->AnyFiring(kMetricQueueDepth)) {
+      // Queue-pressure override: a firing alert on the queue-depth metric
+      // means the backlog is past the operator's threshold — drain now even
+      // if the profit metric says the dedicated workers would get there.
+      if (!fetch && queue_depth > 0 && health->AnyFiring(pressure_metric)) {
         pressure = true;
         fetch = true;
       }

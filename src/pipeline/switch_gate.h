@@ -21,13 +21,18 @@ struct StandbyFetchEval {
 };
 
 // One standby fetch decision: start from the profit metric's verdict, let a
-// firing queue.depth alert override a non-positive profit (queue pressure
-// drains now), and assemble the SwitchDecision record. `force_health_eval`
-// bypasses the monitor's wall-clock rate limiter — required on the
-// simulated timeline, where wall-clock gating would be nondeterministic.
+// firing queue-pressure alert override a non-positive profit (queue
+// pressure drains now), and assemble the SwitchDecision record.
+// `force_health_eval` bypasses the monitor's wall-clock rate limiter —
+// required on the simulated timeline, where wall-clock gating would be
+// nondeterministic. `pressure_metric` selects which metric's firing alerts
+// count as pressure: nullptr = the training queue (kMetricQueueDepth); the
+// serving layer passes kMetricServeQueueDepth so inference bursts reclaim
+// standbys through the same gate.
 StandbyFetchEval EvaluateStandbyFetch(double now, std::size_t queue_depth,
                                       bool profit_says_fetch, double profit_value,
-                                      HealthMonitor* health, bool force_health_eval);
+                                      HealthMonitor* health, bool force_health_eval,
+                                      const char* pressure_metric = nullptr);
 
 // Run-level switch-decision log: capped so a long skip/fetch oscillation
 // cannot bloat the report, and flip-filtered per agent — fetches always

@@ -210,6 +210,38 @@ std::string ThreadedRunReportToJson(const ThreadedRunReport& report) {
   return os.str();
 }
 
+std::string ServeReportToJson(const ServeReport& report) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"offered\":" << report.offered;
+  os << ",\"admitted\":" << report.admitted;
+  os << ",\"served\":" << report.served;
+  os << ",\"shed_queue_full\":" << report.shed_queue_full;
+  os << ",\"shed_overload\":" << report.shed_overload;
+  os << ",\"slo_violations\":" << report.slo_violations;
+  os << ",\"batches\":" << report.batches;
+  os << ",\"standby_batches\":" << report.standby_batches;
+  os << ",\"duration_seconds\":" << report.duration_seconds;
+  os << ",\"throughput_rps\":" << report.throughput_rps;
+  os << ",\"extract\":{";
+  os << "\"cache_hits\":" << report.cache_hits;
+  os << ",\"host_misses\":" << report.host_misses;
+  os << ",\"bytes_from_cache\":" << report.bytes_from_cache;
+  os << ",\"bytes_from_host\":" << report.bytes_from_host << "}";
+  os << ",\"queue_latency\":";
+  AppendLatencySummary(os, report.queue_latency);
+  os << ",\"batch_latency\":";
+  AppendLatencySummary(os, report.batch_latency);
+  os << ",\"e2e_latency\":";
+  AppendLatencySummary(os, report.e2e_latency);
+  os << ",\"batch_size\":";
+  AppendLatencySummary(os, report.batch_size);
+  os << ",\"switch_decisions\":";
+  AppendSwitchDecisions(os, report.switch_decisions);
+  os << "}";
+  return os.str();
+}
+
 namespace {
 
 bool WriteJsonFile(const std::string& json, const std::string& path) {
@@ -235,6 +267,10 @@ bool WriteRunReportJson(const RunReport& report, const std::string& path) {
 
 bool WriteThreadedRunReportJson(const ThreadedRunReport& report, const std::string& path) {
   return WriteJsonFile(ThreadedRunReportToJson(report), path);
+}
+
+bool WriteServeReportJson(const ServeReport& report, const std::string& path) {
+  return WriteJsonFile(ServeReportToJson(report), path);
 }
 
 std::string ExtractScalingToJson(const ExtractScalingReport& report) {

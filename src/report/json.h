@@ -9,6 +9,7 @@
 
 #include "core/stats.h"
 #include "core/threaded_engine.h"
+#include "serve/server.h"
 
 namespace gnnlab {
 
@@ -28,6 +29,12 @@ bool WriteRunReportJson(const RunReport& report, const std::string& path);
 // the periodic snapshot series.
 std::string ThreadedRunReportToJson(const ThreadedRunReport& report);
 bool WriteThreadedRunReportJson(const ThreadedRunReport& report, const std::string& path);
+
+// Serving-layer counterpart: admission/shed counters, queue/batch/e2e
+// latency summaries, shared-cache gather totals and the standby reclaim
+// decision log.
+std::string ServeReportToJson(const ServeReport& report);
+bool WriteServeReportJson(const ServeReport& report, const std::string& path);
 
 // Worker-count scaling of the parallel Extract gather (bench/micro_extract):
 // one point per pool size swept over the same block.

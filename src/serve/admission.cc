@@ -1,0 +1,98 @@
+#include "serve/admission.h"
+
+#include "common/logging.h"
+#include "obs/snapshot.h"
+
+namespace gnnlab {
+
+AdmissionQueue::AdmissionQueue(const AdmissionOptions& options) : options_(options) {
+  CHECK_GT(options_.capacity, 0u) << "AdmissionQueue needs capacity >= 1";
+}
+
+AdmissionQueue::Verdict AdmissionQueue::Admit(InferRequest request, double now,
+                                              double per_request_drain_seconds,
+                                              double batch_service_seconds) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  GNNLAB_OBS_ONLY(if (m_offered_ != nullptr) m_offered_->Increment());
+
+  Verdict verdict;
+  std::size_t depth_after = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t depth = queue_.size();
+    verdict.projected_wait = static_cast<double>(depth) * per_request_drain_seconds +
+                             batch_service_seconds;
+    if (depth >= options_.capacity) {
+      verdict.outcome = RequestOutcome::kShedQueueFull;
+    } else if (options_.shedding &&
+               now + verdict.projected_wait > request.Deadline()) {
+      verdict.outcome = RequestOutcome::kShedOverload;
+    } else {
+      request.admit_time = now;
+      queue_.push_back(request);
+      verdict.admitted = true;
+      verdict.outcome = RequestOutcome::kServed;
+      depth_after = queue_.size();
+    }
+  }
+
+  if (verdict.admitted) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    GNNLAB_OBS_ONLY(if (m_admitted_ != nullptr) m_admitted_->Increment());
+    UpdateDepthGauge(depth_after);
+  } else if (verdict.outcome == RequestOutcome::kShedQueueFull) {
+    shed_full_.fetch_add(1, std::memory_order_relaxed);
+    GNNLAB_OBS_ONLY(if (m_shed_full_ != nullptr) m_shed_full_->Increment());
+  } else {
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    GNNLAB_OBS_ONLY(if (m_shed_overload_ != nullptr) m_shed_overload_->Increment());
+  }
+  return verdict;
+}
+
+bool AdmissionQueue::Pop(InferRequest* out) {
+  std::size_t depth_after = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      return false;
+    }
+    *out = queue_.front();
+    queue_.pop_front();
+    depth_after = queue_.size();
+  }
+  UpdateDepthGauge(depth_after);
+  return true;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void AdmissionQueue::BindMetrics(MetricRegistry* registry) {
+#if GNNLAB_OBS_ENABLED
+  if (registry == nullptr) {
+    m_offered_ = nullptr;
+    m_admitted_ = nullptr;
+    m_shed_full_ = nullptr;
+    m_shed_overload_ = nullptr;
+    m_depth_ = nullptr;
+    return;
+  }
+  m_offered_ = registry->GetCounter(kMetricServeOffered);
+  m_admitted_ = registry->GetCounter(kMetricServeAdmitted);
+  m_shed_full_ = registry->GetCounter(kMetricServeShedFull);
+  m_shed_overload_ = registry->GetCounter(kMetricServeShedOverload);
+  m_depth_ = registry->GetGauge(kMetricServeQueueDepth);
+#else
+  (void)registry;
+#endif
+}
+
+void AdmissionQueue::UpdateDepthGauge(std::size_t depth) {
+  GNNLAB_OBS_ONLY(
+      if (m_depth_ != nullptr) m_depth_->Set(static_cast<double>(depth)));
+}
+
+}  // namespace gnnlab

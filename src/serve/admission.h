@@ -1,0 +1,99 @@
+// The bounded admission queue in front of the batch former: every offered
+// request is admitted, rejected because the queue is at capacity, or — with
+// overload shedding enabled — rejected because the projected wait already
+// blows its SLO. Shedding at admission is what keeps p99 of the ADMITTED
+// traffic bounded near the SLO under overload: the queue never grows a
+// backlog whose head-of-line wait exceeds what any request can absorb, so
+// overload degrades into fast, typed rejections instead of collapsing
+// latency for everyone (GNNLab's graceful-degradation stance extended to
+// serving).
+//
+// Thread-safe: clients admit from arbitrary threads while serve workers
+// drain. Counters are relaxed atomics mirrored into the metric registry
+// (serve.offered / serve.admitted / serve.shed_* and the serve.queue.depth
+// gauge) when bound.
+#ifndef GNNLAB_SERVE_ADMISSION_H_
+#define GNNLAB_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "serve/request.h"
+
+namespace gnnlab {
+
+struct AdmissionOptions {
+  std::size_t capacity = 256;
+  // Overload shedding: reject (kShedOverload) once the projected wait
+  // exceeds the request's SLO. Off = the unshed baseline, which only ever
+  // rejects on a full queue.
+  bool shedding = true;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const AdmissionOptions& options);
+
+  struct Verdict {
+    bool admitted = false;
+    RequestOutcome outcome = RequestOutcome::kServed;
+    double projected_wait = 0.0;  // Seconds until projected completion.
+  };
+
+  // One admission attempt at clock `now`. The projected completion is
+  //   now + depth * per_request_drain_seconds + batch_service_seconds
+  // (queued requests drain at the servers' aggregate rate, then the
+  // request rides one batch); with shedding on, a projection past the
+  // deadline rejects with kShedOverload. On admission the request's
+  // admit_time is stamped with `now`.
+  Verdict Admit(InferRequest request, double now, double per_request_drain_seconds,
+                double batch_service_seconds);
+
+  // Pops the oldest admitted request; false when empty. Non-blocking: the
+  // server's dispatch loop owns the waiting (it also waits on batch-former
+  // deadlines, which a queue-internal block could not honor).
+  bool Pop(InferRequest* out);
+
+  std::size_t depth() const;
+
+  // Lifetime totals (relaxed atomics; exact).
+  std::uint64_t offered() const { return offered_.load(std::memory_order_relaxed); }
+  std::uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  std::uint64_t shed_queue_full() const {
+    return shed_full_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_overload() const {
+    return shed_overload_.load(std::memory_order_relaxed);
+  }
+
+  // Streams admission telemetry into serve.* counters and the
+  // serve.queue.depth gauge. Pass nullptr to unbind; no-op when compiled
+  // out.
+  void BindMetrics(MetricRegistry* registry);
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  void UpdateDepthGauge(std::size_t depth);
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::deque<InferRequest> queue_;
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_full_{0};
+  std::atomic<std::uint64_t> shed_overload_{0};
+  // Resolved once in BindMetrics; null = unbound.
+  Counter* m_offered_ = nullptr;
+  Counter* m_admitted_ = nullptr;
+  Counter* m_shed_full_ = nullptr;
+  Counter* m_shed_overload_ = nullptr;
+  Gauge* m_depth_ = nullptr;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SERVE_ADMISSION_H_

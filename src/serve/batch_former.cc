@@ -1,0 +1,79 @@
+#include "serve/batch_former.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kServed:
+      return "served";
+    case RequestOutcome::kShedQueueFull:
+      return "shed_queue_full";
+    case RequestOutcome::kShedOverload:
+      return "shed_overload";
+  }
+  return "unknown";
+}
+
+BatchFormer::BatchFormer(const BatchFormerOptions& options) : options_(options) {
+  CHECK_GT(options_.max_batch, 0u) << "BatchFormer needs max_batch >= 1";
+  CHECK_GE(options_.slack_threshold_seconds, 0.0);
+  CHECK_GE(options_.service_estimate_seconds, 0.0);
+  CHECK_GT(options_.max_linger_seconds, 0.0);
+  pending_.reserve(options_.max_batch);
+}
+
+void BatchFormer::Add(InferRequest request) {
+  CHECK(!Full()) << "BatchFormer::Add past max_batch; dispatch first";
+  pending_.push_back(std::move(request));
+}
+
+bool BatchFormer::ShouldDispatch(double now) const {
+  if (pending_.empty()) {
+    return false;
+  }
+  return Full() || now >= DispatchBy();
+}
+
+double BatchFormer::DispatchBy() const {
+  if (pending_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (Full()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  // FIFO: the front request is oldest and (requests sharing one SLO class)
+  // owns the earliest slack expiry. With mixed SLOs an out-of-order
+  // deadline can only be LATER for younger requests' arrivals, so scanning
+  // for the minimum keeps the no-starvation guarantee exact.
+  double dispatch_by = std::numeric_limits<double>::infinity();
+  for (const InferRequest& request : pending_) {
+    const double expiry = request.Deadline() - options_.service_estimate_seconds -
+                          options_.slack_threshold_seconds;
+    dispatch_by = std::min(dispatch_by, expiry);
+  }
+  // Linger cap: the front request is oldest (FIFO), so its admission bounds
+  // everyone's wait in the former.
+  dispatch_by =
+      std::min(dispatch_by, pending_.front().admit_time + options_.max_linger_seconds);
+  return dispatch_by;
+}
+
+std::vector<InferRequest> BatchFormer::TakeBatch() {
+  CHECK(!pending_.empty()) << "BatchFormer::TakeBatch on an empty former";
+  std::vector<InferRequest> batch = std::move(pending_);
+  pending_.clear();
+  pending_.reserve(options_.max_batch);
+  return batch;
+}
+
+void BatchFormer::set_service_estimate(double seconds) {
+  CHECK_GE(seconds, 0.0);
+  options_.service_estimate_seconds = seconds;
+}
+
+}  // namespace gnnlab

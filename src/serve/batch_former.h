@@ -1,0 +1,77 @@
+// The deadline-aware micro-batch former: accumulates admitted requests and
+// decides WHEN a batch must dispatch — when it reaches max_batch, or when
+// the oldest pending request's SLO slack (time to its deadline minus the
+// estimated batch service time) runs down to the dispatch threshold. A
+// request is never held past the moment its deadline becomes unmeetable, so
+// no admitted request starves behind a trickle of arrivals.
+//
+// The former is pure logic driven by an explicit clock: callers pass `now`
+// into every decision, which makes it deterministic under test (replay a
+// fixed arrival schedule on a virtual clock) and reusable on either the
+// wall clock or a simulated one. Thread safety is the caller's job — the
+// inference server guards its former with the dispatch mutex.
+#ifndef GNNLAB_SERVE_BATCH_FORMER_H_
+#define GNNLAB_SERVE_BATCH_FORMER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace gnnlab {
+
+struct BatchFormerOptions {
+  // Hard batch-size cap; reaching it dispatches immediately.
+  std::size_t max_batch = 16;
+  // Dispatch once the oldest request's slack falls to this threshold:
+  // slack(now) = deadline - now - service_estimate. 0 means "hold until
+  // the last moment the SLO is still meetable".
+  double slack_threshold_seconds = 0.0;
+  // Estimated service time of one batch; the server refreshes it with an
+  // EMA over completed batches (see set_service_estimate).
+  double service_estimate_seconds = 0.0;
+  // Upper bound on how long the oldest request may sit in the former
+  // regardless of remaining slack. Without it a generous SLO pins light-load
+  // latency AT the SLO (the former dutifully holds for a fuller batch);
+  // with it, latency under light load stays near the linger while the
+  // slack rule still owns the tight-SLO regime. Anchored on admit_time.
+  double max_linger_seconds = 0.002;
+};
+
+class BatchFormer {
+ public:
+  explicit BatchFormer(const BatchFormerOptions& options);
+
+  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+  bool Full() const { return pending_.size() >= options_.max_batch; }
+
+  // Adds one admitted request (FIFO). CHECK-fails when already Full():
+  // the caller must dispatch first.
+  void Add(InferRequest request);
+
+  // True when the batch must go now: it is full, the tightest pending
+  // slack has run down to the threshold, or the oldest request has
+  // lingered past max_linger. Never true when empty.
+  bool ShouldDispatch(double now) const;
+
+  // Clock reading at which ShouldDispatch flips true on its own (the
+  // dispatch loop's wait bound): -inf when already dispatchable, +inf when
+  // empty, else min(earliest slack expiry, oldest linger expiry).
+  double DispatchBy() const;
+
+  // Moves the pending batch out, oldest first. CHECK-fails when empty —
+  // the former never dispatches an empty batch.
+  std::vector<InferRequest> TakeBatch();
+
+  void set_service_estimate(double seconds);
+  const BatchFormerOptions& options() const { return options_; }
+
+ private:
+  BatchFormerOptions options_;
+  std::vector<InferRequest> pending_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SERVE_BATCH_FORMER_H_

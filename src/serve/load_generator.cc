@@ -1,0 +1,116 @@
+#include "serve/load_generator.h"
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace gnnlab {
+
+std::vector<Arrival> BuildArrivalSchedule(const LoadGenOptions& options,
+                                          std::size_t num_vertices) {
+  CHECK_GT(num_vertices, 0u);
+  std::vector<Arrival> schedule;
+  Rng rng(options.seed ^ 0x4c4f4144u);  // "LOAD"
+  if (options.mode == LoadMode::kOpen) {
+    CHECK_GT(options.rate_rps, 0.0);
+    schedule.reserve(options.num_requests);
+    double clock = 0.0;
+    for (std::size_t i = 0; i < options.num_requests; ++i) {
+      // Exponential inter-arrival gap: -ln(U) / rate, U in (0, 1].
+      const double u = 1.0 - rng.NextDouble();
+      clock += -std::log(u) / options.rate_rps;
+      Arrival arrival;
+      arrival.offset = clock;
+      arrival.vertex = static_cast<VertexId>(rng.NextBounded(num_vertices));
+      schedule.push_back(arrival);
+    }
+  } else {
+    schedule.reserve(options.num_clients * options.requests_per_client);
+    for (std::size_t i = 0; i < options.num_clients * options.requests_per_client; ++i) {
+      Arrival arrival;
+      arrival.vertex = static_cast<VertexId>(rng.NextBounded(num_vertices));
+      schedule.push_back(arrival);
+    }
+  }
+  return schedule;
+}
+
+namespace {
+
+void AccumulateResult(const InferResult& result, LoadReport* report) {
+  if (result.outcome == RequestOutcome::kServed) {
+    ++report->served;
+    if (result.slo_violated) {
+      ++report->slo_violations;
+    }
+  } else {
+    ++report->shed;
+  }
+  report->results.push_back(result);
+}
+
+}  // namespace
+
+LoadReport RunLoad(InferenceServer* server, const LoadGenOptions& options) {
+  const std::vector<Arrival> schedule =
+      BuildArrivalSchedule(options, server->num_vertices());
+
+  LoadReport report;
+  const double start = MonotonicSeconds();
+  if (options.mode == LoadMode::kOpen) {
+    std::vector<std::future<InferResult>> futures;
+    futures.reserve(schedule.size());
+    for (const Arrival& arrival : schedule) {
+      const double target = start + arrival.offset;
+      const double now = MonotonicSeconds();
+      if (target > now) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(target - now));
+      }
+      futures.push_back(server->Submit(arrival.vertex, options.slo_seconds));
+    }
+    for (std::future<InferResult>& future : futures) {
+      AccumulateResult(future.get(), &report);
+    }
+  } else {
+    CHECK_GT(options.num_clients, 0u);
+    std::mutex report_mu;
+    std::vector<std::thread> clients;
+    clients.reserve(options.num_clients);
+    for (std::size_t c = 0; c < options.num_clients; ++c) {
+      clients.emplace_back([&, c]() {
+        for (std::size_t i = 0; i < options.requests_per_client; ++i) {
+          const Arrival& arrival = schedule[c * options.requests_per_client + i];
+          InferResult result =
+              server->Submit(arrival.vertex, options.slo_seconds).get();
+          {
+            std::lock_guard<std::mutex> lock(report_mu);
+            AccumulateResult(result, &report);
+          }
+          if (options.think_seconds > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(options.think_seconds));
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) {
+      client.join();
+    }
+  }
+  report.offered = report.results.size();
+  report.duration_seconds = MonotonicSeconds() - start;
+  report.offered_rps = report.duration_seconds > 0.0
+                           ? static_cast<double>(report.offered) / report.duration_seconds
+                           : 0.0;
+  return report;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,81 @@
+// Workload drivers for the inference server. Two standard load shapes:
+//
+//  - Open loop: requests arrive on a Poisson process at a fixed offered rate
+//    regardless of how the server is doing. This is the honest way to
+//    measure overload — a slow server cannot flow-control the arrivals, so
+//    queueing (and shedding) behavior is actually exercised.
+//  - Closed loop: N clients each cycle submit -> wait -> think. Offered load
+//    self-limits to the server's throughput; useful for steady-state
+//    latency and the space-sharing tests.
+//
+// The arrival schedule (inter-arrival gaps and target vertices) is built
+// up-front from a seeded Rng, so a given (options, num_vertices) pair is a
+// bit-identical workload on every run and every machine — the same
+// determinism contract the samplers follow.
+#ifndef GNNLAB_SERVE_LOAD_GENERATOR_H_
+#define GNNLAB_SERVE_LOAD_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "serve/request.h"
+
+namespace gnnlab {
+
+class InferenceServer;
+
+enum class LoadMode {
+  kOpen,    // Fixed-rate Poisson arrivals (overload-capable).
+  kClosed,  // num_clients submit->wait->think loops (self-limiting).
+};
+
+struct LoadGenOptions {
+  LoadMode mode = LoadMode::kOpen;
+  // Open loop: offered request rate and total request count.
+  double rate_rps = 500.0;
+  std::size_t num_requests = 200;
+  // Closed loop: client count, per-client request count, think time.
+  std::size_t num_clients = 4;
+  std::size_t requests_per_client = 50;
+  double think_seconds = 0.0;
+  // SLO attached to every generated request.
+  double slo_seconds = 0.05;
+  std::uint64_t seed = 1;
+};
+
+// One planned arrival: `offset` seconds after load start, asking about
+// `vertex`.
+struct Arrival {
+  double offset = 0.0;
+  VertexId vertex = 0;
+};
+
+// Expands the options into the deterministic arrival schedule. Open loop:
+// num_requests exponential inter-arrival gaps at rate_rps. Closed loop:
+// num_clients * requests_per_client entries, offsets all 0 (the clients'
+// own pacing sets the real arrival times); only the vertex choices come
+// from the schedule. Vertices are uniform over [0, num_vertices).
+std::vector<Arrival> BuildArrivalSchedule(const LoadGenOptions& options,
+                                          std::size_t num_vertices);
+
+// Client-side aggregate of one load run (server-side truth lives in the
+// ServeReport; the two must agree on served/shed counts).
+struct LoadReport {
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t slo_violations = 0;
+  double duration_seconds = 0.0;
+  double offered_rps = 0.0;  // offered / duration.
+  std::vector<InferResult> results;  // In completion-wait order.
+};
+
+// Drives `server` with the generated load on the wall clock; blocks until
+// every request resolves. The server must be started.
+LoadReport RunLoad(InferenceServer* server, const LoadGenOptions& options);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SERVE_LOAD_GENERATOR_H_

@@ -1,0 +1,54 @@
+// Request/response vocabulary of the online inference serving layer: a
+// per-node inference request carries its own SLO, every terminal state is a
+// typed outcome (served, or shed with a reject code — overload never
+// silently collapses into slow answers), and the result records where the
+// latency went (admission queue vs. batch execution vs. end-to-end).
+#ifndef GNNLAB_SERVE_REQUEST_H_
+#define GNNLAB_SERVE_REQUEST_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace gnnlab {
+
+using RequestId = std::uint64_t;
+
+// Terminal state of one inference request.
+enum class RequestOutcome {
+  kServed = 0,
+  kShedQueueFull,  // Admission queue at capacity (always possible).
+  kShedOverload,   // Projected wait would blow the SLO (shedding enabled).
+};
+
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+// One per-node inference request: "what class is vertex v?", answerable
+// within `slo_seconds` of `arrival` or not worth answering at all.
+struct InferRequest {
+  RequestId id = 0;
+  VertexId vertex = 0;
+  double arrival = 0.0;       // Clock reading when the request was offered.
+  double slo_seconds = 0.05;  // End-to-end latency target.
+  double admit_time = 0.0;    // Set on admission.
+
+  double Deadline() const { return arrival + slo_seconds; }
+};
+
+struct InferResult {
+  RequestId id = 0;
+  VertexId vertex = 0;
+  RequestOutcome outcome = RequestOutcome::kServed;
+  std::uint32_t predicted_class = 0;
+  // Served past the deadline (sheds are never violations: the client got
+  // its reject code immediately and can fall back).
+  bool slo_violated = false;
+  bool standby_worker = false;  // Served by a burst-reclaimed standby worker.
+  double queue_seconds = 0.0;   // Admission -> batch dispatch.
+  double batch_seconds = 0.0;   // Dispatch -> completion.
+  double e2e_seconds = 0.0;     // Arrival -> completion (0 when shed).
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SERVE_REQUEST_H_

@@ -1,0 +1,409 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/switching.h"
+#include "nn/grad_sync.h"
+#include "obs/snapshot.h"
+#include "pipeline/stages.h"
+
+namespace gnnlab {
+
+namespace {
+// EMA weight for the per-batch service-time estimate.
+constexpr double kEstimateAlpha = 0.2;
+}  // namespace
+
+InferenceServer::InferenceServer(const Dataset& dataset, const Workload& workload,
+                                 const FeatureStore& features, const FeatureCache* cache,
+                                 GnnModel* model, const ServeOptions& options)
+    : dataset_(dataset),
+      workload_(workload),
+      features_(features),
+      cache_(cache),
+      options_(options),
+      admission_(AdmissionOptions{options.admission_capacity, options.shedding}),
+      former_(BatchFormerOptions{options.max_batch, options.slack_threshold_seconds,
+                                 options.initial_batch_estimate_seconds,
+                                 options.max_linger_seconds}),
+      batch_estimate_(options.initial_batch_estimate_seconds) {
+  CHECK_GT(options_.workers, 0u) << "InferenceServer needs at least one worker";
+  CHECK(model != nullptr);
+  CHECK_GT(options_.initial_batch_estimate_seconds, 0.0);
+
+  const std::size_t total = options_.workers + options_.standby_workers;
+  workers_.resize(total);
+  Rng root(options_.seed ^ 0x53455256u);  // "SERV"
+  std::vector<GnnModel*> replicas;
+  replicas.reserve(total + 1);
+  replicas.push_back(model);
+  for (std::size_t w = 0; w < total; ++w) {
+    Worker& worker = workers_[w];
+    worker.sampler = MakeSampler(workload_, dataset_, nullptr);
+    worker.extractor = std::make_unique<Extractor>(features_);
+    Rng init_rng = root.Fork(0x4000 + w);
+    worker.model = std::make_unique<GnnModel>(model->config(), &init_rng);
+    worker.rng = root.Fork(w);
+    replicas.push_back(worker.model.get());
+  }
+  // Every replica starts from the caller's weights (checkpoint or trained).
+  BroadcastParameters(replicas);
+
+  admission_.BindMetrics(options_.metrics);
+  GNNLAB_OBS_ONLY({
+    if (options_.metrics != nullptr) {
+      m_served_ = options_.metrics->GetCounter(kMetricServeServed);
+      m_slo_violations_ = options_.metrics->GetCounter(kMetricServeSloViolations);
+      m_standby_batches_ = options_.metrics->GetCounter(kMetricServeStandbyBatches);
+      m_queue_hist_ = options_.metrics->GetHistogram(kMetricServeQueueSeconds);
+      m_batch_hist_ = options_.metrics->GetHistogram(kMetricServeBatchSeconds);
+      m_e2e_hist_ = options_.metrics->GetHistogram(kMetricServeE2eSeconds);
+      m_batch_size_hist_ = options_.metrics->GetHistogram(kMetricServeBatchSize);
+    }
+  });
+}
+
+InferenceServer::~InferenceServer() { Stop(); }
+
+void InferenceServer::Start() {
+  CHECK(!running_.load()) << "InferenceServer already started";
+  running_.store(true);
+  start_time_ = MonotonicSeconds();
+  stop_time_ = 0.0;
+  switch_log_.ResetFilters(workers_.size());
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers_[w].thread = std::thread(&InferenceServer::DispatchLoop, this, w);
+  }
+  for (std::size_t s = 0; s < options_.standby_workers; ++s) {
+    workers_[options_.workers + s].thread =
+        std::thread(&InferenceServer::StandbyLoop, this, s);
+  }
+}
+
+void InferenceServer::Stop() {
+  running_.store(false);
+  former_cv_.notify_all();
+  for (Worker& worker : workers_) {
+    if (worker.thread.joinable()) {
+      worker.thread.join();
+    }
+  }
+  if (stop_time_ == 0.0 && start_time_ != 0.0) {
+    stop_time_ = MonotonicSeconds();
+  }
+  // The dispatch workers drained everything admitted before Stop(); a
+  // request that raced past admission afterwards must still resolve.
+  InferRequest leftover;
+  while (admission_.Pop(&leftover)) {
+    ResolveShed(leftover, RequestOutcome::kShedQueueFull);
+  }
+  {
+    std::lock_guard<std::mutex> lock(former_mu_);
+    while (!former_.empty()) {
+      for (InferRequest& request : former_.TakeBatch()) {
+        ResolveShed(request, RequestOutcome::kShedQueueFull);
+      }
+    }
+  }
+  // Workers are joined and the queues empty, so any promise still pending
+  // lost a Submit/Stop race; resolve it as shed rather than hanging the
+  // client's future.
+  std::unordered_map<RequestId, std::promise<InferResult>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(promises_mu_);
+    orphans.swap(promises_);
+  }
+  for (auto& [id, promise] : orphans) {
+    InferResult result;
+    result.id = id;
+    result.outcome = RequestOutcome::kShedQueueFull;
+    promise.set_value(result);
+  }
+}
+
+std::size_t InferenceServer::num_vertices() const {
+  return static_cast<std::size_t>(dataset_.graph.num_vertices());
+}
+
+double InferenceServer::PerRequestDrainSeconds() const {
+  const double estimate = batch_estimate_.load(std::memory_order_relaxed);
+  return estimate / (static_cast<double>(options_.max_batch) *
+                     static_cast<double>(options_.workers));
+}
+
+std::future<InferResult> InferenceServer::Submit(VertexId vertex, double slo_seconds) {
+  InferRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.vertex = vertex;
+  request.arrival = MonotonicSeconds();
+  request.slo_seconds = slo_seconds;
+
+  std::promise<InferResult> promise;
+  std::future<InferResult> future = promise.get_future();
+
+  if (!running_.load(std::memory_order_acquire)) {
+    InferResult result;
+    result.id = request.id;
+    result.vertex = request.vertex;
+    result.outcome = RequestOutcome::kShedQueueFull;
+    promise.set_value(result);
+    return future;
+  }
+
+  // Register the promise before admitting: a dispatch worker may complete
+  // the request the instant it lands in the queue.
+  {
+    std::lock_guard<std::mutex> lock(promises_mu_);
+    promises_.emplace(request.id, std::move(promise));
+  }
+  const AdmissionQueue::Verdict verdict =
+      admission_.Admit(request, request.arrival, PerRequestDrainSeconds(),
+                       batch_estimate_.load(std::memory_order_relaxed));
+  if (verdict.admitted) {
+    former_cv_.notify_one();
+  } else {
+    ResolveShed(request, verdict.outcome);
+  }
+  return future;
+}
+
+void InferenceServer::ResolveShed(const InferRequest& request, RequestOutcome outcome) {
+  std::promise<InferResult> promise;
+  {
+    std::lock_guard<std::mutex> lock(promises_mu_);
+    auto it = promises_.find(request.id);
+    if (it == promises_.end()) {
+      return;
+    }
+    promise = std::move(it->second);
+    promises_.erase(it);
+  }
+  InferResult result;
+  result.id = request.id;
+  result.vertex = request.vertex;
+  result.outcome = outcome;
+  promise.set_value(result);
+}
+
+void InferenceServer::DispatchLoop(std::size_t worker_index) {
+  while (true) {
+    std::vector<InferRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(former_mu_);
+      InferRequest request;
+      while (!former_.Full() && admission_.Pop(&request)) {
+        former_.Add(request);
+      }
+      const double now = MonotonicSeconds();
+      if (former_.ShouldDispatch(now)) {
+        batch = former_.TakeBatch();
+      } else if (!running_.load(std::memory_order_acquire)) {
+        // Draining: dispatch whatever is left immediately; exit once both
+        // the former and the admission queue are empty.
+        if (!former_.empty()) {
+          batch = former_.TakeBatch();
+        } else if (admission_.depth() == 0) {
+          break;
+        } else {
+          continue;
+        }
+      } else {
+        // Sleep until the oldest request's slack expiry, a new admission,
+        // or a periodic recheck — whichever is first.
+        const double dispatch_by = former_.DispatchBy();
+        double wait = 0.01;
+        if (std::isfinite(dispatch_by)) {
+          wait = std::clamp(dispatch_by - now, 1e-4, wait);
+        }
+        former_cv_.wait_for(lock, std::chrono::duration<double>(wait));
+        continue;
+      }
+    }
+    ProcessBatch(std::move(batch), worker_index, /*standby=*/false);
+  }
+}
+
+std::vector<InferRequest> InferenceServer::TakeBurstBatch() {
+  std::vector<InferRequest> batch;
+  batch.reserve(options_.max_batch);
+  InferRequest request;
+  while (batch.size() < options_.max_batch && admission_.Pop(&request)) {
+    batch.push_back(request);
+  }
+  return batch;
+}
+
+void InferenceServer::StandbyLoop(std::size_t standby_index) {
+  const std::size_t worker_index = options_.workers + standby_index;
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.standby_poll_seconds));
+    const std::size_t depth = admission_.depth();
+    const double estimate = batch_estimate_.load(std::memory_order_relaxed);
+    // Profit in the training gate's terms: the backlog drains at one
+    // request per (estimate / max_batch) per dedicated worker; the standby
+    // pays one full batch to help. Positive exactly when the queue holds
+    // more than one round of full batches for the dedicated workers.
+    const double per_request = estimate / static_cast<double>(options_.max_batch);
+    const double profit = SwitchProfit(depth, per_request,
+                                       static_cast<int>(options_.workers), estimate);
+    StandbyFetchEval eval = EvaluateStandbyFetch(
+        MonotonicSeconds() - start_time_, depth, profit > 0.0, profit, options_.health,
+        /*force_health_eval=*/false, kMetricServeQueueDepth);
+    if (!eval.fetch) {
+      switch_log_.LogSkip(worker_index, eval.decision);
+      continue;
+    }
+    std::vector<InferRequest> batch = TakeBurstBatch();
+    if (batch.empty()) {
+      continue;  // Dedicated workers beat us to the backlog.
+    }
+    switch_log_.LogFetch(worker_index, eval.decision);
+    ProcessBatch(std::move(batch), worker_index, /*standby=*/true);
+  }
+}
+
+void InferenceServer::ProcessBatch(std::vector<InferRequest> batch,
+                                   std::size_t worker_index, bool standby) {
+  if (batch.empty()) {
+    return;
+  }
+  Worker& worker = workers_[worker_index];
+  const double dispatch = MonotonicSeconds();
+
+  // Requests may repeat a vertex; sample each distinct vertex once and fan
+  // the prediction back out. The block's first num_seeds() vertices are the
+  // distinct seeds in first-occurrence order.
+  std::vector<VertexId> seeds;
+  seeds.reserve(batch.size());
+  std::unordered_map<VertexId, std::size_t> seed_index;
+  seed_index.reserve(batch.size());
+  for (const InferRequest& request : batch) {
+    if (seed_index.emplace(request.vertex, seeds.size()).second) {
+      seeds.push_back(request.vertex);
+    }
+  }
+
+  SampleSpec spec;
+  spec.cache = cache_;
+  SampleOutcome sample = RunSampleStage(worker.sampler.get(), seeds, &worker.rng, spec);
+  InferenceOutcome inference = RunInferenceStage(worker.model.get(), features_,
+                                                 worker.extractor.get(), sample.block);
+  const double done = MonotonicSeconds();
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (standby) {
+    standby_batches_.fetch_add(1, std::memory_order_relaxed);
+    GNNLAB_OBS_ONLY(if (m_standby_batches_ != nullptr) m_standby_batches_->Increment());
+  }
+  cache_hits_.fetch_add(inference.gather.cache_hits, std::memory_order_relaxed);
+  host_misses_.fetch_add(inference.gather.host_misses, std::memory_order_relaxed);
+  bytes_cache_.fetch_add(inference.gather.bytes_from_cache, std::memory_order_relaxed);
+  bytes_host_.fetch_add(inference.gather.bytes_from_host, std::memory_order_relaxed);
+  batch_size_hist_.Record(static_cast<double>(batch.size()));
+  GNNLAB_OBS_ONLY(if (m_batch_size_hist_ != nullptr)
+                      m_batch_size_hist_->Record(static_cast<double>(batch.size())));
+
+  const std::string lane = (standby ? "serve_standby" : "serve_worker") +
+                           std::to_string(standby ? worker_index - options_.workers
+                                                  : worker_index);
+  const double batch_seconds = done - dispatch;
+  for (const InferRequest& request : batch) {
+    InferResult result;
+    result.id = request.id;
+    result.vertex = request.vertex;
+    result.outcome = RequestOutcome::kServed;
+    result.predicted_class =
+        inference.predictions[seed_index.find(request.vertex)->second];
+    result.standby_worker = standby;
+    result.queue_seconds = dispatch - request.admit_time;
+    result.batch_seconds = batch_seconds;
+    result.e2e_seconds = done - request.arrival;
+    result.slo_violated = done > request.Deadline();
+
+    served_.fetch_add(1, std::memory_order_relaxed);
+    GNNLAB_OBS_ONLY(if (m_served_ != nullptr) m_served_->Increment());
+    if (result.slo_violated) {
+      slo_violations_.fetch_add(1, std::memory_order_relaxed);
+      GNNLAB_OBS_ONLY(if (m_slo_violations_ != nullptr) m_slo_violations_->Increment());
+    }
+    queue_hist_.Record(result.queue_seconds);
+    batch_hist_.Record(result.batch_seconds);
+    e2e_hist_.Record(result.e2e_seconds);
+    GNNLAB_OBS_ONLY({
+      if (m_queue_hist_ != nullptr) m_queue_hist_->Record(result.queue_seconds);
+      if (m_batch_hist_ != nullptr) m_batch_hist_->Record(result.batch_seconds);
+      if (m_e2e_hist_ != nullptr) m_e2e_hist_->Record(result.e2e_seconds);
+    });
+    GNNLAB_OBS_ONLY({
+      if (options_.flows != nullptr) {
+        // Per-request flow keyed by the request id: the queue-wait edge,
+        // then the batch's sample/extract/infer spans it rode.
+        options_.flows->Record(request.id, lane, "queue_wait", request.admit_time,
+                               dispatch);
+        options_.flows->Record(request.id, lane, "sample", sample.wall_sample_begin,
+                               sample.wall_sample_end);
+        options_.flows->Record(request.id, lane, "extract", inference.extract_begin,
+                               inference.extract_end);
+        options_.flows->Record(request.id, lane, "infer", inference.infer_begin,
+                               inference.infer_end);
+      }
+    });
+
+    std::promise<InferResult> promise;
+    {
+      std::lock_guard<std::mutex> lock(promises_mu_);
+      auto it = promises_.find(request.id);
+      CHECK(it != promises_.end()) << "request " << request.id << " has no promise";
+      promise = std::move(it->second);
+      promises_.erase(it);
+    }
+    promise.set_value(result);
+  }
+
+  // Refresh the service estimate (EMA) and push it into the former and the
+  // admission projection.
+  const double previous = batch_estimate_.load(std::memory_order_relaxed);
+  const double updated =
+      (1.0 - kEstimateAlpha) * previous + kEstimateAlpha * batch_seconds;
+  batch_estimate_.store(updated, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(former_mu_);
+    former_.set_service_estimate(updated);
+  }
+}
+
+ServeReport InferenceServer::Report() {
+  ServeReport report;
+  report.offered = admission_.offered();
+  report.admitted = admission_.admitted();
+  report.served = served_.load(std::memory_order_relaxed);
+  report.shed_queue_full = admission_.shed_queue_full();
+  report.shed_overload = admission_.shed_overload();
+  report.slo_violations = slo_violations_.load(std::memory_order_relaxed);
+  report.batches = batches_.load(std::memory_order_relaxed);
+  report.standby_batches = standby_batches_.load(std::memory_order_relaxed);
+  const double end = stop_time_ != 0.0 ? stop_time_ : MonotonicSeconds();
+  report.duration_seconds = start_time_ != 0.0 ? end - start_time_ : 0.0;
+  report.throughput_rps = report.duration_seconds > 0.0
+                              ? static_cast<double>(report.served) / report.duration_seconds
+                              : 0.0;
+  report.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  report.host_misses = host_misses_.load(std::memory_order_relaxed);
+  report.bytes_from_cache = bytes_cache_.load(std::memory_order_relaxed);
+  report.bytes_from_host = bytes_host_.load(std::memory_order_relaxed);
+  report.queue_latency = queue_hist_.Summary();
+  report.batch_latency = batch_hist_.Summary();
+  report.e2e_latency = e2e_hist_.Summary();
+  report.batch_size = batch_size_hist_.Summary();
+  report.switch_decisions = switch_log_.Take();
+  return report;
+}
+
+}  // namespace gnnlab

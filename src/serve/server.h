@@ -1,0 +1,209 @@
+// The online inference server — the third executor role of the factored
+// design. Training factors epochs into Sample/Extract/Train on dedicated
+// GPUs; serving reuses exactly those stage bodies per request batch: k-hop
+// sampling around the request vertices (RunSampleStage), feature gather
+// against the shared FeatureCache (the Extract body), and a forward-only
+// model pass. Requests flow
+//
+//   Submit -> AdmissionQueue (bounded; overload shedding) -> BatchFormer
+//   (deadline-aware micro-batching) -> worker: Sample -> Extract -> Forward
+//   -> argmax -> promise fulfilled.
+//
+// Space-sharing: `workers` dispatch threads serve continuously; up to
+// `standby_workers` more sit idle (conceptually lent to training) and are
+// reclaimed per batch through the same gate training's standby Trainers
+// use — the switch profit metric plus a queue-pressure alert override on
+// serve.queue.depth — so a burst borrows capacity only while the backlog
+// justifies it, and every reclaim lands in the SwitchDecisionLog.
+//
+// Everything is observable: per-request flows (queue_wait/extract/infer
+// steps keyed by the request id), serve.* counters and latency histograms
+// in the shared MetricRegistry (Prometheus-visible through HealthMonitor),
+// and a ServeReport with p50/p95/p99 for queue/batch/e2e latencies.
+#ifndef GNNLAB_SERVE_SERVER_H_
+#define GNNLAB_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/feature_cache.h"
+#include "core/workload.h"
+#include "feature/extractor.h"
+#include "feature/feature_store.h"
+#include "graph/dataset.h"
+#include "nn/model.h"
+#include "obs/flow.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "pipeline/switch_gate.h"
+#include "serve/admission.h"
+#include "serve/batch_former.h"
+#include "serve/request.h"
+
+namespace gnnlab {
+
+struct ServeOptions {
+  // Batch former.
+  std::size_t max_batch = 16;
+  double slack_threshold_seconds = 0.0;
+  // Light-load latency bound: a partial batch dispatches once its oldest
+  // request has lingered this long, even with SLO slack left.
+  double max_linger_seconds = 0.002;
+  // Admission.
+  std::size_t admission_capacity = 256;
+  bool shedding = true;
+  // Dedicated serving workers and burst-reclaimable standbys.
+  std::size_t workers = 1;
+  std::size_t standby_workers = 0;
+  // Seed for the per-batch service-time EMA before the first batch lands.
+  double initial_batch_estimate_seconds = 0.005;
+  // Standby gate poll interval.
+  double standby_poll_seconds = 0.002;
+  std::uint64_t seed = 1;
+  // Observability (all optional; must outlive the server).
+  MetricRegistry* metrics = nullptr;
+  FlowTracer* flows = nullptr;
+  HealthMonitor* health = nullptr;  // Queue-pressure override for standbys.
+};
+
+// Server-side ground truth of one serving run.
+struct ServeReport {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_overload = 0;
+  std::uint64_t slo_violations = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t standby_batches = 0;
+  double duration_seconds = 0.0;
+  double throughput_rps = 0.0;  // served / duration.
+  // Feature-gather totals across every served batch (shared-cache hit rate).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t host_misses = 0;
+  std::uint64_t bytes_from_cache = 0;
+  std::uint64_t bytes_from_host = 0;
+  LatencySummary queue_latency;  // Admission -> dispatch.
+  LatencySummary batch_latency;  // Dispatch -> completion.
+  LatencySummary e2e_latency;    // Arrival -> completion.
+  LatencySummary batch_size;     // Requests per dispatched batch.
+  std::vector<SwitchDecision> switch_decisions;  // Standby reclaim log.
+};
+
+class InferenceServer {
+ public:
+  // `cache` may be null (every gather misses to host). `model` provides the
+  // weights, read once at construction: each worker gets a private replica
+  // so concurrent forwards never share the (stateful) activation buffers.
+  // dataset/workload/features/cache must outlive the server.
+  InferenceServer(const Dataset& dataset, const Workload& workload,
+                  const FeatureStore& features, const FeatureCache* cache,
+                  GnnModel* model, const ServeOptions& options);
+  ~InferenceServer();  // Stop()s if still running.
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  void Start();
+  // Drains every admitted request (no admitted request is dropped), then
+  // joins the workers. Idempotent. Submissions after Stop() are shed.
+  void Stop();
+
+  // Offers one request; the future resolves with the typed outcome —
+  // immediately for sheds, after its batch completes otherwise.
+  std::future<InferResult> Submit(VertexId vertex, double slo_seconds);
+
+  std::size_t queue_depth() const { return admission_.depth(); }
+  // Vertex universe requests may target (the load generator's bound).
+  std::size_t num_vertices() const;
+  const AdmissionQueue& admission() const { return admission_; }
+  double batch_estimate_seconds() const {
+    return batch_estimate_.load(std::memory_order_relaxed);
+  }
+
+  // Aggregate report; call after Stop() for stable numbers. Drains the
+  // switch-decision log into the report.
+  ServeReport Report();
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Worker {
+    std::unique_ptr<Sampler> sampler;
+    std::unique_ptr<Extractor> extractor;
+    std::unique_ptr<GnnModel> model;
+    Rng rng{0};
+    std::thread thread;
+  };
+
+  void DispatchLoop(std::size_t worker_index);
+  void StandbyLoop(std::size_t standby_index);
+  // Runs one batch through Sample -> Extract -> Forward and resolves its
+  // promises. `worker_index` spans dedicated + standby workers.
+  void ProcessBatch(std::vector<InferRequest> batch, std::size_t worker_index,
+                    bool standby);
+  void ResolveShed(const InferRequest& request, RequestOutcome outcome);
+  // Moves up to max_batch admitted requests into a batch for a standby
+  // burst drain (no deadline wait — the gate already decided to drain now).
+  std::vector<InferRequest> TakeBurstBatch();
+  double PerRequestDrainSeconds() const;
+
+  const Dataset& dataset_;
+  const Workload& workload_;
+  const FeatureStore& features_;
+  const FeatureCache* cache_;
+  ServeOptions options_;
+
+  AdmissionQueue admission_;
+  BatchFormer former_;          // Guarded by former_mu_.
+  std::mutex former_mu_;
+  std::condition_variable former_cv_;
+
+  std::vector<Worker> workers_;  // Dedicated first, then standbys.
+
+  std::mutex promises_mu_;
+  std::unordered_map<RequestId, std::promise<InferResult>> promises_;
+
+  std::atomic<RequestId> next_id_{1};
+  std::atomic<bool> running_{false};
+  std::atomic<double> batch_estimate_;  // EMA of batch service seconds.
+
+  // Lifetime totals and always-on latency digests (the report does not
+  // depend on a registry being attached).
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> slo_violations_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> standby_batches_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> host_misses_{0};
+  std::atomic<std::uint64_t> bytes_cache_{0};
+  std::atomic<std::uint64_t> bytes_host_{0};
+  Histogram queue_hist_;
+  Histogram batch_hist_;
+  Histogram e2e_hist_;
+  Histogram batch_size_hist_;
+
+  SwitchDecisionLog switch_log_;
+  double start_time_ = 0.0;
+  double stop_time_ = 0.0;
+
+  // Registry-bound mirrors (null when no registry / compiled out).
+  Counter* m_served_ = nullptr;
+  Counter* m_slo_violations_ = nullptr;
+  Counter* m_standby_batches_ = nullptr;
+  Histogram* m_queue_hist_ = nullptr;
+  Histogram* m_batch_hist_ = nullptr;
+  Histogram* m_e2e_hist_ = nullptr;
+  Histogram* m_batch_size_hist_ = nullptr;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SERVE_SERVER_H_

@@ -517,5 +517,38 @@ TEST(HealthMonitorTest, HttpServerServesMetrics) {
   health.StopServer();  // Idempotent.
 }
 
+TEST(HealthMonitorTest, HealthzAnswersFromTheAlertState) {
+  MetricRegistry registry;
+  Gauge* depth = registry.GetGauge("serve.queue.depth");
+  AlertRule rule;
+  ASSERT_TRUE(ParseAlertRule("backlog: serve.queue.depth > 10", &rule));
+  HealthMonitor::Options options;
+  options.rules = {rule};
+  HealthMonitor health(&registry, options);
+  const int port = health.StartServer(/*port=*/0);
+  ASSERT_GT(port, 0);
+
+  // Healthy: the gauge sits under the threshold.
+  depth->Set(3.0);
+  std::string response = HttpGet(port, "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok"), std::string::npos);
+
+  // The alert fires: /healthz flips to 503 and names the rule. Each probe
+  // re-evaluates (forced), so no waiting on the rate limiter.
+  depth->Set(50.0);
+  response = HttpGet(port, "/healthz");
+  EXPECT_NE(response.find("503 Service Unavailable"), std::string::npos);
+  EXPECT_NE(response.find("backlog"), std::string::npos);
+
+  // Recovery is observed on the next probe, and /metrics still serves.
+  depth->Set(0.0);
+  response = HttpGet(port, "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(HttpGet(port, "/metrics").find("200 OK"), std::string::npos);
+
+  health.StopServer();
+}
+
 }  // namespace
 }  // namespace gnnlab
