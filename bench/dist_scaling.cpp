@@ -1,0 +1,201 @@
+// Distributed scaling: the paper's factored-vs-time-sharing question
+// re-asked at cluster scale. Sweeps node count {1,2,4,8} x partition
+// strategy {edge-cut, vertex-cut} x cache policy {degree, PreSC#1} for the
+// factored per-node pipeline and the sequential time-sharing baseline, all
+// under DistEngine's modeled NIC (dist/comm_manager.h). Reports per-config
+// epoch time, speedup vs the N=1 run of the same mode/policy, remote
+// feature-fetch bytes and the all-reduce share of epoch time; --json=<path>
+// writes the full sweep (with per-node remote-fetch counters) as JSON.
+//
+// Runs the OGB-Papers stand-in (the only one whose features overflow the
+// cache at every scale) over a 10GbE-class NIC; the CommParams default
+// models a far slower link and would drown the sweep in all-reduce time.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dist/dist_engine.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT
+
+namespace {
+
+constexpr int kNodeCounts[] = {1, 2, 4, 8};
+constexpr PartitionStrategy kStrategies[] = {PartitionStrategy::kEdgeCut,
+                                             PartitionStrategy::kVertexCut};
+constexpr CachePolicyKind kPolicies[] = {CachePolicyKind::kDegree,
+                                         CachePolicyKind::kPreSC1};
+
+struct SweepPoint {
+  int nodes = 0;
+  PartitionStrategy strategy = PartitionStrategy::kEdgeCut;
+  CachePolicyKind policy = CachePolicyKind::kDegree;
+  bool time_sharing = false;
+  bool oom = false;
+  double epoch_time = 0.0;
+  double speedup = 1.0;  // vs the N=1 point of the same mode/policy.
+  double allreduce_share = 0.0;
+  ByteCount remote_bytes = 0;
+  // Sampled edges whose adjacency the sampling node's shard does not hold
+  // (counted, not priced) — this is where edge-cut and vertex-cut differ;
+  // feature traffic is identical because both own features by the same
+  // contiguous vertex split.
+  double remote_adj_edges = 0.0;
+  std::vector<std::pair<std::uint64_t, ByteCount>> per_node;  // fetches, bytes
+};
+
+SweepPoint RunPoint(const Dataset& ds, const Workload& workload, int nodes,
+                    PartitionStrategy strategy, CachePolicyKind policy,
+                    bool time_sharing, const BenchFlags& flags) {
+  DistOptions options;
+  options.num_nodes = nodes;
+  options.strategy = strategy;
+  options.comm.nic_bandwidth = static_cast<ByteCount>(1.25 * kGiB);  // 10GbE.
+  options.time_sharing = time_sharing;
+  options.gpus_per_node = 4;
+  options.gpu_memory = flags.GpuMemory();
+  options.num_samplers = time_sharing ? 0 : 1;
+  options.dynamic_switching = false;
+  options.policy = flags.PolicyOr(policy);
+  options.epochs = flags.epochs;
+  options.seed = flags.seed;
+  DistEngine engine(ds, workload, options);
+  const DistRunReport report = engine.Run();
+
+  SweepPoint point;
+  point.nodes = nodes;
+  point.strategy = strategy;
+  point.policy = options.policy;
+  point.time_sharing = time_sharing;
+  point.oom = report.oom;
+  if (report.oom) {
+    return point;
+  }
+  point.epoch_time = report.AvgEpochTime();
+  point.allreduce_share = report.AllReduceShare();
+  point.remote_bytes = report.TotalRemoteBytes();
+  for (const DistNodeReport& node : report.nodes) {
+    std::uint64_t fetches = 0;
+    ByteCount bytes = 0;
+    for (const DistNodeEpochReport& e : node.epochs) {
+      fetches += e.remote_fetches;
+      bytes += e.bytes_remote;
+      point.remote_adj_edges += e.remote_adj_edges;
+    }
+    point.per_node.emplace_back(fetches, bytes);
+  }
+  return point;
+}
+
+std::string SweepToJson(const std::vector<SweepPoint>& points, const BenchFlags& flags) {
+  char buf[256];
+  std::string out = "{\n  \"bench\": \"dist_scaling\",\n";
+  std::snprintf(buf, sizeof(buf), "  \"scale\": %.4f,\n  \"epochs\": %zu,\n  \"seed\": %llu,\n",
+                flags.scale, flags.epochs, static_cast<unsigned long long>(flags.seed));
+  out += buf;
+  out += "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"nodes\": %d, \"strategy\": \"%s\", \"policy\": \"%s\", "
+                  "\"mode\": \"%s\", \"oom\": %s, ",
+                  p.nodes, PartitionStrategyName(p.strategy), CachePolicyKindName(p.policy),
+                  p.time_sharing ? "time_sharing" : "factored", p.oom ? "true" : "false");
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"epoch_time\": %.9g, \"speedup\": %.9g, \"allreduce_share\": %.9g, "
+                  "\"remote_bytes\": %llu, \"remote_adj_edges\": %.9g, \"per_node\": [",
+                  p.epoch_time, p.speedup, p.allreduce_share,
+                  static_cast<unsigned long long>(p.remote_bytes), p.remote_adj_edges);
+    out += buf;
+    for (std::size_t n = 0; n < p.per_node.size(); ++n) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"node\": %zu, \"remote_fetches\": %llu, \"bytes_remote\": %llu}",
+                    n == 0 ? "" : ", ", n,
+                    static_cast<unsigned long long>(p.per_node[n].first),
+                    static_cast<unsigned long long>(p.per_node[n].second));
+      out += buf;
+    }
+    out += "]}";
+    out += (i + 1 == points.size()) ? "\n" : ",\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const BenchFlags flags = ParseBenchFlags(static_cast<int>(rest.size()), rest.data());
+  PrintBenchHeader("Distributed scaling: factored vs time-sharing, 1-8 nodes", flags);
+
+  const Dataset& ds = GetDataset(DatasetId::kPapers, flags);
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+
+  std::vector<SweepPoint> points;
+  for (const bool time_sharing : {false, true}) {
+    std::printf("%s\n", time_sharing ? "Time-sharing baseline per node"
+                                     : "Factored pipeline per node (1S per node)");
+    TablePrinter table({"Nodes", "Partition", "Policy", "Epoch", "Speedup", "RemoteBytes",
+                        "RemoteAdj", "AllReduce%"});
+    for (const CachePolicyKind policy : kPolicies) {
+      for (const PartitionStrategy strategy : kStrategies) {
+        double base_time = 0.0;
+        for (const int nodes : kNodeCounts) {
+          SweepPoint p = RunPoint(ds, workload, nodes, strategy, policy, time_sharing, flags);
+          if (!p.oom) {
+            if (nodes == 1) {
+              base_time = p.epoch_time;
+            }
+            p.speedup = (base_time > 0.0 && p.epoch_time > 0.0) ? base_time / p.epoch_time : 1.0;
+          }
+          table.AddRow({std::to_string(nodes), PartitionStrategyName(strategy),
+                        CachePolicyKindName(p.policy),
+                        p.oom ? "OOM" : Fmt(p.epoch_time),
+                        p.oom ? "-" : Fmt(p.speedup),
+                        p.oom ? "-" : FormatBytes(p.remote_bytes),
+                        p.oom ? "-" : std::to_string(static_cast<long long>(p.remote_adj_edges)),
+                        p.oom ? "-" : Fmt(100.0 * p.allreduce_share)});
+          points.push_back(std::move(p));
+        }
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shape: epoch time falls with node count while remote feature\n"
+      "bytes grow (each node owns a shrinking slice of the rows it samples),\n"
+      "and the fixed-size gradient all-reduce claims a growing share of the\n"
+      "shrinking epoch -- the classic strong-scaling tax. PreSC#1 cuts remote\n"
+      "traffic several-fold vs Degree at every N (the paper's cache story,\n"
+      "now about the NIC). Factored leads at small N; once shards get tiny\n"
+      "(N=8 here) the dedicated Sampler GPU stops paying for itself and\n"
+      "time-sharing's extra Trainer catches up -- dynamic switching's case.\n");
+
+  if (!json_path.empty()) {
+    const std::string json = SweepToJson(points, flags);
+    std::FILE* file = std::fopen(json_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), file);
+    std::fclose(file);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

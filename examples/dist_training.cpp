@@ -1,0 +1,183 @@
+// Example: simulated multi-node GNN training. Partitions the graph across
+// --nodes machines, runs the factored per-node pipeline (or the
+// time-sharing baseline with --time-sharing) under one discrete-event
+// clock, prices remote feature fetches on the modeled NIC, and closes each
+// gradient group with a ring or tree all-reduce.
+//
+//   ./build/examples/dist_training [--nodes=N] [--strategy=edge_cut|vertex_cut]
+//       [--allreduce=ring|tree] [--policy=none|degree|presc1|...]
+//       [--gpus=N] [--epochs=N] [--scale=F] [--seed=N] [--nic-gbps=F]
+//       [--time-sharing] [--report-out=FILE] [--prom-out=FILE]
+//
+// --report-out writes the full DistRunReport (per-node epochs with
+// remote-fetch counters, merged critical-path attribution, comm totals) as
+// JSON; --prom-out writes the final metric state — per-node counters under
+// gnnlab_dist_n<k>_*, cluster all-reduce totals under gnnlab_dist_* — in
+// Prometheus text exposition.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dist/dist_engine.h"
+#include "obs/health.h"
+#include "report/json.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT: example brevity.
+
+int main(int argc, char** argv) {
+  DistOptions options;
+  options.num_nodes = 4;
+  options.gpus_per_node = 4;
+  options.num_samplers = 1;
+  options.dynamic_switching = false;
+  options.epochs = 3;
+  options.seed = 17;
+  double scale = 0.5;
+  double nic_gbps = 10.0;  // 10GbE default; CommParams' default is far slower.
+  std::string report_out;
+  std::string prom_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--nodes=", 8) == 0) {
+      options.num_nodes = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--strategy=", 11) == 0) {
+      const char* name = arg + 11;
+      if (std::strcmp(name, "edge_cut") == 0) {
+        options.strategy = PartitionStrategy::kEdgeCut;
+      } else if (std::strcmp(name, "vertex_cut") == 0) {
+        options.strategy = PartitionStrategy::kVertexCut;
+      } else {
+        std::fprintf(stderr, "unknown strategy '%s' (edge_cut|vertex_cut)\n", name);
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--allreduce=", 12) == 0) {
+      const char* name = arg + 12;
+      if (std::strcmp(name, "ring") == 0) {
+        options.allreduce = AllReduceAlgo::kRing;
+      } else if (std::strcmp(name, "tree") == 0) {
+        options.allreduce = AllReduceAlgo::kTree;
+      } else {
+        std::fprintf(stderr, "unknown all-reduce '%s' (ring|tree)\n", name);
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
+      const auto policy = ParseCachePolicyKind(arg + 9);
+      if (!policy) {
+        std::fprintf(stderr, "unknown policy '%s'\n", arg + 9);
+        return 1;
+      }
+      options.policy = *policy;
+    } else if (std::strncmp(arg, "--gpus=", 7) == 0) {
+      options.gpus_per_node = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
+      options.epochs = static_cast<std::size_t>(std::atoll(arg + 9));
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--nic-gbps=", 11) == 0) {
+      nic_gbps = std::atof(arg + 11);
+    } else if (std::strcmp(arg, "--time-sharing") == 0) {
+      options.time_sharing = true;
+      options.num_samplers = 0;
+    } else if (std::strncmp(arg, "--report-out=", 13) == 0) {
+      report_out = arg + 13;
+    } else if (std::strncmp(arg, "--prom-out=", 11) == 0) {
+      prom_out = arg + 11;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return 1;
+    }
+  }
+
+  // GPU memory scales with the data so the cache stays partial (the
+  // interesting regime: misses split into local PCIe vs remote NIC).
+  options.gpu_memory = static_cast<ByteCount>(static_cast<double>(64 * kMiB) * scale);
+  options.comm.nic_bandwidth = static_cast<ByteCount>(nic_gbps * 1e9 / 8.0);
+
+  MetricRegistry metrics;
+  options.metrics = &metrics;
+
+  const Dataset dataset = MakeDataset(DatasetId::kPapers, scale, /*seed=*/42);
+  const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+
+  std::printf("dist GNNLab: %d nodes x %d GPUs on %s (%u vertices), %s partition, %s "
+              "all-reduce, %s\n\n",
+              options.num_nodes, options.gpus_per_node, dataset.name.c_str(),
+              dataset.graph.num_vertices(), PartitionStrategyName(options.strategy),
+              AllReduceAlgoName(options.allreduce),
+              options.time_sharing ? "time-sharing per node" : "factored per node");
+
+  DistEngine engine(dataset, workload, options);
+  const DistRunReport report = engine.Run();
+  if (report.oom) {
+    std::fprintf(stderr, "OOM: %s\n", report.oom_detail.c_str());
+    return 1;
+  }
+
+  TablePrinter cluster({"epoch", "makespan(s)", "allreduce(s)"});
+  for (std::size_t e = 0; e < report.epoch_times.size(); ++e) {
+    cluster.AddRow({std::to_string(e + 1), Fmt(report.epoch_times[e], 4),
+                    Fmt(report.epoch_allreduce[e], 4)});
+  }
+  cluster.Print();
+  std::printf("avg epoch %.4fs, all-reduce share %.1f%%, gradient bytes/round %s\n\n",
+              report.AvgEpochTime(), 100.0 * report.AllReduceShare(),
+              FormatBytes(report.gradient_bytes).c_str());
+
+  TablePrinter table({"node", "S/T", "cache%", "train vtx", "remote fetches", "remote bytes",
+                      "allreduce wait(s)"});
+  for (const DistNodeReport& node : report.nodes) {
+    std::uint64_t fetches = 0;
+    ByteCount bytes = 0;
+    double wait = 0.0;
+    for (const DistNodeEpochReport& e : node.epochs) {
+      fetches += e.remote_fetches;
+      bytes += e.bytes_remote;
+      wait += e.allreduce_wait;
+    }
+    table.AddRow({std::to_string(node.node),
+                  std::to_string(node.num_samplers) + "/" + std::to_string(node.num_trainers),
+                  FmtPercent(node.cache_ratio), std::to_string(node.train_vertices),
+                  std::to_string(fetches), FormatBytes(bytes), Fmt(wait, 4)});
+  }
+  table.Print();
+
+  if (report.attribution.flows > 0) {
+    std::printf("\ncluster critical-path attribution over %zu flows (dominant: %s)\n",
+                report.attribution.flows, report.attribution.DominantStage());
+  }
+  std::printf("comm: %llu feature messages, %s over the NIC; %zu all-reduce rounds, %s on "
+              "the wire\n",
+              static_cast<unsigned long long>(report.comm.feature_messages),
+              FormatBytes(report.comm.feature_bytes).c_str(), report.comm.allreduce_rounds,
+              FormatBytes(report.comm.allreduce_wire_bytes).c_str());
+
+  if (!report_out.empty()) {
+    if (!WriteDistRunReportJson(report, report_out)) {
+      std::fprintf(stderr, "failed to write %s\n", report_out.c_str());
+      return 1;
+    }
+    std::printf("wrote run report JSON to %s\n", report_out.c_str());
+  }
+  if (!prom_out.empty()) {
+    const std::string text = RegistryToPrometheusText(metrics);
+    std::FILE* file = std::fopen(prom_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "failed to write %s\n", prom_out.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), file);
+    std::fclose(file);
+    std::printf("wrote Prometheus exposition to %s\n", prom_out.c_str());
+  }
+
+  std::printf(
+      "\nAn N=1 run of this engine matches the single-machine simulator bit for\n"
+      "bit; at N>1 the same per-node pipeline pays for what distribution adds —\n"
+      "remote feature rows on the NIC and an all-reduce after every sync group.\n");
+  return 0;
+}

@@ -24,15 +24,17 @@ cmake -B "${build_dir}" -S . -DGNNLAB_SANITIZE="${sanitizer}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j"$(nproc)" --target \
   concurrency_test runtime_test threaded_engine_test obs_test flow_health_test \
-  pipeline_test serve_test
+  pipeline_test serve_test dist_test
 
 # The threaded/concurrency suites are the ones exercising real parallelism,
 # the pipeline suite drives the shared stage bodies through all four
 # drivers, and the serve suite runs the inference server's dispatch/standby
 # threads against concurrent training cache marks; the purely simulated
-# suites are single-threaded by design and add little here.
+# suites are single-threaded by design and add little here. The dist
+# battery rides along anyway: its N=1 bit-exactness and cross-repeat
+# determinism checks are the contracts a latent race would corrupt first.
 if [ "$#" -eq 0 ]; then
-  set -- -R "Concurrency|MpmcQueue|ParallelFor|ParallelExtract|ParallelSampling|ThreadPool|ThreadedEngine|Runtime|Histogram|Counter|MetricRegistry|RuntimeTracer|Snapshot|FlowTracer|CriticalPath|HealthMonitor|AlertRule|Prometheus|CountEquality|BatchStreams|CacheBuilder|SwitchGate|ReportAssembler|Serve|BatchFormer|Admission|LoadGen"
+  set -- -R "Concurrency|MpmcQueue|ParallelFor|ParallelExtract|ParallelSampling|ThreadPool|ThreadedEngine|Runtime|Histogram|Counter|MetricRegistry|RuntimeTracer|Snapshot|FlowTracer|CriticalPath|HealthMonitor|AlertRule|Prometheus|CountEquality|BatchStreams|CacheBuilder|SwitchGate|ReportAssembler|Serve|BatchFormer|Admission|LoadGen|Partitioner|CommManager|Dist"
 fi
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "${build_dir}" --output-on-failure "$@"

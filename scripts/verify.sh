@@ -3,7 +3,8 @@
 # the telemetry pipeline end to end — a threaded run with --trace-out /
 # --flow-out / --metrics-out / --report-out / --prom-out must produce
 # non-empty, well-formed artifacts (JSON, plus a Prometheus text exposition
-# scraped once and checked line by line), and micro_obs must show the hooks
+# scraped once and checked line by line), a 4-node simulated cluster epoch
+# must export the dist.* metric families, and micro_obs must show the hooks
 # staying under their 5% overhead budget.
 #
 #   scripts/verify.sh              # full pipeline in build/
@@ -165,6 +166,31 @@ grep -q '"e2e_latency"' "${serve_report}" || {
   echo "FAIL: serve report has no e2e latency summary" >&2; exit 1; }
 grep -q '"shed_overload"' "${serve_report}" || {
   echo "FAIL: serve report has no shed counters" >&2; exit 1; }
+
+# --- distributed smoke run ---------------------------------------------------
+# A 4-node simulated cluster epoch: the run report must carry per-node
+# remote-fetch counters and the merged attribution, and the exposition must
+# carry the dist.* families (per-node counters under gnnlab_dist_n<k>_*,
+# cluster all-reduce totals under gnnlab_dist_allreduce_*).
+dist_report="${out_dir}/dist.report.json"
+dist_prom="${out_dir}/dist.prom.txt"
+"${build_dir}/examples/dist_training" --nodes=4 --scale=0.2 --epochs=1 \
+  --report-out="${dist_report}" --prom-out="${dist_prom}"
+check_json "${dist_report}" object
+grep -q '"bytes_remote"' "${dist_report}" || {
+  echo "FAIL: dist report has no remote-fetch counters" >&2; exit 1; }
+grep -q '"allreduce_share"' "${dist_report}" || {
+  echo "FAIL: dist report has no all-reduce share" >&2; exit 1; }
+grep -q '"attribution"' "${dist_report}" || {
+  echo "FAIL: dist report has no merged attribution" >&2; exit 1; }
+[ -s "${dist_prom}" ] || { echo "FAIL: ${dist_prom} is empty" >&2; exit 1; }
+grep -q '^gnnlab_dist_nodes ' "${dist_prom}" || {
+  echo "FAIL: dist exposition is missing gnnlab_dist_nodes" >&2; exit 1; }
+grep -q '^gnnlab_dist_n0_remote_bytes_total ' "${dist_prom}" || {
+  echo "FAIL: dist exposition is missing per-node remote-fetch counters" >&2; exit 1; }
+grep -q '^gnnlab_dist_allreduce_rounds_total ' "${dist_prom}" || {
+  echo "FAIL: dist exposition is missing all-reduce round counters" >&2; exit 1; }
+echo "ok: ${dist_report} + ${dist_prom}"
 
 # --- hook overhead budget ----------------------------------------------------
 "${build_dir}/bench/micro_obs" --rows=50000 --repeats=5 --trials=3

@@ -98,14 +98,14 @@ double FeatureCache::ratio() const {
              : static_cast<double>(num_cached_) / static_cast<double>(cached_.size());
 }
 
-void FeatureCache::BindMetrics(MetricRegistry* registry) {
+void FeatureCache::BindMetrics(MetricRegistry* registry, const std::string& prefix) {
   if (registry == nullptr) {
     mark_hits_ = nullptr;
     mark_total_ = nullptr;
     return;
   }
-  mark_hits_ = registry->GetCounter(kMetricMarkHits);
-  mark_total_ = registry->GetCounter(kMetricMarkTotal);
+  mark_hits_ = registry->GetCounter(prefix + kMetricMarkHits);
+  mark_total_ = registry->GetCounter(prefix + kMetricMarkTotal);
 }
 
 void FeatureCache::MarkBlock(SampleBlock* block) const {

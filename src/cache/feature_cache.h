@@ -8,6 +8,7 @@
 #include <atomic>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -75,8 +76,9 @@ class FeatureCache {
 
   // Streams marking telemetry into cache.mark_hits / cache.mark_total
   // counters (one relaxed increment per MarkBlock call). Pass nullptr to
-  // unbind; no-op when compiled out.
-  void BindMetrics(MetricRegistry* registry);
+  // unbind; no-op when compiled out. `prefix` namespaces the metric names
+  // (per-node binding in the DistEngine).
+  void BindMetrics(MetricRegistry* registry, const std::string& prefix = "");
 
  private:
   // Exact-row-count loader shared by Load (ratio-derived) and

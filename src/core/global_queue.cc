@@ -7,7 +7,7 @@
 
 namespace gnnlab {
 
-void GlobalQueue::BindMetrics(MetricRegistry* registry) {
+void GlobalQueue::BindMetrics(MetricRegistry* registry, const std::string& prefix) {
   if (registry == nullptr) {
     enqueued_counter_ = nullptr;
     depth_gauge_ = nullptr;
@@ -15,10 +15,10 @@ void GlobalQueue::BindMetrics(MetricRegistry* registry) {
     wait_hist_ = nullptr;
     return;
   }
-  enqueued_counter_ = registry->GetCounter(kMetricQueueEnqueued);
-  depth_gauge_ = registry->GetGauge(kMetricQueueDepth);
-  bytes_gauge_ = registry->GetGauge(kMetricQueueBytes);
-  wait_hist_ = registry->GetHistogram(kMetricQueueWait);
+  enqueued_counter_ = registry->GetCounter(prefix + kMetricQueueEnqueued);
+  depth_gauge_ = registry->GetGauge(prefix + kMetricQueueDepth);
+  bytes_gauge_ = registry->GetGauge(prefix + kMetricQueueBytes);
+  wait_hist_ = registry->GetHistogram(prefix + kMetricQueueWait);
   UpdateGauges();
 }
 

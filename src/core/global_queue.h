@@ -9,6 +9,7 @@
 
 #include <deque>
 #include <optional>
+#include <string>
 
 #include "common/types.h"
 #include "core/stats.h"
@@ -38,8 +39,10 @@ class GlobalQueue {
 
   // Mirrors depth/bytes into queue.depth / queue.bytes gauges and counts
   // pushes on queue.enqueued, so simulated and threaded runs export the
-  // same snapshot schema. Pass nullptr to unbind.
-  void BindMetrics(MetricRegistry* registry);
+  // same snapshot schema. Pass nullptr to unbind. `prefix` namespaces the
+  // metric names (the DistEngine binds each node's queue under
+  // "dist.n<k>." so per-node depths stay distinguishable).
+  void BindMetrics(MetricRegistry* registry, const std::string& prefix = "");
 
   // Feeds one task's enqueue-to-pop wait into the queue.wait_seconds
   // histogram (the engine computes the wait — the queue has no clock).

@@ -32,6 +32,10 @@ double SwitchProfit(std::size_t remaining_tasks, SimTime t_train, int num_traine
 // to hold — the switcher consuming the same signals an operator sees.
 struct SwitchDecision {
   double ts = 0.0;  // Simulated or wall seconds, per engine.
+  // Machine the deciding standby lives on; 0 for single-node engines. The
+  // DistEngine's merged report concatenates per-node logs, so the node id
+  // is what keeps decisions attributable.
+  int node = 0;
   std::size_t queue_depth = 0;
   double profit = 0.0;  // Clamped to +-1e12 so the JSON stays finite.
   bool fetched = false;

@@ -1,0 +1,122 @@
+#include "dist/comm_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+const char* AllReduceAlgoName(AllReduceAlgo algo) {
+  switch (algo) {
+    case AllReduceAlgo::kRing:
+      return "ring";
+    case AllReduceAlgo::kTree:
+      return "tree";
+  }
+  return "unknown";
+}
+
+CommManager::CommManager(int num_nodes, const CommParams& params) : params_(params) {
+  CHECK_GE(num_nodes, 1);
+  CHECK_GT(params_.nic_bandwidth, 0.0);
+  CHECK_GE(params_.links_per_node, 1);
+  egress_.resize(num_nodes);
+  ingress_.resize(num_nodes);
+  for (int n = 0; n < num_nodes; ++n) {
+    egress_[n].resize(params_.links_per_node);
+    ingress_[n].resize(params_.links_per_node);
+  }
+}
+
+namespace {
+
+// Earliest-free lane, lowest index breaking ties (deterministic).
+SharedResource* PickLane(std::vector<SharedResource>* lanes) {
+  SharedResource* best = &(*lanes)[0];
+  for (SharedResource& lane : *lanes) {
+    if (lane.busy_until() < best->busy_until()) {
+      best = &lane;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SimTime CommManager::Transfer(int src, int dst, ByteCount bytes, TrafficClass cls,
+                              SimTime now) {
+  CHECK_GE(src, 0);
+  CHECK_GE(dst, 0);
+  CHECK_LT(src, num_nodes());
+  CHECK_LT(dst, num_nodes());
+  if (src == dst) {
+    return now;
+  }
+  const double duration = static_cast<double>(bytes) / params_.nic_bandwidth;
+  SharedResource* egress = PickLane(&egress_[src]);
+  SharedResource* ingress = PickLane(&ingress_[dst]);
+  // Cut-through: the egress lane is held [start, start+d], the ingress lane
+  // [start+lat, start+lat+d]; start waits for both to be free.
+  const SimTime start = std::max(
+      {now, egress->busy_until(), ingress->busy_until() - params_.nic_latency});
+  egress->Acquire(start, duration);
+  const SimTime completion = ingress->Acquire(start + params_.nic_latency, duration);
+
+  CommClassStats& stats = stats_[static_cast<int>(cls)];
+  ++stats.messages;
+  stats.bytes += bytes;
+  stats.seconds += completion - now;
+  return completion;
+}
+
+SimTime AllReduceTime(ByteCount bytes, int nodes, AllReduceAlgo algo,
+                      const CommParams& params) {
+  if (nodes <= 1 || bytes == 0) {
+    return 0.0;
+  }
+  const double bw = params.nic_bandwidth * static_cast<double>(params.links_per_node);
+  const double n = static_cast<double>(nodes);
+  switch (algo) {
+    case AllReduceAlgo::kRing: {
+      const double step = params.nic_latency + (static_cast<double>(bytes) / n) / bw;
+      return 2.0 * (n - 1.0) * step;
+    }
+    case AllReduceAlgo::kTree: {
+      const double levels = std::ceil(std::log2(n));
+      const double step = params.nic_latency + static_cast<double>(bytes) / bw;
+      return 2.0 * levels * step;
+    }
+  }
+  return 0.0;
+}
+
+ByteCount AllReduceWireBytes(ByteCount bytes, int nodes) {
+  if (nodes <= 1) {
+    return 0;
+  }
+  return 2 * static_cast<ByteCount>(nodes - 1) * bytes;
+}
+
+std::vector<std::vector<float>> AllReduceSum(const std::vector<std::vector<float>>& buffers,
+                                             AllReduceAlgo algo) {
+  (void)algo;  // Canonical rank-ascending order regardless of algorithm.
+  std::vector<std::vector<float>> out(buffers.size());
+  if (buffers.empty()) {
+    return out;
+  }
+  const std::size_t size = buffers[0].size();
+  std::vector<float> sum(size, 0.0f);
+  for (const std::vector<float>& buffer : buffers) {
+    CHECK_EQ(buffer.size(), size) << "all-reduce buffers must share one size";
+    for (std::size_t i = 0; i < size; ++i) {
+      sum[i] += buffer[i];
+    }
+  }
+  for (std::size_t r = 0; r < buffers.size(); ++r) {
+    out[r] = sum;
+  }
+  return out;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,107 @@
+// Modeled inter-node communication for simulated distributed training: a
+// NIC with configurable bandwidth/latency and per-link FCFS queuing, two
+// traffic classes (batched remote feature fetches riding alongside the
+// local extract path, and gradient synchronization), and closed-form ring /
+// tree all-reduce cost models.
+//
+// Like the PCIe host channel (core/executors.h SharedResource), time here
+// is *modeled*: transfers reserve lane time on the discrete-event clock and
+// return completion timestamps; no bytes move. Bandwidths are scaled to the
+// repo's scaled datasets the same way CostModelParams are (DESIGN.md §4) —
+// the default NIC is deliberately slower than the modeled PCIe gather
+// bandwidth so the remote/local fetch ratio matters, mirroring the
+// cross-machine feature I/O bottleneck BGL reports for distributed
+// sample-based GNN training.
+#ifndef GNNLAB_DIST_COMM_MANAGER_H_
+#define GNNLAB_DIST_COMM_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/executors.h"
+
+namespace gnnlab {
+
+struct CommParams {
+  // Per-link NIC bandwidth in scaled bytes/second. Default is ~half the
+  // modeled PCIe gather bandwidth (162 MiB/s): remote fetches cost roughly
+  // twice what local host misses do.
+  double nic_bandwidth = 80.0 * 1024 * 1024;
+  // One-way wire latency in seconds.
+  double nic_latency = 25e-6;
+  // Independent full-duplex links per node and direction.
+  int links_per_node = 1;
+};
+
+enum class TrafficClass {
+  kFeatureFetch,
+  kGradSync,
+};
+
+enum class AllReduceAlgo {
+  kRing,
+  kTree,
+};
+
+const char* AllReduceAlgoName(AllReduceAlgo algo);
+
+struct CommClassStats {
+  std::uint64_t messages = 0;
+  ByteCount bytes = 0;
+  double seconds = 0.0;  // Sum of per-transfer (completion - issue) times.
+};
+
+// Per-node, per-direction lane timelines. A transfer occupies one egress
+// lane at the source and one ingress lane at the destination (cut-through:
+// the ingress occupancy starts one wire latency after the egress), so
+// concurrent fetches from many peers queue on the receiver and concurrent
+// sends queue on the sender — the per-link FCFS model.
+class CommManager {
+ public:
+  CommManager(int num_nodes, const CommParams& params);
+
+  // Reserves lane time for `bytes` from `src` to `dst` starting no earlier
+  // than `now`; returns the delivery completion timestamp. A same-node
+  // transfer is free (returns `now`). Completion is monotone in `bytes`,
+  // and adding links never delays a burst.
+  SimTime Transfer(int src, int dst, ByteCount bytes, TrafficClass cls, SimTime now);
+
+  const CommClassStats& stats(TrafficClass cls) const {
+    return stats_[static_cast<int>(cls)];
+  }
+  const CommParams& params() const { return params_; }
+  int num_nodes() const { return static_cast<int>(egress_.size()); }
+
+ private:
+  CommParams params_;
+  std::vector<std::vector<SharedResource>> egress_;   // [node][link].
+  std::vector<std::vector<SharedResource>> ingress_;  // [node][link].
+  CommClassStats stats_[2];
+};
+
+// Closed-form all-reduce completion time for `bytes` of gradients across
+// `nodes` machines (0 when nodes <= 1):
+//   ring: 2(N-1) steps, each moving bytes/N    -> 2(N-1)(lat + (B/N)/bw)
+//   tree: reduce + broadcast over ceil(log2 N) levels, full buffer per hop
+//         -> 2 ceil(log2 N) (lat + B/bw)
+// Bandwidth scales with links_per_node (links stripe the transfer).
+SimTime AllReduceTime(ByteCount bytes, int nodes, AllReduceAlgo algo,
+                      const CommParams& params);
+
+// Total bytes crossing the wire for one all-reduce; both algorithms move
+// 2(N-1) * bytes (ring: 2(N-1) segments of B/N per rank; tree: each of the
+// N-1 non-root ranks sends and receives the full buffer once).
+ByteCount AllReduceWireBytes(ByteCount bytes, int nodes);
+
+// The all-reduce data path: sums rank buffers element-wise and returns one
+// reduced buffer per rank. All buffers must share one size. The summation
+// order is canonical (rank-ascending) for BOTH algorithms — a simulation
+// determinism contract: the algorithms differ only in modeled cost, never
+// in the reduced bits, so switching ring <-> tree cannot perturb a run.
+std::vector<std::vector<float>> AllReduceSum(const std::vector<std::vector<float>>& buffers,
+                                             AllReduceAlgo algo);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_DIST_COMM_MANAGER_H_

@@ -1,0 +1,1020 @@
+#include "dist/dist_engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/executors.h"
+#include "core/global_queue.h"
+#include "core/scheduler.h"
+#include "core/switching.h"
+#include "obs/snapshot.h"
+#include "pipeline/batch_streams.h"
+#include "pipeline/cache_builder.h"
+#include "pipeline/obs.h"
+#include "pipeline/report_assembler.h"
+#include "pipeline/stages.h"
+#include "pipeline/switch_gate.h"
+#include "sampling/footprint.h"
+
+namespace gnnlab {
+
+namespace {
+
+// Per-node RNG stream offset. Node 0 keeps the base seed, so an N=1 run
+// derives exactly the single-machine Engine's streams.
+std::uint64_t NodeSeed(std::uint64_t seed, int node) {
+  return seed ^ (static_cast<std::uint64_t>(node) * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
+
+double DistRunReport::AvgEpochTime(std::size_t skip_first) const {
+  if (epoch_times.size() <= skip_first) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (std::size_t e = skip_first; e < epoch_times.size(); ++e) {
+    total += epoch_times[e];
+  }
+  return total / static_cast<double>(epoch_times.size() - skip_first);
+}
+
+double DistRunReport::AllReduceShare() const {
+  double epochs_total = 0.0;
+  double allreduce_total = 0.0;
+  for (const SimTime t : epoch_times) {
+    epochs_total += t;
+  }
+  for (const SimTime t : epoch_allreduce) {
+    allreduce_total += t;
+  }
+  return epochs_total > 0.0 ? allreduce_total / epochs_total : 0.0;
+}
+
+ByteCount DistRunReport::TotalRemoteBytes() const {
+  ByteCount total = 0;
+  for (const DistNodeReport& node : nodes) {
+    for (const DistNodeEpochReport& epoch : node.epochs) {
+      total += epoch.bytes_remote;
+    }
+  }
+  return total;
+}
+
+// One simulated machine: the single-machine Engine's state, per node.
+// Factored mode fills samplers/trainers; time_sharing mode fills ts_gpus.
+struct DistEngine::NodeState {
+  NodeState(int node_id, const FeatureStore& store, VertexId num_vertices)
+      : node(node_id), extractor(store), profile_footprint(num_vertices) {}
+
+  int node = 0;
+  std::uint64_t seed = 0;
+  bool active = true;  // False when the training-set shard is empty.
+  TrainingSet train_set;
+
+  std::vector<Device> devices;
+  std::vector<SamplerExec> samplers;
+  std::vector<TrainerExec> trainers;  // Dedicated first, then standbys.
+  std::unique_ptr<SwitchController> switch_controller;
+  FeatureCache trainer_cache;
+  FeatureCache standby_cache;
+  bool standby_possible = false;
+  SharedResource host_channel;
+  GlobalQueue queue;
+  Extractor extractor;
+
+  // Time-sharing mode: one sequential S->E->T worker per GPU.
+  struct TsGpu {
+    std::unique_ptr<Sampler> sampler;
+    bool busy = false;
+    StageBreakdown stage;
+    ExtractStats extract;
+  };
+  std::vector<TsGpu> ts_gpus;
+
+  // Profiling-pass results (factored mode).
+  Footprint profile_footprint;
+  SimTime profile_sample_total = 0.0;
+  SimTime profile_graph_total = 0.0;
+  double profile_avg_distinct = 0.0;
+  TrainWork profile_avg_work;
+  std::size_t profile_batches = 0;
+
+  // Per-epoch loop state.
+  std::vector<std::vector<VertexId>> epoch_batches;
+  std::size_t next_batch = 0;
+  std::size_t trained_batches = 0;
+  EpochReport epoch_report;
+  std::uint64_t epoch_remote_fetches = 0;
+  ByteCount epoch_bytes_remote = 0;
+  double epoch_remote_adj = 0.0;
+  SimTime epoch_allreduce_wait = 0.0;
+
+  // Gradient-group / all-reduce barrier state.
+  std::size_t grad_accum = 0;
+  std::size_t sync_group = 1;
+  std::size_t epoch_gradient_updates = 0;
+  bool grads_done = false;
+  SimTime done_time = 0.0;
+  std::vector<SimTime> ready_times;  // Group-completion times this epoch.
+
+  // Telemetry.
+  std::uint64_t run_cache_hits = 0;
+  std::uint64_t run_cache_misses = 0;
+  std::uint64_t run_bytes_host = 0;
+  std::uint64_t run_bytes_cache = 0;
+  std::vector<TelemetrySample> snapshots;
+  StageLatencyRecorder stage_latency;
+  FlowTracer flows;
+  StageObs obs;
+  SwitchDecisionLog switch_log;
+  Counter* m_remote_bytes = nullptr;
+  Counter* m_remote_fetches = nullptr;
+  Counter* m_remote_adj = nullptr;
+
+  DistNodeReport report;
+};
+
+DistEngine::DistEngine(const Dataset& dataset, const Workload& workload,
+                       const DistOptions& options)
+    : dataset_(dataset),
+      workload_(workload),
+      options_(options),
+      cost_(options.cost),
+      partition_(PartitionGraph(dataset.graph,
+                                {options.num_nodes, options.strategy,
+                                 options.balance_tolerance})),
+      comm_(options.num_nodes, options.comm),
+      virtual_store_(
+          FeatureStore::Virtual(dataset.graph.num_vertices(), dataset.feature_dim)) {
+  CHECK_GE(options_.num_nodes, 1);
+  CHECK_GE(options_.gpus_per_node, 1);
+  CHECK_GE(options_.epochs, 1u);
+  if (workload_.sampling == SamplingAlgorithm::kKhopWeighted) {
+    weights_.emplace(dataset_.MakeWeights());
+  }
+  if (options_.gradient_bytes_override > 0) {
+    gradient_bytes_ = options_.gradient_bytes_override;
+  } else {
+    // One data-parallel replica's parameter gradients: input layer plus the
+    // hidden stack, float32.
+    const std::uint64_t hidden = workload_.hidden_dim;
+    const std::uint64_t params =
+        static_cast<std::uint64_t>(dataset_.feature_dim) * hidden +
+        static_cast<std::uint64_t>(workload_.num_layers > 0 ? workload_.num_layers - 1 : 0) *
+            hidden * hidden;
+    gradient_bytes_ = static_cast<ByteCount>(params * sizeof(float));
+  }
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    auto node = std::make_unique<NodeState>(n, virtual_store_,
+                                            dataset_.graph.num_vertices());
+    node->seed = NodeSeed(options_.seed, n);
+    node->train_set = TrainingSet(OwnedTrainVertices(partition_, dataset_.train_set, n));
+    node->active = node->train_set.size() > 0;
+    node->report.node = n;
+    node->report.train_vertices = node->train_set.size();
+    node->report.shard_topology_bytes = partition_.ShardTopologyBytes(n);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+DistEngine::~DistEngine() = default;
+
+void DistEngine::ProfileSampling(NodeState* node) {
+  std::unique_ptr<Sampler> sampler =
+      MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+  SampleSpec spec;
+  spec.cost = &cost_;
+  spec.kernel = SampleKernel::kGpu;
+  spec.algorithm = workload_.sampling;
+  spec.price_queue_copy = true;
+  spec.price_mark_always = true;
+  Rng shuffle_rng = PipelineShuffleRng(node->seed, kProfileEpochBase);
+  EpochBatches batches(node->train_set, dataset_.batch_size, &shuffle_rng);
+  std::size_t batch_index = 0;
+  std::size_t distinct_total = 0;
+  TrainWork work_sum;
+  while (batches.HasNext()) {
+    Rng rng = PipelineBatchRng(node->seed, kProfileEpochBase, batch_index);
+    const SampleOutcome out = RunSampleStage(sampler.get(), batches.NextBatch(), &rng, spec);
+    node->profile_footprint.Accumulate(out.block);
+    node->profile_graph_total += out.sample_time;
+    node->profile_sample_total += out.Total();
+    distinct_total += out.block.vertices().size();
+    const TrainWork work = MakeTrainWork(workload_, dataset_, out.block);
+    work_sum.block_edges += work.block_edges;
+    work_sum.block_vertices += work.block_vertices;
+    ++batch_index;
+  }
+  node->profile_batches = batch_index;
+  CHECK_GT(node->profile_batches, 0u);
+  node->profile_avg_distinct =
+      static_cast<double>(distinct_total) / static_cast<double>(node->profile_batches);
+  node->profile_avg_work = work_sum;
+  node->profile_avg_work.block_edges /= node->profile_batches;
+  node->profile_avg_work.block_vertices /= node->profile_batches;
+  node->profile_avg_work.feature_dim = dataset_.feature_dim;
+  node->profile_avg_work.hidden_dim = workload_.hidden_dim;
+  node->profile_avg_work.num_layers = workload_.num_layers;
+  node->profile_avg_work.model_factor = workload_.train_factor;
+}
+
+void DistEngine::BuildCaches(NodeState* node) {
+  CacheBuildContext build;
+  build.dataset = &dataset_;
+  build.workload = &workload_;
+  build.weights = weights_ ? &*weights_ : nullptr;
+  build.seed = node->seed;
+  build.profile_footprint = &node->profile_footprint;
+  build.replay_epochs = options_.epochs;
+  const std::vector<VertexId> ranked = BuildCacheRanking(options_.policy, build);
+  const VertexId num_vertices = dataset_.graph.num_vertices();
+  const double gpu_mem = static_cast<double>(options_.gpu_memory);
+
+  const auto trainer_budget = static_cast<ByteCount>(
+      gpu_mem * std::max(0.0, 1.0 - workload_.trainer_ws_fraction));
+  if (options_.policy == CachePolicyKind::kNone) {
+    node->trainer_cache = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+  } else if (options_.cache_ratio_override >= 0.0) {
+    node->trainer_cache = FeatureCache::Load(ranked, options_.cache_ratio_override,
+                                             num_vertices, dataset_.feature_dim);
+  } else {
+    node->trainer_cache = FeatureCache::LoadWithBudget(ranked, trainer_budget, num_vertices,
+                                                       dataset_.feature_dim);
+  }
+  node->report.cache_ratio = node->trainer_cache.ratio();
+
+  // Standby Trainer on a Sampler GPU: the resident topology here is the
+  // node's SHARD, so finer partitions leave more standby cache room.
+  const ByteCount topo_bytes =
+      partition_.ShardTopologyBytes(node->node) + (weights_ ? weights_->WeightBytes() : 0);
+  const double standby_left =
+      gpu_mem - static_cast<double>(topo_bytes) -
+      gpu_mem * std::max(workload_.sampler_ws_fraction, workload_.trainer_ws_fraction);
+  node->standby_possible = standby_left >= 0.0;
+  if (node->standby_possible && options_.policy != CachePolicyKind::kNone) {
+    node->standby_cache = FeatureCache::LoadWithBudget(
+        ranked, static_cast<ByteCount>(standby_left), num_vertices, dataset_.feature_dim);
+  } else {
+    node->standby_cache = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+  }
+  node->report.standby_cache_ratio = node->standby_cache.ratio();
+}
+
+ExtractStats DistEngine::EstimateExtract(const NodeState& node,
+                                         const FeatureCache& cache) const {
+  const auto counts = node.profile_footprint.counts();
+  std::uint64_t hit_visits = 0;
+  for (VertexId v = 0; v < counts.size(); ++v) {
+    if (cache.Contains(v)) {
+      hit_visits += counts[v];
+    }
+  }
+  const double hit_rate = node.profile_footprint.total() == 0
+                              ? 0.0
+                              : static_cast<double>(hit_visits) /
+                                    static_cast<double>(node.profile_footprint.total());
+  ExtractStats stats;
+  stats.distinct_vertices = static_cast<std::size_t>(node.profile_avg_distinct);
+  stats.cache_hits = static_cast<std::size_t>(hit_rate * node.profile_avg_distinct);
+  stats.host_misses = stats.distinct_vertices - stats.cache_hits;
+  const ByteCount row = static_cast<ByteCount>(dataset_.feature_dim) * sizeof(float);
+  stats.bytes_from_cache = stats.cache_hits * row;
+  stats.bytes_from_host = stats.host_misses * row;
+  return stats;
+}
+
+void DistEngine::DecideExecutors(NodeState* node) {
+  const SimTime t_sample =
+      node->profile_sample_total / static_cast<double>(node->profile_batches);
+  const SimTime t_train_compute = cost_.TrainTime(node->profile_avg_work);
+  const SimTime t_extract = cost_.ExtractTime(EstimateExtract(*node, node->trainer_cache), true);
+  const SimTime t_train = std::max(t_extract, t_train_compute);
+
+  ScheduleDecision decision;
+  if (options_.num_samplers > 0) {
+    decision.num_samplers = std::min(options_.num_samplers, options_.gpus_per_node);
+    decision.num_trainers = options_.gpus_per_node - decision.num_samplers;
+    decision.k_ratio = t_train / t_sample;
+  } else {
+    decision = DecideAllocation(options_.gpus_per_node, t_sample, t_train);
+  }
+  node->report.num_samplers = decision.num_samplers;
+  node->report.num_trainers = decision.num_trainers;
+  node->report.k_ratio = decision.k_ratio;
+
+  node->samplers.clear();
+  node->trainers.clear();
+  for (int s = 0; s < decision.num_samplers; ++s) {
+    SamplerExec exec;
+    exec.gpu = s;
+    exec.sampler = MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+    node->samplers.push_back(std::move(exec));
+  }
+  for (int t = 0; t < decision.num_trainers; ++t) {
+    TrainerExec exec;
+    exec.gpu = decision.num_samplers + t;
+    node->trainers.push_back(std::move(exec));
+  }
+  const bool standby_wanted = options_.dynamic_switching && node->standby_possible;
+  if (standby_wanted) {
+    for (int s = 0; s < decision.num_samplers; ++s) {
+      TrainerExec exec;
+      exec.gpu = s;
+      exec.standby = true;
+      exec.owner_sampler = s;
+      node->trainers.push_back(std::move(exec));
+    }
+  }
+  CHECK(decision.num_trainers > 0 || standby_wanted)
+      << "node " << node->node
+      << ": allocation left zero trainers and no standby Trainer fits";
+
+  node->switch_controller =
+      std::make_unique<SwitchController>(standby_wanted, decision.num_trainers);
+  const SimTime t_extract_standby =
+      cost_.ExtractTime(EstimateExtract(*node, node->standby_cache), true);
+  node->switch_controller->SeedEstimates(t_train,
+                                         std::max(t_extract_standby, t_train_compute));
+
+  node->sync_group = decision.num_trainers > 0
+                         ? static_cast<std::size_t>(decision.num_trainers)
+                         : static_cast<std::size_t>(decision.num_samplers);
+  if (options_.sync_group_override > 0) {
+    node->sync_group = options_.sync_group_override;
+  }
+}
+
+bool DistEngine::PlanMemory(NodeState* node, DistRunReport* report) {
+  node->devices.clear();
+  const ByteCount topo_bytes =
+      partition_.ShardTopologyBytes(node->node) + (weights_ ? weights_->WeightBytes() : 0);
+  const auto sampler_ws = static_cast<ByteCount>(
+      static_cast<double>(options_.gpu_memory) * workload_.sampler_ws_fraction);
+  const auto trainer_ws = static_cast<ByteCount>(
+      static_cast<double>(options_.gpu_memory) * workload_.trainer_ws_fraction);
+
+  for (int g = 0; g < options_.gpus_per_node; ++g) {
+    node->devices.emplace_back(g, options_.gpu_memory);
+  }
+
+  if (options_.time_sharing) {
+    // Every GPU carries shard topology + both workspaces + the cache.
+    const ByteCount fixed = topo_bytes + sampler_ws + trainer_ws;
+    if (fixed > options_.gpu_memory) {
+      report->oom = true;
+      std::ostringstream os;
+      os << "node " << node->node << " time-sharing GPU: topology " << FormatBytes(topo_bytes)
+         << " + workspaces " << FormatBytes(sampler_ws + trainer_ws) << " exceeds "
+         << FormatBytes(options_.gpu_memory);
+      report->oom_detail = os.str();
+      return false;
+    }
+    for (Device& dev : node->devices) {
+      CHECK(dev.TryAllocate(MemoryKind::kTopology, topo_bytes));
+      CHECK(dev.TryAllocate(MemoryKind::kSamplerWorkspace, sampler_ws));
+      CHECK(dev.TryAllocate(MemoryKind::kTrainerWorkspace, trainer_ws));
+      CHECK(dev.TryAllocate(MemoryKind::kFeatureCache, node->trainer_cache.CacheBytes()));
+    }
+    return true;
+  }
+
+  for (const SamplerExec& sampler : node->samplers) {
+    Device& dev = node->devices[sampler.gpu];
+    if (!dev.TryAllocate(MemoryKind::kTopology, topo_bytes) ||
+        !dev.TryAllocate(MemoryKind::kSamplerWorkspace, sampler_ws)) {
+      report->oom = true;
+      std::ostringstream os;
+      os << "node " << node->node << " Sampler GPU " << sampler.gpu << ": shard topology "
+         << FormatBytes(topo_bytes) << " + workspace " << FormatBytes(sampler_ws)
+         << " exceeds " << FormatBytes(options_.gpu_memory);
+      report->oom_detail = os.str();
+      return false;
+    }
+  }
+  for (const TrainerExec& trainer : node->trainers) {
+    Device& dev = node->devices[trainer.gpu];
+    const ByteCount cache_bytes = trainer.standby ? node->standby_cache.CacheBytes()
+                                                  : node->trainer_cache.CacheBytes();
+    const ByteCount ws_bytes =
+        trainer.standby ? (trainer_ws > sampler_ws ? trainer_ws - sampler_ws : 0)
+                        : trainer_ws;
+    if (!dev.TryAllocate(MemoryKind::kTrainerWorkspace, ws_bytes) ||
+        !dev.TryAllocate(MemoryKind::kFeatureCache, cache_bytes)) {
+      report->oom = true;
+      std::ostringstream os;
+      os << "node " << node->node << " Trainer GPU " << trainer.gpu << ": workspace "
+         << FormatBytes(trainer_ws) << " + cache " << FormatBytes(cache_bytes)
+         << " exceeds available memory of " << FormatBytes(options_.gpu_memory);
+      report->oom_detail = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+DistRunReport DistEngine::Run() {
+  DistRunReport report;
+  report.num_nodes = options_.num_nodes;
+  report.strategy = options_.strategy;
+  report.allreduce = options_.allreduce;
+  report.time_sharing = options_.time_sharing;
+  report.gradient_bytes = gradient_bytes_;
+
+  for (auto& node_ptr : nodes_) {
+    NodeState& node = *node_ptr;
+    if (node.active) {
+      if (options_.time_sharing) {
+        // No profiling pass: the sequential baseline has no allocation to
+        // decide. The cache policy runs in policy mode (its own
+        // pre-sampling), like the single-machine time-sharing runner.
+        CacheBuildContext build;
+        build.dataset = &dataset_;
+        build.workload = &workload_;
+        build.weights = weights_ ? &*weights_ : nullptr;
+        build.seed = node.seed;
+        const std::vector<VertexId> ranked = BuildCacheRanking(options_.policy, build);
+        const ByteCount fixed =
+            partition_.ShardTopologyBytes(node.node) +
+            (weights_ ? weights_->WeightBytes() : 0) +
+            static_cast<ByteCount>(static_cast<double>(options_.gpu_memory) *
+                                   (workload_.sampler_ws_fraction +
+                                    workload_.trainer_ws_fraction));
+        const ByteCount budget =
+            fixed < options_.gpu_memory ? options_.gpu_memory - fixed : 0;
+        if (options_.policy == CachePolicyKind::kNone) {
+          node.trainer_cache = FeatureCache::Load({}, 0.0, dataset_.graph.num_vertices(),
+                                                  dataset_.feature_dim);
+        } else if (options_.cache_ratio_override >= 0.0) {
+          node.trainer_cache =
+              FeatureCache::Load(ranked, options_.cache_ratio_override,
+                                 dataset_.graph.num_vertices(), dataset_.feature_dim);
+        } else {
+          node.trainer_cache =
+              FeatureCache::LoadWithBudget(ranked, budget, dataset_.graph.num_vertices(),
+                                           dataset_.feature_dim);
+        }
+        node.report.cache_ratio = node.trainer_cache.ratio();
+        node.report.num_samplers = 0;
+        node.report.num_trainers = options_.gpus_per_node;
+        node.ts_gpus.clear();
+        for (int g = 0; g < options_.gpus_per_node; ++g) {
+          NodeState::TsGpu gpu;
+          gpu.sampler = MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+          node.ts_gpus.push_back(std::move(gpu));
+        }
+        node.sync_group = options_.sync_group_override > 0
+                              ? options_.sync_group_override
+                              : static_cast<std::size_t>(options_.gpus_per_node);
+      } else {
+        ProfileSampling(&node);
+        BuildCaches(&node);
+        DecideExecutors(&node);
+      }
+      if (!PlanMemory(&node, &report)) {
+        return report;
+      }
+      PreprocessSpec preprocess;
+      preprocess.topo_bytes = partition_.ShardTopologyBytes(node.node) +
+                              (weights_ ? weights_->WeightBytes() : 0);
+      preprocess.feature_bytes = dataset_.FeatureBytes();
+      preprocess.cache_bytes = node.trainer_cache.CacheBytes();
+      preprocess.policy = options_.policy;
+      preprocess.measured_epochs = options_.epochs;
+      preprocess.presample_epoch_time =
+          cost_.params().presample_epoch_factor * node.profile_graph_total;
+      node.report.preprocess = AssemblePreprocess(cost_, preprocess);
+    }
+
+    const std::string prefix = DistNodeMetricPrefix(node.node);
+    node.queue.BindMetrics(options_.metrics, prefix);
+    node.extractor.BindMetrics(options_.metrics, prefix);
+    node.trainer_cache.BindMetrics(options_.metrics, prefix);
+    node.standby_cache.BindMetrics(options_.metrics, prefix);
+    if (options_.metrics != nullptr) {
+      node.m_remote_bytes = options_.metrics->GetCounter(prefix + kMetricDistRemoteBytes);
+      node.m_remote_fetches =
+          options_.metrics->GetCounter(prefix + kMetricDistRemoteFetches);
+      node.m_remote_adj = options_.metrics->GetCounter(prefix + kMetricDistRemoteAdjWork);
+    }
+    node.flows.Clear();
+    node.obs.BindFlows(nullptr, &node.flows);
+    node.obs.BindSpans({});
+    node.switch_log.set_node(node.node);
+    node.switch_log.Take();
+    node.snapshots.clear();
+    node.run_cache_hits = node.run_cache_misses = 0;
+    node.run_bytes_host = node.run_bytes_cache = 0;
+    node.queue.ResetReport();
+  }
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetGauge(kMetricDistNodes)
+        ->Set(static_cast<double>(options_.num_nodes));
+    m_allreduce_rounds_ = options_.metrics->GetCounter(kMetricDistAllReduceRounds);
+    m_allreduce_wire_ = options_.metrics->GetCounter(kMetricDistAllReduceWireBytes);
+    m_allreduce_seconds_ = options_.metrics->GetGauge(kMetricDistAllReduceSeconds);
+  } else {
+    m_allreduce_rounds_ = nullptr;
+    m_allreduce_wire_ = nullptr;
+    m_allreduce_seconds_ = nullptr;
+  }
+  comm_report_ = DistCommReport{};
+
+  for (std::size_t e = 0; e < options_.epochs; ++e) {
+    for (auto& node : nodes_) {
+      ResetEpoch(node.get(), e);
+    }
+    rounds_started_ = 0;
+    allreduce_busy_until_ = sim_.now();
+    epoch_allreduce_seconds_ = 0.0;
+    const SimTime epoch_start = sim_.now();
+    for (auto& node : nodes_) {
+      if (!node->active) {
+        continue;
+      }
+      if (options_.time_sharing) {
+        for (std::size_t g = 0; g < node->ts_gpus.size(); ++g) {
+          PumpTimeShareGpu(node.get(), g);
+        }
+      } else {
+        PumpSamplers(node.get());
+      }
+    }
+    sim_.Run();
+    const SimTime epoch_end = sim_.now();
+    for (auto& node : nodes_) {
+      CHECK_EQ(node->trained_batches, node->epoch_batches.size())
+          << "node " << node->node << " epoch deadlocked";
+      CHECK(node->grads_done) << "node " << node->node << " never flushed gradients";
+      node->epoch_report.epoch_time = epoch_end - epoch_start;
+      FinishEpoch(node.get());
+    }
+    report.epoch_times.push_back(epoch_end - epoch_start);
+    report.epoch_allreduce.push_back(epoch_allreduce_seconds_);
+  }
+
+  for (auto& node_ptr : nodes_) {
+    NodeState& node = *node_ptr;
+    node.report.queue = node.queue.report();
+    node.report.snapshots = std::move(node.snapshots);
+    report.attribution.Add(node.report.attribution);
+    std::vector<SwitchDecision> decisions = node.switch_log.Take();
+    report.switch_decisions.insert(report.switch_decisions.end(),
+                                   std::make_move_iterator(decisions.begin()),
+                                   std::make_move_iterator(decisions.end()));
+    report.nodes.push_back(std::move(node.report));
+  }
+  const CommClassStats& fetch = comm_.stats(TrafficClass::kFeatureFetch);
+  comm_report_.feature_messages = fetch.messages;
+  comm_report_.feature_bytes = fetch.bytes;
+  report.comm = comm_report_;
+  return report;
+}
+
+void DistEngine::ResetEpoch(NodeState* node, std::size_t epoch) {
+  node->epoch_report = EpochReport{};
+  node->stage_latency.Reset();
+  node->epoch_batches = node->active
+                            ? PlanEpochBatches(node->train_set, dataset_.batch_size,
+                                               node->seed, epoch)
+                            : std::vector<std::vector<VertexId>>{};
+  node->next_batch = 0;
+  node->trained_batches = 0;
+  node->epoch_remote_fetches = 0;
+  node->epoch_bytes_remote = 0;
+  node->epoch_remote_adj = 0.0;
+  node->epoch_allreduce_wait = 0.0;
+  node->grad_accum = 0;
+  node->epoch_gradient_updates = 0;
+  node->ready_times.clear();
+  node->grads_done = node->epoch_batches.empty();
+  node->done_time = sim_.now();
+  for (SamplerExec& sampler : node->samplers) {
+    sampler.busy = false;
+    sampler.epoch_done = false;
+    sampler.stage = StageBreakdown{};
+  }
+  for (TrainerExec& trainer : node->trainers) {
+    trainer.extract_busy = false;
+    trainer.train_free = sim_.now();
+    trainer.trains_in_flight = 0;
+    trainer.stage = StageBreakdown{};
+    trainer.extract = ExtractStats{};
+    trainer.batches_done = 0;
+  }
+  for (NodeState::TsGpu& gpu : node->ts_gpus) {
+    gpu.busy = false;
+    gpu.stage = StageBreakdown{};
+    gpu.extract = ExtractStats{};
+  }
+  node->switch_log.ResetFilters(node->trainers.size());
+  node->epoch_report.batches = node->epoch_batches.size();
+}
+
+void DistEngine::FinishEpoch(NodeState* node) {
+  // current epoch index = number of epochs already reported.
+  const std::size_t epoch = node->report.epochs.size();
+  DistNodeEpochReport out;
+  out.epoch = node->epoch_report;
+  out.epoch.latency = node->stage_latency.Summarize();
+  out.epoch.attribution = AssembleEpochAttribution(node->obs.flows(), epoch, nullptr);
+  for (const SamplerExec& sampler : node->samplers) {
+    out.epoch.stage.Add(sampler.stage);
+  }
+  for (const TrainerExec& trainer : node->trainers) {
+    out.epoch.stage.Add(trainer.stage);
+    out.epoch.extract.Add(trainer.extract);
+    if (trainer.standby) {
+      out.epoch.switched_batches += trainer.batches_done;
+    }
+  }
+  for (const NodeState::TsGpu& gpu : node->ts_gpus) {
+    out.epoch.stage.Add(gpu.stage);
+    out.epoch.extract.Add(gpu.extract);
+  }
+  out.epoch.gradient_updates = node->epoch_gradient_updates;
+  out.remote_fetches = node->epoch_remote_fetches;
+  out.bytes_remote = node->epoch_bytes_remote;
+  out.remote_adj_edges = node->epoch_remote_adj;
+  out.allreduce_wait = node->epoch_allreduce_wait;
+  node->report.attribution.Add(out.epoch.attribution);
+  node->report.epochs.push_back(std::move(out));
+}
+
+double DistEngine::TallyRemoteAdjacency(const NodeState& node,
+                                        const SampleBlock& block) const {
+  if (options_.num_nodes <= 1) {
+    return 0.0;
+  }
+  const auto vertices = block.vertices();
+  // Fraction cache, lazily filled per distinct frontier vertex.
+  std::vector<double> frac(vertices.size(), -1.0);
+  double remote = 0.0;
+  for (std::size_t h = 0; h < block.num_hops(); ++h) {
+    const HopEdges& hop = block.hop(h);
+    for (const LocalId dst : hop.dst_local) {
+      double& f = frac[dst];
+      if (f < 0.0) {
+        f = partition_.LocalAdjacencyFraction(node.node, vertices[dst]);
+      }
+      remote += 1.0 - f;
+    }
+  }
+  return remote;
+}
+
+void DistEngine::PumpSamplers(NodeState* node) {
+  for (std::size_t s = 0; s < node->samplers.size(); ++s) {
+    SamplerExec& sampler = node->samplers[s];
+    if (sampler.busy || sampler.epoch_done) {
+      continue;
+    }
+    if (node->next_batch >= node->epoch_batches.size()) {
+      sampler.epoch_done = true;
+      PumpTrainers(node);
+      continue;
+    }
+    const std::size_t batch = node->next_batch++;
+    const std::size_t epoch = node->report.epochs.size();
+    Rng rng = PipelineBatchRng(node->seed, epoch, batch);
+    SampleSpec spec;
+    spec.cache = &node->trainer_cache;
+    spec.cost = &cost_;
+    spec.kernel = SampleKernel::kGpu;
+    spec.algorithm = workload_.sampling;
+    spec.price_queue_copy = true;
+    SampleOutcome out =
+        RunSampleStage(sampler.sampler.get(), node->epoch_batches[batch], &rng, spec);
+    node->epoch_report.sampled_edges += out.sampled_edges;
+    const double remote_adj = TallyRemoteAdjacency(*node, out.block);
+    node->epoch_remote_adj += remote_adj;
+    GNNLAB_OBS_ONLY({
+      if (node->m_remote_adj != nullptr && remote_adj > 0.0) {
+        node->m_remote_adj->Increment(static_cast<std::uint64_t>(remote_adj + 0.5));
+      }
+    });
+    const SimTime g = out.sample_time;
+    const SimTime m = out.mark_time;
+    const SimTime c = out.copy_time;
+    sampler.busy = true;
+
+    auto task = std::make_shared<TrainTask>();
+    task->block = std::move(out.block);
+    task->epoch = epoch;
+    task->batch = batch;
+    sim_.Schedule(g + m + c, [this, node, s, g, m, c, task] {
+      SamplerExec& done_sampler = node->samplers[s];
+      done_sampler.busy = false;
+      const SimTime now = sim_.now();
+      SampleStamps stamps;
+      stamps.sample_begin = now - (g + m + c);
+      stamps.sample_end = stamps.mark_begin = now - (m + c);
+      stamps.mark_end = stamps.copy_begin = now - c;
+      stamps.copy_end = now;
+      RecordSampleCompletion(node->obs, &node->stage_latency, &done_sampler.stage,
+                             "n" + std::to_string(node->node) + "/gpu" +
+                                 std::to_string(done_sampler.gpu) + "/sampler",
+                             MakeFlowId(task->epoch, task->batch), task->batch, stamps,
+                             /*record_mark=*/m > 0.0);
+      task->enqueue_time = now;
+      node->queue.Push(std::move(*task));
+      PumpTrainers(node);
+      PumpSamplers(node);
+    });
+  }
+}
+
+void DistEngine::PumpTrainers(NodeState* node) {
+  for (std::size_t t = 0; t < node->trainers.size(); ++t) {
+    TrainerExec& trainer = node->trainers[t];
+    if (trainer.extract_busy || trainer.trains_in_flight > 1 || node->queue.empty()) {
+      continue;
+    }
+    if (trainer.standby) {
+      if (!node->samplers[trainer.owner_sampler].epoch_done) {
+        continue;
+      }
+      const StandbyFetchEval eval = EvaluateStandbyFetch(
+          sim_.now(), node->queue.size(),
+          node->switch_controller->ShouldFetch(node->queue.size()),
+          node->switch_controller->Profit(node->queue.size()), options_.health,
+          /*force_health_eval=*/true);
+      if (!eval.fetch) {
+        node->switch_log.LogSkip(t, eval.decision);
+        continue;
+      }
+      node->switch_log.LogFetch(t, eval.decision);
+    }
+    std::optional<TrainTask> task = node->queue.TryPop();
+    CHECK(task.has_value());
+    StartBatchOnTrainer(node, &trainer, std::move(*task));
+  }
+}
+
+void DistEngine::StartBatchOnTrainer(NodeState* node, TrainerExec* trainer, TrainTask task) {
+  GNNLAB_OBS_ONLY({
+    if (sim_.now() > task.enqueue_time) {
+      RecordQueueWait(node->obs, MakeFlowId(task.epoch, task.batch), task.enqueue_time,
+                      sim_.now());
+      node->queue.ObserveWait(sim_.now() - task.enqueue_time);
+    }
+  });
+  if (trainer->standby) {
+    RemarkBlockForCache(node->standby_cache, &task.block);
+  }
+  ExtractSpec spec;
+  spec.cost = &cost_;
+  spec.gpu_gather = true;
+  spec.vertex_owner = partition_.owners();
+  spec.node = node->node;
+  const ExtractOutcome extract = RunExtractStage(node->extractor, task.block, nullptr, spec);
+  SimTime extract_done = ScheduleExtractOnChannel(
+      &node->host_channel, sim_.now(), extract, cost_.params().host_channel_parallelism);
+  // Remote rows ride the NIC, batched per owning node, overlapping the
+  // local gather: the Trainer waits for the slowest of the two paths.
+  for (std::size_t o = 0; o < extract.remote_by_owner.size(); ++o) {
+    const ByteCount bytes = extract.remote_by_owner[o];
+    if (bytes == 0 || static_cast<int>(o) == node->node) {
+      continue;
+    }
+    extract_done = std::max(
+        extract_done, comm_.Transfer(static_cast<int>(o), node->node, bytes,
+                                     TrafficClass::kFeatureFetch, sim_.now()));
+  }
+  node->epoch_remote_fetches += extract.remote_fetches;
+  node->epoch_bytes_remote += extract.bytes_remote;
+  GNNLAB_OBS_ONLY({
+    if (node->m_remote_bytes != nullptr) {
+      node->m_remote_bytes->Increment(extract.bytes_remote);
+      node->m_remote_fetches->Increment(extract.remote_fetches);
+    }
+  });
+
+  trainer->extract_busy = true;
+  ++trainer->trains_in_flight;
+  auto shared_task = std::make_shared<TrainTask>(std::move(task));
+  sim_.ScheduleAt(extract_done, [this, node, trainer, shared_task, extract] {
+    const SimTime extract_work = extract.Work();
+    trainer->extract.Add(extract.stats);
+    node->run_cache_hits += extract.stats.cache_hits;
+    node->run_cache_misses += extract.stats.host_misses;
+    node->run_bytes_host += extract.stats.bytes_from_host;
+    node->run_bytes_cache += extract.stats.bytes_from_cache;
+    RecordExtractCompletion(node->obs, &node->stage_latency, &trainer->stage,
+                            "n" + std::to_string(node->node) + "/gpu" +
+                                std::to_string(trainer->gpu) +
+                                (trainer->standby ? "/standby" : "/trainer"),
+                            MakeFlowId(shared_task->epoch, shared_task->batch),
+                            shared_task->batch, sim_.now() - extract_work, sim_.now(),
+                            std::min(extract_work, extract.host_time));
+
+    const SimTime train_seconds =
+        PriceTrainStage(workload_, dataset_, shared_task->block, cost_);
+    const SimTime train_start = std::max(sim_.now(), trainer->train_free);
+    trainer->train_free = train_start + train_seconds;
+    sim_.ScheduleAt(trainer->train_free, [this, node, trainer, shared_task, train_seconds] {
+      FinishTrain(node, trainer, *shared_task, train_seconds);
+    });
+
+    trainer->extract_busy = false;
+    PumpTrainers(node);
+  });
+}
+
+void DistEngine::FinishTrain(NodeState* node, TrainerExec* trainer, const TrainTask& task,
+                             SimTime train_seconds) {
+  --trainer->trains_in_flight;
+  RecordTrainCompletion(node->obs, &node->stage_latency, &trainer->stage,
+                        "n" + std::to_string(node->node) + "/gpu" +
+                            std::to_string(trainer->gpu) +
+                            (trainer->standby ? "/standby" : "/trainer"),
+                        MakeFlowId(task.epoch, task.batch), task.batch,
+                        sim_.now() - train_seconds, sim_.now());
+  TelemetrySample sample;
+  sample.ts = sim_.now();
+  sample.queue_depth = node->queue.size();
+  sample.queue_bytes = node->queue.stored_bytes();
+  sample.cache_hits = node->run_cache_hits;
+  sample.cache_misses = node->run_cache_misses;
+  sample.bytes_from_host = node->run_bytes_host;
+  sample.bytes_from_cache = node->run_bytes_cache;
+  node->snapshots.push_back(sample);
+  ++trainer->batches_done;
+  ++node->trained_batches;
+
+  const SimTime batch_time =
+      std::max(train_seconds,
+               trainer->stage.extract / static_cast<double>(trainer->batches_done));
+  if (trainer->standby) {
+    node->switch_controller->ObserveStandbyBatch(batch_time);
+  } else {
+    node->switch_controller->ObserveTrainerBatch(batch_time);
+  }
+
+  AccountGradients(node);
+  PumpTrainers(node);
+}
+
+void DistEngine::PumpTimeShareGpu(NodeState* node, std::size_t g) {
+  NodeState::TsGpu& gpu = node->ts_gpus[g];
+  if (gpu.busy || node->next_batch >= node->epoch_batches.size()) {
+    return;
+  }
+  const std::size_t batch = node->next_batch++;
+  const std::size_t epoch = node->report.epochs.size();
+  Rng rng = PipelineBatchRng(node->seed, epoch, batch);
+
+  SampleSpec sample_spec;
+  sample_spec.cache = &node->trainer_cache;
+  sample_spec.cost = &cost_;
+  sample_spec.kernel = SampleKernel::kGpu;
+  sample_spec.algorithm = workload_.sampling;
+  const SampleOutcome sample =
+      RunSampleStage(gpu.sampler.get(), node->epoch_batches[batch], &rng, sample_spec);
+  node->epoch_report.sampled_edges += sample.sampled_edges;
+  const double remote_adj = TallyRemoteAdjacency(*node, sample.block);
+  node->epoch_remote_adj += remote_adj;
+  GNNLAB_OBS_ONLY({
+    if (node->m_remote_adj != nullptr && remote_adj > 0.0) {
+      node->m_remote_adj->Increment(static_cast<std::uint64_t>(remote_adj + 0.5));
+    }
+  });
+
+  ExtractSpec extract_spec;
+  extract_spec.cost = &cost_;
+  extract_spec.gpu_gather = true;
+  extract_spec.vertex_owner = partition_.owners();
+  extract_spec.node = node->node;
+  const ExtractOutcome extract =
+      RunExtractStage(node->extractor, sample.block, nullptr, extract_spec);
+  node->epoch_remote_fetches += extract.remote_fetches;
+  node->epoch_bytes_remote += extract.bytes_remote;
+  GNNLAB_OBS_ONLY({
+    if (node->m_remote_bytes != nullptr) {
+      node->m_remote_bytes->Increment(extract.bytes_remote);
+      node->m_remote_fetches->Increment(extract.remote_fetches);
+    }
+  });
+
+  const SimTime train_time = PriceTrainStage(workload_, dataset_, sample.block, cost_);
+  const SimTime sample_time = sample.sample_time;
+  const SimTime mark_time = sample.mark_time;
+  gpu.busy = true;
+  sim_.ScheduleAt(sim_.now() + sample_time + mark_time,
+                  [this, node, g, sample_time, mark_time, extract, train_time] {
+    NodeState::TsGpu& state = node->ts_gpus[g];
+    state.stage.sample_graph += sample_time;
+    state.stage.sample_mark += mark_time;
+    SimTime extract_done = ScheduleExtractOnChannel(
+        &node->host_channel, sim_.now(), extract, cost_.params().host_channel_parallelism);
+    for (std::size_t o = 0; o < extract.remote_by_owner.size(); ++o) {
+      const ByteCount bytes = extract.remote_by_owner[o];
+      if (bytes == 0 || static_cast<int>(o) == node->node) {
+        continue;
+      }
+      extract_done = std::max(
+          extract_done, comm_.Transfer(static_cast<int>(o), node->node, bytes,
+                                       TrafficClass::kFeatureFetch, sim_.now()));
+    }
+    sim_.ScheduleAt(extract_done, [this, node, g, extract, train_time] {
+      NodeState::TsGpu& inner = node->ts_gpus[g];
+      inner.stage.extract += extract.Work();
+      inner.extract.Add(extract.stats);
+      node->run_cache_hits += extract.stats.cache_hits;
+      node->run_cache_misses += extract.stats.host_misses;
+      node->run_bytes_host += extract.stats.bytes_from_host;
+      node->run_bytes_cache += extract.stats.bytes_from_cache;
+      sim_.Schedule(train_time, [this, node, g, train_time] {
+        NodeState::TsGpu& done = node->ts_gpus[g];
+        done.stage.train += train_time;
+        done.busy = false;
+        ++node->trained_batches;
+        TelemetrySample snap;
+        snap.ts = sim_.now();
+        snap.cache_hits = node->run_cache_hits;
+        snap.cache_misses = node->run_cache_misses;
+        snap.bytes_from_host = node->run_bytes_host;
+        snap.bytes_from_cache = node->run_bytes_cache;
+        node->snapshots.push_back(snap);
+        AccountGradients(node);
+        PumpTimeShareGpu(node, g);
+      });
+    });
+  });
+}
+
+void DistEngine::AccountGradients(NodeState* node) {
+  ++node->grad_accum;
+  const bool last = node->trained_batches == node->epoch_batches.size();
+  if (node->grad_accum >= node->sync_group || last) {
+    // A full synchronous group (or the epoch's final partial group) is
+    // ready for cross-node synchronization.
+    node->ready_times.push_back(sim_.now());
+    ++node->epoch_gradient_updates;
+    node->grad_accum = 0;
+  }
+  if (last) {
+    node->grads_done = true;
+    node->done_time = sim_.now();
+  }
+  TryCompleteAllReduces();
+}
+
+void DistEngine::TryCompleteAllReduces() {
+  const int n = static_cast<int>(nodes_.size());
+  for (;;) {
+    const std::size_t r = rounds_started_;
+    bool any_ready = false;
+    bool all_arrived = true;
+    SimTime start = 0.0;
+    for (const auto& node : nodes_) {
+      if (node->ready_times.size() > r) {
+        any_ready = true;
+        start = std::max(start, node->ready_times[r]);
+      } else if (node->grads_done) {
+        // This node produced fewer groups: it participates with whatever
+        // gradients it last held, ready since it finished the epoch.
+        start = std::max(start, node->done_time);
+      } else {
+        all_arrived = false;
+      }
+    }
+    if (!any_ready || !all_arrived) {
+      return;
+    }
+    // Rounds serialize on the NICs: round r+1 cannot enter the wire before
+    // round r finishes, so summed round durations stay within the epoch
+    // makespan (AllReduceShare <= 1).
+    start = std::max(start, allreduce_busy_until_);
+    const SimTime duration =
+        AllReduceTime(gradient_bytes_, n, options_.allreduce, comm_.params());
+    const SimTime completion = start + duration;
+    allreduce_busy_until_ = completion;
+    ++rounds_started_;
+    epoch_allreduce_seconds_ += duration;
+    ++comm_report_.allreduce_rounds;
+    comm_report_.allreduce_seconds += duration;
+    comm_report_.allreduce_wire_bytes += AllReduceWireBytes(gradient_bytes_, n);
+    GNNLAB_OBS_ONLY({
+      if (m_allreduce_rounds_ != nullptr) {
+        m_allreduce_rounds_->Increment();
+        m_allreduce_wire_->Increment(AllReduceWireBytes(gradient_bytes_, n));
+        m_allreduce_seconds_->Set(comm_report_.allreduce_seconds);
+      }
+    });
+    for (const auto& node : nodes_) {
+      const SimTime ready =
+          node->ready_times.size() > r ? node->ready_times[r] : node->done_time;
+      node->epoch_allreduce_wait += std::max(0.0, completion - ready);
+    }
+    // An empty event at the completion timestamp: the epoch makespan must
+    // cover the closing all-reduce even though no pipeline work follows it.
+    sim_.ScheduleAt(std::max(completion, sim_.now()), [] {});
+  }
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,226 @@
+// Simulated multi-node GNN training: N machines, each running the factored
+// engine's per-node pipeline (Sample -> global queue -> Extract -> Train
+// with dynamic switching) over its shard of the training set, under ONE
+// discrete-event clock. The graph is split by dist/graph_partitioner.h;
+// features are owned by the balanced contiguous vertex split, so a cache
+// miss whose row lives on another machine becomes a batched remote fetch
+// over the modeled NIC (dist/comm_manager.h) instead of the local host
+// channel. Gradients synchronize with a ring or tree all-reduce whose
+// closed-form step costs gate epoch completion.
+//
+// The per-node stage bodies are the same pipeline/stages.h functions every
+// single-machine driver calls, and node 0 of an N=1 run derives the same
+// RNG streams as the single-machine Engine — so an N=1 DistEngine run
+// matches Engine::Run() bit for bit (tests/dist_test.cc pins this), and
+// counters at any N are deterministic for a fixed seed.
+//
+// Modeling choices (see DESIGN.md "Distributed simulation"):
+//   - Sampling runs over the full graph on every node; the adjacency a
+//     node's shard does NOT hold is tallied in remote_adj_edges rather than
+//     priced, quantifying what a topology-remote design would pay while
+//     keeping sampled blocks identical across N.
+//   - Remote feature fetches are batched per minibatch and per owner, and
+//     overlap the local extract: the Trainer proceeds when BOTH the local
+//     host-channel gather and the slowest remote fetch complete.
+//   - Time sharing (time_sharing=true) swaps each node's factored pipeline
+//     for the sequential S->E->T baseline, same partition / remote-fetch /
+//     all-reduce machinery — the paper's factored-vs-time-sharing question
+//     re-asked at cluster scale (bench/dist_scaling).
+#ifndef GNNLAB_DIST_DIST_ENGINE_H_
+#define GNNLAB_DIST_DIST_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "cache/feature_cache.h"
+#include "common/units.h"
+#include "core/executors.h"
+#include "core/global_queue.h"
+#include "core/stats.h"
+#include "dist/comm_manager.h"
+#include "dist/graph_partitioner.h"
+#include "feature/feature_store.h"
+#include "graph/dataset.h"
+#include "core/workload.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+#include "sim/sim_engine.h"
+
+namespace gnnlab {
+
+class HealthMonitor;
+
+struct DistOptions {
+  int num_nodes = 1;
+  PartitionStrategy strategy = PartitionStrategy::kEdgeCut;
+  double balance_tolerance = 0.05;
+  CommParams comm;
+  AllReduceAlgo allreduce = AllReduceAlgo::kRing;
+  // Run each node as the sequential time-sharing baseline instead of the
+  // factored pipeline.
+  bool time_sharing = false;
+
+  // Per-node resources and engine knobs, mirroring EngineOptions.
+  int gpus_per_node = 8;
+  ByteCount gpu_memory = 64 * kMiB;
+  int num_samplers = 0;  // 0 = flexible-scheduling formula, per node.
+  bool dynamic_switching = true;
+  CachePolicyKind policy = CachePolicyKind::kPreSC1;
+  double cache_ratio_override = -1.0;
+  std::size_t epochs = 3;
+  std::uint64_t seed = 1;
+  CostModelParams cost;
+  std::size_t sync_group_override = 0;
+  // Bytes of gradients one all-reduce moves. 0 = derive from the workload's
+  // model shape: (in_dim*hidden + (layers-1)*hidden^2) * sizeof(float).
+  ByteCount gradient_bytes_override = 0;
+  HealthMonitor* health = nullptr;
+  MetricRegistry* metrics = nullptr;
+};
+
+// Per-epoch, per-node report: the single-machine EpochReport plus the
+// distributed traffic this node generated.
+struct DistNodeEpochReport {
+  EpochReport epoch;
+  std::uint64_t remote_fetches = 0;  // Rows fetched from other nodes.
+  ByteCount bytes_remote = 0;
+  // Sampled edges whose adjacency this node's shard does not hold
+  // (fractional under vertex-cut). Counted, not priced — see file header.
+  double remote_adj_edges = 0.0;
+  // Time this node's gradient groups spent waiting inside all-reduce
+  // rounds (completion - local readiness, summed over rounds).
+  SimTime allreduce_wait = 0.0;
+};
+
+struct DistNodeReport {
+  int node = 0;
+  int num_samplers = 0;
+  int num_trainers = 0;
+  double cache_ratio = 0.0;
+  double standby_cache_ratio = 0.0;
+  double k_ratio = 0.0;
+  std::size_t train_vertices = 0;  // Owned training-set shard size.
+  ByteCount shard_topology_bytes = 0;
+  PreprocessReport preprocess;
+  QueueReport queue;
+  std::vector<DistNodeEpochReport> epochs;
+  PipelineAttribution attribution;  // This node's flows, all epochs.
+  std::vector<TelemetrySample> snapshots;
+};
+
+struct DistCommReport {
+  std::uint64_t feature_messages = 0;
+  ByteCount feature_bytes = 0;
+  std::size_t allreduce_rounds = 0;
+  double allreduce_seconds = 0.0;  // Sum of modeled round durations.
+  ByteCount allreduce_wire_bytes = 0;
+};
+
+struct DistRunReport {
+  bool oom = false;
+  std::string oom_detail;
+
+  int num_nodes = 1;
+  PartitionStrategy strategy = PartitionStrategy::kEdgeCut;
+  AllReduceAlgo allreduce = AllReduceAlgo::kRing;
+  bool time_sharing = false;
+  ByteCount gradient_bytes = 0;
+
+  // Cluster epoch makespans (slowest node + the closing all-reduce) and the
+  // per-epoch sums of modeled all-reduce round durations.
+  std::vector<SimTime> epoch_times;
+  std::vector<SimTime> epoch_allreduce;
+
+  std::vector<DistNodeReport> nodes;
+  // Cross-node attribution: every node's flow DAGs folded together — where
+  // cluster minibatch latency went, which node's bottleneck dominates.
+  PipelineAttribution attribution;
+  // All nodes' standby decisions, each stamped with its node id.
+  std::vector<SwitchDecision> switch_decisions;
+  DistCommReport comm;
+
+  double AvgEpochTime(std::size_t skip_first = 0) const;
+  // Fraction of total epoch time spent in all-reduce rounds.
+  double AllReduceShare() const;
+  ByteCount TotalRemoteBytes() const;
+};
+
+class DistEngine {
+ public:
+  // The dataset must outlive the engine (the partition references its
+  // graph). Simulation-only: real training (EngineOptions::real) is not
+  // supported across nodes.
+  DistEngine(const Dataset& dataset, const Workload& workload, const DistOptions& options);
+  ~DistEngine();
+
+  DistEngine(const DistEngine&) = delete;
+  DistEngine& operator=(const DistEngine&) = delete;
+
+  DistRunReport Run();
+
+  const GraphPartition& partition() const { return partition_; }
+  const CommManager& comm() const { return comm_; }
+
+ private:
+  struct NodeState;
+
+  void ProfileSampling(NodeState* node);
+  void BuildCaches(NodeState* node);
+  void DecideExecutors(NodeState* node);
+  bool PlanMemory(NodeState* node, DistRunReport* report);
+  void ResetEpoch(NodeState* node, std::size_t epoch);
+  void FinishEpoch(NodeState* node);
+
+  // Factored per-node event-loop steps (mirrors core/engine.cc).
+  void PumpSamplers(NodeState* node);
+  void PumpTrainers(NodeState* node);
+  void StartBatchOnTrainer(NodeState* node, TrainerExec* trainer, TrainTask task);
+  void FinishTrain(NodeState* node, TrainerExec* trainer, const TrainTask& task,
+                   SimTime train_seconds);
+  // Sequential per-GPU step for time_sharing mode.
+  void PumpTimeShareGpu(NodeState* node, std::size_t g);
+
+  // Gradient-group bookkeeping shared by both modes: called once per
+  // trained batch; records group readiness and epoch completion, then
+  // tries to close all-reduce rounds.
+  void AccountGradients(NodeState* node);
+  // Starts every all-reduce round whose participants are all ready (or
+  // done); schedules the completion on the simulated clock.
+  void TryCompleteAllReduces();
+
+  ExtractStats EstimateExtract(const NodeState& node, const FeatureCache& cache) const;
+  double TallyRemoteAdjacency(const NodeState& node, const SampleBlock& block) const;
+
+  const Dataset& dataset_;
+  Workload workload_;
+  DistOptions options_;
+
+  std::optional<EdgeWeights> weights_;
+  CostModel cost_;
+  GraphPartition partition_;
+  CommManager comm_;
+  SimEngine sim_;
+  FeatureStore virtual_store_;
+  ByteCount gradient_bytes_ = 0;
+
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+
+  // All-reduce barrier state (per epoch). Rounds serialize on the NICs:
+  // busy_until_ is when the in-flight round frees the wire.
+  std::size_t rounds_started_ = 0;
+  SimTime allreduce_busy_until_ = 0.0;
+  SimTime epoch_allreduce_seconds_ = 0.0;
+  DistCommReport comm_report_;
+
+  // Cluster-wide dist metrics (resolved once per Run).
+  Counter* m_allreduce_rounds_ = nullptr;
+  Counter* m_allreduce_wire_ = nullptr;
+  Gauge* m_allreduce_seconds_ = nullptr;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_DIST_DIST_ENGINE_H_

@@ -1,0 +1,238 @@
+#include "dist/graph_partitioner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+const char* PartitionStrategyName(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kEdgeCut:
+      return "edge_cut";
+    case PartitionStrategy::kVertexCut:
+      return "vertex_cut";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Owned vertex range of node n under the balanced contiguous split.
+VertexId OwnBegin(VertexId num_vertices, int num_nodes, int node) {
+  return static_cast<VertexId>((static_cast<std::uint64_t>(num_vertices) * node) /
+                               num_nodes);
+}
+
+EdgeIndex EdgeBegin(EdgeIndex num_edges, int num_nodes, int node) {
+  return (num_edges * static_cast<EdgeIndex>(node)) / static_cast<EdgeIndex>(num_nodes);
+}
+
+PartitionShard BuildEdgeCutShard(const CsrGraph& graph, VertexId own_begin,
+                                 VertexId own_end) {
+  PartitionShard shard;
+  shard.owned.reserve(own_end - own_begin);
+  for (VertexId v = own_begin; v < own_end; ++v) {
+    shard.owned.push_back(v);
+  }
+
+  // Halo: neighbors of owned vertices that live elsewhere, ascending and
+  // deduplicated. A membership bitmap keeps this linear in shard edges.
+  std::vector<std::uint8_t> in_shard(graph.num_vertices(), 0);
+  for (VertexId v = own_begin; v < own_end; ++v) {
+    in_shard[v] = 1;
+  }
+  std::vector<VertexId> halo;
+  for (VertexId v = own_begin; v < own_end; ++v) {
+    for (const VertexId w : graph.Neighbors(v)) {
+      if (!in_shard[w]) {
+        in_shard[w] = 1;
+        halo.push_back(w);
+      }
+    }
+  }
+  std::sort(halo.begin(), halo.end());
+
+  shard.global_ids = shard.owned;
+  shard.global_ids.insert(shard.global_ids.end(), halo.begin(), halo.end());
+
+  // Local-id lookup: owned vertices are an offset subtraction; halo ids
+  // binary-search the sorted tail.
+  const auto local_of = [&](VertexId w) -> VertexId {
+    if (w >= own_begin && w < own_end) {
+      return w - own_begin;
+    }
+    const auto it = std::lower_bound(halo.begin(), halo.end(), w);
+    return static_cast<VertexId>((own_end - own_begin) + (it - halo.begin()));
+  };
+
+  std::vector<EdgeIndex> indptr;
+  indptr.reserve(shard.global_ids.size() + 1);
+  std::vector<VertexId> indices;
+  indptr.push_back(0);
+  for (VertexId v = own_begin; v < own_end; ++v) {
+    for (const VertexId w : graph.Neighbors(v)) {
+      indices.push_back(local_of(w));
+    }
+    indptr.push_back(indices.size());
+  }
+  // Halo vertices carry no adjacency here — their edges live on their owner.
+  for (std::size_t h = 0; h < halo.size(); ++h) {
+    indptr.push_back(indices.size());
+  }
+  shard.local = CsrGraph(std::move(indptr), std::move(indices));
+  return shard;
+}
+
+PartitionShard BuildVertexCutShard(const CsrGraph& graph, VertexId own_begin,
+                                   VertexId own_end, EdgeIndex edge_begin,
+                                   EdgeIndex edge_end) {
+  PartitionShard shard;
+  shard.owned.reserve(own_end - own_begin);
+  for (VertexId v = own_begin; v < own_end; ++v) {
+    shard.owned.push_back(v);
+  }
+
+  const auto indptr_full = graph.indptr();
+  const auto indices_full = graph.indices();
+
+  // Extra shard vertices: endpoints of the in-range edges that are not
+  // already owned (both the source vertices whose adjacency intersects the
+  // range and the in-range neighbor targets).
+  std::vector<std::uint8_t> in_shard(graph.num_vertices(), 0);
+  for (VertexId v = own_begin; v < own_end; ++v) {
+    in_shard[v] = 1;
+  }
+  std::vector<VertexId> extra;
+  const auto note = [&](VertexId w) {
+    if (!in_shard[w]) {
+      in_shard[w] = 1;
+      extra.push_back(w);
+    }
+  };
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const EdgeIndex lo = std::max(indptr_full[v], edge_begin);
+    const EdgeIndex hi = std::min(indptr_full[v + 1], edge_end);
+    if (lo >= hi) {
+      continue;
+    }
+    note(v);
+    for (EdgeIndex e = lo; e < hi; ++e) {
+      note(indices_full[e]);
+    }
+  }
+  std::sort(extra.begin(), extra.end());
+
+  shard.global_ids = shard.owned;
+  shard.global_ids.insert(shard.global_ids.end(), extra.begin(), extra.end());
+
+  const auto local_of = [&](VertexId w) -> VertexId {
+    if (w >= own_begin && w < own_end) {
+      return w - own_begin;
+    }
+    const auto it = std::lower_bound(extra.begin(), extra.end(), w);
+    return static_cast<VertexId>((own_end - own_begin) + (it - extra.begin()));
+  };
+
+  std::vector<EdgeIndex> indptr;
+  indptr.reserve(shard.global_ids.size() + 1);
+  std::vector<VertexId> indices;
+  indptr.push_back(0);
+  for (const VertexId v : shard.global_ids) {
+    const EdgeIndex lo = std::max(indptr_full[v], edge_begin);
+    const EdgeIndex hi = std::min(indptr_full[v + 1], edge_end);
+    for (EdgeIndex e = lo; e < hi; ++e) {
+      indices.push_back(local_of(indices_full[e]));
+    }
+    indptr.push_back(indices.size());
+  }
+  shard.local = CsrGraph(std::move(indptr), std::move(indices));
+  return shard;
+}
+
+}  // namespace
+
+double GraphPartition::LocalAdjacencyFraction(int node, VertexId v) const {
+  const EdgeIndex degree = graph_->out_degree(v);
+  if (degree == 0) {
+    return 1.0;  // Nothing to fetch anywhere.
+  }
+  if (strategy_ == PartitionStrategy::kEdgeCut) {
+    return owner_of_[v] == node ? 1.0 : 0.0;
+  }
+  const EdgeIndex lo = std::max(graph_->EdgeOffset(v), edge_begin_[node]);
+  const EdgeIndex hi = std::min(graph_->EdgeOffset(v) + degree, edge_begin_[node + 1]);
+  if (lo >= hi) {
+    return 0.0;
+  }
+  return static_cast<double>(hi - lo) / static_cast<double>(degree);
+}
+
+double GraphPartition::OwnedImbalance() const {
+  const double mean = static_cast<double>(graph_->num_vertices()) /
+                      static_cast<double>(shards_.size());
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  std::size_t max_owned = 0;
+  for (const PartitionShard& shard : shards_) {
+    max_owned = std::max(max_owned, shard.owned.size());
+  }
+  return static_cast<double>(max_owned) / mean - 1.0;
+}
+
+GraphPartition PartitionGraph(const CsrGraph& graph, const DistPartitionOptions& options) {
+  CHECK_GE(options.num_nodes, 1);
+  const int n = options.num_nodes;
+
+  GraphPartition partition;
+  partition.graph_ = &graph;
+  partition.strategy_ = options.strategy;
+  partition.owner_of_.assign(graph.num_vertices(), 0);
+  partition.own_begin_.resize(n);
+  partition.edge_begin_.resize(n + 1);
+
+  for (int node = 0; node < n; ++node) {
+    partition.own_begin_[node] = OwnBegin(graph.num_vertices(), n, node);
+    partition.edge_begin_[node] = EdgeBegin(graph.num_edges(), n, node);
+  }
+  partition.edge_begin_[n] = graph.num_edges();
+  for (int node = 0; node < n; ++node) {
+    const VertexId begin = partition.own_begin_[node];
+    const VertexId end =
+        node + 1 < n ? partition.own_begin_[node + 1] : graph.num_vertices();
+    for (VertexId v = begin; v < end; ++v) {
+      partition.owner_of_[v] = node;
+    }
+  }
+
+  partition.shards_.reserve(n);
+  for (int node = 0; node < n; ++node) {
+    const VertexId begin = partition.own_begin_[node];
+    const VertexId end =
+        node + 1 < n ? partition.own_begin_[node + 1] : graph.num_vertices();
+    if (options.strategy == PartitionStrategy::kEdgeCut) {
+      partition.shards_.push_back(BuildEdgeCutShard(graph, begin, end));
+    } else {
+      partition.shards_.push_back(BuildVertexCutShard(
+          graph, begin, end, partition.edge_begin_[node], partition.edge_begin_[node + 1]));
+    }
+  }
+
+  CHECK_LE(partition.OwnedImbalance(), options.balance_tolerance)
+      << "partition imbalance exceeds the configured tolerance";
+  return partition;
+}
+
+std::vector<VertexId> OwnedTrainVertices(const GraphPartition& partition,
+                                         const TrainingSet& train_set, int node) {
+  std::vector<VertexId> owned;
+  for (const VertexId v : train_set.vertices()) {
+    if (partition.Owner(v) == node) {
+      owned.push_back(v);
+    }
+  }
+  return owned;
+}
+
+}  // namespace gnnlab

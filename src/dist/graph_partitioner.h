@@ -1,0 +1,118 @@
+// Graph partitioning for simulated multi-node training: splits the CSR
+// topology across N machines and fixes a global -> (owner, local-id) map.
+//
+// Feature ownership is always the balanced contiguous vertex split — node n
+// owns vertices [floor(n*V/N), floor((n+1)*V/N)) — so the Extract stage can
+// classify a cache miss as a local or remote fetch with one array lookup.
+// The two strategies differ in what topology a shard stores:
+//
+//   Edge-cut:   shard n stores the FULL adjacency of its owned vertices
+//               (edge u->w lives on Owner(u)); neighbors outside the owned
+//               range appear as halo vertices with empty adjacency.
+//   Vertex-cut: the global edge array is split into N contiguous
+//               edge-balanced ranges; shard n stores the in-range portion
+//               of every vertex's adjacency, so high-degree vertices are
+//               replicated across shards (the classic vertex-cut trade:
+//               balanced edges, replicated cut vertices).
+//
+// Invariants (enforced here, verified by tests/dist_test.cc):
+//   - every global edge appears in exactly one shard,
+//   - LocalId round-trips: shard(Owner(v)).global_ids[LocalId(v)] == v,
+//   - owned vertex counts balance within DistPartitionOptions tolerance,
+//   - N=1 shards are bit-identical to the unpartitioned CSR.
+#ifndef GNNLAB_DIST_GRAPH_PARTITIONER_H_
+#define GNNLAB_DIST_GRAPH_PARTITIONER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/csr_graph.h"
+#include "graph/training_set.h"
+
+namespace gnnlab {
+
+enum class PartitionStrategy {
+  kEdgeCut,
+  kVertexCut,
+};
+
+const char* PartitionStrategyName(PartitionStrategy strategy);
+
+struct DistPartitionOptions {
+  int num_nodes = 1;
+  PartitionStrategy strategy = PartitionStrategy::kEdgeCut;
+  // Maximum relative owned-vertex imbalance, max_n(owned_n) / (V/N) - 1.
+  // The contiguous split keeps shard sizes within one vertex of each other,
+  // so this is an invariant the partitioner guarantees (and aborts on if a
+  // future strategy breaks it), not a search knob.
+  double balance_tolerance = 0.05;
+};
+
+// One node's slice of the graph. `global_ids` maps local ids back to global
+// vertex ids: the owned vertices first (ascending), then any replicated /
+// halo vertices (ascending). `local` is the shard's CSR in local-id space.
+struct PartitionShard {
+  std::vector<VertexId> global_ids;
+  std::vector<VertexId> owned;  // Owned globals, ascending (prefix of global_ids).
+  CsrGraph local;
+};
+
+class GraphPartition {
+ public:
+  int num_nodes() const { return static_cast<int>(shards_.size()); }
+  PartitionStrategy strategy() const { return strategy_; }
+
+  // Feature owner of a global vertex.
+  int Owner(VertexId v) const { return owner_of_[v]; }
+  // Local id of `v` within its owner's shard (owned vertices are the
+  // ascending prefix, so this is an offset subtraction).
+  VertexId LocalId(VertexId v) const { return v - own_begin_[owner_of_[v]]; }
+
+  // Parallel owner array for the whole graph, consumed by ExtractSpec.
+  std::span<const std::int32_t> owners() const { return owner_of_; }
+
+  const PartitionShard& shard(int node) const { return shards_[node]; }
+
+  // Bytes of shard topology resident on node `node`'s Sampler GPUs.
+  ByteCount ShardTopologyBytes(int node) const {
+    return shards_[node].local.TopologyBytes();
+  }
+
+  // Fraction of `v`'s global adjacency stored in node `node`'s shard:
+  // 1 for the owner under edge-cut, the edge-range overlap under
+  // vertex-cut, 0 for a pure halo copy. Drives the remote-adjacency work
+  // counter in the DistEngine (sampling is priced locally; this quantifies
+  // what a topology-remote design would pay over the NIC).
+  double LocalAdjacencyFraction(int node, VertexId v) const;
+
+  // max_n(owned_n) / (V / N) - 1; 0 for an exactly balanced split.
+  double OwnedImbalance() const;
+
+ private:
+  friend GraphPartition PartitionGraph(const CsrGraph& graph,
+                                       const DistPartitionOptions& options);
+
+  const CsrGraph* graph_ = nullptr;  // Must outlive the partition.
+  PartitionStrategy strategy_ = PartitionStrategy::kEdgeCut;
+  std::vector<PartitionShard> shards_;
+  std::vector<std::int32_t> owner_of_;
+  std::vector<VertexId> own_begin_;       // Owned range start per node.
+  std::vector<EdgeIndex> edge_begin_;     // Vertex-cut edge-range start per node.
+};
+
+// Splits `graph` across options.num_nodes shards. The graph must outlive
+// the returned partition (shards reference it for adjacency-locality
+// queries). Aborts if the owned-vertex imbalance exceeds the tolerance.
+GraphPartition PartitionGraph(const CsrGraph& graph, const DistPartitionOptions& options);
+
+// The training vertices owned by `node`, in the training set's original
+// order (data parallelism shards the epoch; order preservation keeps the
+// N=1 shard bit-identical to the unsharded training set).
+std::vector<VertexId> OwnedTrainVertices(const GraphPartition& partition,
+                                         const TrainingSet& train_set, int node);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_DIST_GRAPH_PARTITIONER_H_

@@ -46,7 +46,7 @@ void ExtractStats::Add(const ExtractStats& other) {
   }
 }
 
-void Extractor::BindMetrics(MetricRegistry* registry) {
+void Extractor::BindMetrics(MetricRegistry* registry, const std::string& prefix) {
   if (registry == nullptr) {
     m_cache_hits_ = nullptr;
     m_host_misses_ = nullptr;
@@ -55,11 +55,11 @@ void Extractor::BindMetrics(MetricRegistry* registry) {
     m_seconds_ = nullptr;
     return;
   }
-  m_cache_hits_ = registry->GetCounter(kMetricCacheHits);
-  m_host_misses_ = registry->GetCounter(kMetricCacheMisses);
-  m_bytes_host_ = registry->GetCounter(kMetricBytesFromHost);
-  m_bytes_cache_ = registry->GetCounter(kMetricBytesFromCache);
-  m_seconds_ = registry->GetHistogram("extract.seconds");
+  m_cache_hits_ = registry->GetCounter(prefix + kMetricCacheHits);
+  m_host_misses_ = registry->GetCounter(prefix + kMetricCacheMisses);
+  m_bytes_host_ = registry->GetCounter(prefix + kMetricBytesFromHost);
+  m_bytes_cache_ = registry->GetCounter(prefix + kMetricBytesFromCache);
+  m_seconds_ = registry->GetHistogram(prefix + "extract.seconds");
 }
 
 ExtractStats Extractor::ExtractRange(const SampleBlock& block, std::size_t begin,

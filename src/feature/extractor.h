@@ -15,6 +15,7 @@
 #ifndef GNNLAB_FEATURE_EXTRACTOR_H_
 #define GNNLAB_FEATURE_EXTRACTOR_H_
 
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -78,7 +79,9 @@ class Extractor {
   // wall-clock histogram. One registry lookup per metric here, then one
   // relaxed increment per Extract() call (NOT per row) — bench/micro_obs
   // pins the hot-path overhead under 5%. No-op when compiled out.
-  void BindMetrics(MetricRegistry* registry);
+  // `prefix` namespaces the metric names (per-node binding in the
+  // DistEngine).
+  void BindMetrics(MetricRegistry* registry, const std::string& prefix = "");
 
   const FeatureStore& store() const { return *store_; }
   ThreadPool* pool() const { return pool_; }

@@ -54,6 +54,28 @@ inline constexpr char kMetricServeBatchSeconds[] = "serve.batch_seconds";    // 
 inline constexpr char kMetricServeE2eSeconds[] = "serve.e2e_seconds";        // Histogram.
 inline constexpr char kMetricServeBatchSize[] = "serve.batch_size";          // Histogram.
 
+// Distributed-training metrics (src/dist). Per-node metrics are registered
+// under DistNodeMetricPrefix(node) — e.g. "dist.n0.queue.depth",
+// "dist.n2.extract.cache_hits" — by passing the prefix to the subsystems'
+// BindMetrics; the cluster-wide all-reduce metrics are unprefixed. In
+// Prometheus exposition these render with dots folded to underscores
+// (gnnlab_dist_n0_queue_depth, gnnlab_dist_allreduce_rounds).
+inline constexpr char kMetricDistNodes[] = "dist.nodes";  // Gauge.
+// Suffixes appended to DistNodeMetricPrefix(node):
+inline constexpr char kMetricDistRemoteBytes[] = "remote_bytes";      // Counter.
+inline constexpr char kMetricDistRemoteFetches[] = "remote_fetches";  // Counter.
+// Whole sampled edges whose adjacency lives on another shard (rounded).
+inline constexpr char kMetricDistRemoteAdjWork[] = "remote_adj_work";  // Counter.
+inline constexpr char kMetricDistAllReduceRounds[] = "dist.allreduce.rounds";  // Counter.
+inline constexpr char kMetricDistAllReduceWireBytes[] =
+    "dist.allreduce.bytes_wire";  // Counter.
+// Cumulative modeled all-reduce seconds across the run.
+inline constexpr char kMetricDistAllReduceSeconds[] = "dist.allreduce.seconds";  // Gauge.
+
+inline std::string DistNodeMetricPrefix(int node) {
+  return "dist.n" + std::to_string(node) + ".";
+}
+
 // One point of the queue/cache/extract/pool timeline. ts is seconds since
 // the exporter started (threaded engine) or simulated seconds (sim engine).
 // Counter-backed fields are cumulative at sample time.

@@ -66,10 +66,35 @@ ExtractOutcome RunExtractStage(const Extractor& extractor, const SampleBlock& bl
                                std::vector<float>* out, const ExtractSpec& spec) {
   ExtractOutcome outcome;
   outcome.stats = extractor.Extract(block, out);
+  if (!spec.vertex_owner.empty() && outcome.stats.host_misses > 0) {
+    // Split the misses by feature owner: rows another node owns leave over
+    // the NIC, not the local PCIe host channel.
+    const ByteCount row_bytes =
+        outcome.stats.bytes_from_host / static_cast<ByteCount>(outcome.stats.host_misses);
+    const auto vertices = block.vertices();
+    const auto marks = block.cache_marks();
+    const bool marked = !marks.empty();
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      if (marked && marks[i] != 0) {
+        continue;  // Cache hit, no fetch.
+      }
+      const std::int32_t owner = spec.vertex_owner[vertices[i]];
+      if (owner == spec.node) {
+        continue;  // Local host miss.
+      }
+      ++outcome.remote_fetches;
+      outcome.bytes_remote += row_bytes;
+      if (outcome.remote_by_owner.size() <= static_cast<std::size_t>(owner)) {
+        outcome.remote_by_owner.resize(owner + 1, 0);
+      }
+      outcome.remote_by_owner[owner] += row_bytes;
+    }
+  }
   if (spec.cost != nullptr) {
     const CostModelParams& params = spec.cost->params();
     outcome.host_time =
-        static_cast<double>(outcome.stats.bytes_from_host) / params.pcie_gather_bandwidth;
+        static_cast<double>(outcome.stats.bytes_from_host - outcome.bytes_remote) /
+        params.pcie_gather_bandwidth;
     if (spec.gpu_gather) {
       outcome.local_time =
           params.gpu_gather_per_row * static_cast<double>(outcome.stats.distinct_vertices);

@@ -97,12 +97,26 @@ struct ExtractSpec {
   // gather (DGL/PyG), whose per-row random DRAM access burns shared host
   // bandwidth instead.
   bool gpu_gather = true;
+  // Distributed extraction (src/dist): global vertex -> feature-owning
+  // node, parallel to the graph's vertex ids. When non-empty, a cache miss
+  // whose vertex is owned by another node is classified as a remote fetch:
+  // it is counted per owner in the outcome and EXCLUDED from host_time (the
+  // DistEngine prices it on the modeled NIC instead). Empty (the default)
+  // keeps the single-machine outcome bit-identical.
+  std::span<const std::int32_t> vertex_owner = {};
+  // This executor's node id, matched against vertex_owner.
+  int node = 0;
 };
 
 struct ExtractOutcome {
   ExtractStats stats;
-  SimTime host_time = 0.0;   // Share served by the host channel.
+  SimTime host_time = 0.0;   // Share served by the LOCAL host channel.
   SimTime local_time = 0.0;  // GPU-side per-row gather.
+  // Distributed split of the misses (zero without ExtractSpec::vertex_owner;
+  // stats.bytes_from_host remains the TOTAL miss bytes, local + remote).
+  std::size_t remote_fetches = 0;
+  ByteCount bytes_remote = 0;
+  std::vector<ByteCount> remote_by_owner;  // Indexed by owning node id.
   SimTime Work() const { return host_time + local_time; }
 };
 

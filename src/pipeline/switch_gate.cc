@@ -54,6 +54,7 @@ void SwitchDecisionLog::ResetFilters(std::size_t num_agents) {
 
 void SwitchDecisionLog::Append(SwitchDecision decision) {
   if (decisions_.size() < kMaxDecisions) {
+    decision.node = node_;
     decisions_.push_back(std::move(decision));
   }
 }

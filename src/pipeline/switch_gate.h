@@ -53,11 +53,17 @@ class SwitchDecisionLog {
   // Moves the accumulated decisions out (run end) and clears the log.
   std::vector<SwitchDecision> Take();
 
+  // Node id stamped onto every appended decision (DistEngine: one log per
+  // node, merged at run end). Defaults to 0 — single-node engines need not
+  // call this.
+  void set_node(int node) { node_ = node; }
+
  private:
   static constexpr std::size_t kMaxDecisions = 4096;
   void Append(SwitchDecision decision);
 
   std::mutex mu_;
+  int node_ = 0;
   std::vector<SwitchDecision> decisions_;
   // Last decision logged per agent (-1 none, 0 skip, 1 fetch).
   std::vector<int> last_logged_;

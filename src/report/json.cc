@@ -94,6 +94,7 @@ void AppendSwitchDecisions(std::ostringstream& os,
       os << ",";
     }
     os << "{\"ts\":" << d.ts;
+    os << ",\"node\":" << d.node;
     os << ",\"queue_depth\":" << d.queue_depth;
     os << ",\"profit\":" << d.profit;
     os << ",\"fetched\":" << (d.fetched ? "true" : "false");
@@ -271,6 +272,107 @@ bool WriteThreadedRunReportJson(const ThreadedRunReport& report, const std::stri
 
 bool WriteServeReportJson(const ServeReport& report, const std::string& path) {
   return WriteJsonFile(ServeReportToJson(report), path);
+}
+
+std::string DistRunReportToJson(const DistRunReport& report) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"oom\":" << (report.oom ? "true" : "false");
+  os << ",\"oom_detail\":\"" << Escape(report.oom_detail) << "\"";
+  os << ",\"num_nodes\":" << report.num_nodes;
+  os << ",\"strategy\":\"" << PartitionStrategyName(report.strategy) << "\"";
+  os << ",\"allreduce\":\"" << AllReduceAlgoName(report.allreduce) << "\"";
+  os << ",\"time_sharing\":" << (report.time_sharing ? "true" : "false");
+  os << ",\"gradient_bytes\":" << report.gradient_bytes;
+  os << ",\"epoch_times\":[";
+  for (std::size_t e = 0; e < report.epoch_times.size(); ++e) {
+    os << (e > 0 ? "," : "") << report.epoch_times[e];
+  }
+  os << "],\"epoch_allreduce\":[";
+  for (std::size_t e = 0; e < report.epoch_allreduce.size(); ++e) {
+    os << (e > 0 ? "," : "") << report.epoch_allreduce[e];
+  }
+  os << "],\"avg_epoch_time\":" << report.AvgEpochTime();
+  os << ",\"allreduce_share\":" << report.AllReduceShare();
+  os << ",\"total_remote_bytes\":" << report.TotalRemoteBytes();
+  os << ",\"nodes\":[";
+  for (std::size_t n = 0; n < report.nodes.size(); ++n) {
+    const DistNodeReport& node = report.nodes[n];
+    if (n > 0) {
+      os << ",";
+    }
+    os << "{\"node\":" << node.node;
+    os << ",\"num_samplers\":" << node.num_samplers;
+    os << ",\"num_trainers\":" << node.num_trainers;
+    os << ",\"cache_ratio\":" << node.cache_ratio;
+    os << ",\"standby_cache_ratio\":" << node.standby_cache_ratio;
+    os << ",\"k_ratio\":" << node.k_ratio;
+    os << ",\"train_vertices\":" << node.train_vertices;
+    os << ",\"shard_topology_bytes\":" << node.shard_topology_bytes;
+    os << ",\"preprocess\":{";
+    os << "\"disk_load\":" << node.preprocess.disk_load;
+    os << ",\"topo_load\":" << node.preprocess.topo_load;
+    os << ",\"cache_load\":" << node.preprocess.cache_load;
+    os << ",\"presample\":" << node.preprocess.presample << "}";
+    os << ",\"queue\":{";
+    os << "\"total_enqueued\":" << node.queue.total_enqueued;
+    os << ",\"max_depth\":" << node.queue.max_depth;
+    os << ",\"max_stored_bytes\":" << node.queue.max_stored_bytes << "}";
+    os << ",\"epochs\":[";
+    for (std::size_t e = 0; e < node.epochs.size(); ++e) {
+      const DistNodeEpochReport& epoch = node.epochs[e];
+      if (e > 0) {
+        os << ",";
+      }
+      os << "{\"epoch_time\":" << epoch.epoch.epoch_time;
+      os << ",\"batches\":" << epoch.epoch.batches;
+      os << ",\"sampled_edges\":" << epoch.epoch.sampled_edges;
+      os << ",\"gradient_updates\":" << epoch.epoch.gradient_updates;
+      os << ",\"switched_batches\":" << epoch.epoch.switched_batches;
+      os << ",\"remote_fetches\":" << epoch.remote_fetches;
+      os << ",\"bytes_remote\":" << epoch.bytes_remote;
+      os << ",\"remote_adj_edges\":" << epoch.remote_adj_edges;
+      os << ",\"allreduce_wait\":" << epoch.allreduce_wait;
+      os << ",\"stage\":{";
+      os << "\"sample_graph\":" << epoch.epoch.stage.sample_graph;
+      os << ",\"sample_mark\":" << epoch.epoch.stage.sample_mark;
+      os << ",\"sample_copy\":" << epoch.epoch.stage.sample_copy;
+      os << ",\"extract\":" << epoch.epoch.stage.extract;
+      os << ",\"train\":" << epoch.epoch.stage.train << "}";
+      os << ",\"latency\":";
+      AppendStageLatencies(os, epoch.epoch.latency);
+      os << ",\"extract\":{";
+      os << "\"distinct_vertices\":" << epoch.epoch.extract.distinct_vertices;
+      os << ",\"cache_hits\":" << epoch.epoch.extract.cache_hits;
+      os << ",\"host_misses\":" << epoch.epoch.extract.host_misses;
+      os << ",\"bytes_from_host\":" << epoch.epoch.extract.bytes_from_host;
+      os << ",\"hit_rate\":" << epoch.epoch.extract.HitRate() << "}";
+      os << ",\"attribution\":";
+      AppendAttribution(os, epoch.epoch.attribution);
+      os << "}";
+    }
+    os << "]";
+    os << ",\"attribution\":";
+    AppendAttribution(os, node.attribution);
+    os << "}";
+  }
+  os << "]";
+  os << ",\"attribution\":";
+  AppendAttribution(os, report.attribution);
+  os << ",\"switch_decisions\":";
+  AppendSwitchDecisions(os, report.switch_decisions);
+  os << ",\"comm\":{";
+  os << "\"feature_messages\":" << report.comm.feature_messages;
+  os << ",\"feature_bytes\":" << report.comm.feature_bytes;
+  os << ",\"allreduce_rounds\":" << report.comm.allreduce_rounds;
+  os << ",\"allreduce_seconds\":" << report.comm.allreduce_seconds;
+  os << ",\"allreduce_wire_bytes\":" << report.comm.allreduce_wire_bytes << "}";
+  os << "}";
+  return os.str();
+}
+
+bool WriteDistRunReportJson(const DistRunReport& report, const std::string& path) {
+  return WriteJsonFile(DistRunReportToJson(report), path);
 }
 
 std::string ExtractScalingToJson(const ExtractScalingReport& report) {

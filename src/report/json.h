@@ -9,6 +9,7 @@
 
 #include "core/stats.h"
 #include "core/threaded_engine.h"
+#include "dist/dist_engine.h"
 #include "serve/server.h"
 
 namespace gnnlab {
@@ -35,6 +36,16 @@ bool WriteThreadedRunReportJson(const ThreadedRunReport& report, const std::stri
 // decision log.
 std::string ServeReportToJson(const ServeReport& report);
 bool WriteServeReportJson(const ServeReport& report, const std::string& path);
+
+// Distributed-run counterpart: cluster config echo (nodes/partition
+// strategy/all-reduce algorithm/gradient bytes), per-epoch cluster makespans
+// and all-reduce seconds, a per-node array mirroring the single-machine
+// epoch schema plus remote-fetch counters and all-reduce wait, the merged
+// cross-node attribution, the node-stamped switch decision log, and the
+// communication totals (feature-fetch messages/bytes, all-reduce
+// rounds/seconds/wire bytes).
+std::string DistRunReportToJson(const DistRunReport& report);
+bool WriteDistRunReportJson(const DistRunReport& report, const std::string& path);
 
 // Worker-count scaling of the parallel Extract gather (bench/micro_extract):
 // one point per pool size swept over the same block.
