@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   PrintBenchHeader("Ablation: partitioning vs whole-topology sampling (paper 8)", flags);
 
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("abl_partition", flags);
+
   // (1) Self-reliant closure redundancy, 3-hop, like GCN's sampling depth.
   std::printf("(1) self-reliant partition redundancy (3-hop closures)\n");
   TablePrinter redundancy({"Dataset", "partitions", "mean closure share", "max share"});
@@ -34,6 +36,12 @@ int main(int argc, char** argv) {
       redundancy.AddRow({ds.name, std::to_string(parts),
                          FmtPercent(MeanClosureShare(partitions, ds.graph.num_vertices()), 1),
                          FmtPercent(max_share, 1)});
+      // Closure share is overhead: the smaller a partition's replicated
+      // neighborhood, the better partitioning would fare.
+      report_builder.Add("ablp." + std::string(ds.name) + ".p" + std::to_string(parts) +
+                             ".mean_closure_share",
+                         MeanClosureShare(partitions, ds.graph.num_vertices()) * 100.0,
+                         "%", BetterDirection::kLower);
     }
   }
   redundancy.Print();
@@ -52,6 +60,8 @@ int main(int argc, char** argv) {
                     std::to_string(plan.loads_per_epoch),
                     Fmt(cost.TopologyLoadTime(plan.BytesPerEpoch()), 2) + "s",
                     Fmt(cost.TopologyLoadTime(ds.TopologyBytes()), 2) + "s"});
+    report_builder.Add("ablp." + std::string(ds.name) + ".cycle_reload_s",
+                       cost.TopologyLoadTime(plan.BytesPerEpoch()));
   }
   cycling.Print();
   std::printf(
@@ -59,5 +69,5 @@ int main(int argc, char** argv) {
       "the vertex set no matter how many shards are cut (the paper measures\n"
       ">95%% for full-scale Twitter), and cycling pays the whole-topology load\n"
       "several times per epoch instead of once per training run.\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

@@ -21,6 +21,10 @@ int main(int argc, char** argv) {
   const Dataset& pa = GetDataset(DatasetId::kPapers, flags);
   const Workload cluster = ClusterGcnWorkload();
   const Workload khop = StandardWorkload(GnnModelKind::kGcn);
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("abl_subgraph", flags);
+  auto slug_of = [&](const Workload* workload) {
+    return workload == &khop ? "khop" : "cluster";
+  };
 
   // (1) Policy hit rates at a 10% cache under both samplers.
   std::printf("(1) caching-policy hit rates at a 10%% cache on PA\n");
@@ -41,6 +45,14 @@ int main(int argc, char** argv) {
       Engine engine(pa, *workload, options);
       const RunReport report = engine.Run();
       row.push_back(report.oom ? "OOM" : FmtPercent(report.TotalExtract().HitRate(), 1));
+      if (!report.oom) {
+        const char* policy_slug = policy == CachePolicyKind::kRandom   ? "random"
+                                  : policy == CachePolicyKind::kDegree ? "degree"
+                                                                       : "presc1";
+        report_builder.Add(std::string("abls.") + slug_of(workload) + "." + policy_slug +
+                               ".hit_rate",
+                           report.TotalExtract().HitRate() * 100.0, "%");
+      }
     }
     hits.AddRow(std::move(row));
   }
@@ -73,6 +85,9 @@ int main(int argc, char** argv) {
       if (ds) {
         switched = report.epochs.back().switched_batches;
       }
+      report_builder.Add(std::string("abls.") + slug_of(workload) +
+                             (ds ? ".switch.epoch_s" : ".no_switch.epoch_s"),
+                         report.AvgEpochTime());
     }
     skew.AddRow({workload->name, Fmt(k_ratio, 1), without, with, std::to_string(switched)});
   }
@@ -81,5 +96,5 @@ int main(int argc, char** argv) {
       "\nPaper shape: under subgraph sampling every policy converges to the\n"
       "same (training-set) hit rate, so PreSC's edge over Degree vanishes;\n"
       "meanwhile K explodes and the standby Trainer absorbs real work.\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

@@ -5,26 +5,41 @@
 //                 stay faithful)
 //   --epochs=<n>  measured epochs per configuration (default 3)
 //   --seed=<n>    run seed (default 42)
+//   --repeats=<n> measured repetitions per data point (default 1); repeat r
+//                 derives its seed as seed + r, so sim-derived series gain
+//                 genuine cross-seed dispersion instead of bit-identical
+//                 copies
+//   --warmup=<n>  unmeasured repetitions discarded before the measured ones
+//   --json=<path> write the run's canonical BenchReport (report/
+//                 bench_report.h): config echo + named series with
+//                 median/MAD/p95 — the input format of tools/benchdiff and
+//                 scripts/bench.sh
 //   --trace-out=<file>    Chrome/Perfetto trace of the headline run (benches
 //                         that run many configurations trace the last one)
 //   --flow-out=<file>     per-minibatch flow trace of the same run (Perfetto
 //                         flow arrows linking each batch across lanes)
 //   --metrics-out=<file>  JSON-lines telemetry snapshots of the same run
-//   --prom-out=<file>     Prometheus text exposition of the final metrics
+//   --prom-out=<file>     Prometheus text exposition; every bench republishes
+//                         its headline series as bench.* gauges there
 #ifndef GNNLAB_BENCH_BENCH_COMMON_H_
 #define GNNLAB_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cache/cache_policy.h"
 #include "common/units.h"
 #include "graph/dataset.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "report/bench_report.h"
 
 namespace gnnlab {
 
@@ -32,6 +47,9 @@ struct BenchFlags {
   double scale = 1.0;
   std::size_t epochs = 3;
   std::uint64_t seed = 42;
+  std::size_t repeats = 1;  // Measured repetitions per data point.
+  std::size_t warmup = 0;   // Discarded repetitions before the measured ones.
+  std::string json_out;     // Empty = no BenchReport file.
   std::string trace_out;    // Empty = no trace.
   std::string flow_out;     // Empty = no flow trace.
   std::string metrics_out;  // Empty = no snapshot file.
@@ -49,18 +67,65 @@ struct BenchFlags {
   ByteCount GpuMemory() const {
     return static_cast<ByteCount>(static_cast<double>(64 * kMiB) * scale);
   }
+
+  // Seed for measured repeat r (0-based): warmup repeats burn the seeds
+  // below it so --warmup shifts, not reuses, the measured streams.
+  std::uint64_t RepeatSeed(std::size_t r) const { return seed + warmup + r; }
 };
 
-inline BenchFlags ParseBenchFlags(int argc, char** argv) {
+// A bench-specific flag hook: return true when the argument was consumed.
+using BenchFlagHandler = std::function<bool(const char* arg)>;
+
+// Strict numeric flag values: non-numeric or negative text is a usage error
+// (exit 2 with a diagnostic naming the flag), not a silent zero.
+inline double RequireDoubleFlag(const char* flag, const char* text) {
+  double value = 0.0;
+  if (!ParseNonNegativeDouble(text, &value)) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (want a non-negative number)\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+inline std::uint64_t RequireIntFlag(const char* flag, const char* text) {
+  std::uint64_t value = 0;
+  if (!ParseNonNegativeInt(text, &value)) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (want a non-negative integer)\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+// Parses the shared flag set; `extra` (optional) gets first claim on every
+// argument so a bench can add flags of its own, and `extra_help` is
+// appended to --help. Unknown flags exit 2.
+inline BenchFlags ParseBenchFlags(int argc, char** argv,
+                                  const BenchFlagHandler& extra = nullptr,
+                                  const char* extra_help = nullptr) {
   BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (extra && extra(arg)) {
+      continue;
+    }
     if (std::strncmp(arg, "--scale=", 8) == 0) {
-      flags.scale = std::atof(arg + 8);
+      flags.scale = RequireDoubleFlag("--scale", arg + 8);
     } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
-      flags.epochs = static_cast<std::size_t>(std::atoll(arg + 9));
+      flags.epochs = static_cast<std::size_t>(RequireIntFlag("--epochs", arg + 9));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+      flags.seed = RequireIntFlag("--seed", arg + 7);
+    } else if (std::strncmp(arg, "--repeats=", 10) == 0) {
+      flags.repeats = static_cast<std::size_t>(RequireIntFlag("--repeats", arg + 10));
+      if (flags.repeats == 0) {
+        std::fprintf(stderr, "invalid value for --repeats: need at least 1\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+      flags.warmup = static_cast<std::size_t>(RequireIntFlag("--warmup", arg + 9));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      flags.json_out = arg + 7;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       flags.trace_out = arg + 12;
     } else if (std::strncmp(arg, "--flow-out=", 11) == 0) {
@@ -77,10 +142,13 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "flags: --scale=<f> --epochs=<n> --seed=<n> "
+          "flags: --scale=<f> --epochs=<n> --seed=<n> --repeats=<n> --warmup=<n> "
           "--policy=<none|random|degree|presc1|presc2|presc3|optimal> "
-          "--trace-out=<file> --flow-out=<file> --metrics-out=<file> "
+          "--json=<path> --trace-out=<file> --flow-out=<file> --metrics-out=<file> "
           "--prom-out=<file>\n");
+      if (extra_help != nullptr) {
+        std::printf("bench flags: %s\n", extra_help);
+      }
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
@@ -106,9 +174,70 @@ inline const Dataset& GetDataset(DatasetId id, const BenchFlags& flags) {
 
 inline void PrintBenchHeader(const char* title, const BenchFlags& flags) {
   std::printf("=== %s ===\n", title);
-  std::printf("scale=%.2f gpu=%s epochs=%zu seed=%llu\n\n", flags.scale,
+  std::printf("scale=%.2f gpu=%s epochs=%zu seed=%llu repeats=%zu\n\n", flags.scale,
               FormatBytes(flags.GpuMemory()).c_str(), flags.epochs,
-              static_cast<unsigned long long>(flags.seed));
+              static_cast<unsigned long long>(flags.seed), flags.repeats);
+}
+
+// The canonical report builder, pre-stamped with the shared config echo so
+// benchdiff can refuse apples-to-oranges comparisons.
+inline BenchReportBuilder MakeBenchReportBuilder(const char* bench,
+                                                 const BenchFlags& flags) {
+  BenchReportBuilder builder(bench);
+  builder.SetConfig("scale", flags.scale);
+  builder.SetConfig("epochs", static_cast<std::uint64_t>(flags.epochs));
+  builder.SetConfig("seed", flags.seed);
+  builder.SetConfig("repeats", static_cast<std::uint64_t>(flags.repeats));
+  builder.SetConfig("warmup", static_cast<std::uint64_t>(flags.warmup));
+  if (flags.policy) {
+    builder.SetConfig("policy", std::string(CachePolicyKindName(*flags.policy)));
+  }
+  return builder;
+}
+
+// Runs `measure(seed)` warmup+repeats times and returns the measured
+// values. With the defaults (repeats=1, warmup=0) this is exactly one call
+// with the run seed — the pre-observatory behavior.
+template <typename Fn>
+std::vector<double> Repeated(const BenchFlags& flags, Fn&& measure) {
+  std::vector<double> out;
+  out.reserve(flags.repeats);
+  for (std::size_t r = 0; r < flags.warmup; ++r) {
+    (void)measure(flags.seed + r);
+  }
+  for (std::size_t r = 0; r < flags.repeats; ++r) {
+    out.push_back(measure(flags.RepeatSeed(r)));
+  }
+  return out;
+}
+
+// Finishes the bench's report: writes --json= when asked, republishes the
+// headline medians as bench.* gauges (into `registry` when the bench
+// already maintains one for --prom-out, else into a fresh registry written
+// to --prom-out directly). Returns 0, or 1 on an I/O failure so mains can
+// `return FinishBench(...)`.
+inline int FinishBench(const BenchReportBuilder& builder, const BenchFlags& flags,
+                       MetricRegistry* registry = nullptr) {
+  const BenchReport report = builder.Finish();
+  if (registry != nullptr) {
+    RepublishBenchGauges(report, registry);
+  } else if (!flags.prom_out.empty()) {
+    MetricRegistry bench_registry;
+    RepublishBenchGauges(report, &bench_registry);
+    HealthMonitor::Options options;
+    options.exposition_path = flags.prom_out;
+    HealthMonitor health(&bench_registry, options);
+    if (health.WriteExposition()) {
+      std::printf("wrote bench.* gauges to %s\n", flags.prom_out.c_str());
+    }
+  }
+  if (!flags.json_out.empty()) {
+    if (!WriteBenchReportJson(report, flags.json_out)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.json_out.c_str());
+  }
+  return 0;
 }
 
 }  // namespace gnnlab

@@ -1,0 +1,99 @@
+// Bridges the google-benchmark binaries into the shared BenchReport
+// pipeline. BENCHMARK_MAIN() knows nothing about --json=/--prom-out=, so
+// these binaries use RunBenchmarkMain() instead: shared bench flags are
+// peeled off first (anything bench_common.h recognises), the rest of argv
+// goes to benchmark::Initialize verbatim (--benchmark_filter etc. keep
+// working), and a reporter shim funnels every measured run into a
+// BenchReportBuilder as wall-clock series alongside the usual console
+// table. Series are named <prefix>.<slugged benchmark name>.ns (real time
+// per iteration) plus .items_per_s when the benchmark reports items.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace gnnlab {
+
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsoleReporter(BenchReportBuilder* builder, std::string prefix)
+      : builder_(builder), prefix_(std::move(prefix)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      // Aggregate rows (mean/median/stddev of --benchmark_repetitions) would
+      // double-count the iteration rows the stats layer already summarises.
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      const std::string series = prefix_ + "." + Slug(run.benchmark_name());
+      const double per_iter_s =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      builder_->AddWall(series + ".ns", per_iter_s * 1e9, "ns",
+                        BetterDirection::kLower);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        builder_->AddWall(series + ".items_per_s", items->second.value, "rows/s");
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  // "BM_ParallelFisherYates_Twitter/4" -> "bm_parallelfisheryates_twitter_4":
+  // gauge-name-safe (bench.* republication) and stable across runs.
+  static std::string Slug(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+      const auto u = static_cast<unsigned char>(c);
+      out += std::isalnum(u) ? static_cast<char>(std::tolower(u)) : '_';
+    }
+    return out;
+  }
+
+  BenchReportBuilder* builder_;
+  const std::string prefix_;
+};
+
+// Drop-in replacement for BENCHMARK_MAIN()'s body. `prefix` names the
+// series namespace (conventionally a short slug of the binary name).
+inline int RunBenchmarkMain(const char* bench_name, const char* prefix, int argc,
+                            char** argv) {
+  // Shared flags first: the extra handler claims every --benchmark_* flag
+  // so ParseBenchFlags neither rejects nor consumes them, then the
+  // benchmark library parses its own flags from the preserved argv.
+  std::vector<char*> bm_argv;
+  bm_argv.push_back(argv[0]);
+  const BenchFlags flags = ParseBenchFlags(
+      argc, argv,
+      [&](const char* arg) {
+        if (std::strncmp(arg, "--benchmark_", 12) == 0) {
+          bm_argv.push_back(const_cast<char*>(arg));
+          return true;
+        }
+        return false;
+      },
+      "--benchmark_*  (forwarded to the google-benchmark runtime)");
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_argv.data())) {
+    return 2;
+  }
+
+  BenchReportBuilder builder = MakeBenchReportBuilder(bench_name, flags);
+  ReportingConsoleReporter reporter(&builder, prefix);
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const int finish_rc = FinishBench(builder, flags);
+  return ran > 0 ? finish_rc : 1;
+}
+
+}  // namespace gnnlab

@@ -128,21 +128,12 @@ std::string SweepToJson(const std::vector<SweepPoint>& points, const BenchFlags&
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  std::vector<char*> rest;
-  rest.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else {
-      rest.push_back(argv[i]);
-    }
-  }
-  const BenchFlags flags = ParseBenchFlags(static_cast<int>(rest.size()), rest.data());
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
   PrintBenchHeader("Distributed scaling: factored vs time-sharing, 1-8 nodes", flags);
 
   const Dataset& ds = GetDataset(DatasetId::kPapers, flags);
   const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("dist_scaling", flags);
 
   std::vector<SweepPoint> points;
   for (const bool time_sharing : {false, true}) {
@@ -168,6 +159,19 @@ int main(int argc, char** argv) {
                         p.oom ? "-" : FormatBytes(p.remote_bytes),
                         p.oom ? "-" : std::to_string(static_cast<long long>(p.remote_adj_edges)),
                         p.oom ? "-" : Fmt(100.0 * p.allreduce_share)});
+          if (!p.oom) {
+            const std::string prefix =
+                std::string("dist.") + (time_sharing ? "timeshare" : "factored") + "." +
+                PartitionStrategyName(strategy) + "." +
+                (policy == CachePolicyKind::kDegree ? "degree" : "presc1") + ".n" +
+                std::to_string(nodes);
+            report_builder.Add(prefix + ".epoch_s", p.epoch_time);
+            report_builder.Add(prefix + ".speedup", p.speedup, "x");
+            report_builder.Add(prefix + ".remote_bytes",
+                               static_cast<double>(p.remote_bytes), "bytes");
+            report_builder.Add(prefix + ".allreduce_share", 100.0 * p.allreduce_share,
+                               "%", BetterDirection::kLower);
+          }
           points.push_back(std::move(p));
         }
       }
@@ -186,16 +190,8 @@ int main(int argc, char** argv) {
       "(N=8 here) the dedicated Sampler GPU stops paying for itself and\n"
       "time-sharing's extra Trainer catches up -- dynamic switching's case.\n");
 
-  if (!json_path.empty()) {
-    const std::string json = SweepToJson(points, flags);
-    std::FILE* file = std::fopen(json_path.c_str(), "w");
-    if (file == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
-    std::fputs(json.c_str(), file);
-    std::fclose(file);
-    std::printf("\nwrote %s\n", json_path.c_str());
-  }
-  return 0;
+  // The pre-schema per-node payload rides along under "extra" so consumers
+  // of the old standalone format keep their data.
+  report_builder.SetExtraJson(SweepToJson(points, flags));
+  return FinishBench(report_builder, flags);
 }

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   PrintBenchHeader("Figure 11: PreSC efficiency and robustness", flags);
   const std::uint64_t measure_seed = flags.seed + 1000;
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("fig11_presc", flags);
 
   // (a) TW + weighted sampling, policies including PreSC#K.
   {
@@ -69,17 +70,23 @@ int main(int argc, char** argv) {
     TablePrinter table({"Policy", "hit rate"});
     struct Named {
       const char* name;
+      const char* slug;
       std::unique_ptr<CachePolicy> policy;
     };
     Named policies[] = {
-        {"Random", MakeRandomPolicy()},     {"Degree", MakeDegreePolicy()},
-        {"PreSC#1", MakePreSamplingPolicy(1)}, {"PreSC#2", MakePreSamplingPolicy(2)},
-        {"PreSC#3", MakePreSamplingPolicy(3)}, {"Optimal", std::move(oracle)},
+        {"Random", "random", MakeRandomPolicy()},
+        {"Degree", "degree", MakeDegreePolicy()},
+        {"PreSC#1", "presc1", MakePreSamplingPolicy(1)},
+        {"PreSC#2", "presc2", MakePreSamplingPolicy(2)},
+        {"PreSC#3", "presc3", MakePreSamplingPolicy(3)},
+        {"Optimal", "optimal", std::move(oracle)},
     };
     for (Named& named : policies) {
       const auto result = Measure(workload, tw, &weights, named.policy->Rank(context), 0.10,
                                   tw.feature_dim, measure_seed);
       table.AddRow({named.name, FmtPercent(result.HitRate(), 1)});
+      report_builder.Add(std::string("fig11a.") + named.slug + ".hit_rate",
+                         result.HitRate() * 100.0, "%");
     }
     table.Print();
     std::printf("\n");
@@ -98,13 +105,23 @@ int main(int argc, char** argv) {
 
     std::printf("(b) PA, 3-hop uniform sampling: hit rate vs cache ratio\n");
     TablePrinter table({"cache ratio", "Random", "Degree", "PreSC#1", "Optimal"});
+    const struct {
+      const char* slug;
+      const std::vector<VertexId>* rank;
+    } ranks[] = {{"random", &rank_random},
+                 {"degree", &rank_degree},
+                 {"presc1", &rank_presc},
+                 {"optimal", &rank_optimal}};
     for (const double ratio : {0.01, 0.02, 0.05, 0.10, 0.20, 0.30}) {
       std::vector<std::string> row{FmtPercent(ratio)};
-      for (const auto* rank : {&rank_random, &rank_degree, &rank_presc, &rank_optimal}) {
-        row.push_back(FmtPercent(
-            Measure(workload, pa, nullptr, *rank, ratio, pa.feature_dim, measure_seed)
-                .HitRate(),
-            1));
+      for (const auto& named : ranks) {
+        const double hit_rate =
+            Measure(workload, pa, nullptr, *named.rank, ratio, pa.feature_dim, measure_seed)
+                .HitRate();
+        row.push_back(FmtPercent(hit_rate, 1));
+        report_builder.Add("fig11b.r" + std::to_string(static_cast<int>(ratio * 100.0)) +
+                               "." + named.slug + ".hit_rate",
+                           hit_rate * 100.0, "%");
       }
       table.AddRow(std::move(row));
     }
@@ -126,15 +143,22 @@ int main(int argc, char** argv) {
     std::printf("(c) PA: transferred bytes/epoch vs feature dim (cache budget %s)\n",
                 FormatBytes(budget).c_str());
     TablePrinter table({"feature dim", "Random", "Degree", "PreSC#1"});
+    const struct {
+      const char* slug;
+      const std::vector<VertexId>* rank;
+    } ranks[] = {{"random", &rank_random}, {"degree", &rank_degree}, {"presc1", &rank_presc}};
     for (const std::uint32_t dim : {100u, 300u, 500u, 700u, 900u}) {
       std::vector<std::string> row{std::to_string(dim)};
-      for (const auto* rank : {&rank_random, &rank_degree, &rank_presc}) {
+      for (const auto& named : ranks) {
         const FeatureCache cache =
-            FeatureCache::LoadWithBudget(*rank, budget, pa.graph.num_vertices(), dim);
+            FeatureCache::LoadWithBudget(*named.rank, budget, pa.graph.num_vertices(), dim);
         auto sampler = MakeSampler(workload, pa, nullptr);
         const auto result = MeasureEpochExtraction(sampler.get(), pa.train_set,
                                                    pa.batch_size, cache, dim, measure_seed);
         row.push_back(FormatBytes(result.bytes_from_host));
+        report_builder.Add("fig11c.dim" + std::to_string(dim) + "." + named.slug +
+                               ".host_bytes",
+                           static_cast<double>(result.bytes_from_host), "bytes");
       }
       table.AddRow(std::move(row));
     }
@@ -144,5 +168,5 @@ int main(int argc, char** argv) {
       "\nPaper shape: PreSC#1 is already near-optimal (more stages add little);\n"
       "its hit rate rises steeply with ratio and its transferred bytes grow far\n"
       "slower with feature dimension than Degree/Random (~4x less at dim 900).\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

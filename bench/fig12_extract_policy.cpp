@@ -11,7 +11,8 @@ using namespace gnnlab;  // NOLINT
 namespace {
 
 std::string ExtractCell(const Dataset& ds, const Workload& workload, CachePolicyKind policy,
-                        const BenchFlags& flags) {
+                        const BenchFlags& flags, BenchReportBuilder* report_builder,
+                        const std::string& prefix) {
   EngineOptions options;
   options.num_gpus = 2;
   options.num_samplers = 1;
@@ -25,6 +26,7 @@ std::string ExtractCell(const Dataset& ds, const Workload& workload, CachePolicy
   if (report.oom) {
     return "OOM";
   }
+  report_builder->Add(prefix + ".extract_s", report.AvgStage().extract);
   return Fmt(report.AvgStage().extract) + " (" +
          FmtPercent(report.TotalExtract().HitRate()) + ")";
 }
@@ -45,21 +47,28 @@ int main(int argc, char** argv) {
       {"GraphSAGE", StandardWorkload(GnnModelKind::kGraphSage)},
       {"PinSAGE", StandardWorkload(GnnModelKind::kPinSage)},
   };
+  const char* workload_slugs[] = {"gcn", "wgcn", "sage", "pinsage"};
   const DatasetId datasets[] = {DatasetId::kTwitter, DatasetId::kPapers, DatasetId::kUk};
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("fig12_extract_policy", flags);
 
   TablePrinter table({"Workload", "Dataset", "Random E (hit)", "Degree E (hit)",
                       "PreSC#1 E (hit)"});
-  for (const WorkloadSpec& spec : workloads) {
+  for (std::size_t w = 0; w < 4; ++w) {
+    const WorkloadSpec& spec = workloads[w];
     bool first = true;
     for (const DatasetId id : datasets) {
       const Dataset& ds = GetDataset(id, flags);
+      const std::string cell = std::string("fig12.") + workload_slugs[w] + "." + ds.name;
       if (first) {
         table.AddSeparator();
       }
       table.AddRow({first ? spec.name : "", ds.name,
-                    ExtractCell(ds, spec.workload, CachePolicyKind::kRandom, flags),
-                    ExtractCell(ds, spec.workload, CachePolicyKind::kDegree, flags),
-                    ExtractCell(ds, spec.workload, CachePolicyKind::kPreSC1, flags)});
+                    ExtractCell(ds, spec.workload, CachePolicyKind::kRandom, flags,
+                                &report_builder, cell + ".random"),
+                    ExtractCell(ds, spec.workload, CachePolicyKind::kDegree, flags,
+                                &report_builder, cell + ".degree"),
+                    ExtractCell(ds, spec.workload, CachePolicyKind::kPreSC1, flags,
+                                &report_builder, cell + ".presc1")});
       first = false;
     }
   }
@@ -67,5 +76,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper shape: PreSC#1 cuts extract time by ~39%% vs Degree and ~73%% vs\n"
       "Random on average; Degree only stays close on TW with uniform sampling.\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

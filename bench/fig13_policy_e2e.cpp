@@ -11,16 +11,26 @@ using namespace gnnlab;  // NOLINT
 namespace {
 
 std::string EpochCell(const Dataset& ds, const Workload& workload, CachePolicyKind policy,
-                      const BenchFlags& flags) {
-  EngineOptions options;
-  options.num_gpus = 8;
-  options.gpu_memory = flags.GpuMemory();
-  options.epochs = flags.epochs;
-  options.seed = flags.seed;
-  options.policy = policy;
-  Engine engine(ds, workload, options);
-  const RunReport report = engine.Run();
-  return report.oom ? "OOM" : Fmt(report.AvgEpochTime());
+                      const BenchFlags& flags, BenchReportBuilder* report_builder,
+                      const std::string& series) {
+  bool oom = false;
+  const std::vector<double> samples = Repeated(flags, [&](std::uint64_t seed) {
+    EngineOptions options;
+    options.num_gpus = 8;
+    options.gpu_memory = flags.GpuMemory();
+    options.epochs = flags.epochs;
+    options.seed = seed;
+    options.policy = policy;
+    Engine engine(ds, workload, options);
+    const RunReport report = engine.Run();
+    oom = oom || report.oom;
+    return report.AvgEpochTime();
+  });
+  if (oom) {
+    return "OOM";
+  }
+  report_builder->AddSamples(series, samples, "s", BetterDirection::kLower);
+  return Fmt(Median(samples));
 }
 
 }  // namespace
@@ -39,20 +49,27 @@ int main(int argc, char** argv) {
       {"GraphSAGE", StandardWorkload(GnnModelKind::kGraphSage)},
       {"PinSAGE", StandardWorkload(GnnModelKind::kPinSage)},
   };
+  const char* workload_slugs[] = {"gcn", "wgcn", "sage", "pinsage"};
   const DatasetId datasets[] = {DatasetId::kTwitter, DatasetId::kPapers, DatasetId::kUk};
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("fig13_policy_e2e", flags);
 
   TablePrinter table({"Workload", "Dataset", "Random", "Degree", "PreSC#1"});
-  for (const WorkloadSpec& spec : workloads) {
+  for (std::size_t w = 0; w < 4; ++w) {
+    const WorkloadSpec& spec = workloads[w];
     bool first = true;
     for (const DatasetId id : datasets) {
       const Dataset& ds = GetDataset(id, flags);
+      const std::string cell = std::string("fig13.") + workload_slugs[w] + "." + ds.name;
       if (first) {
         table.AddSeparator();
       }
       table.AddRow({first ? spec.name : "", ds.name,
-                    EpochCell(ds, spec.workload, CachePolicyKind::kRandom, flags),
-                    EpochCell(ds, spec.workload, CachePolicyKind::kDegree, flags),
-                    EpochCell(ds, spec.workload, CachePolicyKind::kPreSC1, flags)});
+                    EpochCell(ds, spec.workload, CachePolicyKind::kRandom, flags,
+                              &report_builder, cell + ".random.epoch_s"),
+                    EpochCell(ds, spec.workload, CachePolicyKind::kDegree, flags,
+                              &report_builder, cell + ".degree.epoch_s"),
+                    EpochCell(ds, spec.workload, CachePolicyKind::kPreSC1, flags,
+                              &report_builder, cell + ".presc1.epoch_s")});
       first = false;
     }
   }
@@ -61,5 +78,5 @@ int main(int argc, char** argv) {
       "\nPaper shape: PreSC#1 cuts end-to-end time by up to ~45%% vs Degree for\n"
       "GCN/GraphSAGE; for PinSAGE the Train stage dominates, so the policy's\n"
       "end-to-end effect shrinks (1-40%%).\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

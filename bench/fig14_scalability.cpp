@@ -12,7 +12,8 @@ using namespace gnnlab;  // NOLINT
 namespace {
 
 std::string TimeShareCell(const Dataset& ds, const Workload& workload,
-                          const TimeShareOptions& base, int gpus, const BenchFlags& flags) {
+                          const TimeShareOptions& base, int gpus, const BenchFlags& flags,
+                          BenchReportBuilder* report_builder, const std::string& series) {
   TimeShareOptions options = base;
   options.num_gpus = gpus;
   options.gpu_memory = flags.GpuMemory();
@@ -20,11 +21,16 @@ std::string TimeShareCell(const Dataset& ds, const Workload& workload,
   options.seed = flags.seed;
   TimeShareRunner runner(ds, workload, options);
   const RunReport report = runner.Run();
-  return report.oom ? "OOM" : Fmt(report.AvgEpochTime());
+  if (report.oom) {
+    return "OOM";
+  }
+  report_builder->Add(series, report.AvgEpochTime());
+  return Fmt(report.AvgEpochTime());
 }
 
 std::string GnnlabCell(const Dataset& ds, const Workload& workload, int gpus, int samplers,
-                       const BenchFlags& flags) {
+                       const BenchFlags& flags, BenchReportBuilder* report_builder,
+                       const std::string& series) {
   if (samplers >= gpus) {
     return "-";
   }
@@ -38,20 +44,32 @@ std::string GnnlabCell(const Dataset& ds, const Workload& workload, int gpus, in
   options.policy = flags.PolicyOr(options.policy);
   Engine engine(ds, workload, options);
   const RunReport report = engine.Run();
-  return report.oom ? "OOM" : Fmt(report.AvgEpochTime());
+  if (report.oom) {
+    return "OOM";
+  }
+  report_builder->Add(series, report.AvgEpochTime());
+  return Fmt(report.AvgEpochTime());
 }
 
-void Sweep(const char* title, const Dataset& ds, const BenchFlags& flags) {
+void Sweep(const char* title, const char* slug, const Dataset& ds, const BenchFlags& flags,
+           BenchReportBuilder* report_builder) {
   const Workload workload = StandardWorkload(GnnModelKind::kGcn);
   std::printf("%s\n", title);
   TablePrinter table({"GPUs", "DGL", "T_SOTA", "GNNLab/1S", "GNNLab/2S", "GNNLab/3S"});
   for (int gpus = 2; gpus <= 8; ++gpus) {
+    const std::string prefix =
+        std::string("fig14.") + slug + ".g" + std::to_string(gpus);
     table.AddRow({std::to_string(gpus),
-                  TimeShareCell(ds, workload, DglOptions(), gpus, flags),
-                  TimeShareCell(ds, workload, TsotaOptions(), gpus, flags),
-                  GnnlabCell(ds, workload, gpus, 1, flags),
-                  GnnlabCell(ds, workload, gpus, 2, flags),
-                  GnnlabCell(ds, workload, gpus, 3, flags)});
+                  TimeShareCell(ds, workload, DglOptions(), gpus, flags, report_builder,
+                                prefix + ".dgl.epoch_s"),
+                  TimeShareCell(ds, workload, TsotaOptions(), gpus, flags, report_builder,
+                                prefix + ".tsota.epoch_s"),
+                  GnnlabCell(ds, workload, gpus, 1, flags, report_builder,
+                             prefix + ".gnnlab_1s.epoch_s"),
+                  GnnlabCell(ds, workload, gpus, 2, flags, report_builder,
+                             prefix + ".gnnlab_2s.epoch_s"),
+                  GnnlabCell(ds, workload, gpus, 3, flags, report_builder,
+                             prefix + ".gnnlab_3s.epoch_s")});
   }
   table.Print();
   std::printf("\n");
@@ -62,12 +80,13 @@ void Sweep(const char* title, const Dataset& ds, const BenchFlags& flags) {
 int main(int argc, char** argv) {
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   PrintBenchHeader("Figure 14: epoch time vs number of GPUs (GCN)", flags);
-  Sweep("(a) PA", GetDataset(DatasetId::kPapers, flags), flags);
-  Sweep("(b) TW", GetDataset(DatasetId::kTwitter, flags), flags);
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("fig14_scalability", flags);
+  Sweep("(a) PA", "pa", GetDataset(DatasetId::kPapers, flags), flags, &report_builder);
+  Sweep("(b) TW", "tw", GetDataset(DatasetId::kTwitter, flags), flags, &report_builder);
   std::printf(
       "Paper shape: GNNLab's epoch time falls near-linearly while Trainers are\n"
       "the bottleneck and flattens once they catch the Samplers; DGL and\n"
       "T_SOTA improve more slowly because every added GPU contends for the\n"
       "shared host channel during extraction.\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
 
   const Dataset& pa = GetDataset(DatasetId::kPapers, flags);
   const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("fig15_allocation", flags);
 
   double best_time = 0.0;
   std::string best_name;
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
       const double epoch = report.AvgEpochTime();
       table.AddRow({name, Fmt(epoch, 3), Fmt(stage.SampleTotal(), 3),
                     Fmt(stage.extract, 3), Fmt(stage.train, 3)});
+      report_builder.Add("fig15." + name + ".epoch_s", epoch);
       if (samplers + trainers == 8 && (best_name.empty() || epoch < best_time)) {
         best_time = epoch;
         best_name = name;
@@ -60,9 +62,13 @@ int main(int argc, char** argv) {
   std::printf("flexible scheduling chose:  %dS%dT (K = %.2f) -> %.3fs\n",
               report.num_samplers, report.num_trainers, report.k_ratio,
               report.AvgEpochTime());
+  report_builder.Add("fig15.scheduler.epoch_s", report.AvgEpochTime());
+  report_builder.Add("fig15.scheduler.num_samplers",
+                     static_cast<double>(report.num_samplers), "count",
+                     BetterDirection::kNone);
   std::printf(
       "\nPaper shape: with m Samplers fixed, time falls as Trainers are added\n"
       "until the Samplers saturate; the formula lands on the best full-machine\n"
       "split (2S6T for GCN on PA in the paper).\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

@@ -15,7 +15,8 @@ using namespace gnnlab;  // NOLINT
 namespace {
 
 std::string GnnlabCell(const Dataset& ds, const Workload& workload, int gpus, int samplers,
-                       bool switching, const BenchFlags& flags, std::size_t* switched) {
+                       bool switching, const BenchFlags& flags, std::size_t* switched,
+                       BenchReportBuilder* report_builder, const std::string& series) {
   EngineOptions options;
   options.num_gpus = gpus;
   options.num_samplers = samplers;
@@ -31,6 +32,9 @@ std::string GnnlabCell(const Dataset& ds, const Workload& workload, int gpus, in
   if (switched != nullptr) {
     *switched = report.epochs.back().switched_batches;
   }
+  if (report_builder != nullptr) {
+    report_builder->Add(series, report.AvgEpochTime());
+  }
   return Fmt(report.AvgEpochTime());
 }
 
@@ -39,6 +43,7 @@ std::string GnnlabCell(const Dataset& ds, const Workload& workload, int gpus, in
 int main(int argc, char** argv) {
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   PrintBenchHeader("Figure 17: dynamic switching and the single-GPU mode", flags);
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("fig17_switching", flags);
 
   // (a) PinSAGE on PA, 1 Sampler + n Trainers, switching on/off.
   {
@@ -48,10 +53,13 @@ int main(int argc, char** argv) {
     TablePrinter table({"Trainers", "w/o DS", "w/ DS", "switched batches", "speedup"});
     for (int trainers = 1; trainers <= 7; ++trainers) {
       std::size_t switched = 0;
-      const std::string without =
-          GnnlabCell(pa, workload, 1 + trainers, 1, false, flags, nullptr);
-      const std::string with =
-          GnnlabCell(pa, workload, 1 + trainers, 1, true, flags, &switched);
+      const std::string prefix = "fig17a.t" + std::to_string(trainers);
+      const std::string without = GnnlabCell(pa, workload, 1 + trainers, 1, false, flags,
+                                             nullptr, &report_builder,
+                                             prefix + ".no_switch.epoch_s");
+      const std::string with = GnnlabCell(pa, workload, 1 + trainers, 1, true, flags,
+                                          &switched, &report_builder,
+                                          prefix + ".switch.epoch_s");
       std::string speedup = "-";
       if (without != "OOM" && with != "OOM") {
         speedup = Fmt(std::atof(without.c_str()) / std::atof(with.c_str()), 2) + "x";
@@ -70,7 +78,8 @@ int main(int argc, char** argv) {
     TablePrinter table({"Dataset", "DGL", "T_SOTA", "GNNLab"});
     for (const DatasetId id : kAllDatasets) {
       const Dataset& ds = GetDataset(id, flags);
-      auto timeshare = [&](const TimeShareOptions& base) -> std::string {
+      auto timeshare = [&](const TimeShareOptions& base,
+                           const std::string& series) -> std::string {
         TimeShareOptions options = base;
         options.num_gpus = 1;
         options.gpu_memory = flags.GpuMemory();
@@ -78,10 +87,17 @@ int main(int argc, char** argv) {
         options.seed = flags.seed;
         TimeShareRunner runner(ds, workload, options);
         const RunReport report = runner.Run();
-        return report.oom ? "OOM" : Fmt(report.AvgEpochTime());
+        if (report.oom) {
+          return "OOM";
+        }
+        report_builder.Add(series, report.AvgEpochTime());
+        return Fmt(report.AvgEpochTime());
       };
-      table.AddRow({ds.name, timeshare(DglOptions()), timeshare(TsotaOptions()),
-                    GnnlabCell(ds, workload, 1, 1, true, flags, nullptr)});
+      const std::string prefix = std::string("fig17b.") + ds.name;
+      table.AddRow({ds.name, timeshare(DglOptions(), prefix + ".dgl.epoch_s"),
+                    timeshare(TsotaOptions(), prefix + ".tsota.epoch_s"),
+                    GnnlabCell(ds, workload, 1, 1, true, flags, nullptr, &report_builder,
+                               prefix + ".gnnlab.epoch_s")});
     }
     table.Print();
   }
@@ -90,5 +106,5 @@ int main(int argc, char** argv) {
       "epochs substantially, fading as Trainers multiply; on a single GPU\n"
       "GNNLab beats DGL (up to ~7.7x) and T_SOTA (up to ~2x) everywhere except\n"
       "PR, where all data already fits in one GPU.\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

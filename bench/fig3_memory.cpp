@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
 
   const Dataset& pa = GetDataset(DatasetId::kPapers, flags);
   const Workload workload = StandardWorkload(GnnModelKind::kGcn);
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("fig3_memory", flags);
 
   {
     TimeShareOptions options = TsotaOptions();
@@ -53,6 +54,10 @@ int main(int argc, char** argv) {
                 FmtPercent(report.cache_ratio).c_str(), report.oom ? " (OOM)" : "");
     PrintDevices("Time sharing (T_SOTA): every GPU carries the full stack",
                  runner.devices(), 2);
+    report_builder.Add("fig3.timeshare.cache_ratio", report.cache_ratio * 100.0, "%");
+    report_builder.Add("fig3.timeshare.gpu0_cache_bytes",
+                       static_cast<double>(runner.devices()[0].used(MemoryKind::kFeatureCache)),
+                       "bytes", BetterDirection::kHigher);
   }
   {
     EngineOptions options;
@@ -68,9 +73,15 @@ int main(int argc, char** argv) {
                 FmtPercent(report.standby_cache_ratio).c_str(), report.oom ? " (OOM)" : "");
     PrintDevices("Space sharing (GNNLab): gpu0 = Sampler, gpu1 = Trainer", engine.devices(),
                  2);
+    report_builder.Add("fig3.space.cache_ratio", report.cache_ratio * 100.0, "%");
+    report_builder.Add("fig3.space.standby_cache_ratio",
+                       report.standby_cache_ratio * 100.0, "%");
+    report_builder.Add("fig3.space.trainer_cache_bytes",
+                       static_cast<double>(engine.devices()[1].used(MemoryKind::kFeatureCache)),
+                       "bytes", BetterDirection::kHigher);
   }
   std::printf(
       "Paper shape: space sharing roughly triples the feature-cache budget on\n"
       "Trainer GPUs by evicting topology and the sampler workspace.\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

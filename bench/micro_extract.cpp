@@ -12,8 +12,8 @@
 // thread all pool sizes time-share one core — speedup only shows up with
 // real parallel hardware; bit-identity holds everywhere.
 //
-// Flags: --rows=<n> --dim=<n> --repeats=<n> --max-workers=<n> --seed=<n>
-//        --json=<path>
+// Flags: shared bench flags (--seed/--repeats/--json/...) plus
+//        --rows=<n> --dim=<n> --max-workers=<n>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "feature/extractor.h"
 #include "feature/feature_store.h"
@@ -31,44 +32,6 @@
 namespace gnnlab {
 namespace {
 
-struct Flags {
-  std::size_t rows = 200000;
-  std::uint32_t dim = 128;
-  std::size_t repeats = 20;
-  std::size_t max_workers = 0;  // 0 = up to 2x hardware_concurrency.
-  std::uint64_t seed = 42;
-  std::string json_path;
-};
-
-Flags ParseFlags(int argc, char** argv) {
-  Flags flags;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--rows=", 7) == 0) {
-      flags.rows = static_cast<std::size_t>(std::atoll(arg + 7));
-    } else if (std::strncmp(arg, "--dim=", 6) == 0) {
-      flags.dim = static_cast<std::uint32_t>(std::atoi(arg + 6));
-    } else if (std::strncmp(arg, "--repeats=", 10) == 0) {
-      flags.repeats = static_cast<std::size_t>(std::atoll(arg + 10));
-    } else if (std::strncmp(arg, "--max-workers=", 14) == 0) {
-      flags.max_workers = static_cast<std::size_t>(std::atoll(arg + 14));
-    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
-    } else if (std::strncmp(arg, "--json=", 7) == 0) {
-      flags.json_path = arg + 7;
-    } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf(
-          "flags: --rows=<n> --dim=<n> --repeats=<n> --max-workers=<n> "
-          "--seed=<n> --json=<path>\n");
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
-      std::exit(2);
-    }
-  }
-  return flags;
-}
-
 double Seconds(std::chrono::steady_clock::time_point a,
                std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
@@ -77,21 +40,46 @@ double Seconds(std::chrono::steady_clock::time_point a,
 }  // namespace
 
 int Main(int argc, char** argv) {
-  const Flags flags = ParseFlags(argc, argv);
+  std::size_t rows = 200000;
+  std::uint32_t dim = 128;
+  std::size_t max_workers_flag = 0;  // 0 = up to 2x hardware_concurrency.
+  const BenchFlags bench_flags = ParseBenchFlags(
+      argc, argv,
+      [&](const char* arg) {
+        if (std::strncmp(arg, "--rows=", 7) == 0) {
+          rows = static_cast<std::size_t>(RequireIntFlag("--rows", arg + 7));
+          return true;
+        }
+        if (std::strncmp(arg, "--dim=", 6) == 0) {
+          dim = static_cast<std::uint32_t>(RequireIntFlag("--dim", arg + 6));
+          return true;
+        }
+        if (std::strncmp(arg, "--max-workers=", 14) == 0) {
+          max_workers_flag =
+              static_cast<std::size_t>(RequireIntFlag("--max-workers", arg + 14));
+          return true;
+        }
+        return false;
+      },
+      "--rows=<n> --dim=<n> --max-workers=<n>");
+  // The gather is timed over many repetitions per pool size; the shared
+  // --repeats default (1) is too short to time, so this bench floors it.
+  const std::size_t repeats = std::max<std::size_t>(bench_flags.repeats, 20);
+  const std::uint64_t seed = bench_flags.seed;
   const std::size_t hw = ThreadPool::ResolveThreads(0);
   const std::size_t max_workers =
-      flags.max_workers > 0 ? flags.max_workers : std::max<std::size_t>(4, 2 * hw);
+      max_workers_flag > 0 ? max_workers_flag : std::max<std::size_t>(4, 2 * hw);
 
   // A feature store twice the block size, and a block whose rows land in
   // permuted (cache-unfriendly) order, like real sampled vertices.
-  Rng rng(flags.seed);
-  const VertexId num_vertices = static_cast<VertexId>(2 * flags.rows);
-  const FeatureStore store = FeatureStore::Random(num_vertices, flags.dim, &rng);
-  std::vector<VertexId> seeds(flags.rows);
-  for (std::size_t i = 0; i < flags.rows; ++i) {
+  Rng rng(seed);
+  const VertexId num_vertices = static_cast<VertexId>(2 * rows);
+  const FeatureStore store = FeatureStore::Random(num_vertices, dim, &rng);
+  std::vector<VertexId> seeds(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
     seeds[i] = static_cast<VertexId>(i * 2);
   }
-  for (std::size_t i = flags.rows; i > 1; --i) {  // Fisher-Yates permute.
+  for (std::size_t i = rows; i > 1; --i) {  // Fisher-Yates permute.
     std::swap(seeds[i - 1], seeds[rng.NextBounded(i)]);
   }
   RemapScratch scratch(num_vertices);
@@ -100,15 +88,19 @@ int Main(int argc, char** argv) {
   const SampleBlock block = builder.Finish();
 
   std::printf("=== micro_extract: parallel gather scaling ===\n");
-  std::printf("rows=%zu dim=%u repeats=%zu hardware_threads=%zu\n\n", flags.rows,
-              flags.dim, flags.repeats, hw);
+  std::printf("rows=%zu dim=%u repeats=%zu hardware_threads=%zu\n\n", rows, dim, repeats,
+              hw);
   std::printf("%8s %12s %14s %10s %10s %8s\n", "workers", "seconds", "rows/s",
               "busy_s", "speedup", "match");
 
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("micro_extract", bench_flags);
+  report_builder.SetConfig("rows", static_cast<std::uint64_t>(rows));
+  report_builder.SetConfig("dim", static_cast<std::uint64_t>(dim));
+
   ExtractScalingReport report;
-  report.num_rows = flags.rows;
-  report.feature_dim = flags.dim;
-  report.repeats = flags.repeats;
+  report.num_rows = rows;
+  report.feature_dim = dim;
+  report.repeats = repeats;
   report.hardware_threads = hw;
   report.bit_identical = true;
 
@@ -124,7 +116,7 @@ int Main(int argc, char** argv) {
     std::vector<float>* target = workers == 1 ? &serial_out : &out;
     double busy = 0.0;
     const auto start = std::chrono::steady_clock::now();
-    for (std::size_t r = 0; r < flags.repeats; ++r) {
+    for (std::size_t r = 0; r < repeats; ++r) {
       const ExtractStats stats = extractor.Extract(block, target);
       busy += stats.TotalBusySeconds();
     }
@@ -142,29 +134,31 @@ int Main(int argc, char** argv) {
     point.workers = workers;
     point.seconds = elapsed;
     point.rows_per_second =
-        static_cast<double>(flags.rows) * static_cast<double>(flags.repeats) / elapsed;
+        static_cast<double>(rows) * static_cast<double>(repeats) / elapsed;
     point.busy_seconds = busy;
     if (workers == 1) {
       serial_rate = point.rows_per_second;
     }
     point.speedup = serial_rate > 0.0 ? point.rows_per_second / serial_rate : 1.0;
     report.points.push_back(point);
+    const std::string prefix = "uextract.w" + std::to_string(workers);
+    report_builder.AddWall(prefix + ".rows_per_s", point.rows_per_second, "rows/s");
+    report_builder.AddWall(prefix + ".speedup", point.speedup, "x");
     std::printf("%8zu %12.4f %14.0f %10.4f %9.2fx %8s\n", point.workers, point.seconds,
                 point.rows_per_second, point.busy_seconds, point.speedup,
                 workers == 1 ? "-" : (match ? "yes" : "NO"));
   }
 
+  // The determinism check is an exact counter: any flip is a regression.
+  report_builder.Add("uextract.bit_identical", report.bit_identical ? 1.0 : 0.0,
+                     "count", /*deterministic=*/true, BetterDirection::kHigher);
+  report_builder.SetExtraJson(ExtractScalingToJson(report));
   if (!report.bit_identical) {
     std::fprintf(stderr, "FAIL: parallel gather diverged from serial bytes\n");
+    FinishBench(report_builder, bench_flags);
     return 1;
   }
-  if (!flags.json_path.empty()) {
-    if (!WriteExtractScalingJson(report, flags.json_path)) {
-      return 1;
-    }
-    std::printf("\nwrote %s\n", flags.json_path.c_str());
-  }
-  return 0;
+  return FinishBench(report_builder, bench_flags);
 }
 
 }  // namespace gnnlab

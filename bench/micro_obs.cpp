@@ -11,7 +11,8 @@
 //    GNNLAB_OBS=OFF the hooks are compiled out entirely and all paths are
 //    the same machine code, so the measured delta is pure noise (~0%).
 //
-// Flags: --rows=<n> --dim=<n> --repeats=<n> --trials=<n> --ops=<n>
+// Flags: shared bench flags (--repeats/--json/...) plus
+//        --rows=<n> --dim=<n> --trials=<n> --ops=<n>
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include <limits>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "feature/extractor.h"
 #include "feature/feature_store.h"
@@ -31,6 +33,7 @@
 namespace gnnlab {
 namespace {
 
+// Workload-shape knobs layered on top of the shared BenchFlags.
 struct Flags {
   std::size_t rows = 100000;
   std::uint32_t dim = 64;
@@ -38,31 +41,6 @@ struct Flags {
   std::size_t trials = 5;
   std::size_t ops = 2000000;  // Iterations for the raw-op loops.
 };
-
-Flags ParseFlags(int argc, char** argv) {
-  Flags flags;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--rows=", 7) == 0) {
-      flags.rows = static_cast<std::size_t>(std::atoll(arg + 7));
-    } else if (std::strncmp(arg, "--dim=", 6) == 0) {
-      flags.dim = static_cast<std::uint32_t>(std::atoi(arg + 6));
-    } else if (std::strncmp(arg, "--repeats=", 10) == 0) {
-      flags.repeats = static_cast<std::size_t>(std::atoll(arg + 10));
-    } else if (std::strncmp(arg, "--trials=", 9) == 0) {
-      flags.trials = static_cast<std::size_t>(std::atoll(arg + 9));
-    } else if (std::strncmp(arg, "--ops=", 6) == 0) {
-      flags.ops = static_cast<std::size_t>(std::atoll(arg + 6));
-    } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("flags: --rows=<n> --dim=<n> --repeats=<n> --trials=<n> --ops=<n>\n");
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
-      std::exit(2);
-    }
-  }
-  return flags;
-}
 
 double Seconds(std::chrono::steady_clock::time_point a,
                std::chrono::steady_clock::time_point b) {
@@ -82,7 +60,40 @@ double NsPerOp(std::size_t ops, Fn&& fn) {
 }  // namespace
 
 int Main(int argc, char** argv) {
-  const Flags flags = ParseFlags(argc, argv);
+  Flags flags;
+  const BenchFlags bench_flags = ParseBenchFlags(
+      argc, argv,
+      [&](const char* arg) {
+        if (std::strncmp(arg, "--rows=", 7) == 0) {
+          flags.rows = static_cast<std::size_t>(RequireIntFlag("--rows", arg + 7));
+          return true;
+        }
+        if (std::strncmp(arg, "--dim=", 6) == 0) {
+          flags.dim = static_cast<std::uint32_t>(RequireIntFlag("--dim", arg + 6));
+          return true;
+        }
+        if (std::strncmp(arg, "--trials=", 9) == 0) {
+          flags.trials = static_cast<std::size_t>(RequireIntFlag("--trials", arg + 9));
+          return true;
+        }
+        if (std::strncmp(arg, "--ops=", 6) == 0) {
+          flags.ops = static_cast<std::size_t>(RequireIntFlag("--ops", arg + 6));
+          return true;
+        }
+        return false;
+      },
+      "--rows=<n> --dim=<n> --trials=<n> --ops=<n>");
+  // The gather is timed over many repetitions per trial; the shared
+  // --repeats default (1) is too short to time, so this bench floors it.
+  flags.repeats = std::max<std::size_t>(bench_flags.repeats, 10);
+
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("micro_obs", bench_flags);
+  report_builder.SetConfig("rows", static_cast<std::uint64_t>(flags.rows));
+  report_builder.SetConfig("dim", static_cast<std::uint64_t>(flags.dim));
+  report_builder.SetConfig("trials", static_cast<std::uint64_t>(flags.trials));
+  report_builder.SetConfig("ops", static_cast<std::uint64_t>(flags.ops));
+  report_builder.SetConfig("obs_enabled", GNNLAB_OBS_ENABLED ? 1.0 : 0.0);
+
   std::printf("=== micro_obs: telemetry hook cost ===\n");
   std::printf("observability compiled %s\n\n", GNNLAB_OBS_ENABLED ? "IN" : "OUT");
 
@@ -91,16 +102,21 @@ int Main(int argc, char** argv) {
   Counter* counter = registry.GetCounter("bench.counter");
   Gauge* gauge = registry.GetGauge("bench.gauge");
   Histogram* histogram = registry.GetHistogram("bench.histogram");
-  std::printf("%-28s %10.1f ns/op\n", "counter increment",
-              NsPerOp(flags.ops, [&](std::size_t) { counter->Increment(); }));
-  std::printf("%-28s %10.1f ns/op\n", "gauge set",
-              NsPerOp(flags.ops, [&](std::size_t i) {
-                gauge->Set(static_cast<double>(i));
-              }));
-  std::printf("%-28s %10.1f ns/op\n", "histogram record",
-              NsPerOp(flags.ops, [&](std::size_t i) {
-                histogram->Record(1e-6 * static_cast<double>(i % 4096));
-              }));
+  // ns/op is a rate on the wall clock; record as wall series (kLower via
+  // the "s" unit family would be wrong — use explicit direction on "ns").
+  auto add_op = [&](const char* label, const char* series, double ns) {
+    std::printf("%-28s %10.1f ns/op\n", label, ns);
+    report_builder.AddWall(series, ns, "ns", BetterDirection::kLower);
+  };
+  add_op("counter increment", "uobs.counter_ns",
+         NsPerOp(flags.ops, [&](std::size_t) { counter->Increment(); }));
+  add_op("gauge set", "uobs.gauge_ns", NsPerOp(flags.ops, [&](std::size_t i) {
+           gauge->Set(static_cast<double>(i));
+         }));
+  add_op("histogram record", "uobs.histogram_ns",
+         NsPerOp(flags.ops, [&](std::size_t i) {
+           histogram->Record(1e-6 * static_cast<double>(i % 4096));
+         }));
   {
     RuntimeTracer tracer;
     const std::size_t span_ops = std::min<std::size_t>(flags.ops, 200000);
@@ -109,6 +125,7 @@ int Main(int argc, char** argv) {
       tracer.Record("bench", "span", "sample", t, t + 1e-6);
     });
     std::printf("%-28s %10.1f ns/op  (%zu spans)\n", "tracer record", ns, tracer.size());
+    report_builder.AddWall("uobs.tracer_ns", ns, "ns", BetterDirection::kLower);
   }
   {
     FlowTracer flows;
@@ -118,6 +135,7 @@ int Main(int argc, char** argv) {
       flows.Record(MakeFlowId(0, i), "bench", "extract", t, t + 1e-6, 1e-7);
     });
     std::printf("%-28s %10.1f ns/op  (%zu steps)\n", "flow step record", ns, flows.size());
+    report_builder.AddWall("uobs.flow_ns", ns, "ns", BetterDirection::kLower);
   }
 
   // --- end-to-end: instrumented Extract, bound vs unbound -------------------
@@ -201,18 +219,30 @@ int Main(int argc, char** argv) {
               flow_overhead * 100.0, extract_flows.size());
   std::printf("  budget: 5%% over unbound for every instrumented config\n");
 
+  report_builder.AddWall("uobs.extract_unbound_s", unbound_best, "s");
+  report_builder.AddWall("uobs.extract_bound_s", bound_best, "s");
+  report_builder.AddWall("uobs.extract_flow_s", flow_best, "s");
+  // Overhead is a lower-is-better percentage ("%"'s unit default is the
+  // other way around, so the direction is explicit).
+  report_builder.AddWall("uobs.bound_overhead_pct", overhead * 100.0, "%",
+                         BetterDirection::kLower);
+  report_builder.AddWall("uobs.flow_overhead_pct", flow_overhead * 100.0, "%",
+                         BetterDirection::kLower);
+
   if (overhead > 0.05) {
     std::fprintf(stderr, "FAIL: telemetry hooks cost more than 5%% on the extract path\n");
+    FinishBench(report_builder, bench_flags);
     return 1;
   }
   if (flow_overhead > 0.05) {
     std::fprintf(stderr,
                  "FAIL: flow-id tagging costs more than 5%% on the extract path\n");
+    FinishBench(report_builder, bench_flags);
     return 1;
   }
   std::printf("PASS: telemetry + flow hooks stay under the 5%% budget%s\n",
               GNNLAB_OBS_ENABLED ? "" : " (compiled out: delta is pure noise)");
-  return 0;
+  return FinishBench(report_builder, bench_flags);
 }
 
 }  // namespace gnnlab

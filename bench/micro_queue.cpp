@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/benchmark_report.h"
 #include "runtime/mpmc_queue.h"
 
 namespace gnnlab {
@@ -91,4 +92,6 @@ BENCHMARK(BM_MultiProducerMultiConsumer)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace gnnlab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gnnlab::RunBenchmarkMain("micro_queue", "uqueue", argc, argv);
+}

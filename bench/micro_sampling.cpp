@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "bench/benchmark_report.h"
 #include "core/workload.h"
 #include "graph/dataset.h"
 #include "runtime/thread_pool.h"
@@ -118,4 +119,6 @@ BENCHMARK(BM_ParallelReservoir_Twitter)
 }  // namespace
 }  // namespace gnnlab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gnnlab::RunBenchmarkMain("micro_sampling", "usample", argc, argv);
+}

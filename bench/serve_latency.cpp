@@ -15,8 +15,8 @@
 // and, with --json=<path>, to a ServeLatencySweep JSON file of
 // offered-rate / goodput / p50-p95-p99 / shed-count points.
 //
-// Flags: --scale=<f> --seed=<n> --max-batch=<n> --workers=<n>
-//        --slo-mult=<f> --duration-batches=<n> --json=<path>
+// Flags: shared bench flags (--scale/--seed/--json/...) plus
+//        --max-batch=<n> --workers=<n> --slo-mult=<f> --duration-batches=<n>
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "cache/feature_cache.h"
 #include "common/rng.h"
 #include "core/workload.h"
@@ -40,43 +41,55 @@
 namespace gnnlab {
 namespace {
 
-struct Flags {
-  double scale = 0.1;
-  std::uint64_t seed = 42;
+// Server-shape knobs layered on top of the shared BenchFlags.
+struct ServeFlags {
   std::size_t max_batch = 8;
   std::size_t workers = 1;
   double slo_mult = 20.0;        // SLO = slo_mult * measured batch seconds.
   std::size_t duration_batches = 150;  // Point length in batch-times.
-  std::string json_path;
+};
+
+struct Flags {
+  BenchFlags bench;
+  ServeFlags serve;
+  double scale() const { return bench.scale; }
+  std::uint64_t seed() const { return bench.seed; }
 };
 
 Flags ParseFlags(int argc, char** argv) {
   Flags flags;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--scale=", 8) == 0) {
-      flags.scale = std::atof(arg + 8);
-    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
-    } else if (std::strncmp(arg, "--max-batch=", 12) == 0) {
-      flags.max_batch = static_cast<std::size_t>(std::atoll(arg + 12));
-    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
-      flags.workers = static_cast<std::size_t>(std::atoll(arg + 10));
-    } else if (std::strncmp(arg, "--slo-mult=", 11) == 0) {
-      flags.slo_mult = std::atof(arg + 11);
-    } else if (std::strncmp(arg, "--duration-batches=", 19) == 0) {
-      flags.duration_batches = static_cast<std::size_t>(std::atoll(arg + 19));
-    } else if (std::strncmp(arg, "--json=", 7) == 0) {
-      flags.json_path = arg + 7;
-    } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf(
-          "flags: --scale=<f> --seed=<n> --max-batch=<n> --workers=<n> "
-          "--slo-mult=<f> --duration-batches=<n> --json=<path>\n");
-      std::exit(0);
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
-      std::exit(2);
-    }
+  bool scale_set = false;
+  flags.bench = ParseBenchFlags(
+      argc, argv,
+      [&](const char* arg) {
+        if (std::strncmp(arg, "--scale=", 8) == 0) {
+          scale_set = true;  // Observe only; the shared parser consumes it.
+          return false;
+        }
+        if (std::strncmp(arg, "--max-batch=", 12) == 0) {
+          flags.serve.max_batch =
+              static_cast<std::size_t>(RequireIntFlag("--max-batch", arg + 12));
+          return true;
+        }
+        if (std::strncmp(arg, "--workers=", 10) == 0) {
+          flags.serve.workers =
+              static_cast<std::size_t>(RequireIntFlag("--workers", arg + 10));
+          return true;
+        }
+        if (std::strncmp(arg, "--slo-mult=", 11) == 0) {
+          flags.serve.slo_mult = RequireDoubleFlag("--slo-mult", arg + 11);
+          return true;
+        }
+        if (std::strncmp(arg, "--duration-batches=", 19) == 0) {
+          flags.serve.duration_batches = static_cast<std::size_t>(
+              RequireIntFlag("--duration-batches", arg + 19));
+          return true;
+        }
+        return false;
+      },
+      "--max-batch=<n> --workers=<n> --slo-mult=<f> --duration-batches=<n>");
+  if (!scale_set) {
+    flags.bench.scale = 0.1;  // This bench's historical default; full scale is slow.
   }
   return flags;
 }
@@ -90,13 +103,13 @@ struct ServeStack {
   std::unique_ptr<GnnModel> model;
 
   explicit ServeStack(const Flags& flags)
-      : dataset(MakeDataset(DatasetId::kProducts, flags.scale, flags.seed)),
+      : dataset(MakeDataset(DatasetId::kProducts, flags.scale(), flags.seed())),
         workload(StandardWorkload(GnnModelKind::kGraphSage)) {
     workload.fanouts = {4, 4};
     const VertexId nv = dataset.graph.num_vertices();
     constexpr std::uint32_t kClasses = 8;
     constexpr std::uint32_t kDim = 16;
-    Rng rng(flags.seed + 1);
+    Rng rng(flags.seed() + 1);
     const std::vector<std::uint32_t> labels = MakeCommunityLabels(nv, 128, kClasses);
     features = FeatureStore::Clustered(nv, kDim, labels, kClasses, 0.3, &rng);
     std::vector<VertexId> ranked(nv);
@@ -107,7 +120,7 @@ struct ServeStack {
     config.in_dim = kDim;
     config.hidden_dim = 16;
     config.num_classes = kClasses;
-    Rng model_rng(flags.seed + 2);
+    Rng model_rng(flags.seed() + 2);
     model = std::make_unique<GnnModel>(config, &model_rng);
   }
 };
@@ -127,16 +140,16 @@ struct SweepPoint {
 SweepPoint RunPoint(const ServeStack& stack, const Flags& flags, double estimate,
                     double slo, double multiplier, bool shedding) {
   const double capacity_rps =
-      static_cast<double>(flags.max_batch * flags.workers) / estimate;
+      static_cast<double>(flags.serve.max_batch * flags.serve.workers) / estimate;
 
   ServeOptions options;
-  options.max_batch = flags.max_batch;
-  options.workers = flags.workers;
+  options.max_batch = flags.serve.max_batch;
+  options.workers = flags.serve.workers;
   options.shedding = shedding;
   options.admission_capacity = 16384;  // Capacity never masks the SLO shed.
   options.initial_batch_estimate_seconds = estimate;
   options.max_linger_seconds = std::max(slo / 10.0, 1e-4);
-  options.seed = flags.seed;
+  options.seed = flags.seed();
   InferenceServer server(stack.dataset, stack.workload, stack.features,
                          &stack.cache, stack.model.get(), options);
   server.Start();
@@ -145,10 +158,10 @@ SweepPoint RunPoint(const ServeStack& stack, const Flags& flags, double estimate
   load.mode = LoadMode::kOpen;
   load.rate_rps = multiplier * capacity_rps;
   load.num_requests = static_cast<std::size_t>(std::ceil(
-      multiplier * static_cast<double>(flags.max_batch * flags.workers *
-                                       flags.duration_batches)));
+      multiplier * static_cast<double>(flags.serve.max_batch * flags.serve.workers *
+                                       flags.serve.duration_batches)));
   load.slo_seconds = slo;
-  load.seed = flags.seed + static_cast<std::uint64_t>(multiplier * 100.0) +
+  load.seed = flags.seed() + static_cast<std::uint64_t>(multiplier * 100.0) +
               (shedding ? 1 : 0);
   const LoadReport client = RunLoad(&server, load);
   server.Stop();
@@ -208,37 +221,46 @@ int Main(int argc, char** argv) {
   const Flags flags = ParseFlags(argc, argv);
   const ServeStack stack(flags);
 
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("serve_latency", flags.bench);
+  report_builder.SetConfig("max_batch",
+                           static_cast<std::uint64_t>(flags.serve.max_batch));
+  report_builder.SetConfig("workers", static_cast<std::uint64_t>(flags.serve.workers));
+  report_builder.SetConfig("slo_mult", flags.serve.slo_mult);
+  report_builder.SetConfig("duration_batches",
+                           static_cast<std::uint64_t>(flags.serve.duration_batches));
+
   // Calibration: a closed-ish warmup long enough to settle the server's
   // per-batch EMA on full batches.
   double estimate;
   {
     ServeOptions options;
-    options.max_batch = flags.max_batch;
-    options.workers = flags.workers;
+    options.max_batch = flags.serve.max_batch;
+    options.workers = flags.serve.workers;
     options.shedding = false;
     options.admission_capacity = 16384;
-    options.seed = flags.seed;
+    options.seed = flags.seed();
     InferenceServer server(stack.dataset, stack.workload, stack.features,
                            &stack.cache, stack.model.get(), options);
     server.Start();
     LoadGenOptions load;
     load.mode = LoadMode::kOpen;
     load.rate_rps = 2000.0;
-    load.num_requests = 20 * flags.max_batch;
+    load.num_requests = 20 * flags.serve.max_batch;
     load.slo_seconds = 30.0;  // Calibration never sheds or violates.
-    load.seed = flags.seed;
+    load.seed = flags.seed();
     RunLoad(&server, load);
     server.Stop();
     estimate = server.batch_estimate_seconds();
   }
-  const double slo = flags.slo_mult * estimate;
+  const double slo = flags.serve.slo_mult * estimate;
   const double capacity_rps =
-      static_cast<double>(flags.max_batch * flags.workers) / estimate;
+      static_cast<double>(flags.serve.max_batch * flags.serve.workers) / estimate;
 
   std::printf("=== serve_latency: throughput vs tail latency ===\n");
   std::printf(
       "max_batch=%zu workers=%zu batch=%.3fms capacity=%.0f rps slo=%.2fms\n\n",
-      flags.max_batch, flags.workers, estimate * 1e3, capacity_rps, slo * 1e3);
+      flags.serve.max_batch, flags.serve.workers, estimate * 1e3, capacity_rps,
+      slo * 1e3);
   std::printf("%6s %6s %12s %12s %8s %8s %10s %10s %10s\n", "load", "shed",
               "offered_rps", "goodput_rps", "served", "shed#", "p50_ms",
               "p95_ms", "p99_ms");
@@ -254,6 +276,14 @@ int Main(int argc, char** argv) {
                   static_cast<unsigned long long>(point.served),
                   static_cast<unsigned long long>(point.shed), point.e2e.p50 * 1e3,
                   point.e2e.p95 * 1e3, point.e2e.p99 * 1e3);
+      // Wall-clock series: real threads on a real clock, so never part of
+      // the deterministic baseline gate.
+      const std::string prefix = "serve.l" +
+                                 std::to_string(static_cast<int>(multiplier * 100.0)) +
+                                 (shedding ? ".shed" : ".noshed");
+      report_builder.AddWall(prefix + ".goodput_rps", point.goodput_rps, "rows/s");
+      report_builder.AddWall(prefix + ".p50_s", point.e2e.p50, "s");
+      report_builder.AddWall(prefix + ".p99_s", point.e2e.p99, "s");
       points.push_back(point);
     }
   }
@@ -278,19 +308,14 @@ int Main(int argc, char** argv) {
         unshed2x->e2e.p99 * 1e3, slo * 1e3, bounded ? "bounds" : "DID NOT bound");
   }
 
-  if (!flags.json_path.empty()) {
-    const std::string json = SweepToJson(points, estimate, slo, bounded);
-    std::FILE* file = std::fopen(flags.json_path.c_str(), "w");
-    if (file == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", flags.json_path.c_str());
-      return 1;
-    }
-    std::fputs(json.c_str(), file);
-    std::fputc('\n', file);
-    std::fclose(file);
-    std::printf("\nwrote %s\n", flags.json_path.c_str());
-  }
-  return bounded ? 0 : 1;
+  // The shedding verdict is the bench's pass/fail bit; surface it as a
+  // series too (wall-derived, so outside the deterministic gate).
+  report_builder.AddWall("serve.shed_bounds_p99", bounded ? 1.0 : 0.0, "count");
+  // The pre-schema sweep payload rides along under "extra" so consumers of
+  // the old standalone format keep their data.
+  report_builder.SetExtraJson(SweepToJson(points, estimate, slo, bounded));
+  const int finish_rc = FinishBench(report_builder, flags.bench);
+  return bounded ? finish_rc : 1;
 }
 
 }  // namespace gnnlab

@@ -32,13 +32,15 @@ int main(int argc, char** argv) {
 
   struct AlgoSpec {
     const char* name;
+    const char* slug;
     Workload workload;
   };
   const AlgoSpec algos[] = {
-      {"3-hop random", StandardWorkload(GnnModelKind::kGcn)},
-      {"Random walks", StandardWorkload(GnnModelKind::kPinSage)},
-      {"3-hop weighted", WeightedGcnWorkload()},
+      {"3-hop random", "khop", StandardWorkload(GnnModelKind::kGcn)},
+      {"Random walks", "rw", StandardWorkload(GnnModelKind::kPinSage)},
+      {"3-hop weighted", "wkhop", WeightedGcnWorkload()},
   };
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("table2_similarity", flags);
 
   TablePrinter table({"Sampling algorithm", "PR", "TW", "PA", "UK"});
   for (const AlgoSpec& algo : algos) {
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
         prev = std::move(next);
       }
       row.push_back(Fmt(100.0 * total / pairs, 2));
+      report_builder.Add(std::string("t2.") + algo.slug + "." + ds.name + ".similarity",
+                         100.0 * total / pairs, "%");
     }
     table.AddRow(std::move(row));
   }
@@ -68,5 +72,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper shape: 64-91%% overlap everywhere — high enough that one or two\n"
       "pre-sampling stages predict the hot set of every later epoch.\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

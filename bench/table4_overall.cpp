@@ -13,7 +13,21 @@ namespace {
 
 constexpr int kGpus = 8;
 
-std::string PygCell(const Dataset& ds, const Workload& workload, const BenchFlags& flags) {
+const char* ModelSlug(GnnModelKind kind) {
+  switch (kind) {
+    case GnnModelKind::kGcn:
+      return "gcn";
+    case GnnModelKind::kGraphSage:
+      return "sage";
+    case GnnModelKind::kPinSage:
+      return "pinsage";
+    default:
+      return "model";
+  }
+}
+
+std::string PygCell(const Dataset& ds, const Workload& workload, const BenchFlags& flags,
+                    BenchReportBuilder* report_builder) {
   if (workload.model == GnnModelKind::kPinSage) {
     return "x";  // The paper marks PinSAGE unsupported in PyG.
   }
@@ -22,11 +36,16 @@ std::string PygCell(const Dataset& ds, const Workload& workload, const BenchFlag
   options.epochs = flags.epochs;
   options.seed = flags.seed;
   CpuRunner runner(ds, workload, options);
-  return Fmt(runner.Run().AvgEpochTime());
+  const double epoch_s = runner.Run().AvgEpochTime();
+  report_builder->Add(std::string("t4.") + ModelSlug(workload.model) + "." + ds.name +
+                          ".pyg.epoch_s",
+                      epoch_s);
+  return Fmt(epoch_s);
 }
 
 std::string TimeShareCell(const Dataset& ds, const Workload& workload,
-                          const TimeShareOptions& base, const BenchFlags& flags) {
+                          const TimeShareOptions& base, const char* system,
+                          const BenchFlags& flags, BenchReportBuilder* report_builder) {
   TimeShareOptions options = base;
   options.num_gpus = kGpus;
   options.gpu_memory = flags.GpuMemory();
@@ -34,10 +53,17 @@ std::string TimeShareCell(const Dataset& ds, const Workload& workload,
   options.seed = flags.seed;
   TimeShareRunner runner(ds, workload, options);
   const RunReport report = runner.Run();
-  return report.oom ? "OOM" : Fmt(report.AvgEpochTime());
+  if (report.oom) {
+    return "OOM";
+  }
+  report_builder->Add(std::string("t4.") + ModelSlug(workload.model) + "." + ds.name +
+                          "." + system + ".epoch_s",
+                      report.AvgEpochTime());
+  return Fmt(report.AvgEpochTime());
 }
 
-std::string GnnlabCell(const Dataset& ds, const Workload& workload, const BenchFlags& flags) {
+std::string GnnlabCell(const Dataset& ds, const Workload& workload, const BenchFlags& flags,
+                       BenchReportBuilder* report_builder) {
   EngineOptions options;
   options.num_gpus = kGpus;
   options.gpu_memory = flags.GpuMemory();
@@ -49,6 +75,9 @@ std::string GnnlabCell(const Dataset& ds, const Workload& workload, const BenchF
   if (report.oom) {
     return "OOM";
   }
+  report_builder->Add(std::string("t4.") + ModelSlug(workload.model) + "." + ds.name +
+                          ".gnnlab.epoch_s",
+                      report.AvgEpochTime());
   return Fmt(report.AvgEpochTime()) + " (" + std::to_string(report.num_samplers) + "S)";
 }
 
@@ -58,6 +87,7 @@ int main(int argc, char** argv) {
   const BenchFlags flags = ParseBenchFlags(argc, argv);
   PrintBenchHeader("Table 4: end-to-end epoch time per system (8 GPUs)", flags);
 
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("table4_overall", flags);
   TablePrinter table({"Model", "Dataset", "PyG", "DGL", "T_SOTA", "GNNLab"});
   for (const GnnModelKind kind :
        {GnnModelKind::kGcn, GnnModelKind::kGraphSage, GnnModelKind::kPinSage}) {
@@ -68,10 +98,12 @@ int main(int argc, char** argv) {
       if (first) {
         table.AddSeparator();
       }
-      table.AddRow({first ? workload.name : "", ds.name, PygCell(ds, workload, flags),
-                    TimeShareCell(ds, workload, DglOptions(), flags),
-                    TimeShareCell(ds, workload, TsotaOptions(), flags),
-                    GnnlabCell(ds, workload, flags)});
+      table.AddRow({first ? workload.name : "", ds.name,
+                    PygCell(ds, workload, flags, &report_builder),
+                    TimeShareCell(ds, workload, DglOptions(), "dgl", flags, &report_builder),
+                    TimeShareCell(ds, workload, TsotaOptions(), "tsota", flags,
+                                  &report_builder),
+                    GnnlabCell(ds, workload, flags, &report_builder)});
       first = false;
     }
   }
@@ -80,5 +112,5 @@ int main(int argc, char** argv) {
       "\nPaper shape: GNNLab wins everywhere except PR (where all data fits one\n"
       "GPU and T_SOTA edges ahead); DGL and often T_SOTA OOM on UK; PyG trails\n"
       "by an order of magnitude.\n");
-  return 0;
+  return FinishBench(report_builder, flags);
 }

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Benchmark observatory runner: executes the curated bench suite at a pinned
+# small-scale config, consolidates the per-bench BenchReports into one
+# BENCH_<date>.json trajectory file at the repo root, and gates the run
+# against the committed baselines in bench/baselines/ with tools/benchdiff.
+#
+#   scripts/bench.sh                     # run suite + gate vs baselines
+#   scripts/bench.sh --refresh-baselines # rewrite bench/baselines/*.json
+#   scripts/bench.sh --gate=all          # also gate wall-clock series
+#   scripts/bench.sh --no-gate           # run + consolidate only
+#
+# The suite config is pinned (scale/epochs/seed below): committed baselines
+# are only meaningful at one config, and benchdiff refuses to compare
+# reports whose configs differ. Only deterministic (simulated-timeline)
+# series gate by default, so the committed baselines hold on any machine.
+# With no baselines committed yet the gate is skipped, not failed.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+build_dir="build"
+baseline_dir="bench/baselines"
+gate_mode="deterministic"
+refresh=0
+run_gate=1
+
+for arg in "$@"; do
+  case "${arg}" in
+    --build-dir=*) build_dir="${arg#--build-dir=}" ;;
+    --refresh-baselines) refresh=1 ;;
+    --gate=*) gate_mode="${arg#--gate=}" ;;
+    --no-gate) run_gate=0 ;;
+    --help)
+      sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "bench.sh: unknown flag: ${arg}" >&2
+      exit 2
+      ;;
+  esac
+done
+
+bench_bin="${build_dir}/bench"
+diff_bin="${build_dir}/tools/benchdiff"
+[ -x "${diff_bin}" ] || {
+  echo "bench.sh: ${diff_bin} not built (cmake --build ${build_dir})" >&2
+  exit 2
+}
+
+# The curated suite: one representative per layer (end-to-end factored vs
+# baselines, cache policy, policy e2e, distributed, microbenchmark), each
+# fast enough at the pinned scale that the suite stays under a minute.
+pinned="--scale=0.04 --epochs=2 --seed=42"
+declare -A suite=(
+  [table1_breakdown]="${pinned}"
+  [fig10_hitrate]="${pinned}"
+  [fig13_policy_e2e]="${pinned}"
+  [dist_scaling]="${pinned}"
+  [micro_extract]="--seed=42 --rows=50000 --dim=32"
+)
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "${out_dir}"' EXIT
+reports=()
+for bench in table1_breakdown fig10_hitrate fig13_policy_e2e dist_scaling micro_extract; do
+  report="${out_dir}/${bench}.json"
+  echo "bench.sh: running ${bench} ${suite[${bench}]}"
+  # shellcheck disable=SC2086
+  "${bench_bin}/${bench}" ${suite[${bench}]} --json="${report}" > "${out_dir}/${bench}.log" 2>&1 || {
+    echo "bench.sh: ${bench} exited nonzero:" >&2
+    tail -20 "${out_dir}/${bench}.log" >&2
+    exit 1
+  }
+  [ -s "${report}" ] || { echo "bench.sh: ${bench} wrote no report" >&2; exit 1; }
+  reports+=("${report}")
+done
+
+# Consolidate: one suite object whose "reports" array holds each bench's
+# report verbatim (every report is a single JSON line by construction).
+date_tag="$(date +%Y%m%d)"
+git_tag="$(git describe --always --dirty 2>/dev/null || echo unknown)"
+suite_file="BENCH_${date_tag}.json"
+{
+  printf '{"schema":"gnnlab.bench_suite.v1","date":"%s","git":"%s","reports":[' \
+    "${date_tag}" "${git_tag}"
+  first=1
+  for report in "${reports[@]}"; do
+    [ "${first}" = 1 ] || printf ','
+    first=0
+    tr -d '\n' < "${report}"
+  done
+  printf ']}\n'
+} > "${suite_file}"
+echo "bench.sh: wrote ${suite_file}"
+
+if [ "${refresh}" = 1 ]; then
+  mkdir -p "${baseline_dir}"
+  for report in "${reports[@]}"; do
+    cp "${report}" "${baseline_dir}/$(basename "${report}")"
+  done
+  echo "bench.sh: refreshed ${baseline_dir}/ ($(ls "${baseline_dir}" | wc -l) baselines)"
+  exit 0
+fi
+
+if [ "${run_gate}" = 0 ]; then
+  echo "bench.sh: gate skipped (--no-gate)"
+  exit 0
+fi
+if ! ls "${baseline_dir}"/*.json >/dev/null 2>&1; then
+  echo "bench.sh: no baselines in ${baseline_dir}/, gate skipped" \
+       "(run scripts/bench.sh --refresh-baselines to record them)"
+  exit 0
+fi
+
+echo "bench.sh: gating against ${baseline_dir}/ (--gate=${gate_mode})"
+"${diff_bin}" --gate="${gate_mode}" "${baseline_dir}" "${reports[@]}" || {
+  rc=$?
+  if [ "${rc}" = 1 ]; then
+    echo "bench.sh: PERF REGRESSION — see the table above;" \
+         "if intentional, refresh with scripts/bench.sh --refresh-baselines" >&2
+  fi
+  exit "${rc}"
+}
+echo "bench.sh: perf gate clean"

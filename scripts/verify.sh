@@ -4,8 +4,9 @@
 # --flow-out / --metrics-out / --report-out / --prom-out must produce
 # non-empty, well-formed artifacts (JSON, plus a Prometheus text exposition
 # scraped once and checked line by line), a 4-node simulated cluster epoch
-# must export the dist.* metric families, and micro_obs must show the hooks
-# staying under their 5% overhead budget.
+# must export the dist.* metric families, micro_obs must show the hooks
+# staying under their 5% overhead budget, and the curated bench suite must
+# pass the noise-aware perf-regression gate against bench/baselines/.
 #
 #   scripts/verify.sh              # full pipeline in build/
 #   scripts/verify.sh --fast       # skip the cmake configure step
@@ -193,7 +194,13 @@ grep -q '^gnnlab_dist_allreduce_rounds_total ' "${dist_prom}" || {
 echo "ok: ${dist_report} + ${dist_prom}"
 
 # --- hook overhead budget ----------------------------------------------------
-"${build_dir}/bench/micro_obs" --rows=50000 --repeats=5 --trials=3
+"${build_dir}/bench/micro_obs" --rows=50000 --repeats=10 --trials=3
+
+# --- perf-regression gate ----------------------------------------------------
+# The curated bench suite at its pinned config vs the committed baselines in
+# bench/baselines/ (deterministic series only, so the verdict holds on any
+# machine). Skipped, not failed, when no baselines are committed yet.
+scripts/bench.sh --build-dir="${build_dir}"
 
 echo
-echo "verify: build + tests + telemetry smoke + serving smoke + overhead budget all green"
+echo "verify: build + tests + telemetry smoke + serving smoke + overhead budget + perf gate all green"

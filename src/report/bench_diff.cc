@@ -1,0 +1,212 @@
+#include "report/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "report/table.h"
+
+namespace gnnlab {
+
+const char* SeriesVerdictName(SeriesVerdict verdict) {
+  switch (verdict) {
+    case SeriesVerdict::kOk:
+      return "ok";
+    case SeriesVerdict::kImprovement:
+      return "improvement";
+    case SeriesVerdict::kRegression:
+      return "REGRESSION";
+    case SeriesVerdict::kMissing:
+      return "missing";
+    case SeriesVerdict::kNew:
+      return "new";
+    case SeriesVerdict::kSkipped:
+      return "skipped";
+  }
+  return "ok";
+}
+
+namespace {
+
+// Severity order for the rendered table: regressions first, then missing,
+// improvements, everything else.
+int VerdictRank(SeriesVerdict verdict) {
+  switch (verdict) {
+    case SeriesVerdict::kRegression:
+      return 0;
+    case SeriesVerdict::kMissing:
+      return 1;
+    case SeriesVerdict::kImprovement:
+      return 2;
+    case SeriesVerdict::kNew:
+      return 3;
+    case SeriesVerdict::kSkipped:
+      return 4;
+    case SeriesVerdict::kOk:
+      return 5;
+  }
+  return 5;
+}
+
+SeriesVerdict Judge(const SeriesDiff& diff, bool gated, const BenchDiffOptions& options) {
+  if (!gated || diff.better == BetterDirection::kNone) {
+    return SeriesVerdict::kSkipped;
+  }
+  const double magnitude = std::fabs(diff.delta);
+  const double rel_floor = options.rel_threshold * std::fabs(diff.base_median);
+  const double noise_floor = options.k_mad * diff.base_mad;
+  if (magnitude <= rel_floor || magnitude <= noise_floor) {
+    return SeriesVerdict::kOk;
+  }
+  const bool worse = diff.better == BetterDirection::kLower ? diff.delta > 0.0
+                                                            : diff.delta < 0.0;
+  return worse ? SeriesVerdict::kRegression : SeriesVerdict::kImprovement;
+}
+
+}  // namespace
+
+BenchDiffResult DiffBenchReports(const BenchReport& baseline, const BenchReport& current,
+                                 const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  result.bench = baseline.bench.empty() ? current.bench : baseline.bench;
+  result.base_git = baseline.git;
+  result.cur_git = current.git;
+
+  for (const auto& [key, base_value] : baseline.config) {
+    const std::string* cur_value = current.FindConfig(key);
+    if (cur_value != nullptr && *cur_value != base_value) {
+      result.config_mismatches.push_back(key + " (" + base_value + " vs " + *cur_value +
+                                         ")");
+    }
+  }
+
+  for (const BenchSeries& base : baseline.series) {
+    SeriesDiff diff;
+    diff.name = base.name;
+    diff.unit = base.unit;
+    diff.better = base.better;
+    diff.deterministic = base.deterministic;
+    diff.base_median = base.stats.median;
+    diff.base_mad = base.stats.mad;
+    const BenchSeries* cur = current.Find(base.name);
+    if (cur == nullptr) {
+      diff.verdict = SeriesVerdict::kMissing;
+      ++result.missing;
+      if (options.fail_on_missing) {
+        ++result.regressions;
+      }
+      result.series.push_back(diff);
+      continue;
+    }
+    diff.cur_median = cur->stats.median;
+    diff.delta = diff.cur_median - diff.base_median;
+    diff.rel_delta =
+        diff.base_median != 0.0 ? diff.delta / std::fabs(diff.base_median) : 0.0;
+    const bool gated = base.deterministic || options.gate_wall;
+    diff.verdict = result.config_mismatches.empty()
+                       ? Judge(diff, gated, options)
+                       : SeriesVerdict::kSkipped;
+    if (diff.verdict == SeriesVerdict::kRegression) {
+      ++result.regressions;
+    } else if (diff.verdict == SeriesVerdict::kImprovement) {
+      ++result.improvements;
+    }
+    result.series.push_back(diff);
+  }
+
+  for (const BenchSeries& cur : current.series) {
+    if (baseline.Find(cur.name) == nullptr) {
+      SeriesDiff diff;
+      diff.name = cur.name;
+      diff.unit = cur.unit;
+      diff.better = cur.better;
+      diff.deterministic = cur.deterministic;
+      diff.cur_median = cur.stats.median;
+      diff.verdict = SeriesVerdict::kNew;
+      result.series.push_back(diff);
+    }
+  }
+
+  std::stable_sort(result.series.begin(), result.series.end(),
+                   [](const SeriesDiff& a, const SeriesDiff& b) {
+                     if (VerdictRank(a.verdict) != VerdictRank(b.verdict)) {
+                       return VerdictRank(a.verdict) < VerdictRank(b.verdict);
+                     }
+                     return std::fabs(a.rel_delta) > std::fabs(b.rel_delta);
+                   });
+  return result;
+}
+
+namespace {
+
+std::string FmtValue(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string FmtRel(double rel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", rel * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderBenchDiff(const BenchDiffResult& result) {
+  std::ostringstream os;
+  os << "=== benchdiff: " << result.bench << " (" << result.base_git << " -> "
+     << result.cur_git << ") ===\n";
+  for (const std::string& mismatch : result.config_mismatches) {
+    os << "config mismatch: " << mismatch << " — series comparisons skipped\n";
+  }
+  TablePrinter table({"series", "unit", "base", "current", "delta", "MAD(base)",
+                      "verdict"});
+  for (const SeriesDiff& diff : result.series) {
+    const bool unmatched = diff.verdict == SeriesVerdict::kMissing ||
+                           diff.verdict == SeriesVerdict::kNew;
+    table.AddRow({diff.name, diff.unit.empty() ? "-" : diff.unit,
+                  diff.verdict == SeriesVerdict::kNew ? "-" : FmtValue(diff.base_median),
+                  diff.verdict == SeriesVerdict::kMissing ? "-" : FmtValue(diff.cur_median),
+                  unmatched ? "-" : FmtRel(diff.rel_delta),
+                  unmatched ? "-" : FmtValue(diff.base_mad),
+                  SeriesVerdictName(diff.verdict)});
+  }
+  os << table.ToString();
+  os << "summary: " << result.regressions << " regression(s), " << result.improvements
+     << " improvement(s), " << result.missing << " missing, " << result.series.size()
+     << " series compared\n";
+  return os.str();
+}
+
+std::string BenchDiffToJson(const BenchDiffResult& result) {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << result.bench << "\"";
+  os << ",\"base_git\":\"" << result.base_git << "\"";
+  os << ",\"cur_git\":\"" << result.cur_git << "\"";
+  os << ",\"config_mismatch\":" << (result.config_mismatches.empty() ? "false" : "true");
+  os << ",\"regressions\":" << result.regressions;
+  os << ",\"improvements\":" << result.improvements;
+  os << ",\"missing\":" << result.missing;
+  os << ",\"series\":[";
+  for (std::size_t i = 0; i < result.series.size(); ++i) {
+    const SeriesDiff& diff = result.series[i];
+    if (i > 0) {
+      os << ",";
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"unit\":\"%s\",\"base_median\":%.17g,"
+                  "\"cur_median\":%.17g,\"delta\":%.17g,\"rel_delta\":%.17g,"
+                  "\"base_mad\":%.17g,\"verdict\":\"%s\"}",
+                  diff.name.c_str(), diff.unit.c_str(), diff.base_median,
+                  diff.cur_median, diff.delta, diff.rel_delta, diff.base_mad,
+                  SeriesVerdictName(diff.verdict));
+    os << buf;
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,82 @@
+// Noise-aware comparison of two BenchReports — the library behind
+// tools/benchdiff and the perf-regression gate in scripts/bench.sh.
+//
+// Series are matched by name. A series only counts as a regression when its
+// median moved in the "worse" direction by more than BOTH
+//   (a) rel_threshold * |baseline median|   (relative floor), and
+//   (b) k_mad * baseline MAD                (noise floor),
+// so a noisy wall-clock series needs a shift well outside its own observed
+// dispersion, while a deterministic series (MAD = 0) gates on the relative
+// floor alone. Improvements past the same thresholds are reported but never
+// fail the gate.
+#ifndef GNNLAB_REPORT_BENCH_DIFF_H_
+#define GNNLAB_REPORT_BENCH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "report/bench_report.h"
+
+namespace gnnlab {
+
+enum class SeriesVerdict : std::uint8_t {
+  kOk,           // Within thresholds (or informational direction).
+  kImprovement,  // Moved past both thresholds in the better direction.
+  kRegression,   // Moved past both thresholds in the worse direction.
+  kMissing,      // In baseline, absent from current (coverage loss).
+  kNew,          // In current only; informational.
+  kSkipped,      // Not gated (non-deterministic under gate=deterministic).
+};
+const char* SeriesVerdictName(SeriesVerdict verdict);
+
+struct BenchDiffOptions {
+  double rel_threshold = 0.05;  // Relative floor on the median delta.
+  double k_mad = 3.0;           // Noise floor: k * baseline MAD.
+  // Gate wall-clock series too? Default gates only deterministic series so
+  // a committed baseline stays valid across machines.
+  bool gate_wall = false;
+  // Treat a baseline series missing from the current report as a failure.
+  bool fail_on_missing = false;
+};
+
+struct SeriesDiff {
+  std::string name;
+  std::string unit;
+  BetterDirection better = BetterDirection::kNone;
+  bool deterministic = true;
+  double base_median = 0.0;
+  double base_mad = 0.0;
+  double cur_median = 0.0;
+  double delta = 0.0;          // cur - base.
+  double rel_delta = 0.0;      // delta / |base| (0 when base is 0).
+  SeriesVerdict verdict = SeriesVerdict::kOk;
+};
+
+struct BenchDiffResult {
+  std::string bench;
+  std::string base_git;
+  std::string cur_git;
+  // Config keys present in both reports but with different values; such a
+  // comparison is apples-to-oranges, so the gate refuses to pass or fail it
+  // (regressions=0 but config_mismatch=true, exit code 2 in the tool).
+  std::vector<std::string> config_mismatches;
+  std::vector<SeriesDiff> series;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t missing = 0;
+
+  bool HasRegression() const { return regressions > 0; }
+};
+
+BenchDiffResult DiffBenchReports(const BenchReport& baseline, const BenchReport& current,
+                                 const BenchDiffOptions& options);
+
+// Human-readable table (one row per series, worst first) plus a one-line
+// summary; ends with '\n'.
+std::string RenderBenchDiff(const BenchDiffResult& result);
+// Machine output for the CI artifact.
+std::string BenchDiffToJson(const BenchDiffResult& result);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_REPORT_BENCH_DIFF_H_

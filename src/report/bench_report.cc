@@ -1,0 +1,511 @@
+#include "report/bench_report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "report/json_parse.h"
+
+// Stamped by the build system (src/CMakeLists.txt runs `git describe` at
+// configure time); standalone compilation falls back to "unknown".
+#ifndef GNNLAB_GIT_DESCRIBE
+#define GNNLAB_GIT_DESCRIBE "unknown"
+#endif
+
+namespace gnnlab {
+
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double fraction = position - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * fraction;
+}
+
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return SortedQuantile(samples, 0.5);
+}
+
+double MedianAbsoluteDeviation(const std::vector<double>& samples, double median) {
+  std::vector<double> deviations;
+  deviations.reserve(samples.size());
+  for (const double v : samples) {
+    deviations.push_back(std::fabs(v - median));
+  }
+  return Median(std::move(deviations));
+}
+
+SeriesStats ComputeSeriesStats(const std::vector<double>& samples) {
+  SeriesStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) {
+    return stats;
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  double sum = 0.0;
+  for (const double v : sorted) {
+    sum += v;
+  }
+  stats.mean = sum / static_cast<double>(sorted.size());
+  stats.median = SortedQuantile(sorted, 0.5);
+  stats.p95 = SortedQuantile(sorted, 0.95);
+  stats.mad = MedianAbsoluteDeviation(samples, stats.median);
+  return stats;
+}
+
+const char* BetterDirectionName(BetterDirection direction) {
+  switch (direction) {
+    case BetterDirection::kLower:
+      return "lower";
+    case BetterDirection::kHigher:
+      return "higher";
+    case BetterDirection::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+BetterDirection BetterDirectionForUnit(std::string_view unit) {
+  if (unit == "s" || unit == "ms" || unit == "us" || unit == "ns" ||
+      unit == "bytes" || unit == "ns/op") {
+    return BetterDirection::kLower;
+  }
+  if (unit == "%" || unit == "x" || unit == "rows/s" || unit == "items/s" ||
+      unit == "rps") {
+    return BetterDirection::kHigher;
+  }
+  return BetterDirection::kNone;
+}
+
+const BenchSeries* BenchReport::Find(std::string_view name) const {
+  for (const BenchSeries& s : series) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const std::string* BenchReport::FindConfig(std::string_view key) const {
+  for (const auto& [k, v] : config) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+BenchReportBuilder::BenchReportBuilder(std::string bench_name) {
+  report_.bench = std::move(bench_name);
+  report_.git = GNNLAB_GIT_DESCRIBE;
+}
+
+void BenchReportBuilder::SetConfig(const std::string& key, std::string value) {
+  for (auto& [k, v] : report_.config) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  report_.config.emplace_back(key, std::move(value));
+}
+
+void BenchReportBuilder::SetConfig(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  SetConfig(key, std::string(buf));
+}
+
+void BenchReportBuilder::SetConfig(const std::string& key, std::uint64_t value) {
+  SetConfig(key, std::to_string(value));
+}
+
+BenchSeries* BenchReportBuilder::GetOrCreate(const std::string& name,
+                                             const std::string& unit,
+                                             bool deterministic,
+                                             BetterDirection better) {
+  for (BenchSeries& s : report_.series) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  BenchSeries series;
+  series.name = name;
+  series.unit = unit;
+  series.deterministic = deterministic;
+  series.better = better;
+  report_.series.push_back(std::move(series));
+  return &report_.series.back();
+}
+
+void BenchReportBuilder::Add(const std::string& series, double value,
+                             const std::string& unit, bool deterministic) {
+  Add(series, value, unit, deterministic, BetterDirectionForUnit(unit));
+}
+
+void BenchReportBuilder::Add(const std::string& series, double value,
+                             const std::string& unit, bool deterministic,
+                             BetterDirection better) {
+  GetOrCreate(series, unit, deterministic, better)->samples.push_back(value);
+}
+
+void BenchReportBuilder::Add(const std::string& series, double value,
+                             const std::string& unit, BetterDirection better) {
+  Add(series, value, unit, /*deterministic=*/true, better);
+}
+
+void BenchReportBuilder::AddWall(const std::string& series, double value,
+                                 const std::string& unit) {
+  Add(series, value, unit, /*deterministic=*/false);
+}
+
+void BenchReportBuilder::AddWall(const std::string& series, double value,
+                                 const std::string& unit, BetterDirection better) {
+  Add(series, value, unit, /*deterministic=*/false, better);
+}
+
+void BenchReportBuilder::AddSamples(const std::string& series,
+                                    const std::vector<double>& values,
+                                    const std::string& unit, bool deterministic) {
+  for (const double v : values) {
+    Add(series, v, unit, deterministic);
+  }
+}
+
+void BenchReportBuilder::AddSamples(const std::string& series,
+                                    const std::vector<double>& values,
+                                    const std::string& unit, BetterDirection better,
+                                    bool deterministic) {
+  for (const double v : values) {
+    Add(series, v, unit, deterministic, better);
+  }
+}
+
+void BenchReportBuilder::SetExtraJson(std::string json_value) {
+  report_.extra_json = std::move(json_value);
+}
+
+BenchReport BenchReportBuilder::Finish() const {
+  BenchReport finished = report_;
+  for (BenchSeries& s : finished.series) {
+    s.stats = ComputeSeriesStats(s.samples);
+  }
+  return finished;
+}
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// %.17g keeps doubles bit-exact through a parse/serialize round trip.
+void AppendNumber(std::ostringstream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << 0;  // JSON has no inf/nan; benches never emit them on purpose.
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  os << buf;
+}
+
+}  // namespace
+
+std::string BenchReportToJson(const BenchReport& report) {
+  std::ostringstream os;
+  os << "{\"schema\":\"gnnlab.bench_report.v1\"";
+  os << ",\"bench\":\"" << EscapeJson(report.bench) << "\"";
+  os << ",\"git\":\"" << EscapeJson(report.git) << "\"";
+  os << ",\"config\":{";
+  for (std::size_t i = 0; i < report.config.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << "\"" << EscapeJson(report.config[i].first) << "\":\""
+       << EscapeJson(report.config[i].second) << "\"";
+  }
+  os << "},\"series\":[";
+  for (std::size_t i = 0; i < report.series.size(); ++i) {
+    const BenchSeries& s = report.series[i];
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"name\":\"" << EscapeJson(s.name) << "\"";
+    os << ",\"unit\":\"" << EscapeJson(s.unit) << "\"";
+    os << ",\"better\":\"" << BetterDirectionName(s.better) << "\"";
+    os << ",\"deterministic\":" << (s.deterministic ? "true" : "false");
+    os << ",\"samples\":[";
+    for (std::size_t j = 0; j < s.samples.size(); ++j) {
+      if (j > 0) {
+        os << ",";
+      }
+      AppendNumber(os, s.samples[j]);
+    }
+    os << "],\"count\":" << s.stats.count;
+    os << ",\"median\":";
+    AppendNumber(os, s.stats.median);
+    os << ",\"mad\":";
+    AppendNumber(os, s.stats.mad);
+    os << ",\"p95\":";
+    AppendNumber(os, s.stats.p95);
+    os << ",\"min\":";
+    AppendNumber(os, s.stats.min);
+    os << ",\"max\":";
+    AppendNumber(os, s.stats.max);
+    os << ",\"mean\":";
+    AppendNumber(os, s.stats.mean);
+    os << "}";
+  }
+  os << "]";
+  if (!report.extra_json.empty()) {
+    os << ",\"extra\":" << report.extra_json;
+  }
+  os << "}";
+  return os.str();
+}
+
+bool WriteBenchReportJson(const BenchReport& report, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = BenchReportToJson(report);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size() &&
+                  std::fputc('\n', file) != EOF;
+  std::fclose(file);
+  if (!ok) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+namespace {
+
+bool ParseDirection(const std::string& text, BetterDirection* out) {
+  if (text == "lower") {
+    *out = BetterDirection::kLower;
+  } else if (text == "higher") {
+    *out = BetterDirection::kHigher;
+  } else if (text == "none") {
+    *out = BetterDirection::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool BenchReportFromJson(const JsonValue& value, BenchReport* out, std::string* error) {
+  if (!value.IsObject()) {
+    return Fail(error, "bench report is not a JSON object");
+  }
+  const JsonValue* schema = value.Find("schema");
+  if (schema == nullptr || !schema->IsString() ||
+      schema->string != "gnnlab.bench_report.v1") {
+    return Fail(error, "missing or unknown schema tag (want gnnlab.bench_report.v1)");
+  }
+  const JsonValue* bench = value.Find("bench");
+  if (bench == nullptr || !bench->IsString() || bench->string.empty()) {
+    return Fail(error, "missing bench name");
+  }
+  BenchReport report;
+  report.bench = bench->string;
+  if (const JsonValue* git = value.Find("git"); git != nullptr && git->IsString()) {
+    report.git = git->string;
+  }
+  if (const JsonValue* config = value.Find("config"); config != nullptr) {
+    if (!config->IsObject()) {
+      return Fail(error, "config is not an object");
+    }
+    for (const auto& [key, member] : config->object) {
+      if (!member.IsString()) {
+        return Fail(error, "config value for '" + key + "' is not a string");
+      }
+      report.config.emplace_back(key, member.string);
+    }
+  }
+  const JsonValue* series = value.Find("series");
+  if (series == nullptr || !series->IsArray()) {
+    return Fail(error, "missing series array");
+  }
+  for (const JsonValue& entry : series->array) {
+    if (!entry.IsObject()) {
+      return Fail(error, "series entry is not an object");
+    }
+    BenchSeries s;
+    const JsonValue* name = entry.Find("name");
+    if (name == nullptr || !name->IsString() || name->string.empty()) {
+      return Fail(error, "series entry has no name");
+    }
+    s.name = name->string;
+    if (const JsonValue* unit = entry.Find("unit"); unit != nullptr && unit->IsString()) {
+      s.unit = unit->string;
+    }
+    s.better = BetterDirectionForUnit(s.unit);
+    if (const JsonValue* better = entry.Find("better");
+        better != nullptr && better->IsString()) {
+      if (!ParseDirection(better->string, &s.better)) {
+        return Fail(error, "series '" + s.name + "' has unknown better direction '" +
+                               better->string + "'");
+      }
+    }
+    if (const JsonValue* det = entry.Find("deterministic"); det != nullptr) {
+      if (det->kind != JsonValue::Kind::kBool) {
+        return Fail(error, "series '" + s.name + "' deterministic is not a bool");
+      }
+      s.deterministic = det->boolean;
+    }
+    const JsonValue* samples = entry.Find("samples");
+    if (samples == nullptr || !samples->IsArray()) {
+      return Fail(error, "series '" + s.name + "' has no samples array");
+    }
+    for (const JsonValue& sample : samples->array) {
+      if (!sample.IsNumber()) {
+        return Fail(error, "series '" + s.name + "' has a non-numeric sample");
+      }
+      s.samples.push_back(sample.number);
+    }
+    // Recompute rather than trust the serialized stats: the samples are the
+    // source of truth and this keeps hand-edited baselines honest.
+    s.stats = ComputeSeriesStats(s.samples);
+    report.series.push_back(std::move(s));
+  }
+  // Re-serialize the legacy payload so a load -> save cycle (bench.sh
+  // consolidation) keeps it intact.
+  if (const JsonValue* extra = value.Find("extra"); extra != nullptr) {
+    report.extra_json = JsonToString(*extra);
+  }
+  *out = std::move(report);
+  return true;
+}
+
+bool LoadBenchReportFile(const std::string& path, BenchReport* out, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Fail(error, "cannot open " + path);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(file);
+  JsonValue value;
+  std::string parse_error;
+  if (!ParseJson(text, &value, &parse_error)) {
+    return Fail(error, path + ": " + parse_error);
+  }
+  std::string schema_error;
+  if (!BenchReportFromJson(value, out, &schema_error)) {
+    return Fail(error, path + ": " + schema_error);
+  }
+  return true;
+}
+
+void RepublishBenchGauges(const BenchReport& report, MetricRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  for (const BenchSeries& s : report.series) {
+    const std::string prefix = "bench." + report.bench + "." + s.name;
+    registry->GetGauge(prefix + ".median")->Set(s.stats.median);
+    if (s.stats.count > 1) {
+      registry->GetGauge(prefix + ".p95")->Set(s.stats.p95);
+    }
+  }
+}
+
+bool ParseNonNegativeDouble(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  if (!std::isfinite(value) || value < 0.0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseNonNegativeInt(const char* text, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  // Reject signs and non-digits outright (strtoull accepts "-1" silently).
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (std::isdigit(static_cast<unsigned char>(*p)) == 0) {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+}  // namespace gnnlab

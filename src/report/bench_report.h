@@ -1,0 +1,158 @@
+// The canonical benchmark report: one schema for every binary under bench/.
+//
+// A BenchReport carries the bench name, the git revision the binary was
+// built from, a config echo (scale/epochs/seed/policy/... as strings), and
+// named series of repeated measurements. Robust statistics — median, MAD
+// (median absolute deviation), p95 — are computed once at Finish() so every
+// consumer (stdout tables, benchdiff, the BENCH_<date>.json trajectory
+// file, Prometheus gauges) reads the same numbers. Serialization goes
+// through BenchReportToJson and is parseable by report/json_parse.h, which
+// is what tools/benchdiff and the round-trip tests rely on.
+//
+// Series are tagged with a direction (is lower or higher better?) and a
+// determinism bit: values derived from the simulated timeline or from
+// counters are bit-stable across machines and gate at zero noise, while
+// wall-clock series carry real dispersion and are only gated when benchdiff
+// is explicitly asked to (--gate=all).
+#ifndef GNNLAB_REPORT_BENCH_REPORT_H_
+#define GNNLAB_REPORT_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gnnlab {
+
+class MetricRegistry;
+struct JsonValue;
+
+// Robust summary of one series, computed once over the recorded samples.
+struct SeriesStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double mad = 0.0;  // Median absolute deviation around the median.
+  double p95 = 0.0;
+};
+
+// Statistics helpers (exact, linear interpolation between order statistics
+// for quantiles — pinned by tests/bench_report_test.cc).
+double Median(std::vector<double> samples);
+double MedianAbsoluteDeviation(const std::vector<double>& samples, double median);
+// q in [0,1] over a sorted ascending vector; 0 for an empty one.
+double SortedQuantile(const std::vector<double>& sorted, double q);
+SeriesStats ComputeSeriesStats(const std::vector<double>& samples);
+
+// Which direction is an improvement for a series. Drives benchdiff's
+// verdicts; kNone marks purely informational series (never gated).
+enum class BetterDirection : std::uint8_t { kLower, kHigher, kNone };
+const char* BetterDirectionName(BetterDirection direction);
+
+struct BenchSeries {
+  std::string name;
+  std::string unit;  // "s", "bytes", "rows/s", "%", "x", "count", ...
+  BetterDirection better = BetterDirection::kLower;
+  // True for values read off the simulated timeline or exact counters —
+  // identical on every machine, so any delta is a real behavior change.
+  bool deterministic = true;
+  std::vector<double> samples;
+  SeriesStats stats;  // Filled by BenchReportBuilder::Finish / the parser.
+};
+
+struct BenchReport {
+  std::string bench;  // Binary name, e.g. "fig10_hitrate".
+  std::string git;    // `git describe` at build configure time.
+  // Flag echo in insertion order, e.g. {"scale","0.05"},{"seed","42"}.
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<BenchSeries> series;
+  // Optional legacy payload carried verbatim under "extra" (must be a
+  // serialized JSON value). The three pre-schema emitters keep their old
+  // consumers alive through this field.
+  std::string extra_json;
+
+  const BenchSeries* Find(std::string_view name) const;
+  const std::string* FindConfig(std::string_view key) const;
+};
+
+// Default improvement direction for a unit: time and traffic go down,
+// rates/ratios/speedups go up, anything unrecognized is informational.
+BetterDirection BetterDirectionForUnit(std::string_view unit);
+
+// Accumulates one BenchReport; every bench binary funnels its headline
+// numbers through one of these (bench_common.h constructs it from the
+// shared BenchFlags so the config echo is uniform).
+class BenchReportBuilder {
+ public:
+  explicit BenchReportBuilder(std::string bench_name);
+
+  void SetConfig(const std::string& key, std::string value);
+  void SetConfig(const std::string& key, double value);
+  void SetConfig(const std::string& key, std::uint64_t value);
+
+  // Appends one sample, creating the series on first use with the given
+  // unit/direction/determinism (later calls keep the first registration).
+  void Add(const std::string& series, double value, const std::string& unit = "s",
+           bool deterministic = true);
+  void Add(const std::string& series, double value, const std::string& unit,
+           bool deterministic, BetterDirection better);
+  // Deterministic sample with an explicit direction (overriding the
+  // unit-derived default, e.g. a lower-is-better "x" ratio).
+  void Add(const std::string& series, double value, const std::string& unit,
+           BetterDirection better);
+  // Wall-clock convenience: deterministic=false.
+  void AddWall(const std::string& series, double value, const std::string& unit = "s");
+  void AddWall(const std::string& series, double value, const std::string& unit,
+               BetterDirection better);
+  void AddSamples(const std::string& series, const std::vector<double>& values,
+                  const std::string& unit = "s", bool deterministic = true);
+  void AddSamples(const std::string& series, const std::vector<double>& values,
+                  const std::string& unit, BetterDirection better,
+                  bool deterministic = true);
+
+  void SetExtraJson(std::string json_value);
+
+  bool empty() const { return report_.series.empty(); }
+
+  // Computes per-series statistics and returns the finished report.
+  BenchReport Finish() const;
+
+ private:
+  BenchSeries* GetOrCreate(const std::string& name, const std::string& unit,
+                           bool deterministic, BetterDirection better);
+  BenchReport report_;
+};
+
+// One JSON object per report:
+//   {"schema":"gnnlab.bench_report.v1","bench":..,"git":..,
+//    "config":{..},"series":[{"name":..,"unit":..,"better":..,
+//    "deterministic":..,"samples":[..],"count":..,"median":..,"mad":..,
+//    "p95":..,"min":..,"max":..,"mean":..}],"extra":..}
+std::string BenchReportToJson(const BenchReport& report);
+bool WriteBenchReportJson(const BenchReport& report, const std::string& path);
+
+// Parse side (benchdiff + tests). Returns false with *error filled on a
+// schema violation (wrong/missing schema tag, malformed series).
+bool BenchReportFromJson(const JsonValue& value, BenchReport* out, std::string* error);
+bool LoadBenchReportFile(const std::string& path, BenchReport* out, std::string* error);
+
+// Republishes every series median as a gauge "bench.<bench>.<series>.median"
+// (plus ".p95" when the series has more than one sample) so a Prometheus
+// scrape of a bench run sees the headline scalars next to the runtime
+// metrics. Works whether or not the runtime hooks are compiled in — the
+// registry itself is always available.
+void RepublishBenchGauges(const BenchReport& report, MetricRegistry* registry);
+
+// --- strict numeric flag parsing --------------------------------------------
+// std::atof/atoll silently turn garbage into 0; these reject non-numeric
+// text, trailing junk, and negatives, so "--epochs=abc" is a diagnosable
+// error instead of a zero-epoch run. Used by ParseBenchFlags and benchdiff.
+bool ParseNonNegativeDouble(const char* text, double* out);
+bool ParseNonNegativeInt(const char* text, std::uint64_t* out);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_REPORT_BENCH_REPORT_H_

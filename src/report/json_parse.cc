@@ -1,6 +1,7 @@
 #include "report/json_parse.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace gnnlab {
@@ -254,6 +255,93 @@ const JsonValue* JsonValue::Find(std::string_view key) const {
 bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
   *out = JsonValue{};
   return Parser(text).Parse(out, error);
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJson(const JsonValue& value, std::string* out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += value.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.number);
+      *out += buf;
+      break;
+    }
+    case JsonValue::Kind::kString:
+      *out += '"';
+      AppendEscaped(value.string, out);
+      *out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) {
+          *out += ',';
+        }
+        AppendJson(value.array[i], out);
+      }
+      *out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      for (std::size_t i = 0; i < value.object.size(); ++i) {
+        if (i > 0) {
+          *out += ',';
+        }
+        *out += '"';
+        AppendEscaped(value.object[i].first, out);
+        *out += "\":";
+        AppendJson(value.object[i].second, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonToString(const JsonValue& value) {
+  std::string out;
+  AppendJson(value, &out);
+  return out;
 }
 
 }  // namespace gnnlab

@@ -39,6 +39,11 @@ struct JsonValue {
 // trailing garbage.
 bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullptr);
 
+// Compact single-line serialization (standard escapes, %.17g numbers so a
+// parse -> serialize -> parse cycle is lossless). Inverse of ParseJson up
+// to whitespace and number formatting.
+std::string JsonToString(const JsonValue& value);
+
 }  // namespace gnnlab
 
 #endif  // GNNLAB_REPORT_JSON_PARSE_H_

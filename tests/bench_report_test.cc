@@ -1,0 +1,285 @@
+// Tests for the benchmark observatory: BenchReport statistics (pinned
+// values), the JSON round trip through report/json_parse.h, the strict
+// numeric flag parsers, the gauge republication, and the noise-aware
+// benchdiff verdicts the perf gate rests on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "report/bench_diff.h"
+#include "report/bench_report.h"
+#include "report/json_parse.h"
+
+namespace gnnlab {
+namespace {
+
+// --- statistics, pinned by hand ---------------------------------------------
+
+TEST(BenchStatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0, 100.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(BenchStatsTest, MadIsRobustToOutliers) {
+  // Deviations from median 3: {2,1,0,1,97} -> sorted {0,1,1,2,97}, median 1.
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation({1.0, 2.0, 3.0, 4.0, 100.0}, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation({5.0, 5.0, 5.0}, 5.0), 0.0);
+}
+
+TEST(BenchStatsTest, QuantileInterpolatesLinearly) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.5), 30.0);
+  // p95 over 5 points: rank 0.95 * 4 = 3.8 -> 40 + 0.8 * (50 - 40) = 48.
+  EXPECT_DOUBLE_EQ(SortedQuantile(sorted, 0.95), 48.0);
+}
+
+TEST(BenchStatsTest, ComputeSeriesStatsFillsEveryField) {
+  const SeriesStats stats = ComputeSeriesStats({1.0, 2.0, 3.0, 4.0, 100.0});
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+  EXPECT_DOUBLE_EQ(stats.mad, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 22.0);
+}
+
+TEST(BenchStatsTest, UnitDirectionDefaults) {
+  EXPECT_EQ(BetterDirectionForUnit("s"), BetterDirection::kLower);
+  EXPECT_EQ(BetterDirectionForUnit("bytes"), BetterDirection::kLower);
+  EXPECT_EQ(BetterDirectionForUnit("%"), BetterDirection::kHigher);
+  EXPECT_EQ(BetterDirectionForUnit("x"), BetterDirection::kHigher);
+  EXPECT_EQ(BetterDirectionForUnit("rows/s"), BetterDirection::kHigher);
+}
+
+// --- strict numeric parsing --------------------------------------------------
+
+TEST(StrictFlagParseTest, AcceptsPlainNumbers) {
+  double d = -1.0;
+  EXPECT_TRUE(ParseNonNegativeDouble("0.25", &d));
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  std::uint64_t n = 0;
+  EXPECT_TRUE(ParseNonNegativeInt("42", &n));
+  EXPECT_EQ(n, 42u);
+}
+
+TEST(StrictFlagParseTest, RejectsGarbageNegativesAndTrailingJunk) {
+  double d = 0.0;
+  EXPECT_FALSE(ParseNonNegativeDouble("abc", &d));
+  EXPECT_FALSE(ParseNonNegativeDouble("", &d));
+  EXPECT_FALSE(ParseNonNegativeDouble("-1.5", &d));
+  EXPECT_FALSE(ParseNonNegativeDouble("1.5x", &d));
+  std::uint64_t n = 0;
+  EXPECT_FALSE(ParseNonNegativeInt("abc", &n));
+  EXPECT_FALSE(ParseNonNegativeInt("-3", &n));
+  EXPECT_FALSE(ParseNonNegativeInt("3.5", &n));
+  EXPECT_FALSE(ParseNonNegativeInt("12 ", &n));
+}
+
+// --- JSON round trip ---------------------------------------------------------
+
+BenchReport BuildSample() {
+  BenchReportBuilder builder("fig_test");
+  builder.SetConfig("scale", 0.05);
+  builder.SetConfig("seed", std::uint64_t{42});
+  builder.SetConfig("note", std::string("quote\" and \\slash"));
+  builder.AddSamples("t.epoch_s", {1.0, 2.0, 3.0, 4.0, 100.0});
+  builder.Add("t.hit_rate", 87.5, "%");
+  builder.AddWall("t.rows_per_s", 1e6, "rows/s");
+  builder.Add("t.gap", 1.4, "x", BetterDirection::kLower);
+  builder.SetExtraJson("{\"legacy\":[1,2,3]}");
+  return builder.Finish();
+}
+
+TEST(BenchReportJsonTest, RoundTripsThroughJsonParse) {
+  const BenchReport original = BuildSample();
+  const std::string json = BenchReportToJson(original);
+
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &value, &error)) << error;
+  BenchReport parsed;
+  ASSERT_TRUE(BenchReportFromJson(value, &parsed, &error)) << error;
+
+  EXPECT_EQ(parsed.bench, "fig_test");
+  EXPECT_EQ(parsed.config, original.config);
+  ASSERT_EQ(parsed.series.size(), original.series.size());
+  for (std::size_t i = 0; i < parsed.series.size(); ++i) {
+    const BenchSeries& a = original.series[i];
+    const BenchSeries& b = parsed.series[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.unit, a.unit);
+    EXPECT_EQ(b.better, a.better);
+    EXPECT_EQ(b.deterministic, a.deterministic);
+    EXPECT_EQ(b.samples, a.samples);
+    EXPECT_DOUBLE_EQ(b.stats.median, a.stats.median);
+    EXPECT_DOUBLE_EQ(b.stats.mad, a.stats.mad);
+    EXPECT_DOUBLE_EQ(b.stats.p95, a.stats.p95);
+  }
+  // The extra payload survives as a JSON value (re-serialized, so compare
+  // parsed forms rather than raw text).
+  JsonValue extra;
+  ASSERT_TRUE(ParseJson(parsed.extra_json, &extra, &error)) << error;
+  const JsonValue* legacy = extra.Find("legacy");
+  ASSERT_NE(legacy, nullptr);
+  EXPECT_EQ(legacy->array.size(), 3u);
+}
+
+TEST(BenchReportJsonTest, EmptyReportRoundTrips) {
+  BenchReportBuilder builder("empty_bench");
+  const std::string json = BenchReportToJson(builder.Finish());
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &value, &error)) << error;
+  BenchReport parsed;
+  ASSERT_TRUE(BenchReportFromJson(value, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.bench, "empty_bench");
+  EXPECT_TRUE(parsed.series.empty());
+}
+
+TEST(BenchReportJsonTest, RejectsWrongSchemaTag) {
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(ParseJson("{\"schema\":\"other.v9\",\"bench\":\"x\",\"series\":[]}",
+                        &value, &error));
+  BenchReport parsed;
+  EXPECT_FALSE(BenchReportFromJson(value, &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchReportJsonTest, FirstRegistrationWinsForSeriesMetadata) {
+  BenchReportBuilder builder("b");
+  builder.Add("s", 1.0, "s");
+  builder.Add("s", 2.0, "%");  // Unit ignored; series already registered.
+  const BenchReport report = builder.Finish();
+  ASSERT_EQ(report.series.size(), 1u);
+  EXPECT_EQ(report.series[0].unit, "s");
+  EXPECT_EQ(report.series[0].samples.size(), 2u);
+}
+
+// --- gauge republication -----------------------------------------------------
+
+TEST(BenchReportGaugesTest, PublishesMedianAndP95) {
+  const BenchReport report = BuildSample();
+  MetricRegistry registry;
+  RepublishBenchGauges(report, &registry);
+  const Gauge* median = registry.FindGauge("bench.fig_test.t.epoch_s.median");
+  ASSERT_NE(median, nullptr);
+  EXPECT_DOUBLE_EQ(median->value(), 3.0);
+  // Multi-sample series also get a p95 gauge; single-sample ones do not.
+  EXPECT_NE(registry.FindGauge("bench.fig_test.t.epoch_s.p95"), nullptr);
+  EXPECT_EQ(registry.FindGauge("bench.fig_test.t.hit_rate.p95"), nullptr);
+}
+
+// --- benchdiff verdicts ------------------------------------------------------
+
+BenchReport MakeReport(const std::string& bench, double epoch_median,
+                       const std::vector<double>& wall_samples) {
+  BenchReportBuilder builder(bench);
+  builder.SetConfig("scale", 0.05);
+  builder.Add("d.epoch_s", epoch_median);  // Deterministic, lower is better.
+  builder.Add("d.hit_rate", 90.0, "%");
+  if (!wall_samples.empty()) {
+    builder.AddSamples("w.extract_s", wall_samples, "s", /*deterministic=*/false);
+  }
+  return builder.Finish();
+}
+
+TEST(BenchDiffTest, IdenticalReportsAreClean) {
+  const BenchReport report = MakeReport("b", 2.0, {1.0, 1.1, 0.9});
+  const BenchDiffResult result = DiffBenchReports(report, report, BenchDiffOptions{});
+  EXPECT_FALSE(result.HasRegression());
+  EXPECT_EQ(result.improvements, 0u);
+  EXPECT_TRUE(result.config_mismatches.empty());
+}
+
+TEST(BenchDiffTest, TwoXSlowdownOnDeterministicSeriesRegresses) {
+  const BenchReport base = MakeReport("b", 2.0, {});
+  const BenchReport slow = MakeReport("b", 4.0, {});
+  const BenchDiffResult result = DiffBenchReports(base, slow, BenchDiffOptions{});
+  EXPECT_TRUE(result.HasRegression());
+  const SeriesDiff* worst = nullptr;
+  for (const SeriesDiff& s : result.series) {
+    if (s.name == "d.epoch_s") {
+      worst = &s;
+    }
+  }
+  ASSERT_NE(worst, nullptr);
+  EXPECT_EQ(worst->verdict, SeriesVerdict::kRegression);
+  EXPECT_DOUBLE_EQ(worst->rel_delta, 1.0);
+}
+
+TEST(BenchDiffTest, ImprovementNeverFailsTheGate) {
+  const BenchReport base = MakeReport("b", 4.0, {});
+  const BenchReport fast = MakeReport("b", 2.0, {});
+  const BenchDiffResult result = DiffBenchReports(base, fast, BenchDiffOptions{});
+  EXPECT_FALSE(result.HasRegression());
+  EXPECT_EQ(result.improvements, 1u);
+}
+
+TEST(BenchDiffTest, WallSeriesSkippedUnlessGateAll) {
+  const BenchReport base = MakeReport("b", 2.0, {1.0, 1.0, 1.0});
+  const BenchReport slow = MakeReport("b", 2.0, {5.0, 5.0, 5.0});
+  const BenchDiffResult gated = DiffBenchReports(base, slow, BenchDiffOptions{});
+  EXPECT_FALSE(gated.HasRegression());
+  BenchDiffOptions all;
+  all.gate_wall = true;
+  EXPECT_TRUE(DiffBenchReports(base, slow, all).HasRegression());
+}
+
+TEST(BenchDiffTest, ShiftWithinNoiseFloorIsNotARegression) {
+  // Baseline wall series with MAD 0.1; a +0.15 shift clears the 5% relative
+  // floor but stays inside 3 * MAD = 0.3, so the gate must stay quiet.
+  const BenchReport base = MakeReport("b", 2.0, {0.9, 1.0, 1.1, 1.0, 0.9, 1.1});
+  const BenchReport shifted = MakeReport("b", 2.0, {1.05, 1.15, 1.25, 1.15, 1.05, 1.25});
+  BenchDiffOptions all;
+  all.gate_wall = true;
+  const BenchDiffResult result = DiffBenchReports(base, shifted, all);
+  EXPECT_FALSE(result.HasRegression());
+}
+
+TEST(BenchDiffTest, ShiftPastBothFloorsRegresses) {
+  const BenchReport base = MakeReport("b", 2.0, {0.9, 1.0, 1.1, 1.0, 0.9, 1.1});
+  const BenchReport shifted = MakeReport("b", 2.0, {1.9, 2.0, 2.1, 2.0, 1.9, 2.1});
+  BenchDiffOptions all;
+  all.gate_wall = true;
+  EXPECT_TRUE(DiffBenchReports(base, shifted, all).HasRegression());
+}
+
+TEST(BenchDiffTest, MissingSeriesGatesOnlyWhenAsked) {
+  const BenchReport base = MakeReport("b", 2.0, {1.0});
+  BenchReportBuilder builder("b");
+  builder.SetConfig("scale", 0.05);
+  builder.Add("d.epoch_s", 2.0);  // d.hit_rate and w.extract_s gone.
+  const BenchReport current = builder.Finish();
+
+  const BenchDiffResult lax = DiffBenchReports(base, current, BenchDiffOptions{});
+  EXPECT_EQ(lax.missing, 2u);
+  EXPECT_FALSE(lax.HasRegression());
+
+  BenchDiffOptions strict;
+  strict.fail_on_missing = true;
+  EXPECT_TRUE(DiffBenchReports(base, current, strict).HasRegression());
+}
+
+TEST(BenchDiffTest, ConfigMismatchRefusesToJudge) {
+  BenchReportBuilder a("b");
+  a.SetConfig("scale", 0.05);
+  a.Add("d.epoch_s", 2.0);
+  BenchReportBuilder b("b");
+  b.SetConfig("scale", 1.0);
+  b.Add("d.epoch_s", 100.0);
+  const BenchDiffResult result =
+      DiffBenchReports(a.Finish(), b.Finish(), BenchDiffOptions{});
+  EXPECT_FALSE(result.config_mismatches.empty());
+  // Not comparable: neither a pass nor a fail.
+  EXPECT_FALSE(result.HasRegression());
+}
+
+}  // namespace
+}  // namespace gnnlab

@@ -1,0 +1,173 @@
+// benchdiff: the noise-aware perf-regression gate over BenchReport files.
+//
+// Usage:
+//   benchdiff [options] <baseline.json | baseline-dir> <current.json...>
+//
+// The baseline may be a single report or a directory of committed baselines
+// (bench/baselines/); in directory mode each current report is matched to
+// <dir>/<bench>.json by its own bench name, and a current report with no
+// committed baseline is noted and skipped rather than failed (new benches
+// must be able to land before their baseline does).
+//
+// Options:
+//   --rel=<f>          relative threshold on the median delta (default 0.05)
+//   --k-mad=<f>        noise floor multiplier k * baseline MAD (default 3)
+//   --gate=<mode>      deterministic (default) | all — gate wall-clock too
+//   --fail-on-missing  a baseline series absent from current fails the gate
+//   --json             machine-readable output instead of the table
+//
+// Exit codes: 0 clean, 1 at least one regression (or missing series under
+// --fail-on-missing), 2 usage / unreadable report / config mismatch.
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "report/bench_diff.h"
+#include "report/bench_report.h"
+
+namespace gnnlab {
+namespace {
+
+struct CliOptions {
+  BenchDiffOptions diff;
+  bool json = false;
+  std::vector<std::string> paths;
+};
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: benchdiff [--rel=<f>] [--k-mad=<f>] "
+               "[--gate=deterministic|all] [--fail-on-missing] [--json]\n"
+               "                 <baseline.json|baseline-dir> <current.json...>\n");
+}
+
+bool ParseCli(int argc, char** argv, CliOptions* cli) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--rel=", 6) == 0) {
+      if (!ParseNonNegativeDouble(arg + 6, &cli->diff.rel_threshold)) {
+        std::fprintf(stderr, "benchdiff: bad value for --rel: '%s'\n", arg + 6);
+        return false;
+      }
+    } else if (std::strncmp(arg, "--k-mad=", 8) == 0) {
+      if (!ParseNonNegativeDouble(arg + 8, &cli->diff.k_mad)) {
+        std::fprintf(stderr, "benchdiff: bad value for --k-mad: '%s'\n", arg + 8);
+        return false;
+      }
+    } else if (std::strncmp(arg, "--gate=", 7) == 0) {
+      if (std::strcmp(arg + 7, "all") == 0) {
+        cli->diff.gate_wall = true;
+      } else if (std::strcmp(arg + 7, "deterministic") == 0) {
+        cli->diff.gate_wall = false;
+      } else {
+        std::fprintf(stderr, "benchdiff: --gate must be deterministic or all\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--fail-on-missing") == 0) {
+      cli->diff.fail_on_missing = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      cli->json = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      Usage(stdout);
+      std::exit(0);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "benchdiff: unknown flag: %s\n", arg);
+      return false;
+    } else {
+      cli->paths.emplace_back(arg);
+    }
+  }
+  if (cli->paths.size() < 2) {
+    Usage(stderr);
+    return false;
+  }
+  return true;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseCli(argc, argv, &cli)) {
+    return 2;
+  }
+
+  const std::string& base_path = cli.paths.front();
+  const bool dir_mode = IsDirectory(base_path);
+  BenchReport base_single;
+  if (!dir_mode) {
+    std::string error;
+    if (!LoadBenchReportFile(base_path, &base_single, &error)) {
+      std::fprintf(stderr, "benchdiff: %s: %s\n", base_path.c_str(), error.c_str());
+      return 2;
+    }
+  }
+
+  bool any_regression = false;
+  bool any_config_mismatch = false;
+  std::string json_out = "[";
+  bool first_json = true;
+  for (std::size_t i = 1; i < cli.paths.size(); ++i) {
+    const std::string& cur_path = cli.paths[i];
+    std::string error;
+    BenchReport current;
+    if (!LoadBenchReportFile(cur_path, &current, &error)) {
+      std::fprintf(stderr, "benchdiff: %s: %s\n", cur_path.c_str(), error.c_str());
+      return 2;
+    }
+
+    BenchReport baseline;
+    if (dir_mode) {
+      const std::string candidate = base_path + "/" + current.bench + ".json";
+      if (!LoadBenchReportFile(candidate, &baseline, &error)) {
+        struct stat st;
+        if (::stat(candidate.c_str(), &st) != 0) {
+          // No committed baseline yet: note and move on so a new bench can
+          // land before its first baseline refresh.
+          std::printf("benchdiff: no baseline for '%s' (%s), skipping\n",
+                      current.bench.c_str(), candidate.c_str());
+          continue;
+        }
+        std::fprintf(stderr, "benchdiff: %s: %s\n", candidate.c_str(), error.c_str());
+        return 2;
+      }
+    } else {
+      baseline = base_single;
+    }
+
+    const BenchDiffResult result = DiffBenchReports(baseline, current, cli.diff);
+    if (cli.json) {
+      json_out += first_json ? "" : ",";
+      json_out += BenchDiffToJson(result);
+      first_json = false;
+    } else {
+      std::fputs(RenderBenchDiff(result).c_str(), stdout);
+    }
+    any_regression = any_regression || result.HasRegression();
+    any_config_mismatch = any_config_mismatch || !result.config_mismatches.empty();
+  }
+  if (cli.json) {
+    json_out += "]\n";
+    std::fputs(json_out.c_str(), stdout);
+  }
+
+  if (any_config_mismatch) {
+    std::fprintf(stderr,
+                 "benchdiff: config mismatch — reports are not comparable "
+                 "(rerun at the baseline's config or refresh the baseline)\n");
+    return 2;
+  }
+  return any_regression ? 1 : 0;
+}
+
+}  // namespace gnnlab
+
+int main(int argc, char** argv) { return gnnlab::Main(argc, argv); }
