@@ -1,12 +1,14 @@
 // Cost of the telemetry hooks, measured two ways.
 //
 // 1. Raw op costs: ns per counter increment, gauge set, histogram record,
-//    and tracer span — the primitives every instrumented hot path pays.
+//    tracer span, flow step, and flight-recorder event — the primitives
+//    every instrumented hot path pays.
 // 2. End-to-end overhead: the Extract gather (the busiest instrumented
-//    path) timed three ways — registry unbound, registry bound, and
-//    registry bound plus per-call flow-id tagging (the FlowTracer step the
-//    engines record per minibatch extract). The run FAILS if either
-//    instrumented path is more than 5% slower than unbound (best-of-N
+//    path) timed four ways — registry unbound, registry bound, registry
+//    bound plus per-call flow-id tagging (the FlowTracer step the engines
+//    record per minibatch extract), and the latter plus a flight-recorder
+//    event (the full per-stage hook set the engines run). The run FAILS if
+//    any instrumented path is more than 5% slower than unbound (best-of-N
 //    trials, so scheduler noise does not decide the verdict). With
 //    GNNLAB_OBS=OFF the hooks are compiled out entirely and all paths are
 //    the same machine code, so the measured delta is pure noise (~0%).
@@ -25,6 +27,7 @@
 #include "common/rng.h"
 #include "feature/extractor.h"
 #include "feature/feature_store.h"
+#include "obs/flight_recorder.h"
 #include "obs/flow.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -92,7 +95,11 @@ int Main(int argc, char** argv) {
   report_builder.SetConfig("dim", static_cast<std::uint64_t>(flags.dim));
   report_builder.SetConfig("trials", static_cast<std::uint64_t>(flags.trials));
   report_builder.SetConfig("ops", static_cast<std::uint64_t>(flags.ops));
-  report_builder.SetConfig("obs_enabled", GNNLAB_OBS_ENABLED ? 1.0 : 0.0);
+  // NOT a config key: benchdiff refuses to compare runs whose configs
+  // differ, and the whole point of the OBS=OFF CI lane is comparing the
+  // same workload with the hooks compiled out. Recorded as extra context.
+  report_builder.SetExtraJson(std::string("{\"obs_enabled\":") +
+                              (GNNLAB_OBS_ENABLED ? "true" : "false") + "}");
 
   std::printf("=== micro_obs: telemetry hook cost ===\n");
   std::printf("observability compiled %s\n\n", GNNLAB_OBS_ENABLED ? "IN" : "OUT");
@@ -136,6 +143,20 @@ int Main(int argc, char** argv) {
     });
     std::printf("%-28s %10.1f ns/op  (%zu steps)\n", "flow step record", ns, flows.size());
     report_builder.AddWall("uobs.flow_ns", ns, "ns", BetterDirection::kLower);
+  }
+  {
+    // Flight-recorder event: one lock-free seqlock write into the calling
+    // thread's ring. A private recorder keeps the bench out of Global().
+    FlightRecorder recorder(/*capacity=*/2048);
+    const std::size_t fr_ops = std::min<std::size_t>(flags.ops, 2000000);
+    const double ns = NsPerOp(fr_ops, [&](std::size_t i) {
+      recorder.Record(FlightEventKind::kStage, "extract",
+                      static_cast<double>(i), static_cast<double>(i) + 1e-6,
+                      "bench");
+    });
+    std::printf("%-28s %10.1f ns/op  (%llu recorded)\n", "flight recorder event", ns,
+                static_cast<unsigned long long>(recorder.total_recorded()));
+    report_builder.AddWall("uobs.flight_ns", ns, "ns", BetterDirection::kLower);
   }
 
   // --- end-to-end: instrumented Extract, bound vs unbound -------------------
@@ -193,23 +214,53 @@ int Main(int argc, char** argv) {
     return Seconds(start, std::chrono::steady_clock::now());
   };
 
+  // Fourth config: the full per-stage hook set — registry bound, flow
+  // tagging, AND one flight-recorder event per extract, exactly what
+  // RecordExtractCompletion costs the engines with the recorder wired in.
+  Extractor full(store, nullptr);
+  MetricRegistry full_registry;
+  full.BindMetrics(&full_registry);
+  FlowTracer full_flows;
+  FlightRecorder full_recorder(/*capacity=*/2048);
+  auto timed_full_pass = [&](std::size_t trial) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < flags.repeats; ++r) {
+      GNNLAB_OBS_ONLY(const auto begin = std::chrono::steady_clock::now();)
+      const ExtractStats stats = full.Extract(block, &out);
+      GNNLAB_OBS_ONLY({
+        const auto end = std::chrono::steady_clock::now();
+        const double b = std::chrono::duration<double>(begin.time_since_epoch()).count();
+        const double e = std::chrono::duration<double>(end.time_since_epoch()).count();
+        full_flows.Record(MakeFlowId(trial, r), "bench/extract", "extract", b, e,
+                          (e - b) * stats.HostByteFraction());
+        full_recorder.Record(FlightEventKind::kStage, "extract", b, e, "bench/extract");
+      })
+      (void)stats;
+    }
+    return Seconds(start, std::chrono::steady_clock::now());
+  };
+
   // Warm every path once, then interleave the trials round-robin: slow
-  // drift (CPU frequency, competing load) hits all three configs equally
+  // drift (CPU frequency, competing load) hits all four configs equally
   // instead of biasing whichever phase ran last, and best-of-N keeps
   // scheduler spikes out of the verdict.
   (void)timed_pass(&unbound);
   (void)timed_pass(&bound);
   (void)timed_tagged_pass(0);
+  (void)timed_full_pass(0);
   double unbound_best = std::numeric_limits<double>::infinity();
   double bound_best = std::numeric_limits<double>::infinity();
   double flow_best = std::numeric_limits<double>::infinity();
+  double full_best = std::numeric_limits<double>::infinity();
   for (std::size_t t = 0; t < flags.trials; ++t) {
     unbound_best = std::min(unbound_best, timed_pass(&unbound));
     bound_best = std::min(bound_best, timed_pass(&bound));
     flow_best = std::min(flow_best, timed_tagged_pass(t + 1));
+    full_best = std::min(full_best, timed_full_pass(t + 1));
   }
   const double overhead = (bound_best - unbound_best) / unbound_best;
   const double flow_overhead = (flow_best - unbound_best) / unbound_best;
+  const double full_overhead = (full_best - unbound_best) / unbound_best;
 
   std::printf("\nextract %zu rows x %u dims x %zu repeats (best of %zu trials)\n",
               flags.rows, flags.dim, flags.repeats, flags.trials);
@@ -217,16 +268,22 @@ int Main(int argc, char** argv) {
   std::printf("  bound registry:       %9.4f s  (%+.2f%%)\n", bound_best, overhead * 100.0);
   std::printf("  bound + flow tagging: %9.4f s  (%+.2f%%)  [%zu flow steps]\n", flow_best,
               flow_overhead * 100.0, extract_flows.size());
+  std::printf("  bound + flow + flight: %8.4f s  (%+.2f%%)  [%llu flight events]\n",
+              full_best, full_overhead * 100.0,
+              static_cast<unsigned long long>(full_recorder.total_recorded()));
   std::printf("  budget: 5%% over unbound for every instrumented config\n");
 
   report_builder.AddWall("uobs.extract_unbound_s", unbound_best, "s");
   report_builder.AddWall("uobs.extract_bound_s", bound_best, "s");
   report_builder.AddWall("uobs.extract_flow_s", flow_best, "s");
+  report_builder.AddWall("uobs.extract_full_s", full_best, "s");
   // Overhead is a lower-is-better percentage ("%"'s unit default is the
   // other way around, so the direction is explicit).
   report_builder.AddWall("uobs.bound_overhead_pct", overhead * 100.0, "%",
                          BetterDirection::kLower);
   report_builder.AddWall("uobs.flow_overhead_pct", flow_overhead * 100.0, "%",
+                         BetterDirection::kLower);
+  report_builder.AddWall("uobs.full_overhead_pct", full_overhead * 100.0, "%",
                          BetterDirection::kLower);
 
   if (overhead > 0.05) {
@@ -240,7 +297,13 @@ int Main(int argc, char** argv) {
     FinishBench(report_builder, bench_flags);
     return 1;
   }
-  std::printf("PASS: telemetry + flow hooks stay under the 5%% budget%s\n",
+  if (full_overhead > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: flight-recorder hook costs more than 5%% on the extract path\n");
+    FinishBench(report_builder, bench_flags);
+    return 1;
+  }
+  std::printf("PASS: telemetry + flow + flight hooks stay under the 5%% budget%s\n",
               GNNLAB_OBS_ENABLED ? "" : " (compiled out: delta is pure noise)");
   return FinishBench(report_builder, bench_flags);
 }

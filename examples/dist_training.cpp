@@ -7,19 +7,22 @@
 //   ./build/examples/dist_training [--nodes=N] [--strategy=edge_cut|vertex_cut]
 //       [--allreduce=ring|tree] [--policy=none|degree|presc1|...]
 //       [--gpus=N] [--epochs=N] [--scale=F] [--seed=N] [--nic-gbps=F]
-//       [--time-sharing] [--report-out=FILE] [--prom-out=FILE]
+//       [--time-sharing] [--report-out=FILE] [--prom-out=FILE] [--dump-dir=DIR]
 //
 // --report-out writes the full DistRunReport (per-node epochs with
 // remote-fetch counters, merged critical-path attribution, comm totals) as
 // JSON; --prom-out writes the final metric state — per-node counters under
 // gnnlab_dist_n<k>_*, cluster all-reduce totals under gnnlab_dist_* — in
-// Prometheus text exposition.
+// Prometheus text exposition. --dump-dir arms the diagnostics layer (crash
+// bundles carry the registry snapshot plus kComm flight events for the
+// all-reduce rounds and remote fetches).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "dist/dist_engine.h"
+#include "obs/diagnostics.h"
 #include "obs/health.h"
 #include "report/json.h"
 #include "report/table.h"
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
   double nic_gbps = 10.0;  // 10GbE default; CommParams' default is far slower.
   std::string report_out;
   std::string prom_out;
+  std::string dump_dir;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -87,6 +91,8 @@ int main(int argc, char** argv) {
       report_out = arg + 13;
     } else if (std::strncmp(arg, "--prom-out=", 11) == 0) {
       prom_out = arg + 11;
+    } else if (std::strncmp(arg, "--dump-dir=", 11) == 0) {
+      dump_dir = arg + 11;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg);
       return 1;
@@ -100,6 +106,16 @@ int main(int argc, char** argv) {
 
   MetricRegistry metrics;
   options.metrics = &metrics;
+  if (!dump_dir.empty()) {
+    DiagnosticsHub* hub = DiagnosticsHub::Global();
+    hub->SetDumpDir(dump_dir);
+    hub->SetConfig("example", "dist_training");
+    hub->SetConfig("nodes", std::to_string(options.num_nodes));
+    hub->SetConfig("gpus_per_node", std::to_string(options.gpus_per_node));
+    hub->BindRegistry(&metrics);
+    InstallCrashHandlers();
+    InstallLogRecorderBridge();
+  }
 
   const Dataset dataset = MakeDataset(DatasetId::kPapers, scale, /*seed=*/42);
   const Workload workload = StandardWorkload(GnnModelKind::kGcn);

@@ -7,12 +7,14 @@
 //       --slo-ms=50 [--max-batch=16] [--workers=1] [--standby-workers=0]
 //       [--clients=4] [--no-shed] [--linger-ms=2] [--scale=0.1] [--seed=42]
 //       [--load-checkpoint=FILE] [--report-out=FILE] [--alert=RULE]
-//       [--prom-port=N] [--port-file=FILE] [--hold-ms=N]
+//       [--prom-port=N] [--port-file=FILE] [--hold-ms=N] [--dump-dir=DIR]
 //
 // --prom-port starts the HealthMonitor HTTP exporter (0 = ephemeral port)
 // serving GET /metrics and GET /healthz; --port-file writes the bound port
 // so scripts can find it, and --hold-ms keeps the exporter up that long
-// after the load drains (for external probes). --alert adds a health rule
+// after the load drains (for external probes). --dump-dir arms the
+// diagnostics layer: crash handlers + alert-edge bundle dumps into DIR, and
+// GET /debug/dump on the exporter returns a live diagnostics bundle. --alert adds a health rule
 // (repeatable); without any, a default serve.queue.depth backlog rule wires
 // the queue-pressure override standby reclaim uses. --load-checkpoint
 // warm-starts the served model from weights saved by the training drivers
@@ -34,6 +36,7 @@
 #include "graph/dataset.h"
 #include "nn/checkpoint.h"
 #include "nn/model.h"
+#include "obs/diagnostics.h"
 #include "obs/flow.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
@@ -64,6 +67,7 @@ struct CliOptions {
   int prom_port = -1;  // -1 = no HTTP exporter.
   std::string port_file;
   int hold_ms = 0;
+  std::string dump_dir;
 };
 
 bool ParseArg(const char* arg, const char* key, std::string* out) {
@@ -134,6 +138,8 @@ CliOptions Parse(int argc, char** argv) {
       options.port_file = value;
     } else if (ParseArg(arg, "--hold-ms=", &value)) {
       options.hold_ms = std::atoi(value.c_str());
+    } else if (ParseArg(arg, "--dump-dir=", &value)) {
+      options.dump_dir = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       Usage();
@@ -208,6 +214,18 @@ int main(int argc, char** argv) {
     health_options.rules.push_back(std::move(rule));
   }
   HealthMonitor health(&metrics, health_options);
+  if (!cli.dump_dir.empty()) {
+    DiagnosticsHub* hub = DiagnosticsHub::Global();
+    hub->SetDumpDir(cli.dump_dir);
+    hub->SetConfig("example", "online_serving");
+    hub->SetConfig("mode", cli.mode);
+    hub->SetConfig("workers", std::to_string(cli.workers));
+    hub->SetConfig("standby_workers", std::to_string(cli.standby_workers));
+    hub->BindRegistry(&metrics);
+    InstallCrashHandlers();
+    InstallLogRecorderBridge();
+    ArmAlertEdgeDumps(&health);
+  }
   if (cli.prom_port >= 0) {
     const int port = health.StartServer(cli.prom_port);
     if (port < 0) {

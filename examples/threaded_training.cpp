@@ -8,6 +8,7 @@
 //       [--trace-out=FILE] [--flow-out=FILE] [--metrics-out=FILE] [--report-out=FILE]
 //       [--prom-out=FILE] [--prom-port=N] [--alert=RULE] [--snapshot-ms=N]
 //       [--load-checkpoint=FILE] [--save-checkpoint=FILE]
+//       [--dump-dir=DIR] [--abort-after-batches=N] [--log-json]
 //
 // extract_threads sizes the shared CPU pool for the parallel hot paths
 // (feature gather + k-hop expansion): 0 = all hardware threads (default),
@@ -27,14 +28,22 @@
 // --load-checkpoint warm-starts the model from a saved checkpoint;
 // --save-checkpoint persists the trained weights for later warm starts or
 // the serving example.
+// --dump-dir arms the diagnostics layer: fatal signals and alert rising
+// edges write a self-contained crash bundle (gnnlab_diag.*.json) into DIR,
+// and GET /debug/dump on the --prom-port server returns the same bundle
+// live. --abort-after-batches=N injects a std::abort() after N trained
+// batches (crash-bundle smoke tests). --log-json switches the log sink to
+// structured JSONL.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/threaded_engine.h"
 #include "nn/checkpoint.h"
+#include "obs/diagnostics.h"
 #include "obs/health.h"
 #include "report/json.h"
 #include "report/table.h"
@@ -51,6 +60,8 @@ int main(int argc, char** argv) {
   std::string prom_out;
   std::string load_checkpoint;
   std::string save_checkpoint;
+  std::string dump_dir;
+  std::size_t abort_after_batches = 0;
   int prom_port = -1;
   std::vector<AlertRule> alert_rules;
   double snapshot_ms = 50.0;
@@ -82,6 +93,12 @@ int main(int argc, char** argv) {
       load_checkpoint = arg + 18;
     } else if (std::strncmp(arg, "--save-checkpoint=", 18) == 0) {
       save_checkpoint = arg + 18;
+    } else if (std::strncmp(arg, "--dump-dir=", 11) == 0) {
+      dump_dir = arg + 11;
+    } else if (std::strncmp(arg, "--abort-after-batches=", 22) == 0) {
+      abort_after_batches = static_cast<std::size_t>(std::atoi(arg + 22));
+    } else if (std::strcmp(arg, "--log-json") == 0) {
+      SetLogFormat(LogFormat::kJsonl);
     } else if (num_positional < 4) {
       positional[num_positional++] = std::atoi(arg);
     } else {
@@ -119,6 +136,14 @@ int main(int argc, char** argv) {
   health_options.rules = alert_rules;
   health_options.exposition_path = prom_out;
   HealthMonitor health(&metrics, health_options);
+  if (!dump_dir.empty()) {
+    DiagnosticsHub* hub = DiagnosticsHub::Global();
+    hub->SetDumpDir(dump_dir);
+    hub->SetConfig("example", "threaded_training");
+    InstallCrashHandlers();
+    InstallLogRecorderBridge();
+    ArmAlertEdgeDumps(&health);
+  }
   if (prom_port >= 0) {
     const int port = health.StartServer(prom_port);
     if (port < 0) {
@@ -149,6 +174,7 @@ int main(int argc, char** argv) {
   options.snapshot_interval_seconds = snapshot_ms / 1000.0;
   options.load_checkpoint = load_checkpoint;
   options.save_checkpoint = save_checkpoint;
+  options.debug_abort_after_batches = abort_after_batches;
 
   std::printf("threaded GNNLab: %dS %dT on %s (%u vertices), PreSC cache 20%%, pool=%zu\n\n",
               samplers, trainers, dataset.name.c_str(), dataset.graph.num_vertices(),

@@ -49,8 +49,9 @@ diff_bin="${build_dir}/tools/benchdiff"
 }
 
 # The curated suite: one representative per layer (end-to-end factored vs
-# baselines, cache policy, policy e2e, distributed, microbenchmark), each
-# fast enough at the pinned scale that the suite stays under a minute.
+# baselines, cache policy, policy e2e, distributed, microbenchmarks — the
+# extract kernel and the observability-hook budget), each fast enough at
+# the pinned scale that the suite stays under a minute.
 pinned="--scale=0.04 --epochs=2 --seed=42"
 declare -A suite=(
   [table1_breakdown]="${pinned}"
@@ -58,12 +59,13 @@ declare -A suite=(
   [fig13_policy_e2e]="${pinned}"
   [dist_scaling]="${pinned}"
   [micro_extract]="--seed=42 --rows=50000 --dim=32"
+  [micro_obs]="--seed=42 --rows=50000 --repeats=10 --trials=3"
 )
 
 out_dir="$(mktemp -d)"
 trap 'rm -rf "${out_dir}"' EXIT
 reports=()
-for bench in table1_breakdown fig10_hitrate fig13_policy_e2e dist_scaling micro_extract; do
+for bench in table1_breakdown fig10_hitrate fig13_policy_e2e dist_scaling micro_extract micro_obs; do
   report="${out_dir}/${bench}.json"
   echo "bench.sh: running ${bench} ${suite[${bench}]}"
   # shellcheck disable=SC2086

@@ -24,17 +24,24 @@ cmake -B "${build_dir}" -S . -DGNNLAB_SANITIZE="${sanitizer}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j"$(nproc)" --target \
   concurrency_test runtime_test threaded_engine_test obs_test flow_health_test \
-  pipeline_test serve_test dist_test
+  pipeline_test serve_test dist_test diagnostics_test
 
 # The threaded/concurrency suites are the ones exercising real parallelism,
 # the pipeline suite drives the shared stage bodies through all four
-# drivers, and the serve suite runs the inference server's dispatch/standby
-# threads against concurrent training cache marks; the purely simulated
+# drivers, the serve suite runs the inference server's dispatch/standby
+# threads against concurrent training cache marks, and the diagnostics
+# suite hammers the flight recorder's seqlock rings and the per-site log
+# rate limiter from racing writers under a concurrent snapshot reader; the
+# purely simulated
 # suites are single-threaded by design and add little here. The dist
 # battery rides along anyway: its N=1 bit-exactness and cross-repeat
 # determinism checks are the contracts a latent race would corrupt first.
 if [ "$#" -eq 0 ]; then
-  set -- -R "Concurrency|MpmcQueue|ParallelFor|ParallelExtract|ParallelSampling|ThreadPool|ThreadedEngine|Runtime|Histogram|Counter|MetricRegistry|RuntimeTracer|Snapshot|FlowTracer|CriticalPath|HealthMonitor|AlertRule|Prometheus|CountEquality|BatchStreams|CacheBuilder|SwitchGate|ReportAssembler|Serve|BatchFormer|Admission|LoadGen|Partitioner|CommManager|Dist"
+  set -- -R "Concurrency|MpmcQueue|ParallelFor|ParallelExtract|ParallelSampling|ThreadPool|ThreadedEngine|Runtime|Histogram|Counter|MetricRegistry|RuntimeTracer|Snapshot|FlowTracer|CriticalPath|HealthMonitor|AlertRule|Prometheus|CountEquality|BatchStreams|CacheBuilder|SwitchGate|ReportAssembler|Serve|BatchFormer|Admission|LoadGen|Partitioner|CommManager|Dist|FlightRecorder|DiagnosticsHub|LogRateLimiter|StructuredLog"
 fi
-TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+# report_signal_unsafe=0: the crash-bundle handler deliberately allocates
+# inside the signal handler (documented best-effort trade-off in
+# obs/diagnostics.cc); TSan would otherwise halt the death-test child on
+# that report before the bundle is written. Race detection is unaffected.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:report_signal_unsafe=0}" \
   ctest --test-dir "${build_dir}" --output-on-failure "$@"

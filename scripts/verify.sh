@@ -3,10 +3,13 @@
 # the telemetry pipeline end to end — a threaded run with --trace-out /
 # --flow-out / --metrics-out / --report-out / --prom-out must produce
 # non-empty, well-formed artifacts (JSON, plus a Prometheus text exposition
-# scraped once and checked line by line), a 4-node simulated cluster epoch
-# must export the dist.* metric families, micro_obs must show the hooks
-# staying under their 5% overhead budget, and the curated bench suite must
-# pass the noise-aware perf-regression gate against bench/baselines/.
+# scraped once and checked line by line), a crash-injected run must leave a
+# schema-valid diagnostics bundle behind, the serving exporter must answer
+# /metrics + /healthz + /debug/dump while gnnlab_top renders live frames off
+# it, a 4-node simulated cluster epoch must export the dist.* metric
+# families, micro_obs must show the hooks staying under their 5% overhead
+# budget, and the curated bench suite must pass the noise-aware
+# perf-regression gate against bench/baselines/.
 #
 #   scripts/verify.sh              # full pipeline in build/
 #   scripts/verify.sh --fast       # skip the cmake configure step
@@ -112,6 +115,47 @@ else
 fi
 echo "ok: ${prom}"
 
+# --- crash-dump smoke --------------------------------------------------------
+# Abort a threaded run mid-epoch (a worker thread calls abort() after a few
+# trained batches) and assert the fatal-signal handler leaves behind a
+# schema-valid diagnostics bundle: JSON that parses, the v1 schema tag, a
+# crash reason, the config echo, and a non-empty flight-recorder section.
+crash_dir="${out_dir}/crash_dumps"
+mkdir -p "${crash_dir}"
+crash_log="${out_dir}/crash.log"
+set +e
+"${build_dir}/examples/threaded_training" 1 2 2 0 \
+  --dump-dir="${crash_dir}" --abort-after-batches=3 > "${crash_log}" 2>&1
+crash_rc=$?
+set -e
+[ "${crash_rc}" -ne 0 ] || {
+  echo "FAIL: crash-injected run exited zero" >&2; exit 1; }
+grep -q 'crash bundle:' "${crash_log}" || {
+  echo "FAIL: crash handler never announced a bundle" >&2
+  cat "${crash_log}" >&2; exit 1; }
+crash_bundle="$(ls "${crash_dir}"/gnnlab_diag.crash_*.json 2>/dev/null | head -1)"
+[ -n "${crash_bundle}" ] && [ -s "${crash_bundle}" ] || {
+  echo "FAIL: no crash bundle written in ${crash_dir}" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${crash_bundle}" <<'EOF'
+import json, sys
+bundle = json.load(open(sys.argv[1]))
+assert bundle["schema"] == "gnnlab.diagnostics.v1", bundle["schema"]
+assert bundle["reason"].startswith("crash_"), bundle["reason"]
+assert bundle["config"].get("example") == "threaded_training", bundle["config"]
+assert isinstance(bundle["pid"], int) and bundle["pid"] > 0
+flight = bundle["flight_recorder"]
+assert flight["total_recorded"] > 0 and flight["events"], "empty flight recorder"
+assert any(e["label"] == "epoch_begin" for e in flight["events"]), \
+    "no epoch_begin mark before the crash"
+assert isinstance(bundle["log_tail"], list) and bundle["log_tail"], "empty log tail"
+EOF
+else
+  grep -q '"schema":"gnnlab.diagnostics.v1"' "${crash_bundle}" || {
+    echo "FAIL: crash bundle has wrong schema" >&2; exit 1; }
+fi
+echo "ok: ${crash_bundle} (exit ${crash_rc})"
+
 # --- serving smoke run -------------------------------------------------------
 # Start the inference server with its HTTP exporter, drive a short open-loop
 # load, and probe /metrics (serve.* families present) and /healthz (200 from
@@ -120,9 +164,12 @@ echo "ok: ${prom}"
 serve_report="${out_dir}/serve.report.json"
 serve_port_file="${out_dir}/serve.port"
 serve_log="${out_dir}/serve.log"
+serve_dump_dir="${out_dir}/serve_dumps"
+mkdir -p "${serve_dump_dir}"
 "${build_dir}/examples/online_serving" --mode=open --rate=2000 --requests=300 \
   --slo-ms=50 --standby-workers=1 --prom-port=0 \
-  --port-file="${serve_port_file}" --hold-ms=6000 \
+  --port-file="${serve_port_file}" --hold-ms=8000 \
+  --dump-dir="${serve_dump_dir}" \
   --report-out="${serve_report}" > "${serve_log}" 2>&1 &
 serve_pid=$!
 for _ in $(seq 100); do
@@ -135,7 +182,7 @@ done
 serve_port="$(cat "${serve_port_file}")"
 sleep 2  # Let the load drain so the scrape sees final serve.* counts.
 
-fetch() {  # curl when present, else a bash /dev/tcp probe.
+fetch() {  # Body only: curl when present, else a bash /dev/tcp probe.
   local path="$1"
   if command -v curl >/dev/null 2>&1; then
     curl -s "http://127.0.0.1:${serve_port}${path}"
@@ -143,7 +190,7 @@ fetch() {  # curl when present, else a bash /dev/tcp probe.
     exec 3<>"/dev/tcp/127.0.0.1/${serve_port}"
     printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' \
       "${path}" >&3
-    cat <&3
+    cat <&3 | tr -d '\r' | sed '1,/^$/d'
     exec 3<&- 3>&-
   fi
 }
@@ -158,6 +205,39 @@ fetch /healthz | grep -q 'ok' || {
   echo "FAIL: /healthz did not answer ok" >&2
   cat "${serve_log}" >&2; exit 1; }
 echo "ok: /metrics + /healthz on port ${serve_port}"
+
+# /debug/dump beside /metrics: a schema-valid diagnostics bundle on demand.
+debug_dump="${out_dir}/debug_dump.json"
+fetch /debug/dump > "${debug_dump}"
+[ -s "${debug_dump}" ] || { echo "FAIL: /debug/dump returned no body" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${debug_dump}" <<'EOF'
+import json, sys
+bundle = json.load(open(sys.argv[1]))
+assert bundle["schema"] == "gnnlab.diagnostics.v1", bundle["schema"]
+assert bundle["reason"] == "http_debug_dump", bundle["reason"]
+assert bundle["metrics"] is not None, "bundle is missing the registry snapshot"
+EOF
+else
+  grep -q '"schema":"gnnlab.diagnostics.v1"' "${debug_dump}" || {
+    echo "FAIL: /debug/dump body has wrong schema" >&2; exit 1; }
+fi
+echo "ok: /debug/dump on port ${serve_port}"
+
+# Live dashboard smoke: two plain-mode frames scraped off the same exporter
+# must render the serve table and the build stamp while the server holds.
+top_log="${out_dir}/top.log"
+"${build_dir}/tools/gnnlab_top" --port="${serve_port}" --frames=2 \
+  --interval-ms=300 --plain > "${top_log}" 2>&1 || {
+  echo "FAIL: gnnlab_top exited nonzero" >&2
+  cat "${top_log}" >&2; exit 1; }
+grep -q 'gnnlab_top' "${top_log}" || {
+  echo "FAIL: gnnlab_top rendered no header" >&2
+  cat "${top_log}" >&2; exit 1; }
+grep -q 'serve' "${top_log}" || {
+  echo "FAIL: gnnlab_top rendered no serve section" >&2
+  cat "${top_log}" >&2; exit 1; }
+echo "ok: gnnlab_top rendered 2 live frames"
 
 wait "${serve_pid}" || {
   echo "FAIL: online_serving exited nonzero" >&2
@@ -203,4 +283,4 @@ echo "ok: ${dist_report} + ${dist_prom}"
 scripts/bench.sh --build-dir="${build_dir}"
 
 echo
-echo "verify: build + tests + telemetry smoke + serving smoke + overhead budget + perf gate all green"
+echo "verify: build + tests + telemetry smoke + crash-dump smoke + serving/dashboard smoke + overhead budget + perf gate all green"

@@ -1,15 +1,18 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <mutex>
 
 namespace gnnlab {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
 
 // Serializes writes so interleaved messages from the thread pool stay whole.
 std::mutex& OutputMutex() {
@@ -17,7 +20,91 @@ std::mutex& OutputMutex() {
   return mu;
 }
 
-const char* LevelName(LogLevel level) {
+// Guarded by OutputMutex(); stderr when no file is open.
+std::FILE*& SinkSlot() {
+  static std::FILE* sink = nullptr;
+  return sink;
+}
+
+// Tail ring of emitted lines (newline stripped), guarded by its own mutex so
+// diagnostics dumps can read it without contending on the output lock.
+std::mutex& TailMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::deque<std::string>& TailRing() {
+  static std::deque<std::string> ring;
+  return ring;
+}
+
+std::mutex& ObserverMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::function<void(const StructuredLogEvent&)>& ObserverSlot() {
+  static std::function<void(const StructuredLogEvent&)> observer;
+  return observer;
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+void AppendToTail(const std::string& line) {
+  std::lock_guard<std::mutex> lock(TailMutex());
+  std::deque<std::string>& ring = TailRing();
+  ring.push_back(line);
+  while (ring.size() > kLogTailCapacity) {
+    ring.pop_front();
+  }
+}
+
+// Writes one rendered line (no trailing newline in `line`) to the sink and
+// the tail ring; aborts for kFatal. Shared by LogMessage and StructuredLog.
+void EmitLine(LogLevel level, const std::string& line) {
+  AppendToTail(line);
+  {
+    std::lock_guard<std::mutex> lock(OutputMutex());
+    std::FILE* sink = SinkSlot() != nullptr ? SinkSlot() : stderr;
+    std::fputs(line.c_str(), sink);
+    std::fputc('\n', sink);
+    std::fflush(sink);
+  }
+  if (level == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+// Re-entrancy guard: an observer that logs (directly or through a hook)
+// must not recurse into itself.
+thread_local bool t_in_observer = false;
+
+void NotifyObserver(const StructuredLogEvent& event) {
+  if (t_in_observer) {
+    return;
+  }
+  std::function<void(const StructuredLogEvent&)> observer;
+  {
+    std::lock_guard<std::mutex> lock(ObserverMutex());
+    observer = ObserverSlot();
+  }
+  if (observer) {
+    t_in_observer = true;
+    observer(event);
+    t_in_observer = false;
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "D";
@@ -33,31 +120,264 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-const char* Basename(const char* path) {
-  const char* slash = std::strrchr(path, '/');
-  return slash != nullptr ? slash + 1 : path;
+const char* LogLevelLongName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kFatal:
+      return "fatal";
+  }
+  return "unknown";
 }
 
-}  // namespace
+void SetLogFormat(LogFormat format) { g_format.store(static_cast<int>(format)); }
 
-void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+LogFormat GetLogFormat() { return static_cast<LogFormat>(g_format.load()); }
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+bool OpenLogFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(OutputMutex());
+  if (SinkSlot() != nullptr) {
+    std::fclose(SinkSlot());
+  }
+  SinkSlot() = file;
+  return true;
+}
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+void CloseLogFile() {
+  std::lock_guard<std::mutex> lock(OutputMutex());
+  if (SinkSlot() != nullptr) {
+    std::fclose(SinkSlot());
+    SinkSlot() = nullptr;
+  }
+}
+
+double LogMonotonicSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
+void SetLogObserver(std::function<void(const StructuredLogEvent&)> observer) {
+  std::lock_guard<std::mutex> lock(ObserverMutex());
+  ObserverSlot() = std::move(observer);
+}
+
+std::vector<std::string> RecentLogLines(std::size_t max_lines) {
+  std::lock_guard<std::mutex> lock(TailMutex());
+  const std::deque<std::string>& ring = TailRing();
+  std::size_t take = ring.size();
+  if (max_lines != 0 && max_lines < take) {
+    take = max_lines;
+  }
+  return std::vector<std::string>(ring.end() - static_cast<std::ptrdiff_t>(take), ring.end());
+}
+
+void ClearLogTail() {
+  std::lock_guard<std::mutex> lock(TailMutex());
+  TailRing().clear();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+LogRateLimiter::LogRateLimiter(double per_second, double burst)
+    : rate_(per_second > 0.0 ? per_second : 0.0),
+      burst_(burst >= 1.0 ? burst : 1.0),
+      tokens_(burst >= 1.0 ? burst : 1.0) {}
+
+bool LogRateLimiter::Allow() { return AllowAt(LogMonotonicSeconds()); }
+
+bool LogRateLimiter::AllowAt(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!primed_) {
+    primed_ = true;
+    last_ = now_seconds;
+  }
+  if (now_seconds > last_) {
+    tokens_ += (now_seconds - last_) * rate_;
+    if (tokens_ > burst_) {
+      tokens_ = burst_;
+    }
+    last_ = now_seconds;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  ++suppressed_;
+  return false;
+}
+
+std::uint64_t LogRateLimiter::TakeSuppressed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = suppressed_;
+  suppressed_ = 0;
+  return n;
+}
+
+std::uint64_t LogRateLimiter::suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+StructuredLog::StructuredLog(LogLevel level, const char* file, int line,
+                             std::string_view event) {
+  event_.ts = LogMonotonicSeconds();
+  event_.level = level;
+  event_.file = file;
+  event_.line = line;
+  event_.event.assign(event.data(), event.size());
+}
+
+StructuredLog::~StructuredLog() {
+  std::string line;
+  if (GetLogFormat() == LogFormat::kJsonl) {
+    char head[160];
+    std::snprintf(head, sizeof(head), "{\"ts\":%.6f,\"level\":\"%s\",\"src\":\"%s:%d\"",
+                  event_.ts, LogLevelLongName(event_.level), Basename(event_.file),
+                  event_.line);
+    line = head;
+    line += ",\"event\":\"";
+    line += JsonEscape(event_.event);
+    line += '"';
+    for (const auto& kv : event_.fields) {
+      line += ",\"";
+      line += JsonEscape(kv.first);
+      line += "\":";
+      line += kv.second;
+    }
+    line += '}';
+  } else {
+    line = "[";
+    line += LogLevelName(event_.level);
+    line += ' ';
+    line += Basename(event_.file);
+    line += ':';
+    line += std::to_string(event_.line);
+    line += "] ";
+    line += event_.event;
+    for (const auto& kv : event_.fields) {
+      line += ' ';
+      line += kv.first;
+      line += '=';
+      line += kv.second;
+    }
+  }
+  NotifyObserver(event_);
+  EmitLine(event_.level, line);
+}
+
+StructuredLog& StructuredLog::Kv(std::string_view key, std::string_view value) {
+  std::string rendered = "\"";
+  rendered += JsonEscape(value);
+  rendered += '"';
+  return KvRaw(key, std::move(rendered));
+}
+
+StructuredLog& StructuredLog::Kv(std::string_view key, const char* value) {
+  return Kv(key, std::string_view(value != nullptr ? value : ""));
+}
+
+StructuredLog& StructuredLog::Kv(std::string_view key, const std::string& value) {
+  return Kv(key, std::string_view(value));
+}
+
+StructuredLog& StructuredLog::Kv(std::string_view key, bool value) {
+  return KvRaw(key, value ? "true" : "false");
+}
+
+StructuredLog& StructuredLog::Kv(std::string_view key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return KvRaw(key, buf);
+}
+
+StructuredLog& StructuredLog::Suppressed(std::uint64_t n) {
+  if (n > 0) {
+    return KvUint("suppressed", n);
+  }
+  return *this;
+}
+
+StructuredLog& StructuredLog::KvInt(std::string_view key, std::int64_t value) {
+  return KvRaw(key, std::to_string(value));
+}
+
+StructuredLog& StructuredLog::KvUint(std::string_view key, std::uint64_t value) {
+  return KvRaw(key, std::to_string(value));
+}
+
+StructuredLog& StructuredLog::KvRaw(std::string_view key, std::string value) {
+  event_.fields.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {
+  stream_ << "[" << LogLevelName(level) << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  stream_ << "\n";
-  {
-    std::lock_guard<std::mutex> lock(OutputMutex());
-    std::fputs(stream_.str().c_str(), stderr);
-    std::fflush(stderr);
+  if (GetLogFormat() == LogFormat::kJsonl) {
+    // Render the free-form message as a structured "log" event so one sink
+    // stays uniformly parseable; the original prefix is dropped in favor of
+    // the structured src field.
+    std::string body = stream_.str();
+    std::string::size_type cut = body.find("] ");
+    if (body.size() > 1 && body[0] == '[' && cut != std::string::npos) {
+      body = body.substr(cut + 2);
+    }
+    char head[160];
+    std::snprintf(head, sizeof(head), "{\"ts\":%.6f,\"level\":\"%s\",\"src\":\"%s:%d\"",
+                  LogMonotonicSeconds(), LogLevelLongName(level_), Basename(file_), line_);
+    std::string line = head;
+    line += ",\"event\":\"log\",\"msg\":\"";
+    line += JsonEscape(body);
+    line += "\"}";
+    EmitLine(level_, line);
+    return;
   }
-  if (level_ == LogLevel::kFatal) {
-    std::abort();
-  }
+  EmitLine(level_, stream_.str());
 }
 
 }  // namespace gnnlab

@@ -1,10 +1,25 @@
 // Minimal leveled logger with CHECK macros, modeled on the style used by
 // systems codebases: cheap when disabled, fatal checks abort with context.
+//
+// On top of the stream-style LOG_* macros sits a structured event log: the
+// SLOG_* macros build one leveled key=value record per call site, render it
+// as text or JSONL, keep an in-process tail ring for diagnostics bundles,
+// and fan out to an optional observer (the flight recorder bridges through
+// it). SLOG_*_EVERY adds per-site token-bucket rate limiting so a shed
+// storm or a flapping alert cannot flood the sink — suppressed counts are
+// attached to the next line that gets through.
 #ifndef GNNLAB_COMMON_LOGGING_H_
 #define GNNLAB_COMMON_LOGGING_H_
 
+#include <cstdint>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace gnnlab {
 
@@ -20,6 +35,117 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Short ("I") and long ("info") names for a level.
+const char* LogLevelName(LogLevel level);
+const char* LogLevelLongName(LogLevel level);
+
+// How emitted lines are rendered: classic "[I file:line] ..." text or one
+// JSON object per line ({"ts":..,"level":..,"src":..,"event":..,<fields>}).
+enum class LogFormat : int { kText = 0, kJsonl = 1 };
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
+// Redirects all log output (LOG_* and SLOG_*) from stderr to a file,
+// appending. Returns false (and keeps stderr) when the file cannot be
+// opened. CloseLogFile() restores stderr.
+bool OpenLogFile(const std::string& path);
+void CloseLogFile();
+
+// Seconds since an arbitrary steady-clock epoch; the timestamp attached to
+// structured records. (common/ cannot depend on obs/, so this is a local
+// twin of obs MonotonicSeconds with the same clock.)
+double LogMonotonicSeconds();
+
+// One structured record, as handed to the log observer: the call site, the
+// event name, and the rendered fields (value strings are valid JSON
+// scalars — quoted strings keep their quotes).
+struct StructuredLogEvent {
+  double ts = 0.0;
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";
+  int line = 0;
+  std::string event;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+// Observer fan-out for structured records (installed once at startup; the
+// diagnostics layer uses it to feed warnings/errors into the flight
+// recorder). The observer runs outside the output lock on the logging
+// thread; re-entrant logging from inside an observer is dropped.
+void SetLogObserver(std::function<void(const StructuredLogEvent&)> observer);
+
+// The most recent emitted lines (both LOG_* and SLOG_*), oldest first; the
+// ring keeps the last `kLogTailCapacity` lines for diagnostics bundles.
+inline constexpr std::size_t kLogTailCapacity = 256;
+std::vector<std::string> RecentLogLines(std::size_t max_lines = 0);
+void ClearLogTail();
+
+// JSON string-escape (backslash, quote, control chars) without the
+// surrounding quotes.
+std::string JsonEscape(std::string_view text);
+
+// Token-bucket rate limiter for one log call site: `per_second` sustained,
+// bursts up to `burst` (>= 1). Allow() consumes a token or counts the call
+// as suppressed; TakeSuppressed() drains the suppressed count accumulated
+// since the last allowed call. AllowAt() takes an explicit clock reading so
+// tests can pin time. Thread-safe; totals are exact under concurrency.
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(double per_second, double burst = 1.0);
+
+  bool Allow();
+  bool AllowAt(double now_seconds);
+  std::uint64_t TakeSuppressed();
+  std::uint64_t suppressed() const;
+
+ private:
+  mutable std::mutex mu_;
+  const double rate_;
+  const double burst_;
+  double tokens_;
+  double last_ = 0.0;
+  bool primed_ = false;
+  std::uint64_t suppressed_ = 0;
+};
+
+// Builder for one structured record; emits on destruction (end of the full
+// expression in the SLOG macros). kFatal aborts after emitting, matching
+// LOG_FATAL.
+class StructuredLog {
+ public:
+  StructuredLog(LogLevel level, const char* file, int line, std::string_view event);
+  ~StructuredLog();
+
+  StructuredLog(const StructuredLog&) = delete;
+  StructuredLog& operator=(const StructuredLog&) = delete;
+
+  StructuredLog& Kv(std::string_view key, std::string_view value);
+  StructuredLog& Kv(std::string_view key, const char* value);
+  StructuredLog& Kv(std::string_view key, const std::string& value);
+  StructuredLog& Kv(std::string_view key, bool value);
+  StructuredLog& Kv(std::string_view key, double value);
+  template <typename T,
+            typename std::enable_if<std::is_integral<T>::value && !std::is_same<T, bool>::value,
+                                    int>::type = 0>
+  StructuredLog& Kv(std::string_view key, T value) {
+    if (std::is_signed<T>::value) {
+      return KvInt(key, static_cast<std::int64_t>(value));
+    }
+    return KvUint(key, static_cast<std::uint64_t>(value));
+  }
+
+  // Attaches a "suppressed" count when n > 0 (the SLOG_*_EVERY macros pass
+  // the tokens dropped by the site's rate limiter since the last line).
+  StructuredLog& Suppressed(std::uint64_t n);
+
+ private:
+  StructuredLog& KvInt(std::string_view key, std::int64_t value);
+  StructuredLog& KvUint(std::string_view key, std::uint64_t value);
+  StructuredLog& KvRaw(std::string_view key, std::string value);
+
+  StructuredLogEvent event_;
+};
+
 // Internal: streams one message and, for kFatal, aborts on destruction.
 class LogMessage {
  public:
@@ -33,6 +159,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -64,6 +192,50 @@ class NullStream {
     ::gnnlab::LogMessage(::gnnlab::LogLevel::kError, __FILE__, __LINE__).stream()
 #define LOG_FATAL \
   ::gnnlab::LogMessage(::gnnlab::LogLevel::kFatal, __FILE__, __LINE__).stream()
+
+// Structured records:  SLOG_WARNING("serve_shed").Kv("cause", "overload")
+// emits one leveled key=value line (text or JSONL per SetLogFormat).
+#define GNNLAB_SLOG_AT(level, event) \
+  ::gnnlab::StructuredLog(level, __FILE__, __LINE__, event)
+
+#define SLOG_DEBUG(event)                                    \
+  if (!GNNLAB_LOG_ENABLED(::gnnlab::LogLevel::kDebug)) {} else \
+    GNNLAB_SLOG_AT(::gnnlab::LogLevel::kDebug, event)
+#define SLOG_INFO(event)                                    \
+  if (!GNNLAB_LOG_ENABLED(::gnnlab::LogLevel::kInfo)) {} else \
+    GNNLAB_SLOG_AT(::gnnlab::LogLevel::kInfo, event)
+#define SLOG_WARNING(event)                                    \
+  if (!GNNLAB_LOG_ENABLED(::gnnlab::LogLevel::kWarning)) {} else \
+    GNNLAB_SLOG_AT(::gnnlab::LogLevel::kWarning, event)
+#define SLOG_ERROR(event)                                    \
+  if (!GNNLAB_LOG_ENABLED(::gnnlab::LogLevel::kError)) {} else \
+    GNNLAB_SLOG_AT(::gnnlab::LogLevel::kError, event)
+
+// Per-site rate-limited variants: at most `per_second` sustained lines from
+// this call site (burst 1 + ceil(per_second)); dropped calls accumulate and
+// surface as a "suppressed" field on the next line through. The limiter is
+// a function-local static, so each textual call site gets its own bucket.
+#define GNNLAB_SLOG_EVERY_AT(level_enum, event, per_second)                        \
+  if (!GNNLAB_LOG_ENABLED(level_enum)) {                                           \
+  } else if (::gnnlab::LogRateLimiter& gnnlab_slog_limiter =                       \
+                 []() -> ::gnnlab::LogRateLimiter& {                               \
+                   static ::gnnlab::LogRateLimiter limiter(                        \
+                       (per_second), 1.0 + static_cast<double>(                    \
+                                               static_cast<std::uint64_t>(         \
+                                                   (per_second) + 0.999)));        \
+                 return limiter;                                                   \
+                 }();                                                              \
+             !gnnlab_slog_limiter.Allow()) {                                       \
+  } else                                                                           \
+    GNNLAB_SLOG_AT(level_enum, event)                                              \
+        .Suppressed(gnnlab_slog_limiter.TakeSuppressed())
+
+#define SLOG_INFO_EVERY(event, per_second) \
+  GNNLAB_SLOG_EVERY_AT(::gnnlab::LogLevel::kInfo, event, per_second)
+#define SLOG_WARNING_EVERY(event, per_second) \
+  GNNLAB_SLOG_EVERY_AT(::gnnlab::LogLevel::kWarning, event, per_second)
+#define SLOG_ERROR_EVERY(event, per_second) \
+  GNNLAB_SLOG_EVERY_AT(::gnnlab::LogLevel::kError, event, per_second)
 
 // CHECK aborts the process when the condition is false; it is always on,
 // including release builds, because a violated invariant in the simulator or

@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "nn/checkpoint.h"
 #include "nn/grad_sync.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "pipeline/batch_streams.h"
 #include "pipeline/cache_builder.h"
 #include "pipeline/report_assembler.h"
@@ -373,6 +375,9 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
   switch_log_.ResetFilters(trainers_.size());
 
   const SimTime epoch_start = sim_.now();
+  GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(
+      FlightEventKind::kMark, "epoch_begin", static_cast<double>(epoch),
+      static_cast<double>(epoch_batches_.size()), "sim"));
   PumpSamplers();
   sim_.Run();
   CHECK_EQ(trained_batches_, epoch_batches_.size()) << "epoch deadlocked";
@@ -386,6 +391,9 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
 
   EpochReport report = epoch_report_;
   report.epoch_time = sim_.now() - epoch_start;
+  GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(
+      FlightEventKind::kMark, "epoch_end", static_cast<double>(epoch),
+      report.epoch_time, "sim"));
   report.latency = stage_latency_.Summarize();
   report.batches = epoch_batches_.size();
   report.attribution = AssembleEpochAttribution(obs_.flows(), epoch, options_.metrics);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -10,11 +11,14 @@
 #include "common/logging.h"
 #include "nn/checkpoint.h"
 #include "nn/grad_sync.h"
+#include "obs/diagnostics.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
 #include "pipeline/batch_streams.h"
 #include "pipeline/cache_builder.h"
+#include "pipeline/switch_gate.h"
 #include "runtime/mpmc_queue.h"
 
 namespace gnnlab {
@@ -56,7 +60,15 @@ ThreadedEngine::ThreadedEngine(const Dataset& dataset, const Workload& workload,
                                const ThreadedEngineOptions& options)
     : dataset_(dataset), workload_(workload), options_(options) {}
 
-ThreadedEngine::~ThreadedEngine() = default;
+ThreadedEngine::~ThreadedEngine() {
+  GNNLAB_OBS_ONLY({
+    DiagnosticsHub* hub = DiagnosticsHub::Global();
+    hub->ClearSection("switch_decisions");
+    if (registry_ != nullptr) {
+      hub->UnbindRegistry(registry_);
+    }
+  });
+}
 
 void ThreadedEngine::ValidateAndInit() {
   if (initialized_) {
@@ -166,6 +178,24 @@ ThreadedRunReport ThreadedEngine::Run() {
   ValidateAndInit();
   BuildCache();
   BindTelemetry();
+  GNNLAB_OBS_ONLY({
+    // Crash bundles written mid-run should carry this engine's telemetry and
+    // switch log; the destructor retires the bindings (pointer-checked, so a
+    // newer engine's registration is never clobbered).
+    DiagnosticsHub* hub = DiagnosticsHub::Global();
+    hub->BindRegistry(registry_);
+    hub->SetSection("switch_decisions",
+                    [this] { return SwitchDecisionsJson(switch_log_.Recent(256)); });
+    hub->SetConfig("engine", "threaded");
+    hub->SetConfig("num_samplers", std::to_string(options_.num_samplers));
+    hub->SetConfig("num_trainers", std::to_string(options_.num_trainers));
+    hub->SetConfig("cache_policy", CachePolicyKindName(options_.policy));
+    hub->SetConfig("cache_ratio", std::to_string(cache_.ratio()));
+    hub->SetConfig("epochs", std::to_string(options_.epochs));
+    if (options_.health != nullptr) {
+      hub->BindHealth(options_.health);
+    }
+  });
 
   SnapshotExporter::Options snap;
   snap.interval_seconds = options_.snapshot_interval_seconds;
@@ -215,6 +245,9 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
   switch_log_.ResetFilters(replicas_.size());
 
   const double start = MonotonicSeconds();
+  GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(
+      FlightEventKind::kMark, "epoch_begin", static_cast<double>(epoch),
+      static_cast<double>(state.batches.size())));
   state.samplers_active.store(options_.num_samplers);
   UpdateQueueGauges(&state);
   std::vector<std::thread> threads;
@@ -231,6 +264,9 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
   UpdateQueueGauges(&state);
   ThreadedEpochReport report;
   report.wall_seconds = MonotonicSeconds() - start;
+  GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(
+      FlightEventKind::kMark, "epoch_end", static_cast<double>(epoch),
+      report.wall_seconds));
   report.batches = state.batches.size();
   report.sampled_edges = state.sampled_edges.load();
   report.latency = stage_latency_.Summarize();
@@ -367,6 +403,17 @@ void ThreadedEngine::TrainerLoop(State* state, int replica_index, bool standby) 
     const double begin = MonotonicSeconds();
     TrainTaskOnReplica(state, replica_index, lane, &extractor, *task);
     const double elapsed = MonotonicSeconds() - begin;
+    if (options_.debug_abort_after_batches != 0) {
+      const std::size_t done =
+          debug_trained_batches_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (done >= options_.debug_abort_after_batches) {
+        SLOG_ERROR("debug_abort")
+            .Kv("batches", done)
+            .Kv("epoch", task->epoch)
+            .Kv("lane", lane);
+        std::abort();  // Crash injection: exercises the diagnostics handlers.
+      }
+    }
     // EMA with alpha 0.2 (see core/switching.h).
     auto& ema = standby ? state->t_standby_ema : state->t_train_ema;
     double prev = ema.load();

@@ -17,6 +17,7 @@
 #ifndef GNNLAB_CORE_THREADED_ENGINE_H_
 #define GNNLAB_CORE_THREADED_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -86,6 +87,10 @@ struct ThreadedEngineOptions {
   std::string load_checkpoint;
   // Save the master model's parameters here after the last epoch.
   std::string save_checkpoint;
+  // Crash-injection hook for the diagnostics smoke tests: when nonzero, the
+  // run calls std::abort() after this many batches have finished training —
+  // mid-epoch, from a worker thread, exactly like a real fault. 0 = off.
+  std::size_t debug_abort_after_batches = 0;
 };
 
 struct ThreadedEpochReport {
@@ -175,6 +180,9 @@ class ThreadedEngine {
   StageObs obs_;
   SwitchDecisionLog switch_log_;
   double run_start_ = 0.0;  // Decision-log timestamps are relative to this.
+  // Batches trained across the whole run (all epochs) — drives the
+  // debug_abort_after_batches crash-injection hook.
+  std::atomic<std::size_t> debug_trained_batches_{0};
   Counter* queue_enqueued_ = nullptr;
   Gauge* queue_depth_gauge_ = nullptr;
   Gauge* queue_bytes_gauge_ = nullptr;

@@ -10,6 +10,7 @@
 #include "core/global_queue.h"
 #include "core/scheduler.h"
 #include "core/switching.h"
+#include "obs/flight_recorder.h"
 #include "obs/snapshot.h"
 #include "pipeline/batch_streams.h"
 #include "pipeline/cache_builder.h"
@@ -792,6 +793,13 @@ void DistEngine::StartBatchOnTrainer(NodeState* node, TrainerExec* trainer, Trai
       node->m_remote_bytes->Increment(extract.bytes_remote);
       node->m_remote_fetches->Increment(extract.remote_fetches);
     }
+    if (extract.bytes_remote > 0) {
+      FlightRecorder::Global()->Record(
+          FlightEventKind::kComm, "remote_fetch",
+          static_cast<double>(extract.bytes_remote),
+          static_cast<double>(extract.remote_fetches), "pipelined",
+          static_cast<std::uint32_t>(node->node));
+    }
   });
 
   trainer->extract_busy = true;
@@ -897,6 +905,13 @@ void DistEngine::PumpTimeShareGpu(NodeState* node, std::size_t g) {
     if (node->m_remote_bytes != nullptr) {
       node->m_remote_bytes->Increment(extract.bytes_remote);
       node->m_remote_fetches->Increment(extract.remote_fetches);
+    }
+    if (extract.bytes_remote > 0) {
+      FlightRecorder::Global()->Record(
+          FlightEventKind::kComm, "remote_fetch",
+          static_cast<double>(extract.bytes_remote),
+          static_cast<double>(extract.remote_fetches), "timeshare",
+          static_cast<std::uint32_t>(node->node));
     }
   });
 
@@ -1005,6 +1020,9 @@ void DistEngine::TryCompleteAllReduces() {
         m_allreduce_wire_->Increment(AllReduceWireBytes(gradient_bytes_, n));
         m_allreduce_seconds_->Set(comm_report_.allreduce_seconds);
       }
+      FlightRecorder::Global()->Record(
+          FlightEventKind::kComm, "allreduce", start, completion, "round",
+          static_cast<std::uint32_t>(rounds_started_));
     });
     for (const auto& node : nodes_) {
       const SimTime ready =

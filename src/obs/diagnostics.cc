@@ -1,0 +1,401 @@
+#include "obs/diagnostics.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+// Stamped by the build system (src/CMakeLists.txt runs `git describe` at
+// configure time); standalone compilation falls back to "unknown".
+#ifndef GNNLAB_GIT_DESCRIBE
+#define GNNLAB_GIT_DESCRIBE "unknown"
+#endif
+
+namespace gnnlab {
+namespace {
+
+std::string SanitizeForFilename(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("dump") : out;
+}
+
+void AppendQuoted(std::string* out, std::string_view text) {
+  *out += '"';
+  *out += JsonEscape(text);
+  *out += '"';
+}
+
+void AppendAlertStates(std::string* out, const std::vector<AlertState>& states) {
+  *out += '[';
+  char buf[96];
+  bool first = true;
+  for (const AlertState& state : states) {
+    if (!first) {
+      *out += ',';
+    }
+    first = false;
+    *out += "{\"name\":";
+    AppendQuoted(out, state.rule.name);
+    *out += ",\"metric\":";
+    AppendQuoted(out, state.rule.metric);
+    *out += ",\"stat\":";
+    AppendQuoted(out, state.rule.stat);
+    std::snprintf(buf, sizeof(buf), ",\"op\":\"%c\",\"threshold\":%.6g,\"value\":%.6g",
+                  state.rule.op, state.rule.threshold, state.value);
+    *out += buf;
+    *out += ",\"firing\":";
+    *out += state.firing ? "true" : "false";
+    *out += '}';
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+const char* BuildGitDescribe() { return GNNLAB_GIT_DESCRIBE; }
+
+DiagnosticsHub::DiagnosticsHub() = default;
+
+DiagnosticsHub* DiagnosticsHub::Global() {
+  // Leaked on purpose: crash handlers dump arbitrarily late in process
+  // teardown, after static destructors may have started running.
+  static DiagnosticsHub* hub = new DiagnosticsHub();
+  return hub;
+}
+
+void DiagnosticsHub::SetDumpDir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_dir_ = dir.empty() ? "." : std::move(dir);
+}
+
+std::string DiagnosticsHub::dump_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dump_dir_;
+}
+
+void DiagnosticsHub::SetConfig(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : config_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return;
+    }
+  }
+  config_.emplace_back(key, std::move(value));
+}
+
+void DiagnosticsHub::BindRegistry(const MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+}
+
+void DiagnosticsHub::UnbindRegistry(const MetricRegistry* if_current) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry_ == if_current) {
+    registry_ = nullptr;
+  }
+}
+
+void DiagnosticsHub::BindHealth(HealthMonitor* health) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_ = health;
+}
+
+void DiagnosticsHub::UnbindHealth(const HealthMonitor* if_current) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (health_ == if_current) {
+    health_ = nullptr;
+  }
+}
+
+void DiagnosticsHub::BindRecorder(const FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorder_ = recorder;
+}
+
+void DiagnosticsHub::SetSection(const std::string& name,
+                                std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sections_[name] = std::move(provider);
+}
+
+void DiagnosticsHub::ClearSection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sections_.erase(name);
+}
+
+void DiagnosticsHub::SetFlightTailLimit(std::size_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flight_tail_limit_ = max_events;
+}
+
+void DiagnosticsHub::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_dir_ = std::string(".");
+  config_.clear();
+  registry_ = nullptr;
+  health_ = nullptr;
+  recorder_ = nullptr;
+  sections_.clear();
+  flight_tail_limit_ = 512;
+  last_alert_dump_ = -1.0;
+}
+
+std::string DiagnosticsHub::BundleJson(const std::string& reason, bool crash_safe) {
+  // Copy the bound sources under the lock, build outside it: providers and
+  // the health monitor take their own locks, and a provider calling back
+  // into the hub must not deadlock.
+  const MetricRegistry* registry = nullptr;
+  HealthMonitor* health = nullptr;
+  const FlightRecorder* recorder = nullptr;
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<std::pair<std::string, std::function<std::string()>>> sections;
+  std::size_t tail_limit = 512;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry = registry_;
+    health = health_;
+    recorder = recorder_;
+    config = config_;
+    sections.assign(sections_.begin(), sections_.end());
+    tail_limit = flight_tail_limit_;
+  }
+  if (recorder == nullptr) {
+    recorder = FlightRecorder::Global();
+  }
+
+  std::string out = "{\"schema\":";
+  AppendQuoted(&out, kDiagnosticsSchema);
+  out += ",\"reason\":";
+  AppendQuoted(&out, reason);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), ",\"ts_monotonic\":%.6f,\"wall_unix\":%lld,\"pid\":%d",
+                MonotonicSeconds(),
+                static_cast<long long>(std::time(nullptr)),
+                static_cast<int>(::getpid()));
+  out += buf;
+  out += ",\"git\":";
+  AppendQuoted(&out, BuildGitDescribe());
+  out += ",\"obs_enabled\":";
+  out += GNNLAB_OBS_ENABLED ? "true" : "false";
+
+  out += ",\"config\":{";
+  bool first = true;
+  for (const auto& kv : config) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendQuoted(&out, kv.first);
+    out += ':';
+    AppendQuoted(&out, kv.second);
+  }
+  out += '}';
+
+  out += ",\"alerts\":";
+  if (health != nullptr) {
+    // From a signal handler only the cached states are safe-ish to read; a
+    // forced evaluation walks the registry and is done by the non-crash
+    // triggers before they get here.
+    AppendAlertStates(&out, crash_safe ? health->states() : health->Evaluate(true));
+  } else {
+    out += "[]";
+  }
+
+  out += ",\"metrics\":";
+  out += registry != nullptr ? registry->SnapshotJson() : "null";
+
+  const std::vector<FlightEvent> events = recorder->Tail(tail_limit);
+  std::snprintf(buf, sizeof(buf),
+                ",\"flight_recorder\":{\"threads\":%zu,\"capacity_per_thread\":%zu,"
+                "\"total_recorded\":%llu,\"events\":",
+                recorder->thread_count(), recorder->capacity_per_thread(),
+                static_cast<unsigned long long>(recorder->total_recorded()));
+  out += buf;
+  out += FlightEventsToJson(events);
+  out += '}';
+
+  out += ",\"log_tail\":[";
+  first = true;
+  for (const std::string& line : RecentLogLines()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendQuoted(&out, line);
+  }
+  out += ']';
+
+  out += ",\"sections\":{";
+  first = true;
+  for (const auto& section : sections) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendQuoted(&out, section.first);
+    out += ':';
+    const std::string value = section.second ? section.second() : std::string();
+    out += value.empty() ? "null" : value;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string DiagnosticsHub::DumpToFile(const std::string& reason, bool crash_safe) {
+  const std::string body = BundleJson(reason, crash_safe);
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = dump_dir_;
+  }
+  char name[128];
+  std::snprintf(name, sizeof(name), "/gnnlab_diag.%s.%d.json",
+                SanitizeForFilename(reason).c_str(), static_cast<int>(::getpid()));
+  path += name;
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return "";
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  std::fclose(file);
+  if (!ok) {
+    std::remove(path.c_str());
+    return "";
+  }
+  return path;
+}
+
+std::string DiagnosticsHub::MaybeAlertDump(const AlertState& state,
+                                           double min_interval_seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double now = MonotonicSeconds();
+    if (last_alert_dump_ >= 0.0 && now - last_alert_dump_ < min_interval_seconds) {
+      return "";
+    }
+    last_alert_dump_ = now;
+  }
+  const std::string path = DumpToFile("alert_" + state.rule.name);
+  if (!path.empty()) {
+    SLOG_WARNING("diagnostics_dump")
+        .Kv("trigger", "alert_edge")
+        .Kv("alert", state.rule.name)
+        .Kv("value", state.value)
+        .Kv("path", path);
+  }
+  return path;
+}
+
+std::string DumpDiagnostics(const std::string& reason) {
+  return DiagnosticsHub::Global()->DumpToFile(reason);
+}
+
+namespace {
+
+std::atomic<bool> g_crash_handlers_installed{false};
+std::atomic<bool> g_crash_dumping{false};
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGABRT:
+      return "sigabrt";
+    case SIGSEGV:
+      return "sigsegv";
+    case SIGBUS:
+      return "sigbus";
+    case SIGFPE:
+      return "sigfpe";
+    case SIGILL:
+      return "sigill";
+  }
+  return "signal";
+}
+
+// Best effort, not strictly async-signal-safe: building the bundle
+// allocates and takes short-lived locks. That is the standard black-box
+// trade-off — the handler is re-entrancy-guarded, restores the default
+// disposition, and re-raises, so the worst case degrades to the crash the
+// process was already having.
+void CrashSignalHandler(int sig) {
+  if (!g_crash_dumping.exchange(true)) {
+    const std::string path = DiagnosticsHub::Global()->DumpToFile(
+        std::string("crash_") + SignalName(sig), /*crash_safe=*/true);
+    if (!path.empty()) {
+      std::fprintf(stderr, "[diagnostics] crash bundle: %s\n", path.c_str());
+      std::fflush(stderr);
+    }
+  }
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void InstallCrashHandlers() {
+  if (g_crash_handlers_installed.exchange(true)) {
+    return;
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &CrashSignalHandler;
+  sigemptyset(&action.sa_mask);
+  for (const int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL}) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+void ArmAlertEdgeDumps(HealthMonitor* health, double min_interval_seconds) {
+  if (health == nullptr) {
+    return;
+  }
+  DiagnosticsHub* hub = DiagnosticsHub::Global();
+  hub->BindHealth(health);
+  health->SetDebugDumpHandler([hub] { return hub->BundleJson("http_debug_dump"); });
+  health->SetAlertEdgeHandler(
+      [hub, min_interval_seconds](const AlertState& state) {
+        hub->MaybeAlertDump(state, min_interval_seconds);
+      });
+}
+
+void InstallLogRecorderBridge() {
+#if GNNLAB_OBS_ENABLED
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true)) {
+    return;
+  }
+  SetLogObserver([](const StructuredLogEvent& event) {
+    if (event.level < LogLevel::kWarning) {
+      return;
+    }
+    std::string detail;
+    for (const auto& kv : event.fields) {
+      if (!detail.empty()) {
+        detail += ' ';
+      }
+      detail += kv.first;
+      detail += '=';
+      detail += kv.second;
+    }
+    FlightRecorder::Global()->Record(FlightEventKind::kLog, event.event.c_str(), 0.0,
+                                     0.0, detail.c_str(),
+                                     static_cast<std::uint32_t>(event.level));
+  });
+#endif
+}
+
+}  // namespace gnnlab

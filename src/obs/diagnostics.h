@@ -1,0 +1,127 @@
+// Diagnostics bundles: one self-contained JSON document that captures what
+// the process was doing — config echo + git stamp, a MetricRegistry
+// snapshot, the flight-recorder tail, recent switch decisions, the firing
+// alerts, and the log tail — written by DumpDiagnostics() and triggered
+// three ways:
+//
+//   1. fatal-signal/abort handlers (InstallCrashHandlers): SIGABRT/SIGSEGV/
+//      SIGBUS/SIGFPE/SIGILL dump a best-effort bundle, then re-raise with
+//      the default disposition so the exit status still reflects the crash;
+//   2. a HealthMonitor alert rising edge (ArmAlertEdgeDumps), rate-limited
+//      so a flapping rule cannot fill the disk;
+//   3. on demand, via GET /debug/dump on the HealthMonitor HTTP exporter
+//      (ArmAlertEdgeDumps binds the handler).
+//
+// The hub is deliberately layer-agnostic: engines and servers register the
+// pieces they own (registry, health monitor, extra JSON sections like the
+// switch-decision log) and unregister them on teardown; everything in the
+// bundle is optional, so a dump is always well-formed JSON no matter how
+// little has been bound. Bundles parse with report/json_parse.
+#ifndef GNNLAB_OBS_DIAGNOSTICS_H_
+#define GNNLAB_OBS_DIAGNOSTICS_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gnnlab {
+
+class MetricRegistry;
+class HealthMonitor;
+class FlightRecorder;
+struct AlertState;
+
+// The `git describe` stamp baked in at configure time ("unknown" standalone).
+const char* BuildGitDescribe();
+
+// Bundle schema identifier (the "schema" field of every bundle).
+inline constexpr const char* kDiagnosticsSchema = "gnnlab.diagnostics.v1";
+
+class DiagnosticsHub {
+ public:
+  // Process-wide hub (leaked: crash handlers dump arbitrarily late).
+  static DiagnosticsHub* Global();
+
+  DiagnosticsHub();
+
+  // Where DumpToFile writes bundles; "." by default.
+  void SetDumpDir(std::string dir);
+  std::string dump_dir() const;
+
+  // Config echo: free-form key/value strings (CLI flags, engine options).
+  void SetConfig(const std::string& key, std::string value);
+
+  // Bind/unbind the sources a bundle draws from. Unbind passes the pointer
+  // being retired so a later binder is not clobbered by an earlier owner's
+  // teardown.
+  void BindRegistry(const MetricRegistry* registry);
+  void UnbindRegistry(const MetricRegistry* if_current);
+  void BindHealth(HealthMonitor* health);
+  void UnbindHealth(const HealthMonitor* if_current);
+  void BindRecorder(const FlightRecorder* recorder);  // Default: Global().
+
+  // Named extra sections: the provider returns a serialized JSON value that
+  // is embedded verbatim under "sections.<name>" (e.g. the switch-decision
+  // log). Providers run during BundleJson, so they must not dump
+  // diagnostics themselves.
+  void SetSection(const std::string& name, std::function<std::string()> provider);
+  void ClearSection(const std::string& name);
+
+  // How many flight-recorder events a bundle embeds (tail by global seq).
+  void SetFlightTailLimit(std::size_t max_events);
+
+  // One self-contained bundle. `crash_safe` skips everything that would
+  // force fresh evaluation (used from signal handlers — best effort: only
+  // cached alert states and the lock-free recorder snapshot are read).
+  std::string BundleJson(const std::string& reason, bool crash_safe = false);
+
+  // Writes BundleJson to "<dump_dir>/gnnlab_diag.<reason>.<pid>.json";
+  // returns the path, or "" on failure. `reason` is sanitized for the
+  // filename.
+  std::string DumpToFile(const std::string& reason, bool crash_safe = false);
+
+  // Test hook: drops config, sections, bindings, and dump rate-limit state.
+  void Reset();
+
+  // Rate-limited alert-edge dump (ArmAlertEdgeDumps wires it): dumps unless
+  // a previous alert dump happened under `min_interval_seconds` ago.
+  // Returns the path when a dump was written.
+  std::string MaybeAlertDump(const AlertState& state, double min_interval_seconds);
+
+ private:
+  mutable std::mutex mu_;
+  std::string dump_dir_ = ".";
+  std::vector<std::pair<std::string, std::string>> config_;
+  const MetricRegistry* registry_ = nullptr;
+  HealthMonitor* health_ = nullptr;
+  const FlightRecorder* recorder_ = nullptr;
+  std::map<std::string, std::function<std::string()>> sections_;
+  std::size_t flight_tail_limit_ = 512;
+  double last_alert_dump_ = -1.0;
+};
+
+// Convenience: Global()->DumpToFile(reason).
+std::string DumpDiagnostics(const std::string& reason);
+
+// Installs fatal-signal handlers (SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL)
+// that write a crash bundle via the global hub, then restore the default
+// disposition and re-raise. Idempotent; a re-entrant crash inside the
+// handler skips the dump and re-raises immediately.
+void InstallCrashHandlers();
+
+// Wires a HealthMonitor into the diagnostics hub: binds it for the bundle's
+// alert section, points GET /debug/dump at BundleJson, and arms rate-limited
+// bundle dumps on alert rising edges.
+void ArmAlertEdgeDumps(HealthMonitor* health, double min_interval_seconds = 30.0);
+
+// Bridges warning-and-above structured log records into the flight recorder
+// (common/ cannot depend on obs/, so the bridge installs from this side via
+// SetLogObserver). Idempotent.
+void InstallLogRecorderBridge();
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_OBS_DIAGNOSTICS_H_

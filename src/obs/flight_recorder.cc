@@ -1,0 +1,262 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace gnnlab {
+namespace {
+
+constexpr std::size_t kLabelWords = FlightRecorder::kLabelBytes / 8;
+constexpr std::size_t kDetailWords = FlightRecorder::kDetailBytes / 8;
+
+// Slot sequence encoding: 0 = never written, odd = write in progress,
+// 2 * global_seq = a committed event. The writer is wait-free and unique
+// per ring (one ring per thread); readers validate the sequence word across
+// their field copy and discard torn slots.
+constexpr std::uint64_t kWriting = 1;
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+std::uint64_t PackMeta(FlightEventKind kind, std::uint32_t code, std::uint32_t tid) {
+  return static_cast<std::uint64_t>(static_cast<std::uint8_t>(kind)) |
+         (static_cast<std::uint64_t>(code & 0xffffffu) << 8) |
+         (static_cast<std::uint64_t>(tid) << 32);
+}
+
+void UnpackMeta(std::uint64_t meta, FlightEventKind* kind, std::uint32_t* code,
+                std::uint32_t* tid) {
+  *kind = static_cast<FlightEventKind>(meta & 0xffu);
+  *code = static_cast<std::uint32_t>((meta >> 8) & 0xffffffu);
+  *tid = static_cast<std::uint32_t>(meta >> 32);
+}
+
+// Packs a NUL-padded copy of `text` into `nwords` relaxed atomic words.
+void StoreInlineString(std::atomic<std::uint64_t>* words, std::size_t nwords,
+                       const char* text) {
+  char buf[FlightRecorder::kDetailBytes] = {0};
+  const std::size_t cap = nwords * 8;
+  if (text != nullptr) {
+    std::size_t len = ::strnlen(text, cap - 1);
+    std::memcpy(buf, text, len);
+  }
+  for (std::size_t i = 0; i < nwords; ++i) {
+    std::uint64_t w;
+    std::memcpy(&w, buf + i * 8, 8);
+    words[i].store(w, std::memory_order_relaxed);
+  }
+}
+
+std::string LoadInlineString(const std::atomic<std::uint64_t>* words, std::size_t nwords) {
+  char buf[FlightRecorder::kDetailBytes] = {0};
+  for (std::size_t i = 0; i < nwords; ++i) {
+    std::uint64_t w = words[i].load(std::memory_order_relaxed);
+    std::memcpy(buf + i * 8, &w, 8);
+  }
+  buf[nwords * 8 - 1] = '\0';
+  return std::string(buf);
+}
+
+std::atomic<std::uint64_t> g_next_instance_id{1};
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kMark:
+      return "mark";
+    case FlightEventKind::kStage:
+      return "stage";
+    case FlightEventKind::kSwitch:
+      return "switch";
+    case FlightEventKind::kShed:
+      return "shed";
+    case FlightEventKind::kAlert:
+      return "alert";
+    case FlightEventKind::kComm:
+      return "comm";
+    case FlightEventKind::kLog:
+      return "log";
+  }
+  return "unknown";
+}
+
+struct FlightRecorder::Ring {
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<double> ts{0.0};
+    std::atomic<std::uint64_t> meta{0};
+    std::atomic<double> a{0.0};
+    std::atomic<double> b{0.0};
+    std::atomic<std::uint64_t> label[kLabelWords] = {};
+    std::atomic<std::uint64_t> detail[kDetailWords] = {};
+  };
+
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+
+  std::atomic<std::uint64_t> head{0};  // Next write index; monotonic.
+  std::uint32_t tid = 0;
+  std::vector<Slot> slots;
+};
+
+FlightRecorder::FlightRecorder(std::size_t capacity_per_thread)
+    : capacity_(RoundUpPow2(capacity_per_thread > 0 ? capacity_per_thread : 1)),
+      instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder* FlightRecorder::Global() {
+  // Leaked on purpose: crash handlers and exit paths may record or snapshot
+  // arbitrarily late, so the global recorder must never be destroyed.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return recorder;
+}
+
+FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
+  // Instance ids are process-unique and never reused, so a stale cache entry
+  // from a destroyed recorder can never match a live one.
+  thread_local std::vector<std::pair<std::uint64_t, Ring*>> cache;
+  for (const auto& entry : cache) {
+    if (entry.first == instance_id_) {
+      return entry.second;
+    }
+  }
+  Ring* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings_.push_back(std::make_unique<Ring>(capacity_));
+    ring = rings_.back().get();
+    ring->tid = static_cast<std::uint32_t>(rings_.size() - 1);
+  }
+  if (cache.size() > 64) {
+    cache.erase(cache.begin());  // Bound growth from test-created recorders.
+  }
+  cache.emplace_back(instance_id_, ring);
+  return ring;
+}
+
+void FlightRecorder::Record(FlightEventKind kind, const char* label, double a, double b,
+                            const char* detail, std::uint32_t code) {
+  Ring* ring = RingForThisThread();
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Ring::Slot& slot = ring->slots[head & (capacity_ - 1)];
+
+  // Seqlock write: mark the slot in flux, publish fields, then commit the
+  // encoded sequence with release so a reader that sees it sees the fields.
+  slot.seq.store(kWriting, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.ts.store(MonotonicSeconds(), std::memory_order_relaxed);
+  slot.meta.store(PackMeta(kind, code, ring->tid), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  StoreInlineString(slot.label, kLabelWords, label);
+  StoreInlineString(slot.detail, kDetailWords, detail);
+  slot.seq.store(seq * 2, std::memory_order_release);
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings.reserve(rings_.size());
+    for (const auto& ring : rings_) {
+      rings.push_back(ring.get());
+    }
+  }
+  std::vector<FlightEvent> out;
+  for (Ring* ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t begin = head > capacity_ ? head - capacity_ : 0;
+    for (std::uint64_t i = begin; i < head; ++i) {
+      const Ring::Slot& slot = ring->slots[i & (capacity_ - 1)];
+      const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1) != 0) {
+        continue;  // Empty or mid-write.
+      }
+      FlightEvent event;
+      event.ts = slot.ts.load(std::memory_order_relaxed);
+      std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      event.a = slot.a.load(std::memory_order_relaxed);
+      event.b = slot.b.load(std::memory_order_relaxed);
+      event.label = LoadInlineString(slot.label, kLabelWords);
+      event.detail = LoadInlineString(slot.detail, kDetailWords);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t s2 = slot.seq.load(std::memory_order_relaxed);
+      if (s1 != s2) {
+        continue;  // Torn: the writer lapped us while we copied.
+      }
+      UnpackMeta(meta, &event.kind, &event.code, &event.tid);
+      event.seq = s1 / 2;
+      out.push_back(std::move(event));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::Tail(std::size_t max_events) const {
+  std::vector<FlightEvent> all = Snapshot();
+  if (max_events != 0 && all.size() > max_events) {
+    all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  return all;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  return next_seq_.load(std::memory_order_relaxed) - 1;
+}
+
+std::size_t FlightRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  return rings_.size();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    for (auto& slot : ring->slots) {
+      slot.seq.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+  next_seq_.store(1, std::memory_order_relaxed);
+}
+
+std::string FlightEventsToJson(const std::vector<FlightEvent>& events) {
+  std::string out = "[";
+  char buf[160];
+  bool first = true;
+  for (const FlightEvent& event : events) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ts\":%.6f,\"seq\":%llu,\"tid\":%u,\"kind\":\"%s\",\"code\":%u,"
+                  "\"a\":%.6g,\"b\":%.6g",
+                  event.ts, static_cast<unsigned long long>(event.seq), event.tid,
+                  FlightEventKindName(event.kind), event.code, event.a, event.b);
+    out += buf;
+    out += ",\"label\":\"";
+    out += JsonEscape(event.label);
+    out += "\",\"detail\":\"";
+    out += JsonEscape(event.detail);
+    out += "\"}";
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,121 @@
+// Black-box flight recorder: per-thread fixed-size ring buffers of small
+// structured events (stage completions, switch decisions, shed causes,
+// alert edges, comm rounds, log records) with a monotonic stamp and a
+// global sequence number that gives a total merge order across threads.
+//
+// Hot-path contract: Record() touches only the calling thread's ring — no
+// lock, no allocation — and every slot field is a relaxed atomic, so the
+// store cost on x86 is that of plain stores. Readers (diagnostics dumps,
+// the /debug/dump endpoint, a crash handler) snapshot concurrently with a
+// seqlock-style per-slot protocol: a slot's sequence word is written last
+// (release); a reader that observes a torn slot (sequence changed across
+// the field copy) discards it. The result is a TSan-clean, wait-free
+// writer and a best-effort-but-well-formed reader — exactly the black-box
+// property: the recorder must never slow down or deadlock the thing it is
+// recording.
+//
+// The class itself always compiles (tests exercise it under both build
+// modes); the *instrumentation call sites* are wrapped in GNNLAB_OBS_ONLY,
+// so under cmake -DGNNLAB_OBS=OFF the hooks vanish from the binary.
+#ifndef GNNLAB_OBS_FLIGHT_RECORDER_H_
+#define GNNLAB_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gnnlab {
+
+enum class FlightEventKind : std::uint8_t {
+  kMark = 0,    // Lifecycle marks: epoch/run/server begin+end.
+  kStage = 1,   // Pipeline stage completion (sample/mark/copy/extract/train).
+  kSwitch = 2,  // Standby switch decision (fetch vs skip).
+  kShed = 3,    // Admission shed/reject with cause.
+  kAlert = 4,   // HealthMonitor alert rising/falling edge.
+  kComm = 5,    // Distributed comm round (all-reduce, remote fetch).
+  kLog = 6,     // Structured log record bridged from common/logging.
+};
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+// One decoded event. `label` and `detail` are short inline strings
+// (truncated to kLabelBytes/kDetailBytes at record time); `a`/`b` carry two
+// event-specific doubles (span begin/end, value/threshold, depth/wait...)
+// and `code` one small event-specific discriminant.
+struct FlightEvent {
+  double ts = 0.0;
+  std::uint64_t seq = 0;  // Global order; unique across threads.
+  std::uint32_t tid = 0;  // Recorder-assigned ring index, not an OS tid.
+  FlightEventKind kind = FlightEventKind::kMark;
+  std::uint32_t code = 0;
+  double a = 0.0;
+  double b = 0.0;
+  std::string label;
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kLabelBytes = 24;
+  static constexpr std::size_t kDetailBytes = 40;
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  // `capacity_per_thread` is rounded up to a power of two (masked index).
+  explicit FlightRecorder(std::size_t capacity_per_thread = kDefaultCapacity);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // The process-wide recorder the instrumentation hooks feed.
+  static FlightRecorder* Global();
+
+  // Appends one event to the calling thread's ring (wait-free after the
+  // thread's first call, which registers a ring under a lock). `detail` may
+  // be null.
+  void Record(FlightEventKind kind, const char* label, double a = 0.0, double b = 0.0,
+              const char* detail = nullptr, std::uint32_t code = 0);
+
+  // A consistent-enough copy of every live slot, merged across threads and
+  // sorted by global seq. Safe to call concurrently with writers (slots
+  // caught mid-write are skipped, so a snapshot may miss the very newest
+  // event per thread).
+  std::vector<FlightEvent> Snapshot() const;
+
+  // The last `max_events` events by global seq (all when 0).
+  std::vector<FlightEvent> Tail(std::size_t max_events) const;
+
+  // Total Record() calls observed (including slots since overwritten).
+  std::uint64_t total_recorded() const;
+
+  // Rings that have been touched by at least one thread.
+  std::size_t thread_count() const;
+  std::size_t capacity_per_thread() const { return capacity_; }
+
+  // Test hook: drops all events and resets sequence numbering. NOT safe
+  // against concurrent writers; call only at quiesced points.
+  void Clear();
+
+ private:
+  struct Ring;
+
+  Ring* RingForThisThread();
+
+  const std::size_t capacity_;  // Power of two.
+  std::atomic<std::uint64_t> next_seq_{1};
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  const std::uint64_t instance_id_;  // For thread-local ring caching.
+};
+
+// Renders events as a JSON array of objects:
+//   {"ts":..,"seq":..,"tid":..,"kind":"stage","code":..,"a":..,"b":..,
+//    "label":"extract","detail":"..."}
+std::string FlightEventsToJson(const std::vector<FlightEvent>& events);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_OBS_FLIGHT_RECORDER_H_

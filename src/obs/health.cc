@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/diagnostics.h"
+#include "obs/flight_recorder.h"
 
 namespace gnnlab {
 namespace {
@@ -89,20 +91,71 @@ std::string SanitizeMetricName(std::string_view name) {
   return out;
 }
 
+std::string EscapePrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 4);
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// "# HELP" text escaping: only backslash and newline are special.
+std::string EscapeHelpText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string RegistryToPrometheusText(const MetricRegistry& registry) {
   std::ostringstream os;
+  os << "# HELP gnnlab_build_info Constant 1; labels carry the build git stamp "
+        "and whether observability hooks are compiled in.\n"
+     << "# TYPE gnnlab_build_info gauge\n"
+     << "gnnlab_build_info{git=\"" << EscapePrometheusLabelValue(BuildGitDescribe())
+     << "\",obs=\"" << (GNNLAB_OBS_ENABLED ? "on" : "off") << "\"} 1\n";
   for (const MetricRegistry::SnapshotEntry& entry : registry.Snapshot()) {
     const std::string base = "gnnlab_" + SanitizeMetricName(entry.name);
+    const std::string help = EscapeHelpText(entry.name);
     switch (entry.kind) {
       case MetricRegistry::SnapshotEntry::Kind::kCounter:
+        os << "# HELP " << base << "_total GNNLab counter '" << help << "'.\n";
         os << "# TYPE " << base << "_total counter\n";
         os << base << "_total " << entry.value << "\n";
         break;
       case MetricRegistry::SnapshotEntry::Kind::kGauge:
+        os << "# HELP " << base << " GNNLab gauge '" << help << "'.\n";
         os << "# TYPE " << base << " gauge\n";
         os << base << " " << entry.value << "\n";
         break;
       case MetricRegistry::SnapshotEntry::Kind::kHistogram:
+        os << "# HELP " << base << " GNNLab latency summary '" << help
+           << "' (seconds).\n";
         os << "# TYPE " << base << " summary\n";
         os << base << "{quantile=\"0.5\"} " << entry.summary.p50 << "\n";
         os << base << "{quantile=\"0.95\"} " << entry.summary.p95 << "\n";
@@ -174,31 +227,67 @@ HealthMonitor::~HealthMonitor() {
 }
 
 std::vector<AlertState> HealthMonitor::Evaluate(bool force) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const double now = MonotonicSeconds();
-  if (!force && last_eval_ >= 0.0 &&
-      now - last_eval_ < options_.min_eval_interval_seconds) {
-    return states_;
-  }
-  last_eval_ = now;
-  for (std::size_t i = 0; i < states_.size(); ++i) {
-    AlertState& state = states_[i];
-    const AlertRule& rule = state.rule;
-    double value = 0.0;
-    if (!rule.stat.empty()) {
-      if (const Histogram* histogram = registry_->FindHistogram(rule.metric)) {
-        value = HistogramStat(*histogram, rule.stat);
-      }
-    } else if (const Gauge* gauge = registry_->FindGauge(rule.metric)) {
-      value = gauge->value();
-    } else if (const Counter* counter = registry_->FindCounter(rule.metric)) {
-      value = static_cast<double>(counter->value());
+  std::vector<AlertState> snapshot;
+  std::vector<AlertState> rising;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double now = MonotonicSeconds();
+    if (!force && last_eval_ >= 0.0 &&
+        now - last_eval_ < options_.min_eval_interval_seconds) {
+      return states_;
     }
-    state.value = value;
-    state.firing = rule.op == '>' ? value > rule.threshold : value < rule.threshold;
-    alert_gauges_[i]->Set(state.firing ? 1.0 : 0.0);
+    last_eval_ = now;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      AlertState& state = states_[i];
+      const AlertRule& rule = state.rule;
+      double value = 0.0;
+      if (!rule.stat.empty()) {
+        if (const Histogram* histogram = registry_->FindHistogram(rule.metric)) {
+          value = HistogramStat(*histogram, rule.stat);
+        }
+      } else if (const Gauge* gauge = registry_->FindGauge(rule.metric)) {
+        value = gauge->value();
+      } else if (const Counter* counter = registry_->FindCounter(rule.metric)) {
+        value = static_cast<double>(counter->value());
+      }
+      const bool was_firing = state.firing;
+      state.value = value;
+      state.firing = rule.op == '>' ? value > rule.threshold : value < rule.threshold;
+      alert_gauges_[i]->Set(state.firing ? 1.0 : 0.0);
+      if (state.firing != was_firing) {
+        GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(
+            FlightEventKind::kAlert, rule.name.c_str(), value, rule.threshold,
+            state.firing ? "rising" : "falling", state.firing ? 1 : 0));
+        if (state.firing) {
+          rising.push_back(state);
+        }
+      }
+    }
+    snapshot = states_;
   }
-  return states_;
+  if (!rising.empty()) {
+    std::function<void(const AlertState&)> handler;
+    {
+      std::lock_guard<std::mutex> lock(handler_mu_);
+      handler = alert_edge_handler_;
+    }
+    if (handler) {
+      for (const AlertState& state : rising) {
+        handler(state);
+      }
+    }
+  }
+  return snapshot;
+}
+
+void HealthMonitor::SetDebugDumpHandler(std::function<std::string()> handler) {
+  std::lock_guard<std::mutex> lock(handler_mu_);
+  debug_dump_handler_ = std::move(handler);
+}
+
+void HealthMonitor::SetAlertEdgeHandler(std::function<void(const AlertState&)> handler) {
+  std::lock_guard<std::mutex> lock(handler_mu_);
+  alert_edge_handler_ = std::move(handler);
 }
 
 std::vector<AlertState> HealthMonitor::states() const {
@@ -299,21 +388,26 @@ void HealthMonitor::ServeLoop() {
     const ssize_t n = ::recv(client, request, sizeof(request) - 1, 0);
     // "GET <path> HTTP/1.x": /metrics (or /) serves the exposition,
     // /healthz answers 200 ok / 503 + firing rules from the alert state,
+    // /debug/dump serves the diagnostics bundle when a handler is bound,
     // anything else is 404.
     bool metrics_path = true;
     bool healthz_path = false;
+    bool dump_path = false;
     if (n > 0) {
       request[n] = '\0';
       const char* path = std::strchr(request, ' ');
       if (path != nullptr) {
         ++path;
         healthz_path = std::strncmp(path, "/healthz", 8) == 0;
-        metrics_path = !healthz_path && (std::strncmp(path, "/metrics", 8) == 0 ||
-                                         std::strncmp(path, "/ ", 2) == 0);
+        dump_path = std::strncmp(path, "/debug/dump", 11) == 0;
+        metrics_path = !healthz_path && !dump_path &&
+                       (std::strncmp(path, "/metrics", 8) == 0 ||
+                        std::strncmp(path, "/ ", 2) == 0);
       }
     }
     std::string body;
     const char* status = "404 Not Found";
+    const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
     if (healthz_path) {
       Evaluate(/*force=*/true);
       if (AnyFiring()) {
@@ -323,6 +417,21 @@ void HealthMonitor::ServeLoop() {
         status = "200 OK";
         body = "ok\n";
       }
+    } else if (dump_path) {
+      std::function<std::string()> handler;
+      {
+        std::lock_guard<std::mutex> lock(handler_mu_);
+        handler = debug_dump_handler_;
+      }
+      if (handler) {
+        Evaluate(/*force=*/true);  // The bundle's alert section is current.
+        status = "200 OK";
+        content_type = "application/json";
+        body = handler();
+      } else {
+        status = "503 Service Unavailable";
+        body = "no diagnostics handler bound\n";
+      }
     } else if (metrics_path) {
       status = "200 OK";
       body = Exposition();
@@ -331,7 +440,7 @@ void HealthMonitor::ServeLoop() {
     }
     std::ostringstream response;
     response << "HTTP/1.1 " << status << "\r\n"
-             << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+             << "Content-Type: " << content_type << "\r\n"
              << "Content-Length: " << body.size() << "\r\n"
              << "Connection: close\r\n\r\n"
              << body;

@@ -23,6 +23,7 @@
 #define GNNLAB_OBS_HEALTH_H_
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -37,9 +38,16 @@ namespace gnnlab {
 // [a-zA-Z0-9_:]; everything else becomes '_'.
 std::string SanitizeMetricName(std::string_view name);
 
+// Escapes a label value per the Prometheus text format: backslash, double
+// quote, and newline become \\, \", and \n.
+std::string EscapePrometheusLabelValue(std::string_view value);
+
 // Prometheus text exposition (format 0.0.4) of a registry snapshot. Every
 // metric is prefixed "gnnlab_"; counters gain the conventional "_total"
 // suffix; histograms render as summaries (quantile series + _sum/_count).
+// Each family carries its "# HELP" and "# TYPE" lines, and the exposition
+// leads with a constant gnnlab_build_info gauge whose labels carry the git
+// stamp and whether the observability hooks are compiled in.
 std::string RegistryToPrometheusText(const MetricRegistry& registry);
 
 struct AlertRule {
@@ -98,14 +106,26 @@ class HealthMonitor {
   bool WriteExposition();
 
   // Tiny HTTP exporter: binds 127.0.0.1:`port` (0 = ephemeral) and serves
-  // GET /metrics with the exposition and GET /healthz with a liveness
+  // GET /metrics with the exposition, GET /healthz with a liveness
   // answer driven by the alert state — 200 "ok" when no rule fires, 503
-  // naming the firing rules otherwise (fresh Evaluate per probe). Returns
-  // the bound port, or -1 on failure. StopServer() joins the accept
-  // thread; idempotent.
+  // naming the firing rules otherwise (fresh Evaluate per probe) — and
+  // GET /debug/dump with the JSON produced by the debug-dump handler (503
+  // when none is bound). Returns the bound port, or -1 on failure.
+  // StopServer() joins the accept thread; idempotent.
   int StartServer(int port = 0);
   void StopServer();
   int port() const { return port_; }
+
+  // Binds /debug/dump: the handler returns the response body (a JSON
+  // diagnostics bundle; see obs/diagnostics.h).
+  void SetDebugDumpHandler(std::function<std::string()> handler);
+
+  // Called (outside the monitor's lock, on the evaluating thread) once per
+  // alert rising edge — a rule that was quiet on the previous evaluation
+  // and fires on this one. The diagnostics layer uses it to trigger
+  // rate-limited bundle dumps. Both rising and falling edges are also
+  // recorded into the global flight recorder.
+  void SetAlertEdgeHandler(std::function<void(const AlertState&)> handler);
 
   const Options& options() const { return options_; }
 
@@ -119,6 +139,13 @@ class HealthMonitor {
   mutable std::mutex mu_;  // Guards states_ and last_eval_.
   std::vector<AlertState> states_;
   double last_eval_ = -1.0;
+
+  // Handlers live under their own lock: the edge handler runs after mu_ is
+  // released (it may dump, which re-reads states()), and the dump handler
+  // runs on the serve thread.
+  mutable std::mutex handler_mu_;
+  std::function<std::string()> debug_dump_handler_;
+  std::function<void(const AlertState&)> alert_edge_handler_;
 
   // Atomic: the accept loop re-reads it per iteration while StopServer()
   // invalidates it from another thread.

@@ -87,6 +87,10 @@ bool SnapshotExporter::Start() {
       return false;
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    stop_requested_ = false;
+  }
   running_.store(true);
   thread_ = std::thread([this] { Loop(); });
   return true;
@@ -94,8 +98,16 @@ bool SnapshotExporter::Start() {
 
 void SnapshotExporter::Stop() {
   if (running_.exchange(false)) {
+    {
+      std::lock_guard<std::mutex> lock(run_mu_);
+      stop_requested_ = true;
+    }
+    stop_cv_.notify_all();
     thread_.join();
-    SampleOnce();  // Final datapoint so short runs never export empty.
+    // Final datapoint, taken unconditionally: short runs never export empty
+    // and the tail of the run is captured even when the stop arrives
+    // mid-interval.
+    SampleOnce();
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) {
@@ -129,13 +141,22 @@ void SnapshotExporter::WriteLine(const TelemetrySample& sample) {
     LOG_ERROR << "short write to " << options_.path;
     std::fclose(file_);
     file_ = nullptr;
+    return;
   }
+  // Flush per line: a crash between samples must not lose the flushed tail
+  // (the diagnostics crash bundle points at this file).
+  std::fflush(file_);
 }
 
 void SnapshotExporter::Loop() {
   while (running_.load(std::memory_order_relaxed)) {
     SampleOnce();
-    std::this_thread::sleep_for(std::chrono::duration<double>(options_.interval_seconds));
+    std::unique_lock<std::mutex> lock(run_mu_);
+    if (stop_cv_.wait_for(lock,
+                          std::chrono::duration<double>(options_.interval_seconds),
+                          [this] { return stop_requested_; })) {
+      return;
+    }
   }
 }
 

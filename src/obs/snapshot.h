@@ -7,6 +7,7 @@
 #ifndef GNNLAB_OBS_SNAPSHOT_H_
 #define GNNLAB_OBS_SNAPSHOT_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -121,8 +122,10 @@ class SnapshotExporter {
 
   // Starts the sampling thread. False if the output file cannot be opened.
   bool Start();
-  // Takes one final sample, stops the thread, flushes and closes the file.
-  // Idempotent.
+  // Stops the thread promptly (the sampling loop waits on a condition
+  // variable, so Stop never blocks for a full interval), then takes one
+  // final sample so the tail of the run is always captured — even when the
+  // period has not elapsed since the last periodic sample. Idempotent.
   void Stop();
 
   // One sample taken immediately on the calling thread (also appended to the
@@ -144,6 +147,11 @@ class SnapshotExporter {
   std::mutex mu_;  // Guards series_ and file_ between Loop() and SampleOnce().
   std::vector<TelemetrySample> series_;
   std::atomic<bool> running_{false};
+  // Loop() waits on stop_cv_ between samples so Stop() wakes it immediately
+  // instead of riding out the rest of the interval.
+  std::mutex run_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
 };
 
 }  // namespace gnnlab

@@ -2,7 +2,25 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace gnnlab {
+namespace {
+
+// Stage completions double as flight-recorder events: one per recorded
+// span, tagged with the lane so a post-mortem can see which worker was
+// doing what right before the end. Compiled out with the other hooks.
+inline void FlightStage(const char* stage, double begin, double end,
+                        const std::string& lane) {
+  GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(FlightEventKind::kStage, stage,
+                                                   begin, end, lane.c_str()));
+  (void)stage;
+  (void)begin;
+  (void)end;
+  (void)lane;
+}
+
+}  // namespace
 
 void StageObs::BindFlows(FlowTracer* external, FlowTracer* internal) {
   flows_ = external != nullptr ? external : internal;
@@ -44,14 +62,17 @@ void RecordSampleCompletion(const StageObs& obs, StageLatencyRecorder* latency,
   latency->RecordSample(g);
   obs.RecordSpan(lane, "sample", batch, t.sample_begin, t.sample_end);
   obs.RecordFlowStep(flow, lane, "sample", t.sample_begin, t.sample_end);
+  FlightStage("sample", t.sample_begin, t.sample_end, lane);
   if (record_mark) {
     latency->RecordMark(m);
     obs.RecordSpan(lane, "mark", batch, t.mark_begin, t.mark_end);
     obs.RecordFlowStep(flow, lane, "mark", t.mark_begin, t.mark_end);
+    FlightStage("mark", t.mark_begin, t.mark_end, lane);
   }
   latency->RecordCopy(c);
   obs.RecordSpan(lane, "copy", batch, t.copy_begin, t.copy_end);
   obs.RecordFlowStep(flow, lane, "copy", t.copy_begin, t.copy_end);
+  FlightStage("copy", t.copy_begin, t.copy_end, lane);
 }
 
 void RecordQueueWait(const StageObs& obs, FlowId flow, double enqueue_time,
@@ -68,6 +89,7 @@ void RecordExtractCompletion(const StageObs& obs, StageLatencyRecorder* latency,
   latency->RecordExtract(end - begin);
   obs.RecordSpan(lane, "extract", batch, begin, end);
   obs.RecordFlowStep(flow, lane, "extract", begin, end, stall);
+  FlightStage("extract", begin, end, lane);
 }
 
 void RecordTrainCompletion(const StageObs& obs, StageLatencyRecorder* latency,
@@ -79,6 +101,7 @@ void RecordTrainCompletion(const StageObs& obs, StageLatencyRecorder* latency,
   latency->RecordTrain(end - begin);
   obs.RecordSpan(lane, "train", batch, begin, end);
   obs.RecordFlowStep(flow, lane, "train", begin, end);
+  FlightStage("train", begin, end, lane);
 }
 
 PipelineAttribution AssembleEpochAttribution(FlowTracer* flows, std::size_t epoch,

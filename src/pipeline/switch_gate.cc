@@ -4,6 +4,10 @@
 #include <string>
 #include <utility>
 
+#include <cstdio>
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
@@ -44,6 +48,10 @@ StandbyFetchEval EvaluateStandbyFetch(double now, std::size_t queue_depth,
   eval.decision.fetched = fetch;
   eval.decision.pressure_override = pressure;
   eval.decision.alerts = std::move(alerts);
+  GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(
+      FlightEventKind::kSwitch, fetch ? "fetch" : "skip", eval.decision.profit,
+      static_cast<double>(queue_depth), eval.decision.alerts.c_str(),
+      pressure ? 1 : 0));
   return eval;
 }
 
@@ -78,6 +86,40 @@ std::vector<SwitchDecision> SwitchDecisionLog::Take() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<SwitchDecision> out = std::move(decisions_);
   decisions_.clear();
+  return out;
+}
+
+std::vector<SwitchDecision> SwitchDecisionLog::Recent(std::size_t max_decisions) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t take = decisions_.size();
+  if (max_decisions != 0 && max_decisions < take) {
+    take = max_decisions;
+  }
+  return std::vector<SwitchDecision>(
+      decisions_.end() - static_cast<std::ptrdiff_t>(take), decisions_.end());
+}
+
+std::string SwitchDecisionsJson(const std::vector<SwitchDecision>& decisions) {
+  std::string out = "[";
+  char buf[128];
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const SwitchDecision& d = decisions[i];
+    if (i > 0) {
+      out += ',';
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ts\":%.6f,\"node\":%d,\"queue_depth\":%zu,\"profit\":%.6g",
+                  d.ts, d.node, d.queue_depth, d.profit);
+    out += buf;
+    out += ",\"fetched\":";
+    out += d.fetched ? "true" : "false";
+    out += ",\"pressure_override\":";
+    out += d.pressure_override ? "true" : "false";
+    out += ",\"alerts\":\"";
+    out += JsonEscape(d.alerts);
+    out += "\"}";
+  }
+  out += ']';
   return out;
 }
 

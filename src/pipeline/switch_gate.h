@@ -53,6 +53,11 @@ class SwitchDecisionLog {
   // Moves the accumulated decisions out (run end) and clears the log.
   std::vector<SwitchDecision> Take();
 
+  // Non-draining copy of the most recent `max_decisions` logged decisions
+  // (all when 0) — the diagnostics bundle reads the log mid-run without
+  // disturbing the report that Take() assembles later.
+  std::vector<SwitchDecision> Recent(std::size_t max_decisions = 0) const;
+
   // Node id stamped onto every appended decision (DistEngine: one log per
   // node, merged at run end). Defaults to 0 — single-node engines need not
   // call this.
@@ -62,12 +67,16 @@ class SwitchDecisionLog {
   static constexpr std::size_t kMaxDecisions = 4096;
   void Append(SwitchDecision decision);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   int node_ = 0;
   std::vector<SwitchDecision> decisions_;
   // Last decision logged per agent (-1 none, 0 skip, 1 fetch).
   std::vector<int> last_logged_;
 };
+
+// JSON array of decisions, same shape as the run reports' switch_decisions
+// member — the diagnostics hub embeds it as a bundle section.
+std::string SwitchDecisionsJson(const std::vector<SwitchDecision>& decisions);
 
 }  // namespace gnnlab
 

@@ -1,6 +1,7 @@
 #include "serve/admission.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/snapshot.h"
 
 namespace gnnlab {
@@ -16,10 +17,12 @@ AdmissionQueue::Verdict AdmissionQueue::Admit(InferRequest request, double now,
   GNNLAB_OBS_ONLY(if (m_offered_ != nullptr) m_offered_->Increment());
 
   Verdict verdict;
+  std::size_t depth_seen = 0;
   std::size_t depth_after = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const std::size_t depth = queue_.size();
+    depth_seen = depth;
     verdict.projected_wait = static_cast<double>(depth) * per_request_drain_seconds +
                              batch_service_seconds;
     if (depth >= options_.capacity) {
@@ -40,12 +43,31 @@ AdmissionQueue::Verdict AdmissionQueue::Admit(InferRequest request, double now,
     admitted_.fetch_add(1, std::memory_order_relaxed);
     GNNLAB_OBS_ONLY(if (m_admitted_ != nullptr) m_admitted_->Increment());
     UpdateDepthGauge(depth_after);
-  } else if (verdict.outcome == RequestOutcome::kShedQueueFull) {
-    shed_full_.fetch_add(1, std::memory_order_relaxed);
-    GNNLAB_OBS_ONLY(if (m_shed_full_ != nullptr) m_shed_full_->Increment());
   } else {
-    shed_overload_.fetch_add(1, std::memory_order_relaxed);
-    GNNLAB_OBS_ONLY(if (m_shed_overload_ != nullptr) m_shed_overload_->Increment());
+    const bool queue_full = verdict.outcome == RequestOutcome::kShedQueueFull;
+    if (queue_full) {
+      shed_full_.fetch_add(1, std::memory_order_relaxed);
+      GNNLAB_OBS_ONLY(if (m_shed_full_ != nullptr) m_shed_full_->Increment());
+    } else {
+      shed_overload_.fetch_add(1, std::memory_order_relaxed);
+      GNNLAB_OBS_ONLY(if (m_shed_overload_ != nullptr) m_shed_overload_->Increment());
+    }
+    // Every shed lands in the flight recorder; the log line is rate-limited
+    // per cause so an overload storm cannot flood the sink.
+    GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(
+        FlightEventKind::kShed, queue_full ? "queue_full" : "overload",
+        static_cast<double>(depth_seen), verdict.projected_wait));
+    if (queue_full) {
+      SLOG_WARNING_EVERY("serve_shed", 2.0)
+          .Kv("cause", "queue_full")
+          .Kv("depth", depth_seen)
+          .Kv("capacity", options_.capacity);
+    } else {
+      SLOG_WARNING_EVERY("serve_shed", 2.0)
+          .Kv("cause", "overload")
+          .Kv("depth", depth_seen)
+          .Kv("projected_wait", verdict.projected_wait);
+    }
   }
   return verdict;
 }

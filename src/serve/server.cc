@@ -10,8 +10,11 @@
 #include "common/logging.h"
 #include "core/switching.h"
 #include "nn/grad_sync.h"
+#include "obs/diagnostics.h"
+#include "obs/flight_recorder.h"
 #include "obs/snapshot.h"
 #include "pipeline/stages.h"
+#include "pipeline/switch_gate.h"
 
 namespace gnnlab {
 
@@ -77,6 +80,14 @@ void InferenceServer::Start() {
   start_time_ = MonotonicSeconds();
   stop_time_ = 0.0;
   switch_log_.ResetFilters(workers_.size());
+  GNNLAB_OBS_ONLY({
+    FlightRecorder::Global()->Record(FlightEventKind::kMark, "serve_start",
+                                     static_cast<double>(options_.workers),
+                                     static_cast<double>(options_.standby_workers));
+    DiagnosticsHub::Global()->SetSection("serve_switch_decisions", [this] {
+      return SwitchDecisionsJson(switch_log_.Recent(256));
+    });
+  });
   for (std::size_t w = 0; w < options_.workers; ++w) {
     workers_[w].thread = std::thread(&InferenceServer::DispatchLoop, this, w);
   }
@@ -87,6 +98,12 @@ void InferenceServer::Start() {
 }
 
 void InferenceServer::Stop() {
+  GNNLAB_OBS_ONLY({
+    if (running_.load()) {
+      FlightRecorder::Global()->Record(FlightEventKind::kMark, "serve_stop");
+    }
+    DiagnosticsHub::Global()->ClearSection("serve_switch_decisions");
+  });
   running_.store(false);
   former_cv_.notify_all();
   for (Worker& worker : workers_) {

@@ -1,0 +1,670 @@
+// Tests for the diagnostics layer: the flight recorder's ring semantics
+// (wrap-around determinism, truncation, concurrent snapshots), the per-site
+// log rate limiter, the structured JSONL log path, diagnostics bundles
+// (round-trip through report/json_parse), the crash handlers, and the
+// /debug/dump HTTP endpoint. The multi-thread cases double as TSan targets
+// (scripts/sanitize.sh runs this suite under -fsanitize=thread).
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "obs/diagnostics.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "report/json_parse.h"
+
+namespace gnnlab {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+// Files in `dir` whose names start with `prefix`.
+std::vector<std::string> ListWithPrefix(const std::string& dir,
+                                        const std::string& prefix) {
+  std::vector<std::string> out;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return out;
+  }
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(prefix, 0) == 0) {
+      out.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(handle);
+  return out;
+}
+
+void RemoveAllWithPrefix(const std::string& dir, const std::string& prefix) {
+  for (const std::string& path : ListWithPrefix(dir, prefix)) {
+    std::remove(path.c_str());
+  }
+}
+
+// Plain POSIX client for the built-in HTTP exporter.
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpBody(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder.
+
+TEST(FlightRecorderTest, KindNamesAreStable) {
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kMark), "mark");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kStage), "stage");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kSwitch), "switch");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kShed), "shed");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kAlert), "alert");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kComm), "comm");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kLog), "log");
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(5).capacity_per_thread(), 8u);
+  EXPECT_EQ(FlightRecorder(8).capacity_per_thread(), 8u);
+  EXPECT_EQ(FlightRecorder(0).capacity_per_thread(), 1u);
+  EXPECT_EQ(FlightRecorder(1000).capacity_per_thread(), 1024u);
+}
+
+TEST(FlightRecorderTest, RecordsCarryAllFields) {
+  FlightRecorder recorder(16);
+  recorder.Record(FlightEventKind::kShed, "overload", 3.5, -1.25, "queue_full", 7);
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kShed);
+  EXPECT_EQ(events[0].label, "overload");
+  EXPECT_EQ(events[0].detail, "queue_full");
+  EXPECT_DOUBLE_EQ(events[0].a, 3.5);
+  EXPECT_DOUBLE_EQ(events[0].b, -1.25);
+  EXPECT_EQ(events[0].code, 7u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_GT(events[0].ts, 0.0);
+  EXPECT_EQ(recorder.total_recorded(), 1u);
+  EXPECT_EQ(recorder.thread_count(), 1u);
+}
+
+// The wrap-around contract: after N > capacity single-threaded records, the
+// snapshot holds exactly the last `capacity` events, in seq order, with the
+// payloads of exactly those records — deterministically, every time.
+TEST(FlightRecorderTest, WrapAroundKeepsExactlyLastCapacityEvents) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::size_t kTotal = 21;  // 2 full laps + 5.
+  FlightRecorder recorder(kCapacity);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    const std::string label = "e" + std::to_string(i);
+    recorder.Record(FlightEventKind::kStage, label.c_str(),
+                    static_cast<double>(i));
+  }
+  EXPECT_EQ(recorder.total_recorded(), kTotal);
+
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  for (std::size_t j = 0; j < kCapacity; ++j) {
+    const std::size_t i = kTotal - kCapacity + j;  // Original record index.
+    EXPECT_EQ(events[j].seq, i + 1) << "snapshot out of seq order at " << j;
+    EXPECT_EQ(events[j].label, "e" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(events[j].a, static_cast<double>(i));
+  }
+}
+
+TEST(FlightRecorderTest, TailReturnsNewestBySeq) {
+  FlightRecorder recorder(16);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(FlightEventKind::kMark, "m", i);
+  }
+  const std::vector<FlightEvent> tail = recorder.Tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].seq, 8u);
+  EXPECT_EQ(tail[2].seq, 10u);
+  EXPECT_EQ(recorder.Tail(0).size(), 10u);    // 0 = everything.
+  EXPECT_EQ(recorder.Tail(100).size(), 10u);  // Larger than live set.
+}
+
+TEST(FlightRecorderTest, LabelAndDetailTruncateAtFixedWidths) {
+  const std::string long_text(100, 'x');
+  FlightRecorder recorder(4);
+  recorder.Record(FlightEventKind::kMark, long_text.c_str(), 0.0, 0.0,
+                  long_text.c_str());
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  // Inline strings keep a terminating NUL inside the fixed-width slot.
+  EXPECT_EQ(events[0].label, std::string(FlightRecorder::kLabelBytes - 1, 'x'));
+  EXPECT_EQ(events[0].detail, std::string(FlightRecorder::kDetailBytes - 1, 'x'));
+}
+
+TEST(FlightRecorderTest, ClearResetsSequenceAndEvents) {
+  FlightRecorder recorder(8);
+  recorder.Record(FlightEventKind::kMark, "before");
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+  recorder.Record(FlightEventKind::kMark, "after");
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 1u);  // Numbering restarts.
+  EXPECT_EQ(events[0].label, "after");
+}
+
+// TSan target: concurrent writers on their own rings plus a reader
+// snapshotting mid-flight must be race-free, and the post-join snapshot must
+// be exact (all rings full, unique seqs, per-thread labels intact).
+TEST(FlightRecorderTest, ConcurrentWritersAndSnapshotReader) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 1000;
+  FlightRecorder recorder(kCapacity);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<FlightEvent> mid = recorder.Snapshot();
+      // Snapshots taken mid-write may skip torn slots but never exceed the
+      // live window, and must stay sorted by seq.
+      EXPECT_LE(mid.size(), kCapacity * kWriters);
+      for (std::size_t i = 1; i < mid.size(); ++i) {
+        EXPECT_LT(mid[i - 1].seq, mid[i].seq);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, w] {
+      const std::string label = "w" + std::to_string(w);
+      for (int i = 0; i < kPerWriter; ++i) {
+        recorder.Record(FlightEventKind::kStage, label.c_str(),
+                        static_cast<double>(i), 0.0, nullptr,
+                        static_cast<std::uint32_t>(w));
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(recorder.total_recorded(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(recorder.thread_count(), static_cast<std::size_t>(kWriters));
+
+  // Quiesced: every ring is full and every surviving slot is committed.
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), kCapacity * kWriters);
+  std::set<std::uint64_t> seqs;
+  for (const FlightEvent& event : events) {
+    EXPECT_TRUE(seqs.insert(event.seq).second) << "duplicate seq " << event.seq;
+    EXPECT_EQ(event.label, "w" + std::to_string(event.code));
+  }
+}
+
+TEST(FlightRecorderTest, EventsJsonRoundTripsThroughParser) {
+  FlightRecorder recorder(8);
+  recorder.Record(FlightEventKind::kSwitch, "standby", 1.5, 2.5, "fetch", 3);
+  recorder.Record(FlightEventKind::kLog, "shed \"q\"", 0.0, 0.0, "cause=back\\slash");
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(FlightEventsToJson(recorder.Snapshot()), &root, &error))
+      << error;
+  ASSERT_EQ(root.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(root.array.size(), 2u);
+
+  const JsonValue& first = root.array[0];
+  EXPECT_EQ(first.Find("kind")->string, "switch");
+  EXPECT_EQ(first.Find("label")->string, "standby");
+  EXPECT_EQ(first.Find("detail")->string, "fetch");
+  EXPECT_DOUBLE_EQ(first.Find("a")->number, 1.5);
+  EXPECT_DOUBLE_EQ(first.Find("b")->number, 2.5);
+  EXPECT_DOUBLE_EQ(first.Find("code")->number, 3.0);
+  EXPECT_DOUBLE_EQ(first.Find("seq")->number, 1.0);
+
+  // Quotes and backslashes in payloads survive escape + parse.
+  const JsonValue& second = root.array[1];
+  EXPECT_EQ(second.Find("label")->string, "shed \"q\"");
+  EXPECT_EQ(second.Find("detail")->string, "cause=back\\slash");
+}
+
+// ---------------------------------------------------------------------------
+// LogRateLimiter.
+
+TEST(LogRateLimiterTest, FrozenClockTokenAccounting) {
+  LogRateLimiter limiter(/*per_second=*/1.0, /*burst=*/2.0);
+  // Starts with a full bucket of `burst` tokens.
+  EXPECT_TRUE(limiter.AllowAt(100.0));
+  EXPECT_TRUE(limiter.AllowAt(100.0));
+  EXPECT_FALSE(limiter.AllowAt(100.0));
+  EXPECT_EQ(limiter.suppressed(), 1u);
+
+  // Half a second refills half a token: still short of 1.
+  EXPECT_FALSE(limiter.AllowAt(100.5));
+  EXPECT_EQ(limiter.suppressed(), 2u);
+
+  // A full second of credit since the last refill point admits one line and
+  // TakeSuppressed drains the counter exactly once.
+  EXPECT_TRUE(limiter.AllowAt(101.5));
+  EXPECT_EQ(limiter.TakeSuppressed(), 2u);
+  EXPECT_EQ(limiter.TakeSuppressed(), 0u);
+
+  // A long quiet period refills to `burst`, never beyond.
+  EXPECT_TRUE(limiter.AllowAt(500.0));
+  EXPECT_TRUE(limiter.AllowAt(500.0));
+  EXPECT_FALSE(limiter.AllowAt(500.0));
+
+  // Time moving backwards neither refills nor crashes.
+  EXPECT_FALSE(limiter.AllowAt(400.0));
+  EXPECT_EQ(limiter.suppressed(), 2u);
+}
+
+TEST(LogRateLimiterTest, MultiThreadTotalsAreExact) {
+  // Zero refill rate and a burst of 1: across any number of racing callers
+  // exactly one Allow succeeds and every other call is counted suppressed.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  LogRateLimiter limiter(/*per_second=*/0.0, /*burst=*/1.0);
+  std::atomic<std::uint64_t> allowed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (limiter.AllowAt(7.0)) {
+          allowed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(allowed.load(), 1u);
+  EXPECT_EQ(limiter.suppressed(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Structured JSONL logging.
+
+class StructuredLogTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetLogObserver(nullptr);
+    SetLogFormat(LogFormat::kText);
+    SetLogLevel(LogLevel::kInfo);
+    ClearLogTail();
+  }
+};
+
+TEST_F(StructuredLogTest, JsonlLinesParseAndReachObserverAndTail) {
+  SetLogFormat(LogFormat::kJsonl);
+  ClearLogTail();
+  std::vector<StructuredLogEvent> seen;
+  SetLogObserver([&seen](const StructuredLogEvent& event) { seen.push_back(event); });
+
+  SLOG_WARNING("test_event").Kv("cause", "queue \"full\"").Kv("depth", 42).Kv("ok", true);
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].event, "test_event");
+  EXPECT_EQ(seen[0].level, LogLevel::kWarning);
+  ASSERT_EQ(seen[0].fields.size(), 3u);
+  EXPECT_EQ(seen[0].fields[0].first, "cause");
+
+  const std::vector<std::string> tail = RecentLogLines();
+  ASSERT_FALSE(tail.empty());
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(tail.back(), &root, &error)) << error << ": " << tail.back();
+  EXPECT_EQ(root.Find("event")->string, "test_event");
+  EXPECT_EQ(root.Find("level")->string, "warning");
+  EXPECT_EQ(root.Find("cause")->string, "queue \"full\"");
+  EXPECT_DOUBLE_EQ(root.Find("depth")->number, 42.0);
+  EXPECT_EQ(root.Find("ok")->kind, JsonValue::Kind::kBool);
+  EXPECT_NE(root.Find("ts"), nullptr);
+  EXPECT_NE(root.Find("src"), nullptr);
+}
+
+TEST_F(StructuredLogTest, PerSiteRateLimiterSuppressesAndAnnotates) {
+  SetLogFormat(LogFormat::kJsonl);
+  ClearLogTail();
+  std::atomic<int> emitted{0};
+  SetLogObserver([&emitted](const StructuredLogEvent&) { ++emitted; });
+
+  // One textual call site, hammered from several threads: the per-site
+  // bucket (burst 1 + ceil(per_second) = 2 at 0.001/s) lets at most the
+  // burst through no matter the concurrency.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SLOG_WARNING_EVERY("storm", 0.001).Kv("i", i);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_GE(emitted.load(), 1);
+  EXPECT_LE(emitted.load(), 2);  // The site's burst allowance.
+
+  // The suppressed count surfaces on the next line through the same site.
+  std::vector<std::string> annotated;
+  for (const std::string& line : RecentLogLines()) {
+    if (line.find("\"event\":\"storm\"") != std::string::npos &&
+        line.find("\"suppressed\"") != std::string::npos) {
+      annotated.push_back(line);
+    }
+  }
+  // Either the second burst line carried it, or nothing was suppressed yet
+  // when the last line rendered (all threads raced the first token). The
+  // emitted count bounds above already pin the limiter math; this checks
+  // the annotation renders as valid JSON when present.
+  for (const std::string& line : annotated) {
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(ParseJson(line, &root, &error)) << error;
+    EXPECT_GT(root.Find("suppressed")->number, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics bundles.
+
+class DiagnosticsHubTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DiagnosticsHub::Global()->Reset(); }
+  void TearDown() override {
+    DiagnosticsHub::Global()->Reset();
+    ClearLogTail();
+  }
+};
+
+TEST_F(DiagnosticsHubTest, BundleRoundTripsThroughParser) {
+  DiagnosticsHub* hub = DiagnosticsHub::Global();
+  hub->SetConfig("engine", "threaded");
+  hub->SetConfig("cache_ratio", "0.25");
+
+  MetricRegistry registry;
+  registry.GetCounter("queue.enqueued")->Increment(5);
+  hub->BindRegistry(&registry);
+
+  FlightRecorder recorder(8);
+  recorder.Record(FlightEventKind::kMark, "epoch_begin", 1.0, 32.0);
+  recorder.Record(FlightEventKind::kShed, "overload", 9.0, 0.0, "queue_full");
+  hub->BindRecorder(&recorder);
+
+  hub->SetSection("switch_decisions", [] {
+    return std::string("[{\"epoch\":1,\"fetch\":true}]");
+  });
+  hub->SetSection("empty_section", [] { return std::string(); });
+
+  SetLogFormat(LogFormat::kJsonl);
+  SLOG_WARNING("bundle_test").Kv("k", "v");
+  SetLogFormat(LogFormat::kText);
+
+  const std::string bundle = hub->BundleJson("unit_test");
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(bundle, &root, &error)) << error;
+
+  EXPECT_EQ(root.Find("schema")->string, kDiagnosticsSchema);
+  EXPECT_EQ(root.Find("reason")->string, "unit_test");
+  EXPECT_GT(root.Find("pid")->number, 0.0);
+  EXPECT_FALSE(root.Find("git")->string.empty());
+  EXPECT_EQ(root.Find("obs_enabled")->kind, JsonValue::Kind::kBool);
+
+  const JsonValue* config = root.Find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->Find("engine")->string, "threaded");
+  EXPECT_EQ(config->Find("cache_ratio")->string, "0.25");
+
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->kind, JsonValue::Kind::kObject);
+
+  const JsonValue* flight = root.Find("flight_recorder");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_DOUBLE_EQ(flight->Find("capacity_per_thread")->number, 8.0);
+  EXPECT_DOUBLE_EQ(flight->Find("total_recorded")->number, 2.0);
+  const JsonValue* events = flight->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+  EXPECT_EQ(events->array[1].Find("label")->string, "overload");
+
+  const JsonValue* sections = root.Find("sections");
+  ASSERT_NE(sections, nullptr);
+  const JsonValue* switches = sections->Find("switch_decisions");
+  ASSERT_NE(switches, nullptr);
+  ASSERT_EQ(switches->kind, JsonValue::Kind::kArray);
+  EXPECT_EQ(switches->array[0].Find("fetch")->kind, JsonValue::Kind::kBool);
+  // An empty provider result renders as null, keeping the bundle parseable.
+  EXPECT_EQ(sections->Find("empty_section")->kind, JsonValue::Kind::kNull);
+
+  const JsonValue* log_tail = root.Find("log_tail");
+  ASSERT_NE(log_tail, nullptr);
+  bool found = false;
+  for (const JsonValue& line : log_tail->array) {
+    found = found || line.string.find("bundle_test") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DiagnosticsHubTest, BundleIsWellFormedWithNothingBound) {
+  const std::string bundle = DiagnosticsHub::Global()->BundleJson("bare");
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(bundle, &root, &error)) << error;
+  EXPECT_EQ(root.Find("schema")->string, kDiagnosticsSchema);
+  EXPECT_EQ(root.Find("metrics")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(root.Find("alerts")->kind, JsonValue::Kind::kArray);
+  EXPECT_TRUE(root.Find("alerts")->array.empty());
+}
+
+TEST_F(DiagnosticsHubTest, DumpToFileSanitizesReasonIntoFilename) {
+  DiagnosticsHub* hub = DiagnosticsHub::Global();
+  hub->SetDumpDir(::testing::TempDir());
+  const std::string path = hub->DumpToFile("weird/reason with spaces!");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("gnnlab_diag.weird_reason_with_spaces_."), std::string::npos);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(ReadFile(path), &root, &error)) << error;
+  EXPECT_EQ(root.Find("reason")->string, "weird/reason with spaces!");
+  std::remove(path.c_str());
+}
+
+TEST_F(DiagnosticsHubTest, AlertDumpsAreRateLimited) {
+  DiagnosticsHub* hub = DiagnosticsHub::Global();
+  hub->SetDumpDir(::testing::TempDir());
+  RemoveAllWithPrefix(::testing::TempDir(), "gnnlab_diag.alert_backlog");
+
+  AlertState state;
+  state.rule.name = "backlog";
+  state.rule.metric = "queue.depth";
+  state.value = 99.0;
+  state.firing = true;
+
+  const std::string first = hub->MaybeAlertDump(state, /*min_interval_seconds=*/3600.0);
+  ASSERT_FALSE(first.empty());
+  EXPECT_NE(first.find("gnnlab_diag.alert_backlog."), std::string::npos);
+  // A second edge inside the window is swallowed.
+  EXPECT_EQ(hub->MaybeAlertDump(state, 3600.0), "");
+  // Reset clears the rate-limit clock, so the next edge dumps again.
+  hub->Reset();
+  hub->SetDumpDir(::testing::TempDir());
+  EXPECT_FALSE(hub->MaybeAlertDump(state, 3600.0).empty());
+  RemoveAllWithPrefix(::testing::TempDir(), "gnnlab_diag.alert_backlog");
+}
+
+TEST_F(DiagnosticsHubTest, AlertRisingEdgeWritesBundleThroughMonitor) {
+  const std::string dir = TempPath("alert_edge_dumps");
+  ::mkdir(dir.c_str(), 0755);
+  RemoveAllWithPrefix(dir, "gnnlab_diag.");
+
+  MetricRegistry registry;
+  registry.GetCounter("queue.enqueued")->Increment(1);
+
+  HealthMonitor::Options options;
+  AlertRule rule;
+  ASSERT_TRUE(ParseAlertRule("backlog: queue.enqueued > 5", &rule));
+  options.rules.push_back(rule);
+  options.min_eval_interval_seconds = 0.0;
+  HealthMonitor health(&registry, options);
+
+  DiagnosticsHub* hub = DiagnosticsHub::Global();
+  hub->SetDumpDir(dir);
+  hub->BindRegistry(&registry);
+  ArmAlertEdgeDumps(&health, /*min_interval_seconds=*/0.0);
+
+  health.Evaluate(/*force=*/true);  // Quiet: below threshold.
+  EXPECT_TRUE(ListWithPrefix(dir, "gnnlab_diag.").empty());
+
+  registry.GetCounter("queue.enqueued")->Increment(10);
+  health.Evaluate(/*force=*/true);  // Rising edge fires the dump.
+  const std::vector<std::string> dumps = ListWithPrefix(dir, "gnnlab_diag.alert_backlog");
+  ASSERT_EQ(dumps.size(), 1u);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(ReadFile(dumps[0]), &root, &error)) << error;
+  EXPECT_EQ(root.Find("reason")->string, "alert_backlog");
+  const JsonValue* alerts = root.Find("alerts");
+  ASSERT_EQ(alerts->array.size(), 1u);
+  EXPECT_EQ(alerts->array[0].Find("name")->string, "backlog");
+  EXPECT_EQ(alerts->array[0].Find("firing")->kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(alerts->array[0].Find("firing")->boolean);
+
+  hub->UnbindHealth(&health);
+  RemoveAllWithPrefix(dir, "gnnlab_diag.");
+}
+
+// ---------------------------------------------------------------------------
+// /debug/dump endpoint.
+
+TEST_F(DiagnosticsHubTest, DebugDumpEndpointServesBundle) {
+  MetricRegistry registry;
+  registry.GetCounter("queue.enqueued")->Increment(3);
+  HealthMonitor health(&registry, HealthMonitor::Options{});
+  const int port = health.StartServer(/*port=*/0);
+  ASSERT_GT(port, 0);
+
+  // No handler bound yet: the endpoint answers 503, not a hang or a crash.
+  EXPECT_NE(HttpGet(port, "/debug/dump").find("503"), std::string::npos);
+
+  DiagnosticsHub::Global()->BindRegistry(&registry);
+  ArmAlertEdgeDumps(&health);
+  const std::string response = HttpGet(port, "/debug/dump");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(HttpBody(response), &root, &error)) << error;
+  EXPECT_EQ(root.Find("schema")->string, kDiagnosticsSchema);
+  EXPECT_EQ(root.Find("reason")->string, "http_debug_dump");
+  ASSERT_NE(root.Find("metrics"), nullptr);
+  EXPECT_EQ(root.Find("metrics")->kind, JsonValue::Kind::kObject);
+
+  // /metrics still works beside it.
+  EXPECT_NE(HttpGet(port, "/metrics").find("gnnlab_queue_enqueued_total 3"),
+            std::string::npos);
+  health.StopServer();
+  DiagnosticsHub::Global()->UnbindHealth(&health);
+}
+
+// ---------------------------------------------------------------------------
+// Crash handlers.
+
+using DiagnosticsCrashDeathTest = DiagnosticsHubTest;
+
+TEST_F(DiagnosticsCrashDeathTest, AbortWritesParseableCrashBundle) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string dir = TempPath("crash_dumps");
+  ::mkdir(dir.c_str(), 0755);
+  RemoveAllWithPrefix(dir, "gnnlab_diag.crash_sigabrt");
+
+  EXPECT_EXIT(
+      {
+        DiagnosticsHub* hub = DiagnosticsHub::Global();
+        hub->Reset();
+        hub->SetDumpDir(dir);
+        hub->SetConfig("scenario", "crash_smoke");
+        FlightRecorder::Global()->Record(FlightEventKind::kMark, "pre_crash", 7.0);
+        InstallCrashHandlers();
+        std::abort();
+      },
+      ::testing::KilledBySignal(SIGABRT), "crash bundle");
+
+  const std::vector<std::string> dumps =
+      ListWithPrefix(dir, "gnnlab_diag.crash_sigabrt");
+  ASSERT_EQ(dumps.size(), 1u);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(ReadFile(dumps[0]), &root, &error)) << error;
+  EXPECT_EQ(root.Find("schema")->string, kDiagnosticsSchema);
+  EXPECT_EQ(root.Find("reason")->string, "crash_sigabrt");
+  EXPECT_EQ(root.Find("config")->Find("scenario")->string, "crash_smoke");
+  const JsonValue* flight = root.Find("flight_recorder");
+  ASSERT_NE(flight, nullptr);
+  bool found = false;
+  for (const JsonValue& event : flight->Find("events")->array) {
+    found = found || event.Find("label")->string == "pre_crash";
+  }
+  EXPECT_TRUE(found);
+  RemoveAllWithPrefix(dir, "gnnlab_diag.crash_sigabrt");
+}
+
+}  // namespace
+}  // namespace gnnlab

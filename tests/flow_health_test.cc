@@ -362,6 +362,72 @@ TEST(PrometheusTest, ExpositionRendersAllKinds) {
   }
 }
 
+TEST(PrometheusTest, EscapeLabelValue) {
+  EXPECT_EQ(EscapePrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapePrometheusLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapePrometheusLabelValue("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(EscapePrometheusLabelValue("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(EscapePrometheusLabelValue("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(EscapePrometheusLabelValue(""), "");
+}
+
+// Format compliance per the Prometheus text exposition 0.0.4 contract:
+// every sample belongs to a family that was announced with matching
+// "# HELP" and "# TYPE" lines before it, and the exposition leads with the
+// gnnlab_build_info gauge carrying the (escaped) git stamp.
+TEST(PrometheusTest, EverySeriesHasHelpAndTypeAndBuildInfoLeads) {
+  MetricRegistry registry;
+  registry.GetCounter("queue.enqueued")->Increment(1);
+  registry.GetGauge("queue.depth")->Set(2.0);
+  registry.GetHistogram("stage.train")->Record(0.25);
+  registry.GetGauge("alert.backlog")->Set(1.0);
+
+  const std::string text = RegistryToPrometheusText(registry);
+
+  // build_info leads the exposition with git + obs labels.
+  EXPECT_EQ(text.find("# HELP gnnlab_build_info"), 0u);
+  EXPECT_NE(text.find("# TYPE gnnlab_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find("gnnlab_build_info{git=\""), std::string::npos);
+  EXPECT_NE(text.find("obs=\""), std::string::npos);
+
+  std::set<std::string> helped;
+  std::set<std::string> typed;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, keyword, family;
+      comment >> hash >> keyword >> family;
+      ASSERT_TRUE(keyword == "HELP" || keyword == "TYPE")
+          << "unknown comment keyword in: " << line;
+      (keyword == "HELP" ? helped : typed).insert(family);
+      continue;
+    }
+    // A sample: family = name up to '{' or ' ', with the summary child
+    // suffixes folded back onto their parent family.
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    for (const char* suffix : {"_sum", "_count"}) {
+      const std::size_t len = std::strlen(suffix);
+      if (name.size() > len && name.compare(name.size() - len, len, suffix) == 0 &&
+          typed.count(name) == 0 && typed.count(name.substr(0, name.size() - len)) > 0) {
+        name = name.substr(0, name.size() - len);
+      }
+    }
+    EXPECT_TRUE(helped.count(name) == 1)
+        << "series without a preceding # HELP: " << line;
+    EXPECT_TRUE(typed.count(name) == 1)
+        << "series without a preceding # TYPE: " << line;
+  }
+
+  // Each family announces itself exactly once even with many series.
+  EXPECT_EQ(text.find("# TYPE gnnlab_stage_train summary"),
+            text.rfind("# TYPE gnnlab_stage_train summary"));
+}
+
 // ---------------------------------------------------------------------------
 // Alert rules
 

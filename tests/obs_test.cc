@@ -337,6 +337,38 @@ TEST(SnapshotTest, ExporterEmitsValidJsonLines) {
   std::remove(path.c_str());
 }
 
+// Regression: Stop() must take one final sample even when the sampling
+// period has not elapsed — a short run with a long interval still captures
+// the end state, and Stop() returns promptly instead of riding out the
+// interval.
+TEST(SnapshotTest, StopFlushesFinalSampleBeforePeriodElapses) {
+  MetricRegistry registry;
+  Counter* hits = registry.GetCounter(kMetricCacheHits);
+
+  SnapshotExporter::Options options;
+  options.interval_seconds = 3600.0;  // Would never tick again on its own.
+  SnapshotExporter exporter(&registry, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(exporter.Start());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  hits->Increment(123);  // Lands after the initial Loop() sample.
+  exporter.Stop();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  EXPECT_LT(elapsed, 60.0) << "Stop must not wait out the interval";
+  ASSERT_GE(exporter.series().size(), 2u);  // Initial sample + final flush.
+  EXPECT_EQ(exporter.series().front().cache_hits, 0u);
+  EXPECT_EQ(exporter.series().back().cache_hits, 123u)
+      << "the final flush must see state written after the last periodic sample";
+
+  // Idempotent: a second Stop neither samples again nor crashes.
+  const std::size_t samples = exporter.series().size();
+  exporter.Stop();
+  EXPECT_EQ(exporter.series().size(), samples);
+}
+
 TEST(SnapshotTest, SampleOnceWorksWithoutStart) {
   MetricRegistry registry;
   registry.GetGauge(kMetricQueueDepth)->Set(7);

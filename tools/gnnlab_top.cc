@@ -1,0 +1,320 @@
+// gnnlab_top: a live terminal dashboard over the HealthMonitor /metrics
+// endpoint — `top` for a GNNLab process. Polls the Prometheus text
+// exposition, diffs counters between frames, and renders per-stage
+// latency/throughput, queue depths, cache hit rates, serve/dist activity,
+// and alert states.
+//
+//   ./build/tools/gnnlab_top --port=8080 [--interval-ms=1000] [--frames=0]
+//       [--plain] [--once] [--url=http://127.0.0.1:8080/metrics]
+//
+// --port polls http://127.0.0.1:PORT/metrics; --url overrides host, port,
+// and path (loopback dotted-quad or "localhost" hosts only — the exporter
+// binds loopback). --frames=N stops after N frames (0 = until ^C / scrape
+// failure). --plain skips the ANSI clear-screen between frames (append-only
+// output, suitable for logs and CI smokes); --once is shorthand for
+// --frames=1 --plain. Exits 1 when a scrape fails — a process that dies
+// under the dashboard is noticed, not spun on.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <chrono>
+
+namespace {
+
+struct Target {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string path = "/metrics";
+};
+
+// Accepts "http://HOST:PORT/PATH", "HOST:PORT/PATH", or "HOST:PORT".
+bool ParseUrl(const std::string& url, Target* out) {
+  std::string rest = url;
+  const std::string scheme = "http://";
+  if (rest.compare(0, scheme.size(), scheme) == 0) {
+    rest = rest.substr(scheme.size());
+  }
+  const std::size_t slash = rest.find('/');
+  std::string hostport = rest.substr(0, slash);
+  out->path = slash == std::string::npos ? "/metrics" : rest.substr(slash);
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    return false;
+  }
+  out->host = hostport.substr(0, colon);
+  out->port = std::atoi(hostport.c_str() + colon + 1);
+  if (out->host == "localhost") {
+    out->host = "127.0.0.1";
+  }
+  return out->port > 0 && !out->host.empty();
+}
+
+// Plain POSIX HTTP GET; returns false on connect/read failure or non-200.
+bool HttpGet(const Target& target, std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(target.port));
+  if (::inet_pton(AF_INET, target.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + target.path +
+                              " HTTP/1.1\r\nHost: " + target.host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (::write(fd, request.data(), request.size()) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return false;
+  }
+  std::string response;
+  char buffer[8192];
+  ssize_t n;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos ||
+      response.find("200") == std::string::npos ||
+      response.find("200") > response.find("\r\n")) {
+    return false;
+  }
+  *body = response.substr(header_end + 4);
+  return true;
+}
+
+// One scrape, flattened: "name" -> value for plain series, and
+// "name{quantile=\"0.5\"}" stored as "name:p50" (likewise p95/p99). Other
+// labeled series keep their label block in the key (gnnlab_build_info).
+struct Scrape {
+  std::map<std::string, double> values;
+  std::map<std::string, std::string> labels;  // series -> raw label block
+  double ts = 0.0;                            // monotonic scrape time
+
+  double Get(const std::string& key, double fallback = 0.0) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return values.count(key) != 0; }
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Scrape ParseExposition(const std::string& text) {
+  Scrape scrape;
+  scrape.ts = NowSeconds();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      continue;
+    }
+    std::string name = line.substr(0, space);
+    const double value = std::atof(line.c_str() + space + 1);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      const std::string base = name.substr(0, brace);
+      const std::string label_block = name.substr(brace);
+      if (label_block.find("quantile=\"0.5\"") != std::string::npos) {
+        name = base + ":p50";
+      } else if (label_block.find("quantile=\"0.95\"") != std::string::npos) {
+        name = base + ":p95";
+      } else if (label_block.find("quantile=\"0.99\"") != std::string::npos) {
+        name = base + ":p99";
+      } else {
+        scrape.labels[base] = label_block;
+        name = base;
+      }
+    }
+    scrape.values[name] = value;
+  }
+  return scrape;
+}
+
+// Counter rate between two frames (0 on the first frame or on reset).
+double Rate(const Scrape& now, const Scrape& prev, const std::string& key) {
+  if (prev.values.empty() || now.ts <= prev.ts) {
+    return 0.0;
+  }
+  const double delta = now.Get(key) - prev.Get(key);
+  return delta > 0.0 ? delta / (now.ts - prev.ts) : 0.0;
+}
+
+void PrintStageRow(const Scrape& now, const Scrape& prev, const char* label,
+                   const std::string& base) {
+  if (!now.Has(base + "_count")) {
+    return;
+  }
+  std::printf("  %-8s %9.2f %9.2f %10.0f %9.1f/s\n", label,
+              now.Get(base + ":p50") * 1e3, now.Get(base + ":p99") * 1e3,
+              now.Get(base + "_count"), Rate(now, prev, base + "_count"));
+}
+
+void Render(const Scrape& now, const Scrape& prev, const Target& target,
+            std::size_t frame) {
+  const auto build = now.labels.find("gnnlab_build_info");
+  std::printf("gnnlab_top — http://%s:%d%s — frame %zu%s\n", target.host.c_str(),
+              target.port, target.path.c_str(), frame,
+              build != now.labels.end() ? ("  " + build->second).c_str() : "");
+
+  std::printf("\n  %-8s %9s %9s %10s %11s\n", "stage", "p50(ms)", "p99(ms)",
+              "count", "rate");
+  PrintStageRow(now, prev, "sample", "gnnlab_stage_sample");
+  PrintStageRow(now, prev, "mark", "gnnlab_stage_mark");
+  PrintStageRow(now, prev, "copy", "gnnlab_stage_copy");
+  PrintStageRow(now, prev, "extract", "gnnlab_stage_extract");
+  PrintStageRow(now, prev, "train", "gnnlab_stage_train");
+
+  if (now.Has("gnnlab_queue_depth") || now.Has("gnnlab_queue_enqueued_total")) {
+    std::printf("\n  queue   depth %5.0f  bytes %12.0f  enqueued %8.0f (%.1f/s)\n",
+                now.Get("gnnlab_queue_depth"), now.Get("gnnlab_queue_bytes"),
+                now.Get("gnnlab_queue_enqueued_total"),
+                Rate(now, prev, "gnnlab_queue_enqueued_total"));
+  }
+  if (now.Has("gnnlab_pool_size")) {
+    std::printf("  pool    busy %6.0f / %-6.0f tasks %10.0f\n",
+                now.Get("gnnlab_pool_busy"), now.Get("gnnlab_pool_size"),
+                now.Get("gnnlab_pool_tasks_total"));
+  }
+  const double hits = now.Get("gnnlab_extract_cache_hits_total");
+  const double misses = now.Get("gnnlab_extract_host_misses_total");
+  if (hits + misses > 0.0) {
+    std::printf("  cache   hit %5.1f%%  (%0.f hits, %0.f misses)  bytes host %12.0f "
+                "cache %12.0f\n",
+                100.0 * hits / (hits + misses), hits, misses,
+                now.Get("gnnlab_extract_bytes_host_total"),
+                now.Get("gnnlab_extract_bytes_cache_total"));
+  }
+
+  if (now.Has("gnnlab_serve_offered_total")) {
+    const double shed_full = now.Get("gnnlab_serve_shed_queue_full_total");
+    const double shed_over = now.Get("gnnlab_serve_shed_overload_total");
+    std::printf("\n  serve   depth %5.0f  offered %8.0f (%.1f/s)  served %8.0f "
+                "(%.1f/s)\n",
+                now.Get("gnnlab_serve_queue_depth"),
+                now.Get("gnnlab_serve_offered_total"),
+                Rate(now, prev, "gnnlab_serve_offered_total"),
+                now.Get("gnnlab_serve_served_total"),
+                Rate(now, prev, "gnnlab_serve_served_total"));
+    std::printf("          shed %8.0f (queue_full %.0f, overload %.0f)  e2e p99 "
+                "%7.2fms  slo viol %6.0f\n",
+                shed_full + shed_over, shed_full, shed_over,
+                now.Get("gnnlab_serve_e2e_seconds:p99") * 1e3,
+                now.Get("gnnlab_serve_slo_violations_total"));
+  }
+
+  if (now.Has("gnnlab_dist_allreduce_rounds_total")) {
+    std::printf("\n  dist    allreduce rounds %6.0f (%.1f/s)  wire %14.0fB  busy "
+                "%8.3fs  nodes %3.0f\n",
+                now.Get("gnnlab_dist_allreduce_rounds_total"),
+                Rate(now, prev, "gnnlab_dist_allreduce_rounds_total"),
+                now.Get("gnnlab_dist_allreduce_wire_bytes_total"),
+                now.Get("gnnlab_dist_allreduce_seconds"),
+                now.Get("gnnlab_dist_nodes"));
+  }
+
+  bool any_alert = false;
+  for (const auto& [name, value] : now.values) {
+    if (name.compare(0, 13, "gnnlab_alert_") == 0) {
+      if (!any_alert) {
+        std::printf("\n  alerts\n");
+        any_alert = true;
+      }
+      std::printf("    %-32s %s\n", name.c_str() + 13,
+                  value > 0.5 ? "FIRING" : "ok");
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Target target;
+  double interval_ms = 1000.0;
+  std::size_t frames = 0;  // 0 = until scrape failure / ^C.
+  bool plain = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      target.port = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--url=", 6) == 0) {
+      if (!ParseUrl(arg + 6, &target)) {
+        std::fprintf(stderr, "bad --url '%s' (want [http://]HOST:PORT[/PATH])\n",
+                     arg + 6);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--interval-ms=", 14) == 0) {
+      interval_ms = std::atof(arg + 14);
+    } else if (std::strncmp(arg, "--frames=", 9) == 0) {
+      frames = static_cast<std::size_t>(std::atoll(arg + 9));
+    } else if (std::strcmp(arg, "--plain") == 0) {
+      plain = true;
+    } else if (std::strcmp(arg, "--once") == 0) {
+      plain = true;
+      frames = 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: gnnlab_top --port=N [--url=U] [--interval-ms=F]\n"
+                   "                  [--frames=N] [--plain] [--once]\n");
+      return 2;
+    }
+  }
+  if (target.port <= 0) {
+    std::fprintf(stderr, "gnnlab_top: need --port=N or --url=HOST:PORT\n");
+    return 2;
+  }
+
+  Scrape prev;
+  for (std::size_t frame = 1; frames == 0 || frame <= frames; ++frame) {
+    std::string body;
+    if (!HttpGet(target, &body)) {
+      std::fprintf(stderr, "gnnlab_top: scrape of http://%s:%d%s failed\n",
+                   target.host.c_str(), target.port, target.path.c_str());
+      return 1;
+    }
+    const Scrape now = ParseExposition(body);
+    if (!plain) {
+      std::printf("\033[H\033[2J");  // Cursor home + clear.
+    }
+    Render(now, prev, target, frame);
+    prev = now;
+    if (frames == 0 || frame < frames) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(interval_ms));
+    }
+  }
+  return 0;
+}
