@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cache/cache_policy.h"
+#include "cache/tiered_store.h"
 #include "common/units.h"
 #include "graph/dataset.h"
 #include "obs/health.h"
@@ -57,6 +58,15 @@ struct BenchFlags {
   // Cache policy override (--policy=none|random|degree|presc1|presc2|presc3|
   // optimal). Unset = each bench keeps its per-configuration default.
   std::optional<CachePolicyKind> policy;
+  // Byte budgets per tier (MiB on the command line, bytes here; 0 = off).
+  // --cache-mb caps the GPU cache tier instead of sizing it from leftover
+  // simulated GPU memory; --host-cache-mb enables the host tier of the
+  // tiered feature store with that budget. --host-policy picks its
+  // eviction policy; --ssd-mbps models the SSD backstop's read bandwidth.
+  ByteCount cache_budget_bytes = 0;
+  ByteCount host_budget_bytes = 0;
+  HostEvictPolicy host_policy = HostEvictPolicy::kBelady;
+  double ssd_read_bandwidth = TierStackOptions{}.ssd_read_bandwidth;
 
   CachePolicyKind PolicyOr(CachePolicyKind fallback) const {
     return policy.value_or(fallback);
@@ -71,6 +81,17 @@ struct BenchFlags {
   // Seed for measured repeat r (0-based): warmup repeats burn the seeds
   // below it so --warmup shifts, not reuses, the measured streams.
   std::uint64_t RepeatSeed(std::size_t r) const { return seed + warmup + r; }
+
+  // The tier stack the shared flags describe (one-tier when
+  // --host-cache-mb was not given).
+  TierStackOptions TierOptions() const {
+    TierStackOptions tiers;
+    tiers.host_budget_bytes = host_budget_bytes;
+    tiers.host_policy = host_policy;
+    tiers.ssd_read_bandwidth = ssd_read_bandwidth;
+    tiers.seed = seed;
+    return tiers;
+  }
 };
 
 // A bench-specific flag hook: return true when the argument was consumed.
@@ -134,6 +155,25 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv,
       flags.metrics_out = arg + 14;
     } else if (std::strncmp(arg, "--prom-out=", 11) == 0) {
       flags.prom_out = arg + 11;
+    } else if (std::strncmp(arg, "--cache-mb=", 11) == 0) {
+      flags.cache_budget_bytes =
+          static_cast<ByteCount>(RequireDoubleFlag("--cache-mb", arg + 11) *
+                                 static_cast<double>(kMiB));
+    } else if (std::strncmp(arg, "--host-cache-mb=", 16) == 0) {
+      flags.host_budget_bytes =
+          static_cast<ByteCount>(RequireDoubleFlag("--host-cache-mb", arg + 16) *
+                                 static_cast<double>(kMiB));
+    } else if (std::strncmp(arg, "--host-policy=", 14) == 0) {
+      const std::optional<HostEvictPolicy> parsed = ParseHostEvictPolicy(arg + 14);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown host policy: %s (want belady|lru|degree|random)\n",
+                     arg + 14);
+        std::exit(2);
+      }
+      flags.host_policy = *parsed;
+    } else if (std::strncmp(arg, "--ssd-mbps=", 11) == 0) {
+      flags.ssd_read_bandwidth =
+          RequireDoubleFlag("--ssd-mbps", arg + 11) * static_cast<double>(kMiB);
     } else if (std::strncmp(arg, "--policy=", 9) == 0) {
       flags.policy = ParseCachePolicyKind(arg + 9);
       if (!flags.policy) {
@@ -144,6 +184,8 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv,
       std::printf(
           "flags: --scale=<f> --epochs=<n> --seed=<n> --repeats=<n> --warmup=<n> "
           "--policy=<none|random|degree|presc1|presc2|presc3|optimal> "
+          "--cache-mb=<mb> --host-cache-mb=<mb> "
+          "--host-policy=<belady|lru|degree|random> --ssd-mbps=<mb_per_s> "
           "--json=<path> --trace-out=<file> --flow-out=<file> --metrics-out=<file> "
           "--prom-out=<file>\n");
       if (extra_help != nullptr) {
@@ -191,6 +233,15 @@ inline BenchReportBuilder MakeBenchReportBuilder(const char* bench,
   builder.SetConfig("warmup", static_cast<std::uint64_t>(flags.warmup));
   if (flags.policy) {
     builder.SetConfig("policy", std::string(CachePolicyKindName(*flags.policy)));
+  }
+  if (flags.cache_budget_bytes > 0) {
+    builder.SetConfig("cache_mb", static_cast<double>(flags.cache_budget_bytes) /
+                                      static_cast<double>(kMiB));
+  }
+  if (flags.host_budget_bytes > 0) {
+    builder.SetConfig("host_cache_mb", static_cast<double>(flags.host_budget_bytes) /
+                                           static_cast<double>(kMiB));
+    builder.SetConfig("host_policy", std::string(HostEvictPolicyName(flags.host_policy)));
   }
   return builder;
 }

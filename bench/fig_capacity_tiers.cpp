@@ -1,0 +1,143 @@
+// Capacity study for the tiered feature store: graphs whose features are
+// 10-100x the host budget, served GPU -> host -> SSD. For each (host
+// budget, SSD bandwidth) point the four host eviction policies run the
+// same training schedule; the replay-optimal (Belady) policy built from
+// the PreSC trace should dominate LRU on host hit rate and, through the
+// modeled SSD stall, on epoch makespan — the Ginex-style argument for
+// oracle eviction when the trace is known ahead of time.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cache/tiered_store.h"
+#include "core/engine.h"
+#include "core/workload.h"
+#include "report/table.h"
+
+using namespace gnnlab;  // NOLINT
+
+namespace {
+
+struct PointResult {
+  double hit_rate = 0.0;    // Host-tier hit rate over all epochs.
+  double epoch_time = 0.0;  // Mean epoch makespan (s).
+  std::size_t ssd_fetches = 0;
+};
+
+PointResult RunPoint(const Dataset& ds, const BenchFlags& flags, ByteCount host_budget,
+                     double ssd_bandwidth, HostEvictPolicy policy) {
+  EngineOptions options;
+  options.num_gpus = 2;
+  options.num_samplers = 1;
+  options.dynamic_switching = false;  // One Trainer: extract order == trace order.
+  options.policy = flags.PolicyOr(CachePolicyKind::kPreSC1);
+  options.gpu_memory = flags.GpuMemory();
+  // A deliberately small GPU tier so the host tier sees the miss stream.
+  if (flags.cache_budget_bytes > 0) {
+    options.cache_budget_override = flags.cache_budget_bytes;
+  } else {
+    options.cache_ratio_override = 0.05;
+  }
+  options.epochs = flags.epochs;
+  options.seed = flags.seed;
+  options.tiers.host_budget_bytes = host_budget;
+  options.tiers.host_policy = policy;
+  options.tiers.ssd_read_bandwidth = ssd_bandwidth;
+  options.tiers.seed = flags.seed;
+
+  Engine engine(ds, StandardWorkload(GnnModelKind::kGcn), options);
+  const RunReport report = engine.Run();
+  if (report.oom) {
+    std::fprintf(stderr, "fig_capacity_tiers: unexpected OOM: %s\n",
+                 report.oom_detail.c_str());
+    std::exit(1);
+  }
+  PointResult result;
+  TierEpochStats total;
+  for (const EpochReport& epoch : report.epochs) {
+    total.Add(epoch.tiers);
+  }
+  result.hit_rate = total.HostHitRate();
+  result.epoch_time = report.AvgEpochTime();
+  result.ssd_fetches = total.ssd_fetches;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBenchHeader("Capacity tiers: host eviction policy vs budget and SSD bandwidth",
+                   flags);
+
+  const Dataset& ds = GetDataset(DatasetId::kPapers, flags);
+  const ByteCount feature_bytes = ds.FeatureBytes();
+  // Host budgets as fractions of the feature matrix: the paper-scale regime
+  // where the graph is 10-50x host memory. All points are <= F/10.
+  const std::size_t kDivisors[] = {10, 20, 50};
+  const double kBandwidthsMiB[] = {12.0, 48.0};
+  const HostEvictPolicy kPolicies[] = {HostEvictPolicy::kBelady, HostEvictPolicy::kLru,
+                                       HostEvictPolicy::kDegree, HostEvictPolicy::kRandom};
+
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("fig_capacity_tiers", flags);
+  report_builder.SetConfig("feature_mb",
+                           static_cast<double>(feature_bytes) / static_cast<double>(kMiB));
+  report_builder.SetConfig("gpu_cache_ratio", 0.05);
+
+  bool dominates = true;       // Belady >= LRU hit rate, <= LRU makespan, everywhere.
+  bool strictly_faster = false;  // ... and measurably faster somewhere.
+  for (const double bw_mib : kBandwidthsMiB) {
+    const double bandwidth = bw_mib * static_cast<double>(kMiB);
+    std::printf("SSD read bandwidth %.0f MiB/s\n", bw_mib);
+    TablePrinter table({"Host budget", "Policy", "Host hit", "SSD fetches", "Epoch (s)"});
+    for (const std::size_t divisor : kDivisors) {
+      const ByteCount budget = feature_bytes / divisor;
+      std::map<HostEvictPolicy, PointResult> row;
+      for (const HostEvictPolicy policy : kPolicies) {
+        const PointResult r = RunPoint(ds, flags, budget, bandwidth, policy);
+        row[policy] = r;
+        const std::string key = std::string("capacity.f") + std::to_string(divisor) +
+                                ".ssd" + std::to_string(static_cast<int>(bw_mib)) + "." +
+                                HostEvictPolicyName(policy);
+        report_builder.Add(key + ".host_hit_rate", r.hit_rate * 100.0, "%");
+        report_builder.Add(key + ".epoch_time", r.epoch_time, "s");
+        table.AddRow({std::string("F/") + std::to_string(divisor),
+                      HostEvictPolicyName(policy), FmtPercent(r.hit_rate, 1),
+                      std::to_string(r.ssd_fetches), Fmt(r.epoch_time, 4)});
+      }
+      const PointResult& belady = row.at(HostEvictPolicy::kBelady);
+      const PointResult& lru = row.at(HostEvictPolicy::kLru);
+      if (belady.hit_rate + 1e-9 < lru.hit_rate ||
+          belady.epoch_time > lru.epoch_time + 1e-9) {
+        dominates = false;
+        std::fprintf(stderr,
+                     "fig_capacity_tiers: Belady loses to LRU at F/%zu, %.0f MiB/s "
+                     "(hit %.4f vs %.4f, epoch %.4fs vs %.4fs)\n",
+                     divisor, bw_mib, belady.hit_rate, lru.hit_rate, belady.epoch_time,
+                     lru.epoch_time);
+      }
+      if (belady.epoch_time < lru.epoch_time - 1e-9) {
+        strictly_faster = true;
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper shape (Ginex / GIDS regime): with the training trace known ahead\n"
+      "of time, Belady eviction keeps the reuse set resident and beats LRU on\n"
+      "host hit rate at every budget; the saved SSD stalls compound into a\n"
+      "lower epoch makespan, most visibly at the slow-SSD points.\n");
+
+  const int rc = FinishBench(report_builder, flags);
+  if (!dominates || !strictly_faster) {
+    std::fprintf(stderr,
+                 "fig_capacity_tiers: FAILED acceptance: Belady must match-or-beat LRU "
+                 "everywhere and be measurably faster somewhere\n");
+    return 1;
+  }
+  return rc;
+}

@@ -29,6 +29,7 @@
 
 #include "bench/bench_common.h"
 #include "cache/feature_cache.h"
+#include "cache/tiered_store.h"
 #include "common/rng.h"
 #include "core/workload.h"
 #include "feature/feature_store.h"
@@ -98,7 +99,7 @@ struct ServeStack {
   Dataset dataset;
   Workload workload;
   FeatureStore features;
-  FeatureCache cache;
+  TieredFeatureStore store;
   ModelConfig config;
   std::unique_ptr<GnnModel> model;
 
@@ -114,7 +115,7 @@ struct ServeStack {
     features = FeatureStore::Clustered(nv, kDim, labels, kClasses, 0.3, &rng);
     std::vector<VertexId> ranked(nv);
     std::iota(ranked.begin(), ranked.end(), VertexId{0});
-    cache = FeatureCache::Load(ranked, 0.5, nv, kDim);
+    store = TieredFeatureStore::FromCache(FeatureCache::Load(ranked, 0.5, nv, kDim));
     config.kind = GnnModelKind::kGraphSage;
     config.num_layers = 2;
     config.in_dim = kDim;
@@ -151,7 +152,7 @@ SweepPoint RunPoint(const ServeStack& stack, const Flags& flags, double estimate
   options.max_linger_seconds = std::max(slo / 10.0, 1e-4);
   options.seed = flags.seed();
   InferenceServer server(stack.dataset, stack.workload, stack.features,
-                         &stack.cache, stack.model.get(), options);
+                         &stack.store, stack.model.get(), options);
   server.Start();
 
   LoadGenOptions load;
@@ -240,7 +241,7 @@ int Main(int argc, char** argv) {
     options.admission_capacity = 16384;
     options.seed = flags.seed();
     InferenceServer server(stack.dataset, stack.workload, stack.features,
-                           &stack.cache, stack.model.get(), options);
+                           &stack.store, stack.model.get(), options);
     server.Start();
     LoadGenOptions load;
     load.mode = LoadMode::kOpen;

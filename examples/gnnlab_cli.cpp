@@ -50,6 +50,10 @@ struct CliOptions {
   bool switching = true;
   std::string policy = "presc1";  // none | random | degree | presc1/2/3 | optimal
   double cache_ratio = -1.0;
+  double cache_mb = 0.0;       // --cache-mb: GPU-tier byte budget (0 = off).
+  double host_cache_mb = 0.0;  // --host-cache-mb: host tier budget (0 = off).
+  std::string host_policy = "belady";  // belady | lru | degree | random
+  double ssd_mbps = 0.0;  // --ssd-mbps: SSD read bandwidth (0 = default).
   double scale = 1.0;
   std::size_t epochs = 3;
   std::uint64_t seed = 42;
@@ -77,7 +81,9 @@ bool ParseArg(const char* arg, const char* key, std::string* out) {
       "usage: gnnlab_cli [--system=gnnlab|tsota|dgl|pyg] [--model=gcn|sage|pinsage|gcnw|"
       "cluster|gat]\n                  [--dataset=pr|tw|pa|uk] [--gpus=N] [--samplers=N]\n"
       "                  [--no-switching] [--policy=none|random|degree|presc1|presc2|"
-      "presc3|optimal]\n                  [--cache-ratio=F] [--scale=F] [--epochs=N] "
+      "presc3|optimal]\n                  [--cache-ratio=F] [--cache-mb=MB] "
+      "[--host-cache-mb=MB]\n                  [--host-policy=belady|lru|degree|random] "
+      "[--ssd-mbps=MB]\n                  [--scale=F] [--epochs=N] "
       "[--seed=N]\n                  [--trace-out=FILE] [--flow-out=FILE] "
       "[--metrics-out=FILE]\n                  [--report-out=FILE] [--prom-out=FILE] "
       "[--alert=RULE]\n                  [--load-checkpoint=FILE] "
@@ -106,6 +112,14 @@ CliOptions Parse(int argc, char** argv) {
       options.policy = value;
     } else if (ParseArg(arg, "--cache-ratio=", &value)) {
       options.cache_ratio = std::atof(value.c_str());
+    } else if (ParseArg(arg, "--cache-mb=", &value)) {
+      options.cache_mb = std::atof(value.c_str());
+    } else if (ParseArg(arg, "--host-cache-mb=", &value)) {
+      options.host_cache_mb = std::atof(value.c_str());
+    } else if (ParseArg(arg, "--host-policy=", &value)) {
+      options.host_policy = value;
+    } else if (ParseArg(arg, "--ssd-mbps=", &value)) {
+      options.ssd_mbps = std::atof(value.c_str());
     } else if (ParseArg(arg, "--scale=", &value)) {
       options.scale = std::atof(value.c_str());
     } else if (ParseArg(arg, "--epochs=", &value)) {
@@ -208,6 +222,15 @@ void PrintReport(const RunReport& report) {
                   std::to_string(epoch.switched_batches)});
   }
   table.Print();
+  for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+    const TierEpochStats& tiers = report.epochs[e].tiers;
+    if (tiers.Any()) {
+      std::printf(
+          "epoch %zu tiers: host hits %zu, ssd fetches %zu (host hit %.1f%%, ssd %.3fs)\n",
+          e, tiers.host_hits, tiers.ssd_fetches, 100.0 * tiers.HostHitRate(),
+          tiers.ssd_seconds);
+    }
+  }
   std::printf("avg epoch: %.3fs | queue peak depth %zu (%s)\n", report.AvgEpochTime(),
               report.queue.max_depth, FormatBytes(report.queue.max_stored_bytes).c_str());
   if (report.attribution.flows > 0) {
@@ -251,6 +274,20 @@ int main(int argc, char** argv) {
     options.gpu_memory = gpu_memory;
     options.policy = PolicyFor(cli.policy);
     options.cache_ratio_override = cli.cache_ratio;
+    options.cache_budget_override =
+        static_cast<ByteCount>(cli.cache_mb * static_cast<double>(kMiB));
+    options.tiers.host_budget_bytes =
+        static_cast<ByteCount>(cli.host_cache_mb * static_cast<double>(kMiB));
+    const std::optional<HostEvictPolicy> host_policy =
+        ParseHostEvictPolicy(cli.host_policy);
+    if (!host_policy) {
+      std::fprintf(stderr, "unknown host policy: %s\n", cli.host_policy.c_str());
+      Usage();
+    }
+    options.tiers.host_policy = *host_policy;
+    if (cli.ssd_mbps > 0.0) {
+      options.tiers.ssd_read_bandwidth = cli.ssd_mbps * static_cast<double>(kMiB);
+    }
     options.epochs = cli.epochs;
     options.seed = cli.seed;
     TraceRecorder trace;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cache/feature_cache.h"
+#include "cache/tiered_store.h"
 #include "common/rng.h"
 #include "core/workload.h"
 #include "feature/feature_store.h"
@@ -178,7 +179,8 @@ int main(int argc, char** argv) {
       FeatureStore::Clustered(nv, kDim, labels, kClasses, 0.3, &rng);
   std::vector<VertexId> ranked(nv);
   std::iota(ranked.begin(), ranked.end(), VertexId{0});
-  const FeatureCache cache = FeatureCache::Load(ranked, 0.5, nv, kDim);
+  const TieredFeatureStore store =
+      TieredFeatureStore::FromCache(FeatureCache::Load(ranked, 0.5, nv, kDim));
   ModelConfig config;
   config.kind = GnnModelKind::kGraphSage;
   config.num_layers = 2;
@@ -254,7 +256,7 @@ int main(int argc, char** argv) {
   serve.metrics = &metrics;
   serve.flows = &flows;
   serve.health = &health;
-  InferenceServer server(dataset, workload, features, &cache, &model, serve);
+  InferenceServer server(dataset, workload, features, &store, &model, serve);
 
   LoadGenOptions load;
   load.mode = cli.mode == "open" ? LoadMode::kOpen : LoadMode::kClosed;

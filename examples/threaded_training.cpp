@@ -5,6 +5,7 @@
 // use; wall-clock numbers here are real.
 //
 //   ./build/examples/threaded_training [samplers] [trainers] [epochs] [extract_threads]
+//       [--cache-mb=MB] [--host-cache-mb=MB] [--host-policy=POLICY] [--ssd-mbps=MB]
 //       [--trace-out=FILE] [--flow-out=FILE] [--metrics-out=FILE] [--report-out=FILE]
 //       [--prom-out=FILE] [--prom-port=N] [--alert=RULE] [--snapshot-ms=N]
 //       [--load-checkpoint=FILE] [--save-checkpoint=FILE]
@@ -25,6 +26,11 @@
 // port). --alert adds a health rule, e.g. --alert="queue.depth > 32" or
 // --alert="slow_train: stage.train p99 > 0.5" (repeatable); firing rules
 // surface as alert.* gauges and in the switch decision log.
+// --cache-mb gives the GPU cache tier a byte budget (overrides the default
+// 20% ratio); --host-cache-mb enables the host tier of the tiered feature
+// store (GPU-cache misses hit host DRAM, overflowing to a modeled SSD),
+// --host-policy picks its eviction policy (belady|lru|degree|random),
+// --ssd-mbps sets the modeled SSD read bandwidth.
 // --load-checkpoint warm-starts the model from a saved checkpoint;
 // --save-checkpoint persists the trained weights for later warm starts or
 // the serving example.
@@ -62,6 +68,10 @@ int main(int argc, char** argv) {
   std::string save_checkpoint;
   std::string dump_dir;
   std::size_t abort_after_batches = 0;
+  double cache_mb = 0.0;
+  double host_cache_mb = 0.0;
+  double ssd_mbps = 0.0;
+  HostEvictPolicy host_policy = HostEvictPolicy::kBelady;
   int prom_port = -1;
   std::vector<AlertRule> alert_rules;
   double snapshot_ms = 50.0;
@@ -89,6 +99,20 @@ int main(int argc, char** argv) {
       alert_rules.push_back(std::move(rule));
     } else if (std::strncmp(arg, "--snapshot-ms=", 14) == 0) {
       snapshot_ms = std::atof(arg + 14);
+    } else if (std::strncmp(arg, "--cache-mb=", 11) == 0) {
+      cache_mb = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--host-cache-mb=", 16) == 0) {
+      host_cache_mb = std::atof(arg + 16);
+    } else if (std::strncmp(arg, "--ssd-mbps=", 11) == 0) {
+      ssd_mbps = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--host-policy=", 14) == 0) {
+      const auto parsed = ParseHostEvictPolicy(arg + 14);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown --host-policy '%s' (want belady|lru|degree|random)\n",
+                     arg + 14);
+        return 1;
+      }
+      host_policy = *parsed;
     } else if (std::strncmp(arg, "--load-checkpoint=", 18) == 0) {
       load_checkpoint = arg + 18;
     } else if (std::strncmp(arg, "--save-checkpoint=", 18) == 0) {
@@ -160,6 +184,13 @@ int main(int argc, char** argv) {
   options.policy = CachePolicyKind::kPreSC1;
   options.cache_ratio = 0.2;
   options.staleness_bound = 4;
+  options.cache_budget_bytes = static_cast<ByteCount>(cache_mb * static_cast<double>(kMiB));
+  options.tiers.host_budget_bytes =
+      static_cast<ByteCount>(host_cache_mb * static_cast<double>(kMiB));
+  options.tiers.host_policy = host_policy;
+  if (ssd_mbps > 0.0) {
+    options.tiers.ssd_read_bandwidth = ssd_mbps * static_cast<double>(kMiB);
+  }
   options.extract_threads = extract_threads;
   options.real = &real;
   if (!trace_out.empty()) {
@@ -193,6 +224,14 @@ int main(int argc, char** argv) {
                   Fmt(epoch.latency.train.p99 * 1e3, 2)});
   }
   table.Print();
+
+  for (std::size_t e = 0; e < report.epochs.size(); ++e) {
+    const TierEpochStats& tiers = report.epochs[e].tiers;
+    if (tiers.Any()) {
+      std::printf("epoch %zu tiers: host hits %zu, ssd fetches %zu (host hit %.1f%%)\n",
+                  e + 1, tiers.host_hits, tiers.ssd_fetches, 100.0 * tiers.HostHitRate());
+    }
+  }
 
   // Where did minibatch latency go (critical-path fold over the flow DAGs)?
   if (report.attribution.flows > 0) {

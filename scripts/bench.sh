@@ -60,12 +60,13 @@ declare -A suite=(
   [dist_scaling]="${pinned}"
   [micro_extract]="--seed=42 --rows=50000 --dim=32"
   [micro_obs]="--seed=42 --rows=50000 --repeats=10 --trials=3"
+  [fig_capacity_tiers]="${pinned}"
 )
 
 out_dir="$(mktemp -d)"
 trap 'rm -rf "${out_dir}"' EXIT
 reports=()
-for bench in table1_breakdown fig10_hitrate fig13_policy_e2e dist_scaling micro_extract micro_obs; do
+for bench in table1_breakdown fig10_hitrate fig13_policy_e2e dist_scaling micro_extract micro_obs fig_capacity_tiers; do
   report="${out_dir}/${bench}.json"
   echo "bench.sh: running ${bench} ${suite[${bench}]}"
   # shellcheck disable=SC2086

@@ -87,23 +87,25 @@ bool TimeShareRunner::PlanMemory(RunReport* report) {
   context.weights = weights_ ? &*weights_ : nullptr;
   context.seed = options_.seed;
   const std::vector<VertexId> ranked = BuildCacheRanking(options_.policy, context);
+  FeatureCache gpu;
   if (options_.policy == CachePolicyKind::kNone) {
-    cache_ = FeatureCache::Load({}, 0.0, dataset_.graph.num_vertices(), dataset_.feature_dim);
+    gpu = FeatureCache::Load({}, 0.0, dataset_.graph.num_vertices(), dataset_.feature_dim);
   } else if (options_.cache_ratio_override >= 0.0) {
-    cache_ = FeatureCache::Load(ranked, options_.cache_ratio_override,
-                                dataset_.graph.num_vertices(), dataset_.feature_dim);
+    gpu = FeatureCache::Load(ranked, options_.cache_ratio_override,
+                             dataset_.graph.num_vertices(), dataset_.feature_dim);
   } else {
-    cache_ = FeatureCache::LoadWithBudget(ranked, cache_budget, dataset_.graph.num_vertices(),
-                                          dataset_.feature_dim);
+    gpu = FeatureCache::LoadWithBudget(ranked, cache_budget, dataset_.graph.num_vertices(),
+                                       dataset_.feature_dim);
   }
-  report->cache_ratio = cache_.ratio();
+  store_ = TieredFeatureStore::FromCache(std::move(gpu));
+  report->cache_ratio = store_.gpu().ratio();
 
   for (int g = 0; g < options_.num_gpus; ++g) {
     Device dev(g, options_.gpu_memory);
     CHECK(dev.TryAllocate(MemoryKind::kTopology, topo_bytes));
     CHECK(dev.TryAllocate(MemoryKind::kSamplerWorkspace, sampler_ws));
     CHECK(dev.TryAllocate(MemoryKind::kTrainerWorkspace, trainer_ws));
-    CHECK(dev.TryAllocate(MemoryKind::kFeatureCache, cache_.CacheBytes()));
+    CHECK(dev.TryAllocate(MemoryKind::kFeatureCache, store_.gpu().CacheBytes()));
     devices_.push_back(dev);
   }
   return true;
@@ -120,7 +122,7 @@ RunReport TimeShareRunner::Run() {
   PreprocessSpec pre;
   pre.topo_bytes = dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
   pre.feature_bytes = dataset_.FeatureBytes();
-  pre.cache_bytes = cache_.CacheBytes();
+  pre.cache_bytes = store_.gpu().CacheBytes();
   pre.load_topology = options_.gpu_sampling;
   // No presample line: the policy classes run their own pre-sampling, and
   // the time-sharing runners have no profiling pass to price it from.
@@ -185,7 +187,7 @@ void TimeShareRunner::PumpGpu(std::size_t g) {
 
   // Sample stage (no queue copy: time sharing keeps the block on-GPU).
   SampleSpec sample_spec;
-  sample_spec.cache = &cache_;
+  sample_spec.cache = &store_.gpu();
   sample_spec.cost = &cost_;
   sample_spec.kernel = options_.dgl_style_sampling
                            ? SampleKernel::kDgl

@@ -65,7 +65,9 @@ class TimeShareRunner {
   SharedResource host_channel_;
   FeatureStore virtual_store_;
   Extractor extractor_;
-  FeatureCache cache_;
+  // One-tier store (the sequential baseline has no host tier); the GPU
+  // cache is reached via store_.gpu().
+  TieredFeatureStore store_;
   std::vector<Device> devices_;
   std::vector<std::unique_ptr<GpuState>> gpus_;
 

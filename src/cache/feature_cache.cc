@@ -9,50 +9,33 @@
 
 namespace gnnlab {
 
-FeatureCache::FeatureCache(const FeatureCache& other)
-    : cached_(other.cached_),
-      num_cached_(other.num_cached_),
-      feature_dim_(other.feature_dim_),
-      lookup_total_(other.lookup_total_.load(std::memory_order_relaxed)),
-      lookup_hits_(other.lookup_hits_.load(std::memory_order_relaxed)),
-      mark_hits_(other.mark_hits_),
-      mark_total_(other.mark_total_) {}
+void FeatureCache::TransferState(const FeatureCache& other) {
+  num_cached_ = other.num_cached_;
+  feature_dim_ = other.feature_dim_;
+  lookup_total_.store(other.lookup_total_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  lookup_hits_.store(other.lookup_hits_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  mark_hits_ = other.mark_hits_;
+  mark_total_ = other.mark_total_;
+}
+
+FeatureCache::FeatureCache(const FeatureCache& other) { *this = other; }
 
 FeatureCache& FeatureCache::operator=(const FeatureCache& other) {
   if (this != &other) {
     cached_ = other.cached_;
-    num_cached_ = other.num_cached_;
-    feature_dim_ = other.feature_dim_;
-    lookup_total_.store(other.lookup_total_.load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
-    lookup_hits_.store(other.lookup_hits_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-    mark_hits_ = other.mark_hits_;
-    mark_total_ = other.mark_total_;
+    TransferState(other);
   }
   return *this;
 }
 
-FeatureCache::FeatureCache(FeatureCache&& other) noexcept
-    : cached_(std::move(other.cached_)),
-      num_cached_(other.num_cached_),
-      feature_dim_(other.feature_dim_),
-      lookup_total_(other.lookup_total_.load(std::memory_order_relaxed)),
-      lookup_hits_(other.lookup_hits_.load(std::memory_order_relaxed)),
-      mark_hits_(other.mark_hits_),
-      mark_total_(other.mark_total_) {}
+FeatureCache::FeatureCache(FeatureCache&& other) noexcept { *this = std::move(other); }
 
 FeatureCache& FeatureCache::operator=(FeatureCache&& other) noexcept {
   if (this != &other) {
     cached_ = std::move(other.cached_);
-    num_cached_ = other.num_cached_;
-    feature_dim_ = other.feature_dim_;
-    lookup_total_.store(other.lookup_total_.load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
-    lookup_hits_.store(other.lookup_hits_.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-    mark_hits_ = other.mark_hits_;
-    mark_total_ = other.mark_total_;
+    TransferState(other);
   }
   return *this;
 }
@@ -88,7 +71,11 @@ FeatureCache FeatureCache::LoadWithBudget(std::span<const VertexId> ranked,
                                           std::uint32_t feature_dim) {
   const ByteCount row_bytes = static_cast<ByteCount>(feature_dim) * sizeof(float);
   // Exact row count: never exceeds the byte budget (no ratio round trip).
-  const auto rows = static_cast<std::size_t>(budget_bytes / row_bytes);
+  // A zero-dim row would otherwise divide by zero; it can hold nothing, so
+  // the cache is explicitly empty. A budget under one row likewise caches
+  // zero rows — no partial-row residency.
+  const std::size_t rows =
+      row_bytes == 0 ? 0 : static_cast<std::size_t>(budget_bytes / row_bytes);
   return LoadCount(ranked, rows, num_vertices, feature_dim);
 }
 

@@ -27,7 +27,8 @@ class FeatureCache {
   // Copies/moves transfer the membership table and a snapshot of the
   // lifetime lookup counters (atomics are not copyable by default; the
   // engines assign caches by value at build time, before any concurrent
-  // marking starts).
+  // marking starts). All four delegate the counter snapshot to one private
+  // TransferState helper; only the membership-table copy-vs-move differs.
   FeatureCache(const FeatureCache& other);
   FeatureCache& operator=(const FeatureCache& other);
   FeatureCache(FeatureCache&& other) noexcept;
@@ -81,6 +82,10 @@ class FeatureCache {
   void BindMetrics(MetricRegistry* registry, const std::string& prefix = "");
 
  private:
+  // Shared tail of the four copy/move members: snapshots the scalar state
+  // and the relaxed-atomic lookup counters of `other` into this instance.
+  void TransferState(const FeatureCache& other);
+
   // Exact-row-count loader shared by Load (ratio-derived) and
   // LoadWithBudget (byte-derived); avoids ratio<->count rounding drift.
   static FeatureCache LoadCount(std::span<const VertexId> ranked, std::size_t capacity,

@@ -1,0 +1,318 @@
+#include "cache/tiered_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/snapshot.h"
+
+namespace gnnlab {
+
+std::optional<HostEvictPolicy> ParseHostEvictPolicy(std::string_view name) {
+  if (name == "belady") {
+    return HostEvictPolicy::kBelady;
+  }
+  if (name == "lru") {
+    return HostEvictPolicy::kLru;
+  }
+  if (name == "degree") {
+    return HostEvictPolicy::kDegree;
+  }
+  if (name == "random") {
+    return HostEvictPolicy::kRandom;
+  }
+  return std::nullopt;
+}
+
+const char* HostEvictPolicyName(HostEvictPolicy policy) {
+  switch (policy) {
+    case HostEvictPolicy::kBelady:
+      return "belady";
+    case HostEvictPolicy::kLru:
+      return "lru";
+    case HostEvictPolicy::kDegree:
+      return "degree";
+    case HostEvictPolicy::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+void TieredFeatureStore::CopyFrom(const TieredFeatureStore& other) {
+  std::scoped_lock lock(other.mu_);
+  gpu_ = other.gpu_;
+  options_ = other.options_;
+  host_capacity_rows_ = other.host_capacity_rows_;
+  row_bytes_ = other.row_bytes_;
+  resident_ = other.resident_;
+  current_key_ = other.current_key_;
+  heap_ = other.heap_;
+  resident_rows_ = other.resident_rows_;
+  future_uses_ = other.future_uses_;
+  future_cursor_ = other.future_cursor_;
+  clock_ = other.clock_;
+  lru_clock_ = other.lru_clock_;
+  rng_ = other.rng_;
+  static_rank_ = other.static_rank_;
+  host_hits_total_ = other.host_hits_total_;
+  host_misses_total_ = other.host_misses_total_;
+  host_evictions_total_ = other.host_evictions_total_;
+  ssd_bytes_total_ = other.ssd_bytes_total_;
+  metric_host_hits_ = other.metric_host_hits_;
+  metric_host_misses_ = other.metric_host_misses_;
+  metric_host_evictions_ = other.metric_host_evictions_;
+  metric_ssd_bytes_ = other.metric_ssd_bytes_;
+}
+
+TieredFeatureStore::TieredFeatureStore(const TieredFeatureStore& other) { CopyFrom(other); }
+
+TieredFeatureStore& TieredFeatureStore::operator=(const TieredFeatureStore& other) {
+  if (this != &other) {
+    CopyFrom(other);
+  }
+  return *this;
+}
+
+TieredFeatureStore::TieredFeatureStore(TieredFeatureStore&& other) noexcept {
+  CopyFrom(other);
+}
+
+TieredFeatureStore& TieredFeatureStore::operator=(TieredFeatureStore&& other) noexcept {
+  if (this != &other) {
+    CopyFrom(other);
+  }
+  return *this;
+}
+
+TieredFeatureStore TieredFeatureStore::FromCache(FeatureCache gpu,
+                                                 const TierStackOptions& options) {
+  TieredFeatureStore store;
+  store.options_ = options;
+  store.row_bytes_ = static_cast<ByteCount>(gpu.feature_dim()) * sizeof(float);
+  if (options.host_budget_bytes > 0 && store.row_bytes_ > 0) {
+    store.host_capacity_rows_ =
+        static_cast<std::size_t>(options.host_budget_bytes / store.row_bytes_);
+  }
+  if (store.host_capacity_rows_ > 0) {
+    const auto num_vertices = static_cast<std::size_t>(gpu.num_vertices());
+    store.resident_.assign(num_vertices, 0);
+    store.current_key_.assign(num_vertices, 0);
+    store.future_cursor_.assign(num_vertices, 0);
+    store.rng_ = Rng(options.seed ^ 0x7fe7'0c27'5d1c'9b85ull);
+  }
+  store.gpu_ = std::move(gpu);
+  return store;
+}
+
+void TieredFeatureStore::LoadHostReplayTrace(std::span<const VertexId> trace) {
+  std::scoped_lock lock(mu_);
+  if (host_capacity_rows_ == 0) {
+    return;
+  }
+  future_uses_.assign(resident_.size(), {});
+  for (std::uint64_t pos = 0; pos < trace.size(); ++pos) {
+    const VertexId v = trace[pos];
+    CHECK_LT(static_cast<std::size_t>(v), future_uses_.size());
+    future_uses_[v].push_back(pos);
+  }
+  // Reset the tier: the trace defines position 0 of the access stream.
+  std::fill(resident_.begin(), resident_.end(), 0);
+  std::fill(current_key_.begin(), current_key_.end(), 0);
+  std::fill(future_cursor_.begin(), future_cursor_.end(), 0);
+  heap_ = {};
+  resident_rows_ = 0;
+  clock_ = 0;
+  lru_clock_ = 0;
+}
+
+void TieredFeatureStore::SetHostStaticRanks(std::span<const VertexId> ranked) {
+  if (host_capacity_rows_ == 0) {
+    return;
+  }
+  std::scoped_lock lock(mu_);
+  // Unranked vertices are the coldest of all: UINT64_MAX evicts first.
+  static_rank_.assign(resident_.size(), ~std::uint64_t{0});
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    static_rank_[ranked[i]] = i;
+  }
+}
+
+std::uint64_t TieredFeatureStore::EvictKeyLocked(VertexId v, std::uint64_t pos) const {
+  switch (options_.host_policy) {
+    case HostEvictPolicy::kBelady: {
+      // Next use strictly after `pos`; never-again rows evict first.
+      if (future_uses_.size() <= v) {
+        return ~std::uint64_t{0};
+      }
+      const auto& uses = future_uses_[v];
+      std::uint32_t cursor = future_cursor_[v];
+      while (cursor < uses.size() && uses[cursor] <= pos) {
+        ++cursor;
+      }
+      future_cursor_[v] = cursor;
+      return cursor < uses.size() ? uses[cursor] : ~std::uint64_t{0};
+    }
+    case HostEvictPolicy::kLru:
+      return ~std::uint64_t{0} - (++lru_clock_);
+    case HostEvictPolicy::kDegree:
+      return v < static_rank_.size() ? static_rank_[v] : ~std::uint64_t{0};
+    case HostEvictPolicy::kRandom:
+      return rng_.Next();
+  }
+  return ~std::uint64_t{0};
+}
+
+void TieredFeatureStore::TouchLocked(VertexId v, std::uint64_t pos) const {
+  const std::uint64_t key = EvictKeyLocked(v, pos);
+  current_key_[v] = key;
+  heap_.emplace(key, v);  // Older heap entries for v turn stale (lazy).
+}
+
+void TieredFeatureStore::AdmitLocked(VertexId v, std::uint64_t pos) const {
+  resident_[v] = 1;
+  ++resident_rows_;
+  TouchLocked(v, pos);
+  EvictOverflowLocked();
+}
+
+void TieredFeatureStore::EvictOverflowLocked() const {
+  while (resident_rows_ > host_capacity_rows_) {
+    CHECK(!heap_.empty());
+    const auto [key, v] = heap_.top();
+    heap_.pop();
+    if (resident_[v] == 0 || current_key_[v] != key) {
+      continue;  // Stale entry from an earlier touch of v.
+    }
+    resident_[v] = 0;
+    --resident_rows_;
+    ++host_evictions_total_;
+    GNNLAB_OBS_ONLY({
+      if (metric_host_evictions_ != nullptr) {
+        metric_host_evictions_->Increment();
+      }
+    });
+  }
+}
+
+TierAccess TieredFeatureStore::AccessOne(VertexId v) const {
+  TierAccess access;
+  if (host_capacity_rows_ == 0) {
+    return access;
+  }
+  std::scoped_lock lock(mu_);
+  const std::uint64_t pos = clock_++;
+  if (resident_[v] != 0) {
+    ++access.host_tier_hits;
+    ++host_hits_total_;
+    TouchLocked(v, pos);
+  } else {
+    ++access.ssd_fetches;
+    access.bytes_from_ssd += row_bytes_;
+    ++host_misses_total_;
+    ssd_bytes_total_ += row_bytes_;
+    // Admit-then-evict: with Belady keys the just-admitted row is itself
+    // the eviction victim whenever bypassing it is optimal, so this is the
+    // true OPT policy when the access stream matches the trace.
+    AdmitLocked(v, pos);
+  }
+  access.ssd_seconds = SsdReadTime(access.ssd_fetches, access.bytes_from_ssd);
+  GNNLAB_OBS_ONLY({
+    if (metric_host_hits_ != nullptr) {
+      metric_host_hits_->Increment(access.host_tier_hits);
+      metric_host_misses_->Increment(access.ssd_fetches);
+      metric_ssd_bytes_->Increment(access.bytes_from_ssd);
+    }
+  });
+  return access;
+}
+
+TierAccess TieredFeatureStore::AccessMisses(const SampleBlock& block,
+                                            std::span<const std::int32_t> owners,
+                                            int node) const {
+  TierAccess access;
+  if (host_capacity_rows_ == 0) {
+    return access;
+  }
+  const auto vertices = block.vertices();
+  const auto marks = block.cache_marks();
+  std::scoped_lock lock(mu_);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    // Every vertex of every block advances the access clock: the replay
+    // trace is built over whole blocks, independent of which tier (or
+    // remote node) ends up serving each row.
+    const std::uint64_t pos = clock_++;
+    if (!owners.empty() && owners[v] != node) {
+      continue;  // Remote rows come over the network, not a local tier.
+    }
+    if (i < marks.size() && marks[i] != 0) {
+      continue;  // GPU-tier hit; the lower tiers are never consulted.
+    }
+    if (gpu_.Contains(v)) {
+      continue;  // Exclusive residency: never shadow a GPU-resident row.
+    }
+    if (resident_[v] != 0) {
+      ++access.host_tier_hits;
+      ++host_hits_total_;
+      TouchLocked(v, pos);
+    } else {
+      ++access.ssd_fetches;
+      access.bytes_from_ssd += row_bytes_;
+      ++host_misses_total_;
+      ssd_bytes_total_ += row_bytes_;
+      AdmitLocked(v, pos);
+    }
+  }
+  access.ssd_seconds = SsdReadTime(access.ssd_fetches, access.bytes_from_ssd);
+  GNNLAB_OBS_ONLY({
+    if (metric_host_hits_ != nullptr) {
+      metric_host_hits_->Increment(access.host_tier_hits);
+      metric_host_misses_->Increment(access.ssd_fetches);
+      metric_ssd_bytes_->Increment(access.bytes_from_ssd);
+    }
+  });
+  return access;
+}
+
+void TieredFeatureStore::BindMetrics(MetricRegistry* registry, const std::string& prefix) {
+  gpu_.BindMetrics(registry, prefix);
+  if (registry == nullptr) {
+    metric_host_hits_ = nullptr;
+    metric_host_misses_ = nullptr;
+    metric_host_evictions_ = nullptr;
+    metric_ssd_bytes_ = nullptr;
+    return;
+  }
+  metric_host_hits_ = registry->GetCounter(prefix + kMetricTierHostHits);
+  metric_host_misses_ = registry->GetCounter(prefix + kMetricTierHostMisses);
+  metric_host_evictions_ = registry->GetCounter(prefix + kMetricTierHostEvictions);
+  metric_ssd_bytes_ = registry->GetCounter(prefix + kMetricTierSsdBytes);
+}
+
+std::uint64_t TieredFeatureStore::host_hits_total() const {
+  std::scoped_lock lock(mu_);
+  return host_hits_total_;
+}
+
+std::uint64_t TieredFeatureStore::host_evictions_total() const {
+  std::scoped_lock lock(mu_);
+  return host_evictions_total_;
+}
+
+std::uint64_t TieredFeatureStore::ssd_fetches_total() const {
+  std::scoped_lock lock(mu_);
+  return host_misses_total_;
+}
+
+std::vector<VertexId> TieredFeatureStore::HostResidentVertices() const {
+  std::scoped_lock lock(mu_);
+  std::vector<VertexId> out;
+  out.reserve(resident_rows_);
+  for (std::size_t v = 0; v < resident_.size(); ++v) {
+    if (resident_[v] != 0) {
+      out.push_back(static_cast<VertexId>(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace gnnlab

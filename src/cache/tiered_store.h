@@ -1,0 +1,199 @@
+// Hierarchical out-of-core feature store: an ordered GPU -> host -> SSD
+// tier stack over the paper's flat §6.1 GPU cache. Tier 0 is the unchanged
+// static FeatureCache (hotness ranking, loaded once before training); tier
+// 1 is a dynamically evicted host-memory cache sized by a byte budget; tier
+// 2 is the SSD backstop, which always serves but charges a modeled direct-
+// storage read cost (bandwidth + per-access latency, after GIDS).
+//
+// The host tier's headline policy is a Ginex-style Belady oracle: the PreSC
+// replay trace we already compute for cache ranking doubles as the exact
+// future access sequence, so "evict the row whose next use is farthest"
+// is computable, not merely approximable. LRU / static-degree / random ride
+// on the same eviction machinery for comparison.
+//
+// With the host tier disabled (host_budget_bytes == 0, the default) the
+// store degenerates to exactly the seed FeatureCache: every counter, epoch
+// time, and report byte must match bit-for-bit.
+#ifndef GNNLAB_CACHE_TIERED_STORE_H_
+#define GNNLAB_CACHE_TIERED_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cache/feature_cache.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "sampling/sample_block.h"
+
+namespace gnnlab {
+
+// Residency policy of the dynamically evicted host tier.
+enum class HostEvictPolicy {
+  kBelady,  // Evict the row whose next use in the replay trace is farthest.
+  kLru,     // Evict the least recently used row.
+  kDegree,  // Evict the coldest row of the static hotness ranking.
+  kRandom,  // Evict a (deterministically) random row.
+};
+
+std::optional<HostEvictPolicy> ParseHostEvictPolicy(std::string_view name);
+const char* HostEvictPolicyName(HostEvictPolicy policy);
+
+// Per-tier geometry and cost knobs for the stack below the GPU tier. All
+// defaults leave the host tier off, i.e. a one-tier store.
+struct TierStackOptions {
+  // Host-tier byte budget; 0 disables the tier (misses go straight to SSD
+  // at zero modeled cost — the seed's implicit all-in-host-DRAM model).
+  ByteCount host_budget_bytes = 0;
+  HostEvictPolicy host_policy = HostEvictPolicy::kBelady;
+  // Modeled SSD read path, scaled like the rest of the cost model (the
+  // simulated PCIe gather channel runs at 162 MiB/s; a direct-storage NVMe
+  // read path is ~13x slower per byte and pays a per-read latency).
+  double ssd_read_bandwidth = 12.0 * 1024 * 1024;  // bytes / simulated second
+  double ssd_read_latency = 2.0e-6;                // seconds per row fetch
+  // Deterministic stream for HostEvictPolicy::kRandom.
+  std::uint64_t seed = 0;
+};
+
+// What one block's worth of GPU-cache misses cost the lower tiers.
+struct TierAccess {
+  std::size_t host_tier_hits = 0;  // Misses served from host-tier DRAM.
+  std::size_t ssd_fetches = 0;     // Misses that went all the way to SSD.
+  ByteCount bytes_from_ssd = 0;
+  double ssd_seconds = 0.0;  // Modeled SSD read time for those fetches.
+
+  void Add(const TierAccess& other) {
+    host_tier_hits += other.host_tier_hits;
+    ssd_fetches += other.ssd_fetches;
+    bytes_from_ssd += other.bytes_from_ssd;
+    ssd_seconds += other.ssd_seconds;
+  }
+};
+
+class TieredFeatureStore {
+ public:
+  TieredFeatureStore() = default;
+
+  // The engines assign stores by value at build time (before concurrent
+  // access starts); copies transfer a snapshot of the host-tier state under
+  // the source's lock and get a fresh mutex.
+  TieredFeatureStore(const TieredFeatureStore& other);
+  TieredFeatureStore& operator=(const TieredFeatureStore& other);
+  TieredFeatureStore(TieredFeatureStore&& other) noexcept;
+  TieredFeatureStore& operator=(TieredFeatureStore&& other) noexcept;
+
+  // Wraps an already-loaded GPU tier (FeatureCache::Load/LoadWithBudget
+  // semantics are untouched) in a tier stack.
+  static TieredFeatureStore FromCache(FeatureCache gpu, const TierStackOptions& options = {});
+
+  // Tier 0. Engines keep talking to the static GPU cache (MarkBlock,
+  // Contains, ratio, BindMetrics) through this accessor.
+  const FeatureCache& gpu() const { return gpu_; }
+  FeatureCache& gpu() { return gpu_; }
+
+  const TierStackOptions& options() const { return options_; }
+  bool host_enabled() const { return host_capacity_rows_ > 0; }
+  std::size_t host_capacity_rows() const { return host_capacity_rows_; }
+
+  // Installs the Belady oracle's future-knowledge: the concatenated vertex
+  // sequence of every block the training run will extract, in extraction
+  // order (built by replaying the PreSC pre-sampled epochs). Resets the
+  // host tier. Only consulted by HostEvictPolicy::kBelady.
+  void LoadHostReplayTrace(std::span<const VertexId> trace);
+
+  // Installs the static hotness ranking (descending) used by
+  // HostEvictPolicy::kDegree: colder rank, earlier eviction.
+  void SetHostStaticRanks(std::span<const VertexId> ranked);
+
+  // Resolves every GPU-cache miss of `block` (cache_marks()[i] == 0) to the
+  // tier serving it, updating host-tier residency (admit-on-miss, policy
+  // eviction) and the Belady access clock. Vertices owned by a remote node
+  // (when `owners` is supplied, ExtractSpec::vertex_owner semantics)
+  // advance the clock — the replay trace is partition-agnostic — but are
+  // served by the network, not a local tier. Thread-safe; const like
+  // FeatureCache::MarkBlock (readers share the store, internal state is
+  // mutable under a lock).
+  TierAccess AccessMisses(const SampleBlock& block,
+                          std::span<const std::int32_t> owners = {}, int node = 0) const;
+
+  // Modeled cost of reading `bytes` in `fetches` row reads from the SSD.
+  double SsdReadTime(std::size_t fetches, ByteCount bytes) const {
+    if (fetches == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(fetches) * options_.ssd_read_latency +
+           static_cast<double>(bytes) / options_.ssd_read_bandwidth;
+  }
+
+  // Streams host/SSD tier telemetry into cache.tier.* counters (see
+  // obs/snapshot.h); `prefix` namespaces per-node bindings like
+  // FeatureCache::BindMetrics. Also forwards to gpu().BindMetrics.
+  void BindMetrics(MetricRegistry* registry, const std::string& prefix = "");
+
+  // Lifetime host-tier totals across every AccessMisses call.
+  std::uint64_t host_hits_total() const;
+  std::uint64_t host_evictions_total() const;
+  std::uint64_t ssd_fetches_total() const;
+
+  // --- Test hooks ---------------------------------------------------------
+  // Single-vertex access (one clock tick, full hit/admit/evict path) so
+  // property tests can drive exact reference sequences.
+  TierAccess TestAccess(VertexId v) const { return AccessOne(v); }
+  // Current host-tier residents, ascending; for exclusivity invariants.
+  std::vector<VertexId> HostResidentVertices() const;
+
+ private:
+  // Eviction priority: the lazy max-heap holds (key, vertex) pairs and the
+  // largest key is evicted first. Belady keys are next-use positions
+  // (UINT64_MAX = never used again), LRU keys invert an access clock so the
+  // least recent access is the largest key, degree keys are hotness-rank
+  // indices (colder = larger), random keys are deterministic draws.
+  std::uint64_t EvictKeyLocked(VertexId v, std::uint64_t pos) const;
+  void TouchLocked(VertexId v, std::uint64_t pos) const;
+  void AdmitLocked(VertexId v, std::uint64_t pos) const;
+  void EvictOverflowLocked() const;
+  TierAccess AccessOne(VertexId v) const;
+  void CopyFrom(const TieredFeatureStore& other);
+
+  FeatureCache gpu_;
+  TierStackOptions options_;
+  std::size_t host_capacity_rows_ = 0;
+  ByteCount row_bytes_ = 0;
+
+  // Host-tier state; mutable because AccessMisses is const (readers share
+  // the store) but admissions/evictions still mutate, same contract as the
+  // GPU tier's lookup counters.
+  mutable std::mutex mu_;
+  mutable std::vector<std::uint8_t> resident_;      // per-vertex residency bit
+  mutable std::vector<std::uint64_t> current_key_;  // live heap key per vertex
+  mutable std::priority_queue<std::pair<std::uint64_t, VertexId>> heap_;
+  mutable std::size_t resident_rows_ = 0;
+  // Belady future knowledge: for each vertex, the ascending positions of its
+  // uses in the replay trace, and a cursor past the uses already consumed.
+  mutable std::vector<std::vector<std::uint64_t>> future_uses_;
+  mutable std::vector<std::uint32_t> future_cursor_;
+  mutable std::uint64_t clock_ = 0;      // position in the access stream
+  mutable std::uint64_t lru_clock_ = 0;  // recency counter for kLru
+  mutable Rng rng_{0};                   // stream for kRandom keys
+  std::vector<std::uint64_t> static_rank_;  // kDegree: vertex -> rank index
+
+  mutable std::uint64_t host_hits_total_ = 0;
+  mutable std::uint64_t host_misses_total_ = 0;
+  mutable std::uint64_t host_evictions_total_ = 0;
+  mutable std::uint64_t ssd_bytes_total_ = 0;
+  Counter* metric_host_hits_ = nullptr;
+  Counter* metric_host_misses_ = nullptr;
+  Counter* metric_host_evictions_ = nullptr;
+  Counter* metric_ssd_bytes_ = nullptr;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_CACHE_TIERED_STORE_H_

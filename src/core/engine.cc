@@ -70,7 +70,7 @@ RunReport Engine::Run() {
   PreprocessSpec preprocess;
   preprocess.topo_bytes = dataset_.TopologyBytes() + (weights_ ? weights_->WeightBytes() : 0);
   preprocess.feature_bytes = dataset_.FeatureBytes();
-  preprocess.cache_bytes = trainer_cache_.CacheBytes();
+  preprocess.cache_bytes = trainer_store_.gpu().CacheBytes();
   preprocess.policy = options_.policy;
   preprocess.measured_epochs = options_.epochs;
   preprocess.presample_epoch_time =
@@ -82,8 +82,8 @@ RunReport Engine::Run() {
   stage_latency_.BindRegistry(options_.metrics);
   queue_.BindMetrics(options_.metrics);
   extractor_.BindMetrics(options_.metrics);
-  trainer_cache_.BindMetrics(options_.metrics);
-  standby_cache_.BindMetrics(options_.metrics);
+  trainer_store_.BindMetrics(options_.metrics);
+  standby_store_.BindMetrics(options_.metrics);
   own_flows_.Clear();
   obs_.BindFlows(options_.flows, &own_flows_);
   if (options_.trace != nullptr) {
@@ -169,16 +169,36 @@ void Engine::BuildCaches(RunReport* report) {
   // Dedicated Trainer GPU: everything but the trainer workspace is cache.
   const auto trainer_budget = static_cast<ByteCount>(
       gpu_mem * std::max(0.0, 1.0 - workload_.trainer_ws_fraction));
+  FeatureCache trainer_gpu;
   if (options_.policy == CachePolicyKind::kNone) {
-    trainer_cache_ = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+    trainer_gpu = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+  } else if (options_.cache_budget_override > 0) {
+    trainer_gpu = FeatureCache::LoadWithBudget(ranked, options_.cache_budget_override,
+                                               num_vertices, dataset_.feature_dim);
   } else if (options_.cache_ratio_override >= 0.0) {
-    trainer_cache_ = FeatureCache::Load(ranked, options_.cache_ratio_override, num_vertices,
-                                        dataset_.feature_dim);
+    trainer_gpu = FeatureCache::Load(ranked, options_.cache_ratio_override, num_vertices,
+                                     dataset_.feature_dim);
   } else {
-    trainer_cache_ =
+    trainer_gpu =
         FeatureCache::LoadWithBudget(ranked, trainer_budget, num_vertices, dataset_.feature_dim);
   }
-  report->cache_ratio = trainer_cache_.ratio();
+  TierStackOptions tiers = options_.tiers;
+  if (tiers.seed == 0) {
+    tiers.seed = options_.seed;
+  }
+  trainer_store_ = TieredFeatureStore::FromCache(std::move(trainer_gpu), tiers);
+  if (trainer_store_.host_enabled()) {
+    trainer_store_.SetHostStaticRanks(ranked);
+    if (tiers.host_policy == HostEvictPolicy::kBelady) {
+      // The Belady oracle's future knowledge: replay the exact epoch batch
+      // streams the training loop will draw (same shuffle and sample RNG
+      // streams) and record every block's vertices in extraction order.
+      trainer_store_.LoadHostReplayTrace(BuildHostReplayTrace(
+          dataset_, workload_, weights_ ? &*weights_ : nullptr, dataset_.train_set,
+          options_.seed, options_.epochs));
+    }
+  }
+  report->cache_ratio = trainer_store_.gpu().ratio();
 
   // Standby Trainer on a Sampler GPU: topology stays resident, but the two
   // stages never overlap there — the standby only runs after its Sampler
@@ -191,13 +211,17 @@ void Engine::BuildCaches(RunReport* report) {
       gpu_mem - static_cast<double>(topo_bytes) -
       gpu_mem * std::max(workload_.sampler_ws_fraction, workload_.trainer_ws_fraction);
   standby_possible_ = standby_left >= 0.0;
+  FeatureCache standby_gpu;
   if (standby_possible_ && options_.policy != CachePolicyKind::kNone) {
-    standby_cache_ = FeatureCache::LoadWithBudget(
+    standby_gpu = FeatureCache::LoadWithBudget(
         ranked, static_cast<ByteCount>(standby_left), num_vertices, dataset_.feature_dim);
   } else {
-    standby_cache_ = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+    standby_gpu = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
   }
-  report->standby_cache_ratio = standby_cache_.ratio();
+  // The standby store stays one-tier: occasional standby drains should not
+  // perturb the trainer host tier's access clock.
+  standby_store_ = TieredFeatureStore::FromCache(std::move(standby_gpu));
+  report->standby_cache_ratio = standby_store_.gpu().ratio();
 }
 
 ExtractStats Engine::EstimateExtract(const FeatureCache& cache) const {
@@ -227,7 +251,7 @@ ExtractStats Engine::EstimateExtract(const FeatureCache& cache) const {
 void Engine::DecideExecutors(RunReport* report) {
   const SimTime t_sample = profile_sample_total_ / static_cast<double>(profile_batches_);
   const SimTime t_train_compute = cost_.TrainTime(profile_avg_work_);
-  const SimTime t_extract = cost_.ExtractTime(EstimateExtract(trainer_cache_), true);
+  const SimTime t_extract = cost_.ExtractTime(EstimateExtract(trainer_store_.gpu()), true);
   // With the Trainer's internal pipelining, its per-batch time is the
   // slower of the overlapped Extract and Train stages (paper §5.3: extract
   // dominates for GCN/GraphSAGE on UK and then drives the allocation).
@@ -289,7 +313,8 @@ void Engine::DecideExecutors(RunReport* report) {
 
   switch_controller_ =
       std::make_unique<SwitchController>(standby_wanted, decision.num_trainers);
-  const SimTime t_extract_standby = cost_.ExtractTime(EstimateExtract(standby_cache_), true);
+  const SimTime t_extract_standby =
+      cost_.ExtractTime(EstimateExtract(standby_store_.gpu()), true);
   switch_controller_->SeedEstimates(t_train, std::max(t_extract_standby, t_train_compute));
 
   sync_group_ = decision.num_trainers > 0 ? static_cast<std::size_t>(decision.num_trainers)
@@ -326,8 +351,8 @@ bool Engine::PlanMemory(RunReport* report) {
   }
   for (const TrainerExec& trainer : trainers_) {
     Device& dev = devices_[trainer.gpu];
-    const ByteCount cache_bytes =
-        trainer.standby ? standby_cache_.CacheBytes() : trainer_cache_.CacheBytes();
+    const ByteCount cache_bytes = trainer.standby ? standby_store_.gpu().CacheBytes()
+                                                  : trainer_store_.gpu().CacheBytes();
     // A standby Trainer reuses its Sampler's workspace (the stages are
     // temporally exclusive); only the excess beyond it is extra.
     const ByteCount ws_bytes =
@@ -433,7 +458,7 @@ void Engine::PumpSamplers() {
     const std::size_t batch = next_batch_++;
     Rng rng = PipelineBatchRng(options_.seed, current_epoch_, batch);
     SampleSpec spec;
-    spec.cache = &trainer_cache_;
+    spec.cache = &trainer_store_.gpu();
     spec.cost = &cost_;
     spec.kernel = SampleKernel::kGpu;
     spec.algorithm = workload_.sampling;
@@ -513,11 +538,14 @@ void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
   if (trainer->standby) {
     // The Sampler marked the block against the dedicated Trainers' cache;
     // the standby's smaller cache needs a re-mark.
-    RemarkBlockForCache(standby_cache_, &task.block);
+    RemarkBlockForCache(standby_store_.gpu(), &task.block);
   }
   ExtractSpec spec;
   spec.cost = &cost_;
   spec.gpu_gather = true;
+  // Standby drains run against their own one-tier store so they never
+  // advance the trainer host tier's Belady clock out of trace order.
+  spec.store = trainer->standby ? &standby_store_ : &trainer_store_;
   const ExtractOutcome extract = RunExtractStage(extractor_, task.block, nullptr, spec);
   const SimTime extract_done = ScheduleExtractOnChannel(
       &host_channel_, sim_.now(), extract, cost_.params().host_channel_parallelism);
@@ -528,6 +556,10 @@ void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
   sim_.ScheduleAt(extract_done, [this, trainer, shared_task, extract] {
     const SimTime extract_work = extract.Work();
     trainer->extract.Add(extract.stats);
+    epoch_report_.tiers.host_hits += extract.host_tier_hits;
+    epoch_report_.tiers.ssd_fetches += extract.ssd_fetches;
+    epoch_report_.tiers.bytes_from_ssd += extract.bytes_from_ssd;
+    epoch_report_.tiers.ssd_seconds += extract.ssd_time;
     run_cache_hits_ += extract.stats.cache_hits;
     run_cache_misses_ += extract.stats.host_misses;
     run_bytes_host_ += extract.stats.bytes_from_host;
@@ -539,7 +571,7 @@ void Engine::StartBatchOnTrainer(TrainerExec* trainer, TrainTask task) {
                                 (trainer->standby ? "/standby" : "/trainer"),
                             MakeFlowId(shared_task->epoch, shared_task->batch),
                             shared_task->batch, sim_.now() - extract_work, sim_.now(),
-                            std::min(extract_work, extract.host_time));
+                            std::min(extract_work, extract.host_time), extract.ssd_time);
 
     const SimTime train_seconds =
         PriceTrainStage(workload_, dataset_, shared_task->block, cost_);

@@ -20,6 +20,7 @@
 
 #include "cache/cache_policy.h"
 #include "cache/feature_cache.h"
+#include "cache/tiered_store.h"
 #include "common/units.h"
 #include "core/executors.h"
 #include "core/global_queue.h"
@@ -58,9 +59,17 @@ struct EngineOptions {
   // >= 0 forces the Trainer-GPU cache ratio instead of sizing by leftover
   // GPU memory.
   double cache_ratio_override = -1.0;
+  // > 0 caps the Trainer-GPU cache by bytes (--cache-mb) instead of sizing
+  // by leftover GPU memory. Takes precedence over cache_ratio_override.
+  ByteCount cache_budget_override = 0;
   std::size_t epochs = 3;
   std::uint64_t seed = 1;
   CostModelParams cost;
+  // Tier stack below the trainer GPU cache (src/cache/tiered_store.h). The
+  // default (host tier disabled) reproduces the flat-cache behavior
+  // bit-for-bit. With a host budget set, the engine replays the planned
+  // epoch batches to build the Belady oracle trace before training.
+  TierStackOptions tiers;
   // Overrides the synchronous-update group size (number of mini-batches
   // whose gradients are averaged per optimizer step). 0 = the number of
   // Trainer GPUs, i.e. plain synchronous data parallelism. Used by the
@@ -159,8 +168,12 @@ class Engine {
   std::vector<TrainerExec> trainers_;  // Dedicated first, then standbys.
   std::unique_ptr<SwitchController> switch_controller_;
 
-  FeatureCache trainer_cache_;
-  FeatureCache standby_cache_;
+  // Tiered stores (tier 0 = the paper's static GPU cache, reached via
+  // .gpu(); optional host tier + SSD backstop behind it). The standby
+  // store stays one-tier: switched batches extract on standby Trainers
+  // whose occasional drains should not perturb the host tier's clock.
+  TieredFeatureStore trainer_store_;
+  TieredFeatureStore standby_store_;
   bool standby_possible_ = false;
 
   // Profiling-pass results.

@@ -50,10 +50,36 @@ struct StageLatencies {
   LatencySummary train;    // T.
 };
 
+// Per-epoch traffic below the GPU cache tier (src/cache/tiered_store.h):
+// GPU-cache misses served by host-tier DRAM vs the SSD backstop. All-zero
+// (and omitted from reports) for a flat one-tier store.
+struct TierEpochStats {
+  std::size_t host_hits = 0;    // Misses served from the host tier.
+  std::size_t ssd_fetches = 0;  // Misses staged from the SSD.
+  ByteCount bytes_from_ssd = 0;
+  double ssd_seconds = 0.0;  // Modeled SSD staging time.
+
+  bool Any() const { return host_hits != 0 || ssd_fetches != 0; }
+  double HostHitRate() const {
+    const std::size_t total = host_hits + ssd_fetches;
+    return total == 0 ? 0.0
+                      : static_cast<double>(host_hits) / static_cast<double>(total);
+  }
+  void Add(const TierEpochStats& other) {
+    host_hits += other.host_hits;
+    ssd_fetches += other.ssd_fetches;
+    bytes_from_ssd += other.bytes_from_ssd;
+    ssd_seconds += other.ssd_seconds;
+  }
+};
+
 struct EpochReport {
   SimTime epoch_time = 0.0;  // Makespan (wall clock of the virtual timeline).
   StageBreakdown stage;
   StageLatencies latency;
+  // Host/SSD tier traffic of this epoch's extractions (zero for the flat
+  // one-tier store, i.e. everything before the tiered feature store).
+  TierEpochStats tiers;
   // Critical-path blame over this epoch's per-minibatch flow DAGs: where
   // batch latency went (compute per stage, queue wait, cache-miss stall).
   // Zero when observability is compiled out.

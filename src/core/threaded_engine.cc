@@ -50,6 +50,7 @@ struct ThreadedEngine::State {
   // Epoch accumulators.
   std::mutex stats_mu;
   ExtractStats extract;
+  TierEpochStats tiers;
   double loss_sum = 0.0;
   std::size_t loss_count = 0;
   std::size_t gradient_updates = 0;
@@ -130,20 +131,40 @@ void ThreadedEngine::BuildCache() {
   build.weights = weights_ ? &*weights_ : nullptr;
   build.seed = options_.seed;
   const std::vector<VertexId> ranked = BuildCacheRanking(options_.policy, build);
-  cache_ = FeatureCache::Load(ranked, options_.policy == CachePolicyKind::kNone
-                                          ? 0.0
-                                          : options_.cache_ratio,
-                              dataset_.graph.num_vertices(), dataset_.feature_dim);
+  const std::size_t num_vertices = dataset_.graph.num_vertices();
+  FeatureCache gpu;
+  if (options_.policy == CachePolicyKind::kNone) {
+    gpu = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+  } else if (options_.cache_budget_bytes > 0) {
+    gpu = FeatureCache::LoadWithBudget(ranked, options_.cache_budget_bytes, num_vertices,
+                                       dataset_.feature_dim);
+  } else {
+    gpu = FeatureCache::Load(ranked, options_.cache_ratio, num_vertices,
+                             dataset_.feature_dim);
+  }
+  TierStackOptions tiers = options_.tiers;
+  if (tiers.seed == 0) {
+    tiers.seed = options_.seed;
+  }
+  store_ = TieredFeatureStore::FromCache(std::move(gpu), tiers);
+  if (store_.host_enabled()) {
+    store_.SetHostStaticRanks(ranked);
+    if (tiers.host_policy == HostEvictPolicy::kBelady) {
+      store_.LoadHostReplayTrace(BuildHostReplayTrace(
+          dataset_, workload_, weights_ ? &*weights_ : nullptr, dataset_.train_set,
+          options_.seed, options_.epochs));
+    }
+  }
 }
 
 void ThreadedEngine::BindTelemetry() {
-  // Must run after BuildCache(): cache_ is reassigned by value there, which
+  // Must run after BuildCache(): store_ is reassigned by value there, which
   // would discard earlier bindings.
   registry_ = options_.metrics != nullptr ? options_.metrics : &own_registry_;
   obs_.BindFlows(options_.flows, &own_flows_);
   obs_.BindSpans({});
   stage_latency_.BindRegistry(registry_);
-  cache_.BindMetrics(registry_);
+  store_.BindMetrics(registry_);
   if (extract_pool_ != nullptr) {
     extract_pool_->BindMetrics(registry_);
   }
@@ -190,7 +211,7 @@ ThreadedRunReport ThreadedEngine::Run() {
     hub->SetConfig("num_samplers", std::to_string(options_.num_samplers));
     hub->SetConfig("num_trainers", std::to_string(options_.num_trainers));
     hub->SetConfig("cache_policy", CachePolicyKindName(options_.policy));
-    hub->SetConfig("cache_ratio", std::to_string(cache_.ratio()));
+    hub->SetConfig("cache_ratio", std::to_string(store_.gpu().ratio()));
     hub->SetConfig("epochs", std::to_string(options_.epochs));
     if (options_.health != nullptr) {
       hub->BindHealth(options_.health);
@@ -219,7 +240,7 @@ ThreadedRunReport ThreadedEngine::Run() {
   switch_log_.Take();  // Drop decisions from any previous Run().
   run_start_ = MonotonicSeconds();
   ThreadedRunReport report;
-  report.cache_ratio = cache_.ratio();
+  report.cache_ratio = store_.gpu().ratio();
   for (std::size_t e = 0; e < options_.epochs; ++e) {
     report.epochs.push_back(RunEpoch(e));
     report.attribution.Add(report.epochs.back().attribution);
@@ -272,6 +293,7 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
   report.latency = stage_latency_.Summarize();
   report.attribution = AssembleEpochAttribution(obs_.flows(), epoch, registry_);
   report.extract = state.extract;
+  report.tiers = state.tiers;
   report.switched_batches = state.switched_batches;
   report.gradient_updates = state.gradient_updates;
   report.mean_loss =
@@ -288,7 +310,7 @@ void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t ep
       MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
   sampler->BindThreadPool(extract_pool_.get());
   SampleSpec spec;
-  spec.cache = &cache_;  // Durations stay 0: wall clock is real here.
+  spec.cache = &store_.gpu();  // Durations stay 0: wall clock is real here.
   while (true) {
     const std::size_t batch = state->next_batch.fetch_add(1);
     if (batch >= state->batches.size()) {
@@ -298,7 +320,7 @@ void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t ep
     const FlowId flow = MakeFlowId(epoch, batch);
     SampleOutcome out = RunSampleStage(sampler.get(), state->batches[batch], &rng, spec);
     state->sampled_edges.fetch_add(out.sampled_edges, std::memory_order_relaxed);
-    const bool marked = cache_.num_cached() > 0;
+    const bool marked = store_.gpu().num_cached() > 0;
     TrainTask task;
     task.block = std::move(out.block);
     task.epoch = epoch;
@@ -438,6 +460,14 @@ void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
                           options_.staleness_bound);
   }
 
+  // RunRealTrainStage gathers rows directly (it bypasses RunExtractStage's
+  // cost pricing), so account this block's misses against the host/SSD
+  // tiers explicitly. Wall-clock time is real here: the modeled SSD seconds
+  // land in the epoch's tier stats, not in the extract span.
+  TierAccess tier_access;
+  if (store_.host_enabled()) {
+    tier_access = store_.AccessMisses(task.block);
+  }
   const TrainStageResult result = RunRealTrainStage(&replica, *options_.real, extractor,
                                                     task.block, /*zero_grads_first=*/true);
   const FlowId flow = MakeFlowId(task.epoch, task.batch);
@@ -458,6 +488,10 @@ void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
   {
     std::lock_guard<std::mutex> lock(state->stats_mu);
     state->extract.Add(result.gather);
+    state->tiers.host_hits += tier_access.host_tier_hits;
+    state->tiers.ssd_fetches += tier_access.ssd_fetches;
+    state->tiers.bytes_from_ssd += tier_access.bytes_from_ssd;
+    state->tiers.ssd_seconds += tier_access.ssd_seconds;
     state->loss_sum += result.loss;
     ++state->loss_count;
     ++state->gradient_updates;

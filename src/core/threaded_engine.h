@@ -40,6 +40,15 @@ struct ThreadedEngineOptions {
   std::size_t queue_capacity = 64;
   CachePolicyKind policy = CachePolicyKind::kPreSC1;
   double cache_ratio = 0.25;
+  // Byte budget for the GPU cache tier (--cache-mb). When nonzero it wins
+  // over cache_ratio: the cache holds as many of the hottest rows as fit.
+  ByteCount cache_budget_bytes = 0;
+  // Tier stack below the GPU cache (src/cache/tiered_store.h). Default =
+  // host tier disabled, flat-cache behavior unchanged. With a host budget
+  // set, misses are accounted against a host tier (Belady/LRU/degree/
+  // random eviction) with an SSD backstop; the Belady oracle replays the
+  // run's planned batch streams before training.
+  TierStackOptions tiers;
   std::size_t epochs = 1;
   std::uint64_t seed = 1;
   bool dynamic_switching = true;
@@ -102,6 +111,8 @@ struct ThreadedEpochReport {
   // to the simulated Engine's count for the same seed/workload.
   std::uint64_t sampled_edges = 0;
   ExtractStats extract;  // parallel_workers/worker_busy_seconds included.
+  // Host/SSD tier traffic (zero for a one-tier store).
+  TierEpochStats tiers;
   // Per-batch wall-clock latency distributions of the five stages.
   StageLatencies latency;
   // Critical-path blame over this epoch's flows (zero when observability
@@ -162,7 +173,9 @@ class ThreadedEngine {
   // k-hop frontier expansion); null when extract_threads resolves to 1.
   std::unique_ptr<ThreadPool> extract_pool_;
   std::optional<EdgeWeights> weights_;
-  FeatureCache cache_;
+  // Tier 0 (the GPU cache) reached via store_.gpu(); optional host tier +
+  // SSD backstop behind it. One-tier by default.
+  TieredFeatureStore store_;
   std::unique_ptr<GnnModel> master_;
   std::unique_ptr<Adam> adam_;
   std::vector<std::unique_ptr<GnnModel>> replicas_;

@@ -80,8 +80,10 @@ struct DistEngine::NodeState {
   std::vector<SamplerExec> samplers;
   std::vector<TrainerExec> trainers;  // Dedicated first, then standbys.
   std::unique_ptr<SwitchController> switch_controller;
-  FeatureCache trainer_cache;
-  FeatureCache standby_cache;
+  // Tiered stores (tier 0 = the node's GPU cache, reached via .gpu()).
+  // The standby store stays one-tier, like the single-machine engine's.
+  TieredFeatureStore trainer_store;
+  TieredFeatureStore standby_store;
   bool standby_possible = false;
   SharedResource host_channel;
   GlobalQueue queue;
@@ -237,16 +239,32 @@ void DistEngine::BuildCaches(NodeState* node) {
 
   const auto trainer_budget = static_cast<ByteCount>(
       gpu_mem * std::max(0.0, 1.0 - workload_.trainer_ws_fraction));
+  FeatureCache trainer_gpu;
   if (options_.policy == CachePolicyKind::kNone) {
-    node->trainer_cache = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+    trainer_gpu = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
   } else if (options_.cache_ratio_override >= 0.0) {
-    node->trainer_cache = FeatureCache::Load(ranked, options_.cache_ratio_override,
-                                             num_vertices, dataset_.feature_dim);
+    trainer_gpu = FeatureCache::Load(ranked, options_.cache_ratio_override, num_vertices,
+                                     dataset_.feature_dim);
   } else {
-    node->trainer_cache = FeatureCache::LoadWithBudget(ranked, trainer_budget, num_vertices,
-                                                       dataset_.feature_dim);
+    trainer_gpu = FeatureCache::LoadWithBudget(ranked, trainer_budget, num_vertices,
+                                               dataset_.feature_dim);
   }
-  node->report.cache_ratio = node->trainer_cache.ratio();
+  TierStackOptions tiers = options_.tiers;
+  if (tiers.seed == 0) {
+    tiers.seed = node->seed;
+  }
+  node->trainer_store = TieredFeatureStore::FromCache(std::move(trainer_gpu), tiers);
+  if (node->trainer_store.host_enabled()) {
+    node->trainer_store.SetHostStaticRanks(ranked);
+    if (tiers.host_policy == HostEvictPolicy::kBelady) {
+      // Each node replays its OWN training-set shard with its own seed: the
+      // oracle trace must match the batch streams this node will draw.
+      node->trainer_store.LoadHostReplayTrace(
+          BuildHostReplayTrace(dataset_, workload_, weights_ ? &*weights_ : nullptr,
+                               node->train_set, node->seed, options_.epochs));
+    }
+  }
+  node->report.cache_ratio = node->trainer_store.gpu().ratio();
 
   // Standby Trainer on a Sampler GPU: the resident topology here is the
   // node's SHARD, so finer partitions leave more standby cache room.
@@ -256,13 +274,15 @@ void DistEngine::BuildCaches(NodeState* node) {
       gpu_mem - static_cast<double>(topo_bytes) -
       gpu_mem * std::max(workload_.sampler_ws_fraction, workload_.trainer_ws_fraction);
   node->standby_possible = standby_left >= 0.0;
+  FeatureCache standby_gpu;
   if (node->standby_possible && options_.policy != CachePolicyKind::kNone) {
-    node->standby_cache = FeatureCache::LoadWithBudget(
+    standby_gpu = FeatureCache::LoadWithBudget(
         ranked, static_cast<ByteCount>(standby_left), num_vertices, dataset_.feature_dim);
   } else {
-    node->standby_cache = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
+    standby_gpu = FeatureCache::Load({}, 0.0, num_vertices, dataset_.feature_dim);
   }
-  node->report.standby_cache_ratio = node->standby_cache.ratio();
+  node->standby_store = TieredFeatureStore::FromCache(std::move(standby_gpu));
+  node->report.standby_cache_ratio = node->standby_store.gpu().ratio();
 }
 
 ExtractStats DistEngine::EstimateExtract(const NodeState& node,
@@ -292,7 +312,8 @@ void DistEngine::DecideExecutors(NodeState* node) {
   const SimTime t_sample =
       node->profile_sample_total / static_cast<double>(node->profile_batches);
   const SimTime t_train_compute = cost_.TrainTime(node->profile_avg_work);
-  const SimTime t_extract = cost_.ExtractTime(EstimateExtract(*node, node->trainer_cache), true);
+  const SimTime t_extract =
+      cost_.ExtractTime(EstimateExtract(*node, node->trainer_store.gpu()), true);
   const SimTime t_train = std::max(t_extract, t_train_compute);
 
   ScheduleDecision decision;
@@ -337,7 +358,7 @@ void DistEngine::DecideExecutors(NodeState* node) {
   node->switch_controller =
       std::make_unique<SwitchController>(standby_wanted, decision.num_trainers);
   const SimTime t_extract_standby =
-      cost_.ExtractTime(EstimateExtract(*node, node->standby_cache), true);
+      cost_.ExtractTime(EstimateExtract(*node, node->standby_store.gpu()), true);
   node->switch_controller->SeedEstimates(t_train,
                                          std::max(t_extract_standby, t_train_compute));
 
@@ -378,7 +399,8 @@ bool DistEngine::PlanMemory(NodeState* node, DistRunReport* report) {
       CHECK(dev.TryAllocate(MemoryKind::kTopology, topo_bytes));
       CHECK(dev.TryAllocate(MemoryKind::kSamplerWorkspace, sampler_ws));
       CHECK(dev.TryAllocate(MemoryKind::kTrainerWorkspace, trainer_ws));
-      CHECK(dev.TryAllocate(MemoryKind::kFeatureCache, node->trainer_cache.CacheBytes()));
+      CHECK(dev.TryAllocate(MemoryKind::kFeatureCache,
+                            node->trainer_store.gpu().CacheBytes()));
     }
     return true;
   }
@@ -398,8 +420,8 @@ bool DistEngine::PlanMemory(NodeState* node, DistRunReport* report) {
   }
   for (const TrainerExec& trainer : node->trainers) {
     Device& dev = node->devices[trainer.gpu];
-    const ByteCount cache_bytes = trainer.standby ? node->standby_cache.CacheBytes()
-                                                  : node->trainer_cache.CacheBytes();
+    const ByteCount cache_bytes = trainer.standby ? node->standby_store.gpu().CacheBytes()
+                                                  : node->trainer_store.gpu().CacheBytes();
     const ByteCount ws_bytes =
         trainer.standby ? (trainer_ws > sampler_ws ? trainer_ws - sampler_ws : 0)
                         : trainer_ws;
@@ -446,19 +468,22 @@ DistRunReport DistEngine::Run() {
                                     workload_.trainer_ws_fraction));
         const ByteCount budget =
             fixed < options_.gpu_memory ? options_.gpu_memory - fixed : 0;
+        FeatureCache ts_gpu_cache;
         if (options_.policy == CachePolicyKind::kNone) {
-          node.trainer_cache = FeatureCache::Load({}, 0.0, dataset_.graph.num_vertices(),
-                                                  dataset_.feature_dim);
+          ts_gpu_cache = FeatureCache::Load({}, 0.0, dataset_.graph.num_vertices(),
+                                            dataset_.feature_dim);
         } else if (options_.cache_ratio_override >= 0.0) {
-          node.trainer_cache =
+          ts_gpu_cache =
               FeatureCache::Load(ranked, options_.cache_ratio_override,
                                  dataset_.graph.num_vertices(), dataset_.feature_dim);
         } else {
-          node.trainer_cache =
+          ts_gpu_cache =
               FeatureCache::LoadWithBudget(ranked, budget, dataset_.graph.num_vertices(),
                                            dataset_.feature_dim);
         }
-        node.report.cache_ratio = node.trainer_cache.ratio();
+        // The sequential baseline keeps a flat one-tier store.
+        node.trainer_store = TieredFeatureStore::FromCache(std::move(ts_gpu_cache));
+        node.report.cache_ratio = node.trainer_store.gpu().ratio();
         node.report.num_samplers = 0;
         node.report.num_trainers = options_.gpus_per_node;
         node.ts_gpus.clear();
@@ -482,7 +507,7 @@ DistRunReport DistEngine::Run() {
       preprocess.topo_bytes = partition_.ShardTopologyBytes(node.node) +
                               (weights_ ? weights_->WeightBytes() : 0);
       preprocess.feature_bytes = dataset_.FeatureBytes();
-      preprocess.cache_bytes = node.trainer_cache.CacheBytes();
+      preprocess.cache_bytes = node.trainer_store.gpu().CacheBytes();
       preprocess.policy = options_.policy;
       preprocess.measured_epochs = options_.epochs;
       preprocess.presample_epoch_time =
@@ -493,8 +518,8 @@ DistRunReport DistEngine::Run() {
     const std::string prefix = DistNodeMetricPrefix(node.node);
     node.queue.BindMetrics(options_.metrics, prefix);
     node.extractor.BindMetrics(options_.metrics, prefix);
-    node.trainer_cache.BindMetrics(options_.metrics, prefix);
-    node.standby_cache.BindMetrics(options_.metrics, prefix);
+    node.trainer_store.BindMetrics(options_.metrics, prefix);
+    node.standby_store.BindMetrics(options_.metrics, prefix);
     if (options_.metrics != nullptr) {
       node.m_remote_bytes = options_.metrics->GetCounter(prefix + kMetricDistRemoteBytes);
       node.m_remote_fetches =
@@ -683,7 +708,7 @@ void DistEngine::PumpSamplers(NodeState* node) {
     const std::size_t epoch = node->report.epochs.size();
     Rng rng = PipelineBatchRng(node->seed, epoch, batch);
     SampleSpec spec;
-    spec.cache = &node->trainer_cache;
+    spec.cache = &node->trainer_store.gpu();
     spec.cost = &cost_;
     spec.kernel = SampleKernel::kGpu;
     spec.algorithm = workload_.sampling;
@@ -765,13 +790,14 @@ void DistEngine::StartBatchOnTrainer(NodeState* node, TrainerExec* trainer, Trai
     }
   });
   if (trainer->standby) {
-    RemarkBlockForCache(node->standby_cache, &task.block);
+    RemarkBlockForCache(node->standby_store.gpu(), &task.block);
   }
   ExtractSpec spec;
   spec.cost = &cost_;
   spec.gpu_gather = true;
   spec.vertex_owner = partition_.owners();
   spec.node = node->node;
+  spec.store = trainer->standby ? &node->standby_store : &node->trainer_store;
   const ExtractOutcome extract = RunExtractStage(node->extractor, task.block, nullptr, spec);
   SimTime extract_done = ScheduleExtractOnChannel(
       &node->host_channel, sim_.now(), extract, cost_.params().host_channel_parallelism);
@@ -808,6 +834,10 @@ void DistEngine::StartBatchOnTrainer(NodeState* node, TrainerExec* trainer, Trai
   sim_.ScheduleAt(extract_done, [this, node, trainer, shared_task, extract] {
     const SimTime extract_work = extract.Work();
     trainer->extract.Add(extract.stats);
+    node->epoch_report.tiers.host_hits += extract.host_tier_hits;
+    node->epoch_report.tiers.ssd_fetches += extract.ssd_fetches;
+    node->epoch_report.tiers.bytes_from_ssd += extract.bytes_from_ssd;
+    node->epoch_report.tiers.ssd_seconds += extract.ssd_time;
     node->run_cache_hits += extract.stats.cache_hits;
     node->run_cache_misses += extract.stats.host_misses;
     node->run_bytes_host += extract.stats.bytes_from_host;
@@ -818,7 +848,7 @@ void DistEngine::StartBatchOnTrainer(NodeState* node, TrainerExec* trainer, Trai
                                 (trainer->standby ? "/standby" : "/trainer"),
                             MakeFlowId(shared_task->epoch, shared_task->batch),
                             shared_task->batch, sim_.now() - extract_work, sim_.now(),
-                            std::min(extract_work, extract.host_time));
+                            std::min(extract_work, extract.host_time), extract.ssd_time);
 
     const SimTime train_seconds =
         PriceTrainStage(workload_, dataset_, shared_task->block, cost_);
@@ -877,7 +907,7 @@ void DistEngine::PumpTimeShareGpu(NodeState* node, std::size_t g) {
   Rng rng = PipelineBatchRng(node->seed, epoch, batch);
 
   SampleSpec sample_spec;
-  sample_spec.cache = &node->trainer_cache;
+  sample_spec.cache = &node->trainer_store.gpu();
   sample_spec.cost = &cost_;
   sample_spec.kernel = SampleKernel::kGpu;
   sample_spec.algorithm = workload_.sampling;

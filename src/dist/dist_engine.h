@@ -36,6 +36,7 @@
 
 #include "cache/cache_policy.h"
 #include "cache/feature_cache.h"
+#include "cache/tiered_store.h"
 #include "common/units.h"
 #include "core/executors.h"
 #include "core/global_queue.h"
@@ -70,6 +71,11 @@ struct DistOptions {
   bool dynamic_switching = true;
   CachePolicyKind policy = CachePolicyKind::kPreSC1;
   double cache_ratio_override = -1.0;
+  // Per-node tier stack below the GPU cache (src/cache/tiered_store.h).
+  // Default = host tier disabled (flat-cache behavior, bit-identical to
+  // before). Each node's Belady oracle replays its own training-set shard.
+  // Ignored in time_sharing mode (the baseline keeps a flat store).
+  TierStackOptions tiers;
   std::size_t epochs = 3;
   std::uint64_t seed = 1;
   CostModelParams cost;

@@ -23,6 +23,7 @@ std::size_t StageIndex(const std::string& stage) {
 
 constexpr std::size_t kExtractIndex = 4;
 constexpr std::size_t kExtractStallIndex = 5;
+constexpr std::size_t kSsdStallIndex = 6;
 
 }  // namespace
 
@@ -45,6 +46,8 @@ double& StageBlame::MutableComponent(std::size_t index) {
     case 5:
       return extract_stall;
     case 6:
+      return ssd_stall;
+    case 7:
       return train;
     default:
       return gap;
@@ -136,9 +139,13 @@ FlowCriticalPath AnalyzeFlow(std::span<const FlowStep> steps) {
     }
     const std::size_t index = StageIndex(step->stage);
     if (index == kExtractIndex) {
-      const double stall = std::clamp(step->stall, 0.0, covered);
-      path.blame.extract += covered - stall;
+      // SSD staging first (it bounds what the PCIe stall can claim), then
+      // the cache-miss transfer stall; the remainder is extract compute.
+      const double ssd = std::clamp(step->ssd_stall, 0.0, covered);
+      const double stall = std::clamp(step->stall, 0.0, covered - ssd);
+      path.blame.extract += covered - stall - ssd;
       path.blame.MutableComponent(kExtractStallIndex) += stall;
+      path.blame.MutableComponent(kSsdStallIndex) += ssd;
     } else {
       path.blame.MutableComponent(index) += covered;
     }

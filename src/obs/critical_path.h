@@ -33,8 +33,9 @@ struct StageBlame {
   double mark = 0.0;
   double copy = 0.0;
   double queue_wait = 0.0;
-  double extract = 0.0;        // Extract compute (stall excluded).
+  double extract = 0.0;        // Extract compute (stalls excluded).
   double extract_stall = 0.0;  // Cache-miss host-transfer stall.
+  double ssd_stall = 0.0;      // SSD-tier staging stall (tiered store).
   double train = 0.0;
   double gap = 0.0;
 
@@ -43,9 +44,10 @@ struct StageBlame {
   double& MutableComponent(std::size_t index);
 };
 
-inline constexpr std::size_t kNumBlameStages = 8;
+inline constexpr std::size_t kNumBlameStages = 9;
 inline constexpr std::array<const char*, kNumBlameStages> kBlameStageNames = {
-    "sample", "mark", "copy", "queue_wait", "extract", "extract_stall", "train", "gap"};
+    "sample", "mark",          "copy",      "queue_wait", "extract",
+    "extract_stall", "ssd_stall", "train",      "gap"};
 
 // One flow folded: latency = last end - first begin; blame sums to latency.
 struct FlowCriticalPath {

@@ -15,13 +15,14 @@
 namespace gnnlab {
 
 void FlowTracer::Record(FlowId flow, std::string lane, std::string stage, double begin,
-                        double end, double stall) {
+                        double end, double stall, double ssd_stall) {
   CHECK_LE(begin, end);
   CHECK_GE(stall, 0.0);
+  CHECK_GE(ssd_stall, 0.0);
   Shard* shard = ShardForThisThread();
   std::lock_guard<std::mutex> lock(shard->mu);
   shard->steps.push_back(
-      {flow, std::move(lane), std::move(stage), begin, end, stall});
+      {flow, std::move(lane), std::move(stage), begin, end, stall, ssd_stall});
 }
 
 FlowTracer::Shard* FlowTracer::ShardForThisThread() {

@@ -50,6 +50,10 @@ struct FlowStep {
   // (extract steps only; 0 elsewhere). CriticalPath splits the extract
   // blame into compute vs. cache-miss stall with this.
   double stall = 0.0;
+  // Portion of [begin, end] stalled on SSD-tier staging reads (extract
+  // steps of an SSD-backed tiered store only; 0 elsewhere). Blamed
+  // separately from the PCIe stall so a storage-bound run is visible.
+  double ssd_stall = 0.0;
 };
 
 // Thread-safe flow-step recorder, sharded like RuntimeTracer so concurrent
@@ -62,7 +66,7 @@ class FlowTracer {
   FlowTracer& operator=(const FlowTracer&) = delete;
 
   void Record(FlowId flow, std::string lane, std::string stage, double begin, double end,
-              double stall = 0.0);
+              double stall = 0.0, double ssd_stall = 0.0);
 
   // All steps recorded so far, merged across shards and sorted by
   // (flow, begin, end, stage) — deterministic for identical step sets.

@@ -33,6 +33,12 @@ inline constexpr char kMetricBytesFromHost[] = "extract.bytes_host";    // Count
 inline constexpr char kMetricBytesFromCache[] = "extract.bytes_cache";  // Counter.
 inline constexpr char kMetricMarkHits[] = "cache.mark_hits";        // Counter.
 inline constexpr char kMetricMarkTotal[] = "cache.mark_total";      // Counter.
+// Tiered feature store (src/cache/tiered_store.h): host-tier traffic and
+// the SSD backstop behind it.
+inline constexpr char kMetricTierHostHits[] = "cache.tier.host.hits";            // Counter.
+inline constexpr char kMetricTierHostMisses[] = "cache.tier.host.misses";        // Counter.
+inline constexpr char kMetricTierHostEvictions[] = "cache.tier.host.evictions";  // Counter.
+inline constexpr char kMetricTierSsdBytes[] = "cache.tier.ssd.bytes_read";       // Counter.
 inline constexpr char kMetricPoolBusy[] = "pool.busy";              // Gauge.
 inline constexpr char kMetricPoolSize[] = "pool.size";              // Gauge.
 inline constexpr char kMetricPoolTasks[] = "pool.tasks";            // Counter.

@@ -103,4 +103,23 @@ std::vector<VertexId> BuildCacheRanking(CachePolicyKind kind, const CacheBuildCo
                                           : RankWithPolicyClass(kind, ctx);
 }
 
+std::vector<VertexId> BuildHostReplayTrace(const Dataset& dataset, const Workload& workload,
+                                           const EdgeWeights* weights,
+                                           const TrainingSet& train_set, std::uint64_t seed,
+                                           std::size_t epochs) {
+  std::unique_ptr<Sampler> sampler = MakeSampler(workload, dataset, weights);
+  std::vector<VertexId> trace;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    Rng shuffle_rng = PipelineShuffleRng(seed, epoch);
+    EpochBatches batches(train_set, dataset.batch_size, &shuffle_rng);
+    std::size_t batch = 0;
+    while (batches.HasNext()) {
+      Rng rng = PipelineBatchRng(seed, epoch, batch++);
+      const SampleBlock block = sampler->Sample(batches.NextBatch(), &rng, nullptr);
+      trace.insert(trace.end(), block.vertices().begin(), block.vertices().end());
+    }
+  }
+  return trace;
+}
+
 }  // namespace gnnlab

@@ -39,6 +39,17 @@ struct CacheBuildContext {
 // kOptimal without a profile footprint.
 std::vector<VertexId> BuildCacheRanking(CachePolicyKind kind, const CacheBuildContext& ctx);
 
+// Future-knowledge trace for the tiered store's Belady host tier
+// (src/cache/tiered_store.h): replays epochs [0, epochs) on the exact
+// shuffle and per-batch RNG streams the training loop will draw and
+// concatenates every sampled block's vertices in extraction order.
+// `train_set` is a parameter (not read off the dataset) so distributed
+// nodes can replay their own shard with their own seed.
+std::vector<VertexId> BuildHostReplayTrace(const Dataset& dataset, const Workload& workload,
+                                           const EdgeWeights* weights,
+                                           const TrainingSet& train_set, std::uint64_t seed,
+                                           std::size_t epochs);
+
 }  // namespace gnnlab
 
 #endif  // GNNLAB_PIPELINE_CACHE_BUILDER_H_

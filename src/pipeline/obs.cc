@@ -27,10 +27,11 @@ void StageObs::BindFlows(FlowTracer* external, FlowTracer* internal) {
 }
 
 void StageObs::RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
-                              double begin, double end, double stall) const {
+                              double begin, double end, double stall,
+                              double ssd_stall) const {
   GNNLAB_OBS_ONLY({
     if (flows_ != nullptr) {
-      flows_->Record(flow, lane, stage, begin, end, stall);
+      flows_->Record(flow, lane, stage, begin, end, stall, ssd_stall);
     }
   });
   (void)flow;
@@ -39,6 +40,7 @@ void StageObs::RecordFlowStep(FlowId flow, const std::string& lane, const char* 
   (void)begin;
   (void)end;
   (void)stall;
+  (void)ssd_stall;
 }
 
 void StageObs::RecordSpan(const std::string& lane, const char* stage, std::size_t batch,
@@ -82,14 +84,20 @@ void RecordQueueWait(const StageObs& obs, FlowId flow, double enqueue_time,
 
 void RecordExtractCompletion(const StageObs& obs, StageLatencyRecorder* latency,
                              StageBreakdown* stage, const std::string& lane, FlowId flow,
-                             std::size_t batch, double begin, double end, double stall) {
+                             std::size_t batch, double begin, double end, double stall,
+                             double ssd_stall) {
   if (stage != nullptr) {
     stage->extract += end - begin;
   }
   latency->RecordExtract(end - begin);
   obs.RecordSpan(lane, "extract", batch, begin, end);
-  obs.RecordFlowStep(flow, lane, "extract", begin, end, stall);
+  obs.RecordFlowStep(flow, lane, "extract", begin, end, stall, ssd_stall);
   FlightStage("extract", begin, end, lane);
+  if (ssd_stall > 0.0) {
+    // The SSD staging tail of the extract span, as its own event: the
+    // black box should show a storage-bound run at a glance.
+    FlightStage("ssd_fetch", end - ssd_stall, end, lane);
+  }
 }
 
 void RecordTrainCompletion(const StageObs& obs, StageLatencyRecorder* latency,

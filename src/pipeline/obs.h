@@ -38,7 +38,8 @@ class StageObs {
   FlowTracer* flows() const { return flows_; }
 
   void RecordFlowStep(FlowId flow, const std::string& lane, const char* stage,
-                      double begin, double end, double stall = 0.0) const;
+                      double begin, double end, double stall = 0.0,
+                      double ssd_stall = 0.0) const;
   void RecordSpan(const std::string& lane, const char* stage, std::size_t batch,
                   double begin, double end) const;
 
@@ -72,11 +73,15 @@ void RecordQueueWait(const StageObs& obs, FlowId flow, double enqueue_time,
                      double pop_time);
 
 // Records one completed Extract stage. `stall` is the portion of the span
-// stalled on host transfers for cache misses (critical-path analysis
-// splits extract blame into compute vs cache-miss stall with it).
+// stalled on host transfers for cache misses, `ssd_stall` the portion
+// stalled on SSD-tier staging reads (critical-path analysis splits extract
+// blame into compute vs cache-miss stall vs SSD stall with them). A
+// nonzero ssd_stall additionally leaves an "ssd_fetch" flight-recorder
+// event so a post-mortem can see the storage stall.
 void RecordExtractCompletion(const StageObs& obs, StageLatencyRecorder* latency,
                              StageBreakdown* stage, const std::string& lane, FlowId flow,
-                             std::size_t batch, double begin, double end, double stall);
+                             std::size_t batch, double begin, double end, double stall,
+                             double ssd_stall = 0.0);
 
 // Records one completed Train stage.
 void RecordTrainCompletion(const StageObs& obs, StageLatencyRecorder* latency,

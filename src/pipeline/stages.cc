@@ -90,6 +90,17 @@ ExtractOutcome RunExtractStage(const Extractor& extractor, const SampleBlock& bl
       outcome.remote_by_owner[owner] += row_bytes;
     }
   }
+  if (spec.store != nullptr && spec.store->host_enabled()) {
+    // Resolve the local misses below the GPU tier: host-tier DRAM hits vs
+    // SSD fetches, with the admit/evict policy and Belady clock advancing
+    // inside the store. The SSD staging time is serial extra work on top
+    // of the PCIe gather (every miss row still crosses PCIe to the GPU).
+    const TierAccess tiers = spec.store->AccessMisses(block, spec.vertex_owner, spec.node);
+    outcome.host_tier_hits = tiers.host_tier_hits;
+    outcome.ssd_fetches = tiers.ssd_fetches;
+    outcome.bytes_from_ssd = tiers.bytes_from_ssd;
+    outcome.ssd_time = tiers.ssd_seconds;
+  }
   if (spec.cost != nullptr) {
     const CostModelParams& params = spec.cost->params();
     outcome.host_time =
@@ -112,7 +123,11 @@ ExtractOutcome RunExtractStage(const Extractor& extractor, const SampleBlock& bl
 SimTime ScheduleExtractOnChannel(SharedResource* channel, SimTime now,
                                  const ExtractOutcome& extract, double parallelism) {
   const SimTime channel_done = channel->Acquire(now, extract.host_time / parallelism);
-  return std::max(now + extract.host_time, channel_done) + extract.local_time;
+  // The SSD staging time is serial (one NVMe queue feeding the host
+  // buffer), so it adds after the channel, like the GPU-side gather; zero
+  // without an SSD-backed tier stack.
+  return std::max(now + extract.host_time, channel_done) + extract.local_time +
+         extract.ssd_time;
 }
 
 SimTime PriceTrainStage(const Workload& workload, const Dataset& dataset,

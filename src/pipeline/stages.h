@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/feature_cache.h"
+#include "cache/tiered_store.h"
 #include "common/rng.h"
 #include "core/executors.h"
 #include "core/workload.h"
@@ -106,6 +107,12 @@ struct ExtractSpec {
   std::span<const std::int32_t> vertex_owner = {};
   // This executor's node id, matched against vertex_owner.
   int node = 0;
+  // Tier stack behind the GPU cache (src/cache/tiered_store.h). When set
+  // and the host tier is enabled, every GPU-cache miss is resolved to the
+  // host tier or the SSD backstop and the outcome carries the per-tier
+  // split plus the modeled SSD read time. nullptr or a one-tier store
+  // keeps the outcome bit-identical to the flat-cache behavior.
+  const TieredFeatureStore* store = nullptr;
 };
 
 struct ExtractOutcome {
@@ -117,7 +124,15 @@ struct ExtractOutcome {
   std::size_t remote_fetches = 0;
   ByteCount bytes_remote = 0;
   std::vector<ByteCount> remote_by_owner;  // Indexed by owning node id.
-  SimTime Work() const { return host_time + local_time; }
+  // Tier split of the local misses (zero without ExtractSpec::store or with
+  // the host tier disabled): misses served by host-tier DRAM vs the SSD
+  // backstop, and the modeled serial SSD staging time the extract pays on
+  // top of the PCIe gather.
+  std::size_t host_tier_hits = 0;
+  std::size_t ssd_fetches = 0;
+  ByteCount bytes_from_ssd = 0;
+  SimTime ssd_time = 0.0;
+  SimTime Work() const { return host_time + local_time + ssd_time; }
 };
 
 // The canonical Extract stage body: cache lookup + miss-gather accounting

@@ -104,6 +104,21 @@ void AppendSwitchDecisions(std::ostringstream& os,
   os << "]";
 }
 
+
+// Host/SSD tier traffic of one epoch. Omitted entirely for a one-tier
+// store so pre-tiering reports stay byte-identical.
+void AppendTiers(std::ostream& os, const TierEpochStats& tiers) {
+  if (!tiers.Any()) {
+    return;
+  }
+  os << ",\"tiers\":{";
+  os << "\"host_hits\":" << tiers.host_hits;
+  os << ",\"ssd_fetches\":" << tiers.ssd_fetches;
+  os << ",\"bytes_from_ssd\":" << tiers.bytes_from_ssd;
+  os << ",\"ssd_seconds\":" << tiers.ssd_seconds;
+  os << ",\"host_hit_rate\":" << tiers.HostHitRate() << "}";
+}
+
 }  // namespace
 
 std::string RunReportToJson(const RunReport& report) {
@@ -152,6 +167,7 @@ std::string RunReportToJson(const RunReport& report) {
     os << ",\"host_misses\":" << epoch.extract.host_misses;
     os << ",\"bytes_from_host\":" << epoch.extract.bytes_from_host;
     os << ",\"hit_rate\":" << epoch.extract.HitRate() << "}";
+    AppendTiers(os, epoch.tiers);
     os << ",\"attribution\":";
     AppendAttribution(os, epoch.attribution);
     os << ",\"mean_loss\":" << epoch.mean_loss;
@@ -194,6 +210,7 @@ std::string ThreadedRunReportToJson(const ThreadedRunReport& report) {
     os << ",\"hit_rate\":" << epoch.extract.HitRate();
     os << ",\"parallel_workers\":" << epoch.extract.parallel_workers;
     os << ",\"worker_busy_seconds\":" << epoch.extract.TotalBusySeconds() << "}";
+    AppendTiers(os, epoch.tiers);
     os << ",\"attribution\":";
     AppendAttribution(os, epoch.attribution);
     os << ",\"mean_loss\":" << epoch.mean_loss;
@@ -347,6 +364,7 @@ std::string DistRunReportToJson(const DistRunReport& report) {
       os << ",\"host_misses\":" << epoch.epoch.extract.host_misses;
       os << ",\"bytes_from_host\":" << epoch.epoch.extract.bytes_from_host;
       os << ",\"hit_rate\":" << epoch.epoch.extract.HitRate() << "}";
+      AppendTiers(os, epoch.epoch.tiers);
       os << ",\"attribution\":";
       AppendAttribution(os, epoch.epoch.attribution);
       os << "}";

@@ -24,12 +24,13 @@ constexpr double kEstimateAlpha = 0.2;
 }  // namespace
 
 InferenceServer::InferenceServer(const Dataset& dataset, const Workload& workload,
-                                 const FeatureStore& features, const FeatureCache* cache,
-                                 GnnModel* model, const ServeOptions& options)
+                                 const FeatureStore& features,
+                                 const TieredFeatureStore* store, GnnModel* model,
+                                 const ServeOptions& options)
     : dataset_(dataset),
       workload_(workload),
       features_(features),
-      cache_(cache),
+      cache_(store != nullptr ? &store->gpu() : nullptr),
       options_(options),
       admission_(AdmissionOptions{options.admission_capacity, options.shedding}),
       former_(BatchFormerOptions{options.max_batch, options.slack_threshold_seconds,

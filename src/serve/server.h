@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cache/feature_cache.h"
+#include "cache/tiered_store.h"
 #include "core/workload.h"
 #include "feature/extractor.h"
 #include "feature/feature_store.h"
@@ -99,12 +100,13 @@ struct ServeReport {
 
 class InferenceServer {
  public:
-  // `cache` may be null (every gather misses to host). `model` provides the
+  // `store` may be null (every gather misses to host); serving gathers
+  // against its GPU tier — the shared static cache. `model` provides the
   // weights, read once at construction: each worker gets a private replica
   // so concurrent forwards never share the (stateful) activation buffers.
-  // dataset/workload/features/cache must outlive the server.
+  // dataset/workload/features/store must outlive the server.
   InferenceServer(const Dataset& dataset, const Workload& workload,
-                  const FeatureStore& features, const FeatureCache* cache,
+                  const FeatureStore& features, const TieredFeatureStore* store,
                   GnnModel* model, const ServeOptions& options);
   ~InferenceServer();  // Stop()s if still running.
 

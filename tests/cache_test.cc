@@ -96,6 +96,28 @@ TEST(FeatureCacheTest, BudgetLargerThanAllRowsCachesAll) {
   EXPECT_EQ(cache.num_cached(), 3u);
 }
 
+TEST(FeatureCacheTest, ZeroVertexCacheHasZeroRatio) {
+  const FeatureCache cache = FeatureCache::Load({}, 0.5, 0, 16);
+  EXPECT_EQ(cache.num_cached(), 0u);
+  EXPECT_DOUBLE_EQ(cache.ratio(), 0.0);  // Not a 0/0 NaN.
+  EXPECT_EQ(cache.CacheBytes(), 0u);
+}
+
+TEST(FeatureCacheTest, BudgetBelowOneRowCachesNothing) {
+  const std::vector<VertexId> ranked{0, 1, 2};
+  // 16-dim float rows are 64 bytes; a 63-byte budget holds zero rows.
+  const FeatureCache cache = FeatureCache::LoadWithBudget(ranked, 63, 3, 16);
+  EXPECT_EQ(cache.num_cached(), 0u);
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_EQ(cache.CacheBytes(), 0u);
+}
+
+TEST(FeatureCacheTest, ZeroDimBudgetDoesNotDivideByZero) {
+  const std::vector<VertexId> ranked{0, 1, 2};
+  const FeatureCache cache = FeatureCache::LoadWithBudget(ranked, 1024, 3, 0);
+  EXPECT_EQ(cache.num_cached(), 0u);
+}
+
 TEST(FeatureCacheTest, MarkBlockMatchesContains) {
   const std::vector<VertexId> ranked{4, 5};
   const FeatureCache cache = FeatureCache::Load(ranked, 0.2, 10, 16);

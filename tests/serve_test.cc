@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/feature_cache.h"
+#include "cache/tiered_store.h"
 #include "core/workload.h"
 #include "feature/extractor.h"
 #include "feature/feature_store.h"
@@ -46,7 +47,7 @@ struct ServeFixture {
   Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
   std::vector<std::uint32_t> labels;
   FeatureStore features;
-  FeatureCache cache;
+  TieredFeatureStore store;
   ModelConfig config;
   std::unique_ptr<GnnModel> model;
 
@@ -58,7 +59,8 @@ struct ServeFixture {
     features = FeatureStore::Clustered(nv, kFeatureDim, labels, kClasses, 0.3, &rng);
     std::vector<VertexId> ranked(nv);
     std::iota(ranked.begin(), ranked.end(), VertexId{0});
-    cache = FeatureCache::Load(ranked, 0.5, nv, kFeatureDim);
+    store = TieredFeatureStore::FromCache(
+        FeatureCache::Load(ranked, 0.5, nv, kFeatureDim));
     config.kind = GnnModelKind::kGraphSage;
     config.num_layers = 2;
     config.in_dim = kFeatureDim;
@@ -433,7 +435,7 @@ TEST(ServeInferenceStageTest, PredictsEverySeedDeterministically) {
   std::vector<VertexId> seeds = {1, 5, 9, 13, 21, 34};
   Rng rng(17);
   SampleSpec spec;
-  spec.cache = &fixture.cache;
+  spec.cache = &fixture.store.gpu();
   const SampleOutcome sample = RunSampleStage(sampler.get(), seeds, &rng, spec);
   ASSERT_EQ(sample.block.num_seeds(), seeds.size());
 
@@ -467,7 +469,7 @@ TEST(ServeServerTest, ClosedLoopLightLoadServesEveryRequest) {
   options.metrics = &registry;
   options.flows = &flows;
   InferenceServer server(fixture.dataset, fixture.workload, fixture.features,
-                         &fixture.cache, fixture.model.get(), options);
+                         &fixture.store, fixture.model.get(), options);
   server.Start();
 
   LoadGenOptions load;
@@ -518,7 +520,7 @@ TEST(ServeServerTest, SubmitAfterStopShedsImmediately) {
   ServeFixture& fixture = Fixture();
   ServeOptions options;
   InferenceServer server(fixture.dataset, fixture.workload, fixture.features,
-                         &fixture.cache, fixture.model.get(), options);
+                         &fixture.store, fixture.model.get(), options);
   server.Start();
   server.Stop();
   std::future<InferResult> future = server.Submit(1, 1.0);
@@ -538,7 +540,7 @@ TEST(ServeServerTest, OverloadShedsBoundTailLatencyNearTheSlo) {
     calibration.max_batch = 4;
     calibration.workers = 1;
     InferenceServer server(fixture.dataset, fixture.workload, fixture.features,
-                           &fixture.cache, fixture.model.get(), calibration);
+                           &fixture.store, fixture.model.get(), calibration);
     server.Start();
     LoadGenOptions warmup;
     warmup.mode = LoadMode::kOpen;
@@ -566,7 +568,7 @@ TEST(ServeServerTest, OverloadShedsBoundTailLatencyNearTheSlo) {
     options.initial_batch_estimate_seconds = estimate;
     options.max_linger_seconds = std::max(slo / 4.0, 1e-4);
     InferenceServer server(fixture.dataset, fixture.workload, fixture.features,
-                           &fixture.cache, fixture.model.get(), options);
+                           &fixture.store, fixture.model.get(), options);
     server.Start();
     std::vector<std::future<InferResult>> futures;
     futures.reserve(kFlood);
@@ -613,7 +615,7 @@ TEST(ServeServerTest, StandbyWorkersReclaimThroughTheSwitchGate) {
   options.admission_capacity = 8192;
   options.shedding = false;  // Keep the whole burst; the point is the drain.
   options.standby_poll_seconds = 0.0005;
-  InferenceServer server(fixture.dataset, heavy, fixture.features, &fixture.cache,
+  InferenceServer server(fixture.dataset, heavy, fixture.features, &fixture.store,
                          fixture.model.get(), options);
   server.Start();
 
@@ -652,16 +654,17 @@ TEST(ServeServerTest, StandbyWorkersReclaimThroughTheSwitchGate) {
 
 TEST(ServeSpaceSharingTest, ConcurrentTrainingMarksAndServingStayExact) {
   ServeFixture& fixture = Fixture();
-  // Private cache so this test owns the counters.
+  // Private store so this test owns the counters.
   const VertexId nv = fixture.dataset.graph.num_vertices();
   std::vector<VertexId> ranked(nv);
   std::iota(ranked.begin(), ranked.end(), VertexId{0});
-  FeatureCache cache = FeatureCache::Load(ranked, 0.5, nv, kFeatureDim);
+  TieredFeatureStore store =
+      TieredFeatureStore::FromCache(FeatureCache::Load(ranked, 0.5, nv, kFeatureDim));
 
   ServeOptions options;
   options.max_batch = 8;
   options.workers = 2;
-  InferenceServer server(fixture.dataset, fixture.workload, fixture.features, &cache,
+  InferenceServer server(fixture.dataset, fixture.workload, fixture.features, &store,
                          fixture.model.get(), options);
   server.Start();
 
@@ -674,7 +677,7 @@ TEST(ServeSpaceSharingTest, ConcurrentTrainingMarksAndServingStayExact) {
         MakeSampler(fixture.workload, fixture.dataset, nullptr);
     Rng rng(23);
     SampleSpec spec;
-    spec.cache = &cache;
+    spec.cache = &store.gpu();
     for (std::size_t batch = 0; batch < 40; ++batch) {
       std::vector<VertexId> seeds;
       for (std::size_t s = 0; s < 16; ++s) {
@@ -699,10 +702,10 @@ TEST(ServeSpaceSharingTest, ConcurrentTrainingMarksAndServingStayExact) {
   // Exactness under concurrency: every MarkBlock from either role counted
   // once. The serving side's lookups are exactly its gather totals (each
   // served batch marks then extracts the same distinct-vertex set).
-  EXPECT_EQ(cache.lookup_total(),
+  EXPECT_EQ(store.gpu().lookup_total(),
             train_lookups + report.cache_hits + report.host_misses);
-  EXPECT_LE(cache.lookup_hits(), cache.lookup_total());
-  EXPECT_GT(cache.lookup_hits(), 0u);
+  EXPECT_LE(store.gpu().lookup_hits(), store.gpu().lookup_total());
+  EXPECT_GT(store.gpu().lookup_hits(), 0u);
 }
 
 TEST(ServeCacheConcurrencyTest, TwoThreadsMarkingCountExactly) {

@@ -216,6 +216,15 @@ void Render(const Scrape& now, const Scrape& prev, const Target& target,
                 now.Get("gnnlab_extract_bytes_host_total"),
                 now.Get("gnnlab_extract_bytes_cache_total"));
   }
+  const double tier_hits = now.Get("gnnlab_cache_tier_host_hits_total");
+  const double tier_misses = now.Get("gnnlab_cache_tier_host_misses_total");
+  if (tier_hits + tier_misses > 0.0) {
+    std::printf("  tiers   host hit %5.1f%%  (%0.f hits, %0.f ssd)  evictions %8.0f  "
+                "ssd bytes %12.0f\n",
+                100.0 * tier_hits / (tier_hits + tier_misses), tier_hits, tier_misses,
+                now.Get("gnnlab_cache_tier_host_evictions_total"),
+                now.Get("gnnlab_cache_tier_ssd_bytes_read_total"));
+  }
 
   if (now.Has("gnnlab_serve_offered_total")) {
     const double shed_full = now.Get("gnnlab_serve_shed_queue_full_total");
