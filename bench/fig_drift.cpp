@@ -1,0 +1,133 @@
+// Freshness under drift: the streaming-graph counterpart of the paper's
+// static cache study. A seeded temporal-growth graph streams its tail of
+// timestamped edges into the engine epoch by epoch while the trainer cache
+// is refreshed under three policies:
+//
+//   frozen         — the paper's static PreSC cache, never touched again
+//   incremental    — bounded admit/evict deltas from the sliding-window
+//                    decayed ranker (a few rows of PCIe traffic per epoch)
+//   full-reprofile — rebuild the ranking and reload the cache wholesale
+//                    every boundary (the hit-rate upper bound)
+//
+// The bench self-gates (exit 1 on violation):
+//   (a) incremental recovers >= 80% of the frozen -> full-reprofile
+//       hit-rate gap,
+//   (b) at < 10% of full re-profiling's modeled refresh cost,
+//   (c) with switching on and a backlogged Trainer, ingest-induced load
+//       spikes force at least one queue-pressure SwitchDecision override.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "report/table.h"
+#include "stream/drift_harness.h"
+
+using namespace gnnlab;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseBenchFlags(argc, argv);
+  PrintBenchHeader("Freshness under drift: cache re-ranking on a streaming graph",
+                   flags);
+  BenchReportBuilder report_builder = MakeBenchReportBuilder("fig_drift", flags);
+
+  // The canonical drift scenario (see stream/drift_harness.h); epoch 0
+  // trains on the profiled snapshot, every later epoch ingests a chunk.
+  DriftScenarioOptions scenario;
+  scenario.seed = flags.seed;
+  // Fewer than three epochs leaves no post-drift signal to compare.
+  scenario.epochs = std::max<std::size_t>(3, flags.epochs);
+
+  // (a)+(b): hit-rate recovery vs refresh cost, switching off so every
+  // extract goes through the re-rankable dedicated Trainer cache.
+  scenario.dynamic_switching = false;
+  DriftRunResult results[3];
+  const RerankMode modes[3] = {RerankMode::kFrozen, RerankMode::kIncremental,
+                               RerankMode::kFullReprofile};
+  TablePrinter table(
+      {"mode", "drift hit rate", "refresh cost (s)", "admitted rows", "ingested edges"});
+  for (int i = 0; i < 3; ++i) {
+    results[i] = RunDriftScenario(modes[i], scenario);
+    const std::string prefix = std::string("fig_drift.") + RerankModeName(modes[i]);
+    report_builder.Add(prefix + ".hit_rate", results[i].drift_hit_rate * 100.0, "%");
+    report_builder.Add(prefix + ".rerank_s", results[i].total_rerank_seconds, "s");
+    table.AddRow({RerankModeName(modes[i]), FmtPercent(results[i].drift_hit_rate, 1),
+                  Fmt(results[i].total_rerank_seconds, 4),
+                  std::to_string(results[i].admitted_rows),
+                  std::to_string(results[i].ingested_edges)});
+  }
+  table.Print();
+
+  const DriftRunResult& frozen = results[0];
+  const DriftRunResult& incremental = results[1];
+  const DriftRunResult& full = results[2];
+  const double gap = full.drift_hit_rate - frozen.drift_hit_rate;
+  const double recovery =
+      gap > 0.0 ? (incremental.drift_hit_rate - frozen.drift_hit_rate) / gap : 0.0;
+  const double cost_fraction =
+      full.total_rerank_seconds > 0.0
+          ? incremental.total_rerank_seconds / full.total_rerank_seconds
+          : 1.0;
+  std::printf("\nfrozen->full hit-rate gap %s, incremental recovers %s of it at %s "
+              "of full re-profiling cost\n",
+              FmtPercent(gap, 2).c_str(), FmtPercent(recovery, 1).c_str(),
+              FmtPercent(cost_fraction, 1).c_str());
+  report_builder.Add("fig_drift.gap_recovery", recovery * 100.0, "%");
+  report_builder.Add("fig_drift.cost_fraction", cost_fraction, "x",
+                     BetterDirection::kLower);
+  report_builder.Add("fig_drift.ingested_edges",
+                     static_cast<double>(incremental.ingested_edges), "count",
+                     BetterDirection::kNone);
+  report_builder.Add("fig_drift.compactions",
+                     static_cast<double>(incremental.compactions), "count",
+                     BetterDirection::kNone);
+
+  // (c): switching on, two Samplers + one dedicated Trainer. Ingest-heavy
+  // epochs back the lone Trainer up, so the standby's profit test says
+  // "keep sampling" while queue pressure (the backlog alert) overrides it.
+  DriftScenarioOptions spike = scenario;
+  spike.dynamic_switching = true;
+  spike.num_gpus = 3;
+  MetricRegistry registry;
+  HealthMonitor::Options health_options;
+  AlertRule backlog;
+  CHECK(ParseAlertRule("backlog: queue.depth > 0", &backlog));
+  health_options.rules.push_back(backlog);
+  HealthMonitor health(&registry, health_options);
+  const DriftRunResult spiked =
+      RunDriftScenario(RerankMode::kIncremental, spike, &registry, &health);
+  std::printf("switching leg: %zu switch decisions, %zu queue-pressure overrides, "
+              "drift hit rate %s\n",
+              spiked.report.switch_decisions.size(), spiked.pressure_overrides,
+              FmtPercent(spiked.drift_hit_rate, 1).c_str());
+  report_builder.Add("fig_drift.spike.pressure_overrides",
+                     static_cast<double>(spiked.pressure_overrides), "count",
+                     BetterDirection::kNone);
+  report_builder.Add("fig_drift.spike.hit_rate", spiked.drift_hit_rate * 100.0, "%");
+
+  int failures = 0;
+  if (recovery < 0.8) {
+    std::fprintf(stderr,
+                 "fig_drift: GATE FAILED: incremental recovered %.1f%% of the "
+                 "hit-rate gap (need >= 80%%)\n",
+                 recovery * 100.0);
+    ++failures;
+  }
+  if (cost_fraction >= 0.1) {
+    std::fprintf(stderr,
+                 "fig_drift: GATE FAILED: incremental refresh cost is %.1f%% of "
+                 "full re-profiling (need < 10%%)\n",
+                 cost_fraction * 100.0);
+    ++failures;
+  }
+  if (spiked.pressure_overrides == 0) {
+    std::fprintf(stderr,
+                 "fig_drift: GATE FAILED: no queue-pressure SwitchDecision "
+                 "override during ingest spikes\n");
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("fig_drift: all gates passed\n");
+  }
+
+  const int rc = FinishBench(report_builder, flags);
+  return failures > 0 ? 1 : rc;
+}

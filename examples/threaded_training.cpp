@@ -9,7 +9,7 @@
 //       [--trace-out=FILE] [--flow-out=FILE] [--metrics-out=FILE] [--report-out=FILE]
 //       [--prom-out=FILE] [--prom-port=N] [--alert=RULE] [--snapshot-ms=N]
 //       [--load-checkpoint=FILE] [--save-checkpoint=FILE]
-//       [--dump-dir=DIR] [--abort-after-batches=N] [--log-json]
+//       [--dump-dir=DIR] [--abort-after-batches=N] [--log-json] [--stream]
 //
 // extract_threads sizes the shared CPU pool for the parallel hot paths
 // (feature gather + k-hop expansion): 0 = all hardware threads (default),
@@ -40,19 +40,28 @@
 // live. --abort-after-batches=N injects a std::abort() after N trained
 // batches (crash-bundle smoke tests). --log-json switches the log sink to
 // structured JSONL.
+// --stream swaps the static Products stand-in for a seeded temporal-growth
+// graph whose newest 30% of edges are ingested at epoch boundaries while
+// the Sampler/Trainer threads run (temporal k-hop sampling + incremental
+// cache re-ranking — the ingest-while-training smoke).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "core/threaded_engine.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
 #include "nn/checkpoint.h"
 #include "obs/diagnostics.h"
 #include "obs/health.h"
 #include "report/json.h"
 #include "report/table.h"
+#include "stream/drift_harness.h"
 
 using namespace gnnlab;  // NOLINT: example brevity.
 
@@ -75,6 +84,7 @@ int main(int argc, char** argv) {
   int prom_port = -1;
   std::vector<AlertRule> alert_rules;
   double snapshot_ms = 50.0;
+  bool stream = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--trace-out=", 12) == 0) {
@@ -123,6 +133,8 @@ int main(int argc, char** argv) {
       abort_after_batches = static_cast<std::size_t>(std::atoi(arg + 22));
     } else if (std::strcmp(arg, "--log-json") == 0) {
       SetLogFormat(LogFormat::kJsonl);
+    } else if (std::strcmp(arg, "--stream") == 0) {
+      stream = true;
     } else if (num_positional < 4) {
       positional[num_positional++] = std::atoi(arg);
     } else {
@@ -135,7 +147,53 @@ int main(int argc, char** argv) {
   const auto epochs = static_cast<std::size_t>(positional[2]);
   const auto extract_threads = static_cast<std::size_t>(positional[3]);
 
-  const Dataset dataset = MakeDataset(DatasetId::kProducts, /*scale=*/0.5, /*seed=*/17);
+  // --stream: a seeded temporal-growth graph; the oldest 70% of edges form
+  // the snapshot the cache is profiled on, the rest stream in per epoch.
+  Dataset dataset;
+  std::optional<DynamicGraph> live;
+  std::vector<std::vector<TimestampedEdge>> schedule(epochs);
+  std::size_t stream_rest = 0;
+  if (stream) {
+    TemporalGrowthParams growth;
+    growth.num_vertices = 20000;
+    growth.edges_per_vertex = 8;
+    growth.churn_edges_per_vertex = 3;
+    Rng growth_rng(17);
+    std::vector<TimestampedEdge> events;
+    GenerateTemporalGrowth(growth, &growth_rng, &events);
+    const std::size_t base_count = events.size() * 7 / 10;
+    GraphBuilder builder(growth.num_vertices);
+    builder.AddTimestampedEdges(
+        std::vector<TimestampedEdge>(events.begin(),
+                                     events.begin() + static_cast<std::ptrdiff_t>(base_count)));
+    std::string error;
+    std::optional<TemporalGraph> base = std::move(builder).BuildTemporal(&error);
+    if (!base.has_value()) {
+      std::fprintf(stderr, "temporal snapshot invalid: %s\n", error.c_str());
+      return 1;
+    }
+    dataset.id = DatasetId::kProducts;
+    dataset.name = "temporal-growth";
+    dataset.graph = base->graph;
+    Rng train_rng(18);
+    dataset.train_set = TrainingSet::SelectUniform(growth.num_vertices, 2048, &train_rng);
+    dataset.feature_dim = 16;
+    dataset.batch_size = 64;
+    live.emplace(std::move(*base));
+    stream_rest = events.size() - base_count;
+    if (epochs > 1 && stream_rest > 0) {
+      const std::size_t chunk = (stream_rest + epochs - 2) / (epochs - 1);
+      std::size_t cursor = base_count;
+      for (std::size_t e = 1; e < epochs && cursor < events.size(); ++e) {
+        const std::size_t end = std::min(events.size(), cursor + chunk);
+        schedule[e].assign(events.begin() + static_cast<std::ptrdiff_t>(cursor),
+                           events.begin() + static_cast<std::ptrdiff_t>(end));
+        cursor = end;
+      }
+    }
+  } else {
+    dataset = MakeDataset(DatasetId::kProducts, /*scale=*/0.5, /*seed=*/17);
+  }
   constexpr std::uint32_t kClasses = 10;
   const auto labels = MakeCommunityLabels(dataset.graph.num_vertices(), 128, kClasses);
   Rng rng(17);
@@ -193,6 +251,19 @@ int main(int argc, char** argv) {
   }
   options.extract_threads = extract_threads;
   options.real = &real;
+  const Workload workload = stream ? TemporalGcnWorkload(/*window=*/0.35f)
+                                   : StandardWorkload(GnnModelKind::kGraphSage);
+  std::unique_ptr<StreamEngineHooks> hooks;
+  if (stream) {
+    StreamEngineHooksOptions hook_options;
+    hook_options.fanouts = workload.fanouts;
+    hook_options.window = workload.temporal_window;
+    hook_options.mode = RerankMode::kIncremental;
+    hook_options.feature_dim = dataset.feature_dim;
+    hook_options.metrics = &metrics;
+    hooks = std::make_unique<StreamEngineHooks>(&*live, std::move(schedule), hook_options);
+    options.stream = hooks.get();
+  }
   if (!trace_out.empty()) {
     options.tracer = &tracer;
   }
@@ -210,8 +281,21 @@ int main(int argc, char** argv) {
   std::printf("threaded GNNLab: %dS %dT on %s (%u vertices), PreSC cache 20%%, pool=%zu\n\n",
               samplers, trainers, dataset.name.c_str(), dataset.graph.num_vertices(),
               ThreadPool::ResolveThreads(extract_threads));
-  ThreadedEngine engine(dataset, StandardWorkload(GnnModelKind::kGraphSage), options);
+  ThreadedEngine engine(dataset, workload, options);
   const ThreadedRunReport report = engine.Run();
+
+  if (hooks != nullptr) {
+    std::printf("stream ingest: %zu edges applied (%zu duplicates dropped), "
+                "%zu compactions, %zu rows admitted / %zu evicted by re-ranking\n",
+                hooks->ingestor().total_applied(), hooks->ingestor().total_duplicates(),
+                hooks->ingestor().total_compactions(), hooks->total_admitted(),
+                hooks->total_evicted());
+    if (hooks->ingestor().total_applied() + hooks->ingestor().total_duplicates() !=
+        stream_rest) {
+      std::fprintf(stderr, "stream ingest lost events: applied+duplicates != scheduled\n");
+      return 1;
+    }
+  }
 
   TablePrinter table({"epoch", "wall(s)", "loss", "eval acc", "hit%", "switched",
                       "train p50(ms)", "train p99(ms)"});

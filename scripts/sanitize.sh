@@ -24,7 +24,7 @@ cmake -B "${build_dir}" -S . -DGNNLAB_SANITIZE="${sanitizer}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j"$(nproc)" --target \
   concurrency_test runtime_test threaded_engine_test obs_test flow_health_test \
-  pipeline_test serve_test dist_test diagnostics_test tiered_store_test
+  pipeline_test serve_test dist_test diagnostics_test tiered_store_test stream_test
 
 # The threaded/concurrency suites are the ones exercising real parallelism,
 # the pipeline suite drives the shared stage bodies through all four
@@ -36,8 +36,11 @@ cmake --build "${build_dir}" -j"$(nproc)" --target \
 # suites are single-threaded by design and add little here. The dist
 # battery rides along anyway: its N=1 bit-exactness and cross-repeat
 # determinism checks are the contracts a latent race would corrupt first.
+# The stream battery covers epoch-boundary ingest + cache re-ranking racing
+# the threaded engine's worker threads, and the inference server answering
+# against a live DynamicGraph.
 if [ "$#" -eq 0 ]; then
-  set -- -R "Concurrency|MpmcQueue|ParallelFor|ParallelExtract|ParallelSampling|ThreadPool|ThreadedEngine|Runtime|Histogram|Counter|MetricRegistry|RuntimeTracer|Snapshot|FlowTracer|CriticalPath|HealthMonitor|AlertRule|Prometheus|CountEquality|BatchStreams|CacheBuilder|SwitchGate|ReportAssembler|Serve|BatchFormer|Admission|LoadGen|Partitioner|CommManager|Dist|FlightRecorder|DiagnosticsHub|LogRateLimiter|StructuredLog|TieredStore|Belady"
+  set -- -R "Concurrency|MpmcQueue|ParallelFor|ParallelExtract|ParallelSampling|ThreadPool|ThreadedEngine|Runtime|Histogram|Counter|MetricRegistry|RuntimeTracer|Snapshot|FlowTracer|CriticalPath|HealthMonitor|AlertRule|Prometheus|CountEquality|BatchStreams|CacheBuilder|SwitchGate|ReportAssembler|Serve|BatchFormer|Admission|LoadGen|Partitioner|CommManager|Dist|FlightRecorder|DiagnosticsHub|LogRateLimiter|StructuredLog|TieredStore|Belady|StreamEngine|StreamServe|DynamicGraph"
 fi
 # report_signal_unsafe=0: the crash-bundle handler deliberately allocates
 # inside the signal handler (documented best-effort trade-off in

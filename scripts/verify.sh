@@ -115,6 +115,37 @@ else
 fi
 echo "ok: ${prom}"
 
+# --- streaming ingest-while-training smoke -----------------------------------
+# A real-threads run over a temporal-growth graph: edges stream in at epoch
+# boundaries while Sampler/Trainer threads run, the incremental re-ranker
+# refreshes the cache, and the ingest stage shows up in the critical-path
+# attribution. The example itself exits nonzero if any scheduled event is
+# neither applied nor dropped as a duplicate.
+stream_log="${out_dir}/stream.log"
+"${build_dir}/examples/threaded_training" 1 2 3 0 --stream > "${stream_log}" 2>&1 || {
+  echo "FAIL: ingest-while-training run exited nonzero" >&2
+  cat "${stream_log}" >&2; exit 1; }
+grep -q '^stream ingest: ' "${stream_log}" || {
+  echo "FAIL: stream run reported no ingest summary" >&2
+  cat "${stream_log}" >&2; exit 1; }
+grep -Eq '^\s+ingest\s' "${stream_log}" || {
+  echo "FAIL: stream run has no ingest row in the attribution" >&2
+  cat "${stream_log}" >&2; exit 1; }
+echo "ok: ingest-while-training smoke ($(grep '^stream ingest: ' "${stream_log}"))"
+
+# graph_check must reject a bad graph file with exit 2 and a diagnostic
+# (the duplicate-edge / timestamp-regression cases are pinned in ctest).
+set +e
+"${build_dir}/tools/graph_check" "${out_dir}/no-such-graph.gnng" \
+  > /dev/null 2> "${out_dir}/graph_check.err"
+graph_check_rc=$?
+set -e
+[ "${graph_check_rc}" = 2 ] || {
+  echo "FAIL: graph_check exited ${graph_check_rc} (want 2) on a bad file" >&2; exit 1; }
+grep -q 'REJECTED' "${out_dir}/graph_check.err" || {
+  echo "FAIL: graph_check printed no REJECTED diagnostic" >&2; exit 1; }
+echo "ok: graph_check rejects invalid input with exit 2"
+
 # --- crash-dump smoke --------------------------------------------------------
 # Abort a threaded run mid-epoch (a worker thread calls abort() after a few
 # trained batches) and assert the fatal-signal handler leaves behind a
@@ -283,4 +314,4 @@ echo "ok: ${dist_report} + ${dist_prom}"
 scripts/bench.sh --build-dir="${build_dir}"
 
 echo
-echo "verify: build + tests + telemetry smoke + crash-dump smoke + serving/dashboard smoke + overhead budget + perf gate all green"
+echo "verify: build + tests + telemetry smoke + ingest-while-training smoke + crash-dump smoke + serving/dashboard smoke + overhead budget + perf gate all green"

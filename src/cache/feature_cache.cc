@@ -79,6 +79,22 @@ FeatureCache FeatureCache::LoadWithBudget(std::span<const VertexId> ranked,
   return LoadCount(ranked, rows, num_vertices, feature_dim);
 }
 
+void FeatureCache::ApplyResidencyDelta(std::span<const VertexId> admit,
+                                       std::span<const VertexId> evict) {
+  for (const VertexId v : evict) {
+    CHECK_LT(v, cached_.size());
+    CHECK(cached_[v] != 0) << "evicting non-resident vertex " << v;
+    cached_[v] = 0;
+    --num_cached_;
+  }
+  for (const VertexId v : admit) {
+    CHECK_LT(v, cached_.size());
+    CHECK(cached_[v] == 0) << "admitting already-resident vertex " << v;
+    cached_[v] = 1;
+    ++num_cached_;
+  }
+}
+
 double FeatureCache::ratio() const {
   return cached_.empty()
              ? 0.0

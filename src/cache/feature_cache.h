@@ -57,6 +57,15 @@ class FeatureCache {
     return static_cast<ByteCount>(num_cached_) * feature_dim_ * sizeof(float);
   }
 
+  // Incremental re-ranking hook (src/stream/incremental_ranker.h): flips
+  // residency in place instead of rebuilding the membership table. Every
+  // `evict` id must currently be resident and every `admit` id absent (the
+  // planner guarantees disjoint, valid batches; violations CHECK). NOT safe
+  // against concurrent MarkBlock — the engines apply deltas at epoch
+  // boundaries, when no sampler or server is marking.
+  void ApplyResidencyDelta(std::span<const VertexId> admit,
+                           std::span<const VertexId> evict);
+
   // Fills block->mutable_cache_marks() for every distinct vertex: the
   // Sample-stage marking step (paper §5.2, the "M" component of Table 5).
   // Safe to call from many threads at once — the shared training cache is

@@ -117,7 +117,9 @@ RunReport Engine::Run() {
 
 void Engine::ProfileSampling() {
   std::unique_ptr<Sampler> sampler =
-      MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+      options_.stream != nullptr
+          ? options_.stream->CreateSampler()
+          : MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
   SampleSpec spec;
   spec.cost = &cost_;
   spec.kernel = SampleKernel::kGpu;
@@ -162,6 +164,9 @@ void Engine::BuildCaches(RunReport* report) {
   build.seed = options_.seed;
   build.profile_footprint = &profile_footprint_;
   build.replay_epochs = options_.epochs;
+  if (options_.stream != nullptr) {
+    build.sampler_factory = [this] { return options_.stream->CreateSampler(); };
+  }
   const std::vector<VertexId> ranked = BuildCacheRanking(options_.policy, build);
   const VertexId num_vertices = dataset_.graph.num_vertices();
   const double gpu_mem = static_cast<double>(options_.gpu_memory);
@@ -274,7 +279,9 @@ void Engine::DecideExecutors(RunReport* report) {
   for (int s = 0; s < decision.num_samplers; ++s) {
     SamplerExec exec;
     exec.gpu = s;
-    exec.sampler = MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+    exec.sampler = options_.stream != nullptr
+                       ? options_.stream->CreateSampler()
+                       : MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
     samplers_.push_back(std::move(exec));
   }
   for (int t = 0; t < decision.num_trainers; ++t) {
@@ -403,7 +410,39 @@ EpochReport Engine::RunEpoch(std::size_t epoch) {
   GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(
       FlightEventKind::kMark, "epoch_begin", static_cast<double>(epoch),
       static_cast<double>(epoch_batches_.size()), "sim"));
-  PumpSamplers();
+  SimTime sampler_delay = 0.0;
+  trainers_blocked_until_ = epoch_start;
+  blocked_pump_scheduled_ = false;
+  if (options_.stream != nullptr) {
+    // Epoch-boundary streaming: ingest this epoch's event batch and re-rank
+    // the trainer store from the previous epoch's footprint. Samplers wait
+    // out the ingest (the live graph is being mutated), trainers wait out
+    // ingest + rerank (the cache is being restructured) — the resulting
+    // queue backlog on re-open is the load spike that exercises the
+    // switcher's pressure override.
+    const StreamHooks::EpochWork work = options_.stream->BeginEpoch(
+        epoch, epoch == 0 ? nullptr : stream_footprint_.get(), &trainer_store_);
+    if (stream_footprint_ == nullptr) {
+      stream_footprint_ =
+          std::make_unique<Footprint>(dataset_.graph.num_vertices());
+    }
+    stream_footprint_->Reset();
+    const SimTime rerank_end = epoch_start + work.ingest_seconds + work.rerank_seconds;
+    sampler_delay = work.ingest_seconds;
+    trainers_blocked_until_ = rerank_end;
+    if (rerank_end > epoch_start) {
+      // The boundary work is its own flow (reserved batch id): attribution
+      // charges its full span to the "ingest" component.
+      const FlowId flow = MakeFlowId(epoch, kStreamFlowBatch);
+      obs_.RecordFlowStep(flow, "stream/ingest", "ingest", epoch_start, rerank_end);
+      obs_.RecordSpan("stream/ingest", "ingest", epoch, epoch_start, rerank_end);
+    }
+  }
+  if (sampler_delay > 0.0) {
+    sim_.Schedule(sampler_delay, [this] { PumpSamplers(); });
+  } else {
+    PumpSamplers();
+  }
   sim_.Run();
   CHECK_EQ(trained_batches_, epoch_batches_.size()) << "epoch deadlocked";
 
@@ -466,6 +505,10 @@ void Engine::PumpSamplers() {
     SampleOutcome out = RunSampleStage(sampler.sampler.get(), epoch_batches_[batch], &rng,
                                        spec);
     epoch_report_.sampled_edges += out.sampled_edges;
+    if (stream_footprint_ != nullptr) {
+      // Feeds next epoch's incremental re-rank (streaming runs only).
+      stream_footprint_->Accumulate(out.block);
+    }
     const SimTime g = out.sample_time;
     const SimTime m = out.mark_time;
     const SimTime c = out.copy_time;
@@ -497,6 +540,18 @@ void Engine::PumpSamplers() {
 }
 
 void Engine::PumpTrainers() {
+  if (sim_.now() < trainers_blocked_until_) {
+    // Epoch-boundary rerank still restructuring the cache: no Trainer may
+    // extract yet. Re-pump exactly once at the unblock time.
+    if (!blocked_pump_scheduled_) {
+      blocked_pump_scheduled_ = true;
+      sim_.Schedule(trainers_blocked_until_ - sim_.now(), [this] {
+        blocked_pump_scheduled_ = false;
+        PumpTrainers();
+      });
+    }
+    return;
+  }
   // Dedicated Trainers drain unconditionally; standby Trainers consult the
   // profit metric and require their Sampler to have finished the epoch.
   for (std::size_t t = 0; t < trainers_.size(); ++t) {
@@ -674,11 +729,17 @@ void Engine::AsyncTrainBatch(std::size_t trainer_index, const TrainTask& task) {
 
 double Engine::EvaluateAccuracy(std::size_t epoch) {
   const std::uint64_t seed = options_.seed;
+  std::function<std::unique_ptr<Sampler>()> sampler_factory;
+  if (options_.stream != nullptr) {
+    sampler_factory = [this] { return options_.stream->CreateSampler(); };
+  }
   return EvaluateModelAccuracy(
       dataset_, workload_, weights_ ? &*weights_ : nullptr, model_.get(), *options_.real,
-      real_extract_pool_.get(), [seed, epoch](std::size_t batch) {
+      real_extract_pool_.get(),
+      [seed, epoch](std::size_t batch) {
         return PipelineBatchRng(seed, kEvalEpochBase + epoch, batch);
-      });
+      },
+      sampler_factory);
 }
 
 }  // namespace gnnlab

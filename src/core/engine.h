@@ -34,6 +34,7 @@
 #include "obs/flow.h"
 #include "pipeline/obs.h"
 #include "pipeline/stages.h"
+#include "pipeline/stream_hook.h"
 #include "pipeline/switch_gate.h"
 #include "runtime/thread_pool.h"
 #include "sim/cost_model.h"
@@ -102,6 +103,13 @@ struct EngineOptions {
   // per-epoch StageLatencies and the snapshot series land in the RunReport
   // regardless; the registry is for live export alongside other runs.
   MetricRegistry* metrics = nullptr;
+  // Optional streaming hook (src/stream/): when set, every epoch boundary
+  // ingests that epoch's event batch into the live graph and re-ranks the
+  // trainer feature store; samplers are built through the hook (over the
+  // live graph) and sampler start is delayed by the priced ingest time
+  // while trainers stay blocked until ingest + rerank completes. When null
+  // the engine behaves bit-identically to the static build.
+  StreamHooks* stream = nullptr;
   const RealTrainingOptions* real = nullptr;
   // Warm start / persistence of the real-training model (requires `real`):
   // load parameters from this checkpoint before the run, save them after
@@ -190,6 +198,13 @@ class Engine {
   std::size_t next_batch_ = 0;
   std::size_t trained_batches_ = 0;
   EpochReport epoch_report_;
+
+  // Streaming (options_.stream only): the previous epoch's sampling
+  // footprint feeds the incremental re-ranker, and trainers are held until
+  // the simulated ingest + rerank interval elapses.
+  std::unique_ptr<Footprint> stream_footprint_;
+  SimTime trainers_blocked_until_ = 0.0;
+  bool blocked_pump_scheduled_ = false;
 
   // Telemetry: per-batch stage latencies (per-epoch summaries + optional
   // registry mirror) and the queue/cache timeline sampled once per trained

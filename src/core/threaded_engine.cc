@@ -130,6 +130,9 @@ void ThreadedEngine::BuildCache() {
   build.workload = &workload_;
   build.weights = weights_ ? &*weights_ : nullptr;
   build.seed = options_.seed;
+  if (options_.stream != nullptr) {
+    build.sampler_factory = [this] { return options_.stream->CreateSampler(); };
+  }
   const std::vector<VertexId> ranked = BuildCacheRanking(options_.policy, build);
   const std::size_t num_vertices = dataset_.graph.num_vertices();
   FeatureCache gpu;
@@ -265,6 +268,25 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
       PlanEpochBatches(dataset_.train_set, dataset_.batch_size, options_.seed, epoch);
   switch_log_.ResetFilters(replicas_.size());
 
+  if (options_.stream != nullptr) {
+    // Epoch-boundary streaming runs on the driver thread before any worker
+    // spawns: the live graph and the feature store are mutated with no
+    // concurrent readers, and the measured wall time becomes the epoch's
+    // "ingest" flow step.
+    const double ingest_begin = MonotonicSeconds();
+    options_.stream->BeginEpoch(epoch, epoch == 0 ? nullptr : stream_footprint_.get(),
+                                &store_);
+    if (stream_footprint_ == nullptr) {
+      stream_footprint_ =
+          std::make_unique<Footprint>(dataset_.graph.num_vertices());
+    }
+    stream_footprint_->Reset();
+    const double ingest_end = MonotonicSeconds();
+    const FlowId flow = MakeFlowId(epoch, kStreamFlowBatch);
+    obs_.RecordFlowStep(flow, "stream/ingest", "ingest", ingest_begin, ingest_end);
+    obs_.RecordSpan("stream/ingest", "ingest", epoch, ingest_begin, ingest_end);
+  }
+
   const double start = MonotonicSeconds();
   GNNLAB_OBS_ONLY(FlightRecorder::Global()->Record(
       FlightEventKind::kMark, "epoch_begin", static_cast<double>(epoch),
@@ -307,7 +329,9 @@ ThreadedEpochReport ThreadedEngine::RunEpoch(std::size_t epoch) {
 void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t epoch) {
   const std::string lane = "sampler" + std::to_string(sampler_index);
   std::unique_ptr<Sampler> sampler =
-      MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
+      options_.stream != nullptr
+          ? options_.stream->CreateSampler()
+          : MakeSampler(workload_, dataset_, weights_ ? &*weights_ : nullptr);
   sampler->BindThreadPool(extract_pool_.get());
   SampleSpec spec;
   spec.cache = &store_.gpu();  // Durations stay 0: wall clock is real here.
@@ -320,6 +344,11 @@ void ThreadedEngine::SamplerLoop(State* state, int sampler_index, std::size_t ep
     const FlowId flow = MakeFlowId(epoch, batch);
     SampleOutcome out = RunSampleStage(sampler.get(), state->batches[batch], &rng, spec);
     state->sampled_edges.fetch_add(out.sampled_edges, std::memory_order_relaxed);
+    if (stream_footprint_ != nullptr) {
+      // Feeds the next epoch boundary's incremental re-rank.
+      std::lock_guard<std::mutex> lock(stream_mu_);
+      stream_footprint_->Accumulate(out.block);
+    }
     const bool marked = store_.gpu().num_cached() > 0;
     TrainTask task;
     task.block = std::move(out.block);
@@ -500,11 +529,17 @@ void ThreadedEngine::TrainTaskOnReplica(State* state, int replica_index,
 
 double ThreadedEngine::EvaluateAccuracy(std::size_t epoch) {
   const std::uint64_t seed = options_.seed;
-  return EvaluateModelAccuracy(dataset_, workload_, weights_ ? &*weights_ : nullptr,
-                               master_.get(), *options_.real, extract_pool_.get(),
-                               [seed, epoch](std::size_t batch) {
-                                 return Rng(seed).Fork(kEvalEpochBase + epoch * 4099 + batch);
-                               });
+  std::function<std::unique_ptr<Sampler>()> sampler_factory;
+  if (options_.stream != nullptr) {
+    sampler_factory = [this] { return options_.stream->CreateSampler(); };
+  }
+  return EvaluateModelAccuracy(
+      dataset_, workload_, weights_ ? &*weights_ : nullptr, master_.get(), *options_.real,
+      extract_pool_.get(),
+      [seed, epoch](std::size_t batch) {
+        return Rng(seed).Fork(kEvalEpochBase + epoch * 4099 + batch);
+      },
+      sampler_factory);
 }
 
 }  // namespace gnnlab

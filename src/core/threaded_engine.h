@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -84,6 +85,12 @@ struct ThreadedEngineOptions {
   // When null the engine uses an internal registry, so the snapshot series
   // in the run report is populated either way.
   MetricRegistry* metrics = nullptr;
+  // Optional streaming hook (src/stream/): each epoch boundary — before the
+  // worker threads spawn, so no synchronization with samplers/trainers is
+  // needed — ingests that epoch's event batch and re-ranks the feature
+  // store; samplers are then built over the live graph. The measured wall
+  // time of the boundary lands on the flow tracer as an "ingest" step.
+  StreamHooks* stream = nullptr;
   // Period of the background telemetry sampler feeding
   // ThreadedRunReport::snapshots (and metrics_out, when set).
   double snapshot_interval_seconds = 0.05;
@@ -196,6 +203,11 @@ class ThreadedEngine {
   // Batches trained across the whole run (all epochs) — drives the
   // debug_abort_after_batches crash-injection hook.
   std::atomic<std::size_t> debug_trained_batches_{0};
+  // Streaming (options_.stream only): previous epoch's sampling footprint,
+  // accumulated by the Sampler threads under stream_mu_ and handed to the
+  // hook at the next epoch boundary.
+  std::unique_ptr<Footprint> stream_footprint_;
+  std::mutex stream_mu_;
   Counter* queue_enqueued_ = nullptr;
   Gauge* queue_depth_gauge_ = nullptr;
   Gauge* queue_bytes_gauge_ = nullptr;

@@ -56,6 +56,14 @@ Workload WeightedGcnWorkload() {
   return w;
 }
 
+Workload TemporalGcnWorkload(float window) {
+  Workload w = StandardWorkload(GnnModelKind::kGcn);
+  w.name = "GCN (T.)";
+  w.sampling = SamplingAlgorithm::kKhopTemporal;
+  w.temporal_window = window;
+  return w;
+}
+
 Workload FastGcnWorkload() {
   // FastGCN (paper §2): GCN layers over layer-wise importance samples.
   // Layer sizes scale with the mini-batch the way the original work sizes
@@ -97,6 +105,11 @@ std::unique_ptr<Sampler> MakeSampler(const Workload& workload, const Dataset& da
       return MakeSubgraphSampler(dataset.graph, workload.num_layers);
     case SamplingAlgorithm::kFastGcn:
       return MakeFastGcnSampler(dataset.graph, workload.fanouts);
+    case SamplingAlgorithm::kKhopTemporal:
+      LOG_FATAL << "temporal sampling needs a live graph: construct the sampler "
+                   "through a stream hook (EngineOptions::stream, src/stream/) "
+                   "instead of MakeSampler";
+      __builtin_unreachable();
   }
   LOG_FATAL << "unknown sampling algorithm";
   __builtin_unreachable();

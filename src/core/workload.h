@@ -34,6 +34,11 @@ struct Workload {
   std::size_t num_layers = 3;
   std::uint32_t hidden_dim = 256;
 
+  // Temporal k-hop only: the recency window an edge must fall in to be a
+  // neighbor candidate (event-clock units; <= 0 = unbounded history). The
+  // live TemporalAdjacencySource carries the clock; this is the policy.
+  float temporal_window = 0.0f;
+
   // Cost-model multiplier for the Train stage (PinSAGE's importance pooling
   // is heavier per unit of block work; fitted to Table 5's Train column).
   double train_factor = 1.0;
@@ -58,6 +63,12 @@ Workload ClusterGcnWorkload();
 
 // FastGCN-style workload: GCN over layer-wise importance samples (paper §2).
 Workload FastGcnWorkload();
+
+// GCN over temporal neighborhoods (streaming scenario, src/stream/): k-hop
+// uniform among edges inside the recency `window`. Needs a live
+// TemporalAdjacencySource, so the engines construct its sampler through a
+// stream hook (EngineOptions::stream) rather than MakeSampler.
+Workload TemporalGcnWorkload(float window);
 
 // Instantiates the workload's sampler over a dataset. `weights` is required
 // for (and only for) weighted sampling.

@@ -252,4 +252,102 @@ CsrGraph GenerateCopurchase(const CopurchaseParams& params, Rng* rng) {
   return std::move(builder).Build();
 }
 
+namespace {
+
+// True when `adj[src]` already links to `dst`. Degrees are small (a few
+// tens), so the linear scan beats hashing at generation scale.
+bool HasEdge(const std::vector<std::vector<VertexId>>& adj, VertexId src, VertexId dst) {
+  for (const VertexId t : adj[src]) {
+    if (t == dst) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TemporalGraph GenerateTemporalGrowth(const TemporalGrowthParams& params, Rng* rng,
+                                     std::vector<TimestampedEdge>* events) {
+  CHECK_GT(params.seed_vertices, 1u);
+  CHECK_GE(params.num_vertices, params.seed_vertices);
+
+  std::vector<TimestampedEdge> schedule;
+  std::vector<std::vector<VertexId>> adj(params.num_vertices);
+  // The endpoint urn: every emitted edge pushes both endpoints, so a pick
+  // from the urn is preferential in (in + out) degree — the classic
+  // Barabasi-Albert trick, no degree table needed.
+  std::vector<VertexId> urn;
+
+  const auto emit = [&](VertexId src, VertexId dst) {
+    schedule.push_back({src, dst, 0.0f});  // ts filled after normalization.
+    adj[src].push_back(dst);
+    urn.push_back(src);
+    urn.push_back(dst);
+  };
+
+  // Warm-start ring among the seed vertices so the urn is never empty and
+  // early preferential picks have somewhere to land.
+  for (VertexId v = 0; v < params.seed_vertices; ++v) {
+    emit(v, (v + 1) % params.seed_vertices);
+  }
+
+  // Picks a target among vertices arrived so far (< horizon), preferential
+  // with probability preferential_fraction, else uniform. Rejects self
+  // loops and duplicates with a bounded retry so the schedule stays valid
+  // by construction.
+  const auto pick_target = [&](VertexId src, VertexId horizon) -> VertexId {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      VertexId t;
+      if (rng->NextDouble() < params.preferential_fraction) {
+        t = urn[rng->NextBounded(urn.size())];
+        if (t >= horizon) {
+          continue;  // Urn entry from a later arrival than the horizon.
+        }
+      } else {
+        t = static_cast<VertexId>(rng->NextBounded(horizon));
+      }
+      if (t != src && !HasEdge(adj, src, t)) {
+        return t;
+      }
+    }
+    return kInvalidVertex;  // Saturated neighborhood; skip this edge.
+  };
+
+  for (VertexId v = params.seed_vertices; v < params.num_vertices; ++v) {
+    for (std::uint32_t i = 0; i < params.edges_per_vertex; ++i) {
+      const VertexId t = pick_target(v, v);
+      if (t != kInvalidVertex) {
+        emit(v, t);
+      }
+    }
+    // Churn: already-arrived vertices keep adding edges at later
+    // timestamps, so adjacency lists interleave old and new arrivals.
+    for (std::uint32_t i = 0; i < params.churn_edges_per_vertex; ++i) {
+      const auto src = static_cast<VertexId>(rng->NextBounded(v + 1));
+      const VertexId t = pick_target(src, v + 1);
+      if (t != kInvalidVertex) {
+        emit(src, t);
+      }
+    }
+  }
+
+  // Timestamps: the normalized event counter, strictly increasing across
+  // the schedule (hence non-decreasing per vertex).
+  const double total = static_cast<double>(schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    schedule[i].ts = static_cast<float>(static_cast<double>(i + 1) / total);
+  }
+
+  GraphBuilder builder(params.num_vertices);
+  builder.AddTimestampedEdges(schedule);
+  std::string error;
+  auto built = std::move(builder).BuildTemporal(&error);
+  CHECK(built.has_value()) << "temporal-growth schedule invalid: " << error;
+  if (events != nullptr) {
+    *events = std::move(schedule);
+  }
+  return std::move(*built);
+}
+
 }  // namespace gnnlab

@@ -8,8 +8,11 @@
 #ifndef GNNLAB_GRAPH_GENERATORS_H_
 #define GNNLAB_GRAPH_GENERATORS_H_
 
+#include <vector>
+
 #include "common/rng.h"
 #include "graph/csr_graph.h"
+#include "graph/temporal.h"
 
 namespace gnnlab {
 
@@ -65,6 +68,29 @@ struct CopurchaseParams {
 };
 
 CsrGraph GenerateCopurchase(const CopurchaseParams& params, Rng* rng);
+
+// Temporal-growth generator for the streaming layer (src/stream/):
+// preferential attachment with arrival timestamps. Vertices arrive in id
+// order; each emits `edges_per_vertex` out-edges to earlier vertices
+// (endpoint-urn preferential pick, so in-degree is power-law like a real
+// feed), and every arrival also wakes `churn_edges_per_vertex` random
+// *existing* vertices to add one later edge each — which is what gives old
+// vertices genuinely increasing out-edge timestamps and makes the sampled
+// footprint drift. Timestamps are the normalized event counter, strictly
+// increasing over the schedule.
+struct TemporalGrowthParams {
+  VertexId num_vertices = 0;
+  std::uint32_t edges_per_vertex = 4;
+  double preferential_fraction = 0.85;
+  std::uint32_t churn_edges_per_vertex = 2;
+  VertexId seed_vertices = 8;  // Warm-start ring the urn is seeded from.
+};
+
+// Returns the final snapshot; when `events` is non-null it receives the
+// full arrival-ordered schedule, whose replay (ingest + compaction)
+// reproduces the snapshot bit-for-bit — the streaming property test.
+TemporalGraph GenerateTemporalGrowth(const TemporalGrowthParams& params, Rng* rng,
+                                     std::vector<TimestampedEdge>* events = nullptr);
 
 }  // namespace gnnlab
 

@@ -20,6 +20,19 @@ void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
   }
 }
 
+void GraphBuilder::AddTimestampedEdge(VertexId src, VertexId dst, float ts) {
+  AddEdge(src, dst);
+  edge_ts_.push_back(ts);
+}
+
+void GraphBuilder::AddTimestampedEdges(const std::vector<TimestampedEdge>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  edge_ts_.reserve(edge_ts_.size() + edges.size());
+  for (const TimestampedEdge& e : edges) {
+    AddTimestampedEdge(e.src, e.dst, e.ts);
+  }
+}
+
 CsrGraph GraphBuilder::Build() && {
   std::vector<Edge> edges = std::move(edges_);
   if (symmetrize_) {
@@ -54,6 +67,46 @@ CsrGraph GraphBuilder::Build() && {
     indices[i] = edges[i].dst;
   }
   return CsrGraph(std::move(indptr), std::move(indices));
+}
+
+std::optional<TemporalGraph> GraphBuilder::BuildTemporal(std::string* error) && {
+  CHECK_EQ(edges_.size(), edge_ts_.size())
+      << "BuildTemporal mixed with untimestamped AddEdge calls";
+  const std::vector<Edge> edges = std::move(edges_);
+  const std::vector<float> ts = std::move(edge_ts_);
+
+  // Stable counting sort by source: within a vertex, edges keep their
+  // insertion (arrival) order, which is the temporal CSR's layout contract.
+  std::vector<EdgeIndex> indptr(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const Edge& e : edges) {
+    ++indptr[e.src + 1];
+  }
+  for (std::size_t i = 1; i < indptr.size(); ++i) {
+    indptr[i] += indptr[i - 1];
+  }
+  std::vector<VertexId> indices(edges.size());
+  std::vector<float> edge_ts(edges.size());
+  std::vector<EdgeIndex> cursor(indptr.begin(), indptr.end() - 1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const EdgeIndex slot = cursor[edges[i].src]++;
+    indices[slot] = edges[i].dst;
+    edge_ts[slot] = ts[i];
+  }
+
+  TemporalGraph result;
+  result.graph = CsrGraph(std::move(indptr), std::move(indices));
+  result.edge_ts = std::move(edge_ts);
+  std::optional<std::string> diagnostic = FindDuplicateEdge(result.graph);
+  if (!diagnostic) {
+    diagnostic = FindTimestampOrderViolation(result.graph, result.edge_ts);
+  }
+  if (diagnostic) {
+    if (error != nullptr) {
+      *error = *diagnostic;
+    }
+    return std::nullopt;
+  }
+  return result;
 }
 
 }  // namespace gnnlab

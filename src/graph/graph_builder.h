@@ -1,13 +1,20 @@
 // Builds a CsrGraph from an unordered edge list: sorts, optionally removes
-// duplicate edges and self-loops, and packs into CSR arrays.
+// duplicate edges and self-loops, and packs into CSR arrays. The temporal
+// build path (BuildTemporal) instead preserves per-vertex arrival order and
+// *rejects* duplicate edges and timestamp regressions with a diagnostic —
+// silently "fixing" a streaming schedule would hide producer bugs that the
+// temporal sampler would then turn into undefined behavior.
 #ifndef GNNLAB_GRAPH_GRAPH_BUILDER_H_
 #define GNNLAB_GRAPH_GRAPH_BUILDER_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "graph/csr_graph.h"
+#include "graph/temporal.h"
 
 namespace gnnlab {
 
@@ -37,6 +44,11 @@ class GraphBuilder {
   void AddEdge(VertexId src, VertexId dst);
   void AddEdges(const std::vector<Edge>& edges);
 
+  // Timestamped variant feeding BuildTemporal(). Events should be appended
+  // in arrival order; per-vertex order is validated at build time.
+  void AddTimestampedEdge(VertexId src, VertexId dst, float ts);
+  void AddTimestampedEdges(const std::vector<TimestampedEdge>& edges);
+
   std::size_t edge_count() const { return edges_.size(); }
 
   // Consumes the accumulated edges. Adjacency lists come out sorted by
@@ -44,12 +56,21 @@ class GraphBuilder {
   // for determinism.
   CsrGraph Build() &&;
 
+  // Consumes the accumulated *timestamped* edges: packs them into CSR with
+  // each vertex's adjacency in insertion (arrival) order — a stable bucket
+  // by source, never the (src, dst) sort of Build(). Duplicate (src, dst)
+  // pairs and per-vertex timestamp regressions are rejected: returns
+  // nullopt with a diagnostic in *error (the dedup/self-loop/symmetrize
+  // switches do not apply here). Plain AddEdge calls must not be mixed in.
+  std::optional<TemporalGraph> BuildTemporal(std::string* error) &&;
+
  private:
   VertexId num_vertices_;
   bool remove_self_loops_ = true;
   bool deduplicate_ = true;
   bool symmetrize_ = false;
   std::vector<Edge> edges_;
+  std::vector<float> edge_ts_;  // Parallel to edges_ on the temporal path.
 };
 
 }  // namespace gnnlab

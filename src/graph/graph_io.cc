@@ -12,6 +12,10 @@ namespace {
 
 constexpr char kMagic[8] = {'G', 'N', 'N', 'L', 'A', 'B', 'G', '1'};
 
+// Header flag bits (the `reserved` field; 0 in every pre-streaming file,
+// which keeps old files loadable and old readers able to skip the tail).
+constexpr std::uint32_t kFlagEdgeTimestamps = 1u << 0;
+
 struct Header {
   char magic[8];
   std::uint32_t version;
@@ -30,9 +34,8 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-}  // namespace
-
-bool SaveCsrGraph(const CsrGraph& graph, const std::string& path) {
+bool SaveImpl(const CsrGraph& graph, std::span<const float> edge_ts,
+              const std::string& path) {
   FilePtr file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) {
     LOG_ERROR << "cannot open " << path << " for writing";
@@ -41,6 +44,7 @@ bool SaveCsrGraph(const CsrGraph& graph, const std::string& path) {
   Header header{};
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
   header.version = 1;
+  header.reserved = edge_ts.empty() ? 0 : kFlagEdgeTimestamps;
   header.num_vertices = graph.num_vertices();
   header.num_edges = graph.num_edges();
 
@@ -51,7 +55,9 @@ bool SaveCsrGraph(const CsrGraph& graph, const std::string& path) {
       std::fwrite(indptr.data(), sizeof(EdgeIndex), indptr.size(), file.get()) ==
           indptr.size() &&
       (indices.empty() || std::fwrite(indices.data(), sizeof(VertexId), indices.size(),
-                                      file.get()) == indices.size());
+                                      file.get()) == indices.size()) &&
+      (edge_ts.empty() || std::fwrite(edge_ts.data(), sizeof(float), edge_ts.size(),
+                                      file.get()) == edge_ts.size());
   file.reset();
   if (!ok) {
     LOG_ERROR << "short write to " << path;
@@ -59,6 +65,19 @@ bool SaveCsrGraph(const CsrGraph& graph, const std::string& path) {
     return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool SaveCsrGraph(const CsrGraph& graph, const std::string& path) {
+  return SaveImpl(graph, {}, path);
+}
+
+bool SaveTemporalCsrGraph(const CsrGraph& graph, std::span<const float> edge_ts,
+                          const std::string& path) {
+  CHECK_EQ(edge_ts.size(), graph.indices().size())
+      << "edge timestamps must parallel the indices array";
+  return SaveImpl(graph, edge_ts, path);
 }
 
 std::optional<CsrGraph> LoadCsrGraph(const std::string& path) {
@@ -92,7 +111,73 @@ std::optional<CsrGraph> LoadCsrGraph(const std::string& path) {
     LOG_ERROR << path << ": inconsistent CSR offsets";
     return std::nullopt;
   }
-  return CsrGraph(std::move(indptr), std::move(indices));
+  CsrGraph graph(std::move(indptr), std::move(indices));
+  // Duplicate adjacencies are rejected at load time (see LoadGraphFile):
+  // nothing in the system produces them, so a file carrying one is corrupt
+  // or was built by a buggy producer.
+  if (const auto dup = FindDuplicateEdge(graph)) {
+    LOG_ERROR << path << ": " << *dup;
+    return std::nullopt;
+  }
+  return graph;
+}
+
+std::optional<TemporalGraph> LoadGraphFile(const std::string& path, std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<TemporalGraph> {
+    LOG_ERROR << path << ": " << message;
+    if (error != nullptr) {
+      *error = path + ": " + message;
+    }
+    return std::nullopt;
+  };
+
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return fail("cannot open");
+  }
+  Header header{};
+  if (std::fread(&header, sizeof(header), 1, file.get()) != 1 ||
+      std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 || header.version != 1) {
+    return fail("not a gnnlab graph file");
+  }
+
+  TemporalGraph result;
+  std::vector<EdgeIndex> indptr(header.num_vertices + 1);
+  std::vector<VertexId> indices(header.num_edges);
+  if (std::fread(indptr.data(), sizeof(EdgeIndex), indptr.size(), file.get()) !=
+      indptr.size()) {
+    return fail("truncated indptr");
+  }
+  if (!indices.empty() &&
+      std::fread(indices.data(), sizeof(VertexId), indices.size(), file.get()) !=
+          indices.size()) {
+    return fail("truncated indices");
+  }
+  if (indptr.front() != 0 || indptr.back() != header.num_edges) {
+    return fail("inconsistent CSR offsets");
+  }
+  if ((header.reserved & kFlagEdgeTimestamps) != 0) {
+    result.edge_ts.resize(header.num_edges);
+    if (!result.edge_ts.empty() &&
+        std::fread(result.edge_ts.data(), sizeof(float), result.edge_ts.size(),
+                   file.get()) != result.edge_ts.size()) {
+      return fail("truncated edge timestamps");
+    }
+  }
+  result.graph = CsrGraph(std::move(indptr), std::move(indices));
+
+  // Validation (streaming satellite): silently loading a graph with
+  // duplicate adjacencies or regressing timestamps would surface later as
+  // undefined temporal-sampler behavior; reject here with a diagnostic.
+  if (const auto dup = FindDuplicateEdge(result.graph)) {
+    return fail(*dup);
+  }
+  if (!result.edge_ts.empty()) {
+    if (const auto order = FindTimestampOrderViolation(result.graph, result.edge_ts)) {
+      return fail(*order);
+    }
+  }
+  return result;
 }
 
 }  // namespace gnnlab

@@ -7,9 +7,11 @@
 #define GNNLAB_GRAPH_GRAPH_IO_H_
 
 #include <optional>
+#include <span>
 #include <string>
 
 #include "graph/csr_graph.h"
+#include "graph/temporal.h"
 
 namespace gnnlab {
 
@@ -22,6 +24,23 @@ bool SaveCsrGraph(const CsrGraph& graph, const std::string& path);
 // passes the header checks but violates CSR invariants, which indicates
 // corruption past the point of safe recovery.
 std::optional<CsrGraph> LoadCsrGraph(const std::string& path);
+
+// Temporal variant: same header and CSR payload, plus the parallel
+// per-edge arrival timestamps appended after the indices and a header flag
+// marking their presence. Untimestamped readers (LoadCsrGraph) still load
+// the topology of a temporal file; the reverse direction fails cleanly.
+// `edge_ts` must parallel graph.indices().
+bool SaveTemporalCsrGraph(const CsrGraph& graph, std::span<const float> edge_ts,
+                          const std::string& path);
+
+// Loads either format and validates the temporal invariants (satellite of
+// the streaming layer): duplicate (src, dst) adjacency entries are rejected
+// for every file, timestamp regressions for temporal files. On failure
+// returns nullopt with the diagnostic in *error (also logged); CLIs exit 2
+// on that path (see tools/graph_check.cc). For untimestamped files,
+// edge_ts comes back empty.
+std::optional<TemporalGraph> LoadGraphFile(const std::string& path,
+                                           std::string* error = nullptr);
 
 }  // namespace gnnlab
 

@@ -1,0 +1,53 @@
+#include "graph/temporal.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gnnlab {
+
+std::optional<std::string> FindDuplicateEdge(const CsrGraph& graph) {
+  std::vector<VertexId> sorted;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    if (nbrs.size() < 2) {
+      continue;
+    }
+    sorted.assign(nbrs.begin(), nbrs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+    if (dup != sorted.end()) {
+      std::ostringstream msg;
+      msg << "duplicate edge (" << v << " -> " << *dup << "): vertex " << v << " lists "
+          << *dup << " more than once in its adjacency";
+      return msg.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FindTimestampOrderViolation(const CsrGraph& graph,
+                                                       std::span<const float> edge_ts) {
+  if (edge_ts.size() != graph.indices().size()) {
+    std::ostringstream msg;
+    msg << "edge timestamp array has " << edge_ts.size() << " entries for "
+        << graph.indices().size() << " edges";
+    return msg.str();
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const EdgeIndex begin = graph.EdgeOffset(v);
+    const EdgeIndex end = begin + graph.out_degree(v);
+    for (EdgeIndex e = begin + 1; e < end; ++e) {
+      if (edge_ts[e] < edge_ts[e - 1]) {
+        std::ostringstream msg;
+        msg << "non-monotonic edge timestamps at vertex " << v << ": edge to "
+            << graph.indices()[e] << " (ts " << edge_ts[e] << ") arrives after edge to "
+            << graph.indices()[e - 1] << " (ts " << edge_ts[e - 1]
+            << ") but carries an earlier timestamp";
+        return msg.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,60 @@
+// Timestamped edges and the validation contracts of the temporal graph
+// substrate (the streaming layer in src/stream/ builds on these).
+//
+// A temporal CSR keeps each vertex's adjacency in *arrival order* — the
+// parallel edge_ts array is non-decreasing per vertex — instead of the
+// destination-sorted order GraphBuilder::Build produces. That ordering is
+// what makes delta-segment compaction (append the pending overlay after
+// the base adjacency) a pure concatenation, and what the temporal k-hop
+// sampler's recency window relies on. Two invariants are therefore
+// validated wherever temporal graphs enter the system (builder, loader,
+// streaming ingest): no duplicate (src, dst) adjacency entries, and no
+// per-vertex timestamp regression.
+#ifndef GNNLAB_GRAPH_TEMPORAL_H_
+#define GNNLAB_GRAPH_TEMPORAL_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/csr_graph.h"
+
+namespace gnnlab {
+
+// One edge-arrival event of a streaming schedule. `ts` is the event clock:
+// schedules are globally non-decreasing in ts, which implies the per-vertex
+// ordering invariant above.
+struct TimestampedEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float ts = 0.0f;
+
+  friend bool operator==(const TimestampedEdge&, const TimestampedEdge&) = default;
+};
+
+// A CSR snapshot plus the parallel per-edge arrival timestamps, addressed
+// by the same offsets as graph.indices() (CsrGraph::EdgeOffset) — the same
+// parallel-array scheme edge weights use.
+struct TemporalGraph {
+  CsrGraph graph;
+  std::vector<float> edge_ts;
+};
+
+// Returns a diagnostic naming the first duplicate (src, dst) adjacency
+// entry, or nullopt when every adjacency list is duplicate-free. Works on
+// any CSR: temporal adjacency is arrival-ordered, not destination-sorted,
+// so the scan sorts a per-vertex copy.
+std::optional<std::string> FindDuplicateEdge(const CsrGraph& graph);
+
+// Returns a diagnostic naming the first vertex whose adjacency timestamps
+// regress (per-vertex arrival order must be non-decreasing), or nullopt.
+// `edge_ts` must parallel graph.indices(); a size mismatch is itself a
+// validation failure.
+std::optional<std::string> FindTimestampOrderViolation(const CsrGraph& graph,
+                                                       std::span<const float> edge_ts);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_GRAPH_TEMPORAL_H_

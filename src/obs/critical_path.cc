@@ -21,9 +21,9 @@ std::size_t StageIndex(const std::string& stage) {
   return kNumBlameStages - 1;  // gap.
 }
 
-constexpr std::size_t kExtractIndex = 4;
-constexpr std::size_t kExtractStallIndex = 5;
-constexpr std::size_t kSsdStallIndex = 6;
+constexpr std::size_t kExtractIndex = 5;
+constexpr std::size_t kExtractStallIndex = 6;
+constexpr std::size_t kSsdStallIndex = 7;
 
 }  // namespace
 
@@ -34,20 +34,22 @@ double StageBlame::Component(std::size_t index) const {
 double& StageBlame::MutableComponent(std::size_t index) {
   switch (index) {
     case 0:
-      return sample;
+      return ingest;
     case 1:
-      return mark;
+      return sample;
     case 2:
-      return copy;
+      return mark;
     case 3:
-      return queue_wait;
+      return copy;
     case 4:
-      return extract;
+      return queue_wait;
     case 5:
-      return extract_stall;
+      return extract;
     case 6:
-      return ssd_stall;
+      return extract_stall;
     case 7:
+      return ssd_stall;
+    case 8:
       return train;
     default:
       return gap;

@@ -29,6 +29,7 @@ namespace gnnlab {
 // order; "gap" is time no instrumented stage covered (scheduling delay,
 // channel contention, ...). Unrecognized stage names also land in gap.
 struct StageBlame {
+  double ingest = 0.0;  // Streaming: graph delta apply + cache re-rank.
   double sample = 0.0;
   double mark = 0.0;
   double copy = 0.0;
@@ -44,10 +45,10 @@ struct StageBlame {
   double& MutableComponent(std::size_t index);
 };
 
-inline constexpr std::size_t kNumBlameStages = 9;
+inline constexpr std::size_t kNumBlameStages = 10;
 inline constexpr std::array<const char*, kNumBlameStages> kBlameStageNames = {
-    "sample", "mark",          "copy",      "queue_wait", "extract",
-    "extract_stall", "ssd_stall", "train",      "gap"};
+    "ingest",  "sample",        "mark",      "copy",  "queue_wait",
+    "extract", "extract_stall", "ssd_stall", "train", "gap"};
 
 // One flow folded: latency = last end - first begin; blame sums to latency.
 struct FlowCriticalPath {

@@ -39,6 +39,11 @@ constexpr std::size_t FlowBatch(FlowId flow) {
   return static_cast<std::size_t>(flow & 0xffffffffu);
 }
 
+// Reserved batch id for per-epoch work that is not a minibatch (the
+// streaming layer's epoch-boundary ingest + rerank flow). Real batch
+// indices never reach 2^32 - 1.
+constexpr std::size_t kStreamFlowBatch = 0xffffffffu;
+
 // One stage execution of one minibatch.
 struct FlowStep {
   FlowId flow = 0;

@@ -60,6 +60,9 @@ inline constexpr char kMetricServeQueueSeconds[] = "serve.queue_seconds";    // 
 inline constexpr char kMetricServeBatchSeconds[] = "serve.batch_seconds";    // Histogram.
 inline constexpr char kMetricServeE2eSeconds[] = "serve.e2e_seconds";        // Histogram.
 inline constexpr char kMetricServeBatchSize[] = "serve.batch_size";          // Histogram.
+// Event-time gap between the newest ingested edge and the topology the
+// server currently answers from (streaming serving only).
+inline constexpr char kMetricServeStaleness[] = "serve.staleness";  // Gauge.
 
 // Distributed-training metrics (src/dist). Per-node metrics are registered
 // under DistNodeMetricPrefix(node) — e.g. "dist.n0.queue.depth",

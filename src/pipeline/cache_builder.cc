@@ -10,7 +10,8 @@ namespace gnnlab {
 namespace {
 
 std::unique_ptr<Sampler> MakeWorkloadSampler(const CacheBuildContext& ctx) {
-  return MakeSampler(*ctx.workload, *ctx.dataset, ctx.weights);
+  return ctx.sampler_factory ? ctx.sampler_factory()
+                             : MakeSampler(*ctx.workload, *ctx.dataset, ctx.weights);
 }
 
 // Accumulates one full epoch's sampled blocks into `footprint`, replaying

@@ -16,6 +16,8 @@
 #define GNNLAB_PIPELINE_CACHE_BUILDER_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "cache/cache_policy.h"
@@ -33,6 +35,10 @@ struct CacheBuildContext {
   // epochs the Optimal oracle replays.
   const Footprint* profile_footprint = nullptr;
   std::size_t replay_epochs = 0;
+  // Overrides MakeSampler(workload, dataset, weights) for the pre-sampling
+  // stages. Streaming runs set this to the stream hook's live-graph sampler
+  // factory — the temporal kernel has no frozen-dataset construction path.
+  std::function<std::unique_ptr<Sampler>()> sampler_factory;
 };
 
 // Descending hotness ranking for `kind` (empty for kNone). Fatal for

@@ -207,11 +207,14 @@ void ApplyAveragedGradients(GnnModel* model, Adam* adam, std::size_t accumulated
 double EvaluateModelAccuracy(const Dataset& dataset, const Workload& workload,
                              const EdgeWeights* weights, GnnModel* model,
                              const RealTrainingOptions& real, ThreadPool* pool,
-                             const std::function<Rng(std::size_t)>& batch_rng) {
+                             const std::function<Rng(std::size_t)>& batch_rng,
+                             const std::function<std::unique_ptr<Sampler>()>&
+                                 sampler_factory) {
   if (real.eval_vertices.empty()) {
     return 0.0;
   }
-  std::unique_ptr<Sampler> sampler = MakeSampler(workload, dataset, weights);
+  std::unique_ptr<Sampler> sampler =
+      sampler_factory ? sampler_factory() : MakeSampler(workload, dataset, weights);
   sampler->BindThreadPool(pool);
   Extractor extractor(*real.features, pool);
   double correct_weighted = 0.0;

@@ -220,11 +220,15 @@ void ApplyAveragedGradients(GnnModel* model, Adam* adam, std::size_t accumulated
 
 // Shared accuracy evaluation: samples the eval vertices in batches using
 // the driver-provided per-batch RNG stream and averages model accuracy
-// (weighted by batch size).
+// (weighted by batch size). `sampler_factory` overrides MakeSampler for
+// workloads whose sampler needs external state (temporal sampling over a
+// live streaming graph).
 double EvaluateModelAccuracy(const Dataset& dataset, const Workload& workload,
                              const EdgeWeights* weights, GnnModel* model,
                              const RealTrainingOptions& real, ThreadPool* pool,
-                             const std::function<Rng(std::size_t)>& batch_rng);
+                             const std::function<Rng(std::size_t)>& batch_rng,
+                             const std::function<std::unique_ptr<Sampler>()>&
+                                 sampler_factory = nullptr);
 
 }  // namespace gnnlab
 

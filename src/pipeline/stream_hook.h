@@ -1,0 +1,61 @@
+// The engines' seam to the streaming layer (src/stream/).
+//
+// A streaming run mutates state only at epoch boundaries, on the driver's
+// thread, while no sampler or trainer is active: the engine calls
+// BeginEpoch(e) before pumping epoch e's batches, the hook applies that
+// epoch's ingest schedule to the live graph and (given the previous
+// epoch's sampling footprint) re-ranks the feature store, and the returned
+// EpochWork prices the stage on the engine's clock — the sim engine delays
+// sampler start by ingest_seconds and blocks trainers until
+// ingest + rerank (the cache is busy being re-ranked), which is exactly
+// the queue-pressure spike that exercises the switcher; the threaded
+// engine records the measured wall time. Either way the work lands on the
+// flow tracer as an "ingest" step, so critical-path attribution gains an
+// ingest component that sums to 1 with the existing stages.
+//
+// This header lives in the pipeline layer (below the drivers) so both
+// engines can depend on the interface while gnnlab_stream implements it on
+// top of gnnlab_core.
+#ifndef GNNLAB_PIPELINE_STREAM_HOOK_H_
+#define GNNLAB_PIPELINE_STREAM_HOOK_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "cache/tiered_store.h"
+#include "sampling/footprint.h"
+#include "sampling/sampler.h"
+
+namespace gnnlab {
+
+class StreamHooks {
+ public:
+  // What one epoch boundary did, priced for the engine's clock.
+  struct EpochWork {
+    double ingest_seconds = 0.0;  // Delta apply (+ compaction when triggered).
+    double rerank_seconds = 0.0;  // Bounded re-admit row staging.
+    std::size_t ingested_edges = 0;
+    std::size_t admitted_rows = 0;
+    std::size_t evicted_rows = 0;
+  };
+
+  virtual ~StreamHooks() = default;
+
+  // Applies epoch `epoch`'s ingest batch and re-ranks `store` from
+  // `prev_footprint` (the previous epoch's sampling footprint; nullptr on
+  // epoch 0 and for drivers that do not collect one). Called with no
+  // concurrent sampler/trainer activity; must be deterministic.
+  virtual EpochWork BeginEpoch(std::size_t epoch, const Footprint* prev_footprint,
+                               TieredFeatureStore* store) = 0;
+
+  // Builds a sampler over the *live* graph (replaces MakeSampler, whose
+  // samplers bind the frozen dataset topology). Called once per executor —
+  // possibly from several threads at once in the threaded engine, so it
+  // must be thread-safe; the returned sampler itself follows the usual
+  // one-owner rule.
+  virtual std::unique_ptr<Sampler> CreateSampler() const = 0;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_PIPELINE_STREAM_HOOK_H_

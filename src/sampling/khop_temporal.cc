@@ -1,0 +1,108 @@
+// k-hop temporal neighborhood sampling: the streaming scenario.
+//
+// Candidacy first, then selection: a vertex's candidates are the adjacency
+// entries (base CSR + pending overlay) whose arrival timestamp falls inside
+// the view's recency window [Now() - Window(), Now()]; among candidates the
+// kernel picks `fanout` uniformly without replacement with the same
+// Floyd's-algorithm trick as the uniform kernel. The scan cost is the full
+// degree plus the pending count — temporal filtering is inherently
+// O(degree), like reservoir sampling — which the stats report so the cost
+// model prices the heavier Sample stage honestly.
+//
+// Candidates are collected base-first then pending, both in arrival order.
+// Compaction appends the pending overlay after the base adjacency in
+// exactly that order, so the candidate list — and therefore every pick —
+// is bit-identical immediately before and after a compaction.
+#include "sampling/khop_base.h"
+#include "sampling/temporal_view.h"
+
+namespace gnnlab {
+namespace {
+
+class KhopTemporalSampler final : public KhopSamplerBase {
+ public:
+  KhopTemporalSampler(const CsrGraph& graph, const TemporalAdjacencySource& view,
+                      std::vector<std::uint32_t> fanouts)
+      : KhopSamplerBase(graph, std::move(fanouts)), view_(view) {}
+
+  SamplingAlgorithm algorithm() const override {
+    return SamplingAlgorithm::kKhopTemporal;
+  }
+
+ protected:
+  void SampleNeighborsInto(VertexId v, std::uint32_t fanout, Rng* rng,
+                           std::vector<VertexId>* out, KhopScratch* scratch,
+                           SamplerStats* stats) const override {
+    const auto nbrs = graph().Neighbors(v);
+    const auto base_ts = view_.BaseEdgeTs();
+    const auto pending = view_.Pending(v);
+    const double now = view_.Now();
+    const float window = view_.Window();
+    const bool bounded = window > 0.0f;
+    const double lo = now - static_cast<double>(window);
+
+    // Candidate collection into the reservoir scratch (same buffer the
+    // reservoir kernel reuses — worker-private, allocation-free when warm).
+    std::vector<VertexId>& candidates = scratch->reservoir;
+    candidates.clear();
+    const EdgeIndex offset = graph().EdgeOffset(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double ts = base_ts[offset + i];
+      if (ts <= now && (!bounded || ts >= lo)) {
+        candidates.push_back(nbrs[i]);
+      }
+    }
+    for (const TimestampedNeighbor& p : pending) {
+      const double ts = p.ts;
+      if (ts <= now && (!bounded || ts >= lo)) {
+        candidates.push_back(p.dst);
+      }
+    }
+
+    std::size_t emitted;
+    if (candidates.size() <= fanout) {
+      out->insert(out->end(), candidates.begin(), candidates.end());
+      emitted = candidates.size();
+    } else {
+      // Floyd's sampling of `fanout` distinct positions among candidates.
+      std::vector<std::size_t>& picked = scratch->positions;
+      picked.clear();
+      const std::size_t degree = candidates.size();
+      for (std::size_t j = degree - fanout; j < degree; ++j) {
+        auto t = static_cast<std::size_t>(rng->NextBounded(j + 1));
+        if (Contains(picked, t)) {
+          t = j;
+        }
+        picked.push_back(t);
+        out->push_back(candidates[t]);
+      }
+      emitted = fanout;
+    }
+    if (stats != nullptr) {
+      stats->sampled_neighbors += emitted;
+      stats->adjacency_entries_scanned += nbrs.size() + pending.size();
+    }
+  }
+
+ private:
+  static bool Contains(const std::vector<std::size_t>& picked, std::size_t position) {
+    for (const std::size_t p : picked) {
+      if (p == position) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const TemporalAdjacencySource& view_;
+};
+
+}  // namespace
+
+std::unique_ptr<Sampler> MakeKhopTemporalSampler(const CsrGraph& graph,
+                                                 const TemporalAdjacencySource& view,
+                                                 std::vector<std::uint32_t> fanouts) {
+  return std::make_unique<KhopTemporalSampler>(graph, view, std::move(fanouts));
+}
+
+}  // namespace gnnlab

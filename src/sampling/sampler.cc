@@ -16,6 +16,8 @@ const char* SamplingAlgorithmName(SamplingAlgorithm algorithm) {
       return "subgraph";
     case SamplingAlgorithm::kFastGcn:
       return "fastgcn";
+    case SamplingAlgorithm::kKhopTemporal:
+      return "khop-temporal";
   }
   return "unknown";
 }

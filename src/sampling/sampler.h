@@ -30,6 +30,7 @@ enum class SamplingAlgorithm {
   kRandomWalk,     // PinSAGE: importance neighbors from random walks.
   kSubgraph,       // ClusterGCN: edges induced among the batch itself.
   kFastGcn,        // FastGCN: per-layer importance sampling by degree.
+  kKhopTemporal,   // Streaming: uniform among recency-window candidates.
 };
 
 const char* SamplingAlgorithmName(SamplingAlgorithm algorithm);
@@ -104,6 +105,18 @@ std::unique_ptr<Sampler> MakeSubgraphSampler(const CsrGraph& graph, std::size_t 
 // existing edge into the chosen set (paper §2's importance-sampling line).
 std::unique_ptr<Sampler> MakeFastGcnSampler(const CsrGraph& graph,
                                             std::vector<std::uint32_t> layer_sizes);
+
+class TemporalAdjacencySource;
+
+// Temporal k-hop sampling (streaming scenario, src/stream/): uniform
+// without replacement among the neighbors whose edge timestamp falls in
+// the view's recency window, over base CSR + pending overlay. `graph` is
+// the view's base CSR — for a live DynamicGraph pass its csr() reference,
+// which stays address-stable across compactions. Graph and view must
+// outlive the sampler.
+std::unique_ptr<Sampler> MakeKhopTemporalSampler(const CsrGraph& graph,
+                                                 const TemporalAdjacencySource& view,
+                                                 std::vector<std::uint32_t> fanouts);
 
 }  // namespace gnnlab
 

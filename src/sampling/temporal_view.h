@@ -1,0 +1,75 @@
+// The read-side contract the temporal k-hop sampler samples against.
+//
+// A streaming graph at any instant is (base CSR + arrival timestamps) plus
+// a per-vertex *pending* overlay of not-yet-compacted insertions
+// (src/stream/dynamic_graph.h). The sampler never sees that split as
+// mutable state: it re-reads the spans on every Sample call (compaction may
+// reallocate the arrays between epochs, never during a call) and filters
+// neighbor candidacy by the view's event clock — an edge is a candidate iff
+//   Now() - Window() <= ts <= Now()      (Window() <= 0: no lower bound).
+#ifndef GNNLAB_SAMPLING_TEMPORAL_VIEW_H_
+#define GNNLAB_SAMPLING_TEMPORAL_VIEW_H_
+
+#include <span>
+
+#include "common/types.h"
+#include "graph/temporal.h"
+
+namespace gnnlab {
+
+// One pending (not-yet-compacted) out-edge.
+struct TimestampedNeighbor {
+  VertexId dst = 0;
+  float ts = 0.0f;
+
+  friend bool operator==(const TimestampedNeighbor&, const TimestampedNeighbor&) = default;
+};
+
+class TemporalAdjacencySource {
+ public:
+  virtual ~TemporalAdjacencySource() = default;
+
+  // Arrival timestamps parallel to the base CSR's indices(), addressed by
+  // CsrGraph::EdgeOffset. Re-read per Sample call.
+  virtual std::span<const float> BaseEdgeTs() const = 0;
+
+  // Pending overlay adjacency of v, arrival-ordered (may be empty).
+  virtual std::span<const TimestampedNeighbor> Pending(VertexId v) const = 0;
+
+  // Event-clock "now": edges with ts > Now() have not happened yet.
+  virtual double Now() const = 0;
+
+  // Recency window; <= 0 disables the lower bound.
+  virtual float Window() const = 0;
+};
+
+// Frozen-snapshot adapter: a TemporalGraph plus an explicit clock, no
+// pending overlay. Tests sample static temporal graphs through it, and the
+// serving layer uses it for staleness-bounded snapshots.
+class StaticTemporalView final : public TemporalAdjacencySource {
+ public:
+  // The graph must outlive the view.
+  StaticTemporalView(const TemporalGraph* graph, double now, float window)
+      : graph_(graph), now_(now), window_(window) {}
+
+  std::span<const float> BaseEdgeTs() const override { return graph_->edge_ts; }
+  std::span<const TimestampedNeighbor> Pending(VertexId /*v*/) const override {
+    return {};
+  }
+  double Now() const override { return now_; }
+  float Window() const override { return window_; }
+
+  void SetClock(double now, float window) {
+    now_ = now;
+    window_ = window;
+  }
+
+ private:
+  const TemporalGraph* graph_;
+  double now_;
+  float window_;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_SAMPLING_TEMPORAL_VIEW_H_

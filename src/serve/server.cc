@@ -49,7 +49,8 @@ InferenceServer::InferenceServer(const Dataset& dataset, const Workload& workloa
   replicas.push_back(model);
   for (std::size_t w = 0; w < total; ++w) {
     Worker& worker = workers_[w];
-    worker.sampler = MakeSampler(workload_, dataset_, nullptr);
+    worker.sampler = options_.sampler_factory ? options_.sampler_factory()
+                                              : MakeSampler(workload_, dataset_, nullptr);
     worker.extractor = std::make_unique<Extractor>(features_);
     Rng init_rng = root.Fork(0x4000 + w);
     worker.model = std::make_unique<GnnModel>(model->config(), &init_rng);
@@ -74,6 +75,32 @@ InferenceServer::InferenceServer(const Dataset& dataset, const Workload& workloa
 }
 
 InferenceServer::~InferenceServer() { Stop(); }
+
+void InferenceServer::RefreshTopology(double graph_ts) {
+  CHECK(!running_.load()) << "RefreshTopology requires a stopped server: worker "
+                             "samplers are single-owner";
+  CHECK(options_.sampler_factory)
+      << "RefreshTopology needs ServeOptions::sampler_factory (a live-graph source)";
+  for (Worker& worker : workers_) {
+    worker.sampler = options_.sampler_factory();
+  }
+  topology_ts_ = graph_ts;
+  GNNLAB_OBS_ONLY({
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetGauge(kMetricServeStaleness)->Set(0.0);
+    }
+  });
+}
+
+double InferenceServer::StalenessAgainst(double live_ts) const {
+  const double staleness = std::max(0.0, live_ts - topology_ts_);
+  GNNLAB_OBS_ONLY({
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetGauge(kMetricServeStaleness)->Set(staleness);
+    }
+  });
+  return staleness;
+}
 
 void InferenceServer::Start() {
   CHECK(!running_.load()) << "InferenceServer already started";

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -72,6 +73,11 @@ struct ServeOptions {
   MetricRegistry* metrics = nullptr;
   FlowTracer* flows = nullptr;
   HealthMonitor* health = nullptr;  // Queue-pressure override for standbys.
+  // Optional live-graph sampler factory (streaming serving): when set,
+  // worker samplers come from here instead of MakeSampler over the frozen
+  // dataset topology, and RefreshTopology() rebuilds them after an ingest.
+  // Must be thread-compatible with construction (called serially).
+  std::function<std::unique_ptr<Sampler>()> sampler_factory;
 };
 
 // Server-side ground truth of one serving run.
@@ -134,6 +140,18 @@ class InferenceServer {
   // switch-decision log into the report.
   ServeReport Report();
 
+  // Streaming serving: rebuilds every worker's sampler through
+  // options_.sampler_factory so answers come from the live graph, and
+  // advances the visible-topology watermark to `graph_ts` (the newest edge
+  // timestamp the refreshed samplers can see). Only while stopped — worker
+  // samplers are single-owner and must not be swapped under a dispatch.
+  void RefreshTopology(double graph_ts);
+  // Measured staleness bound: event-time gap between the live graph's
+  // newest edge (`live_ts`) and the topology the server answers from.
+  // Exports the serve.staleness gauge when a registry is bound.
+  double StalenessAgainst(double live_ts) const;
+  double topology_ts() const { return topology_ts_; }
+
   const ServeOptions& options() const { return options_; }
 
  private:
@@ -195,6 +213,8 @@ class InferenceServer {
   SwitchDecisionLog switch_log_;
   double start_time_ = 0.0;
   double stop_time_ = 0.0;
+  // Newest edge timestamp visible to the worker samplers (streaming only).
+  double topology_ts_ = 0.0;
 
   // Registry-bound mirrors (null when no registry / compiled out).
   Counter* m_served_ = nullptr;

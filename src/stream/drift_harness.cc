@@ -1,0 +1,246 @@
+#include "stream/drift_harness.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace gnnlab {
+
+const char* RerankModeName(RerankMode mode) {
+  switch (mode) {
+    case RerankMode::kFrozen:
+      return "frozen";
+    case RerankMode::kIncremental:
+      return "incremental";
+    case RerankMode::kFullReprofile:
+      return "full-reprofile";
+  }
+  return "unknown";
+}
+
+StreamEngineHooks::StreamEngineHooks(DynamicGraph* graph,
+                                     std::vector<std::vector<TimestampedEdge>> schedule,
+                                     const StreamEngineHooksOptions& options)
+    : graph_(graph),
+      options_(options),
+      ingestor_(graph, std::move(schedule),
+                StreamIngestorOptions{options.compact_pending_fraction, options.metrics}),
+      ranker_(graph->csr().num_vertices(), options.ranker) {
+  CHECK(!options_.fanouts.empty()) << "StreamEngineHooks needs k-hop fanouts";
+}
+
+double StreamEngineHooks::PriceIngest(const StreamIngestor::EpochIngest& ingest) const {
+  // Applying a delta touches every event once (duplicates are scanned and
+  // dropped); a triggered compaction rewrites the whole merged CSR.
+  const double apply = options_.cost.cpu_sample_per_entry *
+                       static_cast<double>(ingest.applied + ingest.duplicates);
+  const double compact =
+      ingest.compacted ? options_.cost.cpu_sample_per_entry *
+                             static_cast<double>(graph_->csr().num_edges())
+                       : 0.0;
+  return apply + compact;
+}
+
+StreamHooks::EpochWork StreamEngineHooks::BeginEpoch(std::size_t epoch,
+                                                     const Footprint* prev_footprint,
+                                                     TieredFeatureStore* store) {
+  EpochWork work;
+  const StreamIngestor::EpochIngest ingest = ingestor_.ApplyEpoch(epoch);
+  work.ingested_edges = ingest.applied;
+  work.ingest_seconds = PriceIngest(ingest);
+  // Samplers built from here on see everything ingested so far, filtered by
+  // the recency window.
+  graph_->SetClock(static_cast<double>(graph_->max_ts()), options_.window);
+
+  if (prev_footprint != nullptr && options_.mode != RerankMode::kFrozen &&
+      store != nullptr) {
+    ranker_.ObserveEpoch(*prev_footprint);
+    FeatureCache& gpu = store->gpu();
+    const std::size_t capacity = gpu.num_cached();
+    const double row_bytes = static_cast<double>(options_.feature_dim) * sizeof(float);
+    if (capacity > 0) {
+      if (options_.mode == RerankMode::kIncremental) {
+        const IncrementalRanker::RerankPlan plan = ranker_.PlanDelta(gpu);
+        gpu.ApplyResidencyDelta(plan.admit, plan.evict);
+        work.admitted_rows = plan.admit.size();
+        work.evicted_rows = plan.evict.size();
+        // Cost: staging only the admitted rows over the cache-load path.
+        work.rerank_seconds = static_cast<double>(plan.admit.size()) * row_bytes /
+                              options_.cost.dram_to_gpu_cache_bandwidth;
+      } else {
+        // Full re-profile: rebuild the ranking and reload the membership
+        // wholesale — the hit-rate upper bound the bench compares against.
+        const std::vector<VertexId> ranking = ranker_.Ranking();
+        std::vector<std::uint8_t> wanted(gpu.num_vertices(), 0);
+        for (std::size_t i = 0; i < capacity; ++i) {
+          wanted[ranking[i]] = 1;
+        }
+        std::vector<VertexId> admits;
+        std::vector<VertexId> evicts;
+        for (std::size_t i = 0; i < capacity; ++i) {
+          if (!gpu.Contains(ranking[i])) {
+            admits.push_back(ranking[i]);
+          }
+        }
+        for (VertexId v = 0; v < gpu.num_vertices(); ++v) {
+          if (wanted[v] == 0 && gpu.Contains(v)) {
+            evicts.push_back(v);
+          }
+        }
+        CHECK_EQ(admits.size(), evicts.size());
+        gpu.ApplyResidencyDelta(admits, evicts);
+        work.admitted_rows = admits.size();
+        work.evicted_rows = evicts.size();
+        // Cost: presample_epoch_factor epochs of re-sampling plus a full
+        // cache reload over the cache-load path.
+        const double resample = options_.cost.presample_epoch_factor *
+                                options_.cost.gpu_sample_per_entry *
+                                static_cast<double>(prev_footprint->total());
+        const double reload = static_cast<double>(capacity) * row_bytes /
+                              options_.cost.dram_to_gpu_cache_bandwidth;
+        work.rerank_seconds = resample + reload;
+      }
+    }
+  }
+
+  total_ingest_seconds_ += work.ingest_seconds;
+  total_rerank_seconds_ += work.rerank_seconds;
+  total_admitted_ += work.admitted_rows;
+  total_evicted_ += work.evicted_rows;
+  GNNLAB_OBS_ONLY({
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("stream.rerank.admitted")
+          ->Increment(work.admitted_rows);
+      options_.metrics->GetCounter("stream.rerank.evicted")
+          ->Increment(work.evicted_rows);
+      if (work.admitted_rows > 0 || work.evicted_rows > 0) {
+        options_.metrics->GetCounter("stream.rerank.plans")->Increment();
+      }
+      options_.metrics->GetGauge("stream.rerank.seconds_total")
+          ->Set(total_rerank_seconds_);
+      options_.metrics->GetGauge("stream.ingest.seconds_total")
+          ->Set(total_ingest_seconds_);
+    }
+  });
+  return work;
+}
+
+std::unique_ptr<Sampler> StreamEngineHooks::CreateSampler() const {
+  return MakeKhopTemporalSampler(graph_->csr(), *graph_, options_.fanouts);
+}
+
+DriftRunResult RunDriftScenario(RerankMode mode, const DriftScenarioOptions& o,
+                                MetricRegistry* metrics, HealthMonitor* health) {
+  // 1. One seeded temporal-growth graph; its event schedule is the ground
+  // truth every mode replays identically.
+  TemporalGrowthParams growth;
+  growth.num_vertices = o.num_vertices;
+  growth.edges_per_vertex = o.edges_per_vertex;
+  growth.churn_edges_per_vertex = o.churn_edges_per_vertex;
+  Rng growth_rng(o.seed ^ 0x44524946u);  // "DRIF"
+  std::vector<TimestampedEdge> events;
+  GenerateTemporalGrowth(growth, &growth_rng, &events);
+  CHECK(!events.empty());
+
+  // 2. The first base_fraction of events are the training snapshot; the
+  // rest stream in as equal chunks from epoch 1 on.
+  const std::size_t base_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(o.base_fraction * static_cast<double>(events.size())));
+  GraphBuilder builder(o.num_vertices);
+  builder.AddTimestampedEdges(
+      std::vector<TimestampedEdge>(events.begin(), events.begin() + base_count));
+  std::string error;
+  std::optional<TemporalGraph> base = std::move(builder).BuildTemporal(&error);
+  CHECK(base.has_value()) << "drift snapshot invalid: " << error;
+
+  std::vector<std::vector<TimestampedEdge>> schedule(o.epochs);
+  const std::size_t rest = events.size() - base_count;
+  const std::size_t drift_epochs = o.epochs > 1 ? o.epochs - 1 : 0;
+  if (drift_epochs > 0 && rest > 0) {
+    const std::size_t chunk = (rest + drift_epochs - 1) / drift_epochs;
+    std::size_t cursor = base_count;
+    for (std::size_t e = 1; e < o.epochs && cursor < events.size(); ++e) {
+      const std::size_t end = std::min(events.size(), cursor + chunk);
+      schedule[e].assign(events.begin() + static_cast<std::ptrdiff_t>(cursor),
+                         events.begin() + static_cast<std::ptrdiff_t>(end));
+      cursor = end;
+    }
+  }
+
+  // 3. Engine dataset over the snapshot topology (the cache is profiled
+  // against exactly what exists before the drift).
+  Dataset ds;
+  ds.id = DatasetId::kProducts;
+  ds.name = "stream-growth";
+  ds.graph = base->graph;
+  Rng train_rng(o.seed ^ 0x54524149u);  // "TRAI"
+  ds.train_set = TrainingSet::SelectUniform(
+      o.num_vertices,
+      static_cast<VertexId>(std::min<std::size_t>(o.train_vertices, o.num_vertices)),
+      &train_rng);
+  ds.feature_dim = o.feature_dim;
+  ds.batch_size = o.batch_size;
+
+  DynamicGraph dynamic(std::move(*base));
+  const Workload workload = TemporalGcnWorkload(static_cast<float>(o.window_fraction));
+
+  EngineOptions engine_options;
+  engine_options.num_gpus = o.num_gpus;
+  engine_options.gpu_memory = o.gpu_memory;
+  engine_options.dynamic_switching = o.dynamic_switching;
+  // The flexible-scheduling formula may allocate zero dedicated Trainers
+  // (counting entirely on switched standbys). Pin at least one: the
+  // incremental re-ranker refreshes the dedicated Trainer store, so an
+  // all-standby run would extract every batch against the static standby
+  // cache and no re-rank policy could move the hit rate. With a dedicated
+  // Trainer the standby's profit test is also finite, so ingest-induced
+  // backlog can exercise the queue-pressure override path.
+  engine_options.num_samplers = std::max(1, o.num_gpus - 1);
+  engine_options.epochs = o.epochs;
+  engine_options.seed = o.seed;
+  engine_options.policy = o.policy;
+  engine_options.cache_ratio_override = o.cache_ratio;
+  engine_options.metrics = metrics;
+  engine_options.health = health;
+
+  StreamEngineHooksOptions hook_options;
+  hook_options.fanouts = workload.fanouts;
+  hook_options.window = workload.temporal_window;
+  hook_options.mode = mode;
+  hook_options.ranker = o.ranker;
+  hook_options.feature_dim = o.feature_dim;
+  hook_options.metrics = metrics;
+  hook_options.cost = engine_options.cost;  // Boundary pricing matches the run.
+  StreamEngineHooks hooks(&dynamic, std::move(schedule), hook_options);
+  engine_options.stream = &hooks;
+
+  Engine engine(ds, workload, engine_options);
+  DriftRunResult result;
+  result.report = engine.Run();
+  CHECK(!result.report.oom) << "drift scenario OOM: " << result.report.oom_detail;
+
+  double hits = 0.0;
+  double distinct = 0.0;
+  for (std::size_t e = 1; e < result.report.epochs.size(); ++e) {
+    hits += static_cast<double>(result.report.epochs[e].extract.cache_hits);
+    distinct += static_cast<double>(result.report.epochs[e].extract.distinct_vertices);
+  }
+  result.drift_hit_rate = distinct > 0.0 ? hits / distinct : 0.0;
+  result.total_ingest_seconds = hooks.total_ingest_seconds();
+  result.total_rerank_seconds = hooks.total_rerank_seconds();
+  result.admitted_rows = hooks.total_admitted();
+  result.ingested_edges = hooks.ingestor().total_applied();
+  result.compactions = hooks.ingestor().total_compactions();
+  for (const SwitchDecision& d : result.report.switch_decisions) {
+    if (d.pressure_override && d.fetched) {
+      ++result.pressure_overrides;
+    }
+  }
+  return result;
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,142 @@
+// End-to-end streaming drift harness: the glue between the stream layer
+// and the execution engines, plus the canonical drift scenario behind
+// bench/fig_drift and the stream tests.
+//
+// StreamEngineHooks implements the engines' StreamHooks seam over a
+// DynamicGraph + StreamIngestor + IncrementalRanker triple. Each epoch
+// boundary it (1) applies that epoch's event chunk (compaction included),
+// (2) advances the temporal clock to the newest ingested edge, and
+// (3) refreshes the trainer feature store under one of three policies:
+//
+//   kFrozen        — the paper's static PreSC cache, never touched again.
+//                    Under drift the sampled footprint walks away from the
+//                    ranking and the hit rate decays.
+//   kIncremental   — bounded admit/evict deltas from the sliding-window
+//                    ranker (IncrementalRanker::PlanDelta); per-epoch cost
+//                    is a few rows of PCIe traffic.
+//   kFullReprofile — rebuilds the full ranking every boundary and reloads
+//                    the cache membership wholesale; the hit-rate upper
+//                    bound, at re-profiling + full-reload cost.
+//
+// The boundary is priced for the simulated clock with the run's
+// CostModelParams (the threaded engine ignores the prices and measures
+// wall time instead): ingest at the CPU per-entry rate over applied +
+// compacted edges, incremental rerank as admitted-row bytes over the
+// cache-load PCIe bandwidth, full re-profile as presample_epoch_factor
+// sampling epochs plus a full cache reload.
+#ifndef GNNLAB_STREAM_DRIFT_HARNESS_H_
+#define GNNLAB_STREAM_DRIFT_HARNESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "pipeline/stream_hook.h"
+#include "stream/dynamic_graph.h"
+#include "stream/incremental_ranker.h"
+#include "stream/stream_ingestor.h"
+
+namespace gnnlab {
+
+enum class RerankMode { kFrozen, kIncremental, kFullReprofile };
+
+const char* RerankModeName(RerankMode mode);
+
+struct StreamEngineHooksOptions {
+  std::vector<std::uint32_t> fanouts;  // Workload fanouts (temporal k-hop).
+  float window = 0.0f;                 // Recency window; <= 0 = unbounded.
+  RerankMode mode = RerankMode::kIncremental;
+  IncrementalRankerOptions ranker;
+  double compact_pending_fraction = 0.25;  // StreamIngestor trigger.
+  CostModelParams cost;                    // Boundary pricing (sim clock).
+  std::uint32_t feature_dim = 0;           // Row bytes for PCIe pricing.
+  MetricRegistry* metrics = nullptr;       // stream.ingest.* / stream.rerank.*.
+};
+
+class StreamEngineHooks final : public StreamHooks {
+ public:
+  // The graph must outlive the hooks; schedule[e] is epoch e's event chunk.
+  StreamEngineHooks(DynamicGraph* graph,
+                    std::vector<std::vector<TimestampedEdge>> schedule,
+                    const StreamEngineHooksOptions& options);
+
+  EpochWork BeginEpoch(std::size_t epoch, const Footprint* prev_footprint,
+                       TieredFeatureStore* store) override;
+  std::unique_ptr<Sampler> CreateSampler() const override;
+
+  // Cumulative modeled boundary cost — the bench's cost axis.
+  double total_ingest_seconds() const { return total_ingest_seconds_; }
+  double total_rerank_seconds() const { return total_rerank_seconds_; }
+  std::size_t total_admitted() const { return total_admitted_; }
+  std::size_t total_evicted() const { return total_evicted_; }
+  const StreamIngestor& ingestor() const { return ingestor_; }
+  DynamicGraph* graph() { return graph_; }
+  const StreamEngineHooksOptions& options() const { return options_; }
+
+ private:
+  double PriceIngest(const StreamIngestor::EpochIngest& ingest) const;
+
+  DynamicGraph* graph_;
+  StreamEngineHooksOptions options_;
+  StreamIngestor ingestor_;
+  IncrementalRanker ranker_;
+  double total_ingest_seconds_ = 0.0;
+  double total_rerank_seconds_ = 0.0;
+  std::size_t total_admitted_ = 0;
+  std::size_t total_evicted_ = 0;
+};
+
+// The canonical drift scenario: a seeded temporal-growth graph whose first
+// `base_fraction` of events form the training snapshot, with the remainder
+// streamed in as per-epoch chunks from epoch 1 on (epoch 0 trains on the
+// snapshot the cache was profiled against — then the drift starts).
+struct DriftScenarioOptions {
+  VertexId num_vertices = 3000;
+  std::uint32_t edges_per_vertex = 8;
+  std::uint32_t churn_edges_per_vertex = 4;
+  double base_fraction = 0.6;
+  std::size_t epochs = 6;
+  std::uint64_t seed = 42;
+  // Recency window as a fraction of the whole (0, 1] event-time span.
+  double window_fraction = 0.35;
+  std::uint32_t feature_dim = 64;
+  std::size_t train_vertices = 1024;
+  std::size_t batch_size = 64;
+  int num_gpus = 2;
+  // Sized so the standby Trainer's leftover-memory cache stays partial too:
+  // with an over-provisioned GPU the standby caches the whole feature
+  // store and switched batches hide the drift entirely.
+  ByteCount gpu_memory = 256 * kKiB;
+  // Off for clean hit-rate comparisons (every extract goes through the
+  // re-rankable dedicated Trainer cache); on to exercise the switcher's
+  // queue-pressure path during ingest spikes.
+  bool dynamic_switching = true;
+  CachePolicyKind policy = CachePolicyKind::kPreSC1;
+  // Large enough that ranking quality (not raw capacity) decides the hit
+  // rate — the regime where re-ranking under drift pays off.
+  double cache_ratio = 0.2;
+  IncrementalRankerOptions ranker;
+};
+
+struct DriftRunResult {
+  RunReport report;
+  // Mean extract hit rate over the drift epochs (epoch >= 1).
+  double drift_hit_rate = 0.0;
+  double total_ingest_seconds = 0.0;
+  double total_rerank_seconds = 0.0;  // The mode's cache-refresh cost.
+  std::size_t admitted_rows = 0;
+  std::size_t ingested_edges = 0;
+  std::size_t compactions = 0;
+  std::size_t pressure_overrides = 0;  // Fetches forced by queue pressure.
+};
+
+// Runs the scenario under `mode` on the simulated engine. `metrics` and
+// `health` are optional (bind the health monitor to the same registry to
+// get queue-pressure overrides during ingest spikes).
+DriftRunResult RunDriftScenario(RerankMode mode, const DriftScenarioOptions& options,
+                                MetricRegistry* metrics = nullptr,
+                                HealthMonitor* health = nullptr);
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_STREAM_DRIFT_HARNESS_H_

@@ -1,0 +1,115 @@
+#include "stream/dynamic_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+DynamicGraph::DynamicGraph(TemporalGraph base)
+    : csr_(std::move(base.graph)),
+      edge_ts_(std::move(base.edge_ts)),
+      pending_adj_(csr_.num_vertices()) {
+  CHECK_EQ(edge_ts_.size(), csr_.indices().size())
+      << "base snapshot lacks parallel edge timestamps";
+  CHECK(!FindDuplicateEdge(csr_)) << "base snapshot has duplicate edges";
+  CHECK(!FindTimestampOrderViolation(csr_, edge_ts_))
+      << "base snapshot has regressing timestamps";
+  if (!edge_ts_.empty()) {
+    max_ts_ = *std::max_element(edge_ts_.begin(), edge_ts_.end());
+  }
+  now_ = max_ts_;
+}
+
+bool DynamicGraph::HasEdge(VertexId src, VertexId dst) const {
+  for (const VertexId t : csr_.Neighbors(src)) {
+    if (t == dst) {
+      return true;
+    }
+  }
+  for (const TimestampedNeighbor& p : pending_adj_[src]) {
+    if (p.dst == dst) {
+      return true;
+    }
+  }
+  return false;
+}
+
+DynamicGraph::ApplyResult DynamicGraph::ApplyBatch(
+    std::span<const TimestampedEdge> events) {
+  ApplyResult result;
+  DeltaSegment segment;
+  segment.edges.reserve(events.size());
+  for (const TimestampedEdge& e : events) {
+    CHECK_LT(e.src, csr_.num_vertices());
+    CHECK_LT(e.dst, csr_.num_vertices());
+    CHECK_GE(e.ts, max_ts_) << "ingest schedule regresses in time at edge (" << e.src
+                            << " -> " << e.dst << ")";
+    if (HasEdge(e.src, e.dst)) {
+      ++result.duplicates;
+      continue;
+    }
+    if (segment.edges.empty()) {
+      segment.min_ts = e.ts;
+    }
+    segment.max_ts = e.ts;
+    max_ts_ = e.ts;
+    segment.edges.push_back(e);
+    pending_adj_[e.src].push_back({e.dst, e.ts});
+    ++result.applied;
+  }
+  pending_count_ += result.applied;
+  if (!segment.edges.empty()) {
+    segments_.push_back(std::move(segment));
+  }
+  return result;
+}
+
+bool DynamicGraph::ShouldCompact(double max_pending_fraction) const {
+  const double base = static_cast<double>(std::max<EdgeIndex>(1, csr_.num_edges()));
+  return static_cast<double>(pending_count_) > max_pending_fraction * base;
+}
+
+void DynamicGraph::Compact() {
+  if (pending_count_ == 0) {
+    segments_.clear();
+    return;
+  }
+  const VertexId n = csr_.num_vertices();
+  std::vector<EdgeIndex> indptr(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    indptr[v + 1] = indptr[v] + csr_.out_degree(v) + pending_adj_[v].size();
+  }
+  std::vector<VertexId> indices(indptr.back());
+  std::vector<float> edge_ts(indptr.back());
+  for (VertexId v = 0; v < n; ++v) {
+    EdgeIndex slot = indptr[v];
+    const auto nbrs = csr_.Neighbors(v);
+    const EdgeIndex base_offset = csr_.EdgeOffset(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      indices[slot] = nbrs[i];
+      edge_ts[slot] = edge_ts_[base_offset + i];
+      ++slot;
+    }
+    // Pending after base, in arrival order: every pending ts is >= the
+    // base maximum (ApplyBatch enforces global time order), so the merged
+    // list stays non-decreasing per vertex.
+    for (const TimestampedNeighbor& p : pending_adj_[v]) {
+      indices[slot] = p.dst;
+      edge_ts[slot] = p.ts;
+      ++slot;
+    }
+  }
+  csr_ = CsrGraph(std::move(indptr), std::move(indices));
+  edge_ts_ = std::move(edge_ts);
+  CHECK(!FindTimestampOrderViolation(csr_, edge_ts_))
+      << "compaction broke per-vertex timestamp order";
+  for (auto& pending : pending_adj_) {
+    pending.clear();
+  }
+  pending_count_ = 0;
+  segments_.clear();
+}
+
+}  // namespace gnnlab

@@ -1,0 +1,98 @@
+// A CSR graph that grows under a streaming event schedule.
+//
+// Layout: an immutable base CSR (arrival-ordered adjacency + parallel
+// timestamps, the TemporalGraph contract) plus a list of immutable delta
+// segments — one per applied batch — mirrored into a per-vertex *pending*
+// overlay adjacency so the temporal sampler reads any vertex's live
+// neighborhood in O(degree + pending) without scanning segments.
+// Compact() folds base + overlay into a fresh CSR (base edges first, then
+// pending in arrival order — a pure concatenation per vertex, so sampler
+// candidate order is bit-identical across the boundary) and reassigns it
+// in place: the CsrGraph reference returned by csr() stays address-stable,
+// which is what lets samplers hold it across compactions.
+//
+// Mutations (ApplyBatch, Compact, SetClock) must not race reads: the
+// engines mutate only at epoch boundaries on the driver thread, while no
+// sampler or server worker is active.
+#ifndef GNNLAB_STREAM_DYNAMIC_GRAPH_H_
+#define GNNLAB_STREAM_DYNAMIC_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/temporal.h"
+#include "sampling/temporal_view.h"
+
+namespace gnnlab {
+
+// One applied ingest batch, kept immutable until the next compaction.
+struct DeltaSegment {
+  std::vector<TimestampedEdge> edges;  // Arrival order, duplicates dropped.
+  float min_ts = 0.0f;
+  float max_ts = 0.0f;
+};
+
+class DynamicGraph final : public TemporalAdjacencySource {
+ public:
+  // The base snapshot must satisfy the temporal invariants (BuildTemporal /
+  // LoadGraphFile both guarantee them). The vertex-id space is fixed at
+  // construction: streaming adds edges, never vertices — new arrivals get
+  // pre-allocated ids, matching how feature stores are sized once.
+  explicit DynamicGraph(TemporalGraph base);
+
+  // Address-stable across compactions (the object is reassigned in place).
+  const CsrGraph& csr() const { return csr_; }
+
+  // TemporalAdjacencySource.
+  std::span<const float> BaseEdgeTs() const override { return edge_ts_; }
+  std::span<const TimestampedNeighbor> Pending(VertexId v) const override {
+    return pending_adj_[v];
+  }
+  double Now() const override { return now_; }
+  float Window() const override { return window_; }
+
+  void SetClock(double now, float window) {
+    now_ = now;
+    window_ = window;
+  }
+
+  struct ApplyResult {
+    std::size_t applied = 0;
+    std::size_t duplicates = 0;  // Dropped deterministically (first wins).
+  };
+
+  // Applies one batch as an immutable delta segment. Events must be
+  // globally time-ordered (each ts >= the newest edge seen so far — a
+  // regression is a producer bug and CHECKs); an event duplicating a live
+  // edge is dropped and counted. Endpoints must be in range.
+  ApplyResult ApplyBatch(std::span<const TimestampedEdge> events);
+
+  // Folds base + pending into one CSR and clears the overlay.
+  void Compact();
+
+  // True when the pending overlay exceeds `max_pending_fraction` of the
+  // base edge count — the ingestor's compaction trigger.
+  bool ShouldCompact(double max_pending_fraction) const;
+
+  std::size_t pending_edges() const { return pending_count_; }
+  std::size_t num_segments() const { return segments_.size(); }
+  std::span<const DeltaSegment> segments() const { return segments_; }
+  EdgeIndex total_edges() const { return csr_.num_edges() + pending_count_; }
+  float max_ts() const { return max_ts_; }
+
+ private:
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  CsrGraph csr_;
+  std::vector<float> edge_ts_;  // Parallel to csr_.indices().
+  std::vector<DeltaSegment> segments_;
+  std::vector<std::vector<TimestampedNeighbor>> pending_adj_;
+  std::size_t pending_count_ = 0;
+  float max_ts_ = 0.0f;
+  double now_ = 0.0;
+  float window_ = 0.0f;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_STREAM_DYNAMIC_GRAPH_H_

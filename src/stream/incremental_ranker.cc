@@ -1,0 +1,117 @@
+#include "stream/incremental_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+IncrementalRanker::IncrementalRanker(VertexId num_vertices,
+                                     const IncrementalRankerOptions& options)
+    : num_vertices_(num_vertices), options_(options) {
+  CHECK_GT(options_.window_epochs, 0u);
+  CHECK_GT(options_.decay, 0.0);
+}
+
+void IncrementalRanker::ObserveEpoch(const Footprint& footprint) {
+  CHECK_EQ(footprint.num_vertices(), num_vertices_);
+  const auto counts = footprint.counts();
+  ObserveCounts(std::vector<std::uint64_t>(counts.begin(), counts.end()));
+}
+
+void IncrementalRanker::ObserveCounts(std::vector<std::uint64_t> counts) {
+  CHECK_EQ(counts.size(), static_cast<std::size_t>(num_vertices_));
+  window_.push_back(std::move(counts));
+  while (window_.size() > options_.window_epochs) {
+    window_.pop_front();
+  }
+}
+
+std::vector<double> IncrementalRanker::MergedScores() const {
+  std::vector<double> scores(num_vertices_, 0.0);
+  // Newest epoch (back of the deque) gets weight 1.
+  double weight = std::pow(options_.decay, static_cast<double>(window_.size()) - 1.0);
+  for (const std::vector<std::uint64_t>& counts : window_) {
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      scores[v] += weight * static_cast<double>(counts[v]);
+    }
+    weight /= options_.decay;
+  }
+  return scores;
+}
+
+std::vector<VertexId> IncrementalRanker::Ranking() const {
+  const std::vector<double> scores = MergedScores();
+  std::vector<VertexId> order(num_vertices_);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    order[v] = v;
+  }
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return scores[a] != scores[b] ? scores[a] > scores[b] : a < b;
+  });
+  return order;
+}
+
+std::size_t IncrementalRanker::max_moves(std::size_t capacity) const {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.max_move_fraction *
+                                  static_cast<double>(capacity)));
+}
+
+IncrementalRanker::RerankPlan IncrementalRanker::PlanDelta(
+    const FeatureCache& cache) const {
+  RerankPlan plan;
+  const std::size_t capacity = cache.num_cached();
+  if (capacity == 0 || window_.empty()) {
+    return plan;
+  }
+  CHECK_EQ(cache.num_vertices(), num_vertices_);
+  const std::vector<double> scores = MergedScores();
+  const std::vector<VertexId> ranking = Ranking();
+
+  // The wanted set: top-capacity of the merged ranking, but never a
+  // zero-score vertex — admitting rows nothing sampled is pure churn.
+  std::vector<std::uint8_t> wanted(num_vertices_, 0);
+  std::size_t wanted_count = 0;
+  for (std::size_t i = 0; i < ranking.size() && wanted_count < capacity; ++i) {
+    if (scores[ranking[i]] <= 0.0) {
+      break;
+    }
+    wanted[ranking[i]] = 1;
+    ++wanted_count;
+  }
+
+  // Admit candidates hottest-first, straight off the ranking order.
+  std::vector<VertexId> admits;
+  for (const VertexId v : ranking) {
+    if (admits.size() >= wanted_count) {
+      break;
+    }
+    if (wanted[v] != 0 && !cache.Contains(v)) {
+      admits.push_back(v);
+    }
+  }
+  // Evict candidates coldest-first: resident but no longer wanted.
+  std::vector<VertexId> evicts;
+  for (auto it = ranking.rbegin(); it != ranking.rend(); ++it) {
+    if (cache.Contains(*it) && wanted[*it] == 0) {
+      evicts.push_back(*it);
+    }
+  }
+
+  const std::size_t moves =
+      std::min({admits.size(), evicts.size(), max_moves(capacity)});
+  for (std::size_t i = 0; i < moves; ++i) {
+    // Pairwise guard: swap only while the admitted row is strictly hotter
+    // than the evicted one under the merged score.
+    if (scores[admits[i]] <= scores[evicts[i]]) {
+      break;
+    }
+    plan.admit.push_back(admits[i]);
+    plan.evict.push_back(evicts[i]);
+  }
+  return plan;
+}
+
+}  // namespace gnnlab

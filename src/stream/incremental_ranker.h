@@ -1,0 +1,69 @@
+// Incremental PreSC re-ranking over a sliding window of epoch footprints.
+//
+// The paper's PreSC policy profiles once and ranks once; under drift the
+// sampled footprint moves and the frozen ranking decays. This ranker keeps
+// the last `window_epochs` per-epoch footprints, scores every vertex with
+// an exponentially decayed merge (newest epoch weight 1, one epoch older
+// weight `decay`, ...), and emits a *bounded* admit/evict delta against the
+// live cache membership instead of re-profiling: at most
+// max_move_fraction * capacity rows move per epoch, hottest-missing swaps
+// in for coldest-resident, and a swap only happens when the admit's score
+// strictly beats the evict's (equal-score churn is wasted PCIe traffic).
+// Fully deterministic: ties rank by ascending vertex id.
+#ifndef GNNLAB_STREAM_INCREMENTAL_RANKER_H_
+#define GNNLAB_STREAM_INCREMENTAL_RANKER_H_
+
+#include <deque>
+#include <vector>
+
+#include "cache/feature_cache.h"
+#include "sampling/footprint.h"
+
+namespace gnnlab {
+
+struct IncrementalRankerOptions {
+  std::size_t window_epochs = 3;
+  double decay = 0.5;
+  double max_move_fraction = 0.1;  // Cap on admits per plan, vs capacity.
+};
+
+class IncrementalRanker {
+ public:
+  IncrementalRanker(VertexId num_vertices, const IncrementalRankerOptions& options = {});
+
+  // Pushes one epoch's footprint into the window (oldest epoch falls out).
+  void ObserveEpoch(const Footprint& footprint);
+
+  // Raw-counts variant (one entry per vertex) for callers that track
+  // per-vertex heat without a Footprint (and for synthetic test inputs).
+  void ObserveCounts(std::vector<std::uint64_t> counts);
+
+  // Decayed merged score per vertex over the current window.
+  std::vector<double> MergedScores() const;
+
+  // Full descending-score ranking (ties ascending id) — what a full
+  // re-profile would load the cache from.
+  std::vector<VertexId> Ranking() const;
+
+  struct RerankPlan {
+    std::vector<VertexId> admit;  // Hottest-first.
+    std::vector<VertexId> evict;  // Coldest-first; same length as admit.
+  };
+
+  // Bounded, size-preserving delta moving `cache` toward the top-capacity
+  // set of Ranking(). Does not apply it — callers stage the admitted rows
+  // and then FeatureCache::ApplyResidencyDelta.
+  RerankPlan PlanDelta(const FeatureCache& cache) const;
+
+  std::size_t window_size() const { return window_.size(); }
+  std::size_t max_moves(std::size_t capacity) const;
+
+ private:
+  VertexId num_vertices_;
+  IncrementalRankerOptions options_;
+  std::deque<std::vector<std::uint64_t>> window_;  // Newest at the back.
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_STREAM_INCREMENTAL_RANKER_H_

@@ -1,0 +1,47 @@
+#include "stream/stream_ingestor.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gnnlab {
+
+StreamIngestor::StreamIngestor(DynamicGraph* graph,
+                               std::vector<std::vector<TimestampedEdge>> schedule,
+                               const StreamIngestorOptions& options)
+    : graph_(graph), schedule_(std::move(schedule)), options_(options) {
+  CHECK(graph_ != nullptr);
+}
+
+StreamIngestor::EpochIngest StreamIngestor::ApplyEpoch(std::size_t epoch) {
+  EpochIngest result;
+  if (epoch >= schedule_.size() || schedule_[epoch].empty()) {
+    return result;
+  }
+  const DynamicGraph::ApplyResult applied = graph_->ApplyBatch(schedule_[epoch]);
+  result.applied = applied.applied;
+  result.duplicates = applied.duplicates;
+  total_applied_ += applied.applied;
+  total_duplicates_ += applied.duplicates;
+  if (graph_->ShouldCompact(options_.compact_pending_fraction)) {
+    graph_->Compact();
+    result.compacted = true;
+    ++total_compactions_;
+  }
+  GNNLAB_OBS_ONLY({
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("stream.ingest.batches")->Increment();
+      options_.metrics->GetCounter("stream.ingest.edges")->Increment(result.applied);
+      options_.metrics->GetCounter("stream.ingest.duplicates")
+          ->Increment(result.duplicates);
+      if (result.compacted) {
+        options_.metrics->GetCounter("stream.ingest.compactions")->Increment();
+      }
+      options_.metrics->GetGauge("stream.ingest.pending_edges")
+          ->Set(static_cast<double>(graph_->pending_edges()));
+    }
+  });
+  return result;
+}
+
+}  // namespace gnnlab

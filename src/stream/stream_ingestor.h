@@ -1,0 +1,57 @@
+// Batched ingest of a seeded event schedule into a DynamicGraph.
+//
+// The ingestor owns the per-epoch schedule (epoch e's chunk of the event
+// stream) and the compaction policy: after applying a chunk it compacts
+// when the pending overlay exceeds a fraction of the base edge count.
+// Everything is deterministic — same schedule, same graph state, same
+// compaction epochs — and every apply streams stream.ingest.* counters
+// into the bound MetricRegistry (Prometheus exposition rides on the
+// registry as usual).
+#ifndef GNNLAB_STREAM_STREAM_INGESTOR_H_
+#define GNNLAB_STREAM_STREAM_INGESTOR_H_
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "stream/dynamic_graph.h"
+
+namespace gnnlab {
+
+struct StreamIngestorOptions {
+  // Compact when pending edges exceed this fraction of base edges.
+  double compact_pending_fraction = 0.25;
+  MetricRegistry* metrics = nullptr;  // stream.ingest.* counters.
+};
+
+class StreamIngestor {
+ public:
+  // The graph must outlive the ingestor; schedule[e] is epoch e's batch
+  // (epochs past the schedule end ingest nothing — the stream ran dry).
+  StreamIngestor(DynamicGraph* graph, std::vector<std::vector<TimestampedEdge>> schedule,
+                 const StreamIngestorOptions& options = {});
+
+  struct EpochIngest {
+    std::size_t applied = 0;
+    std::size_t duplicates = 0;
+    bool compacted = false;
+  };
+
+  EpochIngest ApplyEpoch(std::size_t epoch);
+
+  std::size_t num_epochs() const { return schedule_.size(); }
+  std::size_t total_applied() const { return total_applied_; }
+  std::size_t total_duplicates() const { return total_duplicates_; }
+  std::size_t total_compactions() const { return total_compactions_; }
+
+ private:
+  DynamicGraph* graph_;
+  std::vector<std::vector<TimestampedEdge>> schedule_;
+  StreamIngestorOptions options_;
+  std::size_t total_applied_ = 0;
+  std::size_t total_duplicates_ = 0;
+  std::size_t total_compactions_ = 0;
+};
+
+}  // namespace gnnlab
+
+#endif  // GNNLAB_STREAM_STREAM_INGESTOR_H_

@@ -1,0 +1,757 @@
+// The streaming dynamic-graph layer's contract: batched ingest over delta
+// segments is deterministic (duplicates dropped, compaction a pure
+// per-vertex concatenation that the temporal sampler cannot observe);
+// replaying a seeded growth schedule reproduces the generator's snapshot
+// bit-for-bit; the temporal k-hop sampler degenerates to uniform k-hop
+// when every edge is a candidate and respects the recency window when not;
+// the incremental re-ranker moves a bounded number of rows per epoch and
+// converges to the full ranking; and the engines' StreamHooks seam keeps
+// the zero-ingest case indistinguishable from a static run while a real
+// drift run gains an "ingest" attribution component, stream.* metrics,
+// and a hit rate between the frozen and full-re-profile extremes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <cstdio>
+
+#include "core/threaded_engine.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/temporal.h"
+#include "obs/critical_path.h"
+#include "obs/health.h"
+#include "serve/server.h"
+#include "stream/drift_harness.h"
+
+namespace gnnlab {
+namespace {
+
+TemporalGraph SmallBase() {
+  GraphBuilder builder(6);
+  builder.AddTimestampedEdges({{0, 1, 0.10f},
+                               {1, 0, 0.10f},
+                               {0, 2, 0.20f},
+                               {2, 3, 0.30f},
+                               {3, 4, 0.40f},
+                               {4, 5, 0.50f},
+                               {5, 0, 0.60f},
+                               {1, 2, 0.70f}});
+  std::string error;
+  std::optional<TemporalGraph> graph = std::move(builder).BuildTemporal(&error);
+  EXPECT_TRUE(graph.has_value()) << error;
+  return std::move(*graph);
+}
+
+std::vector<VertexId> BlockVertices(const SampleBlock& block) {
+  return std::vector<VertexId>(block.vertices().begin(), block.vertices().end());
+}
+
+// ---------------------------------------------------------------------------
+// DynamicGraph: ingest, duplicate handling, compaction.
+
+TEST(DynamicGraphTest, AppliesBatchesAndDropsDuplicates) {
+  DynamicGraph graph(SmallBase());
+  ASSERT_EQ(graph.csr().num_edges(), 8u);
+  EXPECT_FLOAT_EQ(graph.max_ts(), 0.70f);
+
+  const std::vector<TimestampedEdge> batch = {
+      {2, 4, 0.80f}, {0, 1, 0.85f} /* duplicate of a base edge */, {2, 5, 0.90f}};
+  const DynamicGraph::ApplyResult result = graph.ApplyBatch(batch);
+  EXPECT_EQ(result.applied, 2u);
+  EXPECT_EQ(result.duplicates, 1u);
+  EXPECT_EQ(graph.pending_edges(), 2u);
+  EXPECT_EQ(graph.num_segments(), 1u);
+  EXPECT_EQ(graph.total_edges(), 10u);
+  EXPECT_FLOAT_EQ(graph.max_ts(), 0.90f);
+
+  ASSERT_EQ(graph.Pending(2).size(), 2u);
+  EXPECT_EQ(graph.Pending(2)[0].dst, 4u);
+  EXPECT_EQ(graph.Pending(2)[1].dst, 5u);
+  EXPECT_TRUE(graph.Pending(0).empty());
+
+  // A later re-send of an already-pending edge is also a duplicate, and an
+  // all-duplicate batch appends no delta segment.
+  const DynamicGraph::ApplyResult again = graph.ApplyBatch(
+      std::vector<TimestampedEdge>{{2, 4, 0.95f}});
+  EXPECT_EQ(again.applied, 0u);
+  EXPECT_EQ(again.duplicates, 1u);
+  EXPECT_EQ(graph.num_segments(), 1u);
+}
+
+TEST(DynamicGraphTest, CompactionFoldsPendingAndKeepsInvariants) {
+  DynamicGraph graph(SmallBase());
+  graph.ApplyBatch(std::vector<TimestampedEdge>{{2, 4, 0.80f}, {2, 5, 0.90f}, {0, 3, 0.95f}});
+  EXPECT_FALSE(graph.ShouldCompact(0.5));
+  EXPECT_TRUE(graph.ShouldCompact(0.25));
+
+  graph.Compact();
+  EXPECT_EQ(graph.pending_edges(), 0u);
+  EXPECT_EQ(graph.num_segments(), 0u);
+  ASSERT_EQ(graph.csr().num_edges(), 11u);
+  EXPECT_EQ(graph.BaseEdgeTs().size(), 11u);
+  EXPECT_FALSE(FindDuplicateEdge(graph.csr()).has_value());
+  EXPECT_FALSE(FindTimestampOrderViolation(graph.csr(), graph.BaseEdgeTs()).has_value());
+
+  // Vertex 2's adjacency: base arrivals first (dst 3), then pending in
+  // arrival order (4 then 5) — a pure concatenation.
+  const auto nbrs = graph.csr().Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 3u);
+  EXPECT_EQ(nbrs[1], 4u);
+  EXPECT_EQ(nbrs[2], 5u);
+}
+
+TEST(DynamicGraphTest, SamplerPicksIdenticalAcrossCompaction) {
+  // The sampler holds the address-stable csr() reference; folding the
+  // overlay must not change what it picks (candidate order is preserved).
+  DynamicGraph graph(SmallBase());
+  graph.ApplyBatch(std::vector<TimestampedEdge>{{2, 4, 0.80f}, {2, 5, 0.90f}, {0, 3, 0.95f}});
+  graph.SetClock(1.0, 0.0f);
+
+  std::unique_ptr<Sampler> sampler = MakeKhopTemporalSampler(graph.csr(), graph, {2, 2});
+  const std::vector<VertexId> seeds = {0, 2};
+  Rng rng_a(17);
+  SamplerStats stats_a;
+  const SampleBlock before = sampler->Sample(seeds, &rng_a, &stats_a);
+
+  graph.Compact();
+  Rng rng_b(17);
+  SamplerStats stats_b;
+  const SampleBlock after = sampler->Sample(seeds, &rng_b, &stats_b);
+
+  EXPECT_EQ(BlockVertices(before), BlockVertices(after));
+  ASSERT_EQ(before.num_hops(), after.num_hops());
+  for (std::size_t h = 0; h < before.num_hops(); ++h) {
+    EXPECT_EQ(before.hop(h).src_local, after.hop(h).src_local);
+    EXPECT_EQ(before.hop(h).dst_local, after.hop(h).dst_local);
+  }
+  EXPECT_EQ(stats_a.sampled_neighbors, stats_b.sampled_neighbors);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: replaying the generator's event schedule reproduces the final
+// snapshot bit-for-bit (ingest + compaction are lossless).
+
+TEST(TemporalGrowthReplayTest, ReplayReproducesSnapshotBitForBit) {
+  TemporalGrowthParams params;
+  params.num_vertices = 400;
+  params.edges_per_vertex = 6;
+  params.churn_edges_per_vertex = 3;
+  Rng rng(91);
+  std::vector<TimestampedEdge> events;
+  const TemporalGraph snapshot = GenerateTemporalGrowth(params, &rng, &events);
+  ASSERT_FALSE(events.empty());
+  ASSERT_EQ(snapshot.edge_ts.size(), snapshot.graph.num_edges());
+
+  // Replay: first 30% as the base snapshot, the rest as uneven streamed
+  // batches with a compaction in the middle.
+  const std::size_t base_count = events.size() * 3 / 10;
+  GraphBuilder builder(params.num_vertices);
+  builder.AddTimestampedEdges(
+      std::vector<TimestampedEdge>(events.begin(), events.begin() + base_count));
+  std::string error;
+  std::optional<TemporalGraph> base = std::move(builder).BuildTemporal(&error);
+  ASSERT_TRUE(base.has_value()) << error;
+
+  DynamicGraph live(std::move(*base));
+  std::size_t cursor = base_count;
+  std::size_t batch_index = 0;
+  while (cursor < events.size()) {
+    const std::size_t take = std::min<std::size_t>(97 + 13 * (batch_index % 5),
+                                                   events.size() - cursor);
+    live.ApplyBatch(std::span<const TimestampedEdge>(events.data() + cursor, take));
+    cursor += take;
+    ++batch_index;
+    if (batch_index % 3 == 0) {
+      live.Compact();
+    }
+  }
+  live.Compact();
+
+  ASSERT_EQ(live.csr().num_vertices(), snapshot.graph.num_vertices());
+  ASSERT_EQ(live.csr().num_edges(), snapshot.graph.num_edges());
+  for (VertexId v = 0; v <= params.num_vertices; ++v) {
+    ASSERT_EQ(live.csr().indptr()[v], snapshot.graph.indptr()[v]) << "vertex " << v;
+  }
+  for (EdgeIndex e = 0; e < snapshot.graph.num_edges(); ++e) {
+    ASSERT_EQ(live.csr().indices()[e], snapshot.graph.indices()[e]) << "edge " << e;
+    ASSERT_EQ(live.BaseEdgeTs()[e], snapshot.edge_ts[e]) << "edge " << e;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Temporal sampler: uniform-degenerate and window-bounded behavior.
+
+TEST(TemporalSamplerTest, MatchesUniformWhenEveryEdgeIsCandidate) {
+  TemporalGrowthParams params;
+  params.num_vertices = 300;
+  params.edges_per_vertex = 5;
+  Rng grow_rng(7);
+  TemporalGraph snapshot = GenerateTemporalGrowth(params, &grow_rng, nullptr);
+  DynamicGraph live(std::move(snapshot));
+  live.SetClock(2.0, 0.0f);  // Unbounded window, clock past every arrival.
+
+  std::unique_ptr<Sampler> temporal = MakeKhopTemporalSampler(live.csr(), live, {4, 4});
+  std::unique_ptr<Sampler> uniform = MakeKhopUniformSampler(live.csr(), {4, 4});
+  std::vector<VertexId> seeds(32);
+  std::iota(seeds.begin(), seeds.end(), VertexId{5});
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng_t(seed);
+    Rng rng_u(seed);
+    SamplerStats st, su;
+    const SampleBlock bt = temporal->Sample(seeds, &rng_t, &st);
+    const SampleBlock bu = uniform->Sample(seeds, &rng_u, &su);
+    EXPECT_EQ(BlockVertices(bt), BlockVertices(bu)) << "rng seed " << seed;
+    EXPECT_EQ(bt.num_seeds(), bu.num_seeds());
+    EXPECT_EQ(st.sampled_neighbors, su.sampled_neighbors);
+  }
+}
+
+TEST(TemporalSamplerTest, RecencyWindowExcludesOldAndFutureEdges) {
+  // Vertex 0's neighbors arrive at t=0.1 (1), t=0.5 (2), t=0.9 (3): with
+  // now=0.6 and window 0.3 only the t=0.5 edge is a candidate.
+  GraphBuilder builder(4);
+  builder.AddTimestampedEdges({{0, 1, 0.1f}, {0, 2, 0.5f}, {0, 3, 0.9f}});
+  std::string error;
+  std::optional<TemporalGraph> base = std::move(builder).BuildTemporal(&error);
+  ASSERT_TRUE(base.has_value()) << error;
+  DynamicGraph live(std::move(*base));
+  live.SetClock(0.6, 0.3f);
+
+  std::unique_ptr<Sampler> sampler = MakeKhopTemporalSampler(live.csr(), live, {3});
+  const std::vector<VertexId> seeds = {0};
+  Rng rng(5);
+  SamplerStats stats;
+  const SampleBlock block = sampler->Sample(seeds, &rng, &stats);
+  const std::vector<VertexId> vertices = BlockVertices(block);
+  ASSERT_EQ(vertices.size(), 2u);  // Seed + the single in-window neighbor.
+  EXPECT_EQ(vertices[0], 0u);
+  EXPECT_EQ(vertices[1], 2u);
+
+  // Unbounded window with the clock advanced sees all three.
+  live.SetClock(1.0, 0.0f);
+  Rng rng2(5);
+  const SampleBlock all = sampler->Sample(seeds, &rng2, &stats);
+  EXPECT_EQ(BlockVertices(all).size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: non-temporal k-hop samplers ignore timestamps entirely.
+
+TEST(TemporalSamplerTest, ReservoirAndWeightedIgnoreTimestamps) {
+  // Two temporal graphs with identical arrival-ordered adjacency but
+  // different timestamp assignments: reservoir and weighted k-hop must
+  // pick identically on both (they never read edge_ts), while the
+  // window-bounded temporal sampler distinguishes them.
+  const std::vector<TimestampedEdge> arrivals = {
+      {0, 1, 0.0f}, {0, 2, 0.0f}, {0, 3, 0.0f}, {1, 2, 0.0f},
+      {2, 0, 0.0f}, {3, 1, 0.0f}, {1, 0, 0.0f}, {2, 3, 0.0f}};
+  auto build = [&](float step) {
+    std::vector<TimestampedEdge> stamped = arrivals;
+    for (std::size_t i = 0; i < stamped.size(); ++i) {
+      stamped[i].ts = step * static_cast<float>(i + 1);
+    }
+    GraphBuilder builder(4);
+    builder.AddTimestampedEdges(stamped);
+    std::string error;
+    std::optional<TemporalGraph> graph = std::move(builder).BuildTemporal(&error);
+    EXPECT_TRUE(graph.has_value()) << error;
+    return std::move(*graph);
+  };
+  const TemporalGraph a = build(0.01f);
+  const TemporalGraph b = build(0.1f);
+  ASSERT_EQ(a.graph.indices()[0], b.graph.indices()[0]);
+
+  const std::vector<VertexId> seeds = {0, 1, 2, 3};
+  for (const bool weighted : {false, true}) {
+    std::unique_ptr<Sampler> sa, sb;
+    EdgeWeights wa, wb;
+    if (weighted) {
+      // Identical per-vertex weight timestamps (same seed, same adjacency),
+      // deliberately unrelated to the temporal edge_ts arrays.
+      Rng weight_rng_a(31), weight_rng_b(31);
+      wa = EdgeWeights::RandomTimestamps(a.graph, 2.0, &weight_rng_a);
+      wb = EdgeWeights::RandomTimestamps(b.graph, 2.0, &weight_rng_b);
+      sa = MakeKhopWeightedSampler(a.graph, wa, {2});
+      sb = MakeKhopWeightedSampler(b.graph, wb, {2});
+    } else {
+      sa = MakeKhopReservoirSampler(a.graph, {2});
+      sb = MakeKhopReservoirSampler(b.graph, {2});
+    }
+    Rng ra(23), rb(23);
+    SamplerStats stats;
+    const SampleBlock block_a = sa->Sample(seeds, &ra, &stats);
+    const SampleBlock block_b = sb->Sample(seeds, &rb, &stats);
+    EXPECT_EQ(BlockVertices(block_a), BlockVertices(block_b))
+        << (weighted ? "weighted" : "reservoir") << " k-hop read timestamps";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalRanker: bounded deltas, determinism, convergence.
+
+TEST(IncrementalRankerTest, PlansBoundedStrictlyImprovingSwaps) {
+  const VertexId n = 10;
+  IncrementalRankerOptions options;
+  options.max_move_fraction = 0.5;  // Capacity 4 -> at most 2 moves.
+  IncrementalRanker ranker(n, options);
+  // Hot set {6,7,8,9}, cold set {0,1,2,3} currently resident.
+  ranker.ObserveCounts({1, 1, 1, 1, 0, 0, 9, 9, 9, 9});
+
+  const std::vector<VertexId> cold = {0, 1, 2, 3};
+  FeatureCache cache = FeatureCache::Load(cold, 0.4, n, 4);
+  ASSERT_EQ(cache.num_cached(), 4u);
+  const IncrementalRanker::RerankPlan plan = ranker.PlanDelta(cache);
+  ASSERT_EQ(plan.admit.size(), 2u);
+  ASSERT_EQ(plan.evict.size(), 2u);
+  EXPECT_EQ(plan.admit[0], 6u);  // Hottest missing first; ties by id.
+  EXPECT_EQ(plan.admit[1], 7u);
+  for (const VertexId v : plan.evict) {
+    EXPECT_TRUE(cache.Contains(v));
+  }
+
+  // Equal scores must not churn: resident {6,7,8,9} is already optimal.
+  const std::vector<VertexId> hottest = {6, 7, 8, 9};
+  FeatureCache hot = FeatureCache::Load(hottest, 0.4, n, 4);
+  const IncrementalRanker::RerankPlan none = ranker.PlanDelta(hot);
+  EXPECT_TRUE(none.admit.empty());
+  EXPECT_TRUE(none.evict.empty());
+}
+
+TEST(IncrementalRankerTest, DecayedWindowPrefersRecentEpochs) {
+  const VertexId n = 4;
+  IncrementalRankerOptions options;
+  options.window_epochs = 2;
+  options.decay = 0.5;
+  IncrementalRanker ranker(n, options);
+  ranker.ObserveCounts({10, 0, 2, 0});  // Older: weight 0.5.
+  ranker.ObserveCounts({0, 8, 2, 0});   // Newest: weight 1.
+  const std::vector<double> scores = ranker.MergedScores();
+  EXPECT_DOUBLE_EQ(scores[0], 5.0);
+  EXPECT_DOUBLE_EQ(scores[1], 8.0);
+  EXPECT_DOUBLE_EQ(scores[2], 3.0);
+  const std::vector<VertexId> ranking = ranker.Ranking();
+  EXPECT_EQ(ranking[0], 1u);
+  EXPECT_EQ(ranking[1], 0u);
+  EXPECT_EQ(ranking[2], 2u);
+  EXPECT_EQ(ranking[3], 3u);
+
+  // A third epoch evicts the first from the window.
+  ranker.ObserveCounts({0, 8, 2, 0});
+  EXPECT_EQ(ranker.window_size(), 2u);
+  EXPECT_DOUBLE_EQ(ranker.MergedScores()[0], 0.0);
+}
+
+TEST(IncrementalRankerTest, BoundedDeltasConvergeToFullRanking) {
+  const VertexId n = 64;
+  IncrementalRankerOptions options;
+  options.max_move_fraction = 0.25;
+  IncrementalRanker ranker(n, options);
+  std::vector<std::uint64_t> counts(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    counts[v] = (v * 37 + 11) % 97;  // Arbitrary distinct-ish heat.
+  }
+
+  const std::vector<VertexId> initial = {0, 1, 2, 3, 4, 5, 6, 7};
+  FeatureCache cache = FeatureCache::Load(initial, 0.125, n, 4);
+  const std::size_t capacity = cache.num_cached();
+  for (int epoch = 0; epoch < 16; ++epoch) {
+    ranker.ObserveCounts(counts);
+    const IncrementalRanker::RerankPlan plan = ranker.PlanDelta(cache);
+    EXPECT_LE(plan.admit.size(), ranker.max_moves(capacity));
+    if (plan.admit.empty()) {
+      break;
+    }
+    cache.ApplyResidencyDelta(plan.admit, plan.evict);
+  }
+  // Steady state: cache holds exactly the top-capacity of the ranking.
+  const std::vector<VertexId> ranking = ranker.Ranking();
+  for (std::size_t i = 0; i < capacity; ++i) {
+    EXPECT_TRUE(cache.Contains(ranking[i])) << "rank " << i;
+  }
+  EXPECT_TRUE(ranker.PlanDelta(cache).admit.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration via the StreamHooks seam.
+
+struct DriftGraphParts {
+  Dataset dataset;
+  std::unique_ptr<DynamicGraph> live;
+};
+
+DriftGraphParts MakeStaticDriftParts(std::uint64_t seed) {
+  TemporalGrowthParams growth;
+  growth.num_vertices = 1200;
+  growth.edges_per_vertex = 6;
+  growth.churn_edges_per_vertex = 2;
+  Rng rng(seed);
+  TemporalGraph snapshot = GenerateTemporalGrowth(growth, &rng, nullptr);
+
+  DriftGraphParts parts;
+  parts.dataset.id = DatasetId::kProducts;
+  parts.dataset.name = "stream-static";
+  parts.dataset.graph = snapshot.graph;
+  Rng train_rng(seed + 1);
+  parts.dataset.train_set = TrainingSet::SelectUniform(growth.num_vertices, 512, &train_rng);
+  parts.dataset.feature_dim = 32;
+  parts.dataset.batch_size = 64;
+  parts.live = std::make_unique<DynamicGraph>(std::move(snapshot));
+  return parts;
+}
+
+TEST(StreamEngineTest, ZeroIngestMatchesStaticRun) {
+  // An empty schedule + frozen mode must be indistinguishable from a plain
+  // static run: identical sampled sets, cache contents, and hit counts
+  // (the temporal sampler degenerates to uniform k-hop), and no ingest
+  // blame on the critical path.
+  DriftGraphParts parts = MakeStaticDriftParts(29);
+  EngineOptions options;
+  options.num_gpus = 2;
+  options.epochs = 3;
+  options.seed = 9;
+  options.cache_ratio_override = 0.1;
+
+  const Workload static_workload = StandardWorkload(GnnModelKind::kGcn);
+  Engine static_engine(parts.dataset, static_workload, options);
+  const RunReport static_report = static_engine.Run();
+  ASSERT_FALSE(static_report.oom) << static_report.oom_detail;
+
+  const Workload stream_workload = TemporalGcnWorkload(0.0f);
+  StreamEngineHooksOptions hook_options;
+  hook_options.fanouts = stream_workload.fanouts;
+  hook_options.window = 0.0f;
+  hook_options.mode = RerankMode::kFrozen;
+  hook_options.feature_dim = parts.dataset.feature_dim;
+  StreamEngineHooks hooks(parts.live.get(),
+                          std::vector<std::vector<TimestampedEdge>>(3), hook_options);
+  EngineOptions stream_options = options;
+  stream_options.stream = &hooks;
+  Engine stream_engine(parts.dataset, stream_workload, stream_options);
+  const RunReport stream_report = stream_engine.Run();
+  ASSERT_FALSE(stream_report.oom) << stream_report.oom_detail;
+
+  ASSERT_EQ(stream_report.epochs.size(), static_report.epochs.size());
+  for (std::size_t e = 0; e < static_report.epochs.size(); ++e) {
+    EXPECT_EQ(stream_report.epochs[e].batches, static_report.epochs[e].batches);
+    EXPECT_EQ(stream_report.epochs[e].extract.distinct_vertices,
+              static_report.epochs[e].extract.distinct_vertices);
+    EXPECT_EQ(stream_report.epochs[e].extract.cache_hits,
+              static_report.epochs[e].extract.cache_hits);
+    EXPECT_EQ(stream_report.epochs[e].extract.bytes_from_cache,
+              static_report.epochs[e].extract.bytes_from_cache);
+  }
+  EXPECT_EQ(stream_report.attribution.blame.ingest, 0.0);
+  EXPECT_EQ(hooks.total_ingest_seconds(), 0.0);
+  EXPECT_EQ(hooks.total_admitted(), 0u);
+}
+
+TEST(StreamEngineTest, DriftRunIsDeterministic) {
+  DriftScenarioOptions options;
+  options.num_vertices = 1500;
+  options.epochs = 4;
+  const DriftRunResult a = RunDriftScenario(RerankMode::kIncremental, options);
+  const DriftRunResult b = RunDriftScenario(RerankMode::kIncremental, options);
+  EXPECT_EQ(a.ingested_edges, b.ingested_edges);
+  EXPECT_EQ(a.admitted_rows, b.admitted_rows);
+  EXPECT_EQ(a.compactions, b.compactions);
+  EXPECT_DOUBLE_EQ(a.drift_hit_rate, b.drift_hit_rate);
+  EXPECT_DOUBLE_EQ(a.total_rerank_seconds, b.total_rerank_seconds);
+  ASSERT_EQ(a.report.epochs.size(), b.report.epochs.size());
+  for (std::size_t e = 0; e < a.report.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.report.epochs[e].epoch_time, b.report.epochs[e].epoch_time);
+  }
+  EXPECT_GT(a.ingested_edges, 0u);
+  EXPECT_GT(a.admitted_rows, 0u);
+}
+
+TEST(StreamEngineTest, IncrementalRecoversHitRateAtFractionOfCost) {
+  DriftScenarioOptions options;
+  // Every extract goes through the re-rankable dedicated Trainer cache, so
+  // the hit-rate comparison isolates the re-rank policy.
+  options.dynamic_switching = false;
+  const DriftRunResult frozen = RunDriftScenario(RerankMode::kFrozen, options);
+  const DriftRunResult incremental = RunDriftScenario(RerankMode::kIncremental, options);
+  const DriftRunResult full = RunDriftScenario(RerankMode::kFullReprofile, options);
+
+  // All three modes replay the same event schedule.
+  EXPECT_EQ(frozen.ingested_edges, incremental.ingested_edges);
+  EXPECT_EQ(frozen.ingested_edges, full.ingested_edges);
+  EXPECT_EQ(frozen.admitted_rows, 0u);
+  EXPECT_DOUBLE_EQ(frozen.total_rerank_seconds, 0.0);
+
+  // Hit-rate ordering under drift: frozen <= incremental <= full (full
+  // re-profiling is the upper bound the incremental ranker chases).
+  EXPECT_GT(incremental.drift_hit_rate, frozen.drift_hit_rate);
+  EXPECT_GE(full.drift_hit_rate + 1e-9, incremental.drift_hit_rate);
+  // The bench gate (fig_drift) pins >= 80% gap recovery at < 10% cost;
+  // the test pins a conservative half/quarter so scenario-tuning in the
+  // bench never breaks the unit suite.
+  const double gap = full.drift_hit_rate - frozen.drift_hit_rate;
+  ASSERT_GT(gap, 0.0);
+  EXPECT_GE(incremental.drift_hit_rate - frozen.drift_hit_rate, 0.5 * gap);
+  ASSERT_GT(full.total_rerank_seconds, 0.0);
+  EXPECT_LT(incremental.total_rerank_seconds, 0.25 * full.total_rerank_seconds);
+}
+
+#if GNNLAB_OBS_ENABLED
+TEST(StreamEngineTest, DriftRunRecordsIngestAttributionAndMetrics) {
+  MetricRegistry registry;
+  HealthMonitor::Options health_options;
+  AlertRule rule;
+  ASSERT_TRUE(ParseAlertRule("backlog: queue.depth > 0", &rule));
+  health_options.rules.push_back(rule);
+  HealthMonitor health(&registry, health_options);
+
+  DriftScenarioOptions options;
+  options.num_vertices = 1500;
+  options.epochs = 4;
+  // Two Samplers + one dedicated Trainer: the lone Trainer backs up under
+  // ingest-heavy epochs, so the standby switcher (and the backlog alert
+  // rule below) actually evaluates.
+  options.num_gpus = 3;
+  const DriftRunResult result =
+      RunDriftScenario(RerankMode::kIncremental, options, &registry, &health);
+
+  // Critical-path attribution gained the ingest component and still sums
+  // to 1 across the (now ten) stages.
+  EXPECT_GT(result.report.attribution.blame.ingest, 0.0);
+  const StageBlame fractions = result.report.attribution.Fractions();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kNumBlameStages; ++i) {
+    sum += fractions.Component(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  // stream.* metrics flow into the shared registry (Prometheus-visible).
+  const Counter* edges = registry.FindCounter("stream.ingest.edges");
+  ASSERT_NE(edges, nullptr);
+  EXPECT_EQ(edges->value(), result.ingested_edges);
+  const Counter* batches = registry.FindCounter("stream.ingest.batches");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_GT(batches->value(), 0u);
+  const Counter* admitted = registry.FindCounter("stream.rerank.admitted");
+  ASSERT_NE(admitted, nullptr);
+  EXPECT_EQ(admitted->value(), result.admitted_rows);
+  const Gauge* rerank_seconds = registry.FindGauge("stream.rerank.seconds_total");
+  ASSERT_NE(rerank_seconds, nullptr);
+  EXPECT_GT(rerank_seconds->value(), 0.0);
+  const Gauge* ingest_seconds = registry.FindGauge("stream.ingest.seconds_total");
+  ASSERT_NE(ingest_seconds, nullptr);
+  EXPECT_GT(ingest_seconds->value(), 0.0);
+
+  // The backlog alert rule bound to queue.depth evaluated during the run.
+  EXPECT_NE(registry.FindGauge("alert.backlog"), nullptr);
+}
+#endif
+
+TEST(StreamEngineTest, ThreadedEngineRunsWithIngestHooks) {
+  TemporalGrowthParams growth;
+  growth.num_vertices = 800;
+  growth.edges_per_vertex = 6;
+  growth.churn_edges_per_vertex = 2;
+  Rng rng(13);
+  std::vector<TimestampedEdge> events;
+  GenerateTemporalGrowth(growth, &rng, &events);
+  const std::size_t base_count = events.size() * 7 / 10;
+  GraphBuilder builder(growth.num_vertices);
+  builder.AddTimestampedEdges(
+      std::vector<TimestampedEdge>(events.begin(), events.begin() + base_count));
+  std::string error;
+  std::optional<TemporalGraph> base = std::move(builder).BuildTemporal(&error);
+  ASSERT_TRUE(base.has_value()) << error;
+
+  Dataset dataset;
+  dataset.id = DatasetId::kProducts;
+  dataset.name = "stream-threaded";
+  dataset.graph = base->graph;
+  Rng train_rng(14);
+  dataset.train_set = TrainingSet::SelectUniform(growth.num_vertices, 256, &train_rng);
+  dataset.feature_dim = 16;
+  dataset.batch_size = 32;
+
+  std::vector<std::uint32_t> labels = MakeCommunityLabels(growth.num_vertices, 64, 8);
+  Rng feat_rng(3);
+  FeatureStore features =
+      FeatureStore::Clustered(growth.num_vertices, 16, labels, 8, 0.3, &feat_rng);
+  RealTrainingOptions real;
+  real.features = &features;
+  real.labels = labels;
+  real.num_classes = 8;
+  real.hidden_dim = 16;
+
+  DynamicGraph live(std::move(*base));
+  const Workload workload = TemporalGcnWorkload(0.0f);
+  const std::size_t epochs = 3;
+  std::vector<std::vector<TimestampedEdge>> schedule(epochs);
+  const std::size_t rest = events.size() - base_count;
+  const std::size_t chunk = (rest + epochs - 2) / (epochs - 1);
+  std::size_t cursor = base_count;
+  for (std::size_t e = 1; e < epochs && cursor < events.size(); ++e) {
+    const std::size_t end = std::min(events.size(), cursor + chunk);
+    schedule[e].assign(events.begin() + static_cast<std::ptrdiff_t>(cursor),
+                       events.begin() + static_cast<std::ptrdiff_t>(end));
+    cursor = end;
+  }
+  StreamEngineHooksOptions hook_options;
+  hook_options.fanouts = workload.fanouts;
+  hook_options.window = workload.temporal_window;
+  hook_options.mode = RerankMode::kIncremental;
+  hook_options.feature_dim = dataset.feature_dim;
+  StreamEngineHooks hooks(&live, std::move(schedule), hook_options);
+
+  ThreadedEngineOptions options;
+  options.num_samplers = 1;
+  options.num_trainers = 2;
+  options.epochs = epochs;
+  options.seed = 1;
+  options.real = &real;
+  options.stream = &hooks;
+  ThreadedEngine engine(dataset, workload, options);
+  const ThreadedRunReport report = engine.Run();
+
+  ASSERT_EQ(report.epochs.size(), epochs);
+  for (const ThreadedEpochReport& epoch : report.epochs) {
+    EXPECT_EQ(epoch.batches, dataset.BatchesPerEpoch());
+    EXPECT_GT(epoch.extract.distinct_vertices, 0u);
+  }
+  EXPECT_EQ(hooks.ingestor().total_applied() + hooks.ingestor().total_duplicates(), rest);
+  EXPECT_GT(hooks.ingestor().total_applied(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serving against a live graph: topology refresh bounds staleness.
+
+TEST(StreamServeTest, RefreshTopologyBoundsStaleness) {
+  Dataset dataset = MakeDataset(DatasetId::kProducts, 0.05, 42);
+  Workload workload = StandardWorkload(GnnModelKind::kGraphSage);
+  workload.fanouts = {4, 4};
+  const VertexId nv = dataset.graph.num_vertices();
+  std::vector<std::uint32_t> labels = MakeCommunityLabels(nv, 64, 8);
+  Rng rng(3);
+  FeatureStore features = FeatureStore::Clustered(nv, 16, labels, 8, 0.3, &rng);
+  ModelConfig config;
+  config.kind = GnnModelKind::kGraphSage;
+  config.num_layers = 2;
+  config.in_dim = 16;
+  config.hidden_dim = 16;
+  config.num_classes = 8;
+  Rng model_rng(11);
+  GnnModel model(config, &model_rng);
+
+  // A live graph behind the sampler factory; the server's workers bind to
+  // its address-stable CSR.
+  GraphBuilder builder(nv);
+  std::vector<TimestampedEdge> stamped;
+  for (VertexId v = 0; v + 1 < std::min<VertexId>(nv, 64); ++v) {
+    stamped.push_back({v, v + 1, 0.1f});
+  }
+  builder.AddTimestampedEdges(stamped);
+  std::string error;
+  std::optional<TemporalGraph> base = std::move(builder).BuildTemporal(&error);
+  ASSERT_TRUE(base.has_value()) << error;
+  DynamicGraph live(std::move(*base));
+  live.SetClock(1.0, 0.0f);
+
+  ServeOptions serve_options;
+  serve_options.workers = 1;
+  serve_options.sampler_factory = [&live] {
+    return MakeKhopTemporalSampler(live.csr(), live, {4, 4});
+  };
+  InferenceServer server(dataset, workload, features, nullptr, &model, serve_options);
+
+  // Staleness is measured against the live graph's clock and goes back to
+  // zero after a refresh.
+  EXPECT_DOUBLE_EQ(server.topology_ts(), 0.0);
+  EXPECT_DOUBLE_EQ(server.StalenessAgainst(0.8), 0.8);
+  live.ApplyBatch(std::vector<TimestampedEdge>{{0, 5, 1.2f}});
+  server.RefreshTopology(static_cast<double>(live.max_ts()));
+  EXPECT_DOUBLE_EQ(server.topology_ts(), static_cast<double>(live.max_ts()));
+  EXPECT_DOUBLE_EQ(server.StalenessAgainst(static_cast<double>(live.max_ts())), 0.0);
+  EXPECT_DOUBLE_EQ(server.StalenessAgainst(2.0), 2.0 - static_cast<double>(live.max_ts()));
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: temporal invariants are validated wherever graphs enter the
+// system — the builder and the file loader both reject duplicates and
+// per-vertex timestamp regressions with a diagnostic.
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TemporalValidationTest, BuilderRejectsDuplicateEdges) {
+  GraphBuilder builder(3);
+  builder.AddTimestampedEdges({{0, 1, 0.1f}, {0, 2, 0.2f}, {0, 1, 0.3f}});
+  std::string error;
+  EXPECT_FALSE(std::move(builder).BuildTemporal(&error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  EXPECT_NE(error.find("0"), std::string::npos) << error;  // Names the vertex.
+}
+
+TEST(TemporalValidationTest, BuilderRejectsTimestampRegression) {
+  GraphBuilder builder(3);
+  builder.AddTimestampedEdges({{1, 0, 0.5f}, {1, 2, 0.2f}});
+  std::string error;
+  EXPECT_FALSE(std::move(builder).BuildTemporal(&error).has_value());
+  EXPECT_NE(error.find("timestamp"), std::string::npos) << error;
+}
+
+TEST(TemporalValidationTest, LoaderRoundTripsTemporalGraph) {
+  const TemporalGraph original = SmallBase();
+  const std::string path = TempPath("stream-roundtrip.gnng");
+  ASSERT_TRUE(SaveTemporalCsrGraph(original.graph, original.edge_ts, path));
+  std::string error;
+  const std::optional<TemporalGraph> loaded = LoadGraphFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->graph.num_edges(), original.graph.num_edges());
+  ASSERT_EQ(loaded->edge_ts.size(), original.edge_ts.size());
+  for (EdgeIndex e = 0; e < original.graph.num_edges(); ++e) {
+    EXPECT_EQ(loaded->graph.indices()[e], original.graph.indices()[e]);
+    EXPECT_EQ(loaded->edge_ts[e], original.edge_ts[e]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TemporalValidationTest, LoaderRejectsDuplicateEdgesInAnyFile) {
+  // Even an untimestamped file is screened for duplicate adjacency entries.
+  GraphBuilder builder(3);
+  builder.set_deduplicate(false).set_remove_self_loops(false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const CsrGraph graph = std::move(builder).Build();
+  const std::string path = TempPath("stream-dup.gnng");
+  ASSERT_TRUE(SaveCsrGraph(graph, path));
+  std::string error;
+  EXPECT_FALSE(LoadGraphFile(path, &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TemporalValidationTest, LoaderRejectsTimestampRegression) {
+  // The save path does not validate (corruption can also happen on disk);
+  // the loader must catch a non-monotonic per-vertex timestamp stream.
+  GraphBuilder builder(3);
+  builder.set_deduplicate(false).set_remove_self_loops(false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  const CsrGraph graph = std::move(builder).Build();
+  const std::vector<float> bad_ts = {0.9f, 0.1f};  // Regression within vertex 0.
+  const std::string path = TempPath("stream-regress.gnng");
+  ASSERT_TRUE(SaveTemporalCsrGraph(graph, bad_ts, path));
+  std::string error;
+  EXPECT_FALSE(LoadGraphFile(path, &error).has_value());
+  EXPECT_NE(error.find("timestamp"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gnnlab
